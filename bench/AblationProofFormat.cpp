@@ -1,0 +1,125 @@
+//===- bench/AblationProofFormat.cpp - paper §7 I/O bottleneck ----------------===//
+//
+// The paper's §7 reports that validation time is dominated by writing and
+// parsing the plain-text JSON proofs and names a binary proof format as
+// the remedy ("most of the validation time was spent in... file I/O").
+// This ablation implements that future-work item and quantifies it: the
+// same proofs are serialized as JSON text and as the compact interned
+// binary format (proofgen/ProofBinary.h), comparing encoded size,
+// serialize+parse time, and the driver's end-to-end I/O column.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "proofgen/ProofBinary.h"
+#include "proofgen/ProofJson.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = scaleFromArgs(Argc, Argv, 2);
+  std::cout << "=== Ablation: JSON text vs binary proof format (paper §7) "
+               "===\n\n";
+
+  passes::BugConfig Bugs = passes::BugConfig::fixed();
+  uint64_t Proofs = 0, TextBytes = 0, BinBytes = 0;
+  double TextTime = 0, BinTime = 0;
+  bool AllAgree = true;
+
+  for (const workload::Project &P : workload::paperCorpus(Scale)) {
+    for (unsigned M = 0; M != P.numModules(); ++M) {
+      ir::Module Cur = workload::generateProjectModule(P, M);
+      for (auto &Pass : passes::makeO2Pipeline(Bugs)) {
+        auto PR = Pass->run(Cur, true);
+        ++Proofs;
+
+        Timer TText;
+        std::string Text, Bin;
+        std::optional<proofgen::Proof> FromText, FromBin;
+        TText.time([&] {
+          Text = proofgen::proofToText(PR.Proof);
+          FromText = proofgen::proofFromText(Text);
+          return 0;
+        });
+        TextTime += TText.seconds();
+
+        Timer TBin;
+        TBin.time([&] {
+          Bin = proofgen::proofToBinary(PR.Proof);
+          FromBin = proofgen::proofFromBinary(Bin);
+          return 0;
+        });
+        BinTime += TBin.seconds();
+
+        TextBytes += Text.size();
+        BinBytes += Bin.size();
+        if (!FromText || !FromBin ||
+            proofgen::proofToText(*FromText) !=
+                proofgen::proofToText(*FromBin))
+          AllAgree = false;
+
+        Cur = PR.Tgt;
+      }
+    }
+  }
+
+  auto Fixed = [](double V, int Prec) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.*f", Prec, V);
+    return std::string(Buf);
+  };
+  std::cout << "format           bytes  round-trip (s)  per-proof (ms)\n";
+  std::cout << "------------------------------------------------------\n";
+  std::cout << padRight("json text", 11)
+            << padLeft(formatCountK(TextBytes), 11)
+            << padLeft(Fixed(TextTime, 2), 16)
+            << padLeft(Fixed(TextTime / Proofs * 1e3, 3), 16) << "\n";
+  std::cout << padRight("binary", 11) << padLeft(formatCountK(BinBytes), 11)
+            << padLeft(Fixed(BinTime, 2), 16)
+            << padLeft(Fixed(BinTime / Proofs * 1e3, 3), 16) << "\n";
+  std::cout << "\nproofs serialized: " << Proofs << "\n";
+  double SizeRatio = BinBytes ? double(TextBytes) / double(BinBytes) : 0;
+  double TimeRatio = BinTime > 0 ? TextTime / BinTime : 0;
+  std::cout << "size ratio (text/binary): " << Fixed(SizeRatio, 2)
+            << "x,  round-trip ratio: " << Fixed(TimeRatio, 2) << "x\n";
+
+  // End-to-end: the Fig. 1 driver with the file exchange in each format.
+  driver::DriverOptions JOpts, BOpts;
+  JOpts.WriteFiles = BOpts.WriteFiles = true;
+  BOpts.BinaryProofs = true;
+  driver::ValidationDriver JDriver(Bugs, JOpts), BDriver(Bugs, BOpts);
+  driver::StatsMap JStats, BStats;
+  uint64_t Failures = 0;
+  for (const workload::Project &P : workload::paperCorpus(Scale * 4)) {
+    for (unsigned M = 0; M != P.numModules(); ++M) {
+      ir::Module Mod = workload::generateProjectModule(P, M);
+      JDriver.runPipelineValidated(Mod, JStats);
+      BDriver.runPipelineValidated(Mod, BStats);
+    }
+  }
+  double JIO = 0, BIO = 0;
+  for (const auto &KV : JStats)
+    JIO += KV.second.IO;
+  for (const auto &KV : BStats) {
+    BIO += KV.second.IO;
+    Failures += KV.second.F;
+  }
+  std::cout << "\ndriver I/O column (quarter corpus): json "
+            << Fixed(JIO, 3) << " s, binary " << Fixed(BIO, 3) << " s\n";
+
+  bool Smaller = BinBytes * 2 < TextBytes;
+  bool Faster = BinTime < TextTime;
+  bool DriverFaster = BIO < JIO;
+  std::cout << "\npaper-shape: binary-at-least-halves-proof-size="
+            << (Smaller ? "OK" : "FAIL")
+            << ", binary-round-trip-faster=" << (Faster ? "OK" : "FAIL")
+            << ", driver-io-faster=" << (DriverFaster ? "OK" : "FAIL")
+            << ", formats-agree-and-validate="
+            << ((AllAgree && Failures == 0) ? "OK" : "FAIL") << "\n";
+  return (Smaller && Faster && AllAgree && Failures == 0) ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+//===- bench/Common.h - Shared bench harness utilities ----------*- C++ -*-===//
+///
+/// \file
+/// Shared plumbing for the table-reproducing bench binaries: running the
+/// synthetic corpus (DESIGN.md §3) under a bug configuration and
+/// collecting per-project, per-pass statistics in the layout of the
+/// paper's Figs. 6-14.
+///
+/// Every bench accepts an optional integer argument: a scale divisor for
+/// the corpus (1 = default size; larger = faster, smaller tables).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_BENCH_COMMON_H
+#define CRELLVM_BENCH_COMMON_H
+
+#include "driver/Driver.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workload/Corpus.h"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace bench {
+
+/// Per-project results, keyed by pass name.
+struct ProjectResult {
+  workload::Project Project;
+  driver::StatsMap Stats;
+};
+
+struct CorpusResult {
+  std::vector<ProjectResult> Projects;
+
+  /// Aggregated per-pass totals across all projects.
+  driver::StatsMap totals() const {
+    driver::StatsMap T;
+    for (const ProjectResult &P : Projects)
+      for (const auto &KV : P.Stats)
+        T[KV.first].add(KV.second);
+    return T;
+  }
+};
+
+/// Runs the full -O2 pipeline over the corpus. The two instcombine
+/// invocations of the pipeline are merged under one "instcombine" row, as
+/// in the paper.
+inline CorpusResult runCorpus(const passes::BugConfig &Bugs, unsigned Scale,
+                              bool WithFileIO = true) {
+  CorpusResult Out;
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = WithFileIO;
+  driver::ValidationDriver Driver(Bugs, DOpts);
+  for (const workload::Project &P : workload::paperCorpus(Scale)) {
+    ProjectResult PR;
+    PR.Project = P;
+    for (unsigned M = 0; M != P.numModules(); ++M) {
+      ir::Module Mod = workload::generateProjectModule(P, M);
+      Driver.runPipelineValidated(Mod, PR.Stats);
+    }
+    Out.Projects.push_back(std::move(PR));
+  }
+  return Out;
+}
+
+inline unsigned scaleFromArgs(int Argc, char **Argv, unsigned Default = 1) {
+  if (Argc > 1)
+    return static_cast<unsigned>(std::strtoul(Argv[1], nullptr, 10));
+  return Default;
+}
+
+/// The pass rows the paper reports for a configuration.
+inline std::vector<std::string> passRows(bool With501Subset) {
+  if (With501Subset)
+    return {"mem2reg", "gvn", "licm"}; // paper omits instcombine for 5.0.1
+  return {"mem2reg", "gvn", "licm", "instcombine"};
+}
+
+} // namespace bench
+} // namespace crellvm
+
+#endif // CRELLVM_BENCH_COMMON_H

@@ -1,0 +1,67 @@
+//===- bench/CsmithRandom.cpp - paper §7 random-program experiment -----------===//
+//
+// "Validating Randomly Generated Programs": the paper compiles 1,000
+// CSmith programs with -O2 and validates mem2reg and gvn. Almost all gvn
+// validations succeed except failures caused by the gvn bug; 27.7% of
+// mem2reg validations are #NS because of lifetime intrinsics.
+//
+// Here the random generator (DESIGN.md §2) produces 1,000 modules with
+// the lifetime-intrinsic feature enabled at a CSmith-like rate and the
+// LLVM 3.7.1-era bug configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = scaleFromArgs(Argc, Argv);
+  unsigned NumPrograms = 1000 / Scale;
+  std::cout << "=== CSmith experiment analog (paper §7) ===\n"
+            << NumPrograms << " random programs, -O2 pipeline, "
+            << "bug configuration: " << passes::BugConfig::llvm371().str()
+            << "\n\n";
+
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = false;
+  driver::ValidationDriver Driver(passes::BugConfig::llvm371(), DOpts);
+  driver::StatsMap Stats;
+  for (unsigned I = 0; I != NumPrograms; ++I) {
+    workload::GenOptions Opts;
+    Opts.Seed = 0xc5317 + I;
+    Opts.NumFunctions = 3;
+    Opts.LifetimePct = 30; // CSmith emits lifetime markers pervasively
+    Opts.VecFunctionPct = 0;
+    // CSmith-generated code rarely contains the gep-inbounds and
+    // PRE-insertion trigger shapes; keep them rare so the bug fires only
+    // occasionally, as in the paper (one failure in 55,008 validations).
+    Opts.GepPairPct = 2;
+    ir::Module M = workload::generateModule(Opts);
+    Driver.runPipelineValidated(M, Stats);
+  }
+
+  Table T({"", "#validations", "#F", "#NS", "NS rate", "validated"});
+  for (const std::string &P : {std::string("mem2reg"), std::string("gvn")}) {
+    const driver::PassStats &S = Stats[P];
+    double NsRate = S.V ? static_cast<double>(S.NS) / S.V : 0;
+    T.addRow({P, formatCountK(S.V), formatCountK(S.F), formatCountK(S.NS),
+              formatPercent(NsRate),
+              formatCountK(S.validated())});
+  }
+  T.print(std::cout);
+
+  const driver::PassStats &M2R = Stats["mem2reg"];
+  const driver::PassStats &Gvn = Stats["gvn"];
+  double NsRate = M2R.V ? static_cast<double>(M2R.NS) / M2R.V : 0;
+  std::cout << "\npaper-shape: gvn-bug-detected=" << (Gvn.F > 0 ? "OK" : "MISMATCH")
+            << " (paper: 1 failure across 55,008 validations)"
+            << ", mem2reg-lifetime-NS="
+            << (NsRate > 0.08 && NsRate < 0.6 ? "OK" : "MISMATCH")
+            << " (paper: 27.7%)"
+            << ", rest-validated="
+            << (M2R.F + Gvn.F < (M2R.V + Gvn.V) / 10 ? "OK" : "MISMATCH")
+            << "\n";
+  return 0;
+}

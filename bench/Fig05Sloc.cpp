@@ -1,0 +1,94 @@
+//===- bench/Fig05Sloc.cpp - paper Figure 5 analog ---------------------------===//
+//
+// Fig. 5: SLOC of the compiler code vs the proof-generation code per pass.
+// The pass sources mark their proof-generation regions with
+// PROOFGEN-BEGIN/END comments (support/Sloc.h); the paper's accompanying
+// infrastructure numbers (§6: 1,708 SLOC common library + JSON
+// serialization) map to src/proofgen and src/json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Sloc.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace crellvm;
+
+#ifndef CRELLVM_SOURCE_DIR
+#define CRELLVM_SOURCE_DIR "."
+#endif
+
+int main() {
+  const std::string Root = CRELLVM_SOURCE_DIR;
+  struct Row {
+    const char *Pass;
+    const char *File;
+    double PaperRatio; // proofgen / compiler, from the paper's Fig. 5
+  };
+  const Row Rows[] = {
+      {"mem2reg", "/src/passes/Mem2Reg.cpp", 0.375},
+      {"gvn", "/src/passes/GVN.cpp", 0.403},
+      {"licm", "/src/passes/LICM.cpp", 0.405},
+      {"instcombine", "/src/passes/InstCombine.cpp", 1.933},
+  };
+
+  std::cout << "=== Figure 5 analog ===\n"
+            << "SLOC of compiler vs proof-generation code per pass\n\n";
+  Table T({"", "Compiler (Covered)", "Proof Generation", "ratio",
+           "paper ratio"});
+  bool AnyMissing = false;
+  double MaxRatioPass = 0, LicmRatio = 0, InstRatio = 0;
+  for (const Row &R : Rows) {
+    SlocCounts C = countSlocFile(Root + R.File);
+    if (C.total() == 0)
+      AnyMissing = true;
+    double Ratio = C.Compiler ? static_cast<double>(C.ProofGen) / C.Compiler
+                              : 0.0;
+    if (std::string(R.Pass) == "instcombine")
+      InstRatio = Ratio;
+    else
+      MaxRatioPass = std::max(MaxRatioPass, Ratio);
+    if (std::string(R.Pass) == "licm")
+      LicmRatio = Ratio;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f%%", Ratio * 100);
+    char Buf2[32];
+    std::snprintf(Buf2, sizeof(Buf2), "%.1f%%", R.PaperRatio * 100);
+    T.addRow({R.Pass, std::to_string(C.Compiler),
+              std::to_string(C.ProofGen), Buf, Buf2});
+  }
+  T.print(std::cout);
+
+  // Infrastructure, mirroring §6's common library + JSON serialization.
+  SlocCounts Infra;
+  for (const char *F :
+       {"/src/proofgen/Proof.h", "/src/proofgen/ProofBuilder.h",
+        "/src/proofgen/ProofBuilder.cpp", "/src/proofgen/ProofJson.h",
+        "/src/proofgen/ProofJson.cpp"})
+    Infra += countSlocFile(Root + F);
+  SlocCounts JsonLib;
+  for (const char *F : {"/src/json/Json.h", "/src/json/Json.cpp",
+                        "/src/erhl/Serialize.h", "/src/erhl/Serialize.cpp"})
+    JsonLib += countSlocFile(Root + F);
+  std::cout << "\nproof-generation infrastructure (common library): "
+            << Infra.total() << " SLOC\n"
+            << "JSON serialization library: " << JsonLib.total()
+            << " SLOC\n"
+            << "(paper: 1,708 common + 15,980 generated JSON)\n\n";
+
+  std::cout << "note: this repo factors per-micro-opt proof logic into the\n"
+            << "shared rule catalog (erhl/Infrule.cpp), which the paper\n"
+            << "counts separately as inference rules; the instcombine\n"
+            << "ratio is therefore lower than the paper's 193%.\n\n";
+  SlocCounts Rules = countSlocFile(Root + "/src/erhl/Infrule.cpp");
+  std::cout << "inference-rule catalog: " << Rules.total()
+            << " SLOC (paper: 2,193 SLOC for 221 rules)\n\n";
+  std::cout << "paper-shape: sources-found=" << (AnyMissing ? "MISMATCH" : "OK")
+            << ", proofgen-fraction-of-compiler="
+            << (MaxRatioPass > 0.1 && MaxRatioPass < 1.5 ? "OK" : "MISMATCH")
+            << ", proofgen-present-in-every-pass="
+            << (LicmRatio > 0 && InstRatio > 0 ? "OK" : "MISMATCH") << "\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+//===- bench/Fig08Time371.cpp - paper Figure 8 analog --------------------===//
+//
+// Fig. 8: per-benchmark proof-generation and checking times for LLVM 3.7.1.
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Tables.h"
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = scaleFromArgs(Argc, Argv);
+  passes::BugConfig Bugs = passes::BugConfig::llvm371();
+  std::cout << "=== Figure 8 analog ===\n"
+            << "bug configuration: " << Bugs.str() << "\n"
+            << "(synthetic corpus, scale " << Scale
+            << "; see DESIGN.md section 3 for the substitution)\n\n";
+  CorpusResult R = runCorpus(Bugs, Scale);
+  auto Passes = passRows(false);
+  printTimeTable(std::cout, R, Passes);
+  std::cout << "\n";
+  printShapeLine(std::cout, R, Passes,
+                 /*ExpectMem2RegF=*/1, /*ExpectGvnF=*/0,
+                 /*ExpectGvnFailures=*/true);
+  return 0;
+}

@@ -1,0 +1,29 @@
+//===- bench/Fig09Summary501Pre.cpp - paper Figure 9 analog --------------------===//
+//
+// Fig. 9: results for LLVM 5.0.1 before the D38619 GVN patch.
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Tables.h"
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = scaleFromArgs(Argc, Argv);
+  passes::BugConfig Bugs = passes::BugConfig::llvm501PreGvnPatch();
+  std::cout << "=== Figure 9 analog ===\n"
+            << "bug configuration: " << Bugs.str() << "\n"
+            << "(synthetic corpus, scale " << Scale
+            << "; see DESIGN.md section 3 for the substitution)\n\n";
+  CorpusResult R = runCorpus(Bugs, Scale);
+  auto Passes = passRows(true);
+  printSummaryTable(std::cout, R, Passes);
+  std::cout << "\n";
+  printShapeLine(std::cout, R, Passes,
+                 /*ExpectMem2RegF=*/0, /*ExpectGvnF=*/0,
+                 /*ExpectGvnFailures=*/true);
+  return 0;
+}

@@ -1,0 +1,29 @@
+//===- bench/Fig14Time501Post.cpp - paper Figure 14 analog --------------------===//
+//
+// Fig. 14: per-benchmark times for LLVM 5.0.1 after the GVN patch.
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Tables.h"
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = scaleFromArgs(Argc, Argv);
+  passes::BugConfig Bugs = passes::BugConfig::llvm501PostGvnPatch();
+  std::cout << "=== Figure 14 analog ===\n"
+            << "bug configuration: " << Bugs.str() << "\n"
+            << "(synthetic corpus, scale " << Scale
+            << "; see DESIGN.md section 3 for the substitution)\n\n";
+  CorpusResult R = runCorpus(Bugs, Scale);
+  auto Passes = passRows(true);
+  printTimeTable(std::cout, R, Passes);
+  std::cout << "\n";
+  printShapeLine(std::cout, R, Passes,
+                 /*ExpectMem2RegF=*/0, /*ExpectGvnF=*/0,
+                 /*ExpectGvnFailures=*/false);
+  return 0;
+}

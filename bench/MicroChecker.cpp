@@ -1,0 +1,189 @@
+//===- bench/MicroChecker.cpp - checker micro-benchmarks ---------------------===//
+//
+// Google-benchmark micro-benchmarks of the framework's hot paths,
+// supporting the paper's §7 "Performance" discussion: proof checking and
+// (plain-text JSON) I/O dominate; binary or delta encodings would shave
+// the I/O column. Benchmarks: IR text round-trip, proof JSON round-trip,
+// post-assertion computation, rule application, whole-function
+// validation, and interpretation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Postcond.h"
+#include "checker/Validator.h"
+#include "interp/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "json/Binary.h"
+#include "passes/Pipeline.h"
+#include "proofgen/ProofBinary.h"
+#include "proofgen/ProofJson.h"
+#include "workload/RandomProgram.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace crellvm;
+
+namespace {
+
+ir::Module testModule() {
+  workload::GenOptions Opts;
+  Opts.Seed = 11;
+  Opts.NumFunctions = 4;
+  Opts.VecFunctionPct = 0;
+  Opts.LifetimePct = 0;
+  return workload::generateModule(Opts);
+}
+
+passes::PassResult pipelineStep(const ir::Module &M,
+                                const std::string &Pass) {
+  auto P = passes::makePass(Pass, passes::BugConfig::fixed());
+  return P->run(M, /*GenProof=*/true);
+}
+
+void BM_PrintParseModule(benchmark::State &State) {
+  ir::Module M = testModule();
+  for (auto _ : State) {
+    std::string Text = ir::printModule(M);
+    auto Parsed = ir::parseModule(Text);
+    benchmark::DoNotOptimize(Parsed);
+  }
+}
+BENCHMARK(BM_PrintParseModule);
+
+void BM_ProofJsonRoundTrip(benchmark::State &State) {
+  ir::Module M = testModule();
+  auto PR = pipelineStep(M, "mem2reg");
+  for (auto _ : State) {
+    std::string Text = proofgen::proofToText(PR.Proof);
+    auto Back = proofgen::proofFromText(Text);
+    benchmark::DoNotOptimize(Back);
+  }
+}
+BENCHMARK(BM_ProofJsonRoundTrip);
+
+void BM_ProofBinaryRoundTrip(benchmark::State &State) {
+  ir::Module M = testModule();
+  auto PR = pipelineStep(M, "mem2reg");
+  for (auto _ : State) {
+    std::string Bytes = proofgen::proofToBinary(PR.Proof);
+    auto Back = proofgen::proofFromBinary(Bytes);
+    benchmark::DoNotOptimize(Back);
+  }
+}
+BENCHMARK(BM_ProofBinaryRoundTrip);
+
+void BM_JsonTextParseOnly(benchmark::State &State) {
+  ir::Module M = testModule();
+  auto PR = pipelineStep(M, "gvn");
+  std::string Text = proofgen::proofToJson(PR.Proof).write();
+  for (auto _ : State) {
+    auto V = json::parse(Text, nullptr);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_JsonTextParseOnly);
+
+void BM_BinaryDecodeOnly(benchmark::State &State) {
+  ir::Module M = testModule();
+  auto PR = pipelineStep(M, "gvn");
+  std::string Bytes = json::encodeBinary(proofgen::proofToJson(PR.Proof));
+  for (auto _ : State) {
+    auto V = json::decodeBinary(Bytes, nullptr);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_BinaryDecodeOnly);
+
+void BM_CalcPostCmd(benchmark::State &State) {
+  erhl::Assertion A;
+  ir::Type I32 = ir::Type::intTy(32);
+  checker::CmdPair Pair{
+      ir::Instruction::binary(ir::Opcode::Add, "x", I32,
+                              ir::Value::reg("a", I32),
+                              ir::Value::constInt(1, I32)),
+      ir::Instruction::binary(ir::Opcode::Add, "x", I32,
+                              ir::Value::reg("a", I32),
+                              ir::Value::constInt(1, I32))};
+  for (auto _ : State) {
+    erhl::Assertion Post = checker::calcPostCmd(A, Pair);
+    benchmark::DoNotOptimize(Post);
+  }
+}
+BENCHMARK(BM_CalcPostCmd);
+
+void BM_ApplyInfrule(benchmark::State &State) {
+  ir::Type I32 = ir::Type::intTy(32);
+  auto V = [&](const char *N) {
+    return erhl::Expr::val(erhl::ValT::phy(ir::Value::reg(N, I32)));
+  };
+  auto C = [&](int64_t N) {
+    return erhl::Expr::val(erhl::ValT::phy(ir::Value::constInt(N, I32)));
+  };
+  erhl::Assertion A;
+  erhl::ValT Av = erhl::ValT::phy(ir::Value::reg("a", I32));
+  erhl::ValT Xv = erhl::ValT::phy(ir::Value::reg("x", I32));
+  erhl::ValT C1 = erhl::ValT::phy(ir::Value::constInt(1, I32));
+  erhl::ValT C2 = erhl::ValT::phy(ir::Value::constInt(2, I32));
+  A.Src.insert(erhl::Pred::lessdef(
+      V("x"), erhl::Expr::bop(ir::Opcode::Add, I32, Av, C1)));
+  A.Src.insert(erhl::Pred::lessdef(
+      V("y"), erhl::Expr::bop(ir::Opcode::Add, I32, Xv, C2)));
+  erhl::Infrule R;
+  R.K = erhl::InfruleKind::AddAssoc;
+  R.S = erhl::Side::Src;
+  R.Args = {V("y"), V("x"), V("a"), C(1), C(2), C(3)};
+  for (auto _ : State) {
+    erhl::Assertion Copy = A;
+    auto Err = erhl::applyInfrule(R, Copy);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_ApplyInfrule);
+
+void BM_ValidateMem2Reg(benchmark::State &State) {
+  ir::Module M = testModule();
+  auto PR = pipelineStep(M, "mem2reg");
+  for (auto _ : State) {
+    auto R = checker::validate(M, PR.Tgt, PR.Proof);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ValidateMem2Reg);
+
+void BM_ValidateGvn(benchmark::State &State) {
+  ir::Module M = testModule();
+  auto PR = pipelineStep(M, "gvn");
+  for (auto _ : State) {
+    auto R = checker::validate(M, PR.Tgt, PR.Proof);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ValidateGvn);
+
+void BM_Interp(benchmark::State &State) {
+  ir::Module M = testModule();
+  interp::InterpOptions Opts;
+  for (auto _ : State) {
+    auto R = interp::run(M, M.Funcs[0].Name, {3, 4, 5}, Opts);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Interp);
+
+void BM_FullPipelineWithProofs(benchmark::State &State) {
+  ir::Module M = testModule();
+  for (auto _ : State) {
+    ir::Module Cur = M;
+    for (auto &P : passes::makeO2Pipeline(passes::BugConfig::fixed())) {
+      auto PR = P->run(Cur, true);
+      Cur = PR.Tgt;
+    }
+    benchmark::DoNotOptimize(Cur);
+  }
+}
+BENCHMARK(BM_FullPipelineWithProofs);
+
+} // namespace
+
+BENCHMARK_MAIN();

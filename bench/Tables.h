@@ -1,0 +1,136 @@
+//===- bench/Tables.h - Paper-table printers ---------------------*- C++ -*-===//
+///
+/// \file
+/// Renders corpus results in the layouts of the paper's tables: the
+/// summary tables (Figs. 6, 9, 12), the per-benchmark validation tables
+/// (Figs. 7, 10, 13) and the per-benchmark time tables (Figs. 8, 11, 14).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_BENCH_TABLES_H
+#define CRELLVM_BENCH_TABLES_H
+
+#include "bench/Common.h"
+
+namespace crellvm {
+namespace bench {
+
+/// Figs. 6/9/12: one row per pass with #V/#F/#NS and the four timers.
+inline void printSummaryTable(std::ostream &OS, const CorpusResult &R,
+                              const std::vector<std::string> &Passes) {
+  driver::StatsMap Totals = R.totals();
+  Table T({"", "#V", "#F", "#NS", "Orig", "PCal", "I/O", "PCheck"});
+  for (const std::string &P : Passes) {
+    const driver::PassStats &S = Totals[P];
+    T.addRow({P, formatCountK(S.V), formatCountK(S.F), formatCountK(S.NS),
+              formatSeconds(S.Orig), formatSeconds(S.PCal),
+              formatSeconds(S.IO), formatSeconds(S.PCheck)});
+  }
+  T.print(OS);
+}
+
+/// Figs. 7/10/13: one row per benchmark, per-pass #V/#F/#NS columns.
+inline void printResultsTable(std::ostream &OS, const CorpusResult &R,
+                              const std::vector<std::string> &Passes) {
+  std::vector<std::string> Header{"", "LOC"};
+  for (const std::string &P : Passes) {
+    Header.push_back(P + " #V");
+    Header.push_back("#F");
+    Header.push_back("#NS");
+  }
+  Table T(Header);
+  driver::StatsMap Totals;
+  for (const ProjectResult &PR : R.Projects) {
+    std::vector<std::string> Row{
+        PR.Project.Name,
+        formatCountK(PR.Project.PaperKLoc * 100) /* paper LOC */};
+    for (const std::string &P : Passes) {
+      auto It = PR.Stats.find(P);
+      driver::PassStats S =
+          It == PR.Stats.end() ? driver::PassStats() : It->second;
+      Row.push_back(formatCountK(S.V));
+      Row.push_back(formatCountK(S.F));
+      Row.push_back(formatCountK(S.NS));
+      Totals[P].add(S);
+    }
+    T.addRow(std::move(Row));
+  }
+  T.addSeparator();
+  std::vector<std::string> TotalRow{"Total", ""};
+  for (const std::string &P : Passes) {
+    TotalRow.push_back(formatCountK(Totals[P].V));
+    TotalRow.push_back(formatCountK(Totals[P].F));
+    TotalRow.push_back(formatCountK(Totals[P].NS));
+  }
+  T.addRow(std::move(TotalRow));
+  T.print(OS);
+}
+
+/// Figs. 8/11/14: one row per benchmark, per-pass Orig/PCal/I-O/PCheck.
+inline void printTimeTable(std::ostream &OS, const CorpusResult &R,
+                           const std::vector<std::string> &Passes) {
+  std::vector<std::string> Header{""};
+  for (const std::string &P : Passes) {
+    Header.push_back(P + " Orig");
+    Header.push_back("PCal");
+    Header.push_back("I/O");
+    Header.push_back("PCheck");
+  }
+  Table T(Header);
+  driver::StatsMap Totals;
+  for (const ProjectResult &PR : R.Projects) {
+    std::vector<std::string> Row{PR.Project.Name};
+    for (const std::string &P : Passes) {
+      auto It = PR.Stats.find(P);
+      driver::PassStats S =
+          It == PR.Stats.end() ? driver::PassStats() : It->second;
+      Row.push_back(formatSeconds(S.Orig));
+      Row.push_back(formatSeconds(S.PCal));
+      Row.push_back(formatSeconds(S.IO));
+      Row.push_back(formatSeconds(S.PCheck));
+      Totals[P].add(S);
+    }
+    T.addRow(std::move(Row));
+  }
+  T.addSeparator();
+  std::vector<std::string> TotalRow{"Total"};
+  for (const std::string &P : Passes) {
+    TotalRow.push_back(formatSeconds(Totals[P].Orig));
+    TotalRow.push_back(formatSeconds(Totals[P].PCal));
+    TotalRow.push_back(formatSeconds(Totals[P].IO));
+    TotalRow.push_back(formatSeconds(Totals[P].PCheck));
+  }
+  T.addRow(std::move(TotalRow));
+  T.print(OS);
+}
+
+/// Checks and reports the qualitative claims the paper's tables make.
+inline void printShapeLine(std::ostream &OS, const CorpusResult &R,
+                           const std::vector<std::string> &Passes,
+                           uint64_t ExpectMem2RegF, uint64_t ExpectGvnF,
+                           bool ExpectGvnFailures) {
+  driver::StatsMap T = R.totals();
+  bool CleanPasses = T["licm"].F == 0 && T["instcombine"].F == 0;
+  bool Mem2RegShape =
+      ExpectMem2RegF ? T["mem2reg"].F > 0 : T["mem2reg"].F == 0;
+  bool GvnShape = ExpectGvnFailures ? T["gvn"].F > 0 : T["gvn"].F == 0;
+  double TotalCheck = 0, TotalOrig = 0, TotalIO = 0;
+  for (const std::string &P : Passes) {
+    TotalCheck += T[P].PCheck;
+    TotalOrig += T[P].Orig;
+    TotalIO += T[P].IO;
+  }
+  uint64_t Diff = 0;
+  for (const std::string &P : Passes)
+    Diff += T[P].DiffMismatches;
+  (void)ExpectGvnF;
+  OS << "paper-shape: failures-only-in-buggy-passes="
+     << (CleanPasses && Mem2RegShape && GvnShape ? "OK" : "MISMATCH")
+     << ", pcheck>orig=" << (TotalCheck > TotalOrig ? "OK" : "MISMATCH")
+     << ", io-dominates=" << (TotalIO > TotalCheck * 0.5 ? "OK" : "MISMATCH")
+     << ", llvm-diff-agreement=" << (Diff == 0 ? "OK" : "MISMATCH") << "\n";
+}
+
+} // namespace bench
+} // namespace crellvm
+
+#endif // CRELLVM_BENCH_TABLES_H

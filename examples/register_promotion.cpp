@@ -1,0 +1,82 @@
+//===- examples/register_promotion.cpp - Paper §3 walkthrough ----------------===//
+//
+// Reproduces the paper's Fig. 3 register-promotion example and prints the
+// generated ERHL proof line by line: the lnop alignment, the assertions
+// (Uniq, the ghost-register bindings *p >= p-hat and p-hat >= v, the
+// maydiff set), and the intro_ghost inference rules — then validates it.
+//
+// Build and run:  ./build/examples/register_promotion
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Validator.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/Pipeline.h"
+
+#include <iostream>
+
+using namespace crellvm;
+
+int main() {
+  // Fig. 3: c, x, q are parameters; all accesses via p are promotable.
+  const char *Source = R"(
+declare void @foo(i32)
+
+define void @fig3(i1 %c, i32 %x, ptr %q) {
+entry:
+  %p = alloca i32, 1
+  store i32 42, ptr %p
+  br i1 %c, label %left, label %right
+left:
+  %a = load i32, ptr %p
+  call void @foo(i32 %a)
+  br label %exit
+right:
+  store i32 %x, ptr %p
+  store i32 %x, ptr %q
+  br label %exit
+exit:
+  %b = load i32, ptr %p
+  store i32 %b, ptr %q
+  ret void
+}
+)";
+  std::string Err;
+  auto Src = ir::parseModule(Source, &Err);
+  if (!Src) {
+    std::cerr << "parse error: " << Err << "\n";
+    return 1;
+  }
+
+  auto Pass = passes::makePass("mem2reg", passes::BugConfig::fixed());
+  passes::PassResult PR = Pass->run(*Src, /*GenProof=*/true);
+
+  std::cout << "=== target (promoted) ===\n" << ir::printModule(PR.Tgt)
+            << "\n=== the ERHL proof, line by line (paper Fig. 3) ===\n";
+  const proofgen::FunctionProof &FP = PR.Proof.Functions.at("fig3");
+  for (const ir::BasicBlock &B : Src->Funcs[0].Blocks) {
+    const proofgen::BlockProof &BP = FP.Blocks.at(B.Name);
+    std::cout << B.Name << ":\n  at entry   " << BP.AtEntry.str() << "\n";
+    for (const proofgen::LineEntry &L : BP.Lines) {
+      std::cout << "  src: "
+                << (L.SrcCmd ? L.SrcCmd->str() : std::string("lnop"))
+                << "\n  tgt: "
+                << (L.TgtCmd ? L.TgtCmd->str() : std::string("lnop"))
+                << "\n";
+      for (const erhl::Infrule &R : L.Rules)
+        std::cout << "    rule: " << R.str() << "\n";
+      std::cout << "    after: " << L.After.str() << "\n";
+    }
+  }
+  std::cout << "automation: ";
+  for (const std::string &A : FP.AutoFuncs)
+    std::cout << A << " ";
+  std::cout << "\n";
+
+  auto VR = checker::validate(*Src, PR.Tgt, PR.Proof);
+  std::cout << "\nvalidation verdict: "
+            << (VR.countFailed() == 0 ? "VALIDATED" : VR.firstFailure())
+            << "\n";
+  return VR.countFailed() == 0 ? 0 : 1;
+}

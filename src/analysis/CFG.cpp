@@ -1,0 +1,60 @@
+//===- analysis/CFG.cpp -----------------------------------------*- C++ -*-===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::analysis;
+
+CFG::CFG(const ir::Function &F) {
+  Names.reserve(F.Blocks.size());
+  for (const ir::BasicBlock &B : F.Blocks) {
+    NameToIndex[B.Name] = Names.size();
+    Names.push_back(B.Name);
+  }
+  Succs.resize(Names.size());
+  Preds.resize(Names.size());
+  for (size_t I = 0; I != F.Blocks.size(); ++I) {
+    const ir::Instruction &Term = F.Blocks[I].terminator();
+    for (const std::string &S : Term.successors()) {
+      size_t J = index(S);
+      // Deduplicate parallel edges (e.g. a condbr with equal targets) so
+      // that phi-edge processing visits each CFG edge once.
+      if (std::find(Succs[I].begin(), Succs[I].end(), J) == Succs[I].end()) {
+        Succs[I].push_back(J);
+        Preds[J].push_back(I);
+      }
+    }
+  }
+
+  // Iterative post-order DFS from the entry block.
+  Reachable.assign(Names.size(), false);
+  std::vector<size_t> Post;
+  if (!Names.empty()) {
+    std::vector<std::pair<size_t, size_t>> Stack; // (block, next succ idx)
+    Reachable[0] = true;
+    Stack.emplace_back(0, 0);
+    while (!Stack.empty()) {
+      auto &[B, Next] = Stack.back();
+      if (Next < Succs[B].size()) {
+        size_t S = Succs[B][Next++];
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Stack.emplace_back(S, 0);
+        }
+      } else {
+        Post.push_back(B);
+        Stack.pop_back();
+      }
+    }
+  }
+  RPO.assign(Post.rbegin(), Post.rend());
+}
+
+size_t CFG::index(const std::string &Name) const {
+  auto It = NameToIndex.find(Name);
+  assert(It != NameToIndex.end() && "unknown block name");
+  return It->second;
+}

@@ -1,0 +1,58 @@
+//===- analysis/CFG.h - Control-flow graph view of a function --*- C++ -*-===//
+///
+/// \file
+/// An indexed control-flow-graph view over an ir::Function: block name <->
+/// index maps, predecessor/successor lists, and a reverse post-order. All
+/// analyses (dominators, loops, the Appendix E point computation) work on
+/// this view.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ANALYSIS_CFG_H
+#define CRELLVM_ANALYSIS_CFG_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace analysis {
+
+/// Immutable CFG snapshot of a function.
+class CFG {
+public:
+  explicit CFG(const ir::Function &F);
+
+  size_t numBlocks() const { return Names.size(); }
+  const std::string &name(size_t I) const { return Names[I]; }
+
+  /// Block index for \p Name; asserts existence.
+  size_t index(const std::string &Name) const;
+  /// True if \p Name is a block of the function.
+  bool hasBlock(const std::string &Name) const {
+    return NameToIndex.count(Name) != 0;
+  }
+
+  const std::vector<size_t> &succs(size_t I) const { return Succs[I]; }
+  const std::vector<size_t> &preds(size_t I) const { return Preds[I]; }
+
+  /// Reverse post-order over blocks reachable from the entry.
+  const std::vector<size_t> &rpo() const { return RPO; }
+
+  /// True if block \p I is reachable from the entry.
+  bool isReachable(size_t I) const { return Reachable[I]; }
+
+private:
+  std::vector<std::string> Names;
+  std::map<std::string, size_t> NameToIndex;
+  std::vector<std::vector<size_t>> Succs;
+  std::vector<std::vector<size_t>> Preds;
+  std::vector<size_t> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace analysis
+} // namespace crellvm
+
+#endif // CRELLVM_ANALYSIS_CFG_H

@@ -1,0 +1,108 @@
+//===- analysis/Dominators.cpp ----------------------------------*- C++ -*-===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::analysis;
+
+static const size_t None = ~size_t(0);
+
+DomTree::DomTree(const CFG &Graph) : G(Graph) {
+  size_t N = G.numBlocks();
+  IDom.assign(N, None);
+  if (N == 0)
+    return;
+
+  // Cooper-Harvey-Kennedy: iterate intersect() over the RPO until fixpoint.
+  std::vector<size_t> RpoNumber(N, None);
+  const auto &RPO = G.rpo();
+  for (size_t I = 0; I != RPO.size(); ++I)
+    RpoNumber[RPO[I]] = I;
+
+  auto Intersect = [&](size_t A, size_t B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = IDom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[0] = 0; // sentinel: entry's idom is itself during iteration
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B : RPO) {
+      if (B == 0)
+        continue;
+      size_t NewIdom = None;
+      for (size_t P : G.preds(B)) {
+        if (IDom[P] == None)
+          continue; // not yet processed or unreachable
+        NewIdom = (NewIdom == None) ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != None && IDom[B] != NewIdom) {
+        IDom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[0] = None; // the entry has no immediate dominator
+
+  Kids.resize(N);
+  for (size_t B = 0; B != N; ++B)
+    if (IDom[B] != None)
+      Kids[IDom[B]].push_back(B);
+
+  // Preorder numbering for constant-time dominance queries.
+  In.assign(N, 0);
+  Out.assign(N, 0);
+  size_t Counter = 1;
+  std::vector<std::pair<size_t, size_t>> Stack; // (block, next child idx)
+  Stack.emplace_back(0, 0);
+  In[0] = Counter++;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    if (Next < Kids[B].size()) {
+      size_t C = Kids[B][Next++];
+      In[C] = Counter++;
+      Stack.emplace_back(C, 0);
+    } else {
+      Out[B] = Counter++;
+      Stack.pop_back();
+    }
+  }
+}
+
+bool DomTree::dominates(size_t A, size_t B) const {
+  if (!G.isReachable(A) || !G.isReachable(B))
+    return false;
+  return In[A] <= In[B] && Out[B] <= Out[A];
+}
+
+DominanceFrontier::DominanceFrontier(const CFG &G, const DomTree &DT) {
+  size_t N = G.numBlocks();
+  DF.resize(N);
+  for (size_t B = 0; B != N; ++B) {
+    if (!G.isReachable(B) || G.preds(B).size() < 2)
+      continue;
+    for (size_t P : G.preds(B)) {
+      if (!G.isReachable(P))
+        continue;
+      size_t Runner = P;
+      while (Runner != DT.idom(B)) {
+        if (std::find(DF[Runner].begin(), DF[Runner].end(), B) ==
+            DF[Runner].end())
+          DF[Runner].push_back(B);
+        size_t Next = DT.idom(Runner);
+        if (Next == ~size_t(0))
+          break;
+        Runner = Next;
+      }
+    }
+  }
+}

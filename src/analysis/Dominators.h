@@ -1,0 +1,56 @@
+//===- analysis/Dominators.h - Dominator tree and frontier -----*- C++ -*-===//
+///
+/// \file
+/// Dominator tree (Cooper-Harvey-Kennedy iterative algorithm) and dominance
+/// frontiers (Cytron et al. [18], which the paper's mem2reg uses to place
+/// phi nodes).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ANALYSIS_DOMINATORS_H
+#define CRELLVM_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+namespace crellvm {
+namespace analysis {
+
+/// Dominator tree over a CFG. Unreachable blocks have no idom and dominate
+/// nothing (and are dominated by everything, vacuously false here: queries
+/// on unreachable blocks return false).
+class DomTree {
+public:
+  explicit DomTree(const CFG &G);
+
+  /// Immediate dominator of block \p I, or ~0u for the entry and for
+  /// unreachable blocks.
+  size_t idom(size_t I) const { return IDom[I]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(size_t A, size_t B) const;
+
+  /// Children of \p I in the dominator tree.
+  const std::vector<size_t> &children(size_t I) const { return Kids[I]; }
+
+private:
+  const CFG &G;
+  std::vector<size_t> IDom;
+  std::vector<std::vector<size_t>> Kids;
+  /// Preorder in/out numbering for O(1) dominance queries.
+  std::vector<size_t> In, Out;
+};
+
+/// Dominance frontier DF(B) for every block.
+class DominanceFrontier {
+public:
+  DominanceFrontier(const CFG &G, const DomTree &DT);
+
+  const std::vector<size_t> &frontier(size_t I) const { return DF[I]; }
+
+private:
+  std::vector<std::vector<size_t>> DF;
+};
+
+} // namespace analysis
+} // namespace crellvm
+
+#endif // CRELLVM_ANALYSIS_DOMINATORS_H

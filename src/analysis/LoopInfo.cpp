@@ -1,0 +1,57 @@
+//===- analysis/LoopInfo.cpp ------------------------------------*- C++ -*-===//
+
+#include "analysis/LoopInfo.h"
+
+using namespace crellvm;
+using namespace crellvm::analysis;
+using crellvm::ir::Opcode;
+
+LoopInfo::LoopInfo(const ir::Function &F, const CFG &G, const DomTree &DT) {
+  size_t N = G.numBlocks();
+  // Find back edges and flood the loop body backwards from each latch.
+  std::map<size_t, Loop> ByHeader;
+  for (size_t B = 0; B != N; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (size_t S : G.succs(B)) {
+      if (!DT.dominates(S, B))
+        continue;
+      Loop &L = ByHeader.try_emplace(S, Loop{S, {S}, ~size_t(0)}).first->second;
+      // Backward flood from the latch B up to the header.
+      std::vector<size_t> Work;
+      if (L.Blocks.insert(B).second)
+        Work.push_back(B);
+      while (!Work.empty()) {
+        size_t X = Work.back();
+        Work.pop_back();
+        for (size_t P : G.preds(X)) {
+          if (P == L.Header || !G.isReachable(P))
+            continue;
+          if (L.Blocks.insert(P).second)
+            Work.push_back(P);
+        }
+      }
+    }
+  }
+
+  for (auto &KV : ByHeader) {
+    Loop &L = KV.second;
+    // Preheader: the unique outside predecessor, required to end in an
+    // unconditional branch to the header.
+    size_t Outside = ~size_t(0);
+    bool Unique = true;
+    for (size_t P : G.preds(L.Header)) {
+      if (L.contains(P))
+        continue;
+      if (Outside != ~size_t(0))
+        Unique = false;
+      Outside = P;
+    }
+    if (Unique && Outside != ~size_t(0)) {
+      const ir::BasicBlock *PB = F.getBlock(G.name(Outside));
+      if (PB && PB->terminator().opcode() == Opcode::Br)
+        L.Preheader = Outside;
+    }
+    Loops.push_back(std::move(L));
+  }
+}

@@ -1,0 +1,47 @@
+//===- analysis/LoopInfo.h - Natural loop detection ------------*- C++ -*-===//
+///
+/// \file
+/// Natural loops from back edges (latch -> header where header dominates
+/// latch), with preheader detection. LICM only hoists into an *existing*
+/// preheader: creating one would change the CFG, which the paper's
+/// framework does not support (§8.3).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ANALYSIS_LOOPINFO_H
+#define CRELLVM_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <set>
+
+namespace crellvm {
+namespace analysis {
+
+/// A natural loop.
+struct Loop {
+  size_t Header;
+  std::set<size_t> Blocks; ///< includes the header
+  /// The unique predecessor of the header outside the loop whose terminator
+  /// is an unconditional branch to the header; ~0u when absent.
+  size_t Preheader = ~size_t(0);
+
+  bool contains(size_t B) const { return Blocks.count(B) != 0; }
+  bool hasPreheader() const { return Preheader != ~size_t(0); }
+};
+
+/// All natural loops of a function. Loops sharing a header are merged (as
+/// in LLVM's LoopInfo).
+class LoopInfo {
+public:
+  LoopInfo(const ir::Function &F, const CFG &G, const DomTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+private:
+  std::vector<Loop> Loops;
+};
+
+} // namespace analysis
+} // namespace crellvm
+
+#endif // CRELLVM_ANALYSIS_LOOPINFO_H

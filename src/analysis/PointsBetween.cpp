@@ -1,0 +1,41 @@
+//===- analysis/PointsBetween.cpp -------------------------------*- C++ -*-===//
+
+#include "analysis/PointsBetween.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::analysis;
+
+std::set<size_t> crellvm::analysis::blocksBetween(const CFG &G,
+                                                  const DomTree &DT,
+                                                  size_t From, size_t To) {
+  assert(DT.dominates(From, To) && "definition must dominate the use");
+
+  // Backward BFS from To; never expand past From (paths may *end* at From,
+  // giving the range after the definition inside the From block, but may
+  // not pass through it).
+  std::vector<bool> CanReach(G.numBlocks(), false);
+  std::vector<size_t> Work;
+  CanReach[To] = true;
+  Work.push_back(To);
+  while (!Work.empty()) {
+    size_t B = Work.back();
+    Work.pop_back();
+    if (B == From)
+      continue;
+    for (size_t P : G.preds(B)) {
+      if (!CanReach[P]) {
+        CanReach[P] = true;
+        Work.push_back(P);
+      }
+    }
+  }
+
+  std::set<size_t> Result;
+  for (size_t B = 0; B != G.numBlocks(); ++B)
+    if (CanReach[B] && DT.dominates(From, B))
+      Result.insert(B);
+  Result.insert(From);
+  return Result;
+}

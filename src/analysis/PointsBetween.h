@@ -1,0 +1,30 @@
+//===- analysis/PointsBetween.h - Paper Appendix E helper ------*- C++ -*-===//
+///
+/// \file
+/// The block-level part of the paper's Appendix E computation: the set of
+/// blocks lying on a path from a definition block to a use block that does
+/// not revisit the definition in between. A block B qualifies iff (i) the
+/// from-block dominates B and (ii) the to-block is reachable from B without
+/// passing through the from-block. Proof generation turns this block set
+/// into per-point assertion ranges.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ANALYSIS_POINTSBETWEEN_H
+#define CRELLVM_ANALYSIS_POINTSBETWEEN_H
+
+#include "analysis/Dominators.h"
+
+#include <set>
+
+namespace crellvm {
+namespace analysis {
+
+/// Returns the qualifying block indices (see file comment). Both \p From
+/// and \p To are included when they qualify. \p From must dominate \p To.
+std::set<size_t> blocksBetween(const CFG &G, const DomTree &DT, size_t From,
+                               size_t To);
+
+} // namespace analysis
+} // namespace crellvm
+
+#endif // CRELLVM_ANALYSIS_POINTSBETWEEN_H

@@ -1,0 +1,278 @@
+//===- analysis/Verifier.cpp ------------------------------------*- C++ -*-===//
+
+#include "analysis/Verifier.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace crellvm;
+using namespace crellvm::analysis;
+using namespace crellvm::ir;
+
+namespace {
+
+/// Verification context for one function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    size_t Before = Errors.size();
+    if (!checkStructure())
+      return false; // CFG construction needs structure to hold
+    CFG G(F);
+    DomTree DT(G);
+    checkPhis(G);
+    checkDefs();
+    if (Errors.size() == Before)
+      checkUses(G, DT);
+    return Errors.size() == Before;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("function @" + F.Name + ": " + Msg);
+  }
+
+  bool checkStructure() {
+    size_t Before = Errors.size();
+    if (F.Blocks.empty()) {
+      error("has no blocks");
+      return false;
+    }
+    std::set<std::string> Names;
+    for (const BasicBlock &B : F.Blocks) {
+      if (!Names.insert(B.Name).second)
+        error("duplicate block name '" + B.Name + "'");
+      if (B.Insts.empty()) {
+        error("block '" + B.Name + "' is empty");
+        continue;
+      }
+      if (!B.Insts.back().isTerminator())
+        error("block '" + B.Name + "' lacks a terminator");
+      for (size_t I = 0; I + 1 < B.Insts.size(); ++I)
+        if (B.Insts[I].isTerminator())
+          error("block '" + B.Name + "' has a terminator mid-block");
+    }
+    if (Errors.size() != Before)
+      return false;
+    for (const BasicBlock &B : F.Blocks)
+      for (const std::string &S : B.terminator().successors()) {
+        if (!F.getBlock(S))
+          error("block '" + B.Name + "' branches to unknown block '" + S +
+                "'");
+        else if (S == F.Blocks.front().Name)
+          error("block '" + B.Name + "' branches to the entry block");
+      }
+    return Errors.size() == Before;
+  }
+
+  void checkPhis(const CFG &G) {
+    if (!F.entry().Phis.empty())
+      error("entry block has phi nodes");
+    for (const BasicBlock &B : F.Blocks) {
+      size_t BI = G.index(B.Name);
+      std::set<std::string> PredNames;
+      for (size_t P : G.preds(BI))
+        PredNames.insert(G.name(P));
+      for (const Phi &P : B.Phis) {
+        std::set<std::string> Seen;
+        for (const auto &In : P.Incoming) {
+          if (!Seen.insert(In.first).second)
+            error("phi %" + P.Result + " has duplicate incoming block '" +
+                  In.first + "'");
+          if (!PredNames.count(In.first))
+            error("phi %" + P.Result + " names non-predecessor '" +
+                  In.first + "'");
+          if (In.second.type() != P.Ty && !In.second.isUndef())
+            error("phi %" + P.Result + " has ill-typed incoming value");
+        }
+        if (G.isReachable(BI))
+          for (const std::string &PN : PredNames)
+            if (!Seen.count(PN))
+              error("phi %" + P.Result + " misses predecessor '" + PN + "'");
+      }
+    }
+  }
+
+  void checkDefs() {
+    for (const Param &P : F.Params)
+      addDef(P.Name);
+    for (const BasicBlock &B : F.Blocks) {
+      for (const Phi &P : B.Phis)
+        addDef(P.Result);
+      for (const Instruction &I : B.Insts)
+        if (auto R = I.result())
+          addDef(*R);
+    }
+  }
+
+  void addDef(const std::string &Name) {
+    if (!Defs.insert(Name).second)
+      error("register %" + Name + " defined more than once");
+  }
+
+  /// The declared type of register \p Reg's definition, or std::nullopt
+  /// when unknown.
+  std::optional<Type> definedType(const std::string &Reg) const {
+    for (const Param &P : F.Params)
+      if (P.Name == Reg)
+        return P.Ty;
+    for (const BasicBlock &B : F.Blocks) {
+      for (const Phi &P : B.Phis)
+        if (P.Result == Reg)
+          return P.Ty;
+      for (const Instruction &I : B.Insts) {
+        auto R = I.result();
+        if (!R || *R != Reg)
+          continue;
+        // Alloca defines a pointer; type() is the element type.
+        if (I.opcode() == Opcode::Alloca)
+          return Type::ptrTy();
+        return I.type();
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Returns true if the definition of \p Reg dominates the program point
+  /// (block \p UseB, instruction index \p UseI; phi uses pass the *end* of
+  /// the incoming block).
+  bool defDominatesUse(const CFG &G, const DomTree &DT,
+                       const std::string &Reg, size_t UseB, size_t UseI) {
+    if (F.isParam(Reg))
+      return true;
+    std::string DefBlock;
+    size_t DefIdx;
+    if (!F.findDef(Reg, DefBlock, DefIdx))
+      return false;
+    size_t DB = G.index(DefBlock);
+    if (DB != UseB)
+      return DT.dominates(DB, UseB);
+    if (DefIdx == ~size_t(0)) // phi def dominates everything in its block
+      return true;
+    return DefIdx < UseI;
+  }
+
+  void checkUses(const CFG &G, const DomTree &DT) {
+    for (const BasicBlock &B : F.Blocks) {
+      size_t BI = G.index(B.Name);
+      if (!G.isReachable(BI))
+        continue; // dominance is meaningless in dead code
+      for (const Phi &P : B.Phis) {
+        for (const auto &In : P.Incoming) {
+          if (!In.second.isReg())
+            continue;
+          if (!G.hasBlock(In.first))
+            continue;
+          size_t PredB = G.index(In.first);
+          if (!G.isReachable(PredB))
+            continue;
+          if (!defDominatesUse(G, DT, In.second.regName(), PredB,
+                               ~size_t(0) - 1))
+            error("phi %" + P.Result + " uses %" + In.second.regName() +
+                  " not available at end of '" + In.first + "'");
+        }
+      }
+      for (size_t I = 0; I != B.Insts.size(); ++I) {
+        for (const Value &V : B.Insts[I].operands()) {
+          if (!V.isReg())
+            continue;
+          if (!Defs.count(V.regName())) {
+            error("use of undefined register %" + V.regName());
+            continue;
+          }
+          if (!defDominatesUse(G, DT, V.regName(), BI, I))
+            error("use of %" + V.regName() + " in '" + B.Name +
+                  "' is not dominated by its definition");
+          if (auto DefTy = definedType(V.regName())) {
+            if (*DefTy != V.type())
+              error("use of %" + V.regName() + " at type " +
+                    V.type().str() + " but defined at type " +
+                    DefTy->str());
+          }
+        }
+        checkTypes(B.Insts[I]);
+      }
+    }
+  }
+
+  void checkTypes(const Instruction &I) {
+    const auto &Ops = I.operands();
+    if (isBinaryOp(I.opcode())) {
+      if (Ops[0].type() != I.type() || Ops[1].type() != I.type())
+        error("binary instruction '" + I.str() + "' has ill-typed operands");
+      return;
+    }
+    switch (I.opcode()) {
+    case Opcode::ICmp:
+      if (Ops[0].type() != Ops[1].type())
+        error("icmp '" + I.str() + "' compares different types");
+      break;
+    case Opcode::Select:
+      if (Ops[0].type() != Type::intTy(1) || Ops[1].type() != Ops[2].type())
+        error("select '" + I.str() + "' is ill-typed");
+      break;
+    case Opcode::Load:
+    case Opcode::Store: {
+      const Value &Ptr = Ops[I.opcode() == Opcode::Load ? 0 : 1];
+      if (!Ptr.type().isPtr())
+        error("memory access '" + I.str() + "' through non-pointer");
+      break;
+    }
+    case Opcode::Gep:
+      if (!Ops[0].type().isPtr() || !Ops[1].type().isInt())
+        error("gep '" + I.str() + "' is ill-typed");
+      break;
+    case Opcode::CondBr:
+      if (Ops[0].type() != Type::intTy(1))
+        error("conditional branch on non-i1 value");
+      break;
+    case Opcode::Ret:
+      if (F.RetTy.isVoid() != Ops.empty())
+        error("return does not match function return type");
+      else if (!Ops.empty() && Ops[0].type() != F.RetTy &&
+               !Ops[0].isUndef())
+        error("return value has wrong type");
+      break;
+    default:
+      break;
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+  std::set<std::string> Defs;
+};
+
+} // namespace
+
+bool crellvm::analysis::verifyFunction(const Function &F,
+                                       std::vector<std::string> &Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool crellvm::analysis::verifyModule(const Module &M,
+                                     std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  std::set<std::string> Names;
+  for (const Function &F : M.Funcs)
+    if (!Names.insert(F.Name).second)
+      Errors.push_back("duplicate function @" + F.Name);
+  for (const FuncDecl &D : M.Decls)
+    if (!Names.insert(D.Name).second)
+      Errors.push_back("declaration @" + D.Name + " clashes with another");
+  std::set<std::string> GlobalNames;
+  for (const GlobalVar &G : M.Globals)
+    if (!GlobalNames.insert(G.Name).second)
+      Errors.push_back("duplicate global @" + G.Name);
+  for (const Function &F : M.Funcs)
+    verifyFunction(F, Errors);
+  return Errors.size() == Before;
+}

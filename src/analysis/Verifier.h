@@ -1,0 +1,32 @@
+//===- analysis/Verifier.h - IR well-formedness checking -------*- C++ -*-===//
+///
+/// \file
+/// Structural, SSA and light type verification of modules. Both the inputs
+/// and outputs of every optimization pass are verified in the tests; the
+/// SSA property ("for every used register there is exactly one defining
+/// instruction that dominates every use", paper footnote 5) is what the
+/// ERHL post-assertion computation relies on.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ANALYSIS_VERIFIER_H
+#define CRELLVM_ANALYSIS_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace analysis {
+
+/// Verifies \p F; appends human-readable diagnostics to \p Errors.
+/// Returns true when no problems were found.
+bool verifyFunction(const ir::Function &F, std::vector<std::string> &Errors);
+
+/// Verifies every function of \p M plus module-level name uniqueness.
+bool verifyModule(const ir::Module &M, std::vector<std::string> &Errors);
+
+} // namespace analysis
+} // namespace crellvm
+
+#endif // CRELLVM_ANALYSIS_VERIFIER_H

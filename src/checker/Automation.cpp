@@ -1,0 +1,350 @@
+//===- checker/Automation.cpp -----------------------------------*- C++ -*-===//
+
+#include "checker/Automation.h"
+
+#include "checker/Postcond.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace crellvm;
+using namespace crellvm::checker;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+
+namespace {
+
+constexpr size_t MaxNodes = 256;
+constexpr unsigned MaxDepth = 10;
+
+bool isCommutative(Opcode Op) {
+  return Op == Opcode::Add || Op == Opcode::Mul || Op == Opcode::And ||
+         Op == Opcode::Or || Op == Opcode::Xor;
+}
+
+/// One BFS edge: the next expression plus the rule (if any) that has to be
+/// applied to materialize the lessdef backing the edge.
+struct Edge {
+  Expr To;
+  std::optional<Infrule> Materializer;
+};
+
+/// Neighbors of \p E in the downward lessdef graph of \p U (facts
+/// `E >= X`). With \p GvnMode, commutativity and substitution edges are
+/// added.
+std::vector<Edge> neighbors(const Unary &U, const Expr &E, Side S,
+                            bool GvnMode) {
+  std::vector<Edge> Out;
+  for (const Pred &P : U) {
+    if (P.kind() == Pred::Kind::Lessdef && P.lhs() == E)
+      Out.push_back(Edge{P.rhs(), std::nullopt});
+  }
+  if (!GvnMode)
+    return Out;
+  // Commutativity: op a b >= op b a.
+  if (E.kind() == Expr::Kind::Bop && isCommutative(E.opcode()) &&
+      E.operands()[0] != E.operands()[1]) {
+    Infrule R;
+    R.K = InfruleKind::BopCommExpr;
+    R.S = S;
+    R.Args = {Expr::val(ValT::phy(ir::Value::constInt(
+                  static_cast<int64_t>(E.opcode()), ir::Type::intTy(32)))),
+              Expr::val(E.operands()[0]), Expr::val(E.operands()[1])};
+    Out.push_back(Edge{Expr::bop(E.opcode(), E.type(), E.operands()[1],
+                                 E.operands()[0]),
+                       std::move(R)});
+  }
+  // Substitution: replace one operand position v by v' when v >= v' is
+  // known (the positional variant handles repeated operands; divisors are
+  // off limits, see substitute_op).
+  bool Trapping = E.kind() == Expr::Kind::Bop && mayTrap(E.opcode());
+  if (E.kind() != Expr::Kind::Val && !E.isLoad()) {
+    for (const Pred &P : U) {
+      if (P.kind() != Pred::Kind::Lessdef ||
+          P.lhs().kind() != Expr::Kind::Val ||
+          P.rhs().kind() != Expr::Kind::Val)
+        continue;
+      const ValT &From = P.lhs().asVal();
+      const ValT &To = P.rhs().asVal();
+      if (From == To)
+        continue;
+      for (size_t I = 0; I != E.operands().size(); ++I) {
+        if (!(E.operands()[I] == From) || (Trapping && I == 1))
+          continue;
+        Infrule R;
+        R.K = InfruleKind::SubstituteOp;
+        R.S = S;
+        R.Args = {E,
+                  Expr::val(ValT::phy(ir::Value::constInt(
+                      static_cast<int64_t>(I), ir::Type::intTy(32)))),
+                  Expr::val(From), Expr::val(To)};
+        Out.push_back(Edge{E.substitutedAt(I, To), std::move(R)});
+      }
+    }
+  }
+  return Out;
+}
+
+/// The set of expressions reachable from \p Start through the (possibly
+/// gvn-extended) lessdef graph of \p U, without materializing rules.
+/// Downward follows `X >= Y` edges from X to Y; upward the reverse.
+std::set<Expr> closureSet(const Unary &U, const Expr &Start, bool GvnMode,
+                          bool Downward) {
+  std::set<Expr> Seen{Start};
+  std::vector<Expr> Frontier{Start};
+
+  // Value pairs (From >= To) available for substitution edges.
+  std::vector<std::pair<ValT, ValT>> Pairs;
+  if (GvnMode) {
+    for (const Pred &P : U) {
+      if (P.kind() == Pred::Kind::Lessdef &&
+          P.lhs().kind() == Expr::Kind::Val &&
+          P.rhs().kind() == Expr::Kind::Val &&
+          !(P.lhs().asVal() == P.rhs().asVal()))
+        Pairs.emplace_back(P.lhs().asVal(), P.rhs().asVal());
+    }
+  }
+
+  for (unsigned Depth = 0; Depth != MaxDepth && !Frontier.empty();
+       ++Depth) {
+    std::vector<Expr> Next;
+    auto Push = [&](Expr E) {
+      if (Seen.size() <= MaxNodes && Seen.insert(E).second)
+        Next.push_back(std::move(E));
+    };
+    for (const Expr &E : Frontier) {
+      for (const Pred &P : U) {
+        if (P.kind() != Pred::Kind::Lessdef)
+          continue;
+        if (Downward && P.lhs() == E)
+          Push(P.rhs());
+        if (!Downward && P.rhs() == E)
+          Push(P.lhs());
+      }
+      if (!GvnMode)
+        continue;
+      if (E.kind() == Expr::Kind::Bop && isCommutative(E.opcode()) &&
+          E.operands()[0] != E.operands()[1])
+        Push(Expr::bop(E.opcode(), E.type(), E.operands()[1],
+                       E.operands()[0]));
+      if (E.kind() != Expr::Kind::Val && !E.isLoad()) {
+        bool Trapping =
+            E.kind() == Expr::Kind::Bop && mayTrap(E.opcode());
+        for (const auto &[From, To] : Pairs) {
+          // Downward: replace From by To (substitute); upward: replace To
+          // by From (substitute_rev). One position at a time so repeated
+          // operands are handled; divisors are off limits.
+          const ValT &Old = Downward ? From : To;
+          const ValT &New = Downward ? To : From;
+          for (size_t I = 0; I != E.operands().size(); ++I)
+            if (E.operands()[I] == Old && !(Trapping && I == 1))
+              Push(E.substitutedAt(I, New));
+        }
+      }
+    }
+    Frontier = std::move(Next);
+  }
+  return Seen;
+}
+
+} // namespace
+
+bool crellvm::checker::deriveLessdef(Assertion &Have, Side S,
+                                     const Expr &From, const Expr &To,
+                                     bool GvnMode,
+                                     std::vector<Infrule> *AppliedOut) {
+  Unary &U = (S == Side::Src) ? Have.Src : Have.Tgt;
+  if (U.count(Pred::lessdef(From, To)))
+    return true;
+
+  // BFS from `From` through the downward lessdef graph, remembering how
+  // each node was reached.
+  struct NodeInfo {
+    Expr Parent;
+    std::optional<Infrule> Materializer;
+  };
+  std::map<Expr, NodeInfo> Parents;
+  std::vector<Expr> Frontier{From};
+  Parents.emplace(From, NodeInfo{From, std::nullopt});
+  bool Found = false;
+  for (unsigned Depth = 0; Depth != MaxDepth && !Frontier.empty() && !Found;
+       ++Depth) {
+    std::vector<Expr> Next;
+    for (const Expr &E : Frontier) {
+      for (Edge &Ed : neighbors(U, E, S, GvnMode)) {
+        if (Parents.count(Ed.To))
+          continue;
+        Parents.emplace(Ed.To, NodeInfo{E, std::move(Ed.Materializer)});
+        if (Ed.To == To) {
+          Found = true;
+          break;
+        }
+        Next.push_back(Ed.To);
+        if (Parents.size() > MaxNodes)
+          break;
+      }
+      if (Found || Parents.size() > MaxNodes)
+        break;
+    }
+    Frontier = std::move(Next);
+  }
+  if (!Found)
+    return false;
+
+  // Reconstruct the path From = E0, E1, ..., En = To.
+  std::vector<Expr> Path;
+  Expr Cur = To;
+  while (!(Cur == From)) {
+    Path.push_back(Cur);
+    Cur = Parents.at(Cur).Parent;
+  }
+  Path.push_back(From);
+  std::reverse(Path.begin(), Path.end());
+
+  // Apply materializers and fold the chain with transitivity.
+  auto Apply = [&](Infrule R) {
+    auto Err = applyInfrule(R, Have);
+    if (!Err && AppliedOut)
+      AppliedOut->push_back(std::move(R));
+    return !Err.has_value();
+  };
+  for (size_t I = 1; I != Path.size(); ++I) {
+    const auto &Info = Parents.at(Path[I]);
+    if (Info.Materializer && !Apply(*Info.Materializer))
+      return false;
+    if (I >= 2) {
+      Infrule T;
+      T.K = InfruleKind::Transitivity;
+      T.S = S;
+      T.Args = {From, Path[I - 1], Path[I]};
+      if (!Apply(T))
+        return false;
+    }
+  }
+  return U.count(Pred::lessdef(From, To)) != 0;
+}
+
+void crellvm::checker::runAutomation(const std::set<std::string> &Autos,
+                                     Assertion &Have, const Assertion &Goal,
+                                     std::vector<Infrule> *AppliedOut) {
+  bool Gvn = Autos.count("gvn_pre") != 0;
+  bool Trans = Gvn || Autos.count("transitivity") != 0;
+  bool Reduce = Gvn || Autos.count("reduce_maydiff") != 0;
+
+  if (Trans) {
+    // Derive every missing lessdef goal by chaining.
+    for (int Pass = 0; Pass != 2; ++Pass) {
+      Side S = Pass == 0 ? Side::Src : Side::Tgt;
+      const Unary &GoalU = Pass == 0 ? Goal.Src : Goal.Tgt;
+      for (const Pred &P : GoalU) {
+        if (P.kind() != Pred::Kind::Lessdef)
+          continue;
+        deriveLessdef(Have, S, P.lhs(), P.rhs(), Gvn, AppliedOut);
+      }
+    }
+  }
+
+  if (!Reduce)
+    return;
+
+  // Discharge maydiff obligations.
+  std::vector<RegT> Pending;
+  for (const RegT &R : Have.Maydiff)
+    if (!Goal.Maydiff.count(R))
+      Pending.push_back(R);
+
+  for (const RegT &R : Pending) {
+    if (R.T != Tag::Phy) {
+      // Old/ghost registers: drop their (non-goal) predicates, then apply
+      // reduce_maydiff_non_physical (paper §4). Dropping predicates only
+      // weakens the assertion.
+      bool NeededInGoal = false;
+      auto Mentions = [&R](const Pred &P) {
+        for (const RegT &X : P.regs())
+          if (X == R)
+            return true;
+        return false;
+      };
+      for (const Pred &P : Goal.Src)
+        if (Mentions(P))
+          NeededInGoal = true;
+      for (const Pred &P : Goal.Tgt)
+        if (Mentions(P))
+          NeededInGoal = true;
+      if (NeededInGoal)
+        continue;
+      for (auto It = Have.Src.begin(); It != Have.Src.end();)
+        It = Mentions(*It) ? Have.Src.erase(It) : ++It;
+      for (auto It = Have.Tgt.begin(); It != Have.Tgt.end();)
+        It = Mentions(*It) ? Have.Tgt.erase(It) : ++It;
+      Infrule Rule;
+      Rule.K = InfruleKind::ReduceMaydiffNonPhysical;
+      Rule.Args = {Expr::val(
+          ValT{ir::Value::reg(R.Name, ir::Type::intTy(32)), R.T})};
+      auto Err = applyInfrule(Rule, Have);
+      if (!Err && AppliedOut)
+        AppliedOut->push_back(std::move(Rule));
+      continue;
+    }
+
+    // Physical register: find a maydiff-free middle expression e with
+    // r >= e (src) and e >= r (tgt), deriving both by search if needed.
+    // Candidates: the downward closure of r on the source side and the
+    // upward closure of r on the target side.
+    std::optional<Expr> SrcRegExpr, TgtRegExpr;
+    for (const Pred &P : Have.Src) {
+      if (P.kind() != Pred::Kind::Lessdef ||
+          P.lhs().kind() != Expr::Kind::Val)
+        continue;
+      const ValT &L = P.lhs().asVal();
+      if (L.isReg() && L.regT() == R)
+        SrcRegExpr = P.lhs();
+    }
+    for (const Pred &P : Have.Tgt) {
+      if (P.kind() != Pred::Kind::Lessdef ||
+          P.rhs().kind() != Expr::Kind::Val)
+        continue;
+      const ValT &L = P.rhs().asVal();
+      if (L.isReg() && L.regT() == R)
+        TgtRegExpr = P.rhs();
+    }
+    if (!SrcRegExpr || !TgtRegExpr)
+      continue;
+
+    // Maydiff discharge always searches with substitution/commutativity
+    // edges: replaced-operand chains (mem2reg ghost links, GVN leaders)
+    // need one substitution step on each side.
+    std::set<Expr> Down = closureSet(Have.Src, *SrcRegExpr, true,
+                                     /*Downward=*/true);
+    std::set<Expr> Up = closureSet(Have.Tgt, *TgtRegExpr, true,
+                                   /*Downward=*/false);
+    std::vector<Expr> Candidates;
+    for (const Expr &E : Down)
+      if (Up.count(E))
+        Candidates.push_back(E);
+
+    for (const Expr &E : Candidates) {
+      if (E.isLoad())
+        continue;
+      bool Free = true;
+      for (const RegT &X : E.regs())
+        if (Have.Maydiff.count(X))
+          Free = false;
+      if (!Free)
+        continue;
+      if (!deriveLessdef(Have, Side::Src, *SrcRegExpr, E, true, AppliedOut))
+        continue;
+      if (!deriveLessdef(Have, Side::Tgt, E, *TgtRegExpr, true, AppliedOut))
+        continue;
+      Infrule Rule;
+      Rule.K = InfruleKind::ReduceMaydiffLessdef;
+      Rule.Args = {*SrcRegExpr, E, E};
+      auto Err = applyInfrule(Rule, Have);
+      if (!Err) {
+        if (AppliedOut)
+          AppliedOut->push_back(std::move(Rule));
+        break;
+      }
+    }
+  }
+}

@@ -1,0 +1,51 @@
+//===- checker/Automation.h - auto-style rule search ------------*- C++ -*-===//
+///
+/// \file
+/// Automation functions (paper §2.3): when it remains to prove that the
+/// computed assertion implies the proof's assertion, the enabled
+/// automation functions search for a sequence of inference rules that
+/// closes the gap — like Coq's `auto` tactic. Automation is *not* part of
+/// the TCB: everything it does goes through applyInfrule, which checks
+/// the premises; automation merely chooses which rules to try.
+///
+/// Installed automation functions:
+///  - "transitivity": derives missing lessdef facts by chaining existing
+///    ones (Algorithm 2 line A32);
+///  - "reduce_maydiff": discharges maydiff-set obligations via
+///    reduce_maydiff_lessdef / reduce_maydiff_non_physical (Algorithm 1
+///    line A9);
+///  - "gvn_pre": the richer search of Appendix C that also uses
+///    commutativity and substitution steps.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CHECKER_AUTOMATION_H
+#define CRELLVM_CHECKER_AUTOMATION_H
+
+#include "erhl/Infrule.h"
+
+#include <set>
+#include <string>
+
+namespace crellvm {
+namespace checker {
+
+/// Tries to strengthen \p Have so that it includes \p Goal, using the
+/// automation functions named in \p Autos. Applied rules are appended to
+/// \p AppliedOut when non-null (for diagnostics and the ablation bench).
+void runAutomation(const std::set<std::string> &Autos,
+                   erhl::Assertion &Have, const erhl::Assertion &Goal,
+                   std::vector<erhl::Infrule> *AppliedOut = nullptr);
+
+/// Derives the single fact `From >= To` on side \p S of \p Have by
+/// bounded search (transitivity chains; with \p GvnMode also
+/// commutativity and substitution steps). Returns true when the fact is
+/// now present in \p Have.
+bool deriveLessdef(erhl::Assertion &Have, erhl::Side S,
+                   const erhl::Expr &From, const erhl::Expr &To,
+                   bool GvnMode,
+                   std::vector<erhl::Infrule> *AppliedOut = nullptr);
+
+} // namespace checker
+} // namespace crellvm
+
+#endif // CRELLVM_CHECKER_AUTOMATION_H

@@ -1,0 +1,650 @@
+//===- checker/Postcond.cpp -------------------------------------*- C++ -*-===//
+
+#include "checker/Postcond.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace crellvm;
+using namespace crellvm::checker;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+
+namespace {
+
+ValT phy(const ir::Value &V) { return ValT::phy(V); }
+
+/// The RHS expression of a side-effect-free instruction (loads included:
+/// they are side-effect-free modulo UB). std::nullopt for instructions
+/// with no value expression.
+std::optional<Expr> exprOfInstr(const Instruction &I) {
+  const auto &Ops = I.operands();
+  if (isBinaryOp(I.opcode()))
+    return Expr::bop(I.opcode(), I.type(), phy(Ops[0]), phy(Ops[1]));
+  if (isCast(I.opcode()))
+    return Expr::cast(I.opcode(), I.type(), phy(Ops[0]));
+  switch (I.opcode()) {
+  case Opcode::ICmp:
+    return Expr::icmp(I.icmpPred(), phy(Ops[0]), phy(Ops[1]));
+  case Opcode::Select:
+    return Expr::select(I.type(), phy(Ops[0]), phy(Ops[1]), phy(Ops[2]));
+  case Opcode::Gep:
+    return Expr::gep(I.isInbounds(), phy(Ops[0]), phy(Ops[1]));
+  case Opcode::Load:
+    return Expr::load(I.type(), phy(Ops[0]));
+  default:
+    return std::nullopt;
+  }
+}
+
+bool predMentions(const Pred &P, const RegT &R) {
+  for (const RegT &X : P.regs())
+    if (X == R)
+      return true;
+  return false;
+}
+
+void erasePredsMentioning(Unary &U, const RegT &R) {
+  for (auto It = U.begin(); It != U.end();)
+    It = predMentions(*It, R) ? U.erase(It) : ++It;
+}
+
+/// Are the addresses \p P and \p Q provably disjoint under \p U?
+bool provablyDisjoint(const Unary &U, const ValT &P, const ValT &Q) {
+  if (P == Q)
+    return false;
+  if (U.count(Pred::noalias(P, Q)))
+    return true;
+  // Uniq(x) isolates x's address from every other value (paper §3.2).
+  if (P.isReg() && P.T == Tag::Phy && U.count(Pred::unique(P.V.regName())))
+    return true;
+  if (Q.isReg() && Q.T == Tag::Phy && U.count(Pred::unique(Q.V.regName())))
+    return true;
+  return false;
+}
+
+/// The load pointers occurring in a predicate (at most two).
+std::vector<ValT> loadPointersOf(const Pred &P) {
+  std::vector<ValT> Out;
+  if (P.kind() != Pred::Kind::Lessdef)
+    return Out;
+  if (P.lhs().isLoad())
+    Out.push_back(P.lhs().operands()[0]);
+  if (P.rhs().isLoad())
+    Out.push_back(P.rhs().operands()[0]);
+  return Out;
+}
+
+/// Appendix H PruneU: invalidates predicates the command may falsify.
+void pruneU(Unary &U, const std::optional<Instruction> &Cmd) {
+  if (!Cmd)
+    return;
+  const Instruction &I = *Cmd;
+
+  // A (re)defined register kills every predicate about it.
+  if (auto R = I.result())
+    erasePredsMentioning(U, RegT{*R, Tag::Phy});
+
+  // Memory effects kill facts about possibly-overlapping loads.
+  if (I.opcode() == Opcode::Store) {
+    ValT P = phy(I.operands()[1]);
+    Unary Snapshot = U;
+    for (auto It = U.begin(); It != U.end();) {
+      bool Kill = false;
+      for (const ValT &Q : loadPointersOf(*It))
+        if (!provablyDisjoint(Snapshot, P, Q))
+          Kill = true;
+      It = Kill ? U.erase(It) : ++It;
+    }
+  } else if (I.opcode() == Opcode::Call) {
+    // A call may write any public memory; only private/unique locations
+    // survive (paper §3.3 "Alias Checking").
+    Unary Snapshot = U;
+    for (auto It = U.begin(); It != U.end();) {
+      bool Kill = false;
+      for (const ValT &Q : loadPointersOf(*It)) {
+        bool Protected =
+            Snapshot.count(Pred::priv(Q)) ||
+            (Q.isReg() && Q.T == Tag::Phy &&
+             Snapshot.count(Pred::unique(Q.V.regName())));
+        if (!Protected)
+          Kill = true;
+      }
+      It = Kill ? U.erase(It) : ++It;
+    }
+  }
+
+  // Uniq is killed when the pointer leaks: copied, stored as a value,
+  // offset by gep, passed to a call, or returned. Using it as a load or
+  // store address, comparing it, or branching are fine.
+  auto LeakOperand = [&](size_t Idx) {
+    switch (I.opcode()) {
+    case Opcode::Load:
+      return false; // the single operand is the address
+    case Opcode::Store:
+      return Idx == 0; // the stored value leaks, the address does not
+    case Opcode::ICmp:
+    case Opcode::CondBr:
+    case Opcode::Switch:
+      return false;
+    default:
+      return true;
+    }
+  };
+  for (size_t Idx = 0; Idx != I.operands().size(); ++Idx) {
+    const ir::Value &V = I.operands()[Idx];
+    if (V.isReg() && LeakOperand(Idx))
+      U.erase(Pred::unique(V.regName()));
+  }
+}
+
+/// Appendix H AddLessdefPreds: records what the executed command
+/// guarantees.
+void addLessdefPreds(Unary &U, const std::optional<Instruction> &Cmd) {
+  if (!Cmd)
+    return;
+  const Instruction &I = *Cmd;
+  if (auto R = I.result()) {
+    if (auto E = exprOfInstr(I)) {
+      Expr RV = Expr::val(ValT::phy(ir::Value::reg(*R, I.type())));
+      U.insert(Pred::lessdef(RV, *E));
+      U.insert(Pred::lessdef(*E, RV));
+      return;
+    }
+  }
+  if (I.opcode() == Opcode::Store) {
+    Expr Cell = Expr::load(I.type(), phy(I.operands()[1]));
+    Expr Val = Expr::val(phy(I.operands()[0]));
+    U.insert(Pred::lessdef(Cell, Val));
+    U.insert(Pred::lessdef(Val, Cell));
+  } else if (I.opcode() == Opcode::Alloca) {
+    // Fresh cells contain undef (paper §3.3).
+    Expr Cell = Expr::load(
+        I.type(), ValT::phy(ir::Value::reg(*I.result(), ir::Type::ptrTy())));
+    Expr Undef = Expr::val(ValT::phy(ir::Value::undef(I.type())));
+    U.insert(Pred::lessdef(Cell, Undef));
+    U.insert(Pred::lessdef(Undef, Cell));
+  }
+}
+
+/// True when every register of \p E is outside the maydiff set.
+bool maydiffFree(const Expr &E, const std::set<RegT> &M) {
+  for (const RegT &R : E.regs())
+    if (M.count(R))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool crellvm::checker::loadMiddleAllowed(const Assertion &A, const Expr &E) {
+  if (!E.isLoad())
+    return true;
+  // A load may mediate the two sides only when it reads *public* memory:
+  // the assertion semantics relates the public memory parts by injection,
+  // so identical loads through a maydiff-free public pointer yield
+  // related values. Private locations (Priv/Uniq) have no counterpart.
+  const ValT &Ptr = E.operands()[0];
+  if (Ptr.isReg()) {
+    if (Ptr.T == Tag::Phy &&
+        (A.Src.count(Pred::unique(Ptr.V.regName())) ||
+         A.Tgt.count(Pred::unique(Ptr.V.regName()))))
+      return false;
+    if (A.Src.count(Pred::priv(Ptr)) || A.Tgt.count(Pred::priv(Ptr)))
+      return false;
+  }
+  return true;
+}
+
+void crellvm::checker::reduceMaydiff(Assertion &A) {
+  // Ghost and old registers that no predicate mentions are existentially
+  // quantified and unconstrained; they can always be chosen equal on both
+  // sides (reduce_maydiff_non_physical applied eagerly).
+  {
+    std::set<RegT> Used;
+    for (const Pred &P : A.Src)
+      for (const RegT &R : P.regs())
+        Used.insert(R);
+    for (const Pred &P : A.Tgt)
+      for (const RegT &R : P.regs())
+        Used.insert(R);
+    for (auto It = A.Maydiff.begin(); It != A.Maydiff.end();)
+      It = (It->T != Tag::Phy && !Used.count(*It)) ? A.Maydiff.erase(It)
+                                                   : ++It;
+  }
+
+  // Iterate to a fixpoint: removing one register can unlock another.
+  bool Changed = true;
+  unsigned Guard = 0;
+  while (Changed && Guard++ < 8) {
+    Changed = false;
+    std::vector<RegT> Candidates(A.Maydiff.begin(), A.Maydiff.end());
+    for (const RegT &R : Candidates) {
+      if (R.T != Tag::Phy)
+        continue;
+      // Find e with r >= e in Src and e >= r in Tgt, e maydiff-free.
+      bool Removable = false;
+      Expr RV = Expr::val(
+          ValT{ir::Value::reg(R.Name, ir::Type::voidTy()), R.T});
+      for (const Pred &P : A.Src) {
+        if (P.kind() != Pred::Kind::Lessdef || P.lhs().kind() != Expr::Kind::Val)
+          continue;
+        const ValT &L = P.lhs().asVal();
+        if (!L.isReg() || L.regT() != R)
+          continue;
+        const Expr &E = P.rhs();
+        if (!loadMiddleAllowed(A, E))
+          continue;
+        // Look for the mirrored fact on the target side. Types of the
+        // register value must match, so search structurally.
+        Expr LV = P.lhs();
+        if (maydiffFree(E, A.Maydiff) &&
+            A.Tgt.count(Pred::lessdef(E, LV))) {
+          Removable = true;
+          break;
+        }
+        // Loads may also bridge through *related* public pointers: the
+        // sides read the same public cell when a shared maydiff-free
+        // middle value links the two addresses (src PA >= m, tgt
+        // m >= PB). A trapping source load leaves no state.
+        if (E.isLoad()) {
+          const ValT &PA = E.operands()[0];
+          for (const Pred &Q : A.Tgt) {
+            if (Q.kind() != Pred::Kind::Lessdef || !Q.lhs().isLoad() ||
+                Q.rhs() != LV)
+              continue;
+            // The addresses themselves may be in the maydiff set; the
+            // shared middle value below is what relates them.
+            if (!loadMiddleAllowed(A, Q.lhs()))
+              continue;
+            const ValT &PB = Q.lhs().operands()[0];
+            for (const Pred &Link : A.Src) {
+              if (Link.kind() != Pred::Kind::Lessdef ||
+                  Link.lhs() != Expr::val(PA) ||
+                  Link.rhs().kind() != Expr::Kind::Val)
+                continue;
+              const ValT &M = Link.rhs().asVal();
+              if (M.isReg() && A.Maydiff.count(M.regT()))
+                continue;
+              if (M == PB || A.Tgt.count(Pred::lessdef(Expr::val(M),
+                                                       Expr::val(PB)))) {
+                Removable = true;
+                break;
+              }
+            }
+            if (Removable)
+              break;
+          }
+          if (Removable)
+            break;
+        }
+      }
+      if (Removable) {
+        A.Maydiff.erase(R);
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool crellvm::checker::relatedValues(const Assertion &A, const ir::Value &VS,
+                                     const ir::Value &VT) {
+  if (VS.isUndef())
+    return true; // source undef refines to anything
+  Expr ES = Expr::val(phy(VS));
+  Expr ET = Expr::val(phy(VT));
+
+  auto EquivAcross = [&](const Expr &X, const Expr &Y) {
+    if (X.isLoad() || !X.sameShape(Y))
+      return false;
+    for (size_t I = 0; I != X.operands().size(); ++I) {
+      const ValT &AOp = X.operands()[I], &BOp = Y.operands()[I];
+      if (AOp != BOp)
+        return false;
+      if (AOp.isReg() && A.Maydiff.count(AOp.regT()))
+        return false;
+    }
+    return true;
+  };
+
+  // Bounded closure: source expressions reachable from ES downward, target
+  // expressions reaching ET upward.
+  auto Closure = [](const Unary &U, const Expr &Start, bool Downward) {
+    std::vector<Expr> Frontier{Start};
+    std::set<Expr> Seen{Start};
+    for (unsigned Depth = 0; Depth != 4 && !Frontier.empty(); ++Depth) {
+      std::vector<Expr> Next;
+      for (const Pred &P : U) {
+        if (P.kind() != Pred::Kind::Lessdef)
+          continue;
+        const Expr &From = Downward ? P.lhs() : P.rhs();
+        const Expr &To = Downward ? P.rhs() : P.lhs();
+        for (const Expr &F : Frontier) {
+          if (F == From && !Seen.count(To)) {
+            Seen.insert(To);
+            Next.push_back(To);
+            if (Seen.size() > 64)
+              return Seen;
+          }
+        }
+      }
+      Frontier = std::move(Next);
+    }
+    return Seen;
+  };
+
+  std::set<Expr> SrcSet = Closure(A.Src, ES, /*Downward=*/true);
+  std::set<Expr> TgtSet = Closure(A.Tgt, ET, /*Downward=*/false);
+  for (const Expr &X : SrcSet)
+    for (const Expr &Y : TgtSet)
+      if (EquivAcross(X, Y))
+        return true;
+  return false;
+}
+
+std::optional<std::string>
+crellvm::checker::checkEquivBeh(const Assertion &A, const CmdPair &C) {
+  auto Related = [&](const ir::Value &S, const ir::Value &T,
+                     const char *What) -> std::optional<std::string> {
+    if (relatedValues(A, S, T))
+      return std::nullopt;
+    return std::string(What) + ": source " + S.str() +
+           " is not related to target " + T.str();
+  };
+
+  Opcode SrcOp = C.Src ? C.Src->opcode() : Opcode::Unreachable;
+  Opcode TgtOp = C.Tgt ? C.Tgt->opcode() : Opcode::Unreachable;
+
+  // Calls.
+  if (C.Src && SrcOp == Opcode::Call) {
+    if (!C.Tgt || TgtOp != Opcode::Call)
+      return "source call has no matching target call";
+    if (C.Src->callee() != C.Tgt->callee())
+      return "calls to different functions";
+    if (C.Src->operands().size() != C.Tgt->operands().size())
+      return "call argument count mismatch";
+    for (size_t I = 0; I != C.Src->operands().size(); ++I)
+      if (auto E = Related(C.Src->operands()[I], C.Tgt->operands()[I],
+                           "call argument"))
+        return E;
+    return std::nullopt;
+  }
+  if (C.Tgt && TgtOp == Opcode::Call)
+    return "target call has no matching source call";
+
+  // Allocations.
+  if (C.Src && SrcOp == Opcode::Alloca) {
+    if (!C.Tgt)
+      return std::nullopt; // removing an allocation is fine
+    if (TgtOp != Opcode::Alloca)
+      return "source alloca aligned with non-alloca target";
+    if (C.Src->allocaSize() != C.Tgt->allocaSize() ||
+        C.Src->type() != C.Tgt->type())
+      return "allocation size mismatch";
+    return std::nullopt;
+  }
+  if (C.Tgt && TgtOp == Opcode::Alloca)
+    return "target allocates without a source allocation";
+
+  // Stores.
+  if (C.Src && SrcOp == Opcode::Store) {
+    if (!C.Tgt) {
+      // Only stores to private memory may be dropped.
+      ValT P = phy(C.Src->operands()[1]);
+      if (A.Src.count(Pred::priv(P)) ||
+          (P.isReg() &&
+           A.Src.count(Pred::unique(P.V.regName()))))
+        return std::nullopt;
+      return "removed store to possibly-public memory";
+    }
+    if (TgtOp != Opcode::Store)
+      return "source store aligned with non-store target";
+    if (auto E = Related(C.Src->operands()[1], C.Tgt->operands()[1],
+                         "store address"))
+      return E;
+    if (auto E =
+            Related(C.Src->operands()[0], C.Tgt->operands()[0], "store value"))
+      return E;
+    return std::nullopt;
+  }
+  if (C.Tgt && TgtOp == Opcode::Store)
+    return "target stores without a source store";
+
+  // Target loads must not trap when the source does not.
+  if (C.Tgt && TgtOp == Opcode::Load) {
+    if (!C.Src || SrcOp != Opcode::Load)
+      return "target load has no matching source load";
+    if (auto E = Related(C.Src->operands()[0], C.Tgt->operands()[0],
+                         "load address"))
+      return E;
+    return std::nullopt;
+  }
+
+  // Target divisions must not trap when the source does not.
+  if (C.Tgt && isBinaryOp(TgtOp) && mayTrap(TgtOp)) {
+    if (!C.Src || !isBinaryOp(SrcOp) || !mayTrap(SrcOp))
+      return "target division has no matching source division "
+             "(division-by-zero analysis is not supported)";
+    if (auto E = Related(C.Src->operands()[1], C.Tgt->operands()[1],
+                         "divisor"))
+      return E;
+    return std::nullopt;
+  }
+
+  // Terminators: CheckCFG guarantees equal successor lists; conditions and
+  // returned values must be related (branching on undef is UB, so related
+  // conditions guarantee identical control flow).
+  if (C.Src && C.Src->isTerminator()) {
+    if (!C.Tgt || !C.Tgt->isTerminator())
+      return "terminator misaligned";
+    if (SrcOp != TgtOp)
+      return "terminator kind mismatch";
+    if (C.Src->successors() != C.Tgt->successors())
+      return "terminator successors mismatch";
+    if (SrcOp == Opcode::Switch &&
+        C.Src->caseValues() != C.Tgt->caseValues())
+      return "switch case values mismatch";
+    for (size_t I = 0; I != C.Src->operands().size(); ++I) {
+      if (C.Tgt->operands().size() <= I)
+        return "terminator operand mismatch";
+      if (auto E = Related(C.Src->operands()[I], C.Tgt->operands()[I],
+                           "terminator operand"))
+        return E;
+    }
+    return std::nullopt;
+  }
+  if (C.Tgt && C.Tgt->isTerminator())
+    return "target terminator without source terminator";
+
+  // Remaining pairs (pure register computations and lnops) are silent.
+  return std::nullopt;
+}
+
+erhl::Assertion crellvm::checker::calcPostCmd(const Assertion &A,
+                                              const CmdPair &C) {
+  Assertion Out = A;
+
+  // Prune.
+  pruneU(Out.Src, C.Src);
+  pruneU(Out.Tgt, C.Tgt);
+  if (C.Src && C.Src->result())
+    Out.Maydiff.insert(RegT{*C.Src->result(), Tag::Phy});
+  if (C.Tgt && C.Tgt->result())
+    Out.Maydiff.insert(RegT{*C.Tgt->result(), Tag::Phy});
+
+  // AddMemoryPreds.
+  if (C.Src && C.Src->opcode() == Opcode::Alloca) {
+    Out.Src.insert(Pred::unique(*C.Src->result()));
+    if (!C.Tgt) {
+      Out.Src.insert(Pred::priv(
+          ValT::phy(ir::Value::reg(*C.Src->result(), ir::Type::ptrTy()))));
+    } else if (C.Tgt->opcode() == Opcode::Alloca &&
+               C.Src->result() == C.Tgt->result()) {
+      // Paired fresh blocks are added to the public injection; the
+      // registers agree again.
+      Out.Maydiff.erase(RegT{*C.Src->result(), Tag::Phy});
+    }
+  }
+  if (C.Src && C.Tgt && C.Src->opcode() == Opcode::Call &&
+      C.Tgt->opcode() == Opcode::Call && C.Src->result() &&
+      C.Src->result() == C.Tgt->result())
+    Out.Maydiff.erase(RegT{*C.Src->result(), Tag::Phy});
+
+  // AddLessdefPreds.
+  addLessdefPreds(Out.Src, C.Src);
+  addLessdefPreds(Out.Tgt, C.Tgt);
+
+  reduceMaydiff(Out);
+  return Out;
+}
+
+erhl::Assertion crellvm::checker::calcPostPhi(
+    const Assertion &A, const std::vector<ir::Phi> &SrcPhis,
+    const std::vector<ir::Phi> &TgtPhis, const std::string &Pred) {
+  Assertion Out = A;
+
+  // 1. Old registers from the previous edge are gone.
+  auto DropOld = [](Unary &U) {
+    for (auto It = U.begin(); It != U.end();) {
+      bool HasOld = false;
+      for (const RegT &R : It->regs())
+        if (R.T == Tag::Old)
+          HasOld = true;
+      It = HasOld ? U.erase(It) : ++It;
+    }
+  };
+  DropOld(Out.Src);
+  DropOld(Out.Tgt);
+  for (auto It = Out.Maydiff.begin(); It != Out.Maydiff.end();)
+    It = (It->T == Tag::Old) ? Out.Maydiff.erase(It) : ++It;
+
+  // 2. Copy every current-register fact into its old-register version
+  //    (paper §4 step 1).
+  auto OldifyVal = [](ValT V) {
+    if (V.isReg() && V.T == Tag::Phy)
+      V.T = Tag::Old;
+    return V;
+  };
+  auto OldifyExpr = [&](const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::Val:
+      return Expr::val(OldifyVal(E.operands()[0]));
+    case Expr::Kind::Bop:
+      return Expr::bop(E.opcode(), E.type(), OldifyVal(E.operands()[0]),
+                       OldifyVal(E.operands()[1]));
+    case Expr::Kind::Icmp:
+      return Expr::icmp(E.icmpPred(), OldifyVal(E.operands()[0]),
+                        OldifyVal(E.operands()[1]));
+    case Expr::Kind::Select:
+      return Expr::select(E.type(), OldifyVal(E.operands()[0]),
+                          OldifyVal(E.operands()[1]),
+                          OldifyVal(E.operands()[2]));
+    case Expr::Kind::Cast:
+      return Expr::cast(E.opcode(), E.type(), OldifyVal(E.operands()[0]));
+    case Expr::Kind::Gep:
+      return Expr::gep(E.isInbounds(), OldifyVal(E.operands()[0]),
+                       OldifyVal(E.operands()[1]));
+    case Expr::Kind::Load:
+      return Expr::load(E.type(), OldifyVal(E.operands()[0]));
+    }
+    return E;
+  };
+  auto CopyOld = [&](Unary &U) {
+    Unary Clones;
+    for (const erhl::Pred &P : U) {
+      if (P.kind() == Pred::Kind::Lessdef)
+        Clones.insert(
+            Pred::lessdef(OldifyExpr(P.lhs()), OldifyExpr(P.rhs())));
+      // Memory predicates are not rotated: they are not about register
+      // values that phis overwrite... except Uniq/Priv of a phi-defined
+      // register, which step 3 kills anyway.
+    }
+    U.insert(Clones.begin(), Clones.end());
+  };
+  CopyOld(Out.Src);
+  CopyOld(Out.Tgt);
+  {
+    std::set<RegT> Olds;
+    for (const RegT &R : Out.Maydiff)
+      if (R.T == Tag::Phy)
+        Olds.insert(RegT{R.Name, Tag::Old});
+    Out.Maydiff.insert(Olds.begin(), Olds.end());
+  }
+
+  // 3. Kill facts about phi-defined registers; kill Uniq of leaked
+  //    incoming pointers.
+  auto KillDefsAndLeaks = [&](Unary &U, const std::vector<ir::Phi> &Phis) {
+    for (const ir::Phi &P : Phis) {
+      erasePredsMentioning(U, RegT{P.Result, Tag::Phy});
+      for (const auto &In : P.Incoming)
+        if (In.first == Pred && In.second.isReg())
+          U.erase(erhl::Pred::unique(In.second.regName()));
+    }
+  };
+  KillDefsAndLeaks(Out.Src, SrcPhis);
+  KillDefsAndLeaks(Out.Tgt, TgtPhis);
+
+  // 4. Record the simultaneous assignments in terms of old values. When
+  //    the incoming value is not defined by any phi of this block (on
+  //    that side), its value is unchanged by the simultaneous step, so
+  //    the current-register facts hold as well.
+  auto AddAssign = [&](Unary &U, const ir::Phi &P,
+                       const std::vector<ir::Phi> &Phis) {
+    const ir::Value &In = P.incomingFor(Pred);
+    ValT VOld = OldifyVal(phy(In));
+    Expr ZV = Expr::val(ValT::phy(ir::Value::reg(P.Result, P.Ty)));
+    U.insert(erhl::Pred::lessdef(ZV, Expr::val(VOld)));
+    U.insert(erhl::Pred::lessdef(Expr::val(VOld), ZV));
+    bool InIsPhiDefined = false;
+    if (In.isReg())
+      for (const ir::Phi &Q : Phis)
+        if (Q.Result == In.regName())
+          InIsPhiDefined = true;
+    if (!InIsPhiDefined) {
+      U.insert(erhl::Pred::lessdef(ZV, Expr::val(phy(In))));
+      U.insert(erhl::Pred::lessdef(Expr::val(phy(In)), ZV));
+    }
+  };
+  for (const ir::Phi &P : SrcPhis)
+    AddAssign(Out.Src, P, SrcPhis);
+  for (const ir::Phi &P : TgtPhis)
+    AddAssign(Out.Tgt, P, TgtPhis);
+
+  // 5. Maydiff: phi-defined registers differ unless both sides assign the
+  //    same old values outside the maydiff set (paper §4 step 2).
+  auto FindPhi = [&](const std::vector<ir::Phi> &Phis,
+                     const std::string &Name) -> const ir::Phi * {
+    for (const ir::Phi &P : Phis)
+      if (P.Result == Name)
+        return &P;
+    return nullptr;
+  };
+  std::set<std::string> Defined;
+  for (const ir::Phi &P : SrcPhis)
+    Defined.insert(P.Result);
+  for (const ir::Phi &P : TgtPhis)
+    Defined.insert(P.Result);
+  for (const std::string &Z : Defined) {
+    const ir::Phi *SP = FindPhi(SrcPhis, Z);
+    const ir::Phi *TP = FindPhi(TgtPhis, Z);
+    bool Equiv = false;
+    if (SP && TP) {
+      const ir::Value &SV = SP->incomingFor(Pred);
+      const ir::Value &TV = TP->incomingFor(Pred);
+      if (SV == TV) {
+        Equiv = true;
+        if (SV.isReg() &&
+            Out.Maydiff.count(RegT{SV.regName(), Tag::Old}))
+          Equiv = false;
+      }
+    }
+    if (!Equiv)
+      Out.Maydiff.insert(RegT{Z, Tag::Phy});
+    else
+      Out.Maydiff.erase(RegT{Z, Tag::Phy});
+  }
+
+  reduceMaydiff(Out);
+  return Out;
+}

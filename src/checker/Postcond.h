@@ -1,0 +1,69 @@
+//===- checker/Postcond.h - Post-assertion computation ----------*- C++ -*-===//
+///
+/// \file
+/// The strongest-post computation of the ERHL proof checker (paper
+/// Appendix H): CheckEquivBeh (Algorithm 4), CalcPostAssn for aligned
+/// commands (Algorithm 5: Prune, AddMemoryPreds, AddLessdefPreds,
+/// ReduceMaydiff) and for phi edges (§4, with the Old-register rotation),
+/// plus the value-relation `x_src ~_P y_tgt` used to check that observable
+/// behavior is equivalent.
+///
+/// Everything here is part of the trusted computing base; each function is
+/// exercised by the unit suite and by the end-to-end differential tests.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CHECKER_POSTCOND_H
+#define CRELLVM_CHECKER_POSTCOND_H
+
+#include "erhl/Infrule.h"
+#include "ir/Module.h"
+
+#include <optional>
+
+namespace crellvm {
+namespace checker {
+
+/// An aligned command pair; std::nullopt is a logical no-op.
+struct CmdPair {
+  std::optional<ir::Instruction> Src;
+  std::optional<ir::Instruction> Tgt;
+};
+
+/// Is target value \p VT related to source value \p VS under \p A — i.e.
+/// does `VS_src ~_A VT_tgt` hold syntactically? Related values evaluate to
+/// refining values in every state pair satisfying A. The search follows
+/// lessdef chains on both sides (bounded) through a maydiff-free middle
+/// value.
+bool relatedValues(const erhl::Assertion &A, const ir::Value &VS,
+                   const ir::Value &VT);
+
+/// CheckEquivBeh (Algorithm 4): do the aligned commands produce the same
+/// observable events (and does the target not introduce traps) in every
+/// state pair satisfying \p A? Returns std::nullopt when OK, otherwise a
+/// diagnostic.
+std::optional<std::string> checkEquivBeh(const erhl::Assertion &A,
+                                         const CmdPair &C);
+
+/// CalcPostAssn for one aligned command line (Algorithm 5).
+erhl::Assertion calcPostCmd(const erhl::Assertion &A, const CmdPair &C);
+
+/// CalcPostAssn for a phi edge: all source phis and target phis of the
+/// destination block execute simultaneously for incoming block \p Pred.
+erhl::Assertion calcPostPhi(const erhl::Assertion &A,
+                            const std::vector<ir::Phi> &SrcPhis,
+                            const std::vector<ir::Phi> &TgtPhis,
+                            const std::string &Pred);
+
+/// The eager maydiff reduction run after every post computation: removes
+/// registers whose source and target sides are syntactically forced to
+/// agree.
+void reduceMaydiff(erhl::Assertion &A);
+
+/// May a Load expression mediate the two sides of a maydiff reduction?
+/// Only loads through public (non-Priv/Uniq) pointers qualify.
+bool loadMiddleAllowed(const erhl::Assertion &A, const erhl::Expr &E);
+
+} // namespace checker
+} // namespace crellvm
+
+#endif // CRELLVM_CHECKER_POSTCOND_H

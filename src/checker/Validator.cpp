@@ -1,0 +1,348 @@
+//===- checker/Validator.cpp ------------------------------------*- C++ -*-===//
+
+#include "checker/Validator.h"
+
+#include "checker/Automation.h"
+#include "checker/Postcond.h"
+
+using namespace crellvm;
+using namespace crellvm::checker;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+using crellvm::proofgen::BlockProof;
+using crellvm::proofgen::FunctionProof;
+using crellvm::proofgen::LineEntry;
+
+uint64_t ModuleResult::countValidated() const {
+  uint64_t N = 0;
+  for (const auto &KV : Functions)
+    if (KV.second.Status == ValidationStatus::Validated)
+      ++N;
+  return N;
+}
+
+uint64_t ModuleResult::countFailed() const {
+  uint64_t N = 0;
+  for (const auto &KV : Functions)
+    if (KV.second.Status == ValidationStatus::Failed)
+      ++N;
+  return N;
+}
+
+uint64_t ModuleResult::countNotSupported() const {
+  uint64_t N = 0;
+  for (const auto &KV : Functions)
+    if (KV.second.Status == ValidationStatus::NotSupported)
+      ++N;
+  return N;
+}
+
+std::string ModuleResult::firstFailure() const {
+  for (const auto &KV : Functions)
+    if (KV.second.Status == ValidationStatus::Failed)
+      return "@" + KV.first + " " + KV.second.Where + ": " +
+             KV.second.Reason;
+  return "";
+}
+
+bool crellvm::checker::usesUnsupportedFeatures(const ir::Function &F,
+                                               std::string &Why) {
+  for (const Param &P : F.Params) {
+    if (P.Ty.isVec()) {
+      Why = "vector operations";
+      return true;
+    }
+  }
+  for (const BasicBlock &B : F.Blocks) {
+    for (const Phi &P : B.Phis)
+      if (P.Ty.isVec()) {
+        Why = "vector operations";
+        return true;
+      }
+    for (const Instruction &I : B.Insts) {
+      if (I.type().isVec()) {
+        Why = "vector operations";
+        return true;
+      }
+      for (const ir::Value &V : I.operands())
+        if (V.type().isVec()) {
+          Why = "vector operations";
+          return true;
+        }
+      if (I.opcode() == Opcode::Call &&
+          I.callee().rfind("llvm.", 0) == 0) {
+        Why = "lifetime intrinsics";
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Adds the fact established by taking the edge to \p Succ through
+/// terminator \p Term (Appendix C "branching assertions").
+void addBranchFacts(Unary &U, const Instruction &Term,
+                    const std::string &Succ) {
+  if (Term.opcode() == Opcode::CondBr) {
+    const auto &Succs = Term.successors();
+    if (Succs[0] == Succs[1])
+      return;
+    bool Taken = Succ == Succs[0];
+    Expr Cond = Expr::val(ValT::phy(Term.operands()[0]));
+    Expr Lit = Expr::val(ValT::phy(
+        ir::Value::constInt(Taken ? 1 : 0, ir::Type::intTy(1))));
+    U.insert(Pred::lessdef(Cond, Lit));
+    U.insert(Pred::lessdef(Lit, Cond));
+    return;
+  }
+  if (Term.opcode() == Opcode::Switch) {
+    const auto &Succs = Term.successors();
+    // Only a unique non-default arm pins the value.
+    size_t Hits = 0, HitIdx = 0;
+    for (size_t I = 0; I != Succs.size(); ++I)
+      if (Succs[I] == Succ) {
+        ++Hits;
+        HitIdx = I;
+      }
+    if (Hits != 1 || HitIdx == 0)
+      return;
+    const ir::Value &V = Term.operands()[0];
+    Expr Val = Expr::val(ValT::phy(V));
+    Expr Lit = Expr::val(ValT::phy(ir::Value::constInt(
+        Term.caseValues()[HitIdx - 1], V.type())));
+    U.insert(Pred::lessdef(Val, Lit));
+    U.insert(Pred::lessdef(Lit, Val));
+  }
+}
+
+/// CheckInit: is the assertion satisfied by all possible initial states of
+/// a function call?
+std::optional<std::string> checkInit(const Assertion &A,
+                                     const ir::Function &F) {
+  auto OkPred = [&](const Pred &P) {
+    switch (P.kind()) {
+    case Pred::Kind::Unique:
+      return !F.isParam(P.uniqueReg());
+    case Pred::Kind::Private: {
+      const ValT &V = P.a();
+      return V.isReg() &&
+             (V.T != Tag::Phy || !F.isParam(V.V.regName()));
+    }
+    case Pred::Kind::Noalias: {
+      // Vacuous when either side is an initially-unbound register.
+      auto Unbound = [&](const ValT &V) {
+        return V.isReg() &&
+               (V.T != Tag::Phy || !F.isParam(V.V.regName()));
+      };
+      return Unbound(P.a()) || Unbound(P.b());
+    }
+    case Pred::Kind::Lessdef: {
+      // Reflexive, non-trapping facts hold anywhere; otherwise the LHS
+      // must be an initially-undef register (undef >= anything).
+      if (P.lhs() == P.rhs() && !P.lhs().isLoad() &&
+          !(P.lhs().kind() == Expr::Kind::Bop && mayTrap(P.lhs().opcode())))
+        return true;
+      if (P.lhs().kind() != Expr::Kind::Val)
+        return false;
+      const ValT &L = P.lhs().asVal();
+      if (!L.isReg())
+        return false;
+      if (L.T == Tag::Phy && F.isParam(L.V.regName()))
+        return false;
+      // The RHS must not trap when evaluated; conservatively require a
+      // non-memory, non-division expression.
+      if (P.rhs().isLoad() ||
+          (P.rhs().kind() == Expr::Kind::Bop && mayTrap(P.rhs().opcode())))
+        return false;
+      return true;
+    }
+    }
+    return false;
+  };
+  for (const Pred &P : A.Src)
+    if (!OkPred(P))
+      return "entry assertion not initially valid (src): " + P.str();
+  for (const Pred &P : A.Tgt)
+    if (!OkPred(P))
+      return "entry assertion not initially valid (tgt): " + P.str();
+  return std::nullopt;
+}
+
+/// A human-readable account of why Have does not include Goal.
+std::string inclusionGap(const Assertion &Have, const Assertion &Goal) {
+  for (const Pred &P : Goal.Src)
+    if (!Have.Src.count(P))
+      return "missing source fact " + P.str();
+  for (const Pred &P : Goal.Tgt)
+    if (!Have.Tgt.count(P))
+      return "missing target fact " + P.str();
+  for (const RegT &R : Have.Maydiff)
+    if (!Goal.Maydiff.count(R))
+      return "register " + R.str() + " may still differ";
+  return "inclusion check failed";
+}
+
+/// Checks CheckCFG and the line alignment of one function.
+std::optional<std::string> checkAlignment(const ir::Function &SrcF,
+                                          const ir::Function &TgtF,
+                                          const FunctionProof &FP) {
+  if (SrcF.RetTy != TgtF.RetTy)
+    return "return types differ";
+  if (SrcF.Params.size() != TgtF.Params.size())
+    return "parameter lists differ";
+  for (size_t I = 0; I != SrcF.Params.size(); ++I)
+    if (SrcF.Params[I].Name != TgtF.Params[I].Name ||
+        SrcF.Params[I].Ty != TgtF.Params[I].Ty)
+      return "parameter lists differ";
+  if (SrcF.Blocks.size() != TgtF.Blocks.size())
+    return "block lists differ";
+  for (size_t B = 0; B != SrcF.Blocks.size(); ++B) {
+    const BasicBlock &SB = SrcF.Blocks[B];
+    const BasicBlock &TB = TgtF.Blocks[B];
+    if (SB.Name != TB.Name)
+      return "block lists differ";
+    auto It = FP.Blocks.find(SB.Name);
+    if (It == FP.Blocks.end())
+      return "no proof for block '" + SB.Name + "'";
+    const BlockProof &BP = It->second;
+    // The non-lnop commands on each side must reproduce the real blocks.
+    size_t SI = 0, TI = 0;
+    for (const LineEntry &L : BP.Lines) {
+      if (!L.SrcCmd && !L.TgtCmd)
+        return "line with two logical no-ops in '" + SB.Name + "'";
+      if (L.SrcCmd) {
+        if (SI >= SB.Insts.size() || !(SB.Insts[SI] == *L.SrcCmd))
+          return "source alignment mismatch in '" + SB.Name + "'";
+        ++SI;
+      }
+      if (L.TgtCmd) {
+        if (TI >= TB.Insts.size() || !(TB.Insts[TI] == *L.TgtCmd))
+          return "target alignment mismatch in '" + SB.Name + "'";
+        ++TI;
+      }
+    }
+    if (SI != SB.Insts.size() || TI != TB.Insts.size())
+      return "alignment does not cover block '" + SB.Name + "'";
+    if (BP.Lines.empty() || !BP.Lines.back().SrcCmd ||
+        !BP.Lines.back().TgtCmd ||
+        !BP.Lines.back().SrcCmd->isTerminator())
+      return "terminators must be aligned in '" + SB.Name + "'";
+    // Same CFG edges.
+    if (SB.terminator().successors() != TB.terminator().successors())
+      return "control-flow edges differ in '" + SB.Name + "'";
+  }
+  return std::nullopt;
+}
+
+FunctionResult validateFunction(const ir::Function &SrcF,
+                                const ir::Function &TgtF,
+                                const FunctionProof &FP) {
+  FunctionResult Res;
+  auto Fail = [&](const std::string &Where, const std::string &Reason) {
+    Res.Status = ValidationStatus::Failed;
+    Res.Where = Where;
+    Res.Reason = Reason;
+    return Res;
+  };
+
+  std::string Why;
+  if (usesUnsupportedFeatures(SrcF, Why) ||
+      usesUnsupportedFeatures(TgtF, Why)) {
+    Res.Status = ValidationStatus::NotSupported;
+    Res.Reason = Why;
+    return Res;
+  }
+  if (FP.NotSupported) {
+    Res.Status = ValidationStatus::NotSupported;
+    Res.Reason = FP.NotSupportedReason;
+    return Res;
+  }
+
+  if (auto Err = checkAlignment(SrcF, TgtF, FP))
+    return Fail("CheckCFG", *Err);
+
+  const BlockProof &EntryBP = FP.Blocks.at(SrcF.entry().Name);
+  if (auto Err = checkInit(EntryBP.AtEntry, SrcF))
+    return Fail(SrcF.entry().Name + ":entry", *Err);
+
+  for (const BasicBlock &SB : SrcF.Blocks) {
+    const BlockProof &BP = FP.Blocks.at(SB.Name);
+    Assertion A = BP.AtEntry;
+    for (size_t I = 0; I != BP.Lines.size(); ++I) {
+      const LineEntry &L = BP.Lines[I];
+      std::string Where = SB.Name + ":" + std::to_string(I);
+      CmdPair Pair{L.SrcCmd, L.TgtCmd};
+      if (auto Err = checkEquivBeh(A, Pair))
+        return Fail(Where, *Err);
+      Assertion Post = calcPostCmd(A, Pair);
+      for (const Infrule &R : L.Rules)
+        applyInfrule(R, Post); // a failed rule surfaces as an inclusion gap
+      if (!Post.includes(L.After)) {
+        runAutomation(FP.AutoFuncs, Post, L.After);
+        if (!Post.includes(L.After))
+          return Fail(Where, inclusionGap(Post, L.After));
+      }
+      A = L.After;
+    }
+
+    // Phi edges to every successor.
+    const Instruction &SrcTerm = SB.terminator();
+    const BasicBlock *TB = TgtF.getBlock(SB.Name);
+    const Instruction &TgtTerm = TB->terminator();
+    std::set<std::string> SeenSuccs;
+    for (const std::string &Succ : SrcTerm.successors()) {
+      if (!SeenSuccs.insert(Succ).second)
+        continue;
+      const BasicBlock *SrcSucc = SrcF.getBlock(Succ);
+      const BasicBlock *TgtSucc = TgtF.getBlock(Succ);
+      if (!SrcSucc || !TgtSucc)
+        return Fail(SB.Name, "edge to unknown block '" + Succ + "'");
+      auto SuccIt = FP.Blocks.find(Succ);
+      if (SuccIt == FP.Blocks.end())
+        return Fail(SB.Name, "no proof for block '" + Succ + "'");
+
+      Assertion AtEnd = BP.Lines.back().After;
+      addBranchFacts(AtEnd.Src, SrcTerm, Succ);
+      addBranchFacts(AtEnd.Tgt, TgtTerm, Succ);
+      Assertion Post =
+          calcPostPhi(AtEnd, SrcSucc->Phis, TgtSucc->Phis, SB.Name);
+      auto RulesIt = SuccIt->second.PhiRules.find(SB.Name);
+      if (RulesIt != SuccIt->second.PhiRules.end())
+        for (const Infrule &R : RulesIt->second)
+          applyInfrule(R, Post);
+      const Assertion &Goal = SuccIt->second.AtEntry;
+      if (!Post.includes(Goal)) {
+        runAutomation(FP.AutoFuncs, Post, Goal);
+        if (!Post.includes(Goal))
+          return Fail(SB.Name + "->" + Succ, inclusionGap(Post, Goal));
+      }
+    }
+  }
+  return Res;
+}
+
+} // namespace
+
+ModuleResult crellvm::checker::validate(const ir::Module &Src,
+                                        const ir::Module &Tgt,
+                                        const proofgen::Proof &P) {
+  ModuleResult Out;
+  for (const ir::Function &SrcF : Src.Funcs) {
+    FunctionResult Res;
+    const ir::Function *TgtF = Tgt.getFunction(SrcF.Name);
+    auto It = P.Functions.find(SrcF.Name);
+    if (!TgtF) {
+      Res.Status = ValidationStatus::Failed;
+      Res.Reason = "function missing from the target module";
+    } else if (It == P.Functions.end()) {
+      Res.Status = ValidationStatus::Failed;
+      Res.Reason = "no proof for this function";
+    } else {
+      Res = validateFunction(SrcF, *TgtF, It->second);
+    }
+    Out.Functions[SrcF.Name] = Res;
+  }
+  return Out;
+}

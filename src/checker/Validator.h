@@ -1,0 +1,59 @@
+//===- checker/Validator.h - Top-level ERHL proof checking ------*- C++ -*-===//
+///
+/// \file
+/// The top-level proof checker (paper Fig. 4): given a source module, a
+/// target module, and a translation proof, checks CheckCFG, CheckInit,
+/// and every Hoare triple — per-line command pairs and per-edge phi
+/// assignments. On a failed inclusion check it first runs the enabled
+/// automation functions, then reports the first logical reason for
+/// failure (paper §6 "Experience": the reason is what makes debugging
+/// proof generation and finding compiler bugs practical).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CHECKER_VALIDATOR_H
+#define CRELLVM_CHECKER_VALIDATOR_H
+
+#include "proofgen/Proof.h"
+
+#include <map>
+#include <string>
+
+namespace crellvm {
+namespace checker {
+
+/// Outcome of validating one function translation.
+enum class ValidationStatus : uint8_t {
+  Validated,    ///< formally checked
+  Failed,       ///< proof rejected — a bug in the compiler or proof gen
+  NotSupported, ///< translation uses unsupported features (#NS)
+};
+
+struct FunctionResult {
+  ValidationStatus Status = ValidationStatus::Validated;
+  std::string Where;  ///< "block:line" of the first failure
+  std::string Reason; ///< logical reason for the failure / NS
+};
+
+struct ModuleResult {
+  std::map<std::string, FunctionResult> Functions;
+
+  uint64_t countValidated() const;
+  uint64_t countFailed() const;
+  uint64_t countNotSupported() const;
+  /// First failure, for diagnostics; empty when none.
+  std::string firstFailure() const;
+};
+
+/// Checks whether a function uses features outside the validator's
+/// supported fragment (vector operations, lifetime intrinsics) — the
+/// paper's dominant #NS sources (§7).
+bool usesUnsupportedFeatures(const ir::Function &F, std::string &Why);
+
+/// Validates every function of \p Src against \p Tgt with \p P.
+ModuleResult validate(const ir::Module &Src, const ir::Module &Tgt,
+                      const proofgen::Proof &P);
+
+} // namespace checker
+} // namespace crellvm
+
+#endif // CRELLVM_CHECKER_VALIDATOR_H

@@ -1,0 +1,147 @@
+//===- difftool/Diff.cpp ----------------------------------------*- C++ -*-===//
+
+#include "difftool/Diff.h"
+
+#include <map>
+
+using namespace crellvm;
+using namespace crellvm::difftool;
+using namespace crellvm::ir;
+
+namespace {
+
+/// Tracks the register renaming between two functions.
+class Renaming {
+public:
+  /// Binds A's register \p RA to B's \p RB; returns false on conflict.
+  bool bind(const std::string &RA, const std::string &RB) {
+    auto ItF = Fwd.find(RA);
+    if (ItF != Fwd.end())
+      return ItF->second == RB;
+    auto ItB = Bwd.find(RB);
+    if (ItB != Bwd.end())
+      return ItB->second == RA;
+    Fwd[RA] = RB;
+    Bwd[RB] = RA;
+    return true;
+  }
+
+  bool valuesMatch(const Value &A, const Value &B) {
+    if (A.kind() != B.kind() || A.type() != B.type())
+      return false;
+    switch (A.kind()) {
+    case Value::Kind::Reg:
+      return bind(A.regName(), B.regName());
+    case Value::Kind::ConstInt:
+      return A.intValue() == B.intValue();
+    case Value::Kind::Global:
+      return A.globalName() == B.globalName();
+    case Value::Kind::Undef:
+      return true;
+    case Value::Kind::ConstExpr: {
+      const ConstExprNode &NA = A.constExprNode();
+      const ConstExprNode &NB = B.constExprNode();
+      if (NA.Op != NB.Op || NA.Ty != NB.Ty ||
+          NA.Ops.size() != NB.Ops.size())
+        return false;
+      for (size_t I = 0; I != NA.Ops.size(); ++I)
+        if (!valuesMatch(NA.Ops[I], NB.Ops[I]))
+          return false;
+      return true;
+    }
+    }
+    return false;
+  }
+
+  bool instructionsMatch(const Instruction &A, const Instruction &B) {
+    if (A.opcode() != B.opcode() || A.type() != B.type() ||
+        A.icmpPred() != B.icmpPred() || A.isInbounds() != B.isInbounds() ||
+        A.allocaSize() != B.allocaSize() || A.callee() != B.callee() ||
+        A.successors() != B.successors() ||
+        A.caseValues() != B.caseValues() ||
+        A.operands().size() != B.operands().size() ||
+        A.result().has_value() != B.result().has_value())
+      return false;
+    if (A.result() && !bind(*A.result(), *B.result()))
+      return false;
+    for (size_t I = 0; I != A.operands().size(); ++I)
+      if (!valuesMatch(A.operands()[I], B.operands()[I]))
+        return false;
+    return true;
+  }
+
+private:
+  std::map<std::string, std::string> Fwd, Bwd;
+};
+
+std::string diffFunction(const Function &A, const Function &B) {
+  if (A.RetTy != B.RetTy)
+    return "return types differ";
+  if (A.Params.size() != B.Params.size())
+    return "parameter counts differ";
+  Renaming R;
+  for (size_t I = 0; I != A.Params.size(); ++I) {
+    if (A.Params[I].Ty != B.Params[I].Ty)
+      return "parameter types differ";
+    if (!R.bind(A.Params[I].Name, B.Params[I].Name))
+      return "parameter renaming conflict";
+  }
+  if (A.Blocks.size() != B.Blocks.size())
+    return "block counts differ";
+  for (size_t BI = 0; BI != A.Blocks.size(); ++BI) {
+    const BasicBlock &BA = A.Blocks[BI];
+    const BasicBlock &BB = B.Blocks[BI];
+    if (BA.Name != BB.Name)
+      return "block names differ ('" + BA.Name + "' vs '" + BB.Name + "')";
+    if (BA.Phis.size() != BB.Phis.size())
+      return "phi counts differ in '" + BA.Name + "'";
+    for (size_t PI = 0; PI != BA.Phis.size(); ++PI) {
+      const Phi &PA = BA.Phis[PI];
+      const Phi &PB = BB.Phis[PI];
+      if (PA.Ty != PB.Ty || PA.Incoming.size() != PB.Incoming.size())
+        return "phi shapes differ in '" + BA.Name + "'";
+      if (!R.bind(PA.Result, PB.Result))
+        return "phi renaming conflict in '" + BA.Name + "'";
+      for (size_t II = 0; II != PA.Incoming.size(); ++II) {
+        if (PA.Incoming[II].first != PB.Incoming[II].first ||
+            !R.valuesMatch(PA.Incoming[II].second, PB.Incoming[II].second))
+          return "phi incoming values differ in '" + BA.Name + "'";
+      }
+    }
+    if (BA.Insts.size() != BB.Insts.size())
+      return "instruction counts differ in '" + BA.Name + "'";
+    for (size_t II = 0; II != BA.Insts.size(); ++II)
+      if (!R.instructionsMatch(BA.Insts[II], BB.Insts[II]))
+        return "instructions differ in '" + BA.Name + "': " +
+               BA.Insts[II].str() + " vs " + BB.Insts[II].str();
+  }
+  return "";
+}
+
+} // namespace
+
+DiffResult crellvm::difftool::diffModules(const Module &A, const Module &B) {
+  DiffResult Res;
+  auto Fail = [&Res](const std::string &Why) {
+    Res.Equivalent = false;
+    Res.FirstDifference = Why;
+    return Res;
+  };
+  if (A.Globals.size() != B.Globals.size())
+    return Fail("global counts differ");
+  for (size_t I = 0; I != A.Globals.size(); ++I)
+    if (A.Globals[I].Name != B.Globals[I].Name ||
+        A.Globals[I].ElemTy != B.Globals[I].ElemTy ||
+        A.Globals[I].Size != B.Globals[I].Size)
+      return Fail("global @" + A.Globals[I].Name + " differs");
+  if (A.Funcs.size() != B.Funcs.size())
+    return Fail("function counts differ");
+  for (size_t I = 0; I != A.Funcs.size(); ++I) {
+    if (A.Funcs[I].Name != B.Funcs[I].Name)
+      return Fail("function order differs");
+    std::string Why = diffFunction(A.Funcs[I], B.Funcs[I]);
+    if (!Why.empty())
+      return Fail("@" + A.Funcs[I].Name + ": " + Why);
+  }
+  return Res;
+}

@@ -1,0 +1,37 @@
+//===- difftool/Diff.h - Alpha-equivalence module diff ----------*- C++ -*-===//
+///
+/// \file
+/// The llvm-diff analog of the framework (paper §1.1): after validation,
+/// the target produced by the proof-generating compiler is compared with
+/// the target of the original compiler up to alpha-equivalence (consistent
+/// register renaming). Programmers can therefore ship the original
+/// compiler's output while the proof-generating compiler provides the
+/// correctness guarantee.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_DIFFTOOL_DIFF_H
+#define CRELLVM_DIFFTOOL_DIFF_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace crellvm {
+namespace difftool {
+
+/// Result of comparing two modules.
+struct DiffResult {
+  bool Equivalent = true;
+  std::string FirstDifference; ///< human-readable, empty when equivalent
+
+  explicit operator bool() const { return Equivalent; }
+};
+
+/// Compares the modules up to consistent per-function register renaming.
+/// Block names, control flow, globals and declarations must match exactly.
+DiffResult diffModules(const ir::Module &A, const ir::Module &B);
+
+} // namespace difftool
+} // namespace crellvm
+
+#endif // CRELLVM_DIFFTOOL_DIFF_H

@@ -1,0 +1,155 @@
+//===- driver/Driver.cpp ----------------------------------------*- C++ -*-===//
+
+#include "driver/Driver.h"
+
+#include "checker/Validator.h"
+#include "difftool/Diff.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "proofgen/ProofBinary.h"
+#include "proofgen/ProofJson.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace crellvm;
+using namespace crellvm::driver;
+
+void PassStats::add(const PassStats &O) {
+  V += O.V;
+  F += O.F;
+  NS += O.NS;
+  Orig += O.Orig;
+  PCal += O.PCal;
+  IO += O.IO;
+  PCheck += O.PCheck;
+  DiffMismatches += O.DiffMismatches;
+  for (const std::string &S : O.FailureSamples)
+    if (FailureSamples.size() < 8)
+      FailureSamples.push_back(S);
+}
+
+ValidationDriver::ValidationDriver(const passes::BugConfig &Bugs,
+                                   DriverOptions Options)
+    : Bugs(Bugs), Opts(std::move(Options)) {
+  if (!Opts.WriteFiles)
+    return;
+  if (!Opts.ExchangeDir.empty()) {
+    Dir = Opts.ExchangeDir;
+  } else {
+    auto Base = std::filesystem::temp_directory_path() / "crellvm-exchange";
+    Dir = Base.string();
+  }
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    Opts.WriteFiles = false; // fall back to in-memory checking
+}
+
+namespace {
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Text;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+ir::Module ValidationDriver::runPassValidated(passes::Pass &P,
+                                              const ir::Module &Src,
+                                              StatsMap &Stats) {
+  PassStats S;
+
+  // Fig. 1, left: the original compiler.
+  Timer TOrig;
+  passes::PassResult Plain =
+      TOrig.time([&] { return P.run(Src, /*GenProof=*/false); });
+  S.Orig = TOrig.seconds();
+
+  // Fig. 1, right: the proof-generating compiler.
+  Timer TCal;
+  passes::PassResult WithProof =
+      TCal.time([&] { return P.run(Src, /*GenProof=*/true); });
+  S.PCal = TCal.seconds();
+
+  // File exchange (src.ll, tgt'.ll, Proof as JSON) and parsing back.
+  ir::Module SrcForCheck = Src;
+  ir::Module TgtForCheck = WithProof.Tgt;
+  proofgen::Proof ProofForCheck = WithProof.Proof;
+  if (Opts.WriteFiles) {
+    Timer TIO;
+    TIO.time([&] {
+      uint64_t N = FileCounter++;
+      std::string Base = Dir + "/" + P.name() + "." + std::to_string(N);
+      std::string ProofPath =
+          Base + (Opts.BinaryProofs ? ".proof.bin" : ".proof.json");
+      writeFile(Base + ".src.ll", ir::printModule(Src));
+      writeFile(Base + ".tgt.ll", ir::printModule(WithProof.Tgt));
+      writeFile(ProofPath,
+                Opts.BinaryProofs
+                    ? proofgen::proofToBinary(WithProof.Proof)
+                    : proofgen::proofToText(WithProof.Proof));
+      std::string Err;
+      auto SrcM = ir::parseModule(readFile(Base + ".src.ll"), &Err);
+      assert(SrcM && "source module failed to round-trip");
+      auto TgtM = ir::parseModule(readFile(Base + ".tgt.ll"), &Err);
+      assert(TgtM && "target module failed to round-trip");
+      auto Pr = Opts.BinaryProofs
+                    ? proofgen::proofFromBinary(readFile(ProofPath), &Err)
+                    : proofgen::proofFromText(readFile(ProofPath), &Err);
+      assert(Pr && "proof failed to round-trip");
+      SrcForCheck = std::move(*SrcM);
+      TgtForCheck = std::move(*TgtM);
+      ProofForCheck = std::move(*Pr);
+      std::error_code EC;
+      std::filesystem::remove(Base + ".src.ll", EC);
+      std::filesystem::remove(Base + ".tgt.ll", EC);
+      std::filesystem::remove(ProofPath, EC);
+    });
+    S.IO = TIO.seconds();
+  }
+
+  // The proof checker.
+  Timer TCheck;
+  checker::ModuleResult MR = TCheck.time(
+      [&] { return checker::validate(SrcForCheck, TgtForCheck,
+                                     ProofForCheck); });
+  S.PCheck = TCheck.seconds();
+
+  S.V += MR.Functions.size();
+  for (const auto &KV : MR.Functions) {
+    if (KV.second.Status == checker::ValidationStatus::Failed) {
+      ++S.F;
+      if (S.FailureSamples.size() < 8)
+        S.FailureSamples.push_back("@" + KV.first + " " + KV.second.Where +
+                                   ": " + KV.second.Reason);
+    } else if (KV.second.Status == checker::ValidationStatus::NotSupported) {
+      ++S.NS;
+    }
+  }
+
+  // llvm-diff: the original and proof-generating compilers must agree.
+  if (!difftool::diffModules(Plain.Tgt, WithProof.Tgt))
+    ++S.DiffMismatches;
+
+  Stats[P.name()].add(S);
+  return std::move(WithProof.Tgt);
+}
+
+ir::Module ValidationDriver::runPipelineValidated(const ir::Module &Src,
+                                                  StatsMap &Stats) {
+  ir::Module Cur = Src;
+  for (auto &P : passes::makeO2Pipeline(Bugs))
+    Cur = runPassValidated(*P, Cur, Stats);
+  return Cur;
+}

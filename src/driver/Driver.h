@@ -1,0 +1,84 @@
+//===- driver/Driver.h - The Fig. 1 validation pipeline ---------*- C++ -*-===//
+///
+/// \file
+/// The validation driver, reproducing the paper's Fig. 1 and the four time
+/// columns of its experiment tables:
+///
+///   Orig    run the original optimizer (plain mode);
+///   PCal    run the proof-generating optimizer;
+///   I/O     write src.ll, tgt'.ll and Proof to disk as text/JSON and read
+///           them back (validation consumes the files, not the in-memory
+///           objects);
+///   PCheck  run the verified-checker analog on the parsed artifacts.
+///
+/// After a successful validation, tgt.ll (original compiler) and tgt'.ll
+/// (proof-generating compiler) are compared with the llvm-diff analog.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_DRIVER_DRIVER_H
+#define CRELLVM_DRIVER_DRIVER_H
+
+#include "passes/Pipeline.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace driver {
+
+/// Accumulated statistics for one pass, matching the paper's columns.
+struct PassStats {
+  uint64_t V = 0;  ///< translations validated or attempted (#V)
+  uint64_t F = 0;  ///< validation failures (#F)
+  uint64_t NS = 0; ///< not-supported translations (#NS)
+  double Orig = 0, PCal = 0, IO = 0, PCheck = 0; ///< seconds
+  uint64_t DiffMismatches = 0; ///< llvm-diff disagreements (expected 0)
+  std::vector<std::string> FailureSamples; ///< first few failure reasons
+
+  void add(const PassStats &O);
+  uint64_t validated() const { return V - F - NS; }
+};
+
+/// Per-pass-name statistics.
+using StatsMap = std::map<std::string, PassStats>;
+
+struct DriverOptions {
+  /// Exercise the file-based exchange (the I/O column). When false the
+  /// in-memory artifacts are checked directly and IO time stays 0.
+  bool WriteFiles = true;
+  /// Directory for the exchange files; empty = a fresh directory under
+  /// the system temp dir.
+  std::string ExchangeDir;
+  /// Exchange proofs in the compact binary format (proofgen/ProofBinary.h)
+  /// instead of plain-text JSON — the paper's §7 future-work item. The
+  /// modules are still exchanged as .ll text either way.
+  bool BinaryProofs = false;
+};
+
+/// Runs passes over modules with validation, accumulating statistics.
+class ValidationDriver {
+public:
+  ValidationDriver(const passes::BugConfig &Bugs, DriverOptions Opts = {});
+
+  /// Runs one pass over \p Src with the full Fig. 1 protocol; returns the
+  /// optimized module and merges the timings/counts into Stats[pass name].
+  ir::Module runPassValidated(passes::Pass &P, const ir::Module &Src,
+                              StatsMap &Stats);
+
+  /// Runs the -O2 pipeline, validating every step.
+  ir::Module runPipelineValidated(const ir::Module &Src, StatsMap &Stats);
+
+  const passes::BugConfig &bugs() const { return Bugs; }
+
+private:
+  passes::BugConfig Bugs;
+  DriverOptions Opts;
+  std::string Dir; ///< resolved exchange directory
+  uint64_t FileCounter = 0;
+};
+
+} // namespace driver
+} // namespace crellvm
+
+#endif // CRELLVM_DRIVER_DRIVER_H

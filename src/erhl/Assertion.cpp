@@ -1,0 +1,290 @@
+//===- erhl/Assertion.cpp ---------------------------------------*- C++ -*-===//
+
+#include "erhl/Assertion.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+
+std::string crellvm::erhl::tagSuffix(Tag T) {
+  switch (T) {
+  case Tag::Phy:
+    return "";
+  case Tag::Ghost:
+    return "^";
+  case Tag::Old:
+    return "~old";
+  }
+  return "";
+}
+
+Expr Expr::val(ValT V) {
+  Expr E;
+  E.K = Kind::Val;
+  E.Ty = V.V.type();
+  E.Ops = {std::move(V)};
+  return E;
+}
+
+Expr Expr::bop(Opcode Op, ir::Type Ty, ValT A, ValT B) {
+  assert(isBinaryOp(Op) && "not a binary opcode");
+  Expr E;
+  E.K = Kind::Bop;
+  E.Op = Op;
+  E.Ty = Ty;
+  E.Ops = {std::move(A), std::move(B)};
+  return E;
+}
+
+Expr Expr::icmp(IcmpPred P, ValT A, ValT B) {
+  Expr E;
+  E.K = Kind::Icmp;
+  E.Pred = P;
+  E.Ty = ir::Type::intTy(1);
+  E.Ops = {std::move(A), std::move(B)};
+  return E;
+}
+
+Expr Expr::select(ir::Type Ty, ValT C, ValT A, ValT B) {
+  Expr E;
+  E.K = Kind::Select;
+  E.Ty = Ty;
+  E.Ops = {std::move(C), std::move(A), std::move(B)};
+  return E;
+}
+
+Expr Expr::cast(Opcode Op, ir::Type DstTy, ValT A) {
+  assert(isCast(Op) && "not a cast opcode");
+  Expr E;
+  E.K = Kind::Cast;
+  E.Op = Op;
+  E.Ty = DstTy;
+  E.Ops = {std::move(A)};
+  return E;
+}
+
+Expr Expr::gep(bool Inbounds, ValT Base, ValT Idx) {
+  Expr E;
+  E.K = Kind::Gep;
+  E.Inbounds = Inbounds;
+  E.Ty = ir::Type::ptrTy();
+  E.Ops = {std::move(Base), std::move(Idx)};
+  return E;
+}
+
+Expr Expr::load(ir::Type Ty, ValT Ptr) {
+  Expr E;
+  E.K = Kind::Load;
+  E.Ty = Ty;
+  E.Ops = {std::move(Ptr)};
+  return E;
+}
+
+std::vector<RegT> Expr::regs() const {
+  std::vector<RegT> Result;
+  for (const ValT &V : Ops)
+    if (V.isReg())
+      Result.push_back(V.regT());
+  return Result;
+}
+
+Expr Expr::substituted(const ValT &From, const ValT &To) const {
+  Expr E = *this;
+  for (ValT &V : E.Ops)
+    if (V == From)
+      V = To;
+  return E;
+}
+
+Expr Expr::substitutedAt(size_t Idx, const ValT &To) const {
+  Expr E = *this;
+  assert(Idx < E.Ops.size() && "operand index out of range");
+  E.Ops[Idx] = To;
+  return E;
+}
+
+bool Expr::sameShape(const Expr &E) const {
+  return K == E.K && Op == E.Op && Pred == E.Pred &&
+         Inbounds == E.Inbounds && Ty == E.Ty && Ops.size() == E.Ops.size();
+}
+
+bool Expr::operator==(const Expr &O) const {
+  return sameShape(O) && Ops == O.Ops;
+}
+
+bool Expr::operator<(const Expr &O) const {
+  if (K != O.K)
+    return K < O.K;
+  if (Op != O.Op)
+    return Op < O.Op;
+  if (Pred != O.Pred)
+    return Pred < O.Pred;
+  if (Inbounds != O.Inbounds)
+    return Inbounds < O.Inbounds;
+  if (Ty != O.Ty)
+    return Ty < O.Ty;
+  return Ops < O.Ops;
+}
+
+std::string Expr::str() const {
+  switch (K) {
+  case Kind::Val:
+    return Ops[0].str();
+  case Kind::Bop:
+    return opcodeName(Op) + " " + Ops[0].str() + " " + Ops[1].str();
+  case Kind::Icmp:
+    return "icmp " + icmpPredName(Pred) + " " + Ops[0].str() + " " +
+           Ops[1].str();
+  case Kind::Select:
+    return "select " + Ops[0].str() + " " + Ops[1].str() + " " +
+           Ops[2].str();
+  case Kind::Cast:
+    return opcodeName(Op) + " " + Ops[0].str() + " to " + Ty.str();
+  case Kind::Gep:
+    return std::string("gep") + (Inbounds ? " inbounds " : " ") +
+           Ops[0].str() + " " + Ops[1].str();
+  case Kind::Load:
+    return "*" + Ops[0].str();
+  }
+  return "<invalid>";
+}
+
+Pred Pred::lessdef(Expr A, Expr B) {
+  Pred P;
+  P.K = Kind::Lessdef;
+  P.E1 = std::move(A);
+  P.E2 = std::move(B);
+  return P;
+}
+
+Pred Pred::noalias(ValT X, ValT Y) {
+  Pred P;
+  P.K = Kind::Noalias;
+  // Normalize operand order so the set dedupes symmetric facts.
+  if (Y < X)
+    std::swap(X, Y);
+  P.A = std::move(X);
+  P.B = std::move(Y);
+  return P;
+}
+
+Pred Pred::unique(std::string PhyReg) {
+  Pred P;
+  P.K = Kind::Unique;
+  P.UniqReg = std::move(PhyReg);
+  return P;
+}
+
+Pred Pred::priv(ValT V) {
+  Pred P;
+  P.K = Kind::Private;
+  P.A = std::move(V);
+  return P;
+}
+
+std::vector<RegT> Pred::regs() const {
+  std::vector<RegT> Result;
+  switch (K) {
+  case Kind::Lessdef: {
+    Result = E1.regs();
+    for (const RegT &R : E2.regs())
+      Result.push_back(R);
+    break;
+  }
+  case Kind::Noalias: {
+    for (const RegT &R : regsOf(A))
+      Result.push_back(R);
+    for (const RegT &R : regsOf(B))
+      Result.push_back(R);
+    break;
+  }
+  case Kind::Unique:
+    Result.push_back(RegT{UniqReg, Tag::Phy});
+    break;
+  case Kind::Private:
+    for (const RegT &R : regsOf(A))
+      Result.push_back(R);
+    break;
+  }
+  return Result;
+}
+
+bool Pred::operator==(const Pred &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Lessdef:
+    return E1 == O.E1 && E2 == O.E2;
+  case Kind::Noalias:
+    return A == O.A && B == O.B;
+  case Kind::Unique:
+    return UniqReg == O.UniqReg;
+  case Kind::Private:
+    return A == O.A;
+  }
+  return false;
+}
+
+bool Pred::operator<(const Pred &O) const {
+  if (K != O.K)
+    return K < O.K;
+  switch (K) {
+  case Kind::Lessdef:
+    if (E1 != O.E1)
+      return E1 < O.E1;
+    return E2 < O.E2;
+  case Kind::Noalias:
+    if (A != O.A)
+      return A < O.A;
+    return B < O.B;
+  case Kind::Unique:
+    return UniqReg < O.UniqReg;
+  case Kind::Private:
+    return A < O.A;
+  }
+  return false;
+}
+
+std::string Pred::str() const {
+  switch (K) {
+  case Kind::Lessdef:
+    return E1.str() + " >= " + E2.str();
+  case Kind::Noalias:
+    return A.str() + " _|_ " + B.str();
+  case Kind::Unique:
+    return "Uniq(%" + UniqReg + ")";
+  case Kind::Private:
+    return "Priv(" + A.str() + ")";
+  }
+  return "<invalid>";
+}
+
+bool Assertion::includes(const Assertion &Q) const {
+  for (const Pred &P : Q.Src)
+    if (!Src.count(P))
+      return false;
+  for (const Pred &P : Q.Tgt)
+    if (!Tgt.count(P))
+      return false;
+  for (const RegT &R : Maydiff)
+    if (!Q.Maydiff.count(R))
+      return false;
+  return true;
+}
+
+std::string Assertion::str() const {
+  std::vector<std::string> Parts;
+  for (const Pred &P : Src)
+    Parts.push_back("src: " + P.str());
+  for (const Pred &P : Tgt)
+    Parts.push_back("tgt: " + P.str());
+  std::vector<std::string> Md;
+  for (const RegT &R : Maydiff)
+    Md.push_back(R.str());
+  Parts.push_back("MD{" + join(Md, ", ") + "}");
+  return "{ " + join(Parts, "; ") + " }";
+}

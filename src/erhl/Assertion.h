@@ -1,0 +1,243 @@
+//===- erhl/Assertion.h - ERHL assertion language ---------------*- C++ -*-===//
+///
+/// \file
+/// The assertion language of Extensible Relational Hoare Logic (paper §2.2,
+/// §5, Appendix G):
+///
+///   Tag       ::= Phy | Ghost | Old
+///   ValT      ::= (ir::Value, Tag)       tagged value
+///   Expr      ::= Val vT | Bop op vT vT | Icmp pred vT vT | Select ...
+///               | Cast op vT | Gep inbounds? vT vT | Load vT
+///   Pred      ::= Expr ⊒ Expr | Uniq(r) | Priv(vT) | vT ⟂ vT
+///   Assertion ::= (Src : set<Pred>, Tgt : set<Pred>, Maydiff : set<RegT>)
+///
+/// Lessdef direction convention (Appendix F): `E1 ⊒ E2` holds in a state
+/// when ⟦E1⟧ is undef/poison or ⟦E1⟧ = ⟦E2⟧ — "E1 may be less defined than
+/// E2, otherwise equal". The maydiff set M means: for every register x ∉ M,
+/// x_src ⊒ x_tgt (the target value refines the source value up to memory
+/// injection). Ghost and Old registers are existentially quantified
+/// (paper §3.2, §4).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ERHL_ASSERTION_H
+#define CRELLVM_ERHL_ASSERTION_H
+
+#include "ir/Instruction.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace erhl {
+
+/// Register tag: physical program registers, regular ghost registers, and
+/// the reserved "old" ghost registers used for phi-node reasoning (§4).
+enum class Tag : uint8_t { Phy, Ghost, Old };
+
+std::string tagSuffix(Tag T);
+
+/// A tagged register.
+struct RegT {
+  std::string Name;
+  Tag T = Tag::Phy;
+
+  bool operator==(const RegT &O) const {
+    return T == O.T && Name == O.Name;
+  }
+  bool operator!=(const RegT &O) const { return !(*this == O); }
+  bool operator<(const RegT &O) const {
+    if (T != O.T)
+      return T < O.T;
+    return Name < O.Name;
+  }
+  std::string str() const { return "%" + Name + tagSuffix(T); }
+};
+
+/// A tagged value: a tagged register, or a constant (constants carry the
+/// Phy tag and ignore it).
+struct ValT {
+  ir::Value V;
+  Tag T = Tag::Phy;
+
+  static ValT phy(ir::Value V) { return ValT{std::move(V), Tag::Phy}; }
+  static ValT ghost(const std::string &Name, ir::Type Ty) {
+    return ValT{ir::Value::reg(Name, Ty), Tag::Ghost};
+  }
+  static ValT old(const std::string &Name, ir::Type Ty) {
+    return ValT{ir::Value::reg(Name, Ty), Tag::Old};
+  }
+  static ValT reg(const RegT &R, ir::Type Ty) {
+    return ValT{ir::Value::reg(R.Name, Ty), R.T};
+  }
+
+  bool isReg() const { return V.isReg(); }
+  RegT regT() const {
+    assert(isReg() && "not a register");
+    return RegT{V.regName(), T};
+  }
+
+  bool operator==(const ValT &O) const {
+    if (isReg() != O.isReg())
+      return false;
+    if (isReg())
+      return T == O.T && V == O.V;
+    return V == O.V;
+  }
+  bool operator!=(const ValT &O) const { return !(*this == O); }
+  bool operator<(const ValT &O) const {
+    if (isReg() != O.isReg())
+      return isReg() < O.isReg();
+    if (isReg() && T != O.T)
+      return T < O.T;
+    return V < O.V;
+  }
+
+  std::string str() const {
+    if (isReg())
+      return V.str() + tagSuffix(T);
+    return V.str();
+  }
+};
+
+/// An ERHL expression: the right-hand side of a side-effect-free
+/// instruction with tagged operands (Appendix G). Loads are included
+/// because they are side-effect-free modulo UB.
+class Expr {
+public:
+  enum class Kind : uint8_t { Val, Bop, Icmp, Select, Cast, Gep, Load };
+
+  static Expr val(ValT V);
+  static Expr bop(ir::Opcode Op, ir::Type Ty, ValT A, ValT B);
+  static Expr icmp(ir::IcmpPred P, ValT A, ValT B);
+  static Expr select(ir::Type Ty, ValT C, ValT A, ValT B);
+  static Expr cast(ir::Opcode Op, ir::Type DstTy, ValT A);
+  static Expr gep(bool Inbounds, ValT Base, ValT Idx);
+  static Expr load(ir::Type Ty, ValT Ptr);
+
+  Kind kind() const { return K; }
+  ir::Opcode opcode() const { return Op; }
+  ir::IcmpPred icmpPred() const { return Pred; }
+  bool isInbounds() const { return Inbounds; }
+  const ir::Type &type() const { return Ty; }
+  const std::vector<ValT> &operands() const { return Ops; }
+
+  bool isVal() const { return K == Kind::Val; }
+  const ValT &asVal() const {
+    assert(isVal() && "not a value expression");
+    return Ops[0];
+  }
+  bool isLoad() const { return K == Kind::Load; }
+
+  /// All tagged registers appearing in the expression.
+  std::vector<RegT> regs() const;
+
+  /// Returns a copy with every operand equal to \p From replaced by \p To.
+  Expr substituted(const ValT &From, const ValT &To) const;
+
+  /// Returns a copy with only operand \p Idx replaced by \p To.
+  Expr substitutedAt(size_t Idx, const ValT &To) const;
+
+  /// True if \p E has the same shape (kind, opcode, flags, type) — operand
+  /// values may differ.
+  bool sameShape(const Expr &E) const;
+
+  bool operator==(const Expr &O) const;
+  bool operator!=(const Expr &O) const { return !(*this == O); }
+  bool operator<(const Expr &O) const;
+
+  std::string str() const;
+
+private:
+  Kind K = Kind::Val;
+  ir::Opcode Op = ir::Opcode::Add;
+  ir::IcmpPred Pred = ir::IcmpPred::Eq;
+  bool Inbounds = false;
+  ir::Type Ty;
+  std::vector<ValT> Ops;
+};
+
+/// An ERHL predicate.
+class Pred {
+public:
+  enum class Kind : uint8_t { Lessdef, Noalias, Unique, Private };
+
+  /// E1 ⊒ E2 (see file comment for the direction).
+  static Pred lessdef(Expr E1, Expr E2);
+  /// A ⟂ B: the pointers point into disjoint blocks.
+  static Pred noalias(ValT A, ValT B);
+  /// Uniq(r): the address in physical register r aliases nothing else and
+  /// is private (paper §3.2).
+  static Pred unique(std::string PhyReg);
+  /// Priv(vT): the address is outside the public memory injection.
+  static Pred priv(ValT V);
+
+  Kind kind() const { return K; }
+  const Expr &lhs() const {
+    assert(K == Kind::Lessdef);
+    return E1;
+  }
+  const Expr &rhs() const {
+    assert(K == Kind::Lessdef);
+    return E2;
+  }
+  const ValT &a() const {
+    assert(K == Kind::Noalias || K == Kind::Private);
+    return A;
+  }
+  const ValT &b() const {
+    assert(K == Kind::Noalias);
+    return B;
+  }
+  const std::string &uniqueReg() const {
+    assert(K == Kind::Unique);
+    return UniqReg;
+  }
+
+  /// All tagged registers appearing in the predicate.
+  std::vector<RegT> regs() const;
+
+  bool operator==(const Pred &O) const;
+  bool operator<(const Pred &O) const;
+
+  std::string str() const;
+
+private:
+  Kind K = Kind::Unique;
+  Expr E1, E2;
+  ValT A, B;
+  std::string UniqReg;
+};
+
+/// A unary assertion: a set of predicates about one side.
+using Unary = std::set<Pred>;
+
+/// A full ERHL assertion (S, T, M).
+struct Assertion {
+  Unary Src;
+  Unary Tgt;
+  std::set<RegT> Maydiff;
+
+  bool operator==(const Assertion &O) const {
+    return Src == O.Src && Tgt == O.Tgt && Maydiff == O.Maydiff;
+  }
+
+  /// Structural implication used by CheckIncl (paper Fig. 4, rule Incl):
+  /// this => Q when Q's predicates are a subset on both sides and this
+  /// maydiff set is a subset of Q's.
+  bool includes(const Assertion &Q) const;
+
+  std::string str() const;
+};
+
+/// Returns the registers of \p V if it is a register, else empty.
+inline std::vector<RegT> regsOf(const ValT &V) {
+  if (V.isReg())
+    return {V.regT()};
+  return {};
+}
+
+} // namespace erhl
+} // namespace crellvm
+
+#endif // CRELLVM_ERHL_ASSERTION_H

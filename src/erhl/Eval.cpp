@@ -1,0 +1,164 @@
+//===- erhl/Eval.cpp --------------------------------------------*- C++ -*-===//
+
+#include "erhl/Eval.h"
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using namespace crellvm::interp;
+using namespace crellvm::ir;
+
+static ExprEval ok(RtValue V) { return ExprEval{false, std::move(V)}; }
+static ExprEval trap() { return ExprEval{true, RtValue::undef()}; }
+
+static ExprEval evalConstValue(const ir::Value &V, const EvalState &S);
+
+static ExprEval evalConstExprNode(const ConstExprNode &N,
+                                  const EvalState &S) {
+  std::vector<RtValue> Ops;
+  for (const ir::Value &O : N.Ops) {
+    ExprEval E = evalConstValue(O, S);
+    if (E.Trap)
+      return trap();
+    Ops.push_back(E.V);
+  }
+  OpResult R;
+  if (isBinaryOp(N.Op))
+    R = evalBinaryOp(N.Op, N.Ty.intWidth(), Ops[0], Ops[1]);
+  else
+    R = evalCastOp(N.Op, N.Ty, Ops[0]);
+  if (R.Trap)
+    return trap();
+  return ok(R.V);
+}
+
+static ExprEval evalConstValue(const ir::Value &V, const EvalState &S) {
+  switch (V.kind()) {
+  case ir::Value::Kind::ConstInt:
+    return ok(RtValue::intVal(static_cast<uint64_t>(V.intValue()),
+                              V.type().intWidth()));
+  case ir::Value::Kind::Global: {
+    auto It = S.Globals.find(V.globalName());
+    // Unknown globals get a deterministic dangling block; dereferencing
+    // one traps, which is the conservative choice.
+    return ok(RtValue::ptrVal(
+        It == S.Globals.end() ? -1 : It->second, 0));
+  }
+  case ir::Value::Kind::Undef:
+    return ok(RtValue::undef());
+  case ir::Value::Kind::ConstExpr:
+    return evalConstExprNode(V.constExprNode(), S);
+  case ir::Value::Kind::Reg:
+    break;
+  }
+  return ok(RtValue::undef());
+}
+
+ExprEval crellvm::erhl::evalValT(const ValT &V, const EvalState &S) {
+  if (V.isReg())
+    return ok(S.regOr(V.regT(), RtValue::undef()));
+  return evalConstValue(V.V, S);
+}
+
+ExprEval crellvm::erhl::evalExpr(const Expr &E, const EvalState &S) {
+  std::vector<RtValue> Ops;
+  for (const ValT &V : E.operands()) {
+    ExprEval R = evalValT(V, S);
+    if (R.Trap)
+      return trap();
+    Ops.push_back(R.V);
+  }
+  switch (E.kind()) {
+  case Expr::Kind::Val:
+    return ok(Ops[0]);
+  case Expr::Kind::Bop: {
+    OpResult R = evalBinaryOp(E.opcode(), E.type().intWidth(), Ops[0],
+                              Ops[1]);
+    return R.Trap ? trap() : ok(R.V);
+  }
+  case Expr::Kind::Icmp: {
+    OpResult R = evalIcmpOp(E.icmpPred(), Ops[0], Ops[1]);
+    return R.Trap ? trap() : ok(R.V);
+  }
+  case Expr::Kind::Select: {
+    const RtValue &C = Ops[0];
+    if (C.isPoison())
+      return ok(RtValue::poison());
+    if (C.isUndef())
+      return ok(RtValue::undef());
+    if (!C.isInt())
+      return trap();
+    return ok(C.bits() ? Ops[1] : Ops[2]);
+  }
+  case Expr::Kind::Cast: {
+    OpResult R = evalCastOp(E.opcode(), E.type(), Ops[0]);
+    return R.Trap ? trap() : ok(R.V);
+  }
+  case Expr::Kind::Gep: {
+    const RtValue &Base = Ops[0], &Idx = Ops[1];
+    if (Base.isPoison() || Idx.isPoison())
+      return ok(RtValue::poison());
+    if (Base.isUndef() || Idx.isUndef())
+      return ok(E.isInbounds() ? RtValue::poison() : RtValue::undef());
+    if (!Base.isPtr() || !Idx.isInt())
+      return trap();
+    int64_t NewOff = Base.offset() + Idx.sext();
+    if (E.isInbounds()) {
+      auto It = S.Memory.find(Base.block());
+      if (It == S.Memory.end() || NewOff < 0 ||
+          static_cast<uint64_t>(NewOff) > It->second.size())
+        return ok(RtValue::poison());
+    }
+    return ok(RtValue::ptrVal(Base.block(), NewOff));
+  }
+  case Expr::Kind::Load: {
+    const RtValue &P = Ops[0];
+    if (!P.isPtr())
+      return trap();
+    auto It = S.Memory.find(P.block());
+    if (It == S.Memory.end() || P.offset() < 0 ||
+        static_cast<uint64_t>(P.offset()) >= It->second.size())
+      return trap();
+    return ok(It->second[P.offset()]);
+  }
+  }
+  return trap();
+}
+
+bool crellvm::erhl::holdsLessdef(const Expr &E1, const Expr &E2,
+                                 const EvalState &S) {
+  ExprEval A = evalExpr(E1, S);
+  ExprEval B = evalExpr(E2, S);
+  if (A.Trap || B.Trap)
+    return false;
+  if (A.V.isUndef() || A.V.isPoison())
+    return true;
+  return A.V == B.V;
+}
+
+std::optional<bool> crellvm::erhl::holdsPred(const Pred &P,
+                                             const EvalState &S) {
+  switch (P.kind()) {
+  case Pred::Kind::Lessdef:
+    return holdsLessdef(P.lhs(), P.rhs(), S);
+  case Pred::Kind::Noalias: {
+    ExprEval A = evalValT(P.a(), S);
+    ExprEval B = evalValT(P.b(), S);
+    if (A.Trap || B.Trap)
+      return false;
+    if (!A.V.isPtr() || !B.V.isPtr())
+      return true; // vacuous when either is not an address
+    return A.V.block() != B.V.block();
+  }
+  case Pred::Kind::Unique:
+  case Pred::Kind::Private:
+    // Depends on the full memory injection; not decidable from one side.
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool crellvm::erhl::refinesValue(const RtValue &S, const RtValue &T) {
+  if (S.isUndef() || S.isPoison())
+    return true;
+  return S == T;
+}

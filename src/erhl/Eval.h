@@ -1,0 +1,74 @@
+//===- erhl/Eval.h - Semantic evaluation of ERHL assertions ----*- C++ -*-===//
+///
+/// \file
+/// Evaluates ERHL expressions and predicates over concrete machine states.
+/// This is the semantic ground truth used by the randomized rule-soundness
+/// verifier (the substitute for the paper's Coq verification of inference
+/// rules, DESIGN.md §2): a rule is sound when, in every state satisfying
+/// its premises, its conclusions hold.
+///
+/// Lessdef semantics: `E1 >= E2` holds in a state iff both expressions
+/// evaluate without undefined behavior and ⟦E1⟧ is undef/poison or equals
+/// ⟦E2⟧. Making a trapping right-hand side *falsify* the predicate is what
+/// lets the verifier expose `constexpr_no_ub` (PR33673): `undef >= C`
+/// claims undef may be refined to C, which is wrong when evaluating C
+/// traps.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ERHL_EVAL_H
+#define CRELLVM_ERHL_EVAL_H
+
+#include "erhl/Assertion.h"
+#include "interp/Ops.h"
+
+#include <map>
+#include <optional>
+
+namespace crellvm {
+namespace erhl {
+
+/// A concrete one-side machine state for assertion evaluation: a register
+/// file over tagged registers (ghost and old registers are just entries
+/// here — they are the existential witnesses) and a small block memory.
+struct EvalState {
+  std::map<RegT, interp::RtValue> Regs;
+  /// Block id -> cells. Blocks listed here are alive.
+  std::map<int64_t, std::vector<interp::RtValue>> Memory;
+  /// Global name -> block id.
+  std::map<std::string, int64_t> Globals;
+
+  interp::RtValue regOr(const RegT &R, interp::RtValue Default) const {
+    auto It = Regs.find(R);
+    return It == Regs.end() ? Default : It->second;
+  }
+};
+
+/// Expression evaluation outcome.
+struct ExprEval {
+  bool Trap = false;
+  interp::RtValue V;
+};
+
+/// Evaluates a tagged value. Unbound registers evaluate to undef.
+ExprEval evalValT(const ValT &V, const EvalState &S);
+
+/// Evaluates an expression; loads read the state's memory (out-of-bounds
+/// loads trap), constant expressions may trap.
+ExprEval evalExpr(const Expr &E, const EvalState &S);
+
+/// Does `E1 >= E2` hold in \p S? (See file comment for trap handling.)
+bool holdsLessdef(const Expr &E1, const Expr &E2, const EvalState &S);
+
+/// Evaluates a predicate over \p S. Returns std::nullopt when the
+/// predicate's truth cannot be decided from a single-side state (Uniq and
+/// Priv depend on the memory injection); the rule verifier skips those.
+std::optional<bool> holdsPred(const Pred &P, const EvalState &S);
+
+/// Does the target value \p T refine the source value \p S (source
+/// undef/poison allows anything)?
+bool refinesValue(const interp::RtValue &S, const interp::RtValue &T);
+
+} // namespace erhl
+} // namespace crellvm
+
+#endif // CRELLVM_ERHL_EVAL_H

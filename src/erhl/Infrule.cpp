@@ -1,0 +1,1373 @@
+//===- erhl/Infrule.cpp -----------------------------------------*- C++ -*-===//
+
+#include "erhl/Infrule.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+
+namespace {
+
+const std::pair<InfruleKind, const char *> KindNames[] = {
+    {InfruleKind::Transitivity, "transitivity"},
+    {InfruleKind::Substitute, "substitute"},
+    {InfruleKind::SubstituteRev, "substitute_rev"},
+    {InfruleKind::SubstituteOp, "substitute_op"},
+    {InfruleKind::IntroGhost, "intro_ghost"},
+    {InfruleKind::IntroEq, "intro_eq"},
+    {InfruleKind::ReduceMaydiffLessdef, "reduce_maydiff_lessdef"},
+    {InfruleKind::ReduceMaydiffNonPhysical, "reduce_maydiff_non_physical"},
+    {InfruleKind::IcmpToEq, "icmp_to_eq"},
+    {InfruleKind::AddAssoc, "add_assoc"},
+    {InfruleKind::AddSub, "add_sub"},
+    {InfruleKind::AddComm, "add_comm"},
+    {InfruleKind::AddZero, "add_zero"},
+    {InfruleKind::AddOnebit, "add_onebit"},
+    {InfruleKind::AddSignbit, "add_signbit"},
+    {InfruleKind::AddShift, "add_shift"},
+    {InfruleKind::AddOrAnd, "add_or_and"},
+    {InfruleKind::AddXorAnd, "add_xor_and"},
+    {InfruleKind::AddZextBool, "add_zext_bool"},
+    {InfruleKind::SubAdd, "sub_add"},
+    {InfruleKind::SubZero, "sub_zero"},
+    {InfruleKind::SubSame, "sub_same"},
+    {InfruleKind::SubMone, "sub_mone"},
+    {InfruleKind::SubOnebit, "sub_onebit"},
+    {InfruleKind::SubConstAdd, "sub_const_add"},
+    {InfruleKind::SubConstNot, "sub_const_not"},
+    {InfruleKind::SubSub, "sub_sub"},
+    {InfruleKind::SubRemove, "sub_remove"},
+    {InfruleKind::SubShl, "sub_shl"},
+    {InfruleKind::SubOrXor, "sub_or_xor"},
+    {InfruleKind::MulBool, "mul_bool"},
+    {InfruleKind::MulMone, "mul_mone"},
+    {InfruleKind::MulZero, "mul_zero"},
+    {InfruleKind::MulOne, "mul_one"},
+    {InfruleKind::MulComm, "mul_comm"},
+    {InfruleKind::MulShl, "mul_shl"},
+    {InfruleKind::MulNeg, "mul_neg"},
+    {InfruleKind::SdivMone, "sdiv_mone"},
+    {InfruleKind::UdivOne, "udiv_one"},
+    {InfruleKind::UremOne, "urem_one"},
+    {InfruleKind::AndSame, "and_same"},
+    {InfruleKind::AndZero, "and_zero"},
+    {InfruleKind::AndMone, "and_mone"},
+    {InfruleKind::AndNot, "and_not"},
+    {InfruleKind::AndOr, "and_or"},
+    {InfruleKind::AndUndef, "and_undef"},
+    {InfruleKind::AndComm, "and_comm"},
+    {InfruleKind::AndDeMorgan, "and_de_morgan"},
+    {InfruleKind::OrSame, "or_same"},
+    {InfruleKind::OrZero, "or_zero"},
+    {InfruleKind::OrMone, "or_mone"},
+    {InfruleKind::OrNot, "or_not"},
+    {InfruleKind::OrAnd, "or_and"},
+    {InfruleKind::OrUndef, "or_undef"},
+    {InfruleKind::OrComm, "or_comm"},
+    {InfruleKind::OrXor, "or_xor"},
+    {InfruleKind::OrXor2, "or_xor2"},
+    {InfruleKind::OrOr, "or_or"},
+    {InfruleKind::XorSame, "xor_same"},
+    {InfruleKind::XorZero, "xor_zero"},
+    {InfruleKind::XorUndef, "xor_undef"},
+    {InfruleKind::XorComm, "xor_comm"},
+    {InfruleKind::ShiftZero1, "shift_zero1"},
+    {InfruleKind::LshrZero, "lshr_zero"},
+    {InfruleKind::AshrZero, "ashr_zero"},
+    {InfruleKind::ShiftZero2, "shift_zero2"},
+    {InfruleKind::ShiftUndef1, "shift_undef1"},
+    {InfruleKind::IcmpSame, "icmp_same"},
+    {InfruleKind::IcmpSwap, "icmp_swap"},
+    {InfruleKind::IcmpEqSub, "icmp_eq_sub"},
+    {InfruleKind::IcmpNeSub, "icmp_ne_sub"},
+    {InfruleKind::IcmpEqXor, "icmp_eq_xor"},
+    {InfruleKind::IcmpNeXor, "icmp_ne_xor"},
+    {InfruleKind::IcmpEqSrem, "icmp_eq_srem"},
+    {InfruleKind::IcmpEqAddAdd, "icmp_eq_add_add"},
+    {InfruleKind::IcmpNeAddAdd, "icmp_ne_add_add"},
+    {InfruleKind::SelectSame, "select_same"},
+    {InfruleKind::SelectIcmpEq, "select_icmp_eq"},
+    {InfruleKind::SelectIcmpNe, "select_icmp_ne"},
+    {InfruleKind::SelectTrue, "select_true"},
+    {InfruleKind::SelectFalse, "select_false"},
+    {InfruleKind::TruncZext, "trunc_zext"},
+    {InfruleKind::TruncTrunc, "trunc_trunc"},
+    {InfruleKind::ZextZext, "zext_zext"},
+    {InfruleKind::SextSext, "sext_sext"},
+    {InfruleKind::SextZext, "sext_zext"},
+    {InfruleKind::BitcastSame, "bitcast_same"},
+    {InfruleKind::BitcastBitcast, "bitcast_bitcast"},
+    {InfruleKind::InttoptrPtrtoint, "inttoptr_ptrtoint"},
+    {InfruleKind::GepZero, "gep_zero"},
+    {InfruleKind::BopCommExpr, "bop_comm_expr"},
+    {InfruleKind::NegVal, "neg_val"},
+    {InfruleKind::XorNot, "xor_not"},
+    {InfruleKind::XorXor, "xor_xor"},
+    {InfruleKind::AndAnd, "and_and"},
+    {InfruleKind::OrConst, "or_const"},
+    {InfruleKind::ShlShl, "shl_shl"},
+    {InfruleKind::LshrLshr, "lshr_lshr"},
+    {InfruleKind::SdivOne, "sdiv_one"},
+    {InfruleKind::SremOne, "srem_one"},
+    {InfruleKind::SremMone, "srem_mone"},
+    {InfruleKind::IcmpUltZero, "icmp_ult_zero"},
+    {InfruleKind::IcmpUgeZero, "icmp_uge_zero"},
+    {InfruleKind::IcmpInverse, "icmp_inverse"},
+    {InfruleKind::SelectNotCond, "select_not_cond"},
+    {InfruleKind::SdivSubSrem, "sdiv_sub_srem"},
+    {InfruleKind::UdivSubUrem, "udiv_sub_urem"},
+    {InfruleKind::LshrZero2, "lshr_zero2"},
+    {InfruleKind::AshrZero2, "ashr_zero2"},
+    {InfruleKind::IcmpUleMone, "icmp_ule_mone"},
+    {InfruleKind::IcmpUgtMone, "icmp_ugt_mone"},
+    {InfruleKind::IcmpSgeSmin, "icmp_sge_smin"},
+    {InfruleKind::IcmpSltSmin, "icmp_slt_smin"},
+    {InfruleKind::ConstexprNoUb, "constexpr_no_ub"},
+};
+
+} // namespace
+
+std::string crellvm::erhl::infruleKindName(InfruleKind K) {
+  for (const auto &KV : KindNames)
+    if (KV.first == K)
+      return KV.second;
+  return "<unknown>";
+}
+
+std::optional<InfruleKind>
+crellvm::erhl::infruleKindFromName(const std::string &Name) {
+  for (const auto &KV : KindNames)
+    if (Name == KV.second)
+      return KV.first;
+  return std::nullopt;
+}
+
+std::string Infrule::str() const {
+  std::vector<std::string> Parts;
+  for (const Expr &E : Args)
+    Parts.push_back(E.str());
+  return infruleKindName(K) + "[" + (S == Side::Src ? "src" : "tgt") + "](" +
+         join(Parts, ", ") + ")";
+}
+
+namespace {
+
+/// Shared helper for applying one rule instance: premise lookup, fused
+/// forward/reverse handling (see Infrule.h), and conclusion insertion.
+class RuleApplier {
+public:
+  RuleApplier(const Infrule &R, Assertion &A) : R(R), A(A) {
+    U = (R.S == Side::Src) ? &A.Src : &A.Tgt;
+  }
+
+  std::optional<std::string> run();
+
+private:
+  // -- Argument accessors --------------------------------------------------
+  bool checkArity(size_t N) {
+    if (R.Args.size() == N)
+      return true;
+    Err = "rule " + infruleKindName(R.K) + ": expected " +
+          std::to_string(N) + " arguments";
+    return false;
+  }
+  const Expr &arg(size_t I) const { return R.Args[I]; }
+  /// The I-th argument as a tagged value (must be a Val expr).
+  bool valArg(size_t I, ValT &Out) {
+    if (!R.Args[I].isVal()) {
+      Err = "rule " + infruleKindName(R.K) + ": argument " +
+            std::to_string(I) + " must be a value";
+      return false;
+    }
+    Out = R.Args[I].asVal();
+    return true;
+  }
+  /// The I-th argument as an integer constant.
+  bool constArg(size_t I, int64_t &Out) {
+    ValT V;
+    if (!valArg(I, V))
+      return false;
+    if (!V.V.isConstInt()) {
+      Err = "rule " + infruleKindName(R.K) + ": argument " +
+            std::to_string(I) + " must be an integer constant";
+      return false;
+    }
+    Out = V.V.intValue();
+    return true;
+  }
+
+  bool has(const Expr &L, const Expr &Rhs) const {
+    return U->count(Pred::lessdef(L, Rhs)) != 0;
+  }
+
+  // -- Fused-rule machinery --------------------------------------------------
+  /// Registers a definition premise "Reg is defined as E". The forward
+  /// variant needs Reg >= E, the reverse one E >= Reg.
+  void prem(const Expr &Reg, const Expr &E) {
+    Fwd = Fwd && has(Reg, E);
+    Rev = Rev && has(E, Reg);
+  }
+  /// Finishes a fused rule: concludes Y >= ENew (forward) and/or
+  /// ENew >= Y (reverse, only when \p RevSound — see the soundness notes in
+  /// Infrule.h and the rule-verification bench).
+  bool fused(const Expr &Y, const Expr &ENew, bool RevSound = true) {
+    if (!Fwd && !(Rev && RevSound)) {
+      Err = "rule " + infruleKindName(R.K) + ": premises not found";
+      return false;
+    }
+    if (Fwd)
+      Concl.push_back(Pred::lessdef(Y, ENew));
+    if (Rev && RevSound)
+      Concl.push_back(Pred::lessdef(ENew, Y));
+    return true;
+  }
+
+  /// Requires predicate P literally; fails the rule otherwise.
+  bool require(const Pred &P) {
+    if (U->count(P))
+      return true;
+    Err = "rule " + infruleKindName(R.K) + ": missing premise " + P.str();
+    return false;
+  }
+
+  void conclude(const Pred &P) { Concl.push_back(P); }
+
+  // Shorthands.
+  static Expr V(const ValT &X) { return Expr::val(X); }
+  Expr C(int64_t N, ir::Type Ty) const {
+    return Expr::val(ValT::phy(ir::Value::constInt(
+        interpTruncate(N, Ty.intWidth()), Ty)));
+  }
+  static int64_t interpTruncate(int64_t N, unsigned W) {
+    if (W >= 64)
+      return N;
+    uint64_t Bits = static_cast<uint64_t>(N) & ((uint64_t(1) << W) - 1);
+    uint64_t Sign = uint64_t(1) << (W - 1);
+    return static_cast<int64_t>(Bits ^ Sign) - static_cast<int64_t>(Sign);
+  }
+  static Expr bop(Opcode Op, const ValT &A, const ValT &B) {
+    return Expr::bop(Op, A.V.type(), A, B);
+  }
+
+  bool applyCore();
+  bool applyArith();
+
+  const Infrule &R;
+  Assertion &A;
+  Unary *U;
+  bool Fwd = true, Rev = true;
+  std::vector<Pred> Concl;
+  std::string Err;
+};
+
+std::optional<std::string> RuleApplier::run() {
+  bool Ok = applyCore();
+  if (!Ok && Err.empty())
+    Ok = applyArith();
+  if (!Ok)
+    return Err.empty() ? "rule " + infruleKindName(R.K) + ": not applicable"
+                       : Err;
+  for (const Pred &P : Concl)
+    U->insert(P);
+  return std::nullopt;
+}
+
+/// Core (non-arithmetic) rules; returns false with Err empty when R.K is
+/// not a core rule.
+bool RuleApplier::applyCore() {
+  switch (R.K) {
+  case InfruleKind::Transitivity: {
+    if (!checkArity(3))
+      return false;
+    if (!has(arg(0), arg(1)) || !has(arg(1), arg(2))) {
+      Err = "transitivity: premises not found";
+      return false;
+    }
+    conclude(Pred::lessdef(arg(0), arg(2)));
+    return true;
+  }
+  case InfruleKind::Substitute:
+  case InfruleKind::SubstituteRev: {
+    if (!checkArity(3))
+      return false;
+    ValT From, To;
+    if (!valArg(1, From) || !valArg(2, To))
+      return false;
+    // Substituting the divisor of a trapping operation is unsound (the
+    // replaced operand may make the divisor undef); other positions only
+    // affect the dividend, which propagates undef harmlessly.
+    if (arg(0).kind() == Expr::Kind::Bop && ir::mayTrap(arg(0).opcode()) &&
+        arg(0).operands()[1] == From) {
+      Err = "substitute: refusing to substitute a divisor";
+      return false;
+    }
+    if (!has(V(From), V(To))) {
+      Err = "substitute: missing premise " + From.str() + " >= " + To.str();
+      return false;
+    }
+    if (R.K == InfruleKind::Substitute)
+      conclude(Pred::lessdef(arg(0), arg(0).substituted(From, To)));
+    else
+      conclude(Pred::lessdef(arg(0).substituted(To, From), arg(0)));
+    return true;
+  }
+  case InfruleKind::SubstituteOp: {
+    if (!checkArity(4))
+      return false;
+    int64_t Idx;
+    ValT From, To;
+    if (!constArg(1, Idx) || !valArg(2, From) || !valArg(3, To))
+      return false;
+    const Expr &E = arg(0);
+    if (E.kind() == Expr::Kind::Bop && ir::mayTrap(E.opcode()) && Idx == 1) {
+      Err = "substitute_op: refusing to substitute a divisor";
+      return false;
+    }
+    if (Idx < 0 || static_cast<size_t>(Idx) >= E.operands().size() ||
+        !(E.operands()[Idx] == From)) {
+      Err = "substitute_op: operand position does not hold the value";
+      return false;
+    }
+    if (!has(Expr::val(From), Expr::val(To))) {
+      Err = "substitute_op: missing premise " + From.str() + " >= " +
+            To.str();
+      return false;
+    }
+    conclude(Pred::lessdef(E, E.substitutedAt(Idx, To)));
+    return true;
+  }
+  case InfruleKind::IntroGhost: {
+    if (!checkArity(2))
+      return false;
+    ValT G;
+    if (!valArg(0, G))
+      return false;
+    if (!G.isReg() || G.T != Tag::Ghost) {
+      Err = "intro_ghost: first argument must be a ghost register";
+      return false;
+    }
+    const Expr &E = arg(1);
+    for (const RegT &Reg : E.regs()) {
+      if (A.Maydiff.count(Reg)) {
+        Err = "intro_ghost: " + Reg.str() + " is in the maydiff set";
+        return false;
+      }
+    }
+    if (E.isLoad()) {
+      Err = "intro_ghost: loads may differ across sides";
+      return false;
+    }
+    // Make the ghost fresh: drop every predicate mentioning it, both
+    // sides, and take it out of the maydiff set.
+    RegT GR = G.regT();
+    auto DropMentions = [&GR](Unary &Set) {
+      for (auto It = Set.begin(); It != Set.end();) {
+        bool Mentions = false;
+        for (const RegT &Reg : It->regs())
+          if (Reg == GR)
+            Mentions = true;
+        It = Mentions ? Set.erase(It) : ++It;
+      }
+    };
+    DropMentions(A.Src);
+    DropMentions(A.Tgt);
+    A.Maydiff.erase(GR);
+    A.Src.insert(Pred::lessdef(E, V(G)));
+    A.Tgt.insert(Pred::lessdef(V(G), E));
+    return true;
+  }
+  case InfruleKind::IntroEq: {
+    if (!checkArity(1))
+      return false;
+    if (arg(0).kind() == Expr::Kind::Bop && ir::mayTrap(arg(0).opcode())) {
+      Err = "intro_eq: refusing trapping expression";
+      return false;
+    }
+    conclude(Pred::lessdef(arg(0), arg(0)));
+    return true;
+  }
+  case InfruleKind::ReduceMaydiffLessdef: {
+    if (!checkArity(3))
+      return false;
+    ValT Reg;
+    if (!valArg(0, Reg))
+      return false;
+    if (!Reg.isReg()) {
+      Err = "reduce_maydiff_lessdef: first argument must be a register";
+      return false;
+    }
+    const Expr &E = arg(1), &E2 = arg(2);
+    if (!E.sameShape(E2)) {
+      Err = "reduce_maydiff_lessdef: expression shapes differ";
+      return false;
+    }
+    if (E.isLoad()) {
+      Err = "reduce_maydiff_lessdef: loads may differ across sides";
+      return false;
+    }
+    for (size_t I = 0; I != E.operands().size(); ++I) {
+      const ValT &OA = E.operands()[I], &OB = E2.operands()[I];
+      if (OA != OB) {
+        Err = "reduce_maydiff_lessdef: operand mismatch";
+        return false;
+      }
+      if (OA.isReg() && A.Maydiff.count(OA.regT())) {
+        Err = "reduce_maydiff_lessdef: " + OA.regT().str() +
+              " is in the maydiff set";
+        return false;
+      }
+    }
+    if (!A.Src.count(Pred::lessdef(V(Reg), E))) {
+      Err = "reduce_maydiff_lessdef: missing source premise";
+      return false;
+    }
+    if (!A.Tgt.count(Pred::lessdef(E2, V(Reg)))) {
+      Err = "reduce_maydiff_lessdef: missing target premise";
+      return false;
+    }
+    A.Maydiff.erase(Reg.regT());
+    return true;
+  }
+  case InfruleKind::ReduceMaydiffNonPhysical: {
+    if (!checkArity(1))
+      return false;
+    ValT Reg;
+    if (!valArg(0, Reg))
+      return false;
+    if (!Reg.isReg() || Reg.T == Tag::Phy) {
+      Err = "reduce_maydiff_non_physical: register must be ghost or old";
+      return false;
+    }
+    RegT RT = Reg.regT();
+    auto Mentions = [&RT](const Unary &Set) {
+      for (const Pred &P : Set)
+        for (const RegT &Reg2 : P.regs())
+          if (Reg2 == RT)
+            return true;
+      return false;
+    };
+    if (Mentions(A.Src) || Mentions(A.Tgt)) {
+      Err = "reduce_maydiff_non_physical: " + RT.str() + " is still used";
+      return false;
+    }
+    A.Maydiff.erase(RT);
+    return true;
+  }
+  case InfruleKind::IcmpToEq: {
+    if (!checkArity(3))
+      return false;
+    ValT Cond, Y, Const;
+    if (!valArg(0, Cond) || !valArg(1, Y) || !valArg(2, Const))
+      return false;
+    ir::Type BoolTy = ir::Type::intTy(1);
+    Expr True = Expr::val(ValT::phy(ir::Value::constInt(1, BoolTy)));
+    if (!require(Pred::lessdef(True, V(Cond))))
+      return false;
+    if (!require(Pred::lessdef(Expr::icmp(IcmpPred::Eq, Y, Const), V(Cond))))
+      return false;
+    conclude(Pred::lessdef(V(Y), V(Const)));
+    return true;
+  }
+  case InfruleKind::BopCommExpr: {
+    if (!checkArity(3))
+      return false;
+    int64_t OpNum;
+    if (!constArg(0, OpNum))
+      return false;
+    auto Op = static_cast<Opcode>(OpNum);
+    if (Op != Opcode::Add && Op != Opcode::Mul && Op != Opcode::And &&
+        Op != Opcode::Or && Op != Opcode::Xor) {
+      Err = "bop_comm_expr: operator is not commutative";
+      return false;
+    }
+    ValT Av, Bv;
+    if (!valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    ir::Type Ty = Av.V.type();
+    conclude(Pred::lessdef(Expr::bop(Op, Ty, Av, Bv),
+                           Expr::bop(Op, Ty, Bv, Av)));
+    conclude(Pred::lessdef(Expr::bop(Op, Ty, Bv, Av),
+                           Expr::bop(Op, Ty, Av, Bv)));
+    return true;
+  }
+  case InfruleKind::ConstexprNoUb: {
+    // Deliberately unsound: asserts that the constant expression C always
+    // evaluates to its no-trap folding v (LLVM PR33673; DESIGN.md §4).
+    if (!checkArity(2))
+      return false;
+    conclude(Pred::lessdef(arg(0), arg(1)));
+    conclude(Pred::lessdef(arg(1), arg(0)));
+    return true;
+  }
+  default:
+    return false; // handled by applyArith
+  }
+}
+
+/// Fused arithmetic rules. Returns false (with Err set) on failure.
+bool RuleApplier::applyArith() {
+  using K = InfruleKind;
+  using O = Opcode;
+
+  // Most rules share the pattern: bind value args, register definition
+  // premises via prem(), then call fused() with the rewritten expression.
+  ValT Y, X, Z, W, Av, Bv, Cv;
+  int64_t C1 = 0, C2 = 0, C3 = 0;
+
+  switch (R.K) {
+  case K::AddAssoc: {
+    if (!checkArity(6) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Z) || !valArg(4, W) || !valArg(5, Cv))
+      return false;
+    if (!constArg(3, C1) || !constArg(4, C2) || !constArg(5, C3))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (interpTruncate(C1 + C2, Ty.intWidth()) !=
+        interpTruncate(C3, Ty.intWidth())) {
+      Err = "add_assoc: constant mismatch";
+      return false;
+    }
+    prem(V(Y), bop(O::Add, X, W));
+    prem(V(X), bop(O::Add, Av, Z));
+    return fused(V(Y), bop(O::Add, Av, Cv));
+  }
+  case K::AddSub: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(Y), bop(O::Add, X, Bv));
+    prem(V(X), bop(O::Sub, Av, Bv));
+    return fused(V(Y), V(Av), /*RevSound=*/false);
+  }
+  case K::AddComm: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    prem(V(Y), bop(O::Add, Av, Bv));
+    return fused(V(Y), bop(O::Add, Bv, Av));
+  }
+  case K::AddZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Add, Av, ValT::phy(ir::Value::constInt(
+                                  0, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::AddOnebit:
+  case K::SubOnebit: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    if (Y.V.type() != ir::Type::intTy(1)) {
+      Err = "onebit rule requires i1";
+      return false;
+    }
+    prem(V(Y), bop(R.K == K::AddOnebit ? O::Add : O::Sub, Av, Bv));
+    return fused(V(Y), bop(O::Xor, Av, Bv));
+  }
+  case K::AddSignbit: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Cv))
+      return false;
+    if (!constArg(2, C1))
+      return false;
+    unsigned Width = Y.V.type().intWidth();
+    int64_t SignBit = interpTruncate(int64_t(1) << (Width - 1), Width);
+    if (C1 != SignBit) {
+      Err = "add_signbit: constant is not the sign bit";
+      return false;
+    }
+    prem(V(Y), bop(O::Add, Av, Cv));
+    return fused(V(Y), bop(O::Xor, Av, Cv));
+  }
+  case K::AddShift: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    if (Y.V.type().intWidth() < 2) {
+      // shl a 1 is poison at width 1 (found by rule verification).
+      Err = "add_shift: requires width > 1";
+      return false;
+    }
+    prem(V(Y), bop(O::Add, Av, Av));
+    return fused(V(Y), bop(O::Shl, Av,
+                           ValT::phy(ir::Value::constInt(1, Av.V.type()))));
+  }
+  case K::AddOrAnd:
+  case K::AddXorAnd:
+  case K::OrXor:
+  case K::SubOrXor: {
+    if (!checkArity(5) || !valArg(0, Y) || !valArg(1, Z) || !valArg(2, X) ||
+        !valArg(3, Av) || !valArg(4, Bv))
+      return false;
+    O First = (R.K == K::AddOrAnd) ? O::Or
+              : (R.K == K::AddXorAnd || R.K == K::OrXor) ? O::Xor
+                                                         : O::Or;
+    O Second = (R.K == K::SubOrXor) ? O::Xor : O::And;
+    O Outer = (R.K == K::OrXor)      ? O::Or
+              : (R.K == K::SubOrXor) ? O::Sub
+                                     : O::Add;
+    O Result = (R.K == K::AddOrAnd)  ? O::Add
+               : (R.K == K::AddXorAnd) ? O::Or
+               : (R.K == K::OrXor)     ? O::Or
+                                       : O::And;
+    prem(V(Z), bop(First, Av, Bv));
+    prem(V(X), bop(Second, Av, Bv));
+    prem(V(Y), bop(Outer, Z, X));
+    return fused(V(Y), bop(Result, Av, Bv));
+  }
+  case K::AddZextBool: {
+    if (!checkArity(5) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Bv) ||
+        !valArg(3, Z) || !valArg(4, W))
+      return false;
+    if (!constArg(3, C1) || !constArg(4, C2))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (interpTruncate(C1 + 1, Ty.intWidth()) !=
+        interpTruncate(C2, Ty.intWidth())) {
+      Err = "add_zext_bool: constant mismatch";
+      return false;
+    }
+    prem(V(X), Expr::cast(O::ZExt, Ty, Bv));
+    prem(V(Y), bop(O::Add, X, Z));
+    return fused(V(Y), Expr::select(Ty, Bv, W, Z));
+  }
+  case K::SubAdd: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(Y), bop(O::Sub, X, Bv));
+    prem(V(X), bop(O::Add, Av, Bv));
+    return fused(V(Y), V(Av), /*RevSound=*/false);
+  }
+  case K::SubZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Sub, Av, ValT::phy(ir::Value::constInt(
+                                  0, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::SubSame: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Sub, Av, Av));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::SubMone: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Sub, ValT::phy(ir::Value::constInt(-1, Av.V.type())),
+                   Av));
+    return fused(V(Y), bop(O::Xor, Av, ValT::phy(ir::Value::constInt(
+                                           -1, Av.V.type()))));
+  }
+  case K::SubConstAdd: {
+    if (!checkArity(6) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Z) || !valArg(4, W) || !valArg(5, Cv))
+      return false;
+    if (!constArg(3, C1) || !constArg(4, C2) || !constArg(5, C3))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (interpTruncate(C1 - C2, Ty.intWidth()) !=
+        interpTruncate(C3, Ty.intWidth())) {
+      Err = "sub_const_add: constant mismatch";
+      return false;
+    }
+    prem(V(Y), bop(O::Sub, X, W));
+    prem(V(X), bop(O::Add, Av, Z));
+    return fused(V(Y), bop(O::Add, Av, Cv));
+  }
+  case K::SubConstNot: {
+    if (!checkArity(5) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Z) || !valArg(4, W))
+      return false;
+    if (!constArg(3, C1) || !constArg(4, C2))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (interpTruncate(C1 + 1, Ty.intWidth()) !=
+        interpTruncate(C2, Ty.intWidth())) {
+      Err = "sub_const_not: constant mismatch";
+      return false;
+    }
+    prem(V(X), bop(O::Xor, Av, ValT::phy(ir::Value::constInt(-1, Ty))));
+    prem(V(Y), bop(O::Sub, Z, X));
+    return fused(V(Y), bop(O::Add, Av, W));
+  }
+  case K::SubSub: {
+    if (!checkArity(6) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Z) || !valArg(4, W) || !valArg(5, Cv))
+      return false;
+    if (!constArg(3, C1) || !constArg(4, C2) || !constArg(5, C3))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (interpTruncate(C1 + C2, Ty.intWidth()) !=
+        interpTruncate(C3, Ty.intWidth())) {
+      Err = "sub_sub: constant mismatch";
+      return false;
+    }
+    prem(V(Y), bop(O::Sub, X, W));
+    prem(V(X), bop(O::Sub, Av, Z));
+    return fused(V(Y), bop(O::Sub, Av, Cv));
+  }
+  case K::SubRemove: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(X), bop(O::Add, Av, Bv));
+    prem(V(Y), bop(O::Sub, Av, X));
+    return fused(V(Y),
+                 bop(O::Sub, ValT::phy(ir::Value::constInt(0, Y.V.type())),
+                     Bv),
+                 /*RevSound=*/false);
+  }
+  case K::SubShl: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Cv))
+      return false;
+    if (!constArg(3, C1))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (C1 < 0 || C1 >= static_cast<int64_t>(Ty.intWidth())) {
+      Err = "sub_shl: shift amount out of range";
+      return false;
+    }
+    prem(V(X), bop(O::Shl, Av, Cv));
+    prem(V(Y), bop(O::Sub, ValT::phy(ir::Value::constInt(0, Ty)), X));
+    return fused(V(Y), bop(O::Mul, Av, ValT::phy(ir::Value::constInt(
+                                           interpTruncate(
+                                               -(int64_t(1) << C1),
+                                               Ty.intWidth()),
+                                           Ty))));
+  }
+  case K::MulBool: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    if (Y.V.type() != ir::Type::intTy(1)) {
+      Err = "mul_bool requires i1";
+      return false;
+    }
+    prem(V(Y), bop(O::Mul, Av, Bv));
+    return fused(V(Y), bop(O::And, Av, Bv));
+  }
+  case K::MulMone:
+  case K::SdivMone: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    O Op = (R.K == K::MulMone) ? O::Mul : O::SDiv;
+    prem(V(Y), bop(Op, Av, ValT::phy(ir::Value::constInt(-1, Av.V.type()))));
+    // sdiv INT_MIN / -1 traps, so the reverse direction is unsound for
+    // sdiv; mul keeps it.
+    return fused(V(Y),
+                 bop(O::Sub, ValT::phy(ir::Value::constInt(0, Av.V.type())),
+                     Av),
+                 /*RevSound=*/R.K == K::MulMone);
+  }
+  case K::MulZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Mul, Av, ValT::phy(ir::Value::constInt(
+                                  0, Av.V.type()))));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::MulOne: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Mul, Av, ValT::phy(ir::Value::constInt(
+                                  1, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::MulComm:
+  case K::AndComm:
+  case K::OrComm:
+  case K::XorComm: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    O Op = (R.K == K::MulComm)   ? O::Mul
+           : (R.K == K::AndComm) ? O::And
+           : (R.K == K::OrComm)  ? O::Or
+                                 : O::Xor;
+    prem(V(Y), bop(Op, Av, Bv));
+    return fused(V(Y), bop(Op, Bv, Av));
+  }
+  case K::MulShl: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Z) ||
+        !valArg(3, W))
+      return false;
+    if (!constArg(2, C1) || !constArg(3, C2))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (C2 < 0 || C2 >= Ty.intWidth() ||
+        interpTruncate(int64_t(1) << C2, Ty.intWidth()) !=
+            interpTruncate(C1, Ty.intWidth())) {
+      Err = "mul_shl: constant is not the matching power of two";
+      return false;
+    }
+    prem(V(Y), bop(O::Mul, Av, Z));
+    return fused(V(Y), bop(O::Shl, Av, W));
+  }
+  case K::MulNeg: {
+    if (!checkArity(5) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Z) ||
+        !valArg(3, Av) || !valArg(4, Bv))
+      return false;
+    ValT Zero = ValT::phy(ir::Value::constInt(0, Y.V.type()));
+    prem(V(X), bop(O::Sub, Zero, Av));
+    prem(V(Z), bop(O::Sub, Zero, Bv));
+    prem(V(Y), bop(O::Mul, X, Z));
+    return fused(V(Y), bop(O::Mul, Av, Bv));
+  }
+  case K::AndSame:
+  case K::OrSame: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(R.K == K::AndSame ? O::And : O::Or, Av, Av));
+    return fused(V(Y), V(Av));
+  }
+  case K::AndZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::And, Av, ValT::phy(ir::Value::constInt(
+                                  0, Av.V.type()))));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::AndMone: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::And, Av, ValT::phy(ir::Value::constInt(
+                                  -1, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::AndNot:
+  case K::OrNot: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    ir::Type Ty = Y.V.type();
+    prem(V(X), bop(O::Xor, Av, ValT::phy(ir::Value::constInt(-1, Ty))));
+    prem(V(Y), bop(R.K == K::AndNot ? O::And : O::Or, Av, X));
+    return fused(V(Y), C(R.K == K::AndNot ? 0 : -1, Ty),
+                 /*RevSound=*/false);
+  }
+  case K::AndOr: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(X), bop(O::Or, Av, Bv));
+    prem(V(Y), bop(O::And, Av, X));
+    return fused(V(Y), V(Av), /*RevSound=*/false);
+  }
+  case K::OrAnd: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(X), bop(O::And, Av, Bv));
+    prem(V(Y), bop(O::Or, Av, X));
+    return fused(V(Y), V(Av), /*RevSound=*/false);
+  }
+  case K::AndUndef:
+  case K::OrUndef:
+  case K::XorUndef: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    O Op = (R.K == K::AndUndef) ? O::And
+           : (R.K == K::OrUndef) ? O::Or
+                                 : O::Xor;
+    ir::Type Ty = Y.V.type();
+    prem(V(Y), bop(Op, Av, ValT::phy(ir::Value::undef(Ty))));
+    return fused(V(Y), Expr::val(ValT::phy(ir::Value::undef(Ty))));
+  }
+  case K::AndDeMorgan: {
+    if (!checkArity(6) || !valArg(0, Z) || !valArg(1, X) || !valArg(2, Y) ||
+        !valArg(3, W) || !valArg(4, Av) || !valArg(5, Bv))
+      return false;
+    ir::Type Ty = Z.V.type();
+    ValT MOne = ValT::phy(ir::Value::constInt(-1, Ty));
+    prem(V(X), bop(O::Xor, Av, MOne));
+    prem(V(Y), bop(O::Xor, Bv, MOne));
+    prem(V(Z), bop(O::And, X, Y));
+    // The w operand may be a ghost bound by intro_ghost, which provides
+    // the `or a b >= w` direction; the forward variant uses that, the
+    // reverse one its mirror (soundness notes in Infrule.h).
+    Fwd = Fwd && has(bop(O::Or, Av, Bv), V(W));
+    Rev = Rev && has(V(W), bop(O::Or, Av, Bv));
+    return fused(V(Z), bop(O::Xor, W, MOne));
+  }
+  case K::OrZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Or, Av, ValT::phy(ir::Value::constInt(
+                                 0, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::OrMone: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Or, Av, ValT::phy(ir::Value::constInt(
+                                 -1, Av.V.type()))));
+    return fused(V(Y), C(-1, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::XorSame: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Xor, Av, Av));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::XorZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Xor, Av, ValT::phy(ir::Value::constInt(
+                                  0, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::ShiftZero1: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Shl, Av, ValT::phy(ir::Value::constInt(
+                                  0, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::ShiftZero2: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::Shl, ValT::phy(ir::Value::constInt(0, Y.V.type())),
+                   Av));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::ShiftUndef1: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    ir::Type Ty = Y.V.type();
+    prem(V(Y), bop(O::Shl, Av, ValT::phy(ir::Value::undef(Ty))));
+    return fused(V(Y), Expr::val(ValT::phy(ir::Value::undef(Ty))));
+  }
+  case K::IcmpSame: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(2, Av))
+      return false;
+    int64_t PredNum;
+    if (!constArg(1, PredNum))
+      return false;
+    auto P = static_cast<IcmpPred>(PredNum);
+    bool Reflexive = P == IcmpPred::Eq || P == IcmpPred::Uge ||
+                     P == IcmpPred::Ule || P == IcmpPred::Sge ||
+                     P == IcmpPred::Sle;
+    prem(V(Y), Expr::icmp(P, Av, Av));
+    return fused(V(Y), C(Reflexive ? 1 : 0, ir::Type::intTy(1)),
+                 /*RevSound=*/false);
+  }
+  case K::IcmpSwap: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(2, Av) || !valArg(3, Bv))
+      return false;
+    int64_t PredNum;
+    if (!constArg(1, PredNum))
+      return false;
+    auto P = static_cast<IcmpPred>(PredNum);
+    auto Swapped = [](IcmpPred Q) {
+      switch (Q) {
+      case IcmpPred::Eq:
+      case IcmpPred::Ne:
+        return Q;
+      case IcmpPred::Ugt:
+        return IcmpPred::Ult;
+      case IcmpPred::Uge:
+        return IcmpPred::Ule;
+      case IcmpPred::Ult:
+        return IcmpPred::Ugt;
+      case IcmpPred::Ule:
+        return IcmpPred::Uge;
+      case IcmpPred::Sgt:
+        return IcmpPred::Slt;
+      case IcmpPred::Sge:
+        return IcmpPred::Sle;
+      case IcmpPred::Slt:
+        return IcmpPred::Sgt;
+      case IcmpPred::Sle:
+        return IcmpPred::Sge;
+      }
+      return Q;
+    };
+    prem(V(Y), Expr::icmp(P, Av, Bv));
+    return fused(V(Y), Expr::icmp(Swapped(P), Bv, Av));
+  }
+  case K::IcmpEqSub:
+  case K::IcmpNeSub:
+  case K::IcmpEqXor:
+  case K::IcmpNeXor: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    O Op = (R.K == K::IcmpEqSub || R.K == K::IcmpNeSub) ? O::Sub : O::Xor;
+    IcmpPred P = (R.K == K::IcmpEqSub || R.K == K::IcmpEqXor)
+                     ? IcmpPred::Eq
+                     : IcmpPred::Ne;
+    ValT Zero = ValT::phy(ir::Value::constInt(0, Av.V.type()));
+    prem(V(X), bop(Op, Av, Bv));
+    prem(V(Y), Expr::icmp(P, X, Zero));
+    return fused(V(Y), Expr::icmp(P, Av, Bv));
+  }
+  case K::IcmpEqSrem: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Cv))
+      return false;
+    if (!constArg(3, C1))
+      return false;
+    if (C1 != 1 && C1 != -1) {
+      Err = "icmp_eq_srem: divisor must be 1 or -1";
+      return false;
+    }
+    ValT Zero = ValT::phy(ir::Value::constInt(0, Av.V.type()));
+    prem(V(X), bop(O::SRem, Av, Cv));
+    prem(V(Y), Expr::icmp(IcmpPred::Eq, X, Zero));
+    return fused(V(Y), C(1, ir::Type::intTy(1)), /*RevSound=*/false);
+  }
+  case K::LshrZero:
+  case K::AshrZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(R.K == K::LshrZero ? O::LShr : O::AShr, Av,
+                   ValT::phy(ir::Value::constInt(0, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::UdivOne: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::UDiv, Av, ValT::phy(ir::Value::constInt(
+                                    1, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::UremOne: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::URem, Av, ValT::phy(ir::Value::constInt(
+                                    1, Av.V.type()))));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::OrXor2: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, Z) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(Z), bop(O::Xor, Av, Bv));
+    prem(V(Y), bop(O::Or, Z, Bv));
+    return fused(V(Y), bop(O::Or, Av, Bv));
+  }
+  case K::OrOr: {
+    if (!checkArity(4) || !valArg(0, Y) || !valArg(1, Z) || !valArg(2, Av) ||
+        !valArg(3, Bv))
+      return false;
+    prem(V(Z), bop(O::Or, Av, Bv));
+    prem(V(Y), bop(O::Or, Z, Bv));
+    return fused(V(Y), V(Z));
+  }
+  case K::IcmpEqAddAdd:
+  case K::IcmpNeAddAdd: {
+    if (!checkArity(6) || !valArg(0, Z) || !valArg(1, X) || !valArg(2, Y) ||
+        !valArg(3, Av) || !valArg(4, Bv) || !valArg(5, Cv))
+      return false;
+    IcmpPred P = R.K == K::IcmpEqAddAdd ? IcmpPred::Eq : IcmpPred::Ne;
+    prem(V(X), bop(O::Add, Av, Cv));
+    prem(V(Y), bop(O::Add, Bv, Cv));
+    prem(V(Z), Expr::icmp(P, X, Y));
+    // The reverse direction is unsound: an undef shared addend leaves z
+    // unconstrained while the conclusion's comparison is defined (found
+    // by rule verification).
+    return fused(V(Z), Expr::icmp(P, Av, Bv), /*RevSound=*/false);
+  }
+  case K::SelectIcmpEq: {
+    if (!checkArity(4) || !valArg(0, Z) || !valArg(1, Y) || !valArg(2, Av) ||
+        !valArg(3, Cv))
+      return false;
+    prem(V(Y), Expr::icmp(IcmpPred::Eq, Av, Cv));
+    prem(V(Z), Expr::select(Av.V.type(), Y, Cv, Av));
+    return fused(V(Z), V(Av));
+  }
+  case K::SelectIcmpNe: {
+    if (!checkArity(4) || !valArg(0, Z) || !valArg(1, Y) || !valArg(2, Av) ||
+        !valArg(3, Cv))
+      return false;
+    prem(V(Y), Expr::icmp(IcmpPred::Ne, Av, Cv));
+    prem(V(Z), Expr::select(Av.V.type(), Y, Av, Cv));
+    return fused(V(Z), V(Av));
+  }
+  case K::SelectSame: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Cv) || !valArg(2, Av))
+      return false;
+    prem(V(Y), Expr::select(Av.V.type(), Cv, Av, Av));
+    return fused(V(Y), V(Av), /*RevSound=*/false);
+  }
+  case K::SelectTrue:
+  case K::SelectFalse: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    bool True = R.K == K::SelectTrue;
+    ValT Cond =
+        ValT::phy(ir::Value::constInt(True ? 1 : 0, ir::Type::intTy(1)));
+    prem(V(Y), Expr::select(Av.V.type(), Cond, Av, Bv));
+    return fused(V(Y), V(True ? Av : Bv));
+  }
+  case K::TruncZext: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    if (Y.V.type() != Av.V.type()) {
+      Err = "trunc_zext: result width must be the original width";
+      return false;
+    }
+    prem(V(X), Expr::cast(O::ZExt, X.V.type(), Av));
+    prem(V(Y), Expr::cast(O::Trunc, Y.V.type(), X));
+    return fused(V(Y), V(Av));
+  }
+  case K::TruncTrunc:
+  case K::ZextZext:
+  case K::SextSext: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    O Op = (R.K == K::TruncTrunc) ? O::Trunc
+           : (R.K == K::ZextZext) ? O::ZExt
+                                  : O::SExt;
+    if (R.K == K::TruncTrunc) {
+      if (!(Y.V.type().intWidth() < X.V.type().intWidth() &&
+            X.V.type().intWidth() < Av.V.type().intWidth())) {
+        Err = "trunc_trunc: widths must strictly decrease";
+        return false;
+      }
+    } else if (!(Y.V.type().intWidth() > X.V.type().intWidth() &&
+                 X.V.type().intWidth() > Av.V.type().intWidth())) {
+      Err = "ext_ext: widths must strictly increase";
+      return false;
+    }
+    prem(V(X), Expr::cast(Op, X.V.type(), Av));
+    prem(V(Y), Expr::cast(Op, Y.V.type(), X));
+    return fused(V(Y), Expr::cast(Op, Y.V.type(), Av));
+  }
+  case K::SextZext: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    if (!(X.V.type().intWidth() > Av.V.type().intWidth() &&
+          Y.V.type().intWidth() > X.V.type().intWidth())) {
+      Err = "sext_zext: widths must strictly increase";
+      return false;
+    }
+    prem(V(X), Expr::cast(O::ZExt, X.V.type(), Av));
+    prem(V(Y), Expr::cast(O::SExt, Y.V.type(), X));
+    return fused(V(Y), Expr::cast(O::ZExt, Y.V.type(), Av));
+  }
+  case K::BitcastSame: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), Expr::cast(O::Bitcast, Y.V.type(), Av));
+    if (Y.V.type() != Av.V.type()) {
+      Err = "bitcast_same: types differ";
+      return false;
+    }
+    return fused(V(Y), V(Av));
+  }
+  case K::BitcastBitcast: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    prem(V(X), Expr::cast(O::Bitcast, X.V.type(), Av));
+    prem(V(Y), Expr::cast(O::Bitcast, Y.V.type(), X));
+    return fused(V(Y), Expr::cast(O::Bitcast, Y.V.type(), Av));
+  }
+  case K::InttoptrPtrtoint: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    if (X.V.type() != ir::Type::intTy(64)) {
+      Err = "inttoptr_ptrtoint: requires an i64 round-trip";
+      return false;
+    }
+    prem(V(X), Expr::cast(O::PtrToInt, X.V.type(), Av));
+    prem(V(Y), Expr::cast(O::IntToPtr, ir::Type::ptrTy(), X));
+    return fused(V(Y), V(Av));
+  }
+  case K::GepZero: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Z))
+      return false;
+    int64_t Inb;
+    if (!constArg(2, Inb))
+      return false;
+    ValT Zero = ValT::phy(ir::Value::constInt(0, ir::Type::intTy(64)));
+    prem(V(Y), Expr::gep(Inb != 0, Av, Zero));
+    return fused(V(Y), V(Av), /*RevSound=*/Inb == 0);
+  }
+  case K::NegVal:
+  case K::XorNot: {
+    if (!checkArity(3) || !valArg(0, Z) || !valArg(1, X) || !valArg(2, Av))
+      return false;
+    ir::Type Ty = Z.V.type();
+    if (R.K == K::NegVal) {
+      ValT Zero = ValT::phy(ir::Value::constInt(0, Ty));
+      prem(V(X), bop(O::Sub, Zero, Av));
+      prem(V(Z), bop(O::Sub, Zero, X));
+    } else {
+      ValT Mone = ValT::phy(ir::Value::constInt(-1, Ty));
+      prem(V(X), bop(O::Xor, Av, Mone));
+      prem(V(Z), bop(O::Xor, X, Mone));
+    }
+    return fused(V(Z), V(Av));
+  }
+  case K::XorXor:
+  case K::AndAnd:
+  case K::OrConst: {
+    if (!checkArity(5) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Z) || !valArg(4, W))
+      return false;
+    int64_t C1, C2;
+    if (!constArg(3, C1) || !constArg(4, C2))
+      return false;
+    O Op = R.K == K::XorXor ? O::Xor : R.K == K::AndAnd ? O::And : O::Or;
+    int64_t C3 = R.K == K::XorXor   ? (C1 ^ C2)
+                 : R.K == K::AndAnd ? (C1 & C2)
+                                    : (C1 | C2);
+    ir::Type Ty = Y.V.type();
+    prem(V(X), bop(Op, Av, Z));
+    prem(V(Y), bop(Op, X, W));
+    return fused(V(Y), Expr::bop(Op, Ty, Av,
+                                 ValT::phy(ir::Value::constInt(
+                                     interpTruncate(C3, Ty.intWidth()),
+                                     Ty))));
+  }
+  case K::ShlShl:
+  case K::LshrLshr: {
+    if (!checkArity(5) || !valArg(0, Y) || !valArg(1, X) || !valArg(2, Av) ||
+        !valArg(3, Z) || !valArg(4, W))
+      return false;
+    int64_t C1, C2;
+    if (!constArg(3, C1) || !constArg(4, C2))
+      return false;
+    ir::Type Ty = Y.V.type();
+    if (C1 < 0 || C2 < 0 || C1 + C2 >= Ty.intWidth()) {
+      Err = "shift chain: amounts must be in range";
+      return false;
+    }
+    O Op = R.K == K::ShlShl ? O::Shl : O::LShr;
+    prem(V(X), bop(Op, Av, Z));
+    prem(V(Y), bop(Op, X, W));
+    return fused(V(Y), bop(Op, Av, ValT::phy(ir::Value::constInt(
+                                       C1 + C2, Ty))));
+  }
+  case K::SdivOne: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    prem(V(Y), bop(O::SDiv, Av, ValT::phy(ir::Value::constInt(
+                                    1, Av.V.type()))));
+    return fused(V(Y), V(Av));
+  }
+  case K::SremOne:
+  case K::SremMone: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    int64_t Cn = R.K == K::SremOne ? 1 : -1;
+    prem(V(Y), bop(O::SRem, Av, ValT::phy(ir::Value::constInt(
+                                    Cn, Av.V.type()))));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::IcmpUltZero:
+  case K::IcmpUgeZero: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    IcmpPred P = R.K == K::IcmpUltZero ? IcmpPred::Ult : IcmpPred::Uge;
+    ValT Zero = ValT::phy(ir::Value::constInt(0, Av.V.type()));
+    prem(V(Y), Expr::icmp(P, Av, Zero));
+    return fused(V(Y), C(R.K == K::IcmpUgeZero ? 1 : 0, ir::Type::intTy(1)),
+                 /*RevSound=*/false);
+  }
+  case K::IcmpInverse: {
+    if (!checkArity(5) || !valArg(0, Z) || !valArg(1, Y) || !valArg(3, Av) ||
+        !valArg(4, Bv))
+      return false;
+    int64_t PredNum;
+    if (!constArg(2, PredNum))
+      return false;
+    auto P = static_cast<IcmpPred>(PredNum);
+    auto Inverse = [](IcmpPred Q) {
+      switch (Q) {
+      case IcmpPred::Eq:
+        return IcmpPred::Ne;
+      case IcmpPred::Ne:
+        return IcmpPred::Eq;
+      case IcmpPred::Ugt:
+        return IcmpPred::Ule;
+      case IcmpPred::Uge:
+        return IcmpPred::Ult;
+      case IcmpPred::Ult:
+        return IcmpPred::Uge;
+      case IcmpPred::Ule:
+        return IcmpPred::Ugt;
+      case IcmpPred::Sgt:
+        return IcmpPred::Sle;
+      case IcmpPred::Sge:
+        return IcmpPred::Slt;
+      case IcmpPred::Slt:
+        return IcmpPred::Sge;
+      case IcmpPred::Sle:
+        return IcmpPred::Sgt;
+      }
+      return Q;
+    };
+    ir::Type B1 = ir::Type::intTy(1);
+    prem(V(Z), Expr::icmp(P, Av, Bv));
+    prem(V(Y), Expr::bop(O::Xor, B1, Z, ValT::phy(ir::Value::constInt(
+                                            1, B1))));
+    return fused(V(Y), Expr::icmp(Inverse(P), Av, Bv));
+  }
+  case K::SelectNotCond: {
+    if (!checkArity(5) || !valArg(0, Z) || !valArg(1, Y) || !valArg(2, X) ||
+        !valArg(3, Av) || !valArg(4, Bv))
+      return false;
+    ir::Type B1 = ir::Type::intTy(1);
+    ir::Type Ty = Z.V.type();
+    prem(V(Y), Expr::bop(O::Xor, B1, X, ValT::phy(ir::Value::constInt(
+                                            1, B1))));
+    prem(V(Z), Expr::select(Ty, Y, Av, Bv));
+    return fused(V(Z), Expr::select(Ty, X, Bv, Av));
+  }
+  case K::SdivSubSrem:
+  case K::UdivSubUrem: {
+    if (!checkArity(5) || !valArg(0, Z) || !valArg(1, X) || !valArg(2, Y) ||
+        !valArg(3, Av) || !valArg(4, Bv))
+      return false;
+    bool Signed = R.K == K::SdivSubSrem;
+    prem(V(Y), bop(Signed ? O::SRem : O::URem, Av, Bv));
+    prem(V(X), bop(O::Sub, Av, Y));
+    prem(V(Z), bop(Signed ? O::SDiv : O::UDiv, X, Bv));
+    return fused(V(Z), bop(Signed ? O::SDiv : O::UDiv, Av, Bv),
+                 /*RevSound=*/false);
+  }
+  case K::LshrZero2:
+  case K::AshrZero2: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    O Op = R.K == K::LshrZero2 ? O::LShr : O::AShr;
+    prem(V(Y), bop(Op, ValT::phy(ir::Value::constInt(0, Y.V.type())), Av));
+    return fused(V(Y), C(0, Y.V.type()), /*RevSound=*/false);
+  }
+  case K::IcmpUleMone:
+  case K::IcmpUgtMone: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    IcmpPred P = R.K == K::IcmpUleMone ? IcmpPred::Ule : IcmpPred::Ugt;
+    ValT Mone = ValT::phy(ir::Value::constInt(-1, Av.V.type()));
+    prem(V(Y), Expr::icmp(P, Av, Mone));
+    return fused(V(Y), C(R.K == K::IcmpUleMone ? 1 : 0, ir::Type::intTy(1)),
+                 /*RevSound=*/false);
+  }
+  case K::IcmpSgeSmin:
+  case K::IcmpSltSmin: {
+    if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
+      return false;
+    IcmpPred P = R.K == K::IcmpSgeSmin ? IcmpPred::Sge : IcmpPred::Slt;
+    unsigned W = Av.V.type().intWidth();
+    ValT Smin = ValT::phy(ir::Value::constInt(
+        interpTruncate(int64_t(1) << (W - 1), W), Av.V.type()));
+    prem(V(Y), Expr::icmp(P, Av, Smin));
+    return fused(V(Y), C(R.K == K::IcmpSgeSmin ? 1 : 0, ir::Type::intTy(1)),
+                 /*RevSound=*/false);
+  }
+  default:
+    Err = "rule " + infruleKindName(R.K) + ": no implementation";
+    return false;
+  }
+}
+
+} // namespace
+
+std::optional<std::string> crellvm::erhl::applyInfrule(const Infrule &Rule,
+                                                       Assertion &A) {
+  return RuleApplier(Rule, A).run();
+}

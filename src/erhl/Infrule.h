@@ -1,0 +1,232 @@
+//===- erhl/Infrule.h - ERHL inference rules --------------------*- C++ -*-===//
+///
+/// \file
+/// The custom inference rules installed in the proof checker (paper §6
+/// installs 221; we install the subset needed by the covered
+/// optimizations, one arithmetic rule per covered instcombine micro-opt,
+/// plus the nine non-arithmetic rules of Appendix I and the deliberately
+/// unsound `constexpr_no_ub` rule that reproduces the paper's PR33673
+/// finding).
+///
+/// Every rule is *monotone*: applying it can only add predicates to an
+/// assertion or shrink the maydiff set, so ApplyInf composes as in Fig. 4.
+/// Rules are part of the TCB; their semantic soundness is established by
+/// the randomized rule-verification bench (the substitute for the paper's
+/// Coq proofs, see DESIGN.md §2).
+///
+/// Argument conventions are documented per enumerator. "side" means the
+/// rule exists in a Src and a Tgt variant selected by the Side argument.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ERHL_INFRULE_H
+#define CRELLVM_ERHL_INFRULE_H
+
+#include "erhl/Assertion.h"
+
+#include <optional>
+
+namespace crellvm {
+namespace erhl {
+
+/// Which unary assertion a rule manipulates.
+enum class Side : uint8_t { Src, Tgt };
+
+/// Rule identifiers. Arguments are positional Exprs (constants are Val
+/// exprs); [e] denotes an expression argument, [v] a value argument
+/// (a Val expr), [r] a register argument (a Val expr holding a register).
+enum class InfruleKind : uint16_t {
+  // --- Non-arithmetic rules (Appendix I / Fig. 16), verified --------------
+  Transitivity,     ///< side, [e1] [e2] [e3]: e1>=e2, e2>=e3 |- e1>=e3
+  Substitute,       ///< side, [e] [v] [v']: v>=v' |- e >= e[v->v']
+  SubstituteRev,    ///< side, [e] [v] [v']: v>=v' |- e[v'->v] >= e
+  SubstituteOp,     ///< side, [e] [i] [v] [v']: v>=v', e.op[i]==v
+                    ///< |- e >= e{op[i] := v'} (single-position variant)
+  IntroGhost,       ///< [r ghost] [e]: e regs not in maydiff |- e>=g, g>=e
+  IntroEq,          ///< side, [e]: |- e >= e
+  ReduceMaydiffLessdef, ///< [r] [e] [e']: r_s>=e, e~e', e'>=r_t |- r out MD
+  ReduceMaydiffNonPhysical, ///< [r ghost/old]: unused |- r out of maydiff
+
+  // --- Branching (used by GVN, Appendix C) --------------------------------
+  IcmpToEq, ///< side, [c] [y] [C]: true>=c, c>=icmp eq y C |- y >= C
+
+  // --- Arithmetic rules, one per covered micro-opt -------------------------
+  // Fused rules: premises are definition lessdefs present in the unary
+  // assertion of the given side; conclusions are lessdefs about the
+  // rewritten register.
+  AddAssoc,     ///< side, [y][x][a][C1][C2][C3]: y>=add x C2, x>=add a C1,
+                ///< C3=C1+C2 |- y >= add a C3
+  AddSub,       ///< side, [y][x][a][b]: y>=add x b, x>=sub a b |- y>=a
+  AddComm,      ///< side, [y][a][b]: y>=add a b |- y >= add b a
+  AddZero,      ///< side, [y][a]: y>=add a 0 |- y>=a
+  AddOnebit,    ///< side, [y][a][b] (i1): y>=add a b |- y >= xor a b
+  AddSignbit,   ///< side, [y][a][C=signbit]: y>=add a C |- y >= xor a C
+  AddShift,     ///< side, [y][a]: y>=add a a |- y >= shl a 1
+  AddOrAnd,     ///< side, [y][z][x][a][b]: z>=or a b, x>=and a b,
+                ///< y>=add z x |- y >= add a b
+  AddXorAnd,    ///< side, [y][z][x][a][b]: z>=xor a b, x>=and a b,
+                ///< y>=add z x |- y >= or a b
+  AddZextBool,  ///< side, [y][x][b][C][C1]: x>=zext b, y>=add x C,
+                ///< C1=C+1 |- y >= select b C1 C
+  SubAdd,       ///< side, [y][x][a][b]: y>=sub x b, x>=add a b |- y>=a
+  SubZero,      ///< side, [y][a]: y>=sub a 0 |- y>=a
+  SubSame,      ///< side, [y][a]: y>=sub a a |- y>=0
+  SubMone,      ///< side, [y][a]: y>=sub -1 a |- y >= xor a -1
+  SubOnebit,    ///< side, [y][a][b] (i1): y>=sub a b |- y >= xor a b
+  SubConstAdd,  ///< side, [y][x][a][C1][C2][C3]: y>=sub x C2, x>=add a C1,
+                ///< C3=C1-C2 |- y >= add a C3
+  SubConstNot,  ///< side, [y][x][a][C][C1]: y>=sub C x, x>=xor a -1,
+                ///< C1=C+1 |- y >= add a C1
+  SubSub,       ///< side, [y][x][a][C1][C2][C3]: y>=sub x C2, x>=sub a C1,
+                ///< C3=C1+C2 |- y >= sub a C3
+  SubRemove,    ///< side, [y][x][a][b]: x>=add a b, y>=sub a x |- y>=sub 0 b
+  SubShl,       ///< side, [y][x][a][C]: x>=shl a C, y>=sub 0 x
+                ///< |- y >= mul a -(2^C)
+  SubOrXor,     ///< side, [y][z][x][a][b]: z>=or a b, x>=xor a b,
+                ///< y>=sub z x |- y >= and a b
+  MulBool,      ///< side, [y][a][b] (i1): y>=mul a b |- y >= and a b
+  MulMone,      ///< side, [y][a]: y>=mul a -1 |- y >= sub 0 a
+  MulZero,      ///< side, [y][a]: y>=mul a 0 |- y>=0
+  MulOne,       ///< side, [y][a]: y>=mul a 1 |- y>=a
+  MulComm,      ///< side, [y][a][b]: y>=mul a b |- y >= mul b a
+  MulShl,       ///< side, [y][a][C][C2]: y>=mul a C, C=2^C2 |- y>=shl a C2
+  MulNeg,       ///< side, [y][x][z][a][b]: x>=sub 0 a, z>=sub 0 b,
+                ///< y>=mul x z |- y >= mul a b
+  SdivMone,     ///< side, [y][a]: y>=sdiv a -1 |- y >= sub 0 a
+  UdivOne,      ///< side, [y][a]: y>=udiv a 1 |- y>=a
+  UremOne,      ///< side, [y][a]: y>=urem a 1 |- y>=0
+  AndSame,      ///< side, [y][a]: y>=and a a |- y>=a
+  AndZero,      ///< side, [y][a]: y>=and a 0 |- y>=0
+  AndMone,      ///< side, [y][a]: y>=and a -1 |- y>=a
+  AndNot,       ///< side, [y][x][a]: x>=xor a -1, y>=and a x |- y>=0
+  AndOr,        ///< side, [y][x][a][b]: x>=or a b, y>=and a x |- y>=a
+  AndUndef,     ///< side, [y][a]: y>=and a undef |- y>=undef
+  AndComm,      ///< side, [y][a][b]: y>=and a b |- y >= and b a
+  AndDeMorgan,  ///< side, [z][x][y][w][a][b]: x>=xor a -1, y>=xor b -1,
+                ///< z>=and x y, w>=or a b |- z >= xor w -1
+  OrSame,       ///< side, [y][a]: y>=or a a |- y>=a
+  OrZero,       ///< side, [y][a]: y>=or a 0 |- y>=a
+  OrMone,       ///< side, [y][a]: y>=or a -1 |- y>=-1
+  OrNot,        ///< side, [y][x][a]: x>=xor a -1, y>=or a x |- y>=-1
+  OrAnd,        ///< side, [y][x][a][b]: x>=and a b, y>=or a x |- y>=a
+  OrUndef,      ///< side, [y][a]: y>=or a undef |- y>=undef
+  OrComm,       ///< side, [y][a][b]: y>=or a b |- y >= or b a
+  OrXor,        ///< side, [y][z][x][a][b]: z>=xor a b, x>=and a b,
+                ///< y>=or z x |- y >= or a b
+  OrXor2,       ///< side, [y][z][a][b]: z>=xor a b, y>=or z b |- y>=or a b
+  OrOr,         ///< side, [y][z][a][b]: z>=or a b, y>=or z b |- y>=z
+  XorSame,      ///< side, [y][a]: y>=xor a a |- y>=0
+  XorZero,      ///< side, [y][a]: y>=xor a 0 |- y>=a
+  XorUndef,     ///< side, [y][a]: y>=xor a undef |- y>=undef
+  XorComm,      ///< side, [y][a][b]: y>=xor a b |- y >= xor b a
+  ShiftZero1,   ///< side, [y][a]: y>=shl a 0 |- y>=a
+  LshrZero,     ///< side, [y][a]: y>=lshr a 0 |- y>=a
+  AshrZero,     ///< side, [y][a]: y>=ashr a 0 |- y>=a
+  ShiftZero2,   ///< side, [y][a]: y>=shl 0 a |- y>=0
+  ShiftUndef1,  ///< side, [y][a]: y>=shl a undef |- y>=undef
+  IcmpSame,     ///< side, [y][p][a]: y>=icmp p a a |- y >= (eq-ish result)
+  IcmpSwap,     ///< side, [y][p][a][b]: y>=icmp p a b |- y>=icmp p' b a
+  IcmpEqSub,    ///< side, [y][x][a][b]: x>=sub a b, y>=icmp eq x 0
+                ///< |- y >= icmp eq a b
+  IcmpNeSub,    ///< side, [y][x][a][b]: like IcmpEqSub with ne
+  IcmpEqXor,    ///< side, [y][x][a][b]: x>=xor a b, y>=icmp eq x 0
+                ///< |- y >= icmp eq a b
+  IcmpNeXor,    ///< side, [y][x][a][b]: like IcmpEqXor with ne
+  IcmpEqSrem,   ///< side, [y][x][a][C]: x>=srem a C, y>=icmp eq x 0 with
+                ///< C=1 or C=-1 |- y >= true
+  IcmpEqAddAdd, ///< side, [z][x][y][a][b][c]: x>=add a c, y>=add b c,
+                ///< z>=icmp eq x y |- z >= icmp eq a b
+  IcmpNeAddAdd, ///< side, like IcmpEqAddAdd with ne
+  SelectSame,   ///< side, [y][c][a]: y>=select c a a |- y>=a
+  SelectIcmpEq, ///< side, [z][y][a][C]: y>=icmp eq a C, z>=select y C a
+                ///< |- z>=a
+  SelectIcmpNe, ///< side, [z][y][a][C]: y>=icmp ne a C, z>=select y a C
+                ///< |- z>=a
+  SelectTrue,   ///< side, [y][a][b]: y>=select true a b |- y>=a
+  SelectFalse,  ///< side, [y][a][b]: y>=select false a b |- y>=b
+  TruncZext,    ///< side, [y][x][a]: x>=zext a, y>=trunc x (to a's type)
+                ///< |- y>=a
+  TruncTrunc,   ///< side, [y][x][a]: x>=trunc a, y>=trunc x |- y>=trunc a
+  ZextZext,     ///< side, [y][x][a]: x>=zext a, y>=zext x |- y>=zext a
+  SextSext,     ///< side, [y][x][a]: x>=sext a, y>=sext x |- y>=sext a
+  SextZext,     ///< side, [y][x][a]: x>=zext a, y>=sext x |- y>=zext a
+  BitcastSame,  ///< side, [y][a]: y>=bitcast a to same ty |- y>=a
+  BitcastBitcast, ///< side, [y][x][a]: x>=bitcast a, y>=bitcast x
+                ///< |- y >= bitcast a
+  InttoptrPtrtoint, ///< side, [y][x][p]: x>=ptrtoint p, y>=inttoptr x
+                ///< |- y>=p
+  GepZero,      ///< side, [y][p]: y>=gep [inbounds] p 0 |- y>=p
+  BopCommExpr,  ///< side, [opnum][a][b]: |- op a b >= op b a (and reverse)
+                ///< for commutative op; a pure identity used by the
+                ///< GVN_PRE automation (Appendix C "commutativity_add")
+  NegVal,       ///< side, [z][y][a]: y>=sub 0 a, z>=sub 0 y |- z>=a
+  XorNot,       ///< side, [z][x][a]: x>=xor a -1, z>=xor x -1 |- z>=a
+  XorXor,       ///< side, [y][x][a][C1][C2]: x>=xor a C1, y>=xor x C2
+                ///< |- y>=xor a (C1^C2)
+  AndAnd,       ///< side, [y][x][a][C1][C2]: like XorXor with C1&C2
+  OrConst,      ///< side, [y][x][a][C1][C2]: like XorXor with C1|C2
+  ShlShl,       ///< side, [y][x][a][C1][C2]: x>=shl a C1, y>=shl x C2,
+                ///< 0<=C1, 0<=C2, C1+C2<width |- y>=shl a (C1+C2)
+  LshrLshr,     ///< side, like ShlShl for lshr
+  SdivOne,      ///< side, [y][a]: y>=sdiv a 1 |- y>=a
+  SremOne,      ///< side, [y][a]: y>=srem a 1 |- y>=0
+  SremMone,     ///< side, [y][a]: y>=srem a -1 |- y>=0 (INT_MIN rem -1
+                ///< traps, falsifying the premise)
+  IcmpUltZero,  ///< side, [y][a]: y>=icmp ult a 0 |- y>=0
+  IcmpUgeZero,  ///< side, [y][a]: y>=icmp uge a 0 |- y>=1
+  IcmpInverse,  ///< side, [z][y][p][a][b]: z>=icmp p a b, y>=xor z 1
+                ///< |- y>=icmp inv(p) a b
+  SelectNotCond,///< side, [z][y][c][a][b]: y>=xor c 1 (i1),
+                ///< z>=select y a b |- z>=select c b a
+  SdivSubSrem,  ///< side, [z][x][y][a][b]: y>=srem a b, x>=sub a y,
+                ///< z>=sdiv x b |- z>=sdiv a b
+  UdivSubUrem,  ///< side, like SdivSubSrem for urem/udiv
+  LshrZero2,    ///< side, [y][a]: y>=lshr 0 a |- y>=0
+  AshrZero2,    ///< side, [y][a]: y>=ashr 0 a |- y>=0
+  IcmpUleMone,  ///< side, [y][a]: y>=icmp ule a -1 |- y>=1
+  IcmpUgtMone,  ///< side, [y][a]: y>=icmp ugt a -1 |- y>=0
+  IcmpSgeSmin,  ///< side, [y][a]: y>=icmp sge a INT_MIN |- y>=1
+  IcmpSltSmin,  ///< side, [y][a]: y>=icmp slt a INT_MIN |- y>=0
+
+  // --- Deliberately unsound (PR33673 reproduction; see DESIGN.md §4) ------
+  ConstexprNoUb, ///< side, [C][v]: |- C >= v, v >= C where v is the folded
+                 ///< value of constant expression C *assuming it cannot
+                 ///< trap* — the assumption LLVM's mem2reg made, falsified
+                 ///< by expressions like 1 / ((int)G - (int)G).
+};
+
+/// Number of distinct rule kinds (for iteration in the rule verifier).
+constexpr uint16_t NumInfruleKinds =
+    static_cast<uint16_t>(InfruleKind::ConstexprNoUb) + 1;
+
+/// Rule name as serialized ("add_assoc", "intro_ghost", ...).
+std::string infruleKindName(InfruleKind K);
+std::optional<InfruleKind> infruleKindFromName(const std::string &Name);
+
+/// An inference-rule instance.
+struct Infrule {
+  InfruleKind K;
+  Side S = Side::Src; ///< ignored by side-less rules
+  std::vector<Expr> Args;
+
+  /// A copy of this rule targeting the other unary assertion.
+  Infrule withSide(Side NewS) const {
+    Infrule R = *this;
+    R.S = NewS;
+    return R;
+  }
+
+  std::string str() const;
+};
+
+/// Applies \p Rule to \p A in place. Returns std::nullopt on success, or a
+/// diagnostic when the rule's premises are not present in \p A (in which
+/// case \p A is unchanged). A failed rule application is not itself a
+/// validation failure — the subsequent inclusion check will fail and
+/// report — but the diagnostic helps debugging proof generation (paper §6
+/// "Experience").
+std::optional<std::string> applyInfrule(const Infrule &Rule, Assertion &A);
+
+} // namespace erhl
+} // namespace crellvm
+
+#endif // CRELLVM_ERHL_INFRULE_H

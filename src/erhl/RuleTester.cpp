@@ -1,0 +1,913 @@
+//===- erhl/RuleTester.cpp --------------------------------------*- C++ -*-===//
+
+#include "erhl/RuleTester.h"
+
+#include "erhl/Eval.h"
+#include "support/RNG.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using namespace crellvm::interp;
+using namespace crellvm::ir;
+
+namespace {
+
+/// Builds one random rule instance: a pair of states, a premise
+/// assertion whose predicates all hold, and the rule arguments.
+class InstanceGen {
+public:
+  explicit InstanceGen(RNG &R) : R(R) {
+    // A small memory: two blocks plus one global, shared block layout on
+    // both sides.
+    for (int64_t B = 0; B != 3; ++B) {
+      size_t Size = 2 + R.below(3);
+      SrcState.Memory[B].assign(Size, RtValue::intVal(0, 32));
+      TgtState.Memory[B] = SrcState.Memory[B];
+    }
+    SrcState.Globals["G"] = 0;
+    TgtState.Globals["G"] = 0;
+  }
+
+  RNG &rng() { return R; }
+  bool skipped() const { return Skip; }
+
+  ir::Type randIntTy() {
+    static const unsigned Widths[] = {1, 8, 16, 32, 64};
+    return ir::Type::intTy(Widths[R.below(5)]);
+  }
+
+  RtValue randValue(ir::Type Ty) {
+    uint64_t Roll = R.below(100);
+    if (Roll < 12)
+      return RtValue::undef();
+    if (Roll < 17)
+      return RtValue::poison();
+    if (Ty.isPtr())
+      return RtValue::ptrVal(static_cast<int64_t>(R.below(3)),
+                             R.range(-1, 4));
+    if (R.chance(4, 5))
+      return RtValue::intVal(static_cast<uint64_t>(R.range(-4, 8)),
+                             Ty.intWidth());
+    return RtValue::intVal(R.next(), Ty.intWidth());
+  }
+
+  /// A fresh physical register bound to \p V on both sides (out of the
+  /// maydiff set).
+  ValT freshPhy(ir::Type Ty, RtValue V) {
+    std::string Name = "r" + std::to_string(Counter++);
+    RegT Reg{Name, Tag::Phy};
+    SrcState.Regs[Reg] = V;
+    TgtState.Regs[Reg] = V;
+    return ValT::phy(ir::Value::reg(Name, Ty));
+  }
+
+  ValT constI(int64_t N, ir::Type Ty) {
+    unsigned W = Ty.intWidth();
+    return ValT::phy(ir::Value::constInt(RtValue::signExtend(
+                                             RtValue::truncate(
+                                                 static_cast<uint64_t>(N),
+                                                 W),
+                                             W),
+                                         Ty));
+  }
+
+  /// A random operand: usually a fresh register with a random value,
+  /// sometimes a literal constant or undef.
+  ValT randOperand(ir::Type Ty) {
+    uint64_t Roll = R.below(100);
+    if (Roll < 20 && Ty.isInt())
+      return constI(R.range(-4, 8), Ty);
+    if (Roll < 25)
+      return ValT::phy(ir::Value::undef(Ty));
+    return freshPhy(Ty, randValue(Ty));
+  }
+
+  /// Defines a fresh register as \p E: binds it to ⟦E⟧ on both sides and
+  /// records both lessdef directions as premises (exactly what the
+  /// checker's post-assertion computation provides for a definition). When
+  /// evaluating E traps, the instance is skipped (no state executes past
+  /// such a definition).
+  ValT define(const Expr &E) {
+    ExprEval Ev = evalExpr(E, SrcState);
+    if (Ev.Trap) {
+      Skip = true;
+      return ValT::phy(ir::Value::undef(E.type()));
+    }
+    ValT Reg = freshPhy(E.type(), Ev.V);
+    A.Src.insert(Pred::lessdef(Expr::val(Reg), E));
+    A.Src.insert(Pred::lessdef(E, Expr::val(Reg)));
+    return Reg;
+  }
+
+  ValT defineBop(Opcode Op, const ValT &X, const ValT &Y) {
+    return define(Expr::bop(Op, X.V.type(), X, Y));
+  }
+
+  EvalState SrcState, TgtState;
+  Assertion A;
+
+private:
+  RNG &R;
+  unsigned Counter = 0;
+  bool Skip = false;
+};
+
+/// Builds the arguments (and premise state) for one instance of rule
+/// kind \p K. Returns std::nullopt for kinds needing no randomized test
+/// here (none at present) or when generation fails.
+std::optional<Infrule> buildInstance(InfruleKind K, InstanceGen &G) {
+  using KK = InfruleKind;
+  using O = Opcode;
+  RNG &R = G.rng();
+  ir::Type Ty = G.randIntTy();
+  auto V = [](const ValT &X) { return Expr::val(X); };
+
+  Infrule Rule;
+  Rule.K = K;
+  Rule.S = Side::Src;
+
+  switch (K) {
+  case KK::Transitivity: {
+    // e1 := a (as defined reg), e2 := its definition, e3 := equal reg.
+    ValT Av = G.randOperand(Ty);
+    ValT Bv = G.randOperand(Ty);
+    Expr E = Expr::bop(O::Add, Ty, Av, Bv);
+    ValT X = G.define(E);
+    ValT Y = G.define(V(X));
+    Rule.Args = {V(Y), V(X), E};
+    return Rule;
+  }
+  case KK::Substitute:
+  case KK::SubstituteRev: {
+    ValT From = G.randOperand(Ty);
+    // To: either literally equal value or an undef-refinement premise.
+    ValT To = G.define(V(From));
+    ValT Other = G.randOperand(Ty);
+    Expr E = Expr::bop(O::Add, Ty, From, Other);
+    // Premise From >= To.
+    G.A.Src.insert(Pred::lessdef(V(From), V(To)));
+    if (K == KK::Substitute)
+      Rule.Args = {E, V(From), V(To)};
+    else
+      Rule.Args = {E.substituted(From, To), V(To), V(From)};
+    return Rule;
+  }
+  case KK::SubstituteOp: {
+    ValT From = G.randOperand(Ty);
+    ValT To = G.define(V(From));
+    G.A.Src.insert(Pred::lessdef(V(From), V(To)));
+    // Repeated-operand expression: both positions hold From.
+    Expr E = Expr::bop(O::Mul, Ty, From, From);
+    int64_t Idx = R.chance(1, 2) ? 0 : 1;
+    Rule.Args = {E, V(G.constI(Idx, ir::Type::intTy(32))), V(From), V(To)};
+    return Rule;
+  }
+  case KK::IntroGhost: {
+    ValT Av = G.randOperand(Ty);
+    ValT Bv = G.randOperand(Ty);
+    Expr E = R.chance(1, 2) ? Expr::bop(O::Xor, Ty, Av, Bv) : V(Av);
+    ValT Gh = ValT::ghost("g" + std::to_string(R.below(4)), Ty);
+    Rule.Args = {V(Gh), E};
+    return Rule;
+  }
+  case KK::IntroEq: {
+    ValT Av = G.randOperand(Ty);
+    ValT Bv = G.randOperand(Ty);
+    Rule.Args = {Expr::bop(O::And, Ty, Av, Bv)};
+    return Rule;
+  }
+  case KK::ReduceMaydiffLessdef: {
+    // r_src := e (or undef), r_tgt := e; r in maydiff; premise lessdefs.
+    ValT Av = G.randOperand(Ty);
+    ValT Bv = G.randOperand(Ty);
+    Expr E = Expr::bop(O::Or, Ty, Av, Bv);
+    ExprEval SV = evalExpr(E, G.SrcState);
+    ExprEval TV = evalExpr(E, G.TgtState);
+    if (SV.Trap || TV.Trap)
+      return std::nullopt;
+    std::string Name = "rd" + std::to_string(R.below(4));
+    RegT Reg{Name, Tag::Phy};
+    // Source may be less defined than e; target must refine e.
+    G.SrcState.Regs[Reg] = R.chance(1, 4) ? RtValue::undef() : SV.V;
+    G.TgtState.Regs[Reg] = TV.V;
+    G.A.Maydiff.insert(Reg);
+    ValT RV = ValT::phy(ir::Value::reg(Name, Ty));
+    G.A.Src.insert(Pred::lessdef(V(RV), E));
+    G.A.Tgt.insert(Pred::lessdef(E, V(RV)));
+    Rule.Args = {V(RV), E, E};
+    return Rule;
+  }
+  case KK::ReduceMaydiffNonPhysical: {
+    ValT Gh = ValT::ghost("dead", Ty);
+    G.A.Maydiff.insert(Gh.regT());
+    Rule.Args = {V(Gh)};
+    return Rule;
+  }
+  case KK::IcmpToEq: {
+    int64_t CVal = R.range(-4, 8);
+    // Mostly pick a register that really holds the constant so the
+    // branch-fact premise is satisfiable.
+    ValT Y = R.chance(4, 5)
+                 ? G.freshPhy(Ty, interp::RtValue::intVal(
+                                      static_cast<uint64_t>(CVal),
+                                      Ty.intWidth()))
+                 : G.randOperand(Ty);
+    ValT Cv = G.constI(CVal, Ty);
+    ValT Cond = G.define(Expr::icmp(IcmpPred::Eq, Y, Cv));
+    // Branch fact: only generate states where the condition is true.
+    ExprEval CV = evalValT(Cond, G.SrcState);
+    if (CV.Trap || !CV.V.isInt() || CV.V.bits() != 1)
+      return std::nullopt;
+    ir::Type B = ir::Type::intTy(1);
+    G.A.Src.insert(Pred::lessdef(V(G.constI(1, B)), V(Cond)));
+    G.A.Src.insert(Pred::lessdef(V(Cond), V(G.constI(1, B))));
+    Rule.Args = {V(Cond), V(Y), V(Cv)};
+    return Rule;
+  }
+  case KK::ConstexprNoUb: {
+    // The PR33673 shape: 1 / ((int)G - (int)G), or a benign constant.
+    ir::Type I32 = ir::Type::intTy(32);
+    ir::Value GAddr = ir::Value::global("G");
+    ir::Value P2I =
+        ir::Value::constExpr(O::PtrToInt, I32, {GAddr});
+    ir::Value Diff = ir::Value::constExpr(O::Sub, I32, {P2I, P2I});
+    ir::Value C =
+        R.chance(1, 2)
+            ? ir::Value::constExpr(O::SDiv, I32,
+                                   {ir::Value::constInt(1, I32), Diff})
+            : ir::Value::constInt(7, I32);
+    // v: the folding mem2reg assumed — undef may become this constant.
+    Rule.Args = {V(ValT::phy(ir::Value::undef(I32))), V(ValT::phy(C))};
+    return Rule;
+  }
+
+  // ---- Fused arithmetic rules -------------------------------------------
+  case KK::AddAssoc: {
+    ValT Av = G.randOperand(Ty);
+    int64_t C1 = R.range(-4, 8), C2 = R.range(-4, 8);
+    ValT X = G.defineBop(O::Add, Av, G.constI(C1, Ty));
+    ValT Y = G.defineBop(O::Add, X, G.constI(C2, Ty));
+    Rule.Args = {V(Y), V(X), V(Av), V(G.constI(C1, Ty)),
+                 V(G.constI(C2, Ty)), V(G.constI(C1 + C2, Ty))};
+    return Rule;
+  }
+  case KK::AddSub: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Sub, Av, Bv);
+    ValT Y = G.defineBop(O::Add, X, Bv);
+    Rule.Args = {V(Y), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::AddComm:
+  case KK::MulComm:
+  case KK::AndComm:
+  case KK::OrComm:
+  case KK::XorComm: {
+    O Op = (K == KK::AddComm)   ? O::Add
+           : (K == KK::MulComm) ? O::Mul
+           : (K == KK::AndComm) ? O::And
+           : (K == KK::OrComm)  ? O::Or
+                                : O::Xor;
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Y = G.defineBop(Op, Av, Bv);
+    Rule.Args = {V(Y), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::AddZero:
+  case KK::SubZero:
+  case KK::XorZero:
+  case KK::OrZero: {
+    O Op = (K == KK::AddZero)   ? O::Add
+           : (K == KK::SubZero) ? O::Sub
+           : (K == KK::XorZero) ? O::Xor
+                                : O::Or;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(Op, Av, G.constI(0, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::AddOnebit:
+  case KK::SubOnebit:
+  case KK::MulBool: {
+    ir::Type B1 = ir::Type::intTy(1);
+    O Op = (K == KK::AddOnebit)   ? O::Add
+           : (K == KK::SubOnebit) ? O::Sub
+                                  : O::Mul;
+    ValT Av = G.randOperand(B1), Bv = G.randOperand(B1);
+    ValT Y = G.defineBop(Op, Av, Bv);
+    Rule.Args = {V(Y), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::AddSignbit: {
+    unsigned W = Ty.intWidth();
+    ValT Cv = G.constI(int64_t(1) << (W - 1), Ty);
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Add, Av, Cv);
+    Rule.Args = {V(Y), V(Av), V(Cv)};
+    return Rule;
+  }
+  case KK::AddShift: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Add, Av, Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::AddOrAnd:
+  case KK::AddXorAnd:
+  case KK::OrXor:
+  case KK::SubOrXor: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    O First = (K == KK::AddOrAnd || K == KK::SubOrXor) ? O::Or : O::Xor;
+    if (K == KK::SubOrXor)
+      First = O::Or;
+    O Second = (K == KK::SubOrXor) ? O::Xor : O::And;
+    O Outer = (K == KK::OrXor)      ? O::Or
+              : (K == KK::SubOrXor) ? O::Sub
+                                    : O::Add;
+    ValT Z = G.defineBop(First, Av, Bv);
+    ValT X = G.defineBop(Second, Av, Bv);
+    ValT Y = G.defineBop(Outer, Z, X);
+    Rule.Args = {V(Y), V(Z), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::AddZextBool: {
+    ir::Type B1 = ir::Type::intTy(1);
+    if (Ty.intWidth() == 1)
+      Ty = ir::Type::intTy(32);
+    ValT Bv = G.randOperand(B1);
+    int64_t Cn = R.range(-4, 8);
+    ValT X = G.define(Expr::cast(O::ZExt, Ty, Bv));
+    ValT Y = G.defineBop(O::Add, X, G.constI(Cn, Ty));
+    Rule.Args = {V(Y), V(X), V(Bv), V(G.constI(Cn, Ty)),
+                 V(G.constI(Cn + 1, Ty))};
+    return Rule;
+  }
+  case KK::SubAdd: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Add, Av, Bv);
+    ValT Y = G.defineBop(O::Sub, X, Bv);
+    Rule.Args = {V(Y), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::SubSame: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Sub, Av, Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::SubMone: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Sub, G.constI(-1, Ty), Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::SubConstAdd: {
+    ValT Av = G.randOperand(Ty);
+    int64_t C1 = R.range(-4, 8), C2 = R.range(-4, 8);
+    ValT X = G.defineBop(O::Add, Av, G.constI(C1, Ty));
+    ValT Y = G.defineBop(O::Sub, X, G.constI(C2, Ty));
+    Rule.Args = {V(Y), V(X), V(Av), V(G.constI(C1, Ty)),
+                 V(G.constI(C2, Ty)), V(G.constI(C1 - C2, Ty))};
+    return Rule;
+  }
+  case KK::SubConstNot: {
+    ValT Av = G.randOperand(Ty);
+    int64_t Cn = R.range(-4, 8);
+    ValT X = G.defineBop(O::Xor, Av, G.constI(-1, Ty));
+    ValT Y = G.defineBop(O::Sub, G.constI(Cn, Ty), X);
+    Rule.Args = {V(Y), V(X), V(Av), V(G.constI(Cn, Ty)),
+                 V(G.constI(Cn + 1, Ty))};
+    return Rule;
+  }
+  case KK::SubSub: {
+    ValT Av = G.randOperand(Ty);
+    int64_t C1 = R.range(-4, 8), C2 = R.range(-4, 8);
+    ValT X = G.defineBop(O::Sub, Av, G.constI(C1, Ty));
+    ValT Y = G.defineBop(O::Sub, X, G.constI(C2, Ty));
+    Rule.Args = {V(Y), V(X), V(Av), V(G.constI(C1, Ty)),
+                 V(G.constI(C2, Ty)), V(G.constI(C1 + C2, Ty))};
+    return Rule;
+  }
+  case KK::SubRemove: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Add, Av, Bv);
+    ValT Y = G.defineBop(O::Sub, Av, X);
+    Rule.Args = {V(Y), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::SubShl: {
+    unsigned W = Ty.intWidth();
+    int64_t Cn = static_cast<int64_t>(R.below(W));
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Shl, Av, G.constI(Cn, Ty));
+    ValT Y = G.defineBop(O::Sub, G.constI(0, Ty), X);
+    Rule.Args = {V(Y), V(X), V(Av), V(G.constI(Cn, Ty))};
+    return Rule;
+  }
+  case KK::MulMone:
+  case KK::SdivMone: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(K == KK::MulMone ? O::Mul : O::SDiv, Av,
+                         G.constI(-1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::MulZero: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Mul, Av, G.constI(0, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::MulOne: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Mul, Av, G.constI(1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::MulShl: {
+    unsigned W = Ty.intWidth();
+    int64_t C2 = static_cast<int64_t>(R.below(W));
+    int64_t C1 = int64_t(1) << C2;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Mul, Av, G.constI(C1, Ty));
+    Rule.Args = {V(Y), V(Av), V(G.constI(C1, Ty)), V(G.constI(C2, Ty))};
+    return Rule;
+  }
+  case KK::MulNeg: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Sub, G.constI(0, Ty), Av);
+    ValT Z = G.defineBop(O::Sub, G.constI(0, Ty), Bv);
+    ValT Y = G.defineBop(O::Mul, X, Z);
+    Rule.Args = {V(Y), V(X), V(Z), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::AndSame:
+  case KK::OrSame: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(K == KK::AndSame ? O::And : O::Or, Av, Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::AndZero: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::And, Av, G.constI(0, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::AndMone: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::And, Av, G.constI(-1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::AndNot:
+  case KK::OrNot: {
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Xor, Av, G.constI(-1, Ty));
+    ValT Y = G.defineBop(K == KK::AndNot ? O::And : O::Or, Av, X);
+    Rule.Args = {V(Y), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::AndOr: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Or, Av, Bv);
+    ValT Y = G.defineBop(O::And, Av, X);
+    Rule.Args = {V(Y), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::OrAnd: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::And, Av, Bv);
+    ValT Y = G.defineBop(O::Or, Av, X);
+    Rule.Args = {V(Y), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::AndUndef:
+  case KK::OrUndef:
+  case KK::XorUndef: {
+    O Op = (K == KK::AndUndef)  ? O::And
+           : (K == KK::OrUndef) ? O::Or
+                                : O::Xor;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(Op, Av, ValT::phy(ir::Value::undef(Ty)));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::AndDeMorgan: {
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Xor, Av, G.constI(-1, Ty));
+    ValT Y = G.defineBop(O::Xor, Bv, G.constI(-1, Ty));
+    ValT Z = G.defineBop(O::And, X, Y);
+    ValT W = G.defineBop(O::Or, Av, Bv);
+    Rule.Args = {V(Z), V(X), V(Y), V(W), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::OrMone: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Or, Av, G.constI(-1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::XorSame: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Xor, Av, Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::ShiftZero1: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Shl, Av, G.constI(0, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::ShiftZero2: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Shl, G.constI(0, Ty), Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::ShiftUndef1: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::Shl, Av, ValT::phy(ir::Value::undef(Ty)));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::IcmpSame: {
+    auto P = static_cast<IcmpPred>(R.below(10));
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.define(Expr::icmp(P, Av, Av));
+    Rule.Args = {V(Y),
+                 V(G.constI(static_cast<int64_t>(P), ir::Type::intTy(32))),
+                 V(Av)};
+    return Rule;
+  }
+  case KK::IcmpSwap: {
+    auto P = static_cast<IcmpPred>(R.below(10));
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Y = G.define(Expr::icmp(P, Av, Bv));
+    Rule.Args = {V(Y),
+                 V(G.constI(static_cast<int64_t>(P), ir::Type::intTy(32))),
+                 V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::IcmpEqSub:
+  case KK::IcmpNeSub:
+  case KK::IcmpEqXor:
+  case KK::IcmpNeXor: {
+    O Op = (K == KK::IcmpEqSub || K == KK::IcmpNeSub) ? O::Sub : O::Xor;
+    IcmpPred P = (K == KK::IcmpEqSub || K == KK::IcmpEqXor) ? IcmpPred::Eq
+                                                            : IcmpPred::Ne;
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT X = G.defineBop(Op, Av, Bv);
+    ValT Y = G.define(Expr::icmp(P, X, G.constI(0, Ty)));
+    Rule.Args = {V(Y), V(X), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::IcmpEqSrem: {
+    int64_t Cn = R.chance(1, 2) ? 1 : -1;
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.defineBop(O::SRem, Av, G.constI(Cn, Ty));
+    ValT Y = G.define(Expr::icmp(IcmpPred::Eq, X, G.constI(0, Ty)));
+    Rule.Args = {V(Y), V(X), V(Av), V(G.constI(Cn, Ty))};
+    return Rule;
+  }
+  case KK::LshrZero:
+  case KK::AshrZero: {
+    O Op = K == KK::LshrZero ? O::LShr : O::AShr;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(Op, Av, G.constI(0, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::UdivOne:
+  case KK::UremOne: {
+    O Op = K == KK::UdivOne ? O::UDiv : O::URem;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(Op, Av, G.constI(1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::OrXor2:
+  case KK::OrOr: {
+    O First = K == KK::OrXor2 ? O::Xor : O::Or;
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Z = G.defineBop(First, Av, Bv);
+    ValT Y = G.defineBop(O::Or, Z, Bv);
+    Rule.Args = {V(Y), V(Z), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::IcmpEqAddAdd:
+  case KK::IcmpNeAddAdd: {
+    IcmpPred P = K == KK::IcmpEqAddAdd ? IcmpPred::Eq : IcmpPred::Ne;
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Cv = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Add, Av, Cv);
+    ValT Y = G.defineBop(O::Add, Bv, Cv);
+    ValT Z = G.define(Expr::icmp(P, X, Y));
+    Rule.Args = {V(Z), V(X), V(Y), V(Av), V(Bv), V(Cv)};
+    return Rule;
+  }
+  case KK::SelectIcmpEq: {
+    ValT Av = G.randOperand(Ty);
+    ValT Cv = G.constI(R.range(-4, 8), Ty);
+    ValT Y = G.define(Expr::icmp(IcmpPred::Eq, Av, Cv));
+    ValT Z = G.define(Expr::select(Ty, Y, Cv, Av));
+    Rule.Args = {V(Z), V(Y), V(Av), V(Cv)};
+    return Rule;
+  }
+  case KK::SelectIcmpNe: {
+    ValT Av = G.randOperand(Ty);
+    ValT Cv = G.constI(R.range(-4, 8), Ty);
+    ValT Y = G.define(Expr::icmp(IcmpPred::Ne, Av, Cv));
+    ValT Z = G.define(Expr::select(Ty, Y, Av, Cv));
+    Rule.Args = {V(Z), V(Y), V(Av), V(Cv)};
+    return Rule;
+  }
+  case KK::SelectSame: {
+    ValT Cv = G.randOperand(ir::Type::intTy(1));
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.define(Expr::select(Ty, Cv, Av, Av));
+    Rule.Args = {V(Y), V(Cv), V(Av)};
+    return Rule;
+  }
+  case KK::SelectTrue:
+  case KK::SelectFalse: {
+    ValT Cond = G.constI(K == KK::SelectTrue ? 1 : 0, ir::Type::intTy(1));
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Y = G.define(Expr::select(Ty, Cond, Av, Bv));
+    Rule.Args = {V(Y), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::TruncZext: {
+    ir::Type Small = ir::Type::intTy(8), Big = ir::Type::intTy(32);
+    ValT Av = G.randOperand(Small);
+    ValT X = G.define(Expr::cast(O::ZExt, Big, Av));
+    ValT Y = G.define(Expr::cast(O::Trunc, Small, X));
+    Rule.Args = {V(Y), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::TruncTrunc: {
+    ValT Av = G.randOperand(ir::Type::intTy(64));
+    ValT X = G.define(Expr::cast(O::Trunc, ir::Type::intTy(32), Av));
+    ValT Y = G.define(Expr::cast(O::Trunc, ir::Type::intTy(8), X));
+    Rule.Args = {V(Y), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::ZextZext:
+  case KK::SextSext: {
+    O Op = K == KK::ZextZext ? O::ZExt : O::SExt;
+    ValT Av = G.randOperand(ir::Type::intTy(8));
+    ValT X = G.define(Expr::cast(Op, ir::Type::intTy(16), Av));
+    ValT Y = G.define(Expr::cast(Op, ir::Type::intTy(64), X));
+    Rule.Args = {V(Y), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::SextZext: {
+    ValT Av = G.randOperand(ir::Type::intTy(8));
+    ValT X = G.define(Expr::cast(O::ZExt, ir::Type::intTy(16), Av));
+    ValT Y = G.define(Expr::cast(O::SExt, ir::Type::intTy(64), X));
+    Rule.Args = {V(Y), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::BitcastSame: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.define(Expr::cast(O::Bitcast, Ty, Av));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::BitcastBitcast: {
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.define(Expr::cast(O::Bitcast, Ty, Av));
+    ValT Y = G.define(Expr::cast(O::Bitcast, Ty, X));
+    Rule.Args = {V(Y), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::InttoptrPtrtoint: {
+    ValT Pv = G.randOperand(ir::Type::ptrTy());
+    ValT X = G.define(Expr::cast(O::PtrToInt, ir::Type::intTy(64), Pv));
+    ValT Y = G.define(Expr::cast(O::IntToPtr, ir::Type::ptrTy(), X));
+    Rule.Args = {V(Y), V(X), V(Pv)};
+    return Rule;
+  }
+  case KK::BopCommExpr: {
+    static const O Comm[] = {O::Add, O::Mul, O::And, O::Or, O::Xor};
+    O Op = Comm[R.below(5)];
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    Rule.Args = {V(G.constI(static_cast<int64_t>(Op), ir::Type::intTy(32))),
+                 V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::GepZero: {
+    bool Inb = R.chance(1, 2);
+    ValT Pv = G.randOperand(ir::Type::ptrTy());
+    ValT Y = G.define(
+        Expr::gep(Inb, Pv, G.constI(0, ir::Type::intTy(64))));
+    Rule.Args = {V(Y), V(Pv),
+                 V(G.constI(Inb ? 1 : 0, ir::Type::intTy(32)))};
+    return Rule;
+  }
+  case KK::NegVal: {
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Sub, G.constI(0, Ty), Av);
+    ValT Z = G.defineBop(O::Sub, G.constI(0, Ty), X);
+    Rule.Args = {V(Z), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::XorNot: {
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.defineBop(O::Xor, Av, G.constI(-1, Ty));
+    ValT Z = G.defineBop(O::Xor, X, G.constI(-1, Ty));
+    Rule.Args = {V(Z), V(X), V(Av)};
+    return Rule;
+  }
+  case KK::XorXor:
+  case KK::AndAnd:
+  case KK::OrConst: {
+    O Op = K == KK::XorXor ? O::Xor : K == KK::AndAnd ? O::And : O::Or;
+    ValT Av = G.randOperand(Ty);
+    ValT C1 = G.constI(R.range(-8, 8), Ty);
+    ValT C2 = G.constI(R.range(-8, 8), Ty);
+    ValT X = G.defineBop(Op, Av, C1);
+    ValT Y = G.defineBop(Op, X, C2);
+    Rule.Args = {V(Y), V(X), V(Av), V(C1), V(C2)};
+    return Rule;
+  }
+  case KK::ShlShl:
+  case KK::LshrLshr: {
+    O Op = K == KK::ShlShl ? O::Shl : O::LShr;
+    unsigned W = Ty.intWidth();
+    if (W < 2)
+      return std::nullopt;
+    int64_t C1n = static_cast<int64_t>(R.below(W));
+    int64_t C2n = static_cast<int64_t>(R.below(W - C1n));
+    ValT C1 = G.constI(C1n, Ty), C2 = G.constI(C2n, Ty);
+    ValT Av = G.randOperand(Ty);
+    ValT X = G.defineBop(Op, Av, C1);
+    ValT Y = G.defineBop(Op, X, C2);
+    Rule.Args = {V(Y), V(X), V(Av), V(C1), V(C2)};
+    return Rule;
+  }
+  case KK::SdivOne: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::SDiv, Av, G.constI(1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::SremOne:
+  case KK::SremMone: {
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(O::SRem, Av,
+                         G.constI(K == KK::SremOne ? 1 : -1, Ty));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::IcmpUltZero:
+  case KK::IcmpUgeZero: {
+    IcmpPred P = K == KK::IcmpUltZero ? IcmpPred::Ult : IcmpPred::Uge;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.define(Expr::icmp(P, Av, G.constI(0, Ty)));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::IcmpInverse: {
+    auto P = static_cast<IcmpPred>(R.below(10));
+    ir::Type B1 = ir::Type::intTy(1);
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Z = G.define(Expr::icmp(P, Av, Bv));
+    ValT Y = G.define(Expr::bop(O::Xor, B1, Z, G.constI(1, B1)));
+    Rule.Args = {V(Z), V(Y),
+                 V(G.constI(static_cast<int64_t>(P), ir::Type::intTy(32))),
+                 V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::SelectNotCond: {
+    ir::Type B1 = ir::Type::intTy(1);
+    ValT Cond = G.randOperand(B1);
+    ValT Y = G.define(Expr::bop(O::Xor, B1, Cond, G.constI(1, B1)));
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Z = G.define(Expr::select(Ty, Y, Av, Bv));
+    Rule.Args = {V(Z), V(Y), V(Cond), V(Av), V(Bv)};
+    return Rule;
+  }
+  case KK::LshrZero2:
+  case KK::AshrZero2: {
+    O Op = K == KK::LshrZero2 ? O::LShr : O::AShr;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.defineBop(Op, G.constI(0, Ty), Av);
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::IcmpUleMone:
+  case KK::IcmpUgtMone: {
+    IcmpPred P = K == KK::IcmpUleMone ? IcmpPred::Ule : IcmpPred::Ugt;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.define(Expr::icmp(P, Av, G.constI(-1, Ty)));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::IcmpSgeSmin:
+  case KK::IcmpSltSmin: {
+    IcmpPred P = K == KK::IcmpSgeSmin ? IcmpPred::Sge : IcmpPred::Slt;
+    ValT Av = G.randOperand(Ty);
+    ValT Y = G.define(Expr::icmp(
+        P, Av, G.constI(int64_t(1) << (Ty.intWidth() - 1), Ty)));
+    Rule.Args = {V(Y), V(Av)};
+    return Rule;
+  }
+  case KK::SdivSubSrem:
+  case KK::UdivSubUrem: {
+    bool Signed = K == KK::SdivSubSrem;
+    ValT Av = G.randOperand(Ty), Bv = G.randOperand(Ty);
+    ValT Y = G.defineBop(Signed ? O::SRem : O::URem, Av, Bv);
+    ValT X = G.defineBop(O::Sub, Av, Y);
+    ValT Z = G.defineBop(Signed ? O::SDiv : O::UDiv, X, Bv);
+    Rule.Args = {V(Z), V(X), V(Y), V(Av), V(Bv)};
+    return Rule;
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+RuleVerdict crellvm::erhl::verifyRule(InfruleKind K, uint64_t Seed,
+                                      uint64_t Instances) {
+  RuleVerdict Verdict;
+  Verdict.K = K;
+  RNG R(Seed ^ (static_cast<uint64_t>(K) * 0x9e3779b97f4a7c15ull));
+
+  for (uint64_t I = 0; I != Instances; ++I) {
+    InstanceGen G(R);
+    auto Rule = buildInstance(K, G);
+    ++Verdict.Attempted;
+    if (!Rule || G.skipped())
+      continue;
+
+    Assertion Before = G.A;
+    auto Err = applyInfrule(*Rule, G.A);
+    if (Err)
+      continue;
+    ++Verdict.Applied;
+
+    // intro_ghost binds a fresh existential; instantiate the witness used
+    // in the soundness argument (ghost := target value of e).
+    if (K == InfruleKind::IntroGhost) {
+      RegT Gh = Rule->Args[0].asVal().regT();
+      ExprEval TV = evalExpr(Rule->Args[1], G.TgtState);
+      if (TV.Trap)
+        continue;
+      G.SrcState.Regs[Gh] = TV.V;
+      G.TgtState.Regs[Gh] = TV.V;
+    }
+    if (K == InfruleKind::ReduceMaydiffNonPhysical) {
+      RegT Gh = Rule->Args[0].asVal().regT();
+      RtValue W = RtValue::intVal(0, 32);
+      G.SrcState.Regs[Gh] = W;
+      G.TgtState.Regs[Gh] = W;
+    }
+
+    auto Violate = [&](const std::string &What) {
+      ++Verdict.Violations;
+      if (Verdict.FirstCounterexample.empty())
+        Verdict.FirstCounterexample = Rule->str() + ": " + What;
+    };
+
+    // Every added predicate must hold semantically.
+    for (const Pred &P : G.A.Src) {
+      if (Before.Src.count(P))
+        continue;
+      auto H = holdsPred(P, G.SrcState);
+      if (H && !*H)
+        Violate("added source predicate is false: " + P.str());
+    }
+    for (const Pred &P : G.A.Tgt) {
+      if (Before.Tgt.count(P))
+        continue;
+      auto H = holdsPred(P, G.TgtState);
+      if (H && !*H)
+        Violate("added target predicate is false: " + P.str());
+    }
+    // Every maydiff removal must be justified: the target value must
+    // refine the source value.
+    for (const RegT &Reg : Before.Maydiff) {
+      if (G.A.Maydiff.count(Reg))
+        continue;
+      RtValue SV = G.SrcState.regOr(Reg, RtValue::undef());
+      RtValue TV = G.TgtState.regOr(Reg, RtValue::undef());
+      if (!refinesValue(SV, TV))
+        Violate("maydiff removal of " + Reg.str() + " unjustified");
+    }
+  }
+  return Verdict;
+}
+
+std::vector<RuleVerdict> crellvm::erhl::verifyAllRules(uint64_t Seed,
+                                                       uint64_t Instances) {
+  std::vector<RuleVerdict> Out;
+  for (uint16_t K = 0; K != NumInfruleKinds; ++K)
+    Out.push_back(
+        verifyRule(static_cast<InfruleKind>(K), Seed, Instances));
+  return Out;
+}

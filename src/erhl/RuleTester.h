@@ -1,0 +1,50 @@
+//===- erhl/RuleTester.h - Randomized rule-soundness testing ---*- C++ -*-===//
+///
+/// \file
+/// Randomized semantic verification of the installed inference rules — the
+/// reproduction's substitute for the paper's Coq proofs (DESIGN.md §2).
+/// For every rule kind, thousands of random instances are generated: a
+/// random machine state, random premise definitions bound in that state,
+/// and a rule application; every predicate the rule adds (and every
+/// maydiff removal) is then evaluated semantically. A sound rule never
+/// produces a false conclusion.
+///
+/// This is how the paper's §1 narrative is reproduced: "we found one of
+/// our two mem2reg bugs during the verification of inference rules" — the
+/// `constexpr_no_ub` rule is refuted here by a division-by-zero
+/// counterexample (PR33673).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ERHL_RULETESTER_H
+#define CRELLVM_ERHL_RULETESTER_H
+
+#include "erhl/Infrule.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace erhl {
+
+/// Outcome of verifying one rule kind.
+struct RuleVerdict {
+  InfruleKind K;
+  uint64_t Attempted = 0; ///< instances generated
+  uint64_t Applied = 0;   ///< instances where the rule fired
+  uint64_t Violations = 0;
+  std::string FirstCounterexample;
+
+  bool sound() const { return Violations == 0; }
+};
+
+/// Verifies one rule kind with \p Instances random instances.
+RuleVerdict verifyRule(InfruleKind K, uint64_t Seed, uint64_t Instances);
+
+/// Verifies every installed rule kind.
+std::vector<RuleVerdict> verifyAllRules(uint64_t Seed, uint64_t Instances);
+
+} // namespace erhl
+} // namespace crellvm
+
+#endif // CRELLVM_ERHL_RULETESTER_H

@@ -1,0 +1,358 @@
+//===- erhl/Serialize.cpp ---------------------------------------*- C++ -*-===//
+
+#include "erhl/Serialize.h"
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+using JV = crellvm::json::Value;
+
+namespace {
+
+JV typeToJson(const ir::Type &T) { return JV(T.str()); }
+
+std::optional<ir::Type> typeFromJson(const JV &V) {
+  if (V.kind() != JV::Kind::String)
+    return std::nullopt;
+  const std::string &S = V.getString();
+  if (S == "void")
+    return ir::Type::voidTy();
+  if (S == "ptr")
+    return ir::Type::ptrTy();
+  if (!S.empty() && S[0] == 'i')
+    return ir::Type::intTy(
+        static_cast<unsigned>(std::strtoul(S.c_str() + 1, nullptr, 10)));
+  if (!S.empty() && S[0] == '<') {
+    unsigned Lanes = 0, Width = 0;
+    if (std::sscanf(S.c_str(), "<%u x i%u>", &Lanes, &Width) == 2)
+      return ir::Type::vecTy(Lanes, Width);
+  }
+  return std::nullopt;
+}
+
+JV irValueToJson(const ir::Value &V) {
+  JV O = JV::object();
+  switch (V.kind()) {
+  case ir::Value::Kind::Reg:
+    O.set("k", "reg");
+    O.set("name", V.regName());
+    O.set("ty", typeToJson(V.type()));
+    break;
+  case ir::Value::Kind::ConstInt:
+    O.set("k", "int");
+    O.set("v", V.intValue());
+    O.set("ty", typeToJson(V.type()));
+    break;
+  case ir::Value::Kind::Global:
+    O.set("k", "glob");
+    O.set("name", V.globalName());
+    break;
+  case ir::Value::Kind::Undef:
+    O.set("k", "undef");
+    O.set("ty", typeToJson(V.type()));
+    break;
+  case ir::Value::Kind::ConstExpr: {
+    O.set("k", "ce");
+    O.set("op", opcodeName(V.constExprNode().Op));
+    O.set("ty", typeToJson(V.type()));
+    JV Ops = JV::array();
+    for (const ir::Value &X : V.constExprNode().Ops)
+      Ops.push(irValueToJson(X));
+    O.set("ops", std::move(Ops));
+    break;
+  }
+  }
+  return O;
+}
+
+std::optional<ir::Value> irValueFromJson(const JV &V) {
+  if (V.kind() != JV::Kind::Object)
+    return std::nullopt;
+  const JV *K = V.find("k");
+  if (!K)
+    return std::nullopt;
+  const std::string &Kind = K->getString();
+  if (Kind == "reg") {
+    auto Ty = typeFromJson(V.get("ty"));
+    if (!Ty)
+      return std::nullopt;
+    return ir::Value::reg(V.get("name").getString(), *Ty);
+  }
+  if (Kind == "int") {
+    auto Ty = typeFromJson(V.get("ty"));
+    if (!Ty)
+      return std::nullopt;
+    return ir::Value::constInt(V.get("v").getInt(), *Ty);
+  }
+  if (Kind == "glob")
+    return ir::Value::global(V.get("name").getString());
+  if (Kind == "undef") {
+    auto Ty = typeFromJson(V.get("ty"));
+    if (!Ty)
+      return std::nullopt;
+    return ir::Value::undef(*Ty);
+  }
+  if (Kind == "ce") {
+    auto Op = opcodeFromName(V.get("op").getString());
+    auto Ty = typeFromJson(V.get("ty"));
+    if (!Op || !Ty)
+      return std::nullopt;
+    std::vector<ir::Value> Ops;
+    for (const JV &X : V.get("ops").elements()) {
+      auto O = irValueFromJson(X);
+      if (!O)
+        return std::nullopt;
+      Ops.push_back(std::move(*O));
+    }
+    return ir::Value::constExpr(*Op, *Ty, std::move(Ops));
+  }
+  return std::nullopt;
+}
+
+const char *tagName(Tag T) {
+  switch (T) {
+  case Tag::Phy:
+    return "phy";
+  case Tag::Ghost:
+    return "ghost";
+  case Tag::Old:
+    return "old";
+  }
+  return "phy";
+}
+
+std::optional<Tag> tagFromName(const std::string &S) {
+  if (S == "phy")
+    return Tag::Phy;
+  if (S == "ghost")
+    return Tag::Ghost;
+  if (S == "old")
+    return Tag::Old;
+  return std::nullopt;
+}
+
+JV valTToJson(const ValT &V) {
+  JV O = JV::object();
+  O.set("v", irValueToJson(V.V));
+  O.set("tag", tagName(V.T));
+  return O;
+}
+
+std::optional<ValT> valTFromJson(const JV &V) {
+  auto IrV = irValueFromJson(V.get("v"));
+  auto T = tagFromName(V.get("tag").getString());
+  if (!IrV || !T)
+    return std::nullopt;
+  return ValT{std::move(*IrV), *T};
+}
+
+const char *exprKindName(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::Val:
+    return "val";
+  case Expr::Kind::Bop:
+    return "bop";
+  case Expr::Kind::Icmp:
+    return "icmp";
+  case Expr::Kind::Select:
+    return "select";
+  case Expr::Kind::Cast:
+    return "cast";
+  case Expr::Kind::Gep:
+    return "gep";
+  case Expr::Kind::Load:
+    return "load";
+  }
+  return "val";
+}
+
+} // namespace
+
+JV crellvm::erhl::exprToJson(const Expr &E) {
+  JV O = JV::object();
+  O.set("k", exprKindName(E.kind()));
+  if (E.kind() == Expr::Kind::Bop || E.kind() == Expr::Kind::Cast)
+    O.set("op", opcodeName(E.opcode()));
+  if (E.kind() == Expr::Kind::Icmp)
+    O.set("pred", icmpPredName(E.icmpPred()));
+  if (E.kind() == Expr::Kind::Gep)
+    O.set("inb", E.isInbounds());
+  O.set("ty", typeToJson(E.type()));
+  JV Ops = JV::array();
+  for (const ValT &V : E.operands())
+    Ops.push(valTToJson(V));
+  O.set("ops", std::move(Ops));
+  return O;
+}
+
+std::optional<Expr> crellvm::erhl::exprFromJson(const JV &V) {
+  if (V.kind() != JV::Kind::Object)
+    return std::nullopt;
+  const std::string &K = V.get("k").getString();
+  auto Ty = typeFromJson(V.get("ty"));
+  if (!Ty)
+    return std::nullopt;
+  std::vector<ValT> Ops;
+  for (const JV &X : V.get("ops").elements()) {
+    auto O = valTFromJson(X);
+    if (!O)
+      return std::nullopt;
+    Ops.push_back(std::move(*O));
+  }
+  auto Arity = [&](size_t N) { return Ops.size() == N; };
+  if (K == "val" && Arity(1))
+    return Expr::val(Ops[0]);
+  if (K == "bop" && Arity(2)) {
+    auto Op = opcodeFromName(V.get("op").getString());
+    if (!Op)
+      return std::nullopt;
+    return Expr::bop(*Op, *Ty, Ops[0], Ops[1]);
+  }
+  if (K == "icmp" && Arity(2)) {
+    auto P = icmpPredFromName(V.get("pred").getString());
+    if (!P)
+      return std::nullopt;
+    return Expr::icmp(*P, Ops[0], Ops[1]);
+  }
+  if (K == "select" && Arity(3))
+    return Expr::select(*Ty, Ops[0], Ops[1], Ops[2]);
+  if (K == "cast" && Arity(1)) {
+    auto Op = opcodeFromName(V.get("op").getString());
+    if (!Op)
+      return std::nullopt;
+    return Expr::cast(*Op, *Ty, Ops[0]);
+  }
+  if (K == "gep" && Arity(2))
+    return Expr::gep(V.get("inb").getBool(), Ops[0], Ops[1]);
+  if (K == "load" && Arity(1))
+    return Expr::load(*Ty, Ops[0]);
+  return std::nullopt;
+}
+
+JV crellvm::erhl::predToJson(const Pred &P) {
+  JV O = JV::object();
+  switch (P.kind()) {
+  case Pred::Kind::Lessdef:
+    O.set("k", "ld");
+    O.set("e1", exprToJson(P.lhs()));
+    O.set("e2", exprToJson(P.rhs()));
+    break;
+  case Pred::Kind::Noalias:
+    O.set("k", "na");
+    O.set("a", valTToJson(P.a()));
+    O.set("b", valTToJson(P.b()));
+    break;
+  case Pred::Kind::Unique:
+    O.set("k", "uniq");
+    O.set("r", P.uniqueReg());
+    break;
+  case Pred::Kind::Private:
+    O.set("k", "priv");
+    O.set("a", valTToJson(P.a()));
+    break;
+  }
+  return O;
+}
+
+std::optional<Pred> crellvm::erhl::predFromJson(const JV &V) {
+  if (V.kind() != JV::Kind::Object)
+    return std::nullopt;
+  const std::string &K = V.get("k").getString();
+  if (K == "ld") {
+    auto E1 = exprFromJson(V.get("e1"));
+    auto E2 = exprFromJson(V.get("e2"));
+    if (!E1 || !E2)
+      return std::nullopt;
+    return Pred::lessdef(std::move(*E1), std::move(*E2));
+  }
+  if (K == "na") {
+    auto A = valTFromJson(V.get("a"));
+    auto B = valTFromJson(V.get("b"));
+    if (!A || !B)
+      return std::nullopt;
+    return Pred::noalias(std::move(*A), std::move(*B));
+  }
+  if (K == "uniq")
+    return Pred::unique(V.get("r").getString());
+  if (K == "priv") {
+    auto A = valTFromJson(V.get("a"));
+    if (!A)
+      return std::nullopt;
+    return Pred::priv(std::move(*A));
+  }
+  return std::nullopt;
+}
+
+JV crellvm::erhl::assertionToJson(const Assertion &A) {
+  JV O = JV::object();
+  JV Src = JV::array(), Tgt = JV::array(), Md = JV::array();
+  for (const Pred &P : A.Src)
+    Src.push(predToJson(P));
+  for (const Pred &P : A.Tgt)
+    Tgt.push(predToJson(P));
+  for (const RegT &R : A.Maydiff) {
+    JV E = JV::object();
+    E.set("name", R.Name);
+    E.set("tag", tagName(R.T));
+    Md.push(std::move(E));
+  }
+  O.set("src", std::move(Src));
+  O.set("tgt", std::move(Tgt));
+  O.set("md", std::move(Md));
+  return O;
+}
+
+std::optional<Assertion>
+crellvm::erhl::assertionFromJson(const JV &V) {
+  if (V.kind() != JV::Kind::Object)
+    return std::nullopt;
+  Assertion A;
+  for (const JV &X : V.get("src").elements()) {
+    auto P = predFromJson(X);
+    if (!P)
+      return std::nullopt;
+    A.Src.insert(std::move(*P));
+  }
+  for (const JV &X : V.get("tgt").elements()) {
+    auto P = predFromJson(X);
+    if (!P)
+      return std::nullopt;
+    A.Tgt.insert(std::move(*P));
+  }
+  for (const JV &X : V.get("md").elements()) {
+    auto T = tagFromName(X.get("tag").getString());
+    if (!T)
+      return std::nullopt;
+    A.Maydiff.insert(RegT{X.get("name").getString(), *T});
+  }
+  return A;
+}
+
+JV crellvm::erhl::infruleToJson(const Infrule &R) {
+  JV O = JV::object();
+  O.set("k", infruleKindName(R.K));
+  O.set("side", R.S == Side::Src ? "src" : "tgt");
+  JV Args = JV::array();
+  for (const Expr &E : R.Args)
+    Args.push(exprToJson(E));
+  O.set("args", std::move(Args));
+  return O;
+}
+
+std::optional<Infrule> crellvm::erhl::infruleFromJson(const JV &V) {
+  if (V.kind() != JV::Kind::Object)
+    return std::nullopt;
+  auto K = infruleKindFromName(V.get("k").getString());
+  if (!K)
+    return std::nullopt;
+  Infrule R;
+  R.K = *K;
+  R.S = V.get("side").getString() == "tgt" ? Side::Tgt : Side::Src;
+  for (const JV &X : V.get("args").elements()) {
+    auto E = exprFromJson(X);
+    if (!E)
+      return std::nullopt;
+    R.Args.push_back(std::move(*E));
+  }
+  return R;
+}

@@ -1,0 +1,34 @@
+//===- erhl/Serialize.h - JSON (de)serialization of assertions -*- C++ -*-===//
+///
+/// \file
+/// JSON round-trip for the ERHL assertion language and inference rules,
+/// used by the proof exchange format (the paper serializes proofs as
+/// plain-text JSON; its I/O cost is one of the timing columns we
+/// reproduce).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_ERHL_SERIALIZE_H
+#define CRELLVM_ERHL_SERIALIZE_H
+
+#include "erhl/Infrule.h"
+#include "json/Json.h"
+
+namespace crellvm {
+namespace erhl {
+
+json::Value exprToJson(const Expr &E);
+std::optional<Expr> exprFromJson(const json::Value &V);
+
+json::Value predToJson(const Pred &P);
+std::optional<Pred> predFromJson(const json::Value &V);
+
+json::Value assertionToJson(const Assertion &A);
+std::optional<Assertion> assertionFromJson(const json::Value &V);
+
+json::Value infruleToJson(const Infrule &R);
+std::optional<Infrule> infruleFromJson(const json::Value &V);
+
+} // namespace erhl
+} // namespace crellvm
+
+#endif // CRELLVM_ERHL_SERIALIZE_H

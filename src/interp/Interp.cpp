@@ -1,0 +1,587 @@
+//===- interp/Interp.cpp ----------------------------------------*- C++ -*-===//
+
+#include "interp/Interp.h"
+
+#include "interp/Ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::interp;
+using namespace crellvm::ir;
+
+std::string Event::str() const {
+  std::string S = "call @" + Callee + "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I != 0)
+      S += ", ";
+    S += Args[I].str();
+  }
+  S += ") -> " + Ret.str();
+  return S;
+}
+
+namespace {
+
+struct MemBlock {
+  uint64_t Size = 0;
+  std::vector<RtValue> Cells;
+  bool Alive = true;
+};
+
+/// The whole-machine state for one run.
+class Machine {
+public:
+  Machine(const ir::Module &M, const InterpOptions &Opts)
+      : M(M), Opts(Opts), OracleRng(Opts.OracleSeed) {}
+
+  RunResult run(const std::string &FuncName,
+                const std::vector<int64_t> &Args);
+
+private:
+  // -- Memory ------------------------------------------------------------
+  int64_t allocBlock(uint64_t Size, RtValue Init) {
+    int64_t Id = NextBlock++;
+    MemBlock B;
+    B.Size = Size;
+    B.Cells.assign(Size, Init);
+    Mem[Id] = std::move(B);
+    return Id;
+  }
+
+  MemBlock *liveBlock(int64_t Id) {
+    auto It = Mem.find(Id);
+    if (It == Mem.end() || !It->second.Alive)
+      return nullptr;
+    return &It->second;
+  }
+
+  // -- Failure plumbing ----------------------------------------------------
+  /// Flags undefined behavior; callers must unwind after checking failed().
+  void ub(const std::string &Reason) {
+    if (Result.End == Outcome::Returned) {
+      Result.End = Outcome::UndefBehav;
+      Result.UbReason = Reason;
+    }
+  }
+  void outOfFuel() {
+    if (Result.End == Outcome::Returned)
+      Result.End = Outcome::OutOfFuel;
+  }
+  bool failed() const { return Result.End != Outcome::Returned; }
+
+  // -- Value evaluation ----------------------------------------------------
+  using RegFile = std::map<std::string, RtValue>;
+
+  RtValue eval(const Value &V, const RegFile &Regs);
+  RtValue evalConstExpr(const ConstExprNode &N);
+  RtValue evalBinary(Opcode Op, unsigned Width, const RtValue &A,
+                     const RtValue &B);
+  RtValue evalIcmp(IcmpPred P, const RtValue &A, const RtValue &B);
+  RtValue evalCast(Opcode Op, ir::Type DstTy, const RtValue &A);
+
+  // -- Execution -----------------------------------------------------------
+  /// Interprets a call to a defined function. Returns the return value, or
+  /// an arbitrary value after failure (check failed()).
+  RtValue callFunction(const ir::Function &F, std::vector<RtValue> Args);
+  RtValue callExternal(const std::string &Callee, ir::Type RetTy,
+                       std::vector<RtValue> Args);
+  RtValue oracleValue(ir::Type Ty);
+
+  const ir::Module &M;
+  InterpOptions Opts;
+  RNG OracleRng;
+  std::map<int64_t, MemBlock> Mem;
+  std::map<std::string, int64_t> GlobalBlocks;
+  int64_t NextBlock = 1;
+  RunResult Result;
+  unsigned CallDepth = 0;
+};
+
+RtValue Machine::eval(const Value &V, const RegFile &Regs) {
+  switch (V.kind()) {
+  case Value::Kind::Reg: {
+    auto It = Regs.find(V.regName());
+    if (It == Regs.end()) {
+      ub("use of unbound register %" + V.regName());
+      return RtValue::undef();
+    }
+    return It->second;
+  }
+  case Value::Kind::ConstInt:
+    return RtValue::intVal(static_cast<uint64_t>(V.intValue()),
+                           V.type().intWidth());
+  case Value::Kind::Global: {
+    auto It = GlobalBlocks.find(V.globalName());
+    if (It == GlobalBlocks.end()) {
+      ub("reference to unknown global @" + V.globalName());
+      return RtValue::undef();
+    }
+    return RtValue::ptrVal(It->second, 0);
+  }
+  case Value::Kind::Undef:
+    return RtValue::undef();
+  case Value::Kind::ConstExpr:
+    return evalConstExpr(V.constExprNode());
+  }
+  return RtValue::undef();
+}
+
+RtValue Machine::evalConstExpr(const ConstExprNode &N) {
+  std::vector<RtValue> Ops;
+  RegFile Empty;
+  for (const Value &O : N.Ops) {
+    Ops.push_back(eval(O, Empty));
+    if (failed())
+      return RtValue::undef();
+  }
+  if (isBinaryOp(N.Op)) {
+    assert(Ops.size() == 2 && "binary constant expression arity");
+    return evalBinary(N.Op, N.Ty.intWidth(), Ops[0], Ops[1]);
+  }
+  assert(isCast(N.Op) && Ops.size() == 1 &&
+         "unsupported constant expression");
+  return evalCast(N.Op, N.Ty, Ops[0]);
+}
+
+RtValue Machine::evalBinary(Opcode Op, unsigned Width, const RtValue &A,
+                            const RtValue &B) {
+  OpResult R = evalBinaryOp(Op, Width, A, B);
+  if (R.Trap) {
+    ub(R.Reason);
+    return RtValue::undef();
+  }
+  return R.V;
+}
+
+RtValue Machine::evalIcmp(IcmpPred P, const RtValue &A, const RtValue &B) {
+  OpResult R = evalIcmpOp(P, A, B);
+  if (R.Trap) {
+    ub(R.Reason);
+    return RtValue::undef();
+  }
+  return R.V;
+}
+
+RtValue Machine::evalCast(Opcode Op, ir::Type DstTy, const RtValue &A) {
+  OpResult R = evalCastOp(Op, DstTy, A);
+  if (R.Trap) {
+    ub(R.Reason);
+    return RtValue::undef();
+  }
+  return R.V;
+}
+
+RtValue Machine::oracleValue(ir::Type Ty) {
+  if (Ty.isVoid())
+    return RtValue::undef();
+  if (Ty.isInt()) {
+    // Mostly small values so branch conditions and gep indices stay
+    // interesting; occasionally full-range bits.
+    if (OracleRng.chance(4, 5))
+      return RtValue::intVal(
+          static_cast<uint64_t>(OracleRng.range(-3, 8)), Ty.intWidth());
+    return RtValue::intVal(OracleRng.next(), Ty.intWidth());
+  }
+  if (Ty.isPtr()) {
+    if (!GlobalBlocks.empty()) {
+      size_t Pick = OracleRng.below(GlobalBlocks.size());
+      auto It = GlobalBlocks.begin();
+      std::advance(It, Pick);
+      return RtValue::ptrVal(It->second, 0);
+    }
+    return RtValue::ptrVal(-1, 0);
+  }
+  // Vector.
+  std::vector<RtValue> Lanes;
+  for (unsigned I = 0; I != Ty.vecLanes(); ++I)
+    Lanes.push_back(RtValue::intVal(
+        static_cast<uint64_t>(OracleRng.range(-3, 8)), Ty.intWidth()));
+  return RtValue::vec(std::move(Lanes));
+}
+
+RtValue Machine::callExternal(const std::string &Callee, ir::Type RetTy,
+                              std::vector<RtValue> Args) {
+  // Lifetime intrinsics are silent no-ops (they only matter as a
+  // not-supported feature for the validator, see DESIGN.md §5).
+  if (Callee.rfind("llvm.", 0) == 0)
+    return RtValue::undef();
+
+  Event E;
+  E.Callee = Callee;
+  E.Args = std::move(Args);
+  E.Ret = oracleValue(RetTy);
+  // Externals may scribble on public memory; the checker must invalidate
+  // public-memory assertions across calls (Appendix H pruning).
+  if (Opts.ExternalsWriteGlobals && !GlobalBlocks.empty()) {
+    size_t Pick = OracleRng.below(GlobalBlocks.size());
+    auto It = GlobalBlocks.begin();
+    std::advance(It, Pick);
+    MemBlock *B = liveBlock(It->second);
+    if (B && B->Size > 0) {
+      uint64_t Cell = OracleRng.below(B->Size);
+      B->Cells[Cell] = RtValue::intVal(
+          static_cast<uint64_t>(OracleRng.range(-3, 8)), 32);
+    }
+  }
+  Result.Trace.push_back(E);
+  return E.Ret;
+}
+
+RtValue Machine::callFunction(const ir::Function &F,
+                              std::vector<RtValue> Args) {
+  if (++CallDepth > 64) {
+    outOfFuel();
+    --CallDepth;
+    return RtValue::undef();
+  }
+  RegFile Regs;
+  for (size_t I = 0; I != F.Params.size(); ++I)
+    Regs[F.Params[I].Name] =
+        I < Args.size() ? Args[I] : RtValue::undef();
+
+  const BasicBlock *Cur = &F.entry();
+  std::string PrevName; // empty on function entry
+  std::vector<int64_t> LocalAllocas;
+
+  auto Cleanup = [&] {
+    for (int64_t Id : LocalAllocas)
+      Mem[Id].Alive = false;
+    --CallDepth;
+  };
+
+  while (true) {
+    if (Result.Steps++ >= Opts.Fuel) {
+      outOfFuel();
+      Cleanup();
+      return RtValue::undef();
+    }
+    // Phi nodes execute simultaneously with respect to the pre-state
+    // (paper §4).
+    if (!PrevName.empty() && !Cur->Phis.empty()) {
+      std::vector<std::pair<std::string, RtValue>> News;
+      for (const Phi &P : Cur->Phis) {
+        News.emplace_back(P.Result, eval(P.incomingFor(PrevName), Regs));
+        if (failed()) {
+          Cleanup();
+          return RtValue::undef();
+        }
+      }
+      for (auto &KV : News)
+        Regs[KV.first] = std::move(KV.second);
+    }
+
+    for (const Instruction &I : Cur->Insts) {
+      if (Result.Steps++ >= Opts.Fuel) {
+        outOfFuel();
+        Cleanup();
+        return RtValue::undef();
+      }
+      const auto &Ops = I.operands();
+      Opcode Op = I.opcode();
+
+      if (isBinaryOp(Op)) {
+        RtValue A = eval(Ops[0], Regs), B = eval(Ops[1], Regs);
+        if (!failed()) {
+          if (I.type().isVec()) {
+            // Lane-wise; undef/poison operands poison every lane.
+            if (!A.isVec() || !B.isVec()) {
+              Regs[*I.result()] = A.isPoison() || B.isPoison()
+                                      ? RtValue::poison()
+                                      : RtValue::undef();
+            } else {
+              std::vector<RtValue> Lanes;
+              for (unsigned L = 0; L != I.type().vecLanes(); ++L) {
+                Lanes.push_back(evalBinary(Op, I.type().intWidth(),
+                                           A.lanes()[L], B.lanes()[L]));
+                if (failed())
+                  break;
+              }
+              if (!failed())
+                Regs[*I.result()] = RtValue::vec(std::move(Lanes));
+            }
+          } else {
+            Regs[*I.result()] = evalBinary(Op, I.type().intWidth(), A, B);
+          }
+        }
+        if (failed()) {
+          Cleanup();
+          return RtValue::undef();
+        }
+        continue;
+      }
+      if (isCast(Op)) {
+        RtValue A = eval(Ops[0], Regs);
+        if (!failed())
+          Regs[*I.result()] = evalCast(Op, I.type(), A);
+        if (failed()) {
+          Cleanup();
+          return RtValue::undef();
+        }
+        continue;
+      }
+
+      switch (Op) {
+      case Opcode::ICmp: {
+        RtValue A = eval(Ops[0], Regs), B = eval(Ops[1], Regs);
+        if (!failed())
+          Regs[*I.result()] = evalIcmp(I.icmpPred(), A, B);
+        break;
+      }
+      case Opcode::Select: {
+        RtValue C = eval(Ops[0], Regs);
+        RtValue T = eval(Ops[1], Regs), FV = eval(Ops[2], Regs);
+        if (failed())
+          break;
+        if (C.isPoison())
+          Regs[*I.result()] = RtValue::poison();
+        else if (C.isUndef())
+          Regs[*I.result()] = RtValue::undef();
+        else
+          Regs[*I.result()] = C.bits() ? T : FV;
+        break;
+      }
+      case Opcode::Alloca: {
+        int64_t Id = allocBlock(I.allocaSize(), RtValue::undef());
+        LocalAllocas.push_back(Id);
+        Regs[*I.result()] = RtValue::ptrVal(Id, 0);
+        break;
+      }
+      case Opcode::Load: {
+        RtValue P = eval(Ops[0], Regs);
+        if (failed())
+          break;
+        if (!P.isPtr()) {
+          ub("load through " + P.str());
+          break;
+        }
+        MemBlock *B = liveBlock(P.block());
+        if (!B || P.offset() < 0 ||
+            static_cast<uint64_t>(P.offset()) >= B->Size) {
+          ub("out-of-bounds or dead load");
+          break;
+        }
+        Regs[*I.result()] = B->Cells[P.offset()];
+        break;
+      }
+      case Opcode::Store: {
+        RtValue V = eval(Ops[0], Regs), P = eval(Ops[1], Regs);
+        if (failed())
+          break;
+        if (!P.isPtr()) {
+          ub("store through " + P.str());
+          break;
+        }
+        MemBlock *B = liveBlock(P.block());
+        if (!B || P.offset() < 0 ||
+            static_cast<uint64_t>(P.offset()) >= B->Size) {
+          ub("out-of-bounds or dead store");
+          break;
+        }
+        B->Cells[P.offset()] = V;
+        break;
+      }
+      case Opcode::Gep: {
+        RtValue Base = eval(Ops[0], Regs), Idx = eval(Ops[1], Regs);
+        if (failed())
+          break;
+        if (Base.isPoison() || Idx.isPoison()) {
+          Regs[*I.result()] = RtValue::poison();
+          break;
+        }
+        if (Base.isUndef() || Idx.isUndef()) {
+          Regs[*I.result()] =
+              I.isInbounds() ? RtValue::poison() : RtValue::undef();
+          break;
+        }
+        if (!Base.isPtr() || !Idx.isInt()) {
+          ub("gep on non-pointer base");
+          break;
+        }
+        int64_t NewOff = Base.offset() + Idx.sext();
+        if (I.isInbounds()) {
+          // `inbounds` requires the result to stay within the allocation
+          // (one-past-the-end allowed); otherwise the result is poison
+          // (paper §1.2, the gvn bugs).
+          MemBlock *B = liveBlock(Base.block());
+          if (!B || NewOff < 0 ||
+              static_cast<uint64_t>(NewOff) > B->Size) {
+            Regs[*I.result()] = RtValue::poison();
+            break;
+          }
+        }
+        Regs[*I.result()] = RtValue::ptrVal(Base.block(), NewOff);
+        break;
+      }
+      case Opcode::Call: {
+        std::vector<RtValue> Args2;
+        for (const Value &A : Ops) {
+          Args2.push_back(eval(A, Regs));
+          if (failed())
+            break;
+        }
+        if (failed())
+          break;
+        RtValue Ret;
+        if (const ir::Function *Callee = M.getFunction(I.callee()))
+          Ret = callFunction(*Callee, std::move(Args2));
+        else
+          Ret = callExternal(I.callee(), I.type(), std::move(Args2));
+        if (!failed() && I.result())
+          Regs[*I.result()] = Ret;
+        break;
+      }
+      case Opcode::Br: {
+        PrevName = Cur->Name;
+        Cur = F.getBlock(I.successors()[0]);
+        break;
+      }
+      case Opcode::CondBr: {
+        RtValue C = eval(Ops[0], Regs);
+        if (failed())
+          break;
+        if (!C.isInt()) {
+          ub("branch on " + C.str());
+          break;
+        }
+        PrevName = Cur->Name;
+        Cur = F.getBlock(I.successors()[C.bits() ? 0 : 1]);
+        break;
+      }
+      case Opcode::Switch: {
+        RtValue V = eval(Ops[0], Regs);
+        if (failed())
+          break;
+        if (!V.isInt()) {
+          ub("switch on " + V.str());
+          break;
+        }
+        size_t Target = 0; // default
+        for (size_t CI = 0; CI != I.caseValues().size(); ++CI) {
+          if (RtValue::truncate(
+                  static_cast<uint64_t>(I.caseValues()[CI]), V.width()) ==
+              V.bits()) {
+            Target = CI + 1;
+            break;
+          }
+        }
+        PrevName = Cur->Name;
+        Cur = F.getBlock(I.successors()[Target]);
+        break;
+      }
+      case Opcode::Ret: {
+        RtValue R = Ops.empty() ? RtValue::undef() : eval(Ops[0], Regs);
+        Cleanup();
+        return R;
+      }
+      case Opcode::Unreachable:
+        ub("reached unreachable");
+        break;
+      default:
+        assert(false && "unhandled opcode");
+      }
+      if (failed()) {
+        Cleanup();
+        return RtValue::undef();
+      }
+      if (I.isTerminator())
+        break; // continue with the next block
+    }
+  }
+}
+
+RunResult Machine::run(const std::string &FuncName,
+                       const std::vector<int64_t> &Args) {
+  // Materialize globals: zero-initialized, as in LLVM.
+  for (const GlobalVar &G : M.Globals) {
+    unsigned W = G.ElemTy.isInt() ? G.ElemTy.intWidth() : 32;
+    GlobalBlocks[G.Name] = allocBlock(G.Size, RtValue::intVal(0, W));
+  }
+
+  const ir::Function *F = M.getFunction(FuncName);
+  if (!F) {
+    ub("no such function @" + FuncName);
+    return std::move(Result);
+  }
+
+  std::vector<RtValue> ArgVals;
+  size_t IntArg = 0;
+  for (const Param &P : F->Params) {
+    if (P.Ty.isInt() && IntArg < Args.size())
+      ArgVals.push_back(RtValue::intVal(
+          static_cast<uint64_t>(Args[IntArg++]), P.Ty.intWidth()));
+    else if (P.Ty.isPtr()) {
+      // Pointer parameters receive a fresh environment block with
+      // oracle-chosen contents.
+      int64_t Id = allocBlock(4, RtValue::undef());
+      for (uint64_t C = 0; C != 4; ++C)
+        Mem[Id].Cells[C] = RtValue::intVal(
+            static_cast<uint64_t>(OracleRng.range(-3, 8)), 32);
+      ArgVals.push_back(RtValue::ptrVal(Id, 0));
+    } else
+      ArgVals.push_back(oracleValue(P.Ty));
+  }
+
+  RtValue Ret = callFunction(*F, std::move(ArgVals));
+  if (Result.End == Outcome::Returned)
+    Result.ReturnValue = Ret;
+  return std::move(Result);
+}
+
+/// Does target value \p T refine source value \p S? A source undef or
+/// poison may become anything.
+bool valueRefines(const RtValue &S, const RtValue &T) {
+  if (S.isUndef() || S.isPoison())
+    return true;
+  if (S.isVec() && T.isVec() && S.lanes().size() == T.lanes().size()) {
+    for (size_t I = 0; I != S.lanes().size(); ++I)
+      if (!valueRefines(S.lanes()[I], T.lanes()[I]))
+        return false;
+    return true;
+  }
+  return S == T;
+}
+
+bool eventRefines(const Event &S, const Event &T) {
+  if (S.Callee != T.Callee || S.Args.size() != T.Args.size())
+    return false;
+  for (size_t I = 0; I != S.Args.size(); ++I)
+    if (!valueRefines(S.Args[I], T.Args[I]))
+      return false;
+  // Returns come from the shared oracle; they agree whenever the calls
+  // align, so no check is needed.
+  return true;
+}
+
+} // namespace
+
+RunResult crellvm::interp::run(const ir::Module &M,
+                               const std::string &FuncName,
+                               const std::vector<int64_t> &Args,
+                               const InterpOptions &Opts) {
+  Machine Mach(M, Opts);
+  return Mach.run(FuncName, Args);
+}
+
+bool crellvm::interp::refines(const RunResult &Src, const RunResult &Tgt) {
+  size_t Common = std::min(Src.Trace.size(), Tgt.Trace.size());
+  for (size_t I = 0; I != Common; ++I)
+    if (!eventRefines(Src.Trace[I], Tgt.Trace[I]))
+      return false;
+  // A target still running (out of fuel) cannot be falsified.
+  if (Tgt.End == Outcome::OutOfFuel)
+    return true;
+  // A source that reached UB allows anything *after* its trace: the target
+  // must still exhibit the source trace as a prefix.
+  if (Src.End == Outcome::UndefBehav)
+    return Tgt.Trace.size() >= Src.Trace.size();
+  // A source out of fuel gives no verdict beyond the common prefix.
+  if (Src.End == Outcome::OutOfFuel)
+    return true;
+  if (Tgt.End != Outcome::Returned)
+    return false; // source returned, target trapped: not a refinement
+  if (Src.Trace.size() != Tgt.Trace.size())
+    return false;
+  return valueRefines(Src.ReturnValue, Tgt.ReturnValue);
+}

@@ -1,0 +1,79 @@
+//===- interp/Interp.h - Reference operational semantics -------*- C++ -*-===//
+///
+/// \file
+/// A reference interpreter for the IR, playing the role of the Vellvm
+/// semantics in the paper. It produces a trace of observable events (calls
+/// to external functions and the final return value); behaviour refinement
+/// over these traces is the correctness notion the checker certifies and
+/// the notion differential testing approximates (paper §1.2).
+///
+/// External calls are resolved by a deterministic seeded oracle so that a
+/// source and target run observe identical environments.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_INTERP_INTERP_H
+#define CRELLVM_INTERP_INTERP_H
+
+#include "interp/RtValue.h"
+#include "ir/Module.h"
+#include "support/RNG.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace interp {
+
+/// One observable event: an external call with its argument values and the
+/// value the environment returned.
+struct Event {
+  std::string Callee;
+  std::vector<RtValue> Args;
+  RtValue Ret;
+
+  std::string str() const;
+};
+
+/// How a run ended.
+enum class Outcome : uint8_t {
+  Returned,    ///< normal termination
+  UndefBehav,  ///< undefined behavior (trap, OOB access, branch on undef...)
+  OutOfFuel,   ///< step budget exhausted (treated as "still running")
+};
+
+/// The result of interpreting one function call tree.
+struct RunResult {
+  Outcome End = Outcome::Returned;
+  RtValue ReturnValue;
+  std::vector<Event> Trace;
+  std::string UbReason; ///< diagnostic when End == UndefBehav
+  uint64_t Steps = 0;
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  uint64_t Fuel = 200000;  ///< maximum number of instruction steps
+  uint64_t OracleSeed = 1; ///< seed for external-call results
+  /// When true, every external call also writes an oracle-chosen value into
+  /// an oracle-chosen global cell, exercising the checker's alias pruning.
+  bool ExternalsWriteGlobals = true;
+};
+
+/// Runs @\p FuncName of \p M with integer arguments \p Args (pointer and
+/// vector parameters receive oracle-chosen globals / lane values).
+RunResult run(const ir::Module &M, const std::string &FuncName,
+              const std::vector<int64_t> &Args, const InterpOptions &Opts);
+
+/// True if the target run refines the source run: identical traces and
+/// return value, except that a source undef/poison value matches anything
+/// (undef may be refined to any value), and a source UB run is refined by
+/// anything with a matching trace prefix. OutOfFuel matches OutOfFuel with
+/// a matching trace prefix on either side.
+bool refines(const RunResult &Src, const RunResult &Tgt);
+
+} // namespace interp
+} // namespace crellvm
+
+#endif // CRELLVM_INTERP_INTERP_H

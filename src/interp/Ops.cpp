@@ -1,0 +1,173 @@
+//===- interp/Ops.cpp -------------------------------------------*- C++ -*-===//
+
+#include "interp/Ops.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::interp;
+using namespace crellvm::ir;
+
+OpResult crellvm::interp::evalBinaryOp(Opcode Op, unsigned Width,
+                                       const RtValue &A, const RtValue &B) {
+  // Division by an undefined or zero divisor is immediate UB; everything
+  // else propagates poison, then undef (the Vellvm-style approximation,
+  // see DESIGN.md).
+  if (mayTrap(Op)) {
+    if (B.isUndef() || B.isPoison())
+      return OpResult::trap("division by undef/poison divisor");
+    if (B.isInt() && B.bits() == 0)
+      return OpResult::trap("division by zero");
+  }
+  if (A.isPoison() || B.isPoison())
+    return OpResult::ok(RtValue::poison());
+  if (A.isUndef() || B.isUndef())
+    return OpResult::ok(RtValue::undef());
+  if (!A.isInt() || !B.isInt())
+    return OpResult::trap("integer arithmetic on pointer value");
+  uint64_t X = A.bits(), Y = B.bits();
+  int64_t SX = A.sext(), SY = B.sext();
+  switch (Op) {
+  case Opcode::Add:
+    return OpResult::ok(RtValue::intVal(X + Y, Width));
+  case Opcode::Sub:
+    return OpResult::ok(RtValue::intVal(X - Y, Width));
+  case Opcode::Mul:
+    return OpResult::ok(RtValue::intVal(X * Y, Width));
+  case Opcode::SDiv:
+    if (SY == -1 &&
+        SX == RtValue::signExtend(uint64_t(1) << (Width - 1), Width))
+      return OpResult::trap("signed division overflow");
+    return OpResult::ok(
+        RtValue::intVal(static_cast<uint64_t>(SX / SY), Width));
+  case Opcode::UDiv:
+    return OpResult::ok(RtValue::intVal(X / Y, Width));
+  case Opcode::SRem:
+    if (SY == -1)
+      return OpResult::ok(RtValue::intVal(0, Width));
+    return OpResult::ok(
+        RtValue::intVal(static_cast<uint64_t>(SX % SY), Width));
+  case Opcode::URem:
+    return OpResult::ok(RtValue::intVal(X % Y, Width));
+  case Opcode::Shl:
+    if (Y >= Width)
+      return OpResult::ok(RtValue::poison());
+    return OpResult::ok(RtValue::intVal(X << Y, Width));
+  case Opcode::LShr:
+    if (Y >= Width)
+      return OpResult::ok(RtValue::poison());
+    return OpResult::ok(RtValue::intVal(X >> Y, Width));
+  case Opcode::AShr:
+    if (Y >= Width)
+      return OpResult::ok(RtValue::poison());
+    return OpResult::ok(
+        RtValue::intVal(static_cast<uint64_t>(SX >> Y), Width));
+  case Opcode::And:
+    return OpResult::ok(RtValue::intVal(X & Y, Width));
+  case Opcode::Or:
+    return OpResult::ok(RtValue::intVal(X | Y, Width));
+  case Opcode::Xor:
+    return OpResult::ok(RtValue::intVal(X ^ Y, Width));
+  default:
+    assert(false && "not a binary opcode");
+    return OpResult::trap("not a binary opcode");
+  }
+}
+
+OpResult crellvm::interp::evalIcmpOp(IcmpPred P, const RtValue &A,
+                                     const RtValue &B) {
+  if (A.isPoison() || B.isPoison())
+    return OpResult::ok(RtValue::poison());
+  if (A.isUndef() || B.isUndef())
+    return OpResult::ok(RtValue::undef());
+  uint64_t X, Y;
+  int64_t SX, SY;
+  if (A.isPtr() && B.isPtr()) {
+    // Numeric comparison of encoded addresses (a defined simplification of
+    // LLVM's pointer-comparison rules; see DESIGN.md).
+    SX = encodePtr(A.block(), A.offset());
+    SY = encodePtr(B.block(), B.offset());
+    X = static_cast<uint64_t>(SX);
+    Y = static_cast<uint64_t>(SY);
+  } else if (A.isInt() && B.isInt()) {
+    X = A.bits();
+    Y = B.bits();
+    SX = A.sext();
+    SY = B.sext();
+  } else {
+    return OpResult::trap("icmp between incompatible runtime values");
+  }
+  bool R = false;
+  switch (P) {
+  case IcmpPred::Eq:
+    R = X == Y;
+    break;
+  case IcmpPred::Ne:
+    R = X != Y;
+    break;
+  case IcmpPred::Ugt:
+    R = X > Y;
+    break;
+  case IcmpPred::Uge:
+    R = X >= Y;
+    break;
+  case IcmpPred::Ult:
+    R = X < Y;
+    break;
+  case IcmpPred::Ule:
+    R = X <= Y;
+    break;
+  case IcmpPred::Sgt:
+    R = SX > SY;
+    break;
+  case IcmpPred::Sge:
+    R = SX >= SY;
+    break;
+  case IcmpPred::Slt:
+    R = SX < SY;
+    break;
+  case IcmpPred::Sle:
+    R = SX <= SY;
+    break;
+  }
+  return OpResult::ok(RtValue::intVal(R ? 1 : 0, 1));
+}
+
+OpResult crellvm::interp::evalCastOp(Opcode Op, ir::Type DstTy,
+                                     const RtValue &A) {
+  if (A.isPoison())
+    return OpResult::ok(RtValue::poison());
+  if (A.isUndef())
+    return OpResult::ok(RtValue::undef());
+  switch (Op) {
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+    if (!A.isInt())
+      return OpResult::trap("integer cast of non-integer");
+    return OpResult::ok(RtValue::intVal(A.bits(), DstTy.intWidth()));
+  case Opcode::SExt:
+    if (!A.isInt())
+      return OpResult::trap("integer cast of non-integer");
+    return OpResult::ok(RtValue::intVal(static_cast<uint64_t>(A.sext()),
+                                        DstTy.intWidth()));
+  case Opcode::PtrToInt: {
+    if (!A.isPtr())
+      return OpResult::trap("ptrtoint of non-pointer");
+    int64_t Addr = encodePtr(A.block(), A.offset());
+    return OpResult::ok(
+        RtValue::intVal(static_cast<uint64_t>(Addr), DstTy.intWidth()));
+  }
+  case Opcode::IntToPtr: {
+    if (!A.isInt())
+      return OpResult::trap("inttoptr of non-integer");
+    int64_t Block, Off;
+    decodePtr(A.sext(), Block, Off);
+    return OpResult::ok(RtValue::ptrVal(Block, Off));
+  }
+  case Opcode::Bitcast:
+    return OpResult::ok(A);
+  default:
+    assert(false && "not a cast opcode");
+    return OpResult::trap("not a cast opcode");
+  }
+}

@@ -1,0 +1,62 @@
+//===- interp/Ops.h - Pure value operations ---------------------*- C++ -*-===//
+///
+/// \file
+/// Pure evaluation of the IR's value operations on runtime values, shared
+/// by the interpreter and by the ERHL semantic evaluator (the randomized
+/// rule-soundness tester). Operations that raise undefined behavior report
+/// Trap instead of producing a value.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_INTERP_OPS_H
+#define CRELLVM_INTERP_OPS_H
+
+#include "interp/RtValue.h"
+#include "ir/Opcode.h"
+
+#include <string>
+
+namespace crellvm {
+namespace interp {
+
+/// Result of a pure operation: a value, or a trap (undefined behavior).
+struct OpResult {
+  bool Trap = false;
+  RtValue V;
+  std::string Reason;
+
+  static OpResult ok(RtValue V) { return OpResult{false, std::move(V), ""}; }
+  static OpResult trap(std::string Why) {
+    return OpResult{true, RtValue::undef(), std::move(Why)};
+  }
+};
+
+/// Pointer<->integer address encoding stride: each memory block occupies a
+/// disjoint 2^20-cell address window.
+constexpr int64_t PtrBlockStride = int64_t(1) << 20;
+
+/// Addresses sit at the middle of each block's window so that small
+/// negative offsets (from non-inbounds geps) round-trip exactly through
+/// ptrtoint/inttoptr.
+inline int64_t encodePtr(int64_t Block, int64_t Off) {
+  return (Block + 1) * PtrBlockStride + Off + PtrBlockStride / 2;
+}
+
+inline void decodePtr(int64_t Addr, int64_t &Block, int64_t &Off) {
+  Block = Addr / PtrBlockStride - 1;
+  Off = Addr % PtrBlockStride - PtrBlockStride / 2;
+}
+
+/// Integer binary operation on width \p Width.
+OpResult evalBinaryOp(ir::Opcode Op, unsigned Width, const RtValue &A,
+                      const RtValue &B);
+
+/// Integer or pointer comparison.
+OpResult evalIcmpOp(ir::IcmpPred P, const RtValue &A, const RtValue &B);
+
+/// Cast to \p DstTy.
+OpResult evalCastOp(ir::Opcode Op, ir::Type DstTy, const RtValue &A);
+
+} // namespace interp
+} // namespace crellvm
+
+#endif // CRELLVM_INTERP_OPS_H

@@ -1,0 +1,159 @@
+//===- interp/RtValue.h - Runtime values ------------------------*- C++ -*-===//
+///
+/// \file
+/// Runtime values of the operational semantics: integers, pointers
+/// (block + offset, CompCert-style), undef, poison, and vectors. Undef is a
+/// distinguished propagating value (as in Vellvm); poison is the result of
+/// violated `inbounds` and propagates through arithmetic — the distinction
+/// drives the paper's gvn bugs (PR28562/PR29057).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_INTERP_RTVALUE_H
+#define CRELLVM_INTERP_RTVALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace interp {
+
+/// A runtime value.
+class RtValue {
+public:
+  enum class Kind : uint8_t { Int, Ptr, Undef, Poison, Vec };
+
+  RtValue() : K(Kind::Undef), Width(0) {}
+
+  static RtValue intVal(uint64_t Bits, unsigned Width) {
+    RtValue V;
+    V.K = Kind::Int;
+    V.Width = Width;
+    V.Bits = truncate(Bits, Width);
+    return V;
+  }
+  static RtValue ptrVal(int64_t Block, int64_t Off) {
+    RtValue V;
+    V.K = Kind::Ptr;
+    V.Block = Block;
+    V.Off = Off;
+    return V;
+  }
+  static RtValue undef() { return RtValue(); }
+  static RtValue poison() {
+    RtValue V;
+    V.K = Kind::Poison;
+    return V;
+  }
+  static RtValue vec(std::vector<RtValue> Lanes) {
+    RtValue V;
+    V.K = Kind::Vec;
+    V.LaneVals = std::move(Lanes);
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isUndef() const { return K == Kind::Undef; }
+  bool isPoison() const { return K == Kind::Poison; }
+  bool isVec() const { return K == Kind::Vec; }
+
+  uint64_t bits() const {
+    assert(isInt() && "not an integer");
+    return Bits;
+  }
+  unsigned width() const {
+    assert(isInt() && "not an integer");
+    return Width;
+  }
+  /// Sign-extended view of the integer payload.
+  int64_t sext() const {
+    assert(isInt());
+    return signExtend(Bits, Width);
+  }
+  int64_t block() const {
+    assert(isPtr());
+    return Block;
+  }
+  int64_t offset() const {
+    assert(isPtr());
+    return Off;
+  }
+  const std::vector<RtValue> &lanes() const {
+    assert(isVec());
+    return LaneVals;
+  }
+
+  /// Truncates \p Bits to \p Width bits (zero-extended storage).
+  static uint64_t truncate(uint64_t Bits, unsigned Width) {
+    if (Width >= 64)
+      return Bits;
+    return Bits & ((uint64_t(1) << Width) - 1);
+  }
+  static int64_t signExtend(uint64_t Bits, unsigned Width) {
+    if (Width >= 64)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = uint64_t(1) << (Width - 1);
+    return static_cast<int64_t>((Bits ^ SignBit)) -
+           static_cast<int64_t>(SignBit);
+  }
+
+  bool operator==(const RtValue &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Int:
+      return Width == O.Width && Bits == O.Bits;
+    case Kind::Ptr:
+      return Block == O.Block && Off == O.Off;
+    case Kind::Undef:
+    case Kind::Poison:
+      return true;
+    case Kind::Vec:
+      return LaneVals == O.LaneVals;
+    }
+    return false;
+  }
+  bool operator!=(const RtValue &O) const { return !(*this == O); }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Int:
+      return "i" + std::to_string(Width) + " " + std::to_string(sext());
+    case Kind::Ptr:
+      return "ptr(b" + std::to_string(Block) + "+" + std::to_string(Off) +
+             ")";
+    case Kind::Undef:
+      return "undef";
+    case Kind::Poison:
+      return "poison";
+    case Kind::Vec: {
+      std::string S = "<";
+      for (size_t I = 0; I != LaneVals.size(); ++I) {
+        if (I != 0)
+          S += ", ";
+        S += LaneVals[I].str();
+      }
+      return S + ">";
+    }
+    }
+    return "<invalid>";
+  }
+
+private:
+  Kind K;
+  unsigned Width = 0;
+  uint64_t Bits = 0;
+  int64_t Block = 0;
+  int64_t Off = 0;
+  std::vector<RtValue> LaneVals;
+};
+
+} // namespace interp
+} // namespace crellvm
+
+#endif // CRELLVM_INTERP_RTVALUE_H

@@ -1,0 +1,101 @@
+//===- ir/IRBuilder.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/IRBuilder.h"
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+BasicBlock &IRBuilder::block(const std::string &Name) {
+  if (BasicBlock *B = F.getBlock(Name)) {
+    Cur = B;
+    return *B;
+  }
+  F.Blocks.push_back(BasicBlock{Name, {}, {}});
+  // Adding a block may reallocate; re-resolve the pointer.
+  Cur = &F.Blocks.back();
+  return *Cur;
+}
+
+void IRBuilder::setInsertPoint(const std::string &Name) {
+  Cur = F.getBlock(Name);
+  assert(Cur && "unknown block");
+}
+
+Value IRBuilder::append(Instruction I) {
+  assert(Cur && "no insertion point");
+  auto R = I.result();
+  Type Ty = I.type();
+  Cur->Insts.push_back(std::move(I));
+  if (R)
+    return Value::reg(*R, Ty);
+  return Value();
+}
+
+Value IRBuilder::binary(Opcode Op, const std::string &R, Value A, Value B) {
+  Type Ty = A.type();
+  return append(Instruction::binary(Op, R, Ty, std::move(A), std::move(B)));
+}
+
+Value IRBuilder::icmp(const std::string &R, IcmpPred P, Value A, Value B) {
+  return append(Instruction::icmp(R, P, std::move(A), std::move(B)));
+}
+
+Value IRBuilder::select(const std::string &R, Value C, Value T, Value FV) {
+  Type Ty = T.type();
+  return append(
+      Instruction::select(R, Ty, std::move(C), std::move(T), std::move(FV)));
+}
+
+Value IRBuilder::cast(Opcode Op, const std::string &R, Type DstTy, Value A) {
+  return append(Instruction::cast(Op, R, DstTy, std::move(A)));
+}
+
+Value IRBuilder::allocaInst(const std::string &R, Type ElemTy, uint64_t Size) {
+  return append(Instruction::allocaInst(R, ElemTy, Size));
+}
+
+Value IRBuilder::load(const std::string &R, Type Ty, Value Ptr) {
+  return append(Instruction::load(R, Ty, std::move(Ptr)));
+}
+
+void IRBuilder::store(Value V, Value Ptr) {
+  append(Instruction::store(std::move(V), std::move(Ptr)));
+}
+
+Value IRBuilder::gep(const std::string &R, bool Inbounds, Value Base,
+                     Value Idx) {
+  return append(
+      Instruction::gep(R, Inbounds, std::move(Base), std::move(Idx)));
+}
+
+Value IRBuilder::call(const std::string &R, Type RetTy,
+                      const std::string &Callee, std::vector<Value> Args) {
+  return append(Instruction::call(R, RetTy, Callee, std::move(Args)));
+}
+
+void IRBuilder::br(const std::string &Dest) {
+  append(Instruction::br(Dest));
+}
+
+void IRBuilder::condBr(Value Cond, const std::string &T,
+                       const std::string &FDest) {
+  append(Instruction::condBr(std::move(Cond), T, FDest));
+}
+
+void IRBuilder::switchTo(Value V, const std::string &Default,
+                         std::vector<int64_t> Vals,
+                         std::vector<std::string> Dests) {
+  append(Instruction::switchInst(std::move(V), Default, std::move(Vals),
+                                 std::move(Dests)));
+}
+
+void IRBuilder::ret(Value V) { append(Instruction::ret(std::move(V))); }
+
+void IRBuilder::retVoid() { append(Instruction::ret(std::nullopt)); }
+
+Value IRBuilder::phi(const std::string &R, Type Ty,
+                     std::vector<std::pair<std::string, Value>> Incoming) {
+  assert(Cur && "no insertion point");
+  Cur->Phis.push_back(Phi{R, Ty, std::move(Incoming)});
+  return Value::reg(R, Ty);
+}

@@ -1,0 +1,72 @@
+//===- ir/IRBuilder.h - Convenience function construction ------*- C++ -*-===//
+///
+/// \file
+/// A small builder for constructing functions programmatically, used by the
+/// workload generator, the examples, and the tests. Every create* method
+/// appends to the current block and returns the defined register as a
+/// Value, so construction reads like straight-line code.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_IRBUILDER_H
+#define CRELLVM_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace crellvm {
+namespace ir {
+
+/// Appends instructions to basic blocks of a function under construction.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  /// Creates (or returns the existing) block named \p Name and makes it the
+  /// insertion point.
+  BasicBlock &block(const std::string &Name);
+
+  /// Switches the insertion point to an existing block.
+  void setInsertPoint(const std::string &Name);
+
+  BasicBlock &current() {
+    assert(Cur && "no insertion point");
+    return *Cur;
+  }
+
+  // Value shorthands.
+  Value i32(int64_t V) const { return Value::constInt(V, Type::intTy(32)); }
+  Value i1(bool V) const { return Value::constInt(V, Type::intTy(1)); }
+  Value reg(const std::string &Name, Type Ty) const {
+    return Value::reg(Name, Ty);
+  }
+
+  // Instruction creation; each returns the defined register (where any).
+  Value binary(Opcode Op, const std::string &R, Value A, Value B);
+  Value icmp(const std::string &R, IcmpPred P, Value A, Value B);
+  Value select(const std::string &R, Value C, Value T, Value FV);
+  Value cast(Opcode Op, const std::string &R, Type DstTy, Value A);
+  Value allocaInst(const std::string &R, Type ElemTy, uint64_t Size = 1);
+  Value load(const std::string &R, Type Ty, Value Ptr);
+  void store(Value V, Value Ptr);
+  Value gep(const std::string &R, bool Inbounds, Value Base, Value Idx);
+  Value call(const std::string &R, Type RetTy, const std::string &Callee,
+             std::vector<Value> Args);
+  void br(const std::string &Dest);
+  void condBr(Value Cond, const std::string &T, const std::string &FDest);
+  void switchTo(Value V, const std::string &Default,
+                std::vector<int64_t> Vals, std::vector<std::string> Dests);
+  void ret(Value V);
+  void retVoid();
+  Value phi(const std::string &R, Type Ty,
+            std::vector<std::pair<std::string, Value>> Incoming);
+
+private:
+  Value append(Instruction I);
+
+  Function &F;
+  BasicBlock *Cur = nullptr;
+};
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_IRBUILDER_H

@@ -1,0 +1,274 @@
+//===- ir/Instruction.cpp ---------------------------------------*- C++ -*-===//
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+Instruction Instruction::binary(Opcode Op, std::string Result, Type Ty,
+                                Value A, Value B) {
+  assert(isBinaryOp(Op) && "not a binary opcode");
+  assert((Ty.isInt() || Ty.isVec()) && "binary ops are integer-like");
+  Instruction I;
+  I.Op = Op;
+  I.Ty = Ty;
+  I.ResultReg = std::move(Result);
+  I.Ops = {std::move(A), std::move(B)};
+  return I;
+}
+
+Instruction Instruction::icmp(std::string Result, IcmpPred Pred, Value A,
+                              Value B) {
+  Instruction I;
+  I.Op = Opcode::ICmp;
+  I.Ty = Type::intTy(1);
+  I.ResultReg = std::move(Result);
+  I.Pred = Pred;
+  I.Ops = {std::move(A), std::move(B)};
+  return I;
+}
+
+Instruction Instruction::select(std::string Result, Type Ty, Value Cond,
+                                Value TVal, Value FVal) {
+  Instruction I;
+  I.Op = Opcode::Select;
+  I.Ty = Ty;
+  I.ResultReg = std::move(Result);
+  I.Ops = {std::move(Cond), std::move(TVal), std::move(FVal)};
+  return I;
+}
+
+Instruction Instruction::cast(Opcode Op, std::string Result, Type DstTy,
+                              Value A) {
+  assert(isCast(Op) && "not a cast opcode");
+  Instruction I;
+  I.Op = Op;
+  I.Ty = DstTy;
+  I.ResultReg = std::move(Result);
+  I.Ops = {std::move(A)};
+  return I;
+}
+
+Instruction Instruction::allocaInst(std::string Result, Type ElemTy,
+                                uint64_t Size) {
+  assert(Size >= 1 && "alloca of zero cells");
+  Instruction I;
+  I.Op = Opcode::Alloca;
+  I.Ty = ElemTy;
+  I.ResultReg = std::move(Result);
+  I.Size = Size;
+  return I;
+}
+
+Instruction Instruction::load(std::string Result, Type Ty, Value Ptr) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  I.Ty = Ty;
+  I.ResultReg = std::move(Result);
+  I.Ops = {std::move(Ptr)};
+  return I;
+}
+
+Instruction Instruction::store(Value Val, Value Ptr) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.Ty = Val.type();
+  I.Ops = {std::move(Val), std::move(Ptr)};
+  return I;
+}
+
+Instruction Instruction::gep(std::string Result, bool Inbounds, Value Base,
+                             Value Idx) {
+  Instruction I;
+  I.Op = Opcode::Gep;
+  I.Ty = Type::ptrTy();
+  I.ResultReg = std::move(Result);
+  I.Inbounds = Inbounds;
+  I.Ops = {std::move(Base), std::move(Idx)};
+  return I;
+}
+
+Instruction Instruction::call(std::string Result, Type RetTy,
+                              std::string Callee, std::vector<Value> Args) {
+  assert((RetTy.isVoid() ? Result.empty() : true) &&
+         "void call cannot define a register");
+  Instruction I;
+  I.Op = Opcode::Call;
+  I.Ty = RetTy;
+  I.ResultReg = std::move(Result);
+  I.Callee = std::move(Callee);
+  I.Ops = std::move(Args);
+  return I;
+}
+
+Instruction Instruction::br(std::string Dest) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  I.Succs = {std::move(Dest)};
+  return I;
+}
+
+Instruction Instruction::condBr(Value Cond, std::string TrueDest,
+                                std::string FalseDest) {
+  Instruction I;
+  I.Op = Opcode::CondBr;
+  I.Ops = {std::move(Cond)};
+  I.Succs = {std::move(TrueDest), std::move(FalseDest)};
+  return I;
+}
+
+Instruction Instruction::switchInst(Value V, std::string DefaultDest,
+                                    std::vector<int64_t> CaseVals,
+                                    std::vector<std::string> CaseDests) {
+  assert(CaseVals.size() == CaseDests.size() && "switch arms mismatch");
+  Instruction I;
+  I.Op = Opcode::Switch;
+  I.Ops = {std::move(V)};
+  I.Succs.push_back(std::move(DefaultDest));
+  for (auto &D : CaseDests)
+    I.Succs.push_back(std::move(D));
+  I.CaseVals = std::move(CaseVals);
+  return I;
+}
+
+Instruction Instruction::ret(std::optional<Value> V) {
+  Instruction I;
+  I.Op = Opcode::Ret;
+  if (V) {
+    I.Ty = V->type();
+    I.Ops = {std::move(*V)};
+  }
+  return I;
+}
+
+Instruction Instruction::unreachable() {
+  Instruction I;
+  I.Op = Opcode::Unreachable;
+  return I;
+}
+
+unsigned Instruction::replaceUses(const std::string &From, const Value &To) {
+  unsigned N = 0;
+  for (Value &V : Ops) {
+    if (V.isReg() && V.regName() == From) {
+      V = To;
+      ++N;
+    }
+  }
+  return N;
+}
+
+std::string Instruction::str() const {
+  std::string S;
+  if (!ResultReg.empty())
+    S += "%" + ResultReg + " = ";
+  switch (Op) {
+  case Opcode::ICmp:
+    S += "icmp " + icmpPredName(Pred) + " " + Ops[0].type().str() + " " +
+         Ops[0].str() + ", " + Ops[1].str();
+    break;
+  case Opcode::Select:
+    S += "select i1 " + Ops[0].str() + ", " + Ty.str() + " " + Ops[1].str() +
+         ", " + Ops[2].str();
+    break;
+  case Opcode::Alloca:
+    S += "alloca " + Ty.str() + ", " + std::to_string(Size);
+    break;
+  case Opcode::Load:
+    S += "load " + Ty.str() + ", ptr " + Ops[0].str();
+    break;
+  case Opcode::Store:
+    S += "store " + Ty.str() + " " + Ops[0].str() + ", ptr " + Ops[1].str();
+    break;
+  case Opcode::Gep:
+    S += std::string("gep ") + (Inbounds ? "inbounds " : "") + "ptr " +
+         Ops[0].str() + ", " + Ops[1].type().str() + " " + Ops[1].str();
+    break;
+  case Opcode::Call: {
+    S += "call " + Ty.str() + " @" + Callee + "(";
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      if (I != 0)
+        S += ", ";
+      S += Ops[I].type().str() + " " + Ops[I].str();
+    }
+    S += ")";
+    break;
+  }
+  case Opcode::Br:
+    S += "br label %" + Succs[0];
+    break;
+  case Opcode::CondBr:
+    S += "br i1 " + Ops[0].str() + ", label %" + Succs[0] + ", label %" +
+         Succs[1];
+    break;
+  case Opcode::Switch: {
+    S += "switch " + Ops[0].type().str() + " " + Ops[0].str() +
+         ", label %" + Succs[0] + " [";
+    for (size_t I = 0; I != CaseVals.size(); ++I) {
+      if (I != 0)
+        S += " ";
+      S += std::to_string(CaseVals[I]) + ": label %" + Succs[I + 1];
+    }
+    S += "]";
+    break;
+  }
+  case Opcode::Ret:
+    if (Ops.empty())
+      S += "ret void";
+    else
+      S += "ret " + Ty.str() + " " + Ops[0].str();
+    break;
+  case Opcode::Unreachable:
+    S += "unreachable";
+    break;
+  default: // Binary operations and casts.
+    if (isBinaryOp(Op)) {
+      S += opcodeName(Op) + " " + Ty.str() + " " + Ops[0].str() + ", " +
+           Ops[1].str();
+    } else {
+      assert(isCast(Op) && "unhandled opcode in str()");
+      S += opcodeName(Op) + " " + Ops[0].type().str() + " " + Ops[0].str() +
+           " to " + Ty.str();
+    }
+    break;
+  }
+  return S;
+}
+
+bool Instruction::operator==(const Instruction &O) const {
+  return Op == O.Op && Ty == O.Ty && ResultReg == O.ResultReg &&
+         Pred == O.Pred && Inbounds == O.Inbounds && Size == O.Size &&
+         Callee == O.Callee && Ops == O.Ops && Succs == O.Succs &&
+         CaseVals == O.CaseVals;
+}
+
+const Value &Phi::incomingFor(const std::string &Pred) const {
+  for (const auto &KV : Incoming)
+    if (KV.first == Pred)
+      return KV.second;
+  assert(false && "phi has no incoming value for predecessor");
+  static Value Dummy;
+  return Dummy;
+}
+
+void Phi::setIncoming(const std::string &Pred, Value V) {
+  for (auto &KV : Incoming) {
+    if (KV.first == Pred) {
+      KV.second = std::move(V);
+      return;
+    }
+  }
+  Incoming.emplace_back(Pred, std::move(V));
+}
+
+std::string Phi::str() const {
+  std::string S = "%" + Result + " = phi " + Ty.str() + " ";
+  for (size_t I = 0; I != Incoming.size(); ++I) {
+    if (I != 0)
+      S += ", ";
+    S += "[ " + Incoming[I].second.str() + ", %" + Incoming[I].first + " ]";
+  }
+  return S;
+}

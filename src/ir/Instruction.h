@@ -1,0 +1,148 @@
+//===- ir/Instruction.h - Instructions and phi nodes -----------*- C++ -*-===//
+///
+/// \file
+/// Instructions of the reproduction IR. An Instruction is a value-semantics
+/// record (opcode + result register + operands); basic blocks own their
+/// instructions by value, so cloning a function is a plain copy. Phi nodes
+/// are a separate type because they live at block heads and execute
+/// simultaneously per incoming edge (paper §4).
+///
+/// Operand conventions:
+///   binary op      result=r, Ops={a,b}
+///   icmp           result=r, Pred, Ops={a,b}; result type is i1
+///   select         result=r, Ops={cond,tval,fval}
+///   casts          result=r, Ops={a}; type() is the destination type
+///   alloca         result=p, type() is the element type, allocaSize cells
+///   load           result=r, Ops={ptr}; type() is the loaded type
+///   store          no result, Ops={val,ptr}; type() is the value type
+///   gep            result=q, Ops={base,idx}, inbounds flag
+///   call           result=r or none, Callee, Ops=args; type() is ret type
+///   br             Succs={dest}
+///   condbr         Ops={cond}, Succs={true,false}
+///   switch         Ops={val}, Succs={default,case...}, CaseVals
+///   ret            Ops={val} or {} for void
+///   unreachable    nothing
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_INSTRUCTION_H
+#define CRELLVM_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace ir {
+
+/// A non-phi instruction.
+class Instruction {
+public:
+  Instruction() : Op(Opcode::Unreachable) {}
+
+  // Factory functions; each asserts its operand conventions.
+  static Instruction binary(Opcode Op, std::string Result, Type Ty, Value A,
+                            Value B);
+  static Instruction icmp(std::string Result, IcmpPred Pred, Value A,
+                          Value B);
+  static Instruction select(std::string Result, Type Ty, Value Cond,
+                            Value TVal, Value FVal);
+  static Instruction cast(Opcode Op, std::string Result, Type DstTy,
+                          Value A);
+  static Instruction allocaInst(std::string Result, Type ElemTy, uint64_t Size);
+  static Instruction load(std::string Result, Type Ty, Value Ptr);
+  static Instruction store(Value Val, Value Ptr);
+  static Instruction gep(std::string Result, bool Inbounds, Value Base,
+                         Value Idx);
+  static Instruction call(std::string Result, Type RetTy, std::string Callee,
+                          std::vector<Value> Args);
+  static Instruction br(std::string Dest);
+  static Instruction condBr(Value Cond, std::string TrueDest,
+                            std::string FalseDest);
+  static Instruction switchInst(Value V, std::string DefaultDest,
+                                std::vector<int64_t> CaseVals,
+                                std::vector<std::string> CaseDests);
+  static Instruction ret(std::optional<Value> V);
+  static Instruction unreachable();
+
+  Opcode opcode() const { return Op; }
+  const Type &type() const { return Ty; }
+  IcmpPred icmpPred() const { return Pred; }
+  bool isInbounds() const { return Inbounds; }
+  void setInbounds(bool B) { Inbounds = B; }
+  uint64_t allocaSize() const { return Size; }
+  const std::string &callee() const { return Callee; }
+
+  bool isTerminator() const { return ir::isTerminator(Op); }
+
+  /// The defined register name, or std::nullopt when the instruction
+  /// produces no value.
+  std::optional<std::string> result() const {
+    if (ResultReg.empty())
+      return std::nullopt;
+    return ResultReg;
+  }
+
+  const std::vector<Value> &operands() const { return Ops; }
+  std::vector<Value> &operands() { return Ops; }
+  const std::vector<std::string> &successors() const { return Succs; }
+  std::vector<std::string> &successors() { return Succs; }
+  const std::vector<int64_t> &caseValues() const { return CaseVals; }
+
+  /// Replaces every operand equal to register \p From with \p To; returns
+  /// the number of replacements.
+  unsigned replaceUses(const std::string &From, const Value &To);
+
+  /// A copy of this instruction defining \p NewResult instead (used by
+  /// PRE insertion).
+  Instruction withResult(std::string NewResult) const {
+    Instruction I = *this;
+    I.ResultReg = std::move(NewResult);
+    return I;
+  }
+
+  /// Renders the instruction in textual IR syntax (no leading indentation).
+  std::string str() const;
+
+  /// Structural equality, comparing register names literally.
+  bool operator==(const Instruction &O) const;
+  bool operator!=(const Instruction &O) const { return !(*this == O); }
+
+private:
+  Opcode Op;
+  Type Ty = Type::voidTy();
+  std::string ResultReg;
+  IcmpPred Pred = IcmpPred::Eq;
+  bool Inbounds = false;
+  uint64_t Size = 1;
+  std::string Callee;
+  std::vector<Value> Ops;
+  std::vector<std::string> Succs;
+  std::vector<int64_t> CaseVals;
+};
+
+/// A phi node. All phi nodes at a block head execute simultaneously when
+/// control enters the block.
+struct Phi {
+  std::string Result;
+  Type Ty = Type::voidTy();
+  /// Incoming (predecessor block, value) pairs. A missing predecessor entry
+  /// is only legal transiently inside mem2reg (empty phi nodes, paper §9).
+  std::vector<std::pair<std::string, Value>> Incoming;
+
+  /// The incoming value for predecessor \p Pred; asserts it exists.
+  const Value &incomingFor(const std::string &Pred) const;
+  /// Sets (or adds) the incoming value for \p Pred.
+  void setIncoming(const std::string &Pred, Value V);
+
+  std::string str() const;
+  bool operator==(const Phi &O) const {
+    return Result == O.Result && Ty == O.Ty && Incoming == O.Incoming;
+  }
+};
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_INSTRUCTION_H

@@ -1,0 +1,90 @@
+//===- ir/Module.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Module.h"
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+const Phi *BasicBlock::findPhi(const std::string &Reg) const {
+  for (const Phi &P : Phis)
+    if (P.Result == Reg)
+      return &P;
+  return nullptr;
+}
+
+Phi *BasicBlock::findPhi(const std::string &Reg) {
+  for (Phi &P : Phis)
+    if (P.Result == Reg)
+      return &P;
+  return nullptr;
+}
+
+BasicBlock *Function::getBlock(const std::string &BlockName) {
+  for (BasicBlock &B : Blocks)
+    if (B.Name == BlockName)
+      return &B;
+  return nullptr;
+}
+
+const BasicBlock *Function::getBlock(const std::string &BlockName) const {
+  return const_cast<Function *>(this)->getBlock(BlockName);
+}
+
+bool Function::isParam(const std::string &Reg) const {
+  for (const Param &P : Params)
+    if (P.Name == Reg)
+      return true;
+  return false;
+}
+
+bool Function::findDef(const std::string &Reg, std::string &BlockOut,
+                       size_t &IndexOut) const {
+  if (isParam(Reg)) {
+    BlockOut.clear();
+    IndexOut = ~size_t(0);
+    return true;
+  }
+  for (const BasicBlock &B : Blocks) {
+    for (const Phi &P : B.Phis) {
+      if (P.Result == Reg) {
+        BlockOut = B.Name;
+        IndexOut = ~size_t(0);
+        return true;
+      }
+    }
+    for (size_t I = 0, E = B.Insts.size(); I != E; ++I) {
+      auto R = B.Insts[I].result();
+      if (R && *R == Reg) {
+        BlockOut = B.Name;
+        IndexOut = I;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Function *Module::getFunction(const std::string &Name) {
+  for (Function &F : Funcs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const Function *Module::getFunction(const std::string &Name) const {
+  return const_cast<Module *>(this)->getFunction(Name);
+}
+
+const GlobalVar *Module::getGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+const FuncDecl *Module::getDecl(const std::string &Name) const {
+  for (const FuncDecl &D : Decls)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}

@@ -1,0 +1,107 @@
+//===- ir/Module.h - Basic blocks, functions, modules ----------*- C++ -*-===//
+///
+/// \file
+/// The container hierarchy of the reproduction IR. Everything has value
+/// semantics: copying a Module deep-clones it, which is how the validation
+/// driver snapshots source programs before running an optimizer on them.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_MODULE_H
+#define CRELLVM_IR_MODULE_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace ir {
+
+/// A basic block: zero or more phi nodes followed by instructions, the last
+/// of which is a terminator (once the function is fully constructed).
+struct BasicBlock {
+  std::string Name;
+  std::vector<Phi> Phis;
+  std::vector<Instruction> Insts;
+
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+
+  /// The phi node defining \p Reg, or nullptr.
+  const Phi *findPhi(const std::string &Reg) const;
+  Phi *findPhi(const std::string &Reg);
+};
+
+/// A function parameter.
+struct Param {
+  std::string Name;
+  Type Ty;
+};
+
+/// A function definition. Blocks[0] is the entry block.
+class Function {
+public:
+  std::string Name;
+  Type RetTy = Type::voidTy();
+  std::vector<Param> Params;
+  std::vector<BasicBlock> Blocks;
+
+  const BasicBlock &entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front();
+  }
+
+  /// Block lookup by name; nullptr when absent. Linear scan: functions in
+  /// this project are small and passes cache what they need.
+  BasicBlock *getBlock(const std::string &Name);
+  const BasicBlock *getBlock(const std::string &Name) const;
+
+  /// True if \p Reg is one of the function's parameters.
+  bool isParam(const std::string &Reg) const;
+
+  /// Finds the unique defining location of register \p Reg. Returns true
+  /// and fills \p BlockOut / \p IndexOut; IndexOut is ~0u for phi
+  /// definitions and parameters have BlockOut empty. Thanks to SSA the
+  /// definition is unique (paper footnote 6).
+  bool findDef(const std::string &Reg, std::string &BlockOut,
+               size_t &IndexOut) const;
+};
+
+/// A module-level global variable: a named memory block of Size cells of
+/// ElemTy, zero-initialized. Globals are public memory (observable through
+/// calls), which is what makes the alias-pruning logic of the checker
+/// (Appendix H) interesting.
+struct GlobalVar {
+  std::string Name;
+  Type ElemTy;
+  uint64_t Size = 1;
+};
+
+/// An external function declaration. Calls to declared-only functions are
+/// the observable events of the semantics.
+struct FuncDecl {
+  std::string Name;
+  Type RetTy = Type::voidTy();
+  std::vector<Type> ParamTys;
+};
+
+/// A translation unit.
+class Module {
+public:
+  std::vector<GlobalVar> Globals;
+  std::vector<FuncDecl> Decls;
+  std::vector<Function> Funcs;
+
+  Function *getFunction(const std::string &Name);
+  const Function *getFunction(const std::string &Name) const;
+  const GlobalVar *getGlobal(const std::string &Name) const;
+  const FuncDecl *getDecl(const std::string &Name) const;
+};
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_MODULE_H

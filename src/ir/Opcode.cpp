@@ -1,0 +1,200 @@
+//===- ir/Opcode.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Opcode.h"
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+bool crellvm::ir::isBinaryOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool crellvm::ir::mayTrap(Opcode Op) {
+  switch (Op) {
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool crellvm::ir::isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Switch:
+  case Opcode::Ret:
+  case Opcode::Unreachable:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool crellvm::ir::isCast(Opcode Op) {
+  switch (Op) {
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+  case Opcode::Bitcast:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string crellvm::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::UDiv:
+    return "udiv";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::URem:
+    return "urem";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Trunc:
+    return "trunc";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::SExt:
+    return "sext";
+  case Opcode::PtrToInt:
+    return "ptrtoint";
+  case Opcode::IntToPtr:
+    return "inttoptr";
+  case Opcode::Bitcast:
+    return "bitcast";
+  case Opcode::Alloca:
+    return "alloca";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Gep:
+    return "gep";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Switch:
+    return "switch";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Unreachable:
+    return "unreachable";
+  }
+  return "<invalid>";
+}
+
+std::optional<Opcode> crellvm::ir::opcodeFromName(const std::string &Name) {
+  static const std::pair<const char *, Opcode> Names[] = {
+      {"add", Opcode::Add},           {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},           {"sdiv", Opcode::SDiv},
+      {"udiv", Opcode::UDiv},         {"srem", Opcode::SRem},
+      {"urem", Opcode::URem},         {"shl", Opcode::Shl},
+      {"lshr", Opcode::LShr},         {"ashr", Opcode::AShr},
+      {"and", Opcode::And},           {"or", Opcode::Or},
+      {"xor", Opcode::Xor},           {"icmp", Opcode::ICmp},
+      {"select", Opcode::Select},     {"trunc", Opcode::Trunc},
+      {"zext", Opcode::ZExt},         {"sext", Opcode::SExt},
+      {"ptrtoint", Opcode::PtrToInt}, {"inttoptr", Opcode::IntToPtr},
+      {"bitcast", Opcode::Bitcast},   {"alloca", Opcode::Alloca},
+      {"load", Opcode::Load},         {"store", Opcode::Store},
+      {"gep", Opcode::Gep},           {"call", Opcode::Call},
+      {"br", Opcode::Br},             {"condbr", Opcode::CondBr},
+      {"switch", Opcode::Switch},     {"ret", Opcode::Ret},
+      {"unreachable", Opcode::Unreachable},
+  };
+  for (const auto &KV : Names)
+    if (Name == KV.first)
+      return KV.second;
+  return std::nullopt;
+}
+
+std::string crellvm::ir::icmpPredName(IcmpPred P) {
+  switch (P) {
+  case IcmpPred::Eq:
+    return "eq";
+  case IcmpPred::Ne:
+    return "ne";
+  case IcmpPred::Ugt:
+    return "ugt";
+  case IcmpPred::Uge:
+    return "uge";
+  case IcmpPred::Ult:
+    return "ult";
+  case IcmpPred::Ule:
+    return "ule";
+  case IcmpPred::Sgt:
+    return "sgt";
+  case IcmpPred::Sge:
+    return "sge";
+  case IcmpPred::Slt:
+    return "slt";
+  case IcmpPred::Sle:
+    return "sle";
+  }
+  return "<invalid>";
+}
+
+std::optional<IcmpPred>
+crellvm::ir::icmpPredFromName(const std::string &Name) {
+  static const std::pair<const char *, IcmpPred> Names[] = {
+      {"eq", IcmpPred::Eq},   {"ne", IcmpPred::Ne},
+      {"ugt", IcmpPred::Ugt}, {"uge", IcmpPred::Uge},
+      {"ult", IcmpPred::Ult}, {"ule", IcmpPred::Ule},
+      {"sgt", IcmpPred::Sgt}, {"sge", IcmpPred::Sge},
+      {"slt", IcmpPred::Slt}, {"sle", IcmpPred::Sle},
+  };
+  for (const auto &KV : Names)
+    if (Name == KV.first)
+      return KV.second;
+  return std::nullopt;
+}

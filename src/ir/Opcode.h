@@ -1,0 +1,103 @@
+//===- ir/Opcode.h - Instruction opcodes and icmp predicates ---*- C++ -*-===//
+///
+/// \file
+/// Opcode and icmp-predicate enumerations shared by instructions and
+/// constant expressions, plus name <-> enum conversions used by the parser,
+/// printer, and proof serialization.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_OPCODE_H
+#define CRELLVM_IR_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace crellvm {
+namespace ir {
+
+/// All instruction opcodes. Phi nodes are represented separately (they live
+/// at block heads and execute simultaneously, see paper §4).
+enum class Opcode : uint8_t {
+  // Integer binary operations.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  Shl,
+  LShr,
+  AShr,
+  And,
+  Or,
+  Xor,
+  // Comparison and selection.
+  ICmp,
+  Select,
+  // Casts.
+  Trunc,
+  ZExt,
+  SExt,
+  PtrToInt,
+  IntToPtr,
+  Bitcast,
+  // Memory.
+  Alloca,
+  Load,
+  Store,
+  Gep,
+  // Calls.
+  Call,
+  // Terminators.
+  Br,
+  CondBr,
+  Switch,
+  Ret,
+  Unreachable,
+};
+
+/// Signedness-aware comparison predicates.
+enum class IcmpPred : uint8_t {
+  Eq,
+  Ne,
+  Ugt,
+  Uge,
+  Ult,
+  Ule,
+  Sgt,
+  Sge,
+  Slt,
+  Sle,
+};
+
+/// True for the thirteen integer binary operations.
+bool isBinaryOp(Opcode Op);
+
+/// True for operations that can raise undefined behavior on some operand
+/// values (division/remainder by zero or signed overflow INT_MIN / -1).
+bool mayTrap(Opcode Op);
+
+/// True for Br/CondBr/Switch/Ret/Unreachable.
+bool isTerminator(Opcode Op);
+
+/// True for Trunc/ZExt/SExt/PtrToInt/IntToPtr/Bitcast.
+bool isCast(Opcode Op);
+
+/// Opcode spelling as it appears in the textual IR ("add", "icmp", ...).
+std::string opcodeName(Opcode Op);
+
+/// Inverse of opcodeName; std::nullopt for unknown spellings.
+std::optional<Opcode> opcodeFromName(const std::string &Name);
+
+/// Predicate spelling ("eq", "sle", ...).
+std::string icmpPredName(IcmpPred P);
+
+/// Inverse of icmpPredName.
+std::optional<IcmpPred> icmpPredFromName(const std::string &Name);
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_OPCODE_H

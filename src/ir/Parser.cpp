@@ -1,0 +1,714 @@
+//===- ir/Parser.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,   // bare identifier / keyword
+  LocalId, // %name
+  GlobalId, // @name
+  Int,     // integer literal
+  Punct,   // single punctuation character
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntVal = 0;
+  unsigned Line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Token next() {
+    skipSpaceAndComments();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Text.size())
+      return T;
+    char C = Text[Pos];
+    if (C == '%' || C == '@') {
+      ++Pos;
+      T.Kind = C == '%' ? TokKind::LocalId : TokKind::GlobalId;
+      T.Text = lexName();
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Text.size() &&
+         std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))) {
+      size_t Start = Pos;
+      if (C == '-')
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      T.Kind = TokKind::Int;
+      T.Text = Text.substr(Start, Pos - Start);
+      T.IntVal = std::strtoll(T.Text.c_str(), nullptr, 10);
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+        C == '.') {
+      T.Kind = TokKind::Ident;
+      T.Text = lexName();
+      return T;
+    }
+    T.Kind = TokKind::Punct;
+    T.Text = std::string(1, C);
+    ++Pos;
+    return T;
+  }
+
+private:
+  void skipSpaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string lexName() {
+    size_t Start = Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.' || C == '$')
+        ++Pos;
+      else
+        break;
+    }
+    return Text.substr(Start, Pos - Start);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class ModuleParser {
+public:
+  ModuleParser(const std::string &Text, std::string *Error)
+      : Lex(Text), Error(Error) {
+    advance();
+  }
+
+  std::optional<Module> run() {
+    Module M;
+    while (Tok.Kind != TokKind::Eof && !Failed) {
+      if (Tok.Kind == TokKind::GlobalId) {
+        if (!parseGlobal(M))
+          return std::nullopt;
+      } else if (isIdent("declare")) {
+        if (!parseDeclare(M))
+          return std::nullopt;
+      } else if (isIdent("define")) {
+        if (!parseDefine(M))
+          return std::nullopt;
+      } else {
+        return fail("expected global, declare, or define"), std::nullopt;
+      }
+    }
+    if (Failed)
+      return std::nullopt;
+    return M;
+  }
+
+private:
+  void advance() { Tok = Lex.next(); }
+
+  bool isIdent(const char *S) const {
+    return Tok.Kind == TokKind::Ident && Tok.Text == S;
+  }
+  bool isPunct(char C) const {
+    return Tok.Kind == TokKind::Punct && Tok.Text[0] == C;
+  }
+
+  void fail(const std::string &Msg) {
+    if (!Failed && Error)
+      *Error = "line " + std::to_string(Tok.Line) + ": " + Msg;
+    Failed = true;
+  }
+
+  bool expectPunct(char C) {
+    if (isPunct(C)) {
+      advance();
+      return true;
+    }
+    fail(std::string("expected '") + C + "', found '" + Tok.Text + "'");
+    return false;
+  }
+
+  bool expectIdent(const char *S) {
+    if (isIdent(S)) {
+      advance();
+      return true;
+    }
+    fail(std::string("expected '") + S + "', found '" + Tok.Text + "'");
+    return false;
+  }
+
+  /// type := void | iN | ptr | '<' INT x iN '>'
+  std::optional<Type> parseType() {
+    if (isIdent("void")) {
+      advance();
+      return Type::voidTy();
+    }
+    if (isIdent("ptr")) {
+      advance();
+      return Type::ptrTy();
+    }
+    if (Tok.Kind == TokKind::Ident && Tok.Text.size() > 1 &&
+        Tok.Text[0] == 'i') {
+      unsigned W = static_cast<unsigned>(
+          std::strtoul(Tok.Text.c_str() + 1, nullptr, 10));
+      if (W >= 1 && W <= 64) {
+        advance();
+        return Type::intTy(W);
+      }
+    }
+    if (isPunct('<')) {
+      advance();
+      if (Tok.Kind != TokKind::Int)
+        return fail("expected vector lane count"), std::nullopt;
+      unsigned Lanes = static_cast<unsigned>(Tok.IntVal);
+      advance();
+      if (!expectIdent("x"))
+        return std::nullopt;
+      auto Elem = parseType();
+      if (!Elem || !Elem->isInt())
+        return fail("expected integer vector element type"), std::nullopt;
+      if (!expectPunct('>'))
+        return std::nullopt;
+      return Type::vecTy(Lanes, Elem->intWidth());
+    }
+    fail("expected type, found '" + Tok.Text + "'");
+    return std::nullopt;
+  }
+
+  /// value at expected type Ty := %reg | INT | @global | undef
+  ///                            | opcode '(' ty value {',' ty value} ')'
+  std::optional<Value> parseValue(Type Ty) {
+    if (Tok.Kind == TokKind::LocalId) {
+      Value V = Value::reg(Tok.Text, Ty);
+      advance();
+      return V;
+    }
+    if (Tok.Kind == TokKind::Int) {
+      if (!Ty.isInt())
+        return fail("integer literal at non-integer type"), std::nullopt;
+      Value V = Value::constInt(Tok.IntVal, Ty);
+      advance();
+      return V;
+    }
+    if (Tok.Kind == TokKind::GlobalId) {
+      if (!Ty.isPtr())
+        return fail("global address at non-pointer type"), std::nullopt;
+      Value V = Value::global(Tok.Text);
+      advance();
+      return V;
+    }
+    if (isIdent("undef")) {
+      advance();
+      return Value::undef(Ty);
+    }
+    if (Tok.Kind == TokKind::Ident) {
+      auto Op = opcodeFromName(Tok.Text);
+      if (Op && (isBinaryOp(*Op) || isCast(*Op))) {
+        advance();
+        if (!expectPunct('('))
+          return std::nullopt;
+        std::vector<Value> Ops;
+        while (!isPunct(')')) {
+          if (!Ops.empty() && !expectPunct(','))
+            return std::nullopt;
+          auto OpTy = parseType();
+          if (!OpTy)
+            return std::nullopt;
+          auto V = parseValue(*OpTy);
+          if (!V)
+            return std::nullopt;
+          Ops.push_back(std::move(*V));
+        }
+        advance(); // ')'
+        return Value::constExpr(*Op, Ty, std::move(Ops));
+      }
+    }
+    fail("expected value, found '" + Tok.Text + "'");
+    return std::nullopt;
+  }
+
+  bool parseGlobal(Module &M) {
+    GlobalVar G;
+    G.Name = Tok.Text;
+    advance();
+    if (!expectPunct('=') || !expectIdent("global"))
+      return false;
+    auto Ty = parseType();
+    if (!Ty)
+      return false;
+    G.ElemTy = *Ty;
+    if (!expectPunct(','))
+      return false;
+    if (Tok.Kind != TokKind::Int) {
+      fail("expected global size");
+      return false;
+    }
+    G.Size = static_cast<uint64_t>(Tok.IntVal);
+    advance();
+    M.Globals.push_back(std::move(G));
+    return true;
+  }
+
+  bool parseDeclare(Module &M) {
+    advance(); // declare
+    FuncDecl D;
+    auto Ret = parseType();
+    if (!Ret)
+      return false;
+    D.RetTy = *Ret;
+    if (Tok.Kind != TokKind::GlobalId) {
+      fail("expected function name");
+      return false;
+    }
+    D.Name = Tok.Text;
+    advance();
+    if (!expectPunct('('))
+      return false;
+    while (!isPunct(')')) {
+      if (!D.ParamTys.empty() && !expectPunct(','))
+        return false;
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      D.ParamTys.push_back(*Ty);
+    }
+    advance(); // ')'
+    M.Decls.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseDefine(Module &M) {
+    advance(); // define
+    Function F;
+    auto Ret = parseType();
+    if (!Ret)
+      return false;
+    F.RetTy = *Ret;
+    if (Tok.Kind != TokKind::GlobalId) {
+      fail("expected function name");
+      return false;
+    }
+    F.Name = Tok.Text;
+    advance();
+    if (!expectPunct('('))
+      return false;
+    while (!isPunct(')')) {
+      if (!F.Params.empty() && !expectPunct(','))
+        return false;
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      if (Tok.Kind != TokKind::LocalId) {
+        fail("expected parameter name");
+        return false;
+      }
+      F.Params.push_back({Tok.Text, *Ty});
+      advance();
+    }
+    advance(); // ')'
+    if (!expectPunct('{'))
+      return false;
+    while (!isPunct('}')) {
+      if (!parseBlock(F))
+        return false;
+    }
+    advance(); // '}'
+    M.Funcs.push_back(std::move(F));
+    return true;
+  }
+
+  bool parseBlock(Function &F) {
+    if (Tok.Kind != TokKind::Ident) {
+      fail("expected block label");
+      return false;
+    }
+    BasicBlock B;
+    B.Name = Tok.Text;
+    advance();
+    if (!expectPunct(':'))
+      return false;
+    while (!isPunct('}') && !Failed) {
+      // A bare identifier followed by ':' starts the next block.
+      if (Tok.Kind == TokKind::Ident) {
+        auto Op = opcodeFromName(Tok.Text);
+        if (!Op && Tok.Text != "phi")
+          break; // next block label
+      }
+      if (!parseInstructionInto(B))
+        return false;
+    }
+    F.Blocks.push_back(std::move(B));
+    return true;
+  }
+
+  bool parseInstructionInto(BasicBlock &B) {
+    std::string Result;
+    if (Tok.Kind == TokKind::LocalId) {
+      Result = Tok.Text;
+      advance();
+      if (!expectPunct('='))
+        return false;
+    }
+    if (Tok.Kind != TokKind::Ident) {
+      fail("expected opcode");
+      return false;
+    }
+    std::string OpName = Tok.Text;
+    advance();
+
+    if (OpName == "phi")
+      return parsePhi(B, Result);
+
+    auto OpOpt = opcodeFromName(OpName);
+    if (!OpOpt) {
+      fail("unknown opcode '" + OpName + "'");
+      return false;
+    }
+    Opcode Op = *OpOpt;
+
+    if (isBinaryOp(Op)) {
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      auto A = parseValue(*Ty);
+      if (!A || !expectPunct(','))
+        return false;
+      auto Bv = parseValue(*Ty);
+      if (!Bv)
+        return false;
+      B.Insts.push_back(Instruction::binary(Op, Result, *Ty, *A, *Bv));
+      return true;
+    }
+    if (isCast(Op)) {
+      auto SrcTy = parseType();
+      if (!SrcTy)
+        return false;
+      auto A = parseValue(*SrcTy);
+      if (!A || !expectIdent("to"))
+        return false;
+      auto DstTy = parseType();
+      if (!DstTy)
+        return false;
+      B.Insts.push_back(Instruction::cast(Op, Result, *DstTy, *A));
+      return true;
+    }
+
+    switch (Op) {
+    case Opcode::ICmp: {
+      if (Tok.Kind != TokKind::Ident) {
+        fail("expected icmp predicate");
+        return false;
+      }
+      auto Pred = icmpPredFromName(Tok.Text);
+      if (!Pred) {
+        fail("unknown icmp predicate '" + Tok.Text + "'");
+        return false;
+      }
+      advance();
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      auto A = parseValue(*Ty);
+      if (!A || !expectPunct(','))
+        return false;
+      auto Bv = parseValue(*Ty);
+      if (!Bv)
+        return false;
+      B.Insts.push_back(Instruction::icmp(Result, *Pred, *A, *Bv));
+      return true;
+    }
+    case Opcode::Select: {
+      if (!expectIdent("i1"))
+        return false;
+      auto Cond = parseValue(Type::intTy(1));
+      if (!Cond || !expectPunct(','))
+        return false;
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      auto TV = parseValue(*Ty);
+      if (!TV || !expectPunct(','))
+        return false;
+      auto FV = parseValue(*Ty);
+      if (!FV)
+        return false;
+      B.Insts.push_back(Instruction::select(Result, *Ty, *Cond, *TV, *FV));
+      return true;
+    }
+    case Opcode::Alloca: {
+      auto Ty = parseType();
+      if (!Ty || !expectPunct(','))
+        return false;
+      if (Tok.Kind != TokKind::Int) {
+        fail("expected alloca size");
+        return false;
+      }
+      uint64_t Size = static_cast<uint64_t>(Tok.IntVal);
+      advance();
+      B.Insts.push_back(Instruction::allocaInst(Result, *Ty, Size));
+      return true;
+    }
+    case Opcode::Load: {
+      auto Ty = parseType();
+      if (!Ty || !expectPunct(',') || !expectIdent("ptr"))
+        return false;
+      auto Ptr = parseValue(Type::ptrTy());
+      if (!Ptr)
+        return false;
+      B.Insts.push_back(Instruction::load(Result, *Ty, *Ptr));
+      return true;
+    }
+    case Opcode::Store: {
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      auto V = parseValue(*Ty);
+      if (!V || !expectPunct(',') || !expectIdent("ptr"))
+        return false;
+      auto Ptr = parseValue(Type::ptrTy());
+      if (!Ptr)
+        return false;
+      B.Insts.push_back(Instruction::store(*V, *Ptr));
+      return true;
+    }
+    case Opcode::Gep: {
+      bool Inbounds = false;
+      if (isIdent("inbounds")) {
+        Inbounds = true;
+        advance();
+      }
+      if (!expectIdent("ptr"))
+        return false;
+      auto Base = parseValue(Type::ptrTy());
+      if (!Base || !expectPunct(','))
+        return false;
+      auto IdxTy = parseType();
+      if (!IdxTy || !IdxTy->isInt()) {
+        fail("gep index must be an integer");
+        return false;
+      }
+      auto Idx = parseValue(*IdxTy);
+      if (!Idx)
+        return false;
+      B.Insts.push_back(Instruction::gep(Result, Inbounds, *Base, *Idx));
+      return true;
+    }
+    case Opcode::Call: {
+      auto RetTy = parseType();
+      if (!RetTy)
+        return false;
+      if (Tok.Kind != TokKind::GlobalId) {
+        fail("expected callee name");
+        return false;
+      }
+      std::string Callee = Tok.Text;
+      advance();
+      if (!expectPunct('('))
+        return false;
+      std::vector<Value> Args;
+      while (!isPunct(')')) {
+        if (!Args.empty() && !expectPunct(','))
+          return false;
+        auto Ty = parseType();
+        if (!Ty)
+          return false;
+        auto V = parseValue(*Ty);
+        if (!V)
+          return false;
+        Args.push_back(std::move(*V));
+      }
+      advance(); // ')'
+      B.Insts.push_back(
+          Instruction::call(Result, *RetTy, Callee, std::move(Args)));
+      return true;
+    }
+    case Opcode::Br: {
+      if (isIdent("label")) {
+        advance();
+        if (Tok.Kind != TokKind::LocalId) {
+          fail("expected branch target");
+          return false;
+        }
+        B.Insts.push_back(Instruction::br(Tok.Text));
+        advance();
+        return true;
+      }
+      if (!expectIdent("i1"))
+        return false;
+      auto Cond = parseValue(Type::intTy(1));
+      if (!Cond || !expectPunct(',') || !expectIdent("label"))
+        return false;
+      if (Tok.Kind != TokKind::LocalId) {
+        fail("expected branch target");
+        return false;
+      }
+      std::string T = Tok.Text;
+      advance();
+      if (!expectPunct(',') || !expectIdent("label"))
+        return false;
+      if (Tok.Kind != TokKind::LocalId) {
+        fail("expected branch target");
+        return false;
+      }
+      std::string FDest = Tok.Text;
+      advance();
+      B.Insts.push_back(Instruction::condBr(*Cond, T, FDest));
+      return true;
+    }
+    case Opcode::Switch: {
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      auto V = parseValue(*Ty);
+      if (!V || !expectPunct(',') || !expectIdent("label"))
+        return false;
+      if (Tok.Kind != TokKind::LocalId) {
+        fail("expected switch default target");
+        return false;
+      }
+      std::string Default = Tok.Text;
+      advance();
+      if (!expectPunct('['))
+        return false;
+      std::vector<int64_t> Vals;
+      std::vector<std::string> Dests;
+      while (!isPunct(']')) {
+        if (Tok.Kind != TokKind::Int) {
+          fail("expected case value");
+          return false;
+        }
+        Vals.push_back(Tok.IntVal);
+        advance();
+        if (!expectPunct(':') || !expectIdent("label"))
+          return false;
+        if (Tok.Kind != TokKind::LocalId) {
+          fail("expected case target");
+          return false;
+        }
+        Dests.push_back(Tok.Text);
+        advance();
+      }
+      advance(); // ']'
+      B.Insts.push_back(Instruction::switchInst(*V, Default, std::move(Vals),
+                                                std::move(Dests)));
+      return true;
+    }
+    case Opcode::Ret: {
+      if (isIdent("void")) {
+        advance();
+        B.Insts.push_back(Instruction::ret(std::nullopt));
+        return true;
+      }
+      auto Ty = parseType();
+      if (!Ty)
+        return false;
+      auto V = parseValue(*Ty);
+      if (!V)
+        return false;
+      B.Insts.push_back(Instruction::ret(*V));
+      return true;
+    }
+    case Opcode::Unreachable:
+      B.Insts.push_back(Instruction::unreachable());
+      return true;
+    default:
+      fail("unexpected opcode '" + OpName + "'");
+      return false;
+    }
+  }
+
+  bool parsePhi(BasicBlock &B, const std::string &Result) {
+    auto Ty = parseType();
+    if (!Ty)
+      return false;
+    Phi P;
+    P.Result = Result;
+    P.Ty = *Ty;
+    while (true) {
+      if (!expectPunct('['))
+        return false;
+      auto V = parseValue(*Ty);
+      if (!V || !expectPunct(','))
+        return false;
+      if (Tok.Kind != TokKind::LocalId) {
+        fail("expected phi predecessor label");
+        return false;
+      }
+      P.Incoming.emplace_back(Tok.Text, std::move(*V));
+      advance();
+      if (!expectPunct(']'))
+        return false;
+      if (!isPunct(','))
+        break;
+      advance();
+    }
+    B.Phis.push_back(std::move(P));
+    return true;
+  }
+
+  Lexer Lex;
+  Token Tok;
+  std::string *Error;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::optional<Module> crellvm::ir::parseModule(const std::string &Text,
+                                               std::string *Error) {
+  if (Error)
+    Error->clear();
+  return ModuleParser(Text, Error).run();
+}
+
+std::optional<Instruction>
+crellvm::ir::parseInstructionText(const std::string &Text,
+                                  std::string *Error) {
+  // Reuse the module parser by wrapping the instruction in a one-block
+  // function; the trailing unreachable keeps the wrapper well-formed when
+  // the instruction itself is not a terminator.
+  std::string Wrapped =
+      "define void @__parse_one() {\nb:\n  " + Text + "\n  unreachable\n}\n";
+  auto M = parseModule(Wrapped, Error);
+  if (!M || M->Funcs.empty() || M->Funcs[0].Blocks.empty())
+    return std::nullopt;
+  const BasicBlock &B = M->Funcs[0].Blocks[0];
+  if (!B.Phis.empty()) {
+    if (Error)
+      *Error = "phi nodes are not line commands";
+    return std::nullopt;
+  }
+  if (B.Insts.empty())
+    return std::nullopt;
+  return B.Insts.front();
+}

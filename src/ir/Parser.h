@@ -1,0 +1,32 @@
+//===- ir/Parser.h - Textual IR parser --------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual syntax produced by ir::printModule. Errors are
+/// reported with a line number and message; parsing is all-or-nothing.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_PARSER_H
+#define CRELLVM_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <optional>
+#include <string>
+
+namespace crellvm {
+namespace ir {
+
+/// Parses \p Text into a module. On failure returns std::nullopt and, when
+/// \p Error is non-null, stores a "line N: message" diagnostic.
+std::optional<Module> parseModule(const std::string &Text,
+                                  std::string *Error = nullptr);
+
+/// Parses a single instruction in the textual syntax (used by the proof
+/// serialization, which stores aligned commands as text).
+std::optional<Instruction> parseInstructionText(const std::string &Text,
+                                                std::string *Error = nullptr);
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_PARSER_H

@@ -1,0 +1,49 @@
+//===- ir/Printer.cpp -------------------------------------------*- C++ -*-===//
+
+#include "ir/Printer.h"
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+std::string crellvm::ir::printFunction(const Function &F) {
+  std::string S = "define " + F.RetTy.str() + " @" + F.Name + "(";
+  for (size_t I = 0; I != F.Params.size(); ++I) {
+    if (I != 0)
+      S += ", ";
+    S += F.Params[I].Ty.str() + " %" + F.Params[I].Name;
+  }
+  S += ") {\n";
+  for (const BasicBlock &B : F.Blocks) {
+    S += B.Name + ":\n";
+    for (const Phi &P : B.Phis)
+      S += "  " + P.str() + "\n";
+    for (const Instruction &I : B.Insts)
+      S += "  " + I.str() + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string crellvm::ir::printModule(const Module &M) {
+  std::string S;
+  for (const GlobalVar &G : M.Globals)
+    S += "@" + G.Name + " = global " + G.ElemTy.str() + ", " +
+         std::to_string(G.Size) + "\n";
+  for (const FuncDecl &D : M.Decls) {
+    S += "declare " + D.RetTy.str() + " @" + D.Name + "(";
+    for (size_t I = 0; I != D.ParamTys.size(); ++I) {
+      if (I != 0)
+        S += ", ";
+      S += D.ParamTys[I].str();
+    }
+    S += ")\n";
+  }
+  if (!M.Globals.empty() || !M.Decls.empty())
+    S += "\n";
+  for (size_t I = 0; I != M.Funcs.size(); ++I) {
+    if (I != 0)
+      S += "\n";
+    S += printFunction(M.Funcs[I]);
+  }
+  return S;
+}

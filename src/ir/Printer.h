@@ -1,0 +1,29 @@
+//===- ir/Printer.h - Textual IR output ------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders modules and functions in the project's LLVM-flavoured textual
+/// syntax. The output round-trips through ir::parseModule, which is how the
+/// validation driver exercises the paper's file-based compiler/validator
+/// split (Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_PRINTER_H
+#define CRELLVM_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace crellvm {
+namespace ir {
+
+/// Renders \p F as a "define" block.
+std::string printFunction(const Function &F);
+
+/// Renders the whole module: globals, declarations, then definitions.
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_PRINTER_H

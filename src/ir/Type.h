@@ -1,0 +1,104 @@
+//===- ir/Type.h - IR types ------------------------------------*- C++ -*-===//
+///
+/// \file
+/// Types of the reproduction IR: void, iN integers, opaque pointers, and
+/// integer vectors. Vectors exist so that the workload can contain the
+/// operations Vellvm does not support (the dominant source of the paper's
+/// #NS counts); the validator refuses proofs about them.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_TYPE_H
+#define CRELLVM_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace crellvm {
+namespace ir {
+
+/// Discriminator for Type.
+enum class TypeKind : uint8_t { Void, Int, Ptr, Vec };
+
+/// A small value-semantics type descriptor.
+class Type {
+public:
+  Type() : Kind(TypeKind::Void), Width(0), Lanes(0) {}
+
+  static Type voidTy() { return Type(); }
+  static Type intTy(unsigned Width) {
+    assert(Width >= 1 && Width <= 64 && "unsupported integer width");
+    Type T;
+    T.Kind = TypeKind::Int;
+    T.Width = Width;
+    return T;
+  }
+  static Type ptrTy() {
+    Type T;
+    T.Kind = TypeKind::Ptr;
+    return T;
+  }
+  static Type vecTy(unsigned Lanes, unsigned ElemWidth) {
+    assert(Lanes >= 2 && "vector needs at least two lanes");
+    Type T;
+    T.Kind = TypeKind::Vec;
+    T.Width = ElemWidth;
+    T.Lanes = Lanes;
+    return T;
+  }
+
+  TypeKind kind() const { return Kind; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isPtr() const { return Kind == TypeKind::Ptr; }
+  bool isVec() const { return Kind == TypeKind::Vec; }
+
+  /// Integer bit width (element width for vectors).
+  unsigned intWidth() const {
+    assert((isInt() || isVec()) && "not an integer-like type");
+    return Width;
+  }
+  unsigned vecLanes() const {
+    assert(isVec() && "not a vector type");
+    return Lanes;
+  }
+
+  bool operator==(const Type &O) const {
+    return Kind == O.Kind && Width == O.Width && Lanes == O.Lanes;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+  bool operator<(const Type &O) const {
+    if (Kind != O.Kind)
+      return Kind < O.Kind;
+    if (Width != O.Width)
+      return Width < O.Width;
+    return Lanes < O.Lanes;
+  }
+
+  /// Renders the type in LLVM-like syntax: "void", "i32", "ptr",
+  /// "<4 x i32>".
+  std::string str() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Int:
+      return "i" + std::to_string(Width);
+    case TypeKind::Ptr:
+      return "ptr";
+    case TypeKind::Vec:
+      return "<" + std::to_string(Lanes) + " x i" + std::to_string(Width) +
+             ">";
+    }
+    return "<invalid>";
+  }
+
+private:
+  TypeKind Kind;
+  unsigned Width;
+  unsigned Lanes;
+};
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_TYPE_H

@@ -1,0 +1,170 @@
+//===- ir/Value.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Value.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+Value Value::reg(std::string Name, Type Ty) {
+  Value V;
+  V.K = Kind::Reg;
+  V.Ty = Ty;
+  V.Name = std::move(Name);
+  return V;
+}
+
+Value Value::constInt(int64_t IntVal, Type Ty) {
+  assert(Ty.isInt() && "constInt requires an integer type");
+  Value V;
+  V.K = Kind::ConstInt;
+  V.Ty = Ty;
+  // Canonicalize to the sign-extended truncation so that structurally
+  // equal constants compare equal (e.g. i1 "1" and i1 "-1" are the same
+  // bit pattern).
+  unsigned W = Ty.intWidth();
+  if (W < 64) {
+    uint64_t Bits = static_cast<uint64_t>(IntVal) & ((uint64_t(1) << W) - 1);
+    uint64_t Sign = uint64_t(1) << (W - 1);
+    IntVal = static_cast<int64_t>(Bits ^ Sign) - static_cast<int64_t>(Sign);
+  }
+  V.Int = IntVal;
+  return V;
+}
+
+Value Value::global(std::string Name) {
+  Value V;
+  V.K = Kind::Global;
+  V.Ty = Type::ptrTy();
+  V.Name = std::move(Name);
+  return V;
+}
+
+Value Value::undef(Type Ty) {
+  Value V;
+  V.K = Kind::Undef;
+  V.Ty = Ty;
+  return V;
+}
+
+Value Value::constExpr(Opcode Op, Type Ty, std::vector<Value> Ops) {
+  Value V;
+  V.K = Kind::ConstExpr;
+  V.Ty = Ty;
+  auto Node = std::make_shared<ConstExprNode>();
+  Node->Op = Op;
+  Node->Ty = Ty;
+  Node->Ops = std::move(Ops);
+#ifndef NDEBUG
+  for (const Value &O : Node->Ops)
+    assert(O.isConstant() && "constant expression operands must be constant");
+#endif
+  V.CE = std::move(Node);
+  return V;
+}
+
+const std::string &Value::regName() const {
+  assert(K == Kind::Reg && "not a register");
+  return Name;
+}
+
+const std::string &Value::globalName() const {
+  assert(K == Kind::Global && "not a global");
+  return Name;
+}
+
+int64_t Value::intValue() const {
+  assert(K == Kind::ConstInt && "not an integer constant");
+  return Int;
+}
+
+const ConstExprNode &Value::constExprNode() const {
+  assert(K == Kind::ConstExpr && CE && "not a constant expression");
+  return *CE;
+}
+
+bool Value::mayTrapWhenEvaluated() const {
+  if (K != Kind::ConstExpr)
+    return false;
+  const ConstExprNode &Node = *CE;
+  if (mayTrap(Node.Op)) {
+    // A literal nonzero divisor cannot trap (we ignore the INT_MIN / -1
+    // corner for literals below by requiring both operands literal).
+    if (Node.Ops.size() == 2 && Node.Ops[1].isConstInt() &&
+        Node.Ops[1].intValue() != 0 && Node.Ops[1].intValue() != -1)
+      return Node.Ops[0].mayTrapWhenEvaluated();
+    return true;
+  }
+  for (const Value &O : Node.Ops)
+    if (O.mayTrapWhenEvaluated())
+      return true;
+  return false;
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case Kind::Reg:
+    return "%" + Name;
+  case Kind::ConstInt:
+    return std::to_string(Int);
+  case Kind::Global:
+    return "@" + Name;
+  case Kind::Undef:
+    return "undef";
+  case Kind::ConstExpr: {
+    const ConstExprNode &Node = *CE;
+    std::string S = opcodeName(Node.Op) + " (";
+    for (size_t I = 0; I != Node.Ops.size(); ++I) {
+      if (I != 0)
+        S += ", ";
+      S += Node.Ops[I].type().str() + " " + Node.Ops[I].str();
+    }
+    S += ")";
+    return S;
+  }
+  }
+  return "<invalid>";
+}
+
+bool Value::operator==(const Value &O) const {
+  if (K != O.K || Ty != O.Ty)
+    return false;
+  switch (K) {
+  case Kind::Reg:
+  case Kind::Global:
+    return Name == O.Name;
+  case Kind::ConstInt:
+    return Int == O.Int;
+  case Kind::Undef:
+    return true;
+  case Kind::ConstExpr: {
+    const ConstExprNode &A = *CE, &B = *O.CE;
+    return A.Op == B.Op && A.Ty == B.Ty && A.Ops == B.Ops;
+  }
+  }
+  return false;
+}
+
+bool Value::operator<(const Value &O) const {
+  if (K != O.K)
+    return K < O.K;
+  if (Ty != O.Ty)
+    return Ty < O.Ty;
+  switch (K) {
+  case Kind::Reg:
+  case Kind::Global:
+    return Name < O.Name;
+  case Kind::ConstInt:
+    return Int < O.Int;
+  case Kind::Undef:
+    return false;
+  case Kind::ConstExpr: {
+    const ConstExprNode &A = *CE, &B = *O.CE;
+    if (A.Op != B.Op)
+      return A.Op < B.Op;
+    return A.Ops < B.Ops;
+  }
+  }
+  return false;
+}

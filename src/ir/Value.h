@@ -1,0 +1,97 @@
+//===- ir/Value.h - Instruction operands ------------------------*- C++ -*-===//
+///
+/// \file
+/// Operand values of the reproduction IR. A Value is a small value-semantics
+/// object: a register reference, an integer constant, the address of a
+/// global, undef, or a constant expression tree. Constant expressions exist
+/// because the paper's second mem2reg bug (PR33673) hinges on LLVM's
+/// assumption that constant expressions never raise undefined behavior,
+/// which is false for expressions like `1 / ((int)G - (int)G)`.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_IR_VALUE_H
+#define CRELLVM_IR_VALUE_H
+
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace ir {
+
+class Value;
+
+/// A constant-expression node: an operator applied to constant operands
+/// (integer constants, globals, or nested constant expressions). Immutable
+/// and shared.
+struct ConstExprNode {
+  Opcode Op;
+  Type Ty;
+  std::vector<Value> Ops;
+};
+
+/// An operand value.
+class Value {
+public:
+  enum class Kind : uint8_t { Reg, ConstInt, Global, Undef, ConstExpr };
+
+  Value() : K(Kind::Undef), Ty(Type::voidTy()) {}
+
+  /// A reference to the SSA register \p Name (without the '%' sigil).
+  static Value reg(std::string Name, Type Ty);
+  /// The integer constant \p V of type \p Ty (stored sign-extended).
+  static Value constInt(int64_t V, Type Ty);
+  /// The address of the global \p Name (without the '@' sigil).
+  static Value global(std::string Name);
+  /// The undef value of type \p Ty.
+  static Value undef(Type Ty);
+  /// A constant expression node.
+  static Value constExpr(Opcode Op, Type Ty, std::vector<Value> Ops);
+
+  Kind kind() const { return K; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isConstInt() const { return K == Kind::ConstInt; }
+  bool isGlobal() const { return K == Kind::Global; }
+  bool isUndef() const { return K == Kind::Undef; }
+  bool isConstExpr() const { return K == Kind::ConstExpr; }
+  /// True for every kind except register references.
+  bool isConstant() const { return K != Kind::Reg; }
+
+  const Type &type() const { return Ty; }
+
+  const std::string &regName() const;
+  const std::string &globalName() const;
+  int64_t intValue() const;
+  const ConstExprNode &constExprNode() const;
+
+  /// True if the value (transitively, through constant expressions) contains
+  /// an operation that can raise undefined behavior when evaluated, e.g. a
+  /// division whose divisor is not a nonzero literal. This is exactly the
+  /// check LLVM's mem2reg was missing in PR33673.
+  bool mayTrapWhenEvaluated() const;
+
+  /// Renders the value ("%x", "42", "@G", "undef",
+  /// "sdiv (i32 1, sub (i32 ptrtoint @G, i32 ptrtoint @G))").
+  std::string str() const;
+
+  /// Structural equality (register names compared literally).
+  bool operator==(const Value &O) const;
+  bool operator!=(const Value &O) const { return !(*this == O); }
+  /// Structural total order, for use in ordered containers.
+  bool operator<(const Value &O) const;
+
+private:
+  Kind K;
+  Type Ty;
+  std::string Name;
+  int64_t Int = 0;
+  std::shared_ptr<const ConstExprNode> CE;
+};
+
+} // namespace ir
+} // namespace crellvm
+
+#endif // CRELLVM_IR_VALUE_H

@@ -1,0 +1,275 @@
+//===- json/Binary.cpp ------------------------------------------*- C++ -*-===//
+
+#include "json/Binary.h"
+
+#include <cstring>
+#include <unordered_map>
+
+using namespace crellvm;
+using namespace crellvm::json;
+
+namespace {
+
+constexpr char Magic[4] = {'C', 'B', 'J', '1'};
+
+enum Tag : uint8_t {
+  TNull = 0x00,
+  TFalse = 0x01,
+  TTrue = 0x02,
+  TInt = 0x03,
+  TString = 0x04,
+  TStringRef = 0x05,
+  TArray = 0x06,
+  TObject = 0x07,
+};
+
+/// Nesting deeper than this is rejected: a hostile file must not be able
+/// to overflow the decoder's stack.
+constexpr unsigned MaxDepth = 512;
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+// --- Encoder ----------------------------------------------------------------
+
+class Encoder {
+public:
+  std::string take() { return std::move(Out); }
+
+  void byte(uint8_t B) { Out.push_back(static_cast<char>(B)); }
+
+  void varint(uint64_t V) {
+    while (V >= 0x80) {
+      byte(static_cast<uint8_t>(V) | 0x80);
+      V >>= 7;
+    }
+    byte(static_cast<uint8_t>(V));
+  }
+
+  void string(const std::string &S) {
+    auto It = Interned.find(S);
+    if (It != Interned.end()) {
+      byte(TStringRef);
+      varint(It->second);
+      return;
+    }
+    byte(TString);
+    varint(S.size());
+    Out.append(S);
+    Interned.emplace(S, NextId++);
+  }
+
+  void value(const Value &V) {
+    switch (V.kind()) {
+    case Value::Kind::Null:
+      byte(TNull);
+      return;
+    case Value::Kind::Bool:
+      byte(V.getBool() ? TTrue : TFalse);
+      return;
+    case Value::Kind::Int:
+      byte(TInt);
+      varint(zigzag(V.getInt()));
+      return;
+    case Value::Kind::String:
+      string(V.getString());
+      return;
+    case Value::Kind::Array:
+      byte(TArray);
+      varint(V.elements().size());
+      for (const Value &E : V.elements())
+        value(E);
+      return;
+    case Value::Kind::Object:
+      byte(TObject);
+      varint(V.members().size());
+      for (const auto &KV : V.members()) {
+        string(KV.first);
+        value(KV.second);
+      }
+      return;
+    }
+  }
+
+private:
+  std::string Out;
+  std::unordered_map<std::string, uint64_t> Interned;
+  uint64_t NextId = 0;
+};
+
+// --- Decoder ----------------------------------------------------------------
+
+class Decoder {
+public:
+  Decoder(const std::string &Bytes) : In(Bytes) {}
+
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+  const std::string &error() const { return Err; }
+  bool atEnd() const { return Pos == In.size(); }
+
+  bool byte(uint8_t &B) {
+    if (Pos >= In.size())
+      return fail("unexpected end of input");
+    B = static_cast<uint8_t>(In[Pos++]);
+    return true;
+  }
+
+  bool varint(uint64_t &V) {
+    V = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t B;
+      if (!byte(B))
+        return false;
+      V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return true;
+    }
+    return fail("varint too long");
+  }
+
+  /// Reads either a fresh string (interning it) or a back-reference.
+  bool string(std::string &S) {
+    uint8_t T;
+    if (!byte(T))
+      return false;
+    return stringTagged(T, S);
+  }
+
+  bool stringTagged(uint8_t T, std::string &S) {
+    if (T == TString) {
+      uint64_t Len;
+      if (!varint(Len))
+        return false;
+      if (Len > In.size() - Pos)
+        return fail("string length exceeds input");
+      S.assign(In, Pos, Len);
+      Pos += Len;
+      Table.push_back(S);
+      return true;
+    }
+    if (T == TStringRef) {
+      uint64_t Id;
+      if (!varint(Id))
+        return false;
+      if (Id >= Table.size())
+        return fail("string reference out of range");
+      S = Table[Id];
+      return true;
+    }
+    return fail("expected a string");
+  }
+
+  bool value(Value &V, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    uint8_t T;
+    if (!byte(T))
+      return false;
+    switch (T) {
+    case TNull:
+      V = Value();
+      return true;
+    case TFalse:
+      V = Value(false);
+      return true;
+    case TTrue:
+      V = Value(true);
+      return true;
+    case TInt: {
+      uint64_t Raw;
+      if (!varint(Raw))
+        return false;
+      V = Value(unzigzag(Raw));
+      return true;
+    }
+    case TString:
+    case TStringRef: {
+      std::string S;
+      if (!stringTagged(T, S))
+        return false;
+      V = Value(std::move(S));
+      return true;
+    }
+    case TArray: {
+      uint64_t N;
+      if (!varint(N))
+        return false;
+      // Every element takes at least one byte: a count beyond the
+      // remaining input is hostile, not just truncated.
+      if (N > In.size() - Pos)
+        return fail("array count exceeds input");
+      V = Value::array();
+      for (uint64_t I = 0; I != N; ++I) {
+        Value E;
+        if (!value(E, Depth + 1))
+          return false;
+        V.push(std::move(E));
+      }
+      return true;
+    }
+    case TObject: {
+      uint64_t N;
+      if (!varint(N))
+        return false;
+      if (N > In.size() - Pos)
+        return fail("object count exceeds input");
+      V = Value::object();
+      for (uint64_t I = 0; I != N; ++I) {
+        std::string Key;
+        Value Member;
+        if (!string(Key) || !value(Member, Depth + 1))
+          return false;
+        V.set(Key, std::move(Member));
+      }
+      return true;
+    }
+    default:
+      return fail("unknown tag");
+    }
+  }
+
+private:
+  const std::string &In;
+  size_t Pos = 0;
+  std::vector<std::string> Table;
+  std::string Err;
+};
+
+} // namespace
+
+std::string json::encodeBinary(const Value &V) {
+  Encoder E;
+  std::string Out(Magic, sizeof(Magic));
+  E.value(V);
+  return Out + E.take();
+}
+
+std::optional<Value> json::decodeBinary(const std::string &Bytes,
+                                        std::string *Error) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<Value> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+  if (Bytes.size() < sizeof(Magic) ||
+      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return Fail("not a CBJ1 binary proof");
+  std::string Body(Bytes, sizeof(Magic));
+  Decoder D(Body);
+  Value V;
+  if (!D.value(V, 0))
+    return Fail(D.error());
+  if (!D.atEnd())
+    return Fail("trailing bytes after value");
+  return V;
+}

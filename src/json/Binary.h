@@ -1,0 +1,44 @@
+//===- json/Binary.h - Compact binary JSON encoding -------------*- C++ -*-===//
+///
+/// \file
+/// A compact binary encoding of json::Value trees, the "binary proof
+/// format" the paper proposes as future work for the I/O bottleneck
+/// (§7: plain-text JSON parsing dominates validation time). The format
+/// is self-contained and deterministic:
+///
+///   magic "CBJ1", then one value:
+///     0x00 null        0x01 false         0x02 true
+///     0x03 int         zigzag varint
+///     0x04 string      varint length + bytes; interned at the next id
+///     0x05 string ref  varint id of a previously interned string
+///     0x06 array       varint count + elements
+///     0x07 object      varint count + (string, value) pairs
+///
+/// String interning is the "delta" part: proofs repeat register names,
+/// rule names, and object keys thousands of times, and every repeat
+/// costs two bytes instead of the full text. The decoder is defensive —
+/// it never trusts counts or ids and fails with a message instead of
+/// reading out of bounds (the proof file is untrusted input).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_JSON_BINARY_H
+#define CRELLVM_JSON_BINARY_H
+
+#include "json/Json.h"
+
+namespace crellvm {
+namespace json {
+
+/// Encodes \p V as compact binary bytes (returned in a std::string so it
+/// can be written/read with the same file helpers as text).
+std::string encodeBinary(const Value &V);
+
+/// Decodes bytes produced by encodeBinary. Returns std::nullopt with a
+/// message in \p Error on malformed, truncated, or hostile input.
+std::optional<Value> decodeBinary(const std::string &Bytes,
+                                  std::string *Error = nullptr);
+
+} // namespace json
+} // namespace crellvm
+
+#endif // CRELLVM_JSON_BINARY_H

@@ -1,0 +1,358 @@
+//===- json/Json.cpp --------------------------------------------*- C++ -*-===//
+
+#include "json/Json.h"
+
+#include <cctype>
+
+using namespace crellvm;
+using namespace crellvm::json;
+
+void Value::set(const std::string &Key, Value V) {
+  assert(K == Kind::Object && "not an object");
+  if (K != Kind::Object)
+    return;
+  for (auto &KV : Members) {
+    if (KV.first == Key) {
+      KV.second = std::move(V);
+      return;
+    }
+  }
+  Members.emplace_back(Key, std::move(V));
+}
+
+const Value &Value::nullValue() {
+  static const Value Null;
+  return Null;
+}
+
+const Value &Value::get(const std::string &Key) const {
+  const Value *V = find(Key);
+  assert(V && "missing object key");
+  if (!V)
+    return nullValue();
+  return *V;
+}
+
+const Value *Value::find(const std::string &Key) const {
+  assert(K == Kind::Object && "not an object");
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &KV : Members)
+    if (KV.first == Key)
+      return &KV.second;
+  return nullptr;
+}
+
+static void writeEscaped(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void Value::writeTo(std::string &Out) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolVal ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(IntVal);
+    break;
+  case Kind::String:
+    writeEscaped(StrVal, Out);
+    break;
+  case Kind::Array: {
+    Out += '[';
+    for (size_t I = 0; I != Elems.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Elems[I].writeTo(Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    Out += '{';
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      writeEscaped(Members[I].first, Out);
+      Out += ':';
+      Members[I].second.writeTo(Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Value::write() const {
+  std::string Out;
+  Out.reserve(256);
+  writeTo(Out);
+  return Out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> run() {
+    skipSpace();
+    auto V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (Error && Error->empty())
+      *Error = Msg + " at offset " + std::to_string(Pos);
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char C) {
+    if (consume(C))
+      return true;
+    fail(std::string("expected '") + C + "'");
+    return false;
+  }
+
+  bool matchKeyword(const char *KW) {
+    size_t Len = std::string(KW).size();
+    if (Text.compare(Pos, Len, KW) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parseValue() {
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      auto S = parseString();
+      if (!S)
+        return std::nullopt;
+      return Value(std::move(*S));
+    }
+    if (matchKeyword("null"))
+      return Value();
+    if (matchKeyword("true"))
+      return Value(true);
+    if (matchKeyword("false"))
+      return Value(false);
+    return parseNumber();
+  }
+
+  std::optional<Value> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start || (Pos == Start + 1 && Text[Start] == '-')) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    // Integers only: the proof format never emits floats.
+    errno = 0;
+    int64_t V = std::strtoll(Text.substr(Start, Pos - Start).c_str(),
+                             nullptr, 10);
+    return Value(V);
+  }
+
+  std::optional<std::string> parseString() {
+    if (!expect('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+        }
+        // The writer only emits \u for control characters, so a single byte
+        // suffices here.
+        Out += static_cast<char>(Code & 0xff);
+        break;
+      }
+      default:
+        fail("unknown escape");
+        return std::nullopt;
+      }
+    }
+    if (!expect('"'))
+      return std::nullopt;
+    return Out;
+  }
+
+  std::optional<Value> parseArray() {
+    expect('[');
+    Value Arr = Value::array();
+    skipSpace();
+    if (consume(']'))
+      return Arr;
+    while (true) {
+      skipSpace();
+      auto Elem = parseValue();
+      if (!Elem)
+        return std::nullopt;
+      Arr.push(std::move(*Elem));
+      skipSpace();
+      if (consume(']'))
+        return Arr;
+      if (!expect(','))
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parseObject() {
+    expect('{');
+    Value Obj = Value::object();
+    skipSpace();
+    if (consume('}'))
+      return Obj;
+    while (true) {
+      skipSpace();
+      auto Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipSpace();
+      if (!expect(':'))
+        return std::nullopt;
+      skipSpace();
+      auto Val = parseValue();
+      if (!Val)
+        return std::nullopt;
+      Obj.set(*Key, std::move(*Val));
+      skipSpace();
+      if (consume('}'))
+        return Obj;
+      if (!expect(','))
+        return std::nullopt;
+    }
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<Value> crellvm::json::parse(const std::string &Text,
+                                          std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}

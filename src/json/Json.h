@@ -1,0 +1,128 @@
+//===- json/Json.h - Minimal JSON value, parser and writer -----*- C++ -*-===//
+///
+/// \file
+/// A small JSON library used to serialize translation proofs and IR modules
+/// to disk, reproducing the paper's plain-text JSON proof exchange format
+/// (and the I/O column of the timing tables). Supports the JSON subset the
+/// proofs need: null, bool, 64-bit integers, strings, arrays, objects.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_JSON_JSON_H
+#define CRELLVM_JSON_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace json {
+
+/// A JSON value. Objects keep insertion order so that serialization is
+/// deterministic and diffs are stable.
+///
+/// Parsed values are *untrusted input* (the proof file crosses a trust
+/// boundary, Fig. 1), so every read accessor is total: a kind mismatch or
+/// missing key asserts in debug builds — internal serialization code must
+/// not rely on it — but in release builds it returns a harmless default
+/// (null / false / 0 / "" / empty sequence) instead of reading out of
+/// bounds. The deserializers then reject the malformed structure at the
+/// semantic level.
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  Value(bool B) : K(Kind::Bool), BoolVal(B) {}
+  Value(int64_t I) : K(Kind::Int), IntVal(I) {}
+  Value(int I) : K(Kind::Int), IntVal(I) {}
+  Value(uint64_t I) : K(Kind::Int), IntVal(static_cast<int64_t>(I)) {}
+  Value(std::string S) : K(Kind::String), StrVal(std::move(S)) {}
+  Value(const char *S) : K(Kind::String), StrVal(S) {}
+
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool getBool() const {
+    assert(K == Kind::Bool && "not a bool");
+    return K == Kind::Bool && BoolVal;
+  }
+  int64_t getInt() const {
+    assert(K == Kind::Int && "not an int");
+    return K == Kind::Int ? IntVal : 0;
+  }
+  const std::string &getString() const {
+    assert(K == Kind::String && "not a string");
+    return StrVal; // empty unless this really is a string
+  }
+
+  /// Array access.
+  void push(Value V) {
+    assert(K == Kind::Array && "not an array");
+    if (K == Kind::Array)
+      Elems.push_back(std::move(V));
+  }
+  size_t size() const {
+    assert(K == Kind::Array && "not an array");
+    return Elems.size();
+  }
+  const Value &at(size_t I) const {
+    assert(K == Kind::Array && I < Elems.size() && "index out of range");
+    if (K != Kind::Array || I >= Elems.size())
+      return nullValue();
+    return Elems[I];
+  }
+  const std::vector<Value> &elements() const {
+    assert(K == Kind::Array && "not an array");
+    return Elems; // empty unless this really is an array
+  }
+
+  /// Object access. set() keeps first-insertion order; get() asserts the key
+  /// exists, find() returns nullptr when absent.
+  void set(const std::string &Key, Value V);
+  const Value &get(const std::string &Key) const;
+  const Value *find(const std::string &Key) const;
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    assert(K == Kind::Object && "not an object");
+    return Members; // empty unless this really is an object
+  }
+
+  /// The shared null value that fail-soft accessors return.
+  static const Value &nullValue();
+
+  /// Serializes to compact JSON text.
+  std::string write() const;
+
+private:
+  void writeTo(std::string &Out) const;
+
+  Kind K;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  std::string StrVal;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text; returns std::nullopt with a message in \p Error on
+/// malformed input.
+std::optional<Value> parse(const std::string &Text, std::string *Error);
+
+} // namespace json
+} // namespace crellvm
+
+#endif // CRELLVM_JSON_JSON_H

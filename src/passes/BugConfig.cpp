@@ -1,0 +1,23 @@
+//===- passes/BugConfig.cpp -------------------------------------*- C++ -*-===//
+
+#include "passes/BugConfig.h"
+
+using namespace crellvm;
+using namespace crellvm::passes;
+
+std::string BugConfig::str() const {
+  std::string S;
+  auto Add = [&S](bool On, const char *Name) {
+    if (!On)
+      return;
+    if (!S.empty())
+      S += ",";
+    S += Name;
+  };
+  Add(Mem2RegUndefLoop, "mem2reg-undef-loop(PR24179)");
+  Add(Mem2RegConstexprSpeculate, "mem2reg-constexpr(PR33673)");
+  Add(GvnIgnoreInbounds, "gvn-inbounds(PR28562)");
+  Add(GvnIgnoreInboundsPRE, "gvn-inbounds-pre(PR29057)");
+  Add(GvnPREWrongLeader, "gvn-pre-insert(D38619)");
+  return S.empty() ? "none" : S;
+}

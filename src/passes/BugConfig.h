@@ -1,0 +1,69 @@
+//===- passes/BugConfig.h - Historical bug injection ------------*- C++ -*-===//
+///
+/// \file
+/// Switches that re-introduce the historical LLVM miscompilation bugs the
+/// paper found (DESIGN.md §4), so that the benches can reproduce the
+/// paper's validation-failure counts for LLVM 3.7.1 and 5.0.1:
+///
+///   Mem2RegUndefLoop         PR24179 [5]  — single-block fast path
+///   Mem2RegConstexprSpeculate PR33673 [9] — constant expressions assumed
+///                                           trap-free (caught only by
+///                                           rule verification)
+///   GvnIgnoreInbounds        PR28562 [6]  — gep inbounds equated with gep
+///   GvnIgnoreInboundsPRE     PR29057 [7]  — same root cause in PRE
+///   GvnPREWrongLeader        D38619 [11]  — performScalarPREInsertion
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_BUGCONFIG_H
+#define CRELLVM_PASSES_BUGCONFIG_H
+
+#include <string>
+
+namespace crellvm {
+namespace passes {
+
+/// Which injected historical bugs are active.
+struct BugConfig {
+  bool Mem2RegUndefLoop = false;
+  bool Mem2RegConstexprSpeculate = false;
+  bool GvnIgnoreInbounds = false;
+  bool GvnIgnoreInboundsPRE = false;
+  bool GvnPREWrongLeader = false;
+
+  /// All bugs present: the state of LLVM 3.7.1 when the paper's study
+  /// began.
+  static BugConfig llvm371() {
+    BugConfig C;
+    C.Mem2RegUndefLoop = true;
+    C.Mem2RegConstexprSpeculate = true;
+    C.GvnIgnoreInbounds = true;
+    C.GvnIgnoreInboundsPRE = true;
+    C.GvnPREWrongLeader = true;
+    return C;
+  }
+  /// LLVM 5.0.1 before the D38619 GVN patch (paper Fig. 9-11): the
+  /// mem2reg and gvn-inbounds reports were fixed, D38619 was not.
+  /// PR33673 remained unfixed (paper §7 "has not been fixed yet") but
+  /// produces no validation failures.
+  static BugConfig llvm501PreGvnPatch() {
+    BugConfig C;
+    C.GvnPREWrongLeader = true;
+    C.Mem2RegConstexprSpeculate = true;
+    return C;
+  }
+  /// LLVM 5.0.1 after the GVN patch (paper Fig. 12-14).
+  static BugConfig llvm501PostGvnPatch() {
+    BugConfig C;
+    C.Mem2RegConstexprSpeculate = true;
+    return C;
+  }
+  /// Everything fixed.
+  static BugConfig fixed() { return BugConfig(); }
+
+  std::string str() const;
+};
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_BUGCONFIG_H

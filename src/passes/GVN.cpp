@@ -1,0 +1,471 @@
+//===- passes/GVN.cpp -------------------------------------------*- C++ -*-===//
+
+#include "passes/GVN.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "proofgen/ProofBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+using proofgen::PPoint;
+using proofgen::ProofBuilder;
+using SlotId = ProofBuilder::SlotId;
+
+namespace {
+
+bool isCommutative(Opcode Op) {
+  return Op == Opcode::Add || Op == Opcode::Mul || Op == Opcode::And ||
+         Op == Opcode::Or || Op == Opcode::Xor;
+}
+
+Expr rhsExpr(const Instruction &I) {
+  auto P = [](const ir::Value &V) { return ValT::phy(V); };
+  const auto &Ops = I.operands();
+  if (isBinaryOp(I.opcode()))
+    return Expr::bop(I.opcode(), I.type(), P(Ops[0]), P(Ops[1]));
+  if (isCast(I.opcode()))
+    return Expr::cast(I.opcode(), I.type(), P(Ops[0]));
+  if (I.opcode() == Opcode::ICmp)
+    return Expr::icmp(I.icmpPred(), P(Ops[0]), P(Ops[1]));
+  if (I.opcode() == Opcode::Select)
+    return Expr::select(I.type(), P(Ops[0]), P(Ops[1]), P(Ops[2]));
+  assert(I.opcode() == Opcode::Gep);
+  return Expr::gep(I.isInbounds(), P(Ops[0]), P(Ops[1]));
+}
+
+/// GVN-PRE over one function.
+class GvnRunner {
+public:
+  GvnRunner(ProofBuilder &B, const BugConfig &Bugs, bool GenProof)
+      : B(B), Bugs(Bugs), GenProof(GenProof), F(B.srcFunction()), G(F),
+        DT(G) {}
+
+  uint64_t run() {
+    for (size_t Blk : G.rpo()) {
+      const std::string &Name = G.name(Blk);
+      for (SlotId S : B.slotsOf(Name))
+        processSlot(S);
+    }
+    return Eliminated;
+  }
+
+private:
+  struct Leader {
+    std::string Reg;
+    SlotId Slot;
+    Instruction Inst;
+  };
+
+  // --- Utilities ------------------------------------------------------------
+  size_t slotIndexInBlock(SlotId S) const {
+    auto Slots = B.slotsOf(B.blockOf(S));
+    auto It = std::find(Slots.begin(), Slots.end(), S);
+    return static_cast<size_t>(It - Slots.begin());
+  }
+
+  bool slotDominates(SlotId A, SlotId Bslot) const {
+    size_t BA = G.index(B.blockOf(A));
+    size_t BB = G.index(B.blockOf(Bslot));
+    if (BA != BB)
+      return DT.dominates(BA, BB);
+    return slotIndexInBlock(A) < slotIndexInBlock(Bslot);
+  }
+
+  /// Does the definition at \p A dominate the end of block \p Blk?
+  bool slotDominatesBlockEnd(SlotId A, size_t Blk) const {
+    size_t BA = G.index(B.blockOf(A));
+    return BA == Blk || DT.dominates(BA, Blk);
+  }
+
+  /// Does the definition of value \p V dominate the end of block \p Blk?
+  bool valueDefDominatesBlockEnd(const ir::Value &V, size_t Blk) const {
+    if (!V.isReg())
+      return true;
+    std::string DefBlock;
+    size_t DefIdx;
+    if (!F.findDef(V.regName(), DefBlock, DefIdx))
+      return false;
+    if (DefBlock.empty())
+      return true; // parameter
+    size_t DB = G.index(DefBlock);
+    return DB == Blk || DT.dominates(DB, Blk);
+  }
+
+  /// Is \p I eligible for value numbering?
+  bool eligible(const Instruction &I) const {
+    if (!I.result() || I.type().isVec())
+      return false;
+    for (const ir::Value &V : I.operands()) {
+      if (V.type().isVec())
+        return false;
+      if (V.isReg() && Replaced.count(V.regName()))
+        return false; // one merge per chain per run; the pipeline iterates
+    }
+    if (isBinaryOp(I.opcode()) || isCast(I.opcode()))
+      return true;
+    switch (I.opcode()) {
+    case Opcode::ICmp:
+    case Opcode::Select:
+    case Opcode::Gep:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// The value-numbering key of \p I: a canonical expression rendering
+  /// with commutative operands sorted. \p DropInbounds reproduces the
+  /// PR28562/PR29057 confusion.
+  std::string keyOf(const Instruction &I, bool DropInbounds) const {
+    Instruction K = I.withResult("");
+    if (isBinaryOp(K.opcode()) && isCommutative(K.opcode()) &&
+        K.operands()[1] < K.operands()[0])
+      std::swap(K.operands()[0], K.operands()[1]);
+    if (K.opcode() == Opcode::Gep && DropInbounds)
+      K.setInbounds(false);
+    return K.str();
+  }
+
+  Infrule mkRule(InfruleKind K, Side S, std::vector<Expr> Args) const {
+    Infrule R;
+    R.K = K;
+    R.S = S;
+    R.Args = std::move(Args);
+    return R;
+  }
+  static Expr val(const ir::Value &V) { return Expr::val(ValT::phy(V)); }
+
+  /// Replaces all uses of \p Y with \p V, recording the relational
+  /// assertions through ghost \p Ghost (Appendix C value assertions).
+  void rewireUses(SlotId YSlot, const std::string &Y, ir::Type Ty,
+                  const ir::Value &V, const std::string &Ghost) {
+    std::vector<PPoint> UsePoints;
+    for (const BasicBlock &Blk : F.Blocks) {
+      for (SlotId U : B.slotsOf(Blk.Name)) {
+        if (U == YSlot)
+          continue;
+        if (Instruction *TI = B.tgtAt(U)) {
+          // Rewriting the divisor of a trapping operation needs the
+          // division-by-zero analysis the validator lacks (#NS, paper S7).
+          if (isBinaryOp(TI->opcode()) && mayTrap(TI->opcode()) &&
+              TI->operands()[1].isReg() &&
+              TI->operands()[1].regName() == Y)
+            B.markNotSupported("division-by-zero analysis");
+          if (TI->replaceUses(Y, V))
+            UsePoints.push_back(PPoint::beforeSlot(U));
+        }
+      }
+      for (ir::Phi &P : B.tgtPhis(Blk.Name))
+        for (auto &In : P.Incoming)
+          if (In.second.isReg() && In.second.regName() == Y) {
+            In.second = V;
+            UsePoints.push_back(PPoint::endOf(In.first));
+          }
+    }
+// PROOFGEN-BEGIN
+    if (!GenProof)
+      return;
+    ValT GhostV = ValT::ghost(Ghost, Ty);
+    ir::Value YReg = ir::Value::reg(Y, Ty);
+    for (const PPoint &P : UsePoints) {
+      B.assn(Pred::lessdef(val(YReg), Expr::val(GhostV)), Side::Src,
+             PPoint::afterSlot(YSlot), P);
+      B.assn(Pred::lessdef(Expr::val(GhostV), val(V)), Side::Tgt,
+             PPoint::afterSlot(YSlot), P);
+    }
+  }
+// PROOFGEN-END
+
+  // --- Full redundancy --------------------------------------------------------
+  bool tryFullRedundancy(SlotId S, const Instruction &I) {
+    std::string Key = keyOf(I, Bugs.GvnIgnoreInbounds);
+    auto It = Leaders.find(Key);
+    if (It == Leaders.end())
+      return false;
+    const Leader *L = nullptr;
+    for (const Leader &Cand : It->second)
+      if (slotDominates(Cand.Slot, S)) {
+        L = &Cand;
+        break;
+      }
+    if (!L)
+      return false;
+
+    std::string Y = *I.result();
+    ir::Type Ty = I.type();
+    ir::Value X = ir::Value::reg(L->Reg, Ty);
+    std::string Ghost = B.freshGhost(Y);
+
+    B.removeTgt(S);
+    Replaced.insert(Y);
+    B.maydiffGlobal(RegT{Y, Tag::Phy});
+    ++Eliminated;
+
+// PROOFGEN-BEGIN
+    if (GenProof) {
+      // Leader value assertion (Appendix C RET): its expression still
+      // names its register at the replacement site.
+      B.assn(Pred::lessdef(rhsExpr(L->Inst), val(X)), Side::Src,
+             PPoint::afterSlot(L->Slot), PPoint::beforeSlot(S));
+      B.inf(mkRule(InfruleKind::IntroGhost, Side::Src,
+                   {Expr::val(ValT::ghost(Ghost, Ty)), val(X)}),
+            S);
+      B.enableAuto("gvn_pre");
+    }
+// PROOFGEN-END
+    rewireUses(S, Y, Ty, X, Ghost);
+    return true;
+  }
+
+  // --- Partial redundancy ------------------------------------------------------
+  struct PredPlan {
+    enum class Kind { Leader, BranchConst, Insert } K;
+    std::string PredName;
+    // Leader:
+    const Leader *L = nullptr;
+    // BranchConst:
+    std::string CondReg;
+    SlotId CondSlot = 0;
+    ir::Value WReg;     // the register compared against the constant
+    SlotId WSlot = 0;   // its defining slot
+    ir::Value Const;    // the constant the edge pins
+  };
+
+  bool tryPRE(SlotId S, const Instruction &I) {
+    size_t Blk = G.index(B.blockOf(S));
+    const auto &Preds = G.preds(Blk);
+    if (Preds.size() < 2)
+      return false;
+    // Operands must be available at every predecessor's end.
+    for (const ir::Value &V : I.operands())
+      for (size_t P : Preds)
+        if (!valueDefDominatesBlockEnd(V, P))
+          return false;
+
+    bool DropInb = Bugs.GvnIgnoreInboundsPRE || Bugs.GvnIgnoreInbounds;
+    std::string Key = keyOf(I, DropInb);
+    bool Trapping = isBinaryOp(I.opcode()) && mayTrap(I.opcode());
+
+    std::vector<PredPlan> Plans;
+    unsigned Inserts = 0;
+    for (size_t P : Preds) {
+      PredPlan Plan;
+      Plan.PredName = G.name(P);
+      if (const Leader *L = leaderAtBlockEnd(Key, P)) {
+        Plan.K = PredPlan::Kind::Leader;
+        Plan.L = L;
+      } else if (findBranchConst(Key, P, Blk, Plan)) {
+        Plan.K = PredPlan::Kind::BranchConst;
+      } else {
+        Plan.K = PredPlan::Kind::Insert;
+        ++Inserts;
+        // Insertion needs an edge that is not critical.
+        if (G.succs(P).size() != 1)
+          return false;
+        if (Trapping && !Bugs.GvnPREWrongLeader)
+          return false; // might introduce a trap (D38619 class)
+      }
+      Plans.push_back(std::move(Plan));
+    }
+    if (Inserts > 1)
+      return false;
+
+    // --- Transformation.
+    std::string Y = *I.result();
+    ir::Type Ty = I.type();
+    std::string Y4 = Y + ".pre";
+    std::string Ghost = B.freshGhost(Y);
+    Expr E = rhsExpr(I);
+    ValT GhostV = ValT::ghost(Ghost, Ty);
+
+    ir::Phi NewPhi{Y4, Ty, {}};
+    for (PredPlan &Plan : Plans) {
+      ir::Value Incoming;
+      switch (Plan.K) {
+      case PredPlan::Kind::Leader:
+        Incoming = ir::Value::reg(Plan.L->Reg, Ty);
+        break;
+      case PredPlan::Kind::BranchConst:
+        Incoming = Plan.Const;
+        break;
+      case PredPlan::Kind::Insert: {
+        std::string Ins = Y + ".pre.ins";
+        SlotId NewSlot = B.insertTgtBeforeTerminator(
+            Plan.PredName, I.withResult(Ins));
+        B.maydiffGlobal(RegT{Ins, Tag::Phy});
+        Incoming = ir::Value::reg(Ins, Ty);
+// PROOFGEN-BEGIN
+        if (GenProof)
+          B.assn(Pred::lessdef(E, val(Incoming)), Side::Tgt,
+                 PPoint::afterSlot(NewSlot), PPoint::endOf(Plan.PredName));
+// PROOFGEN-END
+        break;
+      }
+      }
+      NewPhi.setIncoming(Plan.PredName, Incoming);
+    }
+    const std::string &BlkName = B.blockOf(S);
+    B.insertTgtPhi(BlkName, NewPhi);
+    B.maydiffGlobal(RegT{Y4, Tag::Phy});
+    B.removeTgt(S);
+    Replaced.insert(Y);
+    B.maydiffGlobal(RegT{Y, Tag::Phy});
+    ++Eliminated;
+
+// PROOFGEN-BEGIN
+    if (GenProof) {
+      for (const PredPlan &Plan : Plans) {
+        B.infAtPhi(mkRule(InfruleKind::IntroGhost, Side::Src,
+                          {Expr::val(GhostV), E}),
+                   BlkName, Plan.PredName);
+        if (Plan.K == PredPlan::Kind::Leader) {
+          B.assn(Pred::lessdef(rhsExpr(Plan.L->Inst),
+                               val(ir::Value::reg(Plan.L->Reg, Ty))),
+                 Side::Tgt, PPoint::afterSlot(Plan.L->Slot),
+                 PPoint::endOf(Plan.PredName));
+        } else if (Plan.K == PredPlan::Kind::BranchConst) {
+          const Instruction *CondDef = B.tgtAt(Plan.CondSlot);
+          const Instruction *WDef = B.tgtAt(Plan.WSlot);
+          B.assn(Pred::lessdef(rhsExpr(*WDef), val(Plan.WReg)), Side::Tgt,
+                 PPoint::afterSlot(Plan.WSlot), PPoint::endOf(Plan.PredName));
+          B.assn(
+              Pred::lessdef(rhsExpr(*CondDef),
+                            val(ir::Value::reg(Plan.CondReg,
+                                               ir::Type::intTy(1)))),
+              Side::Tgt, PPoint::afterSlot(Plan.CondSlot),
+              PPoint::endOf(Plan.PredName));
+          // Fig. 15: the taken branch pins the compared value.
+          B.infAtPhi(
+              mkRule(InfruleKind::IcmpToEq, Side::Tgt,
+                     {val(ir::Value::reg(Plan.CondReg, ir::Type::intTy(1))),
+                      val(Plan.WReg), val(Plan.Const)}),
+              BlkName, Plan.PredName);
+        }
+      }
+      // The value-number facts at the head of the block (Fig. 15's v-hat
+      // assertions): E >= y-hat (src) and y-hat >= y4 (tgt).
+      B.assn(Pred::lessdef(E, Expr::val(GhostV)), Side::Src,
+             PPoint::entryOf(BlkName), PPoint::beforeSlot(S));
+      B.assn(Pred::lessdef(Expr::val(GhostV),
+                           val(ir::Value::reg(Y4, Ty))),
+             Side::Tgt, PPoint::entryOf(BlkName), PPoint::beforeSlot(S));
+      B.enableAuto("gvn_pre");
+    }
+    rewireUses(S, Y, Ty, ir::Value::reg(Y4, Ty), Ghost);
+// PROOFGEN-END
+    return true;
+  }
+
+  const Leader *leaderAtBlockEnd(const std::string &Key, size_t Blk) {
+    auto It = Leaders.find(Key);
+    if (It == Leaders.end())
+      return nullptr;
+    for (const Leader &Cand : It->second)
+      if (slotDominatesBlockEnd(Cand.Slot, Blk))
+        return &Cand;
+    return nullptr;
+  }
+
+  /// Fig. 15 branch-derived constants: the edge P -> Blk is the true edge
+  /// of `br i1 c` with `c := icmp eq w C` and VN(w) == Key.
+  bool findBranchConst(const std::string &Key, size_t P, size_t Blk,
+                       PredPlan &Plan) {
+    const BasicBlock *PB = F.getBlock(G.name(P));
+    const Instruction &Term = PB->terminator();
+    if (Term.opcode() != Opcode::CondBr)
+      return false;
+    if (Term.successors()[0] != G.name(Blk) ||
+        Term.successors()[1] == G.name(Blk))
+      return false;
+    const ir::Value &Cond = Term.operands()[0];
+    if (!Cond.isReg())
+      return false;
+    std::string CondDefBlock;
+    size_t CondDefIdx;
+    if (!F.findDef(Cond.regName(), CondDefBlock, CondDefIdx) ||
+        CondDefBlock.empty() || CondDefIdx == ~size_t(0))
+      return false;
+    SlotId CondSlot = B.slotOfSrc(CondDefBlock, CondDefIdx);
+    const Instruction *CondDef = B.tgtAt(CondSlot);
+    if (!CondDef || CondDef->opcode() != Opcode::ICmp ||
+        CondDef->icmpPred() != IcmpPred::Eq)
+      return false;
+    const ir::Value &W = CondDef->operands()[0];
+    const ir::Value &C = CondDef->operands()[1];
+    if (!W.isReg() || !C.isConstInt())
+      return false;
+    std::string WDefBlock;
+    size_t WDefIdx;
+    if (!F.findDef(W.regName(), WDefBlock, WDefIdx) || WDefBlock.empty() ||
+        WDefIdx == ~size_t(0))
+      return false;
+    SlotId WSlot = B.slotOfSrc(WDefBlock, WDefIdx);
+    const Instruction *WDef = B.tgtAt(WSlot);
+    if (!WDef || !eligible(*WDef))
+      return false;
+    bool DropInb = Bugs.GvnIgnoreInboundsPRE || Bugs.GvnIgnoreInbounds;
+    if (keyOf(*WDef, DropInb) != Key)
+      return false;
+    if (!slotDominatesBlockEnd(WSlot, P) ||
+        !slotDominatesBlockEnd(CondSlot, P))
+      return false;
+    Plan.CondReg = Cond.regName();
+    Plan.CondSlot = CondSlot;
+    Plan.WReg = ir::Value::reg(W.regName(), WDef->type());
+    Plan.WSlot = WSlot;
+    Plan.Const = C;
+    return true;
+  }
+
+  void processSlot(SlotId S) {
+    const Instruction *IP = B.tgtAt(S);
+    if (!IP)
+      return;
+    const Instruction I = *IP;
+    if (!eligible(I))
+      return;
+    const Instruction *Orig = B.srcAt(S);
+    if (!Orig || I != *Orig)
+      return; // touched by an earlier rewrite, or target-only
+    if (tryFullRedundancy(S, I))
+      return;
+    if (tryPRE(S, I))
+      return;
+    // Record as a leader for later occurrences.
+    Leaders[keyOf(I, Bugs.GvnIgnoreInbounds)].push_back(
+        Leader{*I.result(), S, I});
+  }
+
+  ProofBuilder &B;
+  const BugConfig &Bugs;
+  bool GenProof;
+  const ir::Function &F;
+  analysis::CFG G;
+  analysis::DomTree DT;
+  std::map<std::string, std::vector<Leader>> Leaders;
+  std::set<std::string> Replaced;
+  uint64_t Eliminated = 0;
+};
+
+} // namespace
+
+PassResult GVN::run(const ir::Module &Src, bool GenProof) {
+  PassResult Out;
+  Out.Tgt = Src;
+  for (ir::Function &F : Out.Tgt.Funcs) {
+    ProofBuilder B(F);
+    GvnRunner R(B, Bugs, GenProof);
+    Out.Rewrites += R.run();
+    auto Res = B.finalize();
+    F = Res.TgtF;
+    if (GenProof)
+      Out.Proof.Functions[F.Name] = std::move(Res.FProof);
+  }
+  return Out;
+}

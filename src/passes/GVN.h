@@ -1,0 +1,52 @@
+//===- passes/GVN.h - Global value numbering with PRE -----------*- C++ -*-===//
+///
+/// \file
+/// Global value numbering with partial-redundancy elimination (paper
+/// Appendix C). Pure instructions are keyed by their expressions
+/// (commutative operations normalized); a later instruction whose key has
+/// a dominating leader is removed and its uses are rewired to the leader.
+/// PRE eliminates an instruction that is redundant along every incoming
+/// edge of its block — through a dominating leader, through a
+/// branch-derived constant (the icmp_to_eq reasoning of Fig. 15), or by
+/// inserting the expression into the one predecessor that misses it — by
+/// building a phi node.
+///
+/// Proof generation follows Appendix C: a ghost register per eliminated
+/// instruction plays the role of the value number (the v-hat registers of
+/// Fig. 15), leader value assertions are propagated to the replacement
+/// site, and the gvn_pre automation (commutativity + substitution +
+/// transitivity) closes the chains.
+///
+/// Injected bugs (DESIGN.md §4):
+///  - GvnIgnoreInbounds (PR28562): gep inbounds and plain gep share a
+///    value number, so one replaces the other — introducing poison.
+///  - GvnIgnoreInboundsPRE (PR29057): the same confusion in PRE leader
+///    matching.
+///  - GvnPREWrongLeader (modeled after D38619): PRE inserts a trapping
+///    expression (a division) into a predecessor, introducing UB.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_GVN_H
+#define CRELLVM_PASSES_GVN_H
+
+#include "passes/Pass.h"
+
+namespace crellvm {
+namespace passes {
+
+/// Proof-generating GVN-PRE.
+class GVN : public Pass {
+public:
+  explicit GVN(const BugConfig &Bugs) : Bugs(Bugs) {}
+
+  std::string name() const override { return "gvn"; }
+  PassResult run(const ir::Module &Src, bool GenProof) override;
+
+private:
+  BugConfig Bugs;
+};
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_GVN_H

@@ -1,0 +1,1637 @@
+//===- passes/InstCombine.cpp -----------------------------------*- C++ -*-===//
+
+#include "passes/InstCombine.h"
+
+#include "proofgen/ProofBuilder.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+using proofgen::PPoint;
+using proofgen::ProofBuilder;
+using SlotId = ProofBuilder::SlotId;
+
+namespace {
+
+int64_t truncTo(int64_t N, unsigned W) {
+  if (W >= 64)
+    return N;
+  uint64_t Bits = static_cast<uint64_t>(N) & ((uint64_t(1) << W) - 1);
+  uint64_t Sign = uint64_t(1) << (W - 1);
+  return static_cast<int64_t>(Bits ^ Sign) - static_cast<int64_t>(Sign);
+}
+
+bool constIs(const ir::Value &V, int64_t C) {
+  return V.isConstInt() &&
+         truncTo(V.intValue(), V.type().intWidth()) ==
+             truncTo(C, V.type().intWidth());
+}
+
+/// The ERHL expression of a pure instruction's right-hand side.
+Expr rhsExpr(const Instruction &I) {
+  auto P = [](const ir::Value &V) { return ValT::phy(V); };
+  const auto &Ops = I.operands();
+  if (isBinaryOp(I.opcode()))
+    return Expr::bop(I.opcode(), I.type(), P(Ops[0]), P(Ops[1]));
+  if (isCast(I.opcode()))
+    return Expr::cast(I.opcode(), I.type(), P(Ops[0]));
+  switch (I.opcode()) {
+  case Opcode::ICmp:
+    return Expr::icmp(I.icmpPred(), P(Ops[0]), P(Ops[1]));
+  case Opcode::Select:
+    return Expr::select(I.type(), P(Ops[0]), P(Ops[1]), P(Ops[2]));
+  case Opcode::Gep:
+    return Expr::gep(I.isInbounds(), P(Ops[0]), P(Ops[1]));
+  case Opcode::Load:
+    return Expr::load(I.type(), P(Ops[0]));
+  default:
+    assert(false && "instruction has no RHS expression");
+    return Expr::val(P(ir::Value::undef(I.type())));
+  }
+}
+
+/// Per-function rewriting context.
+class Combiner {
+public:
+  Combiner(ProofBuilder &B, bool GenProof,
+           std::map<std::string, uint64_t> &Counts)
+      : B(B), GenProof(GenProof), Counts(Counts) {
+    for (const BasicBlock &Blk : B.srcFunction().Blocks)
+      for (size_t I = 0; I != Blk.Insts.size(); ++I)
+        if (auto R = Blk.Insts[I].result())
+          DefSlots[*R] = B.slotOfSrc(Blk.Name, I);
+  }
+
+  uint64_t rewrites() const { return Rewrites; }
+
+  void run() {
+    for (const BasicBlock &Blk : B.srcFunction().Blocks)
+      for (SlotId S : B.slotsOf(Blk.Name))
+        tryCombine(S);
+    // After the per-slot catalog: the one cross-block optimization. It
+    // runs last so no later fold can rewrite the new phi's incoming
+    // values away from the edge facts the proof states.
+    for (const BasicBlock &Blk : B.srcFunction().Blocks)
+      combinePhis(Blk.Name);
+    eliminateDeadCode();
+  }
+
+private:
+  // --- Matching utilities --------------------------------------------------
+  /// The defining slot of register value \p V, provided its target command
+  /// is still the unmodified source instruction.
+  std::optional<SlotId> unchangedDefSlot(const ir::Value &V) const {
+    if (!V.isReg())
+      return std::nullopt;
+    auto It = DefSlots.find(V.regName());
+    if (It == DefSlots.end() || Touched.count(It->second))
+      return std::nullopt;
+    // The definition must be byte-identical to the source: an earlier fold
+    // may have rewritten its operands, and premises are stated about the
+    // source program.
+    const Instruction *T = B.tgtAt(It->second);
+    const Instruction *S = B.srcAt(It->second);
+    if (!T || !S || !(*T == *S))
+      return std::nullopt;
+    return It->second;
+  }
+
+  const Instruction *defInstr(const ir::Value &V,
+                              std::optional<SlotId> &SlotOut) const {
+    SlotOut = unchangedDefSlot(V);
+    if (!SlotOut)
+      return nullptr;
+    return B.tgtAt(*SlotOut);
+  }
+
+  static ValT phy(const ir::Value &V) { return ValT::phy(V); }
+  static Expr val(const ir::Value &V) { return Expr::val(phy(V)); }
+  ir::Value cInt(int64_t N, ir::Type Ty) const {
+    return ir::Value::constInt(truncTo(N, Ty.intWidth()), Ty);
+  }
+
+  Infrule rule(InfruleKind K, std::vector<Expr> Args) const {
+    Infrule R;
+    R.K = K;
+    R.S = Side::Src;
+    R.Args = std::move(Args);
+    return R;
+  }
+
+  // --- Rewrite executors ---------------------------------------------------
+  /// One premise of a fused rule: the register defined at DefSlot.
+  struct PremDef {
+    std::string Reg;
+    SlotId Slot;
+  };
+
+// PROOFGEN-BEGIN
+  void recordPremises(SlotId At, const std::vector<PremDef> &Prems) {
+    for (const PremDef &P : Prems) {
+      const Instruction *Def = B.tgtAt(P.Slot);
+      assert(Def && "premise definition vanished");
+      Expr RegE = val(ir::Value::reg(P.Reg, Def->type()));
+      B.assn(Pred::lessdef(RegE, rhsExpr(*Def)), Side::Src,
+             PPoint::afterSlot(P.Slot), PPoint::beforeSlot(At));
+    }
+  }
+// PROOFGEN-END
+
+  /// Rewrites the instruction at \p S in place, justified by \p R whose
+  /// definition premises are listed in \p Prems.
+  void rewriteInPlace(const char *OptName, SlotId S, Instruction NewInst,
+                      Infrule R, std::vector<PremDef> Prems = {}) {
+// PROOFGEN-BEGIN
+    if (GenProof) {
+      recordPremises(S, Prems);
+      B.inf(std::move(R), S);
+      B.enableAuto("transitivity");
+      B.enableAuto("reduce_maydiff");
+    }
+// PROOFGEN-END
+    B.replaceTgt(S, std::move(NewInst));
+    Touched.insert(S);
+    ++Counts[OptName];
+    ++Rewrites;
+  }
+
+  /// Removes the instruction at \p S and replaces every use of its result
+  /// with \p V; \p R must conclude `y >= V` on the source side.
+  void foldToValue(const char *OptName, SlotId S, ir::Value V,
+                   Infrule R, std::vector<PremDef> Prems = {}) {
+    const Instruction *I = B.tgtAt(S);
+    assert(I && I->result());
+    std::string Y = *I->result();
+    ir::Type Ty = I->type();
+
+    // Collect use points, then rewrite uses.
+    std::vector<PPoint> UsePoints;
+    for (const BasicBlock &Blk : B.srcFunction().Blocks) {
+      for (SlotId U : B.slotsOf(Blk.Name)) {
+        if (U == S)
+          continue;
+        if (Instruction *TI = B.tgtAt(U)) {
+          // Rewriting the divisor of a trapping operation needs the
+          // division-by-zero analysis the validator lacks (#NS, paper S7).
+          if (isBinaryOp(TI->opcode()) && mayTrap(TI->opcode()) &&
+              TI->operands()[1].isReg() &&
+              TI->operands()[1].regName() == Y)
+            B.markNotSupported("division-by-zero analysis");
+          if (TI->replaceUses(Y, V))
+            UsePoints.push_back(PPoint::beforeSlot(U));
+        }
+      }
+      for (ir::Phi &P : B.tgtPhis(Blk.Name)) {
+        for (auto &In : P.Incoming) {
+          if (In.second.isReg() && In.second.regName() == Y) {
+            In.second = V;
+            UsePoints.push_back(PPoint::endOf(In.first));
+          }
+        }
+      }
+    }
+
+    B.removeTgt(S);
+    Touched.insert(S);
+    B.maydiffGlobal(RegT{Y, Tag::Phy});
+    ++Counts[OptName];
+    ++Rewrites;
+    // The anchor set shapes later transformation decisions, so it must be
+    // maintained identically in plain and proof mode (llvm-diff!).
+    if (V.isReg())
+      Anchored.insert(V.regName());
+    if (!GenProof)
+      return;
+
+// PROOFGEN-BEGIN
+    recordPremises(S, Prems);
+    B.inf(std::move(R), S); // derives y >= V on the source side
+
+    ir::Value YReg = ir::Value::reg(Y, Ty);
+    if (V.isReg()) {
+      // Relational link through a ghost register (paper §3.2).
+      std::string G = B.freshGhost(Y);
+      ValT Ghost = ValT::ghost(G, Ty);
+      B.inf(rule(InfruleKind::IntroGhost, {Expr::val(Ghost), val(V)}), S);
+      B.inf(rule(InfruleKind::Transitivity,
+                 {val(YReg), val(V), Expr::val(Ghost)}),
+            S);
+      for (const PPoint &P : UsePoints) {
+        B.assn(Pred::lessdef(val(YReg), Expr::val(Ghost)), Side::Src,
+               PPoint::afterSlot(S), P);
+        B.assn(Pred::lessdef(Expr::val(Ghost), val(V)), Side::Tgt,
+               PPoint::afterSlot(S), P);
+      }
+    } else {
+      for (const PPoint &P : UsePoints)
+        B.assn(Pred::lessdef(val(YReg), val(V)), Side::Src,
+               PPoint::afterSlot(S), P);
+    }
+    B.enableAuto("transitivity");
+    B.enableAuto("reduce_maydiff");
+  }
+// PROOFGEN-END
+
+  // --- The micro-optimization catalog --------------------------------------
+  void tryCombine(SlotId S);
+  bool combineAdd(SlotId S, const Instruction &I);
+  bool combineSub(SlotId S, const Instruction &I);
+  bool combineMulDiv(SlotId S, const Instruction &I);
+  bool combineBitwise(SlotId S, const Instruction &I);
+  bool combineShift(SlotId S, const Instruction &I);
+  bool combineIcmp(SlotId S, const Instruction &I);
+  bool combineSelect(SlotId S, const Instruction &I);
+  void combinePhis(const std::string &BlkName);
+  bool combineCast(SlotId S, const Instruction &I);
+  bool combineGep(SlotId S, const Instruction &I);
+  void eliminateDeadCode();
+
+  ProofBuilder &B;
+  bool GenProof;
+  std::map<std::string, uint64_t> &Counts;
+  std::map<std::string, SlotId> DefSlots;
+  std::set<SlotId> Touched;
+  /// Registers earlier folds substituted for an eliminated one: their
+  /// ghost links reference them, so they must stay defined and unchanged.
+  std::set<std::string> Anchored;
+  uint64_t Rewrites = 0;
+};
+
+void Combiner::tryCombine(SlotId S) {
+  if (Touched.count(S))
+    return;
+  const Instruction *IP = B.tgtAt(S);
+  if (!IP)
+    return;
+  // Copy: rewrites below may reallocate the slot table.
+  const Instruction I = *IP;
+  // Only combine instructions still identical to the source: chained
+  // opportunities are picked up by the next instcombine invocation in the
+  // pipeline, keeping every proof a single step.
+  const Instruction *Orig = B.srcAt(S);
+  if (!Orig || !(I == *Orig))
+    return;
+  // Never touch a register an earlier fold routed its uses through.
+  if (I.result() && Anchored.count(*I.result()))
+    return;
+  if (I.type().isVec())
+    return; // vector code is #NS territory; leave it untouched
+  // comm-canonicalize: a constant first operand of a commutative operator
+  // moves to the right, exposing the constant folds above to the next
+  // pipeline round. (`add 0 a` is left to the direct add-comm-sub fold.)
+  if ((I.opcode() == Opcode::Add || I.opcode() == Opcode::Mul ||
+       I.opcode() == Opcode::And || I.opcode() == Opcode::Or ||
+       I.opcode() == Opcode::Xor) &&
+      I.operands()[0].isConstInt() && !I.operands()[1].isConstInt() &&
+      !I.operands()[1].isUndef() &&
+      !(I.opcode() == Opcode::Add && I.operands()[0].intValue() == 0)) {
+    InfruleKind K = I.opcode() == Opcode::Add   ? InfruleKind::AddComm
+                    : I.opcode() == Opcode::Mul ? InfruleKind::MulComm
+                    : I.opcode() == Opcode::And ? InfruleKind::AndComm
+                    : I.opcode() == Opcode::Or  ? InfruleKind::OrComm
+                                                : InfruleKind::XorComm;
+    ir::Value Y = ir::Value::reg(*I.result(), I.type());
+    rewriteInPlace("comm-canonicalize", S,
+                   Instruction::binary(I.opcode(), *I.result(), I.type(),
+                                       I.operands()[1], I.operands()[0]),
+                   rule(K, {val(Y), val(I.operands()[0]),
+                            val(I.operands()[1])}));
+    return;
+  }
+  switch (I.opcode()) {
+  case Opcode::Add:
+    combineAdd(S, I);
+    break;
+  case Opcode::Sub:
+    combineSub(S, I);
+    break;
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::SRem:
+  case Opcode::UDiv:
+  case Opcode::URem:
+    combineMulDiv(S, I);
+    break;
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    combineBitwise(S, I);
+    break;
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    combineShift(S, I);
+    break;
+  case Opcode::ICmp:
+    combineIcmp(S, I);
+    break;
+  case Opcode::Select:
+    combineSelect(S, I);
+    break;
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Bitcast:
+  case Opcode::IntToPtr:
+    combineCast(S, I);
+    break;
+  case Opcode::Gep:
+    combineGep(S, I);
+    break;
+  default:
+    break;
+  }
+}
+
+bool Combiner::combineAdd(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0], &Bv = I.operands()[1];
+  ir::Type Ty = I.type();
+  ir::Value Y = ir::Value::reg(*I.result(), Ty);
+
+  // add-zero: y = add a 0 -> a
+  if (constIs(Bv, 0)) {
+    foldToValue("add-zero", S, A,
+                rule(InfruleKind::AddZero, {val(Y), val(A)}));
+    return true;
+  }
+  if (constIs(A, 0)) {
+    Instruction Canon = Instruction::binary(Opcode::Add, *I.result(), Ty,
+                                            Bv, A);
+    // Commutative canonicalization first: y = add 0 a -> y = add a 0,
+    // handled as a direct fold through add_comm + add_zero next round.
+    rewriteInPlace("add-comm-sub", S, Canon,
+                   rule(InfruleKind::AddComm, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+  // add-shift: y = add a a -> shl a 1
+  if (A == Bv && A.isReg() && Ty.intWidth() > 1) {
+    rewriteInPlace("add-shift", S,
+                   Instruction::binary(Opcode::Shl, *I.result(), Ty, A,
+                                       cInt(1, Ty)),
+                   rule(InfruleKind::AddShift, {val(Y), val(A)}));
+    return true;
+  }
+  // add-onebit: i1 addition is xor
+  if (Ty == ir::Type::intTy(1)) {
+    rewriteInPlace("add-onebit", S,
+                   Instruction::binary(Opcode::Xor, *I.result(), Ty, A, Bv),
+                   rule(InfruleKind::AddOnebit, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+  // add-signbit: y = add a SIGN -> xor a SIGN
+  if (constIs(Bv, truncTo(int64_t(1) << (Ty.intWidth() - 1),
+                          Ty.intWidth()))) {
+    rewriteInPlace("add-signbit", S,
+                   Instruction::binary(Opcode::Xor, *I.result(), Ty, A, Bv),
+                   rule(InfruleKind::AddSignbit, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+
+  std::optional<SlotId> DS;
+  // assoc-add: y = add (add a C1) C2 -> add a (C1+C2)
+  if (Bv.isConstInt()) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Opcode::Add && D->operands()[1].isConstInt()) {
+        int64_t C1 = D->operands()[1].intValue(), C2 = Bv.intValue();
+        ir::Value C3 = cInt(C1 + C2, Ty);
+        rewriteInPlace(
+            "bop-associativity", S,
+            Instruction::binary(Opcode::Add, *I.result(), Ty,
+                                D->operands()[0], C3),
+            rule(InfruleKind::AddAssoc,
+                 {val(Y), val(A), val(D->operands()[0]),
+                  val(D->operands()[1]), val(Bv), val(C3)}),
+            {{A.regName(), *DS}});
+        return true;
+      }
+      // add-zext-bool: y = add (zext i1 b) C -> select b (C+1) C
+      if (D->opcode() == Opcode::ZExt &&
+          D->operands()[0].type() == ir::Type::intTy(1)) {
+        ir::Value C1 = cInt(Bv.intValue() + 1, Ty);
+        rewriteInPlace(
+            "add-zext-bool", S,
+            Instruction::select(*I.result(), Ty, D->operands()[0], C1, Bv),
+            rule(InfruleKind::AddZextBool,
+                 {val(Y), val(A), val(D->operands()[0]), val(Bv), val(C1)}),
+            {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // add-sub: y = add x b where x = sub a b -> a
+  if (const Instruction *D = defInstr(A, DS)) {
+    if (D->opcode() == Opcode::Sub && D->operands()[1] == Bv) {
+      foldToValue("add-sub", S, D->operands()[0],
+                  rule(InfruleKind::AddSub,
+                       {val(Y), val(A), val(D->operands()[0]), val(Bv)}),
+                  {{A.regName(), *DS}});
+      return true;
+    }
+  }
+  // add-or-and: y = add z x where z = or a b, x = and a b -> add a b
+  std::optional<SlotId> DS2;
+  const Instruction *DZ = defInstr(A, DS);
+  const Instruction *DX = defInstr(Bv, DS2);
+  if (DZ && DX && DZ->opcode() == Opcode::Or &&
+      DX->opcode() == Opcode::And &&
+      DZ->operands() == DX->operands()) {
+    rewriteInPlace(
+        "add-or-and", S,
+        Instruction::binary(Opcode::Add, *I.result(), Ty,
+                            DZ->operands()[0], DZ->operands()[1]),
+        rule(InfruleKind::AddOrAnd,
+             {val(Y), val(A), val(Bv), val(DZ->operands()[0]),
+              val(DZ->operands()[1])}),
+        {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+    return true;
+  }
+  // add-xor-and: y = add z x where z = xor a b, x = and a b -> or a b
+  if (DZ && DX && DZ->opcode() == Opcode::Xor &&
+      DX->opcode() == Opcode::And &&
+      DZ->operands() == DX->operands()) {
+    rewriteInPlace(
+        "add-xor-and", S,
+        Instruction::binary(Opcode::Or, *I.result(), Ty,
+                            DZ->operands()[0], DZ->operands()[1]),
+        rule(InfruleKind::AddXorAnd,
+             {val(Y), val(A), val(Bv), val(DZ->operands()[0]),
+              val(DZ->operands()[1])}),
+        {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+    return true;
+  }
+  return false;
+}
+
+bool Combiner::combineSub(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0], &Bv = I.operands()[1];
+  ir::Type Ty = I.type();
+  ir::Value Y = ir::Value::reg(*I.result(), Ty);
+
+  if (constIs(Bv, 0)) {
+    foldToValue("sub-zero", S, A,
+                rule(InfruleKind::SubZero, {val(Y), val(A)}));
+    return true;
+  }
+  if (A == Bv) {
+    foldToValue("sub-remove-same", S, cInt(0, Ty),
+                rule(InfruleKind::SubSame, {val(Y), val(A)}));
+    return true;
+  }
+  if (Ty == ir::Type::intTy(1)) {
+    rewriteInPlace("sub-onebit", S,
+                   Instruction::binary(Opcode::Xor, *I.result(), Ty, A, Bv),
+                   rule(InfruleKind::SubOnebit, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+  if (constIs(A, -1)) {
+    rewriteInPlace("sub-mone", S,
+                   Instruction::binary(Opcode::Xor, *I.result(), Ty, Bv,
+                                       cInt(-1, Ty)),
+                   rule(InfruleKind::SubMone, {val(Y), val(Bv)}));
+    return true;
+  }
+
+  std::optional<SlotId> DS, DS2;
+  // sub-const-add: y = sub (add a C1) C2 -> add a (C1-C2)
+  if (Bv.isConstInt()) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Opcode::Add && D->operands()[1].isConstInt()) {
+        ir::Value C3 = cInt(D->operands()[1].intValue() - Bv.intValue(), Ty);
+        rewriteInPlace(
+            "sub-const-add", S,
+            Instruction::binary(Opcode::Add, *I.result(), Ty,
+                                D->operands()[0], C3),
+            rule(InfruleKind::SubConstAdd,
+                 {val(Y), val(A), val(D->operands()[0]),
+                  val(D->operands()[1]), val(Bv), val(C3)}),
+            {{A.regName(), *DS}});
+        return true;
+      }
+      // sub-sub: y = sub (sub a C1) C2 -> sub a (C1+C2)
+      if (D->opcode() == Opcode::Sub && D->operands()[1].isConstInt()) {
+        ir::Value C3 = cInt(D->operands()[1].intValue() + Bv.intValue(), Ty);
+        rewriteInPlace(
+            "sub-sub", S,
+            Instruction::binary(Opcode::Sub, *I.result(), Ty,
+                                D->operands()[0], C3),
+            rule(InfruleKind::SubSub,
+                 {val(Y), val(A), val(D->operands()[0]),
+                  val(D->operands()[1]), val(Bv), val(C3)}),
+            {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // sub-const-not: y = sub C (xor a -1) -> add a (C+1)
+  if (A.isConstInt()) {
+    if (const Instruction *D = defInstr(Bv, DS)) {
+      if (D->opcode() == Opcode::Xor && constIs(D->operands()[1], -1)) {
+        ir::Value C1 = cInt(A.intValue() + 1, Ty);
+        rewriteInPlace(
+            "sub-const-not", S,
+            Instruction::binary(Opcode::Add, *I.result(), Ty,
+                                D->operands()[0], C1),
+            rule(InfruleKind::SubConstNot,
+                 {val(Y), val(Bv), val(D->operands()[0]), val(A), val(C1)}),
+            {{Bv.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // sub-add: y = sub x b where x = add a b -> a
+  if (const Instruction *D = defInstr(A, DS)) {
+    if (D->opcode() == Opcode::Add && D->operands()[1] == Bv) {
+      foldToValue("sub-add", S, D->operands()[0],
+                  rule(InfruleKind::SubAdd,
+                       {val(Y), val(A), val(D->operands()[0]), val(Bv)}),
+                  {{A.regName(), *DS}});
+      return true;
+    }
+  }
+  // sub-remove: y = sub a x where x = add a b -> sub 0 b
+  if (const Instruction *D = defInstr(Bv, DS)) {
+    if (D->opcode() == Opcode::Add && D->operands()[0] == A) {
+      rewriteInPlace(
+          "sub-remove", S,
+          Instruction::binary(Opcode::Sub, *I.result(), Ty, cInt(0, Ty),
+                              D->operands()[1]),
+          rule(InfruleKind::SubRemove,
+               {val(Y), val(Bv), val(A), val(D->operands()[1])}),
+          {{Bv.regName(), *DS}});
+      return true;
+    }
+    // sub-shl: y = sub 0 (shl a C) -> mul a -(2^C)
+    // neg-val: z = sub 0 (sub 0 a) -> a
+    if (constIs(A, 0) && D->opcode() == Opcode::Sub &&
+        constIs(D->operands()[0], 0)) {
+      foldToValue("neg-val", S, D->operands()[1],
+                  rule(InfruleKind::NegVal,
+                       {val(Y), val(Bv), val(D->operands()[1])}),
+                  {{Bv.regName(), *DS}});
+      return true;
+    }
+    if (constIs(A, 0) && D->opcode() == Opcode::Shl &&
+        D->operands()[1].isConstInt() && D->operands()[1].intValue() >= 0 &&
+        D->operands()[1].intValue() <
+            static_cast<int64_t>(Ty.intWidth())) {
+      ir::Value M =
+          cInt(-(int64_t(1) << D->operands()[1].intValue()), Ty);
+      rewriteInPlace("sub-shl", S,
+                     Instruction::binary(Opcode::Mul, *I.result(), Ty,
+                                         D->operands()[0], M),
+                     rule(InfruleKind::SubShl,
+                          {val(Y), val(Bv), val(D->operands()[0]),
+                           val(D->operands()[1])}),
+                     {{Bv.regName(), *DS}});
+      return true;
+    }
+  }
+  // sub-or-xor: y = sub z x where z = or a b, x = xor a b -> and a b
+  const Instruction *DZ = defInstr(A, DS);
+  const Instruction *DX = defInstr(Bv, DS2);
+  if (DZ && DX && DZ->opcode() == Opcode::Or &&
+      DX->opcode() == Opcode::Xor &&
+      DZ->operands() == DX->operands()) {
+    rewriteInPlace(
+        "sub-or-xor", S,
+        Instruction::binary(Opcode::And, *I.result(), Ty,
+                            DZ->operands()[0], DZ->operands()[1]),
+        rule(InfruleKind::SubOrXor,
+             {val(Y), val(A), val(Bv), val(DZ->operands()[0]),
+              val(DZ->operands()[1])}),
+        {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+    return true;
+  }
+  return false;
+}
+
+bool Combiner::combineMulDiv(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0], &Bv = I.operands()[1];
+  ir::Type Ty = I.type();
+  ir::Value Y = ir::Value::reg(*I.result(), Ty);
+
+  if (I.opcode() == Opcode::UDiv || I.opcode() == Opcode::URem) {
+    if (constIs(Bv, 1)) {
+      if (I.opcode() == Opcode::UDiv)
+        foldToValue("udiv-one", S, A,
+                    rule(InfruleKind::UdivOne, {val(Y), val(A)}));
+      else
+        foldToValue("urem-one", S, cInt(0, Ty),
+                    rule(InfruleKind::UremOne, {val(Y), val(A)}));
+      return true;
+    }
+    // udiv-sub-urem: z = udiv (sub a (urem a b)) b -> udiv a b
+    if (I.opcode() == Opcode::UDiv) {
+      std::optional<SlotId> DS, DS2;
+      if (const Instruction *DX = defInstr(A, DS)) {
+        if (DX->opcode() == Opcode::Sub) {
+          ir::Value Aa = DX->operands()[0];
+          ir::Value Rem = DX->operands()[1];
+          if (const Instruction *DY = defInstr(Rem, DS2)) {
+            if (DY->opcode() == Opcode::URem && DY->operands()[0] == Aa &&
+                DY->operands()[1] == Bv) {
+              rewriteInPlace(
+                  "udiv-sub-urem", S,
+                  Instruction::binary(Opcode::UDiv, *I.result(), Ty, Aa,
+                                      Bv),
+                  rule(InfruleKind::UdivSubUrem,
+                       {val(Y), val(A), val(Rem), val(Aa), val(Bv)}),
+                  {{Rem.regName(), *DS2}, {A.regName(), *DS}});
+              return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  }
+  if (I.opcode() == Opcode::SRem) {
+    // srem-one / srem-mone: y = srem a (1|-1) -> 0. Skip when a user is
+    // `icmp eq y 0`: the more specific icmp-eq-srem fold (Appendix D)
+    // produces a constant-true comparison and DCE then drops the srem.
+    auto FeedsIcmpEqZero = [&] {
+      for (const BasicBlock &Blk : B.srcFunction().Blocks)
+        for (SlotId U : B.slotsOf(Blk.Name))
+          if (const Instruction *TI = B.tgtAt(U))
+            if (TI->opcode() == Opcode::ICmp &&
+                TI->icmpPred() == IcmpPred::Eq && TI->operands()[0].isReg() &&
+                TI->operands()[0].regName() == *I.result() &&
+                constIs(TI->operands()[1], 0))
+              return true;
+      return false;
+    };
+    if ((constIs(Bv, 1) || (constIs(Bv, -1) && Ty.intWidth() > 1)) &&
+        !FeedsIcmpEqZero()) {
+      bool One = constIs(Bv, 1);
+      foldToValue(One ? "srem-one" : "srem-mone", S, cInt(0, Ty),
+                  rule(One ? InfruleKind::SremOne : InfruleKind::SremMone,
+                       {val(Y), val(A)}));
+      return true;
+    }
+    return false;
+  }
+  if (I.opcode() == Opcode::SDiv) {
+    if (constIs(Bv, 1)) {
+      foldToValue("sdiv-one", S, A,
+                  rule(InfruleKind::SdivOne, {val(Y), val(A)}));
+      return true;
+    }
+    // sdiv-mone: y = sdiv a -1 -> sub 0 a
+    if (constIs(Bv, -1) && Ty.intWidth() > 1) {
+      rewriteInPlace("sdiv-mone", S,
+                     Instruction::binary(Opcode::Sub, *I.result(), Ty,
+                                         cInt(0, Ty), A),
+                     rule(InfruleKind::SdivMone, {val(Y), val(A)}));
+      return true;
+    }
+    // sdiv-sub-srem: z = sdiv (sub a (srem a b)) b -> sdiv a b
+    {
+      std::optional<SlotId> DS, DS2;
+      if (const Instruction *DX = defInstr(A, DS)) {
+        if (DX->opcode() == Opcode::Sub) {
+          ir::Value Aa = DX->operands()[0];
+          ir::Value Rem = DX->operands()[1];
+          if (const Instruction *DY = defInstr(Rem, DS2)) {
+            if (DY->opcode() == Opcode::SRem && DY->operands()[0] == Aa &&
+                DY->operands()[1] == Bv) {
+              rewriteInPlace(
+                  "sdiv-sub-srem", S,
+                  Instruction::binary(Opcode::SDiv, *I.result(), Ty, Aa,
+                                      Bv),
+                  rule(InfruleKind::SdivSubSrem,
+                       {val(Y), val(A), val(Rem), val(Aa), val(Bv)}),
+                  {{Rem.regName(), *DS2}, {A.regName(), *DS}});
+              return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  if (constIs(Bv, 0)) {
+    foldToValue("mul-zero", S, cInt(0, Ty),
+                rule(InfruleKind::MulZero, {val(Y), val(A)}));
+    return true;
+  }
+  if (constIs(Bv, 1)) {
+    foldToValue("mul-one", S, A,
+                rule(InfruleKind::MulOne, {val(Y), val(A)}));
+    return true;
+  }
+  if (constIs(Bv, -1) && Ty.intWidth() > 1) {
+    rewriteInPlace("mul-mone", S,
+                   Instruction::binary(Opcode::Sub, *I.result(), Ty,
+                                       cInt(0, Ty), A),
+                   rule(InfruleKind::MulMone, {val(Y), val(A)}));
+    return true;
+  }
+  if (Ty == ir::Type::intTy(1)) {
+    rewriteInPlace("mul-bool", S,
+                   Instruction::binary(Opcode::And, *I.result(), Ty, A, Bv),
+                   rule(InfruleKind::MulBool, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+  // mul-shl: y = mul a 2^k -> shl a k
+  if (Bv.isConstInt() && Bv.intValue() > 1) {
+    uint64_t C = static_cast<uint64_t>(Bv.intValue());
+    if ((C & (C - 1)) == 0) {
+      int64_t K = 0;
+      while ((uint64_t(1) << K) != C)
+        ++K;
+      if (K < static_cast<int64_t>(Ty.intWidth())) {
+        rewriteInPlace("mul-shl", S,
+                       Instruction::binary(Opcode::Shl, *I.result(), Ty, A,
+                                           cInt(K, Ty)),
+                       rule(InfruleKind::MulShl,
+                            {val(Y), val(A), val(Bv), val(cInt(K, Ty))}));
+        return true;
+      }
+    }
+  }
+  // mul-neg: y = mul (sub 0 a) (sub 0 b) -> mul a b
+  std::optional<SlotId> DS, DS2;
+  const Instruction *DA = defInstr(A, DS);
+  const Instruction *DB = defInstr(Bv, DS2);
+  if (DA && DB && DA->opcode() == Opcode::Sub &&
+      DB->opcode() == Opcode::Sub && constIs(DA->operands()[0], 0) &&
+      constIs(DB->operands()[0], 0)) {
+    rewriteInPlace(
+        "mul-neg", S,
+        Instruction::binary(Opcode::Mul, *I.result(), Ty,
+                            DA->operands()[1], DB->operands()[1]),
+        rule(InfruleKind::MulNeg,
+             {val(Y), val(A), val(Bv), val(DA->operands()[1]),
+              val(DB->operands()[1])}),
+        {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+    return true;
+  }
+  return false;
+}
+
+bool Combiner::combineBitwise(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0], &Bv = I.operands()[1];
+  ir::Type Ty = I.type();
+  ir::Value Y = ir::Value::reg(*I.result(), Ty);
+  Opcode Op = I.opcode();
+
+  // same-operand folds
+  if (A == Bv && A.isReg()) {
+    if (Op == Opcode::And) {
+      foldToValue("and-same", S, A,
+                  rule(InfruleKind::AndSame, {val(Y), val(A)}));
+      return true;
+    }
+    if (Op == Opcode::Or) {
+      foldToValue("or-same", S, A,
+                  rule(InfruleKind::OrSame, {val(Y), val(A)}));
+      return true;
+    }
+    foldToValue("xor-same", S, cInt(0, Ty),
+                rule(InfruleKind::XorSame, {val(Y), val(A)}));
+    return true;
+  }
+  // undef folds
+  if (Bv.isUndef()) {
+    InfruleKind K = Op == Opcode::And   ? InfruleKind::AndUndef
+                    : Op == Opcode::Or  ? InfruleKind::OrUndef
+                                        : InfruleKind::XorUndef;
+    const char *Name = Op == Opcode::And  ? "and-undef"
+                       : Op == Opcode::Or ? "or-undef"
+                                          : "xor-undef";
+    foldToValue(Name, S, ir::Value::undef(Ty),
+                rule(K, {val(Y), val(A)}));
+    return true;
+  }
+  // constant folds
+  if (Op == Opcode::And && constIs(Bv, 0)) {
+    foldToValue("and-zero", S, cInt(0, Ty),
+                rule(InfruleKind::AndZero, {val(Y), val(A)}));
+    return true;
+  }
+  if (Op == Opcode::And && constIs(Bv, -1)) {
+    foldToValue("and-mone", S, A,
+                rule(InfruleKind::AndMone, {val(Y), val(A)}));
+    return true;
+  }
+  if (Op == Opcode::Or && constIs(Bv, 0)) {
+    foldToValue("or-zero", S, A,
+                rule(InfruleKind::OrZero, {val(Y), val(A)}));
+    return true;
+  }
+  if (Op == Opcode::Or && constIs(Bv, -1)) {
+    foldToValue("or-mone", S, cInt(-1, Ty),
+                rule(InfruleKind::OrMone, {val(Y), val(A)}));
+    return true;
+  }
+  if (Op == Opcode::Xor && constIs(Bv, 0)) {
+    foldToValue("xor-zero", S, A,
+                rule(InfruleKind::XorZero, {val(Y), val(A)}));
+    return true;
+  }
+
+  std::optional<SlotId> DS, DS2;
+  // and-not / or-not: y = op a (xor a -1)
+  if (const Instruction *D = defInstr(Bv, DS)) {
+    if (D->opcode() == Opcode::Xor && D->operands()[0] == A &&
+        constIs(D->operands()[1], -1) && Op != Opcode::Xor) {
+      if (Op == Opcode::And) {
+        foldToValue("and-not", S, cInt(0, Ty),
+                    rule(InfruleKind::AndNot, {val(Y), val(Bv), val(A)}),
+                    {{Bv.regName(), *DS}});
+      } else {
+        foldToValue("or-not", S, cInt(-1, Ty),
+                    rule(InfruleKind::OrNot, {val(Y), val(Bv), val(A)}),
+                    {{Bv.regName(), *DS}});
+      }
+      return true;
+    }
+    // and-or: y = and a (or a b) -> a;  or-and: y = or a (and a b) -> a
+    if (Op == Opcode::And && D->opcode() == Opcode::Or &&
+        D->operands()[0] == A) {
+      foldToValue("and-or", S, A,
+                  rule(InfruleKind::AndOr,
+                       {val(Y), val(Bv), val(A), val(D->operands()[1])}),
+                  {{Bv.regName(), *DS}});
+      return true;
+    }
+    if (Op == Opcode::Or && D->opcode() == Opcode::And &&
+        D->operands()[0] == A) {
+      foldToValue("or-and", S, A,
+                  rule(InfruleKind::OrAnd,
+                       {val(Y), val(Bv), val(A), val(D->operands()[1])}),
+                  {{Bv.regName(), *DS}});
+      return true;
+    }
+  }
+  // and-de-morgan: z = and (xor a -1) (xor b -1) -> xor (or a b) -1
+  if (Op == Opcode::And) {
+    const Instruction *DA = defInstr(A, DS);
+    const Instruction *DB = defInstr(Bv, DS2);
+    if (DA && DB && DA->opcode() == Opcode::Xor &&
+        DB->opcode() == Opcode::Xor && constIs(DA->operands()[1], -1) &&
+        constIs(DB->operands()[1], -1)) {
+      // Copy the inner operands: the insertion below reallocates slots.
+      ir::Value InnerA = DA->operands()[0];
+      ir::Value InnerB = DB->operands()[0];
+      // Materialize w := or a b before the rewrite site.
+      std::string W = *I.result() + ".dm";
+      SlotId WS = B.insertTgtBefore(
+          S, Instruction::binary(Opcode::Or, W, Ty, InnerA, InnerB));
+      B.maydiffGlobal(RegT{W, Tag::Phy});
+      Instruction NewI = Instruction::binary(
+          Opcode::Xor, *I.result(), Ty, ir::Value::reg(W, Ty), cInt(-1, Ty));
+// PROOFGEN-BEGIN
+      if (GenProof) {
+        // The ghost w-hat names `or a b` on both sides; the de-morgan rule
+        // rewrites the source, substitution links the target.
+        std::string G = B.freshGhost(W);
+        ValT Ghost = ValT::ghost(G, Ty);
+        Expr OrE = Expr::bop(Opcode::Or, Ty, phy(InnerA), phy(InnerB));
+        ir::Value WReg = ir::Value::reg(W, Ty);
+        ir::Value ZReg = ir::Value::reg(*I.result(), Ty);
+        Expr NotGhost =
+            Expr::bop(Opcode::Xor, Ty, Ghost, phy(cInt(-1, Ty)));
+        Expr NotW = Expr::bop(Opcode::Xor, Ty, phy(WReg), phy(cInt(-1, Ty)));
+        recordPremises(S, {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+        B.inf(rule(InfruleKind::IntroGhost, {Expr::val(Ghost), OrE}), S);
+        // Source: z >= xor w-hat -1 via the fused de-morgan rule.
+        B.inf(rule(InfruleKind::AndDeMorgan,
+                   {val(ZReg), val(A), val(Bv), Expr::val(Ghost),
+                    val(InnerA), val(InnerB)}),
+              S);
+        // Target: w-hat >= w, then xor w-hat -1 >= xor w -1 >= z.
+        B.inf(rule(InfruleKind::Transitivity,
+                   {Expr::val(Ghost), OrE, val(WReg)})
+                  .withSide(Side::Tgt),
+              S);
+        B.inf(rule(InfruleKind::Substitute,
+                   {NotGhost, Expr::val(Ghost), val(WReg)})
+                  .withSide(Side::Tgt),
+              S);
+        B.inf(rule(InfruleKind::Transitivity,
+                   {NotGhost, NotW, val(ZReg)})
+                  .withSide(Side::Tgt),
+              S);
+        B.inf(rule(InfruleKind::ReduceMaydiffLessdef,
+                   {val(ZReg), NotGhost, NotGhost}),
+              S);
+        // The w-hat >= w fact must be available when the rule runs; the
+        // target definition of w provides `or a b >= w` at slot WS.
+        B.assn(Pred::lessdef(OrE, Expr::val(phy(WReg))), Side::Tgt,
+               PPoint::afterSlot(WS), PPoint::beforeSlot(S));
+        B.enableAuto("transitivity");
+        B.enableAuto("reduce_maydiff");
+      }
+// PROOFGEN-END
+      B.replaceTgt(S, std::move(NewI));
+      Touched.insert(S);
+      Touched.insert(WS);
+      ++Counts["and-de-morgan"];
+      ++Rewrites;
+      return true;
+    }
+  }
+  // or-xor2: y = or (xor a b) b -> or a b; or-or: y = or (or a b) b -> z
+  if (Op == Opcode::Or) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Opcode::Xor && D->operands()[1] == Bv) {
+        rewriteInPlace("or-xor2", S,
+                       Instruction::binary(Opcode::Or, *I.result(), Ty,
+                                           D->operands()[0],
+                                           D->operands()[1]),
+                       rule(InfruleKind::OrXor2,
+                            {val(Y), val(A), val(D->operands()[0]),
+                             val(D->operands()[1])}),
+                       {{A.regName(), *DS}});
+        return true;
+      }
+      if (D->opcode() == Opcode::Or && D->operands()[1] == Bv) {
+        foldToValue("or-or", S, A,
+                    rule(InfruleKind::OrOr,
+                         {val(Y), val(A), val(D->operands()[0]),
+                          val(D->operands()[1])}),
+                    {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // icmp-inverse: y = xor (icmp p a b) 1 (i1) -> icmp inv(p) a b
+  if (Op == Opcode::Xor && Ty == ir::Type::intTy(1) && constIs(Bv, -1)) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Opcode::ICmp) {
+        auto Inverse = [](IcmpPred Q) {
+          switch (Q) {
+          case IcmpPred::Eq:
+            return IcmpPred::Ne;
+          case IcmpPred::Ne:
+            return IcmpPred::Eq;
+          case IcmpPred::Ugt:
+            return IcmpPred::Ule;
+          case IcmpPred::Uge:
+            return IcmpPred::Ult;
+          case IcmpPred::Ult:
+            return IcmpPred::Uge;
+          case IcmpPred::Ule:
+            return IcmpPred::Ugt;
+          case IcmpPred::Sgt:
+            return IcmpPred::Sle;
+          case IcmpPred::Sge:
+            return IcmpPred::Slt;
+          case IcmpPred::Slt:
+            return IcmpPred::Sge;
+          case IcmpPred::Sle:
+            return IcmpPred::Sgt;
+          }
+          return Q;
+        };
+        rewriteInPlace(
+            "icmp-inverse", S,
+            Instruction::icmp(*I.result(), Inverse(D->icmpPred()),
+                              D->operands()[0], D->operands()[1]),
+            rule(InfruleKind::IcmpInverse,
+                 {val(A), val(Y),
+                  val(ir::Value::constInt(
+                      static_cast<int64_t>(D->icmpPred()),
+                      ir::Type::intTy(32))),
+                  val(D->operands()[0]), val(D->operands()[1])}),
+            {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // xor-not: z = xor (xor a -1) -1 -> a
+  if (Op == Opcode::Xor && constIs(Bv, -1)) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Opcode::Xor && constIs(D->operands()[1], -1)) {
+        foldToValue("xor-not", S, D->operands()[0],
+                    rule(InfruleKind::XorNot,
+                         {val(Y), val(A), val(D->operands()[0])}),
+                    {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // xor-xor / and-and / or-const: op (op a C1) C2 -> op a (C1 op C2)
+  if (Bv.isConstInt()) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Op && D->operands()[1].isConstInt()) {
+        int64_t C1 = D->operands()[1].intValue(), C2 = Bv.intValue();
+        int64_t C3 = Op == Opcode::Xor   ? (C1 ^ C2)
+                     : Op == Opcode::And ? (C1 & C2)
+                                         : (C1 | C2);
+        const char *Name = Op == Opcode::Xor   ? "xor-xor"
+                           : Op == Opcode::And ? "and-and"
+                                               : "or-const";
+        InfruleKind K = Op == Opcode::Xor   ? InfruleKind::XorXor
+                        : Op == Opcode::And ? InfruleKind::AndAnd
+                                            : InfruleKind::OrConst;
+        rewriteInPlace(Name, S,
+                       Instruction::binary(Op, *I.result(), Ty,
+                                           D->operands()[0], cInt(C3, Ty)),
+                       rule(K, {val(Y), val(A), val(D->operands()[0]),
+                                val(D->operands()[1]), val(Bv)}),
+                       {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // or-xor: y = or (xor a b) (and a b) -> or a b
+  if (Op == Opcode::Or) {
+    const Instruction *DZ = defInstr(A, DS);
+    const Instruction *DX = defInstr(Bv, DS2);
+    if (DZ && DX && DZ->opcode() == Opcode::Xor &&
+        DX->opcode() == Opcode::And &&
+        DZ->operands() == DX->operands()) {
+      rewriteInPlace(
+          "or-xor", S,
+          Instruction::binary(Opcode::Or, *I.result(), Ty,
+                              DZ->operands()[0], DZ->operands()[1]),
+          rule(InfruleKind::OrXor,
+               {val(Y), val(A), val(Bv), val(DZ->operands()[0]),
+                val(DZ->operands()[1])}),
+          {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Combiner::combineShift(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0], &Bv = I.operands()[1];
+  ir::Type Ty = I.type();
+  ir::Value Y = ir::Value::reg(*I.result(), Ty);
+  if (constIs(Bv, 0)) {
+    InfruleKind K = I.opcode() == Opcode::Shl    ? InfruleKind::ShiftZero1
+                    : I.opcode() == Opcode::LShr ? InfruleKind::LshrZero
+                                                 : InfruleKind::AshrZero;
+    const char *Name = I.opcode() == Opcode::Shl    ? "shift-zero1"
+                       : I.opcode() == Opcode::LShr ? "lshr-zero"
+                                                    : "ashr-zero";
+    foldToValue(Name, S, A, rule(K, {val(Y), val(A)}));
+    return true;
+  }
+  // shl-shl / lshr-lshr: y = shift (shift a C1) C2 -> shift a (C1+C2)
+  if ((I.opcode() == Opcode::Shl || I.opcode() == Opcode::LShr) &&
+      Bv.isConstInt()) {
+    std::optional<SlotId> DS;
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == I.opcode() && D->operands()[1].isConstInt()) {
+        int64_t C1 = D->operands()[1].intValue(), C2 = Bv.intValue();
+        if (C1 >= 0 && C2 >= 0 && C1 + C2 < Ty.intWidth()) {
+          bool IsShl = I.opcode() == Opcode::Shl;
+          rewriteInPlace(
+              IsShl ? "shl-shl" : "lshr-lshr", S,
+              Instruction::binary(I.opcode(), *I.result(), Ty,
+                                  D->operands()[0], cInt(C1 + C2, Ty)),
+              rule(IsShl ? InfruleKind::ShlShl : InfruleKind::LshrLshr,
+                   {val(Y), val(A), val(D->operands()[0]),
+                    val(D->operands()[1]), val(Bv)}),
+              {{A.regName(), *DS}});
+          return true;
+        }
+      }
+    }
+  }
+  // lshr-zero2 / ashr-zero2: y = shift 0 a -> 0
+  if (I.opcode() != Opcode::Shl && constIs(A, 0)) {
+    bool IsLshr = I.opcode() == Opcode::LShr;
+    foldToValue(IsLshr ? "lshr-zero2" : "ashr-zero2", S, cInt(0, Ty),
+                rule(IsLshr ? InfruleKind::LshrZero2
+                            : InfruleKind::AshrZero2,
+                     {val(Y), val(Bv)}));
+    return true;
+  }
+  if (I.opcode() != Opcode::Shl)
+    return false;
+  if (constIs(A, 0)) {
+    foldToValue("shift-zero2", S, cInt(0, Ty),
+                rule(InfruleKind::ShiftZero2, {val(Y), val(Bv)}));
+    return true;
+  }
+  if (Bv.isUndef()) {
+    foldToValue("shift-undef1", S, ir::Value::undef(Ty),
+                rule(InfruleKind::ShiftUndef1, {val(Y), val(A)}));
+    return true;
+  }
+  return false;
+}
+
+bool Combiner::combineIcmp(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0], &Bv = I.operands()[1];
+  ir::Type B1 = ir::Type::intTy(1);
+  ir::Value Y = ir::Value::reg(*I.result(), B1);
+
+  // icmp-same: icmp p a a -> constant
+  if (A == Bv && A.isReg()) {
+    bool Reflexive = I.icmpPred() == IcmpPred::Eq ||
+                     I.icmpPred() == IcmpPred::Uge ||
+                     I.icmpPred() == IcmpPred::Ule ||
+                     I.icmpPred() == IcmpPred::Sge ||
+                     I.icmpPred() == IcmpPred::Sle;
+    foldToValue(
+        "icmp-same", S, ir::Value::constInt(Reflexive ? 1 : 0, B1),
+        rule(InfruleKind::IcmpSame,
+             {val(Y),
+              val(ir::Value::constInt(
+                  static_cast<int64_t>(I.icmpPred()), ir::Type::intTy(32))),
+              val(A)}));
+    return true;
+  }
+  // icmp-eq-sub / icmp-ne-sub / icmp-eq-xor / icmp-ne-xor:
+  //   icmp eq/ne (sub|xor a b) 0 -> icmp eq/ne a b
+  if ((I.icmpPred() == IcmpPred::Eq || I.icmpPred() == IcmpPred::Ne) &&
+      constIs(Bv, 0)) {
+    std::optional<SlotId> DS;
+    if (const Instruction *D = defInstr(A, DS)) {
+      bool IsEq = I.icmpPred() == IcmpPred::Eq;
+      if (D->opcode() == Opcode::Sub || D->opcode() == Opcode::Xor) {
+        bool IsSub = D->opcode() == Opcode::Sub;
+        InfruleKind K = IsSub ? (IsEq ? InfruleKind::IcmpEqSub
+                                      : InfruleKind::IcmpNeSub)
+                              : (IsEq ? InfruleKind::IcmpEqXor
+                                      : InfruleKind::IcmpNeXor);
+        const char *Name = IsSub ? (IsEq ? "icmp-eq-sub" : "icmp-ne-sub")
+                                 : (IsEq ? "icmp-eq-xor" : "icmp-ne-xor");
+        rewriteInPlace(Name, S,
+                       Instruction::icmp(*I.result(), I.icmpPred(),
+                                         D->operands()[0],
+                                         D->operands()[1]),
+                       rule(K, {val(Y), val(A), val(D->operands()[0]),
+                                val(D->operands()[1])}),
+                       {{A.regName(), *DS}});
+        return true;
+      }
+      // icmp-eq-srem: icmp eq (srem a 1|-1) 0 -> true
+      if (IsEq && D->opcode() == Opcode::SRem &&
+          (constIs(D->operands()[1], 1) || constIs(D->operands()[1], -1))) {
+        foldToValue("icmp-eq-srem", S, ir::Value::constInt(1, B1),
+                    rule(InfruleKind::IcmpEqSrem,
+                         {val(Y), val(A), val(D->operands()[0]),
+                          val(D->operands()[1])}),
+                    {{A.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // icmp-eq-add-add / icmp-ne-add-add: icmp p (add a c) (add b c)
+  if (I.icmpPred() == IcmpPred::Eq || I.icmpPred() == IcmpPred::Ne) {
+    std::optional<SlotId> DS1, DS2;
+    const Instruction *DA = defInstr(A, DS1);
+    const Instruction *DB = defInstr(Bv, DS2);
+    if (DA && DB && DA->opcode() == Opcode::Add &&
+        DB->opcode() == Opcode::Add &&
+        DA->operands()[1] == DB->operands()[1]) {
+      bool IsEq = I.icmpPred() == IcmpPred::Eq;
+      rewriteInPlace(
+          IsEq ? "icmp-eq-add-add" : "icmp-ne-add-add", S,
+          Instruction::icmp(*I.result(), I.icmpPred(), DA->operands()[0],
+                            DB->operands()[0]),
+          rule(IsEq ? InfruleKind::IcmpEqAddAdd : InfruleKind::IcmpNeAddAdd,
+               {val(Y), val(A), val(Bv), val(DA->operands()[0]),
+                val(DB->operands()[0]), val(DA->operands()[1])}),
+          {{A.regName(), *DS1}, {Bv.regName(), *DS2}});
+      return true;
+    }
+  }
+  // icmp-ult-zero / icmp-uge-zero: unsigned comparison against 0.
+  if ((I.icmpPred() == IcmpPred::Ult || I.icmpPred() == IcmpPred::Uge) &&
+      constIs(Bv, 0)) {
+    bool IsUge = I.icmpPred() == IcmpPred::Uge;
+    foldToValue(IsUge ? "icmp-uge-zero" : "icmp-ult-zero", S,
+                ir::Value::constInt(IsUge ? 1 : 0, B1),
+                rule(IsUge ? InfruleKind::IcmpUgeZero
+                           : InfruleKind::IcmpUltZero,
+                     {val(Y), val(A)}));
+    return true;
+  }
+  // icmp-ule-mone / icmp-ugt-mone: unsigned comparison against -1.
+  if ((I.icmpPred() == IcmpPred::Ule || I.icmpPred() == IcmpPred::Ugt) &&
+      constIs(Bv, -1)) {
+    bool IsUle = I.icmpPred() == IcmpPred::Ule;
+    foldToValue(IsUle ? "icmp-ule-mone" : "icmp-ugt-mone", S,
+                ir::Value::constInt(IsUle ? 1 : 0, B1),
+                rule(IsUle ? InfruleKind::IcmpUleMone
+                           : InfruleKind::IcmpUgtMone,
+                     {val(Y), val(A)}));
+    return true;
+  }
+  // icmp-sge-smin / icmp-slt-smin: signed comparison against INT_MIN.
+  if ((I.icmpPred() == IcmpPred::Sge || I.icmpPred() == IcmpPred::Slt) &&
+      Bv.isConstInt() && A.type().isInt() &&
+      Bv == cInt(int64_t(1) << (A.type().intWidth() - 1), A.type())) {
+    bool IsSge = I.icmpPred() == IcmpPred::Sge;
+    foldToValue(IsSge ? "icmp-sge-smin" : "icmp-slt-smin", S,
+                ir::Value::constInt(IsSge ? 1 : 0, B1),
+                rule(IsSge ? InfruleKind::IcmpSgeSmin
+                           : InfruleKind::IcmpSltSmin,
+                     {val(Y), val(A)}));
+    return true;
+  }
+  // icmp-swap: canonicalize gt to lt by swapping the operands.
+  if ((I.icmpPred() == IcmpPred::Sgt || I.icmpPred() == IcmpPred::Ugt) &&
+      A.isConstInt() && !Bv.isConstInt()) {
+    IcmpPred NewP =
+        I.icmpPred() == IcmpPred::Sgt ? IcmpPred::Slt : IcmpPred::Ult;
+    rewriteInPlace(
+        "icmp-swap", S,
+        Instruction::icmp(*I.result(), NewP, Bv, A),
+        rule(InfruleKind::IcmpSwap,
+             {val(Y),
+              val(ir::Value::constInt(
+                  static_cast<int64_t>(I.icmpPred()), ir::Type::intTy(32))),
+              val(A), val(Bv)}));
+    return true;
+  }
+  return false;
+}
+
+bool Combiner::combineSelect(SlotId S, const Instruction &I) {
+  const ir::Value &C = I.operands()[0], &A = I.operands()[1],
+                  &Bv = I.operands()[2];
+  ir::Value Y = ir::Value::reg(*I.result(), I.type());
+  if (constIs(C, 1)) {
+    foldToValue("select-true", S, A,
+                rule(InfruleKind::SelectTrue, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+  if (C.isConstInt() && C.intValue() == 0) {
+    foldToValue("select-false", S, Bv,
+                rule(InfruleKind::SelectFalse, {val(Y), val(A), val(Bv)}));
+    return true;
+  }
+  if (A == Bv) {
+    foldToValue("select-same", S, A,
+                rule(InfruleKind::SelectSame, {val(Y), val(C), val(A)}));
+    return true;
+  }
+  // select-not-cond: z = select (xor c 1) a b -> select c b a
+  if (C.isReg()) {
+    std::optional<SlotId> DS;
+    if (const Instruction *D = defInstr(C, DS)) {
+      if (D->opcode() == Opcode::Xor && constIs(D->operands()[1], -1)) {
+        rewriteInPlace("select-not-cond", S,
+                       Instruction::select(*I.result(), I.type(),
+                                           D->operands()[0], Bv, A),
+                       rule(InfruleKind::SelectNotCond,
+                            {val(Y), val(C), val(D->operands()[0]), val(A),
+                             val(Bv)}),
+                       {{C.regName(), *DS}});
+        return true;
+      }
+    }
+  }
+  // select-icmp-eq: select (icmp eq a C), C, a -> a
+  // select-icmp-ne: select (icmp ne a C), a, C -> a
+  if (C.isReg()) {
+    std::optional<SlotId> DS;
+    if (const Instruction *D = defInstr(C, DS)) {
+      if (D->opcode() == Opcode::ICmp && D->operands()[1].isConstInt()) {
+        const ir::Value &CA = D->operands()[0];
+        const ir::Value &CC = D->operands()[1];
+        if (D->icmpPred() == IcmpPred::Eq && A == CC && Bv == CA) {
+          foldToValue("select-icmp-eq", S, CA,
+                      rule(InfruleKind::SelectIcmpEq,
+                           {val(Y), val(C), val(CA), val(CC)}),
+                      {{C.regName(), *DS}});
+          return true;
+        }
+        if (D->icmpPred() == IcmpPred::Ne && A == CA && Bv == CC) {
+          foldToValue("select-icmp-ne", S, CA,
+                      rule(InfruleKind::SelectIcmpNe,
+                           {val(Y), val(C), val(CA), val(CC)}),
+                      {{C.regName(), *DS}});
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// fold-phi-bin-const (paper §4's running example): a phi whose every
+/// incoming value is a single-use `xi := op ai C` with the same operator
+/// and constant becomes `t := phi(a1..an)` followed by `z := op t C`. The
+/// proof needs the old-register machinery: the ghost ẑ is bound per
+/// incoming edge in terms of the predecessors' old values.
+void Combiner::combinePhis(const std::string &BlkName) {
+  // Non-trapping integer binary operators only; a shift could introduce
+  // poison the folded form does not have on the edge where it is skipped.
+  auto Foldable = [](Opcode Op) {
+    return Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul ||
+           Op == Opcode::And || Op == Opcode::Or || Op == Opcode::Xor;
+  };
+  // Register use count over the *source* function (instruction operands
+  // and phi incomings); the single-use requirement is stated there.
+  auto countSrcUses = [this](const std::string &Reg) {
+    unsigned N = 0;
+    for (const BasicBlock &Blk : B.srcFunction().Blocks) {
+      for (const ir::Phi &P : Blk.Phis)
+        for (const auto &In : P.Incoming)
+          if (In.second.isReg() && In.second.regName() == Reg)
+            ++N;
+      for (const Instruction &I : Blk.Insts)
+        for (const ir::Value &Op : I.operands())
+          if (Op.isReg() && Op.regName() == Reg)
+            ++N;
+    }
+    return N;
+  };
+  const BasicBlock *SrcBlk = nullptr;
+  for (const BasicBlock &Blk : B.srcFunction().Blocks)
+    if (Blk.Name == BlkName)
+      SrcBlk = &Blk;
+  assert(SrcBlk);
+
+  auto &Phis = B.tgtPhis(BlkName);
+  for (size_t PI = 0; PI != Phis.size(); ++PI) {
+    ir::Phi &P = Phis[PI];
+    if (!P.Ty.isInt() || P.Incoming.size() < 2)
+      continue;
+    // The phi must still be the unmodified source phi: the edge facts
+    // below are stated about the source program.
+    const ir::Phi *SP = nullptr;
+    for (const ir::Phi &Q : SrcBlk->Phis)
+      if (Q.Result == P.Result)
+        SP = &Q;
+    if (!SP || !(SP->Ty == P.Ty) || SP->Incoming != P.Incoming)
+      continue;
+
+    struct Edge {
+      std::string Pred;
+      ir::Value Xi;
+      SlotId Def;
+      ir::Value Ai;
+    };
+    std::vector<Edge> Edges;
+    Opcode Op = Opcode::Add;
+    std::optional<ir::Value> CVal;
+    std::set<std::string> SeenXi;
+    bool OK = true;
+    for (const auto &In : P.Incoming) {
+      std::optional<SlotId> DS;
+      const Instruction *D = defInstr(In.second, DS);
+      if (!D || !Foldable(D->opcode()) || !D->operands()[1].isConstInt()) {
+        OK = false;
+        break;
+      }
+      if (Edges.empty()) {
+        Op = D->opcode();
+        CVal = D->operands()[1];
+      } else if (D->opcode() != Op || !(D->operands()[1] == *CVal)) {
+        OK = false;
+        break;
+      }
+      if (!SeenXi.insert(In.second.regName()).second ||
+          countSrcUses(In.second.regName()) != 1 ||
+          Anchored.count(In.second.regName())) {
+        OK = false;
+        break;
+      }
+      Edges.push_back({In.first, In.second, *DS, D->operands()[0]});
+    }
+    if (!OK || Edges.empty())
+      continue;
+
+    ir::Type Ty = P.Ty;
+    std::string Z = P.Result;
+    std::string T = Z + ".fphi";
+    std::vector<std::pair<std::string, ir::Value>> NewInc;
+    for (const Edge &E : Edges)
+      NewInc.push_back({E.Pred, E.Ai});
+    P = ir::Phi{T, Ty, std::move(NewInc)};
+    std::vector<SlotId> BlkSlots = B.slotsOf(BlkName);
+    assert(!BlkSlots.empty() && "block has at least a terminator");
+    SlotId ZS = B.insertTgtBefore(
+        BlkSlots.front(),
+        Instruction::binary(Op, Z, Ty, ir::Value::reg(T, Ty), *CVal));
+    Touched.insert(ZS);
+    B.maydiffGlobal(RegT{T, Tag::Phy});
+    B.maydiffAtEntry(RegT{Z, Tag::Phy}, BlkName);
+    ++Counts["fold-phi-bin-const"];
+    ++Rewrites;
+    if (!GenProof)
+      continue;
+
+// PROOFGEN-BEGIN
+    std::string G = B.freshGhost(Z);
+    ValT Ghost = ValT::ghost(G, Ty);
+    for (const Edge &E : Edges) {
+      // xi's definition fact must reach the end of the predecessor.
+      B.assn(Pred::lessdef(val(E.Xi),
+                           Expr::bop(Op, Ty, phy(E.Ai), phy(*CVal))),
+             Side::Src, PPoint::afterSlot(E.Def), PPoint::endOf(E.Pred));
+      // ẑ is bound per edge in terms of the predecessor's (old) values.
+      ValT AiAtEdge = E.Ai.isReg() ? ValT::old(E.Ai.regName(), E.Ai.type())
+                                   : phy(E.Ai);
+      B.infAtPhi(rule(InfruleKind::IntroGhost,
+                      {Expr::val(Ghost),
+                       Expr::bop(Op, Ty, AiAtEdge, phy(*CVal))}),
+                 BlkName, E.Pred);
+    }
+    // At the block entry: z_src >= ẑ, and ẑ >= op(t, C) pending on the
+    // target until the inserted command defines z there.
+    ir::Value ZReg = ir::Value::reg(Z, Ty);
+    ir::Value TReg = ir::Value::reg(T, Ty);
+    B.assn(Pred::lessdef(val(ZReg), Expr::val(Ghost)), Side::Src,
+           PPoint::entryOf(BlkName), PPoint::beforeSlot(ZS));
+    B.assn(Pred::lessdef(Expr::val(Ghost),
+                         Expr::bop(Op, Ty, phy(TReg), phy(*CVal))),
+           Side::Tgt, PPoint::entryOf(BlkName), PPoint::beforeSlot(ZS));
+    B.enableAuto("gvn_pre");
+// PROOFGEN-END
+  }
+}
+
+bool Combiner::combineCast(SlotId S, const Instruction &I) {
+  const ir::Value &A = I.operands()[0];
+  ir::Value Y = ir::Value::reg(*I.result(), I.type());
+  std::optional<SlotId> DS;
+
+  if (I.opcode() == Opcode::Bitcast) {
+    if (A.type() == I.type()) {
+      foldToValue("bitcast-sametype", S, A,
+                  rule(InfruleKind::BitcastSame, {val(Y), val(A)}));
+      return true;
+    }
+    // Note: a bitcast-bitcast chain cannot occur here — our bitcasts are
+    // always same-type, so bitcast-sametype already folded the inner one.
+    return false;
+  }
+  if (I.opcode() == Opcode::IntToPtr) {
+    if (const Instruction *D = defInstr(A, DS)) {
+      if (D->opcode() == Opcode::PtrToInt &&
+          A.type() == ir::Type::intTy(64)) {
+        foldToValue("inttoptr-ptrtoint", S, D->operands()[0],
+                    rule(InfruleKind::InttoptrPtrtoint,
+                         {val(Y), val(A), val(D->operands()[0])}),
+                    {{A.regName(), *DS}});
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Instruction *D = defInstr(A, DS);
+  if (!D || !isCast(D->opcode()))
+    return false;
+  const ir::Value &Inner = D->operands()[0];
+
+  // trunc(zext a) back to a's width -> a
+  if (I.opcode() == Opcode::Trunc && D->opcode() == Opcode::ZExt &&
+      I.type() == Inner.type()) {
+    foldToValue("trunc-zext", S, Inner,
+                rule(InfruleKind::TruncZext, {val(Y), val(A), val(Inner)}),
+                {{A.regName(), *DS}});
+    return true;
+  }
+  auto Chain = [&](Opcode Outer, Opcode InnerOp, InfruleKind K,
+                   const char *Name, Opcode NewOp) {
+    if (I.opcode() != Outer || D->opcode() != InnerOp)
+      return false;
+    if (NewOp != Opcode::Trunc) {
+      if (!(I.type().intWidth() > A.type().intWidth() &&
+            A.type().intWidth() > Inner.type().intWidth()))
+        return false;
+    } else if (!(I.type().intWidth() < A.type().intWidth() &&
+                 A.type().intWidth() < Inner.type().intWidth())) {
+      return false;
+    }
+    rewriteInPlace(Name, S,
+                   Instruction::cast(NewOp, *I.result(), I.type(), Inner),
+                   rule(K, {val(Y), val(A), val(Inner)}),
+                   {{A.regName(), *DS}});
+    return true;
+  };
+  if (Chain(Opcode::ZExt, Opcode::ZExt, InfruleKind::ZextZext, "zext-zext",
+            Opcode::ZExt))
+    return true;
+  if (Chain(Opcode::SExt, Opcode::SExt, InfruleKind::SextSext, "sext-sext",
+            Opcode::SExt))
+    return true;
+  if (Chain(Opcode::SExt, Opcode::ZExt, InfruleKind::SextZext, "sext-zext",
+            Opcode::ZExt))
+    return true;
+  if (Chain(Opcode::Trunc, Opcode::Trunc, InfruleKind::TruncTrunc,
+            "trunc-trunc", Opcode::Trunc))
+    return true;
+  return false;
+}
+
+bool Combiner::combineGep(SlotId S, const Instruction &I) {
+  const ir::Value &P = I.operands()[0], &Idx = I.operands()[1];
+  if (!constIs(Idx, 0))
+    return false;
+  ir::Value Y = ir::Value::reg(*I.result(), ir::Type::ptrTy());
+  foldToValue("gep-zero", S, P,
+              rule(InfruleKind::GepZero,
+                   {val(Y), val(P),
+                    val(ir::Value::constInt(I.isInbounds() ? 1 : 0,
+                                            ir::Type::intTy(32)))}));
+  return true;
+}
+
+void Combiner::eliminateDeadCode() {
+  // Iterate: removing one instruction can make its operands dead.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Count uses over the current target state.
+    std::map<std::string, unsigned> Uses;
+    for (const BasicBlock &Blk : B.srcFunction().Blocks) {
+      for (SlotId U : B.slotsOf(Blk.Name)) {
+        if (const Instruction *TI = B.tgtAt(U))
+          for (const ir::Value &V : TI->operands())
+            if (V.isReg())
+              ++Uses[V.regName()];
+      }
+      for (const ir::Phi &P : B.tgtPhis(Blk.Name))
+        for (const auto &In : P.Incoming)
+          if (In.second.isReg())
+            ++Uses[In.second.regName()];
+    }
+    for (const BasicBlock &Blk : B.srcFunction().Blocks) {
+      for (SlotId S : B.slotsOf(Blk.Name)) {
+        const Instruction *TI = B.tgtAt(S);
+        if (!TI || TI->isTerminator())
+          continue;
+        auto R = TI->result();
+        if (!R || Uses[*R] != 0 || Anchored.count(*R))
+          continue;
+        switch (TI->opcode()) {
+        case Opcode::Call:
+        case Opcode::Store:
+        case Opcode::Alloca: // alloca removal is mem2reg's job
+          continue;
+        default:
+          break;
+        }
+        B.removeTgt(S);
+        Touched.insert(S);
+        B.maydiffGlobal(RegT{*R, Tag::Phy});
+        ++Counts["dead-code-elim"];
+        ++Rewrites;
+        Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+PassResult InstCombine::run(const ir::Module &Src, bool GenProof) {
+  PassResult Out;
+  Out.Tgt = Src;
+  for (ir::Function &F : Out.Tgt.Funcs) {
+    ProofBuilder B(F);
+    Combiner C(B, GenProof, Counts);
+    C.run();
+    Out.Rewrites += C.rewrites();
+    auto R = B.finalize();
+    F = R.TgtF;
+    if (GenProof)
+      Out.Proof.Functions[F.Name] = std::move(R.FProof);
+  }
+  return Out;
+}
+
+std::vector<std::string> InstCombine::microOptNames() {
+  return {"add-zero",      "add-comm-sub",  "add-shift",
+          "add-onebit",    "add-signbit",   "bop-associativity",
+          "add-zext-bool", "add-sub",       "add-or-and",
+          "add-xor-and",   "sub-zero",      "sub-remove-same",
+          "sub-onebit",    "sub-mone",      "sub-const-add",
+          "sub-sub",       "sub-const-not", "sub-add",
+          "sub-remove",    "sub-shl",       "sub-or-xor",
+          "sdiv-mone",     "mul-zero",      "mul-one",
+          "mul-mone",      "mul-bool",      "mul-shl",
+          "mul-neg",       "and-same",      "and-undef",
+          "and-zero",      "and-mone",      "and-not",
+          "and-or",        "and-de-morgan", "or-same",
+          "or-undef",      "or-zero",       "or-mone",
+          "or-not",        "or-and",        "or-xor",
+          "xor-same",      "xor-undef",     "xor-zero",
+          "shift-zero1",   "shift-zero2",   "shift-undef1",
+          "icmp-same",     "icmp-eq-sub",   "icmp-ne-sub",
+          "icmp-eq-xor",   "icmp-ne-xor",   "icmp-eq-srem",
+          "icmp-swap",     "select-true",   "select-false",
+          "select-same",   "trunc-zext",    "zext-zext",
+          "sext-sext",     "sext-zext",     "trunc-trunc",
+          "bitcast-sametype", "inttoptr-ptrtoint",
+          "gep-zero",      "udiv-one",      "urem-one",
+          "lshr-zero",     "ashr-zero",     "or-xor2",
+          "or-or",         "icmp-eq-add-add", "icmp-ne-add-add",
+          "select-icmp-eq", "select-icmp-ne", "fold-phi-bin-const",
+          "neg-val",       "xor-not",       "xor-xor",
+          "and-and",       "or-const",      "shl-shl",
+          "lshr-lshr",     "sdiv-one",      "srem-one",
+          "srem-mone",     "icmp-ult-zero", "icmp-uge-zero",
+          "icmp-inverse",  "select-not-cond", "sdiv-sub-srem",
+          "udiv-sub-urem", "lshr-zero2",    "ashr-zero2",
+          "icmp-ule-mone", "icmp-ugt-mone", "icmp-sge-smin",
+          "icmp-slt-smin", "comm-canonicalize", "dead-code-elim"};
+}

@@ -1,0 +1,53 @@
+//===- passes/InstCombine.h - Peephole micro-optimizations ------*- C++ -*-===//
+///
+/// \file
+/// The instruction-combining pass: a catalog of peephole micro-
+/// optimizations in the style of the paper's Appendix D list (assoc-add,
+/// add-zero, and-de-morgan, ...), each paired with the proof-generation
+/// code of Algorithm 1: definition assertions between the matched
+/// definition and the rewrite site, one fused arithmetic inference rule at
+/// the rewrite line, and the reduce_maydiff / transitivity automation.
+///
+/// Micro-optimizations come in three shapes:
+///  - in-place rewrites (y := add x 2 becomes y := add a 3);
+///  - folds, which remove the instruction and replace every use with an
+///    existing value or constant (justified through a ghost register when
+///    the replacement is a register, §3.2);
+///  - dead-code elimination of unused pure instructions.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_INSTCOMBINE_H
+#define CRELLVM_PASSES_INSTCOMBINE_H
+
+#include "passes/Pass.h"
+
+#include <map>
+
+namespace crellvm {
+namespace passes {
+
+/// Proof-generating instruction combiner.
+class InstCombine : public Pass {
+public:
+  explicit InstCombine(const BugConfig &Bugs) : Bugs(Bugs) {}
+
+  std::string name() const override { return "instcombine"; }
+  PassResult run(const ir::Module &Src, bool GenProof) override;
+
+  /// Rewrites per micro-optimization name, accumulated across runs.
+  const std::map<std::string, uint64_t> &rewriteCounts() const {
+    return Counts;
+  }
+
+  /// Names of all installed micro-optimizations.
+  static std::vector<std::string> microOptNames();
+
+private:
+  BugConfig Bugs;
+  std::map<std::string, uint64_t> Counts;
+};
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_INSTCOMBINE_H

@@ -1,0 +1,169 @@
+//===- passes/LICM.cpp ------------------------------------------*- C++ -*-===//
+
+#include "passes/LICM.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "proofgen/ProofBuilder.h"
+
+#include <algorithm>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+using proofgen::PPoint;
+using proofgen::ProofBuilder;
+using SlotId = ProofBuilder::SlotId;
+
+namespace {
+
+/// Is this a pure instruction LICM may consider?
+bool isHoistableShape(const Instruction &I) {
+  if (I.type().isVec())
+    return false;
+  if (isBinaryOp(I.opcode()) || isCast(I.opcode()))
+    return true;
+  switch (I.opcode()) {
+  case Opcode::ICmp:
+  case Opcode::Select:
+    return true;
+  case Opcode::Gep:
+    return true; // gep only yields poison, never UB
+  default:
+    return false;
+  }
+}
+
+/// The expression of a pure instruction with physical tags.
+Expr rhsExpr(const Instruction &I) {
+  auto P = [](const ir::Value &V) { return ValT::phy(V); };
+  const auto &Ops = I.operands();
+  if (isBinaryOp(I.opcode()))
+    return Expr::bop(I.opcode(), I.type(), P(Ops[0]), P(Ops[1]));
+  if (isCast(I.opcode()))
+    return Expr::cast(I.opcode(), I.type(), P(Ops[0]));
+  if (I.opcode() == Opcode::ICmp)
+    return Expr::icmp(I.icmpPred(), P(Ops[0]), P(Ops[1]));
+  if (I.opcode() == Opcode::Select)
+    return Expr::select(I.type(), P(Ops[0]), P(Ops[1]), P(Ops[2]));
+  return Expr::gep(I.isInbounds(), P(Ops[0]), P(Ops[1]));
+}
+
+uint64_t hoistInFunction(ProofBuilder &B, bool GenProof) {
+  const ir::Function &F = B.srcFunction();
+  analysis::CFG G(F);
+  analysis::DomTree DT(G);
+  analysis::LoopInfo LI(F, G, DT);
+  uint64_t Hoisted = 0;
+
+  for (const analysis::Loop &L : LI.loops()) {
+    if (!L.hasPreheader())
+      continue;
+    const std::string &PreheaderName = G.name(L.Preheader);
+
+    // Latches: in-loop predecessors of the header. A hoisted instruction
+    // must dominate all of them, so every path around the loop recomputes
+    // it on the source side.
+    std::vector<size_t> Latches;
+    for (size_t P : G.preds(L.Header))
+      if (L.contains(P))
+        Latches.push_back(P);
+
+    // Registers invariant for this loop: defined outside, or hoisted.
+    auto DefinedInLoop = [&](const ir::Value &V) {
+      if (!V.isReg())
+        return false;
+      std::string DefBlock;
+      size_t DefIdx;
+      if (!F.findDef(V.regName(), DefBlock, DefIdx))
+        return true; // unknown: be conservative
+      if (DefBlock.empty())
+        return false; // parameter
+      return L.contains(G.index(DefBlock));
+    };
+    std::set<std::string> HoistedRegs;
+
+    // Visit loop blocks in dominance-friendly (RPO) order so dependent
+    // invariant chains hoist in one round.
+    for (size_t Blk : G.rpo()) {
+      if (!L.contains(Blk))
+        continue;
+      bool DominatesLatches = true;
+      for (size_t Latch : Latches)
+        if (!DT.dominates(Blk, Latch))
+          DominatesLatches = false;
+      if (!DominatesLatches)
+        continue;
+      const std::string &BlkName = G.name(Blk);
+
+      for (SlotId S : B.slotsOf(BlkName)) {
+        const Instruction *IP = B.tgtAt(S);
+        if (!IP)
+          continue;
+        // Copy: the insertion below reallocates the slot table.
+        const Instruction I = *IP;
+        if (!isHoistableShape(I) || !I.result())
+          continue;
+        bool Invariant = true;
+        for (const ir::Value &V : I.operands())
+          if (DefinedInLoop(V) && !HoistedRegs.count(V.regName()))
+            Invariant = false;
+        if (!Invariant)
+          continue;
+        bool Trapping = isBinaryOp(I.opcode()) && mayTrap(I.opcode());
+        if (Trapping) {
+          // Hoisting a division is only safe with a constant nonzero
+          // divisor; even then the validator has no division-by-zero
+          // analysis, so the translation is performed but #NS.
+          const ir::Value &Divisor = I.operands()[1];
+          if (!Divisor.isConstInt() || Divisor.intValue() == 0)
+            continue;
+        }
+
+        // Hoist: define x in the preheader on the target side, make the
+        // in-loop line a target lnop.
+        SlotId NewSlot = B.insertTgtBeforeTerminator(PreheaderName, I);
+        B.removeTgt(S);
+        HoistedRegs.insert(*I.result());
+        ++Hoisted;
+
+// PROOFGEN-BEGIN
+        if (!GenProof)
+          continue;
+        if (Trapping) {
+          B.markNotSupported("division-by-zero analysis");
+          continue;
+        }
+        RegT X{*I.result(), Tag::Phy};
+        Expr E = rhsExpr(I);
+        Expr XV = Expr::val(ValT::phy(ir::Value::reg(*I.result(),
+                                                     I.type())));
+        B.maydiffBetween(X, NewSlot, S);
+        B.assn(Pred::lessdef(E, XV), Side::Tgt, PPoint::afterSlot(NewSlot),
+               PPoint::beforeSlot(S));
+        B.enableAuto("transitivity");
+        B.enableAuto("reduce_maydiff");
+// PROOFGEN-END
+      }
+    }
+  }
+  return Hoisted;
+}
+
+} // namespace
+
+PassResult LICM::run(const ir::Module &Src, bool GenProof) {
+  PassResult Out;
+  Out.Tgt = Src;
+  for (ir::Function &F : Out.Tgt.Funcs) {
+    ProofBuilder B(F);
+    Out.Rewrites += hoistInFunction(B, GenProof);
+    auto R = B.finalize();
+    F = R.TgtF;
+    if (GenProof)
+      Out.Proof.Functions[F.Name] = std::move(R.FProof);
+  }
+  return Out;
+}

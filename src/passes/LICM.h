@@ -1,0 +1,43 @@
+//===- passes/LICM.h - Loop-invariant code motion ----------------*- C++ -*-===//
+///
+/// \file
+/// Loop-invariant code motion (paper §6, partially covered as in the
+/// paper): hoists pure loop-invariant computations into an existing
+/// preheader. Creating preheaders or moving loads
+/// (promoteLoopAccessesToScalars) would need CFG changes / alias analysis,
+/// which the framework does not support — exactly the paper's coverage
+/// boundary. Hoisting a division needs the division-by-zero analysis the
+/// validator lacks, so such translations are performed but marked #NS
+/// (paper §7's "alias and division-by-zero analysis" class).
+///
+/// The proof: the hoisted register x is defined by the target in the
+/// preheader and by the source inside the loop. x is in the maydiff set
+/// exactly at the points dominated by the target definition but not by the
+/// source definition; the target-side fact `e >= x` is asserted through
+/// the loop, and reduce_maydiff discharges x at the source definition.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_LICM_H
+#define CRELLVM_PASSES_LICM_H
+
+#include "passes/Pass.h"
+
+namespace crellvm {
+namespace passes {
+
+/// Proof-generating loop-invariant code motion.
+class LICM : public Pass {
+public:
+  explicit LICM(const BugConfig &Bugs) : Bugs(Bugs) {}
+
+  std::string name() const override { return "licm"; }
+  PassResult run(const ir::Module &Src, bool GenProof) override;
+
+private:
+  BugConfig Bugs;
+};
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_LICM_H

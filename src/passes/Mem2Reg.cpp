@@ -1,0 +1,518 @@
+//===- passes/Mem2Reg.cpp ---------------------------------------*- C++ -*-===//
+
+#include "passes/Mem2Reg.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "proofgen/ProofBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+using namespace crellvm::erhl;
+using namespace crellvm::ir;
+using proofgen::PPoint;
+using proofgen::ProofBuilder;
+using SlotId = ProofBuilder::SlotId;
+
+namespace {
+
+/// Register promotion for one function.
+class Promoter {
+public:
+  Promoter(ProofBuilder &B, const BugConfig &Bugs, bool GenProof)
+      : B(B), Bugs(Bugs), GenProof(GenProof), F(B.srcFunction()), G(F),
+        DT(G), LI(F, G, DT) {}
+
+  uint64_t run();
+
+private:
+  struct AllocaInfo {
+    SlotId Slot = 0;
+    std::string P;
+    ir::Type Ty;
+    std::vector<SlotId> Loads;
+    std::vector<SlotId> Stores;
+    std::vector<SlotId> LifetimeCalls;
+    std::string Ghost; ///< the alloca's ghost register name (p-hat)
+  };
+
+  // --- Analysis -------------------------------------------------------------
+  std::optional<AllocaInfo> analyze(SlotId AllocaSlot);
+  bool slotDominates(SlotId A, SlotId Bslot) const;
+  size_t slotIndexInBlock(SlotId S) const;
+
+  // --- Promotion paths -------------------------------------------------------
+  bool trySingleStore(AllocaInfo &AI);
+  bool trySingleBlock(AllocaInfo &AI);
+  void promoteGeneral(AllocaInfo &AI);
+
+  // --- Shared pieces ----------------------------------------------------------
+  /// Common prelude (Algorithm 2 lines A3-A4): removes the alloca, pins
+  /// Uniq(p) and MD(p) globally, binds the ghost to undef.
+  void prelude(AllocaInfo &AI);
+  /// Handles one store *p := w: removes it and rebinds the ghost
+  /// (Algorithm 2 line A10). Returns the target-side value now in *p.
+  ir::Value handleStore(const AllocaInfo &AI, SlotId StoreSlot);
+  /// Handles one load x := *p reached by value \p V stored at \p From
+  /// (Algorithm 2 lines A12-A18).
+  void handleLoad(const AllocaInfo &AI, SlotId LoadSlot, const ir::Value &V,
+                  const PPoint &From);
+  void removeLifetimeCalls(const AllocaInfo &AI);
+
+  Infrule mkRule(InfruleKind K, Side S, std::vector<Expr> Args) const {
+    Infrule R;
+    R.K = K;
+    R.S = S;
+    R.Args = std::move(Args);
+    return R;
+  }
+  static Expr val(const ir::Value &V) { return Expr::val(ValT::phy(V)); }
+
+  ProofBuilder &B;
+  const BugConfig &Bugs;
+  bool GenProof;
+  const ir::Function &F;
+  analysis::CFG G;
+  analysis::DomTree DT;
+  analysis::LoopInfo LI;
+  /// Source register -> (ghost name, replacement value) for every promoted
+  /// load, used to justify stores whose operand was itself replaced.
+  std::map<std::string, std::pair<std::string, ir::Value>> LoadGhosts;
+  uint64_t Promoted = 0;
+};
+
+size_t Promoter::slotIndexInBlock(SlotId S) const {
+  auto Slots = B.slotsOf(B.blockOf(S));
+  auto It = std::find(Slots.begin(), Slots.end(), S);
+  assert(It != Slots.end());
+  return static_cast<size_t>(It - Slots.begin());
+}
+
+bool Promoter::slotDominates(SlotId A, SlotId Bslot) const {
+  size_t BA = G.index(B.blockOf(A));
+  size_t BB = G.index(B.blockOf(Bslot));
+  if (BA != BB)
+    return DT.dominates(BA, BB);
+  return slotIndexInBlock(A) < slotIndexInBlock(Bslot);
+}
+
+std::optional<Promoter::AllocaInfo> Promoter::analyze(SlotId AllocaSlot) {
+  const Instruction *AllocaInst = B.tgtAt(AllocaSlot);
+  if (!AllocaInst || AllocaInst->opcode() != Opcode::Alloca)
+    return std::nullopt;
+  if (AllocaInst->allocaSize() != 1)
+    return std::nullopt;
+  if (B.blockOf(AllocaSlot) != F.entry().Name)
+    return std::nullopt;
+  // Promotion requires fully reachable functions: phi edges from dead
+  // blocks cannot justify the promoted value.
+  for (size_t I = 0; I != G.numBlocks(); ++I)
+    if (!G.isReachable(I))
+      return std::nullopt;
+
+  AllocaInfo AI;
+  AI.Slot = AllocaSlot;
+  AI.P = *AllocaInst->result();
+  AI.Ty = AllocaInst->type();
+
+  for (const BasicBlock &Blk : F.Blocks) {
+    for (const Phi &P : Blk.Phis)
+      for (const auto &In : P.Incoming)
+        if (In.second.isReg() && In.second.regName() == AI.P)
+          return std::nullopt; // the address escapes through a phi
+    auto Slots = B.slotsOf(Blk.Name);
+    for (size_t I = 0; I != Blk.Insts.size(); ++I) {
+      const Instruction &Ins = Blk.Insts[I];
+      SlotId S = B.slotOfSrc(Blk.Name, I);
+      bool UsesP = false;
+      for (const ir::Value &V : Ins.operands())
+        if (V.isReg() && V.regName() == AI.P)
+          UsesP = true;
+      if (!UsesP)
+        continue;
+      if (Ins.opcode() == Opcode::Load && Ins.operands()[0].isReg() &&
+          Ins.operands()[0].regName() == AI.P) {
+        AI.Loads.push_back(S);
+        continue;
+      }
+      if (Ins.opcode() == Opcode::Store && Ins.operands()[1].isReg() &&
+          Ins.operands()[1].regName() == AI.P &&
+          !(Ins.operands()[0].isReg() &&
+            Ins.operands()[0].regName() == AI.P)) {
+        AI.Stores.push_back(S);
+        continue;
+      }
+      if (Ins.opcode() == Opcode::Call &&
+          Ins.callee().rfind("llvm.lifetime.", 0) == 0) {
+        AI.LifetimeCalls.push_back(S);
+        continue;
+      }
+      return std::nullopt; // any other use blocks promotion
+    }
+    (void)Slots;
+  }
+  AI.Ghost = B.freshGhost(AI.P);
+  return AI;
+}
+
+void Promoter::prelude(AllocaInfo &AI) {
+  B.removeTgt(AI.Slot);
+  B.maydiffGlobal(RegT{AI.P, Tag::Phy});
+// PROOFGEN-BEGIN
+  if (GenProof) {
+    B.assnGlobal(Pred::unique(AI.P), Side::Src);
+    B.inf(mkRule(InfruleKind::IntroGhost, Side::Src,
+                 {Expr::val(ValT::ghost(AI.Ghost, AI.Ty)),
+                  val(ir::Value::undef(AI.Ty))}),
+          AI.Slot);
+    B.enableAuto("transitivity");
+    B.enableAuto("reduce_maydiff");
+  }
+// PROOFGEN-END
+  removeLifetimeCalls(AI);
+}
+
+void Promoter::removeLifetimeCalls(const AllocaInfo &AI) {
+  // Lifetime intrinsics on the promoted slot are dropped. They make the
+  // whole function #NS at validation time (paper §7, CSmith experiment).
+  for (SlotId S : AI.LifetimeCalls)
+    B.removeTgt(S);
+}
+
+ir::Value Promoter::handleStore(const AllocaInfo &AI, SlotId StoreSlot) {
+  const Instruction *TgtStore = B.tgtAt(StoreSlot);
+  assert(TgtStore && TgtStore->opcode() == Opcode::Store);
+  ir::Value WTgt = TgtStore->operands()[0];
+  ir::Value WSrc = B.srcAt(StoreSlot)->operands()[0];
+  B.removeTgt(StoreSlot);
+  if (!GenProof)
+    return WTgt;
+
+// PROOFGEN-BEGIN
+  ValT Ghost = ValT::ghost(AI.Ghost, AI.Ty);
+  if (WSrc == WTgt) {
+    // intro_ghost(p-hat, w) (Algorithm 2 line A10).
+    B.inf(mkRule(InfruleKind::IntroGhost, Side::Src,
+                 {Expr::val(Ghost), val(WTgt)}),
+          StoreSlot);
+  } else {
+    // The stored operand was itself a promoted load: link through its
+    // ghost (x-hat), then derive p-hat >= v on the target side.
+    assert(WSrc.isReg() && LoadGhosts.count(WSrc.regName()) &&
+           "stored operand rewritten by an unknown transformation");
+    const auto &[GhostX, VX] = LoadGhosts.at(WSrc.regName());
+    ValT GX = ValT::ghost(GhostX, AI.Ty);
+    B.inf(mkRule(InfruleKind::IntroGhost, Side::Src,
+                 {Expr::val(Ghost), Expr::val(GX)}),
+          StoreSlot);
+    B.inf(mkRule(InfruleKind::Transitivity, Side::Tgt,
+                 {Expr::val(Ghost), Expr::val(GX), val(WTgt)}),
+          StoreSlot);
+  }
+  return WTgt;
+// PROOFGEN-END
+}
+
+void Promoter::handleLoad(const AllocaInfo &AI, SlotId LoadSlot,
+                          const ir::Value &V, const PPoint &From) {
+  const Instruction &SrcLoad = *B.srcAt(LoadSlot);
+  std::string X = *SrcLoad.result();
+  ir::Type Ty = SrcLoad.type();
+  std::string GhostX = B.freshGhost(X);
+  LoadGhosts[X] = {GhostX, V};
+
+  // Replace every use of x with v, collecting use points for the
+  // relational assertions (Algorithm 2 line A16).
+  std::vector<PPoint> UsePoints;
+  for (const BasicBlock &Blk : F.Blocks) {
+    for (SlotId U : B.slotsOf(Blk.Name)) {
+      if (U == LoadSlot)
+        continue;
+      if (Instruction *TI = B.tgtAt(U)) {
+        // Divisor rewrites need division-by-zero analysis (#NS, paper S7).
+        if (isBinaryOp(TI->opcode()) && mayTrap(TI->opcode()) &&
+            TI->operands()[1].isReg() && TI->operands()[1].regName() == X)
+          B.markNotSupported("division-by-zero analysis");
+        if (TI->replaceUses(X, V))
+          UsePoints.push_back(PPoint::beforeSlot(U));
+      }
+    }
+    for (ir::Phi &P : B.tgtPhis(Blk.Name))
+      for (auto &In : P.Incoming)
+        if (In.second.isReg() && In.second.regName() == X) {
+          In.second = V;
+          UsePoints.push_back(PPoint::endOf(In.first));
+        }
+  }
+
+  B.removeTgt(LoadSlot);
+  B.maydiffGlobal(RegT{X, Tag::Phy});
+  if (!GenProof)
+    return;
+
+// PROOFGEN-BEGIN
+  ValT GhostP = ValT::ghost(AI.Ghost, ir::Type::ptrTy());
+  ValT GhostPT = ValT::ghost(AI.Ghost, Ty);
+  ValT GX = ValT::ghost(GhostX, Ty);
+  Expr Cell = Expr::load(Ty, ValT::phy(ir::Value::reg(AI.P,
+                                                      ir::Type::ptrTy())));
+  // [A13] *p >= p-hat (src) and p-hat >= v (tgt) from the store to here.
+  B.assn(Pred::lessdef(Cell, Expr::val(GhostPT)), Side::Src, From,
+         PPoint::beforeSlot(LoadSlot));
+  B.assn(Pred::lessdef(Expr::val(GhostPT), val(V)), Side::Tgt, From,
+         PPoint::beforeSlot(LoadSlot));
+  // [A14] intro_ghost(x-hat, p-hat).
+  B.inf(mkRule(InfruleKind::IntroGhost, Side::Src,
+               {Expr::val(GX), Expr::val(GhostPT)}),
+        LoadSlot);
+  // Target side: x-hat >= p-hat >= v.
+  B.inf(mkRule(InfruleKind::Transitivity, Side::Tgt,
+               {Expr::val(GX), Expr::val(GhostPT), val(V)}),
+        LoadSlot);
+  // [A16] x >= x-hat (src) and x-hat >= v (tgt) to every use.
+  ir::Value XReg = ir::Value::reg(X, Ty);
+  for (const PPoint &P : UsePoints) {
+    B.assn(Pred::lessdef(val(XReg), Expr::val(GX)), Side::Src,
+           PPoint::afterSlot(LoadSlot), P);
+    B.assn(Pred::lessdef(Expr::val(GX), val(V)), Side::Tgt,
+           PPoint::afterSlot(LoadSlot), P);
+  }
+  (void)GhostP;
+// PROOFGEN-END
+}
+
+bool Promoter::trySingleStore(AllocaInfo &AI) {
+  if (AI.Stores.size() != 1)
+    return false;
+  SlotId StoreSlot = AI.Stores[0];
+
+  std::vector<SlotId> Dominated, NonDominated;
+  for (SlotId L : AI.Loads)
+    (slotDominates(StoreSlot, L) ? Dominated : NonDominated).push_back(L);
+
+  const Instruction *TgtStore = B.tgtAt(StoreSlot);
+  ir::Value W = TgtStore->operands()[0];
+  bool Speculate = false;
+  if (!NonDominated.empty()) {
+    // PR33673: assume constants (including trapping constant expressions)
+    // are safe to use at loads the store does not reach.
+    if (Bugs.Mem2RegConstexprSpeculate && W.isConstant() && !W.isUndef())
+      Speculate = true;
+    else
+      return false; // fall back to the general algorithm
+  }
+
+  prelude(AI);
+  ir::Value V = handleStore(AI, StoreSlot);
+// PROOFGEN-BEGIN
+  if (Speculate && GenProof) {
+    // The unsound step: undef may be refined to the constant expression
+    // (constexpr_no_ub), so p-hat >= C already at the allocation.
+    ValT GhostPT = ValT::ghost(AI.Ghost, AI.Ty);
+    B.inf(mkRule(InfruleKind::ConstexprNoUb, Side::Tgt,
+                 {val(ir::Value::undef(AI.Ty)), val(W)}),
+          AI.Slot);
+    B.inf(mkRule(InfruleKind::Transitivity, Side::Tgt,
+                 {Expr::val(GhostPT), val(ir::Value::undef(AI.Ty)),
+                  val(W)}),
+          AI.Slot);
+  }
+// PROOFGEN-END
+  for (SlotId L : Dominated)
+    handleLoad(AI, L, V, PPoint::afterSlot(StoreSlot));
+  for (SlotId L : NonDominated)
+    handleLoad(AI, L, Speculate ? W : ir::Value::undef(AI.Ty),
+               PPoint::afterSlot(AI.Slot));
+  ++Promoted;
+  return true;
+}
+
+bool Promoter::trySingleBlock(AllocaInfo &AI) {
+  if (AI.Loads.empty() && AI.Stores.empty())
+    return false;
+  std::string Blk;
+  for (SlotId S : AI.Loads) {
+    if (Blk.empty())
+      Blk = B.blockOf(S);
+    else if (Blk != B.blockOf(S))
+      return false;
+  }
+  for (SlotId S : AI.Stores) {
+    if (Blk.empty())
+      Blk = B.blockOf(S);
+    else if (Blk != B.blockOf(S))
+      return false;
+  }
+
+  // Is there a load before the first store?
+  std::set<SlotId> LoadSet(AI.Loads.begin(), AI.Loads.end());
+  std::set<SlotId> StoreSet(AI.Stores.begin(), AI.Stores.end());
+  bool LoadBeforeStore = false;
+  bool SeenStore = false;
+  std::vector<std::pair<SlotId, bool>> Accesses; // (slot, isStore) in order
+  for (SlotId S : B.slotsOf(Blk)) {
+    if (StoreSet.count(S)) {
+      SeenStore = true;
+      Accesses.emplace_back(S, true);
+    } else if (LoadSet.count(S)) {
+      if (!SeenStore)
+        LoadBeforeStore = true;
+      Accesses.emplace_back(S, false);
+    }
+  }
+
+  if (LoadBeforeStore && !AI.Stores.empty() && !Bugs.Mem2RegUndefLoop) {
+    // PR24179 guard: a back edge could bring a stored value around to the
+    // early load; only the general algorithm handles that.
+    size_t BlkIdx = G.index(Blk);
+    for (const analysis::Loop &L : LI.loops())
+      if (L.contains(BlkIdx))
+        return false;
+  }
+
+  prelude(AI);
+  ir::Value V = ir::Value::undef(AI.Ty);
+  PPoint From = PPoint::afterSlot(AI.Slot);
+  for (auto &[S, IsStore] : Accesses) {
+    if (IsStore) {
+      V = handleStore(AI, S);
+      From = PPoint::afterSlot(S);
+    } else {
+      handleLoad(AI, S, V, From);
+    }
+  }
+  ++Promoted;
+  return true;
+}
+
+void Promoter::promoteGeneral(AllocaInfo &AI) {
+  // [A2] Insert empty phi nodes at the iterated dominance frontier of the
+  // definition blocks.
+  analysis::DominanceFrontier DF(G, DT);
+  std::set<size_t> DefBlocks{G.index(B.blockOf(AI.Slot))};
+  for (SlotId S : AI.Stores)
+    DefBlocks.insert(G.index(B.blockOf(S)));
+  std::set<size_t> PhiBlocks;
+  std::vector<size_t> Work(DefBlocks.begin(), DefBlocks.end());
+  while (!Work.empty()) {
+    size_t Blk = Work.back();
+    Work.pop_back();
+    for (size_t FB : DF.frontier(Blk))
+      if (PhiBlocks.insert(FB).second)
+        Work.push_back(FB);
+  }
+  std::map<size_t, std::string> PhiReg;
+  unsigned PhiCounter = 0;
+  for (size_t PB : PhiBlocks) {
+    std::string Name = AI.P + ".m2r" + std::to_string(PhiCounter++);
+    PhiReg[PB] = Name;
+    B.insertTgtPhi(G.name(PB), ir::Phi{Name, AI.Ty, {}});
+    B.maydiffGlobal(RegT{Name, Tag::Phy});
+  }
+
+  prelude(AI);
+
+  std::set<SlotId> LoadSet(AI.Loads.begin(), AI.Loads.end());
+  std::set<SlotId> StoreSet(AI.Stores.begin(), AI.Stores.end());
+
+  // [A5] DFS worklist from the entry.
+  struct WorkItem {
+    size_t Blk;
+    ir::Value V;
+    PPoint From;
+  };
+  std::vector<WorkItem> WL{{0, ir::Value::undef(AI.Ty),
+                            PPoint::afterSlot(AI.Slot)}};
+  std::vector<bool> Visited(G.numBlocks(), false);
+  Visited[0] = true;
+
+  while (!WL.empty()) {
+    WorkItem Item = WL.back();
+    WL.pop_back();
+    const std::string &BlkName = G.name(Item.Blk);
+    ir::Value V = Item.V;
+    PPoint From = Item.From;
+
+    for (SlotId S : B.slotsOf(BlkName)) {
+      if (StoreSet.count(S)) {
+        V = handleStore(AI, S);
+        From = PPoint::afterSlot(S);
+      } else if (LoadSet.count(S)) {
+        handleLoad(AI, S, V, From);
+      }
+    }
+
+    // [A21] Successors.
+    Expr Cell = Expr::load(
+        AI.Ty, ValT::phy(ir::Value::reg(AI.P, ir::Type::ptrTy())));
+    ValT GhostPT = ValT::ghost(AI.Ghost, AI.Ty);
+    for (size_t Succ : G.succs(Item.Blk)) {
+      auto PhiIt = PhiReg.find(Succ);
+      if (PhiIt != PhiReg.end()) {
+        ir::Phi *Z = B.tgtPhi(G.name(Succ), PhiIt->second);
+        assert(Z && "inserted phi vanished");
+        Z->setIncoming(BlkName, V);
+// PROOFGEN-BEGIN
+        if (GenProof) {
+          // [A23] the value is used at the phi: assert through the end of
+          // this block.
+          B.assn(Pred::lessdef(Cell, Expr::val(GhostPT)), Side::Src, From,
+                 PPoint::endOf(BlkName));
+          B.assn(Pred::lessdef(Expr::val(GhostPT), val(V)), Side::Tgt,
+                 From, PPoint::endOf(BlkName));
+        }
+// PROOFGEN-END
+        if (!Visited[Succ]) {
+          Visited[Succ] = true;
+          WL.push_back({Succ,
+                        ir::Value::reg(PhiIt->second, AI.Ty),
+                        PPoint::entryOf(G.name(Succ))});
+        }
+      } else if (!Visited[Succ]) {
+        Visited[Succ] = true;
+        WL.push_back({Succ, V, From});
+      }
+    }
+  }
+  ++Promoted;
+}
+
+uint64_t Promoter::run() {
+  // Collect promotable allocas first; slots are stable under the edits.
+  std::vector<AllocaInfo> Candidates;
+  for (const BasicBlock &Blk : F.Blocks)
+    for (size_t I = 0; I != Blk.Insts.size(); ++I)
+      if (Blk.Insts[I].opcode() == Opcode::Alloca)
+        if (auto AI = analyze(B.slotOfSrc(Blk.Name, I)))
+          Candidates.push_back(std::move(*AI));
+
+  for (AllocaInfo &AI : Candidates) {
+    if (trySingleStore(AI))
+      continue;
+    if (trySingleBlock(AI))
+      continue;
+    promoteGeneral(AI);
+  }
+  return Promoted;
+}
+
+} // namespace
+
+PassResult Mem2Reg::run(const ir::Module &Src, bool GenProof) {
+  PassResult Out;
+  Out.Tgt = Src;
+  for (ir::Function &F : Out.Tgt.Funcs) {
+    ProofBuilder B(F);
+    Promoter P(B, Bugs, GenProof);
+    Out.Rewrites += P.run();
+    auto R = B.finalize();
+    F = R.TgtF;
+    if (GenProof)
+      Out.Proof.Functions[F.Name] = std::move(R.FProof);
+  }
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- passes/Mem2Reg.h - Register promotion --------------------*- C++ -*-===//
+///
+/// \file
+/// The register-promotion pass (paper §3): promotes allocas whose only
+/// uses are loads and stores into SSA registers, inserting phi nodes at
+/// iterated dominance frontiers. Like LLVM's mem2reg it has three code
+/// paths — the general algorithm (paper Algorithm 2) and two specialized
+/// fast paths for single-store and single-block allocas — each with its
+/// own proof-generation code.
+///
+/// Injected bugs (DESIGN.md §4):
+///  - Mem2RegUndefLoop (PR24179): the single-block fast path promotes
+///    loads before the first store to undef even when the block sits on a
+///    loop, so a store from the previous iteration is lost. Detected as a
+///    validation failure at the loop back edge.
+///  - Mem2RegConstexprSpeculate (PR33673): the single-store fast path
+///    propagates a stored *constant expression* to loads the store does
+///    not dominate, assuming constant expressions never trap. The proof
+///    uses the custom `constexpr_no_ub` rule, so validation succeeds —
+///    the bug is caught only by rule verification, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_MEM2REG_H
+#define CRELLVM_PASSES_MEM2REG_H
+
+#include "passes/Pass.h"
+
+namespace crellvm {
+namespace passes {
+
+/// Proof-generating register promotion.
+class Mem2Reg : public Pass {
+public:
+  explicit Mem2Reg(const BugConfig &Bugs) : Bugs(Bugs) {}
+
+  std::string name() const override { return "mem2reg"; }
+  PassResult run(const ir::Module &Src, bool GenProof) override;
+
+private:
+  BugConfig Bugs;
+};
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_MEM2REG_H

@@ -1,0 +1,43 @@
+//===- passes/Pass.h - Common pass interface --------------------*- C++ -*-===//
+///
+/// \file
+/// The interface shared by the four proof-generating optimization passes
+/// (instcombine, mem2reg, gvn, licm). A pass can run in two modes,
+/// mirroring the paper's Fig. 1: the plain mode produces only the target
+/// module (the "original optimizer", time column Orig); the proof mode
+/// additionally produces the translation proof (time column PCal). Both
+/// modes perform the identical transformation, which llvm-diff-style
+/// alpha-equivalence checking confirms in the driver.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_PASS_H
+#define CRELLVM_PASSES_PASS_H
+
+#include "passes/BugConfig.h"
+#include "proofgen/Proof.h"
+
+namespace crellvm {
+namespace passes {
+
+/// Result of running a pass over a module.
+struct PassResult {
+  ir::Module Tgt;
+  proofgen::Proof Proof; ///< empty in plain mode
+  /// How many rewrite opportunities fired (used by the workload shaping
+  /// and the benches' #V accounting).
+  uint64_t Rewrites = 0;
+};
+
+/// A proof-generating optimization pass.
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  /// Runs the pass. \p GenProof selects proof mode.
+  virtual PassResult run(const ir::Module &Src, bool GenProof) = 0;
+};
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_PASS_H

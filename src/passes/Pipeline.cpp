@@ -1,0 +1,35 @@
+//===- passes/Pipeline.cpp --------------------------------------*- C++ -*-===//
+
+#include "passes/Pipeline.h"
+
+#include "passes/GVN.h"
+#include "passes/InstCombine.h"
+#include "passes/LICM.h"
+#include "passes/Mem2Reg.h"
+
+using namespace crellvm;
+using namespace crellvm::passes;
+
+std::vector<std::unique_ptr<Pass>>
+crellvm::passes::makeO2Pipeline(const BugConfig &Bugs) {
+  std::vector<std::unique_ptr<Pass>> Pipeline;
+  Pipeline.push_back(std::make_unique<Mem2Reg>(Bugs));
+  Pipeline.push_back(std::make_unique<InstCombine>(Bugs));
+  Pipeline.push_back(std::make_unique<LICM>(Bugs));
+  Pipeline.push_back(std::make_unique<GVN>(Bugs));
+  Pipeline.push_back(std::make_unique<InstCombine>(Bugs));
+  return Pipeline;
+}
+
+std::unique_ptr<Pass> crellvm::passes::makePass(const std::string &Name,
+                                                const BugConfig &Bugs) {
+  if (Name == "mem2reg")
+    return std::make_unique<Mem2Reg>(Bugs);
+  if (Name == "instcombine")
+    return std::make_unique<InstCombine>(Bugs);
+  if (Name == "licm")
+    return std::make_unique<LICM>(Bugs);
+  if (Name == "gvn")
+    return std::make_unique<GVN>(Bugs);
+  return nullptr;
+}

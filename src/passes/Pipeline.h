@@ -1,0 +1,34 @@
+//===- passes/Pipeline.h - The -O2-style pass pipeline ----------*- C++ -*-===//
+///
+/// \file
+/// The optimization pipeline the experiments compile with: mem2reg first
+/// (as clang -O2 does via SROA), then instcombine, then licm, then gvn,
+/// then a final instcombine cleanup — each step a separately validated
+/// translation (paper §7 "we compiled each benchmark program with the -O2
+/// flag and validated the intermediate translations").
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PASSES_PIPELINE_H
+#define CRELLVM_PASSES_PIPELINE_H
+
+#include "passes/Pass.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace crellvm {
+namespace passes {
+
+/// Creates the -O2-style pipeline in execution order.
+std::vector<std::unique_ptr<Pass>> makeO2Pipeline(const BugConfig &Bugs);
+
+/// Creates a single pass by name ("mem2reg", "gvn", "licm",
+/// "instcombine"); nullptr for unknown names.
+std::unique_ptr<Pass> makePass(const std::string &Name,
+                               const BugConfig &Bugs);
+
+} // namespace passes
+} // namespace crellvm
+
+#endif // CRELLVM_PASSES_PIPELINE_H

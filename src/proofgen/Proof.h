@@ -1,0 +1,72 @@
+//===- proofgen/Proof.h - Translation proofs --------------------*- C++ -*-===//
+///
+/// \file
+/// The proof object exchanged between the proof-generating compiler and
+/// the checker (paper Fig. 1). A proof gives, per function and block:
+///
+///  - a line-by-line *alignment* of source and target commands, where a
+///    missing side is a logical no-op (lnop, paper §3.2) inserted to keep
+///    the sides in lock step;
+///  - the ERHL assertion after every line (Ψ[F].α[B,i], paper §5);
+///  - the inference rules applied at each line and at each phi edge;
+///  - the automation functions enabled for the function (paper §2.3).
+///
+/// The checker validates the alignment against the actual source and
+/// target modules; nothing in the proof is trusted.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PROOFGEN_PROOF_H
+#define CRELLVM_PROOFGEN_PROOF_H
+
+#include "erhl/Infrule.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+namespace crellvm {
+namespace proofgen {
+
+/// One aligned line: at most one side may be a logical no-op.
+struct LineEntry {
+  std::optional<ir::Instruction> SrcCmd; ///< std::nullopt = lnop
+  std::optional<ir::Instruction> TgtCmd; ///< std::nullopt = lnop
+  erhl::Assertion After;                 ///< assertion after this line
+  std::vector<erhl::Infrule> Rules;      ///< applied at this line
+};
+
+/// Proof data for one basic block.
+struct BlockProof {
+  erhl::Assertion AtEntry; ///< assertion after the phi nodes
+  std::vector<LineEntry> Lines;
+  /// Inference rules applied on the phi edge coming from a given
+  /// predecessor block.
+  std::map<std::string, std::vector<erhl::Infrule>> PhiRules;
+};
+
+/// Proof data for one function translation.
+struct FunctionProof {
+  std::map<std::string, BlockProof> Blocks;
+  /// Automation functions the checker may run when an inclusion check
+  /// fails: "transitivity", "reduce_maydiff", "gvn_pre".
+  std::set<std::string> AutoFuncs;
+  /// Proof generation bailed out: the translation uses features the
+  /// validator does not support (paper's #NS class).
+  bool NotSupported = false;
+  std::string NotSupportedReason;
+};
+
+/// A whole-module translation proof.
+struct Proof {
+  std::map<std::string, FunctionProof> Functions;
+
+  /// Total number of hint objects (assertions, predicates, rules) — a
+  /// rough size measure used by the automation ablation bench.
+  uint64_t sizeMetric() const;
+};
+
+} // namespace proofgen
+} // namespace crellvm
+
+#endif // CRELLVM_PROOFGEN_PROOF_H

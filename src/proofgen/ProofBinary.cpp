@@ -1,0 +1,21 @@
+//===- proofgen/ProofBinary.cpp ---------------------------------*- C++ -*-===//
+
+#include "proofgen/ProofBinary.h"
+
+#include "json/Binary.h"
+#include "proofgen/ProofJson.h"
+
+using namespace crellvm;
+using namespace crellvm::proofgen;
+
+std::string proofgen::proofToBinary(const Proof &P) {
+  return json::encodeBinary(proofToJson(P));
+}
+
+std::optional<Proof> proofgen::proofFromBinary(const std::string &Bytes,
+                                               std::string *Error) {
+  auto V = json::decodeBinary(Bytes, Error);
+  if (!V)
+    return std::nullopt;
+  return proofFromJson(*V, Error);
+}

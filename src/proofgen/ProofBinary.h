@@ -1,0 +1,31 @@
+//===- proofgen/ProofBinary.h - Binary proof exchange -----------*- C++ -*-===//
+///
+/// \file
+/// The binary proof exchange format — the paper's §7 future-work item
+/// ("a binary proof format would reduce the I/O bottleneck"), built as a
+/// compact binary encoding (json/Binary.h) of the same proof tree the
+/// JSON serializer produces, so both formats are validated by the same
+/// checker code path. `bench/ablation_proof_format` quantifies the size
+/// and parse-time difference.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PROOFGEN_PROOFBINARY_H
+#define CRELLVM_PROOFGEN_PROOFBINARY_H
+
+#include "proofgen/Proof.h"
+
+namespace crellvm {
+namespace proofgen {
+
+/// Encodes \p P as compact binary bytes.
+std::string proofToBinary(const Proof &P);
+
+/// Decodes bytes produced by proofToBinary; std::nullopt with a message
+/// in \p Error on malformed input (the file is untrusted).
+std::optional<Proof> proofFromBinary(const std::string &Bytes,
+                                     std::string *Error = nullptr);
+
+} // namespace proofgen
+} // namespace crellvm
+
+#endif // CRELLVM_PROOFGEN_PROOFBINARY_H

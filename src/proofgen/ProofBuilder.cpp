@@ -1,0 +1,346 @@
+//===- proofgen/ProofBuilder.cpp --------------------------------*- C++ -*-===//
+
+#include "proofgen/ProofBuilder.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/PointsBetween.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::proofgen;
+using namespace crellvm::erhl;
+
+uint64_t Proof::sizeMetric() const {
+  uint64_t N = 0;
+  for (const auto &FKV : Functions) {
+    for (const auto &BKV : FKV.second.Blocks) {
+      const BlockProof &BP = BKV.second;
+      N += BP.AtEntry.Src.size() + BP.AtEntry.Tgt.size() +
+           BP.AtEntry.Maydiff.size();
+      for (const LineEntry &L : BP.Lines)
+        N += L.After.Src.size() + L.After.Tgt.size() +
+             L.After.Maydiff.size() + L.Rules.size();
+      for (const auto &PR : BP.PhiRules)
+        N += PR.second.size();
+    }
+  }
+  return N;
+}
+
+ProofBuilder::ProofBuilder(const ir::Function &Src) : SrcF(Src) {
+  for (const ir::BasicBlock &B : SrcF.Blocks) {
+    BlockData &BD = Blocks[B.Name];
+    BD.TgtPhis = B.Phis;
+    for (const ir::Instruction &I : B.Insts) {
+      SlotId Id = Slots.size();
+      Slots.push_back(Slot{I, I, {}});
+      SlotBlock[Id] = B.Name;
+      BD.Order.push_back(Id);
+    }
+  }
+}
+
+ProofBuilder::SlotId ProofBuilder::slotOfSrc(const std::string &Block,
+                                             size_t SrcIdx) const {
+  auto It = Blocks.find(Block);
+  assert(It != Blocks.end() && "unknown block");
+  size_t Seen = 0;
+  for (SlotId Id : It->second.Order) {
+    if (!Slots[Id].Src)
+      continue; // target-only insertion
+    if (Seen == SrcIdx)
+      return Id;
+    ++Seen;
+  }
+  assert(false && "source instruction index out of range");
+  return 0;
+}
+
+const ir::Instruction *ProofBuilder::tgtAt(SlotId Id) const {
+  assert(Id < Slots.size());
+  return Slots[Id].Tgt ? &*Slots[Id].Tgt : nullptr;
+}
+
+ir::Instruction *ProofBuilder::tgtAt(SlotId Id) {
+  assert(Id < Slots.size());
+  return Slots[Id].Tgt ? &*Slots[Id].Tgt : nullptr;
+}
+
+const ir::Instruction *ProofBuilder::srcAt(SlotId Id) const {
+  assert(Id < Slots.size());
+  return Slots[Id].Src ? &*Slots[Id].Src : nullptr;
+}
+
+const std::string &ProofBuilder::blockOf(SlotId Id) const {
+  auto It = SlotBlock.find(Id);
+  assert(It != SlotBlock.end());
+  return It->second;
+}
+
+std::vector<ProofBuilder::SlotId>
+ProofBuilder::slotsOf(const std::string &Block) const {
+  auto It = Blocks.find(Block);
+  assert(It != Blocks.end() && "unknown block");
+  return It->second.Order;
+}
+
+void ProofBuilder::replaceTgt(SlotId Id, ir::Instruction I) {
+  assert(Id < Slots.size());
+  Slots[Id].Tgt = std::move(I);
+}
+
+void ProofBuilder::removeTgt(SlotId Id) {
+  assert(Id < Slots.size());
+  Slots[Id].Tgt.reset();
+}
+
+ProofBuilder::SlotId ProofBuilder::insertTgtBefore(SlotId Id,
+                                                   ir::Instruction I) {
+  const std::string &Block = blockOf(Id);
+  BlockData &BD = Blocks[Block];
+  auto Pos = std::find(BD.Order.begin(), BD.Order.end(), Id);
+  assert(Pos != BD.Order.end());
+  SlotId New = Slots.size();
+  Slots.push_back(Slot{std::nullopt, std::move(I), {}});
+  SlotBlock[New] = Block;
+  BD.Order.insert(Pos, New);
+  return New;
+}
+
+ProofBuilder::SlotId
+ProofBuilder::insertTgtBeforeTerminator(const std::string &Block,
+                                        ir::Instruction I) {
+  BlockData &BD = Blocks[Block];
+  assert(!BD.Order.empty());
+  return insertTgtBefore(BD.Order.back(), std::move(I));
+}
+
+void ProofBuilder::insertTgtPhi(const std::string &Block, ir::Phi P) {
+  Blocks[Block].TgtPhis.push_back(std::move(P));
+}
+
+ir::Phi *ProofBuilder::tgtPhi(const std::string &Block,
+                              const std::string &Reg) {
+  for (ir::Phi &P : Blocks[Block].TgtPhis)
+    if (P.Result == Reg)
+      return &P;
+  return nullptr;
+}
+
+std::vector<ir::Phi> &ProofBuilder::tgtPhis(const std::string &Block) {
+  return Blocks[Block].TgtPhis;
+}
+
+void ProofBuilder::assn(Pred P, Side S, PPoint From, PPoint To) {
+  Assns.push_back(AssnRecord{std::move(P), S, std::move(From),
+                             std::move(To)});
+}
+
+void ProofBuilder::assnGlobal(Pred P, Side S) {
+  if (S == Side::Src)
+    GlobalSrc.insert(std::move(P));
+  else
+    GlobalTgt.insert(std::move(P));
+}
+
+void ProofBuilder::maydiffGlobal(RegT R) {
+  GlobalMaydiff.insert(std::move(R));
+}
+
+void ProofBuilder::maydiffBetween(RegT R, SlotId OuterDef, SlotId InnerDef) {
+  MaydiffRanges.push_back(MaydiffRange{std::move(R), OuterDef, InnerDef});
+}
+
+void ProofBuilder::maydiffAtEntry(RegT R, const std::string &Block) {
+  MaydiffEntries.emplace_back(std::move(R), Block);
+}
+
+void ProofBuilder::inf(Infrule R, SlotId Id) {
+  assert(Id < Slots.size());
+  Slots[Id].Rules.push_back(std::move(R));
+}
+
+void ProofBuilder::infAtPhi(Infrule R, const std::string &Block,
+                            const std::string &Pred) {
+  Blocks[Block].PhiRules[Pred].push_back(std::move(R));
+}
+
+void ProofBuilder::enableAuto(const std::string &Name) {
+  AutoFuncs.insert(Name);
+}
+
+void ProofBuilder::markNotSupported(const std::string &Reason) {
+  if (!NotSupported) {
+    NotSupported = true;
+    NotSupportedReason = Reason;
+  }
+}
+
+std::string ProofBuilder::freshGhost(const std::string &Hint) {
+  return Hint + ".g" + std::to_string(GhostCounter++);
+}
+
+size_t ProofBuilder::ordinalOf(const PPoint &P, const BlockData &B) const {
+  switch (P.K) {
+  case PPoint::Kind::BlockEntry:
+    return 0;
+  case PPoint::Kind::BlockEnd:
+    return B.Order.size();
+  case PPoint::Kind::AfterSlot:
+  case PPoint::Kind::BeforeSlot: {
+    auto Pos = std::find(B.Order.begin(), B.Order.end(), P.Slot);
+    assert(Pos != B.Order.end() && "slot not in block");
+    size_t Idx = static_cast<size_t>(Pos - B.Order.begin());
+    return P.K == PPoint::Kind::AfterSlot ? Idx + 1 : Idx;
+  }
+  }
+  return 0;
+}
+
+ProofBuilder::Result ProofBuilder::finalize() {
+  analysis::CFG G(SrcF);
+  analysis::DomTree DT(G);
+
+  // Base assertion at every point: the global predicates and maydiff set.
+  Assertion Global;
+  Global.Src = GlobalSrc;
+  Global.Tgt = GlobalTgt;
+  Global.Maydiff = GlobalMaydiff;
+
+  // Per-block assertion grid: Points[B][i], i = 0 for block entry,
+  // i = k+1 for "after the k-th slot".
+  std::map<std::string, std::vector<Assertion>> Points;
+  for (const auto &KV : Blocks)
+    Points[KV.first].assign(KV.second.Order.size() + 1, Global);
+
+  auto BlockOfPoint = [&](const PPoint &P) -> std::string {
+    if (P.K == PPoint::Kind::AfterSlot || P.K == PPoint::Kind::BeforeSlot)
+      return blockOf(P.Slot);
+    return P.Block;
+  };
+
+  for (const AssnRecord &R : Assns) {
+    std::string FromB = BlockOfPoint(R.From);
+    std::string ToB = BlockOfPoint(R.To);
+    size_t FromOrd = ordinalOf(R.From, Blocks[FromB]);
+    size_t ToOrd = ordinalOf(R.To, Blocks[ToB]);
+    size_t FromIdx = G.index(FromB), ToIdx = G.index(ToB);
+
+    auto AddAt = [&](const std::string &B, size_t Lo, size_t Hi) {
+      // Adds the predicate at point ordinals [Lo, Hi] of block B.
+      std::vector<Assertion> &Vec = Points[B];
+      for (size_t I = Lo; I <= Hi && I < Vec.size(); ++I) {
+        if (R.S == Side::Src)
+          Vec[I].Src.insert(R.P);
+        else
+          Vec[I].Tgt.insert(R.P);
+      }
+    };
+
+    if (FromB == ToB && FromOrd <= ToOrd) {
+      // Acyclic within one block: the fact is available from the def
+      // point through the use point, inclusive.
+      AddAt(FromB, FromOrd, ToOrd);
+      continue;
+    }
+    std::set<size_t> Covered = analysis::blocksBetween(G, DT, FromIdx,
+                                                       ToIdx);
+    // When the use block lies on a cycle that avoids the def block, a
+    // covered path runs through the use block's tail and back around, so
+    // every point of the block is on a def-to-use path (Appendix E).
+    bool ToOnCycle = false;
+    for (size_t S : G.succs(ToIdx))
+      if (Covered.count(S))
+        ToOnCycle = true;
+    for (size_t B : Covered) {
+      const std::string &Name = G.name(B);
+      size_t Last = Blocks[Name].Order.size();
+      if (B == FromIdx && B == ToIdx) {
+        // Cyclic within one block: from the def to the end, and from the
+        // entry to the use.
+        AddAt(Name, FromOrd, Last);
+        AddAt(Name, 0, ToOrd);
+      } else if (B == FromIdx) {
+        AddAt(Name, FromOrd, Last);
+      } else if (B == ToIdx) {
+        AddAt(Name, 0, ToOnCycle ? Last : ToOrd);
+      } else {
+        AddAt(Name, 0, Last);
+      }
+    }
+  }
+
+  // Maydiff ranges: a point is covered when it is dominated by the outer
+  // definition but not by the inner one (see maydiffBetween).
+  for (const MaydiffRange &R : MaydiffRanges) {
+    const std::string &OuterB = blockOf(R.Outer);
+    const std::string &InnerB = blockOf(R.Inner);
+    size_t OuterOrd = ordinalOf(PPoint::afterSlot(R.Outer), Blocks[OuterB]);
+    size_t InnerOrd = ordinalOf(PPoint::afterSlot(R.Inner), Blocks[InnerB]);
+    size_t OuterIdx = G.index(OuterB), InnerIdx = G.index(InnerB);
+    for (auto &KV : Points) {
+      size_t BIdx = G.index(KV.first);
+      for (size_t Ord = 0; Ord != KV.second.size(); ++Ord) {
+        // Does the outer definition dominate this point?
+        bool OuterDom = (BIdx == OuterIdx)
+                            ? Ord >= OuterOrd
+                            : (DT.dominates(OuterIdx, BIdx) &&
+                               OuterIdx != BIdx);
+        bool InnerDom = (BIdx == InnerIdx)
+                            ? Ord >= InnerOrd
+                            : (DT.dominates(InnerIdx, BIdx) &&
+                               InnerIdx != BIdx);
+        if (OuterDom && !InnerDom)
+          KV.second[Ord].Maydiff.insert(R.R);
+      }
+    }
+  }
+
+  for (const auto &[R, Block] : MaydiffEntries) {
+    auto It = Points.find(Block);
+    assert(It != Points.end() && "unknown block in maydiffAtEntry");
+    It->second[0].Maydiff.insert(R);
+  }
+
+  // Assemble the proof and the target function.
+  Result Out;
+  Out.TgtF.Name = SrcF.Name;
+  Out.TgtF.RetTy = SrcF.RetTy;
+  Out.TgtF.Params = SrcF.Params;
+  Out.FProof.AutoFuncs = AutoFuncs;
+  Out.FProof.NotSupported = NotSupported;
+  Out.FProof.NotSupportedReason = NotSupportedReason;
+
+  for (const ir::BasicBlock &SrcB : SrcF.Blocks) {
+    const BlockData &BD = Blocks[SrcB.Name];
+    const std::vector<Assertion> &Vec = Points[SrcB.Name];
+
+    BlockProof BP;
+    BP.AtEntry = Vec[0];
+    BP.PhiRules = BD.PhiRules;
+    for (size_t I = 0; I != BD.Order.size(); ++I) {
+      const Slot &S = Slots[BD.Order[I]];
+      if (!S.Src && !S.Tgt)
+        continue; // an inserted command later removed again
+      LineEntry L;
+      L.SrcCmd = S.Src;
+      L.TgtCmd = S.Tgt;
+      L.After = Vec[I + 1];
+      L.Rules = S.Rules;
+      BP.Lines.push_back(std::move(L));
+    }
+    Out.FProof.Blocks[SrcB.Name] = std::move(BP);
+
+    ir::BasicBlock TgtB;
+    TgtB.Name = SrcB.Name;
+    TgtB.Phis = BD.TgtPhis;
+    for (SlotId Id : BD.Order)
+      if (Slots[Id].Tgt)
+        TgtB.Insts.push_back(*Slots[Id].Tgt);
+    Out.TgtF.Blocks.push_back(std::move(TgtB));
+  }
+  return Out;
+}

@@ -1,0 +1,190 @@
+//===- proofgen/ProofBuilder.h - Hint-insertion API -------------*- C++ -*-===//
+///
+/// \file
+/// The proof-generation infrastructure the optimization passes use — the
+/// boxed code of the paper's Algorithms 1-3. A ProofBuilder snapshots the
+/// source function, tracks the target as an edit script over aligned
+/// slots, and accumulates hints:
+///
+///   replaceTgt / removeTgt / insertTgt*  — the Nop()/Remove()/ReplaceAt()
+///                                          operations, maintaining the
+///                                          lnop alignment automatically;
+///   assn(P, side, From, To)              — Assn(P, l1, l2): add predicate
+///                                          P at every program point
+///                                          between two points (paper
+///                                          Appendix E);
+///   assnGlobal / maydiffGlobal           — Assn(..., global);
+///   inf(rule, Slot) / infAtPhi           — Inf(rule, l);
+///   enableAuto("transitivity")           — Auto(...).
+///
+/// finalize() assembles the per-line assertions, resolves Appendix E point
+/// ranges over the source CFG, and returns the target function together
+/// with the FunctionProof.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PROOFGEN_PROOFBUILDER_H
+#define CRELLVM_PROOFGEN_PROOFBUILDER_H
+
+#include "proofgen/Proof.h"
+
+#include <cstdint>
+
+namespace crellvm {
+namespace proofgen {
+
+/// A program point in the source function: the entry of a block (after
+/// its phi nodes), or the point just after an aligned slot.
+struct PPoint {
+  enum class Kind : uint8_t { BlockEntry, AfterSlot, BeforeSlot, BlockEnd };
+  Kind K = Kind::BlockEntry;
+  std::string Block; ///< for BlockEntry / BlockEnd
+  uint64_t Slot = 0; ///< for AfterSlot / BeforeSlot
+
+  static PPoint entryOf(std::string B) {
+    return PPoint{Kind::BlockEntry, std::move(B), 0};
+  }
+  static PPoint endOf(std::string B) {
+    return PPoint{Kind::BlockEnd, std::move(B), 0};
+  }
+  /// The point just after the command of a slot — where a definition's
+  /// facts become available.
+  static PPoint afterSlot(uint64_t S) {
+    return PPoint{Kind::AfterSlot, "", S};
+  }
+  /// The point just before the command of a slot — the precondition of a
+  /// use line.
+  static PPoint beforeSlot(uint64_t S) {
+    return PPoint{Kind::BeforeSlot, "", S};
+  }
+};
+
+/// Builds a target function plus its translation proof from a source
+/// function.
+class ProofBuilder {
+public:
+  using SlotId = uint64_t;
+
+  explicit ProofBuilder(const ir::Function &SrcF);
+
+  const ir::Function &srcFunction() const { return SrcF; }
+
+  // --- Slot addressing ----------------------------------------------------
+  /// The slot holding the original source instruction \p SrcIdx of block
+  /// \p Block.
+  SlotId slotOfSrc(const std::string &Block, size_t SrcIdx) const;
+  /// Current target instruction of a slot (nullptr when removed). The
+  /// returned pointer is invalidated by further edits.
+  const ir::Instruction *tgtAt(SlotId Id) const;
+  ir::Instruction *tgtAt(SlotId Id);
+  /// Original source instruction of a slot (nullptr for target-only
+  /// insertions).
+  const ir::Instruction *srcAt(SlotId Id) const;
+  /// The block a slot belongs to.
+  const std::string &blockOf(SlotId Id) const;
+
+  /// All slots of \p Block in order.
+  std::vector<SlotId> slotsOf(const std::string &Block) const;
+
+  // --- Target edits ---------------------------------------------------------
+  /// ReplaceAt: substitute the target command of a slot.
+  void replaceTgt(SlotId Id, ir::Instruction I);
+  /// Remove + Nop(tgt): the source command pairs with a target lnop.
+  void removeTgt(SlotId Id);
+  /// Inserts a fresh target command before \p Id (source side is lnop).
+  SlotId insertTgtBefore(SlotId Id, ir::Instruction I);
+  /// Inserts a fresh target command just before the terminator of
+  /// \p Block.
+  SlotId insertTgtBeforeTerminator(const std::string &Block,
+                                   ir::Instruction I);
+  /// Inserts a target-only phi node at the head of \p Block.
+  void insertTgtPhi(const std::string &Block, ir::Phi P);
+  /// Mutable access to a target phi (inserted or original).
+  ir::Phi *tgtPhi(const std::string &Block, const std::string &Reg);
+  /// Mutable access to all target phis of a block.
+  std::vector<ir::Phi> &tgtPhis(const std::string &Block);
+
+  // --- Hints ---------------------------------------------------------------
+  /// Assn(P, l1, l2): adds \p P on \p Side at every point between \p From
+  /// and \p To (Appendix E).
+  void assn(erhl::Pred P, erhl::Side Side, PPoint From, PPoint To);
+  /// Assn(P, global).
+  void assnGlobal(erhl::Pred P, erhl::Side Side);
+  /// Adds a register to the maydiff set at every point.
+  void maydiffGlobal(erhl::RegT R);
+  /// Adds \p R to the maydiff set at exactly the points dominated by the
+  /// instruction of \p OuterDef but not dominated by that of \p InnerDef —
+  /// the region where a hoisted instruction (LICM) is defined on the
+  /// target side only.
+  void maydiffBetween(erhl::RegT R, SlotId OuterDef, SlotId InnerDef);
+  /// Adds \p R to the maydiff set at the entry point of \p Block only —
+  /// used when a register is assigned by a phi on one side and by the
+  /// block's first command on the other (the fold-phi shape, paper §4).
+  void maydiffAtEntry(erhl::RegT R, const std::string &Block);
+  /// Inf(rule, l): applies \p R at the line of slot \p Id.
+  void inf(erhl::Infrule R, SlotId Id);
+  /// Applies \p R on the phi edge from \p Pred into \p Block.
+  void infAtPhi(erhl::Infrule R, const std::string &Block,
+                const std::string &Pred);
+  /// Auto(name).
+  void enableAuto(const std::string &Name);
+  /// Marks the whole translation not-supported (paper's #NS class).
+  void markNotSupported(const std::string &Reason);
+  bool isNotSupported() const { return NotSupported; }
+
+  /// A fresh ghost register name (distinct from all physical names).
+  std::string freshGhost(const std::string &Hint);
+
+  // --- Finalization ----------------------------------------------------------
+  struct Result {
+    ir::Function TgtF;
+    FunctionProof FProof;
+  };
+  /// Assembles the target function and the proof. The builder must not be
+  /// used afterwards.
+  Result finalize();
+
+private:
+  struct Slot {
+    std::optional<ir::Instruction> Src;
+    std::optional<ir::Instruction> Tgt;
+    std::vector<erhl::Infrule> Rules;
+  };
+  struct BlockData {
+    std::vector<SlotId> Order; ///< slot ids in block order
+    std::vector<ir::Phi> TgtPhis;
+    std::map<std::string, std::vector<erhl::Infrule>> PhiRules;
+  };
+  struct AssnRecord {
+    erhl::Pred P;
+    erhl::Side S;
+    PPoint From, To;
+  };
+  struct MaydiffRange {
+    erhl::RegT R;
+    SlotId Outer, Inner;
+  };
+
+  /// Ordinal of a point within its block: 0 = entry, i+1 = after the i-th
+  /// slot currently in the block.
+  size_t ordinalOf(const PPoint &P, const BlockData &B) const;
+
+  ir::Function SrcF;
+  std::map<std::string, BlockData> Blocks;
+  std::vector<Slot> Slots; ///< indexed by SlotId
+  std::map<SlotId, std::string> SlotBlock;
+
+  std::vector<AssnRecord> Assns;
+  std::vector<MaydiffRange> MaydiffRanges;
+  std::vector<std::pair<erhl::RegT, std::string>> MaydiffEntries;
+  erhl::Unary GlobalSrc, GlobalTgt;
+  std::set<erhl::RegT> GlobalMaydiff;
+  std::set<std::string> AutoFuncs;
+  bool NotSupported = false;
+  std::string NotSupportedReason;
+  unsigned GhostCounter = 0;
+};
+
+} // namespace proofgen
+} // namespace crellvm
+
+#endif // CRELLVM_PROOFGEN_PROOFBUILDER_H

@@ -1,0 +1,163 @@
+//===- proofgen/ProofJson.cpp -----------------------------------*- C++ -*-===//
+
+#include "proofgen/ProofJson.h"
+
+#include "erhl/Serialize.h"
+#include "ir/Parser.h"
+
+using namespace crellvm;
+using namespace crellvm::proofgen;
+using JV = crellvm::json::Value;
+
+namespace {
+
+JV lineToJson(const LineEntry &L) {
+  JV O = JV::object();
+  O.set("src", L.SrcCmd ? JV(L.SrcCmd->str()) : JV());
+  O.set("tgt", L.TgtCmd ? JV(L.TgtCmd->str()) : JV());
+  O.set("after", erhl::assertionToJson(L.After));
+  JV Rules = JV::array();
+  for (const erhl::Infrule &R : L.Rules)
+    Rules.push(erhl::infruleToJson(R));
+  O.set("rules", std::move(Rules));
+  return O;
+}
+
+std::optional<LineEntry> lineFromJson(const JV &V, std::string *Error) {
+  LineEntry L;
+  const JV &Src = V.get("src");
+  if (!Src.isNull()) {
+    auto I = ir::parseInstructionText(Src.getString(), Error);
+    if (!I)
+      return std::nullopt;
+    L.SrcCmd = std::move(*I);
+  }
+  const JV &Tgt = V.get("tgt");
+  if (!Tgt.isNull()) {
+    auto I = ir::parseInstructionText(Tgt.getString(), Error);
+    if (!I)
+      return std::nullopt;
+    L.TgtCmd = std::move(*I);
+  }
+  auto A = erhl::assertionFromJson(V.get("after"));
+  if (!A) {
+    if (Error)
+      *Error = "malformed assertion";
+    return std::nullopt;
+  }
+  L.After = std::move(*A);
+  for (const JV &RV : V.get("rules").elements()) {
+    auto R = erhl::infruleFromJson(RV);
+    if (!R) {
+      if (Error)
+        *Error = "malformed inference rule";
+      return std::nullopt;
+    }
+    L.Rules.push_back(std::move(*R));
+  }
+  return L;
+}
+
+} // namespace
+
+JV crellvm::proofgen::proofToJson(const Proof &P) {
+  JV Root = JV::object();
+  JV Funcs = JV::object();
+  for (const auto &FKV : P.Functions) {
+    const FunctionProof &FP = FKV.second;
+    JV FO = JV::object();
+    FO.set("not_supported", FP.NotSupported);
+    if (FP.NotSupported)
+      FO.set("ns_reason", FP.NotSupportedReason);
+    JV Autos = JV::array();
+    for (const std::string &A : FP.AutoFuncs)
+      Autos.push(JV(A));
+    FO.set("autos", std::move(Autos));
+    JV BlocksV = JV::object();
+    for (const auto &BKV : FP.Blocks) {
+      const BlockProof &BP = BKV.second;
+      JV BO = JV::object();
+      BO.set("at_entry", erhl::assertionToJson(BP.AtEntry));
+      JV Lines = JV::array();
+      for (const LineEntry &L : BP.Lines)
+        Lines.push(lineToJson(L));
+      BO.set("lines", std::move(Lines));
+      JV PhiRules = JV::object();
+      for (const auto &PR : BP.PhiRules) {
+        JV Rules = JV::array();
+        for (const erhl::Infrule &R : PR.second)
+          Rules.push(erhl::infruleToJson(R));
+        PhiRules.set(PR.first, std::move(Rules));
+      }
+      BO.set("phi_rules", std::move(PhiRules));
+      BlocksV.set(BKV.first, std::move(BO));
+    }
+    FO.set("blocks", std::move(BlocksV));
+    Funcs.set(FKV.first, std::move(FO));
+  }
+  Root.set("functions", std::move(Funcs));
+  return Root;
+}
+
+std::optional<Proof> crellvm::proofgen::proofFromJson(const JV &V,
+                                                      std::string *Error) {
+  if (V.kind() != JV::Kind::Object) {
+    if (Error)
+      *Error = "proof is not an object";
+    return std::nullopt;
+  }
+  Proof P;
+  for (const auto &FKV : V.get("functions").members()) {
+    FunctionProof FP;
+    const JV &FO = FKV.second;
+    FP.NotSupported = FO.get("not_supported").getBool();
+    if (const JV *R = FO.find("ns_reason"))
+      FP.NotSupportedReason = R->getString();
+    for (const JV &A : FO.get("autos").elements())
+      FP.AutoFuncs.insert(A.getString());
+    for (const auto &BKV : FO.get("blocks").members()) {
+      BlockProof BP;
+      auto AE = erhl::assertionFromJson(BKV.second.get("at_entry"));
+      if (!AE) {
+        if (Error)
+          *Error = "malformed entry assertion";
+        return std::nullopt;
+      }
+      BP.AtEntry = std::move(*AE);
+      for (const JV &LV : BKV.second.get("lines").elements()) {
+        auto L = lineFromJson(LV, Error);
+        if (!L)
+          return std::nullopt;
+        BP.Lines.push_back(std::move(*L));
+      }
+      for (const auto &PR : BKV.second.get("phi_rules").members()) {
+        std::vector<erhl::Infrule> Rules;
+        for (const JV &RV : PR.second.elements()) {
+          auto R = erhl::infruleFromJson(RV);
+          if (!R) {
+            if (Error)
+              *Error = "malformed phi-edge rule";
+            return std::nullopt;
+          }
+          Rules.push_back(std::move(*R));
+        }
+        BP.PhiRules[PR.first] = std::move(Rules);
+      }
+      FP.Blocks[BKV.first] = std::move(BP);
+    }
+    P.Functions[FKV.first] = std::move(FP);
+  }
+  return P;
+}
+
+std::string crellvm::proofgen::proofToText(const Proof &P) {
+  return proofToJson(P).write();
+}
+
+std::optional<Proof> crellvm::proofgen::proofFromText(const std::string &T,
+                                                      std::string *Error) {
+  auto V = json::parse(T, Error);
+  if (!V)
+    return std::nullopt;
+  return proofFromJson(*V, Error);
+}

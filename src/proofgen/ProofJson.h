@@ -1,0 +1,31 @@
+//===- proofgen/ProofJson.h - Proof (de)serialization -----------*- C++ -*-===//
+///
+/// \file
+/// JSON round-trip for whole translation proofs. The validation driver
+/// writes the source module, target module, and proof to disk and reads
+/// them back before checking, reproducing the paper's file-based pipeline
+/// (Fig. 1) and its I/O time column.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PROOFGEN_PROOFJSON_H
+#define CRELLVM_PROOFGEN_PROOFJSON_H
+
+#include "json/Json.h"
+#include "proofgen/Proof.h"
+
+namespace crellvm {
+namespace proofgen {
+
+json::Value proofToJson(const Proof &P);
+std::optional<Proof> proofFromJson(const json::Value &V,
+                                   std::string *Error = nullptr);
+
+/// Convenience: JSON text round-trip.
+std::string proofToText(const Proof &P);
+std::optional<Proof> proofFromText(const std::string &Text,
+                                   std::string *Error = nullptr);
+
+} // namespace proofgen
+} // namespace crellvm
+
+#endif // CRELLVM_PROOFGEN_PROOFJSON_H

@@ -1,0 +1,56 @@
+//===- support/Format.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace crellvm;
+
+std::string crellvm::formatCountK(uint64_t N) {
+  if (N < 1000)
+    return std::to_string(N);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2fK", static_cast<double>(N) / 1000.0);
+  return Buf;
+}
+
+std::string crellvm::formatSeconds(double Seconds) {
+  char Buf[32];
+  if (Seconds > 0 && Seconds < 0.01)
+    return "<0.01";
+  if (Seconds >= 1000.0) {
+    std::snprintf(Buf, sizeof(Buf), "%.2fK", Seconds / 1000.0);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Seconds);
+  return Buf;
+}
+
+std::string crellvm::formatPercent(double Ratio) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Ratio * 100.0);
+  return Buf;
+}
+
+std::string crellvm::join(const std::vector<std::string> &Parts,
+                          const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string crellvm::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string crellvm::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

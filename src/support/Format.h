@@ -1,0 +1,42 @@
+//===- support/Format.h - Small string formatting helpers ------*- C++ -*-===//
+///
+/// \file
+/// String helpers shared across the project: number formatting in the style
+/// the paper's tables use (e.g. "76.79K"), joining, and padding.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_FORMAT_H
+#define CRELLVM_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+
+/// Formats \p N the way the paper's result tables do: values of at least
+/// 1000 are printed with a "K" suffix and two decimals (e.g. 76790 ->
+/// "76.79K"), smaller values verbatim.
+std::string formatCountK(uint64_t N);
+
+/// Formats \p Seconds with two decimals; values of at least 1000 use the
+/// paper's "K" convention (e.g. 13160.0 -> "13.16K"), and very small values
+/// print as "<0.01".
+std::string formatSeconds(double Seconds);
+
+/// Formats \p Ratio as a percentage with one decimal, e.g. 0.740 -> "74.0%".
+std::string formatPercent(double Ratio);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns \p S left-padded with spaces to \p Width.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Returns \p S right-padded with spaces to \p Width.
+std::string padRight(const std::string &S, size_t Width);
+
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_FORMAT_H

@@ -1,0 +1,72 @@
+//===- support/RNG.h - Deterministic random number generator ---*- C++ -*-===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64 seeded xorshift128+) used by
+/// the random program generator and the rule-soundness tester. We avoid
+/// <random> so that every experiment is reproducible across standard library
+/// implementations.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_RNG_H
+#define CRELLVM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace crellvm {
+
+/// Deterministic PRNG with a stable cross-platform sequence.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) {
+    // splitmix64 expands the seed into two state words; xorshift128+ needs
+    // at least one of them to be nonzero.
+    State0 = splitMix(Seed);
+    State1 = splitMix(Seed);
+    if (State0 == 0 && State1 == 0)
+      State1 = 0x9e3779b97f4a7c15ull;
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    const uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 17) ^ (S0 >> 26);
+    return State1 + S0;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  /// One splitmix64 step; advances \p X and returns the mixed output.
+  static uint64_t splitMix(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_RNG_H

@@ -1,0 +1,54 @@
+//===- support/Table.cpp ---------------------------------------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crellvm;
+
+Table::Table(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addSeparator() { Rows.emplace_back(); }
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        OS << "  ";
+      OS << (C == 0 ? padRight(Row[C], Widths[C])
+                    : padLeft(Row[C], Widths[C]));
+    }
+    OS << '\n';
+  };
+
+  auto PrintSep = [&] {
+    size_t Total = 0;
+    for (size_t C = 0; C != Widths.size(); ++C)
+      Total += Widths[C] + (C == 0 ? 0 : 2);
+    OS << std::string(Total, '-') << '\n';
+  };
+
+  PrintRow(Header);
+  PrintSep();
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      PrintSep();
+    else
+      PrintRow(Row);
+  }
+}

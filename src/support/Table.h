@@ -1,0 +1,40 @@
+//===- support/Table.h - Plain-text table printer --------------*- C++ -*-===//
+///
+/// \file
+/// A small column-aligned table printer used by every bench binary to print
+/// the paper's tables (Fig. 5-14). The first column is left-aligned, all
+/// others right-aligned, matching the paper's layout.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_TABLE_H
+#define CRELLVM_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+
+/// Column-aligned text table.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table to \p OS.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  /// Separator rows are represented as empty vectors.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_TABLE_H

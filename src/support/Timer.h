@@ -1,0 +1,46 @@
+//===- support/Timer.h - Wall-clock timers for the experiments -*- C++ -*-===//
+///
+/// \file
+/// Timers used by the validation driver to reproduce the paper's four time
+/// columns (Orig / PCal / I-O / PCheck). Times are accumulated in seconds.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_TIMER_H
+#define CRELLVM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace crellvm {
+
+/// Accumulating wall-clock timer.
+class Timer {
+public:
+  /// Runs \p Fn and adds its wall-clock duration to the accumulated total.
+  template <typename Fn> auto time(Fn &&F) {
+    using Clock = std::chrono::steady_clock;
+    auto Start = Clock::now();
+    if constexpr (std::is_void_v<decltype(F())>) {
+      F();
+      Total += std::chrono::duration<double>(Clock::now() - Start).count();
+    } else {
+      auto Result = F();
+      Total += std::chrono::duration<double>(Clock::now() - Start).count();
+      return Result;
+    }
+  }
+
+  /// Returns the accumulated time in seconds.
+  double seconds() const { return Total; }
+
+  /// Adds \p S seconds (used when merging per-project timers).
+  void add(double S) { Total += S; }
+
+  void reset() { Total = 0.0; }
+
+private:
+  double Total = 0.0;
+};
+
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_TIMER_H

@@ -1,0 +1,84 @@
+//===- workload/Corpus.cpp --------------------------------------*- C++ -*-===//
+
+#include "workload/Corpus.h"
+
+using namespace crellvm;
+using namespace crellvm::workload;
+
+namespace {
+
+/// Raw row data: name, paper LOC (in K), paper mem2reg #V (used for
+/// scaling), and the not-supported tilt (0 = almost none, 1 = mild,
+/// 2 = heavy — sendmail/libquantum/ghostscript had 10-70% #NS rows).
+struct RowSpec {
+  const char *Name;
+  uint64_t KLoc10;   // LOC / 100, so 168.16K -> 1682
+  unsigned PaperV;   // paper mem2reg #V
+  unsigned NsTilt;
+};
+
+const RowSpec Rows[] = {
+    {"400.perlbench", 1682, 1750, 0},
+    {"401.bzip2", 83, 90, 0},
+    {"403.gcc", 5175, 5430, 0},
+    {"429.mcf", 27, 24, 0},
+    {"433.milc", 150, 235, 0},
+    {"445.gobmk", 1962, 2640, 0},
+    {"456.hmmer", 360, 558, 0},
+    {"458.sjeng", 139, 130, 0},
+    {"462.libquantum", 44, 123, 2},
+    {"464.h264ref", 516, 532, 0},
+    {"470.lbm", 12, 19, 0},
+    {"482.sphinx3", 251, 364, 0},
+    {"sendmail-8.15.2", 1387, 536, 2},
+    {"emacs-25.1", 4635, 5150, 0},
+    {"python-3.4.1", 4864, 8780, 0},
+    {"gimp-2.8.18", 10042, 19450, 1},
+    {"ghostscript-9.14.0", 7977, 13000, 2},
+    {"LLVM nightly test", 13588, 17980, 1},
+};
+
+} // namespace
+
+std::vector<Project> crellvm::workload::paperCorpus(unsigned Scale) {
+  if (Scale == 0)
+    Scale = 1;
+  std::vector<Project> Out;
+  uint64_t Seed = 0x5eed;
+  for (const RowSpec &Row : Rows) {
+    Project P;
+    P.Name = Row.Name;
+    P.PaperKLoc = Row.KLoc10;
+    // ~1/160 of the paper's per-row function count, floor 3.
+    P.NumFunctions = Row.PaperV / (160 * Scale);
+    if (P.NumFunctions < 3)
+      P.NumFunctions = 3;
+    P.Opts.Seed = Seed++;
+    P.Opts.NumFunctions = 4;
+    switch (Row.NsTilt) {
+    case 0:
+      P.Opts.VecFunctionPct = 3;
+      P.Opts.LifetimePct = 6;
+      break;
+    case 1:
+      P.Opts.VecFunctionPct = 10;
+      P.Opts.LifetimePct = 12;
+      break;
+    default:
+      P.Opts.VecFunctionPct = 25;
+      P.Opts.LifetimePct = 25;
+      break;
+    }
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+ir::Module crellvm::workload::generateProjectModule(const Project &P,
+                                                    unsigned Index) {
+  GenOptions Opts = P.Opts;
+  Opts.Seed = P.Opts.Seed * 1000003 + Index;
+  unsigned Remaining = P.NumFunctions - Index * 4;
+  Opts.NumFunctions = Remaining < 4 ? Remaining : 4;
+  return generateModule(Opts);
+}

@@ -1,0 +1,43 @@
+//===- workload/Corpus.h - The paper's benchmark corpus ---------*- C++ -*-===//
+///
+/// \file
+/// The synthetic stand-in for the paper's §7 corpus: SPEC CINT2006, five
+/// open-source C projects, and the LLVM nightly test suite — 5.3 MLOC in
+/// total. Each row becomes a deterministic set of generated modules whose
+/// function count is scaled from the paper's per-row mem2reg #V (roughly
+/// one register-promotion validation per compiled function) and whose
+/// feature mix mirrors the row's relative #NS rate (DESIGN.md §3).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_WORKLOAD_CORPUS_H
+#define CRELLVM_WORKLOAD_CORPUS_H
+
+#include "workload/RandomProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace workload {
+
+/// One benchmark row of the paper's Fig. 7.
+struct Project {
+  std::string Name;
+  uint64_t PaperKLoc;     ///< the row's LOC column (in units of 10 lines)
+  unsigned NumFunctions;  ///< scaled function count
+  GenOptions Opts;        ///< per-row feature mix (seed included)
+
+  unsigned numModules() const { return (NumFunctions + 3) / 4; }
+};
+
+/// The 18 rows of Fig. 7. \p Scale divides the function counts (1 = the
+/// default bench size, larger = faster runs).
+std::vector<Project> paperCorpus(unsigned Scale = 1);
+
+/// Deterministically generates module \p Index of \p P.
+ir::Module generateProjectModule(const Project &P, unsigned Index);
+
+} // namespace workload
+} // namespace crellvm
+
+#endif // CRELLVM_WORKLOAD_CORPUS_H

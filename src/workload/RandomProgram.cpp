@@ -1,0 +1,590 @@
+//===- workload/RandomProgram.cpp --------------------------------*- C++ -*-===//
+
+#include "workload/RandomProgram.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <cassert>
+
+using namespace crellvm;
+using namespace crellvm::workload;
+using namespace crellvm::ir;
+
+namespace {
+
+/// Generates one function at a time. Values are tracked per "scope":
+/// entering a divergent branch snapshots the available list, leaving
+/// restores it, so every emitted use is dominated by its definition.
+class FunctionGen {
+public:
+  FunctionGen(RNG &R, const GenOptions &Opts, Function &F)
+      : R(R), Opts(Opts), F(F), B(F) {}
+
+  void straightLine();
+  void diamond();
+  void loop();
+  void vecBody();
+  void fig15();
+  void preInsertDiv();
+  void foldPhi();
+  void switchDispatch();
+
+private:
+  ir::Type i32() const { return Type::intTy(32); }
+  Value c32(int64_t N) { return Value::constInt(N, i32()); }
+
+  std::string fresh() { return "t" + std::to_string(Counter++); }
+
+  /// A random available i32 value (register or constant).
+  Value pick() {
+    if (Avail.empty() || R.chance(1, 4))
+      return c32(R.range(-4, 9));
+    return Avail[R.below(Avail.size())];
+  }
+
+  void remember(Value V) { Avail.push_back(std::move(V)); }
+
+  /// Emits a random pure i32 computation and remembers the result.
+  Value randomArith() {
+    static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                 Opcode::And, Opcode::Or,  Opcode::Xor,
+                                 Opcode::Shl};
+    Opcode Op = Ops[R.below(7)];
+    Value A = pick();
+    Value Bv = Op == Opcode::Shl ? c32(R.range(0, 7)) : pick();
+    Value V = B.binary(Op, fresh(), A, Bv);
+    remember(V);
+    return V;
+  }
+
+  /// Emits instcombine feedstock: one of the catalog shapes.
+  void peepholeFeed() {
+    Value A = pick();
+    switch (R.below(14)) {
+    case 0: { // assoc-add chain
+      Value X = B.binary(Opcode::Add, fresh(), A, c32(R.range(1, 5)));
+      remember(B.binary(Opcode::Add, fresh(), X, c32(R.range(1, 5))));
+      break;
+    }
+    case 1:
+      remember(B.binary(Opcode::Add, fresh(), A, c32(0)));
+      break;
+    case 2:
+      remember(B.binary(Opcode::Sub, fresh(), A, A));
+      break;
+    case 3:
+      remember(B.binary(Opcode::Mul, fresh(), A, c32(8)));
+      break;
+    case 4: { // de morgan
+      Value NA = B.binary(Opcode::Xor, fresh(), A, c32(-1));
+      Value NB = B.binary(Opcode::Xor, fresh(), pick(), c32(-1));
+      remember(B.binary(Opcode::And, fresh(), NA, NB));
+      break;
+    }
+    case 5:
+      remember(B.binary(Opcode::And, fresh(), A, c32(-1)));
+      break;
+    case 6: { // icmp-eq-sub feeding a select
+      Value D = B.binary(Opcode::Sub, fresh(), A, pick());
+      Value C = B.icmp(fresh(), IcmpPred::Eq, D, c32(0));
+      remember(B.select(fresh(), C, pick(), pick()));
+      break;
+    }
+    case 7: { // zext/trunc chain
+      Value Z = B.cast(Opcode::ZExt, fresh(), Type::intTy(64), A);
+      remember(B.cast(Opcode::Trunc, fresh(), i32(), Z));
+      break;
+    }
+    case 8:
+      remember(B.binary(Opcode::Or, fresh(), A, c32(0)));
+      break;
+    case 9: { // double negation / double not
+      Opcode Op = R.chance(1, 2) ? Opcode::Sub : Opcode::Xor;
+      Value X = Op == Opcode::Sub
+                    ? B.binary(Opcode::Sub, fresh(), c32(0), A)
+                    : B.binary(Opcode::Xor, fresh(), A, c32(-1));
+      remember(Op == Opcode::Sub
+                   ? B.binary(Opcode::Sub, fresh(), c32(0), X)
+                   : B.binary(Opcode::Xor, fresh(), X, c32(-1)));
+      break;
+    }
+    case 10: { // bitwise constant chain
+      static const Opcode Chain[] = {Opcode::Xor, Opcode::And, Opcode::Or};
+      Opcode Op = Chain[R.below(3)];
+      Value X = B.binary(Op, fresh(), A, c32(R.range(1, 15)));
+      remember(B.binary(Op, fresh(), X, c32(R.range(1, 15))));
+      break;
+    }
+    case 11: { // shift chain
+      Opcode Op = R.chance(1, 2) ? Opcode::Shl : Opcode::LShr;
+      Value X = B.binary(Op, fresh(), A, c32(R.range(0, 7)));
+      remember(B.binary(Op, fresh(), X, c32(R.range(0, 7))));
+      break;
+    }
+    case 12: { // exact-division shape (sdiv/udiv-sub-srem/urem)
+      bool Signed = R.chance(1, 2);
+      Value Bv = pick();
+      Value Rem = B.binary(Signed ? Opcode::SRem : Opcode::URem, fresh(),
+                           A, Bv);
+      Value X = B.binary(Opcode::Sub, fresh(), A, Rem);
+      remember(B.binary(Signed ? Opcode::SDiv : Opcode::UDiv, fresh(), X,
+                        Bv));
+      break;
+    }
+    case 13: { // negated comparison feeding a select
+      Value C = B.icmp(fresh(), IcmpPred::Slt, A, pick());
+      Value N = B.binary(Opcode::Xor, fresh(), C,
+                         Value::constInt(1, Type::intTy(1)));
+      remember(B.select(fresh(), N, pick(), pick()));
+      break;
+    }
+    default: { // redundant twin for gvn
+      Value X = B.binary(Opcode::Add, fresh(), A, c32(3));
+      Value Y = B.binary(Opcode::Add, fresh(), A, c32(3));
+      remember(X);
+      remember(Y);
+      break;
+    }
+    }
+  }
+
+  /// Emits a gep pair with possibly mixed inbounds flags into @arr
+  /// (PR28562 shape) and leaks both pointers observably.
+  void gepPair() {
+    Value Base = Value::global("arr");
+    Value Idx = Value::constInt(R.range(0, 7), Type::intTy(64));
+    bool Inb1 = R.chance(1, 2);
+    bool Inb2 = R.chance(1, 2) ? !Inb1 : Inb1; // often a mixed pair
+    Value Q1 = B.gep(fresh(), Inb1, Base, Idx);
+    Value Q2 = B.gep(fresh(), Inb2, Base, Idx);
+    B.call("", Type::voidTy(), "barp", {Q1, Q2});
+  }
+
+  /// Emits a promotable alloca scenario. Returns the loaded value.
+  void allocaScenario(bool InLoopBody) {
+    // The alloca always goes to the entry block.
+    std::string Cur = B.current().Name;
+    B.setInsertPoint(F.Blocks.front().Name);
+    std::string P = fresh();
+    // Insert the alloca before the terminator if the entry already ends.
+    Value PV;
+    {
+      BasicBlock &Entry = F.Blocks.front();
+      Instruction AI = Instruction::allocaInst(P, i32(), 1);
+      if (!Entry.Insts.empty() && Entry.Insts.back().isTerminator())
+        Entry.Insts.insert(Entry.Insts.end() - 1, AI);
+      else
+        Entry.Insts.push_back(AI);
+      PV = Value::reg(P, Type::ptrTy());
+    }
+    B.setInsertPoint(Cur);
+
+    bool Lifetime = R.chance(Opts.LifetimePct, 100);
+    if (Lifetime)
+      B.call("", Type::voidTy(), "llvm.lifetime.start", {PV});
+
+    if (InLoopBody) {
+      // Single-block accesses inside a loop block: the PR24179 shape when
+      // a load precedes the first store.
+      if (R.chance(1, 2)) {
+        Value L0 = B.load(fresh(), i32(), PV);
+        B.call("", Type::voidTy(), "sink", {L0});
+      }
+      B.store(pick(), PV);
+      Value L1 = B.load(fresh(), i32(), PV);
+      B.call("", Type::voidTy(), "sink", {L1});
+      if (Lifetime)
+        B.call("", Type::voidTy(), "llvm.lifetime.end", {PV});
+      return;
+    }
+    if (R.chance(Opts.ConstexprStorePct, 100)) {
+      // PR33673 shape: load before a store of a trapping constant
+      // expression that may never execute.
+      Value X = B.load(fresh(), i32(), PV);
+      B.call("", Type::voidTy(), "sink", {X});
+      Value G = Value::global("G");
+      Value P2I = Value::constExpr(Opcode::PtrToInt, i32(), {G});
+      Value Diff = Value::constExpr(Opcode::Sub, i32(), {P2I, P2I});
+      Value CE = Value::constExpr(Opcode::SDiv, i32(),
+                                  {Value::constInt(1, i32()), Diff});
+      B.store(CE, PV);
+    } else {
+      switch (R.below(3)) {
+      case 0: { // single store dominating loads
+        B.store(pick(), PV);
+        Value L1 = B.load(fresh(), i32(), PV);
+        remember(L1);
+        B.call("", Type::voidTy(), "sink", {L1});
+        break;
+      }
+      case 1: { // single-block store/load mix
+        if (R.chance(1, 3)) {
+          Value L0 = B.load(fresh(), i32(), PV); // load before first store
+          B.call("", Type::voidTy(), "sink", {L0});
+        }
+        B.store(pick(), PV);
+        Value L1 = B.load(fresh(), i32(), PV);
+        B.store(B.binary(Opcode::Add, fresh(), L1, c32(1)), PV);
+        Value L2 = B.load(fresh(), i32(), PV);
+        remember(L2);
+        B.call("", Type::voidTy(), "sink", {L2});
+        break;
+      }
+      default: { // two stores; the general algorithm will see this slot
+        B.store(pick(), PV);
+        Value L1 = B.load(fresh(), i32(), PV);
+        B.store(B.binary(Opcode::Xor, fresh(), L1, c32(5)), PV);
+        Value L2 = B.load(fresh(), i32(), PV);
+        remember(L2);
+        B.call("", Type::voidTy(), "sink", {L2});
+        break;
+      }
+      }
+    }
+    if (Lifetime)
+      B.call("", Type::voidTy(), "llvm.lifetime.end", {PV});
+  }
+
+  void sinkSome() {
+    if (!Avail.empty())
+      B.call("", Type::voidTy(), "sink", {Avail[R.below(Avail.size())]});
+  }
+
+  void emitBodyChunk(bool InLoopBody) {
+    unsigned N = 2 + R.below(4);
+    for (unsigned I = 0; I != N; ++I) {
+      switch (R.below(6)) {
+      case 0:
+        peepholeFeed();
+        break;
+      case 1:
+        if (R.chance(Opts.GepPairPct, 100)) {
+          gepPair();
+          break;
+        }
+        randomArith();
+        break;
+      case 2:
+        allocaScenario(InLoopBody);
+        break;
+      case 3: { // global traffic (public memory)
+        Value G = Value::global("G");
+        Value L = B.load(fresh(), i32(), G);
+        remember(L);
+        B.store(B.binary(Opcode::Add, fresh(), L, pick()), G);
+        break;
+      }
+      default:
+        randomArith();
+        break;
+      }
+    }
+    sinkSome();
+  }
+
+  RNG &R;
+  const GenOptions &Opts;
+  Function &F;
+  IRBuilder B;
+  std::vector<Value> Avail;
+  unsigned Counter = 0;
+
+public:
+  void seedParams() {
+    for (const Param &P : F.Params)
+      if (P.Ty == i32())
+        Avail.push_back(Value::reg(P.Name, P.Ty));
+  }
+};
+
+void FunctionGen::straightLine() {
+  B.block("entry");
+  seedParams();
+  emitBodyChunk(false);
+  emitBodyChunk(false);
+  B.ret(pick());
+}
+
+void FunctionGen::diamond() {
+  B.block("entry");
+  seedParams();
+  emitBodyChunk(false);
+  Value C = B.icmp(fresh(), IcmpPred::Slt, pick(), pick());
+  B.condBr(C, "left", "right");
+
+  size_t Mark = Avail.size();
+  B.block("left");
+  emitBodyChunk(false);
+  Value LV = pick();
+  B.br("join");
+  Avail.resize(Mark);
+
+  B.block("right");
+  emitBodyChunk(false);
+  Value RV = pick();
+  B.br("join");
+  Avail.resize(Mark);
+
+  B.block("join");
+  Value M = B.phi(fresh(), i32(), {{"left", LV}, {"right", RV}});
+  remember(M);
+  emitBodyChunk(false);
+  B.ret(pick());
+}
+
+void FunctionGen::loop() {
+  B.block("entry");
+  seedParams();
+  emitBodyChunk(false);
+  Value Init = pick();
+  Value Bound = c32(R.range(2, 9));
+  B.br("header");
+
+  // Names fixed up after the body is generated.
+  std::string IName = fresh(), AccName = fresh(), I2Name = fresh();
+  B.block("header");
+  Value IV = B.phi(IName, i32(),
+                   {{"entry", c32(0)}, {"latch", Value::reg(I2Name, i32())}});
+  Value Acc = B.phi(AccName, i32(),
+                    {{"entry", Init},
+                     {"latch", Value::reg(AccName + ".n", i32())}});
+  Value Cmp = B.icmp(fresh(), IcmpPred::Slt, IV, Bound);
+  B.condBr(Cmp, "body", "done");
+
+  B.block("body");
+  size_t Mark = Avail.size();
+  // Loop-invariant computation (licm fodder) over entry values only.
+  Value Inv = B.binary(Opcode::Mul, fresh(), pick(), pick());
+  if (R.chance(Opts.LoopDivPct, 100))
+    Inv = B.binary(Opcode::SDiv, fresh(), Inv, c32(R.range(2, 7)));
+  remember(IV);
+  emitBodyChunk(true);
+  Value AccN =
+      B.binary(Opcode::Add, AccName + ".n", Acc,
+               B.binary(Opcode::Add, fresh(), Inv, IV));
+  B.call("", Type::voidTy(), "sink", {AccN});
+  B.br("latch");
+  Avail.resize(Mark);
+
+  B.block("latch");
+  B.binary(Opcode::Add, I2Name, IV, c32(1));
+  B.br("header");
+
+  B.block("done");
+  B.call("", Type::voidTy(), "sink", {Acc});
+  emitBodyChunk(false);
+  B.ret(pick());
+}
+
+void FunctionGen::vecBody() {
+  // Vector arithmetic: the validator's dominant #NS class.
+  B.block("entry");
+  Type VTy = Type::vecTy(4, 32);
+  Value A = Value::reg(F.Params[0].Name, VTy);
+  Value X = B.binary(Opcode::Add, fresh(), A, A);
+  Value Y = B.binary(Opcode::Mul, fresh(), X, A);
+  Value Z = B.binary(Opcode::Xor, fresh(), Y, Value::undef(VTy));
+  B.call("", Type::voidTy(), "vsink", {Z});
+  B.retVoid();
+}
+
+void FunctionGen::fig15() {
+  // The PRE showcase of paper Fig. 15, with randomized constants.
+  int64_t K = R.range(2, 6);
+  int64_t C = R.range(8, 12);
+  B.block("entry");
+  seedParams();
+  Value N = pick();
+  Value X1 = B.binary(Opcode::Sub, fresh(), N, c32(K));
+  Value C1 = B.icmp(fresh(), IcmpPred::Slt, pick(), pick());
+  B.condBr(C1, "left", "right");
+
+  B.block("left");
+  Value Y1 = B.binary(Opcode::Add, fresh(), X1, c32(1));
+  Value C2 = B.icmp(fresh(), IcmpPred::Eq, Y1, c32(C));
+  B.condBr(C2, "exit", "right");
+
+  B.block("right");
+  Value Y2 = B.binary(Opcode::Add, fresh(), X1, c32(1));
+  B.call("", Type::voidTy(), "sink", {Y2});
+  B.br("exit");
+
+  B.block("exit");
+  Value Y3 = B.binary(Opcode::Add, fresh(), X1, c32(1));
+  B.call("", Type::voidTy(), "sink", {Y3});
+  B.ret(Y3);
+}
+
+void FunctionGen::preInsertDiv() {
+  // The D38619 shape: a division redundant along one edge only, tempting
+  // PRE to insert it into the other predecessor.
+  B.block("entry");
+  seedParams();
+  Value N = pick();
+  Value D = pick();
+  Value C = B.icmp(fresh(), IcmpPred::Slt, pick(), pick());
+  B.condBr(C, "left", "right");
+
+  B.block("left");
+  Value Y1 = B.binary(Opcode::SDiv, fresh(), N, D);
+  B.call("", Type::voidTy(), "sink", {Y1});
+  B.br("exit");
+
+  B.block("right");
+  emitBodyChunk(false);
+  B.br("exit");
+
+  B.block("exit");
+  Value Y3 = B.binary(Opcode::SDiv, fresh(), N, D);
+  B.call("", Type::voidTy(), "sink", {Y3});
+  B.ret(Y3);
+}
+
+void FunctionGen::switchDispatch() {
+  // A multi-way switch whose cases merge through a phi: exercises the
+  // checker's phi-edge handling over switch edges and passes over
+  // multi-successor CFGs.
+  B.block("entry");
+  seedParams();
+  Value Sel = pick();
+  B.switchTo(Sel, "dflt", {0, 1, int64_t(R.range(2, 6))},
+             {"c0", "c1", "c2"});
+
+  size_t Mark = Avail.size();
+  B.block("c0");
+  emitBodyChunk(false);
+  Value V0 = pick();
+  B.br("join");
+  Avail.resize(Mark);
+
+  B.block("c1");
+  Value V1 = B.binary(Opcode::Add, fresh(), pick(), c32(R.range(1, 9)));
+  B.br("join");
+  Avail.resize(Mark);
+
+  B.block("c2");
+  emitBodyChunk(false);
+  Value V2 = pick();
+  B.br("join");
+  Avail.resize(Mark);
+
+  B.block("dflt");
+  Value VD = B.binary(Opcode::Xor, fresh(), pick(), c32(R.range(1, 9)));
+  B.br("join");
+  Avail.resize(Mark);
+
+  B.block("join");
+  Value M = B.phi(fresh(), i32(),
+                  {{"c0", V0}, {"c1", V1}, {"c2", V2}, {"dflt", VD}});
+  remember(M);
+  emitBodyChunk(false);
+  B.ret(pick());
+}
+
+void FunctionGen::foldPhi() {
+  // The paper S4 fold-phi feedstock: every incoming value of a phi is a
+  // single-use `op ai C` with one shared constant, so instcombine sinks
+  // the operation below the phi — across a back edge half of the time.
+  int64_t K = R.range(1, 9);
+  Opcode Op = R.chance(1, 2) ? Opcode::Add : Opcode::Xor;
+  if (R.chance(1, 2)) {
+    B.block("entry");
+    seedParams();
+    Value Cond = B.icmp(fresh(), IcmpPred::Slt, pick(), pick());
+    B.condBr(Cond, "left", "right");
+
+    B.block("left");
+    Value X1 = B.binary(Op, fresh(), pick(), c32(K));
+    B.br("join");
+
+    B.block("right");
+    Value X2 = B.binary(Op, fresh(), pick(), c32(K));
+    B.br("join");
+
+    B.block("join");
+    Value M = B.phi(fresh(), i32(), {{"left", X1}, {"right", X2}});
+    remember(M);
+    emitBodyChunk(false);
+    B.ret(pick());
+    return;
+  }
+  // The S4 shape itself: the new value of z depends on its old value
+  // around the loop, so the proof needs the old-register rotation.
+  B.block("entry");
+  seedParams();
+  Value X = B.binary(Op, fresh(), pick(), c32(K));
+  B.br("header");
+
+  std::string ZName = fresh(), YName = fresh();
+  B.block("header");
+  Value Z = B.phi(ZName, i32(),
+                  {{"entry", X}, {"latch", Value::reg(YName, i32())}});
+  Value C = B.call(fresh(), Type::intTy(1), "cond", {});
+  B.condBr(C, "latch", "done");
+
+  B.block("latch");
+  B.binary(Op, YName, Z, c32(K));
+  B.br("header");
+
+  B.block("done");
+  B.call("", Type::voidTy(), "sink", {Z});
+  B.ret(Z);
+}
+
+} // namespace
+
+ir::Module crellvm::workload::generateModule(const GenOptions &Opts) {
+  RNG R(Opts.Seed);
+  Module M;
+  M.Globals.push_back(GlobalVar{"G", Type::intTy(32), 1});
+  M.Globals.push_back(GlobalVar{"arr", Type::intTy(32), 8});
+  M.Decls.push_back(FuncDecl{"sink", Type::voidTy(), {Type::intTy(32)}});
+  M.Decls.push_back(FuncDecl{"vsink", Type::voidTy(), {Type::vecTy(4, 32)}});
+  M.Decls.push_back(
+      FuncDecl{"barp", Type::voidTy(), {Type::ptrTy(), Type::ptrTy()}});
+  M.Decls.push_back(FuncDecl{"cond", Type::intTy(1), {}});
+  M.Decls.push_back(FuncDecl{"get", Type::intTy(32), {}});
+  M.Decls.push_back(
+      FuncDecl{"llvm.lifetime.start", Type::voidTy(), {Type::ptrTy()}});
+  M.Decls.push_back(
+      FuncDecl{"llvm.lifetime.end", Type::voidTy(), {Type::ptrTy()}});
+
+  for (unsigned FI = 0; FI != Opts.NumFunctions; ++FI) {
+    Function F;
+    F.Name = "f" + std::to_string(FI);
+    bool Vec = R.chance(Opts.VecFunctionPct, 100);
+    if (Vec) {
+      F.RetTy = Type::voidTy();
+      F.Params.push_back(Param{"v", Type::vecTy(4, 32)});
+    } else {
+      F.RetTy = Type::intTy(32);
+      unsigned NP = 1 + R.below(3);
+      for (unsigned P = 0; P != NP; ++P)
+        F.Params.push_back(
+            Param{"a" + std::to_string(P), Type::intTy(32)});
+    }
+    FunctionGen G(R, Opts, F);
+    if (Vec) {
+      G.vecBody();
+    } else {
+      uint64_t Roll = R.below(100);
+      if (Roll < Opts.LoopPct)
+        G.loop();
+      else if (Roll < Opts.LoopPct + 12)
+        G.fig15();
+      else if (Roll < Opts.LoopPct + 18)
+        G.preInsertDiv();
+      else if (Roll < Opts.LoopPct + 26)
+        G.foldPhi();
+      else if (Roll < Opts.LoopPct + 32)
+        G.switchDispatch();
+      else if (Roll < Opts.LoopPct + 48)
+        G.diamond();
+      else
+        G.straightLine();
+    }
+    M.Funcs.push_back(std::move(F));
+  }
+  return M;
+}

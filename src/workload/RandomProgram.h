@@ -1,0 +1,60 @@
+//===- workload/RandomProgram.h - Random IR generation ----------*- C++ -*-===//
+///
+/// \file
+/// The CSmith analog (DESIGN.md §2): deterministic, seeded generation of
+/// well-formed IR modules whose feature mix exercises every code path of
+/// the four passes and of the validator:
+///
+///  - promotable allocas in all three mem2reg shapes, including the
+///    load-before-store-in-a-loop shape (PR24179 trigger) and the
+///    single-store-of-a-constant-expression shape (PR33673 trigger);
+///  - redundant pure expressions, commutative twins, and gep pairs with
+///    mixed inbounds flags (PR28562/PR29057 triggers);
+///  - partially redundant expressions in Fig. 15 shapes (PRE, including
+///    the branch-derived-constant case) and insertion shapes (D38619);
+///  - loops with preheaders and invariant code (licm), including
+///    constant divisions (the division-by-zero #NS class);
+///  - instcombine feedstock drawn from the micro-opt catalog;
+///  - the not-supported features: vector arithmetic and lifetime
+///    intrinsics (the dominant #NS classes of paper §7).
+///
+/// All results are observable through calls to external functions, so
+/// differential interpretation is meaningful.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_WORKLOAD_RANDOMPROGRAM_H
+#define CRELLVM_WORKLOAD_RANDOMPROGRAM_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace crellvm {
+namespace workload {
+
+/// Feature mix for generation. Percentages are per-function probabilities.
+struct GenOptions {
+  uint64_t Seed = 1;
+  unsigned NumFunctions = 4;
+  /// Function is vector-typed arithmetic (#NS, paper: 90% of #NS).
+  unsigned VecFunctionPct = 4;
+  /// Promotable allocas are wrapped in lifetime intrinsics (#NS for
+  /// mem2reg; drives the paper's CSmith-experiment 27.7% NS rate).
+  unsigned LifetimePct = 10;
+  /// Loop-based function bodies.
+  unsigned LoopPct = 45;
+  /// Emit gep pairs with mixed inbounds flags.
+  unsigned GepPairPct = 25;
+  /// Store a trapping constant expression into a promotable slot.
+  unsigned ConstexprStorePct = 6;
+  /// Emit a constant division inside a loop (licm #NS class).
+  unsigned LoopDivPct = 15;
+};
+
+/// Generates one deterministic module.
+ir::Module generateModule(const GenOptions &Opts);
+
+} // namespace workload
+} // namespace crellvm
+
+#endif // CRELLVM_WORKLOAD_RANDOMPROGRAM_H

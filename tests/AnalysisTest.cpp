@@ -1,0 +1,319 @@
+//===- tests/AnalysisTest.cpp - CFG / dominators / loops / verifier ----------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/PointsBetween.h"
+#include "analysis/Verifier.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::analysis;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+const char *DiamondText = R"(
+define void @d(i1 %c) {
+entry:
+  br i1 %c, label %left, label %right
+left:
+  br label %join
+right:
+  br label %join
+join:
+  ret void
+}
+)";
+
+const char *LoopText = R"(
+declare i1 @cond()
+define void @l() {
+entry:
+  br label %header
+header:
+  %c = call i1 @cond()
+  br i1 %c, label %body, label %done
+body:
+  br label %latch
+latch:
+  br label %header
+done:
+  ret void
+}
+)";
+
+TEST(Cfg, DiamondEdges) {
+  ir::Module M = parse(DiamondText);
+  CFG G(M.Funcs[0]);
+  ASSERT_EQ(G.numBlocks(), 4u);
+  EXPECT_EQ(G.succs(G.index("entry")).size(), 2u);
+  EXPECT_EQ(G.preds(G.index("join")).size(), 2u);
+  EXPECT_EQ(G.preds(G.index("entry")).size(), 0u);
+  for (size_t I = 0; I != G.numBlocks(); ++I)
+    EXPECT_TRUE(G.isReachable(I));
+  // RPO starts at the entry.
+  ASSERT_FALSE(G.rpo().empty());
+  EXPECT_EQ(G.rpo().front(), G.index("entry"));
+}
+
+TEST(Cfg, DeduplicatesParallelEdges) {
+  ir::Module M = parse(R"(
+define void @p(i1 %c) {
+entry:
+  br i1 %c, label %next, label %next
+next:
+  ret void
+}
+)");
+  CFG G(M.Funcs[0]);
+  EXPECT_EQ(G.succs(G.index("entry")).size(), 1u);
+  EXPECT_EQ(G.preds(G.index("next")).size(), 1u);
+}
+
+TEST(Cfg, UnreachableBlockDetected) {
+  ir::Module M = parse(R"(
+define void @u() {
+entry:
+  ret void
+dead:
+  ret void
+}
+)");
+  CFG G(M.Funcs[0]);
+  EXPECT_TRUE(G.isReachable(G.index("entry")));
+  EXPECT_FALSE(G.isReachable(G.index("dead")));
+}
+
+TEST(DomTreeTest, Diamond) {
+  ir::Module M = parse(DiamondText);
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  size_t E = G.index("entry"), L = G.index("left"), R = G.index("right"),
+         J = G.index("join");
+  EXPECT_TRUE(DT.dominates(E, J));
+  EXPECT_TRUE(DT.dominates(E, L));
+  EXPECT_FALSE(DT.dominates(L, J));
+  EXPECT_FALSE(DT.dominates(L, R));
+  EXPECT_TRUE(DT.dominates(J, J)); // reflexive
+  EXPECT_EQ(DT.idom(J), E);
+  EXPECT_EQ(DT.idom(L), E);
+}
+
+TEST(DomTreeTest, Loop) {
+  ir::Module M = parse(LoopText);
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  size_t H = G.index("header"), B = G.index("body"), L = G.index("latch");
+  EXPECT_TRUE(DT.dominates(H, B));
+  EXPECT_TRUE(DT.dominates(H, L));
+  EXPECT_TRUE(DT.dominates(B, L));
+  EXPECT_FALSE(DT.dominates(L, H));
+  EXPECT_TRUE(DT.dominates(H, G.index("done")));
+}
+
+TEST(DominanceFrontierTest, DiamondFrontierIsJoin) {
+  ir::Module M = parse(DiamondText);
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  DominanceFrontier DF(G, DT);
+  size_t L = G.index("left"), J = G.index("join");
+  ASSERT_EQ(DF.frontier(L).size(), 1u);
+  EXPECT_EQ(DF.frontier(L)[0], J);
+  EXPECT_TRUE(DF.frontier(G.index("entry")).empty());
+}
+
+TEST(LoopInfoTest, FindsLoopAndPreheader) {
+  ir::Module M = parse(LoopText);
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  LoopInfo LI(M.Funcs[0], G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, G.index("header"));
+  EXPECT_TRUE(L.contains(G.index("body")));
+  EXPECT_TRUE(L.contains(G.index("latch")));
+  EXPECT_FALSE(L.contains(G.index("done")));
+  ASSERT_TRUE(L.hasPreheader());
+  EXPECT_EQ(L.Preheader, G.index("entry"));
+}
+
+TEST(LoopInfoTest, NoPreheaderWhenEntryEdgeConditional) {
+  ir::Module M = parse(R"(
+declare i1 @cond()
+define void @l(i1 %c) {
+entry:
+  br i1 %c, label %header, label %out
+header:
+  %k = call i1 @cond()
+  br i1 %k, label %header, label %out
+out:
+  ret void
+}
+)");
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  LoopInfo LI(M.Funcs[0], G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  // The outside predecessor ends in a conditional branch: no preheader.
+  EXPECT_FALSE(LI.loops()[0].hasPreheader());
+}
+
+TEST(BlocksBetween, StraightLine) {
+  ir::Module M = parse(R"(
+define void @s() {
+entry:
+  br label %mid
+mid:
+  br label %out
+out:
+  ret void
+}
+)");
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  auto Set = blocksBetween(G, DT, G.index("entry"), G.index("out"));
+  EXPECT_EQ(Set.size(), 3u);
+}
+
+TEST(BlocksBetween, ExcludesOffPathBlocks) {
+  // From Appendix E: blocks that cannot reach the use without revisiting
+  // the def, or that the def does not dominate, are excluded.
+  ir::Module M = parse(R"(
+define void @e(i1 %c) {
+entry:
+  br i1 %c, label %l1, label %other
+other:
+  br label %exit
+l1:
+  br i1 %c, label %use, label %dead_end
+dead_end:
+  br label %exit
+use:
+  br label %exit
+exit:
+  ret void
+}
+)");
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  auto Set = blocksBetween(G, DT, G.index("l1"), G.index("use"));
+  EXPECT_TRUE(Set.count(G.index("l1")));
+  EXPECT_TRUE(Set.count(G.index("use")));
+  EXPECT_FALSE(Set.count(G.index("other")));    // not dominated
+  EXPECT_FALSE(Set.count(G.index("dead_end"))); // cannot reach use
+  EXPECT_FALSE(Set.count(G.index("exit")));     // cannot reach use
+}
+
+TEST(BlocksBetween, LoopPathsThroughTheDefAreExcluded) {
+  ir::Module M = parse(LoopText);
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  // From the header to the body: the latch is NOT on a qualifying path,
+  // because going around the loop re-executes the definition in the
+  // header (Appendix E: paths must not revisit l1).
+  auto Set = blocksBetween(G, DT, G.index("header"), G.index("body"));
+  EXPECT_FALSE(Set.count(G.index("latch")));
+  EXPECT_TRUE(Set.count(G.index("body")));
+  EXPECT_FALSE(Set.count(G.index("done")));
+}
+
+TEST(BlocksBetween, DefOutsideLoopCoversTheWholeLoop) {
+  ir::Module M = parse(LoopText);
+  CFG G(M.Funcs[0]);
+  DomTree DT(G);
+  // From the entry (outside the loop) to the body: loop-around paths do
+  // not revisit the entry, so the latch and header are fully covered.
+  auto Set = blocksBetween(G, DT, G.index("entry"), G.index("body"));
+  EXPECT_TRUE(Set.count(G.index("latch")));
+  EXPECT_TRUE(Set.count(G.index("header")));
+  EXPECT_TRUE(Set.count(G.index("body")));
+  EXPECT_FALSE(Set.count(G.index("done")));
+}
+
+// --- Verifier ---------------------------------------------------------------
+
+TEST(VerifierTest, AcceptsWellFormed) {
+  ir::Module M = parse(LoopText);
+  std::vector<std::string> Errs;
+  EXPECT_TRUE(verifyModule(M, Errs)) << Errs[0];
+}
+
+struct BadCase {
+  const char *Name;
+  const char *Text;
+  const char *ExpectSubstring;
+};
+
+class VerifierRejects : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(VerifierRejects, Case) {
+  std::string Err;
+  auto M = ir::parseModule(GetParam().Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  std::vector<std::string> Errs;
+  EXPECT_FALSE(verifyModule(*M, Errs));
+  ASSERT_FALSE(Errs.empty());
+  bool Found = false;
+  for (const std::string &E : Errs)
+    if (E.find(GetParam().ExpectSubstring) != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << "expected '" << GetParam().ExpectSubstring
+                     << "', got: " << Errs[0];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VerifierRejects,
+    ::testing::Values(
+        BadCase{"NoTerminator",
+                "define void @f() {\nentry:\n  %x = add i32 1, 2\n}",
+                "lacks a terminator"},
+        BadCase{"UseBeforeDef",
+                "define void @f() {\nentry:\n  %y = add i32 %x, 1\n  %x = "
+                "add i32 1, 2\n  ret void\n}",
+                "not dominated"},
+        BadCase{"UndefinedUse",
+                "define void @f() {\nentry:\n  %y = add i32 %nope, 1\n  "
+                "ret void\n}",
+                "undefined register"},
+        BadCase{"DoubleDef",
+                "define void @f() {\nentry:\n  %x = add i32 1, 2\n  %x = "
+                "add i32 3, 4\n  ret void\n}",
+                "defined more than once"},
+        BadCase{"BranchToEntry",
+                "define void @f() {\nentry:\n  br label %entry\n}",
+                "branches to the entry"},
+        BadCase{"UnknownTarget",
+                "define void @f() {\nentry:\n  br label %nope\n}",
+                "unknown block"},
+        BadCase{"PhiMissingPred",
+                "define void @f(i1 %c) {\nentry:\n  br i1 %c, label %a, "
+                "label %b\na:\n  br label %j\nb:\n  br label %j\nj:\n  %p "
+                "= phi i32 [ 1, %a ]\n  ret void\n}",
+                "misses predecessor"},
+        BadCase{"PhiBogusPred",
+                "define void @f() {\nentry:\n  br label %j\nj:\n  %p = "
+                "phi i32 [ 1, %entry ], [ 2, %nowhere ]\n  ret void\n}",
+                "non-predecessor"},
+        BadCase{"IllTypedBinary",
+                "define void @f(i32 %a, i64 %b) {\nentry:\n  %x = add i32 "
+                "%a, %b\n  ret void\n}",
+                "defined at type"},
+        BadCase{"CrossFunctionUse",
+                "define void @f(i32 %a) {\nentry:\n  ret void\n}\ndefine "
+                "void @g() {\nentry:\n  %x = add i32 %a, 1\n  ret "
+                "void\n}",
+                "undefined register"}),
+    [](const ::testing::TestParamInfo<BadCase> &I) {
+      return I.param.Name;
+    });
+
+} // namespace

@@ -1,0 +1,285 @@
+//===- tests/BinaryFormatTest.cpp - Binary proof exchange ----------------------===//
+//
+// The compact binary JSON codec and the binary proof exchange built on
+// it: varint/zigzag edges, string interning, hostile-input rejection
+// (the proof file is untrusted), equivalence with the JSON text format
+// on real proofs, and the driver running end to end in binary mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Validator.h"
+#include "driver/Driver.h"
+#include "json/Binary.h"
+#include "passes/Pipeline.h"
+#include "proofgen/ProofBinary.h"
+#include "proofgen/ProofJson.h"
+#include "support/RNG.h"
+#include "workload/RandomProgram.h"
+
+#include <filesystem>
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::json;
+
+namespace {
+
+std::string roundtripToText(const Value &V) {
+  std::string Err;
+  auto Back = decodeBinary(encodeBinary(V), &Err);
+  EXPECT_TRUE(Back) << Err;
+  return Back ? Back->write() : "";
+}
+
+TEST(BinaryJson, Scalars) {
+  EXPECT_EQ(roundtripToText(Value()), "null");
+  EXPECT_EQ(roundtripToText(Value(true)), "true");
+  EXPECT_EQ(roundtripToText(Value(false)), "false");
+  EXPECT_EQ(roundtripToText(Value(int64_t(0))), "0");
+  EXPECT_EQ(roundtripToText(Value(int64_t(-1))), "-1");
+  EXPECT_EQ(roundtripToText(Value("hi")), "\"hi\"");
+  EXPECT_EQ(roundtripToText(Value("")), "\"\"");
+}
+
+TEST(BinaryJson, IntegerExtremes) {
+  for (int64_t I : {INT64_MIN, INT64_MIN + 1, int64_t(-129), int64_t(-128),
+                    int64_t(-64), int64_t(63), int64_t(64), int64_t(127),
+                    int64_t(128), int64_t(16383), int64_t(16384),
+                    INT64_MAX - 1, INT64_MAX}) {
+    std::string Err;
+    auto Back = decodeBinary(encodeBinary(Value(I)), &Err);
+    ASSERT_TRUE(Back) << Err;
+    EXPECT_EQ(Back->getInt(), I);
+  }
+}
+
+TEST(BinaryJson, NestedStructures) {
+  Value Obj = Value::object();
+  Obj.set("name", Value("crellvm"));
+  Value Arr = Value::array();
+  for (int I = 0; I != 5; ++I)
+    Arr.push(Value(int64_t(I * I)));
+  Obj.set("squares", std::move(Arr));
+  Value Inner = Value::object();
+  Inner.set("deep", Value(true));
+  Obj.set("nested", std::move(Inner));
+  EXPECT_EQ(roundtripToText(Obj), Obj.write());
+}
+
+TEST(BinaryJson, StringInterningShrinksRepeats) {
+  // The same long key/value repeated: after the first occurrence each
+  // repeat costs a two-ish-byte reference.
+  std::string Long(60, 'x');
+  Value Arr = Value::array();
+  for (int I = 0; I != 100; ++I)
+    Arr.push(Value(Long));
+  std::string Bytes = encodeBinary(Arr);
+  EXPECT_LT(Bytes.size(), Long.size() + 100 * 3 + 16);
+  EXPECT_EQ(roundtripToText(Arr), Arr.write());
+}
+
+TEST(BinaryJson, ObjectKeyOrderIsPreserved) {
+  Value Obj = Value::object();
+  Obj.set("zzz", Value(int64_t(1)));
+  Obj.set("aaa", Value(int64_t(2)));
+  Obj.set("mmm", Value(int64_t(3)));
+  auto Back = decodeBinary(encodeBinary(Obj));
+  ASSERT_TRUE(Back);
+  ASSERT_EQ(Back->members().size(), 3u);
+  EXPECT_EQ(Back->members()[0].first, "zzz");
+  EXPECT_EQ(Back->members()[1].first, "aaa");
+  EXPECT_EQ(Back->members()[2].first, "mmm");
+}
+
+TEST(BinaryJson, RandomValueFuzzRoundTrips) {
+  RNG R(20260707);
+  // Recursively build random values, biased toward the shapes proofs use.
+  std::function<Value(unsigned)> Gen = [&](unsigned Depth) -> Value {
+    uint64_t Roll = R.below(Depth >= 4 ? 5 : 8);
+    switch (Roll) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(R.below(2) == 0);
+    case 2:
+      return Value(static_cast<int64_t>(R.next()));
+    case 3:
+      return Value("reg" + std::to_string(R.below(12)));
+    case 4: {
+      std::string S;
+      for (uint64_t I = 0, N = R.below(20); I != N; ++I)
+        S.push_back(static_cast<char>(R.range(32, 126)));
+      return Value(std::move(S));
+    }
+    case 5:
+    case 6: {
+      Value A = Value::array();
+      for (uint64_t I = 0, N = R.below(6); I != N; ++I)
+        A.push(Gen(Depth + 1));
+      return A;
+    }
+    default: {
+      Value O = Value::object();
+      for (uint64_t I = 0, N = R.below(5); I != N; ++I)
+        O.set("k" + std::to_string(R.below(8)), Gen(Depth + 1));
+      return O;
+    }
+    }
+  };
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Value V = Gen(0);
+    EXPECT_EQ(roundtripToText(V), V.write());
+  }
+}
+
+// --- hostile input ------------------------------------------------------------
+
+TEST(BinaryJson, RejectsWrongMagic) {
+  std::string Err;
+  EXPECT_FALSE(decodeBinary("", &Err));
+  EXPECT_FALSE(decodeBinary("CBJ", &Err));
+  EXPECT_FALSE(decodeBinary("XXXX\x00", &Err));
+  EXPECT_FALSE(decodeBinary("{\"json\": 1}", &Err));
+  EXPECT_NE(Err.find("CBJ1"), std::string::npos);
+}
+
+TEST(BinaryJson, RejectsTruncation) {
+  Value Obj = Value::object();
+  Obj.set("key", Value("a string value"));
+  Obj.set("num", Value(int64_t(123456789)));
+  std::string Bytes = encodeBinary(Obj);
+  // Every strict prefix must fail cleanly, never crash or succeed.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    std::string Err;
+    EXPECT_FALSE(decodeBinary(Bytes.substr(0, Len), &Err))
+        << "prefix of length " << Len << " decoded";
+  }
+  EXPECT_TRUE(decodeBinary(Bytes));
+}
+
+TEST(BinaryJson, RejectsTrailingGarbage) {
+  std::string Bytes = encodeBinary(Value(int64_t(7))) + "extra";
+  std::string Err;
+  EXPECT_FALSE(decodeBinary(Bytes, &Err));
+  EXPECT_NE(Err.find("trailing"), std::string::npos);
+}
+
+TEST(BinaryJson, RejectsHostileCounts) {
+  // Array claiming 2^40 elements with a 2-byte body.
+  std::string Bytes = "CBJ1";
+  Bytes.push_back(0x06); // array
+  for (int I = 0; I != 5; ++I)
+    Bytes.push_back(static_cast<char>(0x80)); // varint continuation
+  Bytes.push_back(0x01);
+  std::string Err;
+  EXPECT_FALSE(decodeBinary(Bytes, &Err));
+}
+
+TEST(BinaryJson, RejectsOutOfRangeStringRef) {
+  std::string Bytes = "CBJ1";
+  Bytes.push_back(0x05); // string ref
+  Bytes.push_back(0x09); // id 9, but the table is empty
+  std::string Err;
+  EXPECT_FALSE(decodeBinary(Bytes, &Err));
+  EXPECT_NE(Err.find("reference"), std::string::npos);
+}
+
+TEST(BinaryJson, RejectsDepthBomb) {
+  // 100k nested single-element arrays must not overflow the stack.
+  std::string Bytes = "CBJ1";
+  for (int I = 0; I != 100000; ++I) {
+    Bytes.push_back(0x06);
+    Bytes.push_back(0x01);
+  }
+  Bytes.push_back(0x00);
+  std::string Err;
+  EXPECT_FALSE(decodeBinary(Bytes, &Err));
+  EXPECT_NE(Err.find("deep"), std::string::npos);
+}
+
+TEST(BinaryJson, RejectsMutatedRealProofBytesOrDecodesCleanly) {
+  // Flip bytes of a real encoded proof: each mutation either fails with a
+  // message, or still decodes — in which case the full untrusted pipeline
+  // (proof deserialization + checker) must run without crashing.
+  workload::GenOptions G;
+  G.Seed = 77;
+  ir::Module M = workload::generateModule(G);
+  auto P = passes::makePass("mem2reg", passes::BugConfig::fixed());
+  passes::PassResult PR = P->run(M, true);
+  std::string Bytes = proofgen::proofToBinary(PR.Proof);
+  RNG R(5);
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    std::string Mut = Bytes;
+    size_t Pos = R.below(Mut.size());
+    Mut[Pos] = static_cast<char>(Mut[Pos] ^ (1 << R.below(8)));
+    std::string Err;
+    auto V = decodeBinary(Mut, &Err);
+    if (!V) {
+      EXPECT_FALSE(Err.empty());
+      continue;
+    }
+    auto Proof = proofgen::proofFromJson(*V, &Err);
+    if (Proof)
+      checker::validate(M, PR.Tgt, *Proof);
+  }
+}
+
+// --- the proof exchange ---------------------------------------------------------
+
+TEST(BinaryProof, AgreesWithJsonOnRealProofs) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    workload::GenOptions G;
+    G.Seed = Seed;
+    ir::Module M = workload::generateModule(G);
+    for (const char *PassName : {"mem2reg", "instcombine", "gvn", "licm"}) {
+      auto P = passes::makePass(PassName, passes::BugConfig::fixed());
+      proofgen::Proof Pr = P->run(M, true).Proof;
+      std::string Err;
+      auto Back = proofgen::proofFromBinary(proofgen::proofToBinary(Pr),
+                                            &Err);
+      ASSERT_TRUE(Back) << PassName << " seed " << Seed << ": " << Err;
+      // The deterministic JSON text is the canonical comparison form.
+      EXPECT_EQ(proofgen::proofToText(*Back), proofgen::proofToText(Pr))
+          << PassName << " seed " << Seed;
+    }
+  }
+}
+
+TEST(BinaryProof, IsSmallerThanJsonText) {
+  workload::GenOptions G;
+  G.Seed = 3;
+  ir::Module M = workload::generateModule(G);
+  auto P = passes::makePass("gvn", passes::BugConfig::fixed());
+  proofgen::Proof Pr = P->run(M, true).Proof;
+  std::string Text = proofgen::proofToText(Pr);
+  std::string Bin = proofgen::proofToBinary(Pr);
+  EXPECT_LT(Bin.size() * 2, Text.size())
+      << "binary " << Bin.size() << " vs text " << Text.size();
+}
+
+TEST(BinaryProof, DriverRunsTheFullExchangeInBinaryMode) {
+  driver::DriverOptions Opts;
+  Opts.WriteFiles = true;
+  Opts.BinaryProofs = true;
+  Opts.ExchangeDir =
+      (std::filesystem::temp_directory_path() / "crellvm-binproof-test")
+          .string();
+  driver::ValidationDriver D(passes::BugConfig::fixed(), Opts);
+  driver::StatsMap Stats;
+  for (uint64_t Seed = 200; Seed != 205; ++Seed) {
+    workload::GenOptions G;
+    G.Seed = Seed;
+    D.runPipelineValidated(workload::generateModule(G), Stats);
+  }
+  ASSERT_FALSE(Stats.empty());
+  for (const auto &KV : Stats) {
+    EXPECT_EQ(KV.second.F, 0u)
+        << KV.first << ": "
+        << (KV.second.FailureSamples.empty() ? ""
+                                             : KV.second.FailureSamples[0]);
+    EXPECT_EQ(KV.second.DiffMismatches, 0u) << KV.first;
+    EXPECT_GT(KV.second.IO, 0.0) << KV.first;
+  }
+}
+
+} // namespace

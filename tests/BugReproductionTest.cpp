@@ -1,0 +1,239 @@
+//===- tests/BugReproductionTest.cpp - The paper's four bugs ---------------===//
+//
+// Reproduces the paper's §1.2/§7 findings with the injected historical
+// bugs (DESIGN.md §4):
+//
+//  - PR24179 (mem2reg): validation fails; differential testing misses the
+//    bug when the program never observes the promoted value, and catches
+//    it only on a "realistic" program (paper Appendix B).
+//  - PR33673 (mem2reg + constexpr): validation *succeeds* because the
+//    unsound constexpr_no_ub rule is installed — matching the paper's
+//    zero validation failures for this bug — while the miscompilation is
+//    real (refinement breaks) and rule verification exposes the rule.
+//  - PR28562/PR29057 (gvn inbounds): validation fails, testing misses.
+//  - D38619 (gvn PRE insertion): validation fails with a "target division"
+//    reason.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Validator.h"
+#include "erhl/RuleTester.h"
+#include "interp/Interp.h"
+#include "ir/Parser.h"
+#include "passes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+struct PassRun {
+  PassResult PR;
+  checker::ModuleResult VR;
+};
+
+PassRun runPass(const std::string &Name, const ir::Module &Src,
+            const BugConfig &Bugs) {
+  auto P = makePass(Name, Bugs);
+  PassRun R;
+  R.PR = P->run(Src, true);
+  R.VR = checker::validate(Src, R.PR.Tgt, R.PR.Proof);
+  return R;
+}
+
+bool refinesOnSeeds(const ir::Module &Src, const ir::Module &Tgt,
+                    const std::string &Fn) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    interp::InterpOptions Opts;
+    Opts.OracleSeed = Seed;
+    auto RS = interp::run(Src, Fn, {5, 9}, Opts);
+    auto RT = interp::run(Tgt, Fn, {5, 9}, Opts);
+    if (!interp::refines(RS, RT))
+      return false;
+  }
+  return true;
+}
+
+// --- PR24179 ---------------------------------------------------------------
+
+// The promoted value flows only into an unread global: the undef the buggy
+// single-block path introduces is never observable (the SPEC situation of
+// paper §1.2).
+const char *Pr24179Hidden = R"(
+declare i1 @cond()
+declare i32 @get()
+define void @hidden() {
+entry:
+  %p = alloca i32, 1
+  br label %loop
+loop:
+  %v = load i32, ptr %p
+  store i32 %v, ptr @G
+  %x = call i32 @get()
+  store i32 %x, ptr %p
+  %c = call i1 @cond()
+  br i1 %c, label %loop, label %done
+done:
+  ret void
+}
+@G = global i32, 1
+)";
+
+// The same shape, but the loaded value is passed to an external function:
+// a visible miscompilation (paper Appendix B).
+const char *Pr24179Visible = R"(
+declare i1 @cond()
+declare i32 @get()
+declare void @sink(i32)
+define void @visible() {
+entry:
+  %p = alloca i32, 1
+  br label %loop
+loop:
+  %v = load i32, ptr %p
+  call void @sink(i32 %v)
+  %x = call i32 @get()
+  store i32 %x, ptr %p
+  %c = call i1 @cond()
+  br i1 %c, label %loop, label %done
+done:
+  ret void
+}
+)";
+
+TEST(PR24179, ValidationCatchesTheHiddenBug) {
+  ir::Module Src = parse(Pr24179Hidden);
+  PassRun Buggy = runPass("mem2reg", Src, BugConfig::llvm371());
+  // The buggy fast path promoted the early load to undef across the back
+  // edge; the proof cannot re-establish the ghost binding at the edge.
+  EXPECT_EQ(Buggy.VR.countFailed(), 1u);
+  // Differential testing misses it: the undef never reaches an event.
+  EXPECT_TRUE(refinesOnSeeds(Src, Buggy.PR.Tgt, "hidden"));
+}
+
+TEST(PR24179, TestingOnlyCatchesTheVisibleVariant) {
+  ir::Module Src = parse(Pr24179Visible);
+  PassRun Buggy = runPass("mem2reg", Src, BugConfig::llvm371());
+  EXPECT_EQ(Buggy.VR.countFailed(), 1u);
+  // With the value observed, the second iteration exposes 42 vs undef.
+  EXPECT_FALSE(refinesOnSeeds(Src, Buggy.PR.Tgt, "visible"));
+}
+
+TEST(PR24179, FixedCompilerUsesTheGeneralPathAndValidates) {
+  ir::Module Src = parse(Pr24179Hidden);
+  PassRun Fixed = runPass("mem2reg", Src, BugConfig::fixed());
+  EXPECT_EQ(Fixed.VR.countFailed(), 0u) << Fixed.VR.firstFailure();
+  EXPECT_EQ(Fixed.VR.countValidated(), 1u);
+  EXPECT_TRUE(refinesOnSeeds(Src, Fixed.PR.Tgt, "hidden"));
+}
+
+// --- PR33673 -----------------------------------------------------------------
+
+const char *Pr33673 = R"(
+declare void @foo(i32)
+declare void @sink(i32)
+define void @ce() {
+entry:
+  %p = alloca i32, 1
+  %r = load i32, ptr %p
+  call void @foo(i32 %r)
+  store i32 sdiv (i32 1, i32 sub (i32 ptrtoint (ptr @G), i32 ptrtoint (ptr @G))), ptr %p
+  ret void
+}
+@G = global i32, 1
+)";
+
+TEST(PR33673, ValidationAcceptsViaTheUnsoundRule) {
+  ir::Module Src = parse(Pr33673);
+  PassRun Buggy = runPass("mem2reg", Src, BugConfig::llvm371());
+  // Paper §7: "there is no failure due to the other mem2reg bug".
+  EXPECT_EQ(Buggy.VR.countFailed(), 0u) << Buggy.VR.firstFailure();
+  EXPECT_EQ(Buggy.VR.countValidated(), 1u);
+  // Yet the miscompilation is real: the target evaluates the trapping
+  // constant expression where the source passed undef.
+  EXPECT_FALSE(refinesOnSeeds(Src, Buggy.PR.Tgt, "ce"));
+}
+
+TEST(PR33673, RuleVerificationExposesTheRule) {
+  // Paper §1: "we found one of our two mem2reg bugs during the
+  // verification of inference rules."
+  auto Verdict =
+      erhl::verifyRule(erhl::InfruleKind::ConstexprNoUb, /*Seed=*/7, 400);
+  EXPECT_GT(Verdict.Applied, 0u);
+  EXPECT_GT(Verdict.Violations, 0u);
+  EXPECT_NE(Verdict.FirstCounterexample.find("constexpr_no_ub"),
+            std::string::npos);
+}
+
+TEST(PR33673, FixedCompilerDoesNotSpeculate) {
+  ir::Module Src = parse(Pr33673);
+  PassRun Fixed = runPass("mem2reg", Src, BugConfig::fixed());
+  EXPECT_EQ(Fixed.VR.countFailed(), 0u) << Fixed.VR.firstFailure();
+  EXPECT_TRUE(refinesOnSeeds(Src, Fixed.PR.Tgt, "ce"));
+}
+
+// --- PR28562 / PR29057 --------------------------------------------------------
+
+const char *GvnInbounds = R"(
+declare void @bar(ptr, ptr)
+define void @gb(ptr %p) {
+entry:
+  %q1 = gep inbounds ptr %p, i64 2
+  %q2 = gep ptr %p, i64 2
+  call void @bar(ptr %q1, ptr %q2)
+  ret void
+}
+)";
+
+TEST(PR28562, ValidationCatchesWhatTestingMisses) {
+  ir::Module Src = parse(GvnInbounds);
+  PassRun Buggy = runPass("gvn", Src, BugConfig::llvm371());
+  EXPECT_GE(Buggy.PR.Rewrites, 1u);
+  EXPECT_EQ(Buggy.VR.countFailed(), 1u);
+  // The in-bounds index keeps both pointers defined at run time, so the
+  // poison never materializes in a trace (paper §1.2).
+  EXPECT_TRUE(refinesOnSeeds(Src, Buggy.PR.Tgt, "gb"));
+}
+
+// --- D38619 -------------------------------------------------------------------
+
+const char *PreInsertDiv = R"(
+declare void @sink(i32)
+define i32 @pi(i32 %n, i32 %d, i1 %c) {
+entry:
+  br i1 %c, label %left, label %right
+left:
+  %y1 = sdiv i32 %n, %d
+  call void @sink(i32 %y1)
+  br label %exit
+right:
+  br label %exit
+exit:
+  %y3 = sdiv i32 %n, %d
+  call void @sink(i32 %y3)
+  ret i32 %y3
+}
+)";
+
+TEST(D38619, PREInsertionOfDivisionIsCaught) {
+  ir::Module Src = parse(PreInsertDiv);
+  PassRun Buggy = runPass("gvn", Src, BugConfig::llvm371());
+  EXPECT_GE(Buggy.PR.Rewrites, 1u);
+  EXPECT_EQ(Buggy.VR.countFailed(), 1u);
+  EXPECT_NE(Buggy.VR.firstFailure().find("division"), std::string::npos)
+      << Buggy.VR.firstFailure();
+  // The fixed compiler refuses to insert a trapping expression.
+  PassRun Fixed = runPass("gvn", Src, BugConfig::fixed());
+  EXPECT_EQ(Fixed.VR.countFailed(), 0u) << Fixed.VR.firstFailure();
+}
+
+} // namespace

@@ -1,0 +1,400 @@
+//===- tests/CheckerTest.cpp - Post-assertion computation and checking --------===//
+//
+// Unit tests for the trusted core: CalcPostAssn for commands (prune,
+// alias handling, maydiff), the phi-edge post with the Old-register
+// rotation of paper §4 (reproducing the fold-phi walkthrough), the
+// CheckEquivBeh cases of Algorithm 4, relatedValues, CheckInit, and the
+// automation search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Automation.h"
+#include "checker/Postcond.h"
+#include "checker/Validator.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::checker;
+using namespace crellvm::erhl;
+using crellvm::ir::IcmpPred;
+using crellvm::ir::Opcode;
+
+namespace {
+
+ir::Type I32 = ir::Type::intTy(32);
+ir::Type Ptr = ir::Type::ptrTy();
+
+ValT reg(const char *N) { return ValT::phy(ir::Value::reg(N, I32)); }
+ValT preg(const char *N) { return ValT::phy(ir::Value::reg(N, Ptr)); }
+ValT cst(int64_t C) { return ValT::phy(ir::Value::constInt(C, I32)); }
+Expr V(const ValT &X) { return Expr::val(X); }
+Expr add(const ValT &A, const ValT &B) {
+  return Expr::bop(Opcode::Add, I32, A, B);
+}
+Expr cell(const char *P) { return Expr::load(I32, preg(P)); }
+
+CmdPair both(ir::Instruction I) { return CmdPair{I, I}; }
+
+// --- calcPostCmd ---------------------------------------------------------------
+
+TEST(PostCmd, IdenticalDefStaysOutOfMaydiff) {
+  Assertion A;
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::binary(Opcode::Add, "x", I32,
+                                      ir::Value::reg("a", I32),
+                                      ir::Value::constInt(1, I32))));
+  EXPECT_FALSE(Post.Maydiff.count(RegT{"x", Tag::Phy}));
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(V(reg("x")), add(reg("a"),
+                                                            cst(1)))));
+  EXPECT_TRUE(Post.Tgt.count(Pred::lessdef(add(reg("a"), cst(1)),
+                                           V(reg("x")))));
+}
+
+TEST(PostCmd, DifferentDefsEnterMaydiff) {
+  Assertion A;
+  CmdPair C{ir::Instruction::binary(Opcode::Add, "x", I32,
+                                    ir::Value::reg("a", I32),
+                                    ir::Value::constInt(1, I32)),
+            ir::Instruction::binary(Opcode::Add, "x", I32,
+                                    ir::Value::reg("b", I32),
+                                    ir::Value::constInt(1, I32))};
+  Assertion Post = calcPostCmd(A, C);
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"x", Tag::Phy}));
+}
+
+TEST(PostCmd, MaydiffOperandBlocksReduction) {
+  Assertion A;
+  A.Maydiff.insert(RegT{"a", Tag::Phy});
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::binary(Opcode::Add, "x", I32,
+                                      ir::Value::reg("a", I32),
+                                      ir::Value::constInt(1, I32))));
+  // Identical instructions, but the operand may differ, so x may too.
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"x", Tag::Phy}));
+}
+
+TEST(PostCmd, RedefinitionKillsFacts) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(V(reg("x")), V(cst(5))));
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::binary(Opcode::Add, "x", I32,
+                                      ir::Value::reg("a", I32),
+                                      ir::Value::constInt(2, I32))));
+  EXPECT_FALSE(Post.Src.count(Pred::lessdef(V(reg("x")), V(cst(5)))));
+}
+
+TEST(PostCmd, StoreKillsOverlappingLoadFacts) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(cell("p"), V(cst(1))));
+  A.Src.insert(Pred::lessdef(cell("q"), V(cst(2))));
+  // Store through q: without alias facts, both cells may be clobbered...
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::store(ir::Value::reg("v", I32),
+                                     ir::Value::reg("q", Ptr))));
+  EXPECT_FALSE(Post.Src.count(Pred::lessdef(cell("p"), V(cst(1)))));
+  // ... except the stored cell itself gets the new fact.
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(cell("q"), V(reg("v")))));
+}
+
+TEST(PostCmd, UniqProtectsOtherCellsAcrossStores) {
+  Assertion A;
+  A.Src.insert(Pred::unique("p"));
+  A.Src.insert(Pred::lessdef(cell("p"), V(cst(1))));
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::store(ir::Value::reg("v", I32),
+                                     ir::Value::reg("q", Ptr))));
+  // p is isolated, so the store through q cannot touch *p (paper §3.3).
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(cell("p"), V(cst(1)))));
+}
+
+TEST(PostCmd, NoaliasProtectsAcrossStores) {
+  Assertion A;
+  A.Src.insert(Pred::noalias(preg("p"), preg("q")));
+  A.Src.insert(Pred::lessdef(cell("p"), V(cst(1))));
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::store(ir::Value::reg("v", I32),
+                                     ir::Value::reg("q", Ptr))));
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(cell("p"), V(cst(1)))));
+}
+
+TEST(PostCmd, CallsKillPublicMemoryFacts) {
+  Assertion A;
+  A.Src.insert(Pred::unique("p"));
+  A.Src.insert(Pred::lessdef(cell("p"), V(cst(1))));
+  A.Src.insert(Pred::lessdef(cell("q"), V(cst(2))));
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::call("", ir::Type::voidTy(), "ext", {})));
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(cell("p"), V(cst(1)))));
+  EXPECT_FALSE(Post.Src.count(Pred::lessdef(cell("q"), V(cst(2)))));
+}
+
+TEST(PostCmd, LeakKillsUniq) {
+  Assertion A;
+  A.Src.insert(Pred::unique("p"));
+  // Loading through p does not leak it...
+  Assertion P1 = calcPostCmd(
+      A, both(ir::Instruction::load("x", I32, ir::Value::reg("p", Ptr))));
+  EXPECT_TRUE(P1.Src.count(Pred::unique("p")));
+  // ... but passing it to a call does.
+  Assertion P2 = calcPostCmd(
+      A, both(ir::Instruction::call("", ir::Type::voidTy(), "ext",
+                                    {ir::Value::reg("p", Ptr)})));
+  EXPECT_FALSE(P2.Src.count(Pred::unique("p")));
+  // ... and so does storing p as a *value*.
+  Assertion P3 = calcPostCmd(
+      A, both(ir::Instruction::store(ir::Value::reg("p", Ptr),
+                                     ir::Value::reg("q", Ptr))));
+  EXPECT_FALSE(P3.Src.count(Pred::unique("p")));
+  // ... and deriving another pointer from it with gep.
+  Assertion P4 = calcPostCmd(
+      A, both(ir::Instruction::gep("q2", false, ir::Value::reg("p", Ptr),
+                                   ir::Value::constInt(1,
+                                                       ir::Type::intTy(64)))));
+  EXPECT_FALSE(P4.Src.count(Pred::unique("p")));
+}
+
+TEST(PostCmd, SrcAllocaWithTgtLnopIsPrivate) {
+  Assertion A;
+  CmdPair C{ir::Instruction::allocaInst("p", I32, 1), std::nullopt};
+  Assertion Post = calcPostCmd(A, C);
+  EXPECT_TRUE(Post.Src.count(Pred::unique("p")));
+  EXPECT_TRUE(Post.Src.count(Pred::priv(preg("p"))));
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"p", Tag::Phy}));
+  // The fresh cell holds undef.
+  EXPECT_TRUE(Post.Src.count(
+      Pred::lessdef(cell("p"), V(ValT::phy(ir::Value::undef(I32))))));
+}
+
+TEST(PostCmd, PairedCallResultsAgree) {
+  Assertion A;
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::call("r", I32, "ext", {})));
+  EXPECT_FALSE(Post.Maydiff.count(RegT{"r", Tag::Phy}));
+}
+
+TEST(PostCmd, IdenticalPublicLoadsAgree) {
+  Assertion A;
+  Assertion Post = calcPostCmd(
+      A,
+      both(ir::Instruction::load("x", I32, ir::Value::global("G"))));
+  EXPECT_FALSE(Post.Maydiff.count(RegT{"x", Tag::Phy}));
+}
+
+TEST(PostCmd, IdenticalPrivateLoadsMayDiffer) {
+  Assertion A;
+  A.Src.insert(Pred::unique("p"));
+  Assertion Post = calcPostCmd(
+      A, both(ir::Instruction::load("x", I32, ir::Value::reg("p", Ptr))));
+  // A Uniq (private) location has no target counterpart; the loads are
+  // not forced to agree.
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"x", Tag::Phy}));
+}
+
+// --- Phi-edge post (§4) -----------------------------------------------------------
+
+TEST(PostPhi, FoldPhiOldRegisterRotation) {
+  // Paper §4: src z := phi(x, y), w := phi(42, z); tgt t := phi(a, z),
+  // w := phi(42, z), plus z := t + 1 handled at the line level. Here we
+  // check the edge computation from B2 to itself.
+  ir::Phi SrcZ{"z", I32, {{"b1", ir::Value::reg("x", I32)},
+                          {"b2", ir::Value::reg("y", I32)}}};
+  ir::Phi SrcW{"w", I32, {{"b1", ir::Value::constInt(42, I32)},
+                          {"b2", ir::Value::reg("z", I32)}}};
+  ir::Phi TgtT{"t", I32, {{"b1", ir::Value::reg("a", I32)},
+                          {"b2", ir::Value::reg("z", I32)}}};
+  ir::Phi TgtW = SrcW;
+
+  Assertion Pre;
+  Pre.Src.insert(Pred::lessdef(V(reg("y")), add(reg("z"), cst(1))));
+  Pre.Maydiff.insert(RegT{"t", Tag::Phy});
+
+  Assertion Post = calcPostPhi(Pre, {SrcZ, SrcW}, {TgtT, TgtW}, "b2");
+
+  // 1. The current fact about y was rotated into the old registers.
+  Expr OldAdd = Expr::bop(Opcode::Add, I32, ValT::old("z", I32), cst(1));
+  EXPECT_TRUE(Post.Src.count(
+      Pred::lessdef(V(ValT::old("y", I32)), OldAdd)));
+  // 2. The simultaneous assignments are recorded in terms of olds.
+  EXPECT_TRUE(Post.Src.count(
+      Pred::lessdef(V(reg("z")), V(ValT::old("y", I32)))));
+  EXPECT_TRUE(Post.Src.count(
+      Pred::lessdef(V(reg("w")), V(ValT::old("z", I32)))));
+  EXPECT_TRUE(Post.Tgt.count(
+      Pred::lessdef(V(reg("t")), V(ValT::old("z", I32)))));
+  // 3. z and t are updated differently and enter the maydiff set; w is
+  //    updated equivalently from a maydiff-free old and stays out.
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"z", Tag::Phy}));
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"t", Tag::Phy}));
+  EXPECT_FALSE(Post.Maydiff.count(RegT{"w", Tag::Phy}));
+}
+
+TEST(PostPhi, NonPhiIncomingKeepsCurrentFacts) {
+  ir::Phi SrcP{"m", I32, {{"pred", ir::Value::reg("v", I32)}}};
+  Assertion Pre;
+  Assertion Post = calcPostPhi(Pre, {SrcP}, {SrcP}, "pred");
+  // v is not phi-defined, so the current-register equations hold too.
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(V(reg("m")), V(reg("v")))));
+  EXPECT_TRUE(Post.Src.count(Pred::lessdef(V(reg("v")), V(reg("m")))));
+  EXPECT_FALSE(Post.Maydiff.count(RegT{"m", Tag::Phy}));
+}
+
+TEST(PostPhi, TargetOnlyPhiEntersMaydiff) {
+  ir::Phi TgtP{"m", I32, {{"pred", ir::Value::constInt(1, I32)}}};
+  Assertion Post = calcPostPhi(Assertion(), {}, {TgtP}, "pred");
+  EXPECT_TRUE(Post.Maydiff.count(RegT{"m", Tag::Phy}));
+}
+
+// --- CheckEquivBeh --------------------------------------------------------------
+
+TEST(EquivBeh, CallArgumentsMustRelate) {
+  Assertion A;
+  CmdPair Same = both(ir::Instruction::call(
+      "", ir::Type::voidTy(), "f", {ir::Value::reg("x", I32)}));
+  EXPECT_FALSE(checkEquivBeh(A, Same).has_value());
+  A.Maydiff.insert(RegT{"x", Tag::Phy});
+  EXPECT_TRUE(checkEquivBeh(A, Same).has_value());
+}
+
+TEST(EquivBeh, CallArgumentsRelateThroughGhost) {
+  Assertion A;
+  A.Maydiff.insert(RegT{"x", Tag::Phy});
+  ValT G = ValT::ghost("g", I32);
+  A.Src.insert(Pred::lessdef(V(reg("x")), V(G)));
+  A.Tgt.insert(Pred::lessdef(V(G), V(cst(42))));
+  CmdPair C{ir::Instruction::call("", ir::Type::voidTy(), "f",
+                                  {ir::Value::reg("x", I32)}),
+            ir::Instruction::call("", ir::Type::voidTy(), "f",
+                                  {ir::Value::constInt(42, I32)})};
+  EXPECT_FALSE(checkEquivBeh(A, C).has_value());
+}
+
+TEST(EquivBeh, RemovedCallIsRejected) {
+  Assertion A;
+  CmdPair C{ir::Instruction::call("", ir::Type::voidTy(), "f", {}),
+            std::nullopt};
+  EXPECT_TRUE(checkEquivBeh(A, C).has_value());
+}
+
+TEST(EquivBeh, RemovedStoreNeedsPrivacy) {
+  Assertion A;
+  CmdPair C{ir::Instruction::store(ir::Value::constInt(1, I32),
+                                   ir::Value::reg("p", Ptr)),
+            std::nullopt};
+  EXPECT_TRUE(checkEquivBeh(A, C).has_value());
+  A.Src.insert(Pred::unique("p"));
+  EXPECT_FALSE(checkEquivBeh(A, C).has_value());
+}
+
+TEST(EquivBeh, TargetOnlyDivisionIsRejected) {
+  Assertion A;
+  CmdPair C{std::nullopt,
+            ir::Instruction::binary(Opcode::SDiv, "x", I32,
+                                    ir::Value::reg("a", I32),
+                                    ir::Value::reg("b", I32))};
+  auto Err = checkEquivBeh(A, C);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("division"), std::string::npos);
+}
+
+TEST(EquivBeh, RemovedLoadIsAllowedButNotAdded) {
+  Assertion A;
+  CmdPair Removed{
+      ir::Instruction::load("x", I32, ir::Value::reg("p", Ptr)),
+      std::nullopt};
+  EXPECT_FALSE(checkEquivBeh(A, Removed).has_value());
+  CmdPair Added{std::nullopt, ir::Instruction::load(
+                                  "x", I32, ir::Value::reg("p", Ptr))};
+  EXPECT_TRUE(checkEquivBeh(A, Added).has_value());
+}
+
+TEST(EquivBeh, BranchConditionsMustRelate) {
+  Assertion A;
+  CmdPair C = both(ir::Instruction::condBr(
+      ir::Value::reg("c", ir::Type::intTy(1)), "a", "b"));
+  EXPECT_FALSE(checkEquivBeh(A, C).has_value());
+  A.Maydiff.insert(RegT{"c", Tag::Phy});
+  EXPECT_TRUE(checkEquivBeh(A, C).has_value());
+}
+
+// --- relatedValues ---------------------------------------------------------------
+
+TEST(RelatedValues, UndefSourceRelatesToAnything) {
+  Assertion A;
+  EXPECT_TRUE(relatedValues(A, ir::Value::undef(I32),
+                            ir::Value::constInt(3, I32)));
+}
+
+TEST(RelatedValues, ThroughLessdefChains) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(V(reg("x")), V(reg("m"))));
+  A.Tgt.insert(Pred::lessdef(V(reg("m")), V(reg("y"))));
+  EXPECT_TRUE(relatedValues(A, ir::Value::reg("x", I32),
+                            ir::Value::reg("y", I32)));
+  // The middle must be maydiff-free.
+  A.Maydiff.insert(RegT{"m", Tag::Phy});
+  EXPECT_FALSE(relatedValues(A, ir::Value::reg("x", I32),
+                             ir::Value::reg("y", I32)));
+}
+
+// --- Automation ------------------------------------------------------------------
+
+TEST(AutomationTest, DerivesTransitivityChains) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(V(reg("a")), V(reg("b"))));
+  A.Src.insert(Pred::lessdef(V(reg("b")), V(reg("c"))));
+  A.Src.insert(Pred::lessdef(V(reg("c")), V(reg("d"))));
+  EXPECT_TRUE(deriveLessdef(A, Side::Src, V(reg("a")), V(reg("d")),
+                            /*GvnMode=*/false));
+  EXPECT_TRUE(A.Src.count(Pred::lessdef(V(reg("a")), V(reg("d")))));
+}
+
+TEST(AutomationTest, GvnModeUsesCommutativityAndSubstitution) {
+  Assertion A;
+  // a >= add x y; x >= x'; want a >= add y x'.
+  A.Src.insert(Pred::lessdef(V(reg("a")), add(reg("x"), reg("y"))));
+  A.Src.insert(Pred::lessdef(V(reg("x")), V(reg("x2"))));
+  EXPECT_FALSE(deriveLessdef(A, Side::Src, V(reg("a")),
+                             add(reg("y"), reg("x2")), /*GvnMode=*/false));
+  EXPECT_TRUE(deriveLessdef(A, Side::Src, V(reg("a")),
+                            add(reg("y"), reg("x2")), /*GvnMode=*/true));
+}
+
+TEST(AutomationTest, DischargesMaydiffGoals) {
+  Assertion Have;
+  Have.Maydiff.insert(RegT{"x", Tag::Phy});
+  Expr E = add(reg("a"), cst(1));
+  Have.Src.insert(Pred::lessdef(V(reg("x")), E));
+  Have.Tgt.insert(Pred::lessdef(E, V(reg("x"))));
+  Assertion Goal; // empty maydiff
+  runAutomation({"reduce_maydiff"}, Have, Goal);
+  EXPECT_TRUE(Have.includes(Goal));
+}
+
+// --- CheckInit (through the validator) -----------------------------------------
+
+TEST(CheckInitTest, RejectsParamFactsAtEntry) {
+  std::string Err;
+  auto Src = ir::parseModule(
+      "define void @f(i32 %a) {\nentry:\n  ret void\n}", &Err);
+  ASSERT_TRUE(Src) << Err;
+  proofgen::Proof P;
+  proofgen::FunctionProof FP;
+  proofgen::BlockProof BP;
+  // Claiming something about a parameter at entry is not initially valid.
+  BP.AtEntry.Src.insert(Pred::lessdef(V(reg("a")), V(cst(0))));
+  proofgen::LineEntry L;
+  L.SrcCmd = ir::Instruction::ret(std::nullopt);
+  L.TgtCmd = ir::Instruction::ret(std::nullopt);
+  L.After = BP.AtEntry;
+  BP.Lines.push_back(L);
+  FP.Blocks["entry"] = BP;
+  P.Functions["f"] = FP;
+  auto VR = validate(*Src, *Src, P);
+  EXPECT_EQ(VR.countFailed(), 1u);
+  EXPECT_NE(VR.firstFailure().find("initially"), std::string::npos)
+      << VR.firstFailure();
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/DiffTest.cpp - llvm-diff analog unit tests -----------------------===//
+
+#include "difftool/Diff.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+const char *Base = R"(
+@G = global i32, 1
+define i32 @f(i32 %a, i1 %c) {
+entry:
+  %x = add i32 %a, 1
+  br i1 %c, label %l, label %r
+l:
+  br label %j
+r:
+  br label %j
+j:
+  %m = phi i32 [ %x, %l ], [ 0, %r ]
+  ret i32 %m
+}
+)";
+
+TEST(DiffTool, IdenticalModulesAreEquivalent) {
+  ir::Module A = parse(Base);
+  EXPECT_TRUE(difftool::diffModules(A, A));
+}
+
+TEST(DiffTool, ConsistentRenamingIsEquivalent) {
+  // The whole point of llvm-diff in the framework: the proof-generating
+  // compiler names registers differently (paper §1.1).
+  ir::Module A = parse(Base);
+  ir::Module B = parse(R"(
+@G = global i32, 1
+define i32 @f(i32 %p0, i1 %p1) {
+entry:
+  %t0 = add i32 %p0, 1
+  br i1 %p1, label %l, label %r
+l:
+  br label %j
+r:
+  br label %j
+j:
+  %t1 = phi i32 [ %t0, %l ], [ 0, %r ]
+  ret i32 %t1
+}
+)");
+  auto D = difftool::diffModules(A, B);
+  EXPECT_TRUE(D) << D.FirstDifference;
+}
+
+TEST(DiffTool, InconsistentRenamingIsRejected) {
+  ir::Module A = parse(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, %a
+  ret i32 %x
+}
+)");
+  // %a maps to both %p and %q: not a renaming.
+  ir::Module B = parse(R"(
+define i32 @f(i32 %p) {
+entry:
+  %x = add i32 %p, %x2
+  ret i32 %x
+}
+define i32 @g(i32 %q) {
+entry:
+  ret i32 %q
+}
+)");
+  EXPECT_FALSE(difftool::diffModules(A, B));
+}
+
+TEST(DiffTool, DetectsChangedConstant) {
+  ir::Module A = parse(Base);
+  ir::Module B = parse(Base);
+  B.Funcs[0].Blocks[0].Insts[0] = ir::Instruction::binary(
+      ir::Opcode::Add, "x", ir::Type::intTy(32),
+      ir::Value::reg("a", ir::Type::intTy(32)),
+      ir::Value::constInt(2, ir::Type::intTy(32)));
+  auto D = difftool::diffModules(A, B);
+  EXPECT_FALSE(D);
+  EXPECT_NE(D.FirstDifference.find("instructions differ"),
+            std::string::npos);
+}
+
+TEST(DiffTool, DetectsChangedInboundsFlag) {
+  const char *T1 = R"(
+define ptr @f(ptr %p) {
+entry:
+  %q = gep inbounds ptr %p, i64 1
+  ret ptr %q
+}
+)";
+  const char *T2 = R"(
+define ptr @f(ptr %p) {
+entry:
+  %q = gep ptr %p, i64 1
+  ret ptr %q
+}
+)";
+  EXPECT_FALSE(difftool::diffModules(parse(T1), parse(T2)));
+}
+
+TEST(DiffTool, DetectsMissingInstruction) {
+  ir::Module A = parse(Base);
+  ir::Module B = parse(Base);
+  B.Funcs[0].Blocks[0].Insts.erase(B.Funcs[0].Blocks[0].Insts.begin());
+  EXPECT_FALSE(difftool::diffModules(A, B));
+}
+
+TEST(DiffTool, DetectsGlobalChanges) {
+  ir::Module A = parse(Base);
+  ir::Module B = parse(Base);
+  B.Globals[0].Size = 2;
+  auto D = difftool::diffModules(A, B);
+  EXPECT_FALSE(D);
+  EXPECT_NE(D.FirstDifference.find("global"), std::string::npos);
+}
+
+TEST(DiffTool, DetectsPhiIncomingChange) {
+  ir::Module A = parse(Base);
+  ir::Module B = parse(Base);
+  B.Funcs[0].getBlock("j")->Phis[0].setIncoming(
+      "r", ir::Value::constInt(1, ir::Type::intTy(32)));
+  EXPECT_FALSE(difftool::diffModules(A, B));
+}
+
+} // namespace

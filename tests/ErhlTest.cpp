@@ -1,0 +1,317 @@
+//===- tests/ErhlTest.cpp - Assertion language and rules ----------------------===//
+//
+// Unit tests for the ERHL layer: expression/predicate structure, the
+// semantic evaluator (including its trap handling, which is what lets the
+// rule verifier refute constexpr_no_ub), serialization round-trips, and
+// direct applications of the core inference rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "erhl/Eval.h"
+#include "erhl/Infrule.h"
+#include "erhl/Serialize.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using crellvm::interp::RtValue;
+
+namespace {
+
+ir::Type I32 = ir::Type::intTy(32);
+
+ValT reg(const char *N) { return ValT::phy(ir::Value::reg(N, I32)); }
+ValT cst(int64_t C) { return ValT::phy(ir::Value::constInt(C, I32)); }
+Expr V(const ValT &X) { return Expr::val(X); }
+Expr add(const ValT &A, const ValT &B) {
+  return Expr::bop(ir::Opcode::Add, I32, A, B);
+}
+
+TEST(ExprTest, ShapeAndEquality) {
+  EXPECT_TRUE(add(reg("a"), cst(1)).sameShape(add(reg("b"), cst(2))));
+  EXPECT_FALSE(add(reg("a"), cst(1)).sameShape(
+      Expr::bop(ir::Opcode::Sub, I32, reg("a"), cst(1))));
+  EXPECT_FALSE(Expr::gep(true, reg("p"), cst(1))
+                   .sameShape(Expr::gep(false, reg("p"), cst(1))));
+  EXPECT_EQ(add(reg("a"), cst(1)), add(reg("a"), cst(1)));
+  EXPECT_NE(add(reg("a"), cst(1)), add(reg("a"), cst(2)));
+}
+
+TEST(ExprTest, TagsDistinguishRegisters) {
+  ValT Phy = reg("x");
+  ValT Ghost = ValT::ghost("x", I32);
+  ValT Old = ValT::old("x", I32);
+  EXPECT_NE(V(Phy), V(Ghost));
+  EXPECT_NE(V(Ghost), V(Old));
+  EXPECT_EQ(Ghost.regT().T, Tag::Ghost);
+  EXPECT_EQ(V(Ghost).str(), "%x^");
+  EXPECT_EQ(V(Old).str(), "%x~old");
+}
+
+TEST(ExprTest, Substitution) {
+  Expr E = add(reg("a"), reg("a"));
+  EXPECT_EQ(E.substituted(reg("a"), cst(3)), add(cst(3), cst(3)));
+  EXPECT_EQ(E.substitutedAt(1, cst(3)), add(reg("a"), cst(3)));
+  EXPECT_EQ(E.substitutedAt(0, cst(3)), add(cst(3), reg("a")));
+}
+
+TEST(PredTest, NoaliasIsNormalized) {
+  EXPECT_EQ(Pred::noalias(reg("p"), reg("q")),
+            Pred::noalias(reg("q"), reg("p")));
+}
+
+TEST(AssertionTest, Includes) {
+  Assertion Strong, Weak;
+  Strong.Src.insert(Pred::lessdef(V(reg("x")), V(cst(1))));
+  Strong.Src.insert(Pred::unique("p"));
+  Weak.Src.insert(Pred::unique("p"));
+  Weak.Maydiff.insert(RegT{"x", Tag::Phy});
+  EXPECT_TRUE(Strong.includes(Weak));  // more facts, smaller maydiff
+  EXPECT_FALSE(Weak.includes(Strong)); // missing the lessdef
+  Strong.Maydiff.insert(RegT{"y", Tag::Phy});
+  EXPECT_FALSE(Strong.includes(Weak)); // y may differ but Weak forbids it
+}
+
+// --- Semantic evaluation -------------------------------------------------------
+
+EvalState stateWith(std::map<std::string, RtValue> Regs) {
+  EvalState S;
+  for (auto &KV : Regs)
+    S.Regs[RegT{KV.first, Tag::Phy}] = KV.second;
+  S.Memory[0] = {RtValue::intVal(7, 32), RtValue::intVal(8, 32)};
+  S.Globals["G"] = 0;
+  return S;
+}
+
+TEST(EvalTest, LessdefBasics) {
+  EvalState S = stateWith({{"a", RtValue::intVal(5, 32)}});
+  EXPECT_TRUE(holdsLessdef(V(reg("a")), V(cst(5)), S));
+  EXPECT_FALSE(holdsLessdef(V(reg("a")), V(cst(6)), S));
+  // Undef on the left refines to anything.
+  EvalState U = stateWith({{"a", RtValue::undef()}});
+  EXPECT_TRUE(holdsLessdef(V(reg("a")), V(cst(6)), U));
+  // ... but not on the right.
+  EXPECT_FALSE(holdsLessdef(V(cst(6)),
+                            V(ValT::phy(ir::Value::undef(I32))), U));
+}
+
+TEST(EvalTest, UnboundRegistersAreUndef) {
+  EvalState S;
+  EXPECT_TRUE(holdsLessdef(V(reg("nope")), V(cst(1)), S));
+}
+
+TEST(EvalTest, TrappingRhsFalsifiesLessdef) {
+  // The semantic core of the constexpr_no_ub refutation: `undef >= C`
+  // is FALSE when evaluating C traps.
+  ir::Value G = ir::Value::global("G");
+  ir::Value P2I = ir::Value::constExpr(ir::Opcode::PtrToInt, I32, {G});
+  ir::Value Diff = ir::Value::constExpr(ir::Opcode::Sub, I32, {P2I, P2I});
+  ir::Value C = ir::Value::constExpr(
+      ir::Opcode::SDiv, I32, {ir::Value::constInt(1, I32), Diff});
+  EvalState S = stateWith({});
+  Expr Undef = V(ValT::phy(ir::Value::undef(I32)));
+  EXPECT_FALSE(holdsLessdef(Undef, V(ValT::phy(C)), S));
+  // A non-trapping constant is fine.
+  EXPECT_TRUE(holdsLessdef(Undef, V(cst(7)), S));
+}
+
+TEST(EvalTest, LoadsReadTheStateMemory) {
+  EvalState S = stateWith({{"p", RtValue::ptrVal(0, 1)}});
+  Expr L = Expr::load(I32, reg("p"));
+  EXPECT_TRUE(holdsLessdef(L, V(cst(8)), S));
+  // Out-of-bounds load traps and falsifies.
+  S.Regs[RegT{"p", Tag::Phy}] = RtValue::ptrVal(0, 9);
+  EXPECT_FALSE(holdsLessdef(L, V(cst(8)), S));
+}
+
+TEST(EvalTest, MemoryPredicatesAreUndecidable) {
+  EvalState S = stateWith({});
+  EXPECT_FALSE(holdsPred(Pred::unique("p"), S).has_value());
+  EXPECT_FALSE(
+      holdsPred(Pred::priv(reg("p")), S).has_value());
+}
+
+TEST(EvalTest, NoaliasSemantics) {
+  EvalState S = stateWith({{"p", RtValue::ptrVal(0, 0)},
+                           {"q", RtValue::ptrVal(1, 0)},
+                           {"r", RtValue::ptrVal(0, 1)}});
+  EXPECT_EQ(holdsPred(Pred::noalias(reg("p"), reg("q")), S),
+            std::optional<bool>(true));
+  EXPECT_EQ(holdsPred(Pred::noalias(reg("p"), reg("r")), S),
+            std::optional<bool>(false));
+}
+
+// --- Serialization ---------------------------------------------------------------
+
+TEST(SerializeTest, ExprRoundTrip) {
+  std::vector<Expr> Cases = {
+      V(reg("x")),
+      V(cst(-7)),
+      V(ValT::ghost("g", I32)),
+      V(ValT::old("o", I32)),
+      add(reg("a"), cst(1)),
+      Expr::icmp(ir::IcmpPred::Sle, reg("a"), reg("b")),
+      Expr::select(I32, ValT::phy(ir::Value::reg("c", ir::Type::intTy(1))),
+                   reg("a"), cst(0)),
+      Expr::cast(ir::Opcode::ZExt, ir::Type::intTy(64), reg("a")),
+      Expr::gep(true, ValT::phy(ir::Value::global("G")),
+                ValT::phy(ir::Value::constInt(2, ir::Type::intTy(64)))),
+      Expr::load(I32, reg("p")),
+  };
+  for (const Expr &E : Cases) {
+    auto Back = exprFromJson(exprToJson(E));
+    ASSERT_TRUE(Back) << E.str();
+    EXPECT_EQ(*Back, E) << E.str();
+  }
+}
+
+TEST(SerializeTest, PredAndAssertionRoundTrip) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(add(reg("a"), cst(1)), V(reg("x"))));
+  A.Src.insert(Pred::unique("p"));
+  A.Tgt.insert(Pred::priv(reg("q")));
+  A.Tgt.insert(Pred::noalias(reg("p"), reg("q")));
+  A.Maydiff.insert(RegT{"x", Tag::Phy});
+  A.Maydiff.insert(RegT{"g", Tag::Ghost});
+  auto Back = assertionFromJson(assertionToJson(A));
+  ASSERT_TRUE(Back);
+  EXPECT_TRUE(*Back == A);
+}
+
+TEST(SerializeTest, InfruleRoundTrip) {
+  Infrule R;
+  R.K = InfruleKind::AddAssoc;
+  R.S = Side::Tgt;
+  R.Args = {V(reg("y")), V(reg("x")), V(reg("a")), V(cst(1)), V(cst(2)),
+            V(cst(3))};
+  auto Back = infruleFromJson(infruleToJson(R));
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->K, R.K);
+  EXPECT_EQ(Back->S, R.S);
+  EXPECT_EQ(Back->Args, R.Args);
+}
+
+TEST(SerializeTest, EveryRuleNameRoundTrips) {
+  for (uint16_t K = 0; K != NumInfruleKinds; ++K) {
+    auto Kind = static_cast<InfruleKind>(K);
+    auto Back = infruleKindFromName(infruleKindName(Kind));
+    ASSERT_TRUE(Back) << infruleKindName(Kind);
+    EXPECT_EQ(*Back, Kind);
+  }
+}
+
+// --- Direct rule applications ------------------------------------------------------
+
+TEST(RuleTest, TransitivityRequiresBothPremises) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(V(reg("a")), V(reg("b"))));
+  Infrule R;
+  R.K = InfruleKind::Transitivity;
+  R.S = Side::Src;
+  R.Args = {V(reg("a")), V(reg("b")), V(reg("c"))};
+  EXPECT_TRUE(applyInfrule(R, A).has_value()); // missing b >= c
+  A.Src.insert(Pred::lessdef(V(reg("b")), V(reg("c"))));
+  EXPECT_FALSE(applyInfrule(R, A).has_value());
+  EXPECT_TRUE(A.Src.count(Pred::lessdef(V(reg("a")), V(reg("c")))));
+}
+
+TEST(RuleTest, IntroGhostRefreshesTheGhost) {
+  Assertion A;
+  ValT G = ValT::ghost("g", I32);
+  // A stale fact about g and g in the maydiff set.
+  A.Src.insert(Pred::lessdef(V(G), V(cst(9))));
+  A.Maydiff.insert(G.regT());
+  Infrule R;
+  R.K = InfruleKind::IntroGhost;
+  R.Args = {V(G), V(reg("a"))};
+  EXPECT_FALSE(applyInfrule(R, A).has_value());
+  EXPECT_FALSE(A.Src.count(Pred::lessdef(V(G), V(cst(9))))); // dropped
+  EXPECT_FALSE(A.Maydiff.count(G.regT()));
+  EXPECT_TRUE(A.Src.count(Pred::lessdef(V(reg("a")), V(G))));
+  EXPECT_TRUE(A.Tgt.count(Pred::lessdef(V(G), V(reg("a")))));
+}
+
+TEST(RuleTest, IntroGhostRejectsMaydiffOperands) {
+  Assertion A;
+  A.Maydiff.insert(RegT{"a", Tag::Phy});
+  Infrule R;
+  R.K = InfruleKind::IntroGhost;
+  R.Args = {V(ValT::ghost("g", I32)), V(reg("a"))};
+  EXPECT_TRUE(applyInfrule(R, A).has_value());
+}
+
+TEST(RuleTest, ReduceMaydiffLessdef) {
+  Assertion A;
+  A.Maydiff.insert(RegT{"x", Tag::Phy});
+  Expr E = add(reg("a"), cst(1));
+  A.Src.insert(Pred::lessdef(V(reg("x")), E));
+  A.Tgt.insert(Pred::lessdef(E, V(reg("x"))));
+  Infrule R;
+  R.K = InfruleKind::ReduceMaydiffLessdef;
+  R.Args = {V(reg("x")), E, E};
+  EXPECT_FALSE(applyInfrule(R, A).has_value());
+  EXPECT_TRUE(A.Maydiff.empty());
+}
+
+TEST(RuleTest, ReduceMaydiffLessdefRejectsMaydiffMiddle) {
+  Assertion A;
+  A.Maydiff.insert(RegT{"x", Tag::Phy});
+  A.Maydiff.insert(RegT{"a", Tag::Phy}); // middle operand may differ
+  Expr E = add(reg("a"), cst(1));
+  A.Src.insert(Pred::lessdef(V(reg("x")), E));
+  A.Tgt.insert(Pred::lessdef(E, V(reg("x"))));
+  Infrule R;
+  R.K = InfruleKind::ReduceMaydiffLessdef;
+  R.Args = {V(reg("x")), E, E};
+  EXPECT_TRUE(applyInfrule(R, A).has_value());
+  EXPECT_TRUE(A.Maydiff.count(RegT{"x", Tag::Phy}));
+}
+
+TEST(RuleTest, FusedRuleForwardAndReverse) {
+  // add_zero with both def directions present concludes both directions.
+  Assertion A;
+  Expr Def = add(reg("a"), cst(0));
+  A.Src.insert(Pred::lessdef(V(reg("y")), Def));
+  A.Src.insert(Pred::lessdef(Def, V(reg("y"))));
+  Infrule R;
+  R.K = InfruleKind::AddZero;
+  R.S = Side::Src;
+  R.Args = {V(reg("y")), V(reg("a"))};
+  EXPECT_FALSE(applyInfrule(R, A).has_value());
+  EXPECT_TRUE(A.Src.count(Pred::lessdef(V(reg("y")), V(reg("a")))));
+  EXPECT_TRUE(A.Src.count(Pred::lessdef(V(reg("a")), V(reg("y")))));
+}
+
+TEST(RuleTest, SubstituteOpRespectsDivisorBan) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(V(reg("a")), V(reg("b"))));
+  Expr Div = Expr::bop(ir::Opcode::SDiv, I32, reg("x"), reg("a"));
+  Infrule R;
+  R.K = InfruleKind::SubstituteOp;
+  R.S = Side::Src;
+  R.Args = {Div, V(cst(1)), V(reg("a")), V(reg("b"))};
+  EXPECT_TRUE(applyInfrule(R, A).has_value()); // divisor position refused
+  Expr Div2 = Expr::bop(ir::Opcode::SDiv, I32, reg("a"), reg("x"));
+  Infrule R2;
+  R2.K = InfruleKind::SubstituteOp;
+  R2.S = Side::Src;
+  R2.Args = {Div2, V(cst(0)), V(reg("a")), V(reg("b"))};
+  EXPECT_FALSE(applyInfrule(R2, A).has_value()); // dividend is fine
+}
+
+TEST(RuleTest, WrongConstantIsRejected) {
+  Assertion A;
+  A.Src.insert(Pred::lessdef(V(reg("x")), add(reg("a"), cst(1))));
+  A.Src.insert(Pred::lessdef(V(reg("y")), add(reg("x"), cst(2))));
+  Infrule R;
+  R.K = InfruleKind::AddAssoc;
+  R.S = Side::Src;
+  R.Args = {V(reg("y")), V(reg("x")), V(reg("a")), V(cst(1)), V(cst(2)),
+            V(cst(4))}; // 1 + 2 != 4
+  auto Err = applyInfrule(R, A);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("constant"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+//===- tests/InterpTest.cpp - Operational-semantics unit tests ---------------===//
+//
+// The reference interpreter is the semantic ground truth for the whole
+// reproduction (it plays Vellvm's role), so its treatment of undef,
+// poison, traps, memory, simultaneous phi assignment (paper §4) and
+// observable traces is tested in detail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "interp/Ops.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::interp;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+RunResult runFn(const std::string &Body, std::vector<int64_t> Args = {},
+                uint64_t Seed = 1) {
+  ir::Module M = parse(Body);
+  InterpOptions Opts;
+  Opts.OracleSeed = Seed;
+  return run(M, M.Funcs.back().Name, Args, Opts);
+}
+
+// --- Pure operations ----------------------------------------------------------
+
+TEST(Ops, IntegerArithmeticWraps) {
+  auto R = evalBinaryOp(ir::Opcode::Add, 8, RtValue::intVal(200, 8),
+                        RtValue::intVal(100, 8));
+  ASSERT_FALSE(R.Trap);
+  EXPECT_EQ(R.V.bits(), (200u + 100u) & 0xff);
+}
+
+TEST(Ops, SignedDivisionSemantics) {
+  EXPECT_TRUE(evalBinaryOp(ir::Opcode::SDiv, 32, RtValue::intVal(4, 32),
+                           RtValue::intVal(0, 32))
+                  .Trap);
+  EXPECT_TRUE(evalBinaryOp(ir::Opcode::SDiv, 32, RtValue::intVal(4, 32),
+                           RtValue::undef())
+                  .Trap);
+  // INT_MIN / -1 overflows.
+  EXPECT_TRUE(evalBinaryOp(ir::Opcode::SDiv, 8, RtValue::intVal(0x80, 8),
+                           RtValue::intVal(0xff, 8))
+                  .Trap);
+  auto R = evalBinaryOp(ir::Opcode::SDiv, 32,
+                        RtValue::intVal(static_cast<uint64_t>(-9), 32),
+                        RtValue::intVal(2, 32));
+  ASSERT_FALSE(R.Trap);
+  EXPECT_EQ(R.V.sext(), -4); // C-style truncation toward zero
+}
+
+TEST(Ops, UndefAndPoisonPropagation) {
+  auto U = evalBinaryOp(ir::Opcode::And, 32, RtValue::undef(),
+                        RtValue::intVal(0, 32));
+  ASSERT_FALSE(U.Trap);
+  EXPECT_TRUE(U.V.isUndef()); // Vellvm-style propagation
+  auto P = evalBinaryOp(ir::Opcode::Add, 32, RtValue::poison(),
+                        RtValue::undef());
+  ASSERT_FALSE(P.Trap);
+  EXPECT_TRUE(P.V.isPoison()); // poison wins over undef
+}
+
+TEST(Ops, OversizedShiftIsPoison) {
+  auto R = evalBinaryOp(ir::Opcode::Shl, 8, RtValue::intVal(1, 8),
+                        RtValue::intVal(8, 8));
+  ASSERT_FALSE(R.Trap);
+  EXPECT_TRUE(R.V.isPoison());
+}
+
+TEST(Ops, PointerIntRoundTrip) {
+  for (int64_t Block : {0, 1, 7})
+    for (int64_t Off : {-2, -1, 0, 1, 5}) {
+      auto I = evalCastOp(ir::Opcode::PtrToInt, ir::Type::intTy(64),
+                          RtValue::ptrVal(Block, Off));
+      ASSERT_FALSE(I.Trap);
+      auto P = evalCastOp(ir::Opcode::IntToPtr, ir::Type::ptrTy(), I.V);
+      ASSERT_FALSE(P.Trap);
+      EXPECT_EQ(P.V.block(), Block) << Block << "+" << Off;
+      EXPECT_EQ(P.V.offset(), Off) << Block << "+" << Off;
+    }
+}
+
+TEST(Ops, PointerDifferenceOfSameGlobalIsZero) {
+  auto A = evalCastOp(ir::Opcode::PtrToInt, ir::Type::intTy(32),
+                      RtValue::ptrVal(3, 0));
+  auto D = evalBinaryOp(ir::Opcode::Sub, 32, A.V, A.V);
+  ASSERT_FALSE(D.Trap);
+  EXPECT_EQ(D.V.bits(), 0u);
+}
+
+TEST(Ops, IcmpSignedness) {
+  RtValue MinusOne = RtValue::intVal(static_cast<uint64_t>(-1), 32);
+  RtValue One = RtValue::intVal(1, 32);
+  EXPECT_EQ(evalIcmpOp(ir::IcmpPred::Slt, MinusOne, One).V.bits(), 1u);
+  EXPECT_EQ(evalIcmpOp(ir::IcmpPred::Ult, MinusOne, One).V.bits(), 0u);
+  EXPECT_TRUE(evalIcmpOp(ir::IcmpPred::Eq, RtValue::undef(), One)
+                  .V.isUndef());
+}
+
+// --- Whole-program behaviors ---------------------------------------------------
+
+TEST(Interp, SimpleReturn) {
+  auto R = runFn(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = mul i32 %a, 3
+  ret i32 %x
+}
+)",
+                 {7});
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_EQ(R.ReturnValue, RtValue::intVal(21, 32));
+}
+
+TEST(Interp, DivisionByZeroIsUB) {
+  auto R = runFn(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = sdiv i32 %a, 0
+  ret i32 %x
+}
+)",
+                 {7});
+  EXPECT_EQ(R.End, Outcome::UndefBehav);
+}
+
+TEST(Interp, BranchOnUndefIsUB) {
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  br i1 undef, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+)");
+  EXPECT_EQ(R.End, Outcome::UndefBehav);
+}
+
+TEST(Interp, AllocaLoadStore) {
+  auto R = runFn(R"(
+define i32 @f(i32 %a) {
+entry:
+  %p = alloca i32, 2
+  %q = gep ptr %p, i64 1
+  store i32 %a, ptr %q
+  %x = load i32, ptr %q
+  ret i32 %x
+}
+)",
+                 {5});
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_EQ(R.ReturnValue, RtValue::intVal(5, 32));
+}
+
+TEST(Interp, UninitializedLoadIsUndef) {
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, 1
+  %x = load i32, ptr %p
+  ret i32 %x
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.ReturnValue.isUndef());
+}
+
+TEST(Interp, OutOfBoundsAccessIsUB) {
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, 2
+  %q = gep ptr %p, i64 5
+  %x = load i32, ptr %q
+  ret i32 %x
+}
+)");
+  EXPECT_EQ(R.End, Outcome::UndefBehav);
+}
+
+TEST(Interp, GepInboundsOutOfRangeIsPoisonNotUB) {
+  // The poison only becomes UB when dereferenced; returning it is fine.
+  auto R = runFn(R"(
+define ptr @f() {
+entry:
+  %p = alloca i32, 2
+  %q = gep inbounds ptr %p, i64 7
+  ret ptr %q
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.ReturnValue.isPoison());
+}
+
+TEST(Interp, GepInboundsOnePastEndIsDefined) {
+  auto R = runFn(R"(
+define ptr @f() {
+entry:
+  %p = alloca i32, 2
+  %q = gep inbounds ptr %p, i64 2
+  ret ptr %q
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.ReturnValue.isPtr());
+}
+
+TEST(Interp, DeadAllocaAccessIsUB) {
+  auto R = runFn(R"(
+define i32 @leak() {
+entry:
+  %p = alloca i32, 1
+  %x = ptrtoint ptr %p to i64
+  %q = inttoptr i64 %x to ptr
+  ret i32 0
+}
+define i32 @f() {
+entry:
+  %r = call i32 @leak()
+  ret i32 %r
+}
+)");
+  EXPECT_EQ(runFn(R"(
+define ptr @inner() {
+entry:
+  %p = alloca i32, 1
+  ret ptr %p
+}
+define i32 @f() {
+entry:
+  %p = call ptr @inner()
+  %x = load i32, ptr %p
+  ret i32 %x
+}
+)")
+                .End,
+            Outcome::UndefBehav);
+  (void)R;
+}
+
+TEST(Interp, PhiNodesExecuteSimultaneously) {
+  // Paper §4: z and w swap through the loop; w must get the OLD z.
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  br label %b2
+b2:
+  %z = phi i32 [ 1, %entry ], [ %w, %b2 ]
+  %w = phi i32 [ 2, %entry ], [ %z, %b2 ]
+  %i = phi i32 [ 0, %entry ], [ %i2, %b2 ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 3
+  br i1 %c, label %b2, label %done
+done:
+  %d = sub i32 %z, %w
+  ret i32 %d
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  // After 3 iterations the pair (z, w) has swapped twice: (1,2) -> (2,1)
+  // -> (1,2); z - w == -1 or 1 depending on the parity, but never 0.
+  EXPECT_NE(R.ReturnValue.sext(), 0);
+}
+
+TEST(Interp, SwitchDispatch) {
+  const char *Text = R"(
+define i32 @f(i32 %v) {
+entry:
+  switch i32 %v, label %d [1: label %a 2: label %b]
+a:
+  ret i32 10
+b:
+  ret i32 20
+d:
+  ret i32 30
+}
+)";
+  EXPECT_EQ(runFn(Text, {1}).ReturnValue, RtValue::intVal(10, 32));
+  EXPECT_EQ(runFn(Text, {2}).ReturnValue, RtValue::intVal(20, 32));
+  EXPECT_EQ(runFn(Text, {9}).ReturnValue, RtValue::intVal(30, 32));
+}
+
+TEST(Interp, ExternalCallsAreTraceEvents) {
+  auto R = runFn(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  call void @sink(i32 %a)
+  call void @sink(i32 7)
+  ret void
+}
+)",
+                 {4});
+  ASSERT_EQ(R.Trace.size(), 2u);
+  EXPECT_EQ(R.Trace[0].Args[0], RtValue::intVal(4, 32));
+  EXPECT_EQ(R.Trace[1].Args[0], RtValue::intVal(7, 32));
+}
+
+TEST(Interp, OracleIsDeterministicPerSeed) {
+  const char *Text = R"(
+declare i32 @get()
+define i32 @f() {
+entry:
+  %x = call i32 @get()
+  ret i32 %x
+}
+)";
+  auto A = runFn(Text, {}, 3);
+  auto B = runFn(Text, {}, 3);
+  auto C = runFn(Text, {}, 4);
+  EXPECT_EQ(A.ReturnValue, B.ReturnValue);
+  // Different seeds usually differ (not guaranteed, but with this seed
+  // pair they do — keep the seeds fixed).
+  EXPECT_NE(A.ReturnValue, C.ReturnValue);
+}
+
+TEST(Interp, InfiniteLoopRunsOutOfFuel) {
+  auto R = runFn(R"(
+define void @f() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+)");
+  EXPECT_EQ(R.End, Outcome::OutOfFuel);
+}
+
+TEST(Interp, LifetimeIntrinsicsAreSilent) {
+  auto R = runFn(R"(
+declare void @llvm.lifetime.start(ptr)
+define i32 @f() {
+entry:
+  %p = alloca i32, 1
+  call void @llvm.lifetime.start(ptr %p)
+  store i32 3, ptr %p
+  %x = load i32, ptr %p
+  ret i32 %x
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.Trace.empty());
+  EXPECT_EQ(R.ReturnValue, RtValue::intVal(3, 32));
+}
+
+// --- Refinement ------------------------------------------------------------------
+
+TEST(Refines, UndefRefinesToAnything) {
+  RunResult S, T;
+  S.End = T.End = Outcome::Returned;
+  S.ReturnValue = RtValue::undef();
+  T.ReturnValue = RtValue::intVal(42, 32);
+  EXPECT_TRUE(refines(S, T));
+  EXPECT_FALSE(refines(T, S));
+}
+
+TEST(Refines, TraceMismatchBreaksRefinement) {
+  RunResult S, T;
+  S.End = T.End = Outcome::Returned;
+  Event E1{"f", {RtValue::intVal(1, 32)}, RtValue::undef()};
+  Event E2{"f", {RtValue::intVal(2, 32)}, RtValue::undef()};
+  S.Trace = {E1};
+  T.Trace = {E2};
+  EXPECT_FALSE(refines(S, T));
+  T.Trace = {E1};
+  EXPECT_TRUE(refines(S, T));
+}
+
+TEST(Refines, SourceUBAllowsAnythingAfterItsTrace) {
+  RunResult S, T;
+  S.End = Outcome::UndefBehav;
+  Event E{"f", {RtValue::intVal(1, 32)}, RtValue::undef()};
+  S.Trace = {E};
+  T.End = Outcome::Returned;
+  T.Trace = {E, E, E};
+  EXPECT_TRUE(refines(S, T));
+  // ... but the target must still exhibit the prefix.
+  T.Trace = {};
+  EXPECT_FALSE(refines(S, T));
+}
+
+TEST(Refines, TargetTrapWhereSourceReturnsIsRejected) {
+  RunResult S, T;
+  S.End = Outcome::Returned;
+  T.End = Outcome::UndefBehav;
+  EXPECT_FALSE(refines(S, T));
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/IrTest.cpp - IR core unit tests --------------------------------===//
+//
+// Types, values (including constant expressions and the canonical
+// sign-extended constant representation), instruction factories, textual
+// round-trips per construct, and parser diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::ir;
+
+namespace {
+
+TEST(Type, Printing) {
+  EXPECT_EQ(Type::voidTy().str(), "void");
+  EXPECT_EQ(Type::intTy(1).str(), "i1");
+  EXPECT_EQ(Type::intTy(64).str(), "i64");
+  EXPECT_EQ(Type::ptrTy().str(), "ptr");
+  EXPECT_EQ(Type::vecTy(4, 32).str(), "<4 x i32>");
+}
+
+TEST(Type, EqualityAndOrder) {
+  EXPECT_EQ(Type::intTy(32), Type::intTy(32));
+  EXPECT_NE(Type::intTy(32), Type::intTy(64));
+  EXPECT_NE(Type::intTy(32), Type::ptrTy());
+  EXPECT_TRUE(Type::intTy(8) < Type::intTy(16) ||
+              Type::intTy(16) < Type::intTy(8));
+}
+
+TEST(Value, ConstIntCanonicalization) {
+  // i1 "1" and i1 "-1" are the same bit pattern and must compare equal.
+  EXPECT_EQ(Value::constInt(1, Type::intTy(1)),
+            Value::constInt(-1, Type::intTy(1)));
+  EXPECT_EQ(Value::constInt(255, Type::intTy(8)),
+            Value::constInt(-1, Type::intTy(8)));
+  EXPECT_EQ(Value::constInt(256, Type::intTy(8)).intValue(), 0);
+  EXPECT_EQ(Value::constInt(130, Type::intTy(8)).intValue(), 130 - 256);
+  EXPECT_EQ(Value::constInt(-5, Type::intTy(64)).intValue(), -5);
+}
+
+TEST(Value, Kinds) {
+  Value R = Value::reg("x", Type::intTy(32));
+  EXPECT_TRUE(R.isReg());
+  EXPECT_EQ(R.regName(), "x");
+  EXPECT_FALSE(R.isConstant());
+  Value G = Value::global("G");
+  EXPECT_TRUE(G.isGlobal());
+  EXPECT_TRUE(G.type().isPtr());
+  EXPECT_TRUE(Value::undef(Type::intTy(8)).isUndef());
+  EXPECT_TRUE(Value::undef(Type::intTy(8)).isConstant());
+}
+
+TEST(Value, ConstExprTrapsDetection) {
+  Type I32 = Type::intTy(32);
+  Value G = Value::global("G");
+  Value P2I = Value::constExpr(Opcode::PtrToInt, I32, {G});
+  EXPECT_FALSE(P2I.mayTrapWhenEvaluated());
+  Value Diff = Value::constExpr(Opcode::Sub, I32, {P2I, P2I});
+  EXPECT_FALSE(Diff.mayTrapWhenEvaluated());
+  Value Div = Value::constExpr(Opcode::SDiv, I32,
+                               {Value::constInt(1, I32), Diff});
+  EXPECT_TRUE(Div.mayTrapWhenEvaluated());
+  // Literal nonzero (and non -1) divisors cannot trap.
+  Value Safe = Value::constExpr(Opcode::SDiv, I32,
+                                {P2I, Value::constInt(7, I32)});
+  EXPECT_FALSE(Safe.mayTrapWhenEvaluated());
+}
+
+TEST(Value, ConstExprPrinting) {
+  Type I32 = Type::intTy(32);
+  Value G = Value::global("G");
+  Value P2I = Value::constExpr(Opcode::PtrToInt, I32, {G});
+  EXPECT_EQ(P2I.str(), "ptrtoint (ptr @G)");
+  Value Sum = Value::constExpr(Opcode::Add, I32,
+                               {P2I, Value::constInt(4, I32)});
+  EXPECT_EQ(Sum.str(), "add (i32 ptrtoint (ptr @G), i32 4)");
+}
+
+TEST(Instruction, ReplaceUses) {
+  Type I32 = Type::intTy(32);
+  Instruction I = Instruction::binary(Opcode::Add, "y", I32,
+                                      Value::reg("x", I32),
+                                      Value::reg("x", I32));
+  EXPECT_EQ(I.replaceUses("x", Value::constInt(3, I32)), 2u);
+  EXPECT_EQ(I.str(), "%y = add i32 3, 3");
+  EXPECT_EQ(I.replaceUses("x", Value::constInt(4, I32)), 0u);
+}
+
+TEST(Instruction, WithResult) {
+  Type I32 = Type::intTy(32);
+  Instruction I = Instruction::binary(Opcode::Mul, "y", I32,
+                                      Value::reg("a", I32),
+                                      Value::reg("b", I32));
+  Instruction J = I.withResult("z");
+  EXPECT_EQ(*J.result(), "z");
+  EXPECT_EQ(J.operands(), I.operands());
+  EXPECT_FALSE(I == J);
+}
+
+TEST(Instruction, TerminatorPredicates) {
+  EXPECT_TRUE(Instruction::br("b").isTerminator());
+  EXPECT_TRUE(Instruction::ret(std::nullopt).isTerminator());
+  EXPECT_TRUE(Instruction::unreachable().isTerminator());
+  EXPECT_FALSE(Instruction::load("x", Type::intTy(8),
+                                 Value::reg("p", Type::ptrTy()))
+                   .isTerminator());
+}
+
+class InstructionRoundTrip : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(InstructionRoundTrip, PrintParsePrint) {
+  std::string Err;
+  auto I = parseInstructionText(GetParam(), &Err);
+  ASSERT_TRUE(I) << Err;
+  EXPECT_EQ(I->str(), GetParam());
+  auto I2 = parseInstructionText(I->str(), &Err);
+  ASSERT_TRUE(I2) << Err;
+  EXPECT_TRUE(*I == *I2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstructs, InstructionRoundTrip,
+    ::testing::Values(
+        "%y = add i32 %a, 1", "%y = sub i8 %a, -2",
+        "%y = mul i64 %a, %b", "%y = sdiv i32 %a, 3",
+        "%y = urem i32 %a, %b", "%y = shl i32 %a, 4",
+        "%y = ashr i32 %a, %b", "%y = xor i1 %a, %b",
+        "%c = icmp slt i32 %a, %b", "%c = icmp eq i64 %a, 10",
+        "%y = select i1 %c, i32 %a, %b",
+        "%y = trunc i64 %a to i32", "%y = zext i8 %a to i64",
+        "%y = sext i16 %a to i32", "%y = ptrtoint ptr %p to i64",
+        "%y = inttoptr i64 %a to ptr", "%y = bitcast i32 %a to i32",
+        "%p = alloca i32, 4", "%x = load i32, ptr %p",
+        "store i32 %x, ptr %p", "%q = gep ptr %p, i64 3",
+        "%q = gep inbounds ptr %p, i64 %i",
+        "%r = call i32 @f(i32 %a, ptr %p)", "call void @g()",
+        "br label %next", "br i1 %c, label %t, label %f",
+        "switch i32 %v, label %d [0: label %a 1: label %b]",
+        "ret i32 %v", "ret void", "unreachable",
+        "%y = add <4 x i32> %a, %b",
+        "store i32 sdiv (i32 1, i32 sub (i32 ptrtoint (ptr @G), i32 "
+        "ptrtoint (ptr @G))), ptr %p"));
+
+TEST(Parser, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(parseModule("define i32 @f( {", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseModule("define i32 @f() {\nentry:\n  %x = frobnicate "
+                           "i32 %a\n  ret i32 %x\n}",
+                           &Err));
+  EXPECT_FALSE(parseModule("declare foo @f()", &Err));
+  EXPECT_FALSE(parseModule("@G = global i32", &Err)); // missing size
+}
+
+TEST(Parser, ReportsLineNumbers) {
+  std::string Err;
+  EXPECT_FALSE(parseModule(
+      "define void @f() {\nentry:\n  %x = bogus i32 1\n}", &Err));
+  EXPECT_NE(Err.find("line 3"), std::string::npos) << Err;
+}
+
+TEST(Parser, ParsesComments) {
+  std::string Err;
+  auto M = parseModule("; header comment\n"
+                       "define void @f() { ; trailing\n"
+                       "entry: ; block\n"
+                       "  ret void\n}",
+                       &Err);
+  ASSERT_TRUE(M) << Err;
+  EXPECT_EQ(M->Funcs[0].Blocks.size(), 1u);
+}
+
+TEST(Module, Lookups) {
+  std::string Err;
+  auto M = parseModule(R"(
+@G = global i32, 2
+declare i32 @ext(i32)
+define void @f() {
+entry:
+  ret void
+}
+)",
+                       &Err);
+  ASSERT_TRUE(M) << Err;
+  EXPECT_NE(M->getFunction("f"), nullptr);
+  EXPECT_EQ(M->getFunction("nope"), nullptr);
+  ASSERT_NE(M->getGlobal("G"), nullptr);
+  EXPECT_EQ(M->getGlobal("G")->Size, 2u);
+  ASSERT_NE(M->getDecl("ext"), nullptr);
+  EXPECT_EQ(M->getDecl("ext")->ParamTys.size(), 1u);
+}
+
+TEST(Function, FindDef) {
+  std::string Err;
+  auto M = parseModule(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  br label %next
+next:
+  %p = phi i32 [ %x, %entry ]
+  ret i32 %p
+}
+)",
+                       &Err);
+  ASSERT_TRUE(M) << Err;
+  const Function &F = M->Funcs[0];
+  std::string Blk;
+  size_t Idx;
+  ASSERT_TRUE(F.findDef("x", Blk, Idx));
+  EXPECT_EQ(Blk, "entry");
+  EXPECT_EQ(Idx, 0u);
+  ASSERT_TRUE(F.findDef("p", Blk, Idx));
+  EXPECT_EQ(Blk, "next");
+  EXPECT_EQ(Idx, ~size_t(0)); // phi definition
+  ASSERT_TRUE(F.findDef("a", Blk, Idx));
+  EXPECT_TRUE(Blk.empty()); // parameter
+  EXPECT_FALSE(F.findDef("nope", Blk, Idx));
+}
+
+TEST(IRBuilderApi, BuildsAWellFormedFunction) {
+  Function F;
+  F.Name = "built";
+  F.RetTy = Type::intTy(32);
+  F.Params.push_back(Param{"a", Type::intTy(32)});
+  IRBuilder B(F);
+  B.block("entry");
+  Value X = B.binary(Opcode::Add, "x", B.reg("a", Type::intTy(32)),
+                     B.i32(1));
+  B.condBr(B.icmp("c", IcmpPred::Slt, X, B.i32(10)), "then", "els");
+  B.block("then");
+  B.br("join");
+  B.block("els");
+  B.br("join");
+  B.block("join");
+  Value M = B.phi("m", Type::intTy(32), {{"then", X}, {"els", B.i32(0)}});
+  B.ret(M);
+  // Round-trip through text.
+  std::string Err;
+  Module Mod;
+  Mod.Funcs.push_back(F);
+  auto Back = parseModule(printModule(Mod), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(printModule(*Back), printModule(Mod));
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/JsonTest.cpp - JSON library unit tests ---------------------------===//
+
+#include "json/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm::json;
+
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Value().write(), "null");
+  EXPECT_EQ(Value(true).write(), "true");
+  EXPECT_EQ(Value(false).write(), "false");
+  EXPECT_EQ(Value(int64_t(-42)).write(), "-42");
+  EXPECT_EQ(Value("hi").write(), "\"hi\"");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  Value V(std::string("a\"b\\c\nd\te"));
+  std::string W = V.write();
+  std::string Err;
+  auto Back = parse(W, &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->getString(), V.getString());
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Value O = Value::object();
+  O.set("z", 1);
+  O.set("a", 2);
+  O.set("z", 3); // overwrite keeps position
+  EXPECT_EQ(O.write(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(Json, NestedStructures) {
+  Value Arr = Value::array();
+  Arr.push(Value(int64_t(1)));
+  Value Inner = Value::object();
+  Inner.set("k", "v");
+  Arr.push(std::move(Inner));
+  Value Root = Value::object();
+  Root.set("xs", std::move(Arr));
+  std::string W = Root.write();
+  EXPECT_EQ(W, "{\"xs\":[1,{\"k\":\"v\"}]}");
+  std::string Err;
+  auto Back = parse(W, &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->write(), W);
+}
+
+TEST(Json, ParsesWhitespaceAndFindMissing) {
+  std::string Err;
+  auto V = parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ", &Err);
+  ASSERT_TRUE(V) << Err;
+  EXPECT_EQ(V->get("a").size(), 2u);
+  EXPECT_TRUE(V->get("b").isNull());
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformed) {
+  std::string Err;
+  EXPECT_FALSE(parse("{", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parse("[1,]", &Err));
+  EXPECT_FALSE(parse("{\"a\" 1}", &Err));
+  EXPECT_FALSE(parse("\"unterminated", &Err));
+  EXPECT_FALSE(parse("1 2", &Err)); // trailing tokens
+  EXPECT_FALSE(parse("nul", &Err));
+}
+
+// The read accessors are total on untrusted input: a kind mismatch or a
+// missing key yields a harmless default instead of UB (asserts fire in
+// debug builds only — release builds parse hostile proof files). These
+// tests run meaningfully in -DNDEBUG configurations.
+#ifdef NDEBUG
+TEST(Json, AccessorsFailSoftOnKindMismatch) {
+  Value S("a string");
+  EXPECT_FALSE(S.getBool());
+  EXPECT_EQ(S.getInt(), 0);
+  EXPECT_TRUE(S.elements().empty());
+  EXPECT_TRUE(S.members().empty());
+  EXPECT_TRUE(S.find("k") == nullptr);
+  EXPECT_TRUE(S.get("k").isNull());
+  Value N(int64_t(7));
+  EXPECT_TRUE(N.getString().empty());
+  Value Arr = Value::array();
+  Arr.push(Value(int64_t(1)));
+  EXPECT_TRUE(Arr.at(5).isNull()); // out of range
+}
+
+TEST(Json, MissingObjectKeyYieldsNull) {
+  Value O = Value::object();
+  O.set("present", Value(true));
+  EXPECT_TRUE(O.get("absent").isNull());
+  EXPECT_TRUE(O.find("absent") == nullptr);
+}
+
+TEST(Json, MutatorsFailSoftOnKindMismatch) {
+  Value N(int64_t(1));
+  N.set("k", Value(true)); // no-op, not UB
+  EXPECT_EQ(N.getInt(), 1);
+  Value S("x");
+  S.push(Value(false)); // no-op
+  EXPECT_EQ(S.getString(), "x");
+}
+#endif
+
+TEST(Json, LargeIntegers) {
+  std::string Err;
+  auto V = parse("[9223372036854775807,-9223372036854775808]", &Err);
+  ASSERT_TRUE(V) << Err;
+  EXPECT_EQ(V->at(0).getInt(), INT64_MAX);
+  EXPECT_EQ(V->at(1).getInt(), INT64_MIN);
+}
+
+} // namespace

@@ -1,0 +1,756 @@
+//===- tests/PassEdgeCasesTest.cpp - Pass corner cases -------------------------===//
+//
+// Edge cases per pass: promotability boundaries and chained promotions
+// for mem2reg, value-numbering shapes and PRE insertion for gvn, nested
+// loops and hoist chains for licm, and pipeline fixpoints for
+// instcombine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "checker/Validator.h"
+#include "interp/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/InstCombine.h"
+#include "passes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(*M, VErrs))
+      << (VErrs.empty() ? "" : VErrs[0]);
+  return *M;
+}
+
+struct Outcome {
+  PassResult PR;
+  checker::ModuleResult VR;
+};
+
+Outcome runValidated(const std::string &PassName, const ir::Module &Src,
+                     const BugConfig &Bugs = BugConfig::fixed()) {
+  auto P = makePass(PassName, Bugs);
+  Outcome O;
+  O.PR = P->run(Src, true);
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(O.PR.Tgt, VErrs))
+      << PassName << ": " << (VErrs.empty() ? "" : VErrs[0]) << "\n"
+      << ir::printModule(O.PR.Tgt);
+  O.VR = checker::validate(Src, O.PR.Tgt, O.PR.Proof);
+  return O;
+}
+
+void expectRefines(const ir::Module &Src, const ir::Module &Tgt) {
+  for (const ir::Function &F : Src.Funcs)
+    for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+      interp::InterpOptions Opts;
+      Opts.OracleSeed = Seed;
+      auto RS = interp::run(Src, F.Name, {3, 5, 1}, Opts);
+      auto RT = interp::run(Tgt, F.Name, {3, 5, 1}, Opts);
+      EXPECT_TRUE(interp::refines(RS, RT)) << "@" << F.Name;
+    }
+}
+
+// --- mem2reg -------------------------------------------------------------------
+
+TEST(Mem2RegEdge, EscapedPointerIsNotPromoted) {
+  ir::Module Src = parse(R"(
+declare void @takes(ptr)
+define void @f() {
+entry:
+  %p = alloca i32, 1
+  store i32 1, ptr %p
+  call void @takes(ptr %p)
+  ret void
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  EXPECT_NE(ir::printModule(O.PR.Tgt).find("alloca"), std::string::npos);
+}
+
+TEST(Mem2RegEdge, MultiCellAllocaIsNotPromoted) {
+  ir::Module Src = parse(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, 4
+  store i32 1, ptr %p
+  %x = load i32, ptr %p
+  ret i32 %x
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+}
+
+TEST(Mem2RegEdge, NonEntryAllocaIsNotPromoted) {
+  ir::Module Src = parse(R"(
+define i32 @f() {
+entry:
+  br label %next
+next:
+  %p = alloca i32, 1
+  store i32 1, ptr %p
+  %x = load i32, ptr %p
+  ret i32 %x
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+}
+
+TEST(Mem2RegEdge, ChainedPromotionThroughStoredLoad) {
+  // p2 stores the value loaded from p1: the second promotion's hints must
+  // route through the first one's ghost (the LoadGhosts machinery).
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %p1 = alloca i32, 1
+  %p2 = alloca i32, 1
+  store i32 %a, ptr %p1
+  %v1 = load i32, ptr %p1
+  store i32 %v1, ptr %p2
+  %v2 = load i32, ptr %p2
+  call void @sink(i32 %v2)
+  ret void
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 2u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  EXPECT_EQ(ir::printModule(O.PR.Tgt).find("alloca"), std::string::npos);
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(Mem2RegEdge, OtherMemoryTrafficSurvivesPromotion) {
+  ir::Module Src = parse(R"(
+@G = global i32, 1
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %p = alloca i32, 1
+  store i32 %a, ptr %p
+  store i32 7, ptr @G
+  %v = load i32, ptr %p
+  %g = load i32, ptr @G
+  call void @sink(i32 %v)
+  call void @sink(i32 %g)
+  ret void
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 1u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  // The global store/load pair is untouched.
+  EXPECT_NE(ir::printModule(O.PR.Tgt).find("store i32 7, ptr @G"),
+            std::string::npos);
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(Mem2RegEdge, DiamondWithStoresInBothBranches) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i1 %c, i32 %a, i32 %b) {
+entry:
+  %p = alloca i32, 1
+  br i1 %c, label %l, label %r
+l:
+  store i32 %a, ptr %p
+  br label %j
+r:
+  store i32 %b, ptr %p
+  br label %j
+j:
+  %v = load i32, ptr %p
+  call void @sink(i32 %v)
+  ret void
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 1u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  // A phi was inserted at the join.
+  EXPECT_NE(ir::printModule(O.PR.Tgt).find("phi"), std::string::npos);
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(Mem2RegEdge, LifetimeIntrinsicsMakeTheFunctionNS) {
+  ir::Module Src = parse(R"(
+declare void @llvm.lifetime.start(ptr)
+declare void @llvm.lifetime.end(ptr)
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %p = alloca i32, 1
+  call void @llvm.lifetime.start(ptr %p)
+  store i32 %a, ptr %p
+  %v = load i32, ptr %p
+  call void @sink(i32 %v)
+  call void @llvm.lifetime.end(ptr %p)
+  ret void
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_EQ(O.PR.Rewrites, 1u); // promoted anyway
+  EXPECT_EQ(O.VR.countNotSupported(), 1u);
+  expectRefines(Src, O.PR.Tgt);
+}
+
+// --- gvn ------------------------------------------------------------------------
+
+TEST(GvnEdge, NumbersIcmpSelectAndCasts) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp slt i32 %a, %b
+  %s1 = select i1 %c1, i32 %a, %b
+  %c2 = icmp slt i32 %a, %b
+  %s2 = select i1 %c2, i32 %a, %b
+  %z1 = zext i32 %a to i64
+  %z2 = zext i32 %a to i64
+  %t = trunc i64 %z2 to i32
+  call void @sink(i32 %s1)
+  call void @sink(i32 %s2)
+  call void @sink(i32 %t)
+  ret void
+}
+)");
+  auto O = runValidated("gvn", Src);
+  // c2 and z2 merge; s2 and t have replaced operands and wait for the
+  // next pipeline round (one merge per chain per run).
+  EXPECT_EQ(O.PR.Rewrites, 2u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(GvnEdge, NoMergeAcrossNonDominatingBlocks) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i1 %c, i32 %a) {
+entry:
+  br i1 %c, label %l, label %r
+l:
+  %x1 = mul i32 %a, 3
+  call void @sink(i32 %x1)
+  br label %j
+r:
+  %x2 = mul i32 %a, 3
+  call void @sink(i32 %x2)
+  br label %j
+j:
+  ret void
+}
+)");
+  // Neither branch dominates the other; full redundancy cannot fire, and
+  // the join has no redundant instruction to PRE.
+  auto O = runValidated("gvn", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+}
+
+TEST(GvnEdge, PREInsertsIntoTheMissingPredecessor) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i1 %c, i32 %a, i32 %b) {
+entry:
+  br i1 %c, label %l, label %r
+l:
+  %x1 = mul i32 %a, %b
+  call void @sink(i32 %x1)
+  br label %j
+r:
+  br label %j
+j:
+  %x3 = mul i32 %a, %b
+  call void @sink(i32 %x3)
+  ret void
+}
+)");
+  auto O = runValidated("gvn", Src);
+  EXPECT_EQ(O.PR.Rewrites, 1u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  // The expression moved into %r and a phi appeared at %j.
+  std::string T = ir::printModule(O.PR.Tgt);
+  EXPECT_NE(T.find("phi"), std::string::npos);
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(GvnEdge, LeaderInSameBlock) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %x = add i32 %a, %a
+  %y = add i32 %a, %a
+  call void @sink(i32 %x)
+  call void @sink(i32 %y)
+  ret void
+}
+)");
+  auto O = runValidated("gvn", Src);
+  EXPECT_EQ(O.PR.Rewrites, 1u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(GvnEdge, CallsAndLoadsAreNotNumbered) {
+  // processLoad is outside the paper's coverage (alias analysis); calls
+  // are side-effecting.
+  ir::Module Src = parse(R"(
+@G = global i32, 1
+declare i32 @get()
+declare void @sink(i32)
+define void @f() {
+entry:
+  %x1 = call i32 @get()
+  %x2 = call i32 @get()
+  %l1 = load i32, ptr @G
+  %l2 = load i32, ptr @G
+  call void @sink(i32 %x1)
+  call void @sink(i32 %x2)
+  call void @sink(i32 %l1)
+  call void @sink(i32 %l2)
+  ret void
+}
+)");
+  auto O = runValidated("gvn", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+}
+
+// --- licm -----------------------------------------------------------------------
+
+TEST(LicmEdge, HoistsDependentChains) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define void @f(i32 %a, i32 %b) {
+entry:
+  br label %h
+h:
+  %x = mul i32 %a, %b
+  %y = add i32 %x, 7
+  call void @sink(i32 %y)
+  %c = call i1 @cond()
+  br i1 %c, label %h, label %done
+done:
+  ret void
+}
+)");
+  auto O = runValidated("licm", Src);
+  EXPECT_EQ(O.PR.Rewrites, 2u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  // Both now sit in the entry block.
+  const ir::Function *F = O.PR.Tgt.getFunction("f");
+  EXPECT_EQ(F->Blocks[0].Insts.size(), 3u); // mul, add, br
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(LicmEdge, SkipsLoopVaryingValues) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare i32 @get()
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  br label %h
+h:
+  %v = call i32 @get()
+  %x = mul i32 %v, %a
+  call void @sink(i32 %x)
+  %c = call i1 @cond()
+  br i1 %c, label %h, label %done
+done:
+  ret void
+}
+)");
+  auto O = runValidated("licm", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+}
+
+TEST(LicmEdge, SkipsBlocksNotDominatingTheLatch) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define void @f(i32 %a, i32 %b) {
+entry:
+  br label %h
+h:
+  %c1 = call i1 @cond()
+  br i1 %c1, label %maybe, label %latch
+maybe:
+  %x = mul i32 %a, %b
+  call void @sink(i32 %x)
+  br label %latch
+latch:
+  %c2 = call i1 @cond()
+  br i1 %c2, label %h, label %done
+done:
+  ret void
+}
+)");
+  // %maybe does not dominate the latch: hoisting x would compute it on
+  // iterations where the source does not (our conservative criterion).
+  auto O = runValidated("licm", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+}
+
+TEST(LicmEdge, NestedLoopsHoistToInnerPreheader) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define void @f(i32 %a, i32 %b) {
+entry:
+  br label %oh
+oh:
+  %vo = call i1 @cond()
+  br i1 %vo, label %ipre, label %done
+ipre:
+  br label %ih
+ih:
+  %x = mul i32 %a, %b
+  call void @sink(i32 %x)
+  %vi = call i1 @cond()
+  br i1 %vi, label %ih, label %oh_latch
+oh_latch:
+  br label %oh
+done:
+  ret void
+}
+)");
+  auto O = runValidated("licm", Src);
+  EXPECT_GE(O.PR.Rewrites, 1u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  // x is invariant for the *outer* loop too and its block dominates the
+  // outer latch, so it hoists all the way to the function entry.
+  const ir::Function *F = O.PR.Tgt.getFunction("f");
+  EXPECT_EQ(F->Blocks[0].Insts.size(), 2u); // mul + br
+  expectRefines(Src, O.PR.Tgt);
+}
+
+// --- fold-phi (paper §4) -------------------------------------------------------------
+
+TEST(FoldPhiEdge, SinksAdditionBelowLoopPhi) {
+  // The §4 running example, through the pass: z's new value depends on
+  // its old value across the back edge.
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  br label %header
+header:
+  %z = phi i32 [ %x, %entry ], [ %y, %latch ]
+  %c = call i1 @cond()
+  br i1 %c, label %latch, label %done
+latch:
+  %y = add i32 %z, 1
+  br label %header
+done:
+  call void @sink(i32 %z)
+  ret i32 %z
+}
+)");
+  InstCombine IC{BugConfig::fixed()};
+  PassResult PR = IC.run(Src, true);
+  auto It = IC.rewriteCounts().find("fold-phi-bin-const");
+  ASSERT_TRUE(It != IC.rewriteCounts().end() && It->second == 1)
+      << ir::printModule(PR.Tgt);
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(PR.Tgt, VErrs))
+      << (VErrs.empty() ? "" : VErrs[0]) << "\n" << ir::printModule(PR.Tgt);
+  EXPECT_EQ(checker::validate(Src, PR.Tgt, PR.Proof).countFailed(), 0u)
+      << checker::validate(Src, PR.Tgt, PR.Proof).firstFailure();
+  // The phi now merges the *operands*; z is computed by a block command.
+  std::string Out = ir::printModule(PR.Tgt);
+  EXPECT_NE(Out.find("%z = add i32 %z.fphi, 1"), std::string::npos) << Out;
+  expectRefines(Src, PR.Tgt);
+}
+
+TEST(FoldPhiEdge, MultiUseIncomingValueBlocksTheFold) {
+  // %x1 feeds both the phi and the sink: folding would recompute it.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %l, label %m
+l:
+  %x1 = add i32 %a, 7
+  call void @sink(i32 %x1)
+  br label %join
+m:
+  %x2 = add i32 %b, 7
+  br label %join
+join:
+  %r = phi i32 [ %x1, %l ], [ %x2, %m ]
+  ret i32 %r
+}
+)");
+  InstCombine IC{BugConfig::fixed()};
+  PassResult PR = IC.run(Src, true);
+  EXPECT_FALSE(IC.rewriteCounts().count("fold-phi-bin-const"));
+  EXPECT_EQ(checker::validate(Src, PR.Tgt, PR.Proof).countFailed(), 0u);
+}
+
+TEST(FoldPhiEdge, MismatchedConstantsBlockTheFold) {
+  ir::Module Src = parse(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %l, label %m
+l:
+  %x1 = add i32 %a, 7
+  br label %join
+m:
+  %x2 = add i32 %b, 8
+  br label %join
+join:
+  %r = phi i32 [ %x1, %l ], [ %x2, %m ]
+  ret i32 %r
+}
+)");
+  InstCombine IC{BugConfig::fixed()};
+  PassResult PR = IC.run(Src, true);
+  EXPECT_FALSE(IC.rewriteCounts().count("fold-phi-bin-const"));
+  EXPECT_EQ(checker::validate(Src, PR.Tgt, PR.Proof).countFailed(), 0u);
+}
+
+TEST(FoldPhiEdge, TrappingOperatorIsNeverSunk) {
+  // Sinking an sdiv below the phi would speculate it on paths where the
+  // source never executed a division.
+  ir::Module Src = parse(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %l, label %m
+l:
+  %x1 = sdiv i32 %a, 4
+  br label %join
+m:
+  %x2 = sdiv i32 %b, 4
+  br label %join
+join:
+  %r = phi i32 [ %x1, %l ], [ %x2, %m ]
+  ret i32 %r
+}
+)");
+  InstCombine IC{BugConfig::fixed()};
+  PassResult PR = IC.run(Src, true);
+  EXPECT_FALSE(IC.rewriteCounts().count("fold-phi-bin-const"));
+  EXPECT_EQ(checker::validate(Src, PR.Tgt, PR.Proof).countFailed(), 0u);
+}
+
+TEST(FoldPhiEdge, ThreeWayPhiFoldsAllEdges) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %l, label %m
+l:
+  %x1 = xor i32 %a, 12
+  br label %join
+m:
+  %c2 = icmp eq i32 %a, %b
+  br i1 %c2, label %n, label %join2
+n:
+  %x2 = xor i32 %b, 12
+  br label %join
+join2:
+  %x3 = xor i32 %a, 12
+  br label %join
+join:
+  %r = phi i32 [ %x1, %l ], [ %x2, %n ], [ %x3, %join2 ]
+  ret i32 %r
+}
+)");
+  InstCombine IC{BugConfig::fixed()};
+  PassResult PR = IC.run(Src, true);
+  auto It = IC.rewriteCounts().find("fold-phi-bin-const");
+  ASSERT_TRUE(It != IC.rewriteCounts().end() && It->second == 1)
+      << ir::printModule(PR.Tgt);
+  EXPECT_EQ(checker::validate(Src, PR.Tgt, PR.Proof).countFailed(), 0u)
+      << checker::validate(Src, PR.Tgt, PR.Proof).firstFailure();
+  expectRefines(Src, PR.Tgt);
+}
+
+// --- switch terminators --------------------------------------------------------------
+
+TEST(SwitchEdge, FoldPhiAcrossSwitchEdges) {
+  // The phi's predecessors arrive through a switch, not branches; the
+  // per-edge ghost bindings must name the right incoming blocks.
+  ir::Module Src = parse(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  switch i32 %a, label %dflt [0: label %c0 1: label %c1]
+c0:
+  %x0 = add i32 %a, 9
+  br label %join
+c1:
+  %x1 = add i32 %b, 9
+  br label %join
+dflt:
+  %x2 = add i32 %b, 9
+  br label %join
+join:
+  %r = phi i32 [ %x0, %c0 ], [ %x1, %c1 ], [ %x2, %dflt ]
+  ret i32 %r
+}
+)");
+  InstCombine IC{BugConfig::fixed()};
+  PassResult PR = IC.run(Src, true);
+  ASSERT_TRUE(IC.rewriteCounts().count("fold-phi-bin-const"));
+  EXPECT_EQ(checker::validate(Src, PR.Tgt, PR.Proof).countFailed(), 0u)
+      << checker::validate(Src, PR.Tgt, PR.Proof).firstFailure();
+  expectRefines(Src, PR.Tgt);
+}
+
+TEST(SwitchEdge, GvnMergesAcrossSwitch) {
+  // The same expression computed before and after a switch: full
+  // redundancy elimination across the multi-way terminator.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  switch i32 %a, label %dflt [0: label %c0]
+c0:
+  %y = add i32 %a, %b
+  call void @sink(i32 %y)
+  br label %dflt
+dflt:
+  ret i32 %x
+}
+)");
+  auto O = runValidated("gvn", Src);
+  EXPECT_GT(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(SwitchEdge, Mem2RegPromotesThroughSwitch) {
+  // A store reaching loads through every switch edge must promote to the
+  // same phi web a diamond would produce.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a) {
+entry:
+  %p = alloca i32, 1
+  store i32 %a, ptr %p
+  switch i32 %a, label %dflt [3: label %c0]
+c0:
+  store i32 7, ptr %p
+  br label %dflt
+dflt:
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+)");
+  auto O = runValidated("mem2reg", Src);
+  EXPECT_GT(O.PR.Rewrites, 0u);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  EXPECT_EQ(ir::printModule(O.PR.Tgt).find("alloca"), std::string::npos);
+  expectRefines(Src, O.PR.Tgt);
+}
+
+TEST(SwitchEdge, PipelineOverSwitchHeavyModuleValidates) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %q = alloca i32, 1
+  store i32 %b, ptr %q
+  switch i32 %a, label %d [0: label %z 5: label %o]
+z:
+  %vz = load i32, ptr %q
+  %xz = add i32 %vz, 0
+  br label %d
+o:
+  %xo = mul i32 %b, 1
+  br label %d
+d:
+  %m = phi i32 [ %xz, %z ], [ %xo, %o ], [ %b, %entry ]
+  call void @sink(i32 %m)
+  ret i32 %m
+}
+)");
+  ir::Module Cur = Src;
+  for (auto &P : makeO2Pipeline(BugConfig::fixed())) {
+    PassResult PR = P->run(Cur, true);
+    auto VR = checker::validate(Cur, PR.Tgt, PR.Proof);
+    EXPECT_EQ(VR.countFailed(), 0u) << P->name() << ": " << VR.firstFailure();
+    Cur = PR.Tgt;
+  }
+  expectRefines(Src, Cur);
+}
+
+// --- pipeline fixpoints -------------------------------------------------------------
+
+TEST(PipelineEdge, CommCanonicalizationFeedsTheNextRound) {
+  // Round 1 moves the constant right; round 2 strength-reduces to shl.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %y = mul i32 4, %a
+  call void @sink(i32 %y)
+  ret void
+}
+)");
+  InstCombine First{BugConfig::fixed()};
+  PassResult R1 = First.run(Src, true);
+  ASSERT_TRUE(First.rewriteCounts().count("comm-canonicalize"));
+  EXPECT_EQ(checker::validate(Src, R1.Tgt, R1.Proof).countFailed(), 0u);
+  InstCombine Second{BugConfig::fixed()};
+  PassResult R2 = Second.run(R1.Tgt, true);
+  ASSERT_TRUE(Second.rewriteCounts().count("mul-shl"));
+  EXPECT_EQ(checker::validate(R1.Tgt, R2.Tgt, R2.Proof).countFailed(), 0u);
+  EXPECT_NE(ir::printModule(R2.Tgt).find("shl i32 %a, 2"),
+            std::string::npos);
+  expectRefines(Src, R2.Tgt);
+}
+
+TEST(PipelineEdge, SecondInstcombineRoundCatchesChains) {
+  // The first round folds y; the second folds the now-exposed z.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %y = add i32 %a, 0
+  %z = add i32 %y, 0
+  call void @sink(i32 %z)
+  ret void
+}
+)");
+  InstCombine First{BugConfig::fixed()};
+  PassResult R1 = First.run(Src, true);
+  EXPECT_EQ(checker::validate(Src, R1.Tgt, R1.Proof).countFailed(), 0u);
+  InstCombine Second{BugConfig::fixed()};
+  PassResult R2 = Second.run(R1.Tgt, true);
+  EXPECT_EQ(checker::validate(R1.Tgt, R2.Tgt, R2.Proof).countFailed(), 0u);
+  EXPECT_GE(R1.Rewrites + R2.Rewrites, 2u);
+  // Fully folded: sink receives %a directly.
+  EXPECT_NE(ir::printModule(R2.Tgt).find("call void @sink(i32 %a)"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,432 @@
+//===- tests/PassValidationTest.cpp - Pass + proof + checker e2e -----------===//
+//
+// For each optimization pass: run it with proof generation on hand-written
+// programs, check that the proof validates, that the target module is
+// well-formed, and that the target refines the source under the
+// interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "checker/Validator.h"
+#include "interp/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(*M, VErrs))
+      << (VErrs.empty() ? "" : VErrs[0]);
+  return *M;
+}
+
+struct RunOutcome {
+  PassResult PR;
+  checker::ModuleResult VR;
+};
+
+RunOutcome runPass(const std::string &PassName, const ir::Module &Src,
+                   const BugConfig &Bugs = BugConfig::fixed()) {
+  auto P = makePass(PassName, Bugs);
+  EXPECT_TRUE(P);
+  RunOutcome Out;
+  Out.PR = P->run(Src, /*GenProof=*/true);
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(Out.PR.Tgt, VErrs))
+      << "target ill-formed: " << (VErrs.empty() ? "" : VErrs[0]) << "\n"
+      << ir::printModule(Out.PR.Tgt);
+  Out.VR = checker::validate(Src, Out.PR.Tgt, Out.PR.Proof);
+  return Out;
+}
+
+void expectRefines(const ir::Module &Src, const ir::Module &Tgt,
+                   const std::string &Fn, std::vector<int64_t> Args) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    interp::InterpOptions Opts;
+    Opts.OracleSeed = Seed;
+    auto RS = interp::run(Src, Fn, Args, Opts);
+    auto RT = interp::run(Tgt, Fn, Args, Opts);
+    EXPECT_TRUE(interp::refines(RS, RT))
+        << "refinement broken for seed " << Seed << "\nsrc: "
+        << (RS.Trace.empty() ? "(no events)" : RS.Trace[0].str())
+        << "\ntgt: "
+        << (RT.Trace.empty() ? "(no events)" : RT.Trace[0].str());
+  }
+}
+
+// --- instcombine ----------------------------------------------------------
+
+TEST(InstCombineValidation, AssocAdd) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = add i32 %x, 2
+  call void @sink(i32 %y)
+  ret void
+}
+)");
+  auto Out = runPass("instcombine", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "f", {7});
+}
+
+TEST(InstCombineValidation, FoldAddZeroWithUses) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @g(i32 %a) {
+entry:
+  %y = add i32 %a, 0
+  call void @sink(i32 %y)
+  ret i32 %y
+}
+)");
+  auto Out = runPass("instcombine", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "g", {5});
+}
+
+TEST(InstCombineValidation, FoldAcrossPhi) {
+  ir::Module Src = parse(R"(
+define i32 @h(i1 %c, i32 %a) {
+entry:
+  %y = and i32 %a, -1
+  br i1 %c, label %l, label %r
+l:
+  br label %exit
+r:
+  br label %exit
+exit:
+  %m = phi i32 [ %y, %l ], [ 3, %r ]
+  ret i32 %m
+}
+)");
+  auto Out = runPass("instcombine", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "h", {0, 9});
+  expectRefines(Src, Out.PR.Tgt, "h", {1, 9});
+}
+
+TEST(InstCombineValidation, DeMorgan) {
+  ir::Module Src = parse(R"(
+define i32 @dm(i32 %a, i32 %b) {
+entry:
+  %na = xor i32 %a, -1
+  %nb = xor i32 %b, -1
+  %z = and i32 %na, %nb
+  ret i32 %z
+}
+)");
+  auto Out = runPass("instcombine", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "dm", {6, 12});
+}
+
+TEST(InstCombineValidation, ManyFoldsValidate) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @many(i32 %a, i32 %b) {
+entry:
+  %t1 = sub i32 %a, %a
+  %t2 = mul i32 %b, 8
+  %t3 = or i32 %a, 0
+  %t4 = xor i32 %b, %b
+  %t5 = add i32 %t2, 4
+  call void @sink(i32 %t1)
+  call void @sink(i32 %t2)
+  call void @sink(i32 %t3)
+  call void @sink(i32 %t4)
+  call void @sink(i32 %t5)
+  ret void
+}
+)");
+  auto Out = runPass("instcombine", Src);
+  EXPECT_GE(Out.PR.Rewrites, 4u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "many", {3, 4});
+}
+
+// --- mem2reg ----------------------------------------------------------------
+
+TEST(Mem2RegValidation, PaperFigure3) {
+  ir::Module Src = parse(R"(
+declare void @foo(i32)
+define void @m(i1 %c, i32 %x, ptr %q) {
+entry:
+  %p = alloca i32, 1
+  store i32 42, ptr %p
+  br i1 %c, label %left, label %right
+left:
+  %a = load i32, ptr %p
+  call void @foo(i32 %a)
+  br label %exit
+right:
+  store i32 %x, ptr %p
+  store i32 %x, ptr %q
+  br label %exit
+exit:
+  %b = load i32, ptr %p
+  store i32 %b, ptr %q
+  ret void
+}
+)");
+  auto Out = runPass("mem2reg", Src);
+  EXPECT_EQ(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  // The alloca is gone from the target.
+  EXPECT_EQ(ir::printModule(Out.PR.Tgt).find("alloca"), std::string::npos);
+  expectRefines(Src, Out.PR.Tgt, "m", {0, 11});
+  expectRefines(Src, Out.PR.Tgt, "m", {1, 11});
+}
+
+TEST(Mem2RegValidation, SingleStoreDominatingLoads) {
+  ir::Module Src = parse(R"(
+declare void @foo(i32)
+define void @s(i32 %x) {
+entry:
+  %p = alloca i32, 1
+  store i32 %x, ptr %p
+  %a = load i32, ptr %p
+  call void @foo(i32 %a)
+  ret void
+}
+)");
+  auto Out = runPass("mem2reg", Src);
+  EXPECT_EQ(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "s", {13});
+}
+
+TEST(Mem2RegValidation, LoadOfUninitialized) {
+  ir::Module Src = parse(R"(
+declare void @foo(i32)
+define void @u() {
+entry:
+  %p = alloca i32, 1
+  %a = load i32, ptr %p
+  call void @foo(i32 %a)
+  ret void
+}
+)");
+  auto Out = runPass("mem2reg", Src);
+  EXPECT_EQ(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "u", {});
+}
+
+TEST(Mem2RegValidation, StoreInLoop) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @foo(i32)
+define void @lp(i32 %x) {
+entry:
+  %p = alloca i32, 1
+  store i32 0, ptr %p
+  br label %header
+header:
+  %v = load i32, ptr %p
+  call void @foo(i32 %v)
+  %v2 = add i32 %v, 1
+  store i32 %v2, ptr %p
+  %c = call i1 @cond()
+  br i1 %c, label %header, label %done
+done:
+  %f = load i32, ptr %p
+  call void @foo(i32 %f)
+  ret void
+}
+)");
+  auto Out = runPass("mem2reg", Src);
+  EXPECT_EQ(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "lp", {4});
+}
+
+// --- gvn --------------------------------------------------------------------
+
+TEST(GvnValidation, FullRedundancy) {
+  ir::Module Src = parse(R"(
+define i32 @gv(i32 %n) {
+entry:
+  %x1 = sub i32 %n, 2
+  %y1 = add i32 %x1, 1
+  %x2 = sub i32 %n, 2
+  %s = add i32 %y1, %x2
+  ret i32 %s
+}
+)");
+  auto Out = runPass("gvn", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "gv", {10});
+}
+
+TEST(GvnValidation, CommutativeMatch) {
+  ir::Module Src = parse(R"(
+define i32 @cm(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = add i32 %b, %a
+  %s = mul i32 %x, %y
+  ret i32 %s
+}
+)");
+  auto Out = runPass("gvn", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "cm", {3, 4});
+}
+
+TEST(GvnValidation, PrePhiInsertion) {
+  // Paper Fig. 15 shape: y3 is redundant along both edges into exit.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @pre(i32 %n, i1 %c1) {
+entry:
+  %x1 = sub i32 %n, 2
+  br i1 %c1, label %left, label %right
+left:
+  %y1 = add i32 %x1, 1
+  %c2 = icmp eq i32 %y1, 10
+  br i1 %c2, label %exit, label %right
+right:
+  %y2 = add i32 %x1, 1
+  call void @sink(i32 %y2)
+  br label %exit
+exit:
+  %y3 = add i32 %x1, 1
+  call void @sink(i32 %y3)
+  ret void
+}
+)");
+  auto Out = runPass("gvn", Src);
+  EXPECT_GE(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  for (int64_t N : {12, 11, 0})
+    for (int64_t C : {0, 1})
+      expectRefines(Src, Out.PR.Tgt, "pre", {N, C});
+}
+
+TEST(GvnValidation, InboundsBugCaught) {
+  ir::Module Src = parse(R"(
+declare void @bar(ptr, ptr)
+define void @gb(ptr %p) {
+entry:
+  %q1 = gep inbounds ptr %p, i64 2
+  %q2 = gep ptr %p, i64 2
+  call void @bar(ptr %q1, ptr %q2)
+  ret void
+}
+)");
+  // Fixed compiler: inbounds distinguishes the value numbers.
+  auto Fixed = runPass("gvn", Src, BugConfig::fixed());
+  EXPECT_EQ(Fixed.PR.Rewrites, 0u);
+  EXPECT_EQ(Fixed.VR.countValidated(), 1u) << Fixed.VR.firstFailure();
+  // Buggy compiler (PR28562): validation catches the miscompilation.
+  auto Buggy = runPass("gvn", Src, BugConfig::llvm371());
+  EXPECT_GE(Buggy.PR.Rewrites, 1u);
+  EXPECT_EQ(Buggy.VR.countFailed(), 1u);
+  // ... while differential testing misses it when the index is in bounds
+  // at run time (paper §1.2).
+  expectRefines(Src, Buggy.PR.Tgt, "gb", {});
+}
+
+// --- licm -------------------------------------------------------------------
+
+TEST(LicmValidation, HoistInvariant) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define void @li(i32 %a, i32 %b) {
+entry:
+  br label %header
+header:
+  %inv = mul i32 %a, %b
+  call void @sink(i32 %inv)
+  %c = call i1 @cond()
+  br i1 %c, label %header, label %done
+done:
+  ret void
+}
+)");
+  auto Out = runPass("licm", Src);
+  EXPECT_EQ(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countValidated(), 1u) << Out.VR.firstFailure();
+  expectRefines(Src, Out.PR.Tgt, "li", {3, 4});
+}
+
+TEST(LicmValidation, DivisionHoistIsNotSupported) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define void @ld(i32 %a) {
+entry:
+  br label %header
+header:
+  %inv = sdiv i32 %a, 7
+  call void @sink(i32 %inv)
+  %c = call i1 @cond()
+  br i1 %c, label %header, label %done
+done:
+  ret void
+}
+)");
+  auto Out = runPass("licm", Src);
+  EXPECT_EQ(Out.PR.Rewrites, 1u);
+  EXPECT_EQ(Out.VR.countNotSupported(), 1u) << Out.VR.firstFailure();
+}
+
+// --- pipeline ----------------------------------------------------------------
+
+TEST(PipelineValidation, O2EndToEnd) {
+  ir::Module Src = parse(R"(
+declare i1 @cond()
+declare void @sink(i32)
+define void @all(i32 %a, i32 %b) {
+entry:
+  %p = alloca i32, 1
+  store i32 %a, ptr %p
+  br label %header
+header:
+  %v = load i32, ptr %p
+  %inv = mul i32 %a, %b
+  %t = add i32 %v, 0
+  %u = add i32 %t, %inv
+  call void @sink(i32 %u)
+  %c = call i1 @cond()
+  br i1 %c, label %header, label %done
+done:
+  ret void
+}
+)");
+  ir::Module Cur = Src;
+  for (auto &P : makeO2Pipeline(BugConfig::fixed())) {
+    PassResult PR = P->run(Cur, /*GenProof=*/true);
+    std::vector<std::string> VErrs;
+    ASSERT_TRUE(analysis::verifyModule(PR.Tgt, VErrs))
+        << P->name() << ": " << (VErrs.empty() ? "" : VErrs[0]);
+    auto VR = checker::validate(Cur, PR.Tgt, PR.Proof);
+    EXPECT_EQ(VR.countFailed(), 0u)
+        << P->name() << ": " << VR.firstFailure();
+    expectRefines(Cur, PR.Tgt, "all", {5, 6});
+    Cur = PR.Tgt;
+  }
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+//===- tests/ProofFuzzTest.cpp - TCB soundness under mutation -----------------===//
+//
+// The checker is the trusted computing base: whatever the (untrusted)
+// proof claims, a validated translation must refine the source. These
+// tests attack that property directly:
+//
+//  * coherent mutation — change one target instruction AND the aligned
+//    TgtCmd in the proof identically, so the alignment check passes and
+//    the *logical* rules must do the rejecting. Every mutation the
+//    checker accepts is executed under the reference interpreter and
+//    must refine the source.
+//  * proof-tree fuzzing — random perturbations of the serialized proof
+//    must never crash the parser or the checker (rejection is fine, and
+//    acceptance is harmless because the target is the genuine one).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "checker/Validator.h"
+#include "interp/Interp.h"
+#include "passes/Pipeline.h"
+#include "proofgen/ProofJson.h"
+#include "support/RNG.h"
+#include "workload/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+
+namespace {
+
+/// Applies one random semantics-affecting, type-preserving mutation to
+/// instruction \p I; returns false when no mutation applies.
+bool mutateInstruction(ir::Instruction &I, RNG &R) {
+  if (I.isTerminator())
+    return false;
+  auto &Ops = I.operands();
+  // Bump a random integer constant.
+  std::vector<size_t> ConstIdx;
+  for (size_t K = 0; K != Ops.size(); ++K)
+    if (Ops[K].isConstInt())
+      ConstIdx.push_back(K);
+  uint64_t Choice = R.below(3);
+  if (Choice == 0 && !ConstIdx.empty()) {
+    size_t K = ConstIdx[R.below(ConstIdx.size())];
+    Ops[K] = ir::Value::constInt(Ops[K].intValue() + 1, Ops[K].type());
+    return true;
+  }
+  // Swap two same-typed operands.
+  if (Choice == 1 && Ops.size() >= 2 && Ops[0].type() == Ops[1].type() &&
+      !(Ops[0] == Ops[1])) {
+    std::swap(Ops[0], Ops[1]);
+    return true;
+  }
+  // Toggle gep inbounds — the PR28562/PR29057 distinction.
+  using ir::Opcode;
+  if (I.opcode() == Opcode::Gep) {
+    I.setInbounds(!I.isInbounds());
+    return true;
+  }
+  // Flip the operator within an arity/type-preserving pair.
+  Opcode NewOp;
+  switch (I.opcode()) {
+  case Opcode::Add:
+    NewOp = Opcode::Sub;
+    break;
+  case Opcode::Sub:
+    NewOp = Opcode::Add;
+    break;
+  case Opcode::And:
+    NewOp = Opcode::Or;
+    break;
+  case Opcode::Or:
+    NewOp = Opcode::Xor;
+    break;
+  case Opcode::Mul:
+    NewOp = Opcode::Add;
+    break;
+  default:
+    return false;
+  }
+  I = ir::Instruction::binary(NewOp, *I.result(), I.type(), Ops[0], Ops[1]);
+  return true;
+}
+
+/// Mutates the K-th non-lnop target command of a random block of \p F,
+/// both in the module and in the aligned proof line. Returns false when
+/// the function has nothing mutable.
+bool mutateCoherently(ir::Function &F, proofgen::FunctionProof &FP,
+                      RNG &R) {
+  for (int Attempt = 0; Attempt != 12; ++Attempt) {
+    ir::BasicBlock &Blk = F.Blocks[R.below(F.Blocks.size())];
+    auto It = FP.Blocks.find(Blk.Name);
+    if (It == FP.Blocks.end())
+      continue;
+    // Collect the proof lines whose TgtCmd is a real command; they align
+    // 1:1 with the block's instructions.
+    std::vector<proofgen::LineEntry *> TgtLines;
+    for (proofgen::LineEntry &L : It->second.Lines)
+      if (L.TgtCmd)
+        TgtLines.push_back(&L);
+    if (TgtLines.size() != Blk.Insts.size())
+      continue; // inserted phis etc. — pick another block
+    if (Blk.Insts.empty())
+      continue;
+    size_t K = R.below(Blk.Insts.size());
+    ir::Instruction Copy = Blk.Insts[K];
+    if (!mutateInstruction(Copy, R))
+      continue;
+    Blk.Insts[K] = Copy;
+    *TgtLines[K]->TgtCmd = Copy;
+    return true;
+  }
+  return false;
+}
+
+void expectRefinesOrDie(const ir::Module &Src, const ir::Module &Tgt,
+                        const std::string &FName, uint64_t Seed) {
+  const ir::Function *F = Src.getFunction(FName);
+  ASSERT_TRUE(F);
+  std::vector<int64_t> Args(F->Params.size(), 3);
+  for (auto ArgSet : {std::vector<int64_t>{3, 5, 1},
+                      {0, 0, 0},
+                      {-7, 2, 9},
+                      {1, 1, 1}}) {
+    ArgSet.resize(F->Params.size());
+    for (uint64_t OSeed = 1; OSeed <= 3; ++OSeed) {
+      interp::InterpOptions Opts;
+      Opts.OracleSeed = OSeed;
+      auto RS = interp::run(Src, FName, ArgSet, Opts);
+      auto RT = interp::run(Tgt, FName, ArgSet, Opts);
+      EXPECT_TRUE(interp::refines(RS, RT))
+          << "CHECKER UNSOUNDNESS: seed " << Seed << ", @" << FName
+          << " validated after mutation but does not refine";
+    }
+  }
+}
+
+TEST(ProofFuzz, ValidatedMutationsAlwaysRefine) {
+  RNG R(424242);
+  unsigned Mutated = 0, Rejected = 0, Accepted = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    workload::GenOptions G;
+    G.Seed = Seed;
+    G.VecFunctionPct = 0; // vector functions are #NS — nothing to attack
+    ir::Module Src = workload::generateModule(G);
+    for (const char *PassName : {"mem2reg", "instcombine", "gvn"}) {
+      auto Pass = passes::makePass(PassName, passes::BugConfig::fixed());
+      passes::PassResult PR = Pass->run(Src, /*GenProof=*/true);
+      for (int Trial = 0; Trial != 6; ++Trial) {
+        ir::Module Tgt = PR.Tgt;
+        proofgen::Proof Proof = PR.Proof;
+        // Pick a random function with a proof.
+        if (Tgt.Funcs.empty())
+          continue;
+        ir::Function &F = Tgt.Funcs[R.below(Tgt.Funcs.size())];
+        auto PIt = Proof.Functions.find(F.Name);
+        if (PIt == Proof.Functions.end() || PIt->second.NotSupported)
+          continue;
+        if (!mutateCoherently(F, PIt->second, R))
+          continue;
+        std::vector<std::string> VErrs;
+        if (!analysis::verifyModule(Tgt, VErrs))
+          continue; // mutation broke SSA/typing — not interesting
+        ++Mutated;
+        auto VR = checker::validate(Src, Tgt, Proof);
+        auto FIt = VR.Functions.find(F.Name);
+        ASSERT_TRUE(FIt != VR.Functions.end());
+        if (FIt->second.Status == checker::ValidationStatus::Validated) {
+          ++Accepted;
+          expectRefinesOrDie(Src, Tgt, F.Name, Seed);
+        } else {
+          ++Rejected;
+        }
+      }
+    }
+  }
+  // The test must actually bite: mutations were produced, and the
+  // checker rejected the (overwhelmingly non-refining) bulk of them.
+  EXPECT_GT(Mutated, 100u);
+  EXPECT_GT(Rejected, Mutated / 2) << "accepted=" << Accepted;
+}
+
+TEST(ProofFuzz, PerturbedProofTreesNeverCrashTheChecker) {
+  RNG R(77777);
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    workload::GenOptions G;
+    G.Seed = Seed;
+    ir::Module Src = workload::generateModule(G);
+    auto Pass = passes::makePass("gvn", passes::BugConfig::fixed());
+    passes::PassResult PR = Pass->run(Src, /*GenProof=*/true);
+    std::string Text = proofgen::proofToText(PR.Proof);
+    for (int Trial = 0; Trial != 40; ++Trial) {
+      std::string Mut = Text;
+      // A cluster of random byte edits.
+      for (uint64_t E = 0, N = 1 + R.below(4); E != N; ++E) {
+        size_t Pos = R.below(Mut.size());
+        switch (R.below(3)) {
+        case 0:
+          Mut[Pos] = static_cast<char>(R.range(32, 126));
+          break;
+        case 1:
+          Mut.erase(Pos, 1);
+          break;
+        default:
+          Mut.insert(Pos, 1, static_cast<char>(R.range(32, 126)));
+          break;
+        }
+      }
+      std::string Err;
+      auto Proof = proofgen::proofFromText(Mut, &Err);
+      if (!Proof)
+        continue; // parse rejection is the common, correct outcome
+      // Whatever parsed must be checkable without crashing; the verdict
+      // itself is unconstrained (the target is the genuine one).
+      checker::validate(Src, PR.Tgt, *Proof);
+      ++Checked;
+    }
+  }
+  // Some perturbations survive parsing (e.g. digit edits in constants).
+  EXPECT_GT(Checked, 0u);
+}
+
+} // namespace

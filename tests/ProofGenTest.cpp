@@ -1,0 +1,300 @@
+//===- tests/ProofGenTest.cpp - ProofBuilder, proof JSON, TCB --------------===//
+//
+// The proof-generation infrastructure: slot mechanics and lnop alignment,
+// the Appendix E point ranges (including the cyclic coverage), proof JSON
+// round-trips, and — crucially for the TCB argument (paper §1.1) — that
+// corrupted proofs are *rejected*, never accepted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Validator.h"
+#include "ir/Parser.h"
+#include "passes/Pipeline.h"
+#include "proofgen/ProofBuilder.h"
+#include "proofgen/ProofJson.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+using namespace crellvm::proofgen;
+
+namespace {
+
+ir::Type I32 = ir::Type::intTy(32);
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+Pred fact(const char *Reg, int64_t C) {
+  return Pred::lessdef(
+      Expr::val(ValT::phy(ir::Value::reg(Reg, I32))),
+      Expr::val(ValT::phy(ir::Value::constInt(C, I32))));
+}
+
+const char *LoopFn = R"(
+declare i1 @cond()
+define void @l() {
+entry:
+  %x = add i32 1, 2
+  br label %header
+header:
+  %y = add i32 3, 4
+  %c = call i1 @cond()
+  br i1 %c, label %header, label %done
+done:
+  ret void
+}
+)";
+
+TEST(ProofBuilderTest, SlotEditing) {
+  ir::Module M = parse(LoopFn);
+  ProofBuilder B(M.Funcs[0]);
+  auto S = B.slotOfSrc("entry", 0);
+  EXPECT_EQ(B.tgtAt(S)->str(), "%x = add i32 1, 2");
+  EXPECT_EQ(B.srcAt(S)->str(), "%x = add i32 1, 2");
+  B.replaceTgt(S, ir::Instruction::binary(ir::Opcode::Add, "x", I32,
+                                          ir::Value::constInt(3, I32),
+                                          ir::Value::constInt(0, I32)));
+  EXPECT_EQ(B.tgtAt(S)->str(), "%x = add i32 3, 0");
+  EXPECT_EQ(B.srcAt(S)->str(), "%x = add i32 1, 2"); // source untouched
+  B.removeTgt(S);
+  EXPECT_EQ(B.tgtAt(S), nullptr);
+  auto R = B.finalize();
+  // The removed instruction is a target lnop in the proof and absent from
+  // the target function.
+  EXPECT_EQ(R.TgtF.Blocks[0].Insts.size(), 1u); // just the branch
+  const LineEntry &L = R.FProof.Blocks.at("entry").Lines[0];
+  EXPECT_TRUE(L.SrcCmd.has_value());
+  EXPECT_FALSE(L.TgtCmd.has_value());
+}
+
+TEST(ProofBuilderTest, InsertionCreatesSourceLnop) {
+  ir::Module M = parse(LoopFn);
+  ProofBuilder B(M.Funcs[0]);
+  B.insertTgtBeforeTerminator(
+      "entry", ir::Instruction::binary(ir::Opcode::Add, "z", I32,
+                                       ir::Value::constInt(1, I32),
+                                       ir::Value::constInt(1, I32)));
+  auto R = B.finalize();
+  const BlockProof &BP = R.FProof.Blocks.at("entry");
+  ASSERT_EQ(BP.Lines.size(), 3u);
+  EXPECT_FALSE(BP.Lines[1].SrcCmd.has_value()); // source lnop
+  EXPECT_TRUE(BP.Lines[1].TgtCmd.has_value());
+  EXPECT_EQ(R.TgtF.Blocks[0].Insts.size(), 3u);
+}
+
+TEST(ProofBuilderTest, AssnRangeWithinBlock) {
+  ir::Module M = parse(LoopFn);
+  ProofBuilder B(M.Funcs[0]);
+  auto X = B.slotOfSrc("entry", 0);
+  auto Br = B.slotOfSrc("entry", 1);
+  B.assn(fact("x", 3), Side::Src, PPoint::afterSlot(X),
+         PPoint::beforeSlot(Br));
+  auto R = B.finalize();
+  const BlockProof &BP = R.FProof.Blocks.at("entry");
+  EXPECT_FALSE(BP.AtEntry.Src.count(fact("x", 3)));
+  EXPECT_TRUE(BP.Lines[0].After.Src.count(fact("x", 3)));
+  EXPECT_FALSE(BP.Lines[1].After.Src.count(fact("x", 3)));
+}
+
+TEST(ProofBuilderTest, AssnCyclicCoverage) {
+  // A fact born in the entry and used inside the loop must cover the
+  // whole loop body (the path can go around the back edge).
+  ir::Module M = parse(LoopFn);
+  ProofBuilder B(M.Funcs[0]);
+  auto X = B.slotOfSrc("entry", 0);
+  auto Y = B.slotOfSrc("header", 0);
+  B.assn(fact("x", 3), Side::Src, PPoint::afterSlot(X),
+         PPoint::beforeSlot(Y));
+  auto R = B.finalize();
+  const BlockProof &Header = R.FProof.Blocks.at("header");
+  EXPECT_TRUE(Header.AtEntry.Src.count(fact("x", 3)));
+  // The cyclic extension covers the whole header including its end.
+  EXPECT_TRUE(Header.Lines.back().After.Src.count(fact("x", 3)));
+  // ... but not the done block (the use is unreachable from there).
+  EXPECT_FALSE(
+      R.FProof.Blocks.at("done").AtEntry.Src.count(fact("x", 3)));
+}
+
+TEST(ProofBuilderTest, MaydiffBetweenDominanceRegion) {
+  ir::Module M = parse(LoopFn);
+  ProofBuilder B(M.Funcs[0]);
+  auto Outer = B.slotOfSrc("entry", 0);
+  auto Inner = B.slotOfSrc("header", 0);
+  B.maydiffBetween(RegT{"y", Tag::Phy}, Outer, Inner);
+  auto R = B.finalize();
+  // In the maydiff set after the outer def...
+  EXPECT_TRUE(R.FProof.Blocks.at("entry").Lines[0].After.Maydiff.count(
+      RegT{"y", Tag::Phy}));
+  // ... and at the header entry, but not after the inner def.
+  EXPECT_TRUE(R.FProof.Blocks.at("header").AtEntry.Maydiff.count(
+      RegT{"y", Tag::Phy}));
+  EXPECT_FALSE(
+      R.FProof.Blocks.at("header").Lines[0].After.Maydiff.count(
+          RegT{"y", Tag::Phy}));
+  // ... and not before the outer def.
+  EXPECT_FALSE(R.FProof.Blocks.at("entry").AtEntry.Maydiff.count(
+      RegT{"y", Tag::Phy}));
+}
+
+TEST(ProofJsonTest, RoundTripsRealProofs) {
+  ir::Module Src = parse(R"(
+declare void @foo(i32)
+define void @m(i1 %c, i32 %x, ptr %q) {
+entry:
+  %p = alloca i32, 1
+  store i32 42, ptr %p
+  br i1 %c, label %left, label %right
+left:
+  %a = load i32, ptr %p
+  call void @foo(i32 %a)
+  br label %exit
+right:
+  store i32 %x, ptr %p
+  br label %exit
+exit:
+  %b = load i32, ptr %p
+  store i32 %b, ptr %q
+  ret void
+}
+)");
+  auto Pass = passes::makePass("mem2reg", passes::BugConfig::fixed());
+  auto PR = Pass->run(Src, true);
+  std::string Text = proofgen::proofToText(PR.Proof);
+  std::string Err;
+  auto Back = proofgen::proofFromText(Text, &Err);
+  ASSERT_TRUE(Back) << Err;
+  // The round-tripped proof must still validate...
+  auto VR = checker::validate(Src, PR.Tgt, *Back);
+  EXPECT_EQ(VR.countFailed(), 0u) << VR.firstFailure();
+  // ... and serialize identically (canonical form).
+  EXPECT_EQ(proofgen::proofToText(*Back), Text);
+}
+
+// --- The TCB property: corrupted proofs are rejected, not accepted ------------
+
+struct Corruption {
+  const char *Name;
+  void (*Apply)(Proof &, RNG &);
+};
+
+void dropARule(Proof &P, RNG &R) {
+  for (auto &F : P.Functions)
+    for (auto &B : F.second.Blocks)
+      for (auto &L : B.second.Lines)
+        if (!L.Rules.empty()) {
+          L.Rules.erase(L.Rules.begin() + R.below(L.Rules.size()));
+          return;
+        }
+}
+
+void strengthenAnAssertion(Proof &P, RNG &) {
+  // Claim a fact nobody established: %zz == 1 on the source side.
+  for (auto &F : P.Functions)
+    for (auto &B : F.second.Blocks)
+      for (auto &L : B.second.Lines) {
+        L.After.Src.insert(fact("zz", 1));
+        return;
+      }
+}
+
+void shrinkTheMaydiff(Proof &P, RNG &) {
+  for (auto &F : P.Functions)
+    for (auto &B : F.second.Blocks)
+      for (auto &L : B.second.Lines)
+        if (!L.After.Maydiff.empty()) {
+          L.After.Maydiff.erase(L.After.Maydiff.begin());
+          return;
+        }
+}
+
+void misalignACommand(Proof &P, RNG &) {
+  for (auto &F : P.Functions)
+    for (auto &B : F.second.Blocks)
+      for (auto &L : B.second.Lines)
+        if (L.SrcCmd && L.SrcCmd->result()) {
+          L.SrcCmd = L.SrcCmd->withResult(*L.SrcCmd->result() + "_oops");
+          return;
+        }
+}
+
+class CorruptedProofs : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(CorruptedProofs, AreRejectedNotAccepted) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @f(i32 %a) {
+entry:
+  %p = alloca i32, 1
+  store i32 %a, ptr %p
+  %v = load i32, ptr %p
+  %x = add i32 %v, 1
+  %y = add i32 %x, 2
+  call void @sink(i32 %y)
+  ret void
+}
+)");
+  ir::Module Cur = Src;
+  RNG R(99);
+  unsigned Rejected = 0, Total = 0;
+  for (auto &Pass : passes::makeO2Pipeline(passes::BugConfig::fixed())) {
+    auto PR = Pass->run(Cur, true);
+    Proof Bad = PR.Proof;
+    GetParam().Apply(Bad, R);
+    auto VR = checker::validate(Cur, PR.Tgt, Bad);
+    // Either the corruption was a no-op for this pass (nothing to mutate)
+    // or it must be rejected. To keep the test meaningful, count.
+    bool Mutated = !(proofgen::proofToText(Bad) ==
+                     proofgen::proofToText(PR.Proof));
+    if (Mutated) {
+      ++Total;
+      if (VR.countFailed() > 0)
+        ++Rejected;
+    }
+    Cur = PR.Tgt;
+  }
+  ASSERT_GT(Total, 0u) << "corruption never applied";
+  EXPECT_EQ(Rejected, Total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, CorruptedProofs,
+    ::testing::Values(Corruption{"StrengthenAssertion",
+                                 strengthenAnAssertion},
+                      Corruption{"ShrinkMaydiff", shrinkTheMaydiff},
+                      Corruption{"MisalignCommand", misalignACommand}),
+    [](const ::testing::TestParamInfo<Corruption> &I) {
+      return I.param.Name;
+    });
+
+TEST(CorruptedProofs, DroppedRulesNeverFlipToAccepted) {
+  // Dropping a rule may still validate (automation can re-derive), but it
+  // must never validate something the full proof would not.
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define void @g(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = add i32 %x, 2
+  call void @sink(i32 %y)
+  ret void
+}
+)");
+  auto Pass = passes::makePass("instcombine", passes::BugConfig::fixed());
+  auto PR = Pass->run(Src, true);
+  RNG R(7);
+  Proof Bad = PR.Proof;
+  dropARule(Bad, R);
+  auto Full = checker::validate(Src, PR.Tgt, PR.Proof);
+  auto Dropped = checker::validate(Src, PR.Tgt, Bad);
+  EXPECT_EQ(Full.countFailed(), 0u);
+  EXPECT_LE(Dropped.countValidated(), Full.countValidated());
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/SmokeTest.cpp - End-to-end core pipeline smoke test -----------===//
+//
+// Reproduces the paper's Fig. 2 walkthrough by hand: the assoc-add
+// translation, its ERHL proof, and validation — plus a corrupted variant
+// that must be rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Validator.h"
+#include "interp/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "proofgen/ProofBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::erhl;
+
+namespace {
+
+const char *AssocAddSource = R"(
+declare i32 @foo(i32)
+
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = add i32 %x, 2
+  %r = call i32 @foo(i32 %y)
+  ret i32 %r
+}
+)";
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+ValT phyReg(const std::string &Name, ir::Type Ty) {
+  return ValT::phy(ir::Value::reg(Name, Ty));
+}
+
+ValT c32(int64_t N) {
+  return ValT::phy(ir::Value::constInt(N, ir::Type::intTy(32)));
+}
+
+/// Builds the Fig. 2 proof; NewConst = 3 is the correct translation,
+/// anything else is a miscompilation the checker must reject.
+std::pair<ir::Module, proofgen::Proof> translateAssocAdd(const ir::Module &M,
+                                                         int64_t NewConst) {
+  ir::Type I32 = ir::Type::intTy(32);
+  const ir::Function &F = *M.getFunction("f");
+  proofgen::ProofBuilder B(F);
+
+  auto YSlot = B.slotOfSrc("entry", 1);
+  auto XSlot = B.slotOfSrc("entry", 0);
+  // [A4] Replace y := add x 2 with y := add a NewConst.
+  B.replaceTgt(YSlot, ir::Instruction::binary(
+                          ir::Opcode::Add, "y", I32,
+                          ir::Value::reg("a", I32),
+                          ir::Value::constInt(NewConst, I32)));
+  // [A5] Assert x = add a 1 from its definition to the rewrite site.
+  Expr XDef = Expr::bop(ir::Opcode::Add, I32, phyReg("a", I32), c32(1));
+  B.assn(Pred::lessdef(Expr::val(phyReg("x", I32)), XDef), Side::Src,
+         proofgen::PPoint::afterSlot(XSlot),
+         proofgen::PPoint::beforeSlot(YSlot));
+  // [A6] assoc_add(y, x, a, 1, 2, 3).
+  Infrule R;
+  R.K = InfruleKind::AddAssoc;
+  R.S = Side::Src;
+  R.Args = {Expr::val(phyReg("y", I32)), Expr::val(phyReg("x", I32)),
+            Expr::val(phyReg("a", I32)), Expr::val(c32(1)),
+            Expr::val(c32(2)), Expr::val(c32(1 + 2))};
+  B.inf(R, YSlot);
+  // [A9] Auto(reduce_maydiff).
+  B.enableAuto("reduce_maydiff");
+  B.enableAuto("transitivity");
+
+  auto Result = B.finalize();
+  ir::Module Tgt = M;
+  *Tgt.getFunction("f") = Result.TgtF;
+  proofgen::Proof P;
+  P.Functions["f"] = Result.FProof;
+  return {Tgt, P};
+}
+
+TEST(Smoke, ParserRoundTrip) {
+  ir::Module M = parse(AssocAddSource);
+  std::string Printed = ir::printModule(M);
+  ir::Module M2 = parse(Printed);
+  EXPECT_EQ(Printed, ir::printModule(M2));
+}
+
+TEST(Smoke, InterpreterRunsTheExample) {
+  ir::Module M = parse(AssocAddSource);
+  interp::InterpOptions Opts;
+  auto R = interp::run(M, "f", {5}, Opts);
+  ASSERT_EQ(R.End, interp::Outcome::Returned);
+  ASSERT_EQ(R.Trace.size(), 1u);
+  EXPECT_EQ(R.Trace[0].Callee, "foo");
+  // foo's argument is (5 + 1) + 2 = 8.
+  EXPECT_EQ(R.Trace[0].Args[0], interp::RtValue::intVal(8, 32));
+}
+
+TEST(Smoke, AssocAddValidates) {
+  ir::Module Src = parse(AssocAddSource);
+  auto [Tgt, P] = translateAssocAdd(Src, 3);
+  auto Res = checker::validate(Src, Tgt, P);
+  EXPECT_EQ(Res.countValidated(), 1u) << Res.firstFailure();
+}
+
+TEST(Smoke, AssocAddMiscompileIsRejected) {
+  ir::Module Src = parse(AssocAddSource);
+  auto [Tgt, P] = translateAssocAdd(Src, 4); // wrong constant
+  auto Res = checker::validate(Src, Tgt, P);
+  EXPECT_EQ(Res.countFailed(), 1u);
+  EXPECT_NE(Res.firstFailure(), "");
+}
+
+TEST(Smoke, MiscompiledTargetBreaksRefinement) {
+  ir::Module Src = parse(AssocAddSource);
+  auto [Good, P1] = translateAssocAdd(Src, 3);
+  auto [Bad, P2] = translateAssocAdd(Src, 4);
+  interp::InterpOptions Opts;
+  auto RS = interp::run(Src, "f", {5}, Opts);
+  auto RG = interp::run(Good, "f", {5}, Opts);
+  auto RB = interp::run(Bad, "f", {5}, Opts);
+  EXPECT_TRUE(interp::refines(RS, RG));
+  EXPECT_FALSE(interp::refines(RS, RB));
+}
+
+} // namespace
