@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_automation"
+  "../bench/ablation_automation.pdb"
+  "CMakeFiles/ablation_automation.dir/AblationAutomation.cpp.o"
+  "CMakeFiles/ablation_automation.dir/AblationAutomation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_proof_format"
+  "../bench/ablation_proof_format.pdb"
+  "CMakeFiles/ablation_proof_format.dir/AblationProofFormat.cpp.o"
+  "CMakeFiles/ablation_proof_format.dir/AblationProofFormat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proof_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/csmith_random"
+  "../bench/csmith_random.pdb"
+  "CMakeFiles/csmith_random.dir/CsmithRandom.cpp.o"
+  "CMakeFiles/csmith_random.dir/CsmithRandom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmith_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

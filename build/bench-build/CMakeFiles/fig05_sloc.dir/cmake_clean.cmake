@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_sloc"
+  "../bench/fig05_sloc.pdb"
+  "CMakeFiles/fig05_sloc.dir/Fig05Sloc.cpp.o"
+  "CMakeFiles/fig05_sloc.dir/Fig05Sloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_summary_371"
+  "../bench/fig06_summary_371.pdb"
+  "CMakeFiles/fig06_summary_371.dir/Fig06Summary371.cpp.o"
+  "CMakeFiles/fig06_summary_371.dir/Fig06Summary371.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_summary_371.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_summary_371.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_results_371"
+  "../bench/fig07_results_371.pdb"
+  "CMakeFiles/fig07_results_371.dir/Fig07Results371.cpp.o"
+  "CMakeFiles/fig07_results_371.dir/Fig07Results371.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_results_371.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

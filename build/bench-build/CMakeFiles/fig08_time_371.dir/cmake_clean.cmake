@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_time_371"
+  "../bench/fig08_time_371.pdb"
+  "CMakeFiles/fig08_time_371.dir/Fig08Time371.cpp.o"
+  "CMakeFiles/fig08_time_371.dir/Fig08Time371.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_time_371.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

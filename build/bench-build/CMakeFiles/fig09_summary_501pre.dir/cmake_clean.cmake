@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_summary_501pre"
+  "../bench/fig09_summary_501pre.pdb"
+  "CMakeFiles/fig09_summary_501pre.dir/Fig09Summary501Pre.cpp.o"
+  "CMakeFiles/fig09_summary_501pre.dir/Fig09Summary501Pre.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_summary_501pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_results_501pre"
+  "../bench/fig10_results_501pre.pdb"
+  "CMakeFiles/fig10_results_501pre.dir/Fig10Results501Pre.cpp.o"
+  "CMakeFiles/fig10_results_501pre.dir/Fig10Results501Pre.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_results_501pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

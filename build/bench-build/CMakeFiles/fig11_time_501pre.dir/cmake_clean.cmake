@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_time_501pre"
+  "../bench/fig11_time_501pre.pdb"
+  "CMakeFiles/fig11_time_501pre.dir/Fig11Time501Pre.cpp.o"
+  "CMakeFiles/fig11_time_501pre.dir/Fig11Time501Pre.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_time_501pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

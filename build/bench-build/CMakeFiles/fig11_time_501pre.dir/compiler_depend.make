@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_time_501pre.
+# This may be replaced when dependencies are built.

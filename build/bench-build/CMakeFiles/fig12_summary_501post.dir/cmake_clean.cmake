@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_summary_501post"
+  "../bench/fig12_summary_501post.pdb"
+  "CMakeFiles/fig12_summary_501post.dir/Fig12Summary501Post.cpp.o"
+  "CMakeFiles/fig12_summary_501post.dir/Fig12Summary501Post.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_summary_501post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

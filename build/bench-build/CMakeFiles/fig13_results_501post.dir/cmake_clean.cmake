@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_results_501post"
+  "../bench/fig13_results_501post.pdb"
+  "CMakeFiles/fig13_results_501post.dir/Fig13Results501Post.cpp.o"
+  "CMakeFiles/fig13_results_501post.dir/Fig13Results501Post.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_results_501post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_time_501post"
+  "../bench/fig14_time_501post.pdb"
+  "CMakeFiles/fig14_time_501post.dir/Fig14Time501Post.cpp.o"
+  "CMakeFiles/fig14_time_501post.dir/Fig14Time501Post.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_time_501post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

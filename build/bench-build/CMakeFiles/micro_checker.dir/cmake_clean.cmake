@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_checker"
+  "../bench/micro_checker.pdb"
+  "CMakeFiles/micro_checker.dir/MicroChecker.cpp.o"
+  "CMakeFiles/micro_checker.dir/MicroChecker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

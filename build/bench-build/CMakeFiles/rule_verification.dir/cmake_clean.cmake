@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rule_verification"
+  "../bench/rule_verification.pdb"
+  "CMakeFiles/rule_verification.dir/RuleVerification.cpp.o"
+  "CMakeFiles/rule_verification.dir/RuleVerification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/testing_vs_validation"
+  "../bench/testing_vs_validation.pdb"
+  "CMakeFiles/testing_vs_validation.dir/TestingVsValidation.cpp.o"
+  "CMakeFiles/testing_vs_validation.dir/TestingVsValidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_vs_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catch_miscompilation.dir/catch_miscompilation.cpp.o"
+  "CMakeFiles/catch_miscompilation.dir/catch_miscompilation.cpp.o.d"
+  "catch_miscompilation"
+  "catch_miscompilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catch_miscompilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for catch_miscompilation.
+# This may be replaced when dependencies are built.

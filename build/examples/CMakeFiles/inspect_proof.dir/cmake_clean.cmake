@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_proof.dir/inspect_proof.cpp.o"
+  "CMakeFiles/inspect_proof.dir/inspect_proof.cpp.o.d"
+  "inspect_proof"
+  "inspect_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_promotion.dir/register_promotion.cpp.o"
+  "CMakeFiles/register_promotion.dir/register_promotion.cpp.o.d"
+  "register_promotion"
+  "register_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

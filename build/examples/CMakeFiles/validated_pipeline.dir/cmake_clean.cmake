@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validated_pipeline.dir/validated_pipeline.cpp.o"
+  "CMakeFiles/validated_pipeline.dir/validated_pipeline.cpp.o.d"
+  "validated_pipeline"
+  "validated_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validated_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

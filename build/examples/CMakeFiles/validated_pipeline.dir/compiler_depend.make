@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for validated_pipeline.
+# This may be replaced when dependencies are built.

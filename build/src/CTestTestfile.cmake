@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("json")
+subdirs("ir")
+subdirs("analysis")
+subdirs("interp")
+subdirs("erhl")
+subdirs("proofgen")
+subdirs("checker")
+subdirs("passes")
+subdirs("difftool")
+subdirs("workload")
+subdirs("driver")

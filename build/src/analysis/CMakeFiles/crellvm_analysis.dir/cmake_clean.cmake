@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/crellvm_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/crellvm_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/crellvm_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/crellvm_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/crellvm_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/crellvm_analysis.dir/PointsBetween.cpp.o"
+  "CMakeFiles/crellvm_analysis.dir/PointsBetween.cpp.o.d"
+  "CMakeFiles/crellvm_analysis.dir/Verifier.cpp.o"
+  "CMakeFiles/crellvm_analysis.dir/Verifier.cpp.o.d"
+  "libcrellvm_analysis.a"
+  "libcrellvm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_checker.dir/Automation.cpp.o"
+  "CMakeFiles/crellvm_checker.dir/Automation.cpp.o.d"
+  "CMakeFiles/crellvm_checker.dir/Postcond.cpp.o"
+  "CMakeFiles/crellvm_checker.dir/Postcond.cpp.o.d"
+  "CMakeFiles/crellvm_checker.dir/Validator.cpp.o"
+  "CMakeFiles/crellvm_checker.dir/Validator.cpp.o.d"
+  "libcrellvm_checker.a"
+  "libcrellvm_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_difftool.dir/Diff.cpp.o"
+  "CMakeFiles/crellvm_difftool.dir/Diff.cpp.o.d"
+  "libcrellvm_difftool.a"
+  "libcrellvm_difftool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_difftool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_driver.dir/Driver.cpp.o"
+  "CMakeFiles/crellvm_driver.dir/Driver.cpp.o.d"
+  "libcrellvm_driver.a"
+  "libcrellvm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

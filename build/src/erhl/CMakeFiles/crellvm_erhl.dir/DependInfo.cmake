@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erhl/Assertion.cpp" "src/erhl/CMakeFiles/crellvm_erhl.dir/Assertion.cpp.o" "gcc" "src/erhl/CMakeFiles/crellvm_erhl.dir/Assertion.cpp.o.d"
+  "/root/repo/src/erhl/Eval.cpp" "src/erhl/CMakeFiles/crellvm_erhl.dir/Eval.cpp.o" "gcc" "src/erhl/CMakeFiles/crellvm_erhl.dir/Eval.cpp.o.d"
+  "/root/repo/src/erhl/Infrule.cpp" "src/erhl/CMakeFiles/crellvm_erhl.dir/Infrule.cpp.o" "gcc" "src/erhl/CMakeFiles/crellvm_erhl.dir/Infrule.cpp.o.d"
+  "/root/repo/src/erhl/RuleTester.cpp" "src/erhl/CMakeFiles/crellvm_erhl.dir/RuleTester.cpp.o" "gcc" "src/erhl/CMakeFiles/crellvm_erhl.dir/RuleTester.cpp.o.d"
+  "/root/repo/src/erhl/Serialize.cpp" "src/erhl/CMakeFiles/crellvm_erhl.dir/Serialize.cpp.o" "gcc" "src/erhl/CMakeFiles/crellvm_erhl.dir/Serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/crellvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/crellvm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/crellvm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crellvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_erhl.dir/Assertion.cpp.o"
+  "CMakeFiles/crellvm_erhl.dir/Assertion.cpp.o.d"
+  "CMakeFiles/crellvm_erhl.dir/Eval.cpp.o"
+  "CMakeFiles/crellvm_erhl.dir/Eval.cpp.o.d"
+  "CMakeFiles/crellvm_erhl.dir/Infrule.cpp.o"
+  "CMakeFiles/crellvm_erhl.dir/Infrule.cpp.o.d"
+  "CMakeFiles/crellvm_erhl.dir/RuleTester.cpp.o"
+  "CMakeFiles/crellvm_erhl.dir/RuleTester.cpp.o.d"
+  "CMakeFiles/crellvm_erhl.dir/Serialize.cpp.o"
+  "CMakeFiles/crellvm_erhl.dir/Serialize.cpp.o.d"
+  "libcrellvm_erhl.a"
+  "libcrellvm_erhl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_erhl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

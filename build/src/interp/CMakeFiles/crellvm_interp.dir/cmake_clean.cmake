@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_interp.dir/Interp.cpp.o"
+  "CMakeFiles/crellvm_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/crellvm_interp.dir/Ops.cpp.o"
+  "CMakeFiles/crellvm_interp.dir/Ops.cpp.o.d"
+  "libcrellvm_interp.a"
+  "libcrellvm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/crellvm_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/crellvm_ir.dir/Module.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/crellvm_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/crellvm_ir.dir/Parser.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/crellvm_ir.dir/Printer.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/crellvm_ir.dir/Value.cpp.o"
+  "CMakeFiles/crellvm_ir.dir/Value.cpp.o.d"
+  "libcrellvm_ir.a"
+  "libcrellvm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

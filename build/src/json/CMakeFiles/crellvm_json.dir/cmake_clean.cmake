@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_json.dir/Binary.cpp.o"
+  "CMakeFiles/crellvm_json.dir/Binary.cpp.o.d"
+  "CMakeFiles/crellvm_json.dir/Json.cpp.o"
+  "CMakeFiles/crellvm_json.dir/Json.cpp.o.d"
+  "libcrellvm_json.a"
+  "libcrellvm_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

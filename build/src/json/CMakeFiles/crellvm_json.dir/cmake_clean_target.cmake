@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrellvm_json.a"
+)

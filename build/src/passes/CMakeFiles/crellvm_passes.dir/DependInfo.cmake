@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/BugConfig.cpp" "src/passes/CMakeFiles/crellvm_passes.dir/BugConfig.cpp.o" "gcc" "src/passes/CMakeFiles/crellvm_passes.dir/BugConfig.cpp.o.d"
+  "/root/repo/src/passes/GVN.cpp" "src/passes/CMakeFiles/crellvm_passes.dir/GVN.cpp.o" "gcc" "src/passes/CMakeFiles/crellvm_passes.dir/GVN.cpp.o.d"
+  "/root/repo/src/passes/InstCombine.cpp" "src/passes/CMakeFiles/crellvm_passes.dir/InstCombine.cpp.o" "gcc" "src/passes/CMakeFiles/crellvm_passes.dir/InstCombine.cpp.o.d"
+  "/root/repo/src/passes/LICM.cpp" "src/passes/CMakeFiles/crellvm_passes.dir/LICM.cpp.o" "gcc" "src/passes/CMakeFiles/crellvm_passes.dir/LICM.cpp.o.d"
+  "/root/repo/src/passes/Mem2Reg.cpp" "src/passes/CMakeFiles/crellvm_passes.dir/Mem2Reg.cpp.o" "gcc" "src/passes/CMakeFiles/crellvm_passes.dir/Mem2Reg.cpp.o.d"
+  "/root/repo/src/passes/Pipeline.cpp" "src/passes/CMakeFiles/crellvm_passes.dir/Pipeline.cpp.o" "gcc" "src/passes/CMakeFiles/crellvm_passes.dir/Pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proofgen/CMakeFiles/crellvm_proofgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/crellvm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/erhl/CMakeFiles/crellvm_erhl.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/crellvm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/crellvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/crellvm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crellvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

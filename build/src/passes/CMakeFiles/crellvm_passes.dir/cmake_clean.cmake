@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_passes.dir/BugConfig.cpp.o"
+  "CMakeFiles/crellvm_passes.dir/BugConfig.cpp.o.d"
+  "CMakeFiles/crellvm_passes.dir/GVN.cpp.o"
+  "CMakeFiles/crellvm_passes.dir/GVN.cpp.o.d"
+  "CMakeFiles/crellvm_passes.dir/InstCombine.cpp.o"
+  "CMakeFiles/crellvm_passes.dir/InstCombine.cpp.o.d"
+  "CMakeFiles/crellvm_passes.dir/LICM.cpp.o"
+  "CMakeFiles/crellvm_passes.dir/LICM.cpp.o.d"
+  "CMakeFiles/crellvm_passes.dir/Mem2Reg.cpp.o"
+  "CMakeFiles/crellvm_passes.dir/Mem2Reg.cpp.o.d"
+  "CMakeFiles/crellvm_passes.dir/Pipeline.cpp.o"
+  "CMakeFiles/crellvm_passes.dir/Pipeline.cpp.o.d"
+  "libcrellvm_passes.a"
+  "libcrellvm_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

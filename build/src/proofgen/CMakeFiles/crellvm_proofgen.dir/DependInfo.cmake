@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proofgen/ProofBinary.cpp" "src/proofgen/CMakeFiles/crellvm_proofgen.dir/ProofBinary.cpp.o" "gcc" "src/proofgen/CMakeFiles/crellvm_proofgen.dir/ProofBinary.cpp.o.d"
+  "/root/repo/src/proofgen/ProofBuilder.cpp" "src/proofgen/CMakeFiles/crellvm_proofgen.dir/ProofBuilder.cpp.o" "gcc" "src/proofgen/CMakeFiles/crellvm_proofgen.dir/ProofBuilder.cpp.o.d"
+  "/root/repo/src/proofgen/ProofJson.cpp" "src/proofgen/CMakeFiles/crellvm_proofgen.dir/ProofJson.cpp.o" "gcc" "src/proofgen/CMakeFiles/crellvm_proofgen.dir/ProofJson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/erhl/CMakeFiles/crellvm_erhl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/crellvm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/crellvm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/crellvm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/crellvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crellvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_proofgen.dir/ProofBinary.cpp.o"
+  "CMakeFiles/crellvm_proofgen.dir/ProofBinary.cpp.o.d"
+  "CMakeFiles/crellvm_proofgen.dir/ProofBuilder.cpp.o"
+  "CMakeFiles/crellvm_proofgen.dir/ProofBuilder.cpp.o.d"
+  "CMakeFiles/crellvm_proofgen.dir/ProofJson.cpp.o"
+  "CMakeFiles/crellvm_proofgen.dir/ProofJson.cpp.o.d"
+  "libcrellvm_proofgen.a"
+  "libcrellvm_proofgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_proofgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

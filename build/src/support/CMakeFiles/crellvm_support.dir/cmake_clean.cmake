@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_support.dir/Format.cpp.o"
+  "CMakeFiles/crellvm_support.dir/Format.cpp.o.d"
+  "CMakeFiles/crellvm_support.dir/Sloc.cpp.o"
+  "CMakeFiles/crellvm_support.dir/Sloc.cpp.o.d"
+  "CMakeFiles/crellvm_support.dir/Table.cpp.o"
+  "CMakeFiles/crellvm_support.dir/Table.cpp.o.d"
+  "libcrellvm_support.a"
+  "libcrellvm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crellvm_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/crellvm_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/crellvm_workload.dir/RandomProgram.cpp.o"
+  "CMakeFiles/crellvm_workload.dir/RandomProgram.cpp.o.d"
+  "libcrellvm_workload.a"
+  "libcrellvm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crellvm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

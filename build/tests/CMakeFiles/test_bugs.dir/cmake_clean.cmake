@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bugs.dir/BugReproductionTest.cpp.o"
+  "CMakeFiles/test_bugs.dir/BugReproductionTest.cpp.o.d"
+  "test_bugs"
+  "test_bugs.pdb"
+  "test_bugs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erhl.dir/ErhlTest.cpp.o"
+  "CMakeFiles/test_erhl.dir/ErhlTest.cpp.o.d"
+  "test_erhl"
+  "test_erhl.pdb"
+  "test_erhl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erhl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

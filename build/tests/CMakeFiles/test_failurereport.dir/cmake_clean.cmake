@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failurereport.dir/FailureReportTest.cpp.o"
+  "CMakeFiles/test_failurereport.dir/FailureReportTest.cpp.o.d"
+  "test_failurereport"
+  "test_failurereport.pdb"
+  "test_failurereport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failurereport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

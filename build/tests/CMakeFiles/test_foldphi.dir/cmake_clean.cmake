@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foldphi.dir/FoldPhiTest.cpp.o"
+  "CMakeFiles/test_foldphi.dir/FoldPhiTest.cpp.o.d"
+  "test_foldphi"
+  "test_foldphi.pdb"
+  "test_foldphi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foldphi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microopts.dir/MicroOptCatalogTest.cpp.o"
+  "CMakeFiles/test_microopts.dir/MicroOptCatalogTest.cpp.o.d"
+  "test_microopts"
+  "test_microopts.pdb"
+  "test_microopts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microopts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_microopts.
+# This may be replaced when dependencies are built.

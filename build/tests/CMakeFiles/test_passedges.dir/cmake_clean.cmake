@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passedges.dir/PassEdgeCasesTest.cpp.o"
+  "CMakeFiles/test_passedges.dir/PassEdgeCasesTest.cpp.o.d"
+  "test_passedges"
+  "test_passedges.pdb"
+  "test_passedges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passedges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ProofFuzzTest.cpp" "tests/CMakeFiles/test_prooffuzz.dir/ProofFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/test_prooffuzz.dir/ProofFuzzTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/crellvm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/crellvm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/difftool/CMakeFiles/crellvm_difftool.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/crellvm_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/crellvm_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/proofgen/CMakeFiles/crellvm_proofgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/erhl/CMakeFiles/crellvm_erhl.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/crellvm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/crellvm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/crellvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/crellvm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crellvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prooffuzz.dir/ProofFuzzTest.cpp.o"
+  "CMakeFiles/test_prooffuzz.dir/ProofFuzzTest.cpp.o.d"
+  "test_prooffuzz"
+  "test_prooffuzz.pdb"
+  "test_prooffuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prooffuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

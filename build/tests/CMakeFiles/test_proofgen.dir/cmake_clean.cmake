@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proofgen.dir/ProofGenTest.cpp.o"
+  "CMakeFiles/test_proofgen.dir/ProofGenTest.cpp.o.d"
+  "test_proofgen"
+  "test_proofgen.pdb"
+  "test_proofgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proofgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

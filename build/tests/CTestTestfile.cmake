@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_bugs[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_erhl[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_proofgen[1]_include.cmake")
+include("/root/repo/build/tests/test_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_microopts[1]_include.cmake")
+include("/root/repo/build/tests/test_foldphi[1]_include.cmake")
+include("/root/repo/build/tests/test_passedges[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_binary[1]_include.cmake")
+include("/root/repo/build/tests/test_prooffuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_failurereport[1]_include.cmake")
