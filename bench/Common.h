@@ -16,6 +16,7 @@
 #include "driver/Driver.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "workload/Corpus.h"
 
 #include <iostream>
@@ -46,20 +47,45 @@ struct CorpusResult {
 
 /// Runs the full -O2 pipeline over the corpus. The two instcombine
 /// invocations of the pipeline are merged under one "instcombine" row, as
-/// in the paper.
+/// in the paper. With \p Jobs != 1 the modules of each project are
+/// validated concurrently on one shared work-stealing pool (0 = all
+/// hardware threads); the reduction stays deterministic, so the tables are
+/// identical for every job count. \p Oracle additionally differentially
+/// executes every checker-accepted translation (driver/DiffOracle.h).
 inline CorpusResult runCorpus(const passes::BugConfig &Bugs, unsigned Scale,
-                              bool WithFileIO = true) {
+                              bool WithFileIO = true, unsigned Jobs = 1,
+                              bool Oracle = false) {
   CorpusResult Out;
   driver::DriverOptions DOpts;
   DOpts.WriteFiles = WithFileIO;
-  driver::ValidationDriver Driver(Bugs, DOpts);
+  DOpts.RunOracle = Oracle;
+  if (Jobs == 1 && !Oracle) {
+    driver::ValidationDriver Driver(Bugs, DOpts);
+    for (const workload::Project &P : workload::paperCorpus(Scale)) {
+      ProjectResult PR;
+      PR.Project = P;
+      for (unsigned M = 0; M != P.numModules(); ++M) {
+        ir::Module Mod = workload::generateProjectModule(P, M);
+        Driver.runPipelineValidated(Mod, PR.Stats);
+      }
+      Out.Projects.push_back(std::move(PR));
+    }
+    return Out;
+  }
+  ThreadPool Pool(Jobs);
   for (const workload::Project &P : workload::paperCorpus(Scale)) {
     ProjectResult PR;
     PR.Project = P;
-    for (unsigned M = 0; M != P.numModules(); ++M) {
-      ir::Module Mod = workload::generateProjectModule(P, M);
-      Driver.runPipelineValidated(Mod, PR.Stats);
-    }
+    driver::DriverOptions POpts = DOpts;
+    POpts.ExchangeTag = P.Name; // project-unique exchange file names
+    driver::BatchReport Rep = driver::runBatchValidated(
+        Bugs, POpts, P.numModules(),
+        [&P](size_t M) {
+          return workload::generateProjectModule(P,
+                                                 static_cast<unsigned>(M));
+        },
+        {}, &Pool);
+    PR.Stats = std::move(Rep.Stats);
     Out.Projects.push_back(std::move(PR));
   }
   return Out;

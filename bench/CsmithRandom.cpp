@@ -7,44 +7,80 @@
 //
 // Here the random generator (DESIGN.md §2) produces 1,000 modules with
 // the lifetime-intrinsic feature enabled at a CSmith-like rate and the
-// LLVM 3.7.1-era bug configuration.
+// LLVM 3.7.1-era bug configuration. The modules are validated on the
+// work-stealing pool (--jobs N, default: all hardware threads) with a
+// deterministic stats reduction, so the table is identical for every job
+// count; --oracle additionally differentially executes checker-accepted
+// translations.
+//
+//   csmith_random [scale] [--jobs N] [--oracle]
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/Common.h"
 
+#include <cstring>
+
 using namespace crellvm;
 using namespace crellvm::bench;
 
 int main(int Argc, char **Argv) {
-  unsigned Scale = scaleFromArgs(Argc, Argv);
+  unsigned Scale = 1, Jobs = 0;
+  bool Oracle = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (std::strcmp(Argv[I], "--oracle") == 0)
+      Oracle = true;
+    else
+      Scale = static_cast<unsigned>(std::strtoul(Argv[I], nullptr, 10));
+  }
+  if (Scale == 0)
+    Scale = 1;
   unsigned NumPrograms = 1000 / Scale;
+
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Jobs;
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = false;
+  DOpts.RunOracle = Oracle;
+
+  driver::BatchReport Report = driver::runBatchValidated(
+      passes::BugConfig::llvm371(), DOpts, NumPrograms,
+      [](size_t I) {
+        workload::GenOptions Opts;
+        Opts.Seed = 0xc5317 + I;
+        Opts.NumFunctions = 3;
+        Opts.LifetimePct = 30; // CSmith emits lifetime markers pervasively
+        Opts.VecFunctionPct = 0;
+        // CSmith-generated code rarely contains the gep-inbounds and
+        // PRE-insertion trigger shapes; keep them rare so the bug fires
+        // only occasionally, as in the paper (one failure in 55,008
+        // validations).
+        Opts.GepPairPct = 2;
+        return workload::generateModule(Opts);
+      },
+      BOpts);
+  const driver::StatsMap &Stats = Report.Stats;
+
   std::cout << "=== CSmith experiment analog (paper §7) ===\n"
             << NumPrograms << " random programs, -O2 pipeline, "
             << "bug configuration: " << passes::BugConfig::llvm371().str()
-            << "\n\n";
-
-  driver::DriverOptions DOpts;
-  DOpts.WriteFiles = false;
-  driver::ValidationDriver Driver(passes::BugConfig::llvm371(), DOpts);
-  driver::StatsMap Stats;
-  for (unsigned I = 0; I != NumPrograms; ++I) {
-    workload::GenOptions Opts;
-    Opts.Seed = 0xc5317 + I;
-    Opts.NumFunctions = 3;
-    Opts.LifetimePct = 30; // CSmith emits lifetime markers pervasively
-    Opts.VecFunctionPct = 0;
-    // CSmith-generated code rarely contains the gep-inbounds and
-    // PRE-insertion trigger shapes; keep them rare so the bug fires only
-    // occasionally, as in the paper (one failure in 55,008 validations).
-    Opts.GepPairPct = 2;
-    ir::Module M = workload::generateModule(Opts);
-    Driver.runPipelineValidated(M, Stats);
-  }
+            << "\n"
+            << Report.JobsUsed << " jobs, wall "
+            << formatSeconds(Report.WallSeconds) << ", cpu "
+            << formatSeconds(Report.CpuSeconds) << " (speedup "
+            << formatPercent(Report.WallSeconds > 0
+                                 ? Report.CpuSeconds / Report.WallSeconds
+                                 : 0)
+            << " of serial)"
+            << (Oracle ? ", oracle on" : "") << "\n\n";
 
   Table T({"", "#validations", "#F", "#NS", "NS rate", "validated"});
   for (const std::string &P : {std::string("mem2reg"), std::string("gvn")}) {
-    const driver::PassStats &S = Stats[P];
+    auto It = Stats.find(P);
+    const driver::PassStats S =
+        It == Stats.end() ? driver::PassStats() : It->second;
     double NsRate = S.V ? static_cast<double>(S.NS) / S.V : 0;
     T.addRow({P, formatCountK(S.V), formatCountK(S.F), formatCountK(S.NS),
               formatPercent(NsRate),
@@ -52,8 +88,12 @@ int main(int Argc, char **Argv) {
   }
   T.print(std::cout);
 
-  const driver::PassStats &M2R = Stats["mem2reg"];
-  const driver::PassStats &Gvn = Stats["gvn"];
+  auto StatOf = [&Stats](const char *Name) {
+    auto It = Stats.find(Name);
+    return It == Stats.end() ? driver::PassStats() : It->second;
+  };
+  const driver::PassStats M2R = StatOf("mem2reg");
+  const driver::PassStats Gvn = StatOf("gvn");
   double NsRate = M2R.V ? static_cast<double>(M2R.NS) / M2R.V : 0;
   std::cout << "\npaper-shape: gvn-bug-detected=" << (Gvn.F > 0 ? "OK" : "MISMATCH")
             << " (paper: 1 failure across 55,008 validations)"
@@ -63,5 +103,14 @@ int main(int Argc, char **Argv) {
             << ", rest-validated="
             << (M2R.F + Gvn.F < (M2R.V + Gvn.V) / 10 ? "OK" : "MISMATCH")
             << "\n";
+  if (Oracle) {
+    uint64_t Runs = 0, Div = 0;
+    for (const auto &KV : Stats) {
+      Runs += KV.second.OracleRuns;
+      Div += KV.second.OracleDivergences;
+    }
+    std::cout << "oracle: " << Runs << " differential runs, " << Div
+              << " divergences on checker-accepted translations\n";
+  }
   return 0;
 }

@@ -1,0 +1,102 @@
+//===- driver/DiffOracle.cpp ------------------------------------*- C++ -*-===//
+
+#include "driver/DiffOracle.h"
+
+#include "interp/Interp.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+
+using namespace crellvm;
+using namespace crellvm::driver;
+
+void DiffOracleReport::add(const DiffOracleReport &O, unsigned MaxSamples) {
+  FunctionsProbed += O.FunctionsProbed;
+  Runs += O.Runs;
+  Divergences += O.Divergences;
+  for (const std::string &S : O.Samples)
+    if (Samples.size() < MaxSamples)
+      Samples.push_back(S);
+}
+
+namespace {
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string outcomeStr(const interp::RunResult &R) {
+  switch (R.End) {
+  case interp::Outcome::Returned:
+    return "ret " + R.ReturnValue.str();
+  case interp::Outcome::UndefBehav:
+    return "UB(" + R.UbReason + ")";
+  case interp::Outcome::OutOfFuel:
+    return "out-of-fuel";
+  }
+  return "<invalid>";
+}
+
+std::string describeDivergence(const std::string &Fn,
+                               const std::vector<int64_t> &Args,
+                               const interp::RunResult &S,
+                               const interp::RunResult &T) {
+  std::string Msg = "@" + Fn + "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I != 0)
+      Msg += ",";
+    Msg += std::to_string(Args[I]);
+  }
+  Msg += "): src " + outcomeStr(S) + " [" + std::to_string(S.Trace.size()) +
+         " events] vs tgt " + outcomeStr(T) + " [" +
+         std::to_string(T.Trace.size()) + " events]";
+  return Msg;
+}
+
+} // namespace
+
+DiffOracleReport
+crellvm::driver::runDiffOracle(const ir::Module &Src, const ir::Module &Tgt,
+                               const DiffOracleOptions &Opts,
+                               const std::vector<std::string> *Only) {
+  DiffOracleReport Report;
+  for (const ir::Function &F : Src.Funcs) {
+    if (Only && std::find(Only->begin(), Only->end(), F.Name) == Only->end())
+      continue;
+    const ir::Function *TF = Tgt.getFunction(F.Name);
+    if (!TF)
+      continue;
+    ++Report.FunctionsProbed;
+
+    // Per-function input stream, independent of module iteration order.
+    RNG R(Opts.Seed ^ fnv1a(F.Name));
+    for (unsigned Run = 0; Run != Opts.RunsPerFunction; ++Run) {
+      std::vector<int64_t> Args;
+      for (size_t P = 0; P != F.Params.size(); ++P)
+        // Mostly small values (so branches and gep indices are exercised),
+        // occasionally full-range bit patterns.
+        Args.push_back(R.chance(4, 5) ? R.range(-4, 9)
+                                      : static_cast<int64_t>(R.next()));
+
+      interp::InterpOptions IOpts;
+      IOpts.Fuel = Opts.Fuel;
+      // Both runs observe the identical external environment.
+      IOpts.OracleSeed = R.next() | 1;
+      interp::RunResult SR = interp::run(Src, F.Name, Args, IOpts);
+      interp::RunResult TR = interp::run(Tgt, F.Name, Args, IOpts);
+      ++Report.Runs;
+      if (!interp::refines(SR, TR)) {
+        ++Report.Divergences;
+        if (Report.Samples.size() < Opts.MaxSamples)
+          Report.Samples.push_back(
+              describeDivergence(F.Name, Args, SR, TR));
+      }
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,64 @@
+//===- driver/DiffOracle.h - Differential-execution oracle -----*- C++ -*-===//
+///
+/// \file
+/// An independent end-to-end soundness probe for the proof checker: for a
+/// translation the checker accepted, run the reference interpreter
+/// (src/interp) on the source and the target function with identical
+/// RNG-seeded inputs and the same external-call oracle seed, and flag any
+/// pair of runs where the target does not refine the source.
+///
+/// The oracle checks *behavior refinement over sampled inputs*, the same
+/// correctness notion the checker certifies symbolically (paper §1.2), so
+/// a divergence on a checker-accepted translation is evidence of a hole
+/// in the trusted base — an unsound inference rule, a checker bug, or a
+/// semantics mismatch. The converse does not hold: the oracle samples
+/// finitely many inputs and bounded fuel, so silence proves nothing
+/// (testing vs. validation, paper §7.1).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_DRIVER_DIFFORACLE_H
+#define CRELLVM_DRIVER_DIFFORACLE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace driver {
+
+struct DiffOracleOptions {
+  /// Input vectors tried per function.
+  unsigned RunsPerFunction = 3;
+  /// Base seed; per-function streams are derived from it and the function
+  /// name, so verdicts do not depend on module iteration order.
+  uint64_t Seed = 0x0dd5eed;
+  /// Interpreter step budget per run (kept small: oracle runs ride along
+  /// every validation).
+  uint64_t Fuel = 20000;
+  /// Cap on retained divergence diagnostics.
+  unsigned MaxSamples = 4;
+};
+
+struct DiffOracleReport {
+  uint64_t FunctionsProbed = 0;
+  uint64_t Runs = 0;        ///< src/tgt run pairs executed
+  uint64_t Divergences = 0; ///< runs where target does not refine source
+  std::vector<std::string> Samples; ///< first few divergence diagnostics
+
+  void add(const DiffOracleReport &O, unsigned MaxSamples = 8);
+};
+
+/// Differentially executes every function defined in both \p Src and
+/// \p Tgt. When \p Only is non-null, probes only the listed functions
+/// (the driver passes the checker-validated subset). Deterministic: the
+/// report depends only on the modules and \p Opts.
+DiffOracleReport runDiffOracle(const ir::Module &Src, const ir::Module &Tgt,
+                               const DiffOracleOptions &Opts,
+                               const std::vector<std::string> *Only = nullptr);
+
+} // namespace driver
+} // namespace crellvm
+
+#endif // CRELLVM_DRIVER_DIFFORACLE_H

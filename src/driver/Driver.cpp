@@ -8,6 +8,7 @@
 #include "ir/Printer.h"
 #include "proofgen/ProofBinary.h"
 #include "proofgen/ProofJson.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -30,6 +31,12 @@ void PassStats::add(const PassStats &O) {
   for (const std::string &S : O.FailureSamples)
     if (FailureSamples.size() < 8)
       FailureSamples.push_back(S);
+  Oracle += O.Oracle;
+  OracleRuns += O.OracleRuns;
+  OracleDivergences += O.OracleDivergences;
+  for (const std::string &S : O.OracleSamples)
+    if (OracleSamples.size() < 8)
+      OracleSamples.push_back(S);
 }
 
 ValidationDriver::ValidationDriver(const passes::BugConfig &Bugs,
@@ -90,7 +97,10 @@ ir::Module ValidationDriver::runPassValidated(passes::Pass &P,
     Timer TIO;
     TIO.time([&] {
       uint64_t N = FileCounter++;
-      std::string Base = Dir + "/" + P.name() + "." + std::to_string(N);
+      std::string Base = Dir + "/" + P.name();
+      if (!Opts.ExchangeTag.empty())
+        Base += "." + Opts.ExchangeTag;
+      Base += "." + std::to_string(N);
       std::string ProofPath =
           Base + (Opts.BinaryProofs ? ".proof.bin" : ".proof.json");
       writeFile(Base + ".src.ll", ir::printModule(Src));
@@ -127,6 +137,7 @@ ir::Module ValidationDriver::runPassValidated(passes::Pass &P,
   S.PCheck = TCheck.seconds();
 
   S.V += MR.Functions.size();
+  std::vector<std::string> Accepted;
   for (const auto &KV : MR.Functions) {
     if (KV.second.Status == checker::ValidationStatus::Failed) {
       ++S.F;
@@ -135,12 +146,29 @@ ir::Module ValidationDriver::runPassValidated(passes::Pass &P,
                                    ": " + KV.second.Reason);
     } else if (KV.second.Status == checker::ValidationStatus::NotSupported) {
       ++S.NS;
+    } else {
+      Accepted.push_back(KV.first);
     }
   }
 
   // llvm-diff: the original and proof-generating compilers must agree.
   if (!difftool::diffModules(Plain.Tgt, WithProof.Tgt))
     ++S.DiffMismatches;
+
+  // Differential execution: probe exactly the translations the checker
+  // accepted — a divergence here is a soundness hole in the trusted base.
+  if (Opts.RunOracle && !Accepted.empty()) {
+    Timer TOracle;
+    DiffOracleReport R = TOracle.time([&] {
+      return runDiffOracle(Src, WithProof.Tgt, Opts.OracleOpts, &Accepted);
+    });
+    S.Oracle = TOracle.seconds();
+    S.OracleRuns += R.Runs;
+    S.OracleDivergences += R.Divergences;
+    for (const std::string &Msg : R.Samples)
+      if (S.OracleSamples.size() < 8)
+        S.OracleSamples.push_back("[" + P.name() + "] " + Msg);
+  }
 
   Stats[P.name()].add(S);
   return std::move(WithProof.Tgt);
@@ -152,4 +180,71 @@ ir::Module ValidationDriver::runPipelineValidated(const ir::Module &Src,
   for (auto &P : passes::makeO2Pipeline(Bugs))
     Cur = runPassValidated(*P, Cur, Stats);
   return Cur;
+}
+
+// --- Parallel batch validation ---------------------------------------------
+
+BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
+                                               const DriverOptions &Opts,
+                                               size_t NumUnits,
+                                               const UnitGenerator &MakeUnit,
+                                               const BatchOptions &BOpts,
+                                               ThreadPool *Pool) {
+  BatchReport Out;
+  Out.Units = NumUnits;
+  unsigned Jobs = BOpts.Jobs ? BOpts.Jobs : ThreadPool::defaultConcurrency();
+  if (Pool)
+    Jobs = Pool->numThreads();
+  Out.JobsUsed = Jobs;
+
+  std::vector<StatsMap> PerUnit(NumUnits);
+  std::vector<double> UnitSeconds(NumUnits, 0.0);
+
+  // The serial path runs the identical per-unit closure inline, so the
+  // merged Stats are bit-identical across all Jobs values.
+  auto RunUnit = [&](size_t I) {
+    Timer T;
+    T.time([&] {
+      DriverOptions UOpts = Opts;
+      UOpts.ExchangeTag = Opts.ExchangeTag.empty()
+                              ? "u" + std::to_string(I)
+                              : Opts.ExchangeTag + ".u" + std::to_string(I);
+      ValidationDriver D(Bugs, UOpts);
+      ir::Module M = MakeUnit(I);
+      D.runPipelineValidated(M, PerUnit[I]);
+    });
+    UnitSeconds[I] = T.seconds();
+  };
+
+  Timer Wall;
+  Wall.time([&] {
+    if (Jobs <= 1) {
+      for (size_t I = 0; I != NumUnits; ++I)
+        RunUnit(I);
+    } else if (Pool) {
+      parallelFor(*Pool, NumUnits, RunUnit);
+    } else {
+      ThreadPool Local(Jobs);
+      parallelFor(Local, NumUnits, RunUnit);
+    }
+  });
+  Out.WallSeconds = Wall.seconds();
+
+  // Deterministic reduction: merge per-unit stats in unit-index order,
+  // independent of the order in which workers finished them.
+  for (size_t I = 0; I != NumUnits; ++I) {
+    for (const auto &KV : PerUnit[I])
+      Out.Stats[KV.first].add(KV.second);
+    Out.CpuSeconds += UnitSeconds[I];
+  }
+  return Out;
+}
+
+BatchReport crellvm::driver::runBatchValidated(
+    const passes::BugConfig &Bugs, const DriverOptions &Opts,
+    const std::vector<ir::Module> &Mods, const BatchOptions &BOpts,
+    ThreadPool *Pool) {
+  return runBatchValidated(
+      Bugs, Opts, Mods.size(),
+      [&Mods](size_t I) { return Mods[I]; }, BOpts, Pool);
 }

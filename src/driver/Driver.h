@@ -14,17 +14,33 @@
 /// After a successful validation, tgt.ll (original compiler) and tgt'.ll
 /// (proof-generating compiler) are compared with the llvm-diff analog.
 ///
+/// On top of the per-pass protocol, runBatchValidated validates many
+/// translation units concurrently on a work-stealing thread pool
+/// (support/ThreadPool.h) and can cross-check every checker-accepted
+/// translation with the differential-execution oracle (DiffOracle.h).
+/// Statistics reduction is deterministic and order-independent: each unit
+/// accumulates into its own StatsMap and the per-unit maps are merged in
+/// unit-index order after the pool drains, so `--jobs N` produces
+/// bit-identical counts and samples for every N. Wall-clock time and
+/// cumulative per-unit CPU time are reported separately so the paper's
+/// Orig/PCal/I-O/PCheck columns stay comparable across job counts.
+///
 //===----------------------------------------------------------------------===//
 #ifndef CRELLVM_DRIVER_DRIVER_H
 #define CRELLVM_DRIVER_DRIVER_H
 
+#include "driver/DiffOracle.h"
 #include "passes/Pipeline.h"
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace crellvm {
+
+class ThreadPool;
+
 namespace driver {
 
 /// Accumulated statistics for one pass, matching the paper's columns.
@@ -35,6 +51,13 @@ struct PassStats {
   double Orig = 0, PCal = 0, IO = 0, PCheck = 0; ///< seconds
   uint64_t DiffMismatches = 0; ///< llvm-diff disagreements (expected 0)
   std::vector<std::string> FailureSamples; ///< first few failure reasons
+
+  // Differential-execution oracle columns (populated with
+  // DriverOptions::RunOracle; all zero otherwise).
+  double Oracle = 0;               ///< seconds spent in the oracle
+  uint64_t OracleRuns = 0;         ///< src/tgt run pairs executed
+  uint64_t OracleDivergences = 0;  ///< checker-accepted but diverging
+  std::vector<std::string> OracleSamples; ///< first few divergences
 
   void add(const PassStats &O);
   uint64_t validated() const { return V - F - NS; }
@@ -50,10 +73,19 @@ struct DriverOptions {
   /// Directory for the exchange files; empty = a fresh directory under
   /// the system temp dir.
   std::string ExchangeDir;
+  /// Extra component of exchange file names. Concurrent drivers sharing
+  /// an ExchangeDir must use distinct tags (runBatchValidated derives one
+  /// per unit).
+  std::string ExchangeTag;
   /// Exchange proofs in the compact binary format (proofgen/ProofBinary.h)
   /// instead of plain-text JSON — the paper's §7 future-work item. The
   /// modules are still exchanged as .ll text either way.
   bool BinaryProofs = false;
+  /// Differentially execute every checker-accepted function translation
+  /// and record divergences (an end-to-end soundness probe of checker +
+  /// infrules; see DiffOracle.h).
+  bool RunOracle = false;
+  DiffOracleOptions OracleOpts;
 };
 
 /// Runs passes over modules with validation, accumulating statistics.
@@ -77,6 +109,44 @@ private:
   std::string Dir; ///< resolved exchange directory
   uint64_t FileCounter = 0;
 };
+
+// --- Parallel batch validation ---------------------------------------------
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
+  unsigned Jobs = 1;
+};
+
+struct BatchReport {
+  StatsMap Stats;          ///< deterministic, unit-index-order reduction
+  uint64_t Units = 0;      ///< translation units processed
+  unsigned JobsUsed = 1;   ///< resolved worker count
+  double WallSeconds = 0;  ///< elapsed time of the whole batch
+  double CpuSeconds = 0;   ///< sum of per-unit validation times
+};
+
+/// Produces translation unit \p Index. Called concurrently for distinct
+/// indices; must be thread-safe (pure generators qualify).
+using UnitGenerator = std::function<ir::Module(size_t)>;
+
+/// Validates the -O2 pipeline over \p NumUnits units concurrently. Each
+/// unit gets its own ValidationDriver (with a unit-unique ExchangeTag) and
+/// its own StatsMap; the maps are merged in unit-index order, so the
+/// resulting Stats are identical for every Jobs value. When \p Pool is
+/// non-null it is used (and not drained of other work); otherwise a
+/// temporary pool of BatchOptions::Jobs workers is created.
+BatchReport runBatchValidated(const passes::BugConfig &Bugs,
+                              const DriverOptions &Opts, size_t NumUnits,
+                              const UnitGenerator &MakeUnit,
+                              const BatchOptions &BOpts = {},
+                              ThreadPool *Pool = nullptr);
+
+/// Convenience overload for pre-materialized modules.
+BatchReport runBatchValidated(const passes::BugConfig &Bugs,
+                              const DriverOptions &Opts,
+                              const std::vector<ir::Module> &Mods,
+                              const BatchOptions &BOpts = {},
+                              ThreadPool *Pool = nullptr);
 
 } // namespace driver
 } // namespace crellvm

@@ -1,0 +1,163 @@
+//===- driver/Main.cpp - The crellvm-validate CLI ---------------*- C++ -*-===//
+//
+// Batch validation over a generated corpus: the Fig. 1 protocol for every
+// module, run concurrently on the work-stealing pool, with optional
+// differential-execution cross-checking of every checker-accepted
+// translation.
+//
+//   crellvm-validate [--jobs N] [--oracle] [--modules N] [--seed S]
+//                    [--bugs 371|501pre|501post|fixed] [--files]
+//                    [--binary-proofs]
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+#include "workload/RandomProgram.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace crellvm;
+
+namespace {
+
+struct CliOptions {
+  unsigned Jobs = 0; ///< 0 = hardware concurrency
+  bool Oracle = false;
+  unsigned Modules = 200;
+  uint64_t Seed = 1;
+  std::string Bugs = "fixed";
+  bool Files = false;
+  bool BinaryProofs = false;
+};
+
+int usage(const char *Argv0) {
+  std::cerr
+      << "usage: " << Argv0 << " [options]\n"
+      << "  --jobs N          worker threads (default: all hardware threads)\n"
+      << "  --oracle          differentially execute checker-accepted\n"
+      << "                    translations and report divergences\n"
+      << "  --modules N       generated modules to validate (default 200)\n"
+      << "  --seed S          base generation seed (default 1)\n"
+      << "  --bugs CFG        371 | 501pre | 501post | fixed (default)\n"
+      << "  --files           exchange src/tgt/proof through files (I/O col)\n"
+      << "  --binary-proofs   use the compact binary proof format\n";
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextNum = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t N = 0;
+    if (A == "--jobs" && NextNum(N))
+      O.Jobs = static_cast<unsigned>(N);
+    else if (A == "--modules" && NextNum(N))
+      O.Modules = static_cast<unsigned>(N);
+    else if (A == "--seed" && NextNum(N))
+      O.Seed = N;
+    else if (A == "--oracle")
+      O.Oracle = true;
+    else if (A == "--files")
+      O.Files = true;
+    else if (A == "--binary-proofs")
+      O.BinaryProofs = true;
+    else if (A == "--bugs" && I + 1 < Argc)
+      O.Bugs = Argv[++I];
+    else
+      return false;
+  }
+  return true;
+}
+
+passes::BugConfig bugConfig(const std::string &Name, bool &Ok) {
+  Ok = true;
+  if (Name == "371")
+    return passes::BugConfig::llvm371();
+  if (Name == "501pre")
+    return passes::BugConfig::llvm501PreGvnPatch();
+  if (Name == "501post")
+    return passes::BugConfig::llvm501PostGvnPatch();
+  if (Name == "fixed")
+    return passes::BugConfig::fixed();
+  Ok = false;
+  return passes::BugConfig::fixed();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli))
+    return usage(Argv[0]);
+  bool BugsOk = false;
+  passes::BugConfig Bugs = bugConfig(Cli.Bugs, BugsOk);
+  if (!BugsOk)
+    return usage(Argv[0]);
+
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = Cli.Files;
+  DOpts.BinaryProofs = Cli.BinaryProofs;
+  DOpts.RunOracle = Cli.Oracle;
+
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Cli.Jobs;
+
+  uint64_t Seed = Cli.Seed;
+  driver::BatchReport Report = driver::runBatchValidated(
+      Bugs, DOpts, Cli.Modules,
+      [Seed](size_t I) {
+        workload::GenOptions G;
+        G.Seed = Seed + I;
+        return workload::generateModule(G);
+      },
+      BOpts);
+
+  std::cout << "validated " << Report.Units << " modules with "
+            << Report.JobsUsed << " jobs, bugs=" << Bugs.str() << "\n"
+            << "wall " << formatSeconds(Report.WallSeconds) << ", cpu "
+            << formatSeconds(Report.CpuSeconds) << " (parallel efficiency "
+            << formatPercent(Report.WallSeconds > 0
+                                 ? Report.CpuSeconds / Report.WallSeconds /
+                                       Report.JobsUsed
+                                 : 0)
+            << ")\n\n";
+
+  Table T({"pass", "#V", "#F", "#NS", "diff", "Orig", "PCal", "I/O",
+           "PCheck", "oracle runs", "oracle div"});
+  for (const auto &KV : Report.Stats) {
+    const driver::PassStats &S = KV.second;
+    T.addRow({KV.first, formatCountK(S.V), formatCountK(S.F),
+              formatCountK(S.NS), formatCountK(S.DiffMismatches),
+              formatSeconds(S.Orig), formatSeconds(S.PCal),
+              formatSeconds(S.IO), formatSeconds(S.PCheck),
+              formatCountK(S.OracleRuns),
+              formatCountK(S.OracleDivergences)});
+  }
+  T.print(std::cout);
+
+  uint64_t Failures = 0, Divergences = 0;
+  for (const auto &KV : Report.Stats) {
+    Failures += KV.second.F + KV.second.DiffMismatches;
+    Divergences += KV.second.OracleDivergences;
+    for (const std::string &Msg : KV.second.FailureSamples)
+      std::cout << "failure: " << Msg << "\n";
+    for (const std::string &Msg : KV.second.OracleSamples)
+      std::cout << "divergence: " << Msg << "\n";
+  }
+  if (Divergences)
+    std::cout << "\nWARNING: " << Divergences
+              << " checker-accepted translations diverged under "
+                 "differential execution — the trusted base has a hole\n";
+  return Failures || Divergences ? 1 : 0;
+}

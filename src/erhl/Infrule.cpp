@@ -4,6 +4,7 @@
 
 #include "support/Format.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace crellvm;
@@ -126,10 +127,23 @@ const std::pair<InfruleKind, const char *> KindNames[] = {
     {InfruleKind::IcmpUgtMone, "icmp_ugt_mone"},
     {InfruleKind::IcmpSgeSmin, "icmp_sge_smin"},
     {InfruleKind::IcmpSltSmin, "icmp_slt_smin"},
+    {InfruleKind::AddDisjointOr, "add_disjoint_or"},
     {InfruleKind::ConstexprNoUb, "constexpr_no_ub"},
 };
 
+/// Test-only switch dropping AddDisjointOr's side condition; see
+/// setWeakenedDisjointOrCheck in Infrule.h.
+std::atomic<bool> WeakenDisjointOr{false};
+
 } // namespace
+
+void crellvm::erhl::setWeakenedDisjointOrCheck(bool On) {
+  WeakenDisjointOr.store(On, std::memory_order_relaxed);
+}
+
+bool crellvm::erhl::weakenedDisjointOrCheck() {
+  return WeakenDisjointOr.load(std::memory_order_relaxed);
+}
 
 std::string crellvm::erhl::infruleKindName(InfruleKind K) {
   for (const auto &KV : KindNames)
@@ -548,6 +562,27 @@ bool RuleApplier::applyArith() {
       return false;
     prem(V(Y), bop(O::Add, Av, Bv));
     return fused(V(Y), bop(O::Add, Bv, Av));
+  }
+  case K::AddDisjointOr: {
+    if (!checkArity(3) || !valArg(0, Y) || !valArg(1, Av) || !valArg(2, Bv))
+      return false;
+    // Sound only for constants with disjoint bits: no carries, so
+    // a + b == a | b. The weakened variant (test-only) accepts any
+    // operands and is refuted by rule verification / the diff oracle.
+    if (!weakenedDisjointOrCheck()) {
+      if (!constArg(1, C1) || !constArg(2, C2))
+        return false;
+      unsigned Width = Y.V.type().intWidth();
+      uint64_t Mask =
+          Width >= 64 ? ~uint64_t(0) : (uint64_t(1) << Width) - 1;
+      if ((static_cast<uint64_t>(C1) & static_cast<uint64_t>(C2) & Mask) !=
+          0) {
+        Err = "add_disjoint_or: constants share bits";
+        return false;
+      }
+    }
+    prem(V(Y), bop(O::Add, Av, Bv));
+    return fused(V(Y), bop(O::Or, Av, Bv));
   }
   case K::AddZero: {
     if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))

@@ -187,6 +187,13 @@ enum class InfruleKind : uint16_t {
   IcmpSgeSmin,  ///< side, [y][a]: y>=icmp sge a INT_MIN |- y>=1
   IcmpSltSmin,  ///< side, [y][a]: y>=icmp slt a INT_MIN |- y>=0
 
+  AddDisjointOr,///< side, [y][a][b]: y>=add a b, a and b integer
+                ///< constants with disjoint bits (a&b == 0) |- y >= or a b.
+                ///< The disjointness side condition is what keeps the rule
+                ///< sound; setWeakenedDisjointOrCheck (test-only) drops it,
+                ///< modeling a weakened infrule the differential-execution
+                ///< oracle must catch (driver/DiffOracle.h).
+
   // --- Deliberately unsound (PR33673 reproduction; see DESIGN.md §4) ------
   ConstexprNoUb, ///< side, [C][v]: |- C >= v, v >= C where v is the folded
                  ///< value of constant expression C *assuming it cannot
@@ -225,6 +232,15 @@ struct Infrule {
 /// report — but the diagnostic helps debugging proof generation (paper §6
 /// "Experience").
 std::optional<std::string> applyInfrule(const Infrule &Rule, Assertion &A);
+
+/// Test-only: drops AddDisjointOr's disjoint-constant side condition, so
+/// the rule accepts arbitrary operands and becomes unsound. Exists solely
+/// so tests can demonstrate that the differential-execution oracle catches
+/// a divergence the checker misses when an infrule is weakened
+/// (tests/DiffOracleTest.cpp). Process-global and atomic; never enable
+/// outside tests.
+void setWeakenedDisjointOrCheck(bool On);
+bool weakenedDisjointOrCheck();
 
 } // namespace erhl
 } // namespace crellvm

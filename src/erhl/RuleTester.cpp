@@ -300,6 +300,21 @@ std::optional<Infrule> buildInstance(InfruleKind K, InstanceGen &G) {
     Rule.Args = {V(Y), V(Av), V(Bv)};
     return Rule;
   }
+  case KK::AddDisjointOr: {
+    // Mostly split a random mask's bits between the two constants so the
+    // disjointness side condition holds and the rule applies; sometimes
+    // force shared bits, which the strict rule must reject (and which
+    // becomes a counterexample once the check is weakened).
+    uint64_t M = R.next();
+    int64_t C1 = static_cast<int64_t>(R.next() & M);
+    int64_t C2 = static_cast<int64_t>(R.next() & ~M);
+    if (R.chance(1, 4))
+      C2 = static_cast<int64_t>(R.next() | 1) | C1;
+    ValT Av = G.constI(C1, Ty), Bv = G.constI(C2, Ty);
+    ValT Y = G.defineBop(O::Add, Av, Bv);
+    Rule.Args = {V(Y), V(Av), V(Bv)};
+    return Rule;
+  }
   case KK::AddSignbit: {
     unsigned W = Ty.intWidth();
     ValT Cv = G.constI(int64_t(1) << (W - 1), Ty);

@@ -19,5 +19,6 @@ std::string BugConfig::str() const {
   Add(GvnIgnoreInbounds, "gvn-inbounds(PR28562)");
   Add(GvnIgnoreInboundsPRE, "gvn-inbounds-pre(PR29057)");
   Add(GvnPREWrongLeader, "gvn-pre-insert(D38619)");
+  Add(UnsoundAddToOr, "unsound-add-to-or(test-only)");
   return S.empty() ? "none" : S;
 }

@@ -29,6 +29,13 @@ struct BugConfig {
   bool GvnIgnoreInbounds = false;
   bool GvnIgnoreInboundsPRE = false;
   bool GvnPREWrongLeader = false;
+  /// Test-only (not part of any historical preset): instcombine rewrites
+  /// add a b -> or a b for *arbitrary* operands, justified by the
+  /// AddDisjointOr infrule. With the rule's side condition intact the
+  /// checker rejects the proof; with the check weakened
+  /// (erhl::setWeakenedDisjointOrCheck) the checker accepts it and only
+  /// the differential-execution oracle exposes the miscompile.
+  bool UnsoundAddToOr = false;
 
   /// All bugs present: the state of LLVM 3.7.1 when the paper's study
   /// began.

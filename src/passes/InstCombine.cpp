@@ -56,9 +56,9 @@ Expr rhsExpr(const Instruction &I) {
 /// Per-function rewriting context.
 class Combiner {
 public:
-  Combiner(ProofBuilder &B, bool GenProof,
+  Combiner(ProofBuilder &B, bool GenProof, const BugConfig &Bugs,
            std::map<std::string, uint64_t> &Counts)
-      : B(B), GenProof(GenProof), Counts(Counts) {
+      : B(B), GenProof(GenProof), Bugs(Bugs), Counts(Counts) {
     for (const BasicBlock &Blk : B.srcFunction().Blocks)
       for (size_t I = 0; I != Blk.Insts.size(); ++I)
         if (auto R = Blk.Insts[I].result())
@@ -251,6 +251,7 @@ private:
 
   ProofBuilder &B;
   bool GenProof;
+  const BugConfig &Bugs;
   std::map<std::string, uint64_t> &Counts;
   std::map<std::string, SlotId> DefSlots;
   std::set<SlotId> Touched;
@@ -460,6 +461,17 @@ bool Combiner::combineAdd(SlotId S, const Instruction &I) {
              {val(Y), val(A), val(Bv), val(DZ->operands()[0]),
               val(DZ->operands()[1])}),
         {{A.regName(), *DS}, {Bv.regName(), *DS2}});
+    return true;
+  }
+  // unsound-add-to-or (BugConfig::UnsoundAddToOr, test-only): rewrite any
+  // remaining add to or, justified by add_disjoint_or whose side condition
+  // these operands do not satisfy. The checker rejects the proof unless
+  // the rule check is weakened (erhl::setWeakenedDisjointOrCheck).
+  if (Bugs.UnsoundAddToOr && Ty.intWidth() > 1) {
+    rewriteInPlace("unsound-add-to-or", S,
+                   Instruction::binary(Opcode::Or, *I.result(), Ty, A, Bv),
+                   rule(InfruleKind::AddDisjointOr,
+                        {val(Y), val(A), val(Bv)}));
     return true;
   }
   return false;
@@ -1588,7 +1600,7 @@ PassResult InstCombine::run(const ir::Module &Src, bool GenProof) {
   Out.Tgt = Src;
   for (ir::Function &F : Out.Tgt.Funcs) {
     ProofBuilder B(F);
-    Combiner C(B, GenProof, Counts);
+    Combiner C(B, GenProof, Bugs, Counts);
     C.run();
     Out.Rewrites += C.rewrites();
     auto R = B.finalize();

@@ -1,0 +1,139 @@
+//===- support/ThreadPool.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+using namespace crellvm;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultConcurrency();
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(SignalM);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  unsigned Target = static_cast<unsigned>(
+      NextQueue.fetch_add(1, std::memory_order_relaxed) % Queues.size());
+  {
+    std::lock_guard<std::mutex> L(Queues[Target]->M);
+    Queues[Target]->Q.push_back(std::move(Task));
+  }
+  // Taking SignalM orders the notify after any worker's about-to-sleep
+  // queue recheck, so the wakeup cannot be missed.
+  {
+    std::lock_guard<std::mutex> L(SignalM);
+  }
+  WorkCv.notify_one();
+}
+
+std::function<void()> ThreadPool::popOwn(unsigned Self) {
+  WorkerQueue &WQ = *Queues[Self];
+  std::lock_guard<std::mutex> L(WQ.M);
+  if (WQ.Q.empty())
+    return nullptr;
+  std::function<void()> T = std::move(WQ.Q.back());
+  WQ.Q.pop_back();
+  return T;
+}
+
+std::function<void()> ThreadPool::stealFrom(unsigned Self) {
+  for (size_t Step = 1; Step != Queues.size(); ++Step) {
+    WorkerQueue &WQ = *Queues[(Self + Step) % Queues.size()];
+    std::lock_guard<std::mutex> L(WQ.M);
+    if (WQ.Q.empty())
+      continue;
+    std::function<void()> T = std::move(WQ.Q.front());
+    WQ.Q.pop_front();
+    return T;
+  }
+  return nullptr;
+}
+
+bool ThreadPool::tryRunOne(unsigned Self) {
+  std::function<void()> T = popOwn(Self);
+  if (!T)
+    T = stealFrom(Self);
+  if (!T)
+    return false;
+  T();
+  if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> L(SignalM);
+    DoneCv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  for (;;) {
+    if (tryRunOne(Self))
+      continue;
+    std::unique_lock<std::mutex> L(SignalM);
+    if (ShuttingDown)
+      return;
+    // Recheck under SignalM: a submit between our failed scan and here
+    // holds SignalM before notifying, so either we see the task now or
+    // the notify reaches us once we wait.
+    bool AnyQueued = false;
+    for (const auto &WQ : Queues) {
+      std::lock_guard<std::mutex> QL(WQ->M);
+      if (!WQ->Q.empty()) {
+        AnyQueued = true;
+        break;
+      }
+    }
+    if (AnyQueued)
+      continue;
+    WorkCv.wait(L);
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(SignalM);
+  DoneCv.wait(L, [this] {
+    return Pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void crellvm::parallelFor(ThreadPool &Pool, size_t N,
+                          const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // A private latch rather than Pool.wait(), so concurrent unrelated
+  // submitters do not extend this call.
+  struct Latch {
+    std::mutex M;
+    std::condition_variable Cv;
+    size_t Remaining = 0;
+  } L;
+  L.Remaining = N;
+  for (size_t I = 0; I != N; ++I)
+    Pool.submit([&Fn, &L, I] {
+      Fn(I);
+      std::lock_guard<std::mutex> G(L.M);
+      if (--L.Remaining == 0)
+        L.Cv.notify_all();
+    });
+  std::unique_lock<std::mutex> G(L.M);
+  L.Cv.wait(G, [&L] { return L.Remaining == 0; });
+}

@@ -1,0 +1,86 @@
+//===- support/ThreadPool.h - Work-stealing thread pool --------*- C++ -*-===//
+///
+/// \file
+/// A small work-stealing thread pool used to run independent validation
+/// units (module -> pass -> proofgen -> check cycles) concurrently. Each
+/// worker owns a deque: it pushes and pops work at the back (LIFO, cache
+/// friendly) and steals from the front of other workers' deques when its
+/// own runs dry (FIFO, so thieves take the oldest — typically largest —
+/// units). Tasks must not throw.
+///
+/// The pool itself is order-agnostic; determinism of the validation
+/// pipeline comes from the driver's reduction step, which merges
+/// per-unit statistics in submission order (driver/Driver.h).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_THREADPOOL_H
+#define CRELLVM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crellvm {
+
+class ThreadPool {
+public:
+  /// Starts \p NumThreads workers; 0 means defaultConcurrency().
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Waits for outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task. Safe to call from any thread, including from inside
+  /// a running task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Hardware concurrency with a sane floor of 1.
+  static unsigned defaultConcurrency();
+
+private:
+  /// One worker's deque. The owner pops from the back; thieves steal from
+  /// the front.
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<std::function<void()>> Q;
+  };
+
+  void workerLoop(unsigned Self);
+  bool tryRunOne(unsigned Self);
+  std::function<void()> popOwn(unsigned Self);
+  std::function<void()> stealFrom(unsigned Self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex SignalM;
+  std::condition_variable WorkCv; ///< wakes idle workers
+  std::condition_variable DoneCv; ///< wakes wait()ers
+  std::atomic<uint64_t> Pending{0}; ///< submitted but not yet finished
+  std::atomic<uint64_t> NextQueue{0}; ///< round-robin submission cursor
+  bool ShuttingDown = false; ///< guarded by SignalM
+};
+
+/// Runs Fn(I) for every I in [0, N) on \p Pool and blocks until all
+/// iterations complete. Fn is invoked concurrently and must be
+/// thread-safe for distinct indices.
+void parallelFor(ThreadPool &Pool, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_THREADPOOL_H

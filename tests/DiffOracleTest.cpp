@@ -1,0 +1,172 @@
+//===- tests/DiffOracleTest.cpp - Differential-execution oracle ---------------===//
+//
+// The oracle as an independent probe of the trusted base. The centerpiece
+// is a planted, deliberately unsound micro-optimization (add a b -> or a b
+// without the disjoint-bits side condition, BugConfig::UnsoundAddToOr):
+// with the matching add_disjoint_or infrule artificially weakened the
+// checker accepts the miscompile, and only the oracle still catches the
+// divergence — the paper's §7.1 argument for why validation needs a
+// semantic ground truth behind it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "erhl/RuleTester.h"
+#include "ir/Parser.h"
+#include "passes/InstCombine.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+
+namespace {
+
+ir::Module parse(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return *M;
+}
+
+/// Weakens the add_disjoint_or side-condition check for one scope; other
+/// tests in this binary must see the strict checker.
+struct WeakenGuard {
+  WeakenGuard() { erhl::setWeakenedDisjointOrCheck(true); }
+  ~WeakenGuard() { erhl::setWeakenedDisjointOrCheck(false); }
+};
+
+// --- runDiffOracle directly ---------------------------------------------------
+
+TEST(DiffOracle, AcceptsIdenticalModules) {
+  ir::Module M = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a) {
+entry:
+  call void @sink(i32 %a)
+  ret i32 %a
+}
+)");
+  driver::DiffOracleReport R = driver::runDiffOracle(M, M, {});
+  EXPECT_EQ(R.FunctionsProbed, 1u);
+  EXPECT_GT(R.Runs, 0u);
+  EXPECT_EQ(R.Divergences, 0u);
+}
+
+TEST(DiffOracle, FlagsObservablyDifferentTranslations) {
+  ir::Module Src = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a) {
+entry:
+  call void @sink(i32 %a)
+  ret i32 %a
+}
+)");
+  ir::Module Tgt = parse(R"(
+declare void @sink(i32)
+define i32 @f(i32 %a) {
+entry:
+  %b = add i32 %a, 1
+  call void @sink(i32 %b)
+  ret i32 %a
+}
+)");
+  driver::DiffOracleReport R = driver::runDiffOracle(Src, Tgt, {});
+  EXPECT_GT(R.Divergences, 0u);
+  ASSERT_FALSE(R.Samples.empty());
+  EXPECT_NE(R.Samples[0].find("@f"), std::string::npos);
+}
+
+TEST(DiffOracle, RefinementIsDirectional) {
+  // Source returns undef (load of an uninitialized alloca); a target that
+  // picks the concrete value 7 refines it. The converse direction is a
+  // miscompile.
+  ir::Module Undef = parse(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, 1
+  %x = load i32, ptr %p
+  ret i32 %x
+}
+)");
+  ir::Module Concrete = parse(R"(
+define i32 @f() {
+entry:
+  ret i32 7
+}
+)");
+  EXPECT_EQ(driver::runDiffOracle(Undef, Concrete, {}).Divergences, 0u);
+  EXPECT_GT(driver::runDiffOracle(Concrete, Undef, {}).Divergences, 0u);
+}
+
+// --- The planted unsound optimization -----------------------------------------
+
+TEST(AddDisjointOr, StrictRuleIsSemanticallySound) {
+  erhl::RuleVerdict V =
+      erhl::verifyRule(erhl::InfruleKind::AddDisjointOr, /*Seed=*/7,
+                       /*Instances=*/600);
+  EXPECT_GT(V.Applied, 50u);
+  EXPECT_EQ(V.Violations, 0u) << V.FirstCounterexample;
+}
+
+TEST(AddDisjointOr, WeakenedCheckIsRefutedBySemanticTesting) {
+  // Dropping the disjoint-bits side condition turns the rule unsound, and
+  // the randomized rule tester finds a carry counterexample — the same
+  // mechanism that refutes constexpr_no_ub (PR33673).
+  WeakenGuard G;
+  erhl::RuleVerdict V =
+      erhl::verifyRule(erhl::InfruleKind::AddDisjointOr, /*Seed=*/7,
+                       /*Instances=*/600);
+  EXPECT_GT(V.Applied, 50u);
+  EXPECT_GT(V.Violations, 0u);
+  EXPECT_FALSE(V.FirstCounterexample.empty());
+}
+
+TEST(DiffOracle, CatchesPlantedOptTheWeakenedCheckerMisses) {
+  const char *Text = R"(
+declare void @sink(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %y = add i32 %a, %b
+  call void @sink(i32 %y)
+  ret i32 %y
+}
+)";
+  passes::BugConfig Bugs; // only the planted bug, no preset
+  Bugs.UnsoundAddToOr = true;
+  driver::DriverOptions Opts;
+  Opts.WriteFiles = false;
+  Opts.RunOracle = true;
+
+  // Strict checker: the rewrite's add_disjoint_or certificate has
+  // non-constant operands, so the side condition fails and validation
+  // rejects the translation before the oracle is even consulted.
+  {
+    driver::ValidationDriver D(Bugs, Opts);
+    driver::StatsMap Stats;
+    passes::InstCombine IC(Bugs);
+    D.runPassValidated(IC, parse(Text), Stats);
+    const driver::PassStats &S = Stats["instcombine"];
+    EXPECT_GT(S.V, 0u);
+    EXPECT_GT(S.F, 0u);
+  }
+
+  // Weakened checker: validation now accepts the miscompile; the oracle is
+  // the only line of defense left, and a+b != a|b on almost any input pair
+  // with overlapping bits.
+  {
+    WeakenGuard G;
+    driver::ValidationDriver D(Bugs, Opts);
+    driver::StatsMap Stats;
+    passes::InstCombine IC(Bugs);
+    D.runPassValidated(IC, parse(Text), Stats);
+    const driver::PassStats &S = Stats["instcombine"];
+    EXPECT_EQ(S.F, 0u) << (S.FailureSamples.empty() ? ""
+                                                    : S.FailureSamples[0]);
+    EXPECT_GT(S.OracleRuns, 0u);
+    EXPECT_GT(S.OracleDivergences, 0u);
+    ASSERT_FALSE(S.OracleSamples.empty());
+    EXPECT_NE(S.OracleSamples[0].find("@f"), std::string::npos);
+  }
+}
+
+} // namespace

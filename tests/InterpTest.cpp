@@ -356,6 +356,91 @@ entry:
   EXPECT_EQ(R.ReturnValue, RtValue::intVal(3, 32));
 }
 
+// --- Poison and undef propagation --------------------------------------------
+
+TEST(Interp, BranchOnPoisonIsUB) {
+  // shl i8 1, 8 is poison (oversized shift); branching on any bit of it
+  // is immediate UB, even though the poison itself flowed silently.
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  %p = shl i8 1, 8
+  %c = trunc i8 %p to i1
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+)");
+  EXPECT_EQ(R.End, Outcome::UndefBehav);
+}
+
+TEST(Interp, BranchOnLoadOfUninitializedAllocaIsUB) {
+  // The load itself is fine (undef), the branch on it is not.
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, 1
+  %x = load i32, ptr %p
+  %c = trunc i32 %x to i1
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+)");
+  EXPECT_EQ(R.End, Outcome::UndefBehav);
+}
+
+TEST(Interp, PoisonPropagatesThroughArithmetic) {
+  auto R = runFn(R"(
+define i8 @f(i8 %a) {
+entry:
+  %p = shl i8 1, 8
+  %x = add i8 %p, %a
+  %y = xor i8 %x, 7
+  ret i8 %y
+}
+)",
+                 {3});
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.ReturnValue.isPoison());
+}
+
+TEST(Interp, StoreLoadRoundTripsPoison) {
+  // Memory is poison-transparent: storing and reloading poison neither
+  // traps nor launders the value into something defined.
+  auto R = runFn(R"(
+define i8 @f() {
+entry:
+  %m = alloca i8, 1
+  %p = shl i8 1, 8
+  store i8 %p, ptr %m
+  %x = load i8, ptr %m
+  ret i8 %x
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.ReturnValue.isPoison());
+}
+
+TEST(Interp, UndefFromUninitializedAllocaStaysUndefThroughArithmetic) {
+  auto R = runFn(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, 1
+  %x = load i32, ptr %p
+  %y = add i32 %x, 1
+  ret i32 %y
+}
+)");
+  ASSERT_EQ(R.End, Outcome::Returned);
+  EXPECT_TRUE(R.ReturnValue.isUndef());
+  EXPECT_FALSE(R.ReturnValue.isPoison()); // undef must not escalate
+}
+
 // --- Refinement ------------------------------------------------------------------
 
 TEST(Refines, UndefRefinesToAnything) {
@@ -390,6 +475,18 @@ TEST(Refines, SourceUBAllowsAnythingAfterItsTrace) {
   // ... but the target must still exhibit the prefix.
   T.Trace = {};
   EXPECT_FALSE(refines(S, T));
+}
+
+TEST(Refines, PoisonEventArgRefinesAnyConcreteArg) {
+  RunResult S, T;
+  S.End = T.End = Outcome::Returned;
+  Event SP{"f", {RtValue::poison()}, RtValue::undef()};
+  Event TC{"f", {RtValue::intVal(9, 32)}, RtValue::undef()};
+  S.Trace = {SP};
+  T.Trace = {TC};
+  EXPECT_TRUE(refines(S, T));
+  // A concrete source argument pins the target's.
+  EXPECT_FALSE(refines(T, S));
 }
 
 TEST(Refines, TargetTrapWhereSourceReturnsIsRejected) {

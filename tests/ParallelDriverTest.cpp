@@ -1,0 +1,144 @@
+//===- tests/ParallelDriverTest.cpp - Parallel batch validation ---------------===//
+//
+// The work-stealing pool and the deterministic batch reduction: the same
+// corpus validated at --jobs 1 and --jobs 8 must produce bit-identical
+// #V/#F/#NS, diff-mismatch and oracle counts, and even the same retained
+// failure samples (driver/Driver.h merges per-unit stats in unit-index
+// order). This test is the one to run under CRELLVM_SANITIZE=thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "support/ThreadPool.h"
+#include "workload/RandomProgram.h"
+
+#include <atomic>
+#include <filesystem>
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+
+namespace {
+
+// --- ThreadPool ---------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 200; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 16; ++I)
+    Pool.submit([&Pool, &Count] {
+      Count.fetch_add(1, std::memory_order_relaxed);
+      Pool.submit(
+          [&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(8);
+  const size_t N = 1000;
+  std::vector<int> Hits(N, 0);
+  parallelFor(Pool, N, [&Hits](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I], 1) << "index " << I;
+}
+
+// --- Deterministic batch reduction --------------------------------------------
+
+driver::BatchReport runBatch(unsigned Jobs, const passes::BugConfig &Bugs,
+                             bool WriteFiles, ThreadPool *Pool = nullptr) {
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = WriteFiles;
+  DOpts.RunOracle = true;
+  if (WriteFiles)
+    DOpts.ExchangeDir =
+        (std::filesystem::temp_directory_path() / "crellvm-parallel-test")
+            .string();
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Jobs;
+  return driver::runBatchValidated(
+      Bugs, DOpts, 16,
+      [](size_t I) {
+        workload::GenOptions G;
+        G.Seed = 40 + I;
+        return workload::generateModule(G);
+      },
+      BOpts, Pool);
+}
+
+void expectSameStats(const driver::StatsMap &A, const driver::StatsMap &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (const auto &KV : A) {
+    auto It = B.find(KV.first);
+    ASSERT_NE(It, B.end()) << KV.first;
+    const driver::PassStats &X = KV.second, &Y = It->second;
+    EXPECT_EQ(X.V, Y.V) << KV.first;
+    EXPECT_EQ(X.F, Y.F) << KV.first;
+    EXPECT_EQ(X.NS, Y.NS) << KV.first;
+    EXPECT_EQ(X.DiffMismatches, Y.DiffMismatches) << KV.first;
+    EXPECT_EQ(X.FailureSamples, Y.FailureSamples) << KV.first;
+    EXPECT_EQ(X.OracleRuns, Y.OracleRuns) << KV.first;
+    EXPECT_EQ(X.OracleDivergences, Y.OracleDivergences) << KV.first;
+    EXPECT_EQ(X.OracleSamples, Y.OracleSamples) << KV.first;
+  }
+}
+
+TEST(ParallelDriver, JobCountDoesNotChangeResults) {
+  // The buggy configuration matters: failures, failure samples and oracle
+  // divergences (not just happy-path counts) must reduce deterministically.
+  passes::BugConfig Bugs = passes::BugConfig::llvm371();
+  driver::BatchReport R1 = runBatch(1, Bugs, /*WriteFiles=*/false);
+  driver::BatchReport R8 = runBatch(8, Bugs, /*WriteFiles=*/false);
+  EXPECT_EQ(R1.JobsUsed, 1u);
+  EXPECT_EQ(R8.JobsUsed, 8u);
+  EXPECT_EQ(R1.Units, 16u);
+  EXPECT_EQ(R8.Units, 16u);
+  expectSameStats(R1.Stats, R8.Stats);
+  // The corpus really exercises the checker and the oracle.
+  ASSERT_NE(R1.Stats.find("mem2reg"), R1.Stats.end());
+  EXPECT_GT(R1.Stats.at("mem2reg").V, 0u);
+  uint64_t OracleRuns = 0;
+  for (const auto &KV : R1.Stats)
+    OracleRuns += KV.second.OracleRuns;
+  EXPECT_GT(OracleRuns, 0u);
+}
+
+TEST(ParallelDriver, FileExchangeIsCollisionFreeAcrossWorkers) {
+  // With WriteFiles the workers share one exchange directory; per-unit
+  // ExchangeTags must keep src/tgt/proof files from clobbering each other,
+  // so the parallel run still matches the serial one exactly.
+  passes::BugConfig Bugs = passes::BugConfig::fixed();
+  driver::BatchReport R1 = runBatch(1, Bugs, /*WriteFiles=*/true);
+  driver::BatchReport R8 = runBatch(8, Bugs, /*WriteFiles=*/true);
+  expectSameStats(R1.Stats, R8.Stats);
+  for (const auto &KV : R8.Stats) {
+    EXPECT_EQ(KV.second.F, 0u)
+        << KV.first << ": "
+        << (KV.second.FailureSamples.empty() ? ""
+                                             : KV.second.FailureSamples[0]);
+    EXPECT_EQ(KV.second.DiffMismatches, 0u) << KV.first;
+  }
+}
+
+TEST(ParallelDriver, ExternalPoolIsReusableAcrossBatches) {
+  passes::BugConfig Bugs = passes::BugConfig::llvm371();
+  driver::BatchReport Serial = runBatch(1, Bugs, /*WriteFiles=*/false);
+  ThreadPool Pool(4);
+  driver::BatchReport A = runBatch(0, Bugs, /*WriteFiles=*/false, &Pool);
+  driver::BatchReport B = runBatch(0, Bugs, /*WriteFiles=*/false, &Pool);
+  EXPECT_EQ(A.JobsUsed, 4u);
+  expectSameStats(Serial.Stats, A.Stats);
+  expectSameStats(A.Stats, B.Stats);
+}
+
+} // namespace
