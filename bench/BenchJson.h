@@ -1,0 +1,127 @@
+//===- bench/BenchJson.h - Machine-readable bench output --------*- C++ -*-===//
+///
+/// \file
+/// Machine-readable companion to the human tables: benches append their
+/// headline numbers to `BENCH_validation.json` in the working directory,
+/// so the perf trajectory (wall, cpu, parallel efficiency, cache hit
+/// rate) can be tracked across PRs by tooling instead of by eyeballing
+/// table text.
+///
+/// The file is one JSON object `{"entries": [...]}`. Each write merges:
+/// existing entries with the same name are replaced, everything else is
+/// preserved, so independent benches can share the file. Writes go
+/// through a temp file + rename so a crashed bench never truncates the
+/// history (the same discipline as cache/DiskStore.cpp).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_BENCH_BENCHJSON_H
+#define CRELLVM_BENCH_BENCHJSON_H
+
+#include "driver/Driver.h"
+#include "json/Json.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace bench {
+
+struct BenchEntry {
+  std::string Name;        ///< unique key, e.g. "csmith_random"
+  double WallSeconds = 0;
+  double CpuSeconds = 0;
+  unsigned Jobs = 1;
+  double ParallelEfficiency = 0; ///< cpu / wall / jobs
+  double CacheHitRate = 0;       ///< hits / lookups; 0 when cache off
+  uint64_t V = 0, F = 0, NS = 0; ///< summed over all passes
+
+  /// Fills the count and rate fields from a batch report.
+  static BenchEntry fromReport(std::string Name,
+                               const driver::BatchReport &R) {
+    BenchEntry E;
+    E.Name = std::move(Name);
+    E.WallSeconds = R.WallSeconds;
+    E.CpuSeconds = R.CpuSeconds;
+    E.Jobs = R.JobsUsed;
+    E.ParallelEfficiency =
+        R.WallSeconds > 0 ? R.CpuSeconds / R.WallSeconds / R.JobsUsed : 0;
+    uint64_t Hits = 0, Lookups = 0;
+    for (const auto &KV : R.Stats) {
+      E.V += KV.second.V;
+      E.F += KV.second.F;
+      E.NS += KV.second.NS;
+      Hits += KV.second.CacheHits;
+      Lookups += KV.second.CacheHits + KV.second.CacheMisses;
+    }
+    E.CacheHitRate = Lookups ? static_cast<double>(Hits) / Lookups : 0;
+    return E;
+  }
+};
+
+/// json::Value only carries 64-bit ints, so times are stored as integer
+/// microseconds and rates as integer parts-per-million — exact enough for
+/// trend tracking and keeps the writer dependency-free.
+inline void writeBenchJson(const std::vector<BenchEntry> &Entries,
+                           const std::string &Path = "BENCH_validation.json") {
+  json::Value Root = json::Value::object();
+  json::Value List = json::Value::array();
+
+  // Merge: keep existing entries whose names this write does not replace.
+  {
+    std::ifstream In(Path);
+    if (In) {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      if (auto Old = json::parse(Buf.str(), nullptr)) {
+        if (const json::Value *OldList = Old->find("entries"))
+          if (OldList->kind() == json::Value::Kind::Array)
+            for (const json::Value &E : OldList->elements()) {
+              const json::Value *Name = E.find("name");
+              if (!Name || Name->kind() != json::Value::Kind::String)
+                continue;
+              bool Replaced = false;
+              for (const BenchEntry &N : Entries)
+                Replaced |= N.Name == Name->getString();
+              if (!Replaced)
+                List.push(E);
+            }
+      }
+    }
+  }
+
+  auto PPM = [](double X) {
+    return json::Value(static_cast<int64_t>(X * 1e6 + 0.5));
+  };
+  for (const BenchEntry &E : Entries) {
+    json::Value O = json::Value::object();
+    O.set("name", json::Value(E.Name));
+    O.set("wall_us", PPM(E.WallSeconds));
+    O.set("cpu_us", PPM(E.CpuSeconds));
+    O.set("jobs", json::Value(static_cast<int64_t>(E.Jobs)));
+    O.set("parallel_efficiency_ppm", PPM(E.ParallelEfficiency));
+    O.set("cache_hit_rate_ppm", PPM(E.CacheHitRate));
+    O.set("validations", json::Value(E.V));
+    O.set("failures", json::Value(E.F));
+    O.set("not_supported", json::Value(E.NS));
+    List.push(std::move(O));
+  }
+  Root.set("entries", std::move(List));
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    Out << Root.write() << "\n";
+    if (!Out)
+      return; // bench output is best-effort; never fail the bench
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+}
+
+} // namespace bench
+} // namespace crellvm
+
+#endif // CRELLVM_BENCH_BENCHJSON_H

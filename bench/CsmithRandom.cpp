@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchJson.h"
 #include "bench/Common.h"
 
 #include <cstring>
@@ -112,5 +113,6 @@ int main(int Argc, char **Argv) {
     std::cout << "oracle: " << Runs << " differential runs, " << Div
               << " divergences on checker-accepted translations\n";
   }
+  writeBenchJson({BenchEntry::fromReport("csmith_random", Report)});
   return 0;
 }

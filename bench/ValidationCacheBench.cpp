@@ -1,0 +1,159 @@
+//===- bench/ValidationCacheBench.cpp - cold vs warm cache ------*- C++ -*-===//
+//
+// The headline experiment for the validation cache (DESIGN.md §10): run a
+// CSmith-style random corpus plus the micro-opt-heavy paper corpus mix
+// through the full Fig. 1 protocol twice against the same read-write
+// cache directory —
+//
+//   cold   fresh cache: every unit validates (Orig/PCal/I-O/PCheck) and
+//          populates the store;
+//   warm   the CI-style re-validation of an unchanged corpus: every
+//          lookup hits, PCheck / I-O / Orig are skipped, only the
+//          proof-generating compiler and the fingerprint run.
+//
+// Verdict counts (#V/#F/#NS) must be identical between the two runs —
+// the cache memoizes answers, it never changes them — and warm must be
+// at least 5x faster. Results are appended to BENCH_validation.json
+// (bench/BenchJson.h) as the `cache_cold` / `cache_warm` entries.
+//
+//   validation_cache [scale] [--jobs N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "bench/Common.h"
+#include "cache/ValidationCache.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+namespace {
+
+driver::BatchReport runCorpusOnce(cache::ValidationCache &Cache,
+                                  unsigned NumModules, unsigned Jobs) {
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = true; // the CI deployment exchanges files (I/O col)
+  DOpts.Cache = &Cache;
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Jobs;
+  // Mix: ~2/3 CSmith-style random programs (lifetime-intrinsic heavy),
+  // ~1/3 micro-opt-trigger-rich modules (gep pairs, loop divisions) that
+  // exercise the instcombine/gvn/licm rule catalog.
+  return driver::runBatchValidated(
+      passes::BugConfig::llvm371(), DOpts, NumModules,
+      [](size_t I) {
+        workload::GenOptions G;
+        G.Seed = 0xcac4e + I;
+        if (I % 3 != 2) {
+          G.NumFunctions = 3;
+          G.LifetimePct = 30;
+          G.VecFunctionPct = 0;
+          G.GepPairPct = 2;
+        } else {
+          G.GepPairPct = 60;
+          G.LoopDivPct = 40;
+          G.ConstexprStorePct = 12;
+        }
+        return workload::generateModule(G);
+      },
+      BOpts);
+}
+
+uint64_t countOf(const driver::StatsMap &Stats,
+                 uint64_t driver::PassStats::*Field) {
+  uint64_t N = 0;
+  for (const auto &KV : Stats)
+    N += KV.second.*Field;
+  return N;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = 1, Jobs = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else
+      Scale = static_cast<unsigned>(std::strtoul(Argv[I], nullptr, 10));
+  }
+  if (Scale == 0)
+    Scale = 1;
+  unsigned NumModules = 600 / Scale;
+  if (NumModules == 0)
+    NumModules = 1;
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() /
+       ("crellvm-cache-bench." + std::to_string(::getpid())))
+          .string();
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+
+  cache::ValidationCacheOptions COpts;
+  COpts.Policy = cache::CachePolicy::ReadWrite;
+  COpts.Dir = Dir;
+
+  std::cout << "=== Validation cache: cold vs warm re-validation ===\n"
+            << NumModules << " modules, -O2 pipeline, file exchange on, "
+            << "bugs=" << passes::BugConfig::llvm371().str() << ", jobs="
+            << Jobs << "\n\n";
+
+  // Cold: fresh store, every verdict computed and persisted. A fresh
+  // ValidationCache per run, so the warm run's memory tier starts empty
+  // and hits come from the *disk* store, like a new CI process would.
+  driver::BatchReport Cold, Warm;
+  {
+    cache::ValidationCache Cache(COpts);
+    Cold = runCorpusOnce(Cache, NumModules, Jobs);
+  }
+  {
+    cache::ValidationCache Cache(COpts);
+    Warm = runCorpusOnce(Cache, NumModules, Jobs);
+  }
+
+  Table T({"run", "wall", "cpu", "#V", "#F", "#NS", "hit rate"});
+  for (auto *RP : {&Cold, &Warm}) {
+    const driver::BatchReport &R = *RP;
+    uint64_t Hits = countOf(R.Stats, &driver::PassStats::CacheHits);
+    uint64_t Lookups =
+        Hits + countOf(R.Stats, &driver::PassStats::CacheMisses);
+    T.addRow({RP == &Cold ? "cold" : "warm", formatSeconds(R.WallSeconds),
+              formatSeconds(R.CpuSeconds),
+              formatCountK(countOf(R.Stats, &driver::PassStats::V)),
+              formatCountK(countOf(R.Stats, &driver::PassStats::F)),
+              formatCountK(countOf(R.Stats, &driver::PassStats::NS)),
+              formatPercent(Lookups ? double(Hits) / Lookups : 0)});
+  }
+  T.print(std::cout);
+
+  double Speedup =
+      Warm.WallSeconds > 0 ? Cold.WallSeconds / Warm.WallSeconds : 0;
+  bool CountsAgree =
+      countOf(Cold.Stats, &driver::PassStats::V) ==
+          countOf(Warm.Stats, &driver::PassStats::V) &&
+      countOf(Cold.Stats, &driver::PassStats::F) ==
+          countOf(Warm.Stats, &driver::PassStats::F) &&
+      countOf(Cold.Stats, &driver::PassStats::NS) ==
+          countOf(Warm.Stats, &driver::PassStats::NS);
+  uint64_t WarmMisses = countOf(Warm.Stats, &driver::PassStats::CacheMisses);
+
+  std::cout << "\nwarm speedup: " << formatSeconds(Cold.WallSeconds) << " / "
+            << formatSeconds(Warm.WallSeconds) << " = "
+            << static_cast<int>(Speedup * 10) / 10.0 << "x\n";
+  std::cout << "paper-shape: warm-at-least-5x=" << (Speedup >= 5 ? "OK" : "MISMATCH")
+            << ", counts-identical=" << (CountsAgree ? "OK" : "MISMATCH")
+            << ", warm-all-hits=" << (WarmMisses == 0 ? "OK" : "MISMATCH")
+            << "\n";
+
+  writeBenchJson({BenchEntry::fromReport("cache_cold", Cold),
+                  BenchEntry::fromReport("cache_warm", Warm)});
+
+  std::filesystem::remove_all(Dir, EC);
+  return Speedup >= 5 && CountsAgree && WarmMisses == 0 ? 0 : 1;
+}

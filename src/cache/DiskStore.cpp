@@ -1,0 +1,256 @@
+//===- cache/DiskStore.cpp --------------------------------------*- C++ -*-===//
+
+#include "cache/DiskStore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::cache;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *Magic = "CRLVMC1";
+
+/// Unique-enough temp suffix: pid + a process-wide counter. Two processes
+/// sharing a cache dir get distinct pids; two threads distinct counters.
+std::string tempSuffix() {
+  static std::atomic<uint64_t> Counter{0};
+  return ".tmp." + std::to_string(static_cast<uint64_t>(::getpid())) + "." +
+         std::to_string(Counter.fetch_add(1));
+}
+
+/// Writes \p Bytes to \p Path atomically: temp file in the same directory,
+/// then rename(2). Returns false on any I/O error (temp is cleaned up).
+bool atomicWriteFile(const std::string &Path, const std::string &Bytes) {
+  std::string Tmp = Path + tempSuffix();
+  {
+    std::ofstream Out(Tmp, std::ios::trunc | std::ios::binary);
+    if (!Out)
+      return false;
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    Out.flush();
+    if (!Out) {
+      std::error_code EC;
+      fs::remove(Tmp, EC);
+      return false;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return std::nullopt;
+  return Buf.str();
+}
+
+} // namespace
+
+DiskStore::DiskStore(DiskStoreOptions Options) : Opts(std::move(Options)) {
+  if (Opts.Dir.empty())
+    return;
+  std::error_code EC;
+  fs::create_directories(fs::path(Opts.Dir) / "objects", EC);
+  if (EC)
+    return;
+  Usable = true;
+  std::lock_guard<std::mutex> Lock(M);
+  loadIndexLocked();
+}
+
+std::string DiskStore::objectPath(const Fingerprint &FP) const {
+  std::string Hex = FP.hex();
+  return Opts.Dir + "/objects/" + Hex.substr(0, 2) + "/" + Hex + ".v1";
+}
+
+void DiskStore::loadIndexLocked() {
+  std::string IndexPath = Opts.Dir + "/index";
+  auto Text = readWholeFile(IndexPath);
+  if (!Text) {
+    // No index (fresh dir, or it was lost): recover whatever objects are
+    // present so a deleted index never orphans the store.
+    rebuildIndexFromObjectsLocked();
+    return;
+  }
+  std::istringstream In(*Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream L(Line);
+    std::string Hex;
+    uint64_t Size = 0, Tick = 0;
+    if (!(L >> Hex >> Size >> Tick))
+      continue; // malformed line: skip, don't fail the whole index
+    auto FP = Fingerprint::fromHex(Hex);
+    if (!FP)
+      continue;
+    std::error_code EC;
+    if (!fs::exists(objectPath(*FP), EC))
+      continue; // stale line
+    Entries.push_back({*FP, Size, Tick});
+    Bytes += Size;
+    NextTick = std::max(NextTick, Tick + 1);
+  }
+  std::stable_sort(Entries.begin(), Entries.end(),
+                   [](const Entry &A, const Entry &B) { return A.Tick < B.Tick; });
+}
+
+void DiskStore::rebuildIndexFromObjectsLocked() {
+  std::error_code EC;
+  fs::recursive_directory_iterator It(fs::path(Opts.Dir) / "objects", EC), End;
+  if (EC)
+    return;
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    if (!It->is_regular_file(EC))
+      continue;
+    std::string Name = It->path().filename().string();
+    if (Name.size() < 3 || Name.substr(Name.size() - 3) != ".v1")
+      continue;
+    auto FP = Fingerprint::fromHex(Name.substr(0, Name.size() - 3));
+    if (!FP)
+      continue;
+    uint64_t Size = It->file_size(EC);
+    if (EC)
+      Size = 0;
+    Entries.push_back({*FP, Size, NextTick++});
+    Bytes += Size;
+  }
+  writeIndexLocked();
+}
+
+bool DiskStore::writeIndexLocked() {
+  std::string Out;
+  for (const Entry &E : Entries)
+    Out += E.FP.hex() + " " + std::to_string(E.Size) + " " +
+           std::to_string(E.Tick) + "\n";
+  return atomicWriteFile(Opts.Dir + "/index", Out);
+}
+
+std::optional<std::string> DiskStore::load(const Fingerprint &FP) {
+  if (!Usable) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  std::string Path = objectPath(FP);
+  auto Raw = readWholeFile(Path);
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Raw) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  // Header: "CRLVMC1\n<hex>\n<payload-len>\n<payload>". Anything that does
+  // not check out — truncation, garbage, wrong object under this name —
+  // is a miss, and the bad file is removed so it cannot mislead again.
+  auto Reject = [&] {
+    ++Stats.Misses;
+    ++Stats.CorruptEntries;
+    std::error_code EC;
+    fs::remove(Path, EC);
+    return std::nullopt;
+  };
+  const std::string &S = *Raw;
+  size_t P1 = S.find('\n');
+  if (P1 == std::string::npos || S.substr(0, P1) != Magic)
+    return Reject();
+  size_t P2 = S.find('\n', P1 + 1);
+  if (P2 == std::string::npos || S.substr(P1 + 1, P2 - P1 - 1) != FP.hex())
+    return Reject();
+  size_t P3 = S.find('\n', P2 + 1);
+  if (P3 == std::string::npos)
+    return Reject();
+  uint64_t Len = 0;
+  for (size_t I = P2 + 1; I != P3; ++I) {
+    if (S[I] < '0' || S[I] > '9')
+      return Reject();
+    Len = Len * 10 + static_cast<uint64_t>(S[I] - '0');
+  }
+  if (S.size() - (P3 + 1) != Len)
+    return Reject();
+  ++Stats.Hits;
+  return S.substr(P3 + 1);
+}
+
+uint64_t DiskStore::store(const Fingerprint &FP, const std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Usable) {
+    ++Stats.StoreErrors;
+    return 0;
+  }
+  std::string Path = objectPath(FP);
+  std::error_code EC;
+  fs::create_directories(fs::path(Path).parent_path(), EC);
+  if (EC) {
+    ++Stats.StoreErrors;
+    return 0;
+  }
+  std::string Blob = std::string(Magic) + "\n" + FP.hex() + "\n" +
+                     std::to_string(Payload.size()) + "\n" + Payload;
+  if (!atomicWriteFile(Path, Blob)) {
+    ++Stats.StoreErrors;
+    return 0;
+  }
+  ++Stats.Stores;
+  // Refresh or append the index entry, then evict past the byte budget.
+  for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+    if (It->FP == FP) {
+      Bytes -= It->Size;
+      Entries.erase(It);
+      break;
+    }
+  }
+  Entries.push_back({FP, Payload.size(), NextTick++});
+  Bytes += Payload.size();
+  uint64_t Evicted = 0;
+  evictLocked(Evicted);
+  if (!writeIndexLocked())
+    ++Stats.StoreErrors;
+  return Evicted;
+}
+
+void DiskStore::evictLocked(uint64_t &Evicted) {
+  while (Bytes > Opts.MaxBytes && Entries.size() > 1) {
+    const Entry &Oldest = Entries.front();
+    std::error_code EC;
+    fs::remove(objectPath(Oldest.FP), EC);
+    Bytes -= Oldest.Size;
+    Entries.erase(Entries.begin());
+    ++Stats.Evictions;
+    ++Evicted;
+  }
+}
+
+DiskStoreCounters DiskStore::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Stats;
+}
+
+uint64_t DiskStore::totalBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Bytes;
+}
+
+size_t DiskStore::numEntries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Entries.size();
+}

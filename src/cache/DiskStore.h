@@ -1,0 +1,105 @@
+//===- cache/DiskStore.h - Content-addressed on-disk store ------*- C++ -*-===//
+///
+/// \file
+/// The persistent tier of the validation cache: a content-addressed
+/// object store under a cache directory,
+///
+///   <dir>/objects/<hh>/<fingerprint-hex>.v1   (hh = first two hex digits)
+///   <dir>/index                               (one "hex size tick" line
+///                                              per live object)
+///
+/// designed for CI-style reuse across processes:
+///
+///  - **Atomic writes.** Objects and the index are written to a unique
+///    temp file in the same directory and `rename(2)`d into place, so a
+///    crashed or concurrent writer can never leave a half-written object
+///    under its final name (POSIX rename is atomic).
+///  - **Corruption tolerance.** Every load re-checks the magic header,
+///    the embedded fingerprint, and the payload length; any mismatch —
+///    truncation, garbage, a stray file — is reported as a miss, never an
+///    error or a crash. A malformed index line is skipped; a missing
+///    index is rebuilt by scanning the objects directory.
+///  - **Size-bounded eviction.** Stores beyond \p MaxBytes evict the
+///    least-recently-stored objects (index order), so the cache directory
+///    cannot grow without bound.
+///
+/// The store never interprets payloads; callers decide what the bytes
+/// mean (cache/Verdict.h). All methods are thread-safe.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CACHE_DISKSTORE_H
+#define CRELLVM_CACHE_DISKSTORE_H
+
+#include "cache/Fingerprint.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace cache {
+
+struct DiskStoreOptions {
+  std::string Dir;
+  /// Total payload budget; stores evict oldest entries beyond it.
+  uint64_t MaxBytes = 256ull << 20;
+};
+
+struct DiskStoreCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t CorruptEntries = 0; ///< loads rejected by header/length checks
+  uint64_t Stores = 0;
+  uint64_t StoreErrors = 0;
+  uint64_t Evictions = 0;
+};
+
+class DiskStore {
+public:
+  explicit DiskStore(DiskStoreOptions Opts);
+
+  /// False when the cache directory could not be created; every load then
+  /// misses and every store reports an error.
+  bool ok() const { return Usable; }
+  const std::string &dir() const { return Opts.Dir; }
+
+  /// Returns the payload stored under \p FP; std::nullopt on miss or on a
+  /// corrupt entry (counted separately, treated as a miss).
+  std::optional<std::string> load(const Fingerprint &FP);
+
+  /// Atomically persists \p Bytes under \p FP; returns the number of
+  /// entries evicted (0 normally, also 0 on error — check counters).
+  uint64_t store(const Fingerprint &FP, const std::string &Bytes);
+
+  DiskStoreCounters counters() const;
+  uint64_t totalBytes() const;
+  size_t numEntries() const;
+
+private:
+  struct Entry {
+    Fingerprint FP;
+    uint64_t Size = 0;
+    uint64_t Tick = 0; ///< logical store time; smaller = older
+  };
+
+  std::string objectPath(const Fingerprint &FP) const;
+  void loadIndexLocked();
+  void rebuildIndexFromObjectsLocked();
+  bool writeIndexLocked();
+  void evictLocked(uint64_t &Evicted);
+
+  DiskStoreOptions Opts;
+  bool Usable = false;
+
+  mutable std::mutex M;
+  std::vector<Entry> Entries; ///< index order = store order (oldest first)
+  uint64_t Bytes = 0;
+  uint64_t NextTick = 1;
+  DiskStoreCounters Stats;
+};
+
+} // namespace cache
+} // namespace crellvm
+
+#endif // CRELLVM_CACHE_DISKSTORE_H

@@ -1,0 +1,120 @@
+//===- cache/Fingerprint.cpp ------------------------------------*- C++ -*-===//
+
+#include "cache/Fingerprint.h"
+
+#include "cache/ProofHash.h"
+#include "json/Json.h"
+#include "passes/BugConfig.h"
+
+using namespace crellvm;
+using namespace crellvm::cache;
+
+std::string Fingerprint::hex() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(32);
+  for (uint64_t Word : {Hi, Lo})
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      Out.push_back(Digits[(Word >> Shift) & 0xf]);
+  return Out;
+}
+
+std::optional<Fingerprint> Fingerprint::fromHex(const std::string &S) {
+  if (S.size() != 32)
+    return std::nullopt;
+  uint64_t Words[2] = {0, 0};
+  for (size_t I = 0; I != 32; ++I) {
+    char C = S[I];
+    uint64_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return std::nullopt;
+    Words[I / 16] = (Words[I / 16] << 4) | Nibble;
+  }
+  return Fingerprint{Words[0], Words[1]};
+}
+
+void FingerprintBuilder::raw(const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  // FNV-1a in two lanes with distinct primes so the lanes do not simply
+  // track each other; 2^-128 aliasing for the pair.
+  constexpr uint64_t PrimeHi = 0x100000001b3ull;  // classic FNV prime
+  constexpr uint64_t PrimeLo = 0x00000100000001b3ull ^ 0x40ull; // variant
+  for (size_t I = 0; I != Len; ++I) {
+    Hi = (Hi ^ P[I]) * PrimeHi;
+    Lo = (Lo ^ P[I]) * PrimeLo;
+  }
+}
+
+FingerprintBuilder &FingerprintBuilder::bytes(const void *Data, size_t Len) {
+  u64(Len);
+  raw(Data, Len);
+  return *this;
+}
+
+FingerprintBuilder &FingerprintBuilder::str(const std::string &S) {
+  return bytes(S.data(), S.size());
+}
+
+FingerprintBuilder &FingerprintBuilder::u64(uint64_t V) {
+  unsigned char Buf[8];
+  for (int I = 0; I != 8; ++I)
+    Buf[I] = static_cast<unsigned char>(V >> (I * 8));
+  raw(Buf, 8);
+  return *this;
+}
+
+FingerprintBuilder &FingerprintBuilder::json(const json::Value &V) {
+  using Kind = json::Value::Kind;
+  u64(static_cast<uint64_t>(V.kind()));
+  switch (V.kind()) {
+  case Kind::Null:
+    break;
+  case Kind::Bool:
+    boolean(V.getBool());
+    break;
+  case Kind::Int:
+    u64(static_cast<uint64_t>(V.getInt()));
+    break;
+  case Kind::String:
+    str(V.getString());
+    break;
+  case Kind::Array:
+    u64(V.elements().size());
+    for (const json::Value &E : V.elements())
+      json(E);
+    break;
+  case Kind::Object:
+    u64(V.members().size());
+    for (const auto &KV : V.members()) {
+      str(KV.first);
+      json(KV.second);
+    }
+    break;
+  }
+  return *this;
+}
+
+Fingerprint crellvm::cache::fingerprintValidation(
+    const std::string &SrcText, const std::string &TgtText,
+    const proofgen::Proof &Proof, const std::string &PassName,
+    const std::string &CheckerVersion, const passes::BugConfig &Bugs) {
+  FingerprintBuilder B;
+  B.str(SrcText).str(TgtText);
+  hashProof(B, Proof);
+  B.str(PassName).str(CheckerVersion);
+  // Every BugConfig field, explicitly: the bug switches steer the passes
+  // (already captured by TgtText/ProofBytes) but are cheap to fold in and
+  // make the key robust against a future switch that changes behaviour
+  // not visible in the serialized artifacts.
+  B.boolean(Bugs.Mem2RegUndefLoop)
+      .boolean(Bugs.Mem2RegConstexprSpeculate)
+      .boolean(Bugs.GvnIgnoreInbounds)
+      .boolean(Bugs.GvnIgnoreInboundsPRE)
+      .boolean(Bugs.GvnPREWrongLeader)
+      .boolean(Bugs.UnsoundAddToOr);
+  return B.digest();
+}

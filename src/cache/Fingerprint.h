@@ -1,0 +1,107 @@
+//===- cache/Fingerprint.h - Content hash over validation inputs -*- C++ -*-===//
+///
+/// \file
+/// The cache key for memoized checker verdicts: a 128-bit content hash
+/// (two independently seeded FNV-1a-64 lanes) over *every* input the
+/// verdict depends on —
+///
+///   - the serialized source module (`ir::printModule`, the exact bytes
+///     the file exchange writes),
+///   - the serialized target module tgt' produced by the proof-generating
+///     compiler,
+///   - the proof bytes (`proofgen::proofToBinary`, the compact canonical
+///     encoding),
+///   - the pass name,
+///   - the checker version fingerprint (checker/Version.h), which folds
+///     in every process-global switch that can change the checker's
+///     answer (e.g. the test-only weakened AddDisjointOr side condition),
+///   - the active `passes::BugConfig`, field by field.
+///
+/// Each field is fed length-prefixed so concatenation ambiguities cannot
+/// alias two different input tuples onto one key. The TCB argument for
+/// caching verdicts under this key is in DESIGN.md §10: the checker is a
+/// deterministic function of exactly these inputs, so replaying a stored
+/// verdict is observationally identical to re-running the checker —
+/// modulo a 2^-128 hash collision, which is the only thing the cache adds
+/// to the trusted base.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CACHE_FINGERPRINT_H
+#define CRELLVM_CACHE_FINGERPRINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace crellvm {
+namespace json {
+class Value;
+}
+namespace passes {
+struct BugConfig;
+}
+namespace proofgen {
+struct Proof;
+}
+namespace cache {
+
+/// A 128-bit content hash, printable as 32 lowercase hex digits.
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Fingerprint &O) const { return !(*this == O); }
+  bool operator<(const Fingerprint &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+
+  std::string hex() const;
+  /// Parses 32 hex digits; std::nullopt on malformed input (the on-disk
+  /// index is untrusted).
+  static std::optional<Fingerprint> fromHex(const std::string &S);
+};
+
+/// Incremental dual-lane FNV-1a hasher. Every field is length-prefixed,
+/// so `str("ab"); str("c")` and `str("a"); str("bc")` digest differently.
+class FingerprintBuilder {
+public:
+  FingerprintBuilder &bytes(const void *Data, size_t Len);
+  FingerprintBuilder &str(const std::string &S);
+  FingerprintBuilder &u64(uint64_t V);
+  FingerprintBuilder &boolean(bool B) { return u64(B ? 1 : 0); }
+  /// Streams a JSON tree into the hash: a kind tag per node, values
+  /// length-prefixed, arrays/objects count-prefixed — injective over
+  /// trees (two trees collide only if equal), without materializing the
+  /// serialized bytes. Used for proofs, whose byte serialization is the
+  /// expensive part of the warm path.
+  FingerprintBuilder &json(const json::Value &V);
+
+  Fingerprint digest() const { return {Hi, Lo}; }
+
+private:
+  void raw(const void *Data, size_t Len);
+
+  // FNV-1a 64-bit offset basis / a second lane with a distinct seed.
+  uint64_t Hi = 0xcbf29ce484222325ull;
+  uint64_t Lo = 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull;
+};
+
+/// The canonical validation-cache key (see file comment for the field
+/// list and the soundness argument). The proof is folded in by a
+/// streaming structural walk (cache/ProofHash.h) that hashes every field
+/// of the proof tree without materializing any serialized form — proof
+/// serialization is the expensive part of the warm path.
+Fingerprint fingerprintValidation(const std::string &SrcText,
+                                  const std::string &TgtText,
+                                  const proofgen::Proof &Proof,
+                                  const std::string &PassName,
+                                  const std::string &CheckerVersion,
+                                  const passes::BugConfig &Bugs);
+
+} // namespace cache
+} // namespace crellvm
+
+#endif // CRELLVM_CACHE_FINGERPRINT_H

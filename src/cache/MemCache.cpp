@@ -1,0 +1,70 @@
+//===- cache/MemCache.cpp ---------------------------------------*- C++ -*-===//
+
+#include "cache/MemCache.h"
+
+using namespace crellvm;
+using namespace crellvm::cache;
+
+MemCache::MemCache(size_t MaxEntries, unsigned NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  // Round up to a power of two so shardFor can mask instead of divide.
+  unsigned Pow2 = 1;
+  while (Pow2 < NumShards)
+    Pow2 <<= 1;
+  Shards.reserve(Pow2);
+  for (unsigned I = 0; I != Pow2; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  MaxPerShard = (MaxEntries + Pow2 - 1) / Pow2;
+  if (MaxPerShard == 0)
+    MaxPerShard = 1;
+}
+
+std::optional<std::string> MemCache::lookup(const Fingerprint &FP) {
+  Shard &S = shardFor(FP);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Index.find(FP);
+  if (It == S.Index.end())
+    return std::nullopt;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // refresh recency
+  return It->second->second;
+}
+
+uint64_t MemCache::insert(const Fingerprint &FP, std::string Bytes) {
+  Shard &S = shardFor(FP);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Index.find(FP);
+  if (It != S.Index.end()) {
+    It->second->second = std::move(Bytes);
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return 0;
+  }
+  S.Lru.emplace_front(FP, std::move(Bytes));
+  S.Index[FP] = S.Lru.begin();
+  uint64_t Evicted = 0;
+  while (S.Lru.size() > MaxPerShard) {
+    S.Index.erase(S.Lru.back().first);
+    S.Lru.pop_back();
+    ++S.Evictions;
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+size_t MemCache::size() const {
+  size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Lru.size();
+  }
+  return N;
+}
+
+uint64_t MemCache::evictions() const {
+  uint64_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Evictions;
+  }
+  return N;
+}

@@ -1,0 +1,69 @@
+//===- cache/MemCache.h - Sharded in-memory LRU for verdicts ----*- C++ -*-===//
+///
+/// \file
+/// The in-memory tier of the validation cache: a fingerprint → bytes map
+/// sharded by the low fingerprint word, each shard an independently
+/// locked LRU list. Sharding keeps the pool's workers from serializing on
+/// one mutex (support/ThreadPool.h drives many lookups concurrently);
+/// the LRU bound keeps a long batch from holding every verdict of a
+/// million-unit corpus resident.
+///
+/// Values are the serialized verdict bytes (cache/Verdict.h) — the same
+/// representation the disk tier stores — so a hit from either tier is
+/// decoded by the same code path and the two tiers cannot drift.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CACHE_MEMCACHE_H
+#define CRELLVM_CACHE_MEMCACHE_H
+
+#include "cache/Fingerprint.h"
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace crellvm {
+namespace cache {
+
+class MemCache {
+public:
+  /// \p MaxEntries is the total bound across all shards (rounded up to a
+  /// multiple of the shard count); \p Shards must be a power of two.
+  explicit MemCache(size_t MaxEntries = 1 << 16, unsigned Shards = 16);
+
+  /// Returns the stored bytes and refreshes recency; std::nullopt on miss.
+  std::optional<std::string> lookup(const Fingerprint &FP);
+
+  /// Inserts (or refreshes) \p Bytes under \p FP; returns the number of
+  /// entries evicted to stay within the bound.
+  uint64_t insert(const Fingerprint &FP, std::string Bytes);
+
+  size_t size() const;
+  uint64_t evictions() const;
+
+private:
+  struct Shard {
+    std::mutex M;
+    /// Most-recent at the front.
+    std::list<std::pair<Fingerprint, std::string>> Lru;
+    std::map<Fingerprint, std::list<std::pair<Fingerprint, std::string>>::iterator>
+        Index;
+    uint64_t Evictions = 0;
+  };
+
+  Shard &shardFor(const Fingerprint &FP) {
+    return *Shards[FP.Lo & (Shards.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  size_t MaxPerShard;
+};
+
+} // namespace cache
+} // namespace crellvm
+
+#endif // CRELLVM_CACHE_MEMCACHE_H

@@ -1,0 +1,158 @@
+//===- cache/ProofHash.cpp --------------------------------------*- C++ -*-===//
+
+#include "cache/ProofHash.h"
+
+#include "proofgen/Proof.h"
+
+using namespace crellvm;
+using namespace crellvm::cache;
+using namespace crellvm::erhl;
+
+namespace {
+
+// Every helper hashes a leading tag (kind/presence/count) before its
+// payload, so distinct structures can never stream identical bytes.
+
+void hashType(FingerprintBuilder &B, const ir::Type &T) {
+  B.str(T.str()); // canonical, total, and tiny ("i32", "ptr", "<4 x i8>")
+}
+
+void hashValue(FingerprintBuilder &B, const ir::Value &V) {
+  B.u64(static_cast<uint64_t>(V.kind()));
+  switch (V.kind()) {
+  case ir::Value::Kind::Reg:
+    B.str(V.regName());
+    hashType(B, V.type());
+    break;
+  case ir::Value::Kind::ConstInt:
+    B.u64(static_cast<uint64_t>(V.intValue()));
+    hashType(B, V.type());
+    break;
+  case ir::Value::Kind::Global:
+    B.str(V.globalName());
+    break;
+  case ir::Value::Kind::Undef:
+    hashType(B, V.type());
+    break;
+  case ir::Value::Kind::ConstExpr: {
+    const ir::ConstExprNode &N = V.constExprNode();
+    B.u64(static_cast<uint64_t>(N.Op));
+    hashType(B, V.type());
+    B.u64(N.Ops.size());
+    for (const ir::Value &X : N.Ops)
+      hashValue(B, X);
+    break;
+  }
+  }
+}
+
+void hashValT(FingerprintBuilder &B, const ValT &V) {
+  B.u64(static_cast<uint64_t>(V.T));
+  hashValue(B, V.V);
+}
+
+void hashExpr(FingerprintBuilder &B, const Expr &E) {
+  B.u64(static_cast<uint64_t>(E.kind()));
+  B.u64(static_cast<uint64_t>(E.opcode()));
+  B.u64(static_cast<uint64_t>(E.icmpPred()));
+  B.boolean(E.isInbounds());
+  hashType(B, E.type());
+  B.u64(E.operands().size());
+  for (const ValT &V : E.operands())
+    hashValT(B, V);
+}
+
+void hashPred(FingerprintBuilder &B, const Pred &P) {
+  B.u64(static_cast<uint64_t>(P.kind()));
+  switch (P.kind()) {
+  case Pred::Kind::Lessdef:
+    hashExpr(B, P.lhs());
+    hashExpr(B, P.rhs());
+    break;
+  case Pred::Kind::Noalias:
+    hashValT(B, P.a());
+    hashValT(B, P.b());
+    break;
+  case Pred::Kind::Unique:
+    B.str(P.uniqueReg());
+    break;
+  case Pred::Kind::Private:
+    hashValT(B, P.a());
+    break;
+  }
+}
+
+void hashAssertion(FingerprintBuilder &B, const Assertion &A) {
+  B.u64(A.Src.size());
+  for (const Pred &P : A.Src)
+    hashPred(B, P);
+  B.u64(A.Tgt.size());
+  for (const Pred &P : A.Tgt)
+    hashPred(B, P);
+  B.u64(A.Maydiff.size());
+  for (const RegT &R : A.Maydiff) {
+    B.u64(static_cast<uint64_t>(R.T));
+    B.str(R.Name);
+  }
+}
+
+void hashInfrule(FingerprintBuilder &B, const Infrule &R) {
+  B.u64(static_cast<uint64_t>(R.K));
+  B.u64(static_cast<uint64_t>(R.S));
+  B.u64(R.Args.size());
+  for (const Expr &E : R.Args)
+    hashExpr(B, E);
+}
+
+void hashLine(FingerprintBuilder &B, const proofgen::LineEntry &L) {
+  // Commands are hashed through their textual rendering — the exact
+  // string the JSON exchange carries and the checker parses back.
+  B.boolean(L.SrcCmd.has_value());
+  if (L.SrcCmd)
+    B.str(L.SrcCmd->str());
+  B.boolean(L.TgtCmd.has_value());
+  if (L.TgtCmd)
+    B.str(L.TgtCmd->str());
+  hashAssertion(B, L.After);
+  B.u64(L.Rules.size());
+  for (const Infrule &R : L.Rules)
+    hashInfrule(B, R);
+}
+
+void hashBlock(FingerprintBuilder &B, const proofgen::BlockProof &BP) {
+  hashAssertion(B, BP.AtEntry);
+  B.u64(BP.Lines.size());
+  for (const proofgen::LineEntry &L : BP.Lines)
+    hashLine(B, L);
+  B.u64(BP.PhiRules.size());
+  for (const auto &KV : BP.PhiRules) {
+    B.str(KV.first);
+    B.u64(KV.second.size());
+    for (const Infrule &R : KV.second)
+      hashInfrule(B, R);
+  }
+}
+
+void hashFunction(FingerprintBuilder &B, const proofgen::FunctionProof &FP) {
+  B.boolean(FP.NotSupported);
+  B.str(FP.NotSupportedReason);
+  B.u64(FP.AutoFuncs.size());
+  for (const std::string &A : FP.AutoFuncs)
+    B.str(A);
+  B.u64(FP.Blocks.size());
+  for (const auto &KV : FP.Blocks) {
+    B.str(KV.first);
+    hashBlock(B, KV.second);
+  }
+}
+
+} // namespace
+
+void crellvm::cache::hashProof(FingerprintBuilder &B,
+                               const proofgen::Proof &P) {
+  B.u64(P.Functions.size());
+  for (const auto &KV : P.Functions) {
+    B.str(KV.first);
+    hashFunction(B, KV.second);
+  }
+}

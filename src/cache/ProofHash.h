@@ -1,0 +1,38 @@
+//===- cache/ProofHash.h - Streaming structural proof hash ------*- C++ -*-===//
+///
+/// \file
+/// Streams a `proofgen::Proof` into a FingerprintBuilder without
+/// materializing any serialized form. Proof serialization (the JSON tree
+/// plus its encoding) is the single most expensive step of the cache's
+/// warm path — more than 5x the cost of printing both modules — so the
+/// fingerprint walks the proof structure directly.
+///
+/// **Injectivity discipline.** The walk hashes *every* field of every
+/// proof node, each prefixed with a kind/count tag, so two proofs collide
+/// only if they are structurally equal — the same guarantee the byte
+/// serialization would give, established by construction rather than by
+/// reference to proofgen/ProofJson.cpp. If `proofgen::Proof` (or any node
+/// type it contains) grows a field, add it here in the same change; a
+/// forgotten field would let two proofs that differ only in that field
+/// share a cache key, which is a soundness hole, not a performance bug.
+/// CacheTest.FingerprintSensitivity covers every current field.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CACHE_PROOFHASH_H
+#define CRELLVM_CACHE_PROOFHASH_H
+
+#include "cache/Fingerprint.h"
+
+namespace crellvm {
+namespace proofgen {
+struct Proof;
+}
+namespace cache {
+
+/// Folds the full structure of \p P into \p B (see file comment).
+void hashProof(FingerprintBuilder &B, const proofgen::Proof &P);
+
+} // namespace cache
+} // namespace crellvm
+
+#endif // CRELLVM_CACHE_PROOFHASH_H

@@ -1,0 +1,63 @@
+//===- cache/ValidationCache.cpp --------------------------------*- C++ -*-===//
+
+#include "cache/ValidationCache.h"
+
+using namespace crellvm;
+using namespace crellvm::cache;
+
+std::optional<CachePolicy>
+crellvm::cache::parseCachePolicy(const std::string &S) {
+  if (S == "off")
+    return CachePolicy::Off;
+  if (S == "ro")
+    return CachePolicy::ReadOnly;
+  if (S == "rw")
+    return CachePolicy::ReadWrite;
+  return std::nullopt;
+}
+
+ValidationCache::ValidationCache(ValidationCacheOptions Options)
+    : Opts(std::move(Options)), Mem(Opts.MemEntries, Opts.MemShards) {
+  if (Opts.Policy != CachePolicy::Off && !Opts.Dir.empty())
+    Disk = std::make_unique<DiskStore>(
+        DiskStoreOptions{Opts.Dir, Opts.MaxDiskBytes});
+}
+
+std::optional<Verdict> ValidationCache::lookup(const Fingerprint &FP) {
+  if (!enabled())
+    return std::nullopt;
+  if (auto Bytes = Mem.lookup(FP)) {
+    if (auto V = verdictFromBytes(*Bytes))
+      return V;
+    // Corrupt in-memory bytes should be impossible (we only insert what
+    // we encoded), but degrade to a miss all the same.
+  }
+  if (Disk) {
+    if (auto Bytes = Disk->load(FP)) {
+      if (auto V = verdictFromBytes(*Bytes)) {
+        Mem.insert(FP, std::move(*Bytes)); // promote for the next lookup
+        return V;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+StoreOutcome ValidationCache::store(const Fingerprint &FP, const Verdict &V) {
+  StoreOutcome Out;
+  if (!writable())
+    return Out;
+  std::string Bytes = verdictToBytes(V);
+  Out.Evictions += Mem.insert(FP, Bytes);
+  if (Disk) {
+    auto Before = Disk->counters().StoreErrors;
+    Out.Evictions += Disk->store(FP, Bytes);
+    Out.Error = Disk->counters().StoreErrors > Before;
+  }
+  Out.Stored = !Out.Error;
+  return Out;
+}
+
+DiskStoreCounters ValidationCache::diskCounters() const {
+  return Disk ? Disk->counters() : DiskStoreCounters{};
+}

@@ -1,0 +1,87 @@
+//===- cache/ValidationCache.h - Two-tier verdict cache ---------*- C++ -*-===//
+///
+/// \file
+/// The facade the validation driver talks to: a sharded in-memory LRU
+/// (cache/MemCache.h) in front of an optional content-addressed disk
+/// store (cache/DiskStore.h), with an off / read-only / read-write
+/// policy. Lookups consult memory first, then disk (promoting disk hits
+/// into memory); read-write stores populate both tiers. Corrupt bytes
+/// from either tier decode to a miss (cache/Verdict.h), never an error.
+///
+/// The cache never decides anything: the checker still produces every
+/// verdict, the cache only replays verdicts the checker already produced
+/// for byte-identical inputs (DESIGN.md §10). All methods are
+/// thread-safe; one instance is shared by every worker of a batch run.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CACHE_VALIDATIONCACHE_H
+#define CRELLVM_CACHE_VALIDATIONCACHE_H
+
+#include "cache/DiskStore.h"
+#include "cache/MemCache.h"
+#include "cache/Verdict.h"
+
+#include <memory>
+
+namespace crellvm {
+namespace cache {
+
+enum class CachePolicy : uint8_t {
+  Off,       ///< never consulted
+  ReadOnly,  ///< hits are replayed; misses validate but do not populate
+  ReadWrite, ///< misses validate and populate both tiers
+};
+
+/// Parses "off" / "ro" / "rw"; std::nullopt otherwise.
+std::optional<CachePolicy> parseCachePolicy(const std::string &S);
+
+struct ValidationCacheOptions {
+  CachePolicy Policy = CachePolicy::Off;
+  /// Disk store directory; empty = memory-only cache.
+  std::string Dir;
+  uint64_t MaxDiskBytes = 256ull << 20;
+  size_t MemEntries = 1 << 16;
+  unsigned MemShards = 16;
+};
+
+/// What one store() did, so the caller can attribute the work to its own
+/// accounting unit (the driver merges these per-unit, in unit-index
+/// order, to keep `--jobs N` stats deterministic).
+struct StoreOutcome {
+  bool Stored = false;
+  bool Error = false;
+  uint64_t Evictions = 0; ///< mem + disk entries evicted by this store
+};
+
+class ValidationCache {
+public:
+  explicit ValidationCache(ValidationCacheOptions Opts);
+
+  bool enabled() const { return Opts.Policy != CachePolicy::Off; }
+  bool writable() const { return Opts.Policy == CachePolicy::ReadWrite; }
+  CachePolicy policy() const { return Opts.Policy; }
+
+  /// Memory, then disk; std::nullopt on miss (including corrupt entries).
+  std::optional<Verdict> lookup(const Fingerprint &FP);
+
+  /// Populates both tiers (read-write policy only; no-op reporting
+  /// Stored=false under off/ro).
+  StoreOutcome store(const Fingerprint &FP, const Verdict &V);
+
+  /// Disk-tier counters (zeroed when no disk store is attached).
+  DiskStoreCounters diskCounters() const;
+  uint64_t memEvictions() const { return Mem.evictions(); }
+  size_t memSize() const { return Mem.size(); }
+  bool hasDisk() const { return Disk != nullptr; }
+  uint64_t diskBytes() const { return Disk ? Disk->totalBytes() : 0; }
+
+private:
+  ValidationCacheOptions Opts;
+  MemCache Mem;
+  std::unique_ptr<DiskStore> Disk;
+};
+
+} // namespace cache
+} // namespace crellvm
+
+#endif // CRELLVM_CACHE_VALIDATIONCACHE_H

@@ -1,0 +1,75 @@
+//===- cache/Verdict.cpp ----------------------------------------*- C++ -*-===//
+
+#include "cache/Verdict.h"
+
+#include "json/Json.h"
+
+using namespace crellvm;
+using namespace crellvm::cache;
+
+std::string crellvm::cache::verdictToBytes(const Verdict &V) {
+  json::Value Root = json::Value::object();
+  Root.set("v", json::Value(int64_t(1)));
+  Root.set("diff_mismatches", json::Value(V.DiffMismatches));
+  json::Value Funcs = json::Value::array();
+  for (const auto &KV : V.Checker.Functions) {
+    json::Value F = json::Value::object();
+    F.set("name", json::Value(KV.first));
+    F.set("status", json::Value(int64_t(static_cast<uint8_t>(KV.second.Status))));
+    F.set("where", json::Value(KV.second.Where));
+    F.set("reason", json::Value(KV.second.Reason));
+    Funcs.push(std::move(F));
+  }
+  Root.set("functions", std::move(Funcs));
+  return Root.write();
+}
+
+std::optional<Verdict>
+crellvm::cache::verdictFromBytes(const std::string &Bytes,
+                                 std::string *Error) {
+  auto Fail = [&](const char *Why) -> std::optional<Verdict> {
+    if (Error)
+      *Error = Why;
+    return std::nullopt;
+  };
+  auto Root = json::parse(Bytes, Error);
+  if (!Root)
+    return std::nullopt;
+  if (Root->kind() != json::Value::Kind::Object)
+    return Fail("verdict: not an object");
+  const json::Value *Ver = Root->find("v");
+  if (!Ver || Ver->kind() != json::Value::Kind::Int || Ver->getInt() != 1)
+    return Fail("verdict: missing or unsupported version");
+  const json::Value *Diff = Root->find("diff_mismatches");
+  if (!Diff || Diff->kind() != json::Value::Kind::Int || Diff->getInt() < 0)
+    return Fail("verdict: bad diff_mismatches");
+  const json::Value *Funcs = Root->find("functions");
+  if (!Funcs || Funcs->kind() != json::Value::Kind::Array)
+    return Fail("verdict: missing functions");
+
+  Verdict V;
+  V.DiffMismatches = static_cast<uint64_t>(Diff->getInt());
+  for (const json::Value &F : Funcs->elements()) {
+    if (F.kind() != json::Value::Kind::Object)
+      return Fail("verdict: function entry not an object");
+    const json::Value *Name = F.find("name");
+    const json::Value *Status = F.find("status");
+    const json::Value *Where = F.find("where");
+    const json::Value *Reason = F.find("reason");
+    if (!Name || Name->kind() != json::Value::Kind::String || !Status ||
+        Status->kind() != json::Value::Kind::Int || !Where ||
+        Where->kind() != json::Value::Kind::String || !Reason ||
+        Reason->kind() != json::Value::Kind::String)
+      return Fail("verdict: malformed function entry");
+    int64_t St = Status->getInt();
+    if (St < 0 ||
+        St > static_cast<int64_t>(checker::ValidationStatus::NotSupported))
+      return Fail("verdict: status out of range");
+    checker::FunctionResult R;
+    R.Status = static_cast<checker::ValidationStatus>(St);
+    R.Where = Where->getString();
+    R.Reason = Reason->getString();
+    V.Checker.Functions.emplace(Name->getString(), std::move(R));
+  }
+  return V;
+}

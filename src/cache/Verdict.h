@@ -1,0 +1,49 @@
+//===- cache/Verdict.h - Serialized checker verdicts ------------*- C++ -*-===//
+///
+/// \file
+/// The value type of the validation cache: everything `runPassValidated`
+/// derives deterministically from the fingerprinted inputs —
+///
+///   - the checker's per-function result map (status / where / reason),
+///   - whether the llvm-diff analog found the plain and proof-generating
+///     compilers disagreeing (a function of the same inputs: src, pass,
+///     bug config determine the plain compiler's output).
+///
+/// NOT included, deliberately: oracle outcomes. The differential-execution
+/// oracle probes the *trusted base itself* (DiffOracle.h) — memoizing it
+/// would let a cached "no divergence" mask a later-weakened checker, so
+/// the driver re-runs the oracle even on cache hits.
+///
+/// Encoded as JSON (json/Json.h) with a version tag; the decoder is total
+/// over untrusted bytes and rejects anything malformed, so a corrupt or
+/// version-skewed cache entry degrades to a miss.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CACHE_VERDICT_H
+#define CRELLVM_CACHE_VERDICT_H
+
+#include "checker/Validator.h"
+
+#include <optional>
+#include <string>
+
+namespace crellvm {
+namespace cache {
+
+/// The memoized outcome of one pass-level validation.
+struct Verdict {
+  checker::ModuleResult Checker;
+  uint64_t DiffMismatches = 0;
+};
+
+std::string verdictToBytes(const Verdict &V);
+
+/// Decodes bytes produced by verdictToBytes; std::nullopt (with a message
+/// in \p Error) on malformed or version-skewed input.
+std::optional<Verdict> verdictFromBytes(const std::string &Bytes,
+                                        std::string *Error = nullptr);
+
+} // namespace cache
+} // namespace crellvm
+
+#endif // CRELLVM_CACHE_VERDICT_H

@@ -1,0 +1,11 @@
+//===- checker/Version.cpp --------------------------------------*- C++ -*-===//
+
+#include "checker/Version.h"
+
+#include "erhl/Infrule.h"
+
+std::string crellvm::checker::versionFingerprint() {
+  return "crellvm-checker/" + std::to_string(CheckerSemanticsVersion) +
+         ";weakened-disjoint-or=" +
+         (erhl::weakenedDisjointOrCheck() ? "1" : "0");
+}

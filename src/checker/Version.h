@@ -1,0 +1,38 @@
+//===- checker/Version.h - Checker semantics fingerprint --------*- C++ -*-===//
+///
+/// \file
+/// A string that changes whenever the checker could answer differently on
+/// the same (src, tgt', proof) bytes. It is part of every validation-cache
+/// key (cache/Fingerprint.h): a memoized verdict from an older or
+/// differently-configured checker must miss, never be replayed.
+///
+/// Two components:
+///
+///  - `CheckerSemanticsVersion`, a hand-bumped integer. Bump it in the
+///    same change that alters Postcond, Automation, infrule side
+///    conditions, or the #NS feature fragment — anything that can flip a
+///    verdict. (Stale caches then degrade to cold, which is always safe.)
+///  - Every process-global switch that alters checking, currently the
+///    test-only weakened AddDisjointOr side condition
+///    (erhl::setWeakenedDisjointOrCheck). Without this, a test that
+///    weakens the checker could replay a strict verdict or vice versa.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CHECKER_VERSION_H
+#define CRELLVM_CHECKER_VERSION_H
+
+#include <string>
+
+namespace crellvm {
+namespace checker {
+
+/// Bump whenever checker semantics change (see file comment).
+constexpr int CheckerSemanticsVersion = 1;
+
+/// The full fingerprint string: version plus every global switch.
+std::string versionFingerprint();
+
+} // namespace checker
+} // namespace crellvm
+
+#endif // CRELLVM_CHECKER_VERSION_H

@@ -41,6 +41,11 @@ namespace crellvm {
 
 class ThreadPool;
 
+namespace cache {
+struct Fingerprint;
+class ValidationCache;
+}
+
 namespace driver {
 
 /// Accumulated statistics for one pass, matching the paper's columns.
@@ -58,6 +63,18 @@ struct PassStats {
   uint64_t OracleRuns = 0;         ///< src/tgt run pairs executed
   uint64_t OracleDivergences = 0;  ///< checker-accepted but diverging
   std::vector<std::string> OracleSamples; ///< first few divergences
+
+  // Validation-cache columns (populated with DriverOptions::Cache; all
+  // zero otherwise). Counted per unit and merged in unit-index order like
+  // every other field, so they stay deterministic across `--jobs N`
+  // whenever lookups themselves are order-independent (distinct keys per
+  // unit, or a warm cache — see DESIGN.md §10).
+  double CacheSec = 0;          ///< fingerprinting + lookup + store time
+  uint64_t CacheHits = 0;       ///< verdicts replayed (PCheck skipped)
+  uint64_t CacheMisses = 0;     ///< lookups that fell through to PCheck
+  uint64_t CacheStores = 0;     ///< verdicts persisted after a miss
+  uint64_t CacheEvictions = 0;  ///< entries this unit's stores evicted
+  uint64_t CacheStoreErrors = 0;///< failed persists (verdict still valid)
 
   void add(const PassStats &O);
   uint64_t validated() const { return V - F - NS; }
@@ -86,6 +103,12 @@ struct DriverOptions {
   /// infrules; see DiffOracle.h).
   bool RunOracle = false;
   DiffOracleOptions OracleOpts;
+  /// Optional validation cache (not owned; shared across all units of a
+  /// batch). When set and enabled, a fingerprint hit replays the memoized
+  /// checker verdict and skips Orig, the file exchange, PCheck, and the
+  /// llvm-diff comparison; the oracle — which probes the trusted base
+  /// itself — always re-runs. See cache/ValidationCache.h.
+  cache::ValidationCache *Cache = nullptr;
 };
 
 /// Runs passes over modules with validation, accumulating statistics.
@@ -95,8 +118,15 @@ public:
 
   /// Runs one pass over \p Src with the full Fig. 1 protocol; returns the
   /// optimized module and merges the timings/counts into Stats[pass name].
+  ///
+  /// \p SrcTextInOut (optional, cache fast path): on entry, if non-empty,
+  /// it must be exactly `ir::printModule(Src)`; on return it holds the
+  /// printed text of the returned module whenever the cache is consulted.
+  /// runPipelineValidated threads it through the pipeline so each module
+  /// is serialized once as a target instead of again as the next source.
   ir::Module runPassValidated(passes::Pass &P, const ir::Module &Src,
-                              StatsMap &Stats);
+                              StatsMap &Stats,
+                              std::string *SrcTextInOut = nullptr);
 
   /// Runs the -O2 pipeline, validating every step.
   ir::Module runPipelineValidated(const ir::Module &Src, StatsMap &Stats);
@@ -104,6 +134,13 @@ public:
   const passes::BugConfig &bugs() const { return Bugs; }
 
 private:
+  /// The un-memoized validation leg: file exchange, PCheck, llvm-diff,
+  /// and (read-write cache) storing the fresh verdict under \p FP.
+  void runCheckedLeg(passes::Pass &P, const ir::Module &Src,
+                     passes::PassResult &WithProof, passes::PassResult &Plain,
+                     cache::ValidationCache *VC, const cache::Fingerprint &FP,
+                     PassStats &S, std::vector<std::string> &Accepted);
+
   passes::BugConfig Bugs;
   DriverOptions Opts;
   std::string Dir; ///< resolved exchange directory

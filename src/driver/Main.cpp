@@ -3,14 +3,17 @@
 // Batch validation over a generated corpus: the Fig. 1 protocol for every
 // module, run concurrently on the work-stealing pool, with optional
 // differential-execution cross-checking of every checker-accepted
-// translation.
+// translation and an optional persistent validation cache (cache/) that
+// replays memoized checker verdicts for byte-identical inputs.
 //
 //   crellvm-validate [--jobs N] [--oracle] [--modules N] [--seed S]
 //                    [--bugs 371|501pre|501post|fixed] [--files]
-//                    [--binary-proofs]
+//                    [--binary-proofs] [--cache=off|ro|rw]
+//                    [--cache-dir DIR] [--cache-max-mb N]
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/ValidationCache.h"
 #include "driver/Driver.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -34,25 +37,44 @@ struct CliOptions {
   std::string Bugs = "fixed";
   bool Files = false;
   bool BinaryProofs = false;
+  cache::CachePolicy CachePolicy = cache::CachePolicy::Off;
+  std::string CacheDir = ".crellvm-cache";
+  uint64_t CacheMaxMb = 256;
 };
 
-int usage(const char *Argv0) {
-  std::cerr
-      << "usage: " << Argv0 << " [options]\n"
-      << "  --jobs N          worker threads (default: all hardware threads)\n"
-      << "  --oracle          differentially execute checker-accepted\n"
-      << "                    translations and report divergences\n"
-      << "  --modules N       generated modules to validate (default 200)\n"
-      << "  --seed S          base generation seed (default 1)\n"
-      << "  --bugs CFG        371 | 501pre | 501post | fixed (default)\n"
-      << "  --files           exchange src/tgt/proof through files (I/O col)\n"
-      << "  --binary-proofs   use the compact binary proof format\n";
-  return 2;
+void printUsage(std::ostream &OS, const char *Argv0) {
+  OS << "usage: " << Argv0 << " [options]\n"
+     << "\n"
+     << "Batch validation of generated modules through the -O2 pipeline\n"
+     << "with the paper's Fig. 1 protocol (Orig / PCal / I-O / PCheck).\n"
+     << "\n"
+     << "options:\n"
+     << "  --jobs N          worker threads (default: all hardware threads)\n"
+     << "  --oracle          differentially execute checker-accepted\n"
+     << "                    translations and report divergences\n"
+     << "  --modules N       generated modules to validate (default 200)\n"
+     << "  --seed S          base generation seed (default 1)\n"
+     << "  --bugs CFG        371 | 501pre | 501post | fixed (default)\n"
+     << "  --files           exchange src/tgt/proof through files (I/O col)\n"
+     << "  --binary-proofs   use the compact binary proof format\n"
+     << "  --cache=MODE      validation cache: off (default) | ro | rw;\n"
+     << "                    hits replay memoized checker verdicts and\n"
+     << "                    skip Orig/I-O/PCheck for byte-identical\n"
+     << "                    (src, tgt', proof, pass, checker, bugs) keys\n"
+     << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
+     << "  --cache-max-mb N  on-disk cache size bound in MiB (default 256)\n"
+     << "  --help, -h        print this help and exit\n";
 }
+
+/// Set when parseArgs saw --help: print usage to stdout and exit 0.
+bool WantHelp = false;
+/// The argument parseArgs rejected, for the error message.
+std::string BadArg;
 
 bool parseArgs(int Argc, char **Argv, CliOptions &O) {
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
+    BadArg = A;
     auto NextNum = [&](uint64_t &Out) {
       if (I + 1 >= Argc)
         return false;
@@ -60,7 +82,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       return true;
     };
     uint64_t N = 0;
-    if (A == "--jobs" && NextNum(N))
+    if (A == "--help" || A == "-h") {
+      WantHelp = true;
+      return true;
+    } else if (A == "--jobs" && NextNum(N))
       O.Jobs = static_cast<unsigned>(N);
     else if (A == "--modules" && NextNum(N))
       O.Modules = static_cast<unsigned>(N);
@@ -74,6 +99,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.BinaryProofs = true;
     else if (A == "--bugs" && I + 1 < Argc)
       O.Bugs = Argv[++I];
+    else if (A.rfind("--cache=", 0) == 0) {
+      auto P = cache::parseCachePolicy(A.substr(std::strlen("--cache=")));
+      if (!P)
+        return false;
+      O.CachePolicy = *P;
+    } else if (A == "--cache" && I + 1 < Argc) {
+      auto P = cache::parseCachePolicy(Argv[++I]);
+      if (!P)
+        return false;
+      O.CachePolicy = *P;
+    } else if (A == "--cache-dir" && I + 1 < Argc)
+      O.CacheDir = Argv[++I];
+    else if (A == "--cache-max-mb" && NextNum(N))
+      O.CacheMaxMb = N;
     else
       return false;
   }
@@ -94,21 +133,49 @@ passes::BugConfig bugConfig(const std::string &Name, bool &Ok) {
   return passes::BugConfig::fixed();
 }
 
+const char *policyName(cache::CachePolicy P) {
+  switch (P) {
+  case cache::CachePolicy::Off:
+    return "off";
+  case cache::CachePolicy::ReadOnly:
+    return "ro";
+  case cache::CachePolicy::ReadWrite:
+    return "rw";
+  }
+  return "?";
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions Cli;
-  if (!parseArgs(Argc, Argv, Cli))
-    return usage(Argv[0]);
+  if (!parseArgs(Argc, Argv, Cli)) {
+    std::cerr << "error: unknown or malformed option '" << BadArg << "'\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (WantHelp) {
+    printUsage(std::cout, Argv[0]);
+    return 0;
+  }
   bool BugsOk = false;
   passes::BugConfig Bugs = bugConfig(Cli.Bugs, BugsOk);
-  if (!BugsOk)
-    return usage(Argv[0]);
+  if (!BugsOk) {
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+
+  cache::ValidationCacheOptions CacheOpts;
+  CacheOpts.Policy = Cli.CachePolicy;
+  CacheOpts.Dir = Cli.CacheDir;
+  CacheOpts.MaxDiskBytes = Cli.CacheMaxMb << 20;
+  cache::ValidationCache Cache(CacheOpts);
 
   driver::DriverOptions DOpts;
   DOpts.WriteFiles = Cli.Files;
   DOpts.BinaryProofs = Cli.BinaryProofs;
   DOpts.RunOracle = Cli.Oracle;
+  DOpts.Cache = Cache.enabled() ? &Cache : nullptr;
 
   driver::BatchOptions BOpts;
   BOpts.Jobs = Cli.Jobs;
@@ -134,17 +201,37 @@ int main(int Argc, char **Argv) {
             << ")\n\n";
 
   Table T({"pass", "#V", "#F", "#NS", "diff", "Orig", "PCal", "I/O",
-           "PCheck", "oracle runs", "oracle div"});
+           "PCheck", "cache", "oracle runs", "oracle div"});
   for (const auto &KV : Report.Stats) {
     const driver::PassStats &S = KV.second;
     T.addRow({KV.first, formatCountK(S.V), formatCountK(S.F),
               formatCountK(S.NS), formatCountK(S.DiffMismatches),
               formatSeconds(S.Orig), formatSeconds(S.PCal),
               formatSeconds(S.IO), formatSeconds(S.PCheck),
-              formatCountK(S.OracleRuns),
+              formatSeconds(S.CacheSec), formatCountK(S.OracleRuns),
               formatCountK(S.OracleDivergences)});
   }
   T.print(std::cout);
+
+  if (Cache.enabled()) {
+    uint64_t Hits = 0, Misses = 0, Stores = 0, Evictions = 0, Errors = 0;
+    for (const auto &KV : Report.Stats) {
+      Hits += KV.second.CacheHits;
+      Misses += KV.second.CacheMisses;
+      Stores += KV.second.CacheStores;
+      Evictions += KV.second.CacheEvictions;
+      Errors += KV.second.CacheStoreErrors;
+    }
+    uint64_t Lookups = Hits + Misses;
+    std::cout << "\ncache: policy=" << policyName(Cache.policy()) << " dir="
+              << Cli.CacheDir << " hits=" << Hits << " ("
+              << formatPercent(Lookups
+                                   ? static_cast<double>(Hits) / Lookups
+                                   : 0)
+              << ") misses=" << Misses << " stores=" << Stores
+              << " evictions=" << Evictions << " store-errors=" << Errors
+              << " disk=" << (Cache.diskBytes() >> 10) << "KiB\n";
+  }
 
   uint64_t Failures = 0, Divergences = 0;
   for (const auto &KV : Report.Stats) {

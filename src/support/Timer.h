@@ -18,6 +18,11 @@ public:
   /// Runs \p Fn and adds its wall-clock duration to the accumulated total.
   template <typename Fn> auto time(Fn &&F) {
     using Clock = std::chrono::steady_clock;
+    // The paper's time columns (and the bench JSON derived from them) must
+    // never go backwards under NTP adjustment; reject any platform where
+    // the chosen clock is not monotonic.
+    static_assert(Clock::is_steady,
+                  "validation timers require a monotonic clock");
     auto Start = Clock::now();
     if constexpr (std::is_void_v<decltype(F())>) {
       F();

@@ -1,0 +1,607 @@
+//===- tests/CacheTest.cpp - Validation cache & artifact store ----------------===//
+//
+// The content-addressed verdict cache (DESIGN.md §10), bottom-up:
+//
+//   - Fingerprint: the key must change when *any* verdict-relevant input
+//     changes — module text, proof structure, pass name, checker version,
+//     every bug-configuration flag — and must be stable otherwise.
+//   - MemCache: sharded LRU semantics (hit refreshes recency, bound holds).
+//   - DiskStore: atomic persistence across instances, corruption-tolerant
+//     loads (truncated / garbage entries are misses, never crashes),
+//     index rebuild, size-bounded eviction.
+//   - Verdict: total decoder over untrusted bytes.
+//   - Driver integration: cache on/off and cold/warm runs produce
+//     bit-identical #V/#F/#NS and failure samples, at --jobs 1 and 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/DiskStore.h"
+#include "cache/Fingerprint.h"
+#include "cache/ValidationCache.h"
+#include "cache/Verdict.h"
+#include "checker/Version.h"
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "passes/Pipeline.h"
+#include "workload/RandomProgram.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using cache::Fingerprint;
+using cache::FingerprintBuilder;
+
+namespace {
+
+std::string freshDir(const char *Tag) {
+  static std::atomic<unsigned> Counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("crellvm-cache-test-" + std::string(Tag) + "." +
+           std::to_string(::getpid()) + "." +
+           std::to_string(Counter.fetch_add(1))))
+      .string();
+}
+
+struct DirGuard {
+  std::string Dir;
+  explicit DirGuard(std::string D) : Dir(std::move(D)) {}
+  ~DirGuard() {
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
+  }
+};
+
+Fingerprint fp(uint64_t Seed) {
+  FingerprintBuilder B;
+  B.u64(Seed);
+  return B.digest();
+}
+
+// A real validation input tuple: a generated module, mem2reg's output and
+// proof over it, and the default key context.
+struct KeyInputs {
+  std::string Src, Tgt;
+  proofgen::Proof Proof;
+  std::string Pass = "mem2reg";
+  std::string Version = checker::versionFingerprint();
+  passes::BugConfig Bugs;
+
+  Fingerprint key() const {
+    return cache::fingerprintValidation(Src, Tgt, Proof, Pass, Version, Bugs);
+  }
+};
+
+KeyInputs makeKeyInputs(uint64_t Seed = 7) {
+  workload::GenOptions G;
+  G.Seed = Seed;
+  ir::Module M = workload::generateModule(G);
+  KeyInputs K;
+  K.Src = ir::printModule(M);
+  auto P = passes::makePass("mem2reg", K.Bugs);
+  passes::PassResult R = P->run(M, /*GenProof=*/true);
+  K.Tgt = ir::printModule(R.Tgt);
+  K.Proof = std::move(R.Proof);
+  return K;
+}
+
+// --- Fingerprint --------------------------------------------------------------
+
+TEST(Fingerprint, DeterministicAcrossBuilders) {
+  KeyInputs K = makeKeyInputs();
+  EXPECT_EQ(K.key(), K.key());
+  EXPECT_EQ(K.key(), makeKeyInputs().key());
+}
+
+TEST(Fingerprint, LengthPrefixingPreventsConcatenationAliasing) {
+  FingerprintBuilder A, B;
+  A.str("ab").str("c");
+  B.str("a").str("bc");
+  EXPECT_NE(A.digest(), B.digest());
+
+  FingerprintBuilder C, D;
+  C.str("").str("x");
+  D.str("x").str("");
+  EXPECT_NE(C.digest(), D.digest());
+}
+
+TEST(Fingerprint, HexRoundtrip) {
+  Fingerprint F = fp(0xdeadbeef);
+  std::string H = F.hex();
+  EXPECT_EQ(H.size(), 32u);
+  auto Back = Fingerprint::fromHex(H);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, F);
+
+  EXPECT_FALSE(Fingerprint::fromHex("").has_value());
+  EXPECT_FALSE(Fingerprint::fromHex("xyz").has_value());
+  EXPECT_FALSE(Fingerprint::fromHex(H.substr(1)).has_value());
+  EXPECT_FALSE(Fingerprint::fromHex(H + "0").has_value());
+  std::string Bad = H;
+  Bad[5] = 'g';
+  EXPECT_FALSE(Fingerprint::fromHex(Bad).has_value());
+}
+
+// The cache-soundness property: every input the verdict depends on must
+// perturb the key. A stale hit after any of these flips would replay a
+// verdict for a different question.
+TEST(Fingerprint, SensitiveToSourceText) {
+  KeyInputs K = makeKeyInputs();
+  Fingerprint Base = K.key();
+  K.Src += " ";
+  EXPECT_NE(K.key(), Base);
+}
+
+TEST(Fingerprint, SensitiveToTargetText) {
+  KeyInputs K = makeKeyInputs();
+  Fingerprint Base = K.key();
+  K.Tgt[K.Tgt.size() / 2] ^= 1;
+  EXPECT_NE(K.key(), Base);
+}
+
+TEST(Fingerprint, SensitiveToPassName) {
+  KeyInputs K = makeKeyInputs();
+  Fingerprint Base = K.key();
+  K.Pass = "gvn";
+  EXPECT_NE(K.key(), Base);
+}
+
+TEST(Fingerprint, SensitiveToCheckerVersion) {
+  KeyInputs K = makeKeyInputs();
+  Fingerprint Base = K.key();
+  K.Version += ";weakened-extra=1";
+  EXPECT_NE(K.key(), Base);
+}
+
+TEST(Fingerprint, SensitiveToEveryBugConfigFlag) {
+  KeyInputs K = makeKeyInputs();
+  Fingerprint Base = K.key();
+  passes::BugConfig Clean = K.Bugs;
+
+  auto Flipped = [&K, &Clean, Base](bool passes::BugConfig::*Field) {
+    K.Bugs = Clean;
+    K.Bugs.*Field = !(K.Bugs.*Field);
+    return K.key() != Base;
+  };
+  EXPECT_TRUE(Flipped(&passes::BugConfig::Mem2RegUndefLoop));
+  EXPECT_TRUE(Flipped(&passes::BugConfig::Mem2RegConstexprSpeculate));
+  EXPECT_TRUE(Flipped(&passes::BugConfig::GvnIgnoreInbounds));
+  EXPECT_TRUE(Flipped(&passes::BugConfig::GvnIgnoreInboundsPRE));
+  EXPECT_TRUE(Flipped(&passes::BugConfig::GvnPREWrongLeader));
+  EXPECT_TRUE(Flipped(&passes::BugConfig::UnsoundAddToOr));
+}
+
+// Structural proof perturbations must reach the key even when the module
+// text is unchanged (cache/ProofHash.h walks the proof tree directly).
+TEST(Fingerprint, SensitiveToProofStructure) {
+  KeyInputs K = makeKeyInputs();
+  ASSERT_FALSE(K.Proof.Functions.empty());
+  Fingerprint Base = K.key();
+  proofgen::Proof Orig = K.Proof;
+
+  proofgen::FunctionProof &FP = K.Proof.Functions.begin()->second;
+  FP.NotSupported = !FP.NotSupported;
+  EXPECT_NE(K.key(), Base) << "NotSupported flag not in key";
+
+  K.Proof = Orig;
+  K.Proof.Functions.begin()->second.NotSupportedReason += "!";
+  EXPECT_NE(K.key(), Base) << "NotSupportedReason not in key";
+
+  K.Proof = Orig;
+  K.Proof.Functions.begin()->second.AutoFuncs.insert("phantom_func");
+  EXPECT_NE(K.key(), Base) << "AutoFuncs not in key";
+
+  K.Proof = Orig;
+  K.Proof.Functions["phantom_func"] = proofgen::FunctionProof();
+  EXPECT_NE(K.key(), Base) << "added function proof not in key";
+
+  K.Proof = Orig;
+  EXPECT_EQ(K.key(), Base) << "restoring the proof must restore the key";
+}
+
+// --- MemCache -----------------------------------------------------------------
+
+TEST(MemCache, RoundtripAndMiss) {
+  cache::MemCache C(16, 4);
+  EXPECT_FALSE(C.lookup(fp(1)).has_value());
+  C.insert(fp(1), "one");
+  C.insert(fp(2), "two");
+  auto V = C.lookup(fp(1));
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, "one");
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.evictions(), 0u);
+}
+
+TEST(MemCache, InsertRefreshesValue) {
+  cache::MemCache C(16, 1);
+  C.insert(fp(1), "old");
+  C.insert(fp(1), "new");
+  EXPECT_EQ(C.size(), 1u);
+  EXPECT_EQ(*C.lookup(fp(1)), "new");
+}
+
+TEST(MemCache, EvictsLeastRecentlyUsedWithinBound) {
+  // One shard so the LRU order is fully observable.
+  cache::MemCache C(3, 1);
+  C.insert(fp(1), "1");
+  C.insert(fp(2), "2");
+  C.insert(fp(3), "3");
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(C.lookup(fp(1)).has_value());
+  C.insert(fp(4), "4");
+  EXPECT_EQ(C.size(), 3u);
+  EXPECT_EQ(C.evictions(), 1u);
+  EXPECT_FALSE(C.lookup(fp(2)).has_value()) << "LRU entry should be gone";
+  EXPECT_TRUE(C.lookup(fp(1)).has_value());
+  EXPECT_TRUE(C.lookup(fp(3)).has_value());
+  EXPECT_TRUE(C.lookup(fp(4)).has_value());
+}
+
+TEST(MemCache, BoundHoldsAcrossManyInserts) {
+  cache::MemCache C(8, 4);
+  for (uint64_t I = 0; I != 100; ++I)
+    C.insert(fp(I), std::to_string(I));
+  EXPECT_LE(C.size(), 8u);
+  EXPECT_GE(C.evictions(), 92u);
+}
+
+// --- DiskStore ----------------------------------------------------------------
+
+TEST(DiskStore, PersistsAcrossInstances) {
+  DirGuard G(freshDir("persist"));
+  Fingerprint F = fp(42);
+  {
+    cache::DiskStore S({G.Dir});
+    ASSERT_TRUE(S.ok());
+    EXPECT_FALSE(S.load(F).has_value());
+    S.store(F, "payload-bytes");
+  }
+  cache::DiskStore S2({G.Dir});
+  auto V = S2.load(F);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, "payload-bytes");
+  EXPECT_EQ(S2.counters().Hits, 1u);
+}
+
+TEST(DiskStore, TruncatedEntryIsAMissNotACrash) {
+  DirGuard G(freshDir("trunc"));
+  Fingerprint F = fp(43);
+  {
+    cache::DiskStore S({G.Dir});
+    S.store(F, "some payload that will be cut short");
+  }
+  // Truncate the object file mid-payload.
+  std::string Obj;
+  for (const auto &E :
+       std::filesystem::recursive_directory_iterator(G.Dir + "/objects"))
+    if (E.is_regular_file())
+      Obj = E.path().string();
+  ASSERT_FALSE(Obj.empty());
+  std::filesystem::resize_file(Obj, std::filesystem::file_size(Obj) / 2);
+
+  cache::DiskStore S({G.Dir});
+  EXPECT_FALSE(S.load(F).has_value());
+  EXPECT_EQ(S.counters().CorruptEntries, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Obj))
+      << "corrupt object should be removed";
+  // And a removed corrupt entry must stay a miss, not resurface.
+  EXPECT_FALSE(S.load(F).has_value());
+}
+
+TEST(DiskStore, GarbageEntryIsAMissNotACrash) {
+  DirGuard G(freshDir("garbage"));
+  Fingerprint F = fp(44);
+  {
+    cache::DiskStore S({G.Dir});
+    S.store(F, "real payload");
+  }
+  std::string Obj;
+  for (const auto &E :
+       std::filesystem::recursive_directory_iterator(G.Dir + "/objects"))
+    if (E.is_regular_file())
+      Obj = E.path().string();
+  ASSERT_FALSE(Obj.empty());
+  {
+    std::ofstream Out(Obj, std::ios::trunc | std::ios::binary);
+    Out << "this is not a cache object at all \0 binary junk";
+  }
+  cache::DiskStore S({G.Dir});
+  EXPECT_FALSE(S.load(F).has_value());
+  EXPECT_GE(S.counters().CorruptEntries, 1u);
+}
+
+TEST(DiskStore, MissingIndexIsRebuiltFromObjects) {
+  DirGuard G(freshDir("reindex"));
+  Fingerprint A = fp(45), B = fp(46);
+  {
+    cache::DiskStore S({G.Dir});
+    S.store(A, "aaa");
+    S.store(B, "bbbb");
+  }
+  std::filesystem::remove(G.Dir + "/index");
+  cache::DiskStore S({G.Dir});
+  EXPECT_EQ(S.numEntries(), 2u);
+  EXPECT_EQ(*S.load(A), "aaa");
+  EXPECT_EQ(*S.load(B), "bbbb");
+}
+
+TEST(DiskStore, CorruptIndexLinesAreSkipped) {
+  DirGuard G(freshDir("badindex"));
+  Fingerprint F = fp(47);
+  {
+    cache::DiskStore S({G.Dir});
+    S.store(F, "payload");
+  }
+  {
+    std::ofstream Out(G.Dir + "/index", std::ios::app);
+    Out << "not a valid line\n"
+        << "00112233445566778899aabbccddeeff notanumber 3\n";
+  }
+  cache::DiskStore S({G.Dir});
+  EXPECT_EQ(*S.load(F), "payload");
+}
+
+TEST(DiskStore, EvictsOldestBeyondMaxBytes) {
+  DirGuard G(freshDir("evict"));
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir;
+  Opts.MaxBytes = 100; // tiny budget: a few 40-byte payloads
+  cache::DiskStore S(Opts);
+  std::string Payload(40, 'x');
+  for (uint64_t I = 0; I != 10; ++I)
+    S.store(fp(100 + I), Payload);
+  EXPECT_LE(S.totalBytes(), Opts.MaxBytes);
+  EXPECT_GE(S.counters().Evictions, 7u);
+  // Newest entry survives, oldest is gone.
+  EXPECT_TRUE(S.load(fp(109)).has_value());
+  EXPECT_FALSE(S.load(fp(100)).has_value());
+}
+
+TEST(DiskStore, UnusableDirectoryDegradesToMisses) {
+  // A path that cannot be a directory: a file stands in its way.
+  DirGuard G(freshDir("blocked"));
+  {
+    std::ofstream Out(G.Dir);
+    Out << "a file, not a directory";
+  }
+  cache::DiskStore S({G.Dir + "/sub"});
+  EXPECT_FALSE(S.ok());
+  EXPECT_FALSE(S.load(fp(1)).has_value());
+  S.store(fp(1), "x");
+  EXPECT_GE(S.counters().StoreErrors, 1u);
+}
+
+// --- Verdict ------------------------------------------------------------------
+
+TEST(Verdict, RoundtripAllStatuses) {
+  cache::Verdict V;
+  V.DiffMismatches = 3;
+  V.Checker.Functions["ok"] = {checker::ValidationStatus::Validated, "", ""};
+  V.Checker.Functions["bad"] = {checker::ValidationStatus::Failed, "b1:4",
+                                "lessdef does not hold"};
+  V.Checker.Functions["ns"] = {checker::ValidationStatus::NotSupported, "",
+                               "lifetime intrinsics"};
+  auto Back = cache::verdictFromBytes(cache::verdictToBytes(V));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->DiffMismatches, 3u);
+  ASSERT_EQ(Back->Checker.Functions.size(), 3u);
+  EXPECT_EQ(Back->Checker.Functions["bad"].Status,
+            checker::ValidationStatus::Failed);
+  EXPECT_EQ(Back->Checker.Functions["bad"].Where, "b1:4");
+  EXPECT_EQ(Back->Checker.Functions["bad"].Reason, "lessdef does not hold");
+  EXPECT_EQ(Back->Checker.Functions["ns"].Status,
+            checker::ValidationStatus::NotSupported);
+}
+
+TEST(Verdict, DecoderRejectsMalformedBytes) {
+  std::string Err;
+  EXPECT_FALSE(cache::verdictFromBytes("", &Err).has_value());
+  EXPECT_FALSE(cache::verdictFromBytes("not json", &Err).has_value());
+  EXPECT_FALSE(cache::verdictFromBytes("[1,2,3]", &Err).has_value());
+  EXPECT_FALSE(
+      cache::verdictFromBytes("{\"v\":999,\"diff_mismatches\":0,\"functions\":[]}",
+                              &Err)
+          .has_value());
+  EXPECT_FALSE(cache::verdictFromBytes(
+                   "{\"v\":1,\"diff_mismatches\":0,\"functions\":["
+                   "{\"name\":\"f\",\"status\":7,\"where\":\"\",\"reason\":\"\"}]}",
+                   &Err)
+                   .has_value())
+      << "out-of-range status must be rejected";
+}
+
+// --- ValidationCache (two-tier facade) ----------------------------------------
+
+TEST(ValidationCache, OffPolicyNeverStoresOrHits) {
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::Off;
+  cache::ValidationCache C(Opts);
+  EXPECT_FALSE(C.enabled());
+  cache::Verdict V;
+  EXPECT_FALSE(C.store(fp(1), V).Stored);
+  EXPECT_FALSE(C.lookup(fp(1)).has_value());
+}
+
+TEST(ValidationCache, ReadOnlyHitsExistingStoreButNeverWrites) {
+  DirGuard G(freshDir("ro"));
+  cache::Verdict V;
+  V.Checker.Functions["f"] = {checker::ValidationStatus::Validated, "", ""};
+  {
+    cache::ValidationCacheOptions Opts;
+    Opts.Policy = cache::CachePolicy::ReadWrite;
+    Opts.Dir = G.Dir;
+    cache::ValidationCache RW(Opts);
+    EXPECT_TRUE(RW.store(fp(1), V).Stored);
+  }
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::ReadOnly;
+  Opts.Dir = G.Dir;
+  cache::ValidationCache RO(Opts);
+  EXPECT_TRUE(RO.lookup(fp(1)).has_value());
+  EXPECT_FALSE(RO.store(fp(2), V).Stored);
+  EXPECT_FALSE(RO.lookup(fp(2)).has_value());
+  EXPECT_EQ(RO.diskCounters().Stores, 0u);
+}
+
+TEST(ValidationCache, DiskHitsArePromotedToMemory) {
+  DirGuard G(freshDir("promote"));
+  cache::Verdict V;
+  {
+    cache::ValidationCacheOptions Opts;
+    Opts.Policy = cache::CachePolicy::ReadWrite;
+    Opts.Dir = G.Dir;
+    cache::ValidationCache RW(Opts);
+    RW.store(fp(5), V);
+  }
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::ReadWrite;
+  Opts.Dir = G.Dir;
+  cache::ValidationCache C(Opts);
+  EXPECT_EQ(C.memSize(), 0u);
+  EXPECT_TRUE(C.lookup(fp(5)).has_value()); // disk hit
+  EXPECT_EQ(C.memSize(), 1u);               // promoted
+  EXPECT_TRUE(C.lookup(fp(5)).has_value()); // now a memory hit
+  EXPECT_EQ(C.diskCounters().Hits, 1u) << "second hit must come from memory";
+}
+
+TEST(ValidationCache, ParseCachePolicy) {
+  EXPECT_EQ(cache::parseCachePolicy("off"), cache::CachePolicy::Off);
+  EXPECT_EQ(cache::parseCachePolicy("ro"), cache::CachePolicy::ReadOnly);
+  EXPECT_EQ(cache::parseCachePolicy("rw"), cache::CachePolicy::ReadWrite);
+  EXPECT_FALSE(cache::parseCachePolicy("").has_value());
+  EXPECT_FALSE(cache::parseCachePolicy("readwrite").has_value());
+}
+
+// --- Driver integration -------------------------------------------------------
+
+driver::BatchReport runCorpus(cache::ValidationCache *Cache, unsigned Jobs,
+                              size_t N = 12) {
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = false;
+  DOpts.Cache = Cache;
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Jobs;
+  return driver::runBatchValidated(
+      passes::BugConfig::llvm371(), DOpts, N,
+      [](size_t I) {
+        workload::GenOptions G;
+        G.Seed = 0xcafe + I;
+        G.GepPairPct = 40; // make the gvn bug fire: nonempty #F column
+        return workload::generateModule(G);
+      },
+      BOpts);
+}
+
+// Everything deterministic in PassStats — counts and samples, not times.
+void expectSameVerdicts(const driver::StatsMap &A, const driver::StatsMap &B,
+                        const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (const auto &KV : A) {
+    auto It = B.find(KV.first);
+    ASSERT_NE(It, B.end()) << What << ": pass " << KV.first;
+    const driver::PassStats &X = KV.second, &Y = It->second;
+    EXPECT_EQ(X.V, Y.V) << What << ": " << KV.first;
+    EXPECT_EQ(X.F, Y.F) << What << ": " << KV.first;
+    EXPECT_EQ(X.NS, Y.NS) << What << ": " << KV.first;
+    EXPECT_EQ(X.DiffMismatches, Y.DiffMismatches) << What << ": " << KV.first;
+    EXPECT_EQ(X.FailureSamples, Y.FailureSamples) << What << ": " << KV.first;
+  }
+}
+
+TEST(DriverCache, CacheOnProducesIdenticalVerdictsColdAndWarm) {
+  DirGuard G(freshDir("driver"));
+  driver::BatchReport Off = runCorpus(nullptr, 1);
+
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::ReadWrite;
+  Opts.Dir = G.Dir;
+  cache::ValidationCache Cache(Opts);
+
+  driver::BatchReport Cold = runCorpus(&Cache, 1);
+  expectSameVerdicts(Off.Stats, Cold.Stats, "off vs cold");
+  uint64_t ColdHits = 0, ColdMisses = 0, ColdStores = 0;
+  for (const auto &KV : Cold.Stats) {
+    ColdHits += KV.second.CacheHits;
+    ColdMisses += KV.second.CacheMisses;
+    ColdStores += KV.second.CacheStores;
+  }
+  EXPECT_EQ(ColdHits, 0u);
+  EXPECT_GT(ColdMisses, 0u);
+  EXPECT_EQ(ColdStores, ColdMisses) << "every cold miss must populate";
+
+  driver::BatchReport Warm = runCorpus(&Cache, 1);
+  expectSameVerdicts(Off.Stats, Warm.Stats, "off vs warm");
+  uint64_t WarmHits = 0, WarmMisses = 0;
+  for (const auto &KV : Warm.Stats) {
+    WarmHits += KV.second.CacheHits;
+    WarmMisses += KV.second.CacheMisses;
+  }
+  EXPECT_EQ(WarmMisses, 0u) << "an unchanged corpus must hit everywhere";
+  EXPECT_EQ(WarmHits, ColdMisses);
+}
+
+TEST(DriverCache, WarmStatsAreBitIdenticalAcrossJobCounts) {
+  DirGuard G(freshDir("jobs"));
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::ReadWrite;
+  Opts.Dir = G.Dir;
+  cache::ValidationCache Cache(Opts);
+  runCorpus(&Cache, 1); // populate
+
+  driver::BatchReport J1 = runCorpus(&Cache, 1);
+  driver::BatchReport J8 = runCorpus(&Cache, 8);
+  expectSameVerdicts(J1.Stats, J8.Stats, "jobs 1 vs 8");
+  for (const auto &KV : J1.Stats) {
+    const driver::PassStats &X = KV.second;
+    const driver::PassStats &Y = J8.Stats.at(KV.first);
+    EXPECT_EQ(X.CacheHits, Y.CacheHits) << KV.first;
+    EXPECT_EQ(X.CacheMisses, Y.CacheMisses) << KV.first;
+    EXPECT_EQ(X.CacheStores, Y.CacheStores) << KV.first;
+    EXPECT_EQ(X.CacheEvictions, Y.CacheEvictions) << KV.first;
+    EXPECT_EQ(X.CacheStoreErrors, Y.CacheStoreErrors) << KV.first;
+  }
+}
+
+TEST(DriverCache, DifferentBugConfigDoesNotReuseCachedVerdicts) {
+  // Same corpus, clean vs buggy compiler: the second run must miss, and
+  // its verdicts must differ from the first (the gvn bug fires).
+  DirGuard G(freshDir("bugs"));
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::ReadWrite;
+  Opts.Dir = G.Dir;
+  cache::ValidationCache Cache(Opts);
+
+  auto Run = [&Cache](const passes::BugConfig &Bugs) {
+    driver::DriverOptions DOpts;
+    DOpts.WriteFiles = false;
+    DOpts.Cache = &Cache;
+    return driver::runBatchValidated(Bugs, DOpts, 8, [](size_t I) {
+      workload::GenOptions G;
+      G.Seed = 0xbeef + I;
+      G.GepPairPct = 60;
+      return workload::generateModule(G);
+    });
+  };
+  driver::BatchReport Clean = Run(passes::BugConfig());
+  driver::BatchReport Buggy = Run(passes::BugConfig::llvm371());
+
+  uint64_t BuggyHits = 0;
+  for (const auto &KV : Buggy.Stats)
+    BuggyHits += KV.second.CacheHits;
+  EXPECT_EQ(BuggyHits, 0u)
+      << "a different bug config must never replay cached verdicts";
+  uint64_t CleanF = 0, BuggyF = 0;
+  for (const auto &KV : Clean.Stats)
+    CleanF += KV.second.F;
+  for (const auto &KV : Buggy.Stats)
+    BuggyF += KV.second.F;
+  EXPECT_EQ(CleanF, 0u);
+  EXPECT_GT(BuggyF, 0u);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+//===- tests/CliSmokeTest.cpp - crellvm-validate CLI contract -----------------===//
+//
+// The crellvm-validate binary's command-line contract, exercised by
+// actually running the installed binary (CRELLVM_VALIDATE_BIN is injected
+// by tests/CMakeLists.txt as $<TARGET_FILE:crellvm-validate>):
+//
+//   --help / -h   print the usage block on stdout and exit 0;
+//   unknown flag  print usage on stderr and exit nonzero;
+//   bad values    (--cache=bogus, --jobs without an argument) exit nonzero.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stdout;
+};
+
+// Runs the validator with \p Args, capturing stdout; stderr is routed to
+// stdout when \p MergeStderr so usage-on-stderr is observable too.
+RunResult runValidator(const std::string &Args, bool MergeStderr = false) {
+  std::string Cmd = std::string(CRELLVM_VALIDATE_BIN) + " " + Args;
+  Cmd += MergeStderr ? " 2>&1" : " 2>/dev/null";
+  RunResult R;
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Stdout.append(Buf, N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+TEST(CliSmoke, HelpExitsZeroAndListsEveryFlag) {
+  RunResult R = runValidator("--help");
+  EXPECT_EQ(R.ExitCode, 0);
+  for (const char *Flag :
+       {"--jobs", "--bugs", "--oracle", "--binary-proofs", "--files",
+        "--cache", "--cache-dir", "--cache-max-mb", "--help"})
+    EXPECT_NE(R.Stdout.find(Flag), std::string::npos)
+        << "usage must document " << Flag;
+}
+
+TEST(CliSmoke, ShortHelpAlias) {
+  RunResult R = runValidator("-h");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownFlagExitsNonzeroWithUsage) {
+  RunResult R = runValidator("--no-such-flag", /*MergeStderr=*/true);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("usage:"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("--no-such-flag"), std::string::npos)
+      << "the offending flag should be named";
+}
+
+TEST(CliSmoke, BadCachePolicyExitsNonzero) {
+  EXPECT_NE(runValidator("--cache=bogus").ExitCode, 0);
+  EXPECT_NE(runValidator("--cache", /*MergeStderr=*/true).ExitCode, 0)
+      << "--cache without a value must be rejected";
+}
+
+} // namespace
