@@ -1,0 +1,52 @@
+//===- bench/AuditSmoke.cpp - Audit battery in the bench trajectory -------===//
+//
+// Runs a small soundness-audit battery (src/audit/) and appends its
+// headline numbers to BENCH_validation.json, so the audit's check count
+// and finding count ride the same perf/quality trajectory as the
+// validation benches. Exits nonzero on findings: the CI sanitizer job
+// runs this binary as its audit smoke target.
+//
+// usage: audit_smoke [rounds] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "audit/Audit.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace crellvm;
+
+int main(int Argc, char **Argv) {
+  audit::AuditOptions Opts;
+  Opts.Rounds = Argc > 1 ? static_cast<unsigned>(std::atoi(Argv[1])) : 5;
+  Opts.Seed = Argc > 2 ? static_cast<uint64_t>(std::atoll(Argv[2])) : 1;
+
+  Timer Wall;
+  audit::AuditReport R = Wall.time([&] { return audit::runAudit(Opts); });
+
+  std::printf("audit_smoke: %llu checks, %llu pass steps, %llu findings "
+              "in %.2fs\n",
+              static_cast<unsigned long long>(R.ChecksRun),
+              static_cast<unsigned long long>(R.StepsVerified),
+              static_cast<unsigned long long>(R.Findings.size()),
+              Wall.seconds());
+  for (const audit::Finding &F : R.Findings)
+    std::printf("  [%s] %s: %s\n", F.Severity.c_str(), F.Invariant.c_str(),
+                F.Detail.c_str());
+
+  bench::BenchEntry E;
+  E.Name = "soundness_audit";
+  E.WallSeconds = Wall.seconds();
+  E.CpuSeconds = Wall.seconds();
+  E.V = R.ChecksRun;
+  E.F = R.Findings.size();
+  bench::writeBenchJson({E});
+
+  std::printf("paper-shape: audit %s — every invariant the verified "
+              "checker's Coq proof would discharge holds on this tree\n",
+              R.clean() ? "CLEAN" : "VIOLATED");
+  return R.clean() ? 0 : 1;
+}

@@ -25,7 +25,13 @@ public:
   /// unreachable blocks.
   size_t idom(size_t I) const { return IDom[I]; }
 
-  /// True if \p A dominates \p B (reflexive).
+  /// True if \p A dominates \p B (reflexive). Any query touching an
+  /// unreachable block answers false — including `dominates(U, U)` — so
+  /// a transform gated on `dominates(...)` can never be justified by
+  /// dead code. The flip side: `!dominates(A, B)` is NOT evidence of
+  /// anything when a block may be unreachable; passes that act on the
+  /// negation must check CFG::isReachable themselves (LoopInfo's
+  /// preheader choice and GVN-PRE's predecessor plans do).
   bool dominates(size_t A, size_t B) const;
 
   /// Children of \p I in the dominator tree.

@@ -47,7 +47,15 @@ LoopInfo::LoopInfo(const ir::Function &F, const CFG &G, const DomTree &DT) {
         Unique = false;
       Outside = P;
     }
-    if (Unique && Outside != ~size_t(0)) {
+    // A usable preheader must be reachable and must dominate the header:
+    // code hoisted into it has to dominate every in-loop use. On
+    // well-formed IR the unique outside predecessor always qualifies,
+    // but passes also run over merely *parseable* modules (e.g. a
+    // branch-to-entry cycle makes the entry a header whose only outside
+    // predecessor is a dead block), and hoisting into a dead or
+    // non-dominating block silently fabricates an invalid target.
+    if (Unique && Outside != ~size_t(0) && G.isReachable(Outside) &&
+        DT.dominates(Outside, L.Header)) {
       const ir::BasicBlock *PB = F.getBlock(G.name(Outside));
       if (PB && PB->terminator().opcode() == Opcode::Br)
         L.Preheader = Outside;

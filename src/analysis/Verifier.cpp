@@ -93,10 +93,15 @@ private:
           if (In.second.type() != P.Ty && !In.second.isUndef())
             error("phi %" + P.Result + " has ill-typed incoming value");
         }
-        if (G.isReachable(BI))
-          for (const std::string &PN : PredNames)
-            if (!Seen.count(PN))
-              error("phi %" + P.Result + " misses predecessor '" + PN + "'");
+        // Incoming entries must pair 1:1 with the actual predecessors,
+        // order-insensitively: duplicates and non-predecessors are
+        // rejected above, and every predecessor must appear — also in
+        // unreachable blocks, where dominance is meaningless but the
+        // phi/CFG correspondence still is not (a pass that rewrites
+        // edges must keep dead phis consistent too).
+        for (const std::string &PN : PredNames)
+          if (!Seen.count(PN))
+            error("phi %" + P.Result + " misses predecessor '" + PN + "'");
       }
     }
   }
@@ -163,8 +168,21 @@ private:
   void checkUses(const CFG &G, const DomTree &DT) {
     for (const BasicBlock &B : F.Blocks) {
       size_t BI = G.index(B.Name);
-      if (!G.isReachable(BI))
-        continue; // dominance is meaningless in dead code
+      if (!G.isReachable(BI)) {
+        // Dominance is meaningless in dead code, so skip the dominance
+        // checks — but never consult the DomTree about these blocks at
+        // all, and still insist that registers resolve to *some*
+        // definition and that instructions are well-typed: passes must
+        // not be able to hide garbage behind unreachability.
+        for (const Instruction &I : B.Insts) {
+          for (const Value &V : I.operands())
+            if (V.isReg() && !Defs.count(V.regName()))
+              error("use of undefined register %" + V.regName() +
+                    " in unreachable '" + B.Name + "'");
+          checkTypes(I);
+        }
+        continue;
+      }
       for (const Phi &P : B.Phis) {
         for (const auto &In : P.Incoming) {
           if (!In.second.isReg())

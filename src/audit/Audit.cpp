@@ -1,0 +1,604 @@
+//===- audit/Audit.cpp - Soundness self-audit batteries ---------*- C++ -*-===//
+
+#include "audit/Audit.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Verifier.h"
+#include "cache/Fingerprint.h"
+#include "cache/ValidationCache.h"
+#include "checker/Validator.h"
+#include "checker/Version.h"
+#include "erhl/Eval.h"
+#include "erhl/Infrule.h"
+#include "interp/Ops.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/Pipeline.h"
+#include "proofgen/ProofJson.h"
+#include "support/RNG.h"
+#include "workload/RandomProgram.h"
+
+#include <filesystem>
+#include <set>
+
+using namespace crellvm;
+using namespace crellvm::audit;
+
+json::Value Finding::toJson() const {
+  json::Value O = json::Value::object();
+  O.set("invariant", json::Value(Invariant));
+  O.set("severity", json::Value(Severity));
+  O.set("detail", json::Value(Detail));
+  O.set("seed", json::Value(Seed));
+  O.set("round", json::Value(static_cast<int64_t>(Round)));
+  return O;
+}
+
+json::Value AuditReport::toJson() const {
+  json::Value O = json::Value::object();
+  O.set("clean", json::Value(clean()));
+  O.set("rounds_run", json::Value(RoundsRun));
+  O.set("modules_audited", json::Value(ModulesAudited));
+  O.set("steps_verified", json::Value(StepsVerified));
+  O.set("checks_run", json::Value(ChecksRun));
+  json::Value List = json::Value::array();
+  for (const Finding &F : Findings)
+    List.push(F.toJson());
+  O.set("findings", std::move(List));
+  return O;
+}
+
+namespace {
+
+/// Instructions an optimization may legitimately leave in an unreachable
+/// block of \p F, keyed by block name (phis counted with instructions).
+std::map<std::string, size_t> deadBlockSizes(const ir::Function &F) {
+  std::map<std::string, size_t> Sizes;
+  analysis::CFG G(F);
+  for (size_t I = 0; I != G.numBlocks(); ++I) {
+    if (G.isReachable(I))
+      continue;
+    const ir::BasicBlock *B = F.getBlock(G.name(I));
+    if (B)
+      Sizes[G.name(I)] = B->Insts.size() + B->Phis.size();
+  }
+  return Sizes;
+}
+
+/// Number of shift instructions whose constant amount is negative — a
+/// value no well-formed frontend emits, and the observable shadow of the
+/// historical signed-overflow bug in the instcombine shl-shl merge guard.
+size_t negativeShiftCount(const ir::Module &M) {
+  size_t N = 0;
+  for (const ir::Function &F : M.Funcs)
+    for (const ir::BasicBlock &B : F.Blocks)
+      for (const ir::Instruction &I : B.Insts) {
+        if (I.opcode() != ir::Opcode::Shl && I.opcode() != ir::Opcode::LShr &&
+            I.opcode() != ir::Opcode::AShr)
+          continue;
+        const ir::Value &Amt = I.operands()[1];
+        if (Amt.isConstInt() && Amt.intValue() < 0)
+          ++N;
+      }
+  return N;
+}
+
+/// Duplicates the last inference rule of the last rule-carrying line it
+/// finds; returns false when the proof applies no rules at all.
+bool duplicateLastRule(proofgen::Proof &P) {
+  for (auto &FKV : P.Functions)
+    for (auto &BKV : FKV.second.Blocks)
+      for (auto It = BKV.second.Lines.rbegin(); It != BKV.second.Lines.rend();
+           ++It)
+        if (!It->Rules.empty()) {
+          It->Rules.push_back(It->Rules.back());
+          return true;
+        }
+  return false;
+}
+
+/// One verdict summary for metamorphic comparison.
+struct VerdictSummary {
+  uint64_t Validated = 0, Failed = 0, NS = 0;
+  std::string First;
+
+  explicit VerdictSummary(const checker::ModuleResult &R)
+      : Validated(R.countValidated()), Failed(R.countFailed()),
+        NS(R.countNotSupported()), First(R.firstFailure()) {}
+  bool operator==(const VerdictSummary &O) const {
+    return Validated == O.Validated && Failed == O.Failed && NS == O.NS &&
+           First == O.First;
+  }
+};
+
+class Auditor {
+public:
+  Auditor(const AuditOptions &Opts, AuditReport &R) : Opts(Opts), R(R) {}
+
+  void run() {
+    verifierStrictnessBattery();
+    evaluatorBattery();
+    adversarialCfgBattery();
+    fingerprintBattery();
+    if (!Opts.SkipDiskBatteries)
+      roAccountingBattery();
+    for (unsigned Round = 0; Round != Opts.Rounds; ++Round) {
+      pipelineRound(Round);
+      ++R.RoundsRun;
+    }
+  }
+
+private:
+  void finding(const std::string &Invariant, const std::string &Severity,
+               const std::string &Detail, unsigned Round = 0) {
+    R.Findings.push_back({Invariant, Severity, Detail, Opts.Seed, Round});
+  }
+
+  void check(bool Ok, const std::string &Invariant,
+             const std::string &Severity, const std::string &Detail,
+             unsigned Round = 0) {
+    ++R.ChecksRun;
+    if (!Ok)
+      finding(Invariant, Severity, Detail, Round);
+  }
+
+  // --- verifier-strictness ---------------------------------------------------
+
+  void verifierStrictnessBattery() {
+    struct Case {
+      const char *Name;
+      const char *Text;
+      bool MustVerify;
+      const char *MustMention; ///< substring of the first error (bad cases)
+    };
+    static const Case Catalog[] = {
+        {"dead phi missing a predecessor",
+         "define void @f(i1 %c) {\nentry:\n  ret void\n"
+         "deadA:\n  br i1 %c, label %deadJ, label %deadB\n"
+         "deadB:\n  br label %deadJ\n"
+         "deadJ:\n  %p = phi i32 [ 1, %deadA ]\n  ret void\n}\n",
+         false, "misses predecessor"},
+        {"undefined register in dead code",
+         "define void @f() {\nentry:\n  ret void\n"
+         "dead:\n  %y = add i32 %nope, 1\n  ret void\n}\n",
+         false, "undefined register"},
+        {"branch to the entry block",
+         "define void @f(i1 %c) {\nentry:\n  br i1 %c, label %b, label %b\n"
+         "b:\n  br label %entry\n}\n",
+         false, "branches to the entry"},
+        {"consistent dead code",
+         "define void @f() {\nentry:\n  ret void\n"
+         "dead1:\n  %z = add i32 7, 1\n  br label %dead2\n"
+         "dead2:\n  %q = phi i32 [ %z, %dead1 ]\n  ret void\n}\n",
+         true, ""},
+        {"simple loop",
+         "define i64 @f(i64 %a) {\nentry:\n  br label %h\n"
+         "h:\n  %i = phi i64 [ 0, %entry ], [ %j, %h ]\n"
+         "  %j = add i64 %i, 1\n  %d = icmp eq i64 %j, %a\n"
+         "  br i1 %d, label %h, label %x\nx:\n  ret i64 %j\n}\n",
+         true, ""},
+    };
+    for (const Case &C : Catalog) {
+      std::string Err;
+      auto M = ir::parseModule(C.Text, &Err);
+      check(M.has_value(), "verifier-strictness", "robustness",
+            std::string("catalog module '") + C.Name +
+                "' failed to parse: " + Err);
+      if (!M)
+        continue;
+      std::vector<std::string> Errs;
+      bool Ok = analysis::verifyModule(*M, Errs);
+      if (C.MustVerify) {
+        check(Ok, "verifier-strictness", "soundness",
+              std::string("valid module '") + C.Name + "' rejected: " +
+                  (Errs.empty() ? "" : Errs[0]));
+      } else {
+        bool Mentioned =
+            !Ok && !Errs.empty() &&
+            Errs[0].find(C.MustMention) != std::string::npos;
+        check(Mentioned, "verifier-strictness", "soundness",
+              std::string("invalid module '") + C.Name +
+                  "' must be rejected mentioning '" + C.MustMention +
+                  "'; got: " + (Errs.empty() ? "<accepted>" : Errs[0]));
+      }
+    }
+  }
+
+  // --- evaluator-width-guard and interp-erhl-agreement -----------------------
+
+  void evaluatorBattery() {
+    using interp::RtValue;
+    RtValue One = RtValue::intVal(1, 1);
+    check(interp::evalBinaryOp(ir::Opcode::SDiv, 0, One, One).Trap,
+          "evaluator-width-guard", "soundness",
+          "evalBinaryOp accepted width 0");
+    check(interp::evalBinaryOp(ir::Opcode::Add, 65, One, One).Trap,
+          "evaluator-width-guard", "soundness",
+          "evalBinaryOp accepted width 65");
+    check(!interp::evalBinaryOp(ir::Opcode::Add, 1, One, One).Trap,
+          "evaluator-width-guard", "robustness",
+          "evalBinaryOp rejected width 1");
+    check(!interp::evalBinaryOp(ir::Opcode::Add, 64, One, One).Trap,
+          "evaluator-width-guard", "robustness",
+          "evalBinaryOp rejected width 64");
+
+    static const ir::Opcode BinOps[] = {
+        ir::Opcode::Add,  ir::Opcode::Sub,  ir::Opcode::Mul,
+        ir::Opcode::SDiv, ir::Opcode::UDiv, ir::Opcode::SRem,
+        ir::Opcode::URem, ir::Opcode::Shl,  ir::Opcode::LShr,
+        ir::Opcode::AShr, ir::Opcode::And,  ir::Opcode::Or,
+        ir::Opcode::Xor};
+    static const ir::IcmpPred Preds[] = {
+        ir::IcmpPred::Eq,  ir::IcmpPred::Ne,  ir::IcmpPred::Ugt,
+        ir::IcmpPred::Uge, ir::IcmpPred::Ult, ir::IcmpPred::Ule,
+        ir::IcmpPred::Sgt, ir::IcmpPred::Sge, ir::IcmpPred::Slt,
+        ir::IcmpPred::Sle};
+    RNG Rng(Opts.Seed ^ 0xa0d17u);
+    size_t Mismatches = 0;
+    std::string FirstMismatch;
+    for (unsigned W : {1u, 7u, 8u, 31u, 32u, 33u, 63u, 64u}) {
+      ir::Type Ty = ir::Type::intTy(W);
+      uint64_t AllOnes = W >= 64 ? ~0ull : ((uint64_t(1) << W) - 1);
+      std::vector<RtValue> Operands = {
+          RtValue::intVal(0, W),
+          RtValue::intVal(1, W),
+          RtValue::intVal(AllOnes, W),              // -1
+          RtValue::intVal(uint64_t(1) << (W - 1), W), // signed min
+          RtValue::intVal(AllOnes >> 1, W),         // signed max
+          RtValue::intVal(Rng.next(), W),
+          RtValue::undef(),
+          RtValue::poison(),
+      };
+      erhl::RegT RA{"a", erhl::Tag::Phy}, RB{"b", erhl::Tag::Phy};
+      erhl::ValT VA = erhl::ValT::reg(RA, Ty), VB = erhl::ValT::reg(RB, Ty);
+      for (const RtValue &A : Operands)
+        for (const RtValue &B : Operands) {
+          erhl::EvalState S;
+          S.Regs[RA] = A;
+          S.Regs[RB] = B;
+          for (ir::Opcode Op : BinOps) {
+            interp::OpResult Direct = interp::evalBinaryOp(Op, W, A, B);
+            erhl::ExprEval Via =
+                erhl::evalExpr(erhl::Expr::bop(Op, Ty, VA, VB), S);
+            ++R.ChecksRun;
+            bool Agree = Direct.Trap == Via.Trap &&
+                         (Direct.Trap || Direct.V == Via.V);
+            if (!Agree && ++Mismatches == 1)
+              FirstMismatch = "width " + std::to_string(W) + " op " +
+                              ir::opcodeName(Op);
+          }
+          for (ir::IcmpPred P : Preds) {
+            interp::OpResult Direct = interp::evalIcmpOp(P, A, B);
+            erhl::ExprEval Via =
+                erhl::evalExpr(erhl::Expr::icmp(P, VA, VB), S);
+            ++R.ChecksRun;
+            bool Agree = Direct.Trap == Via.Trap &&
+                         (Direct.Trap || Direct.V == Via.V);
+            if (!Agree && ++Mismatches == 1)
+              FirstMismatch = "width " + std::to_string(W) + " icmp " +
+                              ir::icmpPredName(P);
+          }
+        }
+    }
+    if (Mismatches)
+      finding("interp-erhl-agreement", "soundness",
+              std::to_string(Mismatches) +
+                  " interp/ERHL evaluator disagreements, first at " +
+                  FirstMismatch);
+  }
+
+  // --- adversarial CFG corpus through every pass -----------------------------
+
+  void adversarialCfgBattery() {
+    // Shapes that historically broke preheader selection, PRE planning
+    // and dead-phi checking. The first is merely parseable (branch to
+    // entry); passes must stay conservative on it anyway, because they
+    // run before any verifier in the Fig. 1 protocol.
+    static const char *Corpus[] = {
+        // self-loop on entry; the only outside predecessor is dead
+        "define i64 @f(i64 %a, i1 %c) {\nentry:\n  %x = add i64 %a, 1\n"
+        "  br i1 %c, label %entry, label %exit\n"
+        "exit:\n  ret i64 %x\ndead:\n  br label %entry\n}\n",
+        // join with one reachable and one dead predecessor (PRE bait)
+        "define i64 @f(i64 %a) {\nentry:\n  %x = add i64 %a, 9\n"
+        "  br label %join\njoin:\n  %y = add i64 %a, 9\n  ret i64 %y\n"
+        "dead:\n  br label %join\n}\n",
+        // loop whose unique outside predecessor ends in a condbr
+        "define i64 @f(i64 %a, i1 %c) {\nentry:\n"
+        "  br i1 %c, label %h, label %out\n"
+        "h:\n  %i = phi i64 [ 0, %entry ], [ %j, %h ]\n"
+        "  %inv = add i64 %a, 5\n  %j = add i64 %i, %inv\n"
+        "  %d = icmp eq i64 %j, %a\n  br i1 %d, label %h, label %out\n"
+        "out:\n  ret i64 %a\n}\n",
+        // consistent dead diamond with a phi
+        "define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n"
+        "dA:\n  %z = add i64 %a, 3\n  br label %dJ\n"
+        "dB:\n  br label %dJ\n"
+        "dJ:\n  %p = phi i64 [ %z, %dA ], [ 0, %dB ]\n  ret i64 %p\n}\n",
+    };
+    static const char *PassNames[] = {"mem2reg", "instcombine", "licm",
+                                      "gvn"};
+    for (const char *Text : Corpus) {
+      std::string Err;
+      auto M = ir::parseModule(Text, &Err);
+      check(M.has_value(), "dead-code-growth", "robustness",
+            "adversarial corpus module failed to parse: " + Err);
+      if (!M)
+        continue;
+      ++R.ModulesAudited;
+      std::vector<std::string> SrcErrs;
+      bool SrcValid = analysis::verifyModule(*M, SrcErrs);
+      for (const char *PN : PassNames) {
+        auto P = passes::makePass(PN, Opts.Bugs);
+        passes::PassResult PR = P->run(*M, /*GenProof=*/true);
+        ++R.StepsVerified;
+        auditStep(*M, PR.Tgt, PN, /*Round=*/0, SrcValid);
+      }
+    }
+  }
+
+  // --- seeded pipeline rounds ------------------------------------------------
+
+  void pipelineRound(unsigned Round) {
+    workload::GenOptions GO;
+    GO.Seed = Opts.Seed * 0x9e3779b97f4a7c15ull + Round;
+    ir::Module Cur = workload::generateModule(GO);
+    ++R.ModulesAudited;
+    auto Pipe = passes::makeO2Pipeline(Opts.Bugs);
+    size_t MetaStep = Pipe.empty() ? 0 : Round % Pipe.size();
+    for (size_t SI = 0; SI != Pipe.size(); ++SI) {
+      passes::PassResult PR = Pipe[SI]->run(Cur, /*GenProof=*/true);
+      ++R.StepsVerified;
+      const std::string PN = Pipe[SI]->name();
+      auditStep(Cur, PR.Tgt, PN, Round, /*SrcValid=*/true);
+
+      checker::ModuleResult VR = checker::validate(Cur, PR.Tgt, PR.Proof);
+      check(VR.countFailed() == 0, "checker-accept", "soundness",
+            PN + " proof rejected: " + VR.firstFailure(), Round);
+      if (VR.countFailed() == 0 && SI == MetaStep)
+        metamorphicBattery(Cur, PR.Tgt, PR.Proof, VR, PN, Round);
+      Cur = std::move(PR.Tgt);
+    }
+  }
+
+  /// Shared per-step invariants: target verifies (when the source did),
+  /// no negative shift amounts are introduced, and no unreachable block
+  /// grows.
+  void auditStep(const ir::Module &Src, const ir::Module &Tgt,
+                 const std::string &PassName, unsigned Round,
+                 bool SrcValid) {
+    if (SrcValid) {
+      std::vector<std::string> Errs;
+      check(analysis::verifyModule(Tgt, Errs), "step-verify", "soundness",
+            PassName + " produced unverifiable IR: " +
+                (Errs.empty() ? "" : Errs[0]),
+            Round);
+    }
+    check(negativeShiftCount(Tgt) <= negativeShiftCount(Src), "fold-range",
+          "soundness",
+          PassName + " materialized a negative constant shift amount",
+          Round);
+    for (const ir::Function &TF : Tgt.Funcs) {
+      const ir::Function *SF = nullptr;
+      for (const ir::Function &F : Src.Funcs)
+        if (F.Name == TF.Name)
+          SF = &F;
+      if (!SF || SF->Blocks.empty() || TF.Blocks.empty())
+        continue;
+      std::map<std::string, size_t> Before = deadBlockSizes(*SF);
+      std::map<std::string, size_t> After = deadBlockSizes(TF);
+      for (const auto &KV : After) {
+        auto It = Before.find(KV.first);
+        if (It == Before.end())
+          continue; // block was reachable (or absent) before this step
+        check(KV.second <= It->second, "dead-code-growth", "soundness",
+              PassName + " grew unreachable block '" + KV.first + "' of @" +
+                  TF.Name + " from " + std::to_string(It->second) + " to " +
+                  std::to_string(KV.second) + " instructions",
+              Round);
+      }
+    }
+  }
+
+  // --- checker-metamorphic ---------------------------------------------------
+
+  void metamorphicBattery(const ir::Module &Src, const ir::Module &Tgt,
+                          const proofgen::Proof &Proof,
+                          const checker::ModuleResult &Base,
+                          const std::string &PassName, unsigned Round) {
+    VerdictSummary BaseS(Base);
+
+    // Determinism: byte-identical inputs, identical verdict.
+    VerdictSummary Again(checker::validate(Src, Tgt, Proof));
+    check(Again == BaseS, "checker-metamorphic", "soundness",
+          PassName + " verdict not deterministic on identical inputs",
+          Round);
+
+    // The JSON exchange round-trip must preserve the verdict — the
+    // checker consumes files, not in-memory objects (Fig. 1).
+    std::string Err;
+    auto P2 = proofgen::proofFromJson(proofgen::proofToJson(Proof), &Err);
+    check(P2.has_value(), "checker-metamorphic", "soundness",
+          PassName + " proof JSON round-trip failed to parse: " + Err,
+          Round);
+    if (P2) {
+      VerdictSummary RT(checker::validate(Src, Tgt, *P2));
+      check(RT == BaseS, "checker-metamorphic", "soundness",
+            PassName + " verdict changed across proof JSON round-trip",
+            Round);
+    }
+
+    // Infrule application is monotone over assertion sets: applying the
+    // same rule twice adds the same predicates, so a duplicated rule must
+    // never turn acceptance into rejection.
+    proofgen::Proof Dup = Proof;
+    if (duplicateLastRule(Dup)) {
+      checker::ModuleResult DupR = checker::validate(Src, Tgt, Dup);
+      check(DupR.countFailed() <= Base.countFailed(), "checker-metamorphic",
+            "soundness",
+            PassName + " duplicated infrule flipped acceptance: " +
+                DupR.firstFailure(),
+            Round);
+    }
+
+    // Weakening a side condition may only accept more, never less.
+    erhl::setWeakenedDisjointOrCheck(true);
+    checker::ModuleResult Weak = checker::validate(Src, Tgt, Proof);
+    erhl::setWeakenedDisjointOrCheck(false);
+    check(Weak.countFailed() <= Base.countFailed(), "checker-metamorphic",
+          "soundness",
+          PassName +
+              " weakened side condition rejected a strictly-accepted "
+              "proof: " +
+              Weak.firstFailure(),
+          Round);
+  }
+
+  // --- cache-fingerprint -----------------------------------------------------
+
+  void fingerprintBattery() {
+    // Real feedstock: one instcombine run so the proof is non-trivial.
+    std::string Err;
+    auto M = ir::parseModule("define i64 @f(i64 %a) {\nentry:\n"
+                             "  %x = add i64 %a, 0\n  %y = add i64 %x, 1\n"
+                             "  ret i64 %y\n}\n",
+                             &Err);
+    check(M.has_value(), "cache-fingerprint", "robustness",
+          "fingerprint feedstock failed to parse: " + Err);
+    if (!M)
+      return;
+    auto IC = passes::makePass("instcombine", passes::BugConfig::fixed());
+    passes::PassResult PR = IC->run(*M, /*GenProof=*/true);
+    std::string SrcText = ir::printModule(*M);
+    std::string TgtText = ir::printModule(PR.Tgt);
+    std::string Version = checker::versionFingerprint();
+    passes::BugConfig Bugs; // fixed
+    auto FP = [&](const std::string &S, const std::string &T,
+                  const proofgen::Proof &P, const std::string &Pass,
+                  const std::string &V, const passes::BugConfig &B) {
+      return cache::fingerprintValidation(S, T, P, Pass, V, B);
+    };
+    cache::Fingerprint Base =
+        FP(SrcText, TgtText, PR.Proof, "instcombine", Version, Bugs);
+
+    struct Perturbed {
+      const char *What;
+      cache::Fingerprint FP;
+    };
+    std::vector<Perturbed> Keys;
+    Keys.push_back({"src text", FP(SrcText + "\n", TgtText, PR.Proof,
+                                   "instcombine", Version, Bugs)});
+    Keys.push_back({"tgt text", FP(SrcText, TgtText + "\n", PR.Proof,
+                                   "instcombine", Version, Bugs)});
+    Keys.push_back({"pass name", FP(SrcText, TgtText, PR.Proof,
+                                    "instcombine2", Version, Bugs)});
+    Keys.push_back({"checker version", FP(SrcText, TgtText, PR.Proof,
+                                          "instcombine", Version + "+",
+                                          Bugs)});
+    {
+      // A name no real proof carries: inserting an existing automation
+      // function (proofgen enables "transitivity" by default) would be a
+      // no-op perturbation and a vacuous check.
+      proofgen::Proof P2 = PR.Proof;
+      if (!P2.Functions.empty())
+        P2.Functions.begin()->second.AutoFuncs.insert("audit-perturbation");
+      Keys.push_back({"proof auto funcs", FP(SrcText, TgtText, P2,
+                                             "instcombine", Version, Bugs)});
+      proofgen::Proof P3 = PR.Proof;
+      if (!P3.Functions.empty()) {
+        P3.Functions.begin()->second.NotSupported = true;
+        Keys.push_back({"proof NS flag", FP(SrcText, TgtText, P3,
+                                            "instcombine", Version, Bugs)});
+      }
+    }
+    {
+      auto Flip = [&](const char *What, auto Mut) {
+        passes::BugConfig B2 = Bugs;
+        Mut(B2);
+        Keys.push_back({What, FP(SrcText, TgtText, PR.Proof, "instcombine",
+                                 Version, B2)});
+      };
+      Flip("bug Mem2RegUndefLoop",
+           [](passes::BugConfig &B) { B.Mem2RegUndefLoop = true; });
+      Flip("bug Mem2RegConstexprSpeculate",
+           [](passes::BugConfig &B) { B.Mem2RegConstexprSpeculate = true; });
+      Flip("bug GvnIgnoreInbounds",
+           [](passes::BugConfig &B) { B.GvnIgnoreInbounds = true; });
+      Flip("bug GvnIgnoreInboundsPRE",
+           [](passes::BugConfig &B) { B.GvnIgnoreInboundsPRE = true; });
+      Flip("bug GvnPREWrongLeader",
+           [](passes::BugConfig &B) { B.GvnPREWrongLeader = true; });
+      Flip("bug UnsoundAddToOr",
+           [](passes::BugConfig &B) { B.UnsoundAddToOr = true; });
+    }
+
+    std::set<cache::Fingerprint> Distinct;
+    Distinct.insert(Base);
+    for (const Perturbed &K : Keys) {
+      check(K.FP != Base, "cache-fingerprint", "soundness",
+            std::string("perturbing ") + K.What +
+                " did not change the fingerprint");
+      Distinct.insert(K.FP);
+    }
+    check(Distinct.size() == Keys.size() + 1, "cache-fingerprint",
+          "soundness", "two distinct perturbations share a fingerprint");
+
+    // A stored verdict must replay only under the exact key.
+    cache::ValidationCacheOptions CO;
+    CO.Policy = cache::CachePolicy::ReadWrite; // memory-only: Dir empty
+    cache::ValidationCache VC(CO);
+    cache::Verdict V;
+    V.DiffMismatches = 7;
+    VC.store(Base, V);
+    auto Hit = VC.lookup(Base);
+    check(Hit && Hit->DiffMismatches == 7, "cache-fingerprint", "soundness",
+          "stored verdict did not replay under its own key");
+    for (const Perturbed &K : Keys)
+      check(!VC.lookup(K.FP).has_value(), "cache-fingerprint", "soundness",
+            std::string("verdict replayed across perturbed ") + K.What);
+  }
+
+  // --- cache-ro-accounting ---------------------------------------------------
+
+  void roAccountingBattery() {
+    namespace fs = std::filesystem;
+    fs::path Dir = fs::temp_directory_path() /
+                   ("crellvm-audit-ro-" + std::to_string(Opts.Seed));
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+
+    cache::ValidationCacheOptions CO;
+    CO.Policy = cache::CachePolicy::ReadOnly;
+    CO.Dir = Dir.string();
+    cache::ValidationCache VC(CO);
+    check(VC.enabled() && !VC.writable(), "cache-ro-accounting",
+          "accounting", "read-only cache not enabled or writable");
+    cache::Fingerprint K{0x5eedull, 0xf00dull};
+    check(!VC.lookup(K).has_value(), "cache-ro-accounting", "accounting",
+          "fresh read-only cache reported a hit");
+    cache::StoreOutcome SO = VC.store(K, cache::Verdict{});
+    check(!SO.Stored && !SO.Error && SO.Evictions == 0,
+          "cache-ro-accounting", "accounting",
+          "read-only store was not refused cleanly");
+    cache::DiskStoreCounters DC = VC.diskCounters();
+    check(DC.Stores == 0 && DC.StoreErrors == 0 && DC.Evictions == 0 &&
+              DC.IndexRebuilds == 0,
+          "cache-ro-accounting", "accounting",
+          "read-only cache on a fresh dir moved a store/evict/rebuild "
+          "counter");
+    check(!fs::exists(Dir), "cache-ro-accounting", "accounting",
+          "read-only cache created its directory");
+    fs::remove_all(Dir, EC);
+  }
+
+  const AuditOptions &Opts;
+  AuditReport &R;
+};
+
+} // namespace
+
+AuditReport crellvm::audit::runAudit(const AuditOptions &Opts) {
+  AuditReport R;
+  Auditor(Opts, R).run();
+  return R;
+}

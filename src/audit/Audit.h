@@ -1,0 +1,110 @@
+//===- audit/Audit.h - Soundness self-audit over the whole stack -*- C++ -*-===//
+///
+/// \file
+/// The metamorphic soundness-audit subsystem (DESIGN.md §11): a battery of
+/// invariant checks that hunt for soundness and crash bugs in the repo's
+/// *own* stack — passes, proof generation, checker, ERHL evaluator,
+/// interpreter, and validation cache. The paper's checker is verified in
+/// Coq; this reproduction's C++ analog is not, so the audit is the
+/// standing substitute: every invariant here is a property the Coq proof
+/// would give for free.
+///
+/// Invariant catalog (one `Finding::Invariant` tag per battery):
+///
+///   step-verify           every pass step of the -O2 pipeline produces a
+///                         Verifier-clean target module;
+///   checker-accept        every step's generated proof is accepted (on a
+///                         bug-free tree; planted BugConfig bugs surface
+///                         here as structured findings);
+///   checker-metamorphic   verdicts are deterministic, survive a proof
+///                         JSON round-trip, and are monotone under
+///                         duplicated inference rules and under the
+///                         test-only weakened side-condition switch
+///                         (weakening may only accept more, never less);
+///   fold-range            no pass materializes a shift instruction with a
+///                         negative constant amount (the observable shadow
+///                         of the historical signed-overflow UB in the
+///                         instcombine shl-shl merge guard);
+///   dead-code-growth      no pass adds instructions to an unreachable
+///                         block (LICM hoisting into a dead "preheader"
+///                         and GVN-PRE inserting into a dead predecessor
+///                         both trip this);
+///   verifier-strictness   a catalog of known-invalid modules (dead phi
+///                         missing a predecessor, undefined register in
+///                         dead code, branch to entry) is rejected and
+///                         known-valid ones are accepted;
+///   interp-erhl-agreement evalBinaryOp/evalIcmpOp and the ERHL expression
+///                         evaluator agree on every shared operation over
+///                         edge widths {1,7,8,31,32,33,63,64} and edge
+///                         operands {0,1,-1,min,max,undef,poison};
+///   evaluator-width-guard evalBinaryOp traps on out-of-range widths
+///                         (0, 65) instead of shifting by >= 64 bits;
+///   cache-fingerprint     perturbing any key ingredient (src text, tgt
+///                         text, proof, pass name, checker version, each
+///                         BugConfig flag) changes the fingerprint, and a
+///                         stored verdict is never replayed for any
+///                         perturbed key;
+///   cache-ro-accounting   a read-only cache on a fresh directory never
+///                         writes, never creates the directory, and keeps
+///                         every store/evict/rebuild counter at zero.
+///
+/// The audit is deterministic for a given (Seed, Rounds, Bugs): module
+/// feedstock comes from the seeded workload generator plus a fixed
+/// adversarial-CFG corpus (unreachable blocks, multi-predecessor headers,
+/// merely-parseable shapes the Verifier rejects but passes must still not
+/// mangle).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_AUDIT_AUDIT_H
+#define CRELLVM_AUDIT_AUDIT_H
+
+#include "json/Json.h"
+#include "passes/BugConfig.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace audit {
+
+struct AuditOptions {
+  uint64_t Seed = 1;
+  unsigned Rounds = 20;
+  /// Bug configuration the audited pipeline runs under. Anything other
+  /// than fixed() is expected to produce findings — that is the
+  /// self-test of the audit itself.
+  passes::BugConfig Bugs;
+  /// Skip the disk-touching cache batteries (used by sandboxed tests).
+  bool SkipDiskBatteries = false;
+};
+
+/// One violated invariant, structured for the JSON report.
+struct Finding {
+  std::string Invariant; ///< tag from the catalog in the file comment
+  std::string Severity;  ///< "soundness" | "robustness" | "accounting"
+  std::string Detail;    ///< human-readable one-liner with context
+  uint64_t Seed = 0;     ///< audit seed that produced the feedstock
+  unsigned Round = 0;    ///< round index (0 for round-independent checks)
+
+  json::Value toJson() const;
+};
+
+struct AuditReport {
+  std::vector<Finding> Findings;
+  uint64_t RoundsRun = 0;
+  uint64_t ModulesAudited = 0;
+  uint64_t StepsVerified = 0; ///< pass steps run under step-verify
+  uint64_t ChecksRun = 0;     ///< individual invariant checks evaluated
+
+  bool clean() const { return Findings.empty(); }
+  json::Value toJson() const;
+};
+
+/// Runs the full battery. Deterministic for a given options value.
+AuditReport runAudit(const AuditOptions &Opts);
+
+} // namespace audit
+} // namespace crellvm
+
+#endif // CRELLVM_AUDIT_AUDIT_H

@@ -1,0 +1,166 @@
+//===- audit/AuditMain.cpp - The crellvm-audit CLI --------------*- C++ -*-===//
+///
+/// \file
+/// Command-line driver for the soundness self-audit (audit/Audit.h):
+/// runs the full invariant battery over seeded feedstock and reports
+/// findings as structured JSON. Exit code 0 means the tree is clean,
+/// 1 means at least one invariant was violated, 2 means bad usage —
+/// so CI can gate on it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "audit/Audit.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace crellvm;
+
+namespace {
+
+struct CliOptions {
+  audit::AuditOptions Audit;
+  std::string ReportPath; ///< empty = no report file
+  std::string BugPreset = "fixed";
+  bool WantHelp = false;
+  bool BadArg = false;
+  std::string BadArgMsg;
+};
+
+void printUsage(FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: crellvm-audit [options]\n"
+      "\n"
+      "Runs the metamorphic soundness audit over passes, checker,\n"
+      "evaluators and the validation cache (DESIGN.md section 11).\n"
+      "\n"
+      "options:\n"
+      "  --seed N        feedstock seed (default 1)\n"
+      "  --rounds N      seeded pipeline rounds (default 20)\n"
+      "  --report FILE   write the findings report as JSON to FILE\n"
+      "  --bugs PRESET   run the audited pipeline with planted bugs:\n"
+      "                  fixed (default), llvm371, llvm501-pre,\n"
+      "                  llvm501-post — anything but 'fixed' is expected\n"
+      "                  to produce findings (the audit's self-test)\n"
+      "  --unsound-add   plant the test-only add->or instcombine bug\n"
+      "  --help          show this help\n"
+      "\n"
+      "exit status: 0 clean, 1 findings reported, 2 bad usage\n");
+}
+
+bool parseUnsigned(const char *S, uint64_t &Out) {
+  if (!*S)
+    return false;
+  uint64_t V = 0;
+  for (; *S; ++S) {
+    if (*S < '0' || *S > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(*S - '0');
+  }
+  Out = V;
+  return true;
+}
+
+CliOptions parseArgs(int Argc, char **Argv) {
+  CliOptions O;
+  auto Bad = [&](const std::string &Msg) {
+    O.BadArg = true;
+    O.BadArgMsg = Msg;
+  };
+  for (int I = 1; I < Argc && !O.BadArg; ++I) {
+    std::string A = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        Bad(std::string(Flag) + " requires a value");
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (A == "--help" || A == "-h") {
+      O.WantHelp = true;
+    } else if (A == "--seed") {
+      const char *V = NextValue("--seed");
+      if (V && !parseUnsigned(V, O.Audit.Seed))
+        Bad("--seed expects a non-negative integer");
+    } else if (A == "--rounds") {
+      const char *V = NextValue("--rounds");
+      uint64_t N = 0;
+      if (V && !parseUnsigned(V, N))
+        Bad("--rounds expects a non-negative integer");
+      else if (V)
+        O.Audit.Rounds = static_cast<unsigned>(N);
+    } else if (A == "--report") {
+      if (const char *V = NextValue("--report"))
+        O.ReportPath = V;
+    } else if (A == "--bugs") {
+      const char *V = NextValue("--bugs");
+      if (!V)
+        continue;
+      O.BugPreset = V;
+      if (O.BugPreset == "fixed")
+        O.Audit.Bugs = passes::BugConfig::fixed();
+      else if (O.BugPreset == "llvm371")
+        O.Audit.Bugs = passes::BugConfig::llvm371();
+      else if (O.BugPreset == "llvm501-pre")
+        O.Audit.Bugs = passes::BugConfig::llvm501PreGvnPatch();
+      else if (O.BugPreset == "llvm501-post")
+        O.Audit.Bugs = passes::BugConfig::llvm501PostGvnPatch();
+      else
+        Bad("unknown --bugs preset '" + O.BugPreset + "'");
+    } else if (A == "--unsound-add") {
+      O.Audit.Bugs.UnsoundAddToOr = true;
+    } else {
+      Bad("unknown option '" + A + "'");
+    }
+  }
+  return O;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O = parseArgs(Argc, Argv);
+  if (O.BadArg) {
+    std::fprintf(stderr, "crellvm-audit: %s\n\n", O.BadArgMsg.c_str());
+    printUsage(stderr);
+    return 2;
+  }
+  if (O.WantHelp) {
+    printUsage(stdout);
+    return 0;
+  }
+
+  audit::AuditReport R = audit::runAudit(O.Audit);
+
+  std::printf("crellvm-audit: seed %llu, %llu rounds, bugs %s\n",
+              static_cast<unsigned long long>(O.Audit.Seed),
+              static_cast<unsigned long long>(R.RoundsRun),
+              O.BugPreset.c_str());
+  std::printf("  modules audited   %llu\n",
+              static_cast<unsigned long long>(R.ModulesAudited));
+  std::printf("  pass steps run    %llu\n",
+              static_cast<unsigned long long>(R.StepsVerified));
+  std::printf("  checks evaluated  %llu\n",
+              static_cast<unsigned long long>(R.ChecksRun));
+  std::printf("  findings          %llu\n",
+              static_cast<unsigned long long>(R.Findings.size()));
+  for (const audit::Finding &F : R.Findings)
+    std::printf("  [%s] %s (round %u): %s\n", F.Severity.c_str(),
+                F.Invariant.c_str(), F.Round, F.Detail.c_str());
+
+  if (!O.ReportPath.empty()) {
+    std::ofstream Out(O.ReportPath, std::ios::trunc);
+    Out << R.toJson().write() << "\n";
+    if (!Out) {
+      std::fprintf(stderr, "crellvm-audit: cannot write report to '%s'\n",
+                   O.ReportPath.c_str());
+      return 2;
+    }
+  }
+
+  std::printf(R.clean() ? "audit: CLEAN\n" : "audit: FINDINGS\n");
+  return R.clean() ? 0 : 1;
+}

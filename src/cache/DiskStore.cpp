@@ -69,10 +69,16 @@ DiskStore::DiskStore(DiskStoreOptions Options) : Opts(std::move(Options)) {
   if (Opts.Dir.empty())
     return;
   std::error_code EC;
-  fs::create_directories(fs::path(Opts.Dir) / "objects", EC);
-  if (EC)
-    return;
-  Usable = true;
+  if (Opts.ReadOnly) {
+    // Never create anything in read-only mode; a directory that is absent
+    // (or present but empty) is a perfectly healthy always-miss store.
+    Usable = true;
+  } else {
+    fs::create_directories(fs::path(Opts.Dir) / "objects", EC);
+    if (EC)
+      return;
+    Usable = true;
+  }
   std::lock_guard<std::mutex> Lock(M);
   loadIndexLocked();
 }
@@ -86,8 +92,10 @@ void DiskStore::loadIndexLocked() {
   std::string IndexPath = Opts.Dir + "/index";
   auto Text = readWholeFile(IndexPath);
   if (!Text) {
-    // No index (fresh dir, or it was lost): recover whatever objects are
-    // present so a deleted index never orphans the store.
+    // No index. On a fresh or empty cache directory that is the normal
+    // state — nothing to recover, nothing to write. Only when orphaned
+    // objects are actually present (an index was lost) do we rebuild,
+    // and only a writable store persists the recovered index.
     rebuildIndexFromObjectsLocked();
     return;
   }
@@ -135,7 +143,11 @@ void DiskStore::rebuildIndexFromObjectsLocked() {
     Entries.push_back({*FP, Size, NextTick++});
     Bytes += Size;
   }
-  writeIndexLocked();
+  if (Entries.empty())
+    return; // fresh/empty dir: not a recovery, leave the filesystem alone
+  ++Stats.IndexRebuilds;
+  if (!Opts.ReadOnly)
+    writeIndexLocked();
 }
 
 bool DiskStore::writeIndexLocked() {
@@ -165,8 +177,10 @@ std::optional<std::string> DiskStore::load(const Fingerprint &FP) {
   auto Reject = [&] {
     ++Stats.Misses;
     ++Stats.CorruptEntries;
-    std::error_code EC;
-    fs::remove(Path, EC);
+    if (!Opts.ReadOnly) {
+      std::error_code EC;
+      fs::remove(Path, EC);
+    }
     return std::nullopt;
   };
   const std::string &S = *Raw;
@@ -193,6 +207,8 @@ std::optional<std::string> DiskStore::load(const Fingerprint &FP) {
 
 uint64_t DiskStore::store(const Fingerprint &FP, const std::string &Payload) {
   std::lock_guard<std::mutex> Lock(M);
+  if (Opts.ReadOnly)
+    return 0; // refused by policy; not an error, not a store, no eviction
   if (!Usable) {
     ++Stats.StoreErrors;
     return 0;

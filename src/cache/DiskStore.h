@@ -17,8 +17,15 @@
 ///  - **Corruption tolerance.** Every load re-checks the magic header,
 ///    the embedded fingerprint, and the payload length; any mismatch —
 ///    truncation, garbage, a stray file — is reported as a miss, never an
-///    error or a crash. A malformed index line is skipped; a missing
-///    index is rebuilt by scanning the objects directory.
+///    error or a crash. A malformed index line is skipped; an index that
+///    went missing while objects remain is rebuilt by scanning the
+///    objects directory (counted in IndexRebuilds). A fresh or empty
+///    cache directory is the normal cold state and triggers no rebuild,
+///    no warning, and no writes.
+///  - **Read-only mode.** With DiskStoreOptions::ReadOnly the store is a
+///    pure reader: it creates no directories, writes no index, deletes no
+///    corrupt files, and store() refuses without counting an error, so
+///    Stores/StoreErrors/Evictions stay zero for the process lifetime.
 ///  - **Size-bounded eviction.** Stores beyond \p MaxBytes evict the
 ///    least-recently-stored objects (index order), so the cache directory
 ///    cannot grow without bound.
@@ -44,6 +51,11 @@ struct DiskStoreOptions {
   std::string Dir;
   /// Total payload budget; stores evict oldest entries beyond it.
   uint64_t MaxBytes = 256ull << 20;
+  /// Read-only: the store never touches the filesystem beyond reads — no
+  /// directory creation, no index (re)writes, no corrupt-file removal,
+  /// and store() refuses without counting an error. A missing or empty
+  /// directory is simply an always-miss store, not a condition to repair.
+  bool ReadOnly = false;
 };
 
 struct DiskStoreCounters {
@@ -53,6 +65,10 @@ struct DiskStoreCounters {
   uint64_t Stores = 0;
   uint64_t StoreErrors = 0;
   uint64_t Evictions = 0;
+  /// Index recoveries that actually found orphaned objects. A fresh or
+  /// empty cache directory is normal, not a recovery, and never bumps
+  /// this (or writes an index).
+  uint64_t IndexRebuilds = 0;
 };
 
 class DiskStore {

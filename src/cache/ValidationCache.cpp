@@ -19,8 +19,8 @@ crellvm::cache::parseCachePolicy(const std::string &S) {
 ValidationCache::ValidationCache(ValidationCacheOptions Options)
     : Opts(std::move(Options)), Mem(Opts.MemEntries, Opts.MemShards) {
   if (Opts.Policy != CachePolicy::Off && !Opts.Dir.empty())
-    Disk = std::make_unique<DiskStore>(
-        DiskStoreOptions{Opts.Dir, Opts.MaxDiskBytes});
+    Disk = std::make_unique<DiskStore>(DiskStoreOptions{
+        Opts.Dir, Opts.MaxDiskBytes, Opts.Policy == CachePolicy::ReadOnly});
 }
 
 std::optional<Verdict> ValidationCache::lookup(const Fingerprint &FP) {

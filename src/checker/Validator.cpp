@@ -236,6 +236,26 @@ std::optional<std::string> checkAlignment(const ir::Function &SrcF,
   return std::nullopt;
 }
 
+/// Names of blocks reachable from the entry by following terminator
+/// successors. checkAlignment pins the source and target block lists and
+/// edges to be identical, so source-reachability equals target-
+/// reachability; blocks outside this set are never executed on either
+/// side and their Hoare triples and phi edges hold vacuously.
+std::set<std::string> reachableBlockNames(const ir::Function &F) {
+  std::set<std::string> Seen;
+  std::vector<const BasicBlock *> Work{&F.entry()};
+  Seen.insert(F.entry().Name);
+  while (!Work.empty()) {
+    const BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (const std::string &S : B->terminator().successors())
+      if (Seen.insert(S).second)
+        if (const BasicBlock *SB = F.getBlock(S))
+          Work.push_back(SB);
+  }
+  return Seen;
+}
+
 FunctionResult validateFunction(const ir::Function &SrcF,
                                 const ir::Function &TgtF,
                                 const FunctionProof &FP) {
@@ -267,7 +287,14 @@ FunctionResult validateFunction(const ir::Function &SrcF,
   if (auto Err = checkInit(EntryBP.AtEntry, SrcF))
     return Fail(SrcF.entry().Name + ":entry", *Err);
 
+  std::set<std::string> Reachable = reachableBlockNames(SrcF);
   for (const BasicBlock &SB : SrcF.Blocks) {
+    // Unreachable blocks are alignment-checked above but carry no
+    // behavior to refine: skip their triples and outgoing phi edges
+    // (demanding facts along a never-taken edge would falsely reject
+    // correct translations of functions with dead code).
+    if (!Reachable.count(SB.Name))
+      continue;
     const BlockProof &BP = FP.Blocks.at(SB.Name);
     Assertion A = BP.AtEntry;
     for (size_t I = 0; I != BP.Lines.size(); ++I) {

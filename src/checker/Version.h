@@ -27,7 +27,9 @@ namespace crellvm {
 namespace checker {
 
 /// Bump whenever checker semantics change (see file comment).
-constexpr int CheckerSemanticsVersion = 1;
+/// 2: unreachable blocks are vacuously valid (triples and phi edges of
+///    dead code are no longer checked — only alignment).
+constexpr int CheckerSemanticsVersion = 2;
 
 /// The full fingerprint string: version plus every global switch.
 std::string versionFingerprint();

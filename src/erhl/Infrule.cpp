@@ -263,6 +263,26 @@ private:
     uint64_t Sign = uint64_t(1) << (W - 1);
     return static_cast<int64_t>(Bits ^ Sign) - static_cast<int64_t>(Sign);
   }
+  // Rule arguments are attacker-controlled 64-bit constants straight from
+  // the (untrusted) proof: fold them with wrapping uint64_t arithmetic,
+  // never signed +/-/<<, which overflow (UB) on edge inputs like
+  // INT64_MIN or a width-1 shift amount at i64.
+  static int64_t wrapAdd(int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                static_cast<uint64_t>(B));
+  }
+  static int64_t wrapSub(int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                static_cast<uint64_t>(B));
+  }
+  static int64_t wrapNeg(int64_t A) {
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+  }
+  /// 2^N as a signed constant for any 0 <= N <= 63 without shifting a
+  /// signed 1 into (or past) the sign bit.
+  static int64_t signedPow2(unsigned N) {
+    return static_cast<int64_t>(uint64_t(1) << (N & 63));
+  }
   static Expr bop(Opcode Op, const ValT &A, const ValT &B) {
     return Expr::bop(Op, A.V.type(), A, B);
   }
@@ -540,7 +560,7 @@ bool RuleApplier::applyArith() {
     if (!constArg(3, C1) || !constArg(4, C2) || !constArg(5, C3))
       return false;
     ir::Type Ty = Y.V.type();
-    if (interpTruncate(C1 + C2, Ty.intWidth()) !=
+    if (interpTruncate(wrapAdd(C1, C2), Ty.intWidth()) !=
         interpTruncate(C3, Ty.intWidth())) {
       Err = "add_assoc: constant mismatch";
       return false;
@@ -608,7 +628,7 @@ bool RuleApplier::applyArith() {
     if (!constArg(2, C1))
       return false;
     unsigned Width = Y.V.type().intWidth();
-    int64_t SignBit = interpTruncate(int64_t(1) << (Width - 1), Width);
+    int64_t SignBit = interpTruncate(signedPow2(Width - 1), Width);
     if (C1 != SignBit) {
       Err = "add_signbit: constant is not the sign bit";
       return false;
@@ -658,7 +678,7 @@ bool RuleApplier::applyArith() {
     if (!constArg(3, C1) || !constArg(4, C2))
       return false;
     ir::Type Ty = Y.V.type();
-    if (interpTruncate(C1 + 1, Ty.intWidth()) !=
+    if (interpTruncate(wrapAdd(C1, 1), Ty.intWidth()) !=
         interpTruncate(C2, Ty.intWidth())) {
       Err = "add_zext_bool: constant mismatch";
       return false;
@@ -703,7 +723,7 @@ bool RuleApplier::applyArith() {
     if (!constArg(3, C1) || !constArg(4, C2) || !constArg(5, C3))
       return false;
     ir::Type Ty = Y.V.type();
-    if (interpTruncate(C1 - C2, Ty.intWidth()) !=
+    if (interpTruncate(wrapSub(C1, C2), Ty.intWidth()) !=
         interpTruncate(C3, Ty.intWidth())) {
       Err = "sub_const_add: constant mismatch";
       return false;
@@ -719,7 +739,7 @@ bool RuleApplier::applyArith() {
     if (!constArg(3, C1) || !constArg(4, C2))
       return false;
     ir::Type Ty = Y.V.type();
-    if (interpTruncate(C1 + 1, Ty.intWidth()) !=
+    if (interpTruncate(wrapAdd(C1, 1), Ty.intWidth()) !=
         interpTruncate(C2, Ty.intWidth())) {
       Err = "sub_const_not: constant mismatch";
       return false;
@@ -735,7 +755,7 @@ bool RuleApplier::applyArith() {
     if (!constArg(3, C1) || !constArg(4, C2) || !constArg(5, C3))
       return false;
     ir::Type Ty = Y.V.type();
-    if (interpTruncate(C1 + C2, Ty.intWidth()) !=
+    if (interpTruncate(wrapAdd(C1, C2), Ty.intWidth()) !=
         interpTruncate(C3, Ty.intWidth())) {
       Err = "sub_sub: constant mismatch";
       return false;
@@ -770,7 +790,9 @@ bool RuleApplier::applyArith() {
     prem(V(Y), bop(O::Sub, ValT::phy(ir::Value::constInt(0, Ty)), X));
     return fused(V(Y), bop(O::Mul, Av, ValT::phy(ir::Value::constInt(
                                            interpTruncate(
-                                               -(int64_t(1) << C1),
+                                               wrapNeg(signedPow2(
+                                                   static_cast<unsigned>(
+                                                       C1))),
                                                Ty.intWidth()),
                                            Ty))));
   }
@@ -832,7 +854,7 @@ bool RuleApplier::applyArith() {
       return false;
     ir::Type Ty = Y.V.type();
     if (C2 < 0 || C2 >= Ty.intWidth() ||
-        interpTruncate(int64_t(1) << C2, Ty.intWidth()) !=
+        interpTruncate(signedPow2(static_cast<unsigned>(C2)), Ty.intWidth()) !=
             interpTruncate(C1, Ty.intWidth())) {
       Err = "mul_shl: constant is not the matching power of two";
       return false;
@@ -1266,7 +1288,11 @@ bool RuleApplier::applyArith() {
     if (!constArg(3, C1) || !constArg(4, C2))
       return false;
     ir::Type Ty = Y.V.type();
-    if (C1 < 0 || C2 < 0 || C1 + C2 >= Ty.intWidth()) {
+    // Sum as uint64_t: both amounts come from the untrusted proof, and
+    // C1 + C2 overflows int64_t (UB) for e.g. two INT64_MAX amounts.
+    if (C1 < 0 || C2 < 0 ||
+        static_cast<uint64_t>(C1) + static_cast<uint64_t>(C2) >=
+            Ty.intWidth()) {
       Err = "shift chain: amounts must be in range";
       return false;
     }
@@ -1274,7 +1300,7 @@ bool RuleApplier::applyArith() {
     prem(V(X), bop(Op, Av, Z));
     prem(V(Y), bop(Op, X, W));
     return fused(V(Y), bop(Op, Av, ValT::phy(ir::Value::constInt(
-                                       C1 + C2, Ty))));
+                                       wrapAdd(C1, C2), Ty))));
   }
   case K::SdivOne: {
     if (!checkArity(2) || !valArg(0, Y) || !valArg(1, Av))
@@ -1389,7 +1415,7 @@ bool RuleApplier::applyArith() {
     IcmpPred P = R.K == K::IcmpSgeSmin ? IcmpPred::Sge : IcmpPred::Slt;
     unsigned W = Av.V.type().intWidth();
     ValT Smin = ValT::phy(ir::Value::constInt(
-        interpTruncate(int64_t(1) << (W - 1), W), Av.V.type()));
+        interpTruncate(signedPow2(W - 1), W), Av.V.type()));
     prem(V(Y), Expr::icmp(P, Av, Smin));
     return fused(V(Y), C(R.K == K::IcmpSgeSmin ? 1 : 0, ir::Type::intTy(1)),
                  /*RevSound=*/false);

@@ -10,6 +10,13 @@ using namespace crellvm::ir;
 
 OpResult crellvm::interp::evalBinaryOp(Opcode Op, unsigned Width,
                                        const RtValue &A, const RtValue &B) {
+  // Explicit width guard, not just the Type::intTy assert (compiled out
+  // under NDEBUG): every shift below is bounded by Width, and a width of
+  // 0 or > 64 would turn e.g. the sdiv sign-bit probe `1 << (Width - 1)`
+  // into a host-side shift of 64+ bits — undefined behavior in the
+  // evaluator both interp and the ERHL checker share.
+  if (Width < 1 || Width > 64)
+    return OpResult::trap("unsupported integer width");
   // Division by an undefined or zero divisor is immediate UB; everything
   // else propagates poison, then undef (the Vellvm-style approximation,
   // see DESIGN.md).

@@ -242,6 +242,14 @@ private:
     const auto &Preds = G.preds(Blk);
     if (Preds.size() < 2)
       return false;
+    // Every per-predecessor plan below rests on dominance facts
+    // (leaderAtBlockEnd, valueDefDominatesBlockEnd), and dominance is
+    // meaningless in dead code: an unreachable predecessor would always
+    // fall through to the Insert plan and plant the computation in a
+    // dead block. Bail instead of deciding anything from such queries.
+    for (size_t P : Preds)
+      if (!G.isReachable(P))
+        return false;
     // Operands must be available at every predecessor's end.
     for (const ir::Value &V : I.operands())
       for (size_t P : Preds)

@@ -24,6 +24,29 @@ int64_t truncTo(int64_t N, unsigned W) {
   return static_cast<int64_t>(Bits ^ Sign) - static_cast<int64_t>(Sign);
 }
 
+// Constant folds wrap like the target machine, but the host arithmetic
+// must not: signed +, -, unary - and << on arbitrary IR constants overflow
+// int64_t (UB) for edge inputs like INT64_MIN or a shift by 63. Route
+// every fold through uint64_t, where wraparound is defined, and truncate
+// to the IR width afterwards (cInt/truncTo).
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+/// 2^N as a signed constant for 0 <= N <= 63; N == 63 yields INT64_MIN
+/// (the i64 sign bit) without ever shifting into or negating across the
+/// signed boundary.
+int64_t signedPow2(unsigned N) {
+  return static_cast<int64_t>(uint64_t(1) << (N & 63));
+}
+
 bool constIs(const ir::Value &V, int64_t C) {
   return V.isConstInt() &&
          truncTo(V.intValue(), V.type().intWidth()) ==
@@ -383,8 +406,7 @@ bool Combiner::combineAdd(SlotId S, const Instruction &I) {
     return true;
   }
   // add-signbit: y = add a SIGN -> xor a SIGN
-  if (constIs(Bv, truncTo(int64_t(1) << (Ty.intWidth() - 1),
-                          Ty.intWidth()))) {
+  if (constIs(Bv, truncTo(signedPow2(Ty.intWidth() - 1), Ty.intWidth()))) {
     rewriteInPlace("add-signbit", S,
                    Instruction::binary(Opcode::Xor, *I.result(), Ty, A, Bv),
                    rule(InfruleKind::AddSignbit, {val(Y), val(A), val(Bv)}));
@@ -397,7 +419,7 @@ bool Combiner::combineAdd(SlotId S, const Instruction &I) {
     if (const Instruction *D = defInstr(A, DS)) {
       if (D->opcode() == Opcode::Add && D->operands()[1].isConstInt()) {
         int64_t C1 = D->operands()[1].intValue(), C2 = Bv.intValue();
-        ir::Value C3 = cInt(C1 + C2, Ty);
+        ir::Value C3 = cInt(wrapAdd(C1, C2), Ty);
         rewriteInPlace(
             "bop-associativity", S,
             Instruction::binary(Opcode::Add, *I.result(), Ty,
@@ -411,7 +433,7 @@ bool Combiner::combineAdd(SlotId S, const Instruction &I) {
       // add-zext-bool: y = add (zext i1 b) C -> select b (C+1) C
       if (D->opcode() == Opcode::ZExt &&
           D->operands()[0].type() == ir::Type::intTy(1)) {
-        ir::Value C1 = cInt(Bv.intValue() + 1, Ty);
+        ir::Value C1 = cInt(wrapAdd(Bv.intValue(), 1), Ty);
         rewriteInPlace(
             "add-zext-bool", S,
             Instruction::select(*I.result(), Ty, D->operands()[0], C1, Bv),
@@ -511,7 +533,8 @@ bool Combiner::combineSub(SlotId S, const Instruction &I) {
   if (Bv.isConstInt()) {
     if (const Instruction *D = defInstr(A, DS)) {
       if (D->opcode() == Opcode::Add && D->operands()[1].isConstInt()) {
-        ir::Value C3 = cInt(D->operands()[1].intValue() - Bv.intValue(), Ty);
+        ir::Value C3 =
+            cInt(wrapSub(D->operands()[1].intValue(), Bv.intValue()), Ty);
         rewriteInPlace(
             "sub-const-add", S,
             Instruction::binary(Opcode::Add, *I.result(), Ty,
@@ -524,7 +547,8 @@ bool Combiner::combineSub(SlotId S, const Instruction &I) {
       }
       // sub-sub: y = sub (sub a C1) C2 -> sub a (C1+C2)
       if (D->opcode() == Opcode::Sub && D->operands()[1].isConstInt()) {
-        ir::Value C3 = cInt(D->operands()[1].intValue() + Bv.intValue(), Ty);
+        ir::Value C3 =
+            cInt(wrapAdd(D->operands()[1].intValue(), Bv.intValue()), Ty);
         rewriteInPlace(
             "sub-sub", S,
             Instruction::binary(Opcode::Sub, *I.result(), Ty,
@@ -541,7 +565,7 @@ bool Combiner::combineSub(SlotId S, const Instruction &I) {
   if (A.isConstInt()) {
     if (const Instruction *D = defInstr(Bv, DS)) {
       if (D->opcode() == Opcode::Xor && constIs(D->operands()[1], -1)) {
-        ir::Value C1 = cInt(A.intValue() + 1, Ty);
+        ir::Value C1 = cInt(wrapAdd(A.intValue(), 1), Ty);
         rewriteInPlace(
             "sub-const-not", S,
             Instruction::binary(Opcode::Add, *I.result(), Ty,
@@ -589,8 +613,13 @@ bool Combiner::combineSub(SlotId S, const Instruction &I) {
         D->operands()[1].isConstInt() && D->operands()[1].intValue() >= 0 &&
         D->operands()[1].intValue() <
             static_cast<int64_t>(Ty.intWidth())) {
-      ir::Value M =
-          cInt(-(int64_t(1) << D->operands()[1].intValue()), Ty);
+      // C == width-1 makes 2^C the sign bit: -(int64_t(1) << C) would
+      // negate INT64_MIN at i64 (signed-overflow UB); the wrapping
+      // helpers produce the same bit pattern without it.
+      ir::Value M = cInt(
+          wrapNeg(signedPow2(
+              static_cast<unsigned>(D->operands()[1].intValue()))),
+          Ty);
       rewriteInPlace("sub-shl", S,
                      Instruction::binary(Opcode::Mul, *I.result(), Ty,
                                          D->operands()[0], M),
@@ -1094,12 +1123,16 @@ bool Combiner::combineShift(SlotId S, const Instruction &I) {
     if (const Instruction *D = defInstr(A, DS)) {
       if (D->opcode() == I.opcode() && D->operands()[1].isConstInt()) {
         int64_t C1 = D->operands()[1].intValue(), C2 = Bv.intValue();
-        if (C1 >= 0 && C2 >= 0 && C1 + C2 < Ty.intWidth()) {
+        // Compare the sum as uint64_t: C1 + C2 overflows int64_t (UB)
+        // for large parsed constants, e.g. two INT64_MAX shift amounts.
+        if (C1 >= 0 && C2 >= 0 &&
+            static_cast<uint64_t>(C1) + static_cast<uint64_t>(C2) <
+                Ty.intWidth()) {
           bool IsShl = I.opcode() == Opcode::Shl;
           rewriteInPlace(
               IsShl ? "shl-shl" : "lshr-lshr", S,
               Instruction::binary(I.opcode(), *I.result(), Ty,
-                                  D->operands()[0], cInt(C1 + C2, Ty)),
+                                  D->operands()[0], cInt(wrapAdd(C1, C2), Ty)),
               rule(IsShl ? InfruleKind::ShlShl : InfruleKind::LshrLshr,
                    {val(Y), val(A), val(D->operands()[0]),
                     val(D->operands()[1]), val(Bv)}),
@@ -1235,7 +1268,7 @@ bool Combiner::combineIcmp(SlotId S, const Instruction &I) {
   // icmp-sge-smin / icmp-slt-smin: signed comparison against INT_MIN.
   if ((I.icmpPred() == IcmpPred::Sge || I.icmpPred() == IcmpPred::Slt) &&
       Bv.isConstInt() && A.type().isInt() &&
-      Bv == cInt(int64_t(1) << (A.type().intWidth() - 1), A.type())) {
+      Bv == cInt(signedPow2(A.type().intWidth() - 1), A.type())) {
     bool IsSge = I.icmpPred() == IcmpPred::Sge;
     foldToValue(IsSge ? "icmp-sge-smin" : "icmp-slt-smin", S,
                 ir::Value::constInt(IsSge ? 1 : 0, B1),

@@ -61,6 +61,14 @@ uint64_t hoistInFunction(ProofBuilder &B, bool GenProof) {
   for (const analysis::Loop &L : LI.loops()) {
     if (!L.hasPreheader())
       continue;
+    // Re-check the preheader precondition independently of LoopInfo: a
+    // definition hoisted into the preheader is only valid if that block
+    // is reachable and dominates the header (and with it every in-loop
+    // use). Bail, never "hoist and hope" — an invalid target module
+    // would defeat the whole validation story.
+    if (!G.isReachable(L.Preheader) || !G.isReachable(L.Header) ||
+        !DT.dominates(L.Preheader, L.Header))
+      continue;
     const std::string &PreheaderName = G.name(L.Preheader);
 
     // Latches: in-loop predecessors of the header. A hoisted instruction

@@ -328,6 +328,80 @@ TEST(DiskStore, MissingIndexIsRebuiltFromObjects) {
   EXPECT_EQ(S.numEntries(), 2u);
   EXPECT_EQ(*S.load(A), "aaa");
   EXPECT_EQ(*S.load(B), "bbbb");
+  EXPECT_EQ(S.counters().IndexRebuilds, 1u)
+      << "recovering orphaned objects is a rebuild";
+}
+
+TEST(DiskStore, FreshDirIsNotARebuildAndWritesNoIndex) {
+  DirGuard G(freshDir("fresh"));
+  cache::DiskStore S({G.Dir});
+  ASSERT_TRUE(S.ok());
+  EXPECT_EQ(S.counters().IndexRebuilds, 0u)
+      << "an empty cache dir is the normal cold state, not a recovery";
+  EXPECT_FALSE(std::filesystem::exists(G.Dir + "/index"))
+      << "constructing over a fresh dir must not write an index";
+  EXPECT_FALSE(S.load(fp(48)).has_value());
+  EXPECT_EQ(S.counters().Misses, 1u);
+}
+
+TEST(DiskStore, ReadOnlyMissingDirIsAnAlwaysMissStore) {
+  DirGuard G(freshDir("ro-missing"));
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir; // never created
+  Opts.ReadOnly = true;
+  cache::DiskStore S(Opts);
+  EXPECT_TRUE(S.ok());
+  EXPECT_FALSE(S.load(fp(49)).has_value());
+  EXPECT_EQ(S.store(fp(49), "x"), 0u);
+  auto C = S.counters();
+  EXPECT_EQ(C.Stores, 0u);
+  EXPECT_EQ(C.StoreErrors, 0u) << "a refused ro store is policy, not an error";
+  EXPECT_EQ(C.Evictions, 0u);
+  EXPECT_EQ(C.IndexRebuilds, 0u);
+  EXPECT_FALSE(std::filesystem::exists(G.Dir))
+      << "read-only mode must not create the cache directory";
+}
+
+TEST(DiskStore, ReadOnlyNeverWritesIndexOrRemovesCorruptObjects) {
+  DirGuard G(freshDir("ro-pure"));
+  Fingerprint A = fp(50), B = fp(51);
+  {
+    cache::DiskStore S({G.Dir});
+    S.store(A, "alpha");
+    S.store(B, "beta");
+  }
+  // Lose the index and corrupt one object, then reopen read-only.
+  std::filesystem::remove(G.Dir + "/index");
+  std::string CorruptObj;
+  for (const auto &E :
+       std::filesystem::recursive_directory_iterator(G.Dir + "/objects"))
+    if (E.is_regular_file() && CorruptObj.empty())
+      CorruptObj = E.path().string();
+  ASSERT_FALSE(CorruptObj.empty());
+  {
+    std::ofstream Out(CorruptObj, std::ios::trunc | std::ios::binary);
+    Out << "junk";
+  }
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir;
+  Opts.ReadOnly = true;
+  cache::DiskStore S(Opts);
+  EXPECT_EQ(S.numEntries(), 2u) << "orphans are recovered in memory";
+  EXPECT_EQ(S.counters().IndexRebuilds, 1u);
+  EXPECT_FALSE(std::filesystem::exists(G.Dir + "/index"))
+      << "read-only rebuild must not persist an index";
+  // One of the two loads hits, the corrupted one misses — but the corrupt
+  // file must survive: a reader has no business deleting it.
+  unsigned Hits = 0;
+  Hits += S.load(A).has_value();
+  Hits += S.load(B).has_value();
+  EXPECT_EQ(Hits, 1u);
+  EXPECT_TRUE(std::filesystem::exists(CorruptObj))
+      << "read-only mode must not remove corrupt objects";
+  auto C = S.counters();
+  EXPECT_EQ(C.Stores, 0u);
+  EXPECT_EQ(C.Evictions, 0u);
+  EXPECT_EQ(C.StoreErrors, 0u);
 }
 
 TEST(DiskStore, CorruptIndexLinesAreSkipped) {
@@ -446,6 +520,28 @@ TEST(ValidationCache, ReadOnlyHitsExistingStoreButNeverWrites) {
   EXPECT_FALSE(RO.store(fp(2), V).Stored);
   EXPECT_FALSE(RO.lookup(fp(2)).has_value());
   EXPECT_EQ(RO.diskCounters().Stores, 0u);
+  EXPECT_EQ(RO.diskCounters().Evictions, 0u);
+  EXPECT_EQ(RO.diskCounters().StoreErrors, 0u);
+}
+
+TEST(ValidationCache, ReadOnlyFreshDirStaysUntouched) {
+  DirGuard G(freshDir("ro-fresh"));
+  cache::ValidationCacheOptions Opts;
+  Opts.Policy = cache::CachePolicy::ReadOnly;
+  Opts.Dir = G.Dir; // never created
+  cache::ValidationCache RO(Opts);
+  EXPECT_TRUE(RO.enabled());
+  EXPECT_FALSE(RO.writable());
+  EXPECT_FALSE(RO.lookup(fp(3)).has_value());
+  cache::Verdict V;
+  EXPECT_FALSE(RO.store(fp(3), V).Stored);
+  auto C = RO.diskCounters();
+  EXPECT_EQ(C.Stores, 0u);
+  EXPECT_EQ(C.Evictions, 0u);
+  EXPECT_EQ(C.StoreErrors, 0u);
+  EXPECT_EQ(C.IndexRebuilds, 0u);
+  EXPECT_FALSE(std::filesystem::exists(G.Dir))
+      << "--cache=ro against a fresh dir must leave the filesystem alone";
 }
 
 TEST(ValidationCache, DiskHitsArePromotedToMemory) {

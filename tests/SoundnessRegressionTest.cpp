@@ -1,0 +1,406 @@
+//===- tests/SoundnessRegressionTest.cpp - Audit bug backlog -------------------===//
+//
+// Regression tests for the first crop of bugs the soundness audit
+// (src/audit/, DESIGN.md §11) flushed out of our own stack:
+//
+//   1. Host-side UB in constant folding: -(int64_t(1) << 63), signed
+//      C1 + C2 overflow in InstCombine and the ERHL infrule evaluator,
+//      and the interp evaluator's width guards (i1 / i63 / i64 edges).
+//   2. LICM's preheader precondition: an unreachable "unique outside
+//      predecessor" or one that does not dominate the header must never
+//      become a hoist target.
+//   3. Verifier/Dominators unreachable-block handling: phi operands must
+//      pair 1:1 with actual predecessors even in dead code, dead uses
+//      must still resolve to definitions, and GVN-PRE must not plan
+//      insertions into unreachable predecessors.
+//
+// Every "fixed" behavior here is also an audit invariant; these tests
+// pin the minimal reproducers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "checker/Validator.h"
+#include "interp/Interp.h"
+#include "interp/Ops.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace crellvm;
+using namespace crellvm::passes;
+
+namespace {
+
+ir::Module parseValid(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(*M, VErrs))
+      << (VErrs.empty() ? "" : VErrs[0]);
+  return *M;
+}
+
+/// Parse without verifying: passes must stay robust on merely parseable
+/// modules too — they run before any verifier in the Fig. 1 protocol.
+ir::Module parseAny(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  return M ? *M : ir::Module{};
+}
+
+struct Outcome {
+  PassResult PR;
+  checker::ModuleResult VR;
+};
+
+Outcome runValidated(const std::string &PassName, const ir::Module &Src) {
+  auto P = makePass(PassName, BugConfig::fixed());
+  Outcome O;
+  O.PR = P->run(Src, /*GenProof=*/true);
+  std::vector<std::string> VErrs;
+  EXPECT_TRUE(analysis::verifyModule(O.PR.Tgt, VErrs))
+      << PassName << ": " << (VErrs.empty() ? "" : VErrs[0]) << "\n"
+      << ir::printModule(O.PR.Tgt);
+  O.VR = checker::validate(Src, O.PR.Tgt, O.PR.Proof);
+  return O;
+}
+
+void expectRefines(const ir::Module &Src, const ir::Module &Tgt,
+                   std::vector<int64_t> Args) {
+  for (const ir::Function &F : Src.Funcs) {
+    interp::InterpOptions Opts;
+    auto RS = interp::run(Src, F.Name, Args, Opts);
+    auto RT = interp::run(Tgt, F.Name, Args, Opts);
+    EXPECT_TRUE(interp::refines(RS, RT)) << "@" << F.Name;
+  }
+}
+
+// --- 1. Edge-width constant folding (the truncTo / shift UB class) -----------
+
+// sub 0 (shl a 63) at i64: the fold produces mul by -(2^63). Before the
+// fix both InstCombine and the SubShl infrule negated INT64_MIN (signed
+// overflow, UB); now both go through wrapping uint64_t arithmetic. The
+// UBSan CI job keeps this class dead.
+TEST(EdgeWidthFold, SubShlAtSignBitI64) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a) {
+entry:
+  %s = shl i64 %a, 63
+  %y = sub i64 0, %s
+  ret i64 %y
+}
+)");
+  auto O = runValidated("instcombine", Src);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  EXPECT_NE(ir::printModule(O.PR.Tgt).find("mul"), std::string::npos)
+      << ir::printModule(O.PR.Tgt);
+  expectRefines(Src, O.PR.Tgt, {3});
+  expectRefines(Src, O.PR.Tgt, {-1});
+}
+
+TEST(EdgeWidthFold, SubShlAtSignBitI63AndI1) {
+  for (const char *Text : {
+           "define i63 @f(i63 %a) {\nentry:\n  %s = shl i63 %a, 62\n"
+           "  %y = sub i63 0, %s\n  ret i63 %y\n}\n",
+           "define i1 @f(i1 %a) {\nentry:\n  %s = shl i1 %a, 0\n"
+           "  %y = sub i1 0, %s\n  ret i1 %y\n}\n",
+       }) {
+    ir::Module Src = parseValid(Text);
+    auto O = runValidated("instcombine", Src);
+    EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+    expectRefines(Src, O.PR.Tgt, {1});
+  }
+}
+
+// add (add a INT64_MAX) INT64_MAX: the reassociated constant wraps to -2.
+// Before the fix the C1 + C2 fold was a signed overflow.
+TEST(EdgeWidthFold, AssocAddWrapsAtInt64Max) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = add i64 %a, 9223372036854775807
+  %y = add i64 %x, 9223372036854775807
+  ret i64 %y
+}
+)");
+  auto O = runValidated("instcombine", Src);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  EXPECT_NE(ir::printModule(O.PR.Tgt).find("add i64 %a, -2"),
+            std::string::npos)
+      << ir::printModule(O.PR.Tgt);
+  expectRefines(Src, O.PR.Tgt, {5});
+}
+
+// sub (add a C1) C2 and sub C (xor a -1) with INT64_MIN in play: the
+// folded constants wrap instead of overflowing the host's int64_t.
+TEST(EdgeWidthFold, SubConstFoldsWrap) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = add i64 %a, -9223372036854775808
+  %y = sub i64 %x, 1
+  ret i64 %y
+}
+)");
+  auto O = runValidated("instcombine", Src);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  expectRefines(Src, O.PR.Tgt, {7});
+}
+
+// shl (shl a 2^62) 2^62: the old range guard computed C1 + C2 with
+// signed overflow; the wrapped sum looked in-range and licensed a bogus
+// rewrite. The widened guard must reject the chain outright.
+TEST(EdgeWidthFold, ShlShlGuardDoesNotOverflow) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = shl i64 %a, 4611686018427387904
+  %y = shl i64 %x, 4611686018427387904
+  ret i64 %y
+}
+)");
+  auto O = runValidated("instcombine", Src);
+  // Whatever else fires, the shift chain must not be merged.
+  EXPECT_EQ(ir::printModule(O.PR.Tgt).find("shl i64 %a, -"),
+            std::string::npos)
+      << ir::printModule(O.PR.Tgt);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+  expectRefines(Src, O.PR.Tgt, {1});
+}
+
+// add a SIGNBIT -> xor across the width catalog, including both ends.
+TEST(EdgeWidthFold, AddSignbitAcrossWidths) {
+  struct Case {
+    unsigned W;
+    const char *SignBit;
+  };
+  for (const Case &C : std::initializer_list<Case>{
+           {1, "1"},
+           {8, "-128"},
+           {32, "-2147483648"},
+           {63, "-4611686018427387904"},
+           {64, "-9223372036854775808"}}) {
+    std::string Ty = "i" + std::to_string(C.W);
+    ir::Module Src = parseValid("define " + Ty + " @f(" + Ty +
+                                " %a) {\nentry:\n  %y = add " + Ty + " %a, " +
+                                C.SignBit + "\n  ret " + Ty + " %y\n}\n");
+    auto O = runValidated("instcombine", Src);
+    EXPECT_EQ(O.VR.countValidated(), 1u)
+        << "width " << C.W << ": " << O.VR.firstFailure();
+    EXPECT_NE(ir::printModule(O.PR.Tgt).find("xor"), std::string::npos)
+        << "width " << C.W;
+    expectRefines(Src, O.PR.Tgt, {9});
+  }
+}
+
+// The shared evaluator refuses widths outside [1, 64] instead of feeding
+// them to host shifts (Type::intTy's assert vanishes under NDEBUG).
+TEST(EdgeWidthFold, EvalBinaryOpGuardsWidth) {
+  interp::RtValue A = interp::RtValue::intVal(1, 1);
+  interp::RtValue B = interp::RtValue::intVal(1, 1);
+  EXPECT_TRUE(interp::evalBinaryOp(ir::Opcode::SDiv, 0, A, B).Trap);
+  EXPECT_TRUE(interp::evalBinaryOp(ir::Opcode::Add, 65, A, B).Trap);
+  EXPECT_FALSE(interp::evalBinaryOp(ir::Opcode::Add, 64, A, B).Trap);
+  EXPECT_FALSE(interp::evalBinaryOp(ir::Opcode::Add, 1, A, B).Trap);
+}
+
+// Shift amounts at exactly the width are poison, not host UB, at both
+// ends of the width range.
+TEST(EdgeWidthFold, ShiftAtWidthIsPoison) {
+  for (unsigned W : {1u, 63u, 64u}) {
+    interp::RtValue A = interp::RtValue::intVal(1, W);
+    interp::RtValue S = interp::RtValue::intVal(W, W);
+    for (ir::Opcode Op :
+         {ir::Opcode::Shl, ir::Opcode::LShr, ir::Opcode::AShr}) {
+      auto R = interp::evalBinaryOp(Op, W, A, S);
+      ASSERT_FALSE(R.Trap);
+      EXPECT_TRUE(R.V.isPoison()) << "width " << W;
+    }
+  }
+}
+
+// --- 2. LICM preheader precondition ------------------------------------------
+
+// A self-loop on the entry block whose only outside predecessor is a
+// dead block: the old preheader selection picked the dead block and
+// hoisted %x into it, leaving the exit's use of %x undominated. The
+// module is parseable but not verifier-valid (branch to entry), exactly
+// the kind of input a pass must refuse to make worse.
+TEST(LicmPreheader, UnreachableOutsidePredIsNotAPreheader) {
+  ir::Module Src = parseAny(R"(
+define i64 @f(i64 %a, i1 %c) {
+entry:
+  %x = add i64 %a, 1
+  br i1 %c, label %entry, label %exit
+exit:
+  ret i64 %x
+dead:
+  br label %entry
+}
+)");
+  auto P = makePass("licm", BugConfig::fixed());
+  PassResult R = P->run(Src, /*GenProof=*/true);
+  EXPECT_EQ(R.Rewrites, 0u) << ir::printModule(R.Tgt);
+  // %x stays in the entry block; the dead block keeps its lone branch.
+  const ir::Function &F = R.Tgt.Funcs.front();
+  EXPECT_EQ(F.getBlock("dead")->Insts.size(), 1u);
+  EXPECT_EQ(F.getBlock("entry")->Insts.size(), 2u);
+}
+
+// Two genuine out-of-loop predecessors: no preheader, no hoisting, and
+// the (identity) translation still validates.
+TEST(LicmPreheader, MultipleOutsidePredsBail) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a, i1 %c) {
+entry:
+  br i1 %c, label %ph1, label %ph2
+ph1:
+  br label %header
+ph2:
+  br label %header
+header:
+  %i = phi i64 [ 0, %ph1 ], [ 1, %ph2 ], [ %i2, %header ]
+  %x = add i64 %a, 5
+  %i2 = add i64 %i, %x
+  %d = icmp eq i64 %i2, %a
+  br i1 %d, label %header, label %exit
+exit:
+  ret i64 %i2
+}
+)");
+  auto O = runValidated("licm", Src);
+  EXPECT_EQ(O.PR.Rewrites, 0u) << ir::printModule(O.PR.Tgt);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+}
+
+// Positive control: with a legitimate preheader the same loop body does
+// hoist, and the proof validates — the bail conditions must not
+// over-trigger.
+TEST(LicmPreheader, ProperPreheaderStillHoists) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %i2, %header ]
+  %x = add i64 %a, 5
+  %i2 = add i64 %i, %x
+  %d = icmp eq i64 %i2, %a
+  br i1 %d, label %header, label %exit
+exit:
+  ret i64 %i2
+}
+)");
+  auto O = runValidated("licm", Src);
+  EXPECT_GE(O.PR.Rewrites, 1u);
+  EXPECT_EQ(O.VR.countValidated(), 1u) << O.VR.firstFailure();
+  // %x now lives in the entry (preheader) block.
+  const ir::Function &F = O.PR.Tgt.Funcs.front();
+  bool InEntry = false;
+  for (const ir::Instruction &I : F.getBlock("entry")->Insts)
+    if (I.result() && *I.result() == "x")
+      InEntry = true;
+  EXPECT_TRUE(InEntry) << ir::printModule(O.PR.Tgt);
+}
+
+// --- 3. Verifier / GVN unreachable-block handling -----------------------------
+
+TEST(VerifierUnreachable, PhiMustPairWithPredsEvenInDeadCode) {
+  std::string Err;
+  auto M = ir::parseModule(R"(
+define void @f(i1 %c) {
+entry:
+  ret void
+deadA:
+  br i1 %c, label %deadJ, label %deadB
+deadB:
+  br label %deadJ
+deadJ:
+  %p = phi i32 [ 1, %deadA ]
+  ret void
+}
+)",
+                           &Err);
+  ASSERT_TRUE(M) << Err;
+  std::vector<std::string> Errs;
+  EXPECT_FALSE(analysis::verifyModule(*M, Errs));
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("misses predecessor"), std::string::npos)
+      << Errs[0];
+}
+
+TEST(VerifierUnreachable, UndefinedUseInDeadCodeIsAnError) {
+  std::string Err;
+  auto M = ir::parseModule(R"(
+define void @f() {
+entry:
+  ret void
+dead:
+  %y = add i32 %nope, 1
+  ret void
+}
+)",
+                           &Err);
+  ASSERT_TRUE(M) << Err;
+  std::vector<std::string> Errs;
+  EXPECT_FALSE(analysis::verifyModule(*M, Errs));
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("undefined register"), std::string::npos)
+      << Errs[0];
+}
+
+// Well-formed dead code must still verify: dominance is not demanded
+// where it is meaningless, only def-existence and phi/CFG consistency.
+TEST(VerifierUnreachable, ConsistentDeadCodeStillVerifies) {
+  std::string Err;
+  auto M = ir::parseModule(R"(
+define void @f() {
+entry:
+  ret void
+dead1:
+  %z = add i32 7, 1
+  br label %dead2
+dead2:
+  %q = phi i32 [ %z, %dead1 ]
+  ret void
+}
+)",
+                           &Err);
+  ASSERT_TRUE(M) << Err;
+  std::vector<std::string> Errs;
+  EXPECT_TRUE(analysis::verifyModule(*M, Errs))
+      << (Errs.empty() ? "" : Errs[0]);
+}
+
+// GVN-PRE over a merge with a dead predecessor: the old planner fell
+// through to "insert into the dead block". Now the whole PRE attempt
+// bails; the dead block must come out untouched.
+TEST(GvnUnreachable, NoPREInsertionIntoDeadPredecessor) {
+  ir::Module Src = parseValid(R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = add i64 %a, 9
+  br label %join
+join:
+  %y = add i64 %a, 9
+  ret i64 %y
+dead:
+  br label %join
+}
+)");
+  auto O = runValidated("gvn", Src);
+  const ir::Function &F = O.PR.Tgt.Funcs.front();
+  EXPECT_EQ(F.getBlock("dead")->Insts.size(), 1u)
+      << ir::printModule(O.PR.Tgt);
+  EXPECT_EQ(F.getBlock("dead")->Phis.size(), 0u);
+  EXPECT_EQ(ir::printModule(O.PR.Tgt).find(".pre"), std::string::npos)
+      << ir::printModule(O.PR.Tgt);
+  EXPECT_EQ(O.VR.countFailed(), 0u) << O.VR.firstFailure();
+}
+
+} // namespace
