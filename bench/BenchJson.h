@@ -37,6 +37,10 @@ struct BenchEntry {
   double ParallelEfficiency = 0; ///< cpu / wall / jobs
   double CacheHitRate = 0;       ///< hits / lookups; 0 when cache off
   uint64_t V = 0, F = 0, NS = 0; ///< summed over all passes
+  /// Bench-specific headline numbers appended verbatim to the entry
+  /// (key -> integer value; rates go in as ppm, times as microseconds,
+  /// matching the fixed fields' conventions).
+  std::vector<std::pair<std::string, int64_t>> Extra;
 
   /// Fills the count and rate fields from a batch report.
   static BenchEntry fromReport(std::string Name,
@@ -106,6 +110,8 @@ inline void writeBenchJson(const std::vector<BenchEntry> &Entries,
     O.set("validations", json::Value(E.V));
     O.set("failures", json::Value(E.F));
     O.set("not_supported", json::Value(E.NS));
+    for (const auto &KV : E.Extra)
+      O.set(KV.first, json::Value(KV.second));
     List.push(std::move(O));
   }
   Root.set("entries", std::move(List));

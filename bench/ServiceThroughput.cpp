@@ -1,0 +1,168 @@
+//===- bench/ServiceThroughput.cpp - daemon requests/s ----------*- C++ -*-===//
+//
+// Throughput of the persistent validation service (DESIGN.md §12): one
+// ValidationService with a read-write cache serves the same seeded
+// request stream twice through the loopback transport (the full JSON
+// codec, minus only socket fds) —
+//
+//   cold   fresh cache directory: every request validates in full and
+//          populates the store;
+//   warm   a fresh service process over the same directory, the CI-style
+//          re-validation: every lookup hits the warm disk store.
+//
+// The service's pitch is that keeping one process (pool + cache) warm
+// across requests amortizes startup and verdict work, so warm
+// requests/s must be at least 3x cold. Results land in
+// BENCH_validation.json as the `validation_service` entry with
+// cold/warm requests-per-second in ppm (requests/s * 1e6).
+//
+//   service_throughput [scale] [--jobs N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "bench/Common.h"
+#include "server/Service.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+namespace {
+
+struct RunResult {
+  double WallSeconds = 0;
+  uint64_t V = 0, F = 0, NS = 0;
+  uint64_t CacheHits = 0, CacheMisses = 0;
+  uint64_t Requests = 0;
+
+  double rps() const { return WallSeconds > 0 ? Requests / WallSeconds : 0; }
+};
+
+/// Pushes \p NumRequests seeded validate requests through one service via
+/// the loopback transport, pipelined the way a socket client would (all
+/// submitted up front, responses collected as they come).
+RunResult runOnce(const cache::ValidationCacheOptions &CacheOpts,
+                  unsigned NumRequests, unsigned Jobs) {
+  server::ServiceOptions SOpts;
+  SOpts.Jobs = Jobs;
+  SOpts.QueueMax = NumRequests; // admission is not what this bench measures
+  SOpts.Driver.WriteFiles = false;
+  SOpts.Cache = CacheOpts;
+  server::ValidationService S(SOpts);
+  server::LoopbackTransport T(S);
+
+  RunResult R;
+  R.Requests = NumRequests;
+  std::mutex M;
+  std::condition_variable Cv;
+  unsigned Done = 0;
+
+  Timer Wall;
+  Wall.time([&] {
+    for (unsigned I = 0; I != NumRequests; ++I) {
+      server::Request Req;
+      Req.Kind = server::RequestKind::Validate;
+      Req.Id = static_cast<int64_t>(I);
+      Req.HasSeed = true;
+      Req.Seed = 0x5e51ce + I;
+      T.submit(Req, [&](server::Response Rsp) {
+        std::lock_guard<std::mutex> L(M);
+        R.V += Rsp.totalV();
+        R.F += Rsp.totalF();
+        R.NS += Rsp.totalNS();
+        R.CacheHits += Rsp.CacheHits;
+        R.CacheMisses += Rsp.CacheMisses;
+        if (++Done == NumRequests)
+          Cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return Done == NumRequests; });
+  });
+  R.WallSeconds = Wall.seconds();
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = 1, Jobs = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else
+      Scale = static_cast<unsigned>(std::strtoul(Argv[I], nullptr, 10));
+  }
+  if (Scale == 0)
+    Scale = 1;
+  unsigned NumRequests = 400 / Scale;
+  if (NumRequests == 0)
+    NumRequests = 1;
+
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("crellvm-service-bench." + std::to_string(::getpid())))
+                        .string();
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+
+  cache::ValidationCacheOptions COpts;
+  COpts.Policy = cache::CachePolicy::ReadWrite;
+  COpts.Dir = Dir;
+
+  std::cout << "=== Validation service: requests/s, cold vs warm cache ===\n"
+            << NumRequests << " pipelined requests per run, loopback "
+            << "transport, cache=rw, jobs=" << (Jobs ? std::to_string(Jobs)
+                                                     : std::string("auto"))
+            << "\n\n";
+
+  // Two service lifetimes over one cache directory, like two CI jobs.
+  RunResult Cold = runOnce(COpts, NumRequests, Jobs);
+  RunResult Warm = runOnce(COpts, NumRequests, Jobs);
+
+  Table T({"run", "wall", "req/s", "#V", "#F", "#NS", "hit rate"});
+  for (auto *RP : {&Cold, &Warm}) {
+    uint64_t Lookups = RP->CacheHits + RP->CacheMisses;
+    T.addRow({RP == &Cold ? "cold" : "warm", formatSeconds(RP->WallSeconds),
+              std::to_string(static_cast<uint64_t>(RP->rps() + 0.5)),
+              formatCountK(RP->V), formatCountK(RP->F), formatCountK(RP->NS),
+              formatPercent(Lookups ? double(RP->CacheHits) / Lookups : 0)});
+  }
+  T.print(std::cout);
+
+  double Speedup = Cold.rps() > 0 ? Warm.rps() / Cold.rps() : 0;
+  bool CountsAgree =
+      Cold.V == Warm.V && Cold.F == Warm.F && Cold.NS == Warm.NS;
+
+  std::cout << "\nwarm throughput: "
+            << static_cast<uint64_t>(Warm.rps() + 0.5) << " req/s vs "
+            << static_cast<uint64_t>(Cold.rps() + 0.5) << " cold = "
+            << static_cast<int>(Speedup * 10) / 10.0 << "x\n";
+  std::cout << "paper-shape: warm-at-least-3x=" << (Speedup >= 3 ? "OK" : "MISMATCH")
+            << ", counts-identical=" << (CountsAgree ? "OK" : "MISMATCH")
+            << "\n";
+
+  BenchEntry E;
+  E.Name = "validation_service";
+  E.WallSeconds = Cold.WallSeconds + Warm.WallSeconds;
+  E.Jobs = Jobs ? Jobs : ThreadPool::defaultConcurrency();
+  uint64_t Lookups = Warm.CacheHits + Warm.CacheMisses;
+  E.CacheHitRate = Lookups ? double(Warm.CacheHits) / Lookups : 0;
+  E.V = Cold.V + Warm.V;
+  E.F = Cold.F + Warm.F;
+  E.NS = Cold.NS + Warm.NS;
+  E.Extra = {
+      {"cold_rps_ppm", static_cast<int64_t>(Cold.rps() * 1e6 + 0.5)},
+      {"warm_rps_ppm", static_cast<int64_t>(Warm.rps() * 1e6 + 0.5)},
+      {"warm_speedup_ppm", static_cast<int64_t>(Speedup * 1e6 + 0.5)},
+  };
+  writeBenchJson({E});
+
+  std::filesystem::remove_all(Dir, EC);
+  return Speedup >= 3 && CountsAgree ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "audit/Audit.h"
+#include "checker/Version.h"
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +26,7 @@ struct CliOptions {
   std::string ReportPath; ///< empty = no report file
   std::string BugPreset = "fixed";
   bool WantHelp = false;
+  bool WantVersion = false;
   bool BadArg = false;
   std::string BadArgMsg;
 };
@@ -46,6 +48,7 @@ void printUsage(FILE *Out) {
       "                  llvm501-post — anything but 'fixed' is expected\n"
       "                  to produce findings (the audit's self-test)\n"
       "  --unsound-add   plant the test-only add->or instcombine bug\n"
+      "  --version       print checker semantics version and exit\n"
       "  --help          show this help\n"
       "\n"
       "exit status: 0 clean, 1 findings reported, 2 bad usage\n");
@@ -81,6 +84,8 @@ CliOptions parseArgs(int Argc, char **Argv) {
     };
     if (A == "--help" || A == "-h") {
       O.WantHelp = true;
+    } else if (A == "--version") {
+      O.WantVersion = true;
     } else if (A == "--seed") {
       const char *V = NextValue("--seed");
       if (V && !parseUnsigned(V, O.Audit.Seed))
@@ -130,6 +135,10 @@ int main(int Argc, char **Argv) {
   }
   if (O.WantHelp) {
     printUsage(stdout);
+    return 0;
+  }
+  if (O.WantVersion) {
+    std::printf("%s\n", checker::versionLine("crellvm-audit").c_str());
     return 0;
   }
 

@@ -8,6 +8,9 @@
 #include <fstream>
 #include <sstream>
 
+#include <csignal>
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace crellvm;
@@ -72,15 +75,78 @@ DiskStore::DiskStore(DiskStoreOptions Options) : Opts(std::move(Options)) {
   if (Opts.ReadOnly) {
     // Never create anything in read-only mode; a directory that is absent
     // (or present but empty) is a perfectly healthy always-miss store.
+    // Read-only also skips the writer lock: a pure reader cannot corrupt
+    // the index and may coexist with one writer.
     Usable = true;
   } else {
     fs::create_directories(fs::path(Opts.Dir) / "objects", EC);
     if (EC)
       return;
+    // Writer exclusion: without the lock this instance must not evict or
+    // rewrite the index, so it stays unusable (miss/error) rather than
+    // racing the live owner.
+    if (!acquireDirLock())
+      return;
     Usable = true;
   }
   std::lock_guard<std::mutex> Lock(M);
   loadIndexLocked();
+}
+
+DiskStore::~DiskStore() { releaseDirLock(); }
+
+std::string DiskStore::lockPath() const { return Opts.Dir + "/lock"; }
+
+bool DiskStore::acquireDirLock() {
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    int Fd = ::open(lockPath().c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (Fd >= 0) {
+      std::string Pid = std::to_string(static_cast<uint64_t>(::getpid()));
+      // Best-effort pid breadcrumb; staleness detection reads it back.
+      [[maybe_unused]] ssize_t W = ::write(Fd, Pid.data(), Pid.size());
+      LockFd = Fd;
+      return true;
+    }
+    if (errno != EEXIST)
+      return false;
+    // Lock exists. If its owner died without unlinking (crash, kill -9),
+    // the pid inside no longer names a live process: steal the lock by
+    // unlinking and retrying once. A live owner (including this process
+    // via another DiskStore instance) keeps the refusal.
+    auto Text = readWholeFile(lockPath());
+    if (!Text)
+      continue; // raced with a release: retry the O_EXCL create
+    while (!Text->empty() && (Text->back() == '\n' || Text->back() == '\r' ||
+                              Text->back() == ' '))
+      Text->pop_back();
+    if (Text->empty())
+      return false; // owner between create and pid write: live, back off
+    uint64_t Pid = 0;
+    bool PidOk = true;
+    for (char C : *Text) {
+      if (C < '0' || C > '9') {
+        PidOk = false;
+        break;
+      }
+      Pid = Pid * 10 + static_cast<uint64_t>(C - '0');
+    }
+    // Steal only on positive evidence the owner is gone (its pid no longer
+    // names a process). Anything we cannot parse might be a live owner
+    // with a different breadcrumb format: back off.
+    if (!PidOk ||
+        !(::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH))
+      return false;
+    ::unlink(lockPath().c_str());
+  }
+  return false;
+}
+
+void DiskStore::releaseDirLock() {
+  if (LockFd < 0)
+    return;
+  ::close(LockFd);
+  LockFd = -1;
+  ::unlink(lockPath().c_str());
 }
 
 std::string DiskStore::objectPath(const Fingerprint &FP) const {

@@ -22,6 +22,15 @@
 ///    objects directory (counted in IndexRebuilds). A fresh or empty
 ///    cache directory is the normal cold state and triggers no rebuild,
 ///    no warning, and no writes.
+///  - **Single-writer lock.** A read-write store acquires `<dir>/lock`
+///    (O_CREAT|O_EXCL, pid inside) on open and releases it on close, so
+///    two processes sharing a cache directory cannot interleave
+///    evictions and corrupt each other's index. A second writer is
+///    refused cleanly: it degrades to the unusable state (every load a
+///    miss, every store an error) instead of corrupting anything. A lock
+///    left behind by a crashed process is detected (its pid is gone) and
+///    stolen. Read-only stores skip the lock entirely — they never write,
+///    so they can safely share a directory with one writer.
 ///  - **Read-only mode.** With DiskStoreOptions::ReadOnly the store is a
 ///    pure reader: it creates no directories, writes no index, deletes no
 ///    corrupt files, and store() refuses without counting an error, so
@@ -75,9 +84,21 @@ class DiskStore {
 public:
   explicit DiskStore(DiskStoreOptions Opts);
 
-  /// False when the cache directory could not be created; every load then
+  /// Releases the writer lock (read-write mode) so the next process can
+  /// acquire the directory.
+  ~DiskStore();
+
+  DiskStore(const DiskStore &) = delete;
+  DiskStore &operator=(const DiskStore &) = delete;
+
+  /// False when the cache directory could not be created or (read-write
+  /// mode) another live process holds the writer lock; every load then
   /// misses and every store reports an error.
   bool ok() const { return Usable; }
+
+  /// True when this instance holds the directory's writer lock. Always
+  /// false in read-only mode, which takes no lock.
+  bool lockHeld() const { return LockFd >= 0; }
   const std::string &dir() const { return Opts.Dir; }
 
   /// Returns the payload stored under \p FP; std::nullopt on miss or on a
@@ -100,6 +121,9 @@ private:
   };
 
   std::string objectPath(const Fingerprint &FP) const;
+  std::string lockPath() const;
+  bool acquireDirLock();
+  void releaseDirLock();
   void loadIndexLocked();
   void rebuildIndexFromObjectsLocked();
   bool writeIndexLocked();
@@ -107,6 +131,7 @@ private:
 
   DiskStoreOptions Opts;
   bool Usable = false;
+  int LockFd = -1; ///< open fd of <dir>/lock while held (rw mode only)
 
   mutable std::mutex M;
   std::vector<Entry> Entries; ///< index order = store order (oldest first)

@@ -9,3 +9,12 @@ std::string crellvm::checker::versionFingerprint() {
          ";weakened-disjoint-or=" +
          (erhl::weakenedDisjointOrCheck() ? "1" : "0");
 }
+
+#ifndef CRELLVM_BUILD_TYPE
+#define CRELLVM_BUILD_TYPE "unknown"
+#endif
+
+std::string crellvm::checker::versionLine(const std::string &Tool) {
+  return Tool + " checker-semantics-version " +
+         std::to_string(CheckerSemanticsVersion) + " build " CRELLVM_BUILD_TYPE;
+}

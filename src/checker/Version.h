@@ -34,6 +34,12 @@ constexpr int CheckerSemanticsVersion = 2;
 /// The full fingerprint string: version plus every global switch.
 std::string versionFingerprint();
 
+/// The one-line `--version` output shared by every CLI
+/// (crellvm-validate/-audit/-served/-client): tool name, the checker
+/// semantics version, and the CMake build type, e.g.
+/// `crellvm-validate checker-semantics-version 2 build RelWithDebInfo`.
+std::string versionLine(const std::string &Tool);
+
 } // namespace checker
 } // namespace crellvm
 

@@ -298,10 +298,20 @@ BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
 
   std::vector<StatsMap> PerUnit(NumUnits);
   std::vector<double> UnitSeconds(NumUnits, 0.0);
+  std::vector<uint8_t> UnitCancelled(NumUnits, 0);
 
   // The serial path runs the identical per-unit closure inline, so the
   // merged Stats are bit-identical across all Jobs values.
   auto RunUnit = [&](size_t I) {
+    // The deadline/cancellation hook: consulted at the last moment before
+    // the unit would do work, so a request that expired while queued
+    // costs nothing but this check.
+    if (BOpts.CancelUnit && BOpts.CancelUnit(I)) {
+      UnitCancelled[I] = 1;
+      if (BOpts.OnUnitDone)
+        BOpts.OnUnitDone(I, PerUnit[I], /*Cancelled=*/true);
+      return;
+    }
     Timer T;
     T.time([&] {
       DriverOptions UOpts = Opts;
@@ -313,6 +323,8 @@ BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
       D.runPipelineValidated(M, PerUnit[I]);
     });
     UnitSeconds[I] = T.seconds();
+    if (BOpts.OnUnitDone)
+      BOpts.OnUnitDone(I, PerUnit[I], /*Cancelled=*/false);
   };
 
   Timer Wall;
@@ -335,6 +347,7 @@ BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
     for (const auto &KV : PerUnit[I])
       Out.Stats[KV.first].add(KV.second);
     Out.CpuSeconds += UnitSeconds[I];
+    Out.Cancelled += UnitCancelled[I];
   }
   return Out;
 }

@@ -152,11 +152,27 @@ private:
 struct BatchOptions {
   /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
   unsigned Jobs = 1;
+  /// Cancellation/deadline hook: consulted once per unit, immediately
+  /// before that unit would validate. Returning true skips the unit
+  /// entirely (its stats stay empty, it is counted in
+  /// BatchReport::Cancelled, and OnUnitDone sees Cancelled=true). Called
+  /// concurrently from worker threads; must be thread-safe. The
+  /// validation service uses this to expire queued requests whose
+  /// deadline passed while they waited.
+  std::function<bool(size_t)> CancelUnit;
+  /// Per-unit completion hook, invoked from the worker thread right after
+  /// unit \p Index finishes (or is cancelled), before the batch-wide
+  /// deterministic reduction. Lets a caller stream results out (the
+  /// service answers each request as its unit completes instead of
+  /// holding the whole batch). Must be thread-safe; must not throw.
+  std::function<void(size_t Index, const StatsMap &Unit, bool Cancelled)>
+      OnUnitDone;
 };
 
 struct BatchReport {
   StatsMap Stats;          ///< deterministic, unit-index-order reduction
   uint64_t Units = 0;      ///< translation units processed
+  uint64_t Cancelled = 0;  ///< units skipped by BatchOptions::CancelUnit
   unsigned JobsUsed = 1;   ///< resolved worker count
   double WallSeconds = 0;  ///< elapsed time of the whole batch
   double CpuSeconds = 0;   ///< sum of per-unit validation times

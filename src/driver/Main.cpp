@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cache/ValidationCache.h"
+#include "checker/Version.h"
 #include "driver/Driver.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -63,11 +64,14 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                    (src, tgt', proof, pass, checker, bugs) keys\n"
      << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
      << "  --cache-max-mb N  on-disk cache size bound in MiB (default 256)\n"
+     << "  --version         print checker semantics version and exit\n"
      << "  --help, -h        print this help and exit\n";
 }
 
 /// Set when parseArgs saw --help: print usage to stdout and exit 0.
 bool WantHelp = false;
+/// Set when parseArgs saw --version: print the version line and exit 0.
+bool WantVersion = false;
 /// The argument parseArgs rejected, for the error message.
 std::string BadArg;
 
@@ -84,6 +88,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     uint64_t N = 0;
     if (A == "--help" || A == "-h") {
       WantHelp = true;
+      return true;
+    } else if (A == "--version") {
+      WantVersion = true;
       return true;
     } else if (A == "--jobs" && NextNum(N))
       O.Jobs = static_cast<unsigned>(N);
@@ -156,6 +163,10 @@ int main(int Argc, char **Argv) {
   }
   if (WantHelp) {
     printUsage(std::cout, Argv[0]);
+    return 0;
+  }
+  if (WantVersion) {
+    std::cout << checker::versionLine("crellvm-validate") << "\n";
     return 0;
   }
   bool BugsOk = false;

@@ -1,0 +1,283 @@
+//===- server/ClientMain.cpp - The crellvm-client CLI -----------*- C++ -*-===//
+//
+// Thin client for crellvm-served: connects to the daemon's Unix-domain
+// socket, pipelines validation requests (matched to responses by id),
+// and prints verdict summaries, or fetches the live stats document.
+//
+//   crellvm-client --socket PATH [--seed S] [--modules N] [--module FILE]
+//                  [--bugs CFG] [--deadline-ms N] [--stats] [--ping]
+//                  [--shutdown] [--json] [--version] [--help]
+//
+// Exit codes: 0 all verdicts clean, 1 failures/rejections/divergences,
+// 2 bad usage, 3 transport error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Version.h"
+#include "server/Protocol.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::server;
+
+namespace {
+
+struct CliOptions {
+  std::string Socket;
+  uint64_t Seed = 1;
+  unsigned Modules = 1;
+  std::string ModuleFile;
+  std::string Bugs = "fixed";
+  uint64_t DeadlineMs = 0;
+  bool Stats = false;
+  bool Ping = false;
+  bool Shutdown = false;
+  bool Json = false;
+};
+
+void printUsage(std::ostream &OS, const char *Argv0) {
+  OS << "usage: " << Argv0 << " --socket PATH [options]\n"
+     << "\n"
+     << "Client for the crellvm-served validation daemon.\n"
+     << "\n"
+     << "options:\n"
+     << "  --socket PATH    daemon socket (required)\n"
+     << "  --seed S         first generation seed (default 1)\n"
+     << "  --modules N      pipeline N seeded requests, seeds S..S+N-1\n"
+     << "                   (default 1)\n"
+     << "  --module FILE    validate the .ll module in FILE instead\n"
+     << "  --bugs CFG       371 | 501pre | 501post | fixed (default)\n"
+     << "  --deadline-ms N  per-request deadline (default: none)\n"
+     << "  --stats          fetch and print the server stats document\n"
+     << "  --ping           liveness check\n"
+     << "  --shutdown       ask the daemon to drain and exit\n"
+     << "  --json           print raw response JSON, one per line\n"
+     << "  --version        print version and exit\n"
+     << "  --help, -h       print this help and exit\n";
+}
+
+bool WantHelp = false;
+bool WantVersion = false;
+std::string BadArg;
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    BadArg = A;
+    auto NextNum = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t N = 0;
+    if (A == "--help" || A == "-h") {
+      WantHelp = true;
+      return true;
+    } else if (A == "--version") {
+      WantVersion = true;
+      return true;
+    } else if (A == "--socket" && I + 1 < Argc)
+      O.Socket = Argv[++I];
+    else if (A == "--seed" && NextNum(N))
+      O.Seed = N;
+    else if (A == "--modules" && NextNum(N))
+      O.Modules = static_cast<unsigned>(N);
+    else if (A == "--module" && I + 1 < Argc)
+      O.ModuleFile = Argv[++I];
+    else if (A == "--bugs" && I + 1 < Argc)
+      O.Bugs = Argv[++I];
+    else if (A == "--deadline-ms" && NextNum(N))
+      O.DeadlineMs = N;
+    else if (A == "--stats")
+      O.Stats = true;
+    else if (A == "--ping")
+      O.Ping = true;
+    else if (A == "--shutdown")
+      O.Shutdown = true;
+    else if (A == "--json")
+      O.Json = true;
+    else
+      return false;
+  }
+  return true;
+}
+
+int connectTo(const std::string &Path) {
+  sockaddr_un Addr;
+  if (Path.size() + 1 > sizeof(Addr.sun_path))
+    return -1;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    std::cerr << "error: unknown or malformed option '" << BadArg << "'\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (WantHelp) {
+    printUsage(std::cout, Argv[0]);
+    return 0;
+  }
+  if (WantVersion) {
+    std::cout << checker::versionLine("crellvm-client") << "\n";
+    return 0;
+  }
+  if (Cli.Socket.empty()) {
+    std::cerr << "error: --socket PATH is required\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+
+  int Fd = connectTo(Cli.Socket);
+  if (Fd < 0) {
+    std::cerr << "error: cannot connect to " << Cli.Socket << "\n";
+    return 3;
+  }
+
+  // Build the request list.
+  std::vector<Request> Requests;
+  if (Cli.Stats || Cli.Ping || Cli.Shutdown) {
+    Request R;
+    R.Kind = Cli.Stats    ? RequestKind::Stats
+             : Cli.Ping   ? RequestKind::Ping
+                          : RequestKind::Shutdown;
+    Requests.push_back(std::move(R));
+  } else if (!Cli.ModuleFile.empty()) {
+    std::ifstream In(Cli.ModuleFile);
+    if (!In) {
+      std::cerr << "error: cannot read " << Cli.ModuleFile << "\n";
+      ::close(Fd);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Request R;
+    R.Kind = RequestKind::Validate;
+    R.ModuleText = Buf.str();
+    R.Bugs = Cli.Bugs;
+    R.DeadlineMs = Cli.DeadlineMs;
+    Requests.push_back(std::move(R));
+  } else {
+    for (unsigned I = 0; I != Cli.Modules; ++I) {
+      Request R;
+      R.Kind = RequestKind::Validate;
+      R.HasSeed = true;
+      R.Seed = Cli.Seed + I;
+      R.Bugs = Cli.Bugs;
+      R.DeadlineMs = Cli.DeadlineMs;
+      Requests.push_back(std::move(R));
+    }
+  }
+
+  // Pipeline: write everything, then collect responses (matched by id —
+  // the server batches, so responses arrive in completion order).
+  for (size_t I = 0; I != Requests.size(); ++I) {
+    Requests[I].Id = static_cast<int64_t>(I);
+    if (!writeFrame(Fd, requestToJson(Requests[I]))) {
+      std::cerr << "error: write failed\n";
+      ::close(Fd);
+      return 3;
+    }
+  }
+
+  uint64_t V = 0, F = 0, NS = 0, Diff = 0, Ok = 0, Rejected = 0, Expired = 0,
+           Errors = 0, CacheHits = 0, CacheMisses = 0;
+  std::map<std::string, PassVerdicts> Passes;
+  for (size_t Got = 0; Got != Requests.size(); ++Got) {
+    std::string Frame, Err;
+    if (!readFrame(Fd, Frame, &Err)) {
+      std::cerr << "error: connection closed with "
+                << (Requests.size() - Got) << " responses outstanding"
+                << (Err.empty() ? "" : (": " + Err)) << "\n";
+      ::close(Fd);
+      return 3;
+    }
+    if (Cli.Json)
+      std::cout << Frame << "\n";
+    auto Rsp = responseFromJson(Frame, &Err);
+    if (!Rsp) {
+      std::cerr << "error: bad response: " << Err << "\n";
+      ::close(Fd);
+      return 3;
+    }
+    switch (Rsp->Status) {
+    case ResponseStatus::Ok:
+      ++Ok;
+      V += Rsp->totalV();
+      F += Rsp->totalF();
+      NS += Rsp->totalNS();
+      Diff += Rsp->totalDiff();
+      CacheHits += Rsp->CacheHits;
+      CacheMisses += Rsp->CacheMisses;
+      for (const auto &KV : Rsp->Passes) {
+        PassVerdicts &P = Passes[KV.first];
+        P.V += KV.second.V;
+        P.F += KV.second.F;
+        P.NS += KV.second.NS;
+        P.Diff += KV.second.Diff;
+      }
+      if (!Cli.Json && !Rsp->Stats.isNull())
+        std::cout << Rsp->Stats.write() << "\n";
+      for (const std::string &Msg : Rsp->Failures)
+        std::cerr << "failure: " << Msg << "\n";
+      break;
+    case ResponseStatus::Rejected:
+      ++Rejected;
+      std::cerr << "rejected: " << Rsp->Reason;
+      if (Rsp->RetryAfterMs)
+        std::cerr << " (retry after " << Rsp->RetryAfterMs << "ms)";
+      std::cerr << "\n";
+      break;
+    case ResponseStatus::DeadlineExceeded:
+      ++Expired;
+      break;
+    case ResponseStatus::Error:
+      ++Errors;
+      std::cerr << "error response: " << Rsp->Reason << "\n";
+      break;
+    }
+  }
+  ::close(Fd);
+
+  bool IsValidate = !Requests.empty() &&
+                    Requests.front().Kind == RequestKind::Validate;
+  if (!Cli.Json && IsValidate) {
+    std::cout << "responses: ok=" << Ok << " rejected=" << Rejected
+              << " deadline_exceeded=" << Expired << " errors=" << Errors
+              << "\n";
+    for (const auto &KV : Passes)
+      std::cout << "  " << KV.first << ": V=" << KV.second.V << " F="
+                << KV.second.F << " NS=" << KV.second.NS << " diff="
+                << KV.second.Diff << "\n";
+    std::cout << "verdicts: V=" << V << " F=" << F << " NS=" << NS
+              << " diff=" << Diff << " cache-hits=" << CacheHits
+              << " cache-misses=" << CacheMisses << "\n";
+  }
+
+  if (Errors || (IsValidate && (F || Diff || Rejected || Expired)))
+    return 1;
+  return 0;
+}

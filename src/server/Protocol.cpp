@@ -1,0 +1,355 @@
+//===- server/Protocol.cpp --------------------------------------*- C++ -*-===//
+
+#include "server/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::server;
+
+std::string server::encodeFrame(const std::string &Payload) {
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  std::string Out;
+  Out.reserve(4 + Payload.size());
+  Out.push_back(static_cast<char>((N >> 24) & 0xff));
+  Out.push_back(static_cast<char>((N >> 16) & 0xff));
+  Out.push_back(static_cast<char>((N >> 8) & 0xff));
+  Out.push_back(static_cast<char>(N & 0xff));
+  Out += Payload;
+  return Out;
+}
+
+namespace {
+
+bool writeAll(int Fd, const char *Buf, size_t N) {
+  while (N) {
+    ssize_t W = ::write(Fd, Buf, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Buf += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Reads exactly \p N bytes; false on EOF or error. \p SawAny reports
+/// whether any byte arrived (distinguishes clean EOF from truncation).
+bool readAll(int Fd, char *Buf, size_t N, bool &SawAny) {
+  while (N) {
+    ssize_t R = ::read(Fd, Buf, N);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R == 0)
+      return false;
+    SawAny = true;
+    Buf += R;
+    N -= static_cast<size_t>(R);
+  }
+  return true;
+}
+
+} // namespace
+
+bool server::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  std::string Frame = encodeFrame(Payload);
+  return writeAll(Fd, Frame.data(), Frame.size());
+}
+
+bool server::readFrame(int Fd, std::string &Out, std::string *Err) {
+  if (Err)
+    Err->clear();
+  unsigned char Hdr[4];
+  bool SawAny = false;
+  if (!readAll(Fd, reinterpret_cast<char *>(Hdr), 4, SawAny)) {
+    if (Err && SawAny)
+      *Err = "truncated frame header";
+    return false; // clean EOF leaves *Err empty
+  }
+  uint32_t N = (uint32_t(Hdr[0]) << 24) | (uint32_t(Hdr[1]) << 16) |
+               (uint32_t(Hdr[2]) << 8) | uint32_t(Hdr[3]);
+  if (N > MaxFrameBytes) {
+    if (Err)
+      *Err = "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes";
+    return false;
+  }
+  Out.assign(N, '\0');
+  if (N && !readAll(Fd, Out.data(), N, SawAny)) {
+    if (Err)
+      *Err = "truncated frame payload";
+    return false;
+  }
+  return true;
+}
+
+// --- Request codec -----------------------------------------------------------
+
+std::string server::requestToJson(const Request &R) {
+  json::Value O = json::Value::object();
+  switch (R.Kind) {
+  case RequestKind::Validate:
+    O.set("type", json::Value("validate"));
+    break;
+  case RequestKind::Stats:
+    O.set("type", json::Value("stats"));
+    break;
+  case RequestKind::Ping:
+    O.set("type", json::Value("ping"));
+    break;
+  case RequestKind::Shutdown:
+    O.set("type", json::Value("shutdown"));
+    break;
+  }
+  O.set("id", json::Value(R.Id));
+  if (R.Kind == RequestKind::Validate) {
+    if (!R.ModuleText.empty())
+      O.set("module", json::Value(R.ModuleText));
+    else if (R.HasSeed)
+      O.set("seed", json::Value(R.Seed));
+    O.set("bugs", json::Value(R.Bugs));
+    if (R.DeadlineMs)
+      O.set("deadline_ms", json::Value(R.DeadlineMs));
+  }
+  return O.write();
+}
+
+namespace {
+
+const json::Value *findKind(const json::Value &V, const char *Key,
+                            json::Value::Kind K) {
+  const json::Value *F = V.find(Key);
+  return F && F->kind() == K ? F : nullptr;
+}
+
+} // namespace
+
+std::optional<Request> server::requestFromJson(const std::string &Text,
+                                               std::string *Err) {
+  std::string ParseErr;
+  auto V = json::parse(Text, &ParseErr);
+  if (!V || V->kind() != json::Value::Kind::Object) {
+    if (Err)
+      *Err = ParseErr.empty() ? "request is not a JSON object" : ParseErr;
+    return std::nullopt;
+  }
+  const json::Value *Type = findKind(*V, "type", json::Value::Kind::String);
+  if (!Type) {
+    if (Err)
+      *Err = "request has no string 'type'";
+    return std::nullopt;
+  }
+  Request R;
+  const std::string &T = Type->getString();
+  if (T == "validate")
+    R.Kind = RequestKind::Validate;
+  else if (T == "stats")
+    R.Kind = RequestKind::Stats;
+  else if (T == "ping")
+    R.Kind = RequestKind::Ping;
+  else if (T == "shutdown")
+    R.Kind = RequestKind::Shutdown;
+  else {
+    if (Err)
+      *Err = "unknown request type '" + T + "'";
+    return std::nullopt;
+  }
+  if (const json::Value *Id = findKind(*V, "id", json::Value::Kind::Int))
+    R.Id = Id->getInt();
+  if (R.Kind == RequestKind::Validate) {
+    if (const json::Value *M = findKind(*V, "module", json::Value::Kind::String))
+      R.ModuleText = M->getString();
+    if (const json::Value *S = findKind(*V, "seed", json::Value::Kind::Int)) {
+      R.Seed = static_cast<uint64_t>(S->getInt());
+      R.HasSeed = true;
+    }
+    if (R.ModuleText.empty() && !R.HasSeed) {
+      if (Err)
+        *Err = "validate request needs 'module' or 'seed'";
+      return std::nullopt;
+    }
+    if (const json::Value *B = findKind(*V, "bugs", json::Value::Kind::String))
+      R.Bugs = B->getString();
+    if (const json::Value *D =
+            findKind(*V, "deadline_ms", json::Value::Kind::Int))
+      R.DeadlineMs = static_cast<uint64_t>(D->getInt());
+  }
+  return R;
+}
+
+// --- Response codec ----------------------------------------------------------
+
+const char *server::statusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::Rejected:
+    return "rejected";
+  case ResponseStatus::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ResponseStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+uint64_t Response::totalV() const {
+  uint64_t N = 0;
+  for (const auto &KV : Passes)
+    N += KV.second.V;
+  return N;
+}
+uint64_t Response::totalF() const {
+  uint64_t N = 0;
+  for (const auto &KV : Passes)
+    N += KV.second.F;
+  return N;
+}
+uint64_t Response::totalNS() const {
+  uint64_t N = 0;
+  for (const auto &KV : Passes)
+    N += KV.second.NS;
+  return N;
+}
+uint64_t Response::totalDiff() const {
+  uint64_t N = 0;
+  for (const auto &KV : Passes)
+    N += KV.second.Diff;
+  return N;
+}
+
+std::map<std::string, PassVerdicts>
+server::passVerdictsOf(const driver::StatsMap &S) {
+  std::map<std::string, PassVerdicts> Out;
+  for (const auto &KV : S) {
+    PassVerdicts &P = Out[KV.first];
+    P.V = KV.second.V;
+    P.F = KV.second.F;
+    P.NS = KV.second.NS;
+    P.Diff = KV.second.DiffMismatches;
+  }
+  return Out;
+}
+
+std::string server::responseToJson(const Response &R) {
+  json::Value O = json::Value::object();
+  O.set("id", json::Value(R.Id));
+  O.set("status", json::Value(statusName(R.Status)));
+  if (!R.Reason.empty())
+    O.set("reason", json::Value(R.Reason));
+  if (R.RetryAfterMs)
+    O.set("retry_after_ms", json::Value(R.RetryAfterMs));
+  if (!R.Passes.empty()) {
+    json::Value Passes = json::Value::object();
+    for (const auto &KV : R.Passes) {
+      json::Value P = json::Value::object();
+      P.set("V", json::Value(KV.second.V));
+      P.set("F", json::Value(KV.second.F));
+      P.set("NS", json::Value(KV.second.NS));
+      P.set("diff", json::Value(KV.second.Diff));
+      Passes.set(KV.first, std::move(P));
+    }
+    O.set("passes", std::move(Passes));
+  }
+  if (!R.Failures.empty()) {
+    json::Value F = json::Value::array();
+    for (const std::string &S : R.Failures)
+      F.push(json::Value(S));
+    O.set("failures", std::move(F));
+  }
+  if (R.Status == ResponseStatus::Ok && R.Stats.isNull()) {
+    json::Value C = json::Value::object();
+    C.set("hits", json::Value(R.CacheHits));
+    C.set("misses", json::Value(R.CacheMisses));
+    O.set("cache", std::move(C));
+    O.set("queue_us", json::Value(R.QueueUs));
+    O.set("total_us", json::Value(R.TotalUs));
+  }
+  if (!R.Stats.isNull())
+    O.set("stats", R.Stats);
+  return O.write();
+}
+
+std::optional<Response> server::responseFromJson(const std::string &Text,
+                                                 std::string *Err) {
+  std::string ParseErr;
+  auto V = json::parse(Text, &ParseErr);
+  if (!V || V->kind() != json::Value::Kind::Object) {
+    if (Err)
+      *Err = ParseErr.empty() ? "response is not a JSON object" : ParseErr;
+    return std::nullopt;
+  }
+  const json::Value *St = findKind(*V, "status", json::Value::Kind::String);
+  if (!St) {
+    if (Err)
+      *Err = "response has no string 'status'";
+    return std::nullopt;
+  }
+  Response R;
+  const std::string &S = St->getString();
+  if (S == "ok")
+    R.Status = ResponseStatus::Ok;
+  else if (S == "rejected")
+    R.Status = ResponseStatus::Rejected;
+  else if (S == "deadline_exceeded")
+    R.Status = ResponseStatus::DeadlineExceeded;
+  else if (S == "error")
+    R.Status = ResponseStatus::Error;
+  else {
+    if (Err)
+      *Err = "unknown response status '" + S + "'";
+    return std::nullopt;
+  }
+  if (const json::Value *Id = findKind(*V, "id", json::Value::Kind::Int))
+    R.Id = Id->getInt();
+  if (const json::Value *Re = findKind(*V, "reason", json::Value::Kind::String))
+    R.Reason = Re->getString();
+  if (const json::Value *Ra =
+          findKind(*V, "retry_after_ms", json::Value::Kind::Int))
+    R.RetryAfterMs = static_cast<uint64_t>(Ra->getInt());
+  if (const json::Value *Passes =
+          findKind(*V, "passes", json::Value::Kind::Object))
+    for (const auto &KV : Passes->members()) {
+      if (KV.second.kind() != json::Value::Kind::Object)
+        continue;
+      PassVerdicts P;
+      if (const json::Value *N = findKind(KV.second, "V", json::Value::Kind::Int))
+        P.V = static_cast<uint64_t>(N->getInt());
+      if (const json::Value *N = findKind(KV.second, "F", json::Value::Kind::Int))
+        P.F = static_cast<uint64_t>(N->getInt());
+      if (const json::Value *N =
+              findKind(KV.second, "NS", json::Value::Kind::Int))
+        P.NS = static_cast<uint64_t>(N->getInt());
+      if (const json::Value *N =
+              findKind(KV.second, "diff", json::Value::Kind::Int))
+        P.Diff = static_cast<uint64_t>(N->getInt());
+      R.Passes[KV.first] = P;
+    }
+  if (const json::Value *F = findKind(*V, "failures", json::Value::Kind::Array))
+    for (const json::Value &E : F->elements())
+      if (E.kind() == json::Value::Kind::String)
+        R.Failures.push_back(E.getString());
+  if (const json::Value *C = findKind(*V, "cache", json::Value::Kind::Object)) {
+    if (const json::Value *N = findKind(*C, "hits", json::Value::Kind::Int))
+      R.CacheHits = static_cast<uint64_t>(N->getInt());
+    if (const json::Value *N = findKind(*C, "misses", json::Value::Kind::Int))
+      R.CacheMisses = static_cast<uint64_t>(N->getInt());
+  }
+  if (const json::Value *N = findKind(*V, "queue_us", json::Value::Kind::Int))
+    R.QueueUs = static_cast<uint64_t>(N->getInt());
+  if (const json::Value *N = findKind(*V, "total_us", json::Value::Kind::Int))
+    R.TotalUs = static_cast<uint64_t>(N->getInt());
+  if (const json::Value *Stats =
+          findKind(*V, "stats", json::Value::Kind::Object))
+    R.Stats = *Stats;
+  return R;
+}

@@ -1,0 +1,131 @@
+//===- server/Protocol.h - Validation service wire protocol -----*- C++ -*-===//
+///
+/// \file
+/// The `crellvm-served` wire protocol: length-prefixed JSON frames over a
+/// byte stream (a Unix-domain socket in production, an in-process string
+/// round-trip in the loopback transport used by tests).
+///
+/// **Framing.** Each message is a 4-byte big-endian payload length
+/// followed by that many bytes of UTF-8 JSON. Frames above MaxFrameBytes
+/// are rejected before allocation — a malformed or hostile peer can cost
+/// at most one bounded read, never an OOM. Reads and writes loop over
+/// partial transfers and EINTR.
+///
+/// **Requests** (`"type"` selects the kind; `"id"` is an opaque client
+/// token echoed in the response, which is how clients pipeline many
+/// requests on one connection even though batching completes them out of
+/// order):
+///
+///   {"type":"validate","id":7,"seed":3,"bugs":"fixed","deadline_ms":500}
+///   {"type":"validate","id":8,"module":"<.ll text>"}
+///   {"type":"stats","id":1}
+///   {"type":"ping","id":2}
+///   {"type":"shutdown","id":3}
+///
+/// A validate request names its unit either by `seed` (the server
+/// generates the same module `crellvm-validate --seed S` would) or by
+/// `module` (verbatim .ll text). `bugs` picks the pass configuration
+/// (371 | 501pre | 501post | fixed); `deadline_ms` bounds queue+run time.
+///
+/// **Responses** echo `id` and carry `status`:
+///
+///   ok                  per-pass verdict counts, failures, latencies
+///   rejected            backpressure (`reason`: queue_full with
+///                       retry_after_ms, or shutting_down) — the request
+///                       was NOT validated
+///   deadline_exceeded   admitted but expired before validation started
+///   error               malformed request (reason says why)
+///
+/// The protocol is *outside* the TCB: it moves bytes to and from the
+/// same driver + checker stack `crellvm-validate` runs, and a verdict is
+/// only ever produced by that stack (DESIGN.md §12).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SERVER_PROTOCOL_H
+#define CRELLVM_SERVER_PROTOCOL_H
+
+#include "driver/Driver.h"
+#include "json/Json.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace server {
+
+/// Upper bound on one frame's payload; a module plus headroom.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Prepends the 4-byte big-endian length header.
+std::string encodeFrame(const std::string &Payload);
+
+/// Writes one frame to \p Fd, looping over partial writes. False on any
+/// I/O error (the connection is then unusable).
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one frame from \p Fd. False on EOF, I/O error, or an oversize
+/// header (\p Err names the cause; empty string means clean EOF).
+bool readFrame(int Fd, std::string &Out, std::string *Err = nullptr);
+
+enum class RequestKind : uint8_t { Validate, Stats, Ping, Shutdown };
+
+struct Request {
+  RequestKind Kind = RequestKind::Ping;
+  int64_t Id = 0;
+  /// Validate: verbatim module text; empty means generate from Seed.
+  std::string ModuleText;
+  uint64_t Seed = 0;
+  bool HasSeed = false;
+  /// Bug preset name, as crellvm-validate's --bugs.
+  std::string Bugs = "fixed";
+  /// Queue-wait + validation budget; 0 = unbounded.
+  uint64_t DeadlineMs = 0;
+};
+
+std::string requestToJson(const Request &R);
+std::optional<Request> requestFromJson(const std::string &Text,
+                                       std::string *Err = nullptr);
+
+enum class ResponseStatus : uint8_t { Ok, Rejected, DeadlineExceeded, Error };
+
+const char *statusName(ResponseStatus S);
+
+/// Per-pass verdict counts, the comparable core of driver::PassStats —
+/// exactly the fields that must be bit-identical between the service and
+/// a standalone `crellvm-validate` run on the same unit.
+struct PassVerdicts {
+  uint64_t V = 0, F = 0, NS = 0, Diff = 0;
+  bool operator==(const PassVerdicts &O) const = default;
+};
+
+struct Response {
+  int64_t Id = 0;
+  ResponseStatus Status = ResponseStatus::Error;
+  std::string Reason;          ///< rejected/error detail
+  uint64_t RetryAfterMs = 0;   ///< rejected(queue_full) backoff hint
+  std::map<std::string, PassVerdicts> Passes;
+  std::vector<std::string> Failures;
+  uint64_t CacheHits = 0, CacheMisses = 0;
+  uint64_t QueueUs = 0, TotalUs = 0;
+  /// Stats-request payload (object), null otherwise.
+  json::Value Stats;
+
+  uint64_t totalV() const;
+  uint64_t totalF() const;
+  uint64_t totalNS() const;
+  uint64_t totalDiff() const;
+};
+
+std::string responseToJson(const Response &R);
+std::optional<Response> responseFromJson(const std::string &Text,
+                                         std::string *Err = nullptr);
+
+/// Collapses a driver StatsMap into the wire verdict map.
+std::map<std::string, PassVerdicts> passVerdictsOf(const driver::StatsMap &S);
+
+} // namespace server
+} // namespace crellvm
+
+#endif // CRELLVM_SERVER_PROTOCOL_H

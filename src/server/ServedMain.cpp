@@ -1,0 +1,188 @@
+//===- server/ServedMain.cpp - The crellvm-served daemon --------*- C++ -*-===//
+//
+// Long-running validation daemon: one warm ValidationCache and one
+// ThreadPool serving validation requests over a Unix-domain socket with
+// the length-prefixed JSON protocol (server/Protocol.h). SIGTERM/SIGINT
+// drain gracefully: in-flight and queued requests finish, new ones are
+// rejected, the cache flushes, then the process exits 0.
+//
+//   crellvm-served --socket PATH [--jobs N] [--queue-max N]
+//                  [--batch-max N] [--linger-us N] [--files] [--oracle]
+//                  [--cache=off|ro|rw] [--cache-dir DIR]
+//                  [--cache-max-mb N] [--version] [--help]
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Version.h"
+#include "server/SocketServer.h"
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+
+#include <unistd.h>
+
+using namespace crellvm;
+
+namespace {
+
+struct CliOptions {
+  std::string Socket;
+  server::ServiceOptions Service;
+  cache::CachePolicy CachePolicy = cache::CachePolicy::Off;
+  std::string CacheDir = ".crellvm-cache";
+  uint64_t CacheMaxMb = 256;
+};
+
+void printUsage(std::ostream &OS, const char *Argv0) {
+  OS << "usage: " << Argv0 << " --socket PATH [options]\n"
+     << "\n"
+     << "Persistent validation service: accepts validation requests over a\n"
+     << "Unix-domain socket (length-prefixed JSON frames), coalesces them\n"
+     << "into batches on a shared thread pool, and keeps one validation\n"
+     << "cache warm across all requests. SIGTERM drains gracefully: every\n"
+     << "accepted request still gets its verdict, new ones are rejected.\n"
+     << "\n"
+     << "options:\n"
+     << "  --socket PATH     Unix-domain socket to listen on (required)\n"
+     << "  --jobs N          pool worker threads (default: all hardware)\n"
+     << "  --queue-max N     admission queue bound; beyond it requests are\n"
+     << "                    rejected with retry_after_ms (default 256)\n"
+     << "  --batch-max N     max requests coalesced per batch (default 32)\n"
+     << "  --linger-us N     micro-batching linger in microseconds\n"
+     << "                    (default 200; 0 = dispatch immediately)\n"
+     << "  --files           exchange src/tgt/proof through files (I/O col)\n"
+     << "  --oracle          differentially execute accepted translations\n"
+     << "  --cache=MODE      validation cache: off (default) | ro | rw\n"
+     << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
+     << "  --cache-max-mb N  on-disk cache bound in MiB (default 256)\n"
+     << "  --version         print version and exit\n"
+     << "  --help, -h        print this help and exit\n";
+}
+
+bool WantHelp = false;
+bool WantVersion = false;
+std::string BadArg;
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    BadArg = A;
+    auto NextNum = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t N = 0;
+    if (A == "--help" || A == "-h") {
+      WantHelp = true;
+      return true;
+    } else if (A == "--version") {
+      WantVersion = true;
+      return true;
+    } else if (A == "--socket" && I + 1 < Argc)
+      O.Socket = Argv[++I];
+    else if (A == "--jobs" && NextNum(N))
+      O.Service.Jobs = static_cast<unsigned>(N);
+    else if (A == "--queue-max" && NextNum(N))
+      O.Service.QueueMax = static_cast<size_t>(N);
+    else if (A == "--batch-max" && NextNum(N))
+      O.Service.BatchMax = static_cast<size_t>(N);
+    else if (A == "--linger-us" && NextNum(N))
+      O.Service.BatchLingerUs = N;
+    else if (A == "--files")
+      O.Service.Driver.WriteFiles = true;
+    else if (A == "--oracle")
+      O.Service.Driver.RunOracle = true;
+    else if (A.rfind("--cache=", 0) == 0) {
+      auto P = cache::parseCachePolicy(A.substr(std::strlen("--cache=")));
+      if (!P)
+        return false;
+      O.CachePolicy = *P;
+    } else if (A == "--cache" && I + 1 < Argc) {
+      auto P = cache::parseCachePolicy(Argv[++I]);
+      if (!P)
+        return false;
+      O.CachePolicy = *P;
+    } else if (A == "--cache-dir" && I + 1 < Argc)
+      O.CacheDir = Argv[++I];
+    else if (A == "--cache-max-mb" && NextNum(N))
+      O.CacheMaxMb = N;
+    else
+      return false;
+  }
+  return true;
+}
+
+/// The self-pipe fd the signal handler writes to. Signal handlers may
+/// only touch async-signal-safe calls, hence write(2) on a pre-stored fd.
+volatile int SignalStopFd = -1;
+
+void onTerminate(int) {
+  int Fd = SignalStopFd;
+  if (Fd >= 0) {
+    char B = 1;
+    [[maybe_unused]] ssize_t W = ::write(Fd, &B, 1);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  Cli.Service.Driver.WriteFiles = false;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    std::cerr << "error: unknown or malformed option '" << BadArg << "'\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (WantHelp) {
+    printUsage(std::cout, Argv[0]);
+    return 0;
+  }
+  if (WantVersion) {
+    std::cout << checker::versionLine("crellvm-served") << "\n";
+    return 0;
+  }
+  if (Cli.Socket.empty()) {
+    std::cerr << "error: --socket PATH is required\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+
+  Cli.Service.Cache.Policy = Cli.CachePolicy;
+  Cli.Service.Cache.Dir = Cli.CacheDir;
+  Cli.Service.Cache.MaxDiskBytes = Cli.CacheMaxMb << 20;
+
+  server::ValidationService Service(Cli.Service);
+  server::SocketServer Server(Service, {Cli.Socket, /*Backlog=*/64});
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::cerr << "error: " << Err << "\n";
+    return 1;
+  }
+
+  SignalStopFd = Server.stopFdForSignals();
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTerminate;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN); // a vanished client must not kill the daemon
+
+  // The readiness line CI and scripts wait for.
+  std::cout << "crellvm-served listening on " << Cli.Socket << " (jobs="
+            << Service.jobs() << ")" << std::endl;
+
+  Server.run(); // returns after the graceful drain
+
+  server::ServiceCounters C = Service.counters();
+  std::cout << "crellvm-served drained: accepted=" << C.Accepted
+            << " completed=" << C.Completed << " deadline_exceeded="
+            << C.DeadlineExpired << " rejected="
+            << (C.RejectedQueueFull + C.RejectedShutdown) << std::endl;
+  // Every accepted request must be accounted for: a verdict or a deadline
+  // expiry, never silence.
+  return C.Accepted == C.Completed + C.DeadlineExpired ? 0 : 1;
+}

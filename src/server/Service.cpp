@@ -1,0 +1,488 @@
+//===- server/Service.cpp ---------------------------------------*- C++ -*-===//
+
+#include "server/Service.h"
+
+#include "ir/Parser.h"
+#include "workload/RandomProgram.h"
+
+#include <condition_variable>
+
+using namespace crellvm;
+using namespace crellvm::server;
+
+namespace {
+
+std::optional<passes::BugConfig> parseBugs(const std::string &Name) {
+  if (Name == "371")
+    return passes::BugConfig::llvm371();
+  if (Name == "501pre")
+    return passes::BugConfig::llvm501PreGvnPatch();
+  if (Name == "501post")
+    return passes::BugConfig::llvm501PostGvnPatch();
+  if (Name == "fixed")
+    return passes::BugConfig::fixed();
+  return std::nullopt;
+}
+
+json::Value histJson(const Histogram &H) {
+  Histogram::Snapshot S = H.snapshot();
+  json::Value O = json::Value::object();
+  O.set("count", json::Value(S.Count));
+  O.set("mean", json::Value(static_cast<uint64_t>(S.mean() + 0.5)));
+  O.set("p50", json::Value(S.quantile(0.50)));
+  O.set("p95", json::Value(S.quantile(0.95)));
+  O.set("p99", json::Value(S.quantile(0.99)));
+  O.set("max", json::Value(S.Max));
+  return O;
+}
+
+const char *policyName(cache::CachePolicy P) {
+  switch (P) {
+  case cache::CachePolicy::Off:
+    return "off";
+  case cache::CachePolicy::ReadOnly:
+    return "ro";
+  case cache::CachePolicy::ReadWrite:
+    return "rw";
+  }
+  return "?";
+}
+
+} // namespace
+
+ValidationService::ValidationService(ServiceOptions Options)
+    : Opts(std::move(Options)), Cache(Opts.Cache), Pool(Opts.Jobs),
+      Paused(Opts.StartPaused) {
+  // The service owns the one warm cache; whatever the caller put in the
+  // base driver options is replaced.
+  Opts.Driver.Cache = Cache.enabled() ? &Cache : nullptr;
+  Dispatcher = std::thread([this] { dispatcherLoop(); });
+}
+
+ValidationService::~ValidationService() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Draining = true;
+    Stopping = true;
+    Paused = false;
+  }
+  QueueCv.notify_all();
+  Dispatcher.join();
+}
+
+void ValidationService::resume() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Paused = false;
+  }
+  QueueCv.notify_all();
+}
+
+void ValidationService::beginShutdown() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Draining = true;
+    // A paused service still owes verdicts to everything it admitted:
+    // drain implies dispatching.
+    Paused = false;
+  }
+  QueueCv.notify_all();
+}
+
+bool ValidationService::draining() const {
+  std::lock_guard<std::mutex> L(M);
+  return Draining;
+}
+
+size_t ValidationService::queueDepth() const {
+  std::lock_guard<std::mutex> L(M);
+  return Queue.size();
+}
+
+ServiceCounters ValidationService::counters() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}
+
+uint64_t ValidationService::retryAfterMsHint() {
+  // Half a typical request latency is a reasonable first retry; the floor
+  // keeps the hint sane before any request completed.
+  uint64_t P50Us = TotalLatencyUs.snapshot().quantile(0.5);
+  uint64_t Hint = P50Us / 2000;
+  return Hint > Opts.RetryAfterMsFloor ? Hint : Opts.RetryAfterMsFloor;
+}
+
+void ValidationService::submit(const Request &R, Callback Done) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++Stats.Received;
+  }
+  Response Rsp;
+  Rsp.Id = R.Id;
+
+  switch (R.Kind) {
+  case RequestKind::Ping:
+    Rsp.Status = ResponseStatus::Ok;
+    Done(std::move(Rsp));
+    return;
+  case RequestKind::Stats:
+    Rsp.Status = ResponseStatus::Ok;
+    Rsp.Stats = statsJson();
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.StatsRequests;
+    }
+    Done(std::move(Rsp));
+    return;
+  case RequestKind::Shutdown:
+    beginShutdown();
+    Rsp.Status = ResponseStatus::Ok;
+    Rsp.Reason = "draining";
+    Done(std::move(Rsp));
+    return;
+  case RequestKind::Validate:
+    break;
+  }
+
+  // Admission-time validation: anything malformed is answered now, on the
+  // caller's thread, without consuming queue capacity.
+  auto Bugs = parseBugs(R.Bugs);
+  if (!Bugs) {
+    std::lock_guard<std::mutex> L(M);
+    ++Stats.BadRequests;
+    Rsp.Status = ResponseStatus::Error;
+    Rsp.Reason = "unknown bugs preset '" + R.Bugs + "'";
+  }
+  std::optional<ir::Module> Mod;
+  if (Bugs && !R.ModuleText.empty()) {
+    std::string Err;
+    Mod = ir::parseModule(R.ModuleText, &Err);
+    if (!Mod) {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.BadRequests;
+      Rsp.Status = ResponseStatus::Error;
+      Rsp.Reason = "module parse error: " + Err;
+    }
+  }
+  if (Rsp.Status == ResponseStatus::Error && !Rsp.Reason.empty()) {
+    Done(std::move(Rsp));
+    return;
+  }
+
+  Pending P;
+  P.R = R;
+  P.Done = std::move(Done);
+  P.Mod = std::move(Mod);
+  P.Bugs = *Bugs;
+  P.Arrival = Clock::now();
+  if (R.DeadlineMs)
+    P.Deadline = P.Arrival + std::chrono::milliseconds(R.DeadlineMs);
+
+  bool Notify = false;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Draining) {
+      ++Stats.RejectedShutdown;
+      Rsp.Status = ResponseStatus::Rejected;
+      Rsp.Reason = "shutting_down";
+    } else if (Queue.size() >= Opts.QueueMax) {
+      ++Stats.RejectedQueueFull;
+      Rsp.Status = ResponseStatus::Rejected;
+      Rsp.Reason = "queue_full";
+      Rsp.RetryAfterMs = retryAfterMsHint();
+    } else {
+      ++Stats.Accepted;
+      Queue.push_back(std::move(P));
+      Notify = true;
+    }
+  }
+  if (Notify) {
+    QueueCv.notify_all();
+    return;
+  }
+  P.Done(std::move(Rsp)); // rejected: P was not moved into the queue
+}
+
+Response ValidationService::call(const Request &R) {
+  struct Waiter {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Ready = false;
+    Response Rsp;
+  };
+  auto W = std::make_shared<Waiter>();
+  submit(R, [W](Response Rsp) {
+    std::lock_guard<std::mutex> L(W->M);
+    W->Rsp = std::move(Rsp);
+    W->Ready = true;
+    W->Cv.notify_all();
+  });
+  std::unique_lock<std::mutex> L(W->M);
+  W->Cv.wait(L, [&W] { return W->Ready; });
+  return W->Rsp;
+}
+
+std::vector<ValidationService::Pending> ValidationService::takeBatchLocked() {
+  std::vector<Pending> Batch;
+  if (Queue.empty())
+    return Batch;
+  // One driver batch shares one BugConfig, so coalesce only requests with
+  // the front's preset; others keep their queue position for a later
+  // batch (FIFO across presets is preserved within each preset).
+  const std::string Preset = Queue.front().R.Bugs;
+  for (auto It = Queue.begin();
+       It != Queue.end() && Batch.size() < Opts.BatchMax;) {
+    if (It->R.Bugs == Preset) {
+      Batch.push_back(std::move(*It));
+      It = Queue.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  return Batch;
+}
+
+void ValidationService::finishOne(Pending &P, Response Rsp,
+                                  Clock::time_point BatchStart) {
+  auto Now = Clock::now();
+  auto Us = [](Clock::duration D) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(D).count());
+  };
+  Rsp.Id = P.R.Id;
+  Rsp.QueueUs = Us(BatchStart - P.Arrival);
+  Rsp.TotalUs = Us(Now - P.Arrival);
+  QueueLatencyUs.record(Rsp.QueueUs);
+  TotalLatencyUs.record(Rsp.TotalUs);
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Rsp.Status == ResponseStatus::DeadlineExceeded) {
+      ++Stats.DeadlineExpired;
+    } else {
+      ++Stats.Completed;
+      Stats.VerdictsV += Rsp.totalV();
+      Stats.VerdictsF += Rsp.totalF();
+      Stats.VerdictsNS += Rsp.totalNS();
+      Stats.DiffMismatches += Rsp.totalDiff();
+      Stats.CacheHits += Rsp.CacheHits;
+      Stats.CacheMisses += Rsp.CacheMisses;
+    }
+  }
+  Callback Done = std::move(P.Done);
+  Done(std::move(Rsp));
+}
+
+void ValidationService::runBatch(std::vector<Pending> &Batch) {
+  Clock::time_point BatchStart = Clock::now();
+  // Counted at dispatch, not at completion: per-unit callbacks answer
+  // clients while the batch is still running, and a stats probe racing
+  // them must already see the batch.
+  BatchSizes.record(Batch.size());
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++Stats.Batches;
+  }
+  static std::atomic<uint64_t> BatchSeq{0};
+  driver::DriverOptions DOpts = Opts.Driver;
+  DOpts.Cache = Cache.enabled() ? &Cache : nullptr;
+  DOpts.ExchangeTag = "srv" + std::to_string(
+                                  BatchSeq.fetch_add(1, std::memory_order_relaxed));
+
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Pool.numThreads();
+  BOpts.CancelUnit = [&Batch](size_t I) {
+    const Pending &P = Batch[I];
+    return P.R.DeadlineMs != 0 && Clock::now() > P.Deadline;
+  };
+  BOpts.OnUnitDone = [this, &Batch, BatchStart](size_t I,
+                                                const driver::StatsMap &Unit,
+                                                bool Cancelled) {
+    Response Rsp;
+    if (Cancelled) {
+      Rsp.Status = ResponseStatus::DeadlineExceeded;
+      Rsp.Reason = "deadline passed before validation started";
+    } else {
+      Rsp.Status = ResponseStatus::Ok;
+      Rsp.Passes = passVerdictsOf(Unit);
+      for (const auto &KV : Unit) {
+        for (const std::string &S : KV.second.FailureSamples)
+          if (Rsp.Failures.size() < 16)
+            Rsp.Failures.push_back("[" + KV.first + "] " + S);
+        Rsp.CacheHits += KV.second.CacheHits;
+        Rsp.CacheMisses += KV.second.CacheMisses;
+      }
+    }
+    finishOne(Batch[I], std::move(Rsp), BatchStart);
+  };
+
+  driver::runBatchValidated(
+      Batch.front().Bugs, DOpts, Batch.size(),
+      [&Batch](size_t I) {
+        const Pending &P = Batch[I];
+        if (P.Mod)
+          return *P.Mod;
+        // Exactly what `crellvm-validate --seed S --modules 1` feeds the
+        // driver, so verdicts are comparable bit for bit.
+        workload::GenOptions G;
+        G.Seed = P.R.Seed;
+        return workload::generateModule(G);
+      },
+      BOpts, &Pool);
+}
+
+void ValidationService::dispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> Batch;
+    {
+      std::unique_lock<std::mutex> L(M);
+      QueueCv.wait(L, [this] {
+        return Stopping || (!Paused && !Queue.empty());
+      });
+      if (Queue.empty()) {
+        IdleCv.notify_all();
+        if (Stopping)
+          return;
+        continue;
+      }
+      // Micro-batching: when the queue is shallower than a full batch,
+      // linger briefly so closely spaced submitters coalesce into one
+      // driver batch instead of many tiny ones.
+      if (!Stopping && Opts.BatchLingerUs &&
+          Queue.size() < Opts.BatchMax) {
+        QueueCv.wait_for(L, std::chrono::microseconds(Opts.BatchLingerUs),
+                         [this] {
+                           return Stopping || Queue.size() >= Opts.BatchMax;
+                         });
+      }
+      Batch = takeBatchLocked();
+      InFlight = Batch.size();
+    }
+    if (!Batch.empty())
+      runBatch(Batch);
+    {
+      std::lock_guard<std::mutex> L(M);
+      InFlight = 0;
+      if (Queue.empty())
+        IdleCv.notify_all();
+    }
+  }
+}
+
+void ValidationService::drain() {
+  std::unique_lock<std::mutex> L(M);
+  IdleCv.wait(L, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+json::Value ValidationService::statsJson() {
+  ServiceCounters C;
+  size_t Depth;
+  bool IsDraining;
+  {
+    std::lock_guard<std::mutex> L(M);
+    C = Stats;
+    Depth = Queue.size();
+    IsDraining = Draining;
+  }
+
+  json::Value Root = json::Value::object();
+
+  json::Value Server = json::Value::object();
+  Server.set("draining", json::Value(IsDraining));
+  Server.set("jobs", json::Value(static_cast<uint64_t>(Pool.numThreads())));
+  Server.set("queue_depth", json::Value(static_cast<uint64_t>(Depth)));
+  Server.set("queue_max", json::Value(static_cast<uint64_t>(Opts.QueueMax)));
+  Server.set("batch_max", json::Value(static_cast<uint64_t>(Opts.BatchMax)));
+  json::Value PoolV = json::Value::object();
+  PoolV.set("queue_depth", json::Value(Pool.queueDepth()));
+  PoolV.set("active_workers",
+            json::Value(static_cast<uint64_t>(Pool.activeWorkers())));
+  Server.set("pool", std::move(PoolV));
+  Root.set("server", std::move(Server));
+
+  json::Value Req = json::Value::object();
+  Req.set("received", json::Value(C.Received));
+  Req.set("accepted", json::Value(C.Accepted));
+  Req.set("completed", json::Value(C.Completed));
+  Req.set("rejected_queue_full", json::Value(C.RejectedQueueFull));
+  Req.set("rejected_shutting_down", json::Value(C.RejectedShutdown));
+  Req.set("bad_requests", json::Value(C.BadRequests));
+  Req.set("deadline_exceeded", json::Value(C.DeadlineExpired));
+  Req.set("batches", json::Value(C.Batches));
+  Req.set("stats_requests", json::Value(C.StatsRequests));
+  Root.set("requests", std::move(Req));
+
+  json::Value Verd = json::Value::object();
+  Verd.set("V", json::Value(C.VerdictsV));
+  Verd.set("F", json::Value(C.VerdictsF));
+  Verd.set("NS", json::Value(C.VerdictsNS));
+  Verd.set("diff", json::Value(C.DiffMismatches));
+  Root.set("verdicts", std::move(Verd));
+
+  json::Value CacheV = json::Value::object();
+  CacheV.set("policy", json::Value(policyName(Cache.policy())));
+  CacheV.set("hits", json::Value(C.CacheHits));
+  CacheV.set("misses", json::Value(C.CacheMisses));
+  uint64_t Lookups = C.CacheHits + C.CacheMisses;
+  CacheV.set("hit_rate_ppm",
+             json::Value(Lookups ? static_cast<uint64_t>(
+                                       C.CacheHits * 1000000.0 / Lookups + 0.5)
+                                 : 0));
+  CacheV.set("mem_entries", json::Value(static_cast<uint64_t>(Cache.memSize())));
+  CacheV.set("disk_bytes", json::Value(Cache.diskBytes()));
+  Root.set("cache", std::move(CacheV));
+
+  json::Value Lat = json::Value::object();
+  Lat.set("queue", histJson(QueueLatencyUs));
+  Lat.set("total", histJson(TotalLatencyUs));
+  Root.set("latency_us", std::move(Lat));
+  Root.set("batch_size", histJson(BatchSizes));
+  return Root;
+}
+
+// --- LoopbackTransport -------------------------------------------------------
+
+void LoopbackTransport::submit(const Request &R,
+                               ValidationService::Callback Done) {
+  std::string Err;
+  auto Decoded = requestFromJson(requestToJson(R), &Err);
+  if (!Decoded) {
+    Response Rsp;
+    Rsp.Id = R.Id;
+    Rsp.Status = ResponseStatus::Error;
+    Rsp.Reason = Err;
+    Done(std::move(Rsp));
+    return;
+  }
+  S.submit(*Decoded, [Done = std::move(Done)](Response Rsp) {
+    std::string CodecErr;
+    auto Back = responseFromJson(responseToJson(Rsp), &CodecErr);
+    if (!Back) {
+      Response Bad;
+      Bad.Id = Rsp.Id;
+      Bad.Status = ResponseStatus::Error;
+      Bad.Reason = "response codec round-trip failed: " + CodecErr;
+      Done(std::move(Bad));
+      return;
+    }
+    Done(std::move(*Back));
+  });
+}
+
+Response LoopbackTransport::call(const Request &R) {
+  struct Waiter {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Ready = false;
+    Response Rsp;
+  };
+  auto W = std::make_shared<Waiter>();
+  submit(R, [W](Response Rsp) {
+    std::lock_guard<std::mutex> L(W->M);
+    W->Rsp = std::move(Rsp);
+    W->Ready = true;
+    W->Cv.notify_all();
+  });
+  std::unique_lock<std::mutex> L(W->M);
+  W->Cv.wait(L, [&W] { return W->Ready; });
+  return W->Rsp;
+}

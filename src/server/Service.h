@@ -1,0 +1,205 @@
+//===- server/Service.h - Long-running validation service ------*- C++ -*-===//
+///
+/// \file
+/// The transport-agnostic heart of `crellvm-served`: one warm
+/// cache::ValidationCache and one work-stealing ThreadPool owned for the
+/// process lifetime, fed by a bounded admission queue with explicit
+/// backpressure, a micro-batching dispatcher, per-request deadlines, and
+/// a graceful drain.
+///
+/// Request lifecycle:
+///
+///   submit()            admission: parse/validate the request, reject
+///                       with `queue_full` + retry_after_ms when the
+///                       bounded queue is at capacity, or with
+///                       `shutting_down` once a drain began. Admission
+///                       never blocks the caller.
+///   dispatcher thread   pops the queue, coalescing up to BatchMax
+///                       requests that share a bug configuration into one
+///                       driver::runBatchValidated call (after lingering
+///                       BatchLingerUs for stragglers when the queue is
+///                       shallow), run on the shared pool so units of one
+///                       batch validate concurrently.
+///   per-unit hooks      BatchOptions::CancelUnit expires requests whose
+///                       deadline passed while queued;
+///                       BatchOptions::OnUnitDone answers each request
+///                       from the worker thread the moment its unit
+///                       finishes — a slow unit never delays its batch
+///                       siblings' responses.
+///   beginShutdown()     new work is rejected, everything already
+///                       admitted still gets a verdict (or its deadline
+///                       expiry); drain() blocks until the queue and the
+///                       in-flight batch are empty. **No admitted request
+///                       is ever dropped without a response.**
+///
+/// Every verdict is produced by exactly the same ValidationDriver stack
+/// `crellvm-validate` uses — the service adds scheduling, never
+/// semantics — so per-pass #V/#F/#NS must be bit-identical to a
+/// standalone run on the same units (ServerTest pins this).
+///
+/// statsJson() exposes live metrics: request/verdict counters, queue
+/// depth and pool gauges (ThreadPool::queueDepth/activeWorkers), cache
+/// hit rate, and latency histograms (support/Histogram.h) with
+/// p50/p95/p99 for queue wait and total latency.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SERVER_SERVICE_H
+#define CRELLVM_SERVER_SERVICE_H
+
+#include "cache/ValidationCache.h"
+#include "server/Protocol.h"
+#include "support/Histogram.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace crellvm {
+namespace server {
+
+struct ServiceOptions {
+  /// Pool workers shared by all batches; 0 = hardware concurrency.
+  unsigned Jobs = 0;
+  /// Bounded admission queue; submits beyond it are rejected with
+  /// `queue_full` and a retry_after_ms hint (explicit backpressure, the
+  /// alternative being unbounded memory growth under overload).
+  size_t QueueMax = 256;
+  /// Most units one driver batch coalesces.
+  size_t BatchMax = 32;
+  /// How long the dispatcher lingers for more requests when fewer than
+  /// BatchMax are queued; 0 = dispatch immediately (no coalescing delay).
+  uint64_t BatchLingerUs = 200;
+  /// Floor for the retry_after_ms backoff hint.
+  uint64_t RetryAfterMsFloor = 10;
+  /// Construct with the dispatcher paused; tests use this to set up
+  /// deterministic queue states (a full queue, an expired deadline)
+  /// before any batch runs. resume() starts dispatching.
+  bool StartPaused = false;
+  /// Base driver configuration (file exchange, oracle, binary proofs);
+  /// the Cache pointer is overwritten with the service-owned cache.
+  driver::DriverOptions Driver;
+  /// The warm cache kept across all requests (policy Off disables it).
+  cache::ValidationCacheOptions Cache;
+};
+
+/// Monotonic counters; snapshot via counters().
+struct ServiceCounters {
+  uint64_t Received = 0;          ///< all submit() calls
+  uint64_t Accepted = 0;          ///< admitted to the queue
+  uint64_t RejectedQueueFull = 0;
+  uint64_t RejectedShutdown = 0;
+  uint64_t BadRequests = 0;       ///< parse/validation errors at admission
+  uint64_t Completed = 0;         ///< answered with a verdict
+  uint64_t DeadlineExpired = 0;
+  uint64_t Batches = 0;
+  uint64_t VerdictsV = 0, VerdictsF = 0, VerdictsNS = 0;
+  uint64_t DiffMismatches = 0;
+  uint64_t CacheHits = 0, CacheMisses = 0;
+  uint64_t StatsRequests = 0;
+};
+
+class ValidationService {
+public:
+  using Callback = std::function<void(Response)>;
+
+  explicit ValidationService(ServiceOptions Opts);
+
+  /// Drains (rejecting nothing that was admitted) and stops the
+  /// dispatcher.
+  ~ValidationService();
+
+  ValidationService(const ValidationService &) = delete;
+  ValidationService &operator=(const ValidationService &) = delete;
+
+  /// Admits \p R or rejects it; \p Done is invoked exactly once, from
+  /// the caller (rejections, errors, stats/ping) or from a pool worker
+  /// (verdicts). \p Done must be thread-safe against other callbacks and
+  /// must not throw.
+  void submit(const Request &R, Callback Done);
+
+  /// Synchronous convenience: submit and wait for the response.
+  Response call(const Request &R);
+
+  /// Starts the dispatcher when constructed with StartPaused.
+  void resume();
+
+  /// Stops admitting; everything already queued or running still
+  /// completes. Idempotent.
+  void beginShutdown();
+
+  /// Blocks until the queue and any in-flight batch are empty.
+  void drain();
+
+  bool draining() const;
+
+  /// Live metrics as one JSON object (see file comment).
+  json::Value statsJson();
+
+  ServiceCounters counters() const;
+  size_t queueDepth() const;
+  cache::ValidationCache &cache() { return Cache; }
+  unsigned jobs() const { return Pool.numThreads(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request R;
+    Callback Done;
+    std::optional<ir::Module> Mod; ///< pre-parsed explicit module
+    passes::BugConfig Bugs;
+    Clock::time_point Arrival;
+    Clock::time_point Deadline; ///< meaningful iff R.DeadlineMs != 0
+  };
+
+  void dispatcherLoop();
+  /// Pops up to BatchMax queued requests sharing the front's bug config.
+  std::vector<Pending> takeBatchLocked();
+  void runBatch(std::vector<Pending> &Batch);
+  void finishOne(Pending &P, Response Rsp, Clock::time_point BatchStart);
+  uint64_t retryAfterMsHint();
+
+  ServiceOptions Opts;
+  cache::ValidationCache Cache;
+  ThreadPool Pool;
+
+  mutable std::mutex M;
+  std::condition_variable QueueCv; ///< wakes the dispatcher
+  std::condition_variable IdleCv;  ///< wakes drain()ers
+  std::deque<Pending> Queue;
+  bool Paused = false;
+  bool Draining = false;
+  bool Stopping = false;   ///< dispatcher must exit once queue is empty
+  size_t InFlight = 0;     ///< units handed to the current batch
+  ServiceCounters Stats;
+
+  Histogram QueueLatencyUs; ///< admission -> batch start
+  Histogram TotalLatencyUs; ///< admission -> response
+  Histogram BatchSizes;
+
+  std::thread Dispatcher;
+};
+
+/// In-process transport for tests: every request and response crosses the
+/// same JSON codec the socket uses (requestToJson -> requestFromJson on
+/// the way in, responseToJson -> responseFromJson on the way out), so
+/// loopback tests cover the wire format, minus only the fd plumbing.
+class LoopbackTransport {
+public:
+  explicit LoopbackTransport(ValidationService &S) : S(S) {}
+
+  void submit(const Request &R, ValidationService::Callback Done);
+  Response call(const Request &R);
+
+private:
+  ValidationService &S;
+};
+
+} // namespace server
+} // namespace crellvm
+
+#endif // CRELLVM_SERVER_SERVICE_H

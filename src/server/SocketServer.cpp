@@ -1,0 +1,214 @@
+//===- server/SocketServer.cpp ----------------------------------*- C++ -*-===//
+
+#include "server/SocketServer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::server;
+
+namespace {
+
+bool fillSockAddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string *Err) {
+  if (Path.size() + 1 > sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+SocketServer::Connection::~Connection() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool SocketServer::Connection::send(const std::string &Payload) {
+  std::lock_guard<std::mutex> L(WriteM);
+  if (!Open.load(std::memory_order_relaxed))
+    return false;
+  if (!writeFrame(Fd, Payload)) {
+    Open.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+SocketServer::SocketServer(ValidationService &Service,
+                           SocketServerOptions Options)
+    : Service(Service), Opts(std::move(Options)) {}
+
+SocketServer::~SocketServer() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Opts.Path.c_str());
+  }
+  for (int Fd : StopPipe)
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+bool SocketServer::start(std::string *Err) {
+  if (::pipe(StopPipe) != 0) {
+    if (Err)
+      *Err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un Addr;
+  if (!fillSockAddr(Opts.Path, Addr, Err))
+    return false;
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (errno != EADDRINUSE) {
+      if (Err)
+        *Err = std::string("bind: ") + std::strerror(errno);
+      return false;
+    }
+    // A socket file exists. If no server answers on it, it is a leftover
+    // from a crashed daemon: replace it. If one answers, refuse — two
+    // daemons on one path would split the client stream.
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    bool Live = Probe >= 0 && ::connect(Probe,
+                                        reinterpret_cast<sockaddr *>(&Addr),
+                                        sizeof(Addr)) == 0;
+    if (Probe >= 0)
+      ::close(Probe);
+    if (Live) {
+      if (Err)
+        *Err = "another server is listening on " + Opts.Path;
+      return false;
+    }
+    ::unlink(Opts.Path.c_str());
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      if (Err)
+        *Err = std::string("bind: ") + std::strerror(errno);
+      return false;
+    }
+  }
+  if (::listen(ListenFd, Opts.Backlog) != 0) {
+    if (Err)
+      *Err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::requestStop() {
+  // One byte on the self-pipe; poll() in run() wakes up. write(2) is
+  // async-signal-safe, so signal handlers route here via stopFdForSignals.
+  StopRequested.store(true, std::memory_order_relaxed);
+  char B = 1;
+  [[maybe_unused]] ssize_t W = ::write(StopPipe[1], &B, 1);
+}
+
+void SocketServer::run() {
+  acceptLoop();
+
+  // Graceful drain. Ordering matters: stop admitting fresh connections,
+  // then fresh requests, then let everything admitted finish, and only
+  // then tear the connections down.
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(Opts.Path.c_str());
+
+  Service.beginShutdown();
+  Service.drain();
+
+  std::vector<std::shared_ptr<Connection>> Live;
+  {
+    std::lock_guard<std::mutex> L(ConnM);
+    for (auto &W : Conns)
+      if (auto C = W.lock())
+        Live.push_back(std::move(C));
+  }
+  for (auto &C : Live) {
+    C->Open.store(false, std::memory_order_relaxed);
+    ::shutdown(C->Fd, SHUT_RDWR); // unblocks the reader thread
+  }
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> L(ConnM);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void SocketServer::acceptLoop() {
+  while (!StopRequested.load(std::memory_order_relaxed)) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
+    int N = ::poll(Fds, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Fds[1].revents)
+      return; // stop byte
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    std::lock_guard<std::mutex> L(ConnM);
+    Conns.push_back(Conn);
+    ConnThreads.emplace_back(
+        [this, Conn = std::move(Conn)]() mutable { serveConnection(Conn); });
+  }
+}
+
+void SocketServer::serveConnection(std::shared_ptr<Connection> Conn) {
+  std::string Frame;
+  std::string Err;
+  while (Conn->Open.load(std::memory_order_relaxed) &&
+         readFrame(Conn->Fd, Frame, &Err)) {
+    std::string ParseErr;
+    auto R = requestFromJson(Frame, &ParseErr);
+    if (!R) {
+      Response Bad;
+      Bad.Status = ResponseStatus::Error;
+      Bad.Reason = ParseErr;
+      Conn->send(responseToJson(Bad));
+      continue;
+    }
+    if (R->Kind == RequestKind::Shutdown) {
+      // Ack first, then trigger the same drain path SIGTERM takes; the
+      // service starts rejecting new work inside requestStop()'s run()
+      // sequence, while this response is already on the wire.
+      Response Ack;
+      Ack.Id = R->Id;
+      Ack.Status = ResponseStatus::Ok;
+      Ack.Reason = "draining";
+      Conn->send(responseToJson(Ack));
+      requestStop();
+      continue;
+    }
+    // The callback may fire on a pool worker thread long after this loop
+    // iteration; the shared_ptr keeps the connection (and its write
+    // mutex) alive until the last response is written.
+    Service.submit(*R, [Conn](Response Rsp) {
+      Conn->send(responseToJson(Rsp));
+    });
+  }
+}

@@ -1,0 +1,100 @@
+//===- server/SocketServer.h - Unix-domain socket front end ----*- C++ -*-===//
+///
+/// \file
+/// The network face of the validation service: a Unix-domain stream
+/// listener speaking the length-prefixed JSON framing of
+/// server/Protocol.h, one reader thread per connection, responses written
+/// under a per-connection mutex (batching completes units out of order,
+/// so responses interleave; clients match them by the echoed `id`).
+///
+/// Shutdown is the part worth reading twice. requestStop() — called from
+/// a SIGTERM/SIGINT handler via the self-pipe, from a `shutdown` request,
+/// or by tests — makes run() leave its poll loop and execute the drain
+/// sequence:
+///
+///   1. stop accepting (close the listen socket, unlink the path);
+///   2. ValidationService::beginShutdown(): requests still arriving on
+///      open connections are rejected with `shutting_down`;
+///   3. ValidationService::drain(): every admitted request gets its
+///      verdict written back;
+///   4. only then are connection fds shut down and reader threads joined.
+///
+/// So a SIGTERM under load loses zero accepted requests: each gets a
+/// verdict or an explicit rejection, never silence.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SERVER_SOCKETSERVER_H
+#define CRELLVM_SERVER_SOCKETSERVER_H
+
+#include "server/Service.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crellvm {
+namespace server {
+
+struct SocketServerOptions {
+  std::string Path; ///< Unix-domain socket path
+  int Backlog = 64;
+};
+
+class SocketServer {
+public:
+  SocketServer(ValidationService &Service, SocketServerOptions Opts);
+  ~SocketServer();
+
+  SocketServer(const SocketServer &) = delete;
+  SocketServer &operator=(const SocketServer &) = delete;
+
+  /// Binds and listens. A stale socket file whose owner is gone is
+  /// replaced; a live one fails the start. False with \p Err on failure.
+  bool start(std::string *Err);
+
+  /// Serves until requestStop(); then drains (see file comment) and
+  /// returns. Call after start().
+  void run();
+
+  /// Makes run() return. Safe from any thread; the fd write it performs
+  /// is async-signal-safe, so a signal handler may call it through
+  /// stopFdForSignals().
+  void requestStop();
+
+  /// The write end of the self-pipe; a signal handler writes one byte to
+  /// it to trigger a graceful stop.
+  int stopFdForSignals() const { return StopPipe[1]; }
+
+  const std::string &path() const { return Opts.Path; }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    std::mutex WriteM;
+    std::atomic<bool> Open{true};
+
+    ~Connection();
+    /// Frames and writes \p Payload; false (and marks closed) on error.
+    bool send(const std::string &Payload);
+  };
+
+  void acceptLoop();
+  void serveConnection(std::shared_ptr<Connection> Conn);
+
+  ValidationService &Service;
+  SocketServerOptions Opts;
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1};
+  std::atomic<bool> StopRequested{false};
+
+  std::mutex ConnM;
+  std::vector<std::weak_ptr<Connection>> Conns;
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace server
+} // namespace crellvm
+
+#endif // CRELLVM_SERVER_SOCKETSERVER_H

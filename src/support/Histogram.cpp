@@ -1,0 +1,71 @@
+//===- support/Histogram.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Histogram.h"
+
+using namespace crellvm;
+
+namespace {
+
+/// Bit-width bucketing: 0 -> 0, [1,1] -> 1, [2,3] -> 2, [2^k, 2^(k+1)-1]
+/// -> k+1. Never exceeds NumBuckets-1 (uint64_t has 64 bits).
+unsigned bucketOf(uint64_t V) {
+  unsigned B = 0;
+  while (V) {
+    ++B;
+    V >>= 1;
+  }
+  return B < Histogram::NumBuckets ? B : Histogram::NumBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket \p B (the largest value mapping to it).
+uint64_t bucketUpper(unsigned B) {
+  if (B == 0)
+    return 0;
+  if (B >= 64)
+    return ~0ull;
+  return (1ull << B) - 1;
+}
+
+} // namespace
+
+void Histogram::record(uint64_t Value) {
+  Buckets[bucketOf(Value)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Prev = Max.load(std::memory_order_relaxed);
+  while (Prev < Value &&
+         !Max.compare_exchange_weak(Prev, Value, std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  // Derive the count from the bucket snapshot so quantile() cumulative
+  // sums can never walk past S.Count even when record() races with us.
+  for (uint64_t B : S.Buckets)
+    S.Count += B;
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  S.Max = Max.load(std::memory_order_relaxed);
+  return S;
+}
+
+uint64_t Histogram::Snapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  uint64_t Rank = static_cast<uint64_t>(Q * double(Count) + 0.5);
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return bucketUpper(I);
+  }
+  return bucketUpper(NumBuckets - 1);
+}

@@ -1,0 +1,58 @@
+//===- support/Histogram.h - Concurrent latency histogram ------*- C++ -*-===//
+///
+/// \file
+/// A fixed-shape log2-bucketed histogram for latency metrics: 64 buckets,
+/// bucket B holding samples whose value has bit-width B (value 0 lands in
+/// bucket 0, values in [2^(B-1), 2^B) in bucket B). record() is a handful
+/// of relaxed atomic increments, so hot paths (the validation service's
+/// per-request accounting) can call it without a lock; quantile() reads a
+/// snapshot and answers p50/p95/p99 with bucket-upper-bound resolution —
+/// exact enough for operational metrics, deliberately not for the paper's
+/// timing tables (those use support/Timer.h and exact sums).
+///
+/// Log buckets keep relative error bounded (< 2x) across nine decades,
+/// which is the right trade for latencies that span microseconds (cache
+/// hits) to seconds (cold full-pipeline validations).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_HISTOGRAM_H
+#define CRELLVM_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace crellvm {
+
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  /// Adds one sample. Thread-safe, lock-free (relaxed atomics): counters
+  /// may be observed mid-update by snapshots, which is fine for metrics.
+  void record(uint64_t Value);
+
+  /// A consistent-enough copy for reporting.
+  struct Snapshot {
+    std::array<uint64_t, NumBuckets> Buckets{};
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Max = 0;
+
+    /// Value bound such that at least \p Q (0..1) of samples are <= it.
+    /// Returns the matched bucket's inclusive upper bound; 0 when empty.
+    uint64_t quantile(double Q) const;
+    double mean() const { return Count ? double(Sum) / double(Count) : 0; }
+  };
+  Snapshot snapshot() const;
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_HISTOGRAM_H

@@ -33,6 +33,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> Task) {
   Pending.fetch_add(1, std::memory_order_relaxed);
+  Queued.fetch_add(1, std::memory_order_relaxed);
   unsigned Target = static_cast<unsigned>(
       NextQueue.fetch_add(1, std::memory_order_relaxed) % Queues.size());
   {
@@ -76,7 +77,10 @@ bool ThreadPool::tryRunOne(unsigned Self) {
     T = stealFrom(Self);
   if (!T)
     return false;
+  Queued.fetch_sub(1, std::memory_order_relaxed);
+  Active.fetch_add(1, std::memory_order_relaxed);
   T();
+  Active.fetch_sub(1, std::memory_order_relaxed);
   if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> L(SignalM);
     DoneCv.notify_all();

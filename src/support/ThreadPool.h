@@ -48,6 +48,16 @@ public:
 
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Tasks submitted but not yet picked up by a worker. A relaxed-atomic
+  /// snapshot for metrics (the validation service's queue-depth gauge) —
+  /// momentarily stale by design, never torn.
+  uint64_t queueDepth() const { return Queued.load(std::memory_order_relaxed); }
+
+  /// Workers currently inside a task body (same relaxed-snapshot caveat).
+  unsigned activeWorkers() const {
+    return Active.load(std::memory_order_relaxed);
+  }
+
   /// Hardware concurrency with a sane floor of 1.
   static unsigned defaultConcurrency();
 
@@ -71,6 +81,8 @@ private:
   std::condition_variable WorkCv; ///< wakes idle workers
   std::condition_variable DoneCv; ///< wakes wait()ers
   std::atomic<uint64_t> Pending{0}; ///< submitted but not yet finished
+  std::atomic<uint64_t> Queued{0};  ///< submitted but not yet started
+  std::atomic<unsigned> Active{0};  ///< workers inside a task body
   std::atomic<uint64_t> NextQueue{0}; ///< round-robin submission cursor
   bool ShuttingDown = false; ///< guarded by SignalM
 };

@@ -404,6 +404,82 @@ TEST(DiskStore, ReadOnlyNeverWritesIndexOrRemovesCorruptObjects) {
   EXPECT_EQ(C.StoreErrors, 0u);
 }
 
+TEST(DiskStore, WriterLockIsExclusiveAndReleasedOnClose) {
+  DirGuard G(freshDir("lock"));
+  {
+    cache::DiskStore First({G.Dir});
+    ASSERT_TRUE(First.ok());
+    EXPECT_TRUE(First.lockHeld());
+    EXPECT_TRUE(std::filesystem::exists(G.Dir + "/lock"));
+
+    // A second writer on the same live directory is refused cleanly: it
+    // degrades to the unusable state instead of interleaving evictions.
+    cache::DiskStore Second({G.Dir});
+    EXPECT_FALSE(Second.ok());
+    EXPECT_FALSE(Second.lockHeld());
+    EXPECT_FALSE(Second.load(fp(60)).has_value());
+    EXPECT_EQ(Second.store(fp(60), "x"), 0u);
+    EXPECT_EQ(Second.counters().StoreErrors, 1u);
+
+    // The holder keeps working.
+    First.store(fp(61), "payload");
+    EXPECT_EQ(*First.load(fp(61)), "payload");
+  }
+  // Destruction released the lock: the next writer acquires it.
+  EXPECT_FALSE(std::filesystem::exists(G.Dir + "/lock"));
+  cache::DiskStore Next({G.Dir});
+  EXPECT_TRUE(Next.ok());
+  EXPECT_TRUE(Next.lockHeld());
+  EXPECT_EQ(*Next.load(fp(61)), "payload");
+}
+
+TEST(DiskStore, StaleLockFromDeadProcessIsStolen) {
+  DirGuard G(freshDir("stalelock"));
+  std::filesystem::create_directories(G.Dir);
+  {
+    // A lock naming a pid that cannot exist (pid_max caps well below
+    // 2^22+ on Linux; kill(2) reports ESRCH) is a crashed writer's
+    // leftover, not a live owner.
+    std::ofstream Out(G.Dir + "/lock");
+    Out << 999999999 << "\n";
+  }
+  cache::DiskStore S({G.Dir});
+  EXPECT_TRUE(S.ok()) << "a dead owner's lock must be stolen, not obeyed";
+  EXPECT_TRUE(S.lockHeld());
+  S.store(fp(62), "after-steal");
+  EXPECT_EQ(*S.load(fp(62)), "after-steal");
+}
+
+TEST(DiskStore, LiveLockIsRespected) {
+  DirGuard G(freshDir("livelock"));
+  std::filesystem::create_directories(G.Dir);
+  {
+    // Our own pid is definitely alive.
+    std::ofstream Out(G.Dir + "/lock");
+    Out << ::getpid() << "\n";
+  }
+  cache::DiskStore S({G.Dir});
+  EXPECT_FALSE(S.ok());
+  EXPECT_FALSE(S.lockHeld());
+  EXPECT_TRUE(std::filesystem::exists(G.Dir + "/lock"))
+      << "a live owner's lock must survive the refused open";
+}
+
+TEST(DiskStore, ReadOnlyTakesNoLockAndCoexistsWithWriter) {
+  DirGuard G(freshDir("ro-nolock"));
+  cache::DiskStore Writer({G.Dir});
+  ASSERT_TRUE(Writer.ok());
+  Writer.store(fp(63), "shared");
+
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir;
+  Opts.ReadOnly = true;
+  cache::DiskStore Reader(Opts);
+  EXPECT_TRUE(Reader.ok()) << "readers must not contend for the writer lock";
+  EXPECT_FALSE(Reader.lockHeld());
+  EXPECT_EQ(*Reader.load(fp(63)), "shared");
+}
+
 TEST(DiskStore, CorruptIndexLinesAreSkipped) {
   DirGuard G(freshDir("badindex"));
   Fingerprint F = fp(47);

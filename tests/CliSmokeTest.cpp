@@ -8,7 +8,15 @@
 //   unknown flag  print usage on stderr and exit nonzero;
 //   bad values    (--cache=bogus, --jobs without an argument) exit nonzero.
 //
+// Every installed binary (crellvm-validate, crellvm-audit, crellvm-served,
+// crellvm-client; paths likewise injected by tests/CMakeLists.txt) must
+// answer --version with the shared checker-semantics version line, so a
+// service operator can confirm client, daemon, and batch validator agree
+// on verdict semantics before trusting cross-tool comparisons.
+//
 //===----------------------------------------------------------------------===//
+
+#include "checker/Version.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,10 +33,11 @@ struct RunResult {
   std::string Stdout;
 };
 
-// Runs the validator with \p Args, capturing stdout; stderr is routed to
-// stdout when \p MergeStderr so usage-on-stderr is observable too.
-RunResult runValidator(const std::string &Args, bool MergeStderr = false) {
-  std::string Cmd = std::string(CRELLVM_VALIDATE_BIN) + " " + Args;
+// Runs \p Bin with \p Args, capturing stdout; stderr is routed to stdout
+// when \p MergeStderr so usage-on-stderr is observable too.
+RunResult runBinary(const std::string &Bin, const std::string &Args,
+                    bool MergeStderr = false) {
+  std::string Cmd = Bin + " " + Args;
   Cmd += MergeStderr ? " 2>&1" : " 2>/dev/null";
   RunResult R;
   FILE *P = popen(Cmd.c_str(), "r");
@@ -41,6 +50,10 @@ RunResult runValidator(const std::string &Args, bool MergeStderr = false) {
   int Status = pclose(P);
   R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
   return R;
+}
+
+RunResult runValidator(const std::string &Args, bool MergeStderr = false) {
+  return runBinary(CRELLVM_VALIDATE_BIN, Args, MergeStderr);
 }
 
 TEST(CliSmoke, HelpExitsZeroAndListsEveryFlag) {
@@ -71,6 +84,36 @@ TEST(CliSmoke, BadCachePolicyExitsNonzero) {
   EXPECT_NE(runValidator("--cache=bogus").ExitCode, 0);
   EXPECT_NE(runValidator("--cache", /*MergeStderr=*/true).ExitCode, 0)
       << "--cache without a value must be rejected";
+}
+
+// Every binary prints "<tool> checker-semantics-version <N> build <type>"
+// and exits 0, with <N> the compiled-in CheckerSemanticsVersion — the line
+// tooling parses to check that daemon and clients agree on semantics.
+TEST(CliSmoke, VersionLineOnEveryBinary) {
+  const std::pair<const char *, const char *> Bins[] = {
+      {CRELLVM_VALIDATE_BIN, "crellvm-validate"},
+      {CRELLVM_AUDIT_BIN, "crellvm-audit"},
+      {CRELLVM_SERVED_BIN, "crellvm-served"},
+      {CRELLVM_CLIENT_BIN, "crellvm-client"},
+  };
+  for (const auto &B : Bins) {
+    RunResult R = runBinary(B.first, "--version");
+    EXPECT_EQ(R.ExitCode, 0) << B.second;
+    EXPECT_EQ(R.Stdout, crellvm::checker::versionLine(B.second) + "\n");
+    EXPECT_NE(
+        R.Stdout.find("checker-semantics-version " +
+                      std::to_string(crellvm::checker::CheckerSemanticsVersion)),
+        std::string::npos)
+        << B.second;
+  }
+}
+
+// --version wins even when other flags are present, and without running a
+// validation (it must return immediately).
+TEST(CliSmoke, VersionShortCircuits) {
+  RunResult R = runValidator("--modules 100000 --version");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stdout, crellvm::checker::versionLine("crellvm-validate") + "\n");
 }
 
 } // namespace

@@ -44,6 +44,48 @@ TEST(ThreadPool, TasksCanSubmitMoreTasks) {
   EXPECT_EQ(Count.load(), 32);
 }
 
+TEST(ThreadPool, GaugesQuiesceToZero) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.queueDepth(), 0u);
+  EXPECT_EQ(Pool.activeWorkers(), 0u);
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([] {});
+  Pool.wait();
+  // After wait() every task has both left the queue and finished running.
+  EXPECT_EQ(Pool.queueDepth(), 0u);
+  EXPECT_EQ(Pool.activeWorkers(), 0u);
+}
+
+TEST(ThreadPool, GaugesObserveBlockedTasks) {
+  ThreadPool Pool(2);
+  std::mutex M;
+  std::condition_variable Cv;
+  int Running = 0;
+  bool Release = false;
+  // Two tasks occupy both workers and park; two more must sit queued.
+  for (int I = 0; I != 4; ++I)
+    Pool.submit([&] {
+      std::unique_lock<std::mutex> L(M);
+      ++Running;
+      Cv.notify_all();
+      Cv.wait(L, [&] { return Release; });
+    });
+  {
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return Running == 2; });
+  }
+  EXPECT_EQ(Pool.activeWorkers(), 2u);
+  EXPECT_EQ(Pool.queueDepth(), 2u);
+  {
+    std::lock_guard<std::mutex> L(M);
+    Release = true;
+    Cv.notify_all();
+  }
+  Pool.wait();
+  EXPECT_EQ(Pool.activeWorkers(), 0u);
+  EXPECT_EQ(Pool.queueDepth(), 0u);
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   ThreadPool Pool(8);
   const size_t N = 1000;
