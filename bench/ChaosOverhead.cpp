@@ -1,0 +1,165 @@
+//===- bench/ChaosOverhead.cpp - cost of the compiled-in harness ----------===//
+//
+// The contract that lets the fault-injection harness (support/
+// FaultInjection.h) stay compiled into production binaries: a probe at
+// every I/O and concurrency boundary must be free when no schedule is
+// active. Two configurations of the same cached validation batch:
+//
+//   off     harness disarmed — every probe is one relaxed atomic load;
+//   armed   a schedule is installed but scheduled never to fire
+//           (at=10^9 on every hot-path site), so each probe pays the
+//           full slow path: registry mutex, site lookup, hit accounting.
+//
+// Both run the identical corpus through the -O2 pipeline with a
+// read-write cache (so the disk.* probes sit on the measured path) on 2
+// jobs (so pool.submit probes too). Wall times are best-of-3 with
+// alternating order to shave scheduler noise; the armed-but-idle run
+// must stay within 5% of the disarmed one. Appended to
+// BENCH_validation.json as `chaos_overhead`.
+//
+//   chaos_overhead [scale] [--jobs N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "bench/Common.h"
+#include "cache/ValidationCache.h"
+#include "support/FaultInjection.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+namespace {
+
+/// Every hot-path site, scheduled so far in the future it never fires:
+/// probes take the armed slow path, behavior stays byte-identical.
+const char *IdleSpec =
+    "disk.read:at=1000000000;disk.write:at=1000000000;"
+    "disk.short:at=1000000000;disk.rename:at=1000000000;"
+    "disk.corrupt:at=1000000000;pool.submit:at=1000000000;"
+    "unit.run:at=1000000000;unit.hang:at=1000000000";
+
+driver::BatchReport runOnce(const std::string &CacheDir, unsigned NumModules,
+                            unsigned Jobs) {
+  cache::ValidationCacheOptions COpts;
+  COpts.Policy = cache::CachePolicy::ReadWrite;
+  COpts.Dir = CacheDir;
+  cache::ValidationCache Cache(COpts);
+
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = false;
+  DOpts.Cache = &Cache;
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = Jobs;
+  return driver::runBatchValidated(
+      passes::BugConfig::fixed(), DOpts, NumModules,
+      [](size_t I) {
+        workload::GenOptions G;
+        G.Seed = 0xc4a05 + I;
+        return workload::generateModule(G);
+      },
+      BOpts);
+}
+
+uint64_t countOf(const driver::StatsMap &Stats,
+                 uint64_t driver::PassStats::*Field) {
+  uint64_t N = 0;
+  for (const auto &KV : Stats)
+    N += KV.second.*Field;
+  return N;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = 1, Jobs = 2;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else
+      Scale = static_cast<unsigned>(std::strtoul(Argv[I], nullptr, 10));
+  }
+  if (Scale == 0)
+    Scale = 1;
+  unsigned NumModules = 240 / Scale;
+  if (NumModules == 0)
+    NumModules = 1;
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() /
+       ("crellvm-chaos-bench." + std::to_string(::getpid())))
+          .string();
+  std::error_code EC;
+
+  std::cout << "=== Chaos harness overhead: disarmed vs armed-but-idle ===\n"
+            << NumModules << " modules, -O2 pipeline, rw cache, jobs="
+            << Jobs << ", best of 3 alternating runs\n\n";
+
+  driver::BatchReport Off, Armed;
+  double OffWall = 1e300, ArmedWall = 1e300;
+  for (int Iter = 0; Iter != 3; ++Iter) {
+    // Fresh cache dir per run so both configurations do identical work
+    // (all misses, all stores) — no warm-cache asymmetry.
+    std::filesystem::remove_all(Dir, EC);
+    fault::disarm();
+    driver::BatchReport R = runOnce(Dir, NumModules, Jobs);
+    if (R.WallSeconds < OffWall) {
+      OffWall = R.WallSeconds;
+      Off = R;
+    }
+
+    std::filesystem::remove_all(Dir, EC);
+    std::string Err;
+    if (!fault::configure(IdleSpec, &Err)) {
+      std::cerr << "chaos_overhead: bad idle spec: " << Err << "\n";
+      return 2;
+    }
+    R = runOnce(Dir, NumModules, Jobs);
+    fault::disarm();
+    if (R.WallSeconds < ArmedWall) {
+      ArmedWall = R.WallSeconds;
+      Armed = R;
+    }
+  }
+  std::filesystem::remove_all(Dir, EC);
+
+  Table T({"run", "wall", "cpu", "#V", "#F", "#NS"});
+  for (auto *RP : {&Off, &Armed})
+    T.addRow({RP == &Off ? "off" : "armed-idle",
+              formatSeconds(RP->WallSeconds), formatSeconds(RP->CpuSeconds),
+              formatCountK(countOf(RP->Stats, &driver::PassStats::V)),
+              formatCountK(countOf(RP->Stats, &driver::PassStats::F)),
+              formatCountK(countOf(RP->Stats, &driver::PassStats::NS))});
+  T.print(std::cout);
+
+  double Overhead = OffWall > 0 ? ArmedWall / OffWall - 1.0 : 0;
+  bool CountsAgree =
+      countOf(Off.Stats, &driver::PassStats::V) ==
+          countOf(Armed.Stats, &driver::PassStats::V) &&
+      countOf(Off.Stats, &driver::PassStats::F) ==
+          countOf(Armed.Stats, &driver::PassStats::F) &&
+      countOf(Off.Stats, &driver::PassStats::NS) ==
+          countOf(Armed.Stats, &driver::PassStats::NS);
+
+  std::cout << "\narmed-but-idle overhead: "
+            << formatPercent(Overhead < 0 ? 0 : Overhead) << " (gate 5%)\n";
+  std::cout << "paper-shape: overhead-within-5pct="
+            << (Overhead <= 0.05 ? "OK" : "MISMATCH")
+            << ", counts-identical=" << (CountsAgree ? "OK" : "MISMATCH")
+            << "\n";
+
+  BenchEntry E = BenchEntry::fromReport("chaos_overhead", Off);
+  E.Extra.emplace_back("armed_wall_us",
+                       static_cast<int64_t>(ArmedWall * 1e6 + 0.5));
+  E.Extra.emplace_back(
+      "overhead_ppm",
+      static_cast<int64_t>((Overhead < 0 ? 0 : Overhead) * 1e6 + 0.5));
+  writeBenchJson({E});
+
+  return Overhead <= 0.05 && CountsAgree ? 0 : 1;
+}

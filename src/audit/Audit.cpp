@@ -15,6 +15,7 @@
 #include "ir/Printer.h"
 #include "passes/Pipeline.h"
 #include "proofgen/ProofJson.h"
+#include "support/FaultInjection.h"
 #include "support/RNG.h"
 #include "workload/RandomProgram.h"
 
@@ -600,5 +601,36 @@ private:
 AuditReport crellvm::audit::runAudit(const AuditOptions &Opts) {
   AuditReport R;
   Auditor(Opts, R).run();
+
+  if (!Opts.ChaosSpec.empty()) {
+    // Chaos replay: the identical battery under injected faults. The
+    // contract is that every fault lands at an I/O or concurrency
+    // boundary whose failure the stack absorbs (retry, miss, degrade) —
+    // so the set of violated invariants must not grow. A finding that
+    // appears only under chaos means a fault changed a verdict.
+    std::string Err;
+    if (!fault::configure(Opts.ChaosSpec, &Err)) {
+      R.Findings.push_back({"chaos-config", "robustness",
+                            "bad chaos spec: " + Err, Opts.Seed, 0});
+      return R;
+    }
+    AuditOptions Replay = Opts;
+    Replay.ChaosSpec.clear();
+    AuditReport RC;
+    Auditor(Replay, RC).run();
+    fault::disarm();
+
+    std::set<std::string> Baseline;
+    for (const Finding &F : R.Findings)
+      Baseline.insert(F.Invariant + "|" + F.Detail);
+    R.ChecksRun += RC.ChecksRun;
+    for (const Finding &F : RC.Findings)
+      if (!Baseline.count(F.Invariant + "|" + F.Detail))
+        R.Findings.push_back(
+            {"chaos-delta", "robustness",
+             "appears only under chaos '" + Opts.ChaosSpec + "': [" +
+                 F.Invariant + "] " + F.Detail,
+             Opts.Seed, F.Round});
+  }
   return R;
 }

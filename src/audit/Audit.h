@@ -77,6 +77,12 @@ struct AuditOptions {
   passes::BugConfig Bugs;
   /// Skip the disk-touching cache batteries (used by sandboxed tests).
   bool SkipDiskBatteries = false;
+  /// Fault-injection schedule (support/FaultInjection.h grammar). When
+  /// non-empty, the whole battery runs a second time with these faults
+  /// armed, and any finding the fault-free baseline did not produce is
+  /// reported as a `chaos-delta` robustness finding: injected I/O faults
+  /// must degrade throughput, never verdicts or invariants.
+  std::string ChaosSpec;
 };
 
 /// One violated invariant, structured for the JSON report.

@@ -11,8 +11,10 @@
 
 #include "audit/Audit.h"
 #include "checker/Version.h"
+#include "support/FaultInjection.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -48,6 +50,9 @@ void printUsage(FILE *Out) {
       "                  llvm501-post — anything but 'fixed' is expected\n"
       "                  to produce findings (the audit's self-test)\n"
       "  --unsound-add   plant the test-only add->or instcombine bug\n"
+      "  --chaos SPEC    replay the battery under injected faults and\n"
+      "                  report findings that appear only under chaos\n"
+      "                  (also read from $CRELLVM_CHAOS; flag wins)\n"
       "  --version       print checker semantics version and exit\n"
       "  --help          show this help\n"
       "\n"
@@ -117,6 +122,9 @@ CliOptions parseArgs(int Argc, char **Argv) {
         Bad("unknown --bugs preset '" + O.BugPreset + "'");
     } else if (A == "--unsound-add") {
       O.Audit.Bugs.UnsoundAddToOr = true;
+    } else if (A == "--chaos") {
+      if (const char *V = NextValue("--chaos"))
+        O.Audit.ChaosSpec = V;
     } else {
       Bad("unknown option '" + A + "'");
     }
@@ -140,6 +148,21 @@ int main(int Argc, char **Argv) {
   if (O.WantVersion) {
     std::printf("%s\n", checker::versionLine("crellvm-audit").c_str());
     return 0;
+  }
+
+  if (O.Audit.ChaosSpec.empty())
+    if (const char *Env = std::getenv("CRELLVM_CHAOS"))
+      O.Audit.ChaosSpec = Env;
+  if (!O.Audit.ChaosSpec.empty()) {
+    // Validate the schedule up front so a typo is bad usage (exit 2, like
+    // every other binary), not a finding from deep inside the battery.
+    // runAudit arms it itself at the right moment.
+    std::string ChaosErr;
+    if (!fault::configure(O.Audit.ChaosSpec, &ChaosErr)) {
+      std::fprintf(stderr, "crellvm-audit: %s\n", ChaosErr.c_str());
+      return 2;
+    }
+    fault::disarm();
   }
 
   audit::AuditReport R = audit::runAudit(O.Audit);

@@ -2,6 +2,8 @@
 
 #include "cache/DiskStore.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
@@ -20,7 +22,21 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr const char *Magic = "CRLVMC1";
+// v2 adds a payload checksum line: header fingerprint + length alone
+// cannot catch a bit flip *inside* the payload, and a flipped byte that
+// still decodes would replay as a wrong verdict — the one failure mode a
+// verdict cache must never have. v1 objects fail the v2 parse and are
+// treated as corrupt (miss + removal), i.e. the cache refills itself.
+constexpr const char *Magic = "CRLVMC2";
+
+uint64_t fnv64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
 
 /// Unique-enough temp suffix: pid + a process-wide counter. Two processes
 /// sharing a cache dir get distinct pids; two threads distinct counters.
@@ -33,12 +49,22 @@ std::string tempSuffix() {
 /// Writes \p Bytes to \p Path atomically: temp file in the same directory,
 /// then rename(2). Returns false on any I/O error (temp is cleaned up).
 bool atomicWriteFile(const std::string &Path, const std::string &Bytes) {
+  // Chaos sites. disk.write models a failed write (ENOSPC); disk.short a
+  // torn write that "succeeds" — half the bytes land and get renamed into
+  // place, exactly what a crash between write and fsync leaves behind.
+  // The corruption-tolerant load path must turn the torn object into a
+  // miss, never a wrong verdict.
+  if (fault::shouldFail("disk.write"))
+    return false;
+  bool Torn = fault::shouldFail("disk.short");
   std::string Tmp = Path + tempSuffix();
   {
     std::ofstream Out(Tmp, std::ios::trunc | std::ios::binary);
     if (!Out)
       return false;
-    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    Out.write(Bytes.data(),
+              static_cast<std::streamsize>(Torn ? Bytes.size() / 2
+                                                : Bytes.size()));
     Out.flush();
     if (!Out) {
       std::error_code EC;
@@ -47,6 +73,10 @@ bool atomicWriteFile(const std::string &Path, const std::string &Bytes) {
     }
   }
   std::error_code EC;
+  if (fault::shouldFail("disk.rename")) {
+    fs::remove(Tmp, EC);
+    return false;
+  }
   fs::rename(Tmp, Path, EC);
   if (EC) {
     fs::remove(Tmp, EC);
@@ -231,15 +261,30 @@ std::optional<std::string> DiskStore::load(const Fingerprint &FP) {
     return std::nullopt;
   }
   std::string Path = objectPath(FP);
-  auto Raw = readWholeFile(Path);
+  // disk.read models an EIO on an object that exists; the real-world
+  // analog below (read failed but the path is present) is counted the
+  // same way so the degradation ladder sees genuine media faults too.
+  bool ReadFault = fault::shouldFail("disk.read");
+  std::optional<std::string> Raw;
+  if (!ReadFault)
+    Raw = readWholeFile(Path);
+  if (!Raw && !ReadFault) {
+    std::error_code ExistsEC;
+    ReadFault = fs::exists(Path, ExistsEC);
+  }
+  if (Raw && fault::shouldFail("disk.corrupt") && !Raw->empty())
+    (*Raw)[Raw->size() / 2] ^= 0x20; // bit-flip in the middle of the blob
   std::lock_guard<std::mutex> Lock(M);
   if (!Raw) {
     ++Stats.Misses;
+    if (ReadFault)
+      ++Stats.ReadFaults;
     return std::nullopt;
   }
-  // Header: "CRLVMC1\n<hex>\n<payload-len>\n<payload>". Anything that does
-  // not check out — truncation, garbage, wrong object under this name —
-  // is a miss, and the bad file is removed so it cannot mislead again.
+  // Header: "CRLVMC2\n<hex>\n<payload-len>\n<payload-fnv64>\n<payload>".
+  // Anything that does not check out — truncation, garbage, a payload
+  // bit-flip, wrong object under this name — is a miss, and the bad file
+  // is removed so it cannot mislead again.
   auto Reject = [&] {
     ++Stats.Misses;
     ++Stats.CorruptEntries;
@@ -256,19 +301,36 @@ std::optional<std::string> DiskStore::load(const Fingerprint &FP) {
   size_t P2 = S.find('\n', P1 + 1);
   if (P2 == std::string::npos || S.substr(P1 + 1, P2 - P1 - 1) != FP.hex())
     return Reject();
+  auto ParseNum = [&S](size_t Begin, size_t End, uint64_t &Out) {
+    if (Begin == End)
+      return false;
+    Out = 0;
+    for (size_t I = Begin; I != End; ++I) {
+      if (S[I] < '0' || S[I] > '9')
+        return false;
+      Out = Out * 10 + static_cast<uint64_t>(S[I] - '0');
+    }
+    return true;
+  };
   size_t P3 = S.find('\n', P2 + 1);
   if (P3 == std::string::npos)
     return Reject();
   uint64_t Len = 0;
-  for (size_t I = P2 + 1; I != P3; ++I) {
-    if (S[I] < '0' || S[I] > '9')
-      return Reject();
-    Len = Len * 10 + static_cast<uint64_t>(S[I] - '0');
-  }
-  if (S.size() - (P3 + 1) != Len)
+  if (!ParseNum(P2 + 1, P3, Len))
+    return Reject();
+  size_t P4 = S.find('\n', P3 + 1);
+  if (P4 == std::string::npos)
+    return Reject();
+  uint64_t Sum = 0;
+  if (!ParseNum(P3 + 1, P4, Sum))
+    return Reject();
+  if (S.size() - (P4 + 1) != Len)
+    return Reject();
+  std::string Payload = S.substr(P4 + 1);
+  if (fnv64(Payload) != Sum)
     return Reject();
   ++Stats.Hits;
-  return S.substr(P3 + 1);
+  return Payload;
 }
 
 uint64_t DiskStore::store(const Fingerprint &FP, const std::string &Payload) {
@@ -287,7 +349,8 @@ uint64_t DiskStore::store(const Fingerprint &FP, const std::string &Payload) {
     return 0;
   }
   std::string Blob = std::string(Magic) + "\n" + FP.hex() + "\n" +
-                     std::to_string(Payload.size()) + "\n" + Payload;
+                     std::to_string(Payload.size()) + "\n" +
+                     std::to_string(fnv64(Payload)) + "\n" + Payload;
   if (!atomicWriteFile(Path, Blob)) {
     ++Stats.StoreErrors;
     return 0;

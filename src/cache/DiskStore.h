@@ -71,6 +71,11 @@ struct DiskStoreCounters {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t CorruptEntries = 0; ///< loads rejected by header/length checks
+  /// Loads that failed although the object file exists — an I/O fault
+  /// (EIO, injected disk.read), not a plain miss. Together with
+  /// CorruptEntries and StoreErrors this feeds the validation cache's
+  /// degradation ladder (rw -> ro -> off, ValidationCache.h).
+  uint64_t ReadFaults = 0;
   uint64_t Stores = 0;
   uint64_t StoreErrors = 0;
   uint64_t Evictions = 0;

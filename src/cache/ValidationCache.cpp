@@ -18,9 +18,45 @@ crellvm::cache::parseCachePolicy(const std::string &S) {
 
 ValidationCache::ValidationCache(ValidationCacheOptions Options)
     : Opts(std::move(Options)), Mem(Opts.MemEntries, Opts.MemShards) {
+  Effective.store(Opts.Policy, std::memory_order_relaxed);
   if (Opts.Policy != CachePolicy::Off && !Opts.Dir.empty())
     Disk = std::make_unique<DiskStore>(DiskStoreOptions{
         Opts.Dir, Opts.MaxDiskBytes, Opts.Policy == CachePolicy::ReadOnly});
+}
+
+uint64_t ValidationCache::diskFaults() const {
+  if (!Disk)
+    return 0;
+  DiskStoreCounters C = Disk->counters();
+  return C.StoreErrors + C.CorruptEntries + C.ReadFaults;
+}
+
+void ValidationCache::maybeDemote() {
+  if (!Opts.DemoteAfterFaults || !Disk)
+    return;
+  uint64_t Faults = diskFaults();
+  // Walk the ladder with compare-exchange so concurrent workers observing
+  // the same fault count take each step exactly once. The policy only
+  // ever moves down; a healthy run never enters this branch.
+  for (;;) {
+    CachePolicy Cur = Effective.load(std::memory_order_relaxed);
+    CachePolicy Want = Cur;
+    if (Cur == CachePolicy::ReadWrite && Faults >= Opts.DemoteAfterFaults)
+      Want = Faults >= 2 * Opts.DemoteAfterFaults ? CachePolicy::Off
+                                                  : CachePolicy::ReadOnly;
+    else if (Cur == CachePolicy::ReadOnly &&
+             Faults >= 2 * Opts.DemoteAfterFaults)
+      Want = CachePolicy::Off;
+    if (Want == Cur)
+      return;
+    if (Effective.compare_exchange_weak(Cur, Want,
+                                        std::memory_order_relaxed)) {
+      Demotions.fetch_add(1, std::memory_order_relaxed);
+      // Re-check: a rw cache that crossed both thresholds at once still
+      // needs the second step (rw -> ro happened above; ro -> off next).
+      continue;
+    }
+  }
 }
 
 std::optional<Verdict> ValidationCache::lookup(const Fingerprint &FP) {
@@ -33,9 +69,11 @@ std::optional<Verdict> ValidationCache::lookup(const Fingerprint &FP) {
     // we encoded), but degrade to a miss all the same.
   }
   if (Disk) {
-    if (auto Bytes = Disk->load(FP)) {
-      if (auto V = verdictFromBytes(*Bytes)) {
-        Mem.insert(FP, std::move(*Bytes)); // promote for the next lookup
+    auto Loaded = Disk->load(FP);
+    maybeDemote();
+    if (Loaded) {
+      if (auto V = verdictFromBytes(*Loaded)) {
+        Mem.insert(FP, std::move(*Loaded)); // promote for the next lookup
         return V;
       }
     }
@@ -53,6 +91,7 @@ StoreOutcome ValidationCache::store(const Fingerprint &FP, const Verdict &V) {
     auto Before = Disk->counters().StoreErrors;
     Out.Evictions += Disk->store(FP, Bytes);
     Out.Error = Disk->counters().StoreErrors > Before;
+    maybeDemote();
   }
   Out.Stored = !Out.Error;
   return Out;

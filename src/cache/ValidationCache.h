@@ -21,6 +21,7 @@
 #include "cache/MemCache.h"
 #include "cache/Verdict.h"
 
+#include <atomic>
 #include <memory>
 
 namespace crellvm {
@@ -42,6 +43,12 @@ struct ValidationCacheOptions {
   uint64_t MaxDiskBytes = 256ull << 20;
   size_t MemEntries = 1 << 16;
   unsigned MemShards = 16;
+  /// Degradation ladder: after this many cumulative disk faults (store
+  /// errors + corrupt entries + read faults) a read-write cache demotes
+  /// itself to read-only, and after twice this many to off (pure
+  /// pass-through). A sick disk can then cost throughput, never a wrong
+  /// or missing verdict — the checker simply runs. 0 disables demotion.
+  uint64_t DemoteAfterFaults = 3;
 };
 
 /// What one store() did, so the caller can attribute the work to its own
@@ -57,9 +64,21 @@ class ValidationCache {
 public:
   explicit ValidationCache(ValidationCacheOptions Opts);
 
-  bool enabled() const { return Opts.Policy != CachePolicy::Off; }
-  bool writable() const { return Opts.Policy == CachePolicy::ReadWrite; }
-  CachePolicy policy() const { return Opts.Policy; }
+  /// enabled()/writable()/policy() reflect the *effective* policy, which
+  /// starts at the configured one and only ever moves down the
+  /// degradation ladder (rw -> ro -> off) as disk faults accumulate.
+  bool enabled() const { return policy() != CachePolicy::Off; }
+  bool writable() const { return policy() == CachePolicy::ReadWrite; }
+  CachePolicy policy() const {
+    return Effective.load(std::memory_order_relaxed);
+  }
+  CachePolicy configuredPolicy() const { return Opts.Policy; }
+  /// Ladder steps taken so far (0 on a healthy disk).
+  uint64_t demotions() const {
+    return Demotions.load(std::memory_order_relaxed);
+  }
+  /// Disk faults observed so far (what drives the ladder).
+  uint64_t diskFaults() const;
 
   /// Memory, then disk; std::nullopt on miss (including corrupt entries).
   std::optional<Verdict> lookup(const Fingerprint &FP);
@@ -76,9 +95,15 @@ public:
   uint64_t diskBytes() const { return Disk ? Disk->totalBytes() : 0; }
 
 private:
+  /// Re-reads the disk fault counters and walks the ladder if they
+  /// crossed a threshold. Called after every disk-touching operation.
+  void maybeDemote();
+
   ValidationCacheOptions Opts;
   MemCache Mem;
   std::unique_ptr<DiskStore> Disk;
+  std::atomic<CachePolicy> Effective{CachePolicy::Off};
+  std::atomic<uint64_t> Demotions{0};
 };
 
 } // namespace cache

@@ -11,13 +11,19 @@
 #include "ir/Printer.h"
 #include "proofgen/ProofBinary.h"
 #include "proofgen/ProofJson.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 using namespace crellvm;
 using namespace crellvm::driver;
@@ -283,6 +289,38 @@ ir::Module ValidationDriver::runPipelineValidated(const ir::Module &Src,
 
 // --- Parallel batch validation ---------------------------------------------
 
+const char *crellvm::driver::unitOutcomeName(UnitOutcome O) {
+  switch (O) {
+  case UnitOutcome::Ok:
+    return "ok";
+  case UnitOutcome::Cancelled:
+    return "cancelled";
+  case UnitOutcome::InternalError:
+    return "internal_error";
+  case UnitOutcome::TimedOut:
+    return "timed_out";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t steadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-unit watchdog bookkeeping. Answered is the first-wins flag between
+/// the worker finishing a unit and the watchdog expiring it: whichever
+/// CAS succeeds fires the single OnUnitDone and records the outcome.
+struct UnitState {
+  std::atomic<int64_t> StartMs{-1}; ///< -1 until the unit begins work
+  std::atomic<uint8_t> Answered{0};
+};
+
+} // namespace
+
 BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
                                                const DriverOptions &Opts,
                                                size_t NumUnits,
@@ -298,7 +336,24 @@ BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
 
   std::vector<StatsMap> PerUnit(NumUnits);
   std::vector<double> UnitSeconds(NumUnits, 0.0);
-  std::vector<uint8_t> UnitCancelled(NumUnits, 0);
+  std::vector<UnitOutcome> Outcomes(NumUnits, UnitOutcome::Ok);
+  std::vector<UnitState> States(NumUnits);
+
+  // Exactly one answer per unit: the worker (Ok / Cancelled /
+  // InternalError) races the watchdog (TimedOut) on the Answered flag.
+  // The loser's outcome is discarded, so a unit the watchdog already
+  // answered contributes nothing when it eventually finishes.
+  auto Answer = [&](size_t I, UnitOutcome O, const StatsMap &Unit,
+                    const std::string &Detail) {
+    uint8_t Expected = 0;
+    if (!States[I].Answered.compare_exchange_strong(
+            Expected, 1, std::memory_order_acq_rel))
+      return false;
+    Outcomes[I] = O;
+    if (BOpts.OnUnitDone)
+      BOpts.OnUnitDone(I, Unit, O, Detail);
+    return true;
+  };
 
   // The serial path runs the identical per-unit closure inline, so the
   // merged Stats are bit-identical across all Jobs values.
@@ -307,25 +362,78 @@ BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
     // the unit would do work, so a request that expired while queued
     // costs nothing but this check.
     if (BOpts.CancelUnit && BOpts.CancelUnit(I)) {
-      UnitCancelled[I] = 1;
-      if (BOpts.OnUnitDone)
-        BOpts.OnUnitDone(I, PerUnit[I], /*Cancelled=*/true);
+      Answer(I, UnitOutcome::Cancelled, PerUnit[I], "");
       return;
     }
+    States[I].StartMs.store(steadyNowMs(), std::memory_order_release);
     Timer T;
+    std::string FailDetail;
+    bool Failed = false;
     T.time([&] {
-      DriverOptions UOpts = Opts;
-      UOpts.ExchangeTag = Opts.ExchangeTag.empty()
-                              ? "u" + std::to_string(I)
-                              : Opts.ExchangeTag + ".u" + std::to_string(I);
-      ValidationDriver D(Bugs, UOpts);
-      ir::Module M = MakeUnit(I);
-      D.runPipelineValidated(M, PerUnit[I]);
+      try {
+        // Chaos sites: unit.hang stalls the unit (what a pathological
+        // module or checker loop looks like to the watchdog); unit.run
+        // throws (what any unexpected defect looks like to the batch).
+        uint64_t HangMs = 0;
+        if (fault::shouldFail("unit.hang", &HangMs))
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(HangMs ? HangMs : 50));
+        if (fault::shouldFail("unit.run"))
+          throw std::runtime_error("injected unit.run fault");
+        DriverOptions UOpts = Opts;
+        UOpts.ExchangeTag = Opts.ExchangeTag.empty()
+                                ? "u" + std::to_string(I)
+                                : Opts.ExchangeTag + ".u" + std::to_string(I);
+        ValidationDriver D(Bugs, UOpts);
+        ir::Module M = MakeUnit(I);
+        D.runPipelineValidated(M, PerUnit[I]);
+      } catch (const std::exception &E) {
+        Failed = true;
+        FailDetail = E.what();
+      } catch (...) {
+        Failed = true;
+        FailDetail = "non-standard exception";
+      }
     });
     UnitSeconds[I] = T.seconds();
-    if (BOpts.OnUnitDone)
-      BOpts.OnUnitDone(I, PerUnit[I], /*Cancelled=*/false);
+    if (Failed) {
+      // Partial stats from an aborted unit must not leak into the
+      // deterministic reduction.
+      PerUnit[I].clear();
+      Answer(I, UnitOutcome::InternalError, PerUnit[I], FailDetail);
+    } else {
+      Answer(I, UnitOutcome::Ok, PerUnit[I], "");
+    }
   };
+
+  // The watchdog answers (never abandons) stuck units: workers keep
+  // running to completion so no memory is freed under them, but their
+  // callers hear UnitOutcome::TimedOut as soon as the deadline passes.
+  std::atomic<bool> WatchdogStop{false};
+  std::thread Watchdog;
+  if (BOpts.UnitTimeoutMs) {
+    Watchdog = std::thread([&] {
+      // Empty stats for early answers: the worker is still writing
+      // PerUnit[I], so the watchdog must not read it.
+      const StatsMap Empty;
+      auto Tick = std::chrono::milliseconds(
+          std::max<uint64_t>(1, std::min<uint64_t>(BOpts.UnitTimeoutMs, 20)));
+      while (!WatchdogStop.load(std::memory_order_acquire)) {
+        int64_t Now = steadyNowMs();
+        for (size_t I = 0; I != NumUnits; ++I) {
+          int64_t St = States[I].StartMs.load(std::memory_order_acquire);
+          if (St < 0 ||
+              States[I].Answered.load(std::memory_order_acquire) ||
+              Now - St < static_cast<int64_t>(BOpts.UnitTimeoutMs))
+            continue;
+          Answer(I, UnitOutcome::TimedOut, Empty,
+                 "unit exceeded " + std::to_string(BOpts.UnitTimeoutMs) +
+                     "ms watchdog deadline");
+        }
+        std::this_thread::sleep_for(Tick);
+      }
+    });
+  }
 
   Timer Wall;
   Wall.time([&] {
@@ -339,15 +447,33 @@ BatchReport crellvm::driver::runBatchValidated(const passes::BugConfig &Bugs,
       parallelFor(Local, NumUnits, RunUnit);
     }
   });
+  if (Watchdog.joinable()) {
+    WatchdogStop.store(true, std::memory_order_release);
+    Watchdog.join();
+  }
   Out.WallSeconds = Wall.seconds();
 
   // Deterministic reduction: merge per-unit stats in unit-index order,
-  // independent of the order in which workers finished them.
+  // independent of the order in which workers finished them. Only Ok
+  // units contribute — a thrown or timed-out unit's numbers would vary
+  // with where exactly it died.
   for (size_t I = 0; I != NumUnits; ++I) {
-    for (const auto &KV : PerUnit[I])
-      Out.Stats[KV.first].add(KV.second);
+    switch (Outcomes[I]) {
+    case UnitOutcome::Ok:
+      for (const auto &KV : PerUnit[I])
+        Out.Stats[KV.first].add(KV.second);
+      break;
+    case UnitOutcome::Cancelled:
+      ++Out.Cancelled;
+      break;
+    case UnitOutcome::InternalError:
+      ++Out.InternalErrors;
+      break;
+    case UnitOutcome::TimedOut:
+      ++Out.TimedOut;
+      break;
+    }
     Out.CpuSeconds += UnitSeconds[I];
-    Out.Cancelled += UnitCancelled[I];
   }
   return Out;
 }

@@ -149,23 +149,47 @@ private:
 
 // --- Parallel batch validation ---------------------------------------------
 
+/// How one unit of a batch ended (reported through
+/// BatchOptions::OnUnitDone and tallied in BatchReport). Only Ok units
+/// contribute to the deterministic stats reduction; the other outcomes
+/// carry their story in the Detail string instead.
+enum class UnitOutcome : uint8_t {
+  Ok,            ///< validated normally; stats merged into the batch
+  Cancelled,     ///< skipped by BatchOptions::CancelUnit before starting
+  InternalError, ///< the unit threw; isolated, batch continues
+  TimedOut,      ///< watchdog answered before the worker finished
+};
+
+const char *unitOutcomeName(UnitOutcome O);
+
 struct BatchOptions {
   /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
   unsigned Jobs = 1;
   /// Cancellation/deadline hook: consulted once per unit, immediately
   /// before that unit would validate. Returning true skips the unit
   /// entirely (its stats stay empty, it is counted in
-  /// BatchReport::Cancelled, and OnUnitDone sees Cancelled=true). Called
+  /// BatchReport::Cancelled, and OnUnitDone sees Cancelled). Called
   /// concurrently from worker threads; must be thread-safe. The
   /// validation service uses this to expire queued requests whose
   /// deadline passed while they waited.
   std::function<bool(size_t)> CancelUnit;
-  /// Per-unit completion hook, invoked from the worker thread right after
-  /// unit \p Index finishes (or is cancelled), before the batch-wide
-  /// deterministic reduction. Lets a caller stream results out (the
-  /// service answers each request as its unit completes instead of
-  /// holding the whole batch). Must be thread-safe; must not throw.
-  std::function<void(size_t Index, const StatsMap &Unit, bool Cancelled)>
+  /// Per-unit watchdog deadline in milliseconds; 0 disables the watchdog.
+  /// A unit still running past the deadline is *answered early* with
+  /// UnitOutcome::TimedOut (OnUnitDone fires from the watchdog thread
+  /// with empty stats) so one hung unit cannot stall the callers of the
+  /// remaining units — but its worker is never abandoned: the batch still
+  /// waits for the real completion, whose late stats are then discarded.
+  /// Exactly one OnUnitDone fires per unit either way (first wins).
+  uint64_t UnitTimeoutMs = 0;
+  /// Per-unit completion hook, invoked right after unit \p Index finishes
+  /// (worker thread) or its watchdog deadline expires (watchdog thread),
+  /// before the batch-wide deterministic reduction. Lets a caller stream
+  /// results out (the service answers each request as its unit completes
+  /// instead of holding the whole batch). \p Detail is empty for Ok and
+  /// Cancelled, the exception text for InternalError, and the deadline
+  /// description for TimedOut. Must be thread-safe; must not throw.
+  std::function<void(size_t Index, const StatsMap &Unit, UnitOutcome Outcome,
+                     const std::string &Detail)>
       OnUnitDone;
 };
 
@@ -173,6 +197,8 @@ struct BatchReport {
   StatsMap Stats;          ///< deterministic, unit-index-order reduction
   uint64_t Units = 0;      ///< translation units processed
   uint64_t Cancelled = 0;  ///< units skipped by BatchOptions::CancelUnit
+  uint64_t InternalErrors = 0; ///< units that threw (isolated, not merged)
+  uint64_t TimedOut = 0;   ///< units answered early by the watchdog
   unsigned JobsUsed = 1;   ///< resolved worker count
   double WallSeconds = 0;  ///< elapsed time of the whole batch
   double CpuSeconds = 0;   ///< sum of per-unit validation times

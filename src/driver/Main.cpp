@@ -10,12 +10,14 @@
 //                    [--bugs 371|501pre|501post|fixed] [--files]
 //                    [--binary-proofs] [--cache=off|ro|rw]
 //                    [--cache-dir DIR] [--cache-max-mb N]
+//                    [--unit-timeout-ms N] [--chaos SPEC]
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/ValidationCache.h"
 #include "checker/Version.h"
 #include "driver/Driver.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
@@ -41,6 +43,8 @@ struct CliOptions {
   cache::CachePolicy CachePolicy = cache::CachePolicy::Off;
   std::string CacheDir = ".crellvm-cache";
   uint64_t CacheMaxMb = 256;
+  uint64_t UnitTimeoutMs = 0;
+  std::string Chaos; ///< --chaos SPEC; also CRELLVM_CHAOS env
 };
 
 void printUsage(std::ostream &OS, const char *Argv0) {
@@ -64,6 +68,12 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                    (src, tgt', proof, pass, checker, bugs) keys\n"
      << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
      << "  --cache-max-mb N  on-disk cache size bound in MiB (default 256)\n"
+     << "  --unit-timeout-ms N  per-unit watchdog deadline; a unit still\n"
+     << "                    running past it is answered internal_error\n"
+     << "                    while the batch continues (default: off)\n"
+     << "  --chaos SPEC      arm deterministic fault injection, e.g.\n"
+     << "                    'seed=42;disk.write:every=7;unit.hang:at=3:ms=50'\n"
+     << "                    (also read from $CRELLVM_CHAOS; flag wins)\n"
      << "  --version         print checker semantics version and exit\n"
      << "  --help, -h        print this help and exit\n";
 }
@@ -120,6 +130,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.CacheDir = Argv[++I];
     else if (A == "--cache-max-mb" && NextNum(N))
       O.CacheMaxMb = N;
+    else if (A == "--unit-timeout-ms" && NextNum(N))
+      O.UnitTimeoutMs = N;
+    else if (A == "--chaos" && I + 1 < Argc)
+      O.Chaos = Argv[++I];
     else
       return false;
   }
@@ -176,6 +190,16 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  std::string ChaosErr;
+  bool ChaosOk = Cli.Chaos.empty() ? fault::configureFromEnv(&ChaosErr)
+                                   : fault::configure(Cli.Chaos, &ChaosErr);
+  if (!ChaosOk) {
+    std::cerr << "error: " << ChaosErr << "\n";
+    return 2;
+  }
+  if (fault::armed())
+    std::cerr << "chaos: armed with '" << fault::activeSpec() << "'\n";
+
   cache::ValidationCacheOptions CacheOpts;
   CacheOpts.Policy = Cli.CachePolicy;
   CacheOpts.Dir = Cli.CacheDir;
@@ -190,6 +214,7 @@ int main(int Argc, char **Argv) {
 
   driver::BatchOptions BOpts;
   BOpts.Jobs = Cli.Jobs;
+  BOpts.UnitTimeoutMs = Cli.UnitTimeoutMs;
 
   uint64_t Seed = Cli.Seed;
   driver::BatchReport Report = driver::runBatchValidated(
@@ -201,6 +226,14 @@ int main(int Argc, char **Argv) {
       },
       BOpts);
 
+  if (Report.InternalErrors || Report.TimedOut)
+    std::cout << "degraded: " << Report.InternalErrors
+              << " units failed internally, " << Report.TimedOut
+              << " exceeded the " << Cli.UnitTimeoutMs
+              << "ms watchdog (isolated; remaining units unaffected)\n";
+  if (fault::armed())
+    std::cout << "chaos: injected " << fault::totalInjected()
+              << " faults from '" << fault::activeSpec() << "'\n";
   std::cout << "validated " << Report.Units << " modules with "
             << Report.JobsUsed << " jobs, bugs=" << Bugs.str() << "\n"
             << "wall " << formatSeconds(Report.WallSeconds) << ", cpu "

@@ -5,21 +5,31 @@
 // and prints verdict summaries, or fetches the live stats document.
 //
 //   crellvm-client --socket PATH [--seed S] [--modules N] [--module FILE]
-//                  [--bugs CFG] [--deadline-ms N] [--stats] [--ping]
-//                  [--shutdown] [--json] [--version] [--help]
+//                  [--bugs CFG] [--deadline-ms N] [--retries N] [--stats]
+//                  [--ping] [--shutdown] [--json] [--version] [--help]
+//
+// With --retries N, requests the daemon rejected with queue_full are
+// resent up to N more rounds, backing off exponentially with jitter and
+// honoring the server's retry_after_ms hint. Deliberate rejections
+// (shutting_down, quarantined) are never retried.
 //
 // Exit codes: 0 all verdicts clean, 1 failures/rejections/divergences,
-// 2 bad usage, 3 transport error.
+// 2 bad usage or daemon not running, 3 transport error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Version.h"
 #include "server/Protocol.h"
+#include "support/RNG.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -37,6 +47,7 @@ struct CliOptions {
   std::string ModuleFile;
   std::string Bugs = "fixed";
   uint64_t DeadlineMs = 0;
+  uint64_t Retries = 0;
   bool Stats = false;
   bool Ping = false;
   bool Shutdown = false;
@@ -56,6 +67,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --module FILE    validate the .ll module in FILE instead\n"
      << "  --bugs CFG       371 | 501pre | 501post | fixed (default)\n"
      << "  --deadline-ms N  per-request deadline (default: none)\n"
+     << "  --retries N      resend queue_full rejections up to N rounds,\n"
+     << "                   exponential backoff + jitter, honoring the\n"
+     << "                   server's retry_after_ms hint (default 0)\n"
      << "  --stats          fetch and print the server stats document\n"
      << "  --ping           liveness check\n"
      << "  --shutdown       ask the daemon to drain and exit\n"
@@ -97,6 +111,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Bugs = Argv[++I];
     else if (A == "--deadline-ms" && NextNum(N))
       O.DeadlineMs = N;
+    else if (A == "--retries" && NextNum(N))
+      O.Retries = N;
     else if (A == "--stats")
       O.Stats = true;
     else if (A == "--ping")
@@ -111,17 +127,23 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
   return true;
 }
 
-int connectTo(const std::string &Path) {
+int connectTo(const std::string &Path, int &ConnectErrno) {
+  ConnectErrno = 0;
   sockaddr_un Addr;
-  if (Path.size() + 1 > sizeof(Addr.sun_path))
+  if (Path.size() + 1 > sizeof(Addr.sun_path)) {
+    ConnectErrno = ENAMETOOLONG;
     return -1;
+  }
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0)
+  if (Fd < 0) {
+    ConnectErrno = errno;
     return -1;
+  }
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ConnectErrno = errno;
     ::close(Fd);
     return -1;
   }
@@ -151,9 +173,19 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  int Fd = connectTo(Cli.Socket);
+  int ConnectErrno = 0;
+  int Fd = connectTo(Cli.Socket, ConnectErrno);
   if (Fd < 0) {
-    std::cerr << "error: cannot connect to " << Cli.Socket << "\n";
+    // The two "nobody is listening" cases get a plain-language message
+    // and the usage exit code: no socket file at all, or a socket file
+    // whose daemon is gone.
+    if (ConnectErrno == ENOENT || ConnectErrno == ECONNREFUSED) {
+      std::cerr << "error: daemon not running at " << Cli.Socket
+                << " (start crellvm-served --socket " << Cli.Socket << ")\n";
+      return 2;
+    }
+    std::cerr << "error: cannot connect to " << Cli.Socket << ": "
+              << std::strerror(ConnectErrno) << "\n";
     return 3;
   }
 
@@ -192,73 +224,118 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Pipeline: write everything, then collect responses (matched by id —
-  // the server batches, so responses arrive in completion order).
-  for (size_t I = 0; I != Requests.size(); ++I) {
-    Requests[I].Id = static_cast<int64_t>(I);
-    if (!writeFrame(Fd, requestToJson(Requests[I]))) {
-      std::cerr << "error: write failed\n";
-      ::close(Fd);
-      return 3;
-    }
-  }
-
   uint64_t V = 0, F = 0, NS = 0, Diff = 0, Ok = 0, Rejected = 0, Expired = 0,
-           Errors = 0, CacheHits = 0, CacheMisses = 0;
+           Errors = 0, Internal = 0, CacheHits = 0, CacheMisses = 0;
   std::map<std::string, PassVerdicts> Passes;
-  for (size_t Got = 0; Got != Requests.size(); ++Got) {
-    std::string Frame, Err;
-    if (!readFrame(Fd, Frame, &Err)) {
-      std::cerr << "error: connection closed with "
-                << (Requests.size() - Got) << " responses outstanding"
-                << (Err.empty() ? "" : (": " + Err)) << "\n";
-      ::close(Fd);
-      return 3;
-    }
-    if (Cli.Json)
-      std::cout << Frame << "\n";
-    auto Rsp = responseFromJson(Frame, &Err);
-    if (!Rsp) {
-      std::cerr << "error: bad response: " << Err << "\n";
-      ::close(Fd);
-      return 3;
-    }
-    switch (Rsp->Status) {
-    case ResponseStatus::Ok:
-      ++Ok;
-      V += Rsp->totalV();
-      F += Rsp->totalF();
-      NS += Rsp->totalNS();
-      Diff += Rsp->totalDiff();
-      CacheHits += Rsp->CacheHits;
-      CacheMisses += Rsp->CacheMisses;
-      for (const auto &KV : Rsp->Passes) {
-        PassVerdicts &P = Passes[KV.first];
-        P.V += KV.second.V;
-        P.F += KV.second.F;
-        P.NS += KV.second.NS;
-        P.Diff += KV.second.Diff;
+
+  // Ids are assigned once and stay stable across retry rounds, so a
+  // response always names its original request.
+  for (size_t I = 0; I != Requests.size(); ++I)
+    Requests[I].Id = static_cast<int64_t>(I);
+  std::vector<size_t> Outstanding(Requests.size());
+  for (size_t I = 0; I != Requests.size(); ++I)
+    Outstanding[I] = I;
+
+  // Jitter is seeded from the request seed, keeping even the backoff
+  // schedule reproducible run to run.
+  RNG JitterRng(Cli.Seed ^ 0xc0ffee5eedull);
+  constexpr uint64_t BackoffBaseMs = 25;
+
+  for (uint64_t Round = 0; !Outstanding.empty(); ++Round) {
+    // Pipeline: write every outstanding request, then collect responses
+    // (matched by id — the server batches, so responses arrive in
+    // completion order).
+    for (size_t Idx : Outstanding) {
+      if (!writeFrame(Fd, requestToJson(Requests[Idx]))) {
+        std::cerr << "error: write failed\n";
+        ::close(Fd);
+        return 3;
       }
-      if (!Cli.Json && !Rsp->Stats.isNull())
-        std::cout << Rsp->Stats.write() << "\n";
-      for (const std::string &Msg : Rsp->Failures)
-        std::cerr << "failure: " << Msg << "\n";
-      break;
-    case ResponseStatus::Rejected:
-      ++Rejected;
-      std::cerr << "rejected: " << Rsp->Reason;
-      if (Rsp->RetryAfterMs)
-        std::cerr << " (retry after " << Rsp->RetryAfterMs << "ms)";
-      std::cerr << "\n";
-      break;
-    case ResponseStatus::DeadlineExceeded:
-      ++Expired;
-      break;
-    case ResponseStatus::Error:
-      ++Errors;
-      std::cerr << "error response: " << Rsp->Reason << "\n";
-      break;
     }
+
+    std::vector<size_t> Retry;
+    uint64_t ServerHintMs = 0;
+    for (size_t Got = 0; Got != Outstanding.size(); ++Got) {
+      std::string Frame, Err;
+      if (!readFrame(Fd, Frame, &Err)) {
+        std::cerr << "error: connection closed with "
+                  << (Outstanding.size() - Got) << " responses outstanding"
+                  << (Err.empty() ? "" : (": " + Err)) << "\n";
+        ::close(Fd);
+        return 3;
+      }
+      if (Cli.Json)
+        std::cout << Frame << "\n";
+      auto Rsp = responseFromJson(Frame, &Err);
+      if (!Rsp) {
+        std::cerr << "error: bad response: " << Err << "\n";
+        ::close(Fd);
+        return 3;
+      }
+      switch (Rsp->Status) {
+      case ResponseStatus::Ok:
+        ++Ok;
+        V += Rsp->totalV();
+        F += Rsp->totalF();
+        NS += Rsp->totalNS();
+        Diff += Rsp->totalDiff();
+        CacheHits += Rsp->CacheHits;
+        CacheMisses += Rsp->CacheMisses;
+        for (const auto &KV : Rsp->Passes) {
+          PassVerdicts &P = Passes[KV.first];
+          P.V += KV.second.V;
+          P.F += KV.second.F;
+          P.NS += KV.second.NS;
+          P.Diff += KV.second.Diff;
+        }
+        if (!Cli.Json && !Rsp->Stats.isNull())
+          std::cout << Rsp->Stats.write() << "\n";
+        for (const std::string &Msg : Rsp->Failures)
+          std::cerr << "failure: " << Msg << "\n";
+        break;
+      case ResponseStatus::Rejected:
+        // Only backpressure is worth retrying; shutting_down and
+        // quarantined are the daemon saying "stop asking".
+        if (Rsp->Reason == "queue_full" && Round < Cli.Retries &&
+            Rsp->Id >= 0 &&
+            static_cast<size_t>(Rsp->Id) < Requests.size()) {
+          Retry.push_back(static_cast<size_t>(Rsp->Id));
+          ServerHintMs = std::max(ServerHintMs, Rsp->RetryAfterMs);
+          break;
+        }
+        ++Rejected;
+        std::cerr << "rejected: " << Rsp->Reason;
+        if (Rsp->RetryAfterMs)
+          std::cerr << " (retry after " << Rsp->RetryAfterMs << "ms)";
+        std::cerr << "\n";
+        break;
+      case ResponseStatus::DeadlineExceeded:
+        ++Expired;
+        break;
+      case ResponseStatus::InternalError:
+        ++Internal;
+        std::cerr << "internal error response: " << Rsp->Reason << "\n";
+        break;
+      case ResponseStatus::Error:
+        ++Errors;
+        std::cerr << "error response: " << Rsp->Reason << "\n";
+        break;
+      }
+    }
+
+    Outstanding = std::move(Retry);
+    if (Outstanding.empty())
+      break;
+    // Exponential backoff, floored at the server's own hint, plus jitter
+    // so a burst of clients does not resubmit in lockstep.
+    uint64_t Backoff = BackoffBaseMs
+                       << std::min<uint64_t>(Round, 8); // cap at ~6.4s
+    Backoff = std::max(Backoff, ServerHintMs);
+    Backoff += JitterRng.below(BackoffBaseMs + 1);
+    std::cerr << "retrying " << Outstanding.size() << " rejected request"
+              << (Outstanding.size() == 1 ? "" : "s") << " in " << Backoff
+              << "ms (round " << (Round + 1) << "/" << Cli.Retries << ")\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
   }
   ::close(Fd);
 
@@ -266,8 +343,8 @@ int main(int Argc, char **Argv) {
                     Requests.front().Kind == RequestKind::Validate;
   if (!Cli.Json && IsValidate) {
     std::cout << "responses: ok=" << Ok << " rejected=" << Rejected
-              << " deadline_exceeded=" << Expired << " errors=" << Errors
-              << "\n";
+              << " deadline_exceeded=" << Expired << " internal_errors="
+              << Internal << " errors=" << Errors << "\n";
     for (const auto &KV : Passes)
       std::cout << "  " << KV.first << ": V=" << KV.second.V << " F="
                 << KV.second.F << " NS=" << KV.second.NS << " diff="
@@ -277,7 +354,7 @@ int main(int Argc, char **Argv) {
               << " cache-misses=" << CacheMisses << "\n";
   }
 
-  if (Errors || (IsValidate && (F || Diff || Rejected || Expired)))
+  if (Errors || (IsValidate && (F || Diff || Rejected || Expired || Internal)))
     return 1;
   return 0;
 }

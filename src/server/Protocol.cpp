@@ -2,6 +2,8 @@
 
 #include "server/Protocol.h"
 
+#include "support/FaultInjection.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -24,9 +26,21 @@ std::string server::encodeFrame(const std::string &Payload) {
 
 namespace {
 
+/// Both loops below already retry EINTR and partial transfers; the chaos
+/// sites (support/FaultInjection.h) exist to *exercise* those retries:
+/// sock.eintr skips one syscall and loops (as a signal would), sock.short
+/// caps the transfer at one byte, sock.read/sock.write fail the whole
+/// operation mid-frame (peer reset).
 bool writeAll(int Fd, const char *Buf, size_t N) {
   while (N) {
-    ssize_t W = ::write(Fd, Buf, N);
+    if (fault::shouldFail("sock.write")) {
+      errno = ECONNRESET;
+      return false;
+    }
+    if (fault::shouldFail("sock.eintr"))
+      continue;
+    size_t Chunk = fault::shouldFail("sock.short") ? 1 : N;
+    ssize_t W = ::write(Fd, Buf, Chunk);
     if (W < 0) {
       if (errno == EINTR)
         continue;
@@ -42,7 +56,14 @@ bool writeAll(int Fd, const char *Buf, size_t N) {
 /// whether any byte arrived (distinguishes clean EOF from truncation).
 bool readAll(int Fd, char *Buf, size_t N, bool &SawAny) {
   while (N) {
-    ssize_t R = ::read(Fd, Buf, N);
+    if (fault::shouldFail("sock.read")) {
+      errno = ECONNRESET;
+      return false;
+    }
+    if (fault::shouldFail("sock.eintr"))
+      continue;
+    size_t Chunk = fault::shouldFail("sock.short") ? 1 : N;
+    ssize_t R = ::read(Fd, Buf, Chunk);
     if (R < 0) {
       if (errno == EINTR)
         continue;
@@ -196,6 +217,8 @@ const char *server::statusName(ResponseStatus S) {
     return "rejected";
   case ResponseStatus::DeadlineExceeded:
     return "deadline_exceeded";
+  case ResponseStatus::InternalError:
+    return "internal_error";
   case ResponseStatus::Error:
     return "error";
   }
@@ -302,6 +325,8 @@ std::optional<Response> server::responseFromJson(const std::string &Text,
     R.Status = ResponseStatus::Rejected;
   else if (S == "deadline_exceeded")
     R.Status = ResponseStatus::DeadlineExceeded;
+  else if (S == "internal_error")
+    R.Status = ResponseStatus::InternalError;
   else if (S == "error")
     R.Status = ResponseStatus::Error;
   else {

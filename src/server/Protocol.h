@@ -31,9 +31,13 @@
 ///
 ///   ok                  per-pass verdict counts, failures, latencies
 ///   rejected            backpressure (`reason`: queue_full with
-///                       retry_after_ms, or shutting_down) — the request
-///                       was NOT validated
+///                       retry_after_ms, shutting_down, or quarantined) —
+///                       the request was NOT validated
 ///   deadline_exceeded   admitted but expired before validation started
+///   internal_error      admitted and started, but the unit threw or blew
+///                       its watchdog deadline; the failure is isolated
+///                       to this request (reason says what happened, the
+///                       batch and the daemon keep running)
 ///   error               malformed request (reason says why)
 ///
 /// The protocol is *outside* the TCB: it moves bytes to and from the
@@ -88,7 +92,13 @@ std::string requestToJson(const Request &R);
 std::optional<Request> requestFromJson(const std::string &Text,
                                        std::string *Err = nullptr);
 
-enum class ResponseStatus : uint8_t { Ok, Rejected, DeadlineExceeded, Error };
+enum class ResponseStatus : uint8_t {
+  Ok,
+  Rejected,
+  DeadlineExceeded,
+  InternalError,
+  Error,
+};
 
 const char *statusName(ResponseStatus S);
 

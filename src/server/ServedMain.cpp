@@ -9,12 +9,15 @@
 //   crellvm-served --socket PATH [--jobs N] [--queue-max N]
 //                  [--batch-max N] [--linger-us N] [--files] [--oracle]
 //                  [--cache=off|ro|rw] [--cache-dir DIR]
-//                  [--cache-max-mb N] [--version] [--help]
+//                  [--cache-max-mb N] [--unit-timeout-ms N]
+//                  [--quarantine-after N] [--chaos SPEC]
+//                  [--version] [--help]
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Version.h"
 #include "server/SocketServer.h"
+#include "support/FaultInjection.h"
 
 #include <csignal>
 #include <cstring>
@@ -32,6 +35,7 @@ struct CliOptions {
   cache::CachePolicy CachePolicy = cache::CachePolicy::Off;
   std::string CacheDir = ".crellvm-cache";
   uint64_t CacheMaxMb = 256;
+  std::string Chaos; ///< --chaos SPEC; also CRELLVM_CHAOS env
 };
 
 void printUsage(std::ostream &OS, const char *Argv0) {
@@ -56,6 +60,14 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --cache=MODE      validation cache: off (default) | ro | rw\n"
      << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
      << "  --cache-max-mb N  on-disk cache bound in MiB (default 256)\n"
+     << "  --unit-timeout-ms N  per-unit watchdog; a unit still running\n"
+     << "                    past it is answered internal_error while its\n"
+     << "                    batch continues (default: off)\n"
+     << "  --quarantine-after N  reject a unit after N consecutive\n"
+     << "                    internal_error runs (default 2; 0 = never)\n"
+     << "  --chaos SPEC      arm deterministic fault injection, e.g.\n"
+     << "                    'seed=42;disk.write:every=7;sock.short:every=3'\n"
+     << "                    (also read from $CRELLVM_CHAOS; flag wins)\n"
      << "  --version         print version and exit\n"
      << "  --help, -h        print this help and exit\n";
 }
@@ -109,6 +121,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.CacheDir = Argv[++I];
     else if (A == "--cache-max-mb" && NextNum(N))
       O.CacheMaxMb = N;
+    else if (A == "--unit-timeout-ms" && NextNum(N))
+      O.Service.UnitTimeoutMs = N;
+    else if (A == "--quarantine-after" && NextNum(N))
+      O.Service.QuarantineAfter = N;
+    else if (A == "--chaos" && I + 1 < Argc)
+      O.Chaos = Argv[++I];
     else
       return false;
   }
@@ -151,6 +169,16 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  std::string ChaosErr;
+  bool ChaosOk = Cli.Chaos.empty() ? fault::configureFromEnv(&ChaosErr)
+                                   : fault::configure(Cli.Chaos, &ChaosErr);
+  if (!ChaosOk) {
+    std::cerr << "error: " << ChaosErr << "\n";
+    return 2;
+  }
+  if (fault::armed())
+    std::cerr << "chaos: armed with '" << fault::activeSpec() << "'\n";
+
   Cli.Service.Cache.Policy = Cli.CachePolicy;
   Cli.Service.Cache.Dir = Cli.CacheDir;
   Cli.Service.Cache.MaxDiskBytes = Cli.CacheMaxMb << 20;
@@ -180,9 +208,17 @@ int main(int Argc, char **Argv) {
   server::ServiceCounters C = Service.counters();
   std::cout << "crellvm-served drained: accepted=" << C.Accepted
             << " completed=" << C.Completed << " deadline_exceeded="
-            << C.DeadlineExpired << " rejected="
-            << (C.RejectedQueueFull + C.RejectedShutdown) << std::endl;
-  // Every accepted request must be accounted for: a verdict or a deadline
-  // expiry, never silence.
-  return C.Accepted == C.Completed + C.DeadlineExpired ? 0 : 1;
+            << C.DeadlineExpired << " internal_errors=" << C.InternalErrors
+            << " rejected="
+            << (C.RejectedQueueFull + C.RejectedShutdown +
+                C.RejectedQuarantined)
+            << std::endl;
+  if (fault::armed())
+    std::cout << "chaos: injected " << fault::totalInjected()
+              << " faults from '" << fault::activeSpec() << "'" << std::endl;
+  // Every accepted request must be accounted for: a verdict, a deadline
+  // expiry, or a structured internal error — never silence.
+  return C.Accepted == C.Completed + C.DeadlineExpired + C.InternalErrors
+             ? 0
+             : 1;
 }

@@ -3,6 +3,7 @@
 #include "server/Service.h"
 
 #include "ir/Parser.h"
+#include "support/FaultInjection.h"
 #include "workload/RandomProgram.h"
 
 #include <condition_variable>
@@ -104,6 +105,29 @@ ServiceCounters ValidationService::counters() const {
   return Stats;
 }
 
+std::string ValidationService::unitKey(const Request &R) {
+  // Module-text identity is its FNV-1a hash; seeds are their own identity.
+  if (!R.ModuleText.empty()) {
+    uint64_t H = 1469598103934665603ull;
+    for (char C : R.ModuleText) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    return "mod:" + std::to_string(H) + "|" + R.Bugs;
+  }
+  return "seed:" + std::to_string(R.Seed) + "|" + R.Bugs;
+}
+
+void ValidationService::noteUnitResult(const Request &R, bool Failed) {
+  if (!Opts.QuarantineAfter)
+    return;
+  std::lock_guard<std::mutex> L(M);
+  if (Failed)
+    ++FailStreaks[unitKey(R)];
+  else
+    FailStreaks.erase(unitKey(R));
+}
+
 uint64_t ValidationService::retryAfterMsHint() {
   // Half a typical request latency is a reasonable first retry; the floor
   // keeps the hint sane before any request completed.
@@ -169,6 +193,24 @@ void ValidationService::submit(const Request &R, Callback Done) {
     return;
   }
 
+  // Quarantine: a unit that repeatedly crashed or hung gets refused at
+  // admission instead of burning another worker (and another watchdog
+  // deadline). The rejection is deliberate, so the client must not retry
+  // it the way it retries queue_full.
+  if (Opts.QuarantineAfter) {
+    std::lock_guard<std::mutex> L(M);
+    auto It = FailStreaks.find(unitKey(R));
+    if (It != FailStreaks.end() && It->second >= Opts.QuarantineAfter) {
+      ++Stats.RejectedQuarantined;
+      Rsp.Status = ResponseStatus::Rejected;
+      Rsp.Reason = "quarantined";
+    }
+  }
+  if (Rsp.Status == ResponseStatus::Rejected) {
+    Done(std::move(Rsp));
+    return;
+  }
+
   Pending P;
   P.R = R;
   P.Done = std::move(Done);
@@ -185,7 +227,11 @@ void ValidationService::submit(const Request &R, Callback Done) {
       ++Stats.RejectedShutdown;
       Rsp.Status = ResponseStatus::Rejected;
       Rsp.Reason = "shutting_down";
-    } else if (Queue.size() >= Opts.QueueMax) {
+    } else if (Queue.size() >= Opts.QueueMax ||
+               fault::shouldFail("queue.admit")) {
+      // The chaos site models admission pressure: a forced shed is
+      // answered exactly like a genuinely full queue (rejected +
+      // retry_after_ms), so load is shed, never deadlocked on.
       ++Stats.RejectedQueueFull;
       Rsp.Status = ResponseStatus::Rejected;
       Rsp.Reason = "queue_full";
@@ -258,6 +304,8 @@ void ValidationService::finishOne(Pending &P, Response Rsp,
     std::lock_guard<std::mutex> L(M);
     if (Rsp.Status == ResponseStatus::DeadlineExceeded) {
       ++Stats.DeadlineExpired;
+    } else if (Rsp.Status == ResponseStatus::InternalError) {
+      ++Stats.InternalErrors;
     } else {
       ++Stats.Completed;
       Stats.VerdictsV += Rsp.totalV();
@@ -290,18 +338,34 @@ void ValidationService::runBatch(std::vector<Pending> &Batch) {
 
   driver::BatchOptions BOpts;
   BOpts.Jobs = Pool.numThreads();
+  BOpts.UnitTimeoutMs = Opts.UnitTimeoutMs;
   BOpts.CancelUnit = [&Batch](size_t I) {
     const Pending &P = Batch[I];
     return P.R.DeadlineMs != 0 && Clock::now() > P.Deadline;
   };
   BOpts.OnUnitDone = [this, &Batch, BatchStart](size_t I,
                                                 const driver::StatsMap &Unit,
-                                                bool Cancelled) {
+                                                driver::UnitOutcome Outcome,
+                                                const std::string &Detail) {
     Response Rsp;
-    if (Cancelled) {
+    switch (Outcome) {
+    case driver::UnitOutcome::Cancelled:
       Rsp.Status = ResponseStatus::DeadlineExceeded;
       Rsp.Reason = "deadline passed before validation started";
-    } else {
+      break;
+    case driver::UnitOutcome::InternalError:
+      Rsp.Status = ResponseStatus::InternalError;
+      Rsp.Reason = "validation unit failed: " + Detail;
+      break;
+    case driver::UnitOutcome::TimedOut:
+      Rsp.Status = ResponseStatus::InternalError;
+      Rsp.Reason = "watchdog: " + Detail;
+      {
+        std::lock_guard<std::mutex> L(M);
+        ++Stats.WatchdogTimeouts;
+      }
+      break;
+    case driver::UnitOutcome::Ok:
       Rsp.Status = ResponseStatus::Ok;
       Rsp.Passes = passVerdictsOf(Unit);
       for (const auto &KV : Unit) {
@@ -311,7 +375,12 @@ void ValidationService::runBatch(std::vector<Pending> &Batch) {
         Rsp.CacheHits += KV.second.CacheHits;
         Rsp.CacheMisses += KV.second.CacheMisses;
       }
+      break;
     }
+    // Only Ok and the two failure outcomes touch the quarantine streak; a
+    // deadline expiry says nothing about the unit itself.
+    if (Outcome != driver::UnitOutcome::Cancelled)
+      noteUnitResult(Batch[I].R, Outcome != driver::UnitOutcome::Ok);
     finishOne(Batch[I], std::move(Rsp), BatchStart);
   };
 
@@ -405,8 +474,11 @@ json::Value ValidationService::statsJson() {
   Req.set("completed", json::Value(C.Completed));
   Req.set("rejected_queue_full", json::Value(C.RejectedQueueFull));
   Req.set("rejected_shutting_down", json::Value(C.RejectedShutdown));
+  Req.set("rejected_quarantined", json::Value(C.RejectedQuarantined));
   Req.set("bad_requests", json::Value(C.BadRequests));
   Req.set("deadline_exceeded", json::Value(C.DeadlineExpired));
+  Req.set("internal_errors", json::Value(C.InternalErrors));
+  Req.set("watchdog_timeouts", json::Value(C.WatchdogTimeouts));
   Req.set("batches", json::Value(C.Batches));
   Req.set("stats_requests", json::Value(C.StatsRequests));
   Root.set("requests", std::move(Req));
@@ -420,6 +492,10 @@ json::Value ValidationService::statsJson() {
 
   json::Value CacheV = json::Value::object();
   CacheV.set("policy", json::Value(policyName(Cache.policy())));
+  CacheV.set("configured_policy",
+             json::Value(policyName(Cache.configuredPolicy())));
+  CacheV.set("demotions", json::Value(Cache.demotions()));
+  CacheV.set("disk_faults", json::Value(Cache.diskFaults()));
   CacheV.set("hits", json::Value(C.CacheHits));
   CacheV.set("misses", json::Value(C.CacheMisses));
   uint64_t Lookups = C.CacheHits + C.CacheMisses;
@@ -436,6 +512,14 @@ json::Value ValidationService::statsJson() {
   Lat.set("total", histJson(TotalLatencyUs));
   Root.set("latency_us", std::move(Lat));
   Root.set("batch_size", histJson(BatchSizes));
+
+  // Fault-injection telemetry, so an operator can tell a chaos run (and
+  // what it injected) apart from a genuinely failing disk or peer.
+  json::Value Chaos = json::Value::object();
+  Chaos.set("armed", json::Value(fault::armed()));
+  Chaos.set("spec", json::Value(fault::activeSpec()));
+  Chaos.set("injected", json::Value(fault::totalInjected()));
+  Root.set("chaos", std::move(Chaos));
   return Root;
 }
 

@@ -75,6 +75,16 @@ struct ServiceOptions {
   uint64_t BatchLingerUs = 200;
   /// Floor for the retry_after_ms backoff hint.
   uint64_t RetryAfterMsFloor = 10;
+  /// Per-unit watchdog deadline handed to driver::BatchOptions; a unit
+  /// still running past it is answered `internal_error` while its batch
+  /// siblings proceed. 0 disables the watchdog.
+  uint64_t UnitTimeoutMs = 0;
+  /// After this many *consecutive* internal_error answers for the same
+  /// unit identity (seed or module hash, plus bugs preset), further
+  /// submissions of it are rejected with reason "quarantined" instead of
+  /// re-running a unit that keeps crashing or hanging the pool. A
+  /// successful run clears the streak. 0 disables quarantining.
+  uint64_t QuarantineAfter = 2;
   /// Construct with the dispatcher paused; tests use this to set up
   /// deterministic queue states (a full queue, an expired deadline)
   /// before any batch runs. resume() starts dispatching.
@@ -92,9 +102,12 @@ struct ServiceCounters {
   uint64_t Accepted = 0;          ///< admitted to the queue
   uint64_t RejectedQueueFull = 0;
   uint64_t RejectedShutdown = 0;
+  uint64_t RejectedQuarantined = 0;
   uint64_t BadRequests = 0;       ///< parse/validation errors at admission
   uint64_t Completed = 0;         ///< answered with a verdict
   uint64_t DeadlineExpired = 0;
+  uint64_t InternalErrors = 0;    ///< answered internal_error (threw/hung)
+  uint64_t WatchdogTimeouts = 0;  ///< InternalErrors due to the watchdog
   uint64_t Batches = 0;
   uint64_t VerdictsV = 0, VerdictsF = 0, VerdictsNS = 0;
   uint64_t DiffMismatches = 0;
@@ -162,6 +175,11 @@ private:
   void runBatch(std::vector<Pending> &Batch);
   void finishOne(Pending &P, Response Rsp, Clock::time_point BatchStart);
   uint64_t retryAfterMsHint();
+  /// Stable identity of a validate request for the quarantine list.
+  static std::string unitKey(const Request &R);
+  /// Updates the consecutive-failure streak for \p R (failure increments,
+  /// success clears) under M.
+  void noteUnitResult(const Request &R, bool Failed);
 
   ServiceOptions Opts;
   cache::ValidationCache Cache;
@@ -176,6 +194,9 @@ private:
   bool Stopping = false;   ///< dispatcher must exit once queue is empty
   size_t InFlight = 0;     ///< units handed to the current batch
   ServiceCounters Stats;
+  /// unitKey -> consecutive internal_error count (guarded by M). Keys at
+  /// or above QuarantineAfter are refused admission.
+  std::map<std::string, uint64_t> FailStreaks;
 
   Histogram QueueLatencyUs; ///< admission -> batch start
   Histogram TotalLatencyUs; ///< admission -> response

@@ -115,9 +115,13 @@ bool SocketServer::start(std::string *Err) {
 void SocketServer::requestStop() {
   // One byte on the self-pipe; poll() in run() wakes up. write(2) is
   // async-signal-safe, so signal handlers route here via stopFdForSignals.
+  // Retry EINTR: a signal arriving during the stop write must not eat the
+  // stop byte, or the accept loop would never wake. (EAGAIN means the
+  // pipe already holds unread stop bytes — just as good as ours.)
   StopRequested.store(true, std::memory_order_relaxed);
   char B = 1;
-  [[maybe_unused]] ssize_t W = ::write(StopPipe[1], &B, 1);
+  while (::write(StopPipe[1], &B, 1) < 0 && errno == EINTR) {
+  }
 }
 
 void SocketServer::run() {

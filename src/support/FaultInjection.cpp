@@ -1,0 +1,277 @@
+//===- support/FaultInjection.cpp -------------------------------*- C++ -*-===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+using namespace crellvm;
+using namespace crellvm::fault;
+
+std::atomic<bool> fault::detail::Armed{false};
+
+namespace {
+
+/// Every site the codebase probes. configure() rejects anything else, so
+/// a typo in a schedule is a hard error instead of a silently-idle site.
+constexpr const char *KnownSites[] = {
+    "disk.read",  "disk.write",  "disk.short", "disk.rename", "disk.corrupt",
+    "sock.read",  "sock.write",  "sock.short", "sock.eintr",
+    "pool.submit", "queue.admit", "unit.run",   "unit.hang",
+};
+constexpr size_t NumSites = sizeof(KnownSites) / sizeof(KnownSites[0]);
+
+int siteIndex(const char *Name) {
+  for (size_t I = 0; I != NumSites; ++I)
+    if (std::strcmp(Name, KnownSites[I]) == 0)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// One site's schedule and accounting. All fields are atomics so the
+/// armed probe path is lock-free: probes on a chaos run pay one strcmp
+/// scan plus a handful of relaxed atomic ops, never a mutex — the
+/// armed-but-idle configuration must stay within 5% of disarmed
+/// (bench/chaos_overhead), and a mutex shared by every I/O boundary of
+/// every worker thread does not.
+struct SiteState {
+  std::atomic<bool> Scheduled{false};
+  std::atomic<uint64_t> Every{0}; ///< fire on hits Every, 2*Every, ...
+  std::atomic<uint64_t> After{0}; ///< fire on every hit > After
+  std::atomic<uint64_t> At{0};    ///< fire on exactly hit At
+  std::atomic<uint64_t> Ppm{0};   ///< fire with probability Ppm/1e6
+  std::atomic<uint64_t> ArgMs{0}; ///< site argument (unit.hang stall)
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Injected{0};
+};
+
+SiteState GSites[NumSites];
+std::atomic<uint64_t> GSeed{0};
+
+/// Guards configure()/disarm()/activeSpec() and GSpec only; probes never
+/// take it.
+std::mutex ConfigM;
+std::string GSpec;
+
+uint64_t fnv1a(const char *S) {
+  uint64_t H = 1469598103934665603ull;
+  for (; *S; ++S) {
+    H ^= static_cast<unsigned char>(*S);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+bool parseUint(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+void splitOn(const std::string &S, const char *Seps,
+             std::vector<std::string> &Out) {
+  std::string Cur;
+  for (char C : S) {
+    bool IsSep = false;
+    for (const char *P = Seps; *P; ++P)
+      if (C == *P)
+        IsSep = true;
+    if (IsSep) {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else if (C != ' ' && C != '\t') {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+}
+
+/// The parsed form configure() builds before touching the live registry,
+/// so a parse error leaves the previous schedule fully intact.
+struct ParsedSite {
+  uint64_t Every = 0, After = 0, At = 0, Ppm = 0, ArgMs = 0;
+};
+
+} // namespace
+
+bool fault::detail::probeSlow(const char *SiteName, uint64_t *ArgOut) {
+  int Idx = siteIndex(SiteName);
+  if (Idx < 0)
+    return false;
+  SiteState &S = GSites[Idx];
+  if (!S.Scheduled.load(std::memory_order_relaxed))
+    return false;
+  uint64_t Hit = S.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool Fire = false;
+  uint64_t Every = S.Every.load(std::memory_order_relaxed);
+  if (Every && Hit % Every == 0)
+    Fire = true;
+  uint64_t After = S.After.load(std::memory_order_relaxed);
+  if (After && Hit > After)
+    Fire = true;
+  uint64_t At = S.At.load(std::memory_order_relaxed);
+  if (At && Hit == At)
+    Fire = true;
+  uint64_t Ppm = S.Ppm.load(std::memory_order_relaxed);
+  if (Ppm && mix(GSeed.load(std::memory_order_relaxed) ^ fnv1a(SiteName) ^
+                 (Hit * 0x2545f4914f6cdd1dull)) %
+                     1000000ull <
+                 Ppm)
+    Fire = true;
+  if (Fire) {
+    S.Injected.fetch_add(1, std::memory_order_relaxed);
+    if (ArgOut)
+      *ArgOut = S.ArgMs.load(std::memory_order_relaxed);
+  }
+  return Fire;
+}
+
+bool fault::configure(const std::string &Spec, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+
+  uint64_t Seed = 0;
+  std::map<int, ParsedSite> Parsed;
+  std::vector<std::string> Clauses;
+  splitOn(Spec, ",;", Clauses);
+  for (const std::string &Clause : Clauses) {
+    std::vector<std::string> Parts;
+    splitOn(Clause, ":", Parts);
+    if (Parts.empty())
+      continue;
+    // The global seed clause: "seed=S".
+    if (Parts.size() == 1 && Parts[0].rfind("seed=", 0) == 0) {
+      if (!parseUint(Parts[0].substr(5), Seed))
+        return Fail("bad seed in chaos clause '" + Clause + "'");
+      continue;
+    }
+    const std::string &Name = Parts[0];
+    if (Name.find('=') != std::string::npos)
+      return Fail("chaos clause '" + Clause +
+                  "' has a parameter where a site name belongs");
+    int Idx = siteIndex(Name.c_str());
+    if (Idx < 0)
+      return Fail("unknown chaos site '" + Name + "'");
+    if (Parts.size() < 2)
+      return Fail("chaos site '" + Name + "' has no schedule");
+    ParsedSite &S = Parsed[Idx]; // one clause per site; last wins
+    S = ParsedSite{};
+    for (size_t I = 1; I != Parts.size(); ++I) {
+      size_t Eq = Parts[I].find('=');
+      if (Eq == std::string::npos)
+        return Fail("bad chaos parameter '" + Parts[I] + "' for site '" +
+                    Name + "'");
+      std::string Key = Parts[I].substr(0, Eq);
+      uint64_t Val = 0;
+      if (!parseUint(Parts[I].substr(Eq + 1), Val))
+        return Fail("bad chaos value in '" + Parts[I] + "' for site '" +
+                    Name + "'");
+      if (Key == "every") {
+        if (Val == 0)
+          return Fail("chaos 'every' must be >= 1 for site '" + Name + "'");
+        S.Every = Val;
+      } else if (Key == "after")
+        S.After = Val;
+      else if (Key == "at")
+        S.At = Val;
+      else if (Key == "ppm") {
+        if (Val > 1000000)
+          return Fail("chaos 'ppm' must be <= 1000000 for site '" + Name +
+                      "'");
+        S.Ppm = Val;
+      } else if (Key == "ms")
+        S.ArgMs = Val;
+      else
+        return Fail("unknown chaos parameter '" + Key + "' for site '" +
+                    Name + "'");
+    }
+    if (!S.Every && !S.After && !S.At && !S.Ppm)
+      return Fail("chaos site '" + Name +
+                  "' has an argument but no firing schedule");
+  }
+
+  std::lock_guard<std::mutex> L(ConfigM);
+  // Disarm first so probes racing with reconfiguration see either the old
+  // schedule or nothing, never a half-written one.
+  detail::Armed.store(false, std::memory_order_relaxed);
+  GSeed.store(Seed, std::memory_order_relaxed);
+  for (size_t I = 0; I != NumSites; ++I) {
+    SiteState &S = GSites[I];
+    auto It = Parsed.find(static_cast<int>(I));
+    const ParsedSite P = It == Parsed.end() ? ParsedSite{} : It->second;
+    S.Scheduled.store(It != Parsed.end(), std::memory_order_relaxed);
+    S.Every.store(P.Every, std::memory_order_relaxed);
+    S.After.store(P.After, std::memory_order_relaxed);
+    S.At.store(P.At, std::memory_order_relaxed);
+    S.Ppm.store(P.Ppm, std::memory_order_relaxed);
+    S.ArgMs.store(P.ArgMs, std::memory_order_relaxed);
+    S.Hits.store(0, std::memory_order_relaxed);
+    S.Injected.store(0, std::memory_order_relaxed);
+  }
+  GSpec = Spec;
+  detail::Armed.store(!Parsed.empty(), std::memory_order_release);
+  return true;
+}
+
+bool fault::configureFromEnv(std::string *Err) {
+  const char *Spec = std::getenv("CRELLVM_CHAOS");
+  if (!Spec || !*Spec)
+    return true;
+  return configure(Spec, Err);
+}
+
+void fault::disarm() {
+  std::lock_guard<std::mutex> L(ConfigM);
+  detail::Armed.store(false, std::memory_order_relaxed);
+  for (SiteState &S : GSites) {
+    S.Scheduled.store(false, std::memory_order_relaxed);
+    S.Hits.store(0, std::memory_order_relaxed);
+    S.Injected.store(0, std::memory_order_relaxed);
+  }
+  GSpec.clear();
+}
+
+std::string fault::activeSpec() {
+  std::lock_guard<std::mutex> L(ConfigM);
+  return GSpec;
+}
+
+std::map<std::string, SiteCounters> fault::counters() {
+  std::map<std::string, SiteCounters> Out;
+  for (size_t I = 0; I != NumSites; ++I) {
+    const SiteState &S = GSites[I];
+    if (S.Scheduled.load(std::memory_order_relaxed))
+      Out[KnownSites[I]] = {S.Hits.load(std::memory_order_relaxed),
+                            S.Injected.load(std::memory_order_relaxed)};
+  }
+  return Out;
+}
+
+uint64_t fault::totalInjected() {
+  uint64_t N = 0;
+  for (const SiteState &S : GSites)
+    if (S.Scheduled.load(std::memory_order_relaxed))
+      N += S.Injected.load(std::memory_order_relaxed);
+  return N;
+}

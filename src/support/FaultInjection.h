@@ -1,0 +1,131 @@
+//===- support/FaultInjection.h - Deterministic chaos harness ---*- C++ -*-===//
+///
+/// \file
+/// A process-global, seeded, deterministic fault-injection registry: the
+/// layer that lets the validation stack be tested against failure, not
+/// just success (DESIGN.md §13). Every I/O and concurrency boundary that
+/// can misbehave in production names a **fault site** and probes it with
+/// shouldFail() immediately before the risky operation; a scripted
+/// schedule decides, per site and per hit index, whether to inject the
+/// corresponding fault.
+///
+/// **Sites** (the full catalog; configure() rejects unknown names):
+///
+///   disk.read     cache/DiskStore::load: the object read fails (EIO)
+///   disk.write    cache/DiskStore writes: the write fails (ENOSPC)
+///   disk.short    cache/DiskStore writes: a torn write — only half the
+///                 bytes land, but the write "succeeds" (crash mid-write)
+///   disk.rename   cache/DiskStore atomic rename(2) fails
+///   disk.corrupt  cache/DiskStore::load: the bytes read back corrupted
+///   sock.read     server/Protocol reads: hard failure mid-frame
+///                 (ECONNRESET — the peer vanished)
+///   sock.write    server/Protocol writes: hard failure mid-frame
+///   sock.short    server/Protocol transfers: the kernel moves only one
+///                 byte per call (exercises the partial-I/O retry loops;
+///                 never itself an error)
+///   sock.eintr    server/Protocol transfers: the call is interrupted by
+///                 a signal before moving any bytes (EINTR; the retry
+///                 loop must re-issue it). Never schedule `every=1`: an
+///                 EINTR on *every* attempt can make no progress.
+///   pool.submit   support/ThreadPool::submit: the task runs inline on
+///                 the submitting thread instead of a worker (degraded
+///                 but correct — capacity loss, never work loss)
+///   queue.admit   server/ValidationService admission: the request is
+///                 shed with queue_full + retry_after_ms despite free
+///                 capacity (forces the client retry path)
+///   unit.run      driver::runBatchValidated unit body throws (a checker
+///                 or pass crash; the watchdog converts it into a
+///                 structured internal_error verdict)
+///   unit.hang     driver::runBatchValidated unit body stalls for `ms`
+///                 milliseconds (default 100) — long enough to trip a
+///                 per-unit watchdog deadline, short enough to terminate
+///
+/// **Schedules** are comma- or semicolon-separated clauses; within a
+/// clause, `site` is followed by colon-separated `key=value` params:
+///
+///   seed=S                 global seed for the ppm mode (default 0)
+///   site:every=N           fire on hits N, 2N, 3N, ... (1-based)
+///   site:after=N           fire on every hit strictly past the Nth
+///   site:at=N              fire on exactly the Nth hit
+///   site:ppm=P             fire with probability P/1e6 per hit, decided
+///                          by a deterministic hash of (seed, site, hit)
+///   site:ms=N              argument for sites that take one (unit.hang)
+///
+/// e.g.  CRELLVM_CHAOS="seed=42;disk.write:every=7;sock.read:after=3"
+///       crellvm-served --chaos 'unit.hang:every=5:ms=50;disk.corrupt:every=2'
+///
+/// Modes combine within a clause (fire if any matches). Hit indices are
+/// per-site atomic counters, so a schedule is deterministic in *which
+/// hit numbers* fire; under concurrency the thread that draws a firing
+/// hit varies, which is exactly the nondeterminism a chaos suite wants —
+/// while assertions (no verdict lost, no verdict changed) stay exact.
+///
+/// **Cost when disarmed:** one relaxed atomic load per probe — the whole
+/// registry is behind the `armed()` flag, so compiling the machinery in
+/// is free on the hot path (gated ≤5% by bench/chaos_overhead even when
+/// armed with a never-firing schedule).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_FAULTINJECTION_H
+#define CRELLVM_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace crellvm {
+namespace fault {
+
+namespace detail {
+/// True while a schedule is configured. The one word every probe reads.
+extern std::atomic<bool> Armed;
+/// The slow path: schedule lookup + hit accounting. Defined in the .cpp.
+bool probeSlow(const char *Site, uint64_t *ArgOut);
+} // namespace detail
+
+/// True when a chaos schedule is active.
+inline bool armed() { return detail::Armed.load(std::memory_order_relaxed); }
+
+/// Probes fault site \p Site: advances its hit counter and returns true
+/// when the active schedule injects a fault at this hit. Disarmed cost is
+/// a single relaxed atomic load. \p ArgOut, when non-null and the site
+/// fires, receives the schedule's `ms` argument (0 if unset).
+inline bool shouldFail(const char *Site, uint64_t *ArgOut = nullptr) {
+  if (!armed())
+    return false;
+  return detail::probeSlow(Site, ArgOut);
+}
+
+/// Installs the schedule described by \p Spec (see the file comment),
+/// replacing any previous one, and arms the registry. An empty spec
+/// disarms. On a parse error returns false, reports it via \p Err, and
+/// leaves the previous schedule untouched.
+bool configure(const std::string &Spec, std::string *Err = nullptr);
+
+/// configure() from the CRELLVM_CHAOS environment variable. Returns true
+/// when the variable is unset (nothing to do) or parsed cleanly.
+bool configureFromEnv(std::string *Err = nullptr);
+
+/// Clears the schedule and disarms. Probes return to the one-load path.
+void disarm();
+
+/// The spec string configure() accepted; empty when disarmed.
+std::string activeSpec();
+
+/// Per-site accounting, for operator visibility and test assertions.
+struct SiteCounters {
+  uint64_t Hits = 0;     ///< probes reaching a scheduled site
+  uint64_t Injected = 0; ///< probes that fired
+};
+
+/// Snapshot of every scheduled site's counters (empty when disarmed).
+std::map<std::string, SiteCounters> counters();
+
+/// Total faults injected across all sites since the last configure().
+uint64_t totalInjected();
+
+} // namespace fault
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_FAULTINJECTION_H

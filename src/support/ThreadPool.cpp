@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 using namespace crellvm;
 
 unsigned ThreadPool::defaultConcurrency() {
@@ -32,6 +34,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
+  // Chaos site: a refused enqueue degrades to caller-runs. The task still
+  // executes exactly once (on this thread, before submit returns), so
+  // every latch and counter the task itself maintains stays correct —
+  // the degradation costs parallelism, never work.
+  if (fault::shouldFail("pool.submit")) {
+    Task();
+    return;
+  }
   Pending.fetch_add(1, std::memory_order_relaxed);
   Queued.fetch_add(1, std::memory_order_relaxed);
   unsigned Target = static_cast<unsigned>(

@@ -61,7 +61,8 @@ TEST(CliSmoke, HelpExitsZeroAndListsEveryFlag) {
   EXPECT_EQ(R.ExitCode, 0);
   for (const char *Flag :
        {"--jobs", "--bugs", "--oracle", "--binary-proofs", "--files",
-        "--cache", "--cache-dir", "--cache-max-mb", "--help"})
+        "--cache", "--cache-dir", "--cache-max-mb", "--unit-timeout-ms",
+        "--chaos", "--help"})
     EXPECT_NE(R.Stdout.find(Flag), std::string::npos)
         << "usage must document " << Flag;
 }
@@ -106,6 +107,40 @@ TEST(CliSmoke, VersionLineOnEveryBinary) {
         std::string::npos)
         << B.second;
   }
+}
+
+// A malformed --chaos schedule is a configuration error on every binary
+// that accepts one: hard exit 2 before any work, with the bad site named
+// (a typo'd fault schedule silently doing nothing would defeat the test
+// it was armed for).
+TEST(CliSmoke, BadChaosSpecExitsTwoOnEveryBinary) {
+  const std::pair<const char *, const char *> Bins[] = {
+      {CRELLVM_VALIDATE_BIN, ""},
+      {CRELLVM_AUDIT_BIN, ""},
+      {CRELLVM_SERVED_BIN, "--socket /tmp/crellvm-unused.sock"},
+  };
+  for (const auto &B : Bins) {
+    RunResult R = runBinary(
+        B.first, std::string(B.second) + " --chaos disk.teleport:every=2",
+        /*MergeStderr=*/true);
+    EXPECT_EQ(R.ExitCode, 2) << B.first;
+    EXPECT_NE(R.Stdout.find("disk.teleport"), std::string::npos) << B.first;
+  }
+}
+
+// Connecting to a socket nobody listens on is the most common operator
+// error; it must produce the actionable one-liner and exit 2 (bad usage /
+// environment), not a raw errno dump and a generic failure.
+TEST(CliSmoke, ClientNamesMissingDaemonAndExitsTwo) {
+  RunResult R = runBinary(CRELLVM_CLIENT_BIN,
+                          "--socket /tmp/crellvm-no-such-daemon.sock --ping",
+                          /*MergeStderr=*/true);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stdout.find("daemon not running at "
+                          "/tmp/crellvm-no-such-daemon.sock"),
+            std::string::npos);
+  EXPECT_NE(R.Stdout.find("crellvm-served"), std::string::npos)
+      << "the error should say how to start the daemon";
 }
 
 // --version wins even when other flags are present, and without running a
