@@ -1,0 +1,380 @@
+//===- campaign/Campaign.cpp - Campaign orchestrator + local backend ------===//
+
+#include "campaign/Campaign.h"
+#include "campaign/SweepInternal.h"
+
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "passes/BugConfig.h"
+#include "support/Resource.h"
+#include "support/ThreadPool.h"
+#include "workload/RandomProgram.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <ostream>
+
+using namespace crellvm;
+using namespace crellvm::campaign;
+
+// --- Unit identity ---------------------------------------------------------
+
+namespace {
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Findings kept per sweep; the minimal-index one always survives, the
+/// rest are a bounded sample.
+constexpr size_t MaxFindingsPerSweep = 8;
+
+} // namespace
+
+uint64_t campaign::unitSeed(uint64_t CampaignSeed, uint64_t Index) {
+  // Mixing the index before xoring with the campaign seed decorrelates
+  // neighboring units; two mix rounds total keep campaigns with nearby
+  // seeds unrelated too. The 63-bit mask round-trips through the wire
+  // protocol's signed JSON integers unchanged.
+  return splitmix64(CampaignSeed ^ splitmix64(Index + 0x633d5c4b90f0ca1full)) &
+         0x7fffffffffffffffull;
+}
+
+uint64_t campaign::fnv1a64(const std::string &Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t campaign::unitFingerprint(uint64_t CampaignSeed, uint64_t Index) {
+  workload::GenOptions G;
+  G.Seed = unitSeed(CampaignSeed, Index);
+  return fnv1a64(ir::printModule(workload::generateModule(G)));
+}
+
+const char *campaign::modeName(Mode M) {
+  switch (M) {
+  case Mode::Throughput:
+    return "throughput";
+  case Mode::Soak:
+    return "soak";
+  case Mode::BugHunt:
+    return "bug-hunt";
+  case Mode::Replay:
+    return "replay";
+  }
+  return "?";
+}
+
+std::optional<Mode> campaign::modeByName(const std::string &Name) {
+  if (Name == "throughput")
+    return Mode::Throughput;
+  if (Name == "soak")
+    return Mode::Soak;
+  if (Name == "bug-hunt")
+    return Mode::BugHunt;
+  if (Name == "replay")
+    return Mode::Replay;
+  return std::nullopt;
+}
+
+// --- Local backend ---------------------------------------------------------
+
+void detail::runLocalSweep(Sweep &S, ThreadPool &Pool) {
+  auto Bugs = passes::BugConfig::byName(S.Bugs);
+  if (!Bugs) {
+    S.R.TransportError = "unknown bugs preset '" + S.Bugs + "'";
+    return;
+  }
+
+  driver::DriverOptions DOpts;
+  // In-memory Fig. 1 exchange: verdicts are identical with or without the
+  // file leg (only the I/O timing column differs), and a MLOC-scale sweep
+  // must not grind the temp filesystem.
+  DOpts.WriteFiles = false;
+  DOpts.RunOracle = S.ForceOracle || S.Opts.Oracle;
+
+  UnitStream Stream(S.Opts.CampaignSeed, S.Begin, S.End);
+  const auto IssueDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(S.DurationS);
+
+  std::mutex FindMu;
+  std::atomic<uint64_t> Digest{0};
+
+  while (Stream.remaining()) {
+    if (S.DurationS && std::chrono::steady_clock::now() >= IssueDeadline)
+      break;
+
+    const size_t Window = S.Opts.Window ? S.Opts.Window : 1;
+    std::vector<UnitDesc> Batch;
+    Batch.reserve(std::min<uint64_t>(Window, Stream.remaining()));
+    while (Batch.size() < Window) {
+      auto D = Stream.next();
+      if (!D)
+        break;
+      Batch.push_back(*D);
+    }
+    S.R.MaxInFlight = std::max<uint64_t>(S.R.MaxInFlight, Batch.size());
+
+    driver::BatchOptions BOpts;
+    BOpts.Jobs = S.Opts.Jobs;
+    BOpts.OnUnitDone = [&](size_t I, const driver::StatsMap &Unit,
+                           driver::UnitOutcome Outcome,
+                           const std::string &) {
+      if (Outcome != driver::UnitOutcome::Ok)
+        return; // tallied from the batch report
+      uint64_t F = 0, Diff = 0, Div = 0;
+      double Sec = 0;
+      std::string FailSample, DivSample;
+      for (const auto &KV : Unit) {
+        const driver::PassStats &P = KV.second;
+        F += P.F;
+        Diff += P.DiffMismatches;
+        Div += P.OracleDivergences;
+        Sec += P.Orig + P.PCal + P.IO + P.PCheck + P.Oracle + P.CacheSec;
+        if (FailSample.empty() && !P.FailureSamples.empty())
+          FailSample = "[" + KV.first + "] " + P.FailureSamples.front();
+        if (DivSample.empty() && !P.OracleSamples.empty())
+          DivSample = P.OracleSamples.front(); // already "[pass]"-prefixed
+      }
+      S.LatencyUs.record(static_cast<uint64_t>(Sec * 1e6));
+      if (S.Opts.ComputeDigest)
+        Digest.fetch_xor(unitFingerprint(S.Opts.CampaignSeed, Batch[I].Index),
+                         std::memory_order_relaxed);
+      if (F || Diff || Div) {
+        Finding Fd;
+        Fd.Preset = S.Bugs;
+        Fd.UnitIndex = Batch[I].Index;
+        Fd.Seed = Batch[I].Seed;
+        if (F) {
+          Fd.Kind = "validation_failure";
+          Fd.Detail = FailSample;
+        } else if (Diff) {
+          Fd.Kind = "diff_mismatch";
+        } else {
+          Fd.Kind = "oracle_divergence";
+          Fd.Detail = DivSample;
+        }
+        std::lock_guard<std::mutex> L(FindMu);
+        S.Findings.push_back(std::move(Fd));
+      }
+    };
+
+    auto Rep = driver::runBatchValidated(
+        *Bugs, DOpts, Batch.size(),
+        [&Batch](size_t I) {
+          // Exactly what `crellvm-validate --seed S` and a seed-named
+          // daemon request feed the driver, so a finding replays
+          // identically through every backend.
+          workload::GenOptions G;
+          G.Seed = Batch[I].Seed;
+          return workload::generateModule(G);
+        },
+        BOpts, &Pool);
+
+    S.R.Submitted += Batch.size();
+    S.R.Completed +=
+        Rep.Units - Rep.Cancelled - Rep.InternalErrors - Rep.TimedOut;
+    S.R.InternalErrors += Rep.InternalErrors + Rep.TimedOut;
+    S.R.CpuSeconds += Rep.CpuSeconds;
+    S.R.JobsUsed = Rep.JobsUsed;
+    for (const auto &KV : Rep.Stats) {
+      S.R.V += KV.second.V;
+      S.R.F += KV.second.F;
+      S.R.NS += KV.second.NS;
+      S.R.Diff += KV.second.DiffMismatches;
+      S.R.Div += KV.second.OracleDivergences;
+    }
+
+    if (S.Opts.Progress && S.Opts.ProgressEveryUnits &&
+        (S.R.Completed / S.Opts.ProgressEveryUnits) !=
+            ((S.R.Completed - Batch.size()) / S.Opts.ProgressEveryUnits))
+      *S.Opts.Progress << "campaign: " << S.R.Completed << " units done, rss "
+                       << (support::currentRssBytes() >> 20) << " MiB\n";
+
+    if (S.StopOnFinding) {
+      std::lock_guard<std::mutex> L(FindMu);
+      if (!S.Findings.empty())
+        break;
+    }
+  }
+
+  S.R.UnitsDigest ^= Digest.load(std::memory_order_relaxed);
+}
+
+// --- Orchestration ---------------------------------------------------------
+
+namespace {
+
+std::string describeFinding(const Finding &F) {
+  return "preset=" + F.Preset + " unit=" + std::to_string(F.UnitIndex) +
+         " kind=" + F.Kind;
+}
+
+} // namespace
+
+CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
+  CampaignReport R;
+  R.M = Opts.M;
+  R.CampaignSeed = Opts.CampaignSeed;
+
+  Histogram Lat;
+  detail::StatsWatch Watch;
+  const bool UseSocket = !Opts.Socket.empty();
+  std::optional<ThreadPool> Pool;
+  if (!UseSocket) {
+    Pool.emplace(Opts.Jobs);
+    R.JobsUsed = Pool->numThreads();
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  // One preset-scoped sweep; findings come back sorted with the minimal
+  // unit index first (the deterministic reproducer) and capped.
+  auto RunSweep = [&](const std::string &Bugs, uint64_t Begin, uint64_t End,
+                      bool StopOnFinding, uint64_t DurationS,
+                      bool ForceOracle) {
+    detail::Sweep S{Opts, R, Lat, &Watch, Bugs, Begin,
+                    End,  StopOnFinding, DurationS, ForceOracle};
+    if (UseSocket)
+      detail::runSocketSweep(S);
+    else
+      detail::runLocalSweep(S, *Pool);
+    std::sort(S.Findings.begin(), S.Findings.end(),
+              [](const Finding &A, const Finding &B) {
+                return A.UnitIndex < B.UnitIndex;
+              });
+    if (S.Findings.size() > MaxFindingsPerSweep)
+      S.Findings.resize(MaxFindingsPerSweep);
+    R.Findings.insert(R.Findings.end(), S.Findings.begin(), S.Findings.end());
+    return S.Findings;
+  };
+
+  switch (Opts.M) {
+  case Mode::Throughput: {
+    RunSweep(Opts.Bugs, 0, Opts.Units, false, 0, false);
+    if (R.TransportError.empty()) {
+      if (!R.Findings.empty())
+        R.GateFailure = "unexpected finding under preset '" + Opts.Bugs +
+                        "': " + describeFinding(R.Findings.front());
+      else if (R.InternalErrors)
+        R.GateFailure =
+            std::to_string(R.InternalErrors) + " internal error(s)";
+      else if (R.Rejected)
+        R.GateFailure = std::to_string(R.Rejected) + " terminal rejection(s)";
+    }
+    break;
+  }
+
+  case Mode::Soak: {
+    if (!UseSocket) {
+      R.TransportError =
+          "soak mode requires --socket (a running crellvm-served daemon)";
+      break;
+    }
+    uint64_t End =
+        Opts.Units ? Opts.Units : std::numeric_limits<uint64_t>::max();
+    RunSweep(Opts.Bugs, 0, End, false, Opts.DurationS, false);
+    if (!R.TransportError.empty())
+      break;
+    // Final quiesced scrape: every one of our requests has been answered
+    // and counted (the daemon bumps counters before writing responses),
+    // and a soak is the daemon's sole client, so the drain *equation*
+    // must now hold exactly.
+    std::string Err;
+    auto Stats = detail::scrapeStats(Opts.Socket, Err);
+    if (!Stats) {
+      R.TransportError = "final stats scrape failed: " + Err;
+      break;
+    }
+    Watch.observe(*Stats);
+    ++R.StatsScrapes;
+    R.StatsMonotonic = Watch.Monotonic;
+    R.DrainHolds = Watch.InequalityOk && Watch.drainEquality();
+    if (!R.DrainHolds)
+      R.GateFailure =
+          "drain equation violated: accepted=" + std::to_string(Watch.Accepted) +
+          " != completed=" + std::to_string(Watch.Completed) +
+          " + deadline_exceeded=" + std::to_string(Watch.DeadlineExceeded) +
+          " + internal_errors=" + std::to_string(Watch.InternalErrors) +
+          (Watch.FirstViolation.empty() ? "" : " (" + Watch.FirstViolation + ")");
+    else if (!R.StatsMonotonic)
+      R.GateFailure = "stats counter regressed: " + Watch.FirstViolation;
+    break;
+  }
+
+  case Mode::BugHunt: {
+    std::vector<std::string> Presets = Opts.HuntPresets;
+    if (Presets.empty())
+      for (const auto &KV : passes::BugConfig::historicalPresets())
+        Presets.push_back(KV.first);
+
+    // PR33673 is checker-accepted; only the differential-execution oracle
+    // sees it, and against a daemon the oracle runs (or not) server-side.
+    bool DaemonOracle = false;
+    if (UseSocket) {
+      std::string Err;
+      auto Stats = detail::scrapeStats(Opts.Socket, Err);
+      if (!Stats) {
+        R.TransportError = "stats scrape failed: " + Err;
+        break;
+      }
+      const json::Value *Server = Stats->find("server");
+      const json::Value *Oracle = Server ? Server->find("oracle") : nullptr;
+      DaemonOracle = Oracle && Oracle->getBool();
+    }
+
+    for (const std::string &Preset : Presets) {
+      if (!passes::BugConfig::byName(Preset)) {
+        R.TransportError = "unknown hunt preset '" + Preset + "'";
+        break;
+      }
+      if (Preset == "pr33673" && UseSocket && !DaemonOracle) {
+        R.HuntMissed.push_back(Preset);
+        R.GateFailure = "hunting pr33673 needs the daemon started with "
+                        "--oracle (stats says server.oracle=false)";
+        continue;
+      }
+      auto Found = RunSweep(Preset, 0, Opts.Units, true, 0, true);
+      if (!R.TransportError.empty())
+        break;
+      if (Found.empty())
+        R.HuntMissed.push_back(Preset);
+    }
+    if (R.TransportError.empty() && R.GateFailure.empty() &&
+        !R.HuntMissed.empty()) {
+      R.GateFailure = "bug hunt missed preset(s):";
+      for (const std::string &P : R.HuntMissed)
+        R.GateFailure += " " + P;
+    }
+    break;
+  }
+
+  case Mode::Replay: {
+    RunSweep(Opts.Bugs, Opts.ReplayUnit, Opts.ReplayUnit + 1, false, 0,
+             Opts.Oracle);
+    // No gate: the caller inspects Findings (a replay that reproduces its
+    // finding is a success story with a nonzero exit code).
+    break;
+  }
+  }
+
+  R.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  R.UnitsPerSecond = R.WallSeconds > 0 ? R.Completed / R.WallSeconds : 0;
+  auto Snap = Lat.snapshot();
+  R.P50Us = Snap.quantile(0.5);
+  R.P99Us = Snap.quantile(0.99);
+  R.PeakRssBytes = support::peakRssBytes();
+  return R;
+}

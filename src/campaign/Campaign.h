@@ -1,0 +1,225 @@
+//===- campaign/Campaign.h - Streaming MLOC-scale campaigns ----*- C++ -*-===//
+///
+/// \file
+/// The campaign driver: streams millions of seeded validation units
+/// (RandomProgram sweeps × BugConfig presets) through either the
+/// in-process batch driver or a running crellvm-served daemon, with
+/// bounded memory. This is the reproduction of the paper's §5 evaluation
+/// *shape* — millions of lines of SPEC/nightly code pushed through the
+/// validator, a campaign that itself surfaced 4 new LLVM bugs plus one
+/// miscompilation — re-targeted at the service stack (DESIGN.md §14).
+///
+/// **Streaming identity.** A campaign never materializes a corpus. Unit
+/// \p I of campaign seed \p S has the deterministic generation seed
+/// `unitSeed(S, I)` (one splitmix64 mix, so neighboring indices
+/// decorrelate), and that pair is the unit's durable name: any finding is
+/// reported as `(campaign seed, unit index)` and replays standalone with
+/// one command,
+///
+///   crellvm-campaign --replay --seed S --unit I --bugs PRESET [--oracle]
+///
+/// at any later time, on any machine, regardless of how wide the window
+/// or how many jobs the discovering run used.
+///
+/// **Bounded window.** At most CampaignOptions::Window units are in
+/// flight at once; the local backend validates window-sized batches on
+/// one warm thread pool, the socket backend pipelines up to Window
+/// requests on one connection and refills as responses arrive, honoring
+/// queue_full backpressure with seeded exponential backoff. Memory is
+/// O(Window), never O(Units) — CampaignReport::MaxInFlight and
+/// PeakRssBytes are the receipts.
+///
+/// **Modes.**
+///   Throughput  clean sweep of Units units under one preset; the perf
+///               trajectory entry (`validation_campaign`) is cut from
+///               this mode's report.
+///   Soak        long-run against a daemon (typically under --chaos on
+///               the daemon side): stream for DurationS seconds, then
+///               require every submitted request answered, scraped stats
+///               counters monotone, and the drain equation
+///               accepted == completed + deadline_exceeded +
+///               internal_errors at the final quiesced observation.
+///   BugHunt     differential mode: plants each hunted preset (default:
+///               the 4+1 historical bugs, BugConfig::historicalPresets)
+///               one at a time and streams units until the bug resurfaces
+///               as a validation failure, an llvm-diff mismatch, or a
+///               differential-execution oracle divergence — the PR33673
+///               miscompilation is checker-accepted and *only* the oracle
+///               sees it, so hunts include it only when the oracle runs.
+///               The reported reproducer is the minimal unit index, which
+///               is deterministic across window sizes and job counts
+///               because units are issued in index order and the stream
+///               drains before concluding.
+///   Replay      validate exactly one unit, verbosely.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CAMPAIGN_CAMPAIGN_H
+#define CRELLVM_CAMPAIGN_CAMPAIGN_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace campaign {
+
+/// The deterministic generation seed of unit \p Index in campaign
+/// \p CampaignSeed. Masked to 63 bits so the value survives the wire
+/// protocol's signed JSON integers unchanged.
+uint64_t unitSeed(uint64_t CampaignSeed, uint64_t Index);
+
+/// FNV-1a-64 over the printed text of the module unit \p Index generates:
+/// the unit's content fingerprint. Two campaign runs agree on every
+/// fingerprint iff the generator is unchanged — this is what pins seed
+/// stability (an accidental generator change silently invalidates every
+/// recorded reproducer seed and cache entry, so tests fail loudly on it).
+uint64_t unitFingerprint(uint64_t CampaignSeed, uint64_t Index);
+
+/// FNV-1a-64 of an arbitrary byte string (the fingerprint primitive,
+/// exposed for the golden seed-stability table).
+uint64_t fnv1a64(const std::string &Bytes);
+
+/// One unit's durable identity.
+struct UnitDesc {
+  uint64_t Index = 0;
+  uint64_t Seed = 0;
+};
+
+/// O(1)-state streaming source of unit descriptors [Begin, End).
+/// Descriptors, not modules: generation happens inside whichever backend
+/// worker runs the unit, so the stream itself can name millions of units
+/// without materializing any.
+class UnitStream {
+public:
+  UnitStream(uint64_t CampaignSeed, uint64_t Begin, uint64_t End)
+      : CampaignSeed(CampaignSeed), Next(Begin), End(End) {}
+
+  std::optional<UnitDesc> next() {
+    if (Next >= End)
+      return std::nullopt;
+    UnitDesc D{Next, unitSeed(CampaignSeed, Next)};
+    ++Next;
+    return D;
+  }
+  uint64_t remaining() const { return End - Next; }
+
+private:
+  uint64_t CampaignSeed;
+  uint64_t Next;
+  uint64_t End;
+};
+
+enum class Mode : uint8_t { Throughput, Soak, BugHunt, Replay };
+
+const char *modeName(Mode M);
+std::optional<Mode> modeByName(const std::string &Name);
+
+struct CampaignOptions {
+  Mode M = Mode::Throughput;
+  uint64_t CampaignSeed = 1;
+  /// Throughput/soak: total units to stream (soak: cap, 0 = unbounded
+  /// while the clock runs). Bug-hunt: per-preset unit budget.
+  uint64_t Units = 10000;
+  /// Replay: the unit index to validate.
+  uint64_t ReplayUnit = 0;
+  /// Max units in flight; memory is O(Window).
+  size_t Window = 256;
+  /// Local backend worker threads; 0 = hardware concurrency.
+  unsigned Jobs = 0;
+  /// Preset for throughput/soak/replay (byName grammar, flag-level
+  /// presets included).
+  std::string Bugs = "fixed";
+  /// Bug-hunt preset list; empty = all of BugConfig::historicalPresets().
+  std::vector<std::string> HuntPresets;
+  /// Non-empty: drive the daemon at this Unix socket over the client
+  /// protocol instead of validating in-process.
+  std::string Socket;
+  /// Per-request deadline forwarded to the daemon (socket backend).
+  uint64_t DeadlineMs = 0;
+  /// queue_full retry rounds per unit before counting it rejected.
+  uint64_t MaxRetries = 8;
+  /// Soak: stop issuing new units after this many seconds.
+  uint64_t DurationS = 0;
+  /// Local backend: run the differential-execution oracle. Bug-hunt
+  /// forces this on locally; against a daemon the daemon's own --oracle
+  /// flag governs (scraped and verified before a hunt).
+  bool Oracle = false;
+  /// Scrape daemon stats every N completed units (socket backend;
+  /// 0 = only the final scrape). Every scrape checks counter
+  /// monotonicity and the drain inequality.
+  uint64_t StatsEveryUnits = 0;
+  /// Compute the order-independent per-unit fingerprint digest
+  /// (regenerates each module client-side — test/verification feature,
+  /// not for MLOC runs).
+  bool ComputeDigest = false;
+  /// Progress sink (nullptr = silent) and cadence in completed units.
+  std::ostream *Progress = nullptr;
+  uint64_t ProgressEveryUnits = 100000;
+};
+
+/// One rediscovered bug (or unexpected failure) with its replay identity.
+struct Finding {
+  std::string Preset;      ///< bugs preset the unit ran under
+  uint64_t UnitIndex = 0;
+  uint64_t Seed = 0;       ///< unitSeed(CampaignSeed, UnitIndex)
+  std::string Kind;        ///< validation_failure | diff_mismatch |
+                           ///< oracle_divergence
+  std::string Detail;      ///< first sample reason
+};
+
+struct CampaignReport {
+  Mode M = Mode::Throughput;
+  uint64_t CampaignSeed = 0;
+
+  // Unit accounting.
+  uint64_t Submitted = 0;   ///< units issued to the backend
+  uint64_t Completed = 0;   ///< terminal verdict responses (status ok)
+  uint64_t DeadlineExceeded = 0;
+  uint64_t InternalErrors = 0;
+  uint64_t Rejected = 0;    ///< terminal rejections (retries exhausted,
+                            ///< shutting_down, quarantined)
+  uint64_t Retries = 0;     ///< queue_full resubmissions performed
+
+  // Verdict sums over completed units.
+  uint64_t V = 0, F = 0, NS = 0, Diff = 0, Div = 0;
+
+  // Throughput/latency/memory.
+  double WallSeconds = 0;
+  double CpuSeconds = 0;        ///< local backend only (per-unit sums)
+  double UnitsPerSecond = 0;
+  uint64_t P50Us = 0, P99Us = 0; ///< per-unit campaign-observed latency
+  uint64_t PeakRssBytes = 0;
+  uint64_t MaxInFlight = 0;      ///< observed; must stay <= Window
+  unsigned JobsUsed = 0;
+
+  /// XOR-accumulated per-unit fingerprint digest (ComputeDigest only):
+  /// order-independent, so identical for every window size and job
+  /// count that covers the same units.
+  uint64_t UnitsDigest = 0;
+
+  std::vector<Finding> Findings;      ///< capped sample, minimal-index
+                                      ///< finding first per preset
+  std::vector<std::string> HuntMissed; ///< bug-hunt presets not rediscovered
+
+  // Soak gates (socket backend).
+  bool StatsMonotonic = true;  ///< no scraped counter ever decreased
+  bool DrainHolds = true;      ///< accepted == completed + deadline +
+                               ///< internal at the final quiesced scrape
+  uint64_t StatsScrapes = 0;
+
+  std::string TransportError;  ///< non-empty: the campaign could not run
+  std::string GateFailure;     ///< non-empty: why success() is false
+
+  bool success() const { return TransportError.empty() && GateFailure.empty(); }
+};
+
+/// Runs the campaign; never throws. Transport problems land in
+/// CampaignReport::TransportError, gate verdicts in GateFailure.
+CampaignReport runCampaign(const CampaignOptions &Opts);
+
+} // namespace campaign
+} // namespace crellvm
+
+#endif // CRELLVM_CAMPAIGN_CAMPAIGN_H

@@ -1,0 +1,377 @@
+//===- campaign/CampaignMain.cpp - The crellvm-campaign CLI ---------------===//
+//
+// Streaming MLOC-scale validation campaigns (DESIGN.md §14):
+//
+//   crellvm-campaign --mode throughput --units 1000000
+//   crellvm-campaign --mode soak --socket /tmp/cre.sock --duration-s 60
+//   crellvm-campaign --mode bug-hunt --socket /tmp/cre.sock --units 500
+//   crellvm-campaign --replay --seed S --unit I --bugs PRESET [--oracle]
+//
+// Exit codes: 0 campaign gates passed (replay: the unit is clean),
+// 1 a gate failed or the replayed unit exhibits its finding,
+// 2 bad usage or daemon not running, 3 transport error mid-campaign.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+
+#include "bench/BenchJson.h"
+#include "checker/Version.h"
+#include "passes/BugConfig.h"
+
+#include <iostream>
+#include <sstream>
+
+using namespace crellvm;
+using namespace crellvm::campaign;
+
+namespace {
+
+struct CliOptions {
+  CampaignOptions C;
+  std::string BenchJson;
+  std::string BenchName = "validation_campaign";
+  bool Json = false;
+  bool UnitsSet = false;
+};
+
+void printUsage(std::ostream &OS, const char *Argv0) {
+  OS << "usage: " << Argv0 << " [--mode M] [options]\n"
+     << "\n"
+     << "Bounded-memory streaming validation campaigns over seeded units.\n"
+     << "Unit I of campaign seed S is fully named by (S, I); any finding\n"
+     << "replays standalone with:\n"
+     << "  " << Argv0 << " --replay --seed S --unit I --bugs PRESET\n"
+     << "\n"
+     << "modes:\n"
+     << "  throughput       clean sweep of --units units (default mode)\n"
+     << "  soak             stream against a daemon for --duration-s, then\n"
+     << "                   gate on stats monotonicity + the drain equation\n"
+     << "  bug-hunt         plant each hunted preset and stream until the\n"
+     << "                   bug resurfaces; report minimal reproducer units\n"
+     << "  replay           validate exactly one unit\n"
+     << "\n"
+     << "options:\n"
+     << "  --mode M         throughput | soak | bug-hunt | replay\n"
+     << "  --replay         shorthand for --mode replay\n"
+     << "  --seed S         campaign seed (default 1)\n"
+     << "  --units N        units to stream; bug-hunt: per-preset budget\n"
+     << "                   (default 10000; soak: 0 = duration-bounded)\n"
+     << "  --unit I         replay: the unit index (default 0)\n"
+     << "  --window N       max units in flight; memory is O(window)\n"
+     << "                   (default 256)\n"
+     << "  --jobs N         in-process worker threads (0 = all cores)\n"
+     << "  --bugs CFG       preset for throughput/soak/replay: 371 | 501pre\n"
+     << "                   | 501post | fixed (default), or a single\n"
+     << "                   historical bug: pr24179 | pr33673 | pr28562 |\n"
+     << "                   pr29057 | d38619\n"
+     << "  --hunt LIST      comma-separated bug-hunt presets (default: all\n"
+     << "                   five historical bugs)\n"
+     << "  --socket PATH    drive the crellvm-served daemon at PATH instead\n"
+     << "                   of validating in-process\n"
+     << "  --deadline-ms N  per-request deadline (socket; default none)\n"
+     << "  --retries N      queue_full retry rounds per unit (default 8)\n"
+     << "  --duration-s N   soak: issue units for N seconds\n"
+     << "  --oracle         in-process: run the differential-execution\n"
+     << "                   oracle (bug-hunt arms it automatically)\n"
+     << "  --stats-every N  scrape daemon stats every N completed units\n"
+     << "                   and check counter monotonicity (default: final\n"
+     << "                   scrape only)\n"
+     << "  --digest         compute the order-independent unit fingerprint\n"
+     << "                   digest (regenerates units; test feature)\n"
+     << "  --progress-every N  progress line cadence in units (0 silent;\n"
+     << "                   default 100000)\n"
+     << "  --bench-json FILE  merge a campaign entry into FILE\n"
+     << "                   (BENCH_validation.json schema)\n"
+     << "  --bench-name NAME  entry name (default validation_campaign)\n"
+     << "  --json           print the report as one JSON object\n"
+     << "  --version        print version and exit\n"
+     << "  --help, -h       print this help and exit\n";
+}
+
+bool WantHelp = false;
+bool WantVersion = false;
+std::string BadArg;
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    BadArg = A;
+    auto NextNum = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      char *End = nullptr;
+      Out = std::strtoull(Argv[I + 1], &End, 10);
+      if (End == Argv[I + 1] || *End)
+        return false;
+      ++I;
+      return true;
+    };
+    uint64_t N = 0;
+    if (A == "--help" || A == "-h") {
+      WantHelp = true;
+      return true;
+    } else if (A == "--version") {
+      WantVersion = true;
+      return true;
+    } else if (A == "--mode" && I + 1 < Argc) {
+      auto M = modeByName(Argv[++I]);
+      if (!M) {
+        BadArg = std::string("--mode ") + Argv[I];
+        return false;
+      }
+      O.C.M = *M;
+    } else if (A == "--replay")
+      O.C.M = Mode::Replay;
+    else if (A == "--seed" && NextNum(N))
+      O.C.CampaignSeed = N;
+    else if (A == "--units" && NextNum(N)) {
+      O.C.Units = N;
+      O.UnitsSet = true;
+    } else if (A == "--unit" && NextNum(N))
+      O.C.ReplayUnit = N;
+    else if (A == "--window" && NextNum(N) && N)
+      O.C.Window = static_cast<size_t>(N);
+    else if (A == "--jobs" && NextNum(N))
+      O.C.Jobs = static_cast<unsigned>(N);
+    else if (A == "--bugs" && I + 1 < Argc)
+      O.C.Bugs = Argv[++I];
+    else if (A == "--hunt" && I + 1 < Argc) {
+      std::istringstream In(Argv[++I]);
+      std::string Tok;
+      while (std::getline(In, Tok, ','))
+        if (!Tok.empty())
+          O.C.HuntPresets.push_back(Tok);
+    } else if (A == "--socket" && I + 1 < Argc)
+      O.C.Socket = Argv[++I];
+    else if (A == "--deadline-ms" && NextNum(N))
+      O.C.DeadlineMs = N;
+    else if (A == "--retries" && NextNum(N))
+      O.C.MaxRetries = N;
+    else if (A == "--duration-s" && NextNum(N))
+      O.C.DurationS = N;
+    else if (A == "--oracle")
+      O.C.Oracle = true;
+    else if (A == "--stats-every" && NextNum(N))
+      O.C.StatsEveryUnits = N;
+    else if (A == "--digest")
+      O.C.ComputeDigest = true;
+    else if (A == "--progress-every" && NextNum(N))
+      O.C.ProgressEveryUnits = N;
+    else if (A == "--bench-json" && I + 1 < Argc)
+      O.BenchJson = Argv[++I];
+    else if (A == "--bench-name" && I + 1 < Argc)
+      O.BenchName = Argv[++I];
+    else if (A == "--json")
+      O.Json = true;
+    else
+      return false;
+  }
+  return true;
+}
+
+std::string replayCommand(const char *Argv0, const CampaignReport &R,
+                          const Finding &F, bool Oracle) {
+  std::string Cmd = std::string(Argv0) + " --replay --seed " +
+                    std::to_string(R.CampaignSeed) + " --unit " +
+                    std::to_string(F.UnitIndex) + " --bugs " + F.Preset;
+  if (Oracle || F.Kind == "oracle_divergence")
+    Cmd += " --oracle";
+  return Cmd;
+}
+
+json::Value findingJson(const Finding &F) {
+  json::Value O = json::Value::object();
+  O.set("preset", json::Value(F.Preset));
+  O.set("unit", json::Value(F.UnitIndex));
+  O.set("seed", json::Value(F.Seed));
+  O.set("kind", json::Value(F.Kind));
+  if (!F.Detail.empty())
+    O.set("detail", json::Value(F.Detail));
+  return O;
+}
+
+json::Value reportJson(const CampaignReport &R) {
+  json::Value O = json::Value::object();
+  O.set("mode", json::Value(modeName(R.M)));
+  O.set("campaign_seed", json::Value(R.CampaignSeed));
+  O.set("submitted", json::Value(R.Submitted));
+  O.set("completed", json::Value(R.Completed));
+  O.set("deadline_exceeded", json::Value(R.DeadlineExceeded));
+  O.set("internal_errors", json::Value(R.InternalErrors));
+  O.set("rejected", json::Value(R.Rejected));
+  O.set("retries", json::Value(R.Retries));
+  O.set("V", json::Value(R.V));
+  O.set("F", json::Value(R.F));
+  O.set("NS", json::Value(R.NS));
+  O.set("diff", json::Value(R.Diff));
+  O.set("oracle_div", json::Value(R.Div));
+  O.set("wall_us", json::Value(static_cast<int64_t>(R.WallSeconds * 1e6)));
+  O.set("units_per_s_ppm",
+        json::Value(static_cast<int64_t>(R.UnitsPerSecond * 1e6)));
+  O.set("unit_p50_us", json::Value(R.P50Us));
+  O.set("unit_p99_us", json::Value(R.P99Us));
+  O.set("peak_rss_bytes", json::Value(R.PeakRssBytes));
+  O.set("max_in_flight", json::Value(R.MaxInFlight));
+  O.set("units_digest", json::Value(R.UnitsDigest));
+  O.set("stats_scrapes", json::Value(R.StatsScrapes));
+  O.set("stats_monotonic", json::Value(R.StatsMonotonic));
+  O.set("drain_holds", json::Value(R.DrainHolds));
+  json::Value Finds = json::Value::array();
+  for (const Finding &F : R.Findings)
+    Finds.push(findingJson(F));
+  O.set("findings", std::move(Finds));
+  json::Value Missed = json::Value::array();
+  for (const std::string &P : R.HuntMissed)
+    Missed.push(json::Value(P));
+  O.set("hunt_missed", std::move(Missed));
+  if (!R.GateFailure.empty())
+    O.set("gate_failure", json::Value(R.GateFailure));
+  if (!R.TransportError.empty())
+    O.set("transport_error", json::Value(R.TransportError));
+  return O;
+}
+
+void printHuman(std::ostream &OS, const char *Argv0, const CliOptions &Cli,
+                const CampaignReport &R) {
+  OS << "campaign: mode=" << modeName(R.M) << " seed=" << R.CampaignSeed
+     << " window=" << Cli.C.Window
+     << (Cli.C.Socket.empty()
+             ? " backend=local jobs=" + std::to_string(R.JobsUsed)
+             : " backend=" + Cli.C.Socket)
+     << "\n";
+  OS << "units: submitted=" << R.Submitted << " completed=" << R.Completed
+     << " deadline_exceeded=" << R.DeadlineExceeded << " internal_errors="
+     << R.InternalErrors << " rejected=" << R.Rejected << " retries="
+     << R.Retries << "\n";
+  OS << "verdicts: V=" << R.V << " F=" << R.F << " NS=" << R.NS
+     << " diff=" << R.Diff << " oracle-div=" << R.Div << "\n";
+  OS << "perf: " << static_cast<uint64_t>(R.UnitsPerSecond)
+     << " units/s  p50=" << R.P50Us << "us p99=" << R.P99Us
+     << "us  peak-rss=" << (R.PeakRssBytes >> 20)
+     << "MiB  max-in-flight=" << R.MaxInFlight << "\n";
+  if (Cli.C.ComputeDigest) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%016llx",
+                  static_cast<unsigned long long>(R.UnitsDigest));
+    OS << "units-digest: " << Buf << "\n";
+  }
+  if (R.M == Mode::Soak)
+    OS << "soak gates: monotonic=" << (R.StatsMonotonic ? "yes" : "NO")
+       << " drain=" << (R.DrainHolds ? "holds" : "VIOLATED")
+       << " (scrapes=" << R.StatsScrapes << ")\n";
+  for (const Finding &F : R.Findings) {
+    OS << "finding: preset=" << F.Preset << " unit=" << F.UnitIndex
+       << " seed=" << F.Seed << " kind=" << F.Kind;
+    if (!F.Detail.empty())
+      OS << "\n  " << F.Detail;
+    OS << "\n  replay: " << replayCommand(Argv0, R, F, Cli.C.Oracle) << "\n";
+  }
+  for (const std::string &P : R.HuntMissed)
+    OS << "hunt MISSED: " << P << "\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    std::cerr << "error: unknown or malformed option '" << BadArg << "'\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (WantHelp) {
+    printUsage(std::cout, Argv[0]);
+    return 0;
+  }
+  if (WantVersion) {
+    std::cout << checker::versionLine("crellvm-campaign") << "\n";
+    return 0;
+  }
+
+  // Usage-level validation, answered with exit 2 before any work starts.
+  if (Cli.C.M != Mode::BugHunt && !passes::BugConfig::byName(Cli.C.Bugs)) {
+    std::cerr << "error: unknown bugs preset '" << Cli.C.Bugs << "'\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  for (const std::string &P : Cli.C.HuntPresets)
+    if (!passes::BugConfig::byName(P)) {
+      std::cerr << "error: unknown hunt preset '" << P << "'\n\n";
+      printUsage(std::cerr, Argv[0]);
+      return 2;
+    }
+  if (Cli.C.M == Mode::Soak) {
+    if (Cli.C.Socket.empty()) {
+      std::cerr << "error: --mode soak requires --socket\n\n";
+      printUsage(std::cerr, Argv[0]);
+      return 2;
+    }
+    if (Cli.C.DurationS == 0 && (!Cli.UnitsSet || Cli.C.Units == 0)) {
+      std::cerr << "error: --mode soak needs --duration-s or --units\n\n";
+      printUsage(std::cerr, Argv[0]);
+      return 2;
+    }
+  }
+  if (!Cli.C.HuntPresets.empty() && Cli.C.M != Mode::BugHunt) {
+    std::cerr << "error: --hunt only applies to --mode bug-hunt\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+
+  if (Cli.C.ProgressEveryUnits)
+    Cli.C.Progress = &std::cerr;
+
+  CampaignReport R = runCampaign(Cli.C);
+
+  if (Cli.Json)
+    std::cout << reportJson(R).write() << "\n";
+  else
+    printHuman(std::cout, Argv[0], Cli, R);
+
+  if (!R.TransportError.empty()) {
+    std::cerr << "error: " << R.TransportError << "\n";
+    // "Nobody is listening" reads as usage, like crellvm-client.
+    if (R.TransportError.find("cannot connect") != std::string::npos ||
+        R.TransportError.find("requires --socket") != std::string::npos)
+      return 2;
+    return 3;
+  }
+
+  if (!Cli.BenchJson.empty() && R.M == Mode::Throughput) {
+    bench::BenchEntry E;
+    E.Name = Cli.BenchName;
+    E.WallSeconds = R.WallSeconds;
+    E.CpuSeconds = R.CpuSeconds;
+    E.Jobs = R.JobsUsed ? R.JobsUsed : 1;
+    E.ParallelEfficiency =
+        R.WallSeconds > 0 && E.Jobs
+            ? R.CpuSeconds / R.WallSeconds / E.Jobs
+            : 0;
+    E.V = R.V;
+    E.F = R.F;
+    E.NS = R.NS;
+    E.Extra.emplace_back("units_per_s_ppm",
+                         static_cast<int64_t>(R.UnitsPerSecond * 1e6));
+    E.Extra.emplace_back("unit_p50_us", static_cast<int64_t>(R.P50Us));
+    E.Extra.emplace_back("unit_p99_us", static_cast<int64_t>(R.P99Us));
+    E.Extra.emplace_back("peak_rss_kib",
+                         static_cast<int64_t>(R.PeakRssBytes >> 10));
+    E.Extra.emplace_back("max_in_flight",
+                         static_cast<int64_t>(R.MaxInFlight));
+    E.Extra.emplace_back("window", static_cast<int64_t>(Cli.C.Window));
+    E.Extra.emplace_back("submitted", static_cast<int64_t>(R.Submitted));
+    E.Extra.emplace_back("completed", static_cast<int64_t>(R.Completed));
+    bench::writeBenchJson({E}, Cli.BenchJson);
+  }
+
+  if (R.M == Mode::Replay)
+    // A replay that reproduces its finding "fails" like crellvm-validate
+    // does on a validation failure — that nonzero exit is the point.
+    return R.Findings.empty() && R.InternalErrors == 0 ? 0 : 1;
+  if (!R.GateFailure.empty()) {
+    std::cerr << "gate failure: " << R.GateFailure << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,333 @@
+//===- campaign/SocketCampaign.cpp - Daemon socket campaign backend -------===//
+//
+// Drives a running crellvm-served daemon over its Unix-domain socket: up
+// to Window seed-named validate requests pipelined on one connection,
+// topped up as responses arrive, so the daemon's admission queue sees a
+// steady bounded stream rather than a thundering herd. queue_full
+// rejections are retried with seeded exponential backoff (honoring the
+// server's retry_after_ms hint); deliberate rejections (shutting_down,
+// quarantined) are terminal. Stats scrapes ride the same connection with
+// negative ids so they never collide with unit ids.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/SweepInternal.h"
+
+#include "ir/Printer.h"
+#include "server/Protocol.h"
+#include "support/RNG.h"
+#include "workload/RandomProgram.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::campaign;
+using namespace crellvm::server;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int connectTo(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  if (Path.size() + 1 > sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "cannot connect to " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+constexpr uint64_t BackoffBaseMs = 25;
+
+struct InFlightUnit {
+  UnitDesc D;
+  uint64_t Tries = 0; ///< queue_full rounds already burned
+};
+
+} // namespace
+
+// --- StatsWatch ------------------------------------------------------------
+
+void detail::StatsWatch::observe(const json::Value &Stats) {
+  auto Flatten = [&](const char *Section) {
+    const json::Value *Obj = Stats.find(Section);
+    if (!Obj || Obj->kind() != json::Value::Kind::Object)
+      return;
+    for (const auto &KV : Obj->members()) {
+      if (KV.second.kind() != json::Value::Kind::Int)
+        continue;
+      std::string Key = std::string(Section) + "." + KV.first;
+      uint64_t New = static_cast<uint64_t>(KV.second.getInt());
+      auto It = Prev.find(Key);
+      if (It != Prev.end() && New < It->second && Monotonic) {
+        Monotonic = false;
+        if (FirstViolation.empty())
+          FirstViolation = Key + " went " + std::to_string(It->second) +
+                           " -> " + std::to_string(New);
+      }
+      Prev[Key] = New;
+    }
+  };
+  Flatten("requests");
+  Flatten("verdicts");
+
+  auto Get = [&](const char *Key) -> uint64_t {
+    auto It = Prev.find(std::string("requests.") + Key);
+    return It == Prev.end() ? 0 : It->second;
+  };
+  Accepted = Get("accepted");
+  Completed = Get("completed");
+  DeadlineExceeded = Get("deadline_exceeded");
+  InternalErrors = Get("internal_errors");
+  // The in-load drain inequality: what was admitted is at least what has
+  // terminally concluded; the slack is the work still queued or running.
+  if (Accepted < Completed + DeadlineExceeded + InternalErrors &&
+      InequalityOk) {
+    InequalityOk = false;
+    if (FirstViolation.empty())
+      FirstViolation =
+          "accepted=" + std::to_string(Accepted) + " < completed=" +
+          std::to_string(Completed) + " + deadline_exceeded=" +
+          std::to_string(DeadlineExceeded) + " + internal_errors=" +
+          std::to_string(InternalErrors);
+  }
+}
+
+// --- One-shot scrape -------------------------------------------------------
+
+std::optional<json::Value> detail::scrapeStats(const std::string &Socket,
+                                               std::string &Err) {
+  int Fd = connectTo(Socket, Err);
+  if (Fd < 0)
+    return std::nullopt;
+  Request Rq;
+  Rq.Kind = RequestKind::Stats;
+  Rq.Id = 1;
+  if (!writeFrame(Fd, requestToJson(Rq))) {
+    Err = "stats request write failed";
+    ::close(Fd);
+    return std::nullopt;
+  }
+  std::string Frame, ReadErr;
+  if (!readFrame(Fd, Frame, &ReadErr)) {
+    Err = "stats response read failed" +
+          (ReadErr.empty() ? std::string() : ": " + ReadErr);
+    ::close(Fd);
+    return std::nullopt;
+  }
+  ::close(Fd);
+  auto Rsp = responseFromJson(Frame, &ReadErr);
+  if (!Rsp || Rsp->Status != ResponseStatus::Ok || Rsp->Stats.isNull()) {
+    Err = "bad stats response" +
+          (ReadErr.empty() ? std::string() : ": " + ReadErr);
+    return std::nullopt;
+  }
+  return Rsp->Stats;
+}
+
+// --- The streaming sweep ---------------------------------------------------
+
+void detail::runSocketSweep(Sweep &S) {
+  std::string ConnErr;
+  int Fd = connectTo(S.Opts.Socket, ConnErr);
+  if (Fd < 0) {
+    S.R.TransportError = ConnErr;
+    return;
+  }
+
+  UnitStream Stream(S.Opts.CampaignSeed, S.Begin, S.End);
+  const auto IssueDeadline = Clock::now() + std::chrono::seconds(S.DurationS);
+
+  std::map<int64_t, InFlightUnit> InFlight;
+  std::multimap<Clock::time_point, InFlightUnit> RetryQ;
+  // Seeded jitter keeps even the backoff schedule reproducible.
+  RNG Jitter(S.Opts.CampaignSeed ^ 0x9bdull);
+  const size_t Window = S.Opts.Window ? S.Opts.Window : 1;
+  int64_t NextStatsId = -1;
+  int64_t StatsOutstanding = 0;
+  uint64_t SinceScrape = 0;
+  bool StopIssuing = false;
+
+  auto Fail = [&](const std::string &Msg) {
+    S.R.TransportError = Msg;
+    ::close(Fd);
+  };
+
+  auto SendUnit = [&](const InFlightUnit &U) {
+    Request Rq;
+    Rq.Kind = RequestKind::Validate;
+    Rq.Id = static_cast<int64_t>(U.D.Index);
+    Rq.HasSeed = true;
+    Rq.Seed = U.D.Seed;
+    Rq.Bugs = S.Bugs;
+    Rq.DeadlineMs = S.Opts.DeadlineMs;
+    if (!writeFrame(Fd, requestToJson(Rq)))
+      return false;
+    InFlight.emplace(Rq.Id, U);
+    return true;
+  };
+
+  for (;;) {
+    const auto Now = Clock::now();
+    if (S.DurationS && Now >= IssueDeadline)
+      StopIssuing = true;
+
+    // Top up the window: due retries first (they hold the oldest — i.e.
+    // smallest — indices, which keeps reproducers minimal), then fresh
+    // units in index order.
+    while (InFlight.size() < Window) {
+      if (!RetryQ.empty() && RetryQ.begin()->first <= Now) {
+        InFlightUnit U = RetryQ.begin()->second;
+        RetryQ.erase(RetryQ.begin());
+        ++S.R.Retries;
+        if (!SendUnit(U))
+          return Fail("request write failed (retry)");
+        continue;
+      }
+      if (StopIssuing)
+        break;
+      auto D = Stream.next();
+      if (!D) {
+        StopIssuing = true;
+        break;
+      }
+      if (!SendUnit({*D, 0}))
+        return Fail("request write failed");
+      ++S.R.Submitted;
+    }
+    S.R.MaxInFlight = std::max<uint64_t>(S.R.MaxInFlight, InFlight.size());
+
+    if (InFlight.empty() && StatsOutstanding == 0) {
+      if (!RetryQ.empty()) {
+        // Nothing to read until the earliest retry comes due.
+        std::this_thread::sleep_until(RetryQ.begin()->first);
+        continue;
+      }
+      break; // issued everything, drained everything
+    }
+
+    std::string Frame, Err;
+    if (!readFrame(Fd, Frame, &Err))
+      return Fail("connection closed with " +
+                  std::to_string(InFlight.size() + RetryQ.size()) +
+                  " unit(s) outstanding" + (Err.empty() ? "" : ": " + Err));
+    auto Rsp = responseFromJson(Frame, &Err);
+    if (!Rsp)
+      return Fail("bad response: " + Err);
+
+    if (Rsp->Id < 0) {
+      // An interleaved stats scrape.
+      --StatsOutstanding;
+      if (Rsp->Status == ResponseStatus::Ok && !Rsp->Stats.isNull() &&
+          S.Watch) {
+        S.Watch->observe(Rsp->Stats);
+        ++S.R.StatsScrapes;
+        S.R.StatsMonotonic = S.Watch->Monotonic;
+      }
+      continue;
+    }
+
+    auto It = InFlight.find(Rsp->Id);
+    if (It == InFlight.end())
+      return Fail("response for unknown id " + std::to_string(Rsp->Id));
+    InFlightUnit U = It->second;
+    InFlight.erase(It);
+
+    switch (Rsp->Status) {
+    case ResponseStatus::Ok: {
+      ++S.R.Completed;
+      S.R.V += Rsp->totalV();
+      S.R.F += Rsp->totalF();
+      S.R.NS += Rsp->totalNS();
+      S.R.Diff += Rsp->totalDiff();
+      S.R.Div += Rsp->totalDiv();
+      S.LatencyUs.record(Rsp->TotalUs);
+      if (S.Opts.ComputeDigest)
+        S.R.UnitsDigest ^= unitFingerprint(S.Opts.CampaignSeed, U.D.Index);
+      if (Rsp->totalF() || Rsp->totalDiff() || Rsp->totalDiv()) {
+        Finding Fd2;
+        Fd2.Preset = S.Bugs;
+        Fd2.UnitIndex = U.D.Index;
+        Fd2.Seed = U.D.Seed;
+        if (Rsp->totalF()) {
+          Fd2.Kind = "validation_failure";
+          if (!Rsp->Failures.empty())
+            Fd2.Detail = Rsp->Failures.front();
+        } else if (Rsp->totalDiff()) {
+          Fd2.Kind = "diff_mismatch";
+        } else {
+          Fd2.Kind = "oracle_divergence";
+          if (!Rsp->Divergences.empty())
+            Fd2.Detail = Rsp->Divergences.front();
+        }
+        S.Findings.push_back(std::move(Fd2));
+        if (S.StopOnFinding)
+          StopIssuing = true; // drain what is in flight, then conclude
+      }
+      if (S.Opts.StatsEveryUnits && ++SinceScrape >= S.Opts.StatsEveryUnits) {
+        SinceScrape = 0;
+        Request Sq;
+        Sq.Kind = RequestKind::Stats;
+        Sq.Id = NextStatsId--;
+        if (!writeFrame(Fd, requestToJson(Sq)))
+          return Fail("stats request write failed");
+        ++StatsOutstanding;
+      }
+      if (S.Opts.Progress && S.Opts.ProgressEveryUnits &&
+          S.R.Completed % S.Opts.ProgressEveryUnits == 0)
+        *S.Opts.Progress << "campaign: " << S.R.Completed
+                         << " units done, in-flight " << InFlight.size()
+                         << ", retries " << S.R.Retries << "\n";
+      break;
+    }
+    case ResponseStatus::Rejected:
+      // Only backpressure is retryable; shutting_down and quarantined are
+      // the daemon saying "stop asking".
+      if (Rsp->Reason == "queue_full" && U.Tries < S.Opts.MaxRetries) {
+        uint64_t Backoff = BackoffBaseMs << std::min<uint64_t>(U.Tries, 8);
+        Backoff = std::max(Backoff, Rsp->RetryAfterMs);
+        Backoff += Jitter.below(BackoffBaseMs + 1);
+        ++U.Tries;
+        RetryQ.emplace(Now + std::chrono::milliseconds(Backoff), U);
+      } else {
+        ++S.R.Rejected;
+      }
+      break;
+    case ResponseStatus::DeadlineExceeded:
+      ++S.R.DeadlineExceeded;
+      break;
+    case ResponseStatus::InternalError:
+      ++S.R.InternalErrors;
+      break;
+    case ResponseStatus::Error:
+      // The daemon called our request malformed — a campaign bug, not a
+      // daemon state; nothing downstream is trustworthy.
+      return Fail("error response for unit " + std::to_string(U.D.Index) +
+                  ": " + Rsp->Reason);
+    }
+  }
+
+  ::close(Fd);
+}

@@ -1,0 +1,93 @@
+//===- campaign/SweepInternal.h - Campaign backend interface ---*- C++ -*-===//
+///
+/// \file
+/// The contract between the campaign orchestrator (Campaign.cpp) and its
+/// two unit-streaming backends: the in-process windowed batch backend
+/// (also Campaign.cpp) and the daemon socket backend (SocketCampaign.cpp).
+/// Internal to src/campaign — nothing here is API.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CAMPAIGN_SWEEPINTERNAL_H
+#define CRELLVM_CAMPAIGN_SWEEPINTERNAL_H
+
+#include "campaign/Campaign.h"
+#include "json/Json.h"
+#include "support/Histogram.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+
+class ThreadPool;
+
+namespace campaign {
+namespace detail {
+
+/// Watches scraped daemon stats documents across a campaign: every
+/// monotone counter under "requests" and "verdicts" must never decrease
+/// between observations, and the drain *inequality*
+/// accepted >= completed + deadline_exceeded + internal_errors must hold
+/// at every observation (requests still queued or running account for
+/// the slack). The exact drain *equation* is checked by drainEquality()
+/// once the campaign — the daemon's sole client in a soak — has received
+/// every response.
+struct StatsWatch {
+  bool Monotonic = true;
+  bool InequalityOk = true;
+  std::string FirstViolation; ///< human-readable first offense
+
+  uint64_t Accepted = 0, Completed = 0, DeadlineExceeded = 0,
+           InternalErrors = 0; ///< latest observation
+
+  void observe(const json::Value &Stats);
+  bool drainEquality() const {
+    return Accepted == Completed + DeadlineExceeded + InternalErrors;
+  }
+
+private:
+  std::map<std::string, uint64_t> Prev;
+};
+
+/// One preset-scoped streaming pass over the unit index range
+/// [Begin, End). The orchestrator owns the shared accumulators (report
+/// counters, latency histogram, stats watch); a backend fills them and
+/// leaves its findings in Findings (unsorted — the orchestrator sorts by
+/// unit index so the minimal reproducer leads).
+struct Sweep {
+  const CampaignOptions &Opts;
+  CampaignReport &R;
+  Histogram &LatencyUs;
+  StatsWatch *Watch = nullptr; ///< socket backend only
+
+  std::string Bugs;            ///< preset for this sweep
+  uint64_t Begin = 0, End = 0;
+  bool StopOnFinding = false;  ///< bug-hunt: stop issuing, then drain
+  uint64_t DurationS = 0;      ///< soak: stop issuing after this long
+  bool ForceOracle = false;    ///< local backend: arm the diff oracle
+
+  std::vector<Finding> Findings;
+};
+
+/// In-process backend: window-sized batches through runBatchValidated on
+/// one warm pool. Sets R.TransportError only on an unknown preset.
+void runLocalSweep(Sweep &S, ThreadPool &Pool);
+
+/// Daemon backend: pipelines up to Window seed-named validate requests on
+/// one connection, retrying queue_full rejections with seeded exponential
+/// backoff and interleaving stats scrapes. Sets R.TransportError on any
+/// connection or protocol failure.
+void runSocketSweep(Sweep &S);
+
+/// One-shot stats scrape on its own short-lived connection. nullopt with
+/// \p Err set on failure.
+std::optional<json::Value> scrapeStats(const std::string &Socket,
+                                       std::string &Err);
+
+} // namespace detail
+} // namespace campaign
+} // namespace crellvm
+
+#endif // CRELLVM_CAMPAIGN_SWEEPINTERNAL_H

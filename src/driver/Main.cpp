@@ -59,7 +59,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                    translations and report divergences\n"
      << "  --modules N       generated modules to validate (default 200)\n"
      << "  --seed S          base generation seed (default 1)\n"
-     << "  --bugs CFG        371 | 501pre | 501post | fixed (default)\n"
+     << "  --bugs CFG        371 | 501pre | 501post | fixed (default), or\n"
+     << "                    one historical bug by report id: pr24179 |\n"
+     << "                    pr33673 | pr28562 | pr29057 | d38619\n"
      << "  --files           exchange src/tgt/proof through files (I/O col)\n"
      << "  --binary-proofs   use the compact binary proof format\n"
      << "  --cache=MODE      validation cache: off (default) | ro | rw;\n"
@@ -140,20 +142,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
   return true;
 }
 
-passes::BugConfig bugConfig(const std::string &Name, bool &Ok) {
-  Ok = true;
-  if (Name == "371")
-    return passes::BugConfig::llvm371();
-  if (Name == "501pre")
-    return passes::BugConfig::llvm501PreGvnPatch();
-  if (Name == "501post")
-    return passes::BugConfig::llvm501PostGvnPatch();
-  if (Name == "fixed")
-    return passes::BugConfig::fixed();
-  Ok = false;
-  return passes::BugConfig::fixed();
-}
-
 const char *policyName(cache::CachePolicy P) {
   switch (P) {
   case cache::CachePolicy::Off:
@@ -183,12 +171,13 @@ int main(int Argc, char **Argv) {
     std::cout << checker::versionLine("crellvm-validate") << "\n";
     return 0;
   }
-  bool BugsOk = false;
-  passes::BugConfig Bugs = bugConfig(Cli.Bugs, BugsOk);
-  if (!BugsOk) {
+  auto BugsOpt = passes::BugConfig::byName(Cli.Bugs);
+  if (!BugsOpt) {
+    std::cerr << "error: unknown bugs preset '" << Cli.Bugs << "'\n\n";
     printUsage(std::cerr, Argv[0]);
     return 2;
   }
+  passes::BugConfig Bugs = *BugsOpt;
 
   std::string ChaosErr;
   bool ChaosOk = Cli.Chaos.empty() ? fault::configureFromEnv(&ChaosErr)

@@ -5,6 +5,40 @@
 using namespace crellvm;
 using namespace crellvm::passes;
 
+std::optional<BugConfig> BugConfig::byName(const std::string &Name) {
+  if (Name == "371")
+    return llvm371();
+  if (Name == "501pre")
+    return llvm501PreGvnPatch();
+  if (Name == "501post")
+    return llvm501PostGvnPatch();
+  if (Name == "fixed")
+    return fixed();
+  for (const auto &KV : historicalPresets())
+    if (KV.first == Name)
+      return KV.second;
+  return std::nullopt;
+}
+
+const std::vector<std::pair<std::string, BugConfig>> &
+BugConfig::historicalPresets() {
+  static const std::vector<std::pair<std::string, BugConfig>> Presets = [] {
+    std::vector<std::pair<std::string, BugConfig>> P(5);
+    P[0].first = "pr24179";
+    P[0].second.Mem2RegUndefLoop = true;
+    P[1].first = "pr28562";
+    P[1].second.GvnIgnoreInbounds = true;
+    P[2].first = "pr29057";
+    P[2].second.GvnIgnoreInboundsPRE = true;
+    P[3].first = "d38619";
+    P[3].second.GvnPREWrongLeader = true;
+    P[4].first = "pr33673";
+    P[4].second.Mem2RegConstexprSpeculate = true;
+    return P;
+  }();
+  return Presets;
+}
+
 std::string BugConfig::str() const {
   std::string S;
   auto Add = [&S](bool On, const char *Name) {

@@ -17,7 +17,10 @@
 #ifndef CRELLVM_PASSES_BUGCONFIG_H
 #define CRELLVM_PASSES_BUGCONFIG_H
 
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace crellvm {
 namespace passes {
@@ -66,6 +69,20 @@ struct BugConfig {
   }
   /// Everything fixed.
   static BugConfig fixed() { return BugConfig(); }
+
+  /// Resolves a preset name: the four compiler-version presets
+  /// (371 | 501pre | 501post | fixed) or a single historical bug by its
+  /// report id (pr24179 | pr33673 | pr28562 | pr29057 | d38619). The
+  /// flag-level names are what the campaign's bug-hunt mode plants one at
+  /// a time; every CLI and the wire protocol accept them uniformly.
+  static std::optional<BugConfig> byName(const std::string &Name);
+
+  /// The 4+1 historical planted-bug presets, one flag each, in report
+  /// order. The "+1" is PR33673, whose validation succeeds (the unsound
+  /// constexpr_no_ub rule is installed) and which only the differential
+  /// -execution oracle exposes end-to-end.
+  static const std::vector<std::pair<std::string, BugConfig>> &
+  historicalPresets();
 
   std::string str() const;
 };

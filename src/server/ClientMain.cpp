@@ -65,7 +65,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --modules N      pipeline N seeded requests, seeds S..S+N-1\n"
      << "                   (default 1)\n"
      << "  --module FILE    validate the .ll module in FILE instead\n"
-     << "  --bugs CFG       371 | 501pre | 501post | fixed (default)\n"
+     << "  --bugs CFG       371 | 501pre | 501post | fixed (default), or a\n"
+     << "                   single historical bug: pr24179 | pr33673 |\n"
+     << "                   pr28562 | pr29057 | d38619\n"
      << "  --deadline-ms N  per-request deadline (default: none)\n"
      << "  --retries N      resend queue_full rejections up to N rounds,\n"
      << "                   exponential backoff + jitter, honoring the\n"
@@ -224,8 +226,9 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  uint64_t V = 0, F = 0, NS = 0, Diff = 0, Ok = 0, Rejected = 0, Expired = 0,
-           Errors = 0, Internal = 0, CacheHits = 0, CacheMisses = 0;
+  uint64_t V = 0, F = 0, NS = 0, Diff = 0, Div = 0, Ok = 0, Rejected = 0,
+           Expired = 0, Errors = 0, Internal = 0, CacheHits = 0,
+           CacheMisses = 0;
   std::map<std::string, PassVerdicts> Passes;
 
   // Ids are assigned once and stay stable across retry rounds, so a
@@ -279,6 +282,7 @@ int main(int Argc, char **Argv) {
         F += Rsp->totalF();
         NS += Rsp->totalNS();
         Diff += Rsp->totalDiff();
+        Div += Rsp->totalDiv();
         CacheHits += Rsp->CacheHits;
         CacheMisses += Rsp->CacheMisses;
         for (const auto &KV : Rsp->Passes) {
@@ -287,11 +291,14 @@ int main(int Argc, char **Argv) {
           P.F += KV.second.F;
           P.NS += KV.second.NS;
           P.Diff += KV.second.Diff;
+          P.Div += KV.second.Div;
         }
         if (!Cli.Json && !Rsp->Stats.isNull())
           std::cout << Rsp->Stats.write() << "\n";
         for (const std::string &Msg : Rsp->Failures)
           std::cerr << "failure: " << Msg << "\n";
+        for (const std::string &Msg : Rsp->Divergences)
+          std::cerr << "divergence: " << Msg << "\n";
         break;
       case ResponseStatus::Rejected:
         // Only backpressure is worth retrying; shutting_down and
@@ -350,11 +357,13 @@ int main(int Argc, char **Argv) {
                 << KV.second.F << " NS=" << KV.second.NS << " diff="
                 << KV.second.Diff << "\n";
     std::cout << "verdicts: V=" << V << " F=" << F << " NS=" << NS
-              << " diff=" << Diff << " cache-hits=" << CacheHits
+              << " diff=" << Diff << " oracle-div=" << Div
+              << " cache-hits=" << CacheHits
               << " cache-misses=" << CacheMisses << "\n";
   }
 
-  if (Errors || (IsValidate && (F || Diff || Rejected || Expired || Internal)))
+  if (Errors ||
+      (IsValidate && (F || Diff || Div || Rejected || Expired || Internal)))
     return 1;
   return 0;
 }

@@ -249,6 +249,12 @@ uint64_t Response::totalDiff() const {
     N += KV.second.Diff;
   return N;
 }
+uint64_t Response::totalDiv() const {
+  uint64_t N = 0;
+  for (const auto &KV : Passes)
+    N += KV.second.Div;
+  return N;
+}
 
 std::map<std::string, PassVerdicts>
 server::passVerdictsOf(const driver::StatsMap &S) {
@@ -259,6 +265,7 @@ server::passVerdictsOf(const driver::StatsMap &S) {
     P.F = KV.second.F;
     P.NS = KV.second.NS;
     P.Diff = KV.second.DiffMismatches;
+    P.Div = KV.second.OracleDivergences;
   }
   return Out;
 }
@@ -279,6 +286,8 @@ std::string server::responseToJson(const Response &R) {
       P.set("F", json::Value(KV.second.F));
       P.set("NS", json::Value(KV.second.NS));
       P.set("diff", json::Value(KV.second.Diff));
+      if (KV.second.Div)
+        P.set("div", json::Value(KV.second.Div));
       Passes.set(KV.first, std::move(P));
     }
     O.set("passes", std::move(Passes));
@@ -288,6 +297,12 @@ std::string server::responseToJson(const Response &R) {
     for (const std::string &S : R.Failures)
       F.push(json::Value(S));
     O.set("failures", std::move(F));
+  }
+  if (!R.Divergences.empty()) {
+    json::Value D = json::Value::array();
+    for (const std::string &S : R.Divergences)
+      D.push(json::Value(S));
+    O.set("divergences", std::move(D));
   }
   if (R.Status == ResponseStatus::Ok && R.Stats.isNull()) {
     json::Value C = json::Value::object();
@@ -357,12 +372,20 @@ std::optional<Response> server::responseFromJson(const std::string &Text,
       if (const json::Value *N =
               findKind(KV.second, "diff", json::Value::Kind::Int))
         P.Diff = static_cast<uint64_t>(N->getInt());
+      if (const json::Value *N =
+              findKind(KV.second, "div", json::Value::Kind::Int))
+        P.Div = static_cast<uint64_t>(N->getInt());
       R.Passes[KV.first] = P;
     }
   if (const json::Value *F = findKind(*V, "failures", json::Value::Kind::Array))
     for (const json::Value &E : F->elements())
       if (E.kind() == json::Value::Kind::String)
         R.Failures.push_back(E.getString());
+  if (const json::Value *D =
+          findKind(*V, "divergences", json::Value::Kind::Array))
+    for (const json::Value &E : D->elements())
+      if (E.kind() == json::Value::Kind::String)
+        R.Divergences.push_back(E.getString());
   if (const json::Value *C = findKind(*V, "cache", json::Value::Kind::Object)) {
     if (const json::Value *N = findKind(*C, "hits", json::Value::Kind::Int))
       R.CacheHits = static_cast<uint64_t>(N->getInt());

@@ -107,6 +107,11 @@ const char *statusName(ResponseStatus S);
 /// a standalone `crellvm-validate` run on the same unit.
 struct PassVerdicts {
   uint64_t V = 0, F = 0, NS = 0, Diff = 0;
+  /// Differential-execution oracle divergences (checker-accepted but
+  /// observably wrong; nonzero only when the daemon runs --oracle). This
+  /// is how the one historical miscompilation the checker accepts
+  /// (PR33673) is visible to campaign clients end-to-end.
+  uint64_t Div = 0;
   bool operator==(const PassVerdicts &O) const = default;
 };
 
@@ -117,6 +122,8 @@ struct Response {
   uint64_t RetryAfterMs = 0;   ///< rejected(queue_full) backoff hint
   std::map<std::string, PassVerdicts> Passes;
   std::vector<std::string> Failures;
+  /// First few oracle divergence reports (paired with nonzero Div).
+  std::vector<std::string> Divergences;
   uint64_t CacheHits = 0, CacheMisses = 0;
   uint64_t QueueUs = 0, TotalUs = 0;
   /// Stats-request payload (object), null otherwise.
@@ -126,6 +133,7 @@ struct Response {
   uint64_t totalF() const;
   uint64_t totalNS() const;
   uint64_t totalDiff() const;
+  uint64_t totalDiv() const;
 };
 
 std::string responseToJson(const Response &R);

@@ -14,15 +14,10 @@ using namespace crellvm::server;
 namespace {
 
 std::optional<passes::BugConfig> parseBugs(const std::string &Name) {
-  if (Name == "371")
-    return passes::BugConfig::llvm371();
-  if (Name == "501pre")
-    return passes::BugConfig::llvm501PreGvnPatch();
-  if (Name == "501post")
-    return passes::BugConfig::llvm501PostGvnPatch();
-  if (Name == "fixed")
-    return passes::BugConfig::fixed();
-  return std::nullopt;
+  // Version presets plus the flag-level historical bugs (pr24179, ...):
+  // the campaign's bug-hunt mode plants one bug at a time through the
+  // same wire field.
+  return passes::BugConfig::byName(Name);
 }
 
 json::Value histJson(const Histogram &H) {
@@ -312,6 +307,7 @@ void ValidationService::finishOne(Pending &P, Response Rsp,
       Stats.VerdictsF += Rsp.totalF();
       Stats.VerdictsNS += Rsp.totalNS();
       Stats.DiffMismatches += Rsp.totalDiff();
+      Stats.OracleDivergences += Rsp.totalDiv();
       Stats.CacheHits += Rsp.CacheHits;
       Stats.CacheMisses += Rsp.CacheMisses;
     }
@@ -372,6 +368,9 @@ void ValidationService::runBatch(std::vector<Pending> &Batch) {
         for (const std::string &S : KV.second.FailureSamples)
           if (Rsp.Failures.size() < 16)
             Rsp.Failures.push_back("[" + KV.first + "] " + S);
+        for (const std::string &S : KV.second.OracleSamples)
+          if (Rsp.Divergences.size() < 16)
+            Rsp.Divergences.push_back(S); // already "[pass]"-prefixed
         Rsp.CacheHits += KV.second.CacheHits;
         Rsp.CacheMisses += KV.second.CacheMisses;
       }
@@ -461,6 +460,9 @@ json::Value ValidationService::statsJson() {
   Server.set("queue_depth", json::Value(static_cast<uint64_t>(Depth)));
   Server.set("queue_max", json::Value(static_cast<uint64_t>(Opts.QueueMax)));
   Server.set("batch_max", json::Value(static_cast<uint64_t>(Opts.BatchMax)));
+  // Campaign clients check this before a bug-hunt: without the oracle the
+  // daemon cannot expose checker-accepted miscompilations (PR33673).
+  Server.set("oracle", json::Value(Opts.Driver.RunOracle));
   json::Value PoolV = json::Value::object();
   PoolV.set("queue_depth", json::Value(Pool.queueDepth()));
   PoolV.set("active_workers",
@@ -488,6 +490,7 @@ json::Value ValidationService::statsJson() {
   Verd.set("F", json::Value(C.VerdictsF));
   Verd.set("NS", json::Value(C.VerdictsNS));
   Verd.set("diff", json::Value(C.DiffMismatches));
+  Verd.set("oracle_div", json::Value(C.OracleDivergences));
   Root.set("verdicts", std::move(Verd));
 
   json::Value CacheV = json::Value::object();

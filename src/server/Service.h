@@ -111,6 +111,7 @@ struct ServiceCounters {
   uint64_t Batches = 0;
   uint64_t VerdictsV = 0, VerdictsF = 0, VerdictsNS = 0;
   uint64_t DiffMismatches = 0;
+  uint64_t OracleDivergences = 0; ///< nonzero only with Driver.RunOracle
   uint64_t CacheHits = 0, CacheMisses = 0;
   uint64_t StatsRequests = 0;
 };

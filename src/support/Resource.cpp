@@ -1,0 +1,55 @@
+//===- support/Resource.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Resource.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <sys/resource.h>
+
+using namespace crellvm;
+
+namespace {
+
+/// Reads one "Key:  N kB" line from /proc/self/status; 0 when absent
+/// (non-Linux, or a hardened procfs).
+uint64_t procStatusKb(const char *Key) {
+  FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  size_t KeyLen = std::strlen(Key);
+  uint64_t Kb = 0;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, Key, KeyLen) != 0 || Line[KeyLen] != ':')
+      continue;
+    unsigned long long V = 0;
+    if (std::sscanf(Line + KeyLen + 1, "%llu", &V) == 1)
+      Kb = V;
+    break;
+  }
+  std::fclose(F);
+  return Kb;
+}
+
+} // namespace
+
+uint64_t support::peakRssBytes() {
+  if (uint64_t Kb = procStatusKb("VmHWM"))
+    return Kb << 10;
+  struct rusage RU;
+  if (::getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+  // ru_maxrss is kilobytes on Linux (and BSDs); bytes only on macOS.
+#ifdef __APPLE__
+  return static_cast<uint64_t>(RU.ru_maxrss);
+#else
+  return static_cast<uint64_t>(RU.ru_maxrss) << 10;
+#endif
+}
+
+uint64_t support::currentRssBytes() {
+  if (uint64_t Kb = procStatusKb("VmRSS"))
+    return Kb << 10;
+  return peakRssBytes();
+}

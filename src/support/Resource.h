@@ -1,0 +1,30 @@
+//===- support/Resource.h - Process resource observation -------*- C++ -*-===//
+///
+/// \file
+/// Small wrappers over the process accounting the campaign driver reports:
+/// peak resident set size (the number that proves the streaming generator
+/// really is bounded-memory at MLOC scale) and current RSS for progress
+/// lines. Linux reads /proc/self/status; everywhere else getrusage's
+/// ru_maxrss answers the peak and current falls back to the peak.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_RESOURCE_H
+#define CRELLVM_SUPPORT_RESOURCE_H
+
+#include <cstdint>
+
+namespace crellvm {
+namespace support {
+
+/// High-water-mark resident set size of this process, in bytes; 0 when
+/// the platform offers no way to ask.
+uint64_t peakRssBytes();
+
+/// Current resident set size in bytes; falls back to peakRssBytes() when
+/// only the high-water mark is available.
+uint64_t currentRssBytes();
+
+} // namespace support
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_RESOURCE_H

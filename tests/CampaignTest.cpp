@@ -1,0 +1,354 @@
+//===- tests/CampaignTest.cpp - Streaming campaign driver tests -----------===//
+//
+// The campaign subsystem (src/campaign), tested at three levels:
+//
+//   CampaignUnit      unit identity: seed mixing, fingerprints, stream;
+//   CampaignLocal     the in-process windowed backend: digest-level
+//                     determinism at any (window, jobs), the bounded
+//                     in-flight window, local bug-hunts, and replays that
+//                     reproduce their findings from (seed, index) alone;
+//   CampaignServer    the acceptance path: a REAL crellvm-served daemon
+//                     (fork/exec of the installed binary, --oracle armed)
+//                     driven over its socket — the end-to-end bug hunt
+//                     must rediscover all 4+1 historical presets through
+//                     the service, and a soak must pass the stats
+//                     monotonicity + drain-equation gates.
+//
+// Suite names: "CampaignServer" contains "Server" on purpose, so the TSan
+// sweep in ci.yml (-R '...|Server|...') exercises the socket campaign
+// loop too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+
+#include "ir/Printer.h"
+#include "workload/RandomProgram.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::campaign;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CampaignUnit
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignUnit, UnitSeedsAreDeterministicDistinctAnd63Bit) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I != 512; ++I) {
+    uint64_t S = unitSeed(1, I);
+    EXPECT_EQ(S, unitSeed(1, I)) << "unit seed must be a pure function";
+    EXPECT_EQ(S & (1ull << 63), 0u)
+        << "seeds must survive signed wire integers";
+    Seen.insert(S);
+  }
+  EXPECT_EQ(Seen.size(), 512u) << "neighboring units must decorrelate";
+  EXPECT_NE(unitSeed(1, 7), unitSeed(2, 7))
+      << "campaigns with different seeds must not share units";
+}
+
+TEST(CampaignUnit, FingerprintMatchesGeneratedModuleText) {
+  // The fingerprint is FNV-1a-64 of exactly what the generator prints for
+  // the unit's seed — the same module a replay or a seed-named daemon
+  // request materializes.
+  workload::GenOptions G;
+  G.Seed = unitSeed(3, 11);
+  EXPECT_EQ(unitFingerprint(3, 11),
+            fnv1a64(ir::printModule(workload::generateModule(G))));
+}
+
+TEST(CampaignUnit, StreamYieldsIndexOrderWithoutMaterializing) {
+  UnitStream S(9, 5, 8);
+  EXPECT_EQ(S.remaining(), 3u);
+  for (uint64_t I = 5; I != 8; ++I) {
+    auto D = S.next();
+    ASSERT_TRUE(D.has_value());
+    EXPECT_EQ(D->Index, I);
+    EXPECT_EQ(D->Seed, unitSeed(9, I));
+  }
+  EXPECT_FALSE(S.next().has_value());
+  EXPECT_EQ(S.remaining(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CampaignLocal
+//===----------------------------------------------------------------------===//
+
+CampaignOptions localOptions(Mode M) {
+  CampaignOptions O;
+  O.M = M;
+  O.CampaignSeed = 1;
+  O.ProgressEveryUnits = 0; // silent
+  return O;
+}
+
+// The seed-determinism satellite: the same campaign swept at any window
+// size and any job count touches exactly the same units — the
+// order-independent fingerprint digest and all verdict sums must be
+// bit-identical, and the observed in-flight high-water mark must respect
+// each run's window.
+TEST(CampaignLocal, DigestAndVerdictsIdenticalAtAnyWindowAndJobs) {
+  const struct {
+    size_t Window;
+    unsigned Jobs;
+  } Shapes[] = {{3, 1}, {16, 4}, {5, 2}};
+  CampaignReport Base;
+  for (size_t I = 0; I != std::size(Shapes); ++I) {
+    CampaignOptions O = localOptions(Mode::Throughput);
+    O.Units = 16;
+    O.Window = Shapes[I].Window;
+    O.Jobs = Shapes[I].Jobs;
+    O.ComputeDigest = true;
+    CampaignReport R = runCampaign(O);
+    ASSERT_TRUE(R.success()) << R.GateFailure << R.TransportError;
+    EXPECT_EQ(R.Submitted, 16u);
+    EXPECT_EQ(R.Completed, 16u);
+    EXPECT_NE(R.UnitsDigest, 0u);
+    EXPECT_LE(R.MaxInFlight, Shapes[I].Window)
+        << "the in-flight window is the memory bound";
+    EXPECT_GT(R.PeakRssBytes, 0u);
+    if (I == 0) {
+      Base = R;
+      continue;
+    }
+    EXPECT_EQ(R.UnitsDigest, Base.UnitsDigest)
+        << "window/jobs must not change which units a campaign names";
+    EXPECT_EQ(R.V, Base.V);
+    EXPECT_EQ(R.F, Base.F);
+    EXPECT_EQ(R.NS, Base.NS);
+    EXPECT_EQ(R.Diff, Base.Diff);
+  }
+}
+
+TEST(CampaignLocal, BugHuntFindsEveryHistoricalPresetWithReplayableSeed) {
+  CampaignOptions O = localOptions(Mode::BugHunt);
+  O.Units = 100; // per-preset budget; all five trip well inside it
+  O.Window = 8;
+  O.Jobs = 4;
+  CampaignReport R = runCampaign(O);
+  ASSERT_TRUE(R.TransportError.empty()) << R.TransportError;
+  EXPECT_TRUE(R.HuntMissed.empty()) << R.GateFailure;
+  ASSERT_TRUE(R.success()) << R.GateFailure;
+
+  // One finding per preset, each fully named by (campaign seed, index):
+  // replaying that single unit standalone must reproduce the same kind of
+  // finding — no corpus, no window, no daemon required.
+  std::set<std::string> Presets;
+  for (const Finding &F : R.Findings) {
+    EXPECT_EQ(F.Seed, unitSeed(O.CampaignSeed, F.UnitIndex));
+    if (!Presets.insert(F.Preset).second)
+      continue; // replay only each preset's first (minimal-index) finding
+    CampaignOptions Rp = localOptions(Mode::Replay);
+    Rp.ReplayUnit = F.UnitIndex;
+    Rp.Bugs = F.Preset;
+    Rp.Oracle = F.Kind == "oracle_divergence";
+    CampaignReport RR = runCampaign(Rp);
+    ASSERT_TRUE(RR.TransportError.empty()) << RR.TransportError;
+    ASSERT_FALSE(RR.Findings.empty())
+        << F.Preset << " unit " << F.UnitIndex << " did not reproduce";
+    EXPECT_EQ(RR.Findings.front().Kind, F.Kind) << F.Preset;
+    EXPECT_EQ(RR.Findings.front().UnitIndex, F.UnitIndex);
+  }
+  EXPECT_EQ(Presets.size(), 5u)
+      << "expected findings for all 4+1 historical presets";
+  // The 4 validation-visible bugs and the one checker-accepted
+  // miscompilation, which only the differential oracle can see.
+  for (const char *P : {"pr24179", "pr28562", "pr29057", "d38619"})
+    EXPECT_TRUE(Presets.count(P)) << P;
+  ASSERT_TRUE(Presets.count("pr33673"));
+  for (const Finding &F : R.Findings) {
+    if (F.Preset == "pr33673") {
+      EXPECT_EQ(F.Kind, "oracle_divergence")
+          << "pr33673 must be invisible to the checker and caught by the "
+             "oracle";
+    }
+  }
+}
+
+// The minimal reproducer is deterministic: because units are issued in
+// index order and the stream drains before concluding, the first
+// (minimal-index) finding of a hunt is the same at any window size.
+TEST(CampaignLocal, MinimalReproducerStableAcrossWindowSizes) {
+  Finding First;
+  for (size_t Window : {2, 23}) {
+    CampaignOptions O = localOptions(Mode::BugHunt);
+    O.HuntPresets = {"pr29057"}; // the latest-tripping preset (unit 45)
+    O.Units = 100;
+    O.Window = Window;
+    O.Jobs = 4;
+    CampaignReport R = runCampaign(O);
+    ASSERT_TRUE(R.success()) << R.GateFailure << R.TransportError;
+    ASSERT_FALSE(R.Findings.empty());
+    if (Window == 2) {
+      First = R.Findings.front();
+      continue;
+    }
+    EXPECT_EQ(R.Findings.front().UnitIndex, First.UnitIndex)
+        << "the minimal reproducer index must not depend on the window";
+    EXPECT_EQ(R.Findings.front().Seed, First.Seed);
+    EXPECT_EQ(R.Findings.front().Kind, First.Kind);
+  }
+}
+
+TEST(CampaignLocal, SoakRequiresADaemon) {
+  CampaignOptions O = localOptions(Mode::Soak);
+  O.Units = 4;
+  CampaignReport R = runCampaign(O);
+  EXPECT_FALSE(R.TransportError.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CampaignServer — against a real fork/exec'd crellvm-served
+//===----------------------------------------------------------------------===//
+
+struct Daemon {
+  pid_t Pid = -1;
+  std::string Socket;
+
+  static Daemon spawn(const char *Tag, std::vector<std::string> ExtraArgs) {
+    Daemon D;
+    D.Socket = "/tmp/crellvm-campaign-test-" + std::to_string(::getpid()) +
+               "-" + Tag + ".sock";
+    ::unlink(D.Socket.c_str());
+    std::vector<std::string> Args = {CRELLVM_SERVED_BIN, "--socket", D.Socket,
+                                     "--jobs", "4"};
+    Args.insert(Args.end(), ExtraArgs.begin(), ExtraArgs.end());
+    D.Pid = ::fork();
+    if (D.Pid == 0) {
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      // Quiet child: the daemon's log lines are noise inside gtest.
+      ::freopen("/dev/null", "w", stderr);
+      ::freopen("/dev/null", "w", stdout);
+      ::execv(Argv[0], Argv.data());
+      _exit(127);
+    }
+    return D;
+  }
+
+  /// True once the daemon accepts connections (bounded wait).
+  bool waitReady() const {
+    for (int Tries = 0; Tries != 400; ++Tries) {
+      sockaddr_un Addr;
+      std::memset(&Addr, 0, sizeof(Addr));
+      Addr.sun_family = AF_UNIX;
+      std::memcpy(Addr.sun_path, Socket.c_str(), Socket.size() + 1);
+      int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (Fd >= 0 &&
+          ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+              0) {
+        ::close(Fd);
+        return true;
+      }
+      if (Fd >= 0)
+        ::close(Fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  void stop() {
+    if (Pid <= 0)
+      return;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    ::unlink(Socket.c_str());
+    Pid = -1;
+  }
+};
+
+// THE acceptance criterion: the differential bug hunt rediscovers every
+// historical preset end-to-end through a running crellvm-served — wire
+// protocol, admission queue, batching, oracle and all — and each finding
+// carries the standalone replay identity.
+TEST(CampaignServer, EndToEndBugHuntRediscoversAllPresetsThroughDaemon) {
+  Daemon D = Daemon::spawn("hunt", {"--oracle"});
+  ASSERT_TRUE(D.waitReady()) << "daemon did not come up at " << D.Socket;
+
+  CampaignOptions O = localOptions(Mode::BugHunt);
+  O.Socket = D.Socket;
+  O.Units = 100;
+  O.Window = 16;
+  O.MaxRetries = 10;
+  CampaignReport R = runCampaign(O);
+  D.stop();
+
+  ASSERT_TRUE(R.TransportError.empty()) << R.TransportError;
+  ASSERT_TRUE(R.success()) << R.GateFailure;
+  EXPECT_TRUE(R.HuntMissed.empty());
+  std::set<std::string> Presets;
+  for (const Finding &F : R.Findings) {
+    Presets.insert(F.Preset);
+    EXPECT_EQ(F.Seed, unitSeed(O.CampaignSeed, F.UnitIndex)) << F.Preset;
+  }
+  EXPECT_EQ(Presets.size(), 5u);
+  EXPECT_TRUE(Presets.count("pr33673"))
+      << "the checker-accepted miscompilation must surface through the "
+         "daemon's oracle divergences";
+}
+
+// A hunt that needs the oracle against a daemon that does not run it must
+// fail loudly up front (scraping server.oracle), not silently miss.
+TEST(CampaignServer, HuntingPr33673WithoutDaemonOracleFailsTheGate) {
+  Daemon D = Daemon::spawn("nooracle", {});
+  ASSERT_TRUE(D.waitReady());
+
+  CampaignOptions O = localOptions(Mode::BugHunt);
+  O.Socket = D.Socket;
+  O.HuntPresets = {"pr33673"};
+  O.Units = 10;
+  CampaignReport R = runCampaign(O);
+  D.stop();
+
+  ASSERT_TRUE(R.TransportError.empty()) << R.TransportError;
+  EXPECT_FALSE(R.success());
+  EXPECT_NE(R.GateFailure.find("--oracle"), std::string::npos)
+      << R.GateFailure;
+  EXPECT_EQ(R.Submitted, 0u) << "must fail before streaming any unit";
+}
+
+// The soak gate against a live daemon: every scraped observation is
+// monotone and satisfies the drain inequality; the final quiesced scrape
+// satisfies the drain equation exactly.
+TEST(CampaignServer, SoakPassesMonotonicityAndDrainGates) {
+  // A small queue forces real queue_full backpressure and retries.
+  Daemon D = Daemon::spawn("soak", {"--queue-max", "8"});
+  ASSERT_TRUE(D.waitReady());
+
+  CampaignOptions O = localOptions(Mode::Soak);
+  O.Socket = D.Socket;
+  O.Units = 60;
+  O.Window = 24;
+  O.MaxRetries = 20;
+  O.StatsEveryUnits = 7;
+  CampaignReport R = runCampaign(O);
+  D.stop();
+
+  ASSERT_TRUE(R.TransportError.empty()) << R.TransportError;
+  ASSERT_TRUE(R.success()) << R.GateFailure;
+  EXPECT_TRUE(R.StatsMonotonic);
+  EXPECT_TRUE(R.DrainHolds);
+  EXPECT_GE(R.StatsScrapes, 2u) << "mid-run scrapes must have happened";
+  EXPECT_EQ(R.Submitted, 60u);
+  EXPECT_LE(R.MaxInFlight, 24u);
+}
+
+} // namespace

@@ -1,18 +1,22 @@
-//===- tests/CliSmokeTest.cpp - crellvm-validate CLI contract -----------------===//
+//===- tests/CliSmokeTest.cpp - CLI contract across every binary --------------===//
 //
-// The crellvm-validate binary's command-line contract, exercised by
-// actually running the installed binary (CRELLVM_VALIDATE_BIN is injected
-// by tests/CMakeLists.txt as $<TARGET_FILE:crellvm-validate>):
+// The command-line contract every installed binary (crellvm-validate,
+// crellvm-audit, crellvm-served, crellvm-client, crellvm-campaign — paths
+// injected by tests/CMakeLists.txt as $<TARGET_FILE:...>) must honor,
+// exercised by actually running the binaries:
 //
-//   --help / -h   print the usage block on stdout and exit 0;
-//   unknown flag  print usage on stderr and exit nonzero;
-//   bad values    (--cache=bogus, --jobs without an argument) exit nonzero.
+//   --help / -h    print the usage block on stdout and exit 0;
+//   --version      print the shared checker-semantics version line and
+//                  exit 0, short-circuiting every other flag — the line
+//                  tooling parses to confirm client, daemon, campaign
+//                  driver and batch validator agree on verdict semantics;
+//   unknown flag   print usage on stderr, NAME the offending flag, and
+//                  exit 2 (the scripts-can-distinguish code: 2 is "you
+//                  called me wrong", 1 is "I ran and the answer is bad").
 //
-// Every installed binary (crellvm-validate, crellvm-audit, crellvm-served,
-// crellvm-client; paths likewise injected by tests/CMakeLists.txt) must
-// answer --version with the shared checker-semantics version line, so a
-// service operator can confirm client, daemon, and batch validator agree
-// on verdict semantics before trusting cross-tool comparisons.
+// The shared rows run table-driven over all five binaries so a sixth
+// binary only has to add one row; binary-specific contracts (bad --chaos,
+// bad --cache, a dead daemon socket, campaign mode validation) follow.
 //
 //===----------------------------------------------------------------------===//
 
@@ -56,57 +60,86 @@ RunResult runValidator(const std::string &Args, bool MergeStderr = false) {
   return runBinary(CRELLVM_VALIDATE_BIN, Args, MergeStderr);
 }
 
-TEST(CliSmoke, HelpExitsZeroAndListsEveryFlag) {
-  RunResult R = runValidator("--help");
-  EXPECT_EQ(R.ExitCode, 0);
-  for (const char *Flag :
-       {"--jobs", "--bugs", "--oracle", "--binary-proofs", "--files",
-        "--cache", "--cache-dir", "--cache-max-mb", "--unit-timeout-ms",
-        "--chaos", "--help"})
-    EXPECT_NE(R.Stdout.find(Flag), std::string::npos)
-        << "usage must document " << Flag;
+// One row per installed binary; every shared contract test iterates this.
+struct BinaryRow {
+  const char *Path;
+  const char *Name;
+};
+
+const BinaryRow AllBinaries[] = {
+    {CRELLVM_VALIDATE_BIN, "crellvm-validate"},
+    {CRELLVM_AUDIT_BIN, "crellvm-audit"},
+    {CRELLVM_SERVED_BIN, "crellvm-served"},
+    {CRELLVM_CLIENT_BIN, "crellvm-client"},
+    {CRELLVM_CAMPAIGN_BIN, "crellvm-campaign"},
+};
+
+TEST(CliSmoke, HelpExitsZeroOnEveryBinary) {
+  for (const BinaryRow &B : AllBinaries) {
+    RunResult R = runBinary(B.Path, "--help");
+    EXPECT_EQ(R.ExitCode, 0) << B.Name;
+    EXPECT_NE(R.Stdout.find("usage:"), std::string::npos) << B.Name;
+    EXPECT_NE(R.Stdout.find("--help"), std::string::npos)
+        << B.Name << ": usage must document --help";
+    EXPECT_NE(R.Stdout.find("--version"), std::string::npos)
+        << B.Name << ": usage must document --version";
+  }
 }
 
-TEST(CliSmoke, ShortHelpAlias) {
-  RunResult R = runValidator("-h");
-  EXPECT_EQ(R.ExitCode, 0);
-  EXPECT_NE(R.Stdout.find("usage:"), std::string::npos);
+TEST(CliSmoke, ShortHelpAliasOnEveryBinary) {
+  for (const BinaryRow &B : AllBinaries) {
+    RunResult R = runBinary(B.Path, "-h");
+    EXPECT_EQ(R.ExitCode, 0) << B.Name;
+    EXPECT_NE(R.Stdout.find("usage:"), std::string::npos) << B.Name;
+  }
 }
 
-TEST(CliSmoke, UnknownFlagExitsNonzeroWithUsage) {
-  RunResult R = runValidator("--no-such-flag", /*MergeStderr=*/true);
-  EXPECT_NE(R.ExitCode, 0);
-  EXPECT_NE(R.Stdout.find("usage:"), std::string::npos);
-  EXPECT_NE(R.Stdout.find("--no-such-flag"), std::string::npos)
-      << "the offending flag should be named";
+TEST(CliSmoke, UnknownFlagExitsTwoNamingTheFlagOnEveryBinary) {
+  for (const BinaryRow &B : AllBinaries) {
+    RunResult R = runBinary(B.Path, "--no-such-flag", /*MergeStderr=*/true);
+    EXPECT_EQ(R.ExitCode, 2) << B.Name;
+    EXPECT_NE(R.Stdout.find("usage:"), std::string::npos) << B.Name;
+    EXPECT_NE(R.Stdout.find("--no-such-flag"), std::string::npos)
+        << B.Name << ": the offending flag should be named";
+  }
 }
+
+// Every binary prints "<tool> checker-semantics-version <N> build <type>"
+// and exits 0, with <N> the compiled-in CheckerSemanticsVersion.
+TEST(CliSmoke, VersionLineOnEveryBinary) {
+  for (const BinaryRow &B : AllBinaries) {
+    RunResult R = runBinary(B.Path, "--version");
+    EXPECT_EQ(R.ExitCode, 0) << B.Name;
+    EXPECT_EQ(R.Stdout, crellvm::checker::versionLine(B.Name) + "\n");
+    EXPECT_NE(
+        R.Stdout.find("checker-semantics-version " +
+                      std::to_string(crellvm::checker::CheckerSemanticsVersion)),
+        std::string::npos)
+        << B.Name;
+  }
+}
+
+// --version wins even when other flags are present, and without running
+// any work (it must return immediately).
+TEST(CliSmoke, VersionShortCircuitsOnEveryBinary) {
+  const std::pair<const char *, const char *> Rows[] = {
+      {CRELLVM_VALIDATE_BIN, "--modules 100000 --version"},
+      {CRELLVM_CAMPAIGN_BIN, "--units 100000000 --version"},
+  };
+  for (const auto &Row : Rows) {
+    RunResult R = runBinary(Row.first, Row.second);
+    EXPECT_EQ(R.ExitCode, 0) << Row.first;
+    EXPECT_NE(R.Stdout.find("checker-semantics-version"), std::string::npos)
+        << Row.first;
+  }
+}
+
+// --- Binary-specific contracts ---------------------------------------------
 
 TEST(CliSmoke, BadCachePolicyExitsNonzero) {
   EXPECT_NE(runValidator("--cache=bogus").ExitCode, 0);
   EXPECT_NE(runValidator("--cache", /*MergeStderr=*/true).ExitCode, 0)
       << "--cache without a value must be rejected";
-}
-
-// Every binary prints "<tool> checker-semantics-version <N> build <type>"
-// and exits 0, with <N> the compiled-in CheckerSemanticsVersion — the line
-// tooling parses to check that daemon and clients agree on semantics.
-TEST(CliSmoke, VersionLineOnEveryBinary) {
-  const std::pair<const char *, const char *> Bins[] = {
-      {CRELLVM_VALIDATE_BIN, "crellvm-validate"},
-      {CRELLVM_AUDIT_BIN, "crellvm-audit"},
-      {CRELLVM_SERVED_BIN, "crellvm-served"},
-      {CRELLVM_CLIENT_BIN, "crellvm-client"},
-  };
-  for (const auto &B : Bins) {
-    RunResult R = runBinary(B.first, "--version");
-    EXPECT_EQ(R.ExitCode, 0) << B.second;
-    EXPECT_EQ(R.Stdout, crellvm::checker::versionLine(B.second) + "\n");
-    EXPECT_NE(
-        R.Stdout.find("checker-semantics-version " +
-                      std::to_string(crellvm::checker::CheckerSemanticsVersion)),
-        std::string::npos)
-        << B.second;
-  }
 }
 
 // A malformed --chaos schedule is a configuration error on every binary
@@ -143,12 +176,35 @@ TEST(CliSmoke, ClientNamesMissingDaemonAndExitsTwo) {
       << "the error should say how to start the daemon";
 }
 
-// --version wins even when other flags are present, and without running a
-// validation (it must return immediately).
-TEST(CliSmoke, VersionShortCircuits) {
-  RunResult R = runValidator("--modules 100000 --version");
+// crellvm-campaign usage-level validation: every row must be refused with
+// exit 2 and the offending value named, before any unit is generated.
+TEST(CliSmoke, CampaignBadUsageExitsTwoNamingTheProblem) {
+  const std::pair<const char *, const char *> Rows[] = {
+      {"--mode teleport", "--mode teleport"},
+      {"--bugs pr99999", "pr99999"},
+      {"--mode bug-hunt --hunt pr24179,bogus", "bogus"},
+      {"--mode soak --duration-s 5", "--socket"},
+      {"--hunt pr24179", "--hunt"}, // --hunt outside bug-hunt mode
+      {"--units", "--units"},       // numeric flag without a value
+  };
+  for (const auto &Row : Rows) {
+    RunResult R = runBinary(CRELLVM_CAMPAIGN_BIN, Row.first,
+                            /*MergeStderr=*/true);
+    EXPECT_EQ(R.ExitCode, 2) << "args: " << Row.first;
+    EXPECT_NE(R.Stdout.find(Row.second), std::string::npos)
+        << "args: " << Row.first << " should name " << Row.second;
+  }
+}
+
+// The campaign usage block documents the replay contract the findings
+// print (one command, standalone reproduction).
+TEST(CliSmoke, CampaignHelpDocumentsReplay) {
+  RunResult R = runBinary(CRELLVM_CAMPAIGN_BIN, "--help");
   EXPECT_EQ(R.ExitCode, 0);
-  EXPECT_EQ(R.Stdout, crellvm::checker::versionLine("crellvm-validate") + "\n");
+  for (const char *Needle : {"--replay", "--seed", "--unit", "--bugs",
+                             "--window", "--socket", "bug-hunt", "soak"})
+    EXPECT_NE(R.Stdout.find(Needle), std::string::npos)
+        << "campaign usage must document " << Needle;
 }
 
 } // namespace

@@ -462,6 +462,83 @@ TEST(ServerLoopback, StatsReflectServedWork) {
   EXPECT_GT(Lat.get("max").getInt(), 0);
 }
 
+// Scraped under load, every counter under "requests" and "verdicts" is
+// monotone between observations and the drain inequality
+// accepted >= completed + deadline_exceeded + internal_errors holds at
+// EVERY observation point (the slack is work still queued or running);
+// once all responses are in, the inequality tightens to the drain
+// equation. This is exactly the gate crellvm-campaign's soak mode applies
+// to a live daemon.
+TEST(ServerLoopback, StatsMonotoneUnderLoadAndDrainEquation) {
+  ServiceOptions O = fastOptions();
+  O.Jobs = 2;
+  O.BatchMax = 2; // several small batches, so mid-run scrapes see motion
+  ValidationService S(O);
+  LoopbackTransport T(S);
+
+  constexpr int N = 10;
+  std::mutex M;
+  std::condition_variable Cv;
+  int Done = 0;
+  for (int I = 0; I != N; ++I)
+    T.submit(validateSeed(70 + I, I), [&](Response) {
+      std::lock_guard<std::mutex> L(M);
+      ++Done;
+      Cv.notify_all();
+    });
+
+  Request StatsReq;
+  StatsReq.Kind = RequestKind::Stats;
+
+  // One scrape, flattened to the monotone "requests"/"verdicts" counters.
+  auto Scrape = [&]() {
+    Response R = T.call(StatsReq);
+    EXPECT_EQ(R.Status, ResponseStatus::Ok);
+    std::map<std::string, int64_t> Out;
+    for (const char *Section : {"requests", "verdicts"}) {
+      const json::Value *Obj = R.Stats.find(Section);
+      EXPECT_NE(Obj, nullptr) << Section;
+      if (Obj)
+        for (const auto &KV : Obj->members())
+          if (KV.second.kind() == json::Value::Kind::Int)
+            Out[std::string(Section) + "." + KV.first] = KV.second.getInt();
+    }
+    return Out;
+  };
+
+  std::map<std::string, int64_t> Prev = Scrape();
+  bool AllDone = false;
+  do {
+    {
+      std::unique_lock<std::mutex> L(M);
+      Cv.wait_for(L, std::chrono::milliseconds(2));
+      AllDone = Done == N;
+    }
+    std::map<std::string, int64_t> Cur = Scrape();
+    for (const auto &KV : Cur) {
+      auto It = Prev.find(KV.first);
+      if (It != Prev.end()) {
+        EXPECT_GE(KV.second, It->second)
+            << KV.first << " decreased between scrapes";
+      }
+    }
+    EXPECT_GE(Cur["requests.accepted"],
+              Cur["requests.completed"] + Cur["requests.deadline_exceeded"] +
+                  Cur["requests.internal_errors"])
+        << "drain inequality violated mid-load";
+    Prev = std::move(Cur);
+  } while (!AllDone);
+
+  // Quiesced: the inequality tightens to the drain equation.
+  std::map<std::string, int64_t> Final = Scrape();
+  EXPECT_EQ(Final["requests.accepted"], N);
+  EXPECT_EQ(Final["requests.accepted"],
+            Final["requests.completed"] +
+                Final["requests.deadline_exceeded"] +
+                Final["requests.internal_errors"])
+      << "drain equation must hold once every response is in";
+}
+
 //===----------------------------------------------------------------------===//
 // ServerSocket
 //===----------------------------------------------------------------------===//

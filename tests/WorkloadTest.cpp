@@ -99,6 +99,53 @@ TEST_P(WorkloadProperty, BuggyConfigFailsOnlyInTheBuggyPasses) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadProperty,
                          ::testing::Range<uint64_t>(1, 81));
 
+// Golden seed-stability table: FNV-1a-64 of the printed module for a
+// spread of seeds (including two recorded campaign reproducer seeds).
+// The generator's seed->program mapping is load-bearing far beyond this
+// suite: campaign findings are published as (campaign seed, unit index)
+// pairs, the validation cache keys fingerprints of generated text, and
+// crellvm-served answers seed-named requests — an innocent-looking
+// generator tweak silently invalidates every recorded reproducer and
+// cache entry. If a deliberate generator change trips this test, re-pin
+// the table AND note in CHANGES.md that old reproducer seeds are void.
+TEST(Workload, GoldenSeedFingerprintsArePinned) {
+  auto Fnv1a64 = [](const std::string &S) {
+    uint64_t H = 1469598103934665603ull;
+    for (unsigned char C : S) {
+      H ^= C;
+      H *= 1099511628211ull;
+    }
+    return H;
+  };
+  const struct {
+    uint64_t Seed;
+    uint64_t Fingerprint;
+  } Golden[] = {
+      {1ull, 0xe0035bc36453d302ull},
+      {2ull, 0xbe6c5acfc5eba775ull},
+      {3ull, 0xc6d66b7879278224ull},
+      {7ull, 0x48ed68828d2651fcull},
+      {17ull, 0xc13253b70f95e678ull},
+      {42ull, 0xc9f671b6cf1abed7ull},
+      {1000ull, 0x33e0c07d982f6aedull},
+      {99991ull, 0xbea22ccea4bdaa7dull},
+      // unitSeed(campaign 1, unit 0): the pr24179/pr28562/pr33673
+      // minimal reproducer module of the seed-1 bug-hunt campaign.
+      {379230517066847373ull, 0x81531d8389460722ull},
+      // unitSeed(campaign 1, unit 45): the pr29057 minimal reproducer.
+      {5299775384170261709ull, 0xf6fb6a19eaa681ddull},
+  };
+  for (const auto &Row : Golden) {
+    workload::GenOptions Opts;
+    Opts.Seed = Row.Seed;
+    EXPECT_EQ(Fnv1a64(ir::printModule(workload::generateModule(Opts))),
+              Row.Fingerprint)
+        << "seed " << Row.Seed
+        << ": generated program changed — recorded reproducer seeds and "
+           "cache fingerprints are no longer comparable";
+  }
+}
+
 TEST(Corpus, RowsAreGeneratedDeterministically) {
   auto Rows = workload::paperCorpus();
   ASSERT_EQ(Rows.size(), 18u);
