@@ -1,0 +1,282 @@
+//===- bench/ClusterThroughput.cpp - cluster requests/s ---------*- C++ -*-===//
+//
+// Throughput of the sharded validation cluster (DESIGN.md §15): an
+// in-process ClusterRouter fronting three in-process crellvm-served
+// stacks (ValidationService + SocketServer on real Unix sockets — the
+// full wire path, minus only process isolation), measured over three
+// cluster lifetimes:
+//
+//   cold         shared tier on, fresh directory: every request
+//                validates in full and publishes into the shared store;
+//   warm shared  a RESTARTED cluster (fresh MemCaches) over the same
+//                shared directory: every member answers from artifacts
+//                the previous cluster's members published;
+//   warm off     a restarted cluster with private fresh directories:
+//                the counterfactual without the shared tier — everything
+//                re-validates.
+//
+// The shared tier's pitch is that a cluster restart (deploy, scale-up)
+// keeps its warm state, so the shared-warm run must hit on >90% of
+// lookups while the tier-off run hits on none, and shared-warm
+// requests/s must beat cold. Results land in BENCH_validation.json as
+// the `validation_cluster` entry (rps in ppm, latencies in us, ratios
+// in ppm).
+//
+//   cluster_throughput [scale] [--jobs N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "bench/Tables.h"
+#include "cluster/Router.h"
+#include "server/Service.h"
+#include "server/SocketServer.h"
+#include "support/Histogram.h"
+#include "support/Timer.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+namespace {
+
+constexpr int NumMembers = 3;
+
+/// One in-process crellvm-served stack.
+struct Member {
+  std::unique_ptr<server::ValidationService> Service;
+  std::unique_ptr<server::SocketServer> Server;
+  std::thread Runner;
+
+  static Member start(const std::string &Id, const std::string &Socket,
+                      const cache::ValidationCacheOptions &CacheOpts,
+                      unsigned Jobs, unsigned QueueMax) {
+    Member M;
+    server::ServiceOptions SOpts;
+    SOpts.Jobs = Jobs;
+    SOpts.QueueMax = QueueMax;
+    SOpts.Driver.WriteFiles = false;
+    SOpts.Cache = CacheOpts;
+    SOpts.MemberId = Id;
+    M.Service = std::make_unique<server::ValidationService>(SOpts);
+    M.Server = std::make_unique<server::SocketServer>(
+        *M.Service, server::SocketServerOptions{Socket, /*Backlog=*/64});
+    std::string Err;
+    if (!M.Server->start(&Err)) {
+      std::cerr << "member " << Id << ": " << Err << "\n";
+      std::exit(1);
+    }
+    M.Runner = std::thread([S = M.Server.get()] { S->run(); });
+    return M;
+  }
+
+  void stop() {
+    Server->requestStop();
+    Runner.join();
+  }
+};
+
+struct PhaseResult {
+  double WallSeconds = 0;
+  uint64_t Requests = 0;
+  uint64_t V = 0, F = 0, NS = 0;
+  uint64_t CacheHits = 0, CacheMisses = 0;
+  uint64_t P50Us = 0, P99Us = 0;
+
+  double rps() const { return WallSeconds > 0 ? Requests / WallSeconds : 0; }
+  double hitRate() const {
+    uint64_t L = CacheHits + CacheMisses;
+    return L ? static_cast<double>(CacheHits) / L : 0;
+  }
+};
+
+/// One cluster lifetime: boot 3 members on \p MemberCache(i), route
+/// \p NumRequests pipelined seeded requests through a fresh router,
+/// drain, tear everything down.
+PhaseResult
+runPhase(const char *Tag, unsigned NumRequests, unsigned Jobs,
+         const std::function<cache::ValidationCacheOptions(int)> &MemberCache) {
+  std::string Base = "/tmp/crellvm-cluster-bench-" +
+                     std::to_string(::getpid()) + "-" + Tag + "-m";
+  std::vector<Member> Members;
+  cluster::ClusterOptions COpts;
+  for (int I = 0; I != NumMembers; ++I) {
+    std::string Id = "m" + std::to_string(I + 1);
+    std::string Socket = Base + std::to_string(I + 1) + ".sock";
+    ::unlink(Socket.c_str());
+    Members.push_back(
+        Member::start(Id, Socket, MemberCache(I), Jobs, NumRequests));
+    COpts.Members.push_back({Id, Socket});
+  }
+  COpts.MaxInflightPerMember = NumRequests; // admission is not the subject
+  COpts.RouterId = std::string("bench-") + Tag;
+
+  PhaseResult R;
+  R.Requests = NumRequests;
+  {
+    cluster::ClusterRouter Router(COpts);
+    std::string Err;
+    if (!Router.start(&Err)) {
+      std::cerr << "router: " << Err << "\n";
+      std::exit(1);
+    }
+    Histogram Lat;
+    std::mutex M;
+    std::condition_variable Cv;
+    unsigned Done = 0;
+    Timer Wall;
+    Wall.time([&] {
+      for (unsigned I = 0; I != NumRequests; ++I) {
+        server::Request Req;
+        Req.Kind = server::RequestKind::Validate;
+        Req.Id = static_cast<int64_t>(I);
+        Req.HasSeed = true;
+        Req.Seed = 0xc105fe + I; // same stream in every phase
+        Router.submit(Req, [&](server::Response Rsp) {
+          Lat.record(Rsp.TotalUs);
+          std::lock_guard<std::mutex> L(M);
+          R.V += Rsp.totalV();
+          R.F += Rsp.totalF();
+          R.NS += Rsp.totalNS();
+          R.CacheHits += Rsp.CacheHits;
+          R.CacheMisses += Rsp.CacheMisses;
+          if (++Done == NumRequests)
+            Cv.notify_all();
+        });
+      }
+      std::unique_lock<std::mutex> L(M);
+      Cv.wait(L, [&] { return Done == NumRequests; });
+    });
+    R.WallSeconds = Wall.seconds();
+    Histogram::Snapshot S = Lat.snapshot();
+    R.P50Us = S.quantile(0.50);
+    R.P99Us = S.quantile(0.99);
+    Router.beginShutdown();
+    Router.drain();
+  }
+  for (Member &M : Members)
+    M.stop(); // graceful: caches flush, sockets unlink
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = 1, Jobs = 2;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else
+      Scale = static_cast<unsigned>(std::strtoul(Argv[I], nullptr, 10));
+  }
+  if (Scale == 0)
+    Scale = 1;
+  unsigned NumRequests = 240 / Scale;
+  if (NumRequests == 0)
+    NumRequests = 1;
+
+  std::string SharedDir =
+      (std::filesystem::temp_directory_path() /
+       ("crellvm-cluster-bench-shared." + std::to_string(::getpid())))
+          .string();
+  std::string PrivateBase =
+      (std::filesystem::temp_directory_path() /
+       ("crellvm-cluster-bench-private." + std::to_string(::getpid())))
+          .string();
+  std::error_code EC;
+  std::filesystem::remove_all(SharedDir, EC);
+
+  auto SharedCache = [&](int) {
+    cache::ValidationCacheOptions C;
+    C.Policy = cache::CachePolicy::ReadWrite;
+    C.Dir = SharedDir;
+    C.SharedDisk = true;
+    return C;
+  };
+  auto PrivateCache = [&](int I) {
+    cache::ValidationCacheOptions C;
+    C.Policy = cache::CachePolicy::ReadWrite;
+    C.Dir = PrivateBase + "." + std::to_string(I);
+    return C;
+  };
+
+  std::cout << "=== Validation cluster: requests/s, shared tier on vs off ===\n"
+            << NumRequests << " pipelined requests per lifetime, "
+            << NumMembers << " members x " << Jobs
+            << " jobs, consistent-hash router, real Unix sockets\n\n";
+
+  PhaseResult Cold = runPhase("cold", NumRequests, Jobs, SharedCache);
+  PhaseResult WarmShared = runPhase("warmshared", NumRequests, Jobs,
+                                    SharedCache);
+  PhaseResult WarmOff = runPhase("warmoff", NumRequests, Jobs, PrivateCache);
+
+  Table T({"lifetime", "wall", "req/s", "p50 us", "p99 us", "#V", "#NS",
+           "hit rate"});
+  const std::pair<const char *, const PhaseResult *> Rows[] = {
+      {"cold (shared on)", &Cold},
+      {"restart (shared on)", &WarmShared},
+      {"restart (shared off)", &WarmOff},
+  };
+  for (const auto &Row : Rows)
+    T.addRow({Row.first, formatSeconds(Row.second->WallSeconds),
+              std::to_string(static_cast<uint64_t>(Row.second->rps() + 0.5)),
+              std::to_string(Row.second->P50Us),
+              std::to_string(Row.second->P99Us), formatCountK(Row.second->V),
+              formatCountK(Row.second->NS),
+              formatPercent(Row.second->hitRate())});
+  T.print(std::cout);
+
+  double Speedup =
+      Cold.rps() > 0 ? WarmShared.rps() / Cold.rps() : 0;
+  bool CountsAgree = Cold.V == WarmShared.V && Cold.NS == WarmShared.NS &&
+                     Cold.V == WarmOff.V && Cold.NS == WarmOff.NS;
+  bool SharedCarries = WarmShared.hitRate() > 0.9;
+  bool OffIsCold = WarmOff.CacheHits == 0;
+
+  std::cout << "\nrestart with shared tier: "
+            << static_cast<uint64_t>(WarmShared.rps() + 0.5) << " req/s vs "
+            << static_cast<uint64_t>(Cold.rps() + 0.5) << " cold = "
+            << static_cast<int>(Speedup * 10) / 10.0 << "x\n";
+  std::cout << "paper-shape: shared-tier-carries-warmth="
+            << (SharedCarries ? "OK" : "MISMATCH")
+            << ", off-restart-is-cold=" << (OffIsCold ? "OK" : "MISMATCH")
+            << ", counts-identical=" << (CountsAgree ? "OK" : "MISMATCH")
+            << "\n";
+
+  BenchEntry E;
+  E.Name = "validation_cluster";
+  E.WallSeconds = Cold.WallSeconds + WarmShared.WallSeconds +
+                  WarmOff.WallSeconds;
+  E.Jobs = Jobs * NumMembers;
+  E.CacheHitRate = WarmShared.hitRate();
+  E.V = Cold.V + WarmShared.V + WarmOff.V;
+  E.NS = Cold.NS + WarmShared.NS + WarmOff.NS;
+  auto PPM = [](double X) { return static_cast<int64_t>(X * 1e6 + 0.5); };
+  E.Extra = {
+      {"members", NumMembers},
+      {"cold_rps_ppm", PPM(Cold.rps())},
+      {"warm_shared_rps_ppm", PPM(WarmShared.rps())},
+      {"warm_off_rps_ppm", PPM(WarmOff.rps())},
+      {"warm_over_cold_rps_ppm", PPM(Speedup)},
+      {"cold_p50_us", static_cast<int64_t>(Cold.P50Us)},
+      {"cold_p99_us", static_cast<int64_t>(Cold.P99Us)},
+      {"warm_shared_p50_us", static_cast<int64_t>(WarmShared.P50Us)},
+      {"warm_shared_p99_us", static_cast<int64_t>(WarmShared.P99Us)},
+      {"warm_hit_ratio_shared_ppm", PPM(WarmShared.hitRate())},
+      {"warm_hit_ratio_off_ppm", PPM(WarmOff.hitRate())},
+  };
+  writeBenchJson({E});
+
+  std::filesystem::remove_all(SharedDir, EC);
+  for (int I = 0; I != NumMembers; ++I)
+    std::filesystem::remove_all(PrivateBase + "." + std::to_string(I), EC);
+  return SharedCarries && OffIsCold && CountsAgree ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include <csignal>
@@ -101,6 +102,8 @@ std::optional<std::string> readWholeFile(const std::string &Path) {
 DiskStore::DiskStore(DiskStoreOptions Options) : Opts(std::move(Options)) {
   if (Opts.Dir.empty())
     return;
+  if (Opts.ReadOnly)
+    Opts.Shared = false; // a pure reader needs no lease; ReadOnly wins
   std::error_code EC;
   if (Opts.ReadOnly) {
     // Never create anything in read-only mode; a directory that is absent
@@ -113,9 +116,11 @@ DiskStore::DiskStore(DiskStoreOptions Options) : Opts(std::move(Options)) {
     if (EC)
       return;
     // Writer exclusion: without the lock this instance must not evict or
-    // rewrite the index, so it stays unusable (miss/error) rather than
-    // racing the live owner.
-    if (!acquireDirLock())
+    // rewrite the index, so (exclusive mode) it stays unusable
+    // (miss/error) rather than racing the live owner. Shared mode takes
+    // the lease opportunistically and is fully usable without it: loads
+    // are lock-free and lease-less stores publish via O_APPEND.
+    if (!acquireDirLock() && !Opts.Shared)
       return;
     Usable = true;
   }
@@ -128,12 +133,30 @@ DiskStore::~DiskStore() { releaseDirLock(); }
 std::string DiskStore::lockPath() const { return Opts.Dir + "/lock"; }
 
 bool DiskStore::acquireDirLock() {
-  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+  auto Trim = [](std::string S) {
+    while (!S.empty() &&
+           (S.back() == '\n' || S.back() == '\r' || S.back() == ' '))
+      S.pop_back();
+    return S;
+  };
+  const std::string MyPid =
+      std::to_string(static_cast<uint64_t>(::getpid()));
+  for (int Attempt = 0; Attempt != 3; ++Attempt) {
     int Fd = ::open(lockPath().c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
     if (Fd >= 0) {
-      std::string Pid = std::to_string(static_cast<uint64_t>(::getpid()));
-      // Best-effort pid breadcrumb; staleness detection reads it back.
-      [[maybe_unused]] ssize_t W = ::write(Fd, Pid.data(), Pid.size());
+      // Pid breadcrumb; staleness detection reads it back.
+      [[maybe_unused]] ssize_t W = ::write(Fd, MyPid.data(), MyPid.size());
+      // TOCTOU re-verify. A rival that probed the *previous* (stale)
+      // breadcrumb before our create may steal-unlink the path right
+      // after it — unlinking OUR fresh lock — and then create its own.
+      // If the path no longer carries our pid, the lock belongs to that
+      // rival: back off without unlinking (the file is not ours to
+      // remove). Two racers can therefore never both believe they won.
+      auto Back = readWholeFile(lockPath());
+      if (!Back || Trim(*Back) != MyPid) {
+        ::close(Fd);
+        return false;
+      }
       LockFd = Fd;
       return true;
     }
@@ -141,19 +164,17 @@ bool DiskStore::acquireDirLock() {
       return false;
     // Lock exists. If its owner died without unlinking (crash, kill -9),
     // the pid inside no longer names a live process: steal the lock by
-    // unlinking and retrying once. A live owner (including this process
-    // via another DiskStore instance) keeps the refusal.
+    // unlinking and retrying. A live owner (including this process via
+    // another DiskStore instance) keeps the refusal.
     auto Text = readWholeFile(lockPath());
     if (!Text)
       continue; // raced with a release: retry the O_EXCL create
-    while (!Text->empty() && (Text->back() == '\n' || Text->back() == '\r' ||
-                              Text->back() == ' '))
-      Text->pop_back();
-    if (Text->empty())
+    std::string Crumb = Trim(*Text);
+    if (Crumb.empty())
       return false; // owner between create and pid write: live, back off
     uint64_t Pid = 0;
     bool PidOk = true;
-    for (char C : *Text) {
+    for (char C : Crumb) {
       if (C < '0' || C > '9') {
         PidOk = false;
         break;
@@ -166,6 +187,12 @@ bool DiskStore::acquireDirLock() {
     if (!PidOk ||
         !(::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH))
       return false;
+    // Re-check the breadcrumb immediately before the unlink: if a rival
+    // already stole and re-created the lock, the content is its (live)
+    // pid now and unlinking would destroy a held lock. Re-probe instead.
+    auto Again = readWholeFile(lockPath());
+    if (!Again || Trim(*Again) != Crumb)
+      continue;
     ::unlink(lockPath().c_str());
   }
   return false;
@@ -341,6 +368,11 @@ uint64_t DiskStore::store(const Fingerprint &FP, const std::string &Payload) {
     ++Stats.StoreErrors;
     return 0;
   }
+  // Shared members without the lease re-try it on every store, so the
+  // lease rotates onto a live member once its previous holder exits (or
+  // dies — the stale-pid steal applies to the lease like any lock).
+  if (Opts.Shared && LockFd < 0)
+    acquireDirLock();
   std::string Path = objectPath(FP);
   std::error_code EC;
   fs::create_directories(fs::path(Path).parent_path(), EC);
@@ -366,11 +398,65 @@ uint64_t DiskStore::store(const Fingerprint &FP, const std::string &Payload) {
   }
   Entries.push_back({FP, Payload.size(), NextTick++});
   Bytes += Payload.size();
+  if (Opts.Shared && LockFd < 0) {
+    // No lease: the object is durable and loadable by everyone (loads
+    // probe the object path, never the index); publish a best-effort
+    // index line so the eventual lease holder carries it across its
+    // next full rewrite. Eviction is the lease holder's job alone.
+    ++Stats.SharedAppends;
+    appendIndexLineLocked(Entries.back());
+    return 0;
+  }
+  if (Opts.Shared)
+    mergeForeignIndexLinesLocked();
   uint64_t Evicted = 0;
   evictLocked(Evicted);
   if (!writeIndexLocked())
     ++Stats.StoreErrors;
   return Evicted;
+}
+
+void DiskStore::mergeForeignIndexLinesLocked() {
+  auto Text = readWholeFile(Opts.Dir + "/index");
+  if (!Text)
+    return;
+  std::set<Fingerprint> Known;
+  for (const Entry &E : Entries)
+    Known.insert(E.FP);
+  std::istringstream In(*Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream L(Line);
+    std::string Hex;
+    uint64_t Size = 0, Tick = 0;
+    if (!(L >> Hex >> Size >> Tick))
+      continue; // torn O_APPEND line: the object is still loadable
+    auto FP = Fingerprint::fromHex(Hex);
+    if (!FP || Known.count(*FP))
+      continue;
+    std::error_code EC;
+    if (!fs::exists(objectPath(*FP), EC))
+      continue;
+    Known.insert(*FP);
+    Entries.push_back({*FP, Size, NextTick++});
+    Bytes += Size;
+    ++Stats.SharedMerged;
+  }
+}
+
+void DiskStore::appendIndexLineLocked(const Entry &E) {
+  // One write(2) on an O_APPEND fd is the whole publication: appends from
+  // concurrent members interleave at line granularity (short index lines
+  // land atomically on any real filesystem), and even a torn line only
+  // costs the parser a skip, never a wrong entry.
+  int Fd = ::open((Opts.Dir + "/index").c_str(),
+                  O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (Fd < 0)
+    return;
+  std::string Line = E.FP.hex() + " " + std::to_string(E.Size) + " " +
+                     std::to_string(E.Tick) + "\n";
+  [[maybe_unused]] ssize_t W = ::write(Fd, Line.data(), Line.size());
+  ::close(Fd);
 }
 
 void DiskStore::evictLocked(uint64_t &Evicted) {

@@ -29,8 +29,26 @@
 ///    refused cleanly: it degrades to the unusable state (every load a
 ///    miss, every store an error) instead of corrupting anything. A lock
 ///    left behind by a crashed process is detected (its pid is gone) and
-///    stolen. Read-only stores skip the lock entirely — they never write,
-///    so they can safely share a directory with one writer.
+///    stolen; the steal re-verifies the pid breadcrumb both immediately
+///    before the unlink and after the O_EXCL create, so two processes
+///    racing to steal the same stale lock can never both win (the loser
+///    observes a breadcrumb that is not its own and backs off without
+///    unlinking the winner's lock). Read-only stores skip the lock
+///    entirely — they never write, so they can safely share a directory
+///    with one writer.
+///  - **Shared mode.** With DiskStoreOptions::Shared many read-write
+///    stores (cluster members) publish into one directory. Opening never
+///    fails on the lock: the instance opportunistically takes the writer
+///    *lease* (the same `<dir>/lock`) and stays fully usable without it.
+///    Loads are always lock-free — `load()` probes the content-addressed
+///    object path directly, so an artifact published by any member is
+///    immediately visible to every other. Stores always write the object
+///    atomically (two members racing on one fingerprint write identical
+///    bytes, and rename picks either); only the lease holder evicts and
+///    rewrites the index, *merging* index lines appended by the others
+///    first, while non-holders append their line with one O_APPEND write
+///    (a torn appended line is skipped by the index parser) and re-try
+///    the lease on each store so the lease rotates when its holder exits.
 ///  - **Read-only mode.** With DiskStoreOptions::ReadOnly the store is a
 ///    pure reader: it creates no directories, writes no index, deletes no
 ///    corrupt files, and store() refuses without counting an error, so
@@ -65,6 +83,11 @@ struct DiskStoreOptions {
   /// and store() refuses without counting an error. A missing or empty
   /// directory is simply an always-miss store, not a condition to repair.
   bool ReadOnly = false;
+  /// Shared multi-writer mode (cluster members publishing into one
+  /// directory; mutually exclusive with ReadOnly, which wins if both are
+  /// set). Opening never fails on the writer lock; see the file comment
+  /// for the lease protocol.
+  bool Shared = false;
 };
 
 struct DiskStoreCounters {
@@ -83,6 +106,11 @@ struct DiskStoreCounters {
   /// empty cache directory is normal, not a recovery, and never bumps
   /// this (or writes an index).
   uint64_t IndexRebuilds = 0;
+  /// Shared mode only: index lines appended without the writer lease.
+  uint64_t SharedAppends = 0;
+  /// Shared mode only: entries another member published that this
+  /// instance merged into its index while holding the lease.
+  uint64_t SharedMerged = 0;
 };
 
 class DiskStore {
@@ -133,6 +161,13 @@ private:
   void rebuildIndexFromObjectsLocked();
   bool writeIndexLocked();
   void evictLocked(uint64_t &Evicted);
+  /// Shared mode, lease held: folds index lines appended by other
+  /// members (entries we have not seen whose objects exist) into
+  /// Entries, so the next full rewrite does not drop their work.
+  void mergeForeignIndexLinesLocked();
+  /// Shared mode, no lease: publishes one index line with a single
+  /// O_APPEND write. Best-effort; the object itself is already durable.
+  void appendIndexLineLocked(const Entry &E);
 
   DiskStoreOptions Opts;
   bool Usable = false;

@@ -20,8 +20,10 @@ ValidationCache::ValidationCache(ValidationCacheOptions Options)
     : Opts(std::move(Options)), Mem(Opts.MemEntries, Opts.MemShards) {
   Effective.store(Opts.Policy, std::memory_order_relaxed);
   if (Opts.Policy != CachePolicy::Off && !Opts.Dir.empty())
-    Disk = std::make_unique<DiskStore>(DiskStoreOptions{
-        Opts.Dir, Opts.MaxDiskBytes, Opts.Policy == CachePolicy::ReadOnly});
+    Disk = std::make_unique<DiskStore>(
+        DiskStoreOptions{Opts.Dir, Opts.MaxDiskBytes,
+                         Opts.Policy == CachePolicy::ReadOnly,
+                         Opts.SharedDisk});
 }
 
 uint64_t ValidationCache::diskFaults() const {

@@ -43,6 +43,11 @@ struct ValidationCacheOptions {
   uint64_t MaxDiskBytes = 256ull << 20;
   size_t MemEntries = 1 << 16;
   unsigned MemShards = 16;
+  /// Open the disk tier in shared multi-writer mode (DiskStore.h): many
+  /// cluster members publish verdicts into one directory, so a MemCache
+  /// miss in one member can replay an artifact another member produced.
+  /// Ignored under policy off/ro (read-only already coexists safely).
+  bool SharedDisk = false;
   /// Degradation ladder: after this many cumulative disk faults (store
   /// errors + corrupt entries + read faults) a read-write cache demotes
   /// itself to read-only, and after twice this many to off (pure

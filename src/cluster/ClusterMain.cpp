@@ -1,0 +1,209 @@
+//===- cluster/ClusterMain.cpp - The crellvm-cluster router -----*- C++ -*-===//
+//
+// Cluster front end: listens on one Unix-domain socket speaking the same
+// length-prefixed JSON protocol as crellvm-served, and consistent-hash
+// routes every validate request to one of N member daemons so repeat
+// requests land on the member whose cache is warm for them. Members that
+// die are quarantined off the ring (their in-flight requests fail over)
+// and reattached with seeded backoff. SIGTERM drains: every forwarded
+// request is answered, then the exit code gates on the router's zero-loss
+// equation AND the cluster-wide drain equation across members.
+//
+//   crellvm-cluster --socket PATH --member ID=SOCKET [--member ID=SOCKET...]
+//                   [--vnodes N] [--max-inflight N] [--seed N]
+//                   [--router-id ID] [--version] [--help]
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Version.h"
+#include "cluster/Router.h"
+#include "server/SocketServer.h"
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+
+#include <unistd.h>
+
+using namespace crellvm;
+
+namespace {
+
+struct CliOptions {
+  std::string Socket;
+  cluster::ClusterOptions Cluster;
+};
+
+void printUsage(std::ostream &OS, const char *Argv0) {
+  OS << "usage: " << Argv0
+     << " --socket PATH --member ID=SOCKET [--member ID=SOCKET ...]\n"
+     << "\n"
+     << "Sharded validation cluster router: fronts N crellvm-served\n"
+     << "members behind one socket, consistent-hashing each validate\n"
+     << "request by its cache-identity fingerprint so repeat requests\n"
+     << "stay on the member whose cache is warm. Dead members leave the\n"
+     << "ring (in-flight requests fail over, zero accepted requests\n"
+     << "lost) and reattach with seeded backoff. Stats aggregate across\n"
+     << "members; shutdown gates on the cluster drain equation.\n"
+     << "\n"
+     << "options:\n"
+     << "  --socket PATH       Unix-domain socket to listen on (required)\n"
+     << "  --member ID=SOCKET  a member daemon: stats id and its socket\n"
+     << "                      (repeat once per member; at least one)\n"
+     << "  --vnodes N          virtual nodes per member on the hash ring\n"
+     << "                      (default 64)\n"
+     << "  --max-inflight N    bounded pipeline per member; beyond it the\n"
+     << "                      ring successors are tried (default 128)\n"
+     << "  --seed N            seed for the reattach backoff jitter\n"
+     << "                      (default 1)\n"
+     << "  --router-id ID      identity stamped into the aggregated stats\n"
+     << "                      document (default router:pid:<pid>)\n"
+     << "  --version           print version and exit\n"
+     << "  --help, -h          print this help and exit\n";
+}
+
+bool WantHelp = false;
+bool WantVersion = false;
+std::string BadArg;
+
+/// Parses "ID=SOCKET". Both halves must be non-empty.
+bool parseMemberSpec(const std::string &Spec, cluster::MemberConfig &Out) {
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Spec.size())
+    return false;
+  Out.Id = Spec.substr(0, Eq);
+  Out.SocketPath = Spec.substr(Eq + 1);
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    BadArg = A;
+    auto NextNum = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t N = 0;
+    if (A == "--help" || A == "-h") {
+      WantHelp = true;
+      return true;
+    } else if (A == "--version") {
+      WantVersion = true;
+      return true;
+    } else if (A == "--socket" && I + 1 < Argc)
+      O.Socket = Argv[++I];
+    else if (A == "--member" && I + 1 < Argc) {
+      std::string Spec = Argv[++I];
+      cluster::MemberConfig MC;
+      if (!parseMemberSpec(Spec, MC)) {
+        BadArg = "--member " + Spec;
+        return false;
+      }
+      for (const cluster::MemberConfig &Prev : O.Cluster.Members)
+        if (Prev.Id == MC.Id) {
+          BadArg = "--member " + Spec + " (duplicate id '" + MC.Id + "')";
+          return false;
+        }
+      O.Cluster.Members.push_back(std::move(MC));
+    } else if (A == "--vnodes" && NextNum(N))
+      O.Cluster.VNodes = static_cast<unsigned>(N ? N : 1);
+    else if (A == "--max-inflight" && NextNum(N))
+      O.Cluster.MaxInflightPerMember = static_cast<size_t>(N);
+    else if (A == "--seed" && NextNum(N))
+      O.Cluster.Seed = N;
+    else if (A == "--router-id" && I + 1 < Argc)
+      O.Cluster.RouterId = Argv[++I];
+    else
+      return false;
+  }
+  return true;
+}
+
+volatile int SignalStopFd = -1;
+
+void onTerminate(int) {
+  int Fd = SignalStopFd;
+  if (Fd >= 0) {
+    char B = 1;
+    [[maybe_unused]] ssize_t W = ::write(Fd, &B, 1);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    std::cerr << "error: unknown or malformed option '" << BadArg << "'\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (WantHelp) {
+    printUsage(std::cout, Argv[0]);
+    return 0;
+  }
+  if (WantVersion) {
+    std::cout << checker::versionLine("crellvm-cluster") << "\n";
+    return 0;
+  }
+  if (Cli.Socket.empty()) {
+    std::cerr << "error: --socket PATH is required\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (Cli.Cluster.Members.empty()) {
+    std::cerr << "error: at least one --member ID=SOCKET is required\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+
+  cluster::ClusterRouter Router(Cli.Cluster);
+  std::string Err;
+  if (!Router.start(&Err)) {
+    std::cerr << "error: " << Err << "\n";
+    return 1;
+  }
+
+  server::SocketServer Server(Router, {Cli.Socket, /*Backlog=*/64});
+  if (!Server.start(&Err)) {
+    std::cerr << "error: " << Err << "\n";
+    return 1;
+  }
+
+  SignalStopFd = Server.stopFdForSignals();
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTerminate;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN); // a vanished client/member write must not kill
+
+  // The readiness line CI and scripts wait for.
+  std::cout << "crellvm-cluster listening on " << Cli.Socket << " (members="
+            << Router.numMembers() << " live=" << Router.liveMembers().size()
+            << ")" << std::endl;
+
+  Server.run(); // returns after the graceful drain
+
+  cluster::RouterCounters C = Router.counters();
+  std::cout << "crellvm-cluster drained: received=" << C.Received
+            << " answered=" << C.answered() << " forwarded=" << C.Forwarded
+            << " failovers=" << C.Failovers << " member_deaths="
+            << C.MemberDeaths << " reattaches=" << C.Reattaches << std::endl;
+
+  std::string Detail;
+  bool ClusterOk = Router.clusterDrainEquationHolds(&Detail);
+  std::cout << "crellvm-cluster members " << (ClusterOk ? "drained" : "FAILED")
+            << ": " << Detail << std::endl;
+
+  // Zero loss at the router (every received request answered) AND the
+  // aggregated member drain equation — both must hold for exit 0.
+  bool RouterOk = C.Received == C.answered();
+  if (!RouterOk)
+    std::cout << "crellvm-cluster FAILED: " << (C.Received - C.answered())
+              << " request(s) unanswered" << std::endl;
+  return RouterOk && ClusterOk ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+//===- cluster/HashRing.cpp -------------------------------------*- C++ -*-===//
+
+#include "cluster/HashRing.h"
+
+#include "cache/Fingerprint.h"
+
+using namespace crellvm;
+using namespace crellvm::cluster;
+
+namespace {
+
+/// A member's I-th virtual node point. The dual-lane fingerprint hash is
+/// reused so vnode placement gets the same mixing quality as cache keys;
+/// folding both lanes keeps all 128 bits contributing to the point.
+uint64_t vnodePoint(const std::string &MemberId, unsigned I) {
+  cache::FingerprintBuilder B;
+  B.str(MemberId).u64(I);
+  cache::Fingerprint FP = B.digest();
+  return FP.Hi ^ (FP.Lo * 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace
+
+void HashRing::addMember(const std::string &MemberId) {
+  if (Members.count(MemberId))
+    return;
+  std::vector<uint64_t> Points;
+  Points.reserve(VNodes);
+  for (unsigned I = 0; I != VNodes; ++I) {
+    uint64_t P = vnodePoint(MemberId, I);
+    // Collisions across members are ~2^-64 per pair but would silently
+    // drop a vnode on insert; perturb deterministically until free.
+    while (Ring.count(P))
+      ++P;
+    Ring.emplace(P, MemberId);
+    Points.push_back(P);
+  }
+  Members.emplace(MemberId, std::move(Points));
+}
+
+void HashRing::removeMember(const std::string &MemberId) {
+  auto It = Members.find(MemberId);
+  if (It == Members.end())
+    return;
+  for (uint64_t P : It->second)
+    Ring.erase(P);
+  Members.erase(It);
+}
+
+bool HashRing::contains(const std::string &MemberId) const {
+  return Members.count(MemberId) != 0;
+}
+
+std::string HashRing::route(uint64_t Point) const {
+  if (Ring.empty())
+    return {};
+  auto It = Ring.lower_bound(Point);
+  if (It == Ring.end())
+    It = Ring.begin(); // wrap: the ring is circular
+  return It->second;
+}
+
+std::vector<std::string> HashRing::routeN(uint64_t Point, size_t N) const {
+  std::vector<std::string> Out;
+  if (Ring.empty() || N == 0)
+    return Out;
+  auto It = Ring.lower_bound(Point);
+  for (size_t Steps = 0; Steps != Ring.size() && Out.size() < N; ++Steps) {
+    if (It == Ring.end())
+      It = Ring.begin();
+    bool Seen = false;
+    for (const std::string &M : Out)
+      if (M == It->second) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Out.push_back(It->second);
+    ++It;
+  }
+  return Out;
+}
+
+std::vector<std::string> HashRing::members() const {
+  std::vector<std::string> Out;
+  Out.reserve(Members.size());
+  for (const auto &KV : Members)
+    Out.push_back(KV.first);
+  return Out;
+}

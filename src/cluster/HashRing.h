@@ -1,0 +1,64 @@
+//===- cluster/HashRing.h - Consistent-hash member ring ---------*- C++ -*-===//
+///
+/// \file
+/// The routing table of the validation cluster: a consistent-hash ring
+/// mapping a 64-bit point (derived from a request's validation-cache
+/// fingerprint, cache/Fingerprint.h) to a member id. Each member owns
+/// VNodes pseudo-random points on the ring — enough virtual nodes that
+/// load spreads evenly and removing one member redistributes only that
+/// member's arc to its ring successors, never reshuffling the rest.
+///
+/// That stability is the whole reason for consistent hashing here: a
+/// member's MemCache is warm exactly for the fingerprints routed to it,
+/// so (a) repeat requests must keep landing on the same member and (b) a
+/// member death must not cold-start everyone else's cache. Both are
+/// pinned by ClusterTest.
+///
+/// Not thread-safe; ClusterRouter guards it with its own mutex.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CLUSTER_HASHRING_H
+#define CRELLVM_CLUSTER_HASHRING_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace cluster {
+
+class HashRing {
+public:
+  explicit HashRing(unsigned VNodes = 64) : VNodes(VNodes ? VNodes : 1) {}
+
+  /// Inserts \p MemberId's virtual nodes. Re-adding is idempotent.
+  void addMember(const std::string &MemberId);
+
+  /// Removes every virtual node of \p MemberId (no-op if absent).
+  void removeMember(const std::string &MemberId);
+
+  bool contains(const std::string &MemberId) const;
+  size_t numMembers() const { return Members.size(); }
+  bool empty() const { return Ring.empty(); }
+
+  /// The member owning \p Point: the first virtual node clockwise from
+  /// it (wrapping). Empty string on an empty ring.
+  std::string route(uint64_t Point) const;
+
+  /// Up to \p N *distinct* members in ring order from \p Point — the
+  /// owner first, then the failover candidates a death would promote.
+  std::vector<std::string> routeN(uint64_t Point, size_t N) const;
+
+  std::vector<std::string> members() const;
+
+private:
+  unsigned VNodes;
+  std::map<uint64_t, std::string> Ring; ///< vnode point -> member id
+  std::map<std::string, std::vector<uint64_t>> Members;
+};
+
+} // namespace cluster
+} // namespace crellvm
+
+#endif // CRELLVM_CLUSTER_HASHRING_H

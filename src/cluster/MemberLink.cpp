@@ -1,0 +1,196 @@
+//===- cluster/MemberLink.cpp -----------------------------------*- C++ -*-===//
+
+#include "cluster/MemberLink.h"
+
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::cluster;
+
+namespace {
+
+int connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (Path.size() + 1 > sizeof(Addr.sun_path))
+    return -1;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+MemberLink::MemberLink(MemberConfig Config, size_t MaxInflight,
+                       DeathHook OnDeath)
+    : Cfg(std::move(Config)), MaxInflight(MaxInflight ? MaxInflight : 1),
+      OnDeath(std::move(OnDeath)) {}
+
+MemberLink::~MemberLink() { close(); }
+
+bool MemberLink::alive() const {
+  std::lock_guard<std::mutex> L(M);
+  return Alive;
+}
+
+size_t MemberLink::inflight() const {
+  std::lock_guard<std::mutex> L(M);
+  return InFlight.size();
+}
+
+// connect() and close() are externally serialized (the router calls
+// connect() from start() and then only from its single reattach thread);
+// send() and the reader run concurrently with both.
+bool MemberLink::connect() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Alive)
+      return true;
+  }
+  // The previous generation's reader (if any) has been unblocked by
+  // die()'s shutdown(2) and exits promptly; reap it before replacing it.
+  if (Reader.joinable())
+    Reader.join();
+  int NewFd = connectUnix(Cfg.SocketPath);
+  if (NewFd < 0)
+    return false;
+  uint64_t MyGen;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = NewFd;
+    Alive = true;
+    MyGen = ++Gen;
+  }
+  Reader = std::thread([this, NewFd, MyGen] { readerLoop(NewFd, MyGen); });
+  return true;
+}
+
+MemberLink::SendResult MemberLink::send(const server::Request &R,
+                                        Callback Done) {
+  int64_t WireId;
+  int SendFd;
+  uint64_t SendGen;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (!Alive)
+      return SendResult::Dead;
+    if (InFlight.size() >= MaxInflight)
+      return SendResult::AtCapacity;
+    WireId = NextWireId++;
+    SendFd = Fd;
+    SendGen = Gen;
+    InFlight.emplace(WireId, Orphan{R, std::move(Done)});
+  }
+  server::Request Wire = R;
+  Wire.Id = WireId;
+  bool WriteOk;
+  {
+    std::lock_guard<std::mutex> L(WriteM);
+    WriteOk = server::writeFrame(SendFd, server::requestToJson(Wire));
+  }
+  if (WriteOk)
+    return SendResult::Sent;
+  // Write failure: the connection is gone. Reclaim our own entry if the
+  // concurrent death path has not already orphaned it — if it has, the
+  // callback's ownership moved to the failover path and the caller must
+  // NOT resubmit (two sends of one request would answer the client
+  // twice), so report Sent in that case.
+  bool IOwn = false;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = InFlight.find(WireId);
+    if (Gen == SendGen && It != InFlight.end()) {
+      InFlight.erase(It);
+      IOwn = true;
+    }
+  }
+  die(SendGen, /*Silent=*/false);
+  return IOwn ? SendResult::Dead : SendResult::Sent;
+}
+
+void MemberLink::readerLoop(int ReadFd, uint64_t ReadGen) {
+  std::string Frame, Err;
+  while (server::readFrame(ReadFd, Frame, &Err)) {
+    auto Rsp = server::responseFromJson(Frame, &Err);
+    if (!Rsp)
+      break; // protocol garbage: treat the connection as dead
+    Callback Done;
+    int64_t OrigId = 0;
+    bool Have = false;
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Gen != ReadGen)
+        return; // superseded by a reconnect; new reader owns the map
+      auto It = InFlight.find(Rsp->Id);
+      if (It != InFlight.end()) {
+        OrigId = It->second.R.Id;
+        Done = std::move(It->second.Done);
+        InFlight.erase(It);
+        Have = true;
+      }
+    }
+    if (Have) {
+      Rsp->Id = OrigId; // restore the client's id
+      Done(std::move(*Rsp));
+    }
+  }
+  die(ReadGen, /*Silent=*/false);
+}
+
+void MemberLink::die(uint64_t DeadGen, bool Silent) {
+  std::vector<Orphan> Orphans;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Gen != DeadGen || !Alive)
+      return; // another detector won, or already reconnected
+    Alive = false;
+    if (Fd >= 0)
+      ::shutdown(Fd, SHUT_RDWR); // unblock the reader; fd closed on reuse
+    for (auto &KV : InFlight)
+      Orphans.push_back(std::move(KV.second));
+    InFlight.clear();
+  }
+  if (Silent) {
+    // Teardown, not a death: no failover, but silence is still not an
+    // option — every orphan gets an explicit rejection.
+    for (Orphan &O : Orphans) {
+      server::Response Rsp;
+      Rsp.Id = O.R.Id;
+      Rsp.Status = server::ResponseStatus::Rejected;
+      Rsp.Reason = "shutting_down";
+      O.Done(std::move(Rsp));
+    }
+    return;
+  }
+  if (OnDeath)
+    OnDeath(*this, std::move(Orphans));
+}
+
+void MemberLink::close() {
+  uint64_t G;
+  {
+    std::lock_guard<std::mutex> L(M);
+    G = Gen;
+  }
+  die(G, /*Silent=*/true);
+  if (Reader.joinable())
+    Reader.join();
+  std::lock_guard<std::mutex> L(M);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

@@ -1,0 +1,116 @@
+//===- cluster/MemberLink.h - One router->member connection -----*- C++ -*-===//
+///
+/// \file
+/// The router's side of one member daemon: a Unix-socket connection
+/// speaking the standard wire protocol (server/Protocol.h), a reader
+/// thread matching out-of-order responses back to their requests, and a
+/// bounded in-flight pipeline.
+///
+/// Wire-id translation is the core mechanism: the router forwards many
+/// clients' requests down one member connection, so client-chosen ids
+/// would collide. send() rewrites the id to a link-unique wire id and
+/// remembers {original request, original id, callback}; the reader
+/// restores the original id before completing the callback. The original
+/// *request* is kept, not just the id, because it is the failover
+/// currency — when the member dies, every unanswered in-flight request is
+/// handed back to the router verbatim for re-routing.
+///
+/// Death detection is edge-triggered: the first failed read or write
+/// flips the link to dead exactly once (a connection generation counter
+/// arbitrates racing detectors), collects the orphaned in-flight entries,
+/// and reports them through the death hook with no internal locks held.
+/// connect() may then be called again (the router's reattach loop does,
+/// with seeded backoff) to start a fresh generation.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CLUSTER_MEMBERLINK_H
+#define CRELLVM_CLUSTER_MEMBERLINK_H
+
+#include "server/RequestHandler.h"
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crellvm {
+namespace cluster {
+
+struct MemberConfig {
+  std::string Id;         ///< stats member_id; stable across reconnects
+  std::string SocketPath; ///< the member daemon's Unix socket
+};
+
+class MemberLink {
+public:
+  using Callback = server::RequestHandler::Callback;
+
+  /// A forwarded request the member never answered.
+  struct Orphan {
+    server::Request R; ///< original request, original id
+    Callback Done;
+  };
+
+  /// Invoked once per connection death, without internal locks held, and
+  /// never during close() (shutdown teardown is not a death).
+  using DeathHook = std::function<void(MemberLink &, std::vector<Orphan>)>;
+
+  MemberLink(MemberConfig Cfg, size_t MaxInflight, DeathHook OnDeath);
+  ~MemberLink();
+
+  MemberLink(const MemberLink &) = delete;
+  MemberLink &operator=(const MemberLink &) = delete;
+
+  const std::string &id() const { return Cfg.Id; }
+  const std::string &socketPath() const { return Cfg.SocketPath; }
+
+  /// Connects (or reconnects after a death) and starts the reader.
+  /// False when the member's socket does not answer.
+  bool connect();
+
+  bool alive() const;
+  size_t inflight() const;
+
+  enum class SendResult {
+    Sent,       ///< forwarded; the callback will fire exactly once
+    AtCapacity, ///< bounded pipeline full — caller picks another member
+    Dead,       ///< no live connection
+  };
+
+  /// Forwards \p R under a fresh wire id. On Sent the callback fires
+  /// with the member's response (original id restored) or, after a
+  /// death, via the death hook's failover path. On AtCapacity/Dead the
+  /// callback was NOT consumed.
+  SendResult send(const server::Request &R, Callback Done);
+
+  /// Tears the connection down silently (no death hook) and joins the
+  /// reader. The link stays dead afterwards; connect() revives it.
+  void close();
+
+private:
+  void readerLoop(int ReadFd, uint64_t ReadGen);
+  /// Flips generation \p DeadGen to dead (idempotent per generation) and
+  /// fires the death hook with its orphans unless \p Silent.
+  void die(uint64_t DeadGen, bool Silent);
+
+  MemberConfig Cfg;
+  size_t MaxInflight;
+  DeathHook OnDeath;
+
+  mutable std::mutex M;  ///< guards all connection state below
+  std::mutex WriteM;     ///< serializes frame writes
+  int Fd = -1;
+  bool Alive = false;
+  uint64_t Gen = 0;      ///< bumped by every connect()
+  int64_t NextWireId = 1;
+  std::map<int64_t, Orphan> InFlight; ///< wire id -> original
+  std::thread Reader;
+};
+
+} // namespace cluster
+} // namespace crellvm
+
+#endif // CRELLVM_CLUSTER_MEMBERLINK_H

@@ -129,6 +129,53 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
   return true;
 }
 
+/// When the stats document came from a crellvm-cluster router it carries
+/// a "cluster" section; render the member topology as readable lines so
+/// an operator sees at a glance who is live and who carries the load.
+void printClusterTopology(const json::Value &Stats) {
+  const json::Value *Cluster =
+      Stats.kind() == json::Value::Kind::Object ? Stats.find("cluster")
+                                                : nullptr;
+  if (!Cluster || Cluster->kind() != json::Value::Kind::Object)
+    return;
+  auto IntOf = [](const json::Value *Obj, const char *Key) -> int64_t {
+    const json::Value *V = Obj ? Obj->find(Key) : nullptr;
+    return V && V->kind() == json::Value::Kind::Int ? V->getInt() : 0;
+  };
+  std::cout << "cluster: " << IntOf(Cluster, "live") << "/"
+            << IntOf(Cluster, "size") << " members live\n";
+  const json::Value *Members = Cluster->find("members");
+  if (!Members || Members->kind() != json::Value::Kind::Array)
+    return;
+  for (const json::Value &M : Members->elements()) {
+    if (M.kind() != json::Value::Kind::Object)
+      continue;
+    const json::Value *Id = M.find("member_id");
+    const json::Value *Sock = M.find("socket");
+    const json::Value *Live = M.find("live");
+    bool IsLive = Live && Live->kind() == json::Value::Kind::Bool &&
+                  Live->getBool();
+    std::cout << "  member "
+              << (Id && Id->kind() == json::Value::Kind::String
+                      ? Id->getString()
+                      : std::string("?"))
+              << " at "
+              << (Sock && Sock->kind() == json::Value::Kind::String
+                      ? Sock->getString()
+                      : std::string("?"))
+              << ": " << (IsLive ? "live" : "DOWN");
+    const json::Value *MS = M.find("stats");
+    if (MS && MS->kind() == json::Value::Kind::Object) {
+      const json::Value *Req = MS->find("requests");
+      const json::Value *Cache = MS->find("cache");
+      std::cout << " received=" << IntOf(Req, "received")
+                << " completed=" << IntOf(Req, "completed")
+                << " cache-hits=" << IntOf(Cache, "hits");
+    }
+    std::cout << "\n";
+  }
+}
+
 int connectTo(const std::string &Path, int &ConnectErrno) {
   ConnectErrno = 0;
   sockaddr_un Addr;
@@ -293,8 +340,10 @@ int main(int Argc, char **Argv) {
           P.Diff += KV.second.Diff;
           P.Div += KV.second.Div;
         }
-        if (!Cli.Json && !Rsp->Stats.isNull())
+        if (!Cli.Json && !Rsp->Stats.isNull()) {
           std::cout << Rsp->Stats.write() << "\n";
+          printClusterTopology(Rsp->Stats);
+        }
         for (const std::string &Msg : Rsp->Failures)
           std::cerr << "failure: " << Msg << "\n";
         for (const std::string &Msg : Rsp->Divergences)

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace crellvm;
@@ -40,7 +41,12 @@ bool writeAll(int Fd, const char *Buf, size_t N) {
     if (fault::shouldFail("sock.eintr"))
       continue;
     size_t Chunk = fault::shouldFail("sock.short") ? 1 : N;
-    ssize_t W = ::write(Fd, Buf, Chunk);
+    // MSG_NOSIGNAL: a peer that vanished mid-frame must surface as EPIPE,
+    // not kill the process (the codec also serves pipes, hence the
+    // ENOTSOCK fallback).
+    ssize_t W = ::send(Fd, Buf, Chunk, MSG_NOSIGNAL);
+    if (W < 0 && errno == ENOTSOCK)
+      W = ::write(Fd, Buf, Chunk);
     if (W < 0) {
       if (errno == EINTR)
         continue;

@@ -62,6 +62,15 @@ namespace server {
 /// Upper bound on one frame's payload; a module plus headroom.
 constexpr uint32_t MaxFrameBytes = 64u << 20;
 
+/// Version of the stats JSON document a `stats` request returns. Every
+/// member stamps its document with a top-level `schema_version` (plus its
+/// `member_id`); the cluster router's aggregator refuses — with a named
+/// error, not a silent merge — any member whose version differs, because
+/// summing counters across incompatible schemas produces numbers that
+/// *look* right (the failure mode monitoring must never have). Bump this
+/// whenever a counter's meaning changes, not just when one is added.
+constexpr uint64_t StatsSchemaVersion = 1;
+
 /// Prepends the 4-byte big-endian length header.
 std::string encodeFrame(const std::string &Payload);
 

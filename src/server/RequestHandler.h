@@ -1,0 +1,52 @@
+//===- server/RequestHandler.h - Transport/backend seam ---------*- C++ -*-===//
+///
+/// \file
+/// The seam between the socket front end and whatever answers requests
+/// behind it. SocketServer speaks framing and connection lifecycle; a
+/// RequestHandler speaks requests. Two implementations exist:
+///
+///   - server::ValidationService — validates locally (crellvm-served);
+///   - cluster::ClusterRouter    — forwards to N member daemons by
+///                                 consistent fingerprint hashing
+///                                 (crellvm-cluster).
+///
+/// Both honor the same drain contract SocketServer's shutdown sequence
+/// relies on: after beginShutdown(), new submissions are rejected with
+/// `shutting_down`, and drain() returns only once every previously
+/// admitted request has had its callback invoked. That contract is what
+/// makes "SIGTERM loses zero accepted requests" hold identically for a
+/// standalone daemon and for a whole cluster.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SERVER_REQUESTHANDLER_H
+#define CRELLVM_SERVER_REQUESTHANDLER_H
+
+#include "server/Protocol.h"
+
+#include <functional>
+
+namespace crellvm {
+namespace server {
+
+class RequestHandler {
+public:
+  using Callback = std::function<void(Response)>;
+
+  virtual ~RequestHandler() = default;
+
+  /// Admits or rejects \p R; \p Done fires exactly once, possibly on
+  /// another thread, and must be thread-safe and non-throwing.
+  virtual void submit(const Request &R, Callback Done) = 0;
+
+  /// Stops admitting (new submissions answer `shutting_down`); everything
+  /// already admitted still gets its callback. Idempotent.
+  virtual void beginShutdown() = 0;
+
+  /// Blocks until every admitted request has been answered.
+  virtual void drain() = 0;
+};
+
+} // namespace server
+} // namespace crellvm
+
+#endif // CRELLVM_SERVER_REQUESTHANDLER_H

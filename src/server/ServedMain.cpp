@@ -8,14 +8,15 @@
 //
 //   crellvm-served --socket PATH [--jobs N] [--queue-max N]
 //                  [--batch-max N] [--linger-us N] [--files] [--oracle]
-//                  [--cache=off|ro|rw] [--cache-dir DIR]
+//                  [--cache=off|ro|rw] [--cache-dir DIR] [--cache-shared]
 //                  [--cache-max-mb N] [--unit-timeout-ms N]
-//                  [--quarantine-after N] [--chaos SPEC]
+//                  [--quarantine-after N] [--member-id ID] [--chaos SPEC]
 //                  [--version] [--help]
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Version.h"
+#include "server/Service.h"
 #include "server/SocketServer.h"
 #include "support/FaultInjection.h"
 
@@ -59,12 +60,18 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --oracle          differentially execute accepted translations\n"
      << "  --cache=MODE      validation cache: off (default) | ro | rw\n"
      << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
+     << "  --cache-shared    open the disk tier in shared multi-writer\n"
+     << "                    mode: several cluster members publish into\n"
+     << "                    one --cache-dir (writer lease rotates;\n"
+     << "                    reads never block)\n"
      << "  --cache-max-mb N  on-disk cache bound in MiB (default 256)\n"
      << "  --unit-timeout-ms N  per-unit watchdog; a unit still running\n"
      << "                    past it is answered internal_error while its\n"
      << "                    batch continues (default: off)\n"
      << "  --quarantine-after N  reject a unit after N consecutive\n"
      << "                    internal_error runs (default 2; 0 = never)\n"
+     << "  --member-id ID    identity stamped into the stats document\n"
+     << "                    (cluster members; default pid:<pid>)\n"
      << "  --chaos SPEC      arm deterministic fault injection, e.g.\n"
      << "                    'seed=42;disk.write:every=7;sock.short:every=3'\n"
      << "                    (also read from $CRELLVM_CHAOS; flag wins)\n"
@@ -119,6 +126,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.CachePolicy = *P;
     } else if (A == "--cache-dir" && I + 1 < Argc)
       O.CacheDir = Argv[++I];
+    else if (A == "--cache-shared")
+      O.Service.Cache.SharedDisk = true;
+    else if (A == "--member-id" && I + 1 < Argc)
+      O.Service.MemberId = Argv[++I];
     else if (A == "--cache-max-mb" && NextNum(N))
       O.CacheMaxMb = N;
     else if (A == "--unit-timeout-ms" && NextNum(N))

@@ -8,6 +8,8 @@
 
 #include <condition_variable>
 
+#include <unistd.h>
+
 using namespace crellvm;
 using namespace crellvm::server;
 
@@ -24,11 +26,22 @@ json::Value histJson(const Histogram &H) {
   Histogram::Snapshot S = H.snapshot();
   json::Value O = json::Value::object();
   O.set("count", json::Value(S.Count));
+  O.set("sum", json::Value(S.Sum));
   O.set("mean", json::Value(static_cast<uint64_t>(S.mean() + 0.5)));
   O.set("p50", json::Value(S.quantile(0.50)));
   O.set("p95", json::Value(S.quantile(0.95)));
   O.set("p99", json::Value(S.quantile(0.99)));
   O.set("max", json::Value(S.Max));
+  // Raw log2 bucket counts. Quantiles cannot be averaged across members,
+  // but bucket counts sum exactly — the router merges these and derives
+  // true cluster-wide percentiles (trailing zero buckets are trimmed).
+  json::Value Buckets = json::Value::array();
+  unsigned Last = Histogram::NumBuckets;
+  while (Last > 0 && S.Buckets[Last - 1] == 0)
+    --Last;
+  for (unsigned I = 0; I != Last; ++I)
+    Buckets.push(json::Value(S.Buckets[I]));
+  O.set("buckets", std::move(Buckets));
   return O;
 }
 
@@ -52,6 +65,8 @@ ValidationService::ValidationService(ServiceOptions Options)
   // The service owns the one warm cache; whatever the caller put in the
   // base driver options is replaced.
   Opts.Driver.Cache = Cache.enabled() ? &Cache : nullptr;
+  if (Opts.MemberId.empty())
+    Opts.MemberId = "pid:" + std::to_string(static_cast<uint64_t>(::getpid()));
   Dispatcher = std::thread([this] { dispatcherLoop(); });
 }
 
@@ -453,6 +468,10 @@ json::Value ValidationService::statsJson() {
   }
 
   json::Value Root = json::Value::object();
+  // Schema stamp first: the router's aggregator checks these two fields
+  // before trusting any counter below them.
+  Root.set("schema_version", json::Value(StatsSchemaVersion));
+  Root.set("member_id", json::Value(Opts.MemberId));
 
   json::Value Server = json::Value::object();
   Server.set("draining", json::Value(IsDraining));

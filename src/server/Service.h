@@ -48,6 +48,7 @@
 
 #include "cache/ValidationCache.h"
 #include "server/Protocol.h"
+#include "server/RequestHandler.h"
 #include "support/Histogram.h"
 #include "support/ThreadPool.h"
 
@@ -89,6 +90,11 @@ struct ServiceOptions {
   /// deterministic queue states (a full queue, an expired deadline)
   /// before any batch runs. resume() starts dispatching.
   bool StartPaused = false;
+  /// Identity stamped as `member_id` into the stats document, so the
+  /// cluster router can attribute an aggregated counter back to the
+  /// member that produced it. Empty = "pid:<pid>" (standalone daemons
+  /// need no configuration; cluster members pass --member-id).
+  std::string MemberId;
   /// Base driver configuration (file exchange, oracle, binary proofs);
   /// the Cache pointer is overwritten with the service-owned cache.
   driver::DriverOptions Driver;
@@ -116,15 +122,15 @@ struct ServiceCounters {
   uint64_t StatsRequests = 0;
 };
 
-class ValidationService {
+class ValidationService : public RequestHandler {
 public:
-  using Callback = std::function<void(Response)>;
+  using Callback = RequestHandler::Callback;
 
   explicit ValidationService(ServiceOptions Opts);
 
   /// Drains (rejecting nothing that was admitted) and stops the
   /// dispatcher.
-  ~ValidationService();
+  ~ValidationService() override;
 
   ValidationService(const ValidationService &) = delete;
   ValidationService &operator=(const ValidationService &) = delete;
@@ -133,7 +139,7 @@ public:
   /// the caller (rejections, errors, stats/ping) or from a pool worker
   /// (verdicts). \p Done must be thread-safe against other callbacks and
   /// must not throw.
-  void submit(const Request &R, Callback Done);
+  void submit(const Request &R, Callback Done) override;
 
   /// Synchronous convenience: submit and wait for the response.
   Response call(const Request &R);
@@ -143,10 +149,10 @@ public:
 
   /// Stops admitting; everything already queued or running still
   /// completes. Idempotent.
-  void beginShutdown();
+  void beginShutdown() override;
 
   /// Blocks until the queue and any in-flight batch are empty.
-  void drain();
+  void drain() override;
 
   bool draining() const;
 

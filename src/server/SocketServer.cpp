@@ -46,7 +46,7 @@ bool SocketServer::Connection::send(const std::string &Payload) {
   return true;
 }
 
-SocketServer::SocketServer(ValidationService &Service,
+SocketServer::SocketServer(RequestHandler &Service,
                            SocketServerOptions Options)
     : Service(Service), Opts(std::move(Options)) {}
 

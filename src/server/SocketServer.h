@@ -1,11 +1,13 @@
 //===- server/SocketServer.h - Unix-domain socket front end ----*- C++ -*-===//
 ///
 /// \file
-/// The network face of the validation service: a Unix-domain stream
-/// listener speaking the length-prefixed JSON framing of
-/// server/Protocol.h, one reader thread per connection, responses written
-/// under a per-connection mutex (batching completes units out of order,
-/// so responses interleave; clients match them by the echoed `id`).
+/// The network face of a RequestHandler — the local validation service
+/// in crellvm-served, the cluster router in crellvm-cluster: a
+/// Unix-domain stream listener speaking the length-prefixed JSON framing
+/// of server/Protocol.h, one reader thread per connection, responses
+/// written under a per-connection mutex (batching completes units out of
+/// order, so responses interleave; clients match them by the echoed
+/// `id`).
 ///
 /// Shutdown is the part worth reading twice. requestStop() — called from
 /// a SIGTERM/SIGINT handler via the self-pipe, from a `shutdown` request,
@@ -13,9 +15,9 @@
 /// sequence:
 ///
 ///   1. stop accepting (close the listen socket, unlink the path);
-///   2. ValidationService::beginShutdown(): requests still arriving on
+///   2. RequestHandler::beginShutdown(): requests still arriving on
 ///      open connections are rejected with `shutting_down`;
-///   3. ValidationService::drain(): every admitted request gets its
+///   3. RequestHandler::drain(): every admitted request gets its
 ///      verdict written back;
 ///   4. only then are connection fds shut down and reader threads joined.
 ///
@@ -26,10 +28,11 @@
 #ifndef CRELLVM_SERVER_SOCKETSERVER_H
 #define CRELLVM_SERVER_SOCKETSERVER_H
 
-#include "server/Service.h"
+#include "server/RequestHandler.h"
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,7 +47,7 @@ struct SocketServerOptions {
 
 class SocketServer {
 public:
-  SocketServer(ValidationService &Service, SocketServerOptions Opts);
+  SocketServer(RequestHandler &Service, SocketServerOptions Opts);
   ~SocketServer();
 
   SocketServer(const SocketServer &) = delete;
@@ -83,7 +86,7 @@ private:
   void acceptLoop();
   void serveConnection(std::shared_ptr<Connection> Conn);
 
-  ValidationService &Service;
+  RequestHandler &Service;
   SocketServerOptions Opts;
   int ListenFd = -1;
   int StopPipe[2] = {-1, -1};

@@ -30,6 +30,7 @@
 #include <fstream>
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace crellvm;
@@ -478,6 +479,233 @@ TEST(DiskStore, ReadOnlyTakesNoLockAndCoexistsWithWriter) {
   EXPECT_TRUE(Reader.ok()) << "readers must not contend for the writer lock";
   EXPECT_FALSE(Reader.lockHeld());
   EXPECT_EQ(*Reader.load(fp(63)), "shared");
+}
+
+// Regression for the lock-steal TOCTOU: two processes could both see the
+// same stale breadcrumb, both unlink + recreate, and both believe they
+// held the lock. The fix re-verifies the breadcrumb right before the
+// steal unlink and re-reads the lock file after creating it, backing off
+// unless it carries our own pid. With N processes racing for one stale
+// lock, at most one may win.
+TEST(DiskStore, StaleLockStealRaceAdmitsAtMostOneWinner) {
+  constexpr int Racers = 8;
+  for (int Iter = 0; Iter != 5; ++Iter) {
+    DirGuard G(freshDir("toctou"));
+    std::filesystem::create_directories(G.Dir);
+    {
+      std::ofstream Out(G.Dir + "/lock");
+      Out << 999999999 << "\n"; // a pid that cannot be alive
+    }
+    int Pipe[2];
+    ASSERT_EQ(::pipe(Pipe), 0);
+    std::vector<pid_t> Kids;
+    for (int R = 0; R != Racers; ++R) {
+      pid_t Pid = ::fork();
+      ASSERT_GE(Pid, 0);
+      if (Pid == 0) {
+        ::close(Pipe[0]);
+        cache::DiskStore S({G.Dir});
+        char Won = S.lockHeld() ? 1 : 0;
+        [[maybe_unused]] ssize_t W = ::write(Pipe[1], &Won, 1);
+        ::close(Pipe[1]);
+        // _exit skips the destructor: the winner's lock file survives
+        // with the (now dead) child's pid, like a crashed writer.
+        ::_exit(0);
+      }
+      Kids.push_back(Pid);
+    }
+    ::close(Pipe[1]);
+    int Winners = 0;
+    char B;
+    while (::read(Pipe[0], &B, 1) == 1)
+      Winners += B;
+    ::close(Pipe[0]);
+    for (pid_t Pid : Kids) {
+      int Status = 0;
+      ::waitpid(Pid, &Status, 0);
+    }
+    EXPECT_LE(Winners, 1) << "iteration " << Iter
+                          << ": concurrent steal produced " << Winners
+                          << " lock holders";
+  }
+}
+
+TEST(DiskStore, SharedModeSecondWriterIsUsableWithoutTheLease) {
+  DirGuard G(freshDir("shared-basic"));
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir;
+  Opts.Shared = true;
+
+  cache::DiskStore A(Opts);
+  ASSERT_TRUE(A.ok());
+  EXPECT_TRUE(A.lockHeld()) << "first opener takes the writer lease";
+
+  cache::DiskStore B(Opts);
+  ASSERT_TRUE(B.ok()) << "shared mode must not refuse the second writer";
+  EXPECT_FALSE(B.lockHeld());
+
+  // Both directions publish; loads probe the object path directly, so
+  // neither member needs the other's index to hit.
+  A.store(fp(70), "from-A");
+  B.store(fp(71), "from-B");
+  EXPECT_GE(B.counters().SharedAppends, 1u)
+      << "a non-lease member publishes via O_APPEND index lines";
+  EXPECT_EQ(*B.load(fp(70)), "from-A");
+  EXPECT_EQ(*A.load(fp(71)), "from-B");
+}
+
+TEST(DiskStore, SharedModeLeaseRotatesAndMergesForeignLines) {
+  DirGuard G(freshDir("shared-lease"));
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir;
+  Opts.Shared = true;
+
+  auto A = std::make_unique<cache::DiskStore>(Opts);
+  ASSERT_TRUE(A->lockHeld()) << "first opener takes the lease";
+  auto B = std::make_unique<cache::DiskStore>(Opts);
+  ASSERT_FALSE(B->lockHeld());
+
+  A->store(fp(80), "lease-holder-entry");
+  B->store(fp(81), "appended-entry");
+  // A's next store folds B's appended line into the merged index.
+  A->store(fp(82), "second-holder-entry");
+  EXPECT_GE(A->counters().SharedMerged, 1u);
+
+  A.reset(); // releases the lease
+  B->store(fp(83), "post-rotation-entry");
+  EXPECT_TRUE(B->lockHeld())
+      << "the lease must rotate to a surviving member on its next store";
+  // Everything all writers ever published is loadable.
+  EXPECT_EQ(*B->load(fp(80)), "lease-holder-entry");
+  EXPECT_EQ(*B->load(fp(81)), "appended-entry");
+  EXPECT_EQ(*B->load(fp(82)), "second-holder-entry");
+  EXPECT_EQ(*B->load(fp(83)), "post-rotation-entry");
+
+  // A fresh single-process store over the directory sees the union too:
+  // the rotated lease holder's index covers foreign publications.
+  B.reset();
+  cache::DiskStore Fresh({G.Dir});
+  ASSERT_TRUE(Fresh.ok());
+  for (uint64_t K = 80; K != 84; ++K)
+    EXPECT_TRUE(Fresh.load(fp(K)).has_value()) << "key " << K;
+}
+
+TEST(DiskStore, ReadOnlyOpenWinsOverSharedFlag) {
+  DirGuard G(freshDir("shared-ro"));
+  {
+    cache::DiskStore Seeded({G.Dir});
+    Seeded.store(fp(90), "seeded");
+  }
+  cache::DiskStoreOptions Opts;
+  Opts.Dir = G.Dir;
+  Opts.ReadOnly = true;
+  Opts.Shared = true; // contradictory: ro must win
+  cache::DiskStore S(Opts);
+  ASSERT_TRUE(S.ok());
+  EXPECT_FALSE(S.lockHeld());
+  EXPECT_EQ(*S.load(fp(90)), "seeded");
+  EXPECT_EQ(S.store(fp(91), "x"), 0u);
+  EXPECT_FALSE(S.load(fp(91)).has_value());
+}
+
+// Satellite: the shared tier under real process concurrency. N forked
+// readers hammer the store while a forked writer publishes; a torn read
+// would surface as a wrong payload (the checksummed blob format turns
+// tears into misses, never wrong bytes), and afterwards a single fresh
+// store must see every publication exactly once.
+TEST(DiskStore, MultiProcessSharedTierNoTornReadsAndNoLostWrites) {
+  DirGuard G(freshDir("shared-mp"));
+  constexpr uint64_t Preloaded = 12, Written = 12;
+  constexpr int Readers = 4;
+  auto PayloadOf = [](uint64_t K) {
+    // Big enough to span several write(2)-sized chunks if a tear were
+    // possible, and unique per key so replays of the wrong verdict
+    // cannot masquerade as hits.
+    return "payload-" + std::to_string(K) + "-" +
+           std::string(4096 + K, static_cast<char>('a' + K % 23));
+  };
+
+  cache::DiskStoreOptions SharedOpts;
+  SharedOpts.Dir = G.Dir;
+  SharedOpts.Shared = true;
+
+  // The parent holds the lease for the whole run, so the forked writer
+  // exercises the append path and the readers race real publications.
+  auto Parent = std::make_unique<cache::DiskStore>(SharedOpts);
+  ASSERT_TRUE(Parent->ok());
+  ASSERT_TRUE(Parent->lockHeld());
+  for (uint64_t K = 0; K != Preloaded; ++K)
+    Parent->store(fp(K), PayloadOf(K));
+  ASSERT_EQ(Parent->counters().StoreErrors, 0u);
+  ASSERT_EQ(Parent->counters().Stores, Preloaded);
+
+  std::vector<pid_t> Kids;
+  pid_t Writer = ::fork();
+  ASSERT_GE(Writer, 0);
+  if (Writer == 0) {
+    cache::DiskStore W(SharedOpts);
+    int Bad = W.ok() && !W.lockHeld() ? 0 : 1;
+    for (uint64_t K = Preloaded; K != Preloaded + Written; ++K)
+      W.store(fp(K), PayloadOf(K));
+    Bad += static_cast<int>(W.counters().StoreErrors);
+    if (W.counters().Stores != Written)
+      ++Bad;
+    ::_exit(Bad > 250 ? 250 : Bad);
+  }
+  Kids.push_back(Writer);
+  for (int R = 0; R != Readers; ++R) {
+    pid_t Reader = ::fork();
+    ASSERT_GE(Reader, 0);
+    if (Reader == 0) {
+      cache::DiskStoreOptions RO;
+      RO.Dir = G.Dir;
+      RO.ReadOnly = true;
+      cache::DiskStore S(RO);
+      int Bad = S.ok() ? 0 : 1;
+      uint64_t Hits = 0;
+      for (int Round = 0; Round != 40; ++Round)
+        for (uint64_t K = 0; K != Preloaded + Written; ++K) {
+          auto V = S.load(fp(K));
+          if (!V)
+            continue; // not published yet: a miss is always legal
+          ++Hits;
+          if (*V != PayloadOf(K))
+            ++Bad; // torn read or wrong-verdict replay
+        }
+      // Preloaded entries were on disk before the fork: every round
+      // must have hit all of them.
+      if (Hits < 40 * Preloaded)
+        ++Bad;
+      ::_exit(Bad > 250 ? 250 : Bad);
+    }
+    Kids.push_back(Reader);
+  }
+  for (pid_t Pid : Kids) {
+    int Status = 0;
+    ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(Status));
+    EXPECT_EQ(WEXITSTATUS(Status), 0)
+        << (Pid == Writer ? "writer" : "reader") << " saw failures";
+  }
+
+  // The parent's next store merges the writer's appended lines.
+  Parent->store(fp(1000), "tail");
+  EXPECT_EQ(Parent->counters().StoreErrors, 0u);
+  EXPECT_GE(Parent->counters().SharedMerged, Written);
+  Parent.reset(); // release the lease for the fresh single-process store
+
+  // A fresh single-process store sees exactly the union: every key, the
+  // right bytes, and hit counters equal to what a single process doing
+  // all the work would report.
+  cache::DiskStore Fresh({G.Dir});
+  ASSERT_TRUE(Fresh.ok());
+  for (uint64_t K = 0; K != Preloaded + Written; ++K) {
+    auto V = Fresh.load(fp(K));
+    ASSERT_TRUE(V.has_value()) << "lost write, key " << K;
+    EXPECT_EQ(*V, PayloadOf(K)) << "key " << K;
+  }
+  EXPECT_EQ(Fresh.counters().Hits, Preloaded + Written);
+  EXPECT_EQ(Fresh.counters().Misses, 0u);
 }
 
 TEST(DiskStore, CorruptIndexLinesAreSkipped) {

@@ -1,8 +1,9 @@
 //===- tests/CliSmokeTest.cpp - CLI contract across every binary --------------===//
 //
 // The command-line contract every installed binary (crellvm-validate,
-// crellvm-audit, crellvm-served, crellvm-client, crellvm-campaign — paths
-// injected by tests/CMakeLists.txt as $<TARGET_FILE:...>) must honor,
+// crellvm-audit, crellvm-served, crellvm-client, crellvm-campaign,
+// crellvm-cluster — paths injected by tests/CMakeLists.txt as
+// $<TARGET_FILE:...>) must honor,
 // exercised by actually running the binaries:
 //
 //   --help / -h    print the usage block on stdout and exit 0;
@@ -14,9 +15,10 @@
 //                  exit 2 (the scripts-can-distinguish code: 2 is "you
 //                  called me wrong", 1 is "I ran and the answer is bad").
 //
-// The shared rows run table-driven over all five binaries so a sixth
+// The shared rows run table-driven over all six binaries so a seventh
 // binary only has to add one row; binary-specific contracts (bad --chaos,
-// bad --cache, a dead daemon socket, campaign mode validation) follow.
+// bad --cache, a dead daemon socket, campaign mode validation, cluster
+// member-spec validation) follow.
 //
 //===----------------------------------------------------------------------===//
 
@@ -72,6 +74,7 @@ const BinaryRow AllBinaries[] = {
     {CRELLVM_SERVED_BIN, "crellvm-served"},
     {CRELLVM_CLIENT_BIN, "crellvm-client"},
     {CRELLVM_CAMPAIGN_BIN, "crellvm-campaign"},
+    {CRELLVM_CLUSTER_BIN, "crellvm-cluster"},
 };
 
 TEST(CliSmoke, HelpExitsZeroOnEveryBinary) {
@@ -194,6 +197,40 @@ TEST(CliSmoke, CampaignBadUsageExitsTwoNamingTheProblem) {
     EXPECT_NE(R.Stdout.find(Row.second), std::string::npos)
         << "args: " << Row.first << " should name " << Row.second;
   }
+}
+
+// crellvm-cluster usage-level validation: a malformed --member spec (no
+// '=', empty id, empty socket, duplicate id) and missing required flags
+// are refused with exit 2 naming the offending spec.
+TEST(CliSmoke, ClusterBadMemberSpecExitsTwoNamingTheSpec) {
+  const std::pair<const char *, const char *> Rows[] = {
+      {"--socket /tmp/r.sock --member m1-no-equals", "m1-no-equals"},
+      {"--socket /tmp/r.sock --member =/tmp/m.sock", "=/tmp/m.sock"},
+      {"--socket /tmp/r.sock --member m1=", "m1="},
+      {"--socket /tmp/r.sock --member m1=/tmp/a.sock --member m1=/tmp/b.sock",
+       "duplicate id 'm1'"},
+  };
+  for (const auto &Row : Rows) {
+    RunResult R = runBinary(CRELLVM_CLUSTER_BIN, Row.first,
+                            /*MergeStderr=*/true);
+    EXPECT_EQ(R.ExitCode, 2) << "args: " << Row.first;
+    EXPECT_NE(R.Stdout.find(Row.second), std::string::npos)
+        << "args: " << Row.first << " should name " << Row.second;
+  }
+}
+
+TEST(CliSmoke, ClusterRequiresSocketAndMembers) {
+  RunResult NoSocket = runBinary(CRELLVM_CLUSTER_BIN,
+                                 "--member m1=/tmp/m1.sock",
+                                 /*MergeStderr=*/true);
+  EXPECT_EQ(NoSocket.ExitCode, 2);
+  EXPECT_NE(NoSocket.Stdout.find("--socket"), std::string::npos);
+
+  RunResult NoMembers = runBinary(CRELLVM_CLUSTER_BIN,
+                                  "--socket /tmp/r.sock",
+                                  /*MergeStderr=*/true);
+  EXPECT_EQ(NoMembers.ExitCode, 2);
+  EXPECT_NE(NoMembers.Stdout.find("--member"), std::string::npos);
 }
 
 // The campaign usage block documents the replay contract the findings

@@ -1,0 +1,638 @@
+//===- tests/ClusterTest.cpp - Sharded validation cluster tests -----------===//
+//
+// The crellvm-cluster subsystem, tested at three levels:
+//
+//   ClusterRing       the consistent-hash ring: determinism, coverage,
+//                     removal remapping only the removed member's arc;
+//   ClusterAggregate  pure stats aggregation: schema gate naming the
+//                     offending member, counter sums, exact histogram
+//                     bucket merges;
+//   ClusterRouter*    an in-process ClusterRouter fronting fork/exec'd
+//                     crellvm-served members: verdict bit-identity vs.
+//                     the standalone batch validator, repeat-fingerprint
+//                     stickiness, zero accepted-request loss when a
+//                     member is SIGKILLed mid-load, and cross-member
+//                     warm hits through the shared disk tier.
+//
+// Suite names all contain "Cluster" so the TSan sweep in ci.yml picks
+// the whole file up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Router.h"
+#include "ir/Printer.h"
+#include "workload/RandomProgram.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::cluster;
+using server::PassVerdicts;
+using server::Request;
+using server::RequestKind;
+using server::Response;
+using server::ResponseStatus;
+
+namespace {
+
+Request validateSeed(uint64_t Seed, int64_t Id = 0) {
+  Request R;
+  R.Kind = RequestKind::Validate;
+  R.Id = Id;
+  R.HasSeed = true;
+  R.Seed = Seed;
+  return R;
+}
+
+/// What crellvm-validate would report for the same seeds.
+driver::StatsMap directRun(const std::vector<uint64_t> &Seeds) {
+  driver::DriverOptions DOpts;
+  DOpts.WriteFiles = false;
+  driver::BatchOptions BOpts;
+  BOpts.Jobs = 1;
+  return driver::runBatchValidated(
+             passes::BugConfig::fixed(), DOpts, Seeds.size(),
+             [&](size_t I) {
+               workload::GenOptions G;
+               G.Seed = Seeds[I];
+               return workload::generateModule(G);
+             },
+             BOpts)
+      .Stats;
+}
+
+void accumulate(std::map<std::string, PassVerdicts> &Into,
+                const std::map<std::string, PassVerdicts> &From) {
+  for (const auto &KV : From) {
+    PassVerdicts &P = Into[KV.first];
+    P.V += KV.second.V;
+    P.F += KV.second.F;
+    P.NS += KV.second.NS;
+    P.Diff += KV.second.Diff;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ClusterRing
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterRing, RouteIsDeterministicAndCoversAllMembers) {
+  HashRing R(64);
+  R.addMember("m1");
+  R.addMember("m2");
+  R.addMember("m3");
+  std::map<std::string, int> Load;
+  for (uint64_t P = 0; P != 3000; ++P) {
+    uint64_t Point = P * 0x9e3779b97f4a7c15ull;
+    std::string M = R.route(Point);
+    EXPECT_EQ(M, R.route(Point)) << "routing must be deterministic";
+    ++Load[M];
+  }
+  ASSERT_EQ(Load.size(), 3u) << "every member must own some arc";
+  for (const auto &KV : Load)
+    EXPECT_GT(KV.second, 300) << KV.first
+                              << ": 64 vnodes should spread load within ~3x";
+}
+
+TEST(ClusterRing, RemovalOnlyRemapsTheRemovedMembersKeys) {
+  HashRing R(64);
+  R.addMember("m1");
+  R.addMember("m2");
+  R.addMember("m3");
+  std::map<uint64_t, std::string> Before;
+  for (uint64_t P = 0; P != 2000; ++P) {
+    uint64_t Point = P * 0x2545f4914f6cdd1dull + 17;
+    Before[Point] = R.route(Point);
+  }
+  R.removeMember("m2");
+  EXPECT_FALSE(R.contains("m2"));
+  for (const auto &KV : Before) {
+    std::string After = R.route(KV.first);
+    if (KV.second != "m2")
+      EXPECT_EQ(After, KV.second)
+          << "a surviving member's keys must not move (warm caches!)";
+    else
+      EXPECT_NE(After, "m2");
+  }
+}
+
+TEST(ClusterRing, RouteNReturnsOwnerFirstThenDistinctSuccessors) {
+  HashRing R(32);
+  R.addMember("a");
+  R.addMember("b");
+  R.addMember("c");
+  for (uint64_t P = 0; P != 500; ++P) {
+    uint64_t Point = P * 0x9e3779b97f4a7c15ull + 3;
+    std::vector<std::string> N = R.routeN(Point, 3);
+    ASSERT_EQ(N.size(), 3u);
+    EXPECT_EQ(N[0], R.route(Point)) << "owner must come first";
+    std::set<std::string> Distinct(N.begin(), N.end());
+    EXPECT_EQ(Distinct.size(), 3u) << "failover candidates must be distinct";
+  }
+}
+
+TEST(ClusterRing, EmptyRingRoutesNothing) {
+  HashRing R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.route(123), "");
+  EXPECT_TRUE(R.routeN(123, 4).empty());
+  R.addMember("solo");
+  EXPECT_EQ(R.route(123), "solo");
+  R.removeMember("solo");
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(ClusterRing, RoutePointIsStablePerRequestIdentity) {
+  Request A = validateSeed(42, 1);
+  Request B = validateSeed(42, 999); // different id, same identity
+  EXPECT_EQ(routePointOf(A), routePointOf(B))
+      << "the route point is the cache identity, not the wire id";
+  Request C = validateSeed(43, 1);
+  EXPECT_NE(routePointOf(A), routePointOf(C));
+  Request D = validateSeed(42, 1);
+  D.Bugs = "pr29057"; // different preset validates different code
+  EXPECT_NE(routePointOf(A), routePointOf(D));
+}
+
+//===----------------------------------------------------------------------===//
+// ClusterAggregate
+//===----------------------------------------------------------------------===//
+
+/// A minimal member stats document the aggregator accepts.
+json::Value memberDoc(const std::string &Id, uint64_t Received,
+                      uint64_t Hits, uint64_t Misses,
+                      std::vector<uint64_t> TotalBuckets) {
+  json::Value D = json::Value::object();
+  D.set("schema_version", json::Value(server::StatsSchemaVersion));
+  D.set("member_id", json::Value(Id));
+  json::Value Req = json::Value::object();
+  Req.set("received", json::Value(Received));
+  Req.set("accepted", json::Value(Received));
+  D.set("requests", std::move(Req));
+  json::Value Cache = json::Value::object();
+  Cache.set("hits", json::Value(Hits));
+  Cache.set("misses", json::Value(Misses));
+  Cache.set("hit_rate_ppm", json::Value(uint64_t(123456))); // bogus on purpose
+  D.set("cache", std::move(Cache));
+  json::Value Lat = json::Value::object();
+  json::Value Total = json::Value::object();
+  json::Value Buckets = json::Value::array();
+  uint64_t Count = 0, Sum = 0;
+  for (size_t B = 0; B != TotalBuckets.size(); ++B) {
+    Buckets.push(json::Value(TotalBuckets[B]));
+    Count += TotalBuckets[B];
+    Sum += TotalBuckets[B] * (B ? (1ull << B) - 1 : 0);
+  }
+  Total.set("count", json::Value(Count));
+  Total.set("sum", json::Value(Sum));
+  Total.set("max", json::Value(uint64_t(TotalBuckets.size())));
+  Total.set("buckets", std::move(Buckets));
+  Lat.set("total", std::move(Total));
+  Lat.set("queue", json::Value::object());
+  D.set("latency_us", std::move(Lat));
+  json::Value Server = json::Value::object();
+  Server.set("jobs", json::Value(uint64_t(4)));
+  Server.set("oracle", json::Value(true));
+  Server.set("draining", json::Value(false));
+  D.set("server", std::move(Server));
+  return D;
+}
+
+TEST(ClusterAggregate, SchemaMismatchIsRefusedNamingTheMember) {
+  std::vector<json::Value> Docs;
+  Docs.push_back(memberDoc("m1", 10, 1, 2, {}));
+  json::Value Bad = memberDoc("m2", 10, 1, 2, {});
+  Bad.set("schema_version", json::Value(uint64_t(999)));
+  Docs.push_back(std::move(Bad));
+  std::string Err;
+  auto Agg = aggregateMemberStats(Docs, &Err);
+  ASSERT_FALSE(Agg.has_value());
+  EXPECT_NE(Err.find("member m2"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("999"), std::string::npos) << Err;
+}
+
+TEST(ClusterAggregate, MissingSchemaVersionIsRefused) {
+  json::Value NoStamp = json::Value::object();
+  NoStamp.set("member_id", json::Value("m7"));
+  std::string Err;
+  auto Agg = aggregateMemberStats({NoStamp}, &Err);
+  ASSERT_FALSE(Agg.has_value());
+  EXPECT_NE(Err.find("member m7"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("schema_version"), std::string::npos) << Err;
+}
+
+TEST(ClusterAggregate, SumsCountersAndRecomputesRatios) {
+  std::vector<json::Value> Docs;
+  Docs.push_back(memberDoc("m1", 10, 30, 10, {}));
+  Docs.push_back(memberDoc("m2", 5, 0, 60, {}));
+  std::string Err;
+  auto Agg = aggregateMemberStats(Docs, &Err);
+  ASSERT_TRUE(Agg.has_value()) << Err;
+  EXPECT_EQ(Agg->get("requests").get("received").getInt(), 15);
+  EXPECT_EQ(Agg->get("cache").get("hits").getInt(), 30);
+  EXPECT_EQ(Agg->get("cache").get("misses").getInt(), 70);
+  // 30 hits / 100 lookups = 300000 ppm — recomputed, not summed.
+  EXPECT_EQ(Agg->get("cache").get("hit_rate_ppm").getInt(), 300000);
+  EXPECT_EQ(Agg->get("server").get("jobs").getInt(), 8);
+  EXPECT_TRUE(Agg->get("server").get("oracle").getBool());
+}
+
+TEST(ClusterAggregate, HistogramsMergeByExactBucketCounts) {
+  // m1: 4 samples in bucket 1, m2: 2 in bucket 1 and 2 in bucket 3.
+  std::vector<json::Value> Docs;
+  Docs.push_back(memberDoc("m1", 1, 0, 0, {0, 4}));
+  Docs.push_back(memberDoc("m2", 1, 0, 0, {0, 2, 0, 2}));
+  std::string Err;
+  auto Agg = aggregateMemberStats(Docs, &Err);
+  ASSERT_TRUE(Agg.has_value()) << Err;
+  const json::Value &Total = Agg->get("latency_us").get("total");
+  EXPECT_EQ(Total.get("count").getInt(), 8);
+  const json::Value &Buckets = Total.get("buckets");
+  ASSERT_EQ(Buckets.size(), 4u);
+  EXPECT_EQ(Buckets.at(1).getInt(), 6);
+  EXPECT_EQ(Buckets.at(3).getInt(), 2);
+  // p50 of {6 samples <=1, 2 samples <=7}: the 4th sample sits in
+  // bucket 1, whose inclusive upper bound is 1.
+  EXPECT_EQ(Total.get("p50").getInt(), 1);
+  // p99 lands in bucket 3: upper bound 7.
+  EXPECT_EQ(Total.get("p99").getInt(), 7);
+}
+
+TEST(ClusterAggregate, EmptyClusterAggregatesToZeroes) {
+  std::string Err;
+  auto Agg = aggregateMemberStats({}, &Err);
+  ASSERT_TRUE(Agg.has_value()) << Err;
+  EXPECT_EQ(Agg->get("members_aggregated").getInt(), 0);
+  EXPECT_FALSE(Agg->get("server").get("oracle").getBool())
+      << "an empty cluster cannot claim an oracle";
+}
+
+//===----------------------------------------------------------------------===//
+// ClusterRouter — in-process router over fork/exec'd crellvm-served
+//===----------------------------------------------------------------------===//
+
+struct Daemon {
+  pid_t Pid = -1;
+  std::string Socket;
+
+  static Daemon spawn(const char *Tag, std::vector<std::string> ExtraArgs) {
+    Daemon D;
+    D.Socket = "/tmp/crellvm-cluster-test-" + std::to_string(::getpid()) +
+               "-" + Tag + ".sock";
+    ::unlink(D.Socket.c_str());
+    std::vector<std::string> Args = {CRELLVM_SERVED_BIN, "--socket", D.Socket,
+                                     "--jobs", "2"};
+    Args.insert(Args.end(), ExtraArgs.begin(), ExtraArgs.end());
+    D.Pid = ::fork();
+    if (D.Pid == 0) {
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::freopen("/dev/null", "w", stderr);
+      ::freopen("/dev/null", "w", stdout);
+      ::execv(Argv[0], Argv.data());
+      _exit(127);
+    }
+    return D;
+  }
+
+  bool waitReady() const {
+    for (int Tries = 0; Tries != 400; ++Tries) {
+      sockaddr_un Addr;
+      std::memset(&Addr, 0, sizeof(Addr));
+      Addr.sun_family = AF_UNIX;
+      std::memcpy(Addr.sun_path, Socket.c_str(), Socket.size() + 1);
+      int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (Fd >= 0 &&
+          ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+              0) {
+        ::close(Fd);
+        return true;
+      }
+      if (Fd >= 0)
+        ::close(Fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  void kill9() {
+    if (Pid <= 0)
+      return;
+    ::kill(Pid, SIGKILL);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    ::unlink(Socket.c_str());
+    Pid = -1;
+  }
+
+  void stop() {
+    if (Pid <= 0)
+      return;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    ::unlink(Socket.c_str());
+    Pid = -1;
+  }
+};
+
+/// Collects asynchronous router responses with a bounded wait.
+struct Collector {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<Response> Rsps;
+
+  ClusterRouter::Callback callback() {
+    return [this](Response R) {
+      std::lock_guard<std::mutex> L(M);
+      Rsps.push_back(std::move(R));
+      Cv.notify_all();
+    };
+  }
+
+  bool waitFor(size_t N, int Seconds = 120) {
+    std::unique_lock<std::mutex> L(M);
+    return Cv.wait_for(L, std::chrono::seconds(Seconds),
+                       [&] { return Rsps.size() >= N; });
+  }
+};
+
+TEST(ClusterRouter, StartFailsWhenNoMemberIsReachable) {
+  ClusterOptions O;
+  O.Members = {{"ghost", "/tmp/crellvm-cluster-test-no-such.sock"}};
+  ClusterRouter R(O);
+  std::string Err;
+  EXPECT_FALSE(R.start(&Err));
+  EXPECT_NE(Err.find("no cluster member reachable"), std::string::npos)
+      << Err;
+}
+
+TEST(ClusterRouter, VerdictsBitIdenticalToStandaloneValidator) {
+  Daemon M1 = Daemon::spawn("ident1", {"--member-id", "m1"});
+  Daemon M2 = Daemon::spawn("ident2", {"--member-id", "m2"});
+  ASSERT_TRUE(M1.waitReady());
+  ASSERT_TRUE(M2.waitReady());
+
+  std::vector<uint64_t> Seeds;
+  for (uint64_t S = 301; S != 317; ++S)
+    Seeds.push_back(S);
+
+  std::map<std::string, PassVerdicts> Routed;
+  {
+    ClusterOptions O;
+    O.Members = {{"m1", M1.Socket}, {"m2", M2.Socket}};
+    ClusterRouter R(O);
+    std::string Err;
+    ASSERT_TRUE(R.start(&Err)) << Err;
+
+    Collector C;
+    for (size_t I = 0; I != Seeds.size(); ++I)
+      R.submit(validateSeed(Seeds[I], static_cast<int64_t>(I)),
+               C.callback());
+    ASSERT_TRUE(C.waitFor(Seeds.size())) << "responses missing";
+    R.beginShutdown();
+    R.drain();
+
+    std::set<int64_t> Ids;
+    for (const Response &Rsp : C.Rsps) {
+      ASSERT_EQ(Rsp.Status, ResponseStatus::Ok) << Rsp.Reason;
+      EXPECT_TRUE(Ids.insert(Rsp.Id).second) << "duplicate answer";
+      accumulate(Routed, Rsp.Passes);
+    }
+    RouterCounters RC = R.counters();
+    EXPECT_EQ(RC.Received, Seeds.size());
+    EXPECT_EQ(RC.answered(), Seeds.size());
+    // Both members should carry some of a 16-seed spread.
+    EXPECT_EQ(RC.Forwarded, Seeds.size());
+  }
+  M1.stop();
+  M2.stop();
+
+  EXPECT_EQ(Routed, server::passVerdictsOf(directRun(Seeds)))
+      << "the router must add scheduling, never semantics";
+}
+
+TEST(ClusterRouter, RepeatFingerprintsStickToTheirWarmMember) {
+  // Each member gets its OWN private rw cache: a repeat request routed to
+  // a different member is then a guaranteed cache miss, so the summed
+  // hit count of the second pass measures stickiness directly.
+  std::string Base = "/tmp/crellvm-cluster-test-stick-" +
+                     std::to_string(::getpid());
+  Daemon M1 = Daemon::spawn(
+      "stick1", {"--member-id", "m1", "--cache=rw", "--cache-dir",
+                 Base + "-c1"});
+  Daemon M2 = Daemon::spawn(
+      "stick2", {"--member-id", "m2", "--cache=rw", "--cache-dir",
+                 Base + "-c2"});
+  ASSERT_TRUE(M1.waitReady());
+  ASSERT_TRUE(M2.waitReady());
+
+  constexpr size_t NSeeds = 24;
+  ClusterOptions O;
+  O.Members = {{"m1", M1.Socket}, {"m2", M2.Socket}};
+  ClusterRouter R(O);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  uint64_t FirstPassMisses = 0, SecondPassHits = 0, SecondPassTotal = 0;
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    Collector C;
+    for (size_t I = 0; I != NSeeds; ++I)
+      R.submit(validateSeed(9000 + I, static_cast<int64_t>(I)),
+               C.callback());
+    ASSERT_TRUE(C.waitFor(NSeeds));
+    for (const Response &Rsp : C.Rsps) {
+      ASSERT_EQ(Rsp.Status, ResponseStatus::Ok) << Rsp.Reason;
+      if (Pass == 0)
+        FirstPassMisses += Rsp.CacheMisses;
+      else {
+        SecondPassHits += Rsp.CacheHits;
+        SecondPassTotal += Rsp.CacheHits + Rsp.CacheMisses;
+      }
+    }
+  }
+  R.beginShutdown();
+  R.drain();
+  M1.stop();
+  M2.stop();
+
+  ASSERT_GT(FirstPassMisses, 0u);
+  ASSERT_EQ(SecondPassTotal, FirstPassMisses)
+      << "both passes validate the same units";
+  EXPECT_GE(SecondPassHits * 10, SecondPassTotal * 9)
+      << "at least 90% of repeats must land on their warm member ("
+      << SecondPassHits << "/" << SecondPassTotal << " hit)";
+}
+
+TEST(ClusterRouter, KillingOneOfThreeMembersLosesNoAcceptedRequest) {
+  Daemon M1 = Daemon::spawn("kill1", {"--member-id", "m1"});
+  Daemon M2 = Daemon::spawn("kill2", {"--member-id", "m2"});
+  Daemon M3 = Daemon::spawn("kill3", {"--member-id", "m3"});
+  ASSERT_TRUE(M1.waitReady());
+  ASSERT_TRUE(M2.waitReady());
+  ASSERT_TRUE(M3.waitReady());
+
+  ClusterOptions O;
+  O.Members = {{"m1", M1.Socket}, {"m2", M2.Socket}, {"m3", M3.Socket}};
+  O.ReattachBaseMs = 100000; // keep the victim dead for the whole test
+  ClusterRouter R(O);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  constexpr size_t N = 48;
+  Collector C;
+  // Submit half, murder a member mid-flight, submit the rest.
+  for (size_t I = 0; I != N / 2; ++I)
+    R.submit(validateSeed(500 + I, static_cast<int64_t>(I)), C.callback());
+  M2.kill9();
+  for (size_t I = N / 2; I != N; ++I)
+    R.submit(validateSeed(500 + I, static_cast<int64_t>(I)), C.callback());
+
+  ASSERT_TRUE(C.waitFor(N)) << "every submitted request must be answered";
+  R.beginShutdown();
+  R.drain();
+
+  std::set<int64_t> Ids;
+  size_t OkCount = 0;
+  for (const Response &Rsp : C.Rsps) {
+    EXPECT_TRUE(Ids.insert(Rsp.Id).second)
+        << "request " << Rsp.Id << " answered twice";
+    if (Rsp.Status == ResponseStatus::Ok)
+      ++OkCount;
+    else
+      // The only acceptable non-verdict is an explicit retryable
+      // rejection — never a deadline or silent drop.
+      EXPECT_EQ(Rsp.Reason, "queue_full") << Rsp.Reason;
+  }
+  EXPECT_EQ(Ids.size(), N);
+  EXPECT_EQ(OkCount, N) << "two live members must absorb the failover";
+
+  RouterCounters RC = R.counters();
+  EXPECT_EQ(RC.Received, N);
+  EXPECT_EQ(RC.answered(), N) << "zero-loss equation";
+  EXPECT_GE(RC.MemberDeaths, 1u);
+  EXPECT_EQ(R.liveMembers().size(), 2u);
+
+  std::string Detail;
+  EXPECT_TRUE(R.clusterDrainEquationHolds(&Detail)) << Detail;
+  M1.stop();
+  M3.stop();
+}
+
+TEST(ClusterRouter, SharedDiskTierGivesCrossMemberWarmHits) {
+  // m1 publishes into the shared tier, dies; a cold m2 sharing the same
+  // directory must answer the same units from m1's artifacts.
+  std::string Shared = "/tmp/crellvm-cluster-test-shared-" +
+                       std::to_string(::getpid());
+  std::vector<std::string> CacheArgs = {"--cache=rw", "--cache-dir", Shared,
+                                        "--cache-shared"};
+  std::vector<uint64_t> Seeds = {7101, 7102, 7103, 7104};
+
+  Daemon M1 = Daemon::spawn("shared1", [&] {
+    std::vector<std::string> A = {"--member-id", "m1"};
+    A.insert(A.end(), CacheArgs.begin(), CacheArgs.end());
+    return A;
+  }());
+  ASSERT_TRUE(M1.waitReady());
+  {
+    ClusterOptions O;
+    O.Members = {{"m1", M1.Socket}};
+    ClusterRouter R(O);
+    std::string Err;
+    ASSERT_TRUE(R.start(&Err)) << Err;
+    Collector C;
+    for (size_t I = 0; I != Seeds.size(); ++I)
+      R.submit(validateSeed(Seeds[I], static_cast<int64_t>(I)),
+               C.callback());
+    ASSERT_TRUE(C.waitFor(Seeds.size()));
+    for (const Response &Rsp : C.Rsps)
+      ASSERT_EQ(Rsp.Status, ResponseStatus::Ok) << Rsp.Reason;
+    R.beginShutdown();
+    R.drain();
+  }
+  M1.stop(); // graceful: flushes its publications
+
+  Daemon M2 = Daemon::spawn("shared2", [&] {
+    std::vector<std::string> A = {"--member-id", "m2"};
+    A.insert(A.end(), CacheArgs.begin(), CacheArgs.end());
+    return A;
+  }());
+  ASSERT_TRUE(M2.waitReady());
+  uint64_t Hits = 0;
+  {
+    ClusterOptions O;
+    O.Members = {{"m2", M2.Socket}};
+    ClusterRouter R(O);
+    std::string Err;
+    ASSERT_TRUE(R.start(&Err)) << Err;
+    Collector C;
+    for (size_t I = 0; I != Seeds.size(); ++I)
+      R.submit(validateSeed(Seeds[I], static_cast<int64_t>(I)),
+               C.callback());
+    ASSERT_TRUE(C.waitFor(Seeds.size()));
+    for (const Response &Rsp : C.Rsps) {
+      ASSERT_EQ(Rsp.Status, ResponseStatus::Ok) << Rsp.Reason;
+      Hits += Rsp.CacheHits;
+    }
+    R.beginShutdown();
+    R.drain();
+  }
+  M2.stop();
+
+  EXPECT_GT(Hits, 0u)
+      << "a cold member must hit artifacts another member published";
+}
+
+TEST(ClusterRouter, AggregatedStatsCarrySchemaAndTopology) {
+  Daemon M1 = Daemon::spawn("stats1", {"--member-id", "alpha"});
+  ASSERT_TRUE(M1.waitReady());
+
+  ClusterOptions O;
+  O.Members = {{"alpha", M1.Socket}};
+  O.RouterId = "router-under-test";
+  ClusterRouter R(O);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  Collector C;
+  R.submit(validateSeed(601, 0), C.callback());
+  ASSERT_TRUE(C.waitFor(1));
+
+  json::Value Stats = R.statsJson();
+  EXPECT_EQ(Stats.get("schema_version").getInt(),
+            static_cast<int64_t>(server::StatsSchemaVersion));
+  EXPECT_EQ(Stats.get("member_id").getString(), "router-under-test");
+  EXPECT_EQ(Stats.get("requests").get("completed").getInt(), 1);
+  const json::Value &Cluster = Stats.get("cluster");
+  EXPECT_EQ(Cluster.get("size").getInt(), 1);
+  EXPECT_EQ(Cluster.get("live").getInt(), 1);
+  const json::Value &Members = Cluster.get("members");
+  ASSERT_EQ(Members.size(), 1u);
+  EXPECT_EQ(Members.at(0).get("member_id").getString(), "alpha");
+  EXPECT_EQ(Members.at(0).get("stats").get("member_id").getString(),
+            "alpha");
+
+  R.beginShutdown();
+  R.drain();
+  M1.stop();
+}
+
+} // namespace
