@@ -87,7 +87,7 @@ BENCHMARK(BM_JsonTextParseOnly);
 void BM_BinaryDecodeOnly(benchmark::State &State) {
   ir::Module M = testModule();
   auto PR = pipelineStep(M, "gvn");
-  std::string Bytes = json::encodeBinary(proofgen::proofToJson(PR.Proof));
+  std::string Bytes = *json::encodeBinary(proofgen::proofToJson(PR.Proof));
   for (auto _ : State) {
     auto V = json::decodeBinary(Bytes, nullptr);
     benchmark::DoNotOptimize(V);

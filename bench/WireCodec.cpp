@@ -1,0 +1,232 @@
+//===- bench/WireCodec.cpp - json vs cbj1 on the serve hot path -----------===//
+//
+// The negotiated wire codec (DESIGN.md §16) exists to cut serialization
+// off the daemon's serve hot path. This bench measures exactly that
+// boundary: encode + decode of one frame payload through the session
+// codecs from server/Protocol.h, over a realistic traffic mix (seeded
+// validate requests, module-text requests, verdict responses, and real
+// proof trees from the -O2 passes), in three configurations:
+//
+//   json        V.write() + json::parse       — the legacy text protocol;
+//   cbj1 cold   fresh intern tables per frame — a one-shot connection;
+//   cbj1 warm   one session writer/reader     — a pipelined connection,
+//               where repeated keys and identifiers become back-refs.
+//
+// Reports p50/p99 per-frame latency, frames/sec, and bytes/frame for
+// each, best-of-3 alternating runs. Appended to BENCH_validation.json as
+// `wire_codec`; the exit code gates warm cbj1 at >= 1.25x the json
+// frame rate, so a regression that erases the codec's reason to exist
+// fails CI the way chaos_overhead does.
+//
+//   wire_codec [scale]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "bench/Common.h"
+#include "ir/Printer.h"
+#include "passes/Pipeline.h"
+#include "proofgen/ProofJson.h"
+#include "server/Protocol.h"
+#include "workload/RandomProgram.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A realistic mix of frame payloads as seen by a busy daemon: small
+/// seeded requests, identifier-heavy module-text requests, verdict
+/// responses, and proof trees (the deepest values the codec meets).
+std::vector<json::Value> buildCorpus() {
+  std::vector<json::Value> Corpus;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    workload::GenOptions G;
+    G.Seed = Seed;
+    ir::Module M = workload::generateModule(G);
+
+    server::Request Seeded;
+    Seeded.Kind = server::RequestKind::Validate;
+    Seeded.Id = static_cast<int64_t>(Seed);
+    Seeded.HasSeed = true;
+    Seeded.Seed = Seed;
+    Seeded.Bugs = "fixed";
+    Corpus.push_back(server::requestToValue(Seeded));
+
+    server::Request Text;
+    Text.Kind = server::RequestKind::Validate;
+    Text.Id = static_cast<int64_t>(100 + Seed);
+    Text.ModuleText = ir::printModule(M);
+    Text.Bugs = "fixed";
+    Corpus.push_back(server::requestToValue(Text));
+
+    server::Response Rsp;
+    Rsp.Id = static_cast<int64_t>(Seed);
+    Rsp.Status = server::ResponseStatus::Ok;
+    for (const char *Pass : {"mem2reg", "instcombine", "gvn", "licm"}) {
+      server::PassVerdicts PV;
+      PV.V = 40 + Seed;
+      PV.NS = Seed % 3;
+      Rsp.Passes[Pass] = PV;
+    }
+    Rsp.TotalUs = 1234 * Seed;
+    Corpus.push_back(server::responseToValue(Rsp));
+
+    for (const char *Pass : {"mem2reg", "gvn"}) {
+      auto P = passes::makePass(Pass, passes::BugConfig::fixed());
+      Corpus.push_back(proofgen::proofToJson(P->run(M, true).Proof));
+    }
+  }
+  return Corpus;
+}
+
+struct CodecResult {
+  double WallS = 0;
+  uint64_t Frames = 0;
+  uint64_t Bytes = 0;
+  uint64_t P50Us = 0, P99Us = 0;
+  double Rps = 0;
+};
+
+/// One timed sweep: \p Rounds passes over the corpus through \p Enc /
+/// \p Dec, per-frame encode+decode latencies collected for percentiles.
+CodecResult sweep(const std::vector<json::Value> &Corpus, unsigned Rounds,
+                  server::WireEncoder &Enc, server::WireDecoder &Dec,
+                  bool FreshTablesPerFrame) {
+  CodecResult R;
+  std::vector<uint64_t> Ns;
+  Ns.reserve(Corpus.size() * Rounds);
+  const auto T0 = Clock::now();
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    for (const json::Value &V : Corpus) {
+      if (FreshTablesPerFrame) {
+        Enc.use(Enc.codec()); // use() resets the session tables
+        Dec.use(Dec.codec());
+      }
+      const auto F0 = Clock::now();
+      auto Payload = Enc.encode(V);
+      auto Back = Payload ? Dec.decode(*Payload) : std::nullopt;
+      const auto F1 = Clock::now();
+      if (!Back) {
+        std::cerr << "wire_codec: round-trip failed\n";
+        std::exit(2);
+      }
+      R.Bytes += Payload->size();
+      ++R.Frames;
+      Ns.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(F1 - F0)
+              .count()));
+    }
+  }
+  R.WallS = std::chrono::duration<double>(Clock::now() - T0).count();
+  R.Rps = R.WallS > 0 ? R.Frames / R.WallS : 0;
+  std::sort(Ns.begin(), Ns.end());
+  if (!Ns.empty()) {
+    R.P50Us = Ns[Ns.size() / 2] / 1000;
+    R.P99Us = Ns[std::min(Ns.size() - 1, Ns.size() * 99 / 100)] / 1000;
+  }
+  return R;
+}
+
+CodecResult runMode(const std::vector<json::Value> &Corpus, unsigned Rounds,
+                    server::WireCodec Codec, bool FreshTablesPerFrame) {
+  server::WireEncoder Enc(Codec);
+  server::WireDecoder Dec(Codec);
+  return sweep(Corpus, Rounds, Enc, Dec, FreshTablesPerFrame);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = scaleFromArgs(Argc, Argv);
+  if (Scale == 0)
+    Scale = 1;
+  unsigned Rounds = std::max(600u / Scale, 3u);
+
+  std::vector<json::Value> Corpus = buildCorpus();
+
+  // Sanity: both codecs reproduce the corpus byte-for-byte (canonical
+  // text form) before anything is timed.
+  for (const json::Value &V : Corpus) {
+    server::WireEncoder E(server::WireCodec::Cbj1);
+    server::WireDecoder D(server::WireCodec::Cbj1);
+    auto P = E.encode(V);
+    auto Back = P ? D.decode(*P) : std::nullopt;
+    if (!Back || Back->write() != V.write()) {
+      std::cerr << "wire_codec: cbj1 is not transparent\n";
+      return 2;
+    }
+  }
+
+  std::cout << "=== Wire codec: json vs negotiated cbj1 (encode+decode) ===\n"
+            << Corpus.size() << " frame payloads x " << Rounds
+            << " rounds, best of 3 alternating runs\n\n";
+
+  CodecResult Json, Cold, Warm;
+  double JsonWall = 1e300, ColdWall = 1e300, WarmWall = 1e300;
+  for (int Iter = 0; Iter != 3; ++Iter) {
+    CodecResult R = runMode(Corpus, Rounds, server::WireCodec::Json, false);
+    if (R.WallS < JsonWall) {
+      JsonWall = R.WallS;
+      Json = R;
+    }
+    R = runMode(Corpus, Rounds, server::WireCodec::Cbj1, true);
+    if (R.WallS < ColdWall) {
+      ColdWall = R.WallS;
+      Cold = R;
+    }
+    R = runMode(Corpus, Rounds, server::WireCodec::Cbj1, false);
+    if (R.WallS < WarmWall) {
+      WarmWall = R.WallS;
+      Warm = R;
+    }
+  }
+
+  Table T({"codec", "p50", "p99", "frames/s", "bytes/frame"});
+  auto Row = [&](const char *Name, const CodecResult &R) {
+    T.addRow({Name, std::to_string(R.P50Us) + "us",
+              std::to_string(R.P99Us) + "us",
+              std::to_string(static_cast<uint64_t>(R.Rps)),
+              std::to_string(R.Frames ? R.Bytes / R.Frames : 0)});
+  };
+  Row("json", Json);
+  Row("cbj1-cold", Cold);
+  Row("cbj1-warm", Warm);
+  T.print(std::cout);
+
+  double Speedup = Json.Rps > 0 ? Warm.Rps / Json.Rps : 0;
+  double ByteRatio =
+      Json.Bytes > 0 ? static_cast<double>(Warm.Bytes) / Json.Bytes : 0;
+  std::cout << "\ncbj1-warm vs json: " << formatPercent(Speedup - 1.0)
+            << " faster, " << formatPercent(1.0 - ByteRatio)
+            << " fewer bytes (gate: >= 1.25x frame rate)\n";
+  std::cout << "paper-shape: warm-speedup-at-least-1.25x="
+            << (Speedup >= 1.25 ? "OK" : "MISMATCH") << "\n";
+
+  BenchEntry E;
+  E.Name = "wire_codec";
+  E.WallSeconds = Json.WallS + Cold.WallS + Warm.WallS;
+  E.Jobs = 1;
+  auto Put = [&](const char *Key, const CodecResult &R) {
+    std::string K = Key;
+    E.Extra.emplace_back(K + "_p50_us", static_cast<int64_t>(R.P50Us));
+    E.Extra.emplace_back(K + "_p99_us", static_cast<int64_t>(R.P99Us));
+    E.Extra.emplace_back(K + "_rps", static_cast<int64_t>(R.Rps + 0.5));
+    E.Extra.emplace_back(K + "_frame_bytes",
+                         static_cast<int64_t>(R.Frames ? R.Bytes / R.Frames
+                                                       : 0));
+  };
+  Put("json", Json);
+  Put("cbj1_cold", Cold);
+  Put("cbj1_warm", Warm);
+  E.Extra.emplace_back("warm_speedup_ppm",
+                       static_cast<int64_t>(Speedup * 1e6 + 0.5));
+  writeBenchJson({E});
+
+  return Speedup >= 1.25 ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "passes/Pipeline.h"
+#include "proofgen/ProofBinary.h"
 #include "proofgen/ProofJson.h"
 #include "support/FaultInjection.h"
 #include "support/RNG.h"
@@ -426,6 +427,21 @@ private:
       VerdictSummary RT(checker::validate(Src, Tgt, *P2));
       check(RT == BaseS, "checker-metamorphic", "soundness",
             PassName + " verdict changed across proof JSON round-trip",
+            Round);
+    }
+
+    // Same for the binary (cbj1) exchange codec: the wire protocol and
+    // the proof files may both carry proofs in either codec, and neither
+    // is allowed to change a verdict — the codec is transport, never
+    // semantics, and it stays outside the checker's trusted base.
+    auto P3 = proofgen::proofFromBinary(proofgen::proofToBinary(Proof), &Err);
+    check(P3.has_value(), "checker-metamorphic", "soundness",
+          PassName + " proof binary round-trip failed to decode: " + Err,
+          Round);
+    if (P3) {
+      VerdictSummary RT(checker::validate(Src, Tgt, *P3));
+      check(RT == BaseS, "checker-metamorphic", "soundness",
+            PassName + " verdict changed across proof binary round-trip",
             Round);
     }
 

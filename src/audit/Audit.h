@@ -17,7 +17,8 @@
 ///                         bug-free tree; planted BugConfig bugs surface
 ///                         here as structured findings);
 ///   checker-metamorphic   verdicts are deterministic, survive a proof
-///                         JSON round-trip, and are monotone under
+///                         round-trip through both exchange codecs (JSON
+///                         text and cbj1 binary), and are monotone under
 ///                         duplicated inference rules and under the
 ///                         test-only weakened side-condition switch
 ///                         (weakening may only accept more, never less);

@@ -138,6 +138,10 @@ struct CampaignOptions {
   std::string Socket;
   /// Per-request deadline forwarded to the daemon (socket backend).
   uint64_t DeadlineMs = 0;
+  /// Wire codec for the socket backend: "json" (default) or "cbj1".
+  /// cbj1 is negotiated with a hello frame; a daemon that predates
+  /// negotiation degrades the session back to json instead of failing.
+  std::string Codec = "json";
   /// queue_full retry rounds per unit before counting it rejected.
   uint64_t MaxRetries = 8;
   /// Soak: stop issuing new units after this many seconds.

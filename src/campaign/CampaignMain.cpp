@@ -70,6 +70,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --socket PATH    drive the crellvm-served daemon at PATH instead\n"
      << "                   of validating in-process\n"
      << "  --deadline-ms N  per-request deadline (socket; default none)\n"
+     << "  --codec NAME     socket wire codec: json (default) or cbj1;\n"
+     << "                   cbj1 is negotiated, degrading to json against\n"
+     << "                   a daemon that predates negotiation\n"
      << "  --retries N      queue_full retry rounds per unit (default 8)\n"
      << "  --duration-s N   soak: issue units for N seconds\n"
      << "  --oracle         in-process: run the differential-execution\n"
@@ -146,7 +149,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.C.Socket = Argv[++I];
     else if (A == "--deadline-ms" && NextNum(N))
       O.C.DeadlineMs = N;
-    else if (A == "--retries" && NextNum(N))
+    else if (A == "--codec" && I + 1 < Argc) {
+      std::string Name = Argv[++I];
+      if (Name != "json" && Name != "cbj1") {
+        BadArg = A + " " + Name;
+        return false;
+      }
+      O.C.Codec = Name;
+    } else if (A == "--retries" && NextNum(N))
       O.C.MaxRetries = N;
     else if (A == "--duration-s" && NextNum(N))
       O.C.DurationS = N;

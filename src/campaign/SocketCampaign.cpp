@@ -15,6 +15,7 @@
 
 #include "ir/Printer.h"
 #include "server/Protocol.h"
+#include "support/Backoff.h"
 #include "support/RNG.h"
 #include "workload/RandomProgram.h"
 
@@ -65,6 +66,28 @@ struct InFlightUnit {
   UnitDesc D;
   uint64_t Tries = 0; ///< queue_full rounds already burned
 };
+
+/// Blocking hello exchange right after connect (nothing is in flight
+/// yet). False only on transport failure; a daemon that rejects the
+/// hello keeps the session on json.
+bool negotiate(int Fd, WireCodec Want, WireCodec &Session) {
+  Session = WireCodec::Json;
+  if (Want == WireCodec::Json)
+    return true;
+  if (!writeFrame(Fd, requestToJson(helloRequest(Want))))
+    return false;
+  std::string Frame, Err;
+  if (!readFrame(Fd, Frame, &Err))
+    return false;
+  auto Rsp = responseFromJson(Frame, &Err);
+  if (!Rsp)
+    return false;
+  if (Rsp->Status != ResponseStatus::Ok)
+    return true; // daemon predates negotiation: degrade, don't die
+  if (auto C = codecByName(Rsp->Codec))
+    Session = *C;
+  return true;
+}
 
 } // namespace
 
@@ -157,6 +180,20 @@ void detail::runSocketSweep(Sweep &S) {
     return;
   }
 
+  // Negotiate the session codec before any unit is in flight; every
+  // frame after the daemon's ack — both directions — is the pick.
+  WireCodec Want = WireCodec::Json;
+  if (auto C = codecByName(S.Opts.Codec))
+    Want = *C;
+  WireCodec Session;
+  if (!negotiate(Fd, Want, Session)) {
+    S.R.TransportError = "connection lost during codec negotiation";
+    ::close(Fd);
+    return;
+  }
+  WireEncoder Enc(Session);
+  WireDecoder Dec(Session);
+
   UnitStream Stream(S.Opts.CampaignSeed, S.Begin, S.End);
   const auto IssueDeadline = Clock::now() + std::chrono::seconds(S.DurationS);
 
@@ -183,7 +220,8 @@ void detail::runSocketSweep(Sweep &S) {
     Rq.Seed = U.D.Seed;
     Rq.Bugs = S.Bugs;
     Rq.DeadlineMs = S.Opts.DeadlineMs;
-    if (!writeFrame(Fd, requestToJson(Rq)))
+    auto Payload = Enc.encode(requestToValue(Rq));
+    if (!Payload || !writeFrame(Fd, *Payload))
       return false;
     InFlight.emplace(Rq.Id, U);
     return true;
@@ -233,7 +271,10 @@ void detail::runSocketSweep(Sweep &S) {
       return Fail("connection closed with " +
                   std::to_string(InFlight.size() + RetryQ.size()) +
                   " unit(s) outstanding" + (Err.empty() ? "" : ": " + Err));
-    auto Rsp = responseFromJson(Frame, &Err);
+    auto RspV = Dec.decode(Frame, &Err);
+    std::optional<Response> Rsp;
+    if (RspV)
+      Rsp = responseFromValue(*RspV, &Err);
     if (!Rsp)
       return Fail("bad response: " + Err);
 
@@ -291,7 +332,8 @@ void detail::runSocketSweep(Sweep &S) {
         Request Sq;
         Sq.Kind = RequestKind::Stats;
         Sq.Id = NextStatsId--;
-        if (!writeFrame(Fd, requestToJson(Sq)))
+        auto Payload = Enc.encode(requestToValue(Sq));
+        if (!Payload || !writeFrame(Fd, *Payload))
           return Fail("stats request write failed");
         ++StatsOutstanding;
       }
@@ -306,7 +348,9 @@ void detail::runSocketSweep(Sweep &S) {
       // Only backpressure is retryable; shutting_down and quarantined are
       // the daemon saying "stop asking".
       if (Rsp->Reason == "queue_full" && U.Tries < S.Opts.MaxRetries) {
-        uint64_t Backoff = BackoffBaseMs << std::min<uint64_t>(U.Tries, 8);
+        // Overflow-proof exponential backoff, capped at ~6.4s.
+        uint64_t Backoff =
+            backoff::delayMs(BackoffBaseMs, U.Tries, BackoffBaseMs * 256);
         Backoff = std::max(Backoff, Rsp->RetryAfterMs);
         Backoff += Jitter.below(BackoffBaseMs + 1);
         ++U.Tries;

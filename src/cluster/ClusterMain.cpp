@@ -58,6 +58,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                      (default 1)\n"
      << "  --router-id ID      identity stamped into the aggregated stats\n"
      << "                      document (default router:pid:<pid>)\n"
+     << "  --codec NAME        wire codec negotiated on the member hops:\n"
+     << "                      cbj1 (default) or json. Independent of what\n"
+     << "                      clients negotiate on the front socket.\n"
      << "  --version           print version and exit\n"
      << "  --help, -h          print this help and exit\n";
 }
@@ -116,7 +119,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Cluster.Seed = N;
     else if (A == "--router-id" && I + 1 < Argc)
       O.Cluster.RouterId = Argv[++I];
-    else
+    else if (A == "--codec" && I + 1 < Argc) {
+      auto C = server::codecByName(Argv[++I]);
+      if (!C) {
+        BadArg = A + " " + Argv[I];
+        return false;
+      }
+      O.Cluster.MemberCodec = *C;
+    } else
       return false;
   }
   return true;

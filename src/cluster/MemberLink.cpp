@@ -30,6 +30,29 @@ int connectUnix(const std::string &Path) {
   return Fd;
 }
 
+/// Blocking hello exchange on a fresh connection (no reader is running
+/// yet, so plain request/response). False only on transport failure; a
+/// member that rejects the hello keeps the hop on json.
+bool negotiateHop(int Fd, server::WireCodec Want, server::WireCodec &Hop) {
+  Hop = server::WireCodec::Json;
+  if (Want == server::WireCodec::Json)
+    return true;
+  if (!server::writeFrame(Fd,
+                          server::requestToJson(server::helloRequest(Want))))
+    return false;
+  std::string Frame, Err;
+  if (!server::readFrame(Fd, Frame, &Err))
+    return false;
+  auto Rsp = server::responseFromJson(Frame, &Err);
+  if (!Rsp)
+    return false;
+  if (Rsp->Status != server::ResponseStatus::Ok)
+    return true; // member predates negotiation: degrade, don't die
+  if (auto C = server::codecByName(Rsp->Codec))
+    Hop = *C;
+  return true;
+}
+
 } // namespace
 
 MemberLink::MemberLink(MemberConfig Config, size_t MaxInflight,
@@ -65,16 +88,35 @@ bool MemberLink::connect() {
   int NewFd = connectUnix(Cfg.SocketPath);
   if (NewFd < 0)
     return false;
+  // Negotiate the hop codec before the reader exists: the hello and its
+  // ack are an ordinary blocking exchange on the fresh connection, and
+  // every frame after the ack — in both directions — is the pick.
+  server::WireCodec Hop;
+  if (!negotiateHop(NewFd, Cfg.Codec, Hop)) {
+    ::close(NewFd);
+    return false;
+  }
   uint64_t MyGen;
   {
     std::lock_guard<std::mutex> L(M);
     if (Fd >= 0)
       ::close(Fd);
     Fd = NewFd;
-    Alive = true;
     MyGen = ++Gen;
   }
-  Reader = std::thread([this, NewFd, MyGen] { readerLoop(NewFd, MyGen); });
+  {
+    // Fresh outbound session for this generation, installed before
+    // Alive flips so no send can use the old session against the new fd.
+    std::lock_guard<std::mutex> L(WriteM);
+    Enc.use(Hop);
+    EncGen = MyGen;
+  }
+  {
+    std::lock_guard<std::mutex> L(M);
+    Alive = true;
+  }
+  Reader =
+      std::thread([this, NewFd, MyGen, Hop] { readerLoop(NewFd, MyGen, Hop); });
   return true;
 }
 
@@ -99,7 +141,15 @@ MemberLink::SendResult MemberLink::send(const server::Request &R,
   bool WriteOk;
   {
     std::lock_guard<std::mutex> L(WriteM);
-    WriteOk = server::writeFrame(SendFd, server::requestToJson(Wire));
+    if (EncGen != SendGen) {
+      // A reconnect swapped sessions while this send was in flight; the
+      // captured fd is gone and encoding with the new session's intern
+      // table would desync it. Treat as a failed write on our generation.
+      WriteOk = false;
+    } else {
+      auto Payload = Enc.encode(server::requestToValue(Wire));
+      WriteOk = Payload && server::writeFrame(SendFd, *Payload);
+    }
   }
   if (WriteOk)
     return SendResult::Sent;
@@ -121,10 +171,15 @@ MemberLink::SendResult MemberLink::send(const server::Request &R,
   return IOwn ? SendResult::Dead : SendResult::Sent;
 }
 
-void MemberLink::readerLoop(int ReadFd, uint64_t ReadGen) {
+void MemberLink::readerLoop(int ReadFd, uint64_t ReadGen,
+                            server::WireCodec Codec) {
   std::string Frame, Err;
+  server::WireDecoder Dec(Codec); // this generation's inbound session
   while (server::readFrame(ReadFd, Frame, &Err)) {
-    auto Rsp = server::responseFromJson(Frame, &Err);
+    auto V = Dec.decode(Frame, &Err);
+    std::optional<server::Response> Rsp;
+    if (V)
+      Rsp = server::responseFromValue(*V, &Err);
     if (!Rsp)
       break; // protocol garbage: treat the connection as dead
     Callback Done;

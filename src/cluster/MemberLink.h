@@ -26,6 +26,7 @@
 #ifndef CRELLVM_CLUSTER_MEMBERLINK_H
 #define CRELLVM_CLUSTER_MEMBERLINK_H
 
+#include "server/Protocol.h"
 #include "server/RequestHandler.h"
 
 #include <atomic>
@@ -42,6 +43,12 @@ namespace cluster {
 struct MemberConfig {
   std::string Id;         ///< stats member_id; stable across reconnects
   std::string SocketPath; ///< the member daemon's Unix socket
+  /// Codec connect() negotiates for this member hop — independent of
+  /// whatever the router's own clients speak on the front socket. Both
+  /// ends of the hop ship together, so the default is the binary codec;
+  /// a member that answers the hello with an error keeps the hop on
+  /// json (negotiation never fails a connect, only degrades it).
+  server::WireCodec Codec = server::WireCodec::Cbj1;
 };
 
 class MemberLink {
@@ -91,7 +98,7 @@ public:
   void close();
 
 private:
-  void readerLoop(int ReadFd, uint64_t ReadGen);
+  void readerLoop(int ReadFd, uint64_t ReadGen, server::WireCodec Codec);
   /// Flips generation \p DeadGen to dead (idempotent per generation) and
   /// fires the death hook with its orphans unless \p Silent.
   void die(uint64_t DeadGen, bool Silent);
@@ -101,7 +108,13 @@ private:
   DeathHook OnDeath;
 
   mutable std::mutex M;  ///< guards all connection state below
-  std::mutex WriteM;     ///< serializes frame writes
+  std::mutex WriteM;     ///< serializes frame writes + encoder session
+  /// Outbound codec session, one per connection generation. EncGen tags
+  /// which generation it belongs to: a send that raced a reconnect must
+  /// not encode into the *new* session's intern table (it would desync
+  /// the member's decoder), so send() re-checks the tag under WriteM.
+  server::WireEncoder Enc;
+  uint64_t EncGen = 0;
   int Fd = -1;
   bool Alive = false;
   uint64_t Gen = 0;      ///< bumped by every connect()

@@ -3,6 +3,7 @@
 #include "cluster/Router.h"
 
 #include "cache/Fingerprint.h"
+#include "support/Backoff.h"
 #include "support/Histogram.h"
 #include "support/RNG.h"
 
@@ -205,6 +206,10 @@ crellvm::cluster::aggregateMemberStats(const std::vector<json::Value> &Docs,
   json::Value Root = json::Value::object();
   Root.set("requests", sumIntSection(Docs, "requests"));
   Root.set("verdicts", sumIntSection(Docs, "verdicts"));
+  // Per-codec frame/byte counters from each member's socket front end;
+  // the router's own SocketServer adds its client-facing traffic to this
+  // section as the response passes through it.
+  Root.set("wire", sumIntSection(Docs, "wire"));
 
   json::Value CacheV = sumIntSection(Docs, "cache");
   uint64_t Hits = intField(&CacheV, "hits"),
@@ -265,12 +270,14 @@ ClusterRouter::ClusterRouter(ClusterOptions Options)
   if (Opts.RouterId.empty())
     Opts.RouterId =
         "router:pid:" + std::to_string(static_cast<uint64_t>(::getpid()));
-  for (const MemberConfig &MC : Opts.Members)
+  for (MemberConfig MC : Opts.Members) {
+    MC.Codec = Opts.MemberCodec;
     Links.push_back(std::make_unique<MemberLink>(
-        MC, Opts.MaxInflightPerMember,
+        std::move(MC), Opts.MaxInflightPerMember,
         [this](MemberLink &L, std::vector<MemberLink::Orphan> Orphans) {
           onMemberDeath(L, std::move(Orphans));
         }));
+  }
 }
 
 ClusterRouter::~ClusterRouter() {
@@ -446,7 +453,9 @@ void ClusterRouter::routeForwarded(const Request &R, const Callback &Done,
   Rsp.Id = R.Id;
   Rsp.Status = ResponseStatus::Rejected;
   Rsp.Reason = "queue_full";
-  Rsp.RetryAfterMs = Opts.RetryAfterMsFloor;
+  // Same hard minimum as the service's own hint: a floor configured to 0
+  // must not turn cluster-wide backpressure into client hot-spin.
+  Rsp.RetryAfterMs = std::max(Opts.RetryAfterMsFloor, server::MinRetryAfterMs);
   Done(std::move(Rsp));
 }
 
@@ -471,7 +480,7 @@ void ClusterRouter::onMemberDeath(MemberLink &L,
 void ClusterRouter::reattachLoop() {
   using Clock = std::chrono::steady_clock;
   RNG Rng(Opts.Seed * 0x9e3779b97f4a7c15ull + 0xc1a5ull);
-  std::map<std::string, uint64_t> BackoffMs;
+  std::map<std::string, uint64_t> FailedTries;
   std::map<std::string, Clock::time_point> NextTry;
   std::unique_lock<std::mutex> L(RM);
   while (!Stopping) {
@@ -496,14 +505,16 @@ void ClusterRouter::reattachLoop() {
         if (!Stopping)
           Ring.addMember(D->id());
         ++C.Reattaches;
-        BackoffMs.erase(D->id());
+        FailedTries.erase(D->id());
         NextTry.erase(D->id());
       } else {
         // Seeded exponential backoff + jitter: a member that stays dead
         // costs one cheap connect attempt per backoff period, and
         // routers sharing a seed schedule still decorrelate per member.
-        uint64_t &B = BackoffMs[D->id()];
-        B = B ? std::min(B * 2, Opts.ReattachMaxMs) : Opts.ReattachBaseMs;
+        // delayMs is overflow-proof however long the member stays dead.
+        uint64_t B = backoff::delayMs(Opts.ReattachBaseMs,
+                                      FailedTries[D->id()]++,
+                                      Opts.ReattachMaxMs);
         NextTry[D->id()] =
             Now + std::chrono::milliseconds(B + Rng.below(B / 2 + 1));
       }

@@ -59,8 +59,12 @@ struct ClusterOptions {
   uint64_t ReattachBaseMs = 50;
   uint64_t ReattachMaxMs = 2000;
   uint64_t Seed = 1;
-  /// retry_after_ms floor for router-generated queue_full answers.
+  /// retry_after_ms floor for router-generated queue_full answers
+  /// (clamped up to server::MinRetryAfterMs like the service's own hint).
   uint64_t RetryAfterMsFloor = 10;
+  /// Wire codec negotiated on every member hop (MemberConfig::Codec);
+  /// independent of what front-socket clients negotiate for themselves.
+  server::WireCodec MemberCodec = server::WireCodec::Cbj1;
   /// Identity stamped into the aggregated stats document.
   std::string RouterId;
 };

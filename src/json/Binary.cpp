@@ -3,7 +3,6 @@
 #include "json/Binary.h"
 
 #include <cstring>
-#include <unordered_map>
 
 using namespace crellvm;
 using namespace crellvm::json;
@@ -23,10 +22,6 @@ enum Tag : uint8_t {
   TObject = 0x07,
 };
 
-/// Nesting deeper than this is rejected: a hostile file must not be able
-/// to overflow the decoder's stack.
-constexpr unsigned MaxDepth = 512;
-
 uint64_t zigzag(int64_t V) {
   return (static_cast<uint64_t>(V) << 1) ^
          static_cast<uint64_t>(V >> 63);
@@ -38,9 +33,22 @@ int64_t unzigzag(uint64_t V) {
 
 // --- Encoder ----------------------------------------------------------------
 
+/// Encodes one value against caller-owned intern state (so a session
+/// writer can persist the table across frames).
 class Encoder {
 public:
+  Encoder(std::unordered_map<std::string, uint64_t> &Interned,
+          uint64_t &NextId)
+      : Interned(Interned), NextId(NextId) {}
+
   std::string take() { return std::move(Out); }
+  const std::string &error() const { return Err; }
+
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
 
   void byte(uint8_t B) { Out.push_back(static_cast<char>(B)); }
 
@@ -65,49 +73,61 @@ public:
     Interned.emplace(S, NextId++);
   }
 
-  void value(const Value &V) {
+  bool value(const Value &V, unsigned Depth) {
+    // Symmetric with the decoder: never emit bytes the decoder would
+    // reject, and never recurse deeper than it would.
+    if (Depth > BinaryMaxDepth)
+      return fail("nesting too deep");
     switch (V.kind()) {
     case Value::Kind::Null:
       byte(TNull);
-      return;
+      return true;
     case Value::Kind::Bool:
       byte(V.getBool() ? TTrue : TFalse);
-      return;
+      return true;
     case Value::Kind::Int:
       byte(TInt);
       varint(zigzag(V.getInt()));
-      return;
+      return true;
     case Value::Kind::String:
       string(V.getString());
-      return;
+      return true;
     case Value::Kind::Array:
       byte(TArray);
       varint(V.elements().size());
       for (const Value &E : V.elements())
-        value(E);
-      return;
+        if (!value(E, Depth + 1))
+          return false;
+      return true;
     case Value::Kind::Object:
       byte(TObject);
       varint(V.members().size());
       for (const auto &KV : V.members()) {
         string(KV.first);
-        value(KV.second);
+        if (!value(KV.second, Depth + 1))
+          return false;
       }
-      return;
+      return true;
     }
+    return fail("unknown value kind");
   }
 
 private:
   std::string Out;
-  std::unordered_map<std::string, uint64_t> Interned;
-  uint64_t NextId = 0;
+  std::unordered_map<std::string, uint64_t> &Interned;
+  uint64_t &NextId;
+  std::string Err;
 };
 
 // --- Decoder ----------------------------------------------------------------
 
+/// Decodes one value against caller-owned intern state. \p Start skips
+/// the magic without copying the payload.
 class Decoder {
 public:
-  Decoder(const std::string &Bytes) : In(Bytes) {}
+  Decoder(const std::string &Bytes, size_t Start,
+          std::vector<std::shared_ptr<const std::string>> &Table)
+      : In(Bytes), Pos(Start), Table(Table) {}
 
   bool fail(const char *Msg) {
     if (Err.empty())
@@ -138,21 +158,23 @@ public:
   }
 
   /// Reads either a fresh string (interning it) or a back-reference.
-  bool string(std::string &S) {
+  /// Either way \p S points at the table's shared storage, so every
+  /// occurrence of an interned string shares one allocation.
+  bool string(std::shared_ptr<const std::string> &S) {
     uint8_t T;
     if (!byte(T))
       return false;
     return stringTagged(T, S);
   }
 
-  bool stringTagged(uint8_t T, std::string &S) {
+  bool stringTagged(uint8_t T, std::shared_ptr<const std::string> &S) {
     if (T == TString) {
       uint64_t Len;
       if (!varint(Len))
         return false;
       if (Len > In.size() - Pos)
         return fail("string length exceeds input");
-      S.assign(In, Pos, Len);
+      S = std::make_shared<const std::string>(In, Pos, Len);
       Pos += Len;
       Table.push_back(S);
       return true;
@@ -170,7 +192,7 @@ public:
   }
 
   bool value(Value &V, unsigned Depth) {
-    if (Depth > MaxDepth)
+    if (Depth > BinaryMaxDepth)
       return fail("nesting too deep");
     uint8_t T;
     if (!byte(T))
@@ -194,7 +216,7 @@ public:
     }
     case TString:
     case TStringRef: {
-      std::string S;
+      std::shared_ptr<const std::string> S;
       if (!stringTagged(T, S))
         return false;
       V = Value(std::move(S));
@@ -225,11 +247,11 @@ public:
         return fail("object count exceeds input");
       V = Value::object();
       for (uint64_t I = 0; I != N; ++I) {
-        std::string Key;
+        std::shared_ptr<const std::string> Key;
         Value Member;
         if (!string(Key) || !value(Member, Depth + 1))
           return false;
-        V.set(Key, std::move(Member));
+        V.set(*Key, std::move(Member));
       }
       return true;
     }
@@ -241,21 +263,14 @@ public:
 private:
   const std::string &In;
   size_t Pos = 0;
-  std::vector<std::string> Table;
+  std::vector<std::shared_ptr<const std::string>> &Table;
   std::string Err;
 };
 
-} // namespace
-
-std::string json::encodeBinary(const Value &V) {
-  Encoder E;
-  std::string Out(Magic, sizeof(Magic));
-  E.value(V);
-  return Out + E.take();
-}
-
-std::optional<Value> json::decodeBinary(const std::string &Bytes,
-                                        std::string *Error) {
+std::optional<Value>
+decodeWith(const std::string &Bytes,
+           std::vector<std::shared_ptr<const std::string>> &Table,
+           std::string *Error) {
   auto Fail = [&](const std::string &Msg) -> std::optional<Value> {
     if (Error)
       *Error = Msg;
@@ -264,8 +279,7 @@ std::optional<Value> json::decodeBinary(const std::string &Bytes,
   if (Bytes.size() < sizeof(Magic) ||
       std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
     return Fail("not a CBJ1 binary proof");
-  std::string Body(Bytes, sizeof(Magic));
-  Decoder D(Body);
+  Decoder D(Bytes, sizeof(Magic), Table);
   Value V;
   if (!D.value(V, 0))
     return Fail(D.error());
@@ -273,3 +287,55 @@ std::optional<Value> json::decodeBinary(const std::string &Bytes,
     return Fail("trailing bytes after value");
   return V;
 }
+
+} // namespace
+
+std::optional<std::string> json::encodeBinary(const Value &V,
+                                              std::string *Error) {
+  std::unordered_map<std::string, uint64_t> Interned;
+  uint64_t NextId = 0;
+  Encoder E(Interned, NextId);
+  if (!E.value(V, 0)) {
+    if (Error)
+      *Error = E.error();
+    return std::nullopt;
+  }
+  return std::string(Magic, sizeof(Magic)) + E.take();
+}
+
+std::optional<Value> json::decodeBinary(const std::string &Bytes,
+                                        std::string *Error) {
+  std::vector<std::shared_ptr<const std::string>> Table;
+  return decodeWith(Bytes, Table, Error);
+}
+
+// --- Session codecs ----------------------------------------------------------
+
+std::optional<std::string> BinaryWriter::encode(const Value &V,
+                                                std::string *Error) {
+  Encoder E(Interned, NextId);
+  if (!E.value(V, 0)) {
+    if (Error)
+      *Error = E.error();
+    return std::nullopt;
+  }
+  return std::string(Magic, sizeof(Magic)) + E.take();
+}
+
+void BinaryWriter::reset() {
+  Interned.clear();
+  NextId = 0;
+}
+
+std::optional<Value> BinaryReader::decode(const std::string &Bytes,
+                                          std::string *Error) {
+  size_t Mark = Table.size();
+  auto V = decodeWith(Bytes, Table, Error);
+  // Roll back strings interned by a failed frame: hostile bytes must not
+  // plant table entries that later (well-formed) frames could reference.
+  if (!V && Table.size() > Mark)
+    Table.resize(Mark);
+  return V;
+}
+
+void BinaryReader::reset() { Table.clear(); }

@@ -20,23 +20,83 @@
 /// it never trusts counts or ids and fails with a message instead of
 /// reading out of bounds (the proof file is untrusted input).
 ///
+/// Both directions enforce the same BinaryMaxDepth nesting limit, so the
+/// encoder can never produce bytes its own decoder rejects (and neither
+/// side can be driven into stack overflow by a deep tree).
+///
+/// BinaryWriter/BinaryReader are the *session* forms used by the wire
+/// protocol: their intern tables persist across encode()/decode() calls,
+/// so on a pipelined connection a register or rule name is transmitted
+/// in full once and costs two bytes on every later frame. The reader
+/// interns into shared string storage — every back-reference yields a
+/// json::Value sharing one allocation (the first zero-copy slice).
+///
 //===----------------------------------------------------------------------===//
 #ifndef CRELLVM_JSON_BINARY_H
 #define CRELLVM_JSON_BINARY_H
 
 #include "json/Json.h"
 
+#include <unordered_map>
+
 namespace crellvm {
 namespace json {
 
+/// Nesting deeper than this is rejected by decoder *and* encoder: a
+/// hostile file must not be able to overflow the decoder's stack, and a
+/// pathological tree must fail at encode time, not produce bytes the
+/// decoder then refuses.
+constexpr unsigned BinaryMaxDepth = 512;
+
 /// Encodes \p V as compact binary bytes (returned in a std::string so it
-/// can be written/read with the same file helpers as text).
-std::string encodeBinary(const Value &V);
+/// can be written/read with the same file helpers as text). Fails with a
+/// message in \p Error if the tree nests deeper than BinaryMaxDepth.
+std::optional<std::string> encodeBinary(const Value &V,
+                                        std::string *Error = nullptr);
 
 /// Decodes bytes produced by encodeBinary. Returns std::nullopt with a
 /// message in \p Error on malformed, truncated, or hostile input.
 std::optional<Value> decodeBinary(const std::string &Bytes,
                                   std::string *Error = nullptr);
+
+/// Session encoder: the intern table persists across encode() calls, so a
+/// string transmitted in any earlier frame of the session costs two bytes
+/// in every later frame. Pair with a BinaryReader fed the same frames in
+/// the same order; reset() both together (a codec re-negotiation is the
+/// only sync point the wire protocol uses).
+class BinaryWriter {
+public:
+  /// Encodes \p V as one self-delimiting CBJ1 frame (magic + value).
+  /// Fails only on over-deep nesting; the table still grows for strings
+  /// already emitted, so a failed frame poisons the session — callers
+  /// treat it as fatal for the connection.
+  std::optional<std::string> encode(const Value &V,
+                                    std::string *Error = nullptr);
+
+  void reset();
+  size_t internedStrings() const { return Interned.size(); }
+
+private:
+  std::unordered_map<std::string, uint64_t> Interned;
+  uint64_t NextId = 0;
+};
+
+/// Session decoder, the defensive mirror of BinaryWriter. On a decode
+/// error the intern table is rolled back to its pre-frame state, so one
+/// hostile frame cannot corrupt what later frames may reference (the
+/// caller answers an error and keeps the connection; a *legitimate*
+/// sender never produces a failing frame, so the tables stay in sync).
+class BinaryReader {
+public:
+  std::optional<Value> decode(const std::string &Bytes,
+                              std::string *Error = nullptr);
+
+  void reset();
+  size_t internedStrings() const { return Table.size(); }
+
+private:
+  std::vector<std::shared_ptr<const std::string>> Table;
+};
 
 } // namespace json
 } // namespace crellvm

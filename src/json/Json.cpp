@@ -25,6 +25,11 @@ const Value &Value::nullValue() {
   return Null;
 }
 
+const std::string &Value::emptyString() {
+  static const std::string Empty;
+  return Empty;
+}
+
 const Value &Value::get(const std::string &Key) const {
   const Value *V = find(Key);
   assert(V && "missing object key");
@@ -87,7 +92,7 @@ void Value::writeTo(std::string &Out) const {
     Out += std::to_string(IntVal);
     break;
   case Kind::String:
-    writeEscaped(StrVal, Out);
+    writeEscaped(getString(), Out);
     break;
   case Kind::Array: {
     Out += '[';

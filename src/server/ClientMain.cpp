@@ -5,13 +5,19 @@
 // and prints verdict summaries, or fetches the live stats document.
 //
 //   crellvm-client --socket PATH [--seed S] [--modules N] [--module FILE]
-//                  [--bugs CFG] [--deadline-ms N] [--retries N] [--stats]
-//                  [--ping] [--shutdown] [--json] [--version] [--help]
+//                  [--bugs CFG] [--deadline-ms N] [--retries N]
+//                  [--codec NAME] [--stats] [--ping] [--shutdown] [--json]
+//                  [--version] [--help]
 //
 // With --retries N, requests the daemon rejected with queue_full are
 // resent up to N more rounds, backing off exponentially with jitter and
 // honoring the server's retry_after_ms hint. Deliberate rejections
 // (shutting_down, quarantined) are never retried.
+//
+// With --codec cbj1 the client opens the session with a hello frame and,
+// when the daemon acks, speaks the compact binary codec for the rest of
+// the connection. A daemon that predates negotiation answers the hello
+// with an error; the client degrades to json rather than failing.
 //
 // Exit codes: 0 all verdicts clean, 1 failures/rejections/divergences,
 // 2 bad usage or daemon not running, 3 transport error.
@@ -20,6 +26,7 @@
 
 #include "checker/Version.h"
 #include "server/Protocol.h"
+#include "support/Backoff.h"
 #include "support/RNG.h"
 
 #include <algorithm>
@@ -48,6 +55,7 @@ struct CliOptions {
   std::string Bugs = "fixed";
   uint64_t DeadlineMs = 0;
   uint64_t Retries = 0;
+  WireCodec Codec = WireCodec::Json;
   bool Stats = false;
   bool Ping = false;
   bool Shutdown = false;
@@ -72,6 +80,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --retries N      resend queue_full rejections up to N rounds,\n"
      << "                   exponential backoff + jitter, honoring the\n"
      << "                   server's retry_after_ms hint (default 0)\n"
+     << "  --codec NAME     wire codec: json (default) or cbj1. cbj1 is\n"
+     << "                   negotiated with a hello frame; a daemon that\n"
+     << "                   predates negotiation degrades back to json\n"
      << "  --stats          fetch and print the server stats document\n"
      << "  --ping           liveness check\n"
      << "  --shutdown       ask the daemon to drain and exit\n"
@@ -115,7 +126,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.DeadlineMs = N;
     else if (A == "--retries" && NextNum(N))
       O.Retries = N;
-    else if (A == "--stats")
+    else if (A == "--codec" && I + 1 < Argc) {
+      auto C = codecByName(Argv[++I]);
+      if (!C) {
+        BadArg = A + std::string(" ") + Argv[I];
+        return false;
+      }
+      O.Codec = *C;
+    } else if (A == "--stats")
       O.Stats = true;
     else if (A == "--ping")
       O.Ping = true;
@@ -199,6 +217,31 @@ int connectTo(const std::string &Path, int &ConnectErrno) {
   return Fd;
 }
 
+/// Blocking hello exchange right after connect (nothing else is in
+/// flight, so plain request/response). False only on transport failure;
+/// a daemon that rejects the hello keeps the session on json.
+bool negotiate(int Fd, WireCodec Want, WireCodec &Session) {
+  Session = WireCodec::Json;
+  if (Want == WireCodec::Json)
+    return true;
+  if (!writeFrame(Fd, requestToJson(helloRequest(Want))))
+    return false;
+  std::string Frame, Err;
+  if (!readFrame(Fd, Frame, &Err))
+    return false;
+  auto Rsp = responseFromJson(Frame, &Err);
+  if (!Rsp)
+    return false;
+  if (Rsp->Status != ResponseStatus::Ok) {
+    std::cerr << "note: daemon declined codec negotiation ("
+              << Rsp->Reason << "); staying on json\n";
+    return true;
+  }
+  if (auto C = codecByName(Rsp->Codec))
+    Session = *C;
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -237,6 +280,17 @@ int main(int Argc, char **Argv) {
               << std::strerror(ConnectErrno) << "\n";
     return 3;
   }
+
+  // Negotiate the session codec before anything else is in flight;
+  // every frame after the daemon's ack — both directions — is the pick.
+  WireCodec Session;
+  if (!negotiate(Fd, Cli.Codec, Session)) {
+    std::cerr << "error: connection lost during codec negotiation\n";
+    ::close(Fd);
+    return 3;
+  }
+  WireEncoder Enc(Session);
+  WireDecoder Dec(Session);
 
   // Build the request list.
   std::vector<Request> Requests;
@@ -296,7 +350,8 @@ int main(int Argc, char **Argv) {
     // (matched by id — the server batches, so responses arrive in
     // completion order).
     for (size_t Idx : Outstanding) {
-      if (!writeFrame(Fd, requestToJson(Requests[Idx]))) {
+      auto Payload = Enc.encode(requestToValue(Requests[Idx]));
+      if (!Payload || !writeFrame(Fd, *Payload)) {
         std::cerr << "error: write failed\n";
         ::close(Fd);
         return 3;
@@ -314,14 +369,20 @@ int main(int Argc, char **Argv) {
         ::close(Fd);
         return 3;
       }
-      if (Cli.Json)
-        std::cout << Frame << "\n";
-      auto Rsp = responseFromJson(Frame, &Err);
+      auto RspV = Dec.decode(Frame, &Err);
+      std::optional<Response> Rsp;
+      if (RspV)
+        Rsp = responseFromValue(*RspV, &Err);
       if (!Rsp) {
         std::cerr << "error: bad response: " << Err << "\n";
         ::close(Fd);
         return 3;
       }
+      if (Cli.Json)
+        // Raw frames are binary under cbj1; print the json rendering so
+        // --json output is codec-independent.
+        std::cout << (Session == WireCodec::Json ? Frame : RspV->write())
+                  << "\n";
       switch (Rsp->Status) {
       case ResponseStatus::Ok:
         ++Ok;
@@ -382,10 +443,11 @@ int main(int Argc, char **Argv) {
     Outstanding = std::move(Retry);
     if (Outstanding.empty())
       break;
-    // Exponential backoff, floored at the server's own hint, plus jitter
-    // so a burst of clients does not resubmit in lockstep.
-    uint64_t Backoff = BackoffBaseMs
-                       << std::min<uint64_t>(Round, 8); // cap at ~6.4s
+    // Exponential backoff (overflow-proof, capped at ~6.4s), floored at
+    // the server's own hint, plus jitter so a burst of clients does not
+    // resubmit in lockstep.
+    uint64_t Backoff =
+        backoff::delayMs(BackoffBaseMs, Round, BackoffBaseMs * 256);
     Backoff = std::max(Backoff, ServerHintMs);
     Backoff += JitterRng.below(BackoffBaseMs + 1);
     std::cerr << "retrying " << Outstanding.size() << " rejected request"

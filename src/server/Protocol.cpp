@@ -13,6 +13,48 @@
 using namespace crellvm;
 using namespace crellvm::server;
 
+const char *server::codecName(WireCodec C) {
+  switch (C) {
+  case WireCodec::Json:
+    return "json";
+  case WireCodec::Cbj1:
+    return "cbj1";
+  }
+  return "?";
+}
+
+std::optional<WireCodec> server::codecByName(const std::string &Name) {
+  if (Name == "json")
+    return WireCodec::Json;
+  if (Name == "cbj1")
+    return WireCodec::Cbj1;
+  return std::nullopt;
+}
+
+Request server::helloRequest(WireCodec Want, int64_t Id) {
+  Request R;
+  R.Kind = RequestKind::Hello;
+  R.Id = Id;
+  R.Codecs.push_back(codecName(Want));
+  if (Want != WireCodec::Json)
+    R.Codecs.push_back(codecName(WireCodec::Json));
+  return R;
+}
+
+std::optional<WireCodec>
+server::pickCodec(const std::vector<std::string> &Offered) {
+  bool HasJson = false;
+  for (const std::string &Name : Offered) {
+    if (Name == "cbj1")
+      return WireCodec::Cbj1;
+    if (Name == "json")
+      HasJson = true;
+  }
+  if (HasJson)
+    return WireCodec::Json;
+  return std::nullopt;
+}
+
 std::string server::encodeFrame(const std::string &Payload) {
   uint32_t N = static_cast<uint32_t>(Payload.size());
   std::string Out;
@@ -121,7 +163,7 @@ bool server::readFrame(int Fd, std::string &Out, std::string *Err) {
 
 // --- Request codec -----------------------------------------------------------
 
-std::string server::requestToJson(const Request &R) {
+json::Value server::requestToValue(const Request &R) {
   json::Value O = json::Value::object();
   switch (R.Kind) {
   case RequestKind::Validate:
@@ -136,6 +178,9 @@ std::string server::requestToJson(const Request &R) {
   case RequestKind::Shutdown:
     O.set("type", json::Value("shutdown"));
     break;
+  case RequestKind::Hello:
+    O.set("type", json::Value("hello"));
+    break;
   }
   O.set("id", json::Value(R.Id));
   if (R.Kind == RequestKind::Validate) {
@@ -147,7 +192,17 @@ std::string server::requestToJson(const Request &R) {
     if (R.DeadlineMs)
       O.set("deadline_ms", json::Value(R.DeadlineMs));
   }
-  return O.write();
+  if (R.Kind == RequestKind::Hello) {
+    json::Value Codecs = json::Value::array();
+    for (const std::string &Name : R.Codecs)
+      Codecs.push(json::Value(Name));
+    O.set("codecs", std::move(Codecs));
+  }
+  return O;
+}
+
+std::string server::requestToJson(const Request &R) {
+  return requestToValue(R).write();
 }
 
 namespace {
@@ -160,16 +215,14 @@ const json::Value *findKind(const json::Value &V, const char *Key,
 
 } // namespace
 
-std::optional<Request> server::requestFromJson(const std::string &Text,
-                                               std::string *Err) {
-  std::string ParseErr;
-  auto V = json::parse(Text, &ParseErr);
-  if (!V || V->kind() != json::Value::Kind::Object) {
+std::optional<Request> server::requestFromValue(const json::Value &V,
+                                                std::string *Err) {
+  if (V.kind() != json::Value::Kind::Object) {
     if (Err)
-      *Err = ParseErr.empty() ? "request is not a JSON object" : ParseErr;
+      *Err = "request is not a JSON object";
     return std::nullopt;
   }
-  const json::Value *Type = findKind(*V, "type", json::Value::Kind::String);
+  const json::Value *Type = findKind(V, "type", json::Value::Kind::String);
   if (!Type) {
     if (Err)
       *Err = "request has no string 'type'";
@@ -185,17 +238,19 @@ std::optional<Request> server::requestFromJson(const std::string &Text,
     R.Kind = RequestKind::Ping;
   else if (T == "shutdown")
     R.Kind = RequestKind::Shutdown;
+  else if (T == "hello")
+    R.Kind = RequestKind::Hello;
   else {
     if (Err)
       *Err = "unknown request type '" + T + "'";
     return std::nullopt;
   }
-  if (const json::Value *Id = findKind(*V, "id", json::Value::Kind::Int))
+  if (const json::Value *Id = findKind(V, "id", json::Value::Kind::Int))
     R.Id = Id->getInt();
   if (R.Kind == RequestKind::Validate) {
-    if (const json::Value *M = findKind(*V, "module", json::Value::Kind::String))
+    if (const json::Value *M = findKind(V, "module", json::Value::Kind::String))
       R.ModuleText = M->getString();
-    if (const json::Value *S = findKind(*V, "seed", json::Value::Kind::Int)) {
+    if (const json::Value *S = findKind(V, "seed", json::Value::Kind::Int)) {
       R.Seed = static_cast<uint64_t>(S->getInt());
       R.HasSeed = true;
     }
@@ -204,13 +259,36 @@ std::optional<Request> server::requestFromJson(const std::string &Text,
         *Err = "validate request needs 'module' or 'seed'";
       return std::nullopt;
     }
-    if (const json::Value *B = findKind(*V, "bugs", json::Value::Kind::String))
+    if (const json::Value *B = findKind(V, "bugs", json::Value::Kind::String))
       R.Bugs = B->getString();
     if (const json::Value *D =
-            findKind(*V, "deadline_ms", json::Value::Kind::Int))
+            findKind(V, "deadline_ms", json::Value::Kind::Int))
       R.DeadlineMs = static_cast<uint64_t>(D->getInt());
   }
+  if (R.Kind == RequestKind::Hello) {
+    const json::Value *C = findKind(V, "codecs", json::Value::Kind::Array);
+    if (!C) {
+      if (Err)
+        *Err = "hello request needs a 'codecs' array";
+      return std::nullopt;
+    }
+    for (const json::Value &E : C->elements())
+      if (E.kind() == json::Value::Kind::String)
+        R.Codecs.push_back(E.getString());
+  }
   return R;
+}
+
+std::optional<Request> server::requestFromJson(const std::string &Text,
+                                               std::string *Err) {
+  std::string ParseErr;
+  auto V = json::parse(Text, &ParseErr);
+  if (!V) {
+    if (Err)
+      *Err = ParseErr.empty() ? "request is not a JSON object" : ParseErr;
+    return std::nullopt;
+  }
+  return requestFromValue(*V, Err);
 }
 
 // --- Response codec ----------------------------------------------------------
@@ -276,7 +354,7 @@ server::passVerdictsOf(const driver::StatsMap &S) {
   return Out;
 }
 
-std::string server::responseToJson(const Response &R) {
+json::Value server::responseToValue(const Response &R) {
   json::Value O = json::Value::object();
   O.set("id", json::Value(R.Id));
   O.set("status", json::Value(statusName(R.Status)));
@@ -284,6 +362,8 @@ std::string server::responseToJson(const Response &R) {
     O.set("reason", json::Value(R.Reason));
   if (R.RetryAfterMs)
     O.set("retry_after_ms", json::Value(R.RetryAfterMs));
+  if (!R.Codec.empty())
+    O.set("codec", json::Value(R.Codec));
   if (!R.Passes.empty()) {
     json::Value Passes = json::Value::object();
     for (const auto &KV : R.Passes) {
@@ -320,19 +400,21 @@ std::string server::responseToJson(const Response &R) {
   }
   if (!R.Stats.isNull())
     O.set("stats", R.Stats);
-  return O.write();
+  return O;
 }
 
-std::optional<Response> server::responseFromJson(const std::string &Text,
-                                                 std::string *Err) {
-  std::string ParseErr;
-  auto V = json::parse(Text, &ParseErr);
-  if (!V || V->kind() != json::Value::Kind::Object) {
+std::string server::responseToJson(const Response &R) {
+  return responseToValue(R).write();
+}
+
+std::optional<Response> server::responseFromValue(const json::Value &V,
+                                                  std::string *Err) {
+  if (V.kind() != json::Value::Kind::Object) {
     if (Err)
-      *Err = ParseErr.empty() ? "response is not a JSON object" : ParseErr;
+      *Err = "response is not a JSON object";
     return std::nullopt;
   }
-  const json::Value *St = findKind(*V, "status", json::Value::Kind::String);
+  const json::Value *St = findKind(V, "status", json::Value::Kind::String);
   if (!St) {
     if (Err)
       *Err = "response has no string 'status'";
@@ -355,15 +437,17 @@ std::optional<Response> server::responseFromJson(const std::string &Text,
       *Err = "unknown response status '" + S + "'";
     return std::nullopt;
   }
-  if (const json::Value *Id = findKind(*V, "id", json::Value::Kind::Int))
+  if (const json::Value *Id = findKind(V, "id", json::Value::Kind::Int))
     R.Id = Id->getInt();
-  if (const json::Value *Re = findKind(*V, "reason", json::Value::Kind::String))
+  if (const json::Value *Re = findKind(V, "reason", json::Value::Kind::String))
     R.Reason = Re->getString();
   if (const json::Value *Ra =
-          findKind(*V, "retry_after_ms", json::Value::Kind::Int))
+          findKind(V, "retry_after_ms", json::Value::Kind::Int))
     R.RetryAfterMs = static_cast<uint64_t>(Ra->getInt());
+  if (const json::Value *C = findKind(V, "codec", json::Value::Kind::String))
+    R.Codec = C->getString();
   if (const json::Value *Passes =
-          findKind(*V, "passes", json::Value::Kind::Object))
+          findKind(V, "passes", json::Value::Kind::Object))
     for (const auto &KV : Passes->members()) {
       if (KV.second.kind() != json::Value::Kind::Object)
         continue;
@@ -383,27 +467,39 @@ std::optional<Response> server::responseFromJson(const std::string &Text,
         P.Div = static_cast<uint64_t>(N->getInt());
       R.Passes[KV.first] = P;
     }
-  if (const json::Value *F = findKind(*V, "failures", json::Value::Kind::Array))
+  if (const json::Value *F = findKind(V, "failures", json::Value::Kind::Array))
     for (const json::Value &E : F->elements())
       if (E.kind() == json::Value::Kind::String)
         R.Failures.push_back(E.getString());
   if (const json::Value *D =
-          findKind(*V, "divergences", json::Value::Kind::Array))
+          findKind(V, "divergences", json::Value::Kind::Array))
     for (const json::Value &E : D->elements())
       if (E.kind() == json::Value::Kind::String)
         R.Divergences.push_back(E.getString());
-  if (const json::Value *C = findKind(*V, "cache", json::Value::Kind::Object)) {
+  if (const json::Value *C = findKind(V, "cache", json::Value::Kind::Object)) {
     if (const json::Value *N = findKind(*C, "hits", json::Value::Kind::Int))
       R.CacheHits = static_cast<uint64_t>(N->getInt());
     if (const json::Value *N = findKind(*C, "misses", json::Value::Kind::Int))
       R.CacheMisses = static_cast<uint64_t>(N->getInt());
   }
-  if (const json::Value *N = findKind(*V, "queue_us", json::Value::Kind::Int))
+  if (const json::Value *N = findKind(V, "queue_us", json::Value::Kind::Int))
     R.QueueUs = static_cast<uint64_t>(N->getInt());
-  if (const json::Value *N = findKind(*V, "total_us", json::Value::Kind::Int))
+  if (const json::Value *N = findKind(V, "total_us", json::Value::Kind::Int))
     R.TotalUs = static_cast<uint64_t>(N->getInt());
   if (const json::Value *Stats =
-          findKind(*V, "stats", json::Value::Kind::Object))
+          findKind(V, "stats", json::Value::Kind::Object))
     R.Stats = *Stats;
   return R;
+}
+
+std::optional<Response> server::responseFromJson(const std::string &Text,
+                                                 std::string *Err) {
+  std::string ParseErr;
+  auto V = json::parse(Text, &ParseErr);
+  if (!V) {
+    if (Err)
+      *Err = ParseErr.empty() ? "response is not a JSON object" : ParseErr;
+    return std::nullopt;
+  }
+  return responseFromValue(*V, Err);
 }

@@ -1,15 +1,24 @@
 //===- server/Protocol.h - Validation service wire protocol -----*- C++ -*-===//
 ///
 /// \file
-/// The `crellvm-served` wire protocol: length-prefixed JSON frames over a
+/// The `crellvm-served` wire protocol: length-prefixed frames over a
 /// byte stream (a Unix-domain socket in production, an in-process string
 /// round-trip in the loopback transport used by tests).
 ///
 /// **Framing.** Each message is a 4-byte big-endian payload length
-/// followed by that many bytes of UTF-8 JSON. Frames above MaxFrameBytes
-/// are rejected before allocation — a malformed or hostile peer can cost
-/// at most one bounded read, never an OOM. Reads and writes loop over
-/// partial transfers and EINTR.
+/// followed by that many payload bytes. Frames above MaxFrameBytes are
+/// rejected before allocation — a malformed or hostile peer can cost at
+/// most one bounded read, never an OOM, and the bound is enforced at the
+/// frame layer so it holds identically for every payload codec. Reads
+/// and writes loop over partial transfers and EINTR.
+///
+/// **Payload codecs.** A connection starts in `json` (UTF-8 text, the
+/// legacy protocol byte-for-byte). A client may open with a `hello`
+/// request advertising `codecs:["json","cbj1"]`; the daemon answers with
+/// its pick in `codec` and *both* directions switch to it for every
+/// frame after the ack (`cbj1` is json/Binary.h with per-connection
+/// intern tables, reset at the hello). Old clients that never send a
+/// hello stay on json — zero protocol break. See DESIGN.md §16.
 ///
 /// **Requests** (`"type"` selects the kind; `"id"` is an opaque client
 /// token echoed in the response, which is how clients pipeline many
@@ -49,6 +58,7 @@
 #define CRELLVM_SERVER_PROTOCOL_H
 
 #include "driver/Driver.h"
+#include "json/Binary.h"
 #include "json/Json.h"
 
 #include <cstdint>
@@ -71,6 +81,21 @@ constexpr uint32_t MaxFrameBytes = 64u << 20;
 /// whenever a counter's meaning changes, not just when one is added.
 constexpr uint64_t StatsSchemaVersion = 1;
 
+/// Hard lower bound on the `retry_after_ms` backpressure hint. A cold
+/// daemon has an empty latency histogram (p50 = 0), and a hint of 0 ms
+/// turns every backpressured client into a hot-spinning one — so the
+/// hint never drops below this, no matter how the floor is configured.
+constexpr uint64_t MinRetryAfterMs = 5;
+
+/// Payload codec of one direction of one connection. Json is the legacy
+/// text protocol; Cbj1 is the interned binary encoding (json/Binary.h)
+/// with tables persisting for the life of the connection.
+enum class WireCodec : uint8_t { Json, Cbj1 };
+
+/// "json" / "cbj1" — the names used in hello `codecs` lists and acks.
+const char *codecName(WireCodec C);
+std::optional<WireCodec> codecByName(const std::string &Name);
+
 /// Prepends the 4-byte big-endian length header.
 std::string encodeFrame(const std::string &Payload);
 
@@ -82,7 +107,7 @@ bool writeFrame(int Fd, const std::string &Payload);
 /// header (\p Err names the cause; empty string means clean EOF).
 bool readFrame(int Fd, std::string &Out, std::string *Err = nullptr);
 
-enum class RequestKind : uint8_t { Validate, Stats, Ping, Shutdown };
+enum class RequestKind : uint8_t { Validate, Stats, Ping, Shutdown, Hello };
 
 struct Request {
   RequestKind Kind = RequestKind::Ping;
@@ -95,11 +120,25 @@ struct Request {
   std::string Bugs = "fixed";
   /// Queue-wait + validation budget; 0 = unbounded.
   uint64_t DeadlineMs = 0;
+  /// Hello: codec names the client can speak, in preference order.
+  std::vector<std::string> Codecs;
 };
 
+json::Value requestToValue(const Request &R);
+std::optional<Request> requestFromValue(const json::Value &V,
+                                        std::string *Err = nullptr);
 std::string requestToJson(const Request &R);
 std::optional<Request> requestFromJson(const std::string &Text,
                                        std::string *Err = nullptr);
+
+/// The hello a client sends to negotiate \p Want (advertises json too,
+/// so the server always has a common pick).
+Request helloRequest(WireCodec Want, int64_t Id = 0);
+
+/// The server's pick from an advertised codec list: cbj1 when offered
+/// (it is strictly cheaper on the hot path), else json. std::nullopt if
+/// the list names nothing the server speaks.
+std::optional<WireCodec> pickCodec(const std::vector<std::string> &Offered);
 
 enum class ResponseStatus : uint8_t {
   Ok,
@@ -135,6 +174,10 @@ struct Response {
   std::vector<std::string> Divergences;
   uint64_t CacheHits = 0, CacheMisses = 0;
   uint64_t QueueUs = 0, TotalUs = 0;
+  /// Hello ack: the codec the server picked ("json" / "cbj1"); empty on
+  /// every other response. The ack itself is still encoded with the
+  /// *previous* codec — the switch happens on the next frame.
+  std::string Codec;
   /// Stats-request payload (object), null otherwise.
   json::Value Stats;
 
@@ -145,12 +188,70 @@ struct Response {
   uint64_t totalDiv() const;
 };
 
+json::Value responseToValue(const Response &R);
+std::optional<Response> responseFromValue(const json::Value &V,
+                                          std::string *Err = nullptr);
 std::string responseToJson(const Response &R);
 std::optional<Response> responseFromJson(const std::string &Text,
                                          std::string *Err = nullptr);
 
 /// Collapses a driver StatsMap into the wire verdict map.
 std::map<std::string, PassVerdicts> passVerdictsOf(const driver::StatsMap &S);
+
+/// One direction of one connection's payload codec. Starts in json (the
+/// legacy protocol, stateless); use() switches codec and resets any
+/// session state — call it exactly at the hello-ack boundary, on both
+/// ends, so the cbj1 intern tables stay in lockstep.
+class WireEncoder {
+public:
+  explicit WireEncoder(WireCodec C = WireCodec::Json) : C(C) {}
+
+  WireCodec codec() const { return C; }
+  void use(WireCodec Next) {
+    C = Next;
+    Writer.reset();
+  }
+
+  /// Encodes one frame payload. Json cannot fail; cbj1 fails only on
+  /// over-deep nesting (then the session is poisoned — close the
+  /// connection).
+  std::optional<std::string> encode(const json::Value &V,
+                                    std::string *Err = nullptr) {
+    if (C == WireCodec::Json)
+      return V.write();
+    return Writer.encode(V, Err);
+  }
+
+private:
+  WireCodec C;
+  json::BinaryWriter Writer;
+};
+
+/// Decoding mirror of WireEncoder. A failed cbj1 frame rolls the intern
+/// table back to its pre-frame state (json/Binary.h), so the caller can
+/// answer an error and keep reading — exactly the legacy behavior for a
+/// bad JSON frame.
+class WireDecoder {
+public:
+  explicit WireDecoder(WireCodec C = WireCodec::Json) : C(C) {}
+
+  WireCodec codec() const { return C; }
+  void use(WireCodec Next) {
+    C = Next;
+    Reader.reset();
+  }
+
+  std::optional<json::Value> decode(const std::string &Payload,
+                                    std::string *Err = nullptr) {
+    if (C == WireCodec::Json)
+      return json::parse(Payload, Err);
+    return Reader.decode(Payload, Err);
+  }
+
+private:
+  WireCodec C;
+  json::BinaryReader Reader;
+};
 
 } // namespace server
 } // namespace crellvm

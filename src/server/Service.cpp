@@ -140,10 +140,15 @@ void ValidationService::noteUnitResult(const Request &R, bool Failed) {
 
 uint64_t ValidationService::retryAfterMsHint() {
   // Half a typical request latency is a reasonable first retry; the floor
-  // keeps the hint sane before any request completed.
+  // keeps the hint sane before any request completed. On a cold daemon
+  // the histogram is empty (p50 = 0), so if the configured floor is 0 the
+  // hint would be 0 ms and every backpressured client would hot-spin —
+  // MinRetryAfterMs is a hard lower bound, independent of configuration.
   uint64_t P50Us = TotalLatencyUs.snapshot().quantile(0.5);
   uint64_t Hint = P50Us / 2000;
-  return Hint > Opts.RetryAfterMsFloor ? Hint : Opts.RetryAfterMsFloor;
+  if (Hint < Opts.RetryAfterMsFloor)
+    Hint = Opts.RetryAfterMsFloor;
+  return Hint < MinRetryAfterMs ? MinRetryAfterMs : Hint;
 }
 
 void ValidationService::submit(const Request &R, Callback Done) {
@@ -172,6 +177,15 @@ void ValidationService::submit(const Request &R, Callback Done) {
     beginShutdown();
     Rsp.Status = ResponseStatus::Ok;
     Rsp.Reason = "draining";
+    Done(std::move(Rsp));
+    return;
+  case RequestKind::Hello:
+    // Codec negotiation is transport business; SocketServer answers it
+    // before the request ever reaches a handler. A hello arriving here
+    // came over the loopback transport, which has no frames to re-encode
+    // — so the honest answer is the codec loopback already speaks.
+    Rsp.Status = ResponseStatus::Ok;
+    Rsp.Codec = codecName(WireCodec::Json);
     Done(std::move(Rsp));
     return;
   case RequestKind::Validate:

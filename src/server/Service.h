@@ -74,7 +74,10 @@ struct ServiceOptions {
   /// How long the dispatcher lingers for more requests when fewer than
   /// BatchMax are queued; 0 = dispatch immediately (no coalescing delay).
   uint64_t BatchLingerUs = 200;
-  /// Floor for the retry_after_ms backoff hint.
+  /// Floor for the retry_after_ms backoff hint. However low this is
+  /// configured, the hint never drops below server::MinRetryAfterMs — a
+  /// cold daemon's empty latency histogram must not hint 0 ms and turn
+  /// backpressured clients into hot-spinners.
   uint64_t RetryAfterMsFloor = 10;
   /// Per-unit watchdog deadline handed to driver::BatchOptions; a unit
   /// still running past it is answered `internal_error` while its batch

@@ -30,19 +30,52 @@ bool fillSockAddr(const std::string &Path, sockaddr_un &Addr,
 
 } // namespace
 
+json::Value WireStats::toJson() const {
+  json::Value O = json::Value::object();
+  auto Set = [&](const char *Key, const std::atomic<uint64_t> &V) {
+    O.set(Key, json::Value(V.load(std::memory_order_relaxed)));
+  };
+  Set("json_frames_in", FramesIn[0]);
+  Set("json_bytes_in", BytesIn[0]);
+  Set("json_frames_out", FramesOut[0]);
+  Set("json_bytes_out", BytesOut[0]);
+  Set("cbj1_frames_in", FramesIn[1]);
+  Set("cbj1_bytes_in", BytesIn[1]);
+  Set("cbj1_frames_out", FramesOut[1]);
+  Set("cbj1_bytes_out", BytesOut[1]);
+  Set("hellos", Hellos);
+  return O;
+}
+
 SocketServer::Connection::~Connection() {
   if (Fd >= 0)
     ::close(Fd);
 }
 
-bool SocketServer::Connection::send(const std::string &Payload) {
-  std::lock_guard<std::mutex> L(WriteM);
+bool SocketServer::Connection::sendLocked(const json::Value &V) {
   if (!Open.load(std::memory_order_relaxed))
     return false;
-  if (!writeFrame(Fd, Payload)) {
+  auto Payload = Enc.encode(V);
+  if (!Payload || !writeFrame(Fd, *Payload)) {
     Open.store(false, std::memory_order_relaxed);
     return false;
   }
+  if (Stats)
+    Stats->noteOut(Enc.codec(), Payload->size());
+  return true;
+}
+
+bool SocketServer::Connection::send(const Response &Rsp) {
+  std::lock_guard<std::mutex> L(WriteM);
+  return sendLocked(responseToValue(Rsp));
+}
+
+bool SocketServer::Connection::sendSwitching(const Response &Ack,
+                                             WireCodec Next) {
+  std::lock_guard<std::mutex> L(WriteM);
+  if (!sendLocked(responseToValue(Ack)))
+    return false;
+  Enc.use(Next);
   return true;
 }
 
@@ -175,6 +208,7 @@ void SocketServer::acceptLoop() {
       continue;
     auto Conn = std::make_shared<Connection>();
     Conn->Fd = Fd;
+    Conn->Stats = &Wire;
     std::lock_guard<std::mutex> L(ConnM);
     Conns.push_back(Conn);
     ConnThreads.emplace_back(
@@ -182,18 +216,73 @@ void SocketServer::acceptLoop() {
   }
 }
 
+void SocketServer::spliceWireStats(Response &Rsp) {
+  if (Rsp.Stats.kind() != json::Value::Kind::Object)
+    return;
+  json::Value Mine = Wire.toJson();
+  if (const json::Value *Agg = Rsp.Stats.find("wire")) {
+    // A cluster router's handler already aggregated its members' wire
+    // sections; add this listener's own client-facing traffic on top.
+    if (Agg->kind() == json::Value::Kind::Object) {
+      json::Value Sum = json::Value::object();
+      for (const auto &KV : Agg->members()) {
+        int64_t N = KV.second.kind() == json::Value::Kind::Int
+                        ? KV.second.getInt()
+                        : 0;
+        if (const json::Value *M = Mine.find(KV.first))
+          N += M->getInt();
+        Sum.set(KV.first, json::Value(N));
+      }
+      for (const auto &KV : Mine.members())
+        if (!Agg->find(KV.first))
+          Sum.set(KV.first, KV.second);
+      Mine = std::move(Sum);
+    }
+  }
+  Rsp.Stats.set("wire", std::move(Mine));
+}
+
 void SocketServer::serveConnection(std::shared_ptr<Connection> Conn) {
   std::string Frame;
   std::string Err;
+  WireDecoder Dec; // inbound codec; json until a hello negotiates cbj1
   while (Conn->Open.load(std::memory_order_relaxed) &&
          readFrame(Conn->Fd, Frame, &Err)) {
+    Wire.noteIn(Dec.codec(), Frame.size());
     std::string ParseErr;
-    auto R = requestFromJson(Frame, &ParseErr);
+    auto V = Dec.decode(Frame, &ParseErr);
+    std::optional<Request> R;
+    if (V)
+      R = requestFromValue(*V, &ParseErr);
     if (!R) {
+      // Bad frame: answer and keep the connection. A failed cbj1 decode
+      // rolled its intern table back, so later well-formed frames from a
+      // confused-but-honest peer still fail loudly instead of silently
+      // referencing hostile table entries.
       Response Bad;
       Bad.Status = ResponseStatus::Error;
       Bad.Reason = ParseErr;
-      Conn->send(responseToJson(Bad));
+      Conn->send(Bad);
+      continue;
+    }
+    if (R->Kind == RequestKind::Hello) {
+      // Negotiation is transport business — handled here, never queued.
+      Response Ack;
+      Ack.Id = R->Id;
+      auto Pick = pickCodec(R->Codecs);
+      if (!Pick) {
+        Ack.Status = ResponseStatus::Error;
+        Ack.Reason = "no common codec";
+        Conn->send(Ack); // connection stays on its current codec
+        continue;
+      }
+      Ack.Status = ResponseStatus::Ok;
+      Ack.Codec = codecName(*Pick);
+      Wire.Hellos.fetch_add(1, std::memory_order_relaxed);
+      // The ack rides the old codec; every frame after it (in both
+      // directions) is the negotiated one, with fresh intern tables.
+      Conn->sendSwitching(Ack, *Pick);
+      Dec.use(*Pick);
       continue;
     }
     if (R->Kind == RequestKind::Shutdown) {
@@ -204,15 +293,16 @@ void SocketServer::serveConnection(std::shared_ptr<Connection> Conn) {
       Ack.Id = R->Id;
       Ack.Status = ResponseStatus::Ok;
       Ack.Reason = "draining";
-      Conn->send(responseToJson(Ack));
+      Conn->send(Ack);
       requestStop();
       continue;
     }
     // The callback may fire on a pool worker thread long after this loop
     // iteration; the shared_ptr keeps the connection (and its write
     // mutex) alive until the last response is written.
-    Service.submit(*R, [Conn](Response Rsp) {
-      Conn->send(responseToJson(Rsp));
+    Service.submit(*R, [this, Conn](Response Rsp) {
+      spliceWireStats(Rsp);
+      Conn->send(Rsp);
     });
   }
 }

@@ -3,11 +3,19 @@
 /// \file
 /// The network face of a RequestHandler — the local validation service
 /// in crellvm-served, the cluster router in crellvm-cluster: a
-/// Unix-domain stream listener speaking the length-prefixed JSON framing
-/// of server/Protocol.h, one reader thread per connection, responses
+/// Unix-domain stream listener speaking the length-prefixed framing of
+/// server/Protocol.h, one reader thread per connection, responses
 /// written under a per-connection mutex (batching completes units out of
 /// order, so responses interleave; clients match them by the echoed
 /// `id`).
+///
+/// Codec negotiation happens here, not in the handler: a `hello` request
+/// is answered directly (still in the connection's current codec) and
+/// both the connection's encoder and this reader's decoder switch to the
+/// pick for every later frame — so crellvm-served and crellvm-cluster
+/// get the binary protocol from the same twenty lines. Per-codec
+/// frame/byte counters are spliced into any stats response passing
+/// through, summing with a cluster aggregate when one is present.
 ///
 /// Shutdown is the part worth reading twice. requestStop() — called from
 /// a SIGTERM/SIGINT handler via the self-pipe, from a `shutdown` request,
@@ -28,6 +36,7 @@
 #ifndef CRELLVM_SERVER_SOCKETSERVER_H
 #define CRELLVM_SERVER_SOCKETSERVER_H
 
+#include "server/Protocol.h"
 #include "server/RequestHandler.h"
 
 #include <atomic>
@@ -43,6 +52,29 @@ namespace server {
 struct SocketServerOptions {
   std::string Path; ///< Unix-domain socket path
   int Backlog = 64;
+};
+
+/// Per-codec traffic counters for one listener, indexed by WireCodec.
+/// Byte counts are payload bytes (the 4-byte frame header is constant
+/// per frame). Rendered as the flat-int `wire` section of stats
+/// documents, which the cluster aggregator sums across members.
+struct WireStats {
+  std::atomic<uint64_t> FramesIn[2]{}, BytesIn[2]{};
+  std::atomic<uint64_t> FramesOut[2]{}, BytesOut[2]{};
+  std::atomic<uint64_t> Hellos{0};
+
+  void noteIn(WireCodec C, size_t Bytes) {
+    unsigned I = static_cast<unsigned>(C);
+    FramesIn[I].fetch_add(1, std::memory_order_relaxed);
+    BytesIn[I].fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  void noteOut(WireCodec C, size_t Bytes) {
+    unsigned I = static_cast<unsigned>(C);
+    FramesOut[I].fetch_add(1, std::memory_order_relaxed);
+    BytesOut[I].fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  /// Flat object: {json,cbj1}_{frames,bytes}_{in,out} + hellos.
+  json::Value toJson() const;
 };
 
 class SocketServer {
@@ -72,22 +104,42 @@ public:
 
   const std::string &path() const { return Opts.Path; }
 
+  /// This listener's per-codec traffic counters (all connections).
+  const WireStats &wireStats() const { return Wire; }
+
 private:
   struct Connection {
     int Fd = -1;
     std::mutex WriteM;
     std::atomic<bool> Open{true};
+    /// Outbound payload codec; session state guarded by WriteM.
+    WireEncoder Enc;
+    WireStats *Stats = nullptr;
 
     ~Connection();
-    /// Frames and writes \p Payload; false (and marks closed) on error.
-    bool send(const std::string &Payload);
+    /// Encodes and writes one response; false (and marks closed) on
+    /// encode or I/O error.
+    bool send(const Response &Rsp);
+    /// Writes the hello ack in the *current* codec, then switches the
+    /// encoder to \p Next — atomically under WriteM, so a response
+    /// completing on another thread is either fully before the ack (old
+    /// codec) or fully after (new codec), matching the decode rule
+    /// "everything after the ack frame is the negotiated codec".
+    bool sendSwitching(const Response &Ack, WireCodec Next);
+
+  private:
+    bool sendLocked(const json::Value &V);
   };
 
   void acceptLoop();
   void serveConnection(std::shared_ptr<Connection> Conn);
+  /// Adds this listener's `wire` section to a stats payload (summing
+  /// field-wise with an aggregate section the handler already built).
+  void spliceWireStats(Response &Rsp);
 
   RequestHandler &Service;
   SocketServerOptions Opts;
+  WireStats Wire;
   int ListenFd = -1;
   int StopPipe[2] = {-1, -1};
   std::atomic<bool> StopRequested{false};

@@ -1,0 +1,44 @@
+//===- support/Backoff.h - Clamped exponential backoff ---------*- C++ -*-===//
+///
+/// \file
+/// The one exponential-backoff computation shared by every retry loop in
+/// the tree: crellvm-client's queue_full retries, the campaign socket
+/// backend's per-unit retries, and the cluster router's member-reattach
+/// schedule. Each of those used to hand-roll `Base << Attempt` style
+/// arithmetic, which is undefined behavior the moment the attempt count
+/// reaches the width of the type (a soak campaign against a long-dead
+/// daemon gets there) — this helper is total: defined for every attempt
+/// count, monotone non-decreasing, and exactly capped.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPPORT_BACKOFF_H
+#define CRELLVM_SUPPORT_BACKOFF_H
+
+#include <cstdint>
+
+namespace crellvm {
+namespace backoff {
+
+/// min(BaseMs * 2^Attempt, CapMs), computed without shift/multiply
+/// overflow at any attempt count (Attempt is a 0-based retry counter).
+/// Monotone non-decreasing in Attempt, then constant at CapMs. A zero
+/// base never backs off (returns 0); a zero cap clamps everything to 0.
+inline uint64_t delayMs(uint64_t BaseMs, uint64_t Attempt, uint64_t CapMs) {
+  if (BaseMs == 0)
+    return 0;
+  if (BaseMs >= CapMs)
+    return CapMs;
+  uint64_t D = BaseMs;
+  while (Attempt > 0) {
+    if (D > CapMs / 2) // doubling would pass (or overflow past) the cap
+      return CapMs;
+    D <<= 1;
+    --Attempt;
+  }
+  return D;
+}
+
+} // namespace backoff
+} // namespace crellvm
+
+#endif // CRELLVM_SUPPORT_BACKOFF_H

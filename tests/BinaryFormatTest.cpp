@@ -26,7 +26,7 @@ namespace {
 
 std::string roundtripToText(const Value &V) {
   std::string Err;
-  auto Back = decodeBinary(encodeBinary(V), &Err);
+  auto Back = decodeBinary(*encodeBinary(V), &Err);
   EXPECT_TRUE(Back) << Err;
   return Back ? Back->write() : "";
 }
@@ -47,7 +47,7 @@ TEST(BinaryJson, IntegerExtremes) {
                     int64_t(128), int64_t(16383), int64_t(16384),
                     INT64_MAX - 1, INT64_MAX}) {
     std::string Err;
-    auto Back = decodeBinary(encodeBinary(Value(I)), &Err);
+    auto Back = decodeBinary(*encodeBinary(Value(I)), &Err);
     ASSERT_TRUE(Back) << Err;
     EXPECT_EQ(Back->getInt(), I);
   }
@@ -73,7 +73,7 @@ TEST(BinaryJson, StringInterningShrinksRepeats) {
   Value Arr = Value::array();
   for (int I = 0; I != 100; ++I)
     Arr.push(Value(Long));
-  std::string Bytes = encodeBinary(Arr);
+  std::string Bytes = *encodeBinary(Arr);
   EXPECT_LT(Bytes.size(), Long.size() + 100 * 3 + 16);
   EXPECT_EQ(roundtripToText(Arr), Arr.write());
 }
@@ -83,7 +83,7 @@ TEST(BinaryJson, ObjectKeyOrderIsPreserved) {
   Obj.set("zzz", Value(int64_t(1)));
   Obj.set("aaa", Value(int64_t(2)));
   Obj.set("mmm", Value(int64_t(3)));
-  auto Back = decodeBinary(encodeBinary(Obj));
+  auto Back = decodeBinary(*encodeBinary(Obj));
   ASSERT_TRUE(Back);
   ASSERT_EQ(Back->members().size(), 3u);
   EXPECT_EQ(Back->members()[0].first, "zzz");
@@ -147,7 +147,7 @@ TEST(BinaryJson, RejectsTruncation) {
   Value Obj = Value::object();
   Obj.set("key", Value("a string value"));
   Obj.set("num", Value(int64_t(123456789)));
-  std::string Bytes = encodeBinary(Obj);
+  std::string Bytes = *encodeBinary(Obj);
   // Every strict prefix must fail cleanly, never crash or succeed.
   for (size_t Len = 0; Len != Bytes.size(); ++Len) {
     std::string Err;
@@ -158,7 +158,7 @@ TEST(BinaryJson, RejectsTruncation) {
 }
 
 TEST(BinaryJson, RejectsTrailingGarbage) {
-  std::string Bytes = encodeBinary(Value(int64_t(7))) + "extra";
+  std::string Bytes = *encodeBinary(Value(int64_t(7))) + "extra";
   std::string Err;
   EXPECT_FALSE(decodeBinary(Bytes, &Err));
   EXPECT_NE(Err.find("trailing"), std::string::npos);
@@ -222,6 +222,97 @@ TEST(BinaryJson, RejectsMutatedRealProofBytesOrDecodesCleanly) {
     if (Proof)
       checker::validate(M, PR.Tgt, *Proof);
   }
+}
+
+// --- encode/decode depth symmetry -----------------------------------------------
+
+Value nest(unsigned Depth) {
+  Value V; // null leaf
+  for (unsigned I = 0; I != Depth; ++I) {
+    Value A = Value::array();
+    A.push(std::move(V));
+    V = std::move(A);
+  }
+  return V;
+}
+
+TEST(BinaryJson, EncodeDepthLimitMatchesDecodeLimit) {
+  // Exactly BinaryMaxDepth nested arrays round-trip...
+  auto Bytes = encodeBinary(nest(BinaryMaxDepth));
+  ASSERT_TRUE(Bytes);
+  std::string Err;
+  EXPECT_TRUE(decodeBinary(*Bytes, &Err)) << Err;
+  // ...and one more level fails at *encode* time with the decoder's own
+  // message: the encoder can never emit a frame its decoder rejects.
+  EXPECT_FALSE(encodeBinary(nest(BinaryMaxDepth + 1), &Err));
+  EXPECT_NE(Err.find("deep"), std::string::npos);
+}
+
+// --- session codecs (per-connection intern tables) ------------------------------
+
+TEST(BinaryJson, SessionInterningPersistsAcrossFrames) {
+  Value Obj = Value::object();
+  Obj.set("a_reasonably_long_identifier", Value("shared_payload_string"));
+  BinaryWriter W;
+  BinaryReader R;
+  auto First = W.encode(Obj);
+  auto Second = W.encode(Obj);
+  ASSERT_TRUE(First && Second);
+  // Frame two back-references the session table instead of re-shipping
+  // the strings.
+  EXPECT_LT(Second->size(), First->size());
+  for (const std::string &Frame : {*First, *Second}) {
+    std::string Err;
+    auto Back = R.decode(Frame, &Err);
+    ASSERT_TRUE(Back) << Err;
+    EXPECT_EQ(Back->write(), Obj.write());
+  }
+  // Both ends of the session agree on the table.
+  EXPECT_EQ(W.internedStrings(), R.internedStrings());
+  EXPECT_EQ(W.internedStrings(), 2u);
+}
+
+TEST(BinaryJson, SessionReaderRollsBackOnBadFrame) {
+  BinaryWriter W;
+  BinaryReader R;
+  Value V1 = Value::object();
+  V1.set("first_key", Value("first_value"));
+  auto F1 = W.encode(V1);
+  ASSERT_TRUE(F1 && R.decode(*F1));
+  size_t TableBefore = R.internedStrings();
+
+  Value V2 = Value::object();
+  V2.set("second_key", Value("second_value"));
+  auto F2 = W.encode(V2);
+  ASSERT_TRUE(F2);
+  // A truncated frame fails mid-decode after interning new strings; the
+  // reader must roll its table back so the session is not desynced...
+  EXPECT_FALSE(R.decode(F2->substr(0, F2->size() - 1)));
+  EXPECT_EQ(R.internedStrings(), TableBefore);
+  // ...and the intact retransmission of the same frame still decodes in
+  // lockstep with the writer's table.
+  auto Back = R.decode(*F2);
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->write(), V2.write());
+  EXPECT_EQ(W.internedStrings(), R.internedStrings());
+}
+
+TEST(BinaryJson, DecodedRepeatsShareOneAllocation) {
+  // The zero-copy slice: every TStringRef occurrence of an interned
+  // string resolves to the *same* shared buffer, not a copy.
+  Value Arr = Value::array();
+  for (int I = 0; I != 3; ++I)
+    Arr.push(Value("the_interned_identifier"));
+  auto Back = decodeBinary(*encodeBinary(Arr));
+  ASSERT_TRUE(Back);
+  ASSERT_EQ(Back->elements().size(), 3u);
+  auto S0 = Back->elements()[0].sharedString();
+  auto S1 = Back->elements()[1].sharedString();
+  auto S2 = Back->elements()[2].sharedString();
+  ASSERT_TRUE(S0 && S1 && S2);
+  EXPECT_EQ(S0.get(), S1.get());
+  EXPECT_EQ(S0.get(), S2.get());
+  EXPECT_EQ(*S0, "the_interned_identifier");
 }
 
 // --- the proof exchange ---------------------------------------------------------

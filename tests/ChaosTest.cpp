@@ -32,6 +32,7 @@
 #include "cache/Verdict.h"
 #include "driver/Driver.h"
 #include "server/Service.h"
+#include "support/Backoff.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include "workload/RandomProgram.h"
@@ -603,6 +604,51 @@ TEST(ChaosService, ForcedShedIsClientVisibleBackpressure) {
   }
   EXPECT_EQ(S.counters().RejectedQueueFull, 1u);
   S.resume();
+}
+
+//===----------------------------------------------------------------------===//
+// ChaosBackoff — the shared overflow-proof retry schedule
+//===----------------------------------------------------------------------===//
+
+// Every retry loop in the tree (crellvm-client --retries, the campaign
+// socket backend, the cluster reattach loop) delegates its schedule to
+// backoff::delayMs. The contract: monotone non-decreasing in the attempt
+// number until the cap, then exactly the cap forever — even for attempt
+// counts far beyond the 63 doublings that would overflow a uint64_t
+// shift.
+TEST(ChaosBackoff, MonotoneThenCappedNeverOverflows) {
+  constexpr uint64_t Base = 25, Cap = 6400;
+  uint64_t Prev = 0;
+  bool SawCap = false;
+  for (uint64_t Attempt = 0; Attempt != 200; ++Attempt) {
+    uint64_t D = backoff::delayMs(Base, Attempt, Cap);
+    EXPECT_GE(D, Prev) << "attempt " << Attempt;
+    EXPECT_LE(D, Cap) << "attempt " << Attempt;
+    if (SawCap)
+      EXPECT_EQ(D, Cap) << "attempt " << Attempt << " left the cap";
+    SawCap = SawCap || D == Cap;
+    Prev = D;
+  }
+  EXPECT_TRUE(SawCap);
+  // The attempt counts that used to shift into undefined behavior.
+  EXPECT_EQ(backoff::delayMs(Base, 63, Cap), Cap);
+  EXPECT_EQ(backoff::delayMs(Base, 64, Cap), Cap);
+  EXPECT_EQ(backoff::delayMs(Base, 10000000000ull, Cap), Cap);
+  EXPECT_EQ(backoff::delayMs(Base, UINT64_MAX, Cap), Cap);
+}
+
+TEST(ChaosBackoff, EdgesAndLegacyEquivalence) {
+  // Base 0 means "no backoff configured": always 0, never the cap.
+  EXPECT_EQ(backoff::delayMs(0, 0, 1000), 0u);
+  EXPECT_EQ(backoff::delayMs(0, 50, 1000), 0u);
+  // Base at or above the cap pins to the cap from the first attempt.
+  EXPECT_EQ(backoff::delayMs(5000, 0, 1000), 1000u);
+  // The client's legacy schedule (25ms << min(round, 8)) is reproduced
+  // exactly inside the safe range.
+  for (uint64_t Round = 0; Round != 9; ++Round)
+    EXPECT_EQ(backoff::delayMs(25, Round, 25 * 256), 25ull << Round)
+        << "round " << Round;
+  EXPECT_EQ(backoff::delayMs(25, 9, 25 * 256), 6400u);
 }
 
 } // namespace

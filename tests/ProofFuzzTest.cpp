@@ -20,6 +20,7 @@
 #include "interp/Interp.h"
 #include "passes/Pipeline.h"
 #include "proofgen/ProofJson.h"
+#include "server/Protocol.h"
 #include "support/RNG.h"
 #include "workload/RandomProgram.h"
 
@@ -220,6 +221,71 @@ TEST(ProofFuzz, PerturbedProofTreesNeverCrashTheChecker) {
   }
   // Some perturbations survive parsing (e.g. digit edits in constants).
   EXPECT_GT(Checked, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile CBJ1 through the wire decode path
+//===----------------------------------------------------------------------===//
+
+// The daemon decodes cbj1 frames from untrusted clients through a
+// session WireDecoder. Mutations of a valid encoded request must never
+// crash it: every byte string either decodes to some value or fails with
+// an error message — and a failure must leave the session usable (the
+// intern-table rollback), exactly what SocketServer relies on to answer
+// bad_request and keep the connection.
+TEST(ProofFuzz, MutatedWireFramesNeverCrashTheSessionDecoder) {
+  server::Request Rq;
+  Rq.Kind = server::RequestKind::Validate;
+  Rq.Id = 12345;
+  Rq.HasSeed = true;
+  Rq.Seed = 987654321;
+  Rq.Bugs = "fixed";
+  Rq.DeadlineMs = 250;
+  server::WireEncoder RefEnc(server::WireCodec::Cbj1);
+  auto Bytes = RefEnc.encode(server::requestToValue(Rq));
+  ASSERT_TRUE(Bytes);
+
+  RNG R(20260807);
+  uint64_t Decoded = 0, Rejected = 0;
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    std::string Mut = *Bytes;
+    for (uint64_t E = 0, N = 1 + R.below(4); E != N && !Mut.empty(); ++E) {
+      size_t Pos = R.below(Mut.size());
+      switch (R.below(4)) {
+      case 0: // bit flip (hits tags, varints, intern ids)
+        Mut[Pos] = static_cast<char>(Mut[Pos] ^ (1 << R.below(8)));
+        break;
+      case 1:
+        Mut.erase(Pos, 1);
+        break;
+      case 2:
+        Mut.insert(Pos, 1, static_cast<char>(R.below(256)));
+        break;
+      default: // truncate
+        Mut.resize(Pos);
+        break;
+      }
+    }
+    // Each trial gets a fresh session, like a fresh hostile connection.
+    server::WireDecoder Dec(server::WireCodec::Cbj1);
+    std::string Err;
+    auto V = Dec.decode(Mut, &Err);
+    if (!V) {
+      EXPECT_FALSE(Err.empty()) << "rejection must carry a reason";
+      ++Rejected;
+      // Rollback: the failed frame must not poison the session — the
+      // pristine original still decodes on it.
+      auto Good = Dec.decode(*Bytes, &Err);
+      ASSERT_TRUE(Good) << Err;
+      continue;
+    }
+    ++Decoded;
+    // Whatever decoded feeds the request parser, which must also hold.
+    server::requestFromValue(*V, &Err);
+  }
+  EXPECT_GT(Rejected, 0u);
+  // Bit flips in string bytes commonly still decode; both paths must run.
+  EXPECT_GT(Decoded, 0u);
 }
 
 } // namespace

@@ -671,6 +671,275 @@ TEST(ServerSocket, StopUnderLoadAnswersEverythingAccepted) {
   EXPECT_EQ(C.Accepted, C.Completed + C.DeadlineExpired);
 }
 
+// A cold daemon has an empty latency histogram; its retry_after_ms hint
+// must still be a real wait, even with the configured floor at zero —
+// otherwise retrying clients hot-spin against a daemon that has not
+// finished a single unit yet.
+TEST(ServerLoopbackRetryHint, EmptyHistogramHintStillFloored) {
+  ServiceOptions O = fastOptions();
+  O.StartPaused = true; // nothing completes: histogram stays empty
+  O.QueueMax = 1;
+  O.RetryAfterMsFloor = 0; // the misconfiguration that exposed the bug
+  ValidationService S(O);
+  LoopbackTransport T(S);
+
+  std::vector<Response> Rsps;
+  auto Collect = [&](Response R) { Rsps.push_back(std::move(R)); };
+  T.submit(validateSeed(1, 1), Collect);
+  T.submit(validateSeed(2, 2), Collect); // exceeds QueueMax, synchronous
+  ASSERT_EQ(Rsps.size(), 1u);
+  EXPECT_EQ(Rsps[0].Status, ResponseStatus::Rejected);
+  EXPECT_EQ(Rsps[0].Reason, "queue_full");
+  EXPECT_GE(Rsps[0].RetryAfterMs, MinRetryAfterMs)
+      << "a cold daemon's hint must never tell clients to hot-spin";
+  S.resume();
+  S.beginShutdown();
+  S.drain();
+}
+
+//===----------------------------------------------------------------------===//
+// ServerCodec — the negotiated binary wire protocol
+//===----------------------------------------------------------------------===//
+
+/// Client-side hello exchange on a fresh test connection: returns the
+/// session codec the server picked (json when negotiation was refused).
+WireCodec negotiateOn(int Fd, WireCodec Want) {
+  EXPECT_TRUE(writeFrame(Fd, requestToJson(helloRequest(Want))));
+  std::string Frame;
+  EXPECT_TRUE(readFrame(Fd, Frame));
+  auto Rsp = responseFromJson(Frame);
+  EXPECT_TRUE(Rsp);
+  if (!Rsp || Rsp->Status != ResponseStatus::Ok)
+    return WireCodec::Json;
+  auto C = codecByName(Rsp->Codec);
+  return C ? *C : WireCodec::Json;
+}
+
+TEST(ServerCodec, HelloNegotiatesCbj1AndServesBinaryFrames) {
+  ValidationService S(fastOptions());
+  SocketServer Server(S, {testSocketPath("hello"), /*Backlog=*/4});
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::thread ServerThread([&] { Server.run(); });
+  int Fd = connectTo(Server.path());
+  ASSERT_GE(Fd, 0);
+
+  ASSERT_EQ(negotiateOn(Fd, WireCodec::Cbj1), WireCodec::Cbj1);
+  WireEncoder Enc(WireCodec::Cbj1);
+  WireDecoder Dec(WireCodec::Cbj1);
+
+  // Two requests over the binary session; verdicts must be exactly what
+  // a json client (or a direct run) gets for the same seeds.
+  std::map<std::string, PassVerdicts> Served;
+  for (int I = 0; I != 2; ++I) {
+    auto Payload = Enc.encode(requestToValue(validateSeed(300 + I, I)));
+    ASSERT_TRUE(Payload);
+    ASSERT_TRUE(writeFrame(Fd, *Payload));
+  }
+  for (int I = 0; I != 2; ++I) {
+    std::string Frame;
+    ASSERT_TRUE(readFrame(Fd, Frame));
+    auto V = Dec.decode(Frame, &Err);
+    ASSERT_TRUE(V) << Err;
+    auto Rsp = responseFromValue(*V, &Err);
+    ASSERT_TRUE(Rsp) << Err;
+    EXPECT_EQ(Rsp->Status, ResponseStatus::Ok);
+    accumulate(Served, Rsp->Passes);
+  }
+  ::close(Fd);
+  Server.requestStop();
+  ServerThread.join();
+  EXPECT_EQ(Served, passVerdictsOf(directRun({300, 301})));
+  EXPECT_EQ(Server.wireStats().Hellos.load(), 1u);
+  EXPECT_GT(Server.wireStats()
+                .FramesIn[static_cast<size_t>(WireCodec::Cbj1)]
+                .load(),
+            0u);
+}
+
+TEST(ServerCodec, HelloWithNoCommonCodecAnswersErrorAndStaysOnJson) {
+  ValidationService S(fastOptions());
+  SocketServer Server(S, {testSocketPath("nocodec"), /*Backlog=*/4});
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::thread ServerThread([&] { Server.run(); });
+  int Fd = connectTo(Server.path());
+  ASSERT_GE(Fd, 0);
+
+  Request Hello;
+  Hello.Kind = RequestKind::Hello;
+  Hello.Id = 7;
+  Hello.Codecs = {"zstd-frames", "xml"}; // a client from the future
+  ASSERT_TRUE(writeFrame(Fd, requestToJson(Hello)));
+  std::string Frame;
+  ASSERT_TRUE(readFrame(Fd, Frame));
+  auto Rsp = responseFromJson(Frame);
+  ASSERT_TRUE(Rsp);
+  EXPECT_EQ(Rsp->Status, ResponseStatus::Error);
+
+  // The connection survives, still speaking json.
+  ASSERT_TRUE(writeFrame(Fd, requestToJson(validateSeed(310, 1))));
+  ASSERT_TRUE(readFrame(Fd, Frame));
+  auto Ok = responseFromJson(Frame);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Ok->Status, ResponseStatus::Ok);
+  ::close(Fd);
+  Server.requestStop();
+  ServerThread.join();
+}
+
+// Four json clients and four cbj1 clients, concurrently, over one
+// daemon: the codec is transport dressing, so the summed verdicts must
+// be bit-identical to one standalone batch run over the union of seeds.
+TEST(ServerCodec, MixedCodecClientsBitIdenticalVerdicts) {
+  constexpr int Clients = 8;
+  constexpr int PerClient = 2;
+
+  ValidationService S(fastOptions());
+  SocketServer Server(S, {testSocketPath("mixed"), /*Backlog=*/64});
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::thread ServerThread([&] { Server.run(); });
+
+  std::mutex M;
+  std::map<std::string, PassVerdicts> Served;
+  int Failures = 0;
+  std::vector<std::thread> ClientThreads;
+  for (int C = 0; C != Clients; ++C)
+    ClientThreads.emplace_back([&, C] {
+      const WireCodec Want = C % 2 ? WireCodec::Cbj1 : WireCodec::Json;
+      int Fd = connectTo(Server.path());
+      if (Fd < 0) {
+        std::lock_guard<std::mutex> L(M);
+        ++Failures;
+        return;
+      }
+      WireCodec Session = WireCodec::Json;
+      if (Want == WireCodec::Cbj1)
+        Session = negotiateOn(Fd, Want);
+      WireEncoder Enc(Session);
+      WireDecoder Dec(Session);
+      for (int I = 0; I != PerClient; ++I) {
+        auto Payload =
+            Enc.encode(requestToValue(validateSeed(400 + C * PerClient + I, I)));
+        if (!Payload || !writeFrame(Fd, *Payload)) {
+          std::lock_guard<std::mutex> L(M);
+          ++Failures;
+          ::close(Fd);
+          return;
+        }
+      }
+      for (int I = 0; I != PerClient; ++I) {
+        std::string Frame;
+        if (!readFrame(Fd, Frame)) {
+          std::lock_guard<std::mutex> L(M);
+          ++Failures;
+          ::close(Fd);
+          return;
+        }
+        auto V = Dec.decode(Frame);
+        std::optional<Response> Rsp;
+        if (V)
+          Rsp = responseFromValue(*V);
+        std::lock_guard<std::mutex> L(M);
+        if (!Rsp || Rsp->Status != ResponseStatus::Ok)
+          ++Failures;
+        else
+          accumulate(Served, Rsp->Passes);
+      }
+      ::close(Fd);
+    });
+  for (std::thread &T : ClientThreads)
+    T.join();
+  Server.requestStop();
+  ServerThread.join();
+
+  EXPECT_EQ(Failures, 0);
+  std::vector<uint64_t> Seeds;
+  for (int I = 0; I != Clients * PerClient; ++I)
+    Seeds.push_back(400 + I);
+  EXPECT_EQ(Served, passVerdictsOf(directRun(Seeds)));
+  // Both codecs actually carried traffic.
+  const auto &W = Server.wireStats();
+  EXPECT_GT(W.FramesIn[static_cast<size_t>(WireCodec::Json)].load(), 0u);
+  EXPECT_GT(W.FramesIn[static_cast<size_t>(WireCodec::Cbj1)].load(), 0u);
+}
+
+// Hostile bytes through the negotiated binary decode path: the daemon
+// answers bad frames with error responses and keeps serving — a
+// malicious client must not be able to kill anyone else's connection.
+TEST(ServerCodec, HostileCbj1FramesAnsweredWithoutDying) {
+  ValidationService S(fastOptions());
+  SocketServer Server(S, {testSocketPath("hostile"), /*Backlog=*/4});
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::thread ServerThread([&] { Server.run(); });
+  int Fd = connectTo(Server.path());
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(negotiateOn(Fd, WireCodec::Cbj1), WireCodec::Cbj1);
+  WireEncoder Enc(WireCodec::Cbj1);
+  WireDecoder Dec(WireCodec::Cbj1);
+
+  // Encoded with a throwaway session: the truncation below is hostile
+  // material, not part of Enc's delivered-frame sequence (a session
+  // encoder's table only stays in lockstep if every frame it encodes is
+  // actually delivered).
+  WireEncoder Throwaway(WireCodec::Cbj1);
+  auto GoodBytes = Throwaway.encode(requestToValue(validateSeed(500, 1)));
+  ASSERT_TRUE(GoodBytes);
+
+  std::vector<std::string> Hostile;
+  // Truncated frame (valid prefix, cut mid-value).
+  Hostile.push_back(GoodBytes->substr(0, GoodBytes->size() / 2));
+  // Bogus intern reference into a table slot that never existed.
+  {
+    std::string B = "CBJ1";
+    B.push_back(0x05); // string ref
+    B.push_back(0x7f); // id 127: out of range
+    Hostile.push_back(std::move(B));
+  }
+  // Depth bomb: 100k nested single-element arrays.
+  {
+    std::string B = "CBJ1";
+    for (int I = 0; I != 100000; ++I) {
+      B.push_back(0x06);
+      B.push_back(0x01);
+    }
+    B.push_back(0x00);
+    Hostile.push_back(std::move(B));
+  }
+  // Wrong magic entirely.
+  Hostile.push_back("JSON{\"type\":\"ping\"}");
+
+  for (const std::string &Bytes : Hostile) {
+    ASSERT_TRUE(writeFrame(Fd, Bytes));
+    std::string Frame;
+    ASSERT_TRUE(readFrame(Fd, Frame)) << "daemon died on hostile bytes";
+    auto V = Dec.decode(Frame, &Err);
+    ASSERT_TRUE(V) << Err;
+    auto Rsp = responseFromValue(*V, &Err);
+    ASSERT_TRUE(Rsp) << Err;
+    EXPECT_EQ(Rsp->Status, ResponseStatus::Error);
+  }
+
+  // The server rolled its intern table back on every hostile frame, so
+  // the session encoder (whose first delivered frame this is) is still
+  // in lockstep: a well-formed request gets a real verdict.
+  auto Again = Enc.encode(requestToValue(validateSeed(500, 2)));
+  ASSERT_TRUE(Again);
+  ASSERT_TRUE(writeFrame(Fd, *Again));
+  std::string Frame;
+  ASSERT_TRUE(readFrame(Fd, Frame));
+  auto V = Dec.decode(Frame, &Err);
+  ASSERT_TRUE(V) << Err;
+  auto Rsp = responseFromValue(*V, &Err);
+  ASSERT_TRUE(Rsp) << Err;
+  EXPECT_EQ(Rsp->Status, ResponseStatus::Ok);
+  ::close(Fd);
+  Server.requestStop();
+  ServerThread.join();
+}
+
 TEST(ServerSocket, SecondServerOnLivePathRefused) {
   ValidationService S(fastOptions());
   SocketServer Server(S, {testSocketPath("dup"), /*Backlog=*/4});
