@@ -14,6 +14,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "passes/Pipeline.h"
+#include "plan/PlanBuilder.h"
 #include "proofgen/ProofBinary.h"
 #include "proofgen/ProofJson.h"
 #include "support/FaultInjection.h"
@@ -124,6 +125,8 @@ public:
     fingerprintBattery();
     if (!Opts.SkipDiskBatteries)
       roAccountingBattery();
+    if (Opts.Plan != plan::PlanMode::Off)
+      planEquivalenceBattery();
     for (unsigned Round = 0; Round != Opts.Rounds; ++Round) {
       pipelineRound(Round);
       ++R.RoundsRun;
@@ -469,6 +472,69 @@ private:
               "proof: " +
               Weak.firstFailure(),
           Round);
+  }
+
+  // --- plan-equivalence ------------------------------------------------------
+
+  /// Specialized-vs-general differential battery: for the fixed tree and
+  /// every 4+1 historical bug preset, build a fresh profile-guided plan
+  /// per unique pipeline pass and require checker::validateWithPlan to
+  /// reproduce the general checker's verdict summary on every step of a
+  /// seeded pipeline walk. A divergence here is a soundness finding: the
+  /// plan pipeline's monotonicity argument (checker/PlanSpec.h) promises
+  /// plans buy throughput, never a different answer — including on the
+  /// buggy trees, where the *failures* must be byte-identical too.
+  void planEquivalenceBattery() {
+    std::vector<std::pair<std::string, passes::BugConfig>> Presets;
+    Presets.emplace_back("fixed", passes::BugConfig::fixed());
+    for (const auto &KV : passes::BugConfig::historicalPresets())
+      Presets.emplace_back(KV.first, KV.second);
+
+    // Bounded feedstock: the battery is about agreement, not coverage;
+    // the seeded pipeline rounds above already cover checker breadth.
+    const unsigned ModulesPerPreset = 3;
+
+    for (const auto &Preset : Presets) {
+      const std::string &Name = Preset.first;
+      const passes::BugConfig &Bugs = Preset.second;
+      auto Pipe = passes::makeO2Pipeline(Bugs);
+
+      std::map<std::string, plan::CheckerPlan> Plans;
+      for (const auto &P : Pipe)
+        if (!Plans.count(P->name())) {
+          plan::PlanBuildOptions BO;
+          BO.FeedstockModules = 3;
+          BO.FeedstockBaseSeed = Opts.Seed ^ 0x9a7b5ull;
+          Plans.emplace(P->name(), plan::buildPlan(P->name(), Bugs, BO));
+        }
+
+      for (unsigned Round = 0; Round != ModulesPerPreset; ++Round) {
+        workload::GenOptions GO;
+        GO.Seed = Opts.Seed * 0x9e3779b97f4a7c15ull + 0x9147ull + Round;
+        ir::Module Cur = workload::generateModule(GO);
+        ++R.ModulesAudited;
+        for (const auto &P : Pipe) {
+          passes::PassResult PR = P->run(Cur, /*GenProof=*/true);
+          ++R.StepsVerified;
+          VerdictSummary General(checker::validate(Cur, PR.Tgt, PR.Proof));
+          checker::PlanRunStats PS;
+          VerdictSummary Specialized(checker::validateWithPlan(
+              Cur, PR.Tgt, PR.Proof, Plans.at(P->name()).Spec, &PS));
+          check(Specialized == General, "plan-equivalence", "soundness",
+                "preset " + Name + " pass " + P->name() +
+                    ": specialized verdict diverged from the general "
+                    "checker (general V=" +
+                    std::to_string(General.Validated) +
+                    " F=" + std::to_string(General.Failed) +
+                    " NS=" + std::to_string(General.NS) + ", specialized V=" +
+                    std::to_string(Specialized.Validated) +
+                    " F=" + std::to_string(Specialized.Failed) +
+                    " NS=" + std::to_string(Specialized.NS) + ")",
+                Round);
+          Cur = std::move(PR.Tgt);
+        }
+      }
+    }
   }
 
   // --- cache-fingerprint -----------------------------------------------------

@@ -47,7 +47,15 @@
 ///                         perturbed key;
 ///   cache-ro-accounting   a read-only cache on a fresh directory never
 ///                         writes, never creates the directory, and keeps
-///                         every store/evict/rebuild counter at zero.
+///                         every store/evict/rebuild counter at zero;
+///   plan-equivalence      (with --plan != off) for the fixed tree and
+///                         every 4+1 historical bug preset, the
+///                         specialized plan-dispatched checker
+///                         (checker::validateWithPlan with a freshly
+///                         profiled plan) and the general checker agree on
+///                         every verdict of every pipeline step — the
+///                         empirical half of the monotonicity argument in
+///                         checker/PlanSpec.h.
 ///
 /// The audit is deterministic for a given (Seed, Rounds, Bugs): module
 /// feedstock comes from the seeded workload generator plus a fixed
@@ -61,6 +69,7 @@
 
 #include "json/Json.h"
 #include "passes/BugConfig.h"
+#include "plan/PlanManager.h"
 
 #include <cstdint>
 #include <string>
@@ -78,6 +87,11 @@ struct AuditOptions {
   passes::BugConfig Bugs;
   /// Skip the disk-touching cache batteries (used by sandboxed tests).
   bool SkipDiskBatteries = false;
+  /// Anything but Off arms the plan-equivalence battery: specialized
+  /// verdicts must match the general checker across the fixed tree and
+  /// every historical bug preset. (The mode value itself only gates the
+  /// battery — the audit always compares both paths directly.)
+  plan::PlanMode Plan = plan::PlanMode::Off;
   /// Fault-injection schedule (support/FaultInjection.h grammar). When
   /// non-empty, the whole battery runs a second time with these faults
   /// armed, and any finding the fault-free baseline did not produce is

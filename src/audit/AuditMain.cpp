@@ -50,6 +50,12 @@ void printUsage(FILE *Out) {
       "                  llvm501-post — anything but 'fixed' is expected\n"
       "                  to produce findings (the audit's self-test)\n"
       "  --unsound-add   plant the test-only add->or instcombine bug\n"
+      "  --plan MODE     off (default) | shadow | on: anything but off\n"
+      "                  arms the plan-equivalence battery, which builds\n"
+      "                  a profile-guided checker plan per pipeline pass\n"
+      "                  and requires specialized verdicts to match the\n"
+      "                  general checker on the fixed tree and every\n"
+      "                  historical bug preset\n"
       "  --chaos SPEC    replay the battery under injected faults and\n"
       "                  report findings that appear only under chaos\n"
       "                  (also read from $CRELLVM_CHAOS; flag wins)\n"
@@ -122,6 +128,21 @@ CliOptions parseArgs(int Argc, char **Argv) {
         Bad("unknown --bugs preset '" + O.BugPreset + "'");
     } else if (A == "--unsound-add") {
       O.Audit.Bugs.UnsoundAddToOr = true;
+    } else if (A.rfind("--plan=", 0) == 0) {
+      auto P = plan::parsePlanMode(A.substr(std::strlen("--plan=")));
+      if (!P)
+        Bad("unknown or malformed option '" + A + "'");
+      else
+        O.Audit.Plan = *P;
+    } else if (A == "--plan") {
+      const char *V = NextValue("--plan");
+      if (!V)
+        continue;
+      auto P = plan::parsePlanMode(V);
+      if (!P)
+        Bad("unknown or malformed option '--plan=" + std::string(V) + "'");
+      else
+        O.Audit.Plan = *P;
     } else if (A == "--chaos") {
       if (const char *V = NextValue("--chaos"))
         O.Audit.ChaosSpec = V;

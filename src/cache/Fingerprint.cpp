@@ -118,3 +118,23 @@ Fingerprint crellvm::cache::fingerprintValidation(
       .boolean(Bugs.UnsoundAddToOr);
   return B.digest();
 }
+
+Fingerprint crellvm::cache::fingerprintPlan(const std::string &PassName,
+                                            const passes::BugConfig &Bugs,
+                                            const std::string &CheckerVersion,
+                                            int PlanSchemaVersion) {
+  FingerprintBuilder B;
+  // The domain tag separates the plan lane from the verdict lane: the
+  // two key families can share one content-addressed store without any
+  // chance of a plan payload being read back as a verdict or vice versa.
+  B.str("crellvm-plan");
+  B.str(PassName).str(CheckerVersion);
+  B.u64(static_cast<uint64_t>(PlanSchemaVersion));
+  B.boolean(Bugs.Mem2RegUndefLoop)
+      .boolean(Bugs.Mem2RegConstexprSpeculate)
+      .boolean(Bugs.GvnIgnoreInbounds)
+      .boolean(Bugs.GvnIgnoreInboundsPRE)
+      .boolean(Bugs.GvnPREWrongLeader)
+      .boolean(Bugs.UnsoundAddToOr);
+  return B.digest();
+}

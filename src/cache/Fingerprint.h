@@ -101,6 +101,17 @@ Fingerprint fingerprintValidation(const std::string &SrcText,
                                   const std::string &CheckerVersion,
                                   const passes::BugConfig &Bugs);
 
+/// The checker-plan cache key (plan/PlanCache.h): a distinct fingerprint
+/// lane — domain-tagged so a plan key can never alias a verdict key even
+/// inside a shared DiskStore directory — over the pass name, every
+/// BugConfig field, the checker version fingerprint, and the plan schema
+/// version (checker/Version.h). Bumping either version therefore misses
+/// every stored plan: no cross-version plan replay.
+Fingerprint fingerprintPlan(const std::string &PassName,
+                            const passes::BugConfig &Bugs,
+                            const std::string &CheckerVersion,
+                            int PlanSchemaVersion);
+
 } // namespace cache
 } // namespace crellvm
 

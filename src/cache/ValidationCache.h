@@ -98,6 +98,12 @@ public:
   size_t memSize() const { return Mem.size(); }
   bool hasDisk() const { return Disk != nullptr; }
   uint64_t diskBytes() const { return Disk ? Disk->totalBytes() : 0; }
+  /// The underlying disk tier, for co-tenants that store other artifact
+  /// families under domain-tagged fingerprints in the same directory —
+  /// the plan cache (plan/PlanCache.h) stores checker plans here so
+  /// cluster members sharing one artifact directory also share warm
+  /// plans. nullptr when no disk store is attached.
+  DiskStore *diskStore() { return Disk.get(); }
 
 private:
   /// Re-reads the disk fault counters and walks the ladder if they

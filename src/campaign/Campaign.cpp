@@ -102,6 +102,7 @@ void detail::runLocalSweep(Sweep &S, ThreadPool &Pool) {
   // must not grind the temp filesystem.
   DOpts.WriteFiles = false;
   DOpts.RunOracle = S.ForceOracle || S.Opts.Oracle;
+  DOpts.Plans = S.Plans;
 
   UnitStream Stream(S.Opts.CampaignSeed, S.Begin, S.End);
   const auto IssueDeadline =
@@ -193,6 +194,12 @@ void detail::runLocalSweep(Sweep &S, ThreadPool &Pool) {
       S.R.NS += KV.second.NS;
       S.R.Diff += KV.second.DiffMismatches;
       S.R.Div += KV.second.OracleDivergences;
+      S.R.PlanBuilds += KV.second.PlanBuilds;
+      S.R.PlanHits += KV.second.PlanHits;
+      S.R.PlanSpecialized += KV.second.PlanSpecialized;
+      S.R.PlanFallbacks += KV.second.PlanFallbacks;
+      S.R.PlanShadowChecks += KV.second.PlanShadowChecks;
+      S.R.PlanDivergences += KV.second.PlanDivergences;
     }
 
     if (S.Opts.Progress && S.Opts.ProgressEveryUnits &&
@@ -231,9 +238,18 @@ CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
   detail::StatsWatch Watch;
   const bool UseSocket = !Opts.Socket.empty();
   std::optional<ThreadPool> Pool;
+  std::optional<plan::PlanManager> Plans;
   if (!UseSocket) {
     Pool.emplace(Opts.Jobs);
     R.JobsUsed = Pool->numThreads();
+    if (Opts.Plan != plan::PlanMode::Off) {
+      // One plan runtime for the whole campaign: plans built on the
+      // first sweep stay warm for every later sweep of the same preset.
+      // Memory-only — a campaign is a single process, nothing to share.
+      plan::PlanManagerOptions PO;
+      PO.Mode = Opts.Plan;
+      Plans.emplace(PO);
+    }
   }
 
   const auto Start = std::chrono::steady_clock::now();
@@ -244,7 +260,8 @@ CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
                       bool StopOnFinding, uint64_t DurationS,
                       bool ForceOracle) {
     detail::Sweep S{Opts, R, Lat, &Watch, Bugs, Begin,
-                    End,  StopOnFinding, DurationS, ForceOracle};
+                    End,  StopOnFinding, DurationS, ForceOracle,
+                    Plans ? &*Plans : nullptr};
     if (UseSocket)
       detail::runSocketSweep(S);
     else
@@ -367,6 +384,17 @@ CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
     break;
   }
   }
+
+  // Plan shadow divergence outranks every other gate verdict short of a
+  // transport error: a specialized verdict that disagrees with the
+  // general checker means the plan pipeline is unsound, and no clean
+  // sweep can vouch for it.
+  if (R.TransportError.empty() && R.PlanDivergences)
+    R.GateFailure = "plan shadow divergence: " +
+                    std::to_string(R.PlanDivergences) +
+                    " specialized verdict(s) disagreed with the general "
+                    "checker" +
+                    (R.GateFailure.empty() ? "" : "; also: " + R.GateFailure);
 
   R.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)

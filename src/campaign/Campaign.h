@@ -56,6 +56,8 @@
 #ifndef CRELLVM_CAMPAIGN_CAMPAIGN_H
 #define CRELLVM_CAMPAIGN_CAMPAIGN_H
 
+#include "plan/PlanManager.h"
+
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -158,6 +160,13 @@ struct CampaignOptions {
   /// (regenerates each module client-side — test/verification feature,
   /// not for MLOC runs).
   bool ComputeDigest = false;
+  /// Per-preset checker plans for the local backend (the socket backend
+  /// ignores this — plans are server-local, so the daemon's own --plan
+  /// governs there). Shadow mode double-checks every specialized verdict
+  /// against the general checker and the campaign gate fails on any
+  /// divergence, which is how a soak-style local sweep proves plan
+  /// specialization verdict-neutral at scale.
+  plan::PlanMode Plan = plan::PlanMode::Off;
   /// Progress sink (nullptr = silent) and cadence in completed units.
   std::ostream *Progress = nullptr;
   uint64_t ProgressEveryUnits = 100000;
@@ -197,6 +206,13 @@ struct CampaignReport {
   uint64_t PeakRssBytes = 0;
   uint64_t MaxInFlight = 0;      ///< observed; must stay <= Window
   unsigned JobsUsed = 0;
+
+  // Plan-pipeline counters (local backend with --plan != off; summed
+  // from the per-pass driver stats). PlanDivergences > 0 fails the
+  // campaign gate: a shadow-mode specialized verdict disagreed with the
+  // general checker.
+  uint64_t PlanBuilds = 0, PlanHits = 0, PlanSpecialized = 0,
+           PlanFallbacks = 0, PlanShadowChecks = 0, PlanDivergences = 0;
 
   /// XOR-accumulated per-unit fingerprint digest (ComputeDigest only):
   /// order-independent, so identical for every window size and job

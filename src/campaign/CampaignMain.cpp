@@ -19,6 +19,7 @@
 #include "checker/Version.h"
 #include "passes/BugConfig.h"
 
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
@@ -77,6 +78,12 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --duration-s N   soak: issue units for N seconds\n"
      << "  --oracle         in-process: run the differential-execution\n"
      << "                   oracle (bug-hunt arms it automatically)\n"
+     << "  --plan MODE      in-process: per-preset checker plans, off\n"
+     << "                   (default) | shadow | on. Shadow double-checks\n"
+     << "                   every specialized verdict against the general\n"
+     << "                   checker and the campaign gate fails on any\n"
+     << "                   divergence. Against a daemon this is\n"
+     << "                   informational: pass --plan to crellvm-served\n"
      << "  --stats-every N  scrape daemon stats every N completed units\n"
      << "                   and check counter monotonicity (default: final\n"
      << "                   scrape only)\n"
@@ -162,6 +169,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.C.DurationS = N;
     else if (A == "--oracle")
       O.C.Oracle = true;
+    else if (A.rfind("--plan=", 0) == 0) {
+      auto P = plan::parsePlanMode(A.substr(std::strlen("--plan=")));
+      if (!P)
+        return false;
+      O.C.Plan = *P;
+    } else if (A == "--plan" && I + 1 < Argc) {
+      auto P = plan::parsePlanMode(Argv[++I]);
+      if (!P)
+        return false;
+      O.C.Plan = *P;
+    }
     else if (A == "--stats-every" && NextNum(N))
       O.C.StatsEveryUnits = N;
     else if (A == "--digest")
@@ -224,6 +242,12 @@ json::Value reportJson(const CampaignReport &R) {
   O.set("peak_rss_bytes", json::Value(R.PeakRssBytes));
   O.set("max_in_flight", json::Value(R.MaxInFlight));
   O.set("units_digest", json::Value(R.UnitsDigest));
+  O.set("plan_builds", json::Value(R.PlanBuilds));
+  O.set("plan_hits", json::Value(R.PlanHits));
+  O.set("plan_specialized", json::Value(R.PlanSpecialized));
+  O.set("plan_fallbacks", json::Value(R.PlanFallbacks));
+  O.set("plan_shadow_checks", json::Value(R.PlanShadowChecks));
+  O.set("plan_divergences", json::Value(R.PlanDivergences));
   O.set("stats_scrapes", json::Value(R.StatsScrapes));
   O.set("stats_monotonic", json::Value(R.StatsMonotonic));
   O.set("drain_holds", json::Value(R.DrainHolds));
@@ -266,6 +290,12 @@ void printHuman(std::ostream &OS, const char *Argv0, const CliOptions &Cli,
                   static_cast<unsigned long long>(R.UnitsDigest));
     OS << "units-digest: " << Buf << "\n";
   }
+  if (Cli.C.Plan != plan::PlanMode::Off && Cli.C.Socket.empty())
+    OS << "plan: mode=" << plan::planModeName(Cli.C.Plan)
+       << " builds=" << R.PlanBuilds << " hits=" << R.PlanHits
+       << " specialized=" << R.PlanSpecialized << " fallbacks="
+       << R.PlanFallbacks << " shadow-checks=" << R.PlanShadowChecks
+       << " divergences=" << R.PlanDivergences << "\n";
   if (R.M == Mode::Soak)
     OS << "soak gates: monotonic=" << (R.StatsMonotonic ? "yes" : "NO")
        << " drain=" << (R.DrainHolds ? "holds" : "VIOLATED")
@@ -328,6 +358,11 @@ int main(int Argc, char **Argv) {
     printUsage(std::cerr, Argv[0]);
     return 2;
   }
+
+  if (Cli.C.Plan != plan::PlanMode::Off && !Cli.C.Socket.empty())
+    std::cerr << "note: --plan=" << plan::planModeName(Cli.C.Plan)
+              << " only applies to the in-process backend; against a "
+                 "daemon pass --plan to crellvm-served\n";
 
   if (Cli.C.ProgressEveryUnits)
     Cli.C.Progress = &std::cerr;

@@ -67,6 +67,9 @@ struct Sweep {
   bool StopOnFinding = false;  ///< bug-hunt: stop issuing, then drain
   uint64_t DurationS = 0;      ///< soak: stop issuing after this long
   bool ForceOracle = false;    ///< local backend: arm the diff oracle
+  /// Local backend: shared plan runtime for the whole campaign (one warm
+  /// plan cache across every sweep), or nullptr when --plan=off.
+  plan::PlanManager *Plans = nullptr;
 
   std::vector<Finding> Findings;
 };

@@ -1,0 +1,168 @@
+//===- checker/PlanSpec.h - Specialized-checker execution knobs -*- C++ -*-===//
+///
+/// \file
+/// The execution knobs of a per-preset checker plan (see src/plan/ for the
+/// builder, cache, and runtime that produce and manage them). A PlanSpec
+/// is *untrusted dispatch state*: it may only tell the checker to skip
+/// assertion-strengthening work (maydiff reductions, fixpoint rounds), or
+/// to refuse a proof outright — never to skip a check. Skipping a
+/// strengthening step yields a *weaker* intermediate assertion, and every
+/// checker judgment (includes, checkEquivBeh, relatedValues) is monotone
+/// in assertion strength, so a specialized run can only flip Validated to
+/// Failed, never the reverse. validateWithPlan exploits that one-way
+/// street: specialized Validated/NotSupported verdicts are emitted
+/// directly, and any specialized failure triggers a hard fallback to the
+/// unchanged general checker, which remains the sole arbiter of Failed.
+/// A wrong or stale plan therefore costs throughput, never soundness —
+/// the TCB argument of DESIGN.md §17.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_CHECKER_PLANSPEC_H
+#define CRELLVM_CHECKER_PLANSPEC_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace crellvm {
+namespace checker {
+
+/// Per-(pass, BugConfig) specialization knobs, derived by profiling the
+/// general checker over seeded feedstock (plan::PlanBuilder).
+struct PlanSpec {
+  /// Admissible inference rules, indexed by erhl::InfruleKind. A proof
+  /// requesting any rule outside this set fails the applicability guard
+  /// and the whole function falls back to the general checker — the
+  /// feedstock evidently did not cover its shape, so none of the knobs
+  /// below can be trusted for it. Must be exactly NumInfruleKinds long.
+  std::vector<uint8_t> AllowedRules;
+  /// Automation functions the profiled proofs enabled; a proof asking for
+  /// any other automation fails the guard.
+  std::set<std::string> AllowedAutos;
+  /// Skip the non-physical maydiff sweep in per-line post computation
+  /// (calcPostCmd). Safe to enable only when the profile saw zero
+  /// line-level sweep removals for this preset: line-level assertions
+  /// come from the proof's stated `After`s, which proof generation has
+  /// already reduced, so the sweep is usually a no-op there. Phi-edge
+  /// sweeps (which do remove Old leftovers) are never skipped.
+  bool SkipNonphysSweepCmd = false;
+  /// Skip the load-bridge search inside the maydiff fixpoint; enabled
+  /// when the profile saw zero load-bridge removals (presets whose pass
+  /// never forwards loads).
+  bool SkipLoadBridge = false;
+  /// Cap on *productive* maydiff fixpoint rounds, from the profiled
+  /// maximum. The general checker runs one extra confirming round; the
+  /// specialized path stops at the cap, which is result-identical
+  /// whenever the workload behaves like the feedstock (and only weaker —
+  /// hence fallback-safe — when it does not).
+  unsigned MaydiffRoundCap = 8;
+  /// When the per-line computed postcondition compares *equal* to the
+  /// proof's annotated After, skip the inclusion check (equality implies
+  /// it reflexively) and carry the computed post forward by move instead
+  /// of copying the annotation — same value, zero allocations. Unlike the
+  /// skip knobs this is exact, not merely fallback-safe: the carried
+  /// assertion is identical either way, so verdicts cannot change. It is
+  /// still profile-gated because a failed equality probe is pure
+  /// overhead; the builder enables it only when the feedstock's equality
+  /// hit rate pays for the misses.
+  bool ReuseEqualPostCmd = false;
+  /// Phi-edge sibling of ReuseEqualPostCmd: when the computed phi-edge
+  /// postcondition compares equal to the successor's entry assertion,
+  /// skip the inclusion check (equality implies it reflexively). There
+  /// is nothing to carry forward at an edge, so the only saving is the
+  /// per-pred set lookups of includes() — but the miss cost is one
+  /// short-circuiting comparison, so a modest hit rate already pays.
+  /// Exact for the same reason as ReuseEqualPostCmd.
+  bool ReuseEqualPostPhi = false;
+  /// Restrict the Cmd-context maydiff fixpoint to the registers the
+  /// current line just defined, instead of scanning every maydiff
+  /// register against every source pred. In SSA-shaped feedstock a
+  /// line-level reduction only ever fires for the just-defined register
+  /// (older maydiff entries were already reduced — or proven
+  /// irreducible — when their defining lines were processed); enabled
+  /// only when the profile saw zero Cmd-context fixpoint removals of
+  /// any *other* register. Fewer candidates can only leave the maydiff
+  /// set larger — weaker, hence fallback-safe.
+  bool MaydiffCandidatesDefinedOnlyCmd = false;
+  /// Phi-context sibling of the above: restrict the phi-edge fixpoint to
+  /// the phi-defined result registers. The same SSA argument applies —
+  /// older physical maydiff entries were reduced (or proven irreducible)
+  /// where they were defined — except that phi edges also gain branch
+  /// facts, which can in principle unlock an older register; enabled
+  /// only when the profile saw zero such removals. Fallback-safe like
+  /// the Cmd knob.
+  bool MaydiffCandidatesDefinedOnlyPhi = false;
+  /// In relatedValues, test the two seed expressions against each other
+  /// before building the lessdef closures — the hit case (identical
+  /// maydiff-free operands, i.e. a value the pass did not touch) answers
+  /// in O(1) what the closures answer in O(|preds|). Exact like
+  /// ReuseEqualPostCmd: a hit is precisely a pair the closure search
+  /// would also accept (both seeds are members of their own closures),
+  /// and a miss falls through to the unchanged full search. Profile-
+  /// gated on the feedstock's probe hit rate.
+  bool RelatedProbeFirst = false;
+};
+
+namespace detail {
+
+/// Profiling counters reduceMaydiff fills during plan building (see
+/// ProfileScope). Context-split so each PlanSpec knob has exactly the
+/// evidence it needs.
+struct PostcondProfile {
+  uint64_t NonphysRemovalsCmd = 0; ///< line-level sweep removals
+  uint64_t NonphysRemovalsPhi = 0; ///< phi-edge sweep removals
+  uint64_t LoadBridgeRemovals = 0; ///< fixpoint removals via load bridge
+  unsigned MaxRounds = 0;          ///< max productive fixpoint rounds
+  uint64_t PostEqualCmd = 0;   ///< lines where computed post == annotated After
+  uint64_t PostUnequalCmd = 0; ///< lines where they differ (automation etc.)
+  uint64_t PostEqualPhi = 0;   ///< phi edges where computed post == entry goal
+  uint64_t PostUnequalPhi = 0; ///< phi edges where they differ
+  /// Cmd-context fixpoint removals of registers the line did not define.
+  uint64_t FixpointNondefRemovalsCmd = 0;
+  /// Phi-context fixpoint removals of registers no phi of the edge defines.
+  uint64_t FixpointNondefRemovalsPhi = 0;
+  uint64_t RelatedProbeHits = 0;   ///< relatedValues seed-pair probe hits
+  uint64_t RelatedProbeMisses = 0; ///< calls that needed the closures
+};
+
+/// The profile sink installed by the innermost live ProfileScope on this
+/// thread, or nullptr outside plan building. Lets the validator loop
+/// (checker/Validator.cpp) feed line-level evidence into the same profile
+/// the post computation fills.
+PostcondProfile *activeProfile();
+
+/// Installs \p Spec as the active specialization for the current thread
+/// for the scope's lifetime. Only calcPostCmd/calcPostPhi consult it;
+/// the public reduceMaydiff entry (used by automation) always runs at
+/// full strength so a failed inclusion gets the checker's best effort
+/// before the fallback decision.
+class SpecScope {
+public:
+  explicit SpecScope(const PlanSpec &Spec);
+  ~SpecScope();
+  SpecScope(const SpecScope &) = delete;
+  SpecScope &operator=(const SpecScope &) = delete;
+
+private:
+  const PlanSpec *Prev;
+};
+
+/// Routes reduceMaydiff instrumentation into \p Profile for the scope's
+/// lifetime (current thread only; PlanBuilder runs single-threaded).
+class ProfileScope {
+public:
+  explicit ProfileScope(PostcondProfile &Profile);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope &) = delete;
+  ProfileScope &operator=(const ProfileScope &) = delete;
+
+private:
+  PostcondProfile *Prev;
+};
+
+} // namespace detail
+} // namespace checker
+} // namespace crellvm
+
+#endif // CRELLVM_CHECKER_PLANSPEC_H

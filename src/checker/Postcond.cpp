@@ -2,6 +2,8 @@
 
 #include "checker/Postcond.h"
 
+#include "checker/PlanSpec.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -10,6 +12,37 @@ using namespace crellvm;
 using namespace crellvm::checker;
 using namespace crellvm::erhl;
 using namespace crellvm::ir;
+
+namespace {
+
+/// Thread-local specialization state (checker/PlanSpec.h). Null in the
+/// general checker — the knobs then have no effect and the functions
+/// below behave exactly as before plans existed.
+thread_local const PlanSpec *ActiveSpec = nullptr;
+thread_local checker::detail::PostcondProfile *ActiveProfile = nullptr;
+
+/// Which caller is reducing: knobs and profile attribution differ between
+/// line-level posts, phi-edge posts, and everything else (automation's
+/// reduce_maydiff always runs at full strength).
+enum class ReduceCtx { General, Cmd, Phi };
+
+} // namespace
+
+checker::detail::SpecScope::SpecScope(const PlanSpec &Spec)
+    : Prev(ActiveSpec) {
+  ActiveSpec = &Spec;
+}
+checker::detail::SpecScope::~SpecScope() { ActiveSpec = Prev; }
+
+checker::detail::ProfileScope::ProfileScope(PostcondProfile &Profile)
+    : Prev(ActiveProfile) {
+  ActiveProfile = &Profile;
+}
+checker::detail::ProfileScope::~ProfileScope() { ActiveProfile = Prev; }
+
+checker::detail::PostcondProfile *checker::detail::activeProfile() {
+  return ActiveProfile;
+}
 
 namespace {
 
@@ -197,29 +230,95 @@ bool crellvm::checker::loadMiddleAllowed(const Assertion &A, const Expr &E) {
   return true;
 }
 
-void crellvm::checker::reduceMaydiff(Assertion &A) {
+namespace {
+
+/// \p Defined, when non-null, lists the registers the current step
+/// defines (the line's results in Cmd context, the phi results in Phi
+/// context) — the fixpoint candidates the specialized path may restrict
+/// itself to, and the reference set the profile measures every removal
+/// against.
+void reduceMaydiffCtx(Assertion &A, ReduceCtx Ctx,
+                      const std::vector<RegT> *Defined = nullptr) {
+  // The knobs apply only inside specialized post computations; the
+  // automation entry (ReduceCtx::General) always runs at full strength.
+  const PlanSpec *Spec = Ctx == ReduceCtx::General ? nullptr : ActiveSpec;
+  checker::detail::PostcondProfile *Prof = ActiveProfile;
+
   // Ghost and old registers that no predicate mentions are existentially
   // quantified and unconstrained; they can always be chosen equal on both
   // sides (reduce_maydiff_non_physical applied eagerly).
-  {
-    std::set<RegT> Used;
-    for (const Pred &P : A.Src)
-      for (const RegT &R : P.regs())
-        Used.insert(R);
-    for (const Pred &P : A.Tgt)
-      for (const RegT &R : P.regs())
-        Used.insert(R);
-    for (auto It = A.Maydiff.begin(); It != A.Maydiff.end();)
-      It = (It->T != Tag::Phy && !Used.count(*It)) ? A.Maydiff.erase(It)
-                                                   : ++It;
+  if (!(Spec && Ctx == ReduceCtx::Cmd && Spec->SkipNonphysSweepCmd)) {
+    if (Spec) {
+      // Candidate-directed sweep: for each of the few non-physical
+      // maydiff entries, scan the preds for a mention and early-exit.
+      // Exact — both strategies erase precisely the non-physical
+      // registers no pred mentions — but this one skips materializing
+      // every register of every pred into a lookup set (a string copy
+      // apiece), which is the sweep's entire cost when the candidate
+      // list is short. The general checker keeps the set-based sweep:
+      // it is the reference implementation the fallback re-runs.
+      for (auto It = A.Maydiff.begin(); It != A.Maydiff.end();) {
+        bool Mentioned = It->T == Tag::Phy;
+        if (!Mentioned)
+          for (const Pred &P : A.Src)
+            if (P.mentions(*It)) {
+              Mentioned = true;
+              break;
+            }
+        if (!Mentioned)
+          for (const Pred &P : A.Tgt)
+            if (P.mentions(*It)) {
+              Mentioned = true;
+              break;
+            }
+        It = Mentioned ? std::next(It) : A.Maydiff.erase(It);
+      }
+    } else {
+      std::set<RegT> Used;
+      for (const Pred &P : A.Src)
+        for (const RegT &R : P.regs())
+          Used.insert(R);
+      for (const Pred &P : A.Tgt)
+        for (const RegT &R : P.regs())
+          Used.insert(R);
+      for (auto It = A.Maydiff.begin(); It != A.Maydiff.end();) {
+        if (It->T != Tag::Phy && !Used.count(*It)) {
+          It = A.Maydiff.erase(It);
+          if (Prof) {
+            if (Ctx == ReduceCtx::Phi)
+              ++Prof->NonphysRemovalsPhi;
+            else
+              ++Prof->NonphysRemovalsCmd;
+          }
+        } else {
+          ++It;
+        }
+      }
+    }
   }
 
-  // Iterate to a fixpoint: removing one register can unlock another.
+  // Iterate to a fixpoint: removing one register can unlock another. The
+  // specialized path caps the rounds at the profiled maximum (a weaker
+  // result at worst — see PlanSpec::MaydiffRoundCap).
+  unsigned Cap = 8;
+  if (Spec)
+    Cap = std::min(Cap, Spec->MaydiffRoundCap);
+  const bool DefinedOnly =
+      Spec && Defined &&
+      (Ctx == ReduceCtx::Cmd ? Spec->MaydiffCandidatesDefinedOnlyCmd
+                             : Spec->MaydiffCandidatesDefinedOnlyPhi);
   bool Changed = true;
-  unsigned Guard = 0;
-  while (Changed && Guard++ < 8) {
+  unsigned Rounds = 0, Productive = 0;
+  while (Changed && Rounds++ < Cap) {
     Changed = false;
-    std::vector<RegT> Candidates(A.Maydiff.begin(), A.Maydiff.end());
+    std::vector<RegT> Candidates;
+    if (DefinedOnly) {
+      for (const RegT &D : *Defined)
+        if (A.Maydiff.count(D))
+          Candidates.push_back(D);
+    } else {
+      Candidates.assign(A.Maydiff.begin(), A.Maydiff.end());
+    }
     for (const RegT &R : Candidates) {
       if (R.T != Tag::Phy)
         continue;
@@ -248,7 +347,7 @@ void crellvm::checker::reduceMaydiff(Assertion &A) {
         // sides read the same public cell when a shared maydiff-free
         // middle value links the two addresses (src PA >= m, tgt
         // m >= PB). A trapping source load leaves no state.
-        if (E.isLoad()) {
+        if (E.isLoad() && !(Spec && Spec->SkipLoadBridge)) {
           const ValT &PA = E.operands()[0];
           for (const Pred &Q : A.Tgt) {
             if (Q.kind() != Pred::Kind::Lessdef || !Q.lhs().isLoad() ||
@@ -270,6 +369,8 @@ void crellvm::checker::reduceMaydiff(Assertion &A) {
               if (M == PB || A.Tgt.count(Pred::lessdef(Expr::val(M),
                                                        Expr::val(PB)))) {
                 Removable = true;
+                if (Prof)
+                  ++Prof->LoadBridgeRemovals;
                 break;
               }
             }
@@ -283,9 +384,26 @@ void crellvm::checker::reduceMaydiff(Assertion &A) {
       if (Removable) {
         A.Maydiff.erase(R);
         Changed = true;
+        if (Prof && Defined &&
+            std::find(Defined->begin(), Defined->end(), R) == Defined->end()) {
+          if (Ctx == ReduceCtx::Phi)
+            ++Prof->FixpointNondefRemovalsPhi;
+          else
+            ++Prof->FixpointNondefRemovalsCmd;
+        }
       }
     }
+    if (Changed)
+      ++Productive;
   }
+  if (Prof && Ctx != ReduceCtx::General)
+    Prof->MaxRounds = std::max(Prof->MaxRounds, Productive);
+}
+
+} // namespace
+
+void crellvm::checker::reduceMaydiff(Assertion &A) {
+  reduceMaydiffCtx(A, ReduceCtx::General);
 }
 
 bool crellvm::checker::relatedValues(const Assertion &A, const ir::Value &VS,
@@ -307,6 +425,19 @@ bool crellvm::checker::relatedValues(const Assertion &A, const ir::Value &VS,
     }
     return true;
   };
+
+  // Specialized probe: both seeds belong to their own closures, so an
+  // EquivAcross hit on (ES, ET) is a result the full search below would
+  // also reach — returning early is exact, not a weakening. The profile
+  // gates the knob on this probe's feedstock hit rate (a miss is a wasted
+  // comparison); general runs measure the same probe without using it.
+  if (ActiveSpec && ActiveSpec->RelatedProbeFirst) {
+    if (EquivAcross(ES, ET))
+      return true;
+  } else if (checker::detail::PostcondProfile *Prof = ActiveProfile) {
+    ++(EquivAcross(ES, ET) ? Prof->RelatedProbeHits
+                           : Prof->RelatedProbeMisses);
+  }
 
   // Bounded closure: source expressions reachable from ES downward, target
   // expressions reaching ET upward.
@@ -461,10 +592,9 @@ crellvm::checker::checkEquivBeh(const Assertion &A, const CmdPair &C) {
   return std::nullopt;
 }
 
-erhl::Assertion crellvm::checker::calcPostCmd(const Assertion &A,
-                                              const CmdPair &C) {
-  Assertion Out = A;
+namespace {
 
+Assertion calcPostCmdOn(Assertion Out, const CmdPair &C) {
   // Prune.
   pruneU(Out.Src, C.Src);
   pruneU(Out.Tgt, C.Tgt);
@@ -495,15 +625,19 @@ erhl::Assertion crellvm::checker::calcPostCmd(const Assertion &A,
   addLessdefPreds(Out.Src, C.Src);
   addLessdefPreds(Out.Tgt, C.Tgt);
 
-  reduceMaydiff(Out);
+  std::vector<RegT> Defined;
+  if (C.Src && C.Src->result())
+    Defined.push_back(RegT{*C.Src->result(), Tag::Phy});
+  if (C.Tgt && C.Tgt->result() &&
+      !(C.Src && C.Src->result() == C.Tgt->result()))
+    Defined.push_back(RegT{*C.Tgt->result(), Tag::Phy});
+  reduceMaydiffCtx(Out, ReduceCtx::Cmd, &Defined);
   return Out;
 }
 
-erhl::Assertion crellvm::checker::calcPostPhi(
-    const Assertion &A, const std::vector<ir::Phi> &SrcPhis,
-    const std::vector<ir::Phi> &TgtPhis, const std::string &Pred) {
-  Assertion Out = A;
-
+Assertion calcPostPhiOn(Assertion Out, const std::vector<ir::Phi> &SrcPhis,
+                        const std::vector<ir::Phi> &TgtPhis,
+                        const std::string &Pred) {
   // 1. Old registers from the previous edge are gone.
   auto DropOld = [](Unary &U) {
     for (auto It = U.begin(); It != U.end();) {
@@ -645,6 +779,37 @@ erhl::Assertion crellvm::checker::calcPostPhi(
       Out.Maydiff.erase(RegT{Z, Tag::Phy});
   }
 
-  reduceMaydiff(Out);
+  // The phi results are this edge's defined set — the fixpoint
+  // candidates a MaydiffCandidatesDefinedOnlyPhi plan narrows to, and
+  // the reference set the profile measures removals against.
+  std::vector<RegT> DefinedRegs;
+  DefinedRegs.reserve(Defined.size());
+  for (const std::string &Z : Defined)
+    DefinedRegs.push_back(RegT{Z, Tag::Phy});
+  reduceMaydiffCtx(Out, ReduceCtx::Phi, &DefinedRegs);
   return Out;
+}
+
+} // namespace
+
+erhl::Assertion crellvm::checker::calcPostCmd(const Assertion &A,
+                                              const CmdPair &C) {
+  return calcPostCmdOn(A, C);
+}
+
+erhl::Assertion crellvm::checker::calcPostCmd(Assertion &&A,
+                                              const CmdPair &C) {
+  return calcPostCmdOn(std::move(A), C);
+}
+
+erhl::Assertion crellvm::checker::calcPostPhi(
+    const Assertion &A, const std::vector<ir::Phi> &SrcPhis,
+    const std::vector<ir::Phi> &TgtPhis, const std::string &Pred) {
+  return calcPostPhiOn(A, SrcPhis, TgtPhis, Pred);
+}
+
+erhl::Assertion crellvm::checker::calcPostPhi(
+    erhl::Assertion &&A, const std::vector<ir::Phi> &SrcPhis,
+    const std::vector<ir::Phi> &TgtPhis, const std::string &Pred) {
+  return calcPostPhiOn(std::move(A), SrcPhis, TgtPhis, Pred);
 }

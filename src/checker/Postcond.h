@@ -44,12 +44,20 @@ bool relatedValues(const erhl::Assertion &A, const ir::Value &VS,
 std::optional<std::string> checkEquivBeh(const erhl::Assertion &A,
                                          const CmdPair &C);
 
-/// CalcPostAssn for one aligned command line (Algorithm 5).
+/// CalcPostAssn for one aligned command line (Algorithm 5). The rvalue
+/// overload consumes \p A instead of copying it — the specialized plan
+/// path (checker/PlanSpec.h) uses it because the per-line loop reassigns
+/// the assertion right after; both overloads compute identical results.
 erhl::Assertion calcPostCmd(const erhl::Assertion &A, const CmdPair &C);
+erhl::Assertion calcPostCmd(erhl::Assertion &&A, const CmdPair &C);
 
 /// CalcPostAssn for a phi edge: all source phis and target phis of the
 /// destination block execute simultaneously for incoming block \p Pred.
 erhl::Assertion calcPostPhi(const erhl::Assertion &A,
+                            const std::vector<ir::Phi> &SrcPhis,
+                            const std::vector<ir::Phi> &TgtPhis,
+                            const std::string &Pred);
+erhl::Assertion calcPostPhi(erhl::Assertion &&A,
                             const std::vector<ir::Phi> &SrcPhis,
                             const std::vector<ir::Phi> &TgtPhis,
                             const std::string &Pred);

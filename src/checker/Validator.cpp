@@ -5,6 +5,8 @@
 #include "checker/Automation.h"
 #include "checker/Postcond.h"
 
+#include <algorithm>
+
 using namespace crellvm;
 using namespace crellvm::checker;
 using namespace crellvm::erhl;
@@ -256,9 +258,16 @@ std::set<std::string> reachableBlockNames(const ir::Function &F) {
   return Seen;
 }
 
+/// One function's Hoare triples and phi edges. With \p Spec the post
+/// computations run specialized (skip-list knobs via SpecScope, moved
+/// instead of copied assertions); the checks themselves — checkEquivBeh,
+/// inclusion, alignment — are never weakened, so a specialized run can
+/// only fail more often than the general one, never accept more
+/// (checker/PlanSpec.h).
 FunctionResult validateFunction(const ir::Function &SrcF,
                                 const ir::Function &TgtF,
-                                const FunctionProof &FP) {
+                                const FunctionProof &FP,
+                                const PlanSpec *Spec = nullptr) {
   FunctionResult Res;
   auto Fail = [&](const std::string &Where, const std::string &Reason) {
     Res.Status = ValidationStatus::Failed;
@@ -303,9 +312,25 @@ FunctionResult validateFunction(const ir::Function &SrcF,
       CmdPair Pair{L.SrcCmd, L.TgtCmd};
       if (auto Err = checkEquivBeh(A, Pair))
         return Fail(Where, *Err);
-      Assertion Post = calcPostCmd(A, Pair);
+      // Specialized: A is reassigned to L.After right below, so the post
+      // computation may consume it instead of copying two pred sets.
+      Assertion Post = Spec ? calcPostCmd(std::move(A), Pair)
+                            : calcPostCmd(A, Pair);
       for (const Infrule &R : L.Rules)
         applyInfrule(R, Post); // a failed rule surfaces as an inclusion gap
+      // Specialized fast path: when the computed post IS the annotated
+      // After, inclusion holds reflexively and carrying Post forward by
+      // move is value-identical to the `A = L.After` copy below — the
+      // one exact (not merely fallback-safe) plan knob. A failed probe
+      // costs one short-circuiting set comparison; the plan builder only
+      // enables this where the profiled hit rate pays for that.
+      if (Spec && Spec->ReuseEqualPostCmd && Post == L.After) {
+        A = std::move(Post);
+        continue;
+      }
+      if (!Spec)
+        if (detail::PostcondProfile *Prof = detail::activeProfile())
+          ++(Post == L.After ? Prof->PostEqualCmd : Prof->PostUnequalCmd);
       if (!Post.includes(L.After)) {
         runAutomation(FP.AutoFuncs, Post, L.After);
         if (!Post.includes(L.After))
@@ -318,10 +343,12 @@ FunctionResult validateFunction(const ir::Function &SrcF,
     const Instruction &SrcTerm = SB.terminator();
     const BasicBlock *TB = TgtF.getBlock(SB.Name);
     const Instruction &TgtTerm = TB->terminator();
-    std::set<std::string> SeenSuccs;
-    for (const std::string &Succ : SrcTerm.successors()) {
-      if (!SeenSuccs.insert(Succ).second)
-        continue;
+    std::vector<std::string> Succs;
+    for (const std::string &S : SrcTerm.successors())
+      if (std::find(Succs.begin(), Succs.end(), S) == Succs.end())
+        Succs.push_back(S);
+    for (size_t SI = 0; SI != Succs.size(); ++SI) {
+      const std::string &Succ = Succs[SI];
       const BasicBlock *SrcSucc = SrcF.getBlock(Succ);
       const BasicBlock *TgtSucc = TgtF.getBlock(Succ);
       if (!SrcSucc || !TgtSucc)
@@ -330,16 +357,32 @@ FunctionResult validateFunction(const ir::Function &SrcF,
       if (SuccIt == FP.Blocks.end())
         return Fail(SB.Name, "no proof for block '" + Succ + "'");
 
-      Assertion AtEnd = BP.Lines.back().After;
+      // The line loop leaves A holding exactly the last line's After (it
+      // is assigned that verbatim, whether by copy or by the equal-post
+      // move), so the final edge may consume it instead of re-copying
+      // the annotation — value-identical, like the calcPost moves.
+      Assertion AtEnd = Spec && SI + 1 == Succs.size()
+                            ? std::move(A)
+                            : BP.Lines.back().After;
       addBranchFacts(AtEnd.Src, SrcTerm, Succ);
       addBranchFacts(AtEnd.Tgt, TgtTerm, Succ);
       Assertion Post =
-          calcPostPhi(AtEnd, SrcSucc->Phis, TgtSucc->Phis, SB.Name);
+          Spec ? calcPostPhi(std::move(AtEnd), SrcSucc->Phis, TgtSucc->Phis,
+                             SB.Name)
+               : calcPostPhi(AtEnd, SrcSucc->Phis, TgtSucc->Phis, SB.Name);
       auto RulesIt = SuccIt->second.PhiRules.find(SB.Name);
       if (RulesIt != SuccIt->second.PhiRules.end())
         for (const Infrule &R : RulesIt->second)
           applyInfrule(R, Post);
       const Assertion &Goal = SuccIt->second.AtEntry;
+      // Same equality-implies-inclusion shortcut as the line loop; at an
+      // edge there is no assertion to carry, so a hit just skips the
+      // inclusion lookups.
+      if (Spec && Spec->ReuseEqualPostPhi && Post == Goal)
+        continue;
+      if (!Spec)
+        if (detail::PostcondProfile *Prof = detail::activeProfile())
+          ++(Post == Goal ? Prof->PostEqualPhi : Prof->PostUnequalPhi);
       if (!Post.includes(Goal)) {
         runAutomation(FP.AutoFuncs, Post, Goal);
         if (!Post.includes(Goal))
@@ -368,6 +411,73 @@ ModuleResult crellvm::checker::validate(const ir::Module &Src,
       Res.Reason = "no proof for this function";
     } else {
       Res = validateFunction(SrcF, *TgtF, It->second);
+    }
+    Out.Functions[SrcF.Name] = Res;
+  }
+  return Out;
+}
+
+bool crellvm::checker::planGuardHolds(const FunctionProof &FP,
+                                      const PlanSpec &Spec) {
+  if (Spec.AllowedRules.size() != erhl::NumInfruleKinds)
+    return false;
+  auto Allowed = [&](const Infrule &R) {
+    auto K = static_cast<uint16_t>(R.K);
+    return K < Spec.AllowedRules.size() && Spec.AllowedRules[K];
+  };
+  for (const std::string &Auto : FP.AutoFuncs)
+    if (!Spec.AllowedAutos.count(Auto))
+      return false;
+  for (const auto &BKV : FP.Blocks) {
+    for (const LineEntry &L : BKV.second.Lines)
+      for (const Infrule &R : L.Rules)
+        if (!Allowed(R))
+          return false;
+    for (const auto &EKV : BKV.second.PhiRules)
+      for (const Infrule &R : EKV.second)
+        if (!Allowed(R))
+          return false;
+  }
+  return true;
+}
+
+ModuleResult crellvm::checker::validateWithPlan(const ir::Module &Src,
+                                                const ir::Module &Tgt,
+                                                const proofgen::Proof &P,
+                                                const PlanSpec &Spec,
+                                                PlanRunStats *Stats) {
+  ModuleResult Out;
+  for (const ir::Function &SrcF : Src.Funcs) {
+    FunctionResult Res;
+    const ir::Function *TgtF = Tgt.getFunction(SrcF.Name);
+    auto It = P.Functions.find(SrcF.Name);
+    if (!TgtF) {
+      // The missing-target / missing-proof verdicts involve no plan knob
+      // at all; they are byte-for-byte the general checker's code path.
+      Res.Status = ValidationStatus::Failed;
+      Res.Reason = "function missing from the target module";
+    } else if (It == P.Functions.end()) {
+      Res.Status = ValidationStatus::Failed;
+      Res.Reason = "no proof for this function";
+    } else if (!planGuardHolds(It->second, Spec)) {
+      Res = validateFunction(SrcF, *TgtF, It->second);
+      if (Stats)
+        ++Stats->Fallbacks;
+    } else {
+      {
+        detail::SpecScope Scope(Spec);
+        Res = validateFunction(SrcF, *TgtF, It->second, &Spec);
+      }
+      if (Res.Status == ValidationStatus::Failed) {
+        // Hard fallback: the specialized path may never be the one to say
+        // Failed — its weaker intermediate assertions can produce spurious
+        // rejections, so the general checker re-decides from scratch.
+        Res = validateFunction(SrcF, *TgtF, It->second);
+        if (Stats)
+          ++Stats->Fallbacks;
+      } else if (Stats) {
+        ++Stats->Specialized;
+      }
     }
     Out.Functions[SrcF.Name] = Res;
   }

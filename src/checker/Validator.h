@@ -13,6 +13,7 @@
 #ifndef CRELLVM_CHECKER_VALIDATOR_H
 #define CRELLVM_CHECKER_VALIDATOR_H
 
+#include "checker/PlanSpec.h"
 #include "proofgen/Proof.h"
 
 #include <map>
@@ -52,6 +53,30 @@ bool usesUnsupportedFeatures(const ir::Function &F, std::string &Why);
 /// Validates every function of \p Src against \p Tgt with \p P.
 ModuleResult validate(const ir::Module &Src, const ir::Module &Tgt,
                       const proofgen::Proof &P);
+
+/// How the specialized dispatch of one validateWithPlan call went.
+struct PlanRunStats {
+  uint64_t Specialized = 0; ///< functions answered by the specialized path
+  uint64_t Fallbacks = 0;   ///< functions re-run through the general checker
+};
+
+/// Does \p FP stay inside \p Spec's admissible rule and automation sets?
+/// False means the plan's profile did not cover this proof shape and none
+/// of its knobs can be trusted for it.
+bool planGuardHolds(const proofgen::FunctionProof &FP, const PlanSpec &Spec);
+
+/// Validates with the per-preset plan \p Spec: each function is first run
+/// through the specialized checker (guarded rule set, skip-list knobs,
+/// in-place post computation); a Validated or NotSupported verdict is
+/// emitted directly, while a guard miss or *any* specialized failure
+/// hard-falls-back to the unchanged general checker, which alone may say
+/// Failed. By the monotonicity argument in checker/PlanSpec.h the result
+/// is identical to validate() on every input — plans buy throughput, not
+/// a different answer (plan::PlanManager's shadow mode re-checks exactly
+/// this claim).
+ModuleResult validateWithPlan(const ir::Module &Src, const ir::Module &Tgt,
+                              const proofgen::Proof &P, const PlanSpec &Spec,
+                              PlanRunStats *Stats = nullptr);
 
 } // namespace checker
 } // namespace crellvm

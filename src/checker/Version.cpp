@@ -16,5 +16,6 @@ std::string crellvm::checker::versionFingerprint() {
 
 std::string crellvm::checker::versionLine(const std::string &Tool) {
   return Tool + " checker-semantics-version " +
-         std::to_string(CheckerSemanticsVersion) + " build " CRELLVM_BUILD_TYPE;
+         std::to_string(CheckerSemanticsVersion) + " plan-schema-version " +
+         std::to_string(PlanSchemaVersion) + " build " CRELLVM_BUILD_TYPE;
 }

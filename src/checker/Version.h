@@ -31,13 +31,27 @@ namespace checker {
 ///    dead code are no longer checked — only alignment).
 constexpr int CheckerSemanticsVersion = 2;
 
+/// Bump whenever the serialized checker-plan layout (plan/Plan.h) or the
+/// meaning of a checker::PlanSpec knob changes. Deliberately separate
+/// from CheckerSemanticsVersion: a plan-layout change must invalidate
+/// cached *plans* without cold-starting the (much larger) verdict cache,
+/// while a semantics bump invalidates both — plan cache keys
+/// (cache::fingerprintPlan) fold in both versions, so no plan built
+/// against older checker semantics or an older schema is ever replayed.
+///
+/// 2: added the profile-gated dispatch knobs reuse_equal_post_cmd,
+///    reuse_equal_post_phi, maydiff_candidates_defined_only_cmd, and
+///    related_probe_first (checker/PlanSpec.h).
+constexpr int PlanSchemaVersion = 2;
+
 /// The full fingerprint string: version plus every global switch.
 std::string versionFingerprint();
 
 /// The one-line `--version` output shared by every CLI
-/// (crellvm-validate/-audit/-served/-client): tool name, the checker
-/// semantics version, and the CMake build type, e.g.
-/// `crellvm-validate checker-semantics-version 2 build RelWithDebInfo`.
+/// (crellvm-validate/-audit/-served/-client/-campaign/-cluster): tool
+/// name, the checker semantics version, the plan schema version, and the
+/// CMake build type, e.g. `crellvm-validate checker-semantics-version 2
+/// plan-schema-version 1 build RelWithDebInfo`.
 std::string versionLine(const std::string &Tool);
 
 } // namespace checker

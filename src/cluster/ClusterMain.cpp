@@ -11,12 +11,14 @@
 //
 //   crellvm-cluster --socket PATH --member ID=SOCKET [--member ID=SOCKET...]
 //                   [--vnodes N] [--max-inflight N] [--seed N]
-//                   [--router-id ID] [--version] [--help]
+//                   [--router-id ID] [--plan=off|shadow|on]
+//                   [--version] [--help]
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Version.h"
 #include "cluster/Router.h"
+#include "plan/PlanManager.h"
 #include "server/SocketServer.h"
 
 #include <csignal>
@@ -32,6 +34,13 @@ namespace {
 struct CliOptions {
   std::string Socket;
   cluster::ClusterOptions Cluster;
+  /// Accepted for CLI symmetry with crellvm-validate/-served and
+  /// validated strictly, but otherwise unused: checker plans are
+  /// member-local (each crellvm-served owns its plan runtime and mode;
+  /// nothing about plans crosses the member protocol), so there is
+  /// nothing for the router to negotiate. The aggregated stats document
+  /// still sums every member's plan counters.
+  plan::PlanMode Plan = plan::PlanMode::Off;
 };
 
 void printUsage(std::ostream &OS, const char *Argv0) {
@@ -61,6 +70,11 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --codec NAME        wire codec negotiated on the member hops:\n"
      << "                      cbj1 (default) or json. Independent of what\n"
      << "                      clients negotiate on the front socket.\n"
+     << "  --plan=MODE         accepted for symmetry with the other tools\n"
+     << "                      (off | shadow | on) but informational only:\n"
+     << "                      checker plans are member-local — pass --plan\n"
+     << "                      to each crellvm-served member instead. The\n"
+     << "                      aggregated stats sum member plan counters.\n"
      << "  --version           print version and exit\n"
      << "  --help, -h          print this help and exit\n";
 }
@@ -126,6 +140,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Cluster.MemberCodec = *C;
+    } else if (A.rfind("--plan=", 0) == 0) {
+      auto P = plan::parsePlanMode(A.substr(std::strlen("--plan=")));
+      if (!P)
+        return false;
+      O.Plan = *P;
+    } else if (A == "--plan" && I + 1 < Argc) {
+      auto P = plan::parsePlanMode(Argv[++I]);
+      if (!P)
+        return false;
+      O.Plan = *P;
     } else
       return false;
   }
@@ -169,6 +193,11 @@ int main(int Argc, char **Argv) {
     printUsage(std::cerr, Argv[0]);
     return 2;
   }
+
+  if (Cli.Plan != plan::PlanMode::Off)
+    std::cerr << "note: --plan=" << plan::planModeName(Cli.Plan)
+              << " is member-local; pass it to each crellvm-served member "
+                 "(the router only aggregates their plan counters)\n";
 
   cluster::ClusterRouter Router(Cli.Cluster);
   std::string Err;

@@ -222,6 +222,23 @@ crellvm::cluster::aggregateMemberStats(const std::vector<json::Value> &Docs,
                                  : 0));
   Root.set("cache", std::move(CacheV));
 
+  // Micro-batching: flat counters sum (the nested per_preset detail is
+  // per-member and skipped); the mean is recomputed from the sums, like
+  // the cache hit rate above.
+  json::Value BatchV = sumIntSection(Docs, "batching");
+  uint64_t Batches = intField(&BatchV, "batches_formed"),
+           Units = intField(&BatchV, "batched_units");
+  BatchV.set("mean_batch_size_ppm",
+             json::Value(Batches ? static_cast<uint64_t>(
+                                       Units * 1000000.0 / Batches + 0.5)
+                                 : 0));
+  Root.set("batching", std::move(BatchV));
+
+  // Checker plans: specialized/fallback/divergence totals sum; a nonzero
+  // cluster-wide `divergences` (or `demotions`) is the alarm the shadow
+  // ladder exists to ring. Mode strings are per-member and skipped.
+  Root.set("plan", sumIntSection(Docs, "plan"));
+
   auto Collect = [&Docs](const char *Section, const char *Name) {
     std::vector<const json::Value *> Hs;
     for (const json::Value &D : Docs)

@@ -9,6 +9,7 @@
 #include "difftool/Diff.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "plan/PlanManager.h"
 #include "proofgen/ProofBinary.h"
 #include "proofgen/ProofJson.h"
 #include "support/FaultInjection.h"
@@ -52,6 +53,12 @@ void PassStats::add(const PassStats &O) {
   CacheStores += O.CacheStores;
   CacheEvictions += O.CacheEvictions;
   CacheStoreErrors += O.CacheStoreErrors;
+  PlanBuilds += O.PlanBuilds;
+  PlanHits += O.PlanHits;
+  PlanSpecialized += O.PlanSpecialized;
+  PlanFallbacks += O.PlanFallbacks;
+  PlanShadowChecks += O.PlanShadowChecks;
+  PlanDivergences += O.PlanDivergences;
 }
 
 ValidationDriver::ValidationDriver(const passes::BugConfig &Bugs,
@@ -232,11 +239,24 @@ void ValidationDriver::runCheckedLeg(passes::Pass &P, const ir::Module &Src,
     S.IO = TIO.seconds();
   }
 
-  // The proof checker.
+  // The proof checker — dispatched through the plan runtime when one is
+  // attached (identical verdicts in every plan mode; see Driver.h).
   Timer TCheck;
-  checker::ModuleResult MR = TCheck.time(
-      [&] { return checker::validate(SrcForCheck, TgtForCheck,
-                                     ProofForCheck); });
+  checker::ModuleResult MR = TCheck.time([&] {
+    if (Opts.Plans) {
+      plan::PlanCallStats PS;
+      checker::ModuleResult R = Opts.Plans->validate(
+          P.name(), Bugs, SrcForCheck, TgtForCheck, ProofForCheck, &PS);
+      S.PlanBuilds += PS.Builds;
+      S.PlanHits += PS.Hits;
+      S.PlanSpecialized += PS.Specialized;
+      S.PlanFallbacks += PS.Fallbacks;
+      S.PlanShadowChecks += PS.ShadowChecks;
+      S.PlanDivergences += PS.Divergences;
+      return R;
+    }
+    return checker::validate(SrcForCheck, TgtForCheck, ProofForCheck);
+  });
   S.PCheck = TCheck.seconds();
 
   S.V += MR.Functions.size();

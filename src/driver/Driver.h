@@ -46,6 +46,10 @@ struct Fingerprint;
 class ValidationCache;
 }
 
+namespace plan {
+class PlanManager;
+}
+
 namespace driver {
 
 /// Accumulated statistics for one pass, matching the paper's columns.
@@ -75,6 +79,17 @@ struct PassStats {
   uint64_t CacheStores = 0;     ///< verdicts persisted after a miss
   uint64_t CacheEvictions = 0;  ///< entries this unit's stores evicted
   uint64_t CacheStoreErrors = 0;///< failed persists (verdict still valid)
+
+  // Checker-plan columns (populated with DriverOptions::Plans in shadow
+  // or on mode; all zero otherwise). Summed totals are deterministic
+  // across `--jobs N`: plan builds are blocking once-per-key, so exactly
+  // one unit builds and the rest hit (plan/PlanManager.h).
+  uint64_t PlanBuilds = 0;       ///< plans built from feedstock
+  uint64_t PlanHits = 0;         ///< plans served from memory or disk
+  uint64_t PlanSpecialized = 0;  ///< functions answered specialized
+  uint64_t PlanFallbacks = 0;    ///< functions re-run through the general
+  uint64_t PlanShadowChecks = 0; ///< functions double-checked in shadow
+  uint64_t PlanDivergences = 0;  ///< shadow disagreements (expected 0)
 
   void add(const PassStats &O);
   uint64_t validated() const { return V - F - NS; }
@@ -109,6 +124,15 @@ struct DriverOptions {
   /// llvm-diff comparison; the oracle — which probes the trusted base
   /// itself — always re-runs. See cache/ValidationCache.h.
   cache::ValidationCache *Cache = nullptr;
+  /// Optional checker-plan runtime (not owned; shared across all units of
+  /// a batch). When set, the PCheck step dispatches through
+  /// plan::PlanManager::validate — specialized checking in `on` mode,
+  /// double-checked in `shadow` mode, plain general checking in `off`
+  /// mode or after a divergence demotion. Verdicts are identical to the
+  /// general checker in every mode; only the PCheck time and the Plan*
+  /// stats columns change. Never consulted on a verdict-cache hit (the
+  /// replayed verdict skips PCheck entirely).
+  plan::PlanManager *Plans = nullptr;
 };
 
 /// Runs passes over modules with validation, accumulating statistics.

@@ -11,12 +11,14 @@
 //                    [--binary-proofs] [--cache=off|ro|rw]
 //                    [--cache-dir DIR] [--cache-max-mb N]
 //                    [--unit-timeout-ms N] [--chaos SPEC]
+//                    [--plan=off|shadow|on]
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/ValidationCache.h"
 #include "checker/Version.h"
 #include "driver/Driver.h"
+#include "plan/PlanManager.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -45,6 +47,7 @@ struct CliOptions {
   uint64_t CacheMaxMb = 256;
   uint64_t UnitTimeoutMs = 0;
   std::string Chaos; ///< --chaos SPEC; also CRELLVM_CHAOS env
+  plan::PlanMode Plan = plan::PlanMode::Off;
 };
 
 void printUsage(std::ostream &OS, const char *Argv0) {
@@ -70,6 +73,13 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                    (src, tgt', proof, pass, checker, bugs) keys\n"
      << "  --cache-dir DIR   cache directory (default .crellvm-cache)\n"
      << "  --cache-max-mb N  on-disk cache size bound in MiB (default 256)\n"
+     << "  --plan=MODE       per-preset checker plans: off (default) |\n"
+     << "                    shadow (specialized + general, compare, emit\n"
+     << "                    general; any divergence demotes plans to off) |\n"
+     << "                    on (specialized with hard fallback to the\n"
+     << "                    general checker). Verdicts are identical in\n"
+     << "                    every mode. Plans persist in the cache dir\n"
+     << "                    when the cache has a disk tier\n"
      << "  --unit-timeout-ms N  per-unit watchdog deadline; a unit still\n"
      << "                    running past it is answered internal_error\n"
      << "                    while the batch continues (default: off)\n"
@@ -128,6 +138,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       if (!P)
         return false;
       O.CachePolicy = *P;
+    } else if (A.rfind("--plan=", 0) == 0) {
+      auto M = plan::parsePlanMode(A.substr(std::strlen("--plan=")));
+      if (!M)
+        return false;
+      O.Plan = *M;
+    } else if (A == "--plan" && I + 1 < Argc) {
+      auto M = plan::parsePlanMode(Argv[++I]);
+      if (!M)
+        return false;
+      O.Plan = *M;
     } else if (A == "--cache-dir" && I + 1 < Argc)
       O.CacheDir = Argv[++I];
     else if (A == "--cache-max-mb" && NextNum(N))
@@ -195,11 +215,17 @@ int main(int Argc, char **Argv) {
   CacheOpts.MaxDiskBytes = Cli.CacheMaxMb << 20;
   cache::ValidationCache Cache(CacheOpts);
 
+  plan::PlanManagerOptions PlanOpts;
+  PlanOpts.Mode = Cli.Plan;
+  PlanOpts.Disk = Cache.enabled() ? Cache.diskStore() : nullptr;
+  plan::PlanManager Plans(PlanOpts);
+
   driver::DriverOptions DOpts;
   DOpts.WriteFiles = Cli.Files;
   DOpts.BinaryProofs = Cli.BinaryProofs;
   DOpts.RunOracle = Cli.Oracle;
   DOpts.Cache = Cache.enabled() ? &Cache : nullptr;
+  DOpts.Plans = Cli.Plan != plan::PlanMode::Off ? &Plans : nullptr;
 
   driver::BatchOptions BOpts;
   BOpts.Jobs = Cli.Jobs;
@@ -266,6 +292,23 @@ int main(int Argc, char **Argv) {
               << " disk=" << (Cache.diskBytes() >> 10) << "KiB\n";
   }
 
+  if (Cli.Plan != plan::PlanMode::Off) {
+    uint64_t Builds = 0, Hits = 0, Spec = 0, Fall = 0, Shadow = 0;
+    for (const auto &KV : Report.Stats) {
+      Builds += KV.second.PlanBuilds;
+      Hits += KV.second.PlanHits;
+      Spec += KV.second.PlanSpecialized;
+      Fall += KV.second.PlanFallbacks;
+      Shadow += KV.second.PlanShadowChecks;
+    }
+    std::cout << "\nplan: mode=" << plan::planModeName(Plans.configuredMode())
+              << " effective=" << plan::planModeName(Plans.effectiveMode())
+              << " builds=" << Builds << " hits=" << Hits
+              << " specialized=" << Spec << " fallbacks=" << Fall
+              << " shadow-checks=" << Shadow
+              << " divergences=" << Plans.divergences() << "\n";
+  }
+
   uint64_t Failures = 0, Divergences = 0;
   for (const auto &KV : Report.Stats) {
     Failures += KV.second.F + KV.second.DiffMismatches;
@@ -279,5 +322,9 @@ int main(int Argc, char **Argv) {
     std::cout << "\nWARNING: " << Divergences
               << " checker-accepted translations diverged under "
                  "differential execution — the trusted base has a hole\n";
-  return Failures || Divergences ? 1 : 0;
+  if (Plans.divergences())
+    std::cout << "\nWARNING: " << Plans.divergences()
+              << " specialized verdicts diverged from the general checker "
+                 "in shadow mode — plans demoted to off\n";
+  return Failures || Divergences || Plans.divergences() ? 1 : 0;
 }

@@ -92,6 +92,23 @@ std::vector<RegT> Expr::regs() const {
   return Result;
 }
 
+namespace {
+
+/// Allocation-free `V.isReg() && V.regT() == R` (regT() would copy the
+/// register name into a temporary).
+bool valMentions(const ValT &V, const RegT &R) {
+  return V.isReg() && V.T == R.T && V.V.regName() == R.Name;
+}
+
+} // namespace
+
+bool Expr::mentions(const RegT &R) const {
+  for (const ValT &V : Ops)
+    if (valMentions(V, R))
+      return true;
+  return false;
+}
+
 Expr Expr::substituted(const ValT &From, const ValT &To) const {
   Expr E = *this;
   for (ValT &V : E.Ops)
@@ -211,6 +228,20 @@ std::vector<RegT> Pred::regs() const {
     break;
   }
   return Result;
+}
+
+bool Pred::mentions(const RegT &R) const {
+  switch (K) {
+  case Kind::Lessdef:
+    return E1.mentions(R) || E2.mentions(R);
+  case Kind::Noalias:
+    return valMentions(A, R) || valMentions(B, R);
+  case Kind::Unique:
+    return R.T == Tag::Phy && UniqReg == R.Name;
+  case Kind::Private:
+    return valMentions(A, R);
+  }
+  return false;
 }
 
 bool Pred::operator==(const Pred &O) const {

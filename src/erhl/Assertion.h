@@ -132,6 +132,10 @@ public:
   /// All tagged registers appearing in the expression.
   std::vector<RegT> regs() const;
 
+  /// True if \p R appears as an operand. Equivalent to searching regs()
+  /// but allocation-free — the membership test hot paths want.
+  bool mentions(const RegT &R) const;
+
   /// Returns a copy with every operand equal to \p From replaced by \p To.
   Expr substituted(const ValT &From, const ValT &To) const;
 
@@ -196,6 +200,10 @@ public:
 
   /// All tagged registers appearing in the predicate.
   std::vector<RegT> regs() const;
+
+  /// True if \p R appears anywhere in the predicate; the allocation-free
+  /// sibling of regs(), like Expr::mentions.
+  bool mentions(const RegT &R) const;
 
   bool operator==(const Pred &O) const;
   bool operator<(const Pred &O) const;

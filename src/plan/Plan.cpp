@@ -1,0 +1,171 @@
+//===- plan/Plan.cpp --------------------------------------------*- C++ -*-===//
+
+#include "plan/Plan.h"
+
+#include "checker/Version.h"
+#include "erhl/Infrule.h"
+#include "json/Json.h"
+
+using namespace crellvm;
+using namespace crellvm::plan;
+
+std::string crellvm::plan::planToJson(const CheckerPlan &P) {
+  json::Value V = json::Value::object();
+  V.set("schema_version", checker::PlanSchemaVersion);
+  V.set("pass", P.PassName);
+  V.set("bugs", P.Bugs);
+
+  json::Value Rules = json::Value::array();
+  for (uint16_t K = 0; K != erhl::NumInfruleKinds; ++K)
+    if (K < P.Spec.AllowedRules.size() && P.Spec.AllowedRules[K])
+      Rules.push(erhl::infruleKindName(static_cast<erhl::InfruleKind>(K)));
+  V.set("allowed_rules", std::move(Rules));
+
+  json::Value Autos = json::Value::array();
+  for (const std::string &A : P.Spec.AllowedAutos)
+    Autos.push(A);
+  V.set("allowed_autos", std::move(Autos));
+
+  V.set("skip_nonphys_sweep_cmd", P.Spec.SkipNonphysSweepCmd);
+  V.set("skip_load_bridge", P.Spec.SkipLoadBridge);
+  V.set("maydiff_round_cap", static_cast<uint64_t>(P.Spec.MaydiffRoundCap));
+  V.set("reuse_equal_post_cmd", P.Spec.ReuseEqualPostCmd);
+  V.set("reuse_equal_post_phi", P.Spec.ReuseEqualPostPhi);
+  V.set("maydiff_candidates_defined_only_cmd",
+        P.Spec.MaydiffCandidatesDefinedOnlyCmd);
+  V.set("maydiff_candidates_defined_only_phi",
+        P.Spec.MaydiffCandidatesDefinedOnlyPhi);
+  V.set("related_probe_first", P.Spec.RelatedProbeFirst);
+
+  json::Value Feed = json::Value::object();
+  Feed.set("modules", P.FeedstockModules);
+  Feed.set("functions", P.ProfiledFunctions);
+  Feed.set("validated", P.ProfiledValidated);
+  V.set("feedstock", std::move(Feed));
+  return V.write();
+}
+
+namespace {
+
+bool intField(const json::Value &O, const char *Key, uint64_t &Out,
+              std::string *Err) {
+  const json::Value *F = O.find(Key);
+  if (!F || F->kind() != json::Value::Kind::Int || F->getInt() < 0) {
+    if (Err)
+      *Err = std::string("missing or malformed field '") + Key + "'";
+    return false;
+  }
+  Out = static_cast<uint64_t>(F->getInt());
+  return true;
+}
+
+bool boolField(const json::Value &O, const char *Key, bool &Out,
+               std::string *Err) {
+  const json::Value *F = O.find(Key);
+  if (!F || F->kind() != json::Value::Kind::Bool) {
+    if (Err)
+      *Err = std::string("missing or malformed field '") + Key + "'";
+    return false;
+  }
+  Out = F->getBool();
+  return true;
+}
+
+} // namespace
+
+std::optional<CheckerPlan> crellvm::plan::planFromJson(const std::string &Text,
+                                                       std::string *Err) {
+  std::string ParseErr;
+  std::optional<json::Value> V = json::parse(Text, &ParseErr);
+  if (!V || V->kind() != json::Value::Kind::Object) {
+    if (Err)
+      *Err = ParseErr.empty() ? "not a JSON object" : ParseErr;
+    return std::nullopt;
+  }
+
+  uint64_t Schema = 0;
+  if (!intField(*V, "schema_version", Schema, Err))
+    return std::nullopt;
+  if (Schema != static_cast<uint64_t>(checker::PlanSchemaVersion)) {
+    if (Err)
+      *Err = "plan schema version mismatch";
+    return std::nullopt;
+  }
+
+  CheckerPlan P;
+  const json::Value *Pass = V->find("pass");
+  const json::Value *Bugs = V->find("bugs");
+  if (!Pass || Pass->kind() != json::Value::Kind::String || !Bugs ||
+      Bugs->kind() != json::Value::Kind::String) {
+    if (Err)
+      *Err = "missing or malformed 'pass'/'bugs'";
+    return std::nullopt;
+  }
+  P.PassName = Pass->getString();
+  P.Bugs = Bugs->getString();
+
+  const json::Value *Rules = V->find("allowed_rules");
+  if (!Rules || Rules->kind() != json::Value::Kind::Array) {
+    if (Err)
+      *Err = "missing or malformed 'allowed_rules'";
+    return std::nullopt;
+  }
+  P.Spec.AllowedRules.assign(erhl::NumInfruleKinds, 0);
+  for (const json::Value &R : Rules->elements()) {
+    if (R.kind() != json::Value::Kind::String) {
+      if (Err)
+        *Err = "non-string rule name";
+      return std::nullopt;
+    }
+    std::optional<erhl::InfruleKind> K =
+        erhl::infruleKindFromName(R.getString());
+    if (!K) {
+      if (Err)
+        *Err = "unknown rule name '" + R.getString() + "'";
+      return std::nullopt;
+    }
+    P.Spec.AllowedRules[static_cast<uint16_t>(*K)] = 1;
+  }
+
+  const json::Value *Autos = V->find("allowed_autos");
+  if (!Autos || Autos->kind() != json::Value::Kind::Array) {
+    if (Err)
+      *Err = "missing or malformed 'allowed_autos'";
+    return std::nullopt;
+  }
+  for (const json::Value &A : Autos->elements()) {
+    if (A.kind() != json::Value::Kind::String) {
+      if (Err)
+        *Err = "non-string automation name";
+      return std::nullopt;
+    }
+    P.Spec.AllowedAutos.insert(A.getString());
+  }
+
+  uint64_t Cap = 0;
+  if (!boolField(*V, "skip_nonphys_sweep_cmd", P.Spec.SkipNonphysSweepCmd,
+                 Err) ||
+      !boolField(*V, "skip_load_bridge", P.Spec.SkipLoadBridge, Err) ||
+      !intField(*V, "maydiff_round_cap", Cap, Err) ||
+      !boolField(*V, "reuse_equal_post_cmd", P.Spec.ReuseEqualPostCmd, Err) ||
+      !boolField(*V, "reuse_equal_post_phi", P.Spec.ReuseEqualPostPhi, Err) ||
+      !boolField(*V, "maydiff_candidates_defined_only_cmd",
+                 P.Spec.MaydiffCandidatesDefinedOnlyCmd, Err) ||
+      !boolField(*V, "maydiff_candidates_defined_only_phi",
+                 P.Spec.MaydiffCandidatesDefinedOnlyPhi, Err) ||
+      !boolField(*V, "related_probe_first", P.Spec.RelatedProbeFirst, Err))
+    return std::nullopt;
+  P.Spec.MaydiffRoundCap = static_cast<unsigned>(Cap);
+
+  const json::Value *Feed = V->find("feedstock");
+  if (!Feed || Feed->kind() != json::Value::Kind::Object) {
+    if (Err)
+      *Err = "missing or malformed 'feedstock'";
+    return std::nullopt;
+  }
+  if (!intField(*Feed, "modules", P.FeedstockModules, Err) ||
+      !intField(*Feed, "functions", P.ProfiledFunctions, Err) ||
+      !intField(*Feed, "validated", P.ProfiledValidated, Err))
+    return std::nullopt;
+  return P;
+}

@@ -1,0 +1,63 @@
+//===- plan/Plan.h - Per-preset checker plans -------------------*- C++ -*-===//
+///
+/// \file
+/// A checker plan: the specialization a JIT would derive from profiling,
+/// made explicit and cacheable. For one (pass, BugConfig) pair the plan
+/// records which inference rules and automation functions the preset's
+/// proofs actually request (the applicability guard) and which
+/// assertion-strengthening steps of the general checker were observed to
+/// be no-ops on seeded feedstock (the skip knobs of checker::PlanSpec).
+///
+/// Plans are **untrusted dispatch state** (DESIGN.md §17): nothing in a
+/// plan can change a verdict, because the specialized checker only skips
+/// strengthening work and hard-falls-back to the general checker on any
+/// guard miss or failure (checker/Validator.h). They are therefore safe
+/// to persist, to share between cluster members through the
+/// content-addressed DiskStore tier, and to replay across processes —
+/// keyed by cache::fingerprintPlan, which folds in both
+/// CheckerSemanticsVersion and PlanSchemaVersion so no stale plan is
+/// ever replayed (checker/Version.h).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PLAN_PLAN_H
+#define CRELLVM_PLAN_PLAN_H
+
+#include "checker/PlanSpec.h"
+
+#include <optional>
+#include <string>
+
+namespace crellvm {
+namespace plan {
+
+/// A cached per-preset specialization of the checker.
+struct CheckerPlan {
+  /// Pass this plan specializes ("mem2reg", "instcombine", "licm", "gvn").
+  std::string PassName;
+  /// The preset's BugConfig flag string (passes::BugConfig::str()) —
+  /// provenance metadata; the cache key already pins the exact flags.
+  std::string Bugs;
+  /// The execution knobs the checker consults (checker/PlanSpec.h).
+  checker::PlanSpec Spec;
+  /// Feedstock provenance: how much profiling evidence backs the knobs.
+  uint64_t FeedstockModules = 0;
+  uint64_t ProfiledFunctions = 0;
+  uint64_t ProfiledValidated = 0;
+};
+
+/// Serializes \p P to compact JSON: rule and automation names spelled out
+/// (never raw enum indices, so a rule renumbering cannot silently change
+/// a plan's meaning), plus a schema_version field checked on read.
+std::string planToJson(const CheckerPlan &P);
+
+/// Parses a serialized plan. Returns std::nullopt — with a reason in
+/// \p Err — on malformed JSON, a schema_version mismatch, or any unknown
+/// rule/automation name: a plan that cannot be fully understood is a
+/// cache miss, never a partially-applied plan.
+std::optional<CheckerPlan> planFromJson(const std::string &Text,
+                                        std::string *Err = nullptr);
+
+} // namespace plan
+} // namespace crellvm
+
+#endif // CRELLVM_PLAN_PLAN_H

@@ -1,0 +1,92 @@
+//===- plan/PlanBuilder.cpp -------------------------------------*- C++ -*-===//
+
+#include "plan/PlanBuilder.h"
+
+#include "checker/Validator.h"
+#include "erhl/Infrule.h"
+#include "passes/Pipeline.h"
+#include "workload/RandomProgram.h"
+
+using namespace crellvm;
+using namespace crellvm::plan;
+
+namespace {
+
+/// Folds one proof's rule and automation requests into the guard sets.
+void recordProofShape(const proofgen::Proof &P, CheckerPlan &Plan) {
+  for (const auto &FP : P.Functions) {
+    for (const std::string &A : FP.second.AutoFuncs)
+      Plan.Spec.AllowedAutos.insert(A);
+    for (const auto &BP : FP.second.Blocks) {
+      for (const proofgen::LineEntry &L : BP.second.Lines)
+        for (const erhl::Infrule &R : L.Rules)
+          Plan.Spec.AllowedRules[static_cast<uint16_t>(R.K)] = 1;
+      for (const auto &Edge : BP.second.PhiRules)
+        for (const erhl::Infrule &R : Edge.second)
+          Plan.Spec.AllowedRules[static_cast<uint16_t>(R.K)] = 1;
+    }
+  }
+}
+
+} // namespace
+
+CheckerPlan crellvm::plan::buildPlan(const std::string &PassName,
+                                     const passes::BugConfig &Bugs,
+                                     const PlanBuildOptions &Opts) {
+  CheckerPlan Plan;
+  Plan.PassName = PassName;
+  Plan.Bugs = Bugs.str();
+  Plan.Spec.AllowedRules.assign(erhl::NumInfruleKinds, 0);
+  Plan.FeedstockModules = Opts.FeedstockModules;
+
+  checker::detail::PostcondProfile Prof;
+  for (unsigned I = 0; I != Opts.FeedstockModules; ++I) {
+    workload::GenOptions G;
+    G.Seed = Opts.FeedstockBaseSeed + I;
+    ir::Module Cur = workload::generateModule(G);
+    // Walk the production pipeline so the profiled pass sees its real
+    // pipeline-position input; instcombine is profiled at both of its
+    // positions, which is exactly what one shared plan must cover.
+    for (const std::unique_ptr<passes::Pass> &P : passes::makeO2Pipeline(Bugs)) {
+      bool Matches = P->name() == PassName;
+      passes::PassResult R = P->run(Cur, /*GenProof=*/Matches);
+      if (Matches) {
+        recordProofShape(R.Proof, Plan);
+        Plan.ProfiledFunctions += R.Proof.Functions.size();
+        checker::ModuleResult MR;
+        {
+          checker::detail::ProfileScope Scope(Prof);
+          MR = checker::validate(Cur, R.Tgt, R.Proof);
+        }
+        Plan.ProfiledValidated += MR.countValidated();
+      }
+      Cur = std::move(R.Tgt);
+    }
+  }
+
+  // Each knob only when the profile proves the work it skips was a no-op
+  // on every feedstock function (see header).
+  Plan.Spec.SkipNonphysSweepCmd = Prof.NonphysRemovalsCmd == 0;
+  Plan.Spec.SkipLoadBridge = Prof.LoadBridgeRemovals == 0;
+  Plan.Spec.MaydiffRoundCap = Prof.MaxRounds;
+  // Exact knob, so the gate is profitability, not safety. The asymmetry
+  // sets the threshold: a miss costs one short-circuiting set comparison
+  // (a size mismatch rejects in O(1)), a hit saves a full two-sided
+  // assertion copy — roughly an order of magnitude more. One hit in five
+  // already pays.
+  Plan.Spec.ReuseEqualPostCmd =
+      Prof.PostEqualCmd > 0 && Prof.PostEqualCmd * 4 >= Prof.PostUnequalCmd;
+  // The phi-edge probe saves less on a hit (only the inclusion lookups),
+  // but a miss is still one short-circuiting comparison, so the same
+  // one-in-five threshold holds.
+  Plan.Spec.ReuseEqualPostPhi =
+      Prof.PostEqualPhi > 0 && Prof.PostEqualPhi * 4 >= Prof.PostUnequalPhi;
+  Plan.Spec.MaydiffCandidatesDefinedOnlyCmd =
+      Prof.FixpointNondefRemovalsCmd == 0;
+  Plan.Spec.MaydiffCandidatesDefinedOnlyPhi =
+      Prof.FixpointNondefRemovalsPhi == 0;
+  Plan.Spec.RelatedProbeFirst =
+      Prof.RelatedProbeHits > 0 &&
+      Prof.RelatedProbeHits >= Prof.RelatedProbeMisses;
+  return Plan;
+}

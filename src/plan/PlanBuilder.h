@@ -1,0 +1,55 @@
+//===- plan/PlanBuilder.h - Profile-guided plan derivation ------*- C++ -*-===//
+///
+/// \file
+/// Derives a CheckerPlan the way a JIT derives a specialization: by
+/// running the *general* checker over deterministic seeded feedstock and
+/// recording what it actually did. The feedstock is generated with the
+/// workload's full feature mix and pushed through the real -O2 pipeline,
+/// so the profiled pass sees module shapes from its production pipeline
+/// position (gvn profiles post-mem2reg/instcombine/licm IR, not raw IR).
+///
+/// Knob derivation is deliberately conservative — each knob is enabled
+/// only when the profile shows the corresponding work was a no-op for
+/// every feedstock function:
+///
+///  - AllowedRules/AllowedAutos: the union of everything the preset's
+///    proof generator requested. Anything outside fails the guard.
+///  - SkipNonphysSweepCmd: zero line-level sweep removals observed.
+///  - SkipLoadBridge: zero load-bridge removals observed.
+///  - MaydiffRoundCap: the maximum number of *productive* fixpoint
+///    rounds observed (the general checker always runs one extra
+///    confirming round the cap elides).
+///
+/// Building is deterministic (fixed seeds, no wall clock, no RNG beyond
+/// the seeded generator), so two cluster members building the same key
+/// produce byte-identical plans — a prerequisite for sharing them
+/// through the content-addressed store.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PLAN_PLANBUILDER_H
+#define CRELLVM_PLAN_PLANBUILDER_H
+
+#include "passes/BugConfig.h"
+#include "plan/Plan.h"
+
+namespace crellvm {
+namespace plan {
+
+struct PlanBuildOptions {
+  /// Feedstock modules to profile. More modules widen the guard (fewer
+  /// fallbacks) at higher one-time build cost; the plan cache amortizes.
+  unsigned FeedstockModules = 6;
+  /// First feedstock seed; module i uses FeedstockBaseSeed + i.
+  uint64_t FeedstockBaseSeed = 7700;
+};
+
+/// Profiles \p PassName under \p Bugs and derives its plan. Runs
+/// single-threaded; cost is a handful of general validations.
+CheckerPlan buildPlan(const std::string &PassName,
+                      const passes::BugConfig &Bugs,
+                      const PlanBuildOptions &Opts = {});
+
+} // namespace plan
+} // namespace crellvm
+
+#endif // CRELLVM_PLAN_PLANBUILDER_H

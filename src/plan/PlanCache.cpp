@@ -1,0 +1,62 @@
+//===- plan/PlanCache.cpp ---------------------------------------*- C++ -*-===//
+
+#include "plan/PlanCache.h"
+
+#include "cache/DiskStore.h"
+
+using namespace crellvm;
+using namespace crellvm::plan;
+
+std::shared_ptr<const CheckerPlan>
+PlanCache::load(const cache::Fingerprint &FP) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Index.find(FP);
+  if (It != Index.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    ++Stats.MemHits;
+    return It->second->second;
+  }
+  if (Opts.Disk) {
+    if (std::optional<std::string> Bytes = Opts.Disk->load(FP)) {
+      if (std::optional<CheckerPlan> P = planFromJson(*Bytes)) {
+        auto Shared = std::make_shared<const CheckerPlan>(std::move(*P));
+        insertMemLocked(FP, Shared);
+        ++Stats.DiskHits;
+        return Shared;
+      }
+      ++Stats.CorruptPlans;
+    }
+  }
+  ++Stats.Misses;
+  return nullptr;
+}
+
+void PlanCache::store(const cache::Fingerprint &FP,
+                      std::shared_ptr<const CheckerPlan> Plan) {
+  std::lock_guard<std::mutex> L(M);
+  insertMemLocked(FP, Plan);
+  ++Stats.Stores;
+  if (Opts.Disk)
+    Opts.Disk->store(FP, planToJson(*Plan));
+}
+
+void PlanCache::insertMemLocked(const cache::Fingerprint &FP,
+                                std::shared_ptr<const CheckerPlan> Plan) {
+  auto It = Index.find(FP);
+  if (It != Index.end()) {
+    It->second->second = std::move(Plan);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(FP, std::move(Plan));
+  Index[FP] = Lru.begin();
+  while (Lru.size() > Opts.MaxMemEntries) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+  }
+}
+
+PlanCacheCounters PlanCache::counters() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}

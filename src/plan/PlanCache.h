@@ -1,0 +1,88 @@
+//===- plan/PlanCache.h - Two-tier cache for checker plans ------*- C++ -*-===//
+///
+/// \file
+/// Storage for built plans: a small in-memory LRU in front of an optional
+/// content-addressed DiskStore tier. The disk tier is *shared with the
+/// verdict cache* — plans are stored in the same directory under
+/// cache::fingerprintPlan keys, whose "crellvm-plan" domain tag
+/// guarantees a plan object can never alias a verdict object. Cluster
+/// members pointing at one shared artifact directory therefore exchange
+/// warm plans for free, exactly as they exchange verdicts.
+///
+/// Disk payloads are the JSON form (plan/Plan.h); a payload that fails
+/// planFromJson — foreign schema, truncation, unknown rule name — is a
+/// counted miss, never an error: a plan cache can always fall back to
+/// rebuilding, and a rebuilt plan overwrites the bad object.
+///
+/// Thread-safe; the DiskStore is borrowed, not owned (the verdict cache
+/// or the CLI owns it).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PLAN_PLANCACHE_H
+#define CRELLVM_PLAN_PLANCACHE_H
+
+#include "cache/Fingerprint.h"
+#include "plan/Plan.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace crellvm {
+namespace cache {
+class DiskStore;
+}
+namespace plan {
+
+struct PlanCacheOptions {
+  /// In-memory LRU capacity. Keys are (pass, preset) pairs, so even a
+  /// campaign over every historical preset needs a few dozen entries.
+  size_t MaxMemEntries = 64;
+  /// Optional persistent tier; nullptr = memory only. Borrowed.
+  cache::DiskStore *Disk = nullptr;
+};
+
+struct PlanCacheCounters {
+  uint64_t MemHits = 0;
+  uint64_t DiskHits = 0;
+  uint64_t Misses = 0;
+  uint64_t Stores = 0;
+  uint64_t CorruptPlans = 0; ///< disk payloads rejected by planFromJson
+};
+
+class PlanCache {
+public:
+  explicit PlanCache(PlanCacheOptions Opts) : Opts(Opts) {}
+
+  PlanCache(const PlanCache &) = delete;
+  PlanCache &operator=(const PlanCache &) = delete;
+
+  /// Looks up \p FP: memory first, then disk (a disk hit is promoted into
+  /// the LRU). nullptr on miss.
+  std::shared_ptr<const CheckerPlan> load(const cache::Fingerprint &FP);
+
+  /// Inserts into the LRU and persists to the disk tier when present.
+  void store(const cache::Fingerprint &FP,
+             std::shared_ptr<const CheckerPlan> Plan);
+
+  PlanCacheCounters counters() const;
+
+private:
+  void insertMemLocked(const cache::Fingerprint &FP,
+                       std::shared_ptr<const CheckerPlan> Plan);
+
+  PlanCacheOptions Opts;
+  mutable std::mutex M;
+  /// LRU order: front = most recently used.
+  std::list<std::pair<cache::Fingerprint, std::shared_ptr<const CheckerPlan>>>
+      Lru;
+  std::map<cache::Fingerprint, decltype(Lru)::iterator> Index;
+  PlanCacheCounters Stats;
+};
+
+} // namespace plan
+} // namespace crellvm
+
+#endif // CRELLVM_PLAN_PLANCACHE_H

@@ -1,0 +1,205 @@
+//===- plan/PlanManager.cpp -------------------------------------*- C++ -*-===//
+
+#include "plan/PlanManager.h"
+
+#include "checker/Version.h"
+#include "json/Json.h"
+#include "support/FaultInjection.h"
+
+using namespace crellvm;
+using namespace crellvm::plan;
+
+std::optional<PlanMode> crellvm::plan::parsePlanMode(const std::string &S) {
+  if (S == "off")
+    return PlanMode::Off;
+  if (S == "shadow")
+    return PlanMode::Shadow;
+  if (S == "on")
+    return PlanMode::On;
+  return std::nullopt;
+}
+
+const char *crellvm::plan::planModeName(PlanMode M) {
+  switch (M) {
+  case PlanMode::Off:
+    return "off";
+  case PlanMode::Shadow:
+    return "shadow";
+  case PlanMode::On:
+    return "on";
+  }
+  return "off";
+}
+
+PlanManager::PlanManager(PlanManagerOptions Opts)
+    : Opts(Opts), Cache(PlanCacheOptions{Opts.MaxMemEntries, Opts.Disk}) {}
+
+PlanMode PlanManager::effectiveMode() const {
+  return Demoted.load(std::memory_order_relaxed) ? PlanMode::Off : Opts.Mode;
+}
+
+std::shared_ptr<const CheckerPlan>
+PlanManager::getOrBuild(const std::string &PassName,
+                        const passes::BugConfig &Bugs, PlanCallStats *Stats) {
+  cache::Fingerprint FP = cache::fingerprintPlan(
+      PassName, Bugs, checker::versionFingerprint(),
+      checker::PlanSchemaVersion);
+
+  std::unique_lock<std::mutex> L(BuildM);
+  for (;;) {
+    // Check the build set first: while a build is in flight, waiters must
+    // not touch the cache (each probe would count a miss and make the
+    // summed counters depend on thread timing).
+    if (Building.count(FP)) {
+      BuildCv.wait(L);
+      continue;
+    }
+    if (std::shared_ptr<const CheckerPlan> P = Cache.load(FP)) {
+      if (Stats)
+        ++Stats->Hits;
+      return P;
+    }
+    break;
+  }
+  Building.insert(FP);
+  L.unlock();
+
+  std::shared_ptr<const CheckerPlan> Plan;
+  try {
+    Plan = std::make_shared<const CheckerPlan>(
+        buildPlan(PassName, Bugs, Opts.Build));
+  } catch (...) {
+    L.lock();
+    Building.erase(FP);
+    BuildCv.notify_all();
+    throw;
+  }
+  Cache.store(FP, Plan);
+  Builds.fetch_add(1);
+  if (Stats)
+    ++Stats->Builds;
+
+  L.lock();
+  Building.erase(FP);
+  BuildCv.notify_all();
+  return Plan;
+}
+
+checker::ModuleResult
+PlanManager::validate(const std::string &PassName,
+                      const passes::BugConfig &Bugs, const ir::Module &Src,
+                      const ir::Module &Tgt, const proofgen::Proof &P,
+                      PlanCallStats *Stats) {
+  PlanMode Mode = effectiveMode();
+  // The chaos probe simulates a guard failure for the whole call: the
+  // specialized path is skipped and the general checker answers, which
+  // by construction cannot change any verdict.
+  if (Mode != PlanMode::Off && fault::shouldFail("plan.apply")) {
+    FaultForcedGeneral.fetch_add(1);
+    Mode = PlanMode::Off;
+  }
+  if (Mode == PlanMode::Off)
+    return checker::validate(Src, Tgt, P);
+
+  std::shared_ptr<const CheckerPlan> Plan = getOrBuild(PassName, Bugs, Stats);
+
+  checker::PlanRunStats RS;
+  checker::ModuleResult Spec =
+      checker::validateWithPlan(Src, Tgt, P, Plan->Spec, &RS);
+  Specialized.fetch_add(RS.Specialized);
+  Fallbacks.fetch_add(RS.Fallbacks);
+  if (Stats) {
+    Stats->Specialized += RS.Specialized;
+    Stats->Fallbacks += RS.Fallbacks;
+  }
+
+  uint64_t CallShadow = 0, CallDiverge = 0;
+  checker::ModuleResult Out = std::move(Spec);
+  if (Mode == PlanMode::Shadow) {
+    checker::ModuleResult General = checker::validate(Src, Tgt, P);
+    CallShadow = General.Functions.size();
+    bool Diverged = InjectDivergence.exchange(false);
+    if (General.Functions.size() != Out.Functions.size())
+      Diverged = true;
+    else {
+      auto GI = General.Functions.begin();
+      for (auto SI = Out.Functions.begin(); SI != Out.Functions.end();
+           ++SI, ++GI)
+        if (SI->first != GI->first ||
+            SI->second.Status != GI->second.Status ||
+            SI->second.Where != GI->second.Where ||
+            SI->second.Reason != GI->second.Reason) {
+          Diverged = true;
+          break;
+        }
+    }
+    if (Diverged) {
+      CallDiverge = 1;
+      noteDivergence();
+    }
+    // Shadow emits the general verdict: even mid-divergence the system
+    // keeps answering with the sole arbiter's result.
+    Out = std::move(General);
+    ShadowChecks.fetch_add(CallShadow);
+    if (Stats) {
+      Stats->ShadowChecks += CallShadow;
+      Stats->Divergences += CallDiverge;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> L(PresetM);
+    PresetCounters &C = PerPreset[Bugs.str()];
+    ++C.Requests;
+    C.Specialized += RS.Specialized;
+    C.Fallbacks += RS.Fallbacks;
+    C.ShadowChecks += CallShadow;
+    C.Divergences += CallDiverge;
+  }
+  return Out;
+}
+
+void PlanManager::noteDivergence() {
+  Divergences.fetch_add(1);
+  // One strike: the first divergence demotes the effective mode to Off
+  // for the process lifetime (the cache's rw->ro->off ladder analog).
+  if (!Demoted.exchange(true))
+    Demotions.fetch_add(1);
+}
+
+json::Value PlanManager::statsJson() const {
+  json::Value V = json::Value::object();
+  V.set("mode", planModeName(Opts.Mode));
+  V.set("effective_mode", planModeName(effectiveMode()));
+  PlanCacheCounters CC = Cache.counters();
+  V.set("builds", Builds.load());
+  V.set("mem_hits", CC.MemHits);
+  V.set("disk_hits", CC.DiskHits);
+  V.set("misses", CC.Misses);
+  V.set("stores", CC.Stores);
+  V.set("corrupt_plans", CC.CorruptPlans);
+  V.set("specialized", Specialized.load());
+  V.set("fallbacks", Fallbacks.load());
+  V.set("shadow_checks", ShadowChecks.load());
+  V.set("divergences", Divergences.load());
+  V.set("demotions", Demotions.load());
+  V.set("fault_forced_general", FaultForcedGeneral.load());
+
+  // Nested object: per-member detail the cluster aggregator deliberately
+  // skips (sumIntSection folds flat ints only).
+  json::Value Per = json::Value::object();
+  {
+    std::lock_guard<std::mutex> L(PresetM);
+    for (const auto &KV : PerPreset) {
+      json::Value E = json::Value::object();
+      E.set("requests", KV.second.Requests);
+      E.set("specialized", KV.second.Specialized);
+      E.set("fallbacks", KV.second.Fallbacks);
+      E.set("shadow_checks", KV.second.ShadowChecks);
+      E.set("divergences", KV.second.Divergences);
+      Per.set(KV.first, std::move(E));
+    }
+  }
+  V.set("per_preset", std::move(Per));
+  return V;
+}

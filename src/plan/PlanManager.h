@@ -1,0 +1,147 @@
+//===- plan/PlanManager.h - Specialized-dispatch runtime --------*- C++ -*-===//
+///
+/// \file
+/// The runtime that decides, per validation, whether the specialized
+/// checker runs — the plan pipeline's control plane (DESIGN.md §17):
+///
+///  - **Modes** (`--plan=off|shadow|on`): Off runs the general checker
+///    only. On dispatches through checker::validateWithPlan (which
+///    hard-falls-back on any guard miss or specialized failure). Shadow
+///    runs *both*, compares the full per-function results, emits the
+///    general verdict, and counts any divergence — the CI default, so
+///    the monotonicity argument is re-checked empirically on every soak.
+///  - **Demotion ladder**: the first shadow divergence atomically demotes
+///    the effective mode to Off for the process lifetime (counted in
+///    Demotions), mirroring the verdict cache's rw→ro→off ladder: a
+///    component that contradicts the general checker once is evidence of
+///    a bug and must stop influencing the hot path immediately.
+///    Divergence is unreachable absent a checker bug — tests exercise
+///    the ladder via injectDivergenceForTest().
+///  - **Build coordination**: getOrBuild is blocking once-per-key — the
+///    first caller builds (or pulls the shared disk tier), concurrent
+///    callers for the same key wait and then hit memory. Plan counters
+///    summed over a batch are therefore identical at any --jobs N.
+///  - **Fault site** `plan.apply` (support/FaultInjection.h): when the
+///    chaos schedule fires, the call skips the specialized path entirely
+///    and runs the general checker, simulating a guard failure mid-batch;
+///    verdicts must be bit-identical to --plan=off under any schedule.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_PLAN_PLANMANAGER_H
+#define CRELLVM_PLAN_PLANMANAGER_H
+
+#include "checker/Validator.h"
+#include "passes/BugConfig.h"
+#include "plan/PlanBuilder.h"
+#include "plan/PlanCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <set>
+
+namespace crellvm {
+namespace json {
+class Value;
+}
+namespace plan {
+
+enum class PlanMode : uint8_t { Off, Shadow, On };
+
+/// Parses "off"/"shadow"/"on"; std::nullopt otherwise.
+std::optional<PlanMode> parsePlanMode(const std::string &S);
+const char *planModeName(PlanMode M);
+
+struct PlanManagerOptions {
+  PlanMode Mode = PlanMode::Off;
+  /// Optional persistent plan tier — typically the *same* DiskStore the
+  /// verdict cache uses (domain-tagged keys keep the lanes apart).
+  /// Borrowed; must outlive the manager.
+  cache::DiskStore *Disk = nullptr;
+  PlanBuildOptions Build;
+  size_t MaxMemEntries = 64;
+};
+
+/// Per-call counters the driver folds into its PassStats.
+struct PlanCallStats {
+  uint64_t Builds = 0;       ///< plans built from feedstock this call
+  uint64_t Hits = 0;         ///< plan served from memory or disk
+  uint64_t Specialized = 0;  ///< functions answered by the specialized path
+  uint64_t Fallbacks = 0;    ///< functions re-run through the general checker
+  uint64_t ShadowChecks = 0; ///< functions double-checked in shadow mode
+  uint64_t Divergences = 0;  ///< shadow disagreements (0 absent checker bugs)
+};
+
+class PlanManager {
+public:
+  explicit PlanManager(PlanManagerOptions Opts);
+
+  PlanManager(const PlanManager &) = delete;
+  PlanManager &operator=(const PlanManager &) = delete;
+
+  PlanMode configuredMode() const { return Opts.Mode; }
+  /// The configured mode, or Off after a divergence demotion.
+  PlanMode effectiveMode() const;
+
+  /// The driver's one entry point: validates (Src, Tgt, P) for
+  /// \p PassName under \p Bugs through the mode's dispatch policy. The
+  /// returned verdicts are identical to checker::validate on every input
+  /// and in every mode — plans buy throughput, never a different answer.
+  checker::ModuleResult validate(const std::string &PassName,
+                                 const passes::BugConfig &Bugs,
+                                 const ir::Module &Src, const ir::Module &Tgt,
+                                 const proofgen::Proof &P,
+                                 PlanCallStats *Stats = nullptr);
+
+  /// Builds (or loads) the plan for a key without validating anything —
+  /// warm-up for benches and tests. Counts like validate's plan lookup.
+  std::shared_ptr<const CheckerPlan>
+  getOrBuild(const std::string &PassName, const passes::BugConfig &Bugs,
+             PlanCallStats *Stats = nullptr);
+
+  uint64_t divergences() const { return Divergences.load(); }
+  uint64_t demotions() const { return Demotions.load(); }
+
+  /// Forces the next shadow comparison to report a divergence, so tests
+  /// can reach the demotion ladder (real divergence needs a checker bug).
+  void injectDivergenceForTest() { InjectDivergence.store(true); }
+
+  /// The service/CLI stats section: flat int totals (cluster-summable)
+  /// plus a nested per_preset object keyed by BugConfig::str().
+  json::Value statsJson() const;
+
+private:
+  struct PresetCounters {
+    uint64_t Requests = 0;
+    uint64_t Specialized = 0;
+    uint64_t Fallbacks = 0;
+    uint64_t ShadowChecks = 0;
+    uint64_t Divergences = 0;
+  };
+
+  void noteDivergence();
+
+  PlanManagerOptions Opts;
+  PlanCache Cache;
+
+  std::mutex BuildM;
+  std::condition_variable BuildCv;
+  std::set<cache::Fingerprint> Building;
+  std::atomic<uint64_t> Builds{0};
+
+  std::atomic<bool> Demoted{false};
+  std::atomic<bool> InjectDivergence{false};
+  std::atomic<uint64_t> Specialized{0};
+  std::atomic<uint64_t> Fallbacks{0};
+  std::atomic<uint64_t> ShadowChecks{0};
+  std::atomic<uint64_t> Divergences{0};
+  std::atomic<uint64_t> Demotions{0};
+  std::atomic<uint64_t> FaultForcedGeneral{0};
+
+  mutable std::mutex PresetM;
+  std::map<std::string, PresetCounters> PerPreset;
+};
+
+} // namespace plan
+} // namespace crellvm
+
+#endif // CRELLVM_PLAN_PLANMANAGER_H

@@ -6,8 +6,8 @@
 //
 //   crellvm-client --socket PATH [--seed S] [--modules N] [--module FILE]
 //                  [--bugs CFG] [--deadline-ms N] [--retries N]
-//                  [--codec NAME] [--stats] [--ping] [--shutdown] [--json]
-//                  [--version] [--help]
+//                  [--codec NAME] [--plan MODE] [--stats] [--ping]
+//                  [--shutdown] [--json] [--version] [--help]
 //
 // With --retries N, requests the daemon rejected with queue_full are
 // resent up to N more rounds, backing off exponentially with jitter and
@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/Version.h"
+#include "plan/PlanManager.h"
 #include "server/Protocol.h"
 #include "support/Backoff.h"
 #include "support/RNG.h"
@@ -60,6 +61,11 @@ struct CliOptions {
   bool Ping = false;
   bool Shutdown = false;
   bool Json = false;
+  /// Accepted for CLI symmetry and validated strictly, but otherwise
+  /// unused: the client never validates locally, and checker plans are
+  /// server-local (nothing about plans crosses the wire) — pass --plan
+  /// to crellvm-served instead.
+  plan::PlanMode Plan = plan::PlanMode::Off;
 };
 
 void printUsage(std::ostream &OS, const char *Argv0) {
@@ -83,6 +89,11 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --codec NAME     wire codec: json (default) or cbj1. cbj1 is\n"
      << "                   negotiated with a hello frame; a daemon that\n"
      << "                   predates negotiation degrades back to json\n"
+     << "  --plan MODE      accepted for symmetry with the other tools\n"
+     << "                   (off | shadow | on) but informational only:\n"
+     << "                   checker plans are server-local — pass --plan\n"
+     << "                   to crellvm-served; its stats document carries\n"
+     << "                   the plan counters\n"
      << "  --stats          fetch and print the server stats document\n"
      << "  --ping           liveness check\n"
      << "  --shutdown       ask the daemon to drain and exit\n"
@@ -133,6 +144,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Codec = *C;
+    } else if (A.rfind("--plan=", 0) == 0) {
+      auto P = plan::parsePlanMode(A.substr(std::strlen("--plan=")));
+      if (!P)
+        return false;
+      O.Plan = *P;
+    } else if (A == "--plan" && I + 1 < Argc) {
+      auto P = plan::parsePlanMode(Argv[++I]);
+      if (!P)
+        return false;
+      O.Plan = *P;
     } else if (A == "--stats")
       O.Stats = true;
     else if (A == "--ping")
@@ -264,6 +285,11 @@ int main(int Argc, char **Argv) {
     printUsage(std::cerr, Argv[0]);
     return 2;
   }
+
+  if (Cli.Plan != plan::PlanMode::Off)
+    std::cerr << "note: --plan=" << plan::planModeName(Cli.Plan)
+              << " is server-local; pass it to crellvm-served (its stats "
+                 "document carries the plan counters)\n";
 
   int ConnectErrno = 0;
   int Fd = connectTo(Cli.Socket, ConnectErrno);

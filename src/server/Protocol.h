@@ -79,7 +79,10 @@ constexpr uint32_t MaxFrameBytes = 64u << 20;
 /// summing counters across incompatible schemas produces numbers that
 /// *look* right (the failure mode monitoring must never have). Bump this
 /// whenever a counter's meaning changes, not just when one is added.
-constexpr uint64_t StatsSchemaVersion = 1;
+/// 2: added the "batching" and "plan" sections (members and router are
+///    rebuilt together, and mixing documents with and without them would
+///    silently under-count the new totals).
+constexpr uint64_t StatsSchemaVersion = 2;
 
 /// Hard lower bound on the `retry_after_ms` backpressure hint. A cold
 /// daemon has an empty latency histogram (p50 = 0), and a hint of 0 ms

@@ -11,7 +11,7 @@
 //                  [--cache=off|ro|rw] [--cache-dir DIR] [--cache-shared]
 //                  [--cache-max-mb N] [--unit-timeout-ms N]
 //                  [--quarantine-after N] [--member-id ID] [--chaos SPEC]
-//                  [--version] [--help]
+//                  [--plan=off|shadow|on] [--version] [--help]
 //
 //===----------------------------------------------------------------------===//
 
@@ -70,6 +70,12 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                    batch continues (default: off)\n"
      << "  --quarantine-after N  reject a unit after N consecutive\n"
      << "                    internal_error runs (default 2; 0 = never)\n"
+     << "  --plan=MODE       per-preset checker plans: off (default) |\n"
+     << "                    shadow (double-check specialized verdicts\n"
+     << "                    against the general checker; a divergence\n"
+     << "                    demotes plans to off) | on. Verdicts are\n"
+     << "                    identical in every mode; plans persist and\n"
+     << "                    are shared through the cache disk tier\n"
      << "  --member-id ID    identity stamped into the stats document\n"
      << "                    (cluster members; default pid:<pid>)\n"
      << "  --chaos SPEC      arm deterministic fault injection, e.g.\n"
@@ -138,7 +144,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Service.QuarantineAfter = N;
     else if (A == "--chaos" && I + 1 < Argc)
       O.Chaos = Argv[++I];
-    else
+    else if (A.rfind("--plan=", 0) == 0) {
+      auto P = plan::parsePlanMode(A.substr(std::strlen("--plan=")));
+      if (!P)
+        return false;
+      O.Service.Plan = *P;
+    } else if (A == "--plan" && I + 1 < Argc) {
+      auto P = plan::parsePlanMode(Argv[++I]);
+      if (!P)
+        return false;
+      O.Service.Plan = *P;
+    } else
       return false;
   }
   return true;
@@ -227,6 +243,12 @@ int main(int Argc, char **Argv) {
   if (fault::armed())
     std::cout << "chaos: injected " << fault::totalInjected()
               << " faults from '" << fault::activeSpec() << "'" << std::endl;
+  if (Cli.Service.Plan != plan::PlanMode::Off) {
+    plan::PlanManager &Plans = Service.plans();
+    std::cout << "plan: mode=" << plan::planModeName(Plans.configuredMode())
+              << " effective=" << plan::planModeName(Plans.effectiveMode())
+              << " divergences=" << Plans.divergences() << std::endl;
+  }
   // Every accepted request must be accounted for: a verdict, a deadline
   // expiry, or a structured internal error — never silence.
   return C.Accepted == C.Completed + C.DeadlineExpired + C.InternalErrors

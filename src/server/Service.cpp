@@ -59,12 +59,24 @@ const char *policyName(cache::CachePolicy P) {
 
 } // namespace
 
+namespace {
+plan::PlanManagerOptions
+planOptionsFor(plan::PlanMode Mode, cache::ValidationCache &Cache) {
+  plan::PlanManagerOptions PO;
+  PO.Mode = Mode;
+  PO.Disk = Cache.enabled() ? Cache.diskStore() : nullptr;
+  return PO;
+}
+} // namespace
+
 ValidationService::ValidationService(ServiceOptions Options)
-    : Opts(std::move(Options)), Cache(Opts.Cache), Pool(Opts.Jobs),
+    : Opts(std::move(Options)), Cache(Opts.Cache),
+      Plans(planOptionsFor(Opts.Plan, Cache)), Pool(Opts.Jobs),
       Paused(Opts.StartPaused) {
-  // The service owns the one warm cache; whatever the caller put in the
-  // base driver options is replaced.
+  // The service owns the one warm cache and plan runtime; whatever the
+  // caller put in the base driver options is replaced.
   Opts.Driver.Cache = Cache.enabled() ? &Cache : nullptr;
+  Opts.Driver.Plans = Opts.Plan != plan::PlanMode::Off ? &Plans : nullptr;
   if (Opts.MemberId.empty())
     Opts.MemberId = "pid:" + std::to_string(static_cast<uint64_t>(::getpid()));
   Dispatcher = std::thread([this] { dispatcherLoop(); });
@@ -444,15 +456,35 @@ void ValidationService::dispatcherLoop() {
       // Micro-batching: when the queue is shallower than a full batch,
       // linger briefly so closely spaced submitters coalesce into one
       // driver batch instead of many tiny ones.
+      bool Lingered = false, LingerGrew = false;
       if (!Stopping && Opts.BatchLingerUs &&
           Queue.size() < Opts.BatchMax) {
+        size_t PreLinger = Queue.size();
+        Lingered = true;
         QueueCv.wait_for(L, std::chrono::microseconds(Opts.BatchLingerUs),
                          [this] {
                            return Stopping || Queue.size() >= Opts.BatchMax;
                          });
+        LingerGrew = Queue.size() > PreLinger;
       }
       Batch = takeBatchLocked();
       InFlight = Batch.size();
+      if (Lingered) {
+        ++Stats.LingerWaits;
+        if (LingerGrew)
+          ++Stats.LingerHits;
+      }
+      if (!Batch.empty()) {
+        // A linger hit is attributed to the batch it fed — the one formed
+        // immediately after the wait — so per-preset linger effectiveness
+        // reflects which preset's traffic actually coalesced.
+        Stats.BatchedUnits += Batch.size();
+        PresetBatching &PB = BatchingByPreset[Batch.front().R.Bugs];
+        ++PB.Batches;
+        PB.Units += Batch.size();
+        if (Lingered && LingerGrew)
+          ++PB.LingerHits;
+      }
     }
     if (!Batch.empty())
       runBatch(Batch);
@@ -474,11 +506,13 @@ json::Value ValidationService::statsJson() {
   ServiceCounters C;
   size_t Depth;
   bool IsDraining;
+  std::map<std::string, PresetBatching> Batching;
   {
     std::lock_guard<std::mutex> L(M);
     C = Stats;
     Depth = Queue.size();
     IsDraining = Draining;
+    Batching = BatchingByPreset;
   }
 
   json::Value Root = json::Value::object();
@@ -542,6 +576,41 @@ json::Value ValidationService::statsJson() {
   CacheV.set("mem_entries", json::Value(static_cast<uint64_t>(Cache.memSize())));
   CacheV.set("disk_bytes", json::Value(Cache.diskBytes()));
   Root.set("cache", std::move(CacheV));
+
+  // Micro-batching effectiveness. Flat ints sum across members; the
+  // mean is recomputed from the summed fields by the aggregator (a mean
+  // of means would weight idle members equally with loaded ones).
+  json::Value BatchV = json::Value::object();
+  BatchV.set("batches_formed", json::Value(C.Batches));
+  BatchV.set("batched_units", json::Value(C.BatchedUnits));
+  BatchV.set("linger_waits", json::Value(C.LingerWaits));
+  BatchV.set("linger_hits", json::Value(C.LingerHits));
+  BatchV.set("mean_batch_size_ppm",
+             json::Value(C.Batches
+                             ? static_cast<uint64_t>(C.BatchedUnits *
+                                                         1000000.0 / C.Batches +
+                                                     0.5)
+                             : 0));
+  json::Value PerPreset = json::Value::object();
+  for (const auto &KV : Batching) {
+    json::Value E = json::Value::object();
+    E.set("batches", json::Value(KV.second.Batches));
+    E.set("units", json::Value(KV.second.Units));
+    E.set("linger_hits", json::Value(KV.second.LingerHits));
+    E.set("mean_batch_size_ppm",
+          json::Value(KV.second.Batches
+                          ? static_cast<uint64_t>(KV.second.Units * 1000000.0 /
+                                                      KV.second.Batches +
+                                                  0.5)
+                          : 0));
+    PerPreset.set(KV.first, std::move(E));
+  }
+  BatchV.set("per_preset", std::move(PerPreset));
+  Root.set("batching", std::move(BatchV));
+
+  // Checker-plan pipeline (plan/PlanManager.h): flat totals sum across
+  // members; the nested per_preset detail stays per-member.
+  Root.set("plan", Plans.statsJson());
 
   json::Value Lat = json::Value::object();
   Lat.set("queue", histJson(QueueLatencyUs));

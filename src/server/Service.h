@@ -47,6 +47,7 @@
 #define CRELLVM_SERVER_SERVICE_H
 
 #include "cache/ValidationCache.h"
+#include "plan/PlanManager.h"
 #include "server/Protocol.h"
 #include "server/RequestHandler.h"
 #include "support/Histogram.h"
@@ -103,6 +104,14 @@ struct ServiceOptions {
   driver::DriverOptions Driver;
   /// The warm cache kept across all requests (policy Off disables it).
   cache::ValidationCacheOptions Cache;
+  /// Checker-plan mode for every batch (plan/PlanManager.h). The service
+  /// owns one warm PlanManager for the process lifetime, wired to the
+  /// cache's disk tier so plans persist — and, in a cluster, are shared —
+  /// through the same content-addressed store as verdicts. Plans are
+  /// strictly server-local: nothing about them crosses the wire, so the
+  /// protocol needs no negotiation and clients need no knowledge of the
+  /// member's mode.
+  plan::PlanMode Plan = plan::PlanMode::Off;
 };
 
 /// Monotonic counters; snapshot via counters().
@@ -118,6 +127,9 @@ struct ServiceCounters {
   uint64_t InternalErrors = 0;    ///< answered internal_error (threw/hung)
   uint64_t WatchdogTimeouts = 0;  ///< InternalErrors due to the watchdog
   uint64_t Batches = 0;
+  uint64_t BatchedUnits = 0;      ///< units across all formed batches
+  uint64_t LingerWaits = 0;       ///< dispatcher lingered for stragglers
+  uint64_t LingerHits = 0;        ///< lingers during which the queue grew
   uint64_t VerdictsV = 0, VerdictsF = 0, VerdictsNS = 0;
   uint64_t DiffMismatches = 0;
   uint64_t OracleDivergences = 0; ///< nonzero only with Driver.RunOracle
@@ -165,6 +177,7 @@ public:
   ServiceCounters counters() const;
   size_t queueDepth() const;
   cache::ValidationCache &cache() { return Cache; }
+  plan::PlanManager &plans() { return Plans; }
   unsigned jobs() const { return Pool.numThreads(); }
 
 private:
@@ -193,6 +206,9 @@ private:
 
   ServiceOptions Opts;
   cache::ValidationCache Cache;
+  /// Warm per-preset plan runtime; shares Cache's disk tier (constructed
+  /// after Cache — member order matters).
+  plan::PlanManager Plans;
   ThreadPool Pool;
 
   mutable std::mutex M;
@@ -207,6 +223,14 @@ private:
   /// unitKey -> consecutive internal_error count (guarded by M). Keys at
   /// or above QuarantineAfter are refused admission.
   std::map<std::string, uint64_t> FailStreaks;
+  /// Per-preset micro-batching detail (guarded by M), keyed by the
+  /// request's bugs preset name; surfaced nested under stats "batching".
+  struct PresetBatching {
+    uint64_t Batches = 0;
+    uint64_t Units = 0;
+    uint64_t LingerHits = 0;
+  };
+  std::map<std::string, PresetBatching> BatchingByPreset;
 
   Histogram QueueLatencyUs; ///< admission -> batch start
   Histogram TotalLatencyUs; ///< admission -> response

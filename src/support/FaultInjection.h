@@ -39,6 +39,10 @@
 ///   unit.hang     driver::runBatchValidated unit body stalls for `ms`
 ///                 milliseconds (default 100) — long enough to trip a
 ///                 per-unit watchdog deadline, short enough to terminate
+///   plan.apply    plan/PlanManager::validate: the specialized dispatch
+///                 is skipped for this call as if the applicability guard
+///                 failed mid-batch; the general checker answers, so
+///                 verdicts must stay bit-identical to --plan=off
 ///
 /// **Schedules** are comma- or semicolon-separated clauses; within a
 /// clause, `site` is followed by colon-separated `key=value` params:

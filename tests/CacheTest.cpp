@@ -23,6 +23,8 @@
 #include "driver/Driver.h"
 #include "ir/Printer.h"
 #include "passes/Pipeline.h"
+#include "plan/PlanBuilder.h"
+#include "plan/PlanCache.h"
 #include "workload/RandomProgram.h"
 
 #include <atomic>
@@ -202,6 +204,86 @@ TEST(Fingerprint, SensitiveToProofStructure) {
 
   K.Proof = Orig;
   EXPECT_EQ(K.key(), Base) << "restoring the proof must restore the key";
+}
+
+// --- Plan fingerprints --------------------------------------------------------
+
+// Plan keys live in the same DiskStore as verdict keys; the domain tag
+// plus both version numbers must keep every lane separate.
+TEST(Fingerprint, PlanKeySensitiveToBothVersionNumbers) {
+  passes::BugConfig Bugs = passes::BugConfig::fixed();
+  Fingerprint Base = cache::fingerprintPlan("gvn", Bugs,
+                                            checker::versionFingerprint(),
+                                            checker::PlanSchemaVersion);
+  EXPECT_EQ(Base, cache::fingerprintPlan("gvn", Bugs,
+                                         checker::versionFingerprint(),
+                                         checker::PlanSchemaVersion))
+      << "plan keys are deterministic";
+
+  // A checker-semantics bump (new version fingerprint string) must move
+  // the key: a plan profiled against older semantics may admit proofs
+  // the new checker would judge differently.
+  EXPECT_NE(Base, cache::fingerprintPlan(
+                      "gvn", Bugs,
+                      checker::versionFingerprint() + ";semantics-bump=1",
+                      checker::PlanSchemaVersion));
+  // A plan-schema bump alone must also move it — the serialized layout
+  // changed even though verdict semantics did not.
+  EXPECT_NE(Base, cache::fingerprintPlan("gvn", Bugs,
+                                         checker::versionFingerprint(),
+                                         checker::PlanSchemaVersion + 1));
+  EXPECT_NE(Base, cache::fingerprintPlan("licm", Bugs,
+                                         checker::versionFingerprint(),
+                                         checker::PlanSchemaVersion));
+  passes::BugConfig Buggy = passes::BugConfig::llvm371();
+  EXPECT_NE(Base, cache::fingerprintPlan("gvn", Buggy,
+                                         checker::versionFingerprint(),
+                                         checker::PlanSchemaVersion));
+}
+
+// The end-to-end invalidation story: a plan cached on disk under today's
+// versions is unreachable after either version bumps — the lookup key
+// moves, the stale object is never loaded, and the cache rebuilds.
+TEST(Fingerprint, VersionBumpInvalidatesCachedPlans) {
+  std::string Dir = freshDir("plan-inval");
+  DirGuard G(Dir);
+  cache::DiskStoreOptions DO;
+  DO.Dir = Dir;
+  cache::DiskStore Disk(DO);
+  ASSERT_TRUE(Disk.ok());
+
+  plan::PlanCacheOptions CO;
+  CO.Disk = &Disk;
+
+  passes::BugConfig Bugs = passes::BugConfig::fixed();
+  Fingerprint Today = cache::fingerprintPlan("mem2reg", Bugs,
+                                             checker::versionFingerprint(),
+                                             checker::PlanSchemaVersion);
+  {
+    plan::PlanCache Writer(CO);
+    plan::PlanBuildOptions BO;
+    BO.FeedstockModules = 1;
+    Writer.store(Today, std::make_shared<plan::CheckerPlan>(
+                            plan::buildPlan("mem2reg", Bugs, BO)));
+  }
+
+  // Same store, bumped semantics: the cached plan must be invisible.
+  plan::PlanCache Reader(CO);
+  Fingerprint Bumped = cache::fingerprintPlan(
+      "mem2reg", Bugs, checker::versionFingerprint() + ";semantics-bump=1",
+      checker::PlanSchemaVersion);
+  EXPECT_EQ(Reader.load(Bumped), nullptr)
+      << "a semantics bump must cold-start the plan cache";
+  Fingerprint NewSchema = cache::fingerprintPlan(
+      "mem2reg", Bugs, checker::versionFingerprint(),
+      checker::PlanSchemaVersion + 1);
+  EXPECT_EQ(Reader.load(NewSchema), nullptr)
+      << "a schema bump must cold-start the plan cache";
+  EXPECT_EQ(Reader.counters().Misses, 2u);
+
+  // Under today's versions the object is still there — invalidation is
+  // key movement, not deletion.
+  EXPECT_NE(Reader.load(Today), nullptr);
 }
 
 // --- MemCache -----------------------------------------------------------------

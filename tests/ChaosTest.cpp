@@ -31,6 +31,7 @@
 #include "cache/ValidationCache.h"
 #include "cache/Verdict.h"
 #include "driver/Driver.h"
+#include "plan/PlanManager.h"
 #include "server/Service.h"
 #include "support/Backoff.h"
 #include "support/FaultInjection.h"
@@ -372,6 +373,70 @@ TEST(ChaosDriver, WatchdogAnswersHungUnitWhileBatchContinues) {
   }
   EXPECT_EQ(TimedOut, 1);
   EXPECT_EQ(Ok, static_cast<int>(Seeds.size()) - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// ChaosPlan
+//===----------------------------------------------------------------------===//
+
+// The plan.apply site simulates a guard-failure storm: every fired probe
+// skips the specialized path for that call and runs the general checker
+// (plan/PlanManager.h). Whatever subset of calls the schedule hits — and
+// at any --jobs N, where which call draws which probe is scheduling
+// noise — verdicts and verdict stats must be bit-identical to --plan=off.
+TEST(ChaosPlan, ForcedGuardFailuresMidBatchNeverChangeVerdicts) {
+  const std::vector<uint64_t> Seeds = {900, 901, 902, 903, 904, 905, 906,
+                                       907};
+  driver::BatchOptions Plain;
+  Plain.Jobs = 1;
+  auto Baseline = verdictsOf(seededBatch(Seeds, Plain).Stats);
+
+  for (unsigned Jobs : {1u, 4u}) {
+    plan::PlanManagerOptions PO;
+    PO.Mode = plan::PlanMode::On;
+    plan::PlanManager Plans(PO);
+
+    driver::DriverOptions DOpts;
+    DOpts.WriteFiles = false;
+    DOpts.Plans = &Plans;
+    driver::BatchOptions BOpts;
+    BOpts.Jobs = Jobs;
+
+    driver::BatchReport R;
+    uint64_t Fired = 0;
+    {
+      ScopedChaos C("plan.apply:every=3");
+      R = driver::runBatchValidated(
+          passes::BugConfig::fixed(), DOpts, Seeds.size(),
+          [&](size_t I) {
+            workload::GenOptions G;
+            G.Seed = Seeds[I];
+            return workload::generateModule(G);
+          },
+          BOpts);
+      Fired = fault::counters()["plan.apply"].Injected;
+    }
+
+    EXPECT_EQ(verdictsOf(R.Stats), Baseline) << "jobs=" << Jobs;
+    EXPECT_EQ(R.InternalErrors, 0u) << "a guard failure is not an error";
+    EXPECT_GT(Fired, 0u) << "the schedule must actually have fired";
+
+    // The surviving two-thirds of calls still went through the plan: the
+    // fault degrades throughput for the hit calls only.
+    uint64_t Specialized = 0, Fallbacks = 0;
+    for (const auto &KV : R.Stats) {
+      Specialized += KV.second.PlanSpecialized;
+      Fallbacks += KV.second.PlanFallbacks;
+    }
+    EXPECT_GT(Specialized, 0u) << "jobs=" << Jobs;
+    // Forced-general calls bypass both plan counters, so specialized +
+    // fallback function counts stay below the fault-free total — the gap
+    // is the storm's footprint, visible in stats, invisible in verdicts.
+    (void)Fallbacks;
+    EXPECT_EQ(Plans.divergences(), 0u);
+    EXPECT_EQ(Plans.effectiveMode(), plan::PlanMode::On)
+        << "a chaos-forced guard failure must not demote the mode";
+  }
 }
 
 //===----------------------------------------------------------------------===//

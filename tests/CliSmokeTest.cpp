@@ -119,6 +119,10 @@ TEST(CliSmoke, VersionLineOnEveryBinary) {
                       std::to_string(crellvm::checker::CheckerSemanticsVersion)),
         std::string::npos)
         << B.Name;
+    EXPECT_NE(R.Stdout.find("plan-schema-version " +
+                            std::to_string(crellvm::checker::PlanSchemaVersion)),
+              std::string::npos)
+        << B.Name << ": the version line must carry the plan schema version";
   }
 }
 
@@ -134,6 +138,29 @@ TEST(CliSmoke, VersionShortCircuitsOnEveryBinary) {
     EXPECT_EQ(R.ExitCode, 0) << Row.first;
     EXPECT_NE(R.Stdout.find("checker-semantics-version"), std::string::npos)
         << Row.first;
+  }
+}
+
+// Every binary accepts --plan=off|shadow|on (checker-plan mode; the
+// tools that never validate locally still validate the value for CLI
+// symmetry) and refuses anything else with exit 2 naming the flag.
+TEST(CliSmoke, BadPlanModeExitsTwoNamingTheFlagOnEveryBinary) {
+  for (const BinaryRow &B : AllBinaries) {
+    RunResult R = runBinary(B.Path, "--plan=bogus", /*MergeStderr=*/true);
+    EXPECT_EQ(R.ExitCode, 2) << B.Name;
+    EXPECT_NE(R.Stdout.find("--plan=bogus"), std::string::npos)
+        << B.Name << ": the offending flag should be named";
+  }
+}
+
+TEST(CliSmoke, HelpDocumentsPlanOnEveryBinary) {
+  for (const BinaryRow &B : AllBinaries) {
+    RunResult R = runBinary(B.Path, "--help");
+    EXPECT_EQ(R.ExitCode, 0) << B.Name;
+    EXPECT_NE(R.Stdout.find("--plan"), std::string::npos)
+        << B.Name << ": usage must document --plan";
+    EXPECT_NE(R.Stdout.find("shadow"), std::string::npos)
+        << B.Name << ": usage must name the shadow mode";
   }
 }
 
