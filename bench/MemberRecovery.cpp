@@ -1,0 +1,270 @@
+//===- bench/MemberRecovery.cpp - supervised-member MTTR gate ---*- C++ -*-===//
+//
+// Mean-time-to-recovery of the self-healing cluster (DESIGN.md §18): a
+// MemberSupervisor fork/execs three crellvm-served members, an
+// in-process ClusterRouter routes a closed-loop seeded load through
+// them, and one member is SIGKILLed mid-load. The bench measures the
+// throughput trajectory in fixed request windows:
+//
+//   steady     mean window throughput before the kill (warm windows);
+//   dip        the slowest window after the kill (failover + the
+//              two-member capacity gap);
+//   recovery   the first window after the kill that both (a) runs at
+//              >= 90% of the steady rate and (b) ends with the killed
+//              member respawned, readmitted and back on the ring.
+//
+// MTTR is the wall time from the SIGKILL to the end of that window, and
+// the gates are the ISSUE's acceptance criteria: recovery within a
+// bounded MTTR, zero accepted-request loss (every submitted request
+// answered exactly once), at least one supervisor restart, and no flap
+// quarantine. Results land in BENCH_validation.json as the
+// `member_recovery` entry.
+//
+//   member_recovery [scale] [--jobs N] [--mttr-bound-ms N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+#include "bench/Tables.h"
+#include "cluster/Router.h"
+#include "supervise/Supervisor.h"
+#include "support/Timer.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::bench;
+
+namespace {
+
+constexpr int NumMembers = 3;
+
+bool waitUntil(const std::function<bool()> &Pred, uint64_t BudgetMs) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(BudgetMs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Pred();
+}
+
+/// One closed-loop window: \p K pipelined requests, all answered before
+/// the window closes. Returns the window's wall seconds.
+double runWindow(cluster::ClusterRouter &Router, unsigned K,
+                 uint64_t &NextSeed, uint64_t &Answered) {
+  std::mutex M;
+  std::condition_variable Cv;
+  unsigned Done = 0;
+  Timer Wall;
+  Wall.time([&] {
+    for (unsigned I = 0; I != K; ++I) {
+      server::Request Req;
+      Req.Kind = server::RequestKind::Validate;
+      Req.Id = static_cast<int64_t>(NextSeed);
+      Req.HasSeed = true;
+      Req.Seed = NextSeed++;
+      Router.submit(Req, [&](server::Response) {
+        std::lock_guard<std::mutex> L(M);
+        ++Answered;
+        if (++Done == K)
+          Cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return Done == K; });
+  });
+  return Wall.seconds();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = 1, Jobs = 2;
+  uint64_t MttrBoundMs = 15000;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (std::strcmp(Argv[I], "--mttr-bound-ms") == 0 && I + 1 < Argc)
+      MttrBoundMs = std::strtoull(Argv[++I], nullptr, 10);
+    else
+      Scale = static_cast<unsigned>(std::strtoul(Argv[I], nullptr, 10));
+  }
+  if (Scale == 0)
+    Scale = 1;
+  const unsigned WindowK = 24 / Scale ? 24 / Scale : 1;
+  const unsigned SteadyWindows = 4;
+  const unsigned MaxRecoveryWindows = 64;
+
+  std::string Base = "/tmp/crellvm-member-recovery-" +
+                     std::to_string(::getpid()) + "-";
+
+  // The supervised fleet, wired exactly like crellvm-cluster --supervise.
+  cluster::ClusterRouter *RouterPtr = nullptr;
+  supervise::SupervisorOptions SO;
+  for (int I = 0; I != NumMembers; ++I) {
+    supervise::MemberSpec M;
+    M.Id = "s" + std::to_string(I);
+    M.SocketPath = Base + M.Id + ".sock";
+    ::unlink(M.SocketPath.c_str());
+    M.Argv = {CRELLVM_SERVED_BIN, "--socket", M.SocketPath, "--member-id",
+              M.Id, "--jobs", std::to_string(Jobs)};
+    SO.Members.push_back(std::move(M));
+  }
+  SO.ProbeIntervalMs = 50;
+  SO.ProbeDeadlineMs = 250;
+  SO.BackoffBaseMs = 50;
+  SO.BackoffCapMs = 500;
+  SO.ReadyTimeoutMs = 30000;
+  SO.Nudge = [&RouterPtr](const std::string &Id) {
+    if (RouterPtr)
+      RouterPtr->nudgeReattach(Id);
+  };
+  SO.RttSink = [&RouterPtr](const std::string &Id, uint64_t RttUs) {
+    if (RouterPtr)
+      RouterPtr->notePingRtt(Id, RttUs);
+  };
+  supervise::MemberSupervisor Sup(SO);
+
+  cluster::ClusterOptions CO;
+  for (const supervise::MemberSpec &M : SO.Members)
+    CO.Members.push_back({M.Id, M.SocketPath});
+  CO.RouterId = "bench-recovery";
+  CO.AdmissionGate = [&Sup](const std::string &Id) {
+    return Sup.admitted(Id);
+  };
+  cluster::ClusterRouter Router(CO);
+  RouterPtr = &Router;
+
+  std::string Err;
+  if (!Sup.start(&Err)) {
+    std::cerr << "supervisor: " << Err << "\n";
+    return 1;
+  }
+  if (!waitUntil([&] {
+        for (const supervise::MemberSpec &M : SO.Members)
+          if (!Sup.admitted(M.Id))
+            return false;
+        return true;
+      }, 30000)) {
+    std::cerr << "fleet never turned fully ready\n";
+    return 1;
+  }
+  if (!Router.start(&Err)) {
+    std::cerr << "router: " << Err << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Self-healing cluster: member-kill MTTR ===\n"
+            << NumMembers << " supervised members x " << Jobs
+            << " jobs, closed-loop windows of " << WindowK
+            << " requests, SIGKILL one member mid-load\n\n";
+
+  uint64_t NextSeed = 0x5eed0001, Answered = 0, Submitted = 0;
+  auto Window = [&] {
+    Submitted += WindowK;
+    return runWindow(Router, WindowK, NextSeed, Answered);
+  };
+
+  // Steady state: one warmup window, then the baseline mean.
+  Window();
+  double SteadySeconds = 0;
+  for (unsigned I = 0; I != SteadyWindows; ++I)
+    SteadySeconds += Window();
+  double SteadyRps = SteadyWindows * WindowK / SteadySeconds;
+
+  // The kill. The load keeps running closed-loop through the gap.
+  pid_t Victim = Sup.pidOf("s1");
+  if (Victim <= 0 || ::kill(Victim, SIGKILL) != 0) {
+    std::cerr << "cannot kill member s1 (pid " << Victim << ")\n";
+    return 1;
+  }
+  auto KilledAt = std::chrono::steady_clock::now();
+
+  double DipRps = SteadyRps, RecoveredRps = 0;
+  int64_t MttrMs = -1, ReadmitMs = -1;
+  for (unsigned I = 0; I != MaxRecoveryWindows; ++I) {
+    double Sec = Window();
+    double Rps = WindowK / Sec;
+    if (Rps < DipRps)
+      DipRps = Rps;
+    bool Readmitted = Sup.pidOf("s1") != Victim && Sup.admitted("s1");
+    if (Readmitted && ReadmitMs < 0)
+      ReadmitMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - KilledAt)
+                      .count();
+    if (Readmitted && Rps >= 0.9 * SteadyRps) {
+      RecoveredRps = Rps;
+      MttrMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now() - KilledAt)
+                   .count();
+      break;
+    }
+  }
+
+  Router.beginShutdown();
+  Router.drain();
+  cluster::RouterCounters RC = Router.counters();
+  supervise::SupervisorCounters SC = Sup.counters();
+  Sup.stop();
+
+  Table T({"phase", "req/s"});
+  T.addRow({"steady (3 members)", std::to_string(
+                static_cast<uint64_t>(SteadyRps + 0.5))});
+  T.addRow({"dip (post-kill)", std::to_string(
+                static_cast<uint64_t>(DipRps + 0.5))});
+  T.addRow({"recovered", std::to_string(
+                static_cast<uint64_t>(RecoveredRps + 0.5))});
+  T.print(std::cout);
+
+  bool Recovered = MttrMs >= 0 && static_cast<uint64_t>(MttrMs) <= MttrBoundMs;
+  bool ZeroLoss = Answered == Submitted && RC.Received == Submitted &&
+                  RC.answered() == Submitted;
+  bool Restarted = SC.Restarts >= 1 && SC.ProcessDeaths >= 1;
+  bool FlapFree = SC.FlapQuarantines == 0;
+
+  std::cout << "\nmttr: " << MttrMs << " ms to >=90% of steady ("
+            << "readmit " << ReadmitMs << " ms, bound " << MttrBoundMs
+            << " ms); supervisor: spawns=" << SC.Spawns << " restarts="
+            << SC.Restarts << " deaths=" << SC.ProcessDeaths
+            << " hung_kills=" << SC.HungKills << "\n";
+  std::cout << "paper-shape: recovery-within-bound="
+            << (Recovered ? "OK" : "MISMATCH")
+            << ", zero-loss=" << (ZeroLoss ? "OK" : "MISMATCH")
+            << ", restarted=" << (Restarted ? "OK" : "MISMATCH")
+            << ", flap-free=" << (FlapFree ? "OK" : "MISMATCH") << "\n";
+
+  auto PPM = [](double X) { return static_cast<int64_t>(X * 1e6 + 0.5); };
+  BenchEntry E;
+  E.Name = "member_recovery";
+  E.WallSeconds = SteadySeconds;
+  E.Jobs = Jobs * NumMembers;
+  E.Extra = {
+      {"members", NumMembers},
+      {"window_requests", static_cast<int64_t>(WindowK)},
+      {"steady_rps_ppm", PPM(SteadyRps)},
+      {"dip_rps_ppm", PPM(DipRps)},
+      {"recovered_rps_ppm", PPM(RecoveredRps)},
+      {"mttr_ms", MttrMs},
+      {"readmit_ms", ReadmitMs},
+      {"mttr_bound_ms", static_cast<int64_t>(MttrBoundMs)},
+      {"restarts", static_cast<int64_t>(SC.Restarts)},
+      {"hung_kills", static_cast<int64_t>(SC.HungKills)},
+      {"flap_quarantines", static_cast<int64_t>(SC.FlapQuarantines)},
+      {"submitted", static_cast<int64_t>(Submitted)},
+      {"answered", static_cast<int64_t>(Answered)},
+  };
+  writeBenchJson({E});
+
+  return Recovered && ZeroLoss && Restarted && FlapFree ? 0 : 1;
+}

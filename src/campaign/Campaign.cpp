@@ -236,6 +236,7 @@ CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
 
   Histogram Lat;
   detail::StatsWatch Watch;
+  Watch.RecoveryWindow = Opts.RecoveryWindowScrapes;
   const bool UseSocket = !Opts.Socket.empty();
   std::optional<ThreadPool> Pool;
   std::optional<plan::PlanManager> Plans;
@@ -317,6 +318,9 @@ CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
     ++R.StatsScrapes;
     R.StatsMonotonic = Watch.Monotonic;
     R.DrainHolds = Watch.InequalityOk && Watch.drainEquality();
+    R.RecoveryOk = Watch.RecoveryOk;
+    R.MemberDeathsObserved = Watch.MemberDeaths;
+    R.Recoveries = Watch.Recoveries;
     if (!R.DrainHolds)
       R.GateFailure =
           "drain equation violated: accepted=" + std::to_string(Watch.Accepted) +
@@ -326,6 +330,9 @@ CampaignReport campaign::runCampaign(const CampaignOptions &Opts) {
           (Watch.FirstViolation.empty() ? "" : " (" + Watch.FirstViolation + ")");
     else if (!R.StatsMonotonic)
       R.GateFailure = "stats counter regressed: " + Watch.FirstViolation;
+    else if (!R.RecoveryOk)
+      R.GateFailure = "recovery trajectory violated after member death: " +
+                      Watch.RecoveryDetail;
     break;
   }
 

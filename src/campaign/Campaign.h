@@ -156,6 +156,13 @@ struct CampaignOptions {
   /// 0 = only the final scrape). Every scrape checks counter
   /// monotonicity and the drain inequality.
   uint64_t StatsEveryUnits = 0;
+  /// Soak against a supervised cluster router: when the scraped
+  /// cluster.router.member_deaths counter increments, require observed
+  /// throughput (completed-units/sec across scrape intervals) to return
+  /// to >= 90% of the pre-kill steady state within this many subsequent
+  /// scrapes. 0 disables the recovery-trajectory gate. Needs
+  /// StatsEveryUnits > 0 to have intervals to measure.
+  uint64_t RecoveryWindowScrapes = 0;
   /// Compute the order-independent per-unit fingerprint digest
   /// (regenerates each module client-side — test/verification feature,
   /// not for MLOC runs).
@@ -228,6 +235,10 @@ struct CampaignReport {
   bool DrainHolds = true;      ///< accepted == completed + deadline +
                                ///< internal at the final quiesced scrape
   uint64_t StatsScrapes = 0;
+  // Recovery trajectory (RecoveryWindowScrapes > 0, supervised cluster).
+  bool RecoveryOk = true;      ///< every death episode recovered in window
+  uint64_t MemberDeathsObserved = 0; ///< cluster.router.member_deaths seen
+  uint64_t Recoveries = 0;     ///< death episodes that recovered in time
 
   std::string TransportError;  ///< non-empty: the campaign could not run
   std::string GateFailure;     ///< non-empty: why success() is false

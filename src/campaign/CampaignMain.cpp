@@ -87,6 +87,10 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "  --stats-every N  scrape daemon stats every N completed units\n"
      << "                   and check counter monotonicity (default: final\n"
      << "                   scrape only)\n"
+     << "  --recovery-window N  soak against a supervised cluster: after a\n"
+     << "                   scraped member-death, throughput must return to\n"
+     << "                   >= 90% of the pre-kill steady state within N\n"
+     << "                   scrapes (needs --stats-every; default: off)\n"
      << "  --digest         compute the order-independent unit fingerprint\n"
      << "                   digest (regenerates units; test feature)\n"
      << "  --progress-every N  progress line cadence in units (0 silent;\n"
@@ -182,6 +186,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     }
     else if (A == "--stats-every" && NextNum(N))
       O.C.StatsEveryUnits = N;
+    else if (A == "--recovery-window" && NextNum(N))
+      O.C.RecoveryWindowScrapes = N;
     else if (A == "--digest")
       O.C.ComputeDigest = true;
     else if (A == "--progress-every" && NextNum(N))
@@ -251,6 +257,9 @@ json::Value reportJson(const CampaignReport &R) {
   O.set("stats_scrapes", json::Value(R.StatsScrapes));
   O.set("stats_monotonic", json::Value(R.StatsMonotonic));
   O.set("drain_holds", json::Value(R.DrainHolds));
+  O.set("recovery_ok", json::Value(R.RecoveryOk));
+  O.set("member_deaths_observed", json::Value(R.MemberDeathsObserved));
+  O.set("recoveries", json::Value(R.Recoveries));
   json::Value Finds = json::Value::array();
   for (const Finding &F : R.Findings)
     Finds.push(findingJson(F));
@@ -296,10 +305,16 @@ void printHuman(std::ostream &OS, const char *Argv0, const CliOptions &Cli,
        << " specialized=" << R.PlanSpecialized << " fallbacks="
        << R.PlanFallbacks << " shadow-checks=" << R.PlanShadowChecks
        << " divergences=" << R.PlanDivergences << "\n";
-  if (R.M == Mode::Soak)
+  if (R.M == Mode::Soak) {
     OS << "soak gates: monotonic=" << (R.StatsMonotonic ? "yes" : "NO")
        << " drain=" << (R.DrainHolds ? "holds" : "VIOLATED")
        << " (scrapes=" << R.StatsScrapes << ")\n";
+    if (Cli.C.RecoveryWindowScrapes)
+      OS << "recovery: member-deaths=" << R.MemberDeathsObserved
+         << " recovered=" << R.Recoveries << " trajectory="
+         << (R.RecoveryOk ? "ok" : "VIOLATED") << " (window="
+         << Cli.C.RecoveryWindowScrapes << " scrapes)\n";
+  }
   for (const Finding &F : R.Findings) {
     OS << "finding: preset=" << F.Preset << " unit=" << F.UnitIndex
        << " seed=" << F.Seed << " kind=" << F.Kind;
@@ -355,6 +370,13 @@ int main(int Argc, char **Argv) {
   }
   if (!Cli.C.HuntPresets.empty() && Cli.C.M != Mode::BugHunt) {
     std::cerr << "error: --hunt only applies to --mode bug-hunt\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (Cli.C.RecoveryWindowScrapes &&
+      (Cli.C.M != Mode::Soak || Cli.C.StatsEveryUnits == 0)) {
+    std::cerr << "error: --recovery-window needs --mode soak with "
+                 "--stats-every (rate samples come from periodic scrapes)\n\n";
     printUsage(std::cerr, Argv[0]);
     return 2;
   }

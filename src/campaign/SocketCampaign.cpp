@@ -94,6 +94,19 @@ bool negotiate(int Fd, WireCodec Want, WireCodec &Session) {
 // --- StatsWatch ------------------------------------------------------------
 
 void detail::StatsWatch::observe(const json::Value &Stats) {
+  // Against a supervised cluster router the aggregate sums LIVE members
+  // only, so a member death between two scrapes legitimately shrinks the
+  // summed counters. The same document that shows the regression also
+  // carries the death (cluster.router.member_deaths), so an observation
+  // with a fresh death is a rebase, not a monotonicity violation.
+  uint64_t Deaths = MemberDeaths;
+  if (const json::Value *Cluster = Stats.find("cluster"))
+    if (const json::Value *Router = Cluster->find("router"))
+      if (const json::Value *D = Router->find("member_deaths"))
+        if (D->kind() == json::Value::Kind::Int)
+          Deaths = static_cast<uint64_t>(D->getInt());
+  const bool DeathThisObservation = Deaths > MemberDeaths;
+
   auto Flatten = [&](const char *Section) {
     const json::Value *Obj = Stats.find(Section);
     if (!Obj || Obj->kind() != json::Value::Kind::Object)
@@ -104,7 +117,8 @@ void detail::StatsWatch::observe(const json::Value &Stats) {
       std::string Key = std::string(Section) + "." + KV.first;
       uint64_t New = static_cast<uint64_t>(KV.second.getInt());
       auto It = Prev.find(Key);
-      if (It != Prev.end() && New < It->second && Monotonic) {
+      if (It != Prev.end() && New < It->second && !DeathThisObservation &&
+          Monotonic) {
         Monotonic = false;
         if (FirstViolation.empty())
           FirstViolation = Key + " went " + std::to_string(It->second) +
@@ -124,6 +138,53 @@ void detail::StatsWatch::observe(const json::Value &Stats) {
   Completed = Get("completed");
   DeadlineExceeded = Get("deadline_exceeded");
   InternalErrors = Get("internal_errors");
+
+  // Recovery trajectory: throughput sample for this interval, death
+  // detection from the router section, and the bounded-window gate.
+  auto Now = std::chrono::steady_clock::now();
+  double Rate = -1; // < 0: no sample this observation
+  if (HaveLastSample && Completed >= LastCompleted) {
+    double Dt = std::chrono::duration<double>(Now - LastSampleAt).count();
+    if (Dt > 0)
+      Rate = (Completed - LastCompleted) / Dt;
+  }
+  HaveLastSample = true;
+  LastSampleAt = Now;
+  LastCompleted = Completed;
+
+  if (RecoveryWindow && DeathThisObservation) {
+    if (!RecoveryPending) {
+      // Freeze the pre-kill steady state; later deaths inside the same
+      // episode just restart the window against the same baseline.
+      RecoveryPending = true;
+      BaselineRate = SteadyValid ? SteadyRate : 0;
+    }
+    ScrapesSinceDeath = 0;
+  }
+  MemberDeaths = Deaths;
+
+  if (RecoveryWindow && Rate >= 0) {
+    if (RecoveryPending) {
+      ++ScrapesSinceDeath;
+      if (Rate >= RecoveryFraction * BaselineRate) {
+        RecoveryPending = false;
+        ++Recoveries;
+        SteadyRate = SteadyValid ? 0.7 * SteadyRate + 0.3 * Rate : Rate;
+        SteadyValid = true;
+      } else if (ScrapesSinceDeath >= RecoveryWindow && RecoveryOk) {
+        RecoveryOk = false;
+        RecoveryDetail =
+            "throughput stuck at " + std::to_string(Rate) + " units/s after " +
+            std::to_string(ScrapesSinceDeath) + " scrapes (needs >= " +
+            std::to_string(RecoveryFraction * BaselineRate) +
+            ", pre-kill steady state " + std::to_string(BaselineRate) + ")";
+        RecoveryPending = false;
+      }
+    } else {
+      SteadyRate = SteadyValid ? 0.7 * SteadyRate + 0.3 * Rate : Rate;
+      SteadyValid = true;
+    }
+  }
   // The in-load drain inequality: what was admitted is at least what has
   // terminally concluded; the slack is the work still queued or running.
   if (Accepted < Completed + DeadlineExceeded + InternalErrors &&

@@ -14,6 +14,7 @@
 #include "json/Json.h"
 #include "support/Histogram.h"
 
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -31,7 +32,10 @@ namespace detail {
 /// between observations, and the drain *inequality*
 /// accepted >= completed + deadline_exceeded + internal_errors must hold
 /// at every observation (requests still queued or running account for
-/// the slack). The exact drain *equation* is checked by drainEquality()
+/// the slack). One exception: a cluster aggregate sums live members
+/// only, so an observation whose own document reports fresh member
+/// deaths (cluster.router.member_deaths moved) may regress — that is a
+/// rebase of the sums, not a violation. The exact drain *equation* is checked by drainEquality()
 /// once the campaign — the daemon's sole client in a soak — has received
 /// every response.
 struct StatsWatch {
@@ -42,6 +46,23 @@ struct StatsWatch {
   uint64_t Accepted = 0, Completed = 0, DeadlineExceeded = 0,
            InternalErrors = 0; ///< latest observation
 
+  /// Recovery trajectory (DESIGN.md §18): against a supervised cluster
+  /// router the scraped doc carries cluster.router.member_deaths. When
+  /// that counter increments — a member was killed or died — the watch
+  /// freezes its pre-kill steady-state throughput (an EMA of
+  /// completed-units/sec across scrape intervals) as the baseline and
+  /// requires the observed rate to climb back to RecoveryFraction of it
+  /// within RecoveryWindow subsequent scrapes. 0 disables the check
+  /// entirely; a death still pending when observations stop is
+  /// inconclusive, not a failure (the drain equation is the backstop
+  /// that no accepted request was lost).
+  uint64_t RecoveryWindow = 0;    ///< scrapes allowed per recovery; 0 = off
+  double RecoveryFraction = 0.9;  ///< of the pre-kill steady-state rate
+  bool RecoveryOk = true;
+  uint64_t MemberDeaths = 0;      ///< latest cluster.router.member_deaths
+  uint64_t Recoveries = 0;        ///< death episodes that recovered in time
+  std::string RecoveryDetail;     ///< first recovery-gate offense
+
   void observe(const json::Value &Stats);
   bool drainEquality() const {
     return Accepted == Completed + DeadlineExceeded + InternalErrors;
@@ -49,6 +70,20 @@ struct StatsWatch {
 
 private:
   std::map<std::string, uint64_t> Prev;
+
+  // Recovery-trajectory state. The rate sample for an observation is
+  // (completed delta) / (wall delta) between consecutive observe()
+  // calls; the steady-state baseline is an EMA over samples taken while
+  // no recovery is pending, so the degraded post-kill samples never
+  // pollute it.
+  bool HaveLastSample = false;
+  std::chrono::steady_clock::time_point LastSampleAt;
+  uint64_t LastCompleted = 0;
+  bool SteadyValid = false;
+  double SteadyRate = 0;          ///< EMA, completed units per second
+  bool RecoveryPending = false;
+  double BaselineRate = 0;        ///< SteadyRate frozen at the death
+  uint64_t ScrapesSinceDeath = 0;
 };
 
 /// One preset-scoped streaming pass over the unit index range

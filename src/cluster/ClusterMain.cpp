@@ -9,10 +9,21 @@
 // request is answered, then the exit code gates on the router's zero-loss
 // equation AND the cluster-wide drain equation across members.
 //
+// With --supervise N the router owns its fleet: it fork/execs N
+// crellvm-served members (sockets derived from the router socket),
+// gates ring admission on a readiness ping, health-probes them, kills
+// hung members, respawns dead ones with backoff, and flap-quarantines
+// members that burn their restart budget (DESIGN.md section 18).
+//
 //   crellvm-cluster --socket PATH --member ID=SOCKET [--member ID=SOCKET...]
 //                   [--vnodes N] [--max-inflight N] [--seed N]
 //                   [--router-id ID] [--plan=off|shadow|on]
 //                   [--version] [--help]
+//   crellvm-cluster --socket PATH --supervise N [--served BIN]
+//                   [--probe-interval-ms N] [--probe-deadline-ms N]
+//                   [--hang-after N] [--restart-budget N]
+//                   [--restart-window-ms N] [--ready-timeout-ms N]
+//                   [-- MEMBER-ARGS...]
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +31,7 @@
 #include "cluster/Router.h"
 #include "plan/PlanManager.h"
 #include "server/SocketServer.h"
+#include "supervise/Supervisor.h"
 
 #include <csignal>
 #include <cstring>
@@ -41,6 +53,16 @@ struct CliOptions {
   /// nothing for the router to negotiate. The aggregated stats document
   /// still sums every member's plan counters.
   plan::PlanMode Plan = plan::PlanMode::Off;
+  /// --supervise N: fork/exec and supervise N members instead of
+  /// attaching to externally managed --member daemons.
+  uint64_t Supervise = 0;
+  /// Member binary for --supervise; empty = derived from argv[0].
+  std::string ServedBin;
+  /// Supervisor tuning (probe cadence, flap budget...).
+  supervise::SupervisorOptions Sup;
+  /// Everything after `--`: appended verbatim to each supervised
+  /// member's command line (e.g. --jobs 2 --cache=rw --plan=on).
+  std::vector<std::string> MemberArgs;
 };
 
 void printUsage(std::ostream &OS, const char *Argv0) {
@@ -58,7 +80,31 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "options:\n"
      << "  --socket PATH       Unix-domain socket to listen on (required)\n"
      << "  --member ID=SOCKET  a member daemon: stats id and its socket\n"
-     << "                      (repeat once per member; at least one)\n"
+     << "                      (repeat once per member; at least one,\n"
+     << "                      unless --supervise runs the fleet)\n"
+     << "  --supervise N       self-healing mode: fork/exec N\n"
+     << "                      crellvm-served members (ids s0..sN-1,\n"
+     << "                      sockets PATH.s0..), gate ring admission on\n"
+     << "                      a readiness ping, health-probe them, kill\n"
+     << "                      hung members, respawn dead ones with\n"
+     << "                      backoff, and flap-quarantine members that\n"
+     << "                      exceed the restart budget. Conflicts with\n"
+     << "                      --member. Args after `--` pass through to\n"
+     << "                      every member (e.g. -- --jobs 2 --plan=on)\n"
+     << "  --served BIN        crellvm-served binary for --supervise\n"
+     << "                      (default: found next to this binary)\n"
+     << "  --probe-interval-ms N  supervisor health-ping cadence\n"
+     << "                      (default 200)\n"
+     << "  --probe-deadline-ms N  per-ping deadline; a slower answer is a\n"
+     << "                      missed ping (default 250)\n"
+     << "  --hang-after N      consecutive missed pings that convict a\n"
+     << "                      member of hanging -> SIGKILL + restart\n"
+     << "                      (default 3)\n"
+     << "  --restart-budget N  restarts allowed per sliding window before\n"
+     << "                      permanent flap quarantine (default 5)\n"
+     << "  --restart-window-ms N  the sliding flap window (default 60000)\n"
+     << "  --ready-timeout-ms N   a spawned member must answer a ready\n"
+     << "                      ping within this budget (default 5000)\n"
      << "  --vnodes N          virtual nodes per member on the hash ring\n"
      << "                      (default 64)\n"
      << "  --max-inflight N    bounded pipeline per member; beyond it the\n"
@@ -125,6 +171,35 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
           return false;
         }
       O.Cluster.Members.push_back(std::move(MC));
+    } else if (A == "--supervise" && I + 1 < Argc) {
+      std::string V = Argv[++I];
+      char *End = nullptr;
+      uint64_t Count = std::strtoull(V.c_str(), &End, 10);
+      // Strict: trailing junk, zero, or an absurd fleet all name the
+      // flag in the error instead of silently spawning nothing.
+      if (End == V.c_str() || *End != '\0' || Count == 0 || Count > 256) {
+        BadArg = "--supervise " + V;
+        return false;
+      }
+      O.Supervise = Count;
+    } else if (A == "--served" && I + 1 < Argc)
+      O.ServedBin = Argv[++I];
+    else if (A == "--probe-interval-ms" && NextNum(N))
+      O.Sup.ProbeIntervalMs = N ? N : 1;
+    else if (A == "--probe-deadline-ms" && NextNum(N))
+      O.Sup.ProbeDeadlineMs = N ? N : 1;
+    else if (A == "--hang-after" && NextNum(N))
+      O.Sup.HangAfterMissedPings = static_cast<unsigned>(N ? N : 1);
+    else if (A == "--restart-budget" && NextNum(N))
+      O.Sup.RestartBudget = static_cast<unsigned>(N);
+    else if (A == "--restart-window-ms" && NextNum(N))
+      O.Sup.RestartWindowMs = N ? N : 1;
+    else if (A == "--ready-timeout-ms" && NextNum(N))
+      O.Sup.ReadyTimeoutMs = N ? N : 1;
+    else if (A == "--") {
+      for (int J = I + 1; J < Argc; ++J)
+        O.MemberArgs.push_back(Argv[J]);
+      return true;
     } else if (A == "--vnodes" && NextNum(N))
       O.Cluster.VNodes = static_cast<unsigned>(N ? N : 1);
     else if (A == "--max-inflight" && NextNum(N))
@@ -154,6 +229,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       return false;
   }
   return true;
+}
+
+/// Default --served: crellvm-served in the same directory as this
+/// binary, or in the sibling server/ directory of a build tree.
+std::string findServedBinary(const char *Argv0) {
+  std::string Self = Argv0;
+  size_t Slash = Self.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Self.substr(0, Slash);
+  for (const std::string &Cand :
+       {Dir + "/crellvm-served", Dir + "/../server/crellvm-served"})
+    if (::access(Cand.c_str(), X_OK) == 0)
+      return Cand;
+  return "";
 }
 
 volatile int SignalStopFd = -1;
@@ -188,10 +276,25 @@ int main(int Argc, char **Argv) {
     printUsage(std::cerr, Argv[0]);
     return 2;
   }
-  if (Cli.Cluster.Members.empty()) {
-    std::cerr << "error: at least one --member ID=SOCKET is required\n\n";
+  if (Cli.Supervise > 0 && !Cli.Cluster.Members.empty()) {
+    std::cerr << "error: --supervise conflicts with --member (the "
+                 "supervisor owns the whole fleet)\n\n";
     printUsage(std::cerr, Argv[0]);
     return 2;
+  }
+  if (Cli.Supervise == 0 && Cli.Cluster.Members.empty()) {
+    std::cerr << "error: at least one --member ID=SOCKET (or --supervise N) "
+                 "is required\n\n";
+    printUsage(std::cerr, Argv[0]);
+    return 2;
+  }
+  if (Cli.Supervise > 0 && Cli.ServedBin.empty()) {
+    Cli.ServedBin = findServedBinary(Argv[0]);
+    if (Cli.ServedBin.empty()) {
+      std::cerr << "error: cannot find crellvm-served next to " << Argv[0]
+                << "; pass --served BIN\n";
+      return 2;
+    }
   }
 
   if (Cli.Plan != plan::PlanMode::Off)
@@ -199,8 +302,54 @@ int main(int Argc, char **Argv) {
               << " is member-local; pass it to each crellvm-served member "
                  "(the router only aggregates their plan counters)\n";
 
+  // Self-healing mode: build the fleet specs, wire the supervisor's
+  // admission gate / nudge / RTT sink into the router, spawn everyone,
+  // and only then let the router connect (readiness gates admission).
+  std::unique_ptr<supervise::MemberSupervisor> Sup;
+  cluster::ClusterRouter *RouterPtr = nullptr; // set before Sup starts
+  if (Cli.Supervise > 0) {
+    for (uint64_t I = 0; I != Cli.Supervise; ++I) {
+      supervise::MemberSpec Spec;
+      Spec.Id = "s" + std::to_string(I);
+      Spec.SocketPath = Cli.Socket + "." + Spec.Id;
+      Spec.Argv = {Cli.ServedBin, "--socket", Spec.SocketPath, "--member-id",
+                   Spec.Id};
+      Spec.Argv.insert(Spec.Argv.end(), Cli.MemberArgs.begin(),
+                       Cli.MemberArgs.end());
+      Cli.Sup.Members.push_back(Spec);
+      cluster::MemberConfig MC;
+      MC.Id = Spec.Id;
+      MC.SocketPath = Spec.SocketPath;
+      Cli.Cluster.Members.push_back(std::move(MC));
+    }
+    Cli.Sup.Seed = Cli.Cluster.Seed;
+    Cli.Sup.Log = [](const std::string &Line) {
+      std::cout << Line << std::endl;
+    };
+    Cli.Sup.Nudge = [&RouterPtr](const std::string &Id) {
+      if (RouterPtr)
+        RouterPtr->nudgeReattach(Id);
+    };
+    Cli.Sup.RttSink = [&RouterPtr](const std::string &Id, uint64_t Us) {
+      if (RouterPtr)
+        RouterPtr->notePingRtt(Id, Us);
+    };
+    Sup = std::make_unique<supervise::MemberSupervisor>(Cli.Sup);
+    Cli.Cluster.AdmissionGate = [&Sup](const std::string &Id) {
+      return Sup->admitted(Id);
+    };
+    Cli.Cluster.StatsAugment = [&Sup](json::Value &Root) {
+      Root.set("supervisor", Sup->statsJson());
+    };
+  }
+
   cluster::ClusterRouter Router(Cli.Cluster);
+  RouterPtr = &Router;
   std::string Err;
+  if (Sup && !Sup->start(&Err)) {
+    std::cerr << "error: " << Err << "\n";
+    return 1;
+  }
   if (!Router.start(&Err)) {
     std::cerr << "error: " << Err << "\n";
     return 1;
@@ -237,6 +386,20 @@ int main(int Argc, char **Argv) {
   bool ClusterOk = Router.clusterDrainEquationHolds(&Detail);
   std::cout << "crellvm-cluster members " << (ClusterOk ? "drained" : "FAILED")
             << ": " << Detail << std::endl;
+
+  if (Sup) {
+    // Summary first (the CI smoke gates on these counters), then the
+    // fleet teardown: SIGTERM so every member drains, bounded, SIGKILL
+    // stragglers. The drain equation above was scraped while members
+    // were still alive.
+    supervise::SupervisorCounters SC = Sup->counters();
+    std::cout << "crellvm-cluster supervisor: spawns=" << SC.Spawns
+              << " restarts=" << SC.Restarts << " process_deaths="
+              << SC.ProcessDeaths << " hung_kills=" << SC.HungKills
+              << " missed_pings=" << SC.MissedPings << " flap_quarantines="
+              << SC.FlapQuarantines << std::endl;
+    Sup->stop();
+  }
 
   // Zero loss at the router (every received request answered) AND the
   // aggregated member drain equation — both must hold for exit 0.

@@ -3,6 +3,7 @@
 #include "cluster/Router.h"
 
 #include "cache/Fingerprint.h"
+#include "server/HealthProbe.h"
 #include "support/Backoff.h"
 #include "support/Histogram.h"
 #include "support/RNG.h"
@@ -110,6 +111,21 @@ json::Value mergeHists(const std::vector<const json::Value *> &Hists) {
   for (unsigned I = 0; I != Last; ++I)
     Buckets.push(json::Value(S.Buckets[I]));
   O.set("buckets", std::move(Buckets));
+  return O;
+}
+
+/// Renders one live Histogram snapshot (the router's own ping RTTs) in
+/// the same shape the merged member histograms use, minus the raw
+/// buckets nobody re-aggregates above the router.
+json::Value histSnapshotJson(const Histogram::Snapshot &S) {
+  json::Value O = json::Value::object();
+  O.set("count", json::Value(S.Count));
+  O.set("sum", json::Value(S.Sum));
+  O.set("mean", json::Value(static_cast<uint64_t>(S.mean() + 0.5)));
+  O.set("p50", json::Value(S.quantile(0.50)));
+  O.set("p95", json::Value(S.quantile(0.95)));
+  O.set("p99", json::Value(S.quantile(0.99)));
+  O.set("max", json::Value(S.Max));
   return O;
 }
 
@@ -313,6 +329,14 @@ ClusterRouter::~ClusterRouter() {
 bool ClusterRouter::start(std::string *Err) {
   size_t Live = 0;
   for (auto &Up : Links) {
+    // A gated-out member (not yet ready, or flap-quarantined) is not an
+    // error: it stays off the ring until the supervisor's readiness
+    // nudge, exactly like a member the reattach loop hasn't revived yet.
+    {
+      std::lock_guard<std::mutex> L(RM);
+      if (Opts.AdmissionGate && !Opts.AdmissionGate(Up->id()))
+        continue;
+    }
     if (Up->connect()) {
       std::lock_guard<std::mutex> L(RM);
       Ring.addMember(Up->id());
@@ -377,13 +401,25 @@ void ClusterRouter::submit(const Request &R, Callback Done) {
   Rsp.Id = R.Id;
   switch (R.Kind) {
   case RequestKind::Ping: {
-    std::lock_guard<std::mutex> L(RM);
-    ++C.Received;
-    ++C.AnsweredOk;
+    {
+      std::lock_guard<std::mutex> L(RM);
+      ++C.Received;
+    }
     Rsp.Status = ResponseStatus::Ok;
-  }
+    if (R.Deep)
+      // Probes members; synchronous on purpose, like Stats below.
+      Rsp.Stats = deepPing(R.DeadlineMs);
+    {
+      std::lock_guard<std::mutex> L(RM);
+      ++C.AnsweredOk;
+      // Same liveness-vs-readiness contract as a member (Protocol.h): a
+      // draining router still answers, but is not ready for admission.
+      if (Draining)
+        Rsp.Reason = "draining";
+    }
     Done(std::move(Rsp));
     return;
+  }
   case RequestKind::Stats: {
     {
       std::lock_guard<std::mutex> L(RM);
@@ -485,6 +521,10 @@ void ClusterRouter::onMemberDeath(MemberLink &L,
     // arc redistributes to ring successors; everyone else's arcs — and
     // warm caches — are untouched (consistent hashing's whole point).
     Ring.removeMember(L.id());
+    // The reattach loop parks indefinitely while everything is healthy;
+    // the dirty flag is what its wait predicate sees (a bare notify can
+    // race the predicate evaluation and be lost).
+    ReattachDirty = true;
   }
   ReattachCv.notify_all();
   // The dead member accepted these but never answered; their callbacks
@@ -501,16 +541,46 @@ void ClusterRouter::reattachLoop() {
   std::map<std::string, Clock::time_point> NextTry;
   std::unique_lock<std::mutex> L(RM);
   while (!Stopping) {
-    ReattachCv.wait_for(L, std::chrono::milliseconds(100),
-                        [this] { return Stopping; });
+    // Event-driven sleep, not a poll: with every admitted member
+    // attached the loop parks indefinitely (an idle healthy cluster's
+    // reattach thread makes zero wakeups — RouterCounters pins this);
+    // with dead members pending it sleeps only until the earliest
+    // backoff expiry. A death or a supervisor nudge sets ReattachDirty
+    // under RM before notifying, so the predicate cannot miss it.
+    bool AnyDead = false;
+    Clock::time_point Earliest = Clock::time_point::max();
+    for (auto &Up : Links) {
+      if (Up->alive())
+        continue;
+      if (Opts.AdmissionGate && !Opts.AdmissionGate(Up->id()))
+        continue; // not admitted: reattach when the nudge says so
+      AnyDead = true;
+      auto ItN = NextTry.find(Up->id());
+      Earliest = std::min(Earliest, ItN == NextTry.end()
+                                        ? Clock::time_point::min()
+                                        : ItN->second);
+    }
+    if (!AnyDead)
+      ReattachCv.wait(L, [this] { return Stopping || ReattachDirty; });
+    else if (Earliest > Clock::now())
+      ReattachCv.wait_until(L, Earliest,
+                            [this] { return Stopping || ReattachDirty; });
+    ReattachDirty = false;
+    for (const std::string &Id : ReattachResets) {
+      FailedTries.erase(Id);
+      NextTry.erase(Id);
+    }
+    ReattachResets.clear();
     if (Stopping)
       return;
     std::vector<MemberLink *> Dead;
     for (auto &Up : Links)
-      if (!Up->alive())
+      if (!Up->alive() &&
+          (!Opts.AdmissionGate || Opts.AdmissionGate(Up->id())))
         Dead.push_back(Up.get());
     if (Dead.empty())
       continue;
+    ++C.ReattachWakeups;
     L.unlock();
     Clock::time_point Now = Clock::now();
     for (MemberLink *D : Dead) {
@@ -538,6 +608,72 @@ void ClusterRouter::reattachLoop() {
     }
     L.lock();
   }
+}
+
+void ClusterRouter::nudgeReattach(const std::string &Id) {
+  {
+    std::lock_guard<std::mutex> L(RM);
+    ReattachResets.insert(Id);
+    ReattachDirty = true;
+  }
+  ReattachCv.notify_all();
+}
+
+void ClusterRouter::notePingRtt(const std::string &Id, uint64_t RttUs) {
+  Histogram *H;
+  {
+    std::lock_guard<std::mutex> L(RM);
+    H = &PingRtts[Id]; // node-stable; record() itself is lock-free
+  }
+  H->record(RttUs);
+}
+
+json::Value ClusterRouter::deepPing(uint64_t DeadlineMs) {
+  if (DeadlineMs == 0)
+    DeadlineMs = 1000;
+  struct Snap {
+    std::string Id, Path;
+    bool Linked;
+  };
+  std::vector<Snap> Snaps;
+  for (const auto &Up : Links)
+    Snaps.push_back({Up->id(), Up->socketPath(), Up->alive()});
+  // All members probed concurrently: one hung member costs the deadline
+  // once, not once per member behind it in the list.
+  std::vector<server::ProbeResult> Results(Snaps.size());
+  std::vector<std::thread> Probers;
+  Probers.reserve(Snaps.size());
+  for (size_t I = 0; I != Snaps.size(); ++I)
+    Probers.emplace_back([&, I] {
+      Results[I] = server::probePing(Snaps[I].Path, DeadlineMs);
+    });
+  for (std::thread &T : Probers)
+    T.join();
+
+  json::Value O = json::Value::object();
+  O.set("deep", json::Value(true));
+  json::Value Arr = json::Value::array();
+  size_t Live = 0;
+  for (size_t I = 0; I != Snaps.size(); ++I) {
+    const server::ProbeResult &PR = Results[I];
+    json::Value MV = json::Value::object();
+    MV.set("member_id", json::Value(Snaps[I].Id));
+    MV.set("socket", json::Value(Snaps[I].Path));
+    MV.set("linked", json::Value(Snaps[I].Linked));
+    MV.set("reachable", json::Value(PR.Reachable));
+    MV.set("ready", json::Value(PR.Ready));
+    MV.set("rtt_us", json::Value(PR.RttUs));
+    if (!PR.Reachable)
+      MV.set("error", json::Value(PR.Error));
+    else
+      notePingRtt(Snaps[I].Id, PR.RttUs);
+    Live += PR.Reachable ? 1 : 0;
+    Arr.push(std::move(MV));
+  }
+  O.set("size", json::Value(static_cast<uint64_t>(Snaps.size())));
+  O.set("live", json::Value(static_cast<uint64_t>(Live)));
+  O.set("members", std::move(Arr));
+  return O;
 }
 
 void ClusterRouter::beginShutdown() {
@@ -582,6 +718,14 @@ json::Value ClusterRouter::statsJson() {
     json::Value MV = json::Value::object();
     MV.set("member_id", json::Value(S.Id));
     MV.set("socket", json::Value(S.Path));
+    {
+      // Supervisor health-ping RTTs, when any were recorded for this
+      // member (empty map entries are never created by rendering).
+      std::lock_guard<std::mutex> L(RM);
+      auto It = PingRtts.find(S.Id);
+      if (It != PingRtts.end())
+        MV.set("ping_rtt_us", histSnapshotJson(It->second.snapshot()));
+    }
     bool Usable = S.Live;
     if (S.Live) {
       std::string E;
@@ -628,9 +772,14 @@ json::Value ClusterRouter::statsJson() {
   RouterV.set("stats_requests", json::Value(Cnt.StatsRequests));
   RouterV.set("outstanding", json::Value(static_cast<uint64_t>(Out)));
   RouterV.set("draining", json::Value(Drn));
+  RouterV.set("reattach_wakeups", json::Value(Cnt.ReattachWakeups));
   Cluster.set("router", std::move(RouterV));
   Cluster.set("members", std::move(MembersArr));
   Root.set("cluster", std::move(Cluster));
+  // The supervisor's section (spawns/restarts/hung kills/quarantines)
+  // attaches here, outside the member aggregation and its schema gate.
+  if (Opts.StatsAugment)
+    Opts.StatsAugment(Root);
   return Root;
 }
 

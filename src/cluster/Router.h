@@ -37,10 +37,14 @@
 #include "cluster/HashRing.h"
 #include "cluster/MemberLink.h"
 #include "server/RequestHandler.h"
+#include "support/Histogram.h"
 
 #include <condition_variable>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <thread>
 
 namespace crellvm {
@@ -67,6 +71,16 @@ struct ClusterOptions {
   server::WireCodec MemberCodec = server::WireCodec::Cbj1;
   /// Identity stamped into the aggregated stats document.
   std::string RouterId;
+  /// Optional admission gate (the member supervisor, src/supervise/): a
+  /// member whose id it refuses is skipped by start() and the reattach
+  /// loop entirely — off the ring until admitted (ready, un-quarantined)
+  /// again. Called with the router lock held; must not block or call
+  /// back into the router.
+  std::function<bool(const std::string &Id)> AdmissionGate;
+  /// Optional augmentation of the aggregated stats root — the
+  /// supervisor attaches its "supervisor" section here, after member
+  /// aggregation (router-local, so no StatsSchemaVersion bump).
+  std::function<void(json::Value &Root)> StatsAugment;
 };
 
 /// Monotone router-side counters. The router's zero-loss equation is
@@ -79,6 +93,11 @@ struct RouterCounters {
   uint64_t Failovers = 0;  ///< orphaned requests re-routed after a death
   uint64_t MemberDeaths = 0;
   uint64_t Reattaches = 0;
+  /// Work passes of the reattach loop (a pass with at least one dead
+  /// admitted member to consider). An idle all-healthy cluster makes
+  /// exactly zero — the loop parks on its condition variable instead of
+  /// polling (ClusterTest pins this).
+  uint64_t ReattachWakeups = 0;
   uint64_t AnsweredOk = 0;
   uint64_t AnsweredRejected = 0;
   uint64_t AnsweredDeadline = 0;
@@ -133,6 +152,21 @@ public:
   size_t numMembers() const { return Links.size(); }
   RouterCounters counters() const;
 
+  /// Clears \p Id's reattach backoff and wakes the reattach loop now:
+  /// the supervisor's readiness nudge, so a restarted member rejoins the
+  /// ring immediately instead of waiting out a stale backoff expiry.
+  void nudgeReattach(const std::string &Id);
+
+  /// Records one supervisor health-ping round trip for \p Id, surfaced
+  /// as `ping_rtt_us` in that member's cluster stats entry.
+  void notePingRtt(const std::string &Id, uint64_t RttUs);
+
+  /// Deep ping (Protocol.h): probes every configured member once on a
+  /// short-lived connection, all in parallel so a hung member costs the
+  /// deadline once, and returns the per-member liveness document that
+  /// rides the ping response's `stats` field. \p DeadlineMs 0 means 1 s.
+  json::Value deepPing(uint64_t DeadlineMs);
+
   /// The aggregated cluster stats document (see file comment).
   json::Value statsJson();
 
@@ -166,6 +200,15 @@ private:
   size_t Outstanding = 0; ///< forwarded (or failing-over) requests owed
   bool Draining = false;
   bool Stopping = false;
+  /// Reattach-loop wake reasons beyond Stopping: set by onMemberDeath
+  /// and nudgeReattach so the loop can park indefinitely when every
+  /// admitted member is attached (the predicate never misses an event).
+  bool ReattachDirty = false;
+  /// Members whose backoff state the loop must forget on next wake.
+  std::set<std::string> ReattachResets;
+  /// Supervisor health-ping RTTs per member (node-stable map: Histogram
+  /// is atomic-based and pinned in place).
+  std::map<std::string, Histogram> PingRtts;
   std::thread Reattacher;
 };
 

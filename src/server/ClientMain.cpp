@@ -95,7 +95,9 @@ void printUsage(std::ostream &OS, const char *Argv0) {
      << "                   to crellvm-served; its stats document carries\n"
      << "                   the plan counters\n"
      << "  --stats          fetch and print the server stats document\n"
-     << "  --ping           liveness check\n"
+     << "  --ping           liveness check. Against a cluster router the\n"
+     << "                   ping is deep: it fans to every member within\n"
+     << "                   --deadline-ms and prints per-member liveness\n"
      << "  --shutdown       ask the daemon to drain and exit\n"
      << "  --json           print raw response JSON, one per line\n"
      << "  --version        print version and exit\n"
@@ -215,6 +217,51 @@ void printClusterTopology(const json::Value &Stats) {
   }
 }
 
+/// True when \p Stats is a deep-ping liveness document (Router.cpp
+/// deepPing), as opposed to a stats or aggregated-stats document.
+bool isDeepPingDoc(const json::Value &Stats) {
+  if (Stats.kind() != json::Value::Kind::Object)
+    return false;
+  const json::Value *D = Stats.find("deep");
+  return D && D->kind() == json::Value::Kind::Bool && D->getBool();
+}
+
+/// Renders the deep-ping member summary:
+///   ping: 3/3 members live
+///     member s0 at /tmp/r.sock.s0: live ready rtt=142us
+void printMemberLiveness(const json::Value &Doc) {
+  auto IntOf = [](const json::Value &Obj, const char *Key) -> int64_t {
+    const json::Value *V = Obj.find(Key);
+    return V && V->kind() == json::Value::Kind::Int ? V->getInt() : 0;
+  };
+  auto StrOf = [](const json::Value &Obj, const char *Key) -> std::string {
+    const json::Value *V = Obj.find(Key);
+    return V && V->kind() == json::Value::Kind::String ? V->getString()
+                                                       : std::string("?");
+  };
+  auto BoolOf = [](const json::Value &Obj, const char *Key) {
+    const json::Value *V = Obj.find(Key);
+    return V && V->kind() == json::Value::Kind::Bool && V->getBool();
+  };
+  std::cout << "ping: " << IntOf(Doc, "live") << "/" << IntOf(Doc, "size")
+            << " members live\n";
+  const json::Value *Members = Doc.find("members");
+  if (!Members || Members->kind() != json::Value::Kind::Array)
+    return;
+  for (const json::Value &M : Members->elements()) {
+    if (M.kind() != json::Value::Kind::Object)
+      continue;
+    std::cout << "  member " << StrOf(M, "member_id") << " at "
+              << StrOf(M, "socket") << ": ";
+    if (BoolOf(M, "reachable"))
+      std::cout << "live " << (BoolOf(M, "ready") ? "ready" : "NOT-READY")
+                << " rtt=" << IntOf(M, "rtt_us") << "us";
+    else
+      std::cout << "DOWN (" << StrOf(M, "error") << ")";
+    std::cout << "\n";
+  }
+}
+
 int connectTo(const std::string &Path, int &ConnectErrno) {
   ConnectErrno = 0;
   sockaddr_un Addr;
@@ -325,6 +372,12 @@ int main(int Argc, char **Argv) {
     R.Kind = Cli.Stats    ? RequestKind::Stats
              : Cli.Ping   ? RequestKind::Ping
                           : RequestKind::Shutdown;
+    if (Cli.Ping) {
+      // Always deep: a plain daemon answers it like a shallow ping (no
+      // member summary), a router proves its members, not just itself.
+      R.Deep = true;
+      R.DeadlineMs = Cli.DeadlineMs;
+    }
     Requests.push_back(std::move(R));
   } else if (!Cli.ModuleFile.empty()) {
     std::ifstream In(Cli.ModuleFile);
@@ -428,8 +481,12 @@ int main(int Argc, char **Argv) {
           P.Div += KV.second.Div;
         }
         if (!Cli.Json && !Rsp->Stats.isNull()) {
-          std::cout << Rsp->Stats.write() << "\n";
-          printClusterTopology(Rsp->Stats);
+          if (isDeepPingDoc(Rsp->Stats)) {
+            printMemberLiveness(Rsp->Stats);
+          } else {
+            std::cout << Rsp->Stats.write() << "\n";
+            printClusterTopology(Rsp->Stats);
+          }
         }
         for (const std::string &Msg : Rsp->Failures)
           std::cerr << "failure: " << Msg << "\n";

@@ -1,0 +1,85 @@
+//===- server/HealthProbe.cpp -----------------------------------*- C++ -*-===//
+
+#include "server/HealthProbe.h"
+
+#include "server/Protocol.h"
+
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::server;
+
+namespace {
+
+/// Socket-level deadline on every blocking call of the probe exchange.
+/// On Linux SO_SNDTIMEO also bounds connect(2), which matters: a
+/// SIGSTOPped daemon keeps accepting via its listen backlog until the
+/// backlog fills, after which connect would block forever.
+bool setDeadline(int Fd, uint64_t Ms) {
+  timeval Tv;
+  Tv.tv_sec = static_cast<time_t>(Ms / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) == 0 &&
+         ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) == 0;
+}
+
+} // namespace
+
+ProbeResult server::probePing(const std::string &SocketPath,
+                              uint64_t DeadlineMs) {
+  using Clock = std::chrono::steady_clock;
+  if (DeadlineMs == 0)
+    DeadlineMs = 1000;
+  ProbeResult PR;
+  Clock::time_point T0 = Clock::now();
+  auto Fail = [&](std::string Why) {
+    PR.Error = std::move(Why);
+    PR.RttUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              T0)
+            .count());
+    return PR;
+  };
+
+  sockaddr_un Addr;
+  if (SocketPath.size() + 1 > sizeof(Addr.sun_path))
+    return Fail("socket path too long");
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Fail("socket() failed");
+  if (!setDeadline(Fd, DeadlineMs)) {
+    ::close(Fd);
+    return Fail("setsockopt timeout failed");
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    return Fail("connect: " + E);
+  }
+
+  Request R;
+  R.Kind = RequestKind::Ping;
+  R.Id = -1;
+  std::string Frame, E;
+  bool Ok = writeFrame(Fd, requestToJson(R)) && readFrame(Fd, Frame, &E);
+  ::close(Fd);
+  if (!Ok)
+    return Fail(E.empty() ? "ping exchange timed out" : "ping: " + E);
+  auto Rsp = responseFromJson(Frame, &E);
+  if (!Rsp)
+    return Fail("bad ping response: " + E);
+  PR.Reachable = true;
+  PR.Ready = Rsp->Status == ResponseStatus::Ok && Rsp->Reason.empty();
+  PR.RttUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - T0)
+          .count());
+  return PR;
+}

@@ -1,0 +1,48 @@
+//===- server/HealthProbe.h - One-shot ping probe ---------------*- C++ -*-===//
+///
+/// \file
+/// A deadline-bounded one-shot ping over a short-lived connection: the
+/// primitive behind both the member supervisor's liveness probing
+/// (src/supervise/) and the cluster router's deep ping fan-out. It is
+/// deliberately NOT a MemberLink send — a ping riding the routed request
+/// path would fail over to a *different* member on death and falsely
+/// report the dead one alive. A probe talks to exactly one socket, on
+/// the legacy json codec (no hello; probes are rare and tiny), and
+/// bounds the whole exchange with SO_RCVTIMEO/SO_SNDTIMEO so a hung
+/// process — one that accept(2)s via the listen backlog but never
+/// answers, e.g. under SIGSTOP — turns into a timed-out probe instead of
+/// a stuck supervisor.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SERVER_HEALTHPROBE_H
+#define CRELLVM_SERVER_HEALTHPROBE_H
+
+#include <cstdint>
+#include <string>
+
+namespace crellvm {
+namespace server {
+
+/// The outcome of one probePing().
+struct ProbeResult {
+  /// The process answered the ping at all (liveness).
+  bool Reachable = false;
+  /// Reachable with status ok and an empty reason (readiness): a
+  /// draining daemon answers `reason:"draining"` and is alive but not
+  /// ready (Protocol.h).
+  bool Ready = false;
+  /// Round-trip time of the whole exchange (connect through decode).
+  uint64_t RttUs = 0;
+  /// Why Reachable is false (connect refused, timeout, bad frame...).
+  std::string Error;
+};
+
+/// Pings \p SocketPath once on a fresh connection, giving the whole
+/// exchange at most \p DeadlineMs milliseconds (0 means a 1 s default —
+/// a probe must never block forever). Thread-safe and state-free.
+ProbeResult probePing(const std::string &SocketPath, uint64_t DeadlineMs);
+
+} // namespace server
+} // namespace crellvm
+
+#endif // CRELLVM_SERVER_HEALTHPROBE_H

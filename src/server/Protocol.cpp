@@ -192,6 +192,11 @@ json::Value server::requestToValue(const Request &R) {
     if (R.DeadlineMs)
       O.set("deadline_ms", json::Value(R.DeadlineMs));
   }
+  if (R.Kind == RequestKind::Ping && R.Deep) {
+    O.set("deep", json::Value(true));
+    if (R.DeadlineMs)
+      O.set("deadline_ms", json::Value(R.DeadlineMs));
+  }
   if (R.Kind == RequestKind::Hello) {
     json::Value Codecs = json::Value::array();
     for (const std::string &Name : R.Codecs)
@@ -261,6 +266,13 @@ std::optional<Request> server::requestFromValue(const json::Value &V,
     }
     if (const json::Value *B = findKind(V, "bugs", json::Value::Kind::String))
       R.Bugs = B->getString();
+    if (const json::Value *D =
+            findKind(V, "deadline_ms", json::Value::Kind::Int))
+      R.DeadlineMs = static_cast<uint64_t>(D->getInt());
+  }
+  if (R.Kind == RequestKind::Ping) {
+    if (const json::Value *D = findKind(V, "deep", json::Value::Kind::Bool))
+      R.Deep = D->getBool();
     if (const json::Value *D =
             findKind(V, "deadline_ms", json::Value::Kind::Int))
       R.DeadlineMs = static_cast<uint64_t>(D->getInt());

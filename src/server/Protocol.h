@@ -29,12 +29,22 @@
 ///   {"type":"validate","id":8,"module":"<.ll text>"}
 ///   {"type":"stats","id":1}
 ///   {"type":"ping","id":2}
+///   {"type":"ping","id":2,"deep":true,"deadline_ms":250}
 ///   {"type":"shutdown","id":3}
 ///
 /// A validate request names its unit either by `seed` (the server
 /// generates the same module `crellvm-validate --seed S` would) or by
 /// `module` (verbatim .ll text). `bugs` picks the pass configuration
 /// (371 | 501pre | 501post | fixed); `deadline_ms` bounds queue+run time.
+///
+/// A `ping` answer distinguishes *liveness* from *readiness*: any answer
+/// at all proves the process is alive and its event loop is turning,
+/// while readiness is `status:ok` with an empty `reason` — a draining
+/// daemon still answers Ok but stamps `reason:"draining"`, so a
+/// supervisor admits members by readiness and health-checks them by
+/// liveness (src/supervise/). `deep:true` against a cluster router fans
+/// the ping to every member within `deadline_ms` and returns the
+/// per-member liveness map in `stats`.
 ///
 /// **Responses** echo `id` and carry `status`:
 ///
@@ -123,6 +133,12 @@ struct Request {
   std::string Bugs = "fixed";
   /// Queue-wait + validation budget; 0 = unbounded.
   uint64_t DeadlineMs = 0;
+  /// Ping: when true, a cluster router fans the ping to every ring
+  /// member (short-lived probe connections, bounded by DeadlineMs) and
+  /// reports per-member liveness in the response's Stats object. A plain
+  /// daemon answers a deep ping like a shallow one — depth is a routing
+  /// concept, and a leaf has nothing to fan to.
+  bool Deep = false;
   /// Hello: codec names the client can speak, in preference order.
   std::vector<std::string> Codecs;
 };

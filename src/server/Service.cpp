@@ -173,7 +173,16 @@ void ValidationService::submit(const Request &R, Callback Done) {
 
   switch (R.Kind) {
   case RequestKind::Ping:
+    // Liveness vs. readiness (Protocol.h): any answer proves the process
+    // alive; readiness is Ok with an empty reason. A draining daemon is
+    // alive but not ready — still Ok (old health checks keep passing),
+    // with the reason supervisors gate admission on.
     Rsp.Status = ResponseStatus::Ok;
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Draining)
+        Rsp.Reason = "draining";
+    }
     Done(std::move(Rsp));
     return;
   case RequestKind::Stats:

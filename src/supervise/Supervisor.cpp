@@ -1,0 +1,439 @@
+//===- supervise/Supervisor.cpp ---------------------------------*- C++ -*-===//
+
+#include "supervise/Supervisor.h"
+
+#include "server/HealthProbe.h"
+#include "support/Backoff.h"
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::supervise;
+
+const char *MemberSupervisor::stateName(State S) {
+  switch (S) {
+  case State::Stopped:
+    return "stopped";
+  case State::WaitingReady:
+    return "waiting_ready";
+  case State::Running:
+    return "running";
+  case State::Quarantined:
+    return "quarantined";
+  }
+  return "?";
+}
+
+MemberSupervisor::MemberSupervisor(SupervisorOptions Options)
+    : Opts(std::move(Options)) {
+  for (const MemberSpec &Spec : Opts.Members) {
+    Member M;
+    M.Spec = Spec;
+    Members.push_back(std::move(M));
+  }
+}
+
+MemberSupervisor::~MemberSupervisor() { stop(); }
+
+bool MemberSupervisor::spawnProcess(Member &M, std::string *Why) {
+  // The deterministic spawn-failure site: fired, the fork never happens
+  // — exactly what a vanished exec target or fork EAGAIN looks like —
+  // and the failed attempt feeds the restart-budget flap ladder.
+  if (fault::shouldFail("sup.spawn")) {
+    if (Why)
+      *Why = "chaos sup.spawn";
+    return false;
+  }
+  std::vector<char *> Argv;
+  Argv.reserve(M.Spec.Argv.size() + 1);
+  for (const std::string &A : M.Spec.Argv)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    if (Why)
+      *Why = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (Pid == 0) {
+    ::execv(Argv[0], Argv.data());
+    // exec failed; 127 is the shell's "command not found" convention and
+    // shows up in the death log line.
+    _exit(127);
+  }
+  M.Pid = Pid;
+  return true;
+}
+
+void MemberSupervisor::killAndReap(Member &M) {
+  if (M.Pid <= 0)
+    return;
+  ::kill(M.Pid, SIGKILL);
+  int Status = 0;
+  // SIGKILL cannot be caught or blocked; the reap is prompt even for a
+  // SIGSTOPped process (the kill wins over the stop).
+  while (::waitpid(M.Pid, &Status, 0) < 0 && errno == EINTR)
+    ;
+  M.Pid = -1;
+}
+
+bool MemberSupervisor::chargeRestartBudget(Member &M,
+                                           std::vector<std::string> &Events) {
+  if (!M.EverAttempted) {
+    M.EverAttempted = true; // the first spawn of a member is not a restart
+    return true;
+  }
+  Clock::time_point Now = Clock::now();
+  M.RestartTimes.push_back(Now);
+  Clock::time_point Horizon =
+      Now - std::chrono::milliseconds(Opts.RestartWindowMs);
+  while (!M.RestartTimes.empty() && M.RestartTimes.front() < Horizon)
+    M.RestartTimes.pop_front();
+  if (M.RestartTimes.size() <= Opts.RestartBudget)
+    return true;
+  M.St = State::Quarantined;
+  M.Admitted = false;
+  M.QuarantineReason = "flap: " + std::to_string(M.RestartTimes.size()) +
+                       " restarts in " + std::to_string(Opts.RestartWindowMs) +
+                       " ms (budget " + std::to_string(Opts.RestartBudget) +
+                       ")";
+  ++C.FlapQuarantines;
+  Events.push_back("supervise: member " + M.Spec.Id + " quarantined: " +
+                   M.QuarantineReason);
+  return false;
+}
+
+void MemberSupervisor::tick(
+    std::vector<std::string> &Events, std::vector<std::string> &Nudges,
+    std::vector<std::pair<std::string, uint64_t>> &Rtts) {
+  Clock::time_point Now = Clock::now();
+
+  // Phase 1 (locked): reap exits, pick which members to probe or spawn.
+  // Only this thread ever mutates member state, so indices collected
+  // here stay valid and un-raced across the unlocked phases below.
+  std::vector<size_t> Probes, Spawns;
+  {
+    std::lock_guard<std::mutex> L(SM);
+    for (size_t I = 0; I != Members.size(); ++I) {
+      Member &M = Members[I];
+      switch (M.St) {
+      case State::Quarantined:
+        break;
+      case State::Stopped:
+        if (Now >= M.NextSpawn)
+          Spawns.push_back(I);
+        break;
+      case State::WaitingReady:
+      case State::Running: {
+        int Status = 0;
+        pid_t W = ::waitpid(M.Pid, &Status, WNOHANG);
+        if (W == M.Pid) {
+          // Process death: edge-triggered and unmissable, unlike the
+          // socket (a member that exits before binding never errors any
+          // router connection).
+          ++C.ProcessDeaths;
+          std::string How =
+              WIFEXITED(Status)
+                  ? "exit " + std::to_string(WEXITSTATUS(Status))
+                  : WIFSIGNALED(Status)
+                        ? "signal " + std::to_string(WTERMSIG(Status))
+                        : "status " + std::to_string(Status);
+          Events.push_back("supervise: member " + M.Spec.Id + " died (" +
+                           How + "), restarting");
+          M.Pid = -1;
+          M.Admitted = false;
+          M.St = State::Stopped;
+          M.NextSpawn = Now + std::chrono::milliseconds(backoff::delayMs(
+                                  Opts.BackoffBaseMs, M.SpawnAttempts++,
+                                  Opts.BackoffCapMs));
+        } else {
+          Probes.push_back(I);
+        }
+        break;
+      }
+      }
+    }
+  }
+
+  // Phase 2 (unlocked): the deadline-bounded pings. Serial is fine — the
+  // fleet is small and a healthy ping is microseconds; only a hung
+  // member costs its full ProbeDeadlineMs.
+  std::vector<server::ProbeResult> Results(Probes.size());
+  for (size_t I = 0; I != Probes.size(); ++I)
+    Results[I] = server::probePing(Members[Probes[I]].Spec.SocketPath,
+                                   Opts.ProbeDeadlineMs);
+
+  // Phase 3 (locked): apply probe verdicts; collect hung members.
+  std::vector<size_t> Hung;
+  {
+    std::lock_guard<std::mutex> L(SM);
+    for (size_t I = 0; I != Probes.size(); ++I) {
+      Member &M = Members[Probes[I]];
+      const server::ProbeResult &PR = Results[I];
+      ++C.ProbesSent;
+      if (PR.Reachable) {
+        ++C.ProbesOk;
+        M.ConsecutiveMisses = 0;
+        Rtts.push_back({M.Spec.Id, PR.RttUs});
+        if (M.St == State::WaitingReady && PR.Ready) {
+          M.St = State::Running;
+          M.Admitted = true;
+          M.SpawnAttempts = 0; // healthy again: backoff ladder resets
+          Events.push_back("supervise: member " + M.Spec.Id + " ready (pid " +
+                           std::to_string(M.Pid) + ")");
+          Nudges.push_back(M.Spec.Id);
+          continue;
+        }
+      } else if (M.St == State::Running) {
+        ++C.MissedPings;
+        ++M.ConsecutiveMisses;
+        if (M.ConsecutiveMisses >= Opts.HangAfterMissedPings) {
+          Events.push_back("supervise: member " + M.Spec.Id + " hung (" +
+                           std::to_string(M.ConsecutiveMisses) +
+                           " missed pings: " + PR.Error + "), killing");
+          Hung.push_back(Probes[I]);
+          continue;
+        }
+      }
+      // A spawned member that neither dies nor turns ready burns its
+      // ready budget, then goes through the same kill+restart path a
+      // hang does (it may be livelocked before ever binding).
+      if (M.St == State::WaitingReady &&
+          Now - M.SpawnedAt >
+              std::chrono::milliseconds(Opts.ReadyTimeoutMs)) {
+        Events.push_back("supervise: member " + M.Spec.Id +
+                         " never became ready, killing");
+        Hung.push_back(Probes[I]);
+      }
+    }
+  }
+
+  // Phase 4: SIGKILL convicts (unlocked: the blocking reap must not
+  // stall admitted() calls from the router's submit path), then record
+  // the deaths.
+  for (size_t I : Hung)
+    killAndReap(Members[I]);
+  if (!Hung.empty()) {
+    std::lock_guard<std::mutex> L(SM);
+    for (size_t I : Hung) {
+      Member &M = Members[I];
+      ++C.HungKills;
+      M.Admitted = false;
+      M.ConsecutiveMisses = 0;
+      M.St = State::Stopped;
+      M.NextSpawn = Now + std::chrono::milliseconds(backoff::delayMs(
+                              Opts.BackoffBaseMs, M.SpawnAttempts++,
+                              Opts.BackoffCapMs));
+    }
+  }
+
+  // Phase 5: due (re)spawns — budget check under the lock, fork outside.
+  for (size_t I : Spawns) {
+    Member &M = Members[I];
+    {
+      std::lock_guard<std::mutex> L(SM);
+      if (M.St != State::Stopped)
+        continue;
+      if (!chargeRestartBudget(M, Events))
+        continue; // quarantined, with the named reason already logged
+    }
+    std::string Why;
+    bool Ok = spawnProcess(M, &Why);
+    std::lock_guard<std::mutex> L(SM);
+    if (Ok) {
+      ++C.Spawns;
+      if (M.EverSpawned) {
+        ++C.Restarts;
+        ++M.Restarts;
+      }
+      M.EverSpawned = true;
+      M.St = State::WaitingReady;
+      M.SpawnedAt = Clock::now();
+      M.ConsecutiveMisses = 0;
+      Events.push_back("supervise: member " + M.Spec.Id + " spawned (pid " +
+                       std::to_string(M.Pid) + ")");
+    } else {
+      ++C.SpawnFailures;
+      Events.push_back("supervise: member " + M.Spec.Id +
+                       " spawn failed (" + Why + ")");
+      M.NextSpawn =
+          Clock::now() + std::chrono::milliseconds(backoff::delayMs(
+                             Opts.BackoffBaseMs, M.SpawnAttempts++,
+                             Opts.BackoffCapMs));
+    }
+  }
+}
+
+bool MemberSupervisor::start(std::string *Err) {
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Opts.ReadyTimeoutMs);
+  for (;;) {
+    std::vector<std::string> Events, Nudges;
+    std::vector<std::pair<std::string, uint64_t>> Rtts;
+    tick(Events, Nudges, Rtts);
+    for (const std::string &E : Events)
+      if (Opts.Log)
+        Opts.Log(E);
+    for (const auto &[Id, Us] : Rtts)
+      if (Opts.RttSink)
+        Opts.RttSink(Id, Us);
+    for (const std::string &Id : Nudges)
+      if (Opts.Nudge)
+        Opts.Nudge(Id);
+    bool AnyReady = false, AllQuarantined = !Members.empty();
+    {
+      std::lock_guard<std::mutex> L(SM);
+      for (const Member &M : Members) {
+        AnyReady = AnyReady || M.Admitted;
+        AllQuarantined = AllQuarantined && M.St == State::Quarantined;
+      }
+    }
+    if (AnyReady)
+      break;
+    if (AllQuarantined) {
+      if (Err)
+        *Err = "every supervised member flap-quarantined before readiness";
+      return false;
+    }
+    if (Clock::now() > Deadline) {
+      if (Err)
+        *Err = "no supervised member became ready within " +
+               std::to_string(Opts.ReadyTimeoutMs) + " ms";
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min<uint64_t>(Opts.ProbeIntervalMs,
+                                                     50)));
+  }
+  Prober = std::thread([this] { probeLoop(); });
+  return true;
+}
+
+void MemberSupervisor::probeLoop() {
+  std::unique_lock<std::mutex> L(SM);
+  while (!Stopping) {
+    StopCv.wait_for(L, std::chrono::milliseconds(Opts.ProbeIntervalMs),
+                    [this] { return Stopping; });
+    if (Stopping)
+      return;
+    L.unlock();
+    std::vector<std::string> Events, Nudges;
+    std::vector<std::pair<std::string, uint64_t>> Rtts;
+    tick(Events, Nudges, Rtts);
+    // Hooks fire without SM held, so a Nudge may re-enter the router
+    // (which holds its own lock while calling admitted()) deadlock-free.
+    for (const std::string &E : Events)
+      if (Opts.Log)
+        Opts.Log(E);
+    for (const auto &[Id, Us] : Rtts)
+      if (Opts.RttSink)
+        Opts.RttSink(Id, Us);
+    for (const std::string &Id : Nudges)
+      if (Opts.Nudge)
+        Opts.Nudge(Id);
+    L.lock();
+  }
+}
+
+void MemberSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> L(SM);
+    if (Stopping && !Prober.joinable())
+      return; // already stopped
+    Stopping = true;
+  }
+  StopCv.notify_all();
+  if (Prober.joinable())
+    Prober.join();
+
+  // Graceful teardown: SIGTERM everyone (crellvm-served drains on it),
+  // bounded wait, SIGKILL the stragglers. Deaths here are shutdown, not
+  // failures — no counters, no restarts.
+  for (Member &M : Members)
+    if (M.Pid > 0)
+      ::kill(M.Pid, SIGTERM);
+  Clock::time_point Deadline = Clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    bool AnyAlive = false;
+    for (Member &M : Members) {
+      if (M.Pid <= 0)
+        continue;
+      int Status = 0;
+      pid_t W = ::waitpid(M.Pid, &Status, WNOHANG);
+      if (W == M.Pid)
+        M.Pid = -1;
+      else
+        AnyAlive = true;
+    }
+    if (!AnyAlive || Clock::now() > Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (Member &M : Members)
+    killAndReap(M);
+  std::lock_guard<std::mutex> L(SM);
+  for (Member &M : Members) {
+    M.Admitted = false;
+    if (M.St != State::Quarantined)
+      M.St = State::Stopped;
+  }
+}
+
+bool MemberSupervisor::admitted(const std::string &Id) const {
+  std::lock_guard<std::mutex> L(SM);
+  for (const Member &M : Members)
+    if (M.Spec.Id == Id)
+      return M.Admitted;
+  // Unknown to the supervisor (e.g. a --member alongside --supervise):
+  // not ours to gate.
+  return true;
+}
+
+pid_t MemberSupervisor::pidOf(const std::string &Id) const {
+  std::lock_guard<std::mutex> L(SM);
+  for (const Member &M : Members)
+    if (M.Spec.Id == Id)
+      return M.Pid;
+  return -1;
+}
+
+SupervisorCounters MemberSupervisor::counters() const {
+  std::lock_guard<std::mutex> L(SM);
+  return C;
+}
+
+json::Value MemberSupervisor::statsJson() const {
+  std::lock_guard<std::mutex> L(SM);
+  json::Value O = json::Value::object();
+  O.set("spawns", json::Value(C.Spawns));
+  O.set("spawn_failures", json::Value(C.SpawnFailures));
+  O.set("restarts", json::Value(C.Restarts));
+  O.set("process_deaths", json::Value(C.ProcessDeaths));
+  O.set("hung_kills", json::Value(C.HungKills));
+  O.set("missed_pings", json::Value(C.MissedPings));
+  O.set("probes_sent", json::Value(C.ProbesSent));
+  O.set("probes_ok", json::Value(C.ProbesOk));
+  O.set("flap_quarantines", json::Value(C.FlapQuarantines));
+  json::Value Arr = json::Value::array();
+  for (const Member &M : Members) {
+    json::Value MV = json::Value::object();
+    MV.set("member_id", json::Value(M.Spec.Id));
+    MV.set("state", json::Value(stateName(M.St)));
+    MV.set("pid", json::Value(static_cast<int64_t>(M.Pid)));
+    MV.set("restarts", json::Value(M.Restarts));
+    MV.set("consecutive_misses",
+           json::Value(static_cast<uint64_t>(M.ConsecutiveMisses)));
+    if (!M.QuarantineReason.empty())
+      MV.set("quarantine_reason", json::Value(M.QuarantineReason));
+    Arr.push(std::move(MV));
+  }
+  O.set("members", std::move(Arr));
+  return O;
+}

@@ -1,0 +1,204 @@
+//===- supervise/Supervisor.h - Member process supervisor -------*- C++ -*-===//
+///
+/// \file
+/// The self-healing layer under `crellvm-cluster --supervise N`: a
+/// MemberSupervisor fork/execs every member's `crellvm-served` process
+/// from a command template and then actively keeps the fleet alive
+/// (DESIGN.md §18). The cluster router alone can only *fail over*: it
+/// notices a member whose socket errors and reroutes its orphans, but
+/// nothing respawns the dead process, and a hung member — alive socket,
+/// no answers, e.g. SIGSTOP or a livelock — never errors a socket at
+/// all, so the edge-triggered death detector is blind to it.
+///
+/// The supervisor closes both gaps with one probe loop:
+///
+///  - **Process death** is detected by waitpid(WNOHANG) every tick; the
+///    member is respawned on a support/Backoff.h schedule.
+///  - **Hangs** are detected by deadline-bounded health pings
+///    (server/HealthProbe.h): after `HangAfterMissedPings` consecutive
+///    misses the member is declared hung, SIGKILLed, and respawned —
+///    the kill errors its socket, so the router's existing failover
+///    reclaims the orphans with zero accepted-request loss.
+///  - **Readiness gates admission**: a freshly spawned member joins the
+///    ring only after a ping answers Ok with an empty reason
+///    (Protocol.h liveness-vs-readiness), so the router never routes to
+///    a process that is still binding its socket or already draining.
+///  - **Flapping is quarantined**: more than `RestartBudget` restarts
+///    inside a sliding `RestartWindowMs` window permanently quarantines
+///    the member with a named reason in the stats — mirroring the cache
+///    rw→ro→off and plan on→shadow→off demotion ladders, a persistent
+///    failure is surfaced loudly instead of retried forever.
+///
+/// Supervision adds **zero TCB**: it starts, probes, and kills
+/// processes; a verdict is still only ever produced by a member's
+/// driver + checker stack, and a supervisor bug can cost availability,
+/// never soundness.
+///
+/// Thread model: one supervisor thread owns all process state. The
+/// router-facing hooks (Nudge, RttSink, Log) are invoked WITHOUT the
+/// supervisor mutex held, so a hook may call straight back into
+/// ClusterRouter (whose lock is held while it calls admitted()) without
+/// deadlock.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CRELLVM_SUPERVISE_SUPERVISOR_H
+#define CRELLVM_SUPERVISE_SUPERVISOR_H
+
+#include "json/Json.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace crellvm {
+namespace supervise {
+
+/// One supervised member: identity, the socket it must serve, and the
+/// full argv (argv[0] = binary path) to fork/exec.
+struct MemberSpec {
+  std::string Id;
+  std::string SocketPath;
+  std::vector<std::string> Argv;
+};
+
+struct SupervisorOptions {
+  std::vector<MemberSpec> Members;
+  /// Probe cadence; every tick runs waitpid + one health ping per
+  /// running member.
+  uint64_t ProbeIntervalMs = 200;
+  /// Per-ping deadline (HealthProbe); a miss is a ping that cannot
+  /// complete within this budget.
+  uint64_t ProbeDeadlineMs = 250;
+  /// Consecutive missed pings that convict a member of hanging.
+  unsigned HangAfterMissedPings = 3;
+  /// Restarts allowed inside one sliding window; one more flap-
+  /// quarantines the member permanently.
+  unsigned RestartBudget = 5;
+  uint64_t RestartWindowMs = 60000;
+  /// Respawn backoff (support/Backoff.h), reset by a successful
+  /// readiness ping.
+  uint64_t BackoffBaseMs = 50;
+  uint64_t BackoffCapMs = 2000;
+  /// A spawned member must turn ready within this budget or it is
+  /// treated like a hang (killed + restarted on the flap ladder).
+  uint64_t ReadyTimeoutMs = 5000;
+  uint64_t Seed = 1;
+
+  /// Hooks, all optional and all invoked without the supervisor mutex.
+  /// Member turned ready (admitted): the router should reattach it now
+  /// instead of waiting out its own backoff.
+  std::function<void(const std::string &Id)> Nudge;
+  /// Successful health-ping RTT, for the router's per-member histograms.
+  std::function<void(const std::string &Id, uint64_t RttUs)> RttSink;
+  /// One human-readable event line (spawn/death/hang/quarantine).
+  std::function<void(const std::string &Line)> Log;
+};
+
+/// Monotone supervisor counters (surfaced in the aggregated stats).
+struct SupervisorCounters {
+  uint64_t Spawns = 0;        ///< every fork/exec attempt that succeeded
+  uint64_t SpawnFailures = 0; ///< fork/exec failures (incl. sup.spawn chaos)
+  uint64_t Restarts = 0;      ///< spawns after the member's first
+  uint64_t ProcessDeaths = 0; ///< waitpid-detected exits
+  uint64_t HungKills = 0;     ///< SIGKILLs after missed-ping conviction
+  uint64_t MissedPings = 0;
+  uint64_t ProbesSent = 0;
+  uint64_t ProbesOk = 0;
+  uint64_t FlapQuarantines = 0;
+};
+
+class MemberSupervisor {
+public:
+  explicit MemberSupervisor(SupervisorOptions Opts);
+  ~MemberSupervisor();
+
+  MemberSupervisor(const MemberSupervisor &) = delete;
+  MemberSupervisor &operator=(const MemberSupervisor &) = delete;
+
+  /// Spawns every member, waits up to ReadyTimeoutMs for at least one to
+  /// turn ready, then starts the probe loop. False with \p Err when no
+  /// member ever became ready (members that lag behind are left to the
+  /// probe loop, exactly like ClusterRouter::start).
+  bool start(std::string *Err);
+
+  /// Stops the probe loop and tears the fleet down: SIGTERM, a bounded
+  /// grace wait for the drain, then SIGKILL for anything still alive.
+  void stop();
+
+  /// The router's admission gate: true iff \p Id is ready and not
+  /// quarantined. Called with the router lock held — must not block.
+  bool admitted(const std::string &Id) const;
+
+  /// Live pid of \p Id, or -1 (for tests: the SIGSTOP hang harness).
+  pid_t pidOf(const std::string &Id) const;
+
+  SupervisorCounters counters() const;
+
+  /// The `supervisor` stats section: counters plus a per-member array
+  /// (state, pid, restarts, quarantine reason). Router-local — attached
+  /// to the aggregated document after member aggregation, so it needs no
+  /// StatsSchemaVersion bump.
+  json::Value statsJson() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State : uint8_t {
+    Stopped,      ///< not yet spawned (or reaped, awaiting backoff)
+    WaitingReady, ///< spawned, readiness ping not yet answered
+    Running,      ///< ready at least once; health-probed every tick
+    Quarantined,  ///< flap budget exhausted; never respawned
+  };
+  static const char *stateName(State S);
+
+  struct Member {
+    MemberSpec Spec;
+    State St = State::Stopped;
+    pid_t Pid = -1;
+    bool Admitted = false;
+    unsigned ConsecutiveMisses = 0;
+    uint64_t SpawnAttempts = 0; ///< backoff exponent; reset on ready
+    uint64_t Restarts = 0;
+    bool EverAttempted = false; ///< first spawn attempt is budget-free
+    bool EverSpawned = false;   ///< respawns after this count as Restarts
+    Clock::time_point NextSpawn = Clock::time_point::min();
+    Clock::time_point SpawnedAt;
+    /// Restart timestamps inside the sliding flap window.
+    std::deque<Clock::time_point> RestartTimes;
+    std::string QuarantineReason;
+  };
+
+  /// Fork/execs \p M (chaos site sup.spawn can veto). Mutex NOT held.
+  bool spawnProcess(Member &M, std::string *Why);
+  /// SIGKILL + blocking reap. Mutex NOT held.
+  void killAndReap(Member &M);
+  /// Records a restart attempt against the flap window; true when the
+  /// budget still allows it, false after quarantining. Mutex held.
+  bool chargeRestartBudget(Member &M, std::vector<std::string> &Events);
+  void probeLoop();
+  /// One supervision pass over every member. Fills \p Events with log
+  /// lines and \p Nudges with newly-ready member ids (hooks are fired by
+  /// the caller, outside the mutex).
+  void tick(std::vector<std::string> &Events, std::vector<std::string> &Nudges,
+            std::vector<std::pair<std::string, uint64_t>> &Rtts);
+
+  SupervisorOptions Opts;
+  mutable std::mutex SM;
+  std::condition_variable StopCv;
+  std::vector<Member> Members;
+  SupervisorCounters C;
+  bool Stopping = false;
+  std::thread Prober;
+};
+
+} // namespace supervise
+} // namespace crellvm
+
+#endif // CRELLVM_SUPERVISE_SUPERVISOR_H

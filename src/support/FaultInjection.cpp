@@ -20,6 +20,7 @@ constexpr const char *KnownSites[] = {
     "disk.read",  "disk.write",  "disk.short", "disk.rename", "disk.corrupt",
     "sock.read",  "sock.write",  "sock.short", "sock.eintr",
     "pool.submit", "queue.admit", "unit.run",   "unit.hang",  "plan.apply",
+    "sup.spawn",
 };
 constexpr size_t NumSites = sizeof(KnownSites) / sizeof(KnownSites[0]);
 

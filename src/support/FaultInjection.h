@@ -43,6 +43,10 @@
 ///                 is skipped for this call as if the applicability guard
 ///                 failed mid-batch; the general checker answers, so
 ///                 verdicts must stay bit-identical to --plan=off
+///   sup.spawn     supervise/MemberSupervisor spawn: the fork/exec of a
+///                 member is failed before the fork (as if the exec
+///                 target vanished); counts as a failed spawn attempt,
+///                 feeding the restart-budget flap ladder
 ///
 /// **Schedules** are comma- or semicolon-separated clauses; within a
 /// clause, `site` is followed by colon-separated `key=value` params:

@@ -260,6 +260,61 @@ TEST(CliSmoke, ClusterRequiresSocketAndMembers) {
   EXPECT_NE(NoMembers.Stdout.find("--member"), std::string::npos);
 }
 
+TEST(CliSmoke, ClusterBadSuperviseValueExitsTwoNamingTheFlag) {
+  // Strict numeric parse: junk, zero, and absurd fleet sizes all name
+  // the offending flag+value instead of silently spawning nothing.
+  const std::pair<const char *, const char *> Rows[] = {
+      {"--socket /tmp/r.sock --supervise bogus", "--supervise bogus"},
+      {"--socket /tmp/r.sock --supervise 0", "--supervise 0"},
+      {"--socket /tmp/r.sock --supervise 3x", "--supervise 3x"},
+      {"--socket /tmp/r.sock --supervise 1000", "--supervise 1000"},
+  };
+  for (const auto &Row : Rows) {
+    RunResult R = runBinary(CRELLVM_CLUSTER_BIN, Row.first,
+                            /*MergeStderr=*/true);
+    EXPECT_EQ(R.ExitCode, 2) << "args: " << Row.first;
+    EXPECT_NE(R.Stdout.find(Row.second), std::string::npos)
+        << "args: " << Row.first << " should name " << Row.second;
+  }
+}
+
+TEST(CliSmoke, ClusterSuperviseConflictsWithExplicitMembers) {
+  RunResult R = runBinary(
+      CRELLVM_CLUSTER_BIN,
+      "--socket /tmp/r.sock --supervise 2 --member m1=/tmp/m1.sock",
+      /*MergeStderr=*/true);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stdout.find("--supervise"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("--member"), std::string::npos);
+}
+
+TEST(CliSmoke, ClusterHelpDocumentsSupervision) {
+  RunResult R = runBinary(CRELLVM_CLUSTER_BIN, "--help");
+  EXPECT_EQ(R.ExitCode, 0);
+  for (const char *Needle :
+       {"--supervise", "--served", "--probe-interval-ms",
+        "--probe-deadline-ms", "--hang-after", "--restart-budget",
+        "--restart-window-ms", "--ready-timeout-ms"})
+    EXPECT_NE(R.Stdout.find(Needle), std::string::npos)
+        << "cluster usage must document " << Needle;
+}
+
+TEST(CliSmoke, ClientHelpDocumentsDeepPing) {
+  RunResult R = runBinary(CRELLVM_CLIENT_BIN, "--help");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("--ping"), std::string::npos);
+}
+
+TEST(CliSmoke, CampaignBadRecoveryWindowUsageExitsTwo) {
+  // --recovery-window needs soak + periodic scrapes to have rate samples.
+  RunResult R = runBinary(CRELLVM_CAMPAIGN_BIN,
+                          "--mode throughput --recovery-window 5",
+                          /*MergeStderr=*/true);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stdout.find("--recovery-window"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("--stats-every"), std::string::npos);
+}
+
 // The campaign usage block documents the replay contract the findings
 // print (one command, standalone reproduction).
 TEST(CliSmoke, CampaignHelpDocumentsReplay) {

@@ -635,4 +635,38 @@ TEST(ClusterRouter, AggregatedStatsCarrySchemaAndTopology) {
   M1.stop();
 }
 
+TEST(ClusterRouter, ReattachLoopIsQuiescentWhileAllMembersAreHealthy) {
+  // The reattach loop parks on its condition variable; with every member
+  // attached there is nothing to poll, so an idle interval must count
+  // exactly zero work passes (the loop used to wake every 100 ms
+  // unconditionally — this pins the event-driven rewrite).
+  Daemon M1 = Daemon::spawn("quiesce1", {"--member-id", "q1"});
+  ASSERT_TRUE(M1.waitReady());
+
+  ClusterOptions O;
+  O.Members = {{"q1", M1.Socket}};
+  ClusterRouter R(O);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(R.counters().ReattachWakeups, 0u)
+      << "an all-healthy cluster must not spin its reattach loop";
+
+  // A death wakes it up for real work...
+  M1.kill9();
+  Collector C;
+  R.submit(validateSeed(701, 0), C.callback());
+  ASSERT_TRUE(C.waitFor(1));
+  bool Woke = false;
+  for (int Tries = 0; !Woke && Tries != 500; ++Tries) {
+    Woke = R.counters().ReattachWakeups > 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(Woke) << "a member death must wake the reattach loop";
+
+  R.beginShutdown();
+  R.drain();
+}
+
 } // namespace

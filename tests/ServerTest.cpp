@@ -228,6 +228,26 @@ TEST(ServerLoopback, PingAndStats) {
     EXPECT_NE(R.Stats.find(Key), nullptr) << "stats must carry " << Key;
 }
 
+TEST(ServerLoopback, PingWhileDrainingIsAliveButNotReady) {
+  // Liveness vs. readiness (Protocol.h): a draining daemon still answers
+  // its ping Ok — it is alive, and old health checks must keep passing —
+  // but carries reason "draining", which is what the member supervisor's
+  // readiness gate keys on (ready = Ok with an EMPTY reason).
+  ValidationService S(fastOptions());
+  LoopbackTransport T(S);
+  Request Ping;
+  Ping.Kind = RequestKind::Ping;
+  Ping.Id = 4;
+  Response R = T.call(Ping);
+  EXPECT_EQ(R.Status, ResponseStatus::Ok);
+  EXPECT_TRUE(R.Reason.empty()) << R.Reason;
+
+  S.beginShutdown();
+  R = T.call(Ping);
+  EXPECT_EQ(R.Status, ResponseStatus::Ok) << "liveness must survive a drain";
+  EXPECT_EQ(R.Reason, "draining");
+}
+
 TEST(ServerLoopback, QueuedRequestsCoalesceIntoOneBatch) {
   ServiceOptions O = fastOptions();
   O.StartPaused = true;

@@ -1,0 +1,361 @@
+//===- tests/SuperviseTest.cpp - Member supervisor tests ------------------===//
+//
+// The self-healing layer (DESIGN.md §18), tested over real fork/exec'd
+// crellvm-served members:
+//
+//   Supervise.RestartAfterSigkill        process death is reaped and the
+//                                        member respawned + re-admitted
+//   Supervise.FlapQuarantine*            a member that can never start
+//                                        exhausts its restart budget and
+//                                        is quarantined with a named
+//                                        reason, while the healthy
+//                                        member keeps serving
+//   Supervise.SpawnChaosSite*            sup.spawn chaos counts as a
+//                                        spawn failure and is retried
+//   Supervise.HungMember*                SIGSTOP (alive socket, no
+//                                        answers) is convicted by missed
+//                                        pings, SIGKILLed and restarted
+//                                        mid-load with zero
+//                                        accepted-request loss
+//   Supervise.DeepPing*                  the router's deep ping reports
+//                                        a stopped member down within
+//                                        the deadline
+//
+// Suite names all contain "Supervise" so the TSan sweep in ci.yml picks
+// the whole file up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "supervise/Supervisor.h"
+
+#include "cluster/Router.h"
+#include "server/HealthProbe.h"
+#include "support/FaultInjection.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+using namespace crellvm;
+using namespace crellvm::supervise;
+using server::Request;
+using server::RequestKind;
+using server::Response;
+using server::ResponseStatus;
+
+namespace {
+
+std::string testSocket(const char *Tag, const std::string &Id) {
+  std::string S = "/tmp/crellvm-sup-test-" + std::to_string(::getpid()) +
+                  "-" + Tag + "-" + Id + ".sock";
+  ::unlink(S.c_str());
+  return S;
+}
+
+MemberSpec servedMember(const char *Tag, const std::string &Id) {
+  MemberSpec M;
+  M.Id = Id;
+  M.SocketPath = testSocket(Tag, Id);
+  M.Argv = {CRELLVM_SERVED_BIN, "--socket", M.SocketPath,
+            "--member-id", Id, "--jobs", "2"};
+  return M;
+}
+
+/// Fast supervision knobs: quick probes, generous ready budget (a cold
+/// crellvm-served start on a loaded CI box takes a moment).
+SupervisorOptions fastSup(std::vector<MemberSpec> Members) {
+  SupervisorOptions O;
+  O.Members = std::move(Members);
+  O.ProbeIntervalMs = 25;
+  O.ProbeDeadlineMs = 250;
+  O.HangAfterMissedPings = 3;
+  O.RestartBudget = 5;
+  O.RestartWindowMs = 60000;
+  O.BackoffBaseMs = 10;
+  O.BackoffCapMs = 100;
+  O.ReadyTimeoutMs = 30000;
+  return O;
+}
+
+bool waitUntil(const std::function<bool()> &Pred, int Seconds = 30) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(Seconds);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Pred();
+}
+
+Request validateSeed(uint64_t Seed, int64_t Id) {
+  Request R;
+  R.Kind = RequestKind::Validate;
+  R.Id = Id;
+  R.HasSeed = true;
+  R.Seed = Seed;
+  return R;
+}
+
+/// Collects asynchronous router responses with a bounded wait.
+struct Collector {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<Response> Rsps;
+
+  cluster::ClusterRouter::Callback callback() {
+    return [this](Response R) {
+      std::lock_guard<std::mutex> L(M);
+      Rsps.push_back(std::move(R));
+      Cv.notify_all();
+    };
+  }
+
+  bool waitFor(size_t N, int Seconds = 120) {
+    std::unique_lock<std::mutex> L(M);
+    return Cv.wait_for(L, std::chrono::seconds(Seconds),
+                       [&] { return Rsps.size() >= N; });
+  }
+};
+
+const json::Value *memberEntry(const json::Value &SupStats,
+                               const std::string &Id) {
+  const json::Value *Members = SupStats.find("members");
+  if (!Members || Members->kind() != json::Value::Kind::Array)
+    return nullptr;
+  for (size_t I = 0; I != Members->size(); ++I) {
+    const json::Value &E = Members->at(I);
+    const json::Value *MId = E.find("member_id");
+    if (MId && MId->kind() == json::Value::Kind::String &&
+        MId->getString() == Id)
+      return &E;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Supervise, RestartAfterSigkillReadmitsWithNewPid) {
+  MemberSupervisor Sup(fastSup(
+      {servedMember("kill", "s0"), servedMember("kill", "s1")}));
+  std::string Err;
+  ASSERT_TRUE(Sup.start(&Err)) << Err;
+  ASSERT_TRUE(waitUntil([&] { return Sup.admitted("s0") && Sup.admitted("s1"); }))
+      << "both members must turn ready";
+
+  pid_t Old = Sup.pidOf("s0");
+  ASSERT_GT(Old, 0);
+  ASSERT_EQ(::kill(Old, SIGKILL), 0);
+
+  EXPECT_TRUE(waitUntil([&] {
+    pid_t Now = Sup.pidOf("s0");
+    return Now > 0 && Now != Old && Sup.admitted("s0");
+  })) << "the killed member must be respawned and re-admitted";
+
+  SupervisorCounters C = Sup.counters();
+  EXPECT_GE(C.ProcessDeaths, 1u);
+  EXPECT_GE(C.Restarts, 1u);
+  EXPECT_GE(C.Spawns, 3u); // two initial spawns + at least one respawn
+  EXPECT_EQ(C.FlapQuarantines, 0u);
+  Sup.stop();
+}
+
+TEST(Supervise, FlapQuarantineNamesReasonAndSparesHealthyMember) {
+  // One healthy member and one that can never start: crellvm-served
+  // rejects the unknown flag with exit 2 immediately, so every spawn
+  // "dies" at once and the restart budget drains fast.
+  MemberSpec Bad;
+  Bad.Id = "flappy";
+  Bad.SocketPath = testSocket("flap", "flappy");
+  Bad.Argv = {CRELLVM_SERVED_BIN, "--definitely-not-a-flag"};
+
+  SupervisorOptions O =
+      fastSup({servedMember("flap", "good"), Bad});
+  O.RestartBudget = 2;
+  MemberSupervisor Sup(O);
+  std::string Err;
+  ASSERT_TRUE(Sup.start(&Err)) << Err; // the good member carries readiness
+
+  ASSERT_TRUE(waitUntil([&] { return Sup.counters().FlapQuarantines >= 1; }))
+      << "the flapping member must exhaust its budget";
+  EXPECT_TRUE(waitUntil([&] { return Sup.admitted("good"); }));
+  EXPECT_FALSE(Sup.admitted("flappy"));
+
+  json::Value Stats = Sup.statsJson();
+  const json::Value *E = memberEntry(Stats, "flappy");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->get("state").getString(), "quarantined");
+  std::string Reason = E->get("quarantine_reason").getString();
+  EXPECT_NE(Reason.find("flap:"), std::string::npos) << Reason;
+  EXPECT_NE(Reason.find("budget"), std::string::npos) << Reason;
+
+  // Quarantine is permanent: counters stop moving for the flapper.
+  SupervisorCounters C1 = Sup.counters();
+  EXPECT_EQ(C1.FlapQuarantines, 1u);
+  Sup.stop();
+}
+
+TEST(Supervise, SpawnChaosSiteCountsAsSpawnFailureAndIsRetried) {
+  ASSERT_TRUE(fault::configure("sup.spawn:at=1"));
+  MemberSupervisor Sup(fastSup({servedMember("chaos", "c0")}));
+  std::string Err;
+  bool Started = Sup.start(&Err);
+  fault::disarm();
+  ASSERT_TRUE(Started) << Err;
+
+  ASSERT_TRUE(waitUntil([&] { return Sup.admitted("c0"); }));
+  SupervisorCounters C = Sup.counters();
+  EXPECT_GE(C.SpawnFailures, 1u) << "the vetoed first spawn must be counted";
+  EXPECT_GE(C.Spawns, 1u) << "the retry must have succeeded";
+  EXPECT_EQ(C.FlapQuarantines, 0u)
+      << "one vetoed spawn is far inside the restart budget";
+  Sup.stop();
+}
+
+TEST(Supervise, HungMemberIsKilledAndRestartedWithZeroLossUnderLoad) {
+  // The gap the router alone cannot close: SIGSTOP leaves the member's
+  // socket alive but mute, so no socket error ever fires. The supervisor
+  // convicts it on consecutive missed pings, SIGKILLs it (which errors
+  // the socket), and the router's failover reclaims the orphans — every
+  // submitted request still gets exactly one answer.
+  // Wired exactly like crellvm-cluster --supervise: the supervisor's
+  // hooks reach back into the router (created after the supervisor, so
+  // through a pointer that is set before the prober thread starts).
+  cluster::ClusterRouter *RouterPtr = nullptr;
+  SupervisorOptions SO = fastSup({servedMember("hang", "h0"),
+                                  servedMember("hang", "h1"),
+                                  servedMember("hang", "h2")});
+  SO.Nudge = [&RouterPtr](const std::string &Id) {
+    if (RouterPtr)
+      RouterPtr->nudgeReattach(Id);
+  };
+  SO.RttSink = [&RouterPtr](const std::string &Id, uint64_t RttUs) {
+    if (RouterPtr)
+      RouterPtr->notePingRtt(Id, RttUs);
+  };
+  MemberSupervisor Sup(SO);
+
+  cluster::ClusterOptions CO;
+  for (const MemberSpec &M : SO.Members)
+    CO.Members.push_back({M.Id, M.SocketPath});
+  CO.AdmissionGate = [&](const std::string &Id) { return Sup.admitted(Id); };
+  cluster::ClusterRouter R(CO);
+  RouterPtr = &R;
+
+  std::string Err;
+  ASSERT_TRUE(Sup.start(&Err)) << Err;
+  ASSERT_TRUE(waitUntil([&] {
+    return Sup.admitted("h0") && Sup.admitted("h1") && Sup.admitted("h2");
+  }));
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  constexpr size_t NReqs = 48;
+  Collector C;
+  // First half of the load lands, then one member freezes mid-flight,
+  // then the rest of the load keeps coming.
+  for (size_t I = 0; I != NReqs / 2; ++I)
+    R.submit(validateSeed(7100 + I, static_cast<int64_t>(I)), C.callback());
+
+  pid_t Stopped = Sup.pidOf("h1");
+  ASSERT_GT(Stopped, 0);
+  ASSERT_EQ(::kill(Stopped, SIGSTOP), 0);
+
+  for (size_t I = NReqs / 2; I != NReqs; ++I)
+    R.submit(validateSeed(7100 + I, static_cast<int64_t>(I)), C.callback());
+
+  ASSERT_TRUE(C.waitFor(NReqs)) << "a request was lost";
+  ASSERT_TRUE(waitUntil([&] {
+    return Sup.counters().HungKills >= 1 && Sup.pidOf("h1") != Stopped &&
+           Sup.admitted("h1");
+  })) << "the hung member must be convicted, killed and restarted";
+
+  R.beginShutdown();
+  R.drain();
+
+  std::set<int64_t> Ids;
+  for (const Response &Rsp : C.Rsps) {
+    EXPECT_TRUE(Ids.insert(Rsp.Id).second) << "duplicate answer";
+    EXPECT_TRUE(Rsp.Status == ResponseStatus::Ok ||
+                (Rsp.Status == ResponseStatus::Rejected &&
+                 Rsp.RetryAfterMs > 0))
+        << "id " << Rsp.Id << ": " << Rsp.Reason;
+  }
+  EXPECT_EQ(Ids.size(), NReqs);
+
+  cluster::RouterCounters RC = R.counters();
+  EXPECT_EQ(RC.Received, NReqs);
+  EXPECT_EQ(RC.answered(), NReqs) << "zero accepted-request loss";
+
+  SupervisorCounters SC = Sup.counters();
+  EXPECT_GE(SC.HungKills, 1u);
+  EXPECT_GE(SC.MissedPings, SO.HangAfterMissedPings);
+  EXPECT_EQ(SC.FlapQuarantines, 0u);
+
+  // The supervisor's successful probes surface through the RttSink hook
+  // as per-member ping_rtt_us histograms in the aggregated stats.
+  json::Value Stats = R.statsJson();
+  const json::Value &MembersArr = Stats.get("cluster").get("members");
+  bool SawRtt = false;
+  for (size_t I = 0; I != MembersArr.size(); ++I)
+    if (MembersArr.at(I).find("ping_rtt_us"))
+      SawRtt = true;
+  EXPECT_TRUE(SawRtt) << "supervisor ping RTTs missing from cluster stats";
+  Sup.stop();
+}
+
+TEST(Supervise, DeepPingReportsStoppedMemberDown) {
+  SupervisorOptions SO =
+      fastSup({servedMember("deep", "d0"), servedMember("deep", "d1")});
+  MemberSupervisor Sup(SO);
+  std::string Err;
+  ASSERT_TRUE(Sup.start(&Err)) << Err;
+  ASSERT_TRUE(waitUntil([&] {
+    return Sup.admitted("d0") && Sup.admitted("d1");
+  }));
+
+  cluster::ClusterOptions CO;
+  for (const MemberSpec &M : SO.Members)
+    CO.Members.push_back({M.Id, M.SocketPath});
+  cluster::ClusterRouter R(CO);
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  // Healthy fleet: both members answer ready inside the deadline.
+  json::Value Doc = R.deepPing(2000);
+  EXPECT_TRUE(Doc.get("deep").getBool());
+  EXPECT_EQ(Doc.get("size").getInt(), 2);
+  EXPECT_EQ(Doc.get("live").getInt(), 2);
+
+  // Freeze one member: its listening socket still accepts (kernel
+  // backlog), but the ping read times out — reachable=false.
+  pid_t Stopped = Sup.pidOf("d1");
+  ASSERT_GT(Stopped, 0);
+  ASSERT_EQ(::kill(Stopped, SIGSTOP), 0);
+  Doc = R.deepPing(300);
+  EXPECT_EQ(Doc.get("live").getInt(), 1);
+  const json::Value &Members = Doc.get("members");
+  bool SawDown = false;
+  for (size_t I = 0; I != Members.size(); ++I) {
+    const json::Value &E = Members.at(I);
+    if (E.get("member_id").getString() != "d1")
+      continue;
+    SawDown = true;
+    EXPECT_FALSE(E.get("reachable").getBool());
+  }
+  EXPECT_TRUE(SawDown);
+
+  // Thaw it so stop() can SIGTERM-drain instead of waiting out the kill.
+  ::kill(Stopped, SIGCONT);
+  R.beginShutdown();
+  R.drain();
+  Sup.stop();
+}
